@@ -1,0 +1,45 @@
+//! Reduced Ordered Binary Decision Diagrams (ROBDDs).
+//!
+//! VeriDP represents the set of packet headers that can traverse a forwarding
+//! path as a Boolean function over the header bits (CoNEXT'16, §4.1). Wildcard
+//! expressions blow up on constraints such as `dst_port != 22`; BDDs keep such
+//! sets compact and support the set algebra (union, intersection, complement,
+//! difference) that path-table construction and incremental update need.
+//!
+//! This is a from-scratch ROBDD implementation in the style of Bryant (1986):
+//!
+//! * nodes are hash-consed into a [`Manager`]-owned arena, so structural
+//!   equality is pointer (index) equality;
+//! * binary operations go through a memoized `apply`;
+//! * variables are `u32` indices with a fixed global order (callers lay out
+//!   header fields MSB-first so IP-prefix constraints produce shallow chains).
+//!
+//! There is deliberately no garbage collection and no complement edges: the
+//! arena is owned by a single header space whose lifetime matches the path
+//! table, and simplicity/robustness win over peak node reuse.
+//!
+//! # Example
+//!
+//! ```
+//! use veridp_bdd::Manager;
+//!
+//! let mut m = Manager::new(8);
+//! // f = x0 AND NOT x1
+//! let x0 = m.var(0);
+//! let x1 = m.var(1);
+//! let f = m.diff(x0, x1);
+//! assert!(m.eval(f, &[true, false, true, true, true, true, true, true]));
+//! assert!(!m.eval(f, &[true, true, false, false, false, false, false, false]));
+//! // 1/4 of the 2^8 assignments satisfy f
+//! assert_eq!(m.sat_count(f), 64);
+//! ```
+
+mod manager;
+mod ops;
+mod quant;
+mod sat;
+
+pub use manager::{Bdd, Manager};
+
+#[cfg(test)]
+mod tests;

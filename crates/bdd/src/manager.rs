@@ -1,0 +1,203 @@
+//! Node arena, hash-consing, and the basic node constructors.
+
+use std::collections::HashMap;
+
+/// A handle to a BDD node inside a [`Manager`].
+///
+/// Handles are plain indices; they are only meaningful together with the
+/// manager that created them. Two handles from the same manager represent the
+/// same Boolean function if and only if they are equal (canonicity of ROBDDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false function (empty header set).
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function (all-match header set).
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Whether this handle is the constant `false`.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Whether this handle is the constant `true`.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// Raw index, exposed for diagnostics and hashing into external caches.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Variable index used for the two terminal nodes; orders after all real
+/// variables so terminal tests stay cheap.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// Owner of the node arena: all BDD construction goes through a manager.
+///
+/// The manager enforces the two ROBDD invariants on every `mk` call —
+/// no redundant tests (`lo == hi` collapses) and no duplicate nodes
+/// (hash-consing) — so every reachable function has exactly one
+/// representation.
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    unique: HashMap<Node, u32>,
+    pub(crate) apply_cache: HashMap<(u8, u32, u32), u32>,
+    pub(crate) not_cache: HashMap<u32, u32>,
+    num_vars: u32,
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Manager {
+    /// Create a manager for functions over `num_vars` Boolean variables.
+    ///
+    /// # Panics
+    /// Panics if `num_vars` cannot be represented (`>= u32::MAX`).
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars < TERMINAL_VAR, "too many variables");
+        let f = Node { var: TERMINAL_VAR, lo: 0, hi: 0 };
+        let t = Node { var: TERMINAL_VAR, lo: 1, hi: 1 };
+        Manager {
+            nodes: vec![f, t],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Total number of live nodes in the arena (including the two terminals).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, b: u32) -> Node {
+        self.nodes[b as usize]
+    }
+
+    /// Variable index tested at the root of `b`, or `None` for terminals.
+    pub fn root_var(&self, b: Bdd) -> Option<u32> {
+        let v = self.node(b.0).var;
+        (v != TERMINAL_VAR).then_some(v)
+    }
+
+    /// Hash-consing constructor: returns the canonical node for
+    /// `if var then hi else lo`.
+    pub(crate) fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&idx) = self.unique.get(&node) {
+            return idx;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.unique.insert(node, idx);
+        idx
+    }
+
+    /// The function that is true exactly when variable `i` is 1.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range for this manager.
+    pub fn var(&mut self, i: u32) -> Bdd {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        Bdd(self.mk(i, 0, 1))
+    }
+
+    /// The function that is true exactly when variable `i` is 0.
+    pub fn nvar(&mut self, i: u32) -> Bdd {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        Bdd(self.mk(i, 1, 0))
+    }
+
+    /// Conjunction of literals: `lits` pairs each variable with its required
+    /// polarity. Variables may be given in any order; duplicates with
+    /// conflicting polarity yield `FALSE`.
+    pub fn cube(&mut self, lits: &[(u32, bool)]) -> Bdd {
+        let mut sorted: Vec<(u32, bool)> = lits.to_vec();
+        sorted.sort_unstable();
+        // Build bottom-up (highest variable first) so each step is O(1).
+        let mut acc = 1u32; // TRUE
+        for &(var, pol) in sorted.iter().rev() {
+            assert!(var < self.num_vars, "variable {var} out of range");
+            acc = if pol { self.mk(var, 0, acc) } else { self.mk(var, acc, 0) };
+        }
+        // Detect conflicting duplicate literals: (v, true) and (v, false).
+        for w in sorted.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                return Bdd::FALSE;
+            }
+        }
+        Bdd(acc)
+    }
+
+    /// Evaluate `b` under a full assignment (`assignment[i]` is variable `i`).
+    ///
+    /// # Panics
+    /// Panics if the assignment is shorter than the highest variable tested.
+    pub fn eval(&self, b: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = b.0;
+        loop {
+            let n = self.node(cur);
+            if n.var == TERMINAL_VAR {
+                return cur == 1;
+            }
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+    }
+
+    /// Number of nodes reachable from `b` (a size measure for diagnostics).
+    pub fn reachable_count(&self, b: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![b.0];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            let n = self.node(x);
+            if n.var != TERMINAL_VAR {
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// Drop the operation caches (node arena is retained). Useful between
+    /// construction phases to bound memory on very large workloads.
+    pub fn clear_caches(&mut self) {
+        self.apply_cache.clear();
+        self.not_cache.clear();
+    }
+}

@@ -1,0 +1,158 @@
+//! Memoized binary/unary operations (`apply`) and derived set algebra.
+
+use crate::manager::{Bdd, Manager, TERMINAL_VAR};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    And = 0,
+    Or = 1,
+    Xor = 2,
+    Diff = 3, // a AND NOT b
+}
+
+impl Op {
+    /// Terminal shortcut: result when at least one operand is a constant.
+    fn terminal(self, a: u32, b: u32) -> Option<u32> {
+        match self {
+            Op::And => match (a, b) {
+                (0, _) | (_, 0) => Some(0),
+                (1, x) | (x, 1) => Some(x),
+                _ if a == b => Some(a),
+                _ => None,
+            },
+            Op::Or => match (a, b) {
+                (1, _) | (_, 1) => Some(1),
+                (0, x) | (x, 0) => Some(x),
+                _ if a == b => Some(a),
+                _ => None,
+            },
+            Op::Xor => match (a, b) {
+                (0, x) | (x, 0) => Some(x),
+                _ if a == b => Some(0),
+                _ => None,
+            },
+            Op::Diff => match (a, b) {
+                (0, _) => Some(0),
+                (_, 1) => Some(0),
+                (x, 0) => Some(x),
+                _ if a == b => Some(0),
+                _ => None,
+            },
+        }
+    }
+
+    /// Whether the operation is commutative (lets the memo cache normalize
+    /// operand order).
+    fn commutative(self) -> bool {
+        matches!(self, Op::And | Op::Or | Op::Xor)
+    }
+}
+
+impl Manager {
+    fn apply(&mut self, op: Op, a: u32, b: u32) -> u32 {
+        if let Some(t) = op.terminal(a, b) {
+            return t;
+        }
+        let (ka, kb) = if op.commutative() && a > b { (b, a) } else { (a, b) };
+        let key = (op as u8, ka, kb);
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let na = self.node(a);
+        let nb = self.node(b);
+        let var = na.var.min(nb.var);
+        debug_assert!(var != TERMINAL_VAR);
+        let (alo, ahi) = if na.var == var { (na.lo, na.hi) } else { (a, a) };
+        let (blo, bhi) = if nb.var == var { (nb.lo, nb.hi) } else { (b, b) };
+        let lo = self.apply(op, alo, blo);
+        let hi = self.apply(op, ahi, bhi);
+        let r = self.mk(var, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction (set intersection).
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        Bdd(self.apply(Op::And, a.0, b.0))
+    }
+
+    /// Disjunction (set union).
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        Bdd(self.apply(Op::Or, a.0, b.0))
+    }
+
+    /// Exclusive or (symmetric difference).
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        Bdd(self.apply(Op::Xor, a.0, b.0))
+    }
+
+    /// `a AND NOT b` (set difference).
+    pub fn diff(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        Bdd(self.apply(Op::Diff, a.0, b.0))
+    }
+
+    /// Negation (set complement).
+    pub fn not(&mut self, a: Bdd) -> Bdd {
+        if a.is_false() {
+            return Bdd::TRUE;
+        }
+        if a.is_true() {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&a.0) {
+            return Bdd(r);
+        }
+        let n = self.node(a.0);
+        let lo = self.not(Bdd(n.lo)).0;
+        let hi = self.not(Bdd(n.hi)).0;
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(a.0, r);
+        Bdd(r)
+    }
+
+    /// If-then-else: `(c AND t) OR (NOT c AND e)`.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        let ct = self.and(c, t);
+        let nce = self.diff(e, c);
+        self.or(ct, nce)
+    }
+
+    /// Disjunction over many operands, balanced to keep intermediate BDDs
+    /// small when operands share structure.
+    pub fn or_many(&mut self, items: &[Bdd]) -> Bdd {
+        match items.len() {
+            0 => Bdd::FALSE,
+            1 => items[0],
+            _ => {
+                let (l, r) = items.split_at(items.len() / 2);
+                let lo = self.or_many(l);
+                let ro = self.or_many(r);
+                self.or(lo, ro)
+            }
+        }
+    }
+
+    /// Conjunction over many operands (balanced).
+    pub fn and_many(&mut self, items: &[Bdd]) -> Bdd {
+        match items.len() {
+            0 => Bdd::TRUE,
+            1 => items[0],
+            _ => {
+                let (l, r) = items.split_at(items.len() / 2);
+                let lo = self.and_many(l);
+                let ro = self.and_many(r);
+                self.and(lo, ro)
+            }
+        }
+    }
+
+    /// Whether `a` implies `b`, i.e. the header set `a` is a subset of `b`.
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> bool {
+        self.diff(a, b).is_false()
+    }
+
+    /// Whether the two sets intersect.
+    pub fn intersects(&mut self, a: Bdd, b: Bdd) -> bool {
+        !self.and(a, b).is_false()
+    }
+}

@@ -1,0 +1,119 @@
+//! Satisfying-assignment counting and witness extraction.
+//!
+//! Witness extraction is how VeriDP turns a path-table header set back into a
+//! concrete test packet (one packet per path in the evaluation, §6.3/§6.4).
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, Manager, TERMINAL_VAR};
+
+impl Manager {
+    /// Exact number of satisfying assignments over all `num_vars` variables.
+    ///
+    /// Uses `u128` arithmetic; valid for up to 127 variables, which covers the
+    /// 104-bit header space with room to spare.
+    ///
+    /// # Panics
+    /// Panics if `num_vars() > 127`.
+    pub fn sat_count(&self, b: Bdd) -> u128 {
+        assert!(self.num_vars() <= 127, "sat_count overflows u128");
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        // count(b) = number of assignments of variables in [var(b), num_vars)
+        // normalized below to start from variable 0.
+        let c = self.count_from(b.0, &mut memo);
+        let top = self.top_var_or_end(b.0);
+        c << top
+    }
+
+    /// Fraction of the full space that satisfies `b`, as an `f64`.
+    pub fn sat_fraction(&self, b: Bdd) -> f64 {
+        let total = 2f64.powi(self.num_vars() as i32);
+        self.sat_count(b) as f64 / total
+    }
+
+    fn top_var_or_end(&self, b: u32) -> u32 {
+        let v = self.node(b).var;
+        if v == TERMINAL_VAR {
+            self.num_vars()
+        } else {
+            v
+        }
+    }
+
+    /// Satisfying assignments over variables in `[var(b), num_vars)`.
+    fn count_from(&self, b: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        if b == 0 {
+            return 0;
+        }
+        if b == 1 {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&b) {
+            return c;
+        }
+        let n = self.node(b);
+        let lo_gap = self.top_var_or_end(n.lo) - n.var - 1;
+        let hi_gap = self.top_var_or_end(n.hi) - n.var - 1;
+        let c = (self.count_from(n.lo, memo) << lo_gap) + (self.count_from(n.hi, memo) << hi_gap);
+        memo.insert(b, c);
+        c
+    }
+
+    /// One satisfying assignment, or `None` if `b` is unsatisfiable.
+    ///
+    /// Unconstrained variables are reported as `false` — callers that need a
+    /// canonical witness get a deterministic one.
+    pub fn any_sat(&self, b: Bdd) -> Option<Vec<bool>> {
+        if b.is_false() {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars() as usize];
+        let mut cur = b.0;
+        loop {
+            let n = self.node(cur);
+            if n.var == TERMINAL_VAR {
+                debug_assert_eq!(cur, 1);
+                return Some(assignment);
+            }
+            // Prefer the low branch for determinism; fall back to high.
+            if n.lo != 0 {
+                cur = n.lo;
+            } else {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            }
+        }
+    }
+
+    /// A pseudo-random satisfying assignment driven by the caller-provided
+    /// bit source (e.g. a seeded RNG), or `None` if unsatisfiable.
+    ///
+    /// At each node, `pick(var)` chooses which satisfiable branch to prefer;
+    /// unconstrained variables are filled from `pick` as well. Deterministic
+    /// for a deterministic `pick`.
+    pub fn random_sat(&self, b: Bdd, mut pick: impl FnMut(u32) -> bool) -> Option<Vec<bool>> {
+        if b.is_false() {
+            return None;
+        }
+        let nv = self.num_vars();
+        // Unconstrained variables keep the values drawn here.
+        let mut assignment: Vec<bool> = (0..nv).map(&mut pick).collect();
+        let mut cur = b.0;
+        loop {
+            let n = self.node(cur);
+            if n.var == TERMINAL_VAR {
+                debug_assert_eq!(cur, 1);
+                return Some(assignment);
+            }
+            let want_hi = pick(n.var);
+            let (first, second) = if want_hi { (n.hi, n.lo) } else { (n.lo, n.hi) };
+            if first != 0 {
+                assignment[n.var as usize] = want_hi;
+                cur = first;
+            } else {
+                assignment[n.var as usize] = !want_hi;
+                cur = second;
+            }
+        }
+    }
+}

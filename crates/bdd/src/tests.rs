@@ -1,0 +1,427 @@
+use crate::{Bdd, Manager};
+
+fn all_assignments(n: u32) -> impl Iterator<Item = Vec<bool>> {
+    (0u64..(1 << n)).map(move |i| (0..n).map(|b| (i >> b) & 1 == 1).collect())
+}
+
+#[test]
+fn terminals() {
+    let m = Manager::new(4);
+    assert!(Bdd::FALSE.is_false());
+    assert!(Bdd::TRUE.is_true());
+    assert!(m.eval(Bdd::TRUE, &[false; 4]));
+    assert!(!m.eval(Bdd::FALSE, &[true; 4]));
+}
+
+#[test]
+fn var_semantics() {
+    let mut m = Manager::new(3);
+    let x1 = m.var(1);
+    assert!(m.eval(x1, &[false, true, false]));
+    assert!(!m.eval(x1, &[true, false, true]));
+    let nx1 = m.nvar(1);
+    assert!(m.eval(nx1, &[true, false, true]));
+}
+
+#[test]
+fn hash_consing_gives_canonical_handles() {
+    let mut m = Manager::new(4);
+    let a = m.var(0);
+    let b = m.var(1);
+    let ab1 = m.and(a, b);
+    let ab2 = m.and(b, a);
+    assert_eq!(ab1, ab2);
+    let n1 = m.not(ab1);
+    let n2 = m.not(ab2);
+    assert_eq!(n1, n2);
+    let back = m.not(n1);
+    assert_eq!(back, ab1);
+}
+
+#[test]
+fn and_or_not_truth_tables() {
+    let mut m = Manager::new(2);
+    let x = m.var(0);
+    let y = m.var(1);
+    let and = m.and(x, y);
+    let or = m.or(x, y);
+    let xor = m.xor(x, y);
+    let diff = m.diff(x, y);
+    for a in all_assignments(2) {
+        assert_eq!(m.eval(and, &a), a[0] && a[1]);
+        assert_eq!(m.eval(or, &a), a[0] || a[1]);
+        assert_eq!(m.eval(xor, &a), a[0] ^ a[1]);
+        assert_eq!(m.eval(diff, &a), a[0] && !a[1]);
+    }
+}
+
+#[test]
+fn ite_truth_table() {
+    let mut m = Manager::new(3);
+    let c = m.var(0);
+    let t = m.var(1);
+    let e = m.var(2);
+    let f = m.ite(c, t, e);
+    for a in all_assignments(3) {
+        assert_eq!(m.eval(f, &a), if a[0] { a[1] } else { a[2] });
+    }
+}
+
+#[test]
+fn demorgan() {
+    let mut m = Manager::new(4);
+    let x = m.var(2);
+    let y = m.var(3);
+    let lhs = {
+        let o = m.or(x, y);
+        m.not(o)
+    };
+    let rhs = {
+        let nx = m.not(x);
+        let ny = m.not(y);
+        m.and(nx, ny)
+    };
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn cube_builds_conjunction() {
+    let mut m = Manager::new(5);
+    let c = m.cube(&[(0, true), (3, false), (4, true)]);
+    assert!(m.eval(c, &[true, false, false, false, true]));
+    assert!(m.eval(c, &[true, true, true, false, true]));
+    assert!(!m.eval(c, &[true, false, false, true, true]));
+    assert!(!m.eval(c, &[false, false, false, false, true]));
+}
+
+#[test]
+fn cube_conflicting_literals_is_false() {
+    let mut m = Manager::new(3);
+    let c = m.cube(&[(1, true), (1, false)]);
+    assert!(c.is_false());
+}
+
+#[test]
+fn cube_empty_is_true() {
+    let mut m = Manager::new(3);
+    assert!(m.cube(&[]).is_true());
+}
+
+#[test]
+fn sat_count_basics() {
+    let mut m = Manager::new(4);
+    assert_eq!(m.sat_count(Bdd::TRUE), 16);
+    assert_eq!(m.sat_count(Bdd::FALSE), 0);
+    let x = m.var(0);
+    assert_eq!(m.sat_count(x), 8);
+    let y = m.var(3);
+    let xy = m.and(x, y);
+    assert_eq!(m.sat_count(xy), 4);
+    let xory = m.or(x, y);
+    assert_eq!(m.sat_count(xory), 12);
+    assert!((m.sat_fraction(xory) - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn sat_count_with_variable_gaps() {
+    // Nodes that skip variables must still count the skipped dimensions.
+    let mut m = Manager::new(10);
+    let x = m.var(4);
+    let y = m.var(9);
+    let f = m.and(x, y);
+    assert_eq!(m.sat_count(f), 1 << 8);
+}
+
+#[test]
+fn any_sat_finds_witness() {
+    let mut m = Manager::new(6);
+    let x = m.var(1);
+    let ny = m.nvar(4);
+    let f = m.and(x, ny);
+    let w = m.any_sat(f).expect("satisfiable");
+    assert!(m.eval(f, &w));
+    assert!(w[1]);
+    assert!(!w[4]);
+    assert_eq!(m.any_sat(Bdd::FALSE), None);
+}
+
+#[test]
+fn random_sat_respects_function() {
+    let mut m = Manager::new(8);
+    let x = m.var(0);
+    let ny = m.nvar(7);
+    let f = m.and(x, ny);
+    let mut flip = false;
+    let w = m
+        .random_sat(f, |_| {
+            flip = !flip;
+            flip
+        })
+        .expect("satisfiable");
+    assert!(m.eval(f, &w));
+}
+
+#[test]
+fn implies_and_intersects() {
+    let mut m = Manager::new(4);
+    let x = m.var(0);
+    let y = m.var(1);
+    let xy = m.and(x, y);
+    assert!(m.implies(xy, x));
+    assert!(!m.implies(x, xy));
+    assert!(m.intersects(x, y));
+    let nx = m.not(x);
+    assert!(!m.intersects(x, nx));
+}
+
+#[test]
+fn or_many_and_many() {
+    let mut m = Manager::new(6);
+    let vars: Vec<Bdd> = (0..6).map(|i| m.var(i)).collect();
+    let any = m.or_many(&vars);
+    let all = m.and_many(&vars);
+    assert_eq!(m.sat_count(any), 63);
+    assert_eq!(m.sat_count(all), 1);
+    assert!(m.or_many(&[]).is_false());
+    assert!(m.and_many(&[]).is_true());
+}
+
+#[test]
+fn diff_is_relative_complement() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let y = m.var(1);
+    let d = m.diff(x, y);
+    let ny = m.not(y);
+    let expect = m.and(x, ny);
+    assert_eq!(d, expect);
+}
+
+#[test]
+fn clear_caches_preserves_semantics() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    let y = m.var(1);
+    let f = m.and(x, y);
+    m.clear_caches();
+    let g = m.and(x, y);
+    assert_eq!(f, g);
+}
+
+#[test]
+fn reachable_count_small() {
+    let mut m = Manager::new(3);
+    let x = m.var(0);
+    assert_eq!(m.reachable_count(x), 3); // node + 2 terminals
+    assert_eq!(m.reachable_count(Bdd::TRUE), 1);
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    const NVARS: u32 = 6;
+
+    /// A random Boolean-expression AST we can evaluate both directly and
+    /// through the BDD, to cross-check semantics.
+    #[derive(Debug, Clone)]
+    enum Expr {
+        Var(u32),
+        Not(Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = (0..NVARS).prop_map(Expr::Var);
+        leaf.prop_recursive(5, 64, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn eval_expr(e: &Expr, a: &[bool]) -> bool {
+        match e {
+            Expr::Var(i) => a[*i as usize],
+            Expr::Not(x) => !eval_expr(x, a),
+            Expr::And(x, y) => eval_expr(x, a) && eval_expr(y, a),
+            Expr::Or(x, y) => eval_expr(x, a) || eval_expr(y, a),
+            Expr::Xor(x, y) => eval_expr(x, a) ^ eval_expr(y, a),
+        }
+    }
+
+    fn build_bdd(m: &mut Manager, e: &Expr) -> Bdd {
+        match e {
+            Expr::Var(i) => m.var(*i),
+            Expr::Not(x) => {
+                let b = build_bdd(m, x);
+                m.not(b)
+            }
+            Expr::And(x, y) => {
+                let a = build_bdd(m, x);
+                let b = build_bdd(m, y);
+                m.and(a, b)
+            }
+            Expr::Or(x, y) => {
+                let a = build_bdd(m, x);
+                let b = build_bdd(m, y);
+                m.or(a, b)
+            }
+            Expr::Xor(x, y) => {
+                let a = build_bdd(m, x);
+                let b = build_bdd(m, y);
+                m.xor(a, b)
+            }
+        }
+    }
+
+    proptest! {
+        /// The BDD agrees with direct AST evaluation on every assignment.
+        #[test]
+        fn bdd_matches_ast(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let b = build_bdd(&mut m, &e);
+            for a in all_assignments(NVARS) {
+                prop_assert_eq!(m.eval(b, &a), eval_expr(&e, &a));
+            }
+        }
+
+        /// sat_count equals a brute-force count of satisfying assignments.
+        #[test]
+        fn sat_count_matches_bruteforce(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let b = build_bdd(&mut m, &e);
+            let brute = all_assignments(NVARS).filter(|a| eval_expr(&e, a)).count() as u128;
+            prop_assert_eq!(m.sat_count(b), brute);
+        }
+
+        /// Canonicity: semantically equal expressions get identical handles.
+        #[test]
+        fn canonicity(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let b = build_bdd(&mut m, &e);
+            // Rebuild via double negation — must hash-cons to the same node.
+            let n = m.not(b);
+            let nn = m.not(n);
+            prop_assert_eq!(b, nn);
+        }
+
+        /// any_sat returns a real witness whenever one exists.
+        #[test]
+        fn any_sat_sound(e in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let b = build_bdd(&mut m, &e);
+            match m.any_sat(b) {
+                Some(w) => prop_assert!(m.eval(b, &w)),
+                None => prop_assert!(b.is_false()),
+            }
+        }
+
+        /// Absorption and distribution laws hold structurally.
+        #[test]
+        fn algebraic_laws(e1 in arb_expr(), e2 in arb_expr()) {
+            let mut m = Manager::new(NVARS);
+            let a = build_bdd(&mut m, &e1);
+            let b = build_bdd(&mut m, &e2);
+            // a ∨ (a ∧ b) = a
+            let ab = m.and(a, b);
+            let absorb = m.or(a, ab);
+            prop_assert_eq!(absorb, a);
+            // a ∧ (a ∨ b) = a
+            let aob = m.or(a, b);
+            let absorb2 = m.and(a, aob);
+            prop_assert_eq!(absorb2, a);
+            // diff(a, b) ∨ (a ∧ b) = a
+            let d = m.diff(a, b);
+            let back = m.or(d, ab);
+            prop_assert_eq!(back, a);
+        }
+    }
+}
+
+mod quant_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    const NVARS: u32 = 6;
+
+    fn arb_small_expr() -> impl Strategy<Value = Vec<(u32, bool, u32, bool)>> {
+        // A DNF of up to 4 two-literal cubes — enough structure for
+        // quantifier laws without blowing up brute force.
+        proptest::collection::vec(
+            (0..NVARS, any::<bool>(), 0..NVARS, any::<bool>()),
+            1..4,
+        )
+    }
+
+    fn build(m: &mut Manager, dnf: &[(u32, bool, u32, bool)]) -> Bdd {
+        let cubes: Vec<Bdd> =
+            dnf.iter().map(|&(a, pa, b, pb)| m.cube(&[(a, pa), (b, pb)])).collect();
+        m.or_many(&cubes)
+    }
+
+    proptest! {
+        /// ∃x.f agrees with f[x:=0] ∨ f[x:=1].
+        #[test]
+        fn exists_is_disjunction_of_cofactors(dnf in arb_small_expr(), var in 0..NVARS) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &dnf);
+            let e = m.exists(f, &[var]);
+            let c0 = m.restrict(f, &[(var, false)]);
+            let c1 = m.restrict(f, &[(var, true)]);
+            let expect = m.or(c0, c1);
+            prop_assert_eq!(e, expect);
+        }
+
+        /// Quantification is monotone and increases the set.
+        #[test]
+        fn exists_is_upward_closed(dnf in arb_small_expr(), var in 0..NVARS) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &dnf);
+            let e = m.exists(f, &[var]);
+            prop_assert!(m.implies(f, e));
+        }
+
+        /// Quantifying all variables yields a constant.
+        #[test]
+        fn exists_all_vars_is_constant(dnf in arb_small_expr()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &dnf);
+            let vars: Vec<u32> = (0..NVARS).collect();
+            let e = m.exists(f, &vars);
+            prop_assert!(e.is_true() || e.is_false());
+            prop_assert_eq!(e.is_true(), !f.is_false());
+        }
+
+        /// restrict agrees with brute-force evaluation.
+        #[test]
+        fn restrict_matches_eval(dnf in arb_small_expr(), var in 0..NVARS, val in any::<bool>()) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &dnf);
+            let r = m.restrict(f, &[(var, val)]);
+            for mut a in all_assignments(NVARS) {
+                a[var as usize] = val;
+                prop_assert_eq!(m.eval(r, &a), m.eval(f, &a));
+            }
+        }
+
+        /// Quantifier order does not matter.
+        #[test]
+        fn exists_commutes(dnf in arb_small_expr(), v1 in 0..NVARS, v2 in 0..NVARS) {
+            let mut m = Manager::new(NVARS);
+            let f = build(&mut m, &dnf);
+            let a = m.exists(f, &[v1]);
+            let ab = m.exists(a, &[v2]);
+            let b = m.exists(f, &[v2]);
+            let ba = m.exists(b, &[v1]);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

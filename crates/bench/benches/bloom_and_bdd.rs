@@ -1,0 +1,59 @@
+//! Criterion bench for the substrate data structures: Bloom tag operations
+//! (every data-plane hop pays these) and BDD set algebra (path-table
+//! construction pays these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veridp_bdd::Manager;
+use veridp_bloom::{BloomTag, HopEncoder};
+use veridp_core::HeaderSpace;
+use veridp_switch::PortRange;
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("bloom_singleton_16", |b| {
+        b.iter(|| std::hint::black_box(BloomTag::singleton(&HopEncoder::encode(1, 42, 2), 16)))
+    });
+    let tag = {
+        let mut t = BloomTag::empty(16);
+        for i in 0..4u16 {
+            t.insert(&HopEncoder::encode(i, i as u32, i + 1));
+        }
+        t
+    };
+    c.bench_function("bloom_contains", |b| {
+        b.iter(|| std::hint::black_box(tag.contains(&HopEncoder::encode(2, 2, 3))))
+    });
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    c.bench_function("bdd_prefix_24", |b| {
+        let mut hs = HeaderSpace::new();
+        b.iter(|| std::hint::black_box(hs.dst_prefix(0x0a000200, 24)))
+    });
+    c.bench_function("bdd_port_range", |b| {
+        let mut hs = HeaderSpace::new();
+        b.iter(|| std::hint::black_box(hs.dst_port_range(PortRange::new(1024, 49151))))
+    });
+    c.bench_function("bdd_and_of_prefixes", |b| {
+        let mut hs = HeaderSpace::new();
+        let x = hs.dst_prefix(0x0a000000, 16);
+        let y = hs.src_prefix(0xc0a80000, 16);
+        b.iter(|| std::hint::black_box(hs.mgr().and(x, y)))
+    });
+    c.bench_function("bdd_eval_contains", |b| {
+        let mut hs = HeaderSpace::new();
+        let set = hs.dst_prefix(0x0a000200, 24);
+        let h = veridp_packet::FiveTuple::tcp(1, 0x0a000205, 2, 3);
+        b.iter(|| std::hint::black_box(hs.contains(set, &h)))
+    });
+    c.bench_function("bdd_manager_var_churn", |b| {
+        b.iter(|| {
+            let mut m = Manager::new(104);
+            let x = m.var(10);
+            let y = m.var(50);
+            std::hint::black_box(m.and(x, y))
+        })
+    });
+}
+
+criterion_group!(benches, bench_bloom, bench_bdd);
+criterion_main!(benches);

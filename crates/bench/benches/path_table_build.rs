@@ -1,0 +1,28 @@
+//! Criterion bench for Table 2: path-table construction time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use veridp_bench::{build_setup, Setup};
+use veridp_core::{HeaderSpace, PathTable};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_table_build");
+    group.sample_size(10);
+    for (setup, prefixes) in [
+        (Setup::FatTree(4), None),
+        (Setup::FatTree(6), None),
+        (Setup::Internet2, Some(300usize)),
+        (Setup::Stanford, Some(150)),
+    ] {
+        let data = build_setup(setup, prefixes, 2016);
+        group.bench_function(setup.name(), |b| {
+            b.iter(|| {
+                let mut hs = HeaderSpace::new();
+                std::hint::black_box(PathTable::build(&data.topo, &data.rules, &mut hs, 16))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for Table 4: per-packet cost of the VeriDP pipeline
+//! modules vs the native lookup, across the paper's packet sizes (the
+//! software modules are size-independent; the codec is not).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use veridp_bloom::HopEncoder;
+use veridp_packet::{encode_frame, FiveTuple, Packet, PortNo, PortRef, SwitchId};
+use veridp_switch::{Action, FlowRule, FlowTable, Match, Sampler, VeriDpPipeline};
+
+fn bench_modules(c: &mut Criterion) {
+    let header = FiveTuple::tcp(0x0a000101, 0x0a000201, 40000, 80);
+
+    let mut table = FlowTable::new();
+    for i in 0..10_000u64 {
+        let ip = 0x0a00_0000u32 | (((i as u32).wrapping_mul(2654435761)) & 0x00ff_ff00);
+        table.insert(FlowRule::new(i, (i % 32) as u16, Match::dst_prefix(ip, 24), Action::Forward(PortNo(1))));
+    }
+    c.bench_function("native_lookup_10k_rules", |b| {
+        b.iter(|| std::hint::black_box(table.lookup(PortNo(1), &header)))
+    });
+
+    let mut sampler = Sampler::new(1_000);
+    let mut now = 0u64;
+    c.bench_function("sampling_module", |b| {
+        b.iter(|| {
+            now += 1;
+            std::hint::black_box(sampler.should_sample(&header, now))
+        })
+    });
+
+    let mut tag = veridp_bloom::BloomTag::default_width();
+    c.bench_function("tagging_module", |b| {
+        b.iter(|| {
+            tag.insert(&HopEncoder::encode(1, 7, 2));
+            std::hint::black_box(tag.bits())
+        })
+    });
+
+    let mut pipeline = VeriDpPipeline::new(SwitchId(7));
+    let mut pkt = Packet::new(header);
+    pkt.marker = true;
+    pkt.tag = Some(veridp_bloom::BloomTag::default_width());
+    pkt.inport = Some(PortRef::new(1, 1));
+    let mut t = 0u64;
+    c.bench_function("full_pipeline_internal_hop", |b| {
+        b.iter(|| {
+            t += 1;
+            pkt.veridp_ttl = 32;
+            std::hint::black_box(pipeline.process(&mut pkt, PortNo(1), PortNo(2), t, false, false))
+        })
+    });
+
+    let mut group = c.benchmark_group("frame_encode_by_size");
+    for size in [128u16, 256, 512, 1024, 1500] {
+        let pkt = Packet::with_len(header, size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &pkt, |b, pkt| {
+            b.iter(|| std::hint::black_box(encode_frame(pkt).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modules);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 13: tag-report verification latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_bench::{build_setup, Setup};
+use veridp_core::{HeaderSpace, PathTable};
+use veridp_packet::TagReport;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_report");
+    for setup in [Setup::Stanford, Setup::Internet2] {
+        let data = build_setup(setup, Some(300), 2016);
+        let mut hs = HeaderSpace::new();
+        let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reports: Vec<TagReport> = Vec::new();
+        for ((i, o), entries) in table.iter() {
+            for e in entries {
+                let s: u64 = rng.gen();
+                let mut wr = StdRng::seed_from_u64(s);
+                if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                    reports.push(TagReport::new(*i, *o, w, e.tag));
+                }
+            }
+        }
+        assert!(!reports.is_empty());
+        let mut i = 0usize;
+        group.bench_function(setup.name(), |b| {
+            b.iter(|| {
+                i = (i + 1) % reports.len();
+                std::hint::black_box(table.verify(&reports[i], &hs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

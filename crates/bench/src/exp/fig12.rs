@@ -1,0 +1,174 @@
+//! Figure 12: false-negative rate vs Bloom-filter size (§6.3).
+//!
+//! For each sampled path we inject a single mis-forwarding fault (a random
+//! hop outputs to a wrong port), replay the packet's real trajectory through
+//! control-plane forwarding, and check whether the resulting report still
+//! passes verification. Absolute FN = passing fraction of all faulty
+//! packets; relative FN = passing fraction of those that still *arrived* at
+//! the original destination port (the only candidates for tag-collision
+//! false negatives).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_bloom::BloomTag;
+use veridp_core::{HeaderSpace, PathTable, VerifyOutcome};
+use veridp_packet::{Hop, PortNo, PortRef, TagReport};
+
+use crate::setup::{build_setup, Setup};
+
+/// One measurement point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub setup: String,
+    pub tag_bits: u32,
+    /// Faulty packets simulated.
+    pub n: usize,
+    /// Faulty packets that still arrived at the original destination port.
+    pub n1: usize,
+    /// Faulty packets that passed verification (undetected faults).
+    pub n2: usize,
+}
+
+impl Point {
+    /// Absolute false-negative rate `n2 / n`.
+    pub fn absolute(&self) -> f64 {
+        self.n2 as f64 / self.n.max(1) as f64
+    }
+
+    /// Relative false-negative rate `n2 / n1`.
+    pub fn relative(&self) -> f64 {
+        if self.n1 == 0 {
+            0.0
+        } else {
+            self.n2 as f64 / self.n1 as f64
+        }
+    }
+}
+
+/// Simulate one fault on one path entry; returns `(arrived, passed)`.
+fn simulate_fault(
+    table: &PathTable,
+    hs: &mut HeaderSpace,
+    inport: PortRef,
+    outport: PortRef,
+    entry_hops: &[Hop],
+    headers: veridp_bdd::Bdd,
+    tag_bits: u32,
+    rng: &mut StdRng,
+) -> Option<(bool, bool)> {
+    let seed: u64 = rng.gen();
+    let mut wr = StdRng::seed_from_u64(seed);
+    let witness = hs.random_witness(headers, |_| wr.gen())?;
+
+    // Choose the faulty hop and a wrong output port.
+    let i = rng.gen_range(0..entry_hops.len());
+    let bad = entry_hops[i];
+    let info = table.topo().switch(bad.switch)?;
+    let candidates: Vec<PortNo> =
+        (1..=info.num_ports).map(PortNo).filter(|p| *p != bad.out_port).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let wrong = candidates[rng.gen_range(0..candidates.len())];
+
+    // Real trajectory: prefix + deviating hop + control-plane continuation.
+    let mut real: Vec<Hop> = entry_hops[..i].to_vec();
+    let dev = Hop { in_port: bad.in_port, switch: bad.switch, out_port: wrong };
+    real.push(dev);
+    let out_ref = dev.out_ref();
+    let mut final_out = out_ref;
+    if !table.topo().is_terminal_port(out_ref) {
+        let next = if table.topo().is_middlebox_port(out_ref) {
+            out_ref
+        } else {
+            table.topo().peer(out_ref)?
+        };
+        let cont = table.trace(next, &witness, hs);
+        if let Some(last) = cont.last() {
+            final_out = last.out_ref();
+        }
+        real.extend(cont);
+    }
+
+    // Tag the real trajectory exactly as the data plane would.
+    let mut tag = BloomTag::empty(tag_bits);
+    for h in &real {
+        tag.insert(&h.encode());
+    }
+    let report = TagReport::new(inport, final_out, witness, tag);
+    let arrived = final_out == outport;
+    let passed = table.verify(&report, hs) == VerifyOutcome::Pass;
+    Some((arrived, passed))
+}
+
+/// Run one (setup, tag width) point with `samples` injected faults.
+pub fn run_point(
+    setup: Setup,
+    tag_bits: u32,
+    samples: usize,
+    prefixes: Option<usize>,
+    seed: u64,
+) -> Point {
+    let data = build_setup(setup, prefixes, seed);
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, tag_bits);
+    let entries: Vec<(PortRef, PortRef, Vec<Hop>, veridp_bdd::Bdd)> = table
+        .all_entries()
+        .into_iter()
+        .map(|((i, o), e)| (*i, *o, e.hops.clone(), e.headers))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ (tag_bits as u64) << 32);
+    let (mut n, mut n1, mut n2) = (0usize, 0usize, 0usize);
+    if entries.is_empty() {
+        return Point { setup: setup.name(), tag_bits, n, n1, n2 };
+    }
+    while n < samples {
+        let (inport, outport, hops, headers) = entries[rng.gen_range(0..entries.len())].clone();
+        let Some((arrived, passed)) =
+            simulate_fault(&table, &mut hs, inport, outport, &hops, headers, tag_bits, &mut rng)
+        else {
+            continue;
+        };
+        n += 1;
+        if arrived {
+            n1 += 1;
+        }
+        if passed {
+            n2 += 1;
+        }
+    }
+    Point { setup: setup.name(), tag_bits, n, n1, n2 }
+}
+
+/// The full sweep: three setups × six Bloom sizes.
+pub fn run(samples: usize, seed: u64) -> Vec<Point> {
+    let mut out = Vec::new();
+    for setup in [Setup::Stanford, Setup::Internet2, Setup::FatTree(4)] {
+        for bits in [8u32, 16, 24, 32, 48, 64] {
+            out.push(run_point(setup, bits, samples, None, seed));
+        }
+    }
+    out
+}
+
+/// Render the sweep.
+pub fn render(points: &[Point]) -> String {
+    let mut out = String::from(
+        "Figure 12: false negative rate vs. Bloom filter size\n\
+         Setup       | bits | n     | n1    | n2  | absolute FN | relative FN\n\
+         ------------+------+-------+-------+-----+-------------+------------\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<11} | {:>4} | {:>5} | {:>5} | {:>3} | {:>10.4}% | {:>10.4}%\n",
+            p.setup,
+            p.tag_bits,
+            p.n,
+            p.n1,
+            p.n2,
+            p.absolute() * 100.0,
+            p.relative() * 100.0
+        ));
+    }
+    out
+}

@@ -1,0 +1,164 @@
+//! Figure 13: time to verify one tag report on the VeriDP server (§6.4).
+//!
+//! The paper generates one test packet per path, collects its report, and
+//! averages 10⁴ verifications per report; the result is 2–3 µs on Stanford
+//! and Internet2.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_core::{HeaderSpace, PathTable, VerifyOutcome};
+use veridp_packet::TagReport;
+
+use crate::setup::{build_setup, Setup};
+
+/// One series of Figure 13.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub setup: String,
+    pub reports: usize,
+    pub iterations: usize,
+    pub mean_us: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub throughput_per_sec: f64,
+}
+
+/// Measure verification latency on one setup.
+pub fn run_one(setup: Setup, iterations: usize, prefixes: Option<usize>, seed: u64) -> Series {
+    let data = build_setup(setup, prefixes, seed);
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+
+    // One correct report per path (witness packets), as in §6.4.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reports: Vec<TagReport> = Vec::new();
+    for ((inport, outport), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                reports.push(TagReport::new(*inport, *outport, w, e.tag));
+            }
+        }
+    }
+    assert!(!reports.is_empty(), "no reports to verify");
+
+    // Warm up and sanity check.
+    for r in reports.iter().take(100) {
+        assert_eq!(table.verify(r, &hs), VerifyOutcome::Pass);
+    }
+
+    // Time batches to get per-report figures without timer overhead, then
+    // per-report samples for percentiles.
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(iterations.min(reports.len()));
+    let batch_start = Instant::now();
+    for i in 0..iterations {
+        let r = &reports[i % reports.len()];
+        std::hint::black_box(table.verify(std::hint::black_box(r), &hs));
+    }
+    let total = batch_start.elapsed();
+    for r in reports.iter().take(iterations.min(reports.len())) {
+        let t = Instant::now();
+        std::hint::black_box(table.verify(std::hint::black_box(r), &hs));
+        samples_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    samples_ns.sort_unstable();
+    let mean_us = total.as_secs_f64() * 1e6 / iterations as f64;
+    let pct = |q: f64| samples_ns[(samples_ns.len() as f64 * q) as usize % samples_ns.len()] as f64 / 1e3;
+    Series {
+        setup: setup.name(),
+        reports: reports.len(),
+        iterations,
+        mean_us,
+        p50_us: pct(0.5),
+        p99_us: pct(0.99),
+        throughput_per_sec: 1e6 / mean_us,
+    }
+}
+
+/// Both series of Figure 13.
+pub fn run(iterations: usize, seed: u64) -> Vec<Series> {
+    vec![
+        run_one(Setup::Stanford, iterations, None, seed),
+        run_one(Setup::Internet2, iterations, None, seed),
+    ]
+}
+
+/// Multi-threaded throughput (the paper's §6.4 future-work claim,
+/// implemented): verifications per second for each thread count.
+#[derive(Debug, Clone)]
+pub struct ParallelPoint {
+    pub setup: String,
+    pub threads: usize,
+    pub throughput_per_sec: f64,
+}
+
+/// Measure batch-verification throughput across thread counts.
+pub fn run_parallel(
+    setup: Setup,
+    batch: usize,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Vec<ParallelPoint> {
+    let data = build_setup(setup, None, seed);
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reports: Vec<TagReport> = Vec::new();
+    for ((inport, outport), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                reports.push(TagReport::new(*inport, *outport, w, e.tag));
+            }
+        }
+    }
+    let reports: Vec<TagReport> = reports.iter().cycle().take(batch).copied().collect();
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let start = Instant::now();
+            let out = veridp_core::verify_batch(&table, &hs, &reports, threads);
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            ParallelPoint {
+                setup: setup.name(),
+                threads,
+                throughput_per_sec: batch as f64 / secs,
+            }
+        })
+        .collect()
+}
+
+/// Render the parallel-throughput points.
+pub fn render_parallel(points: &[ParallelPoint]) -> String {
+    let mut out = String::from(
+        "Figure 13b (extension): batch verification throughput vs threads\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "  {:<11} threads={:<2} {:>12.0} verif/sec\n",
+            p.setup, p.threads, p.throughput_per_sec
+        ));
+    }
+    out
+}
+
+/// Render the series.
+pub fn render(series: &[Series]) -> String {
+    let mut out = String::from(
+        "Figure 13: tag report verification time\n\
+         Setup       | reports | iters  | mean (us) | p50 (us) | p99 (us) | verif/sec\n\
+         ------------+---------+--------+-----------+----------+----------+----------\n",
+    );
+    for s in series {
+        out.push_str(&format!(
+            "{:<11} | {:>7} | {:>6} | {:>9.3} | {:>8.3} | {:>8.3} | {:>9.0}\n",
+            s.setup, s.reports, s.iterations, s.mean_us, s.p50_us, s.p99_us, s.throughput_per_sec
+        ));
+    }
+    out
+}

@@ -1,0 +1,121 @@
+//! Figure 14: incremental path-table update time per rule (§6.5).
+//!
+//! Protocol: populate 8 of Internet2's 9 routers with a synthetic RIB, then
+//! install rules into the 9th one-by-one, measuring the path-table update
+//! time for each. The paper reports mostly <10 ms per rule.
+
+use std::time::Instant;
+
+use veridp_controller::synth;
+use veridp_core::{HeaderSpace, PathTable};
+use veridp_packet::SwitchId;
+use veridp_switch::FlowRule;
+
+use crate::setup::{build_setup, Setup};
+
+/// The measurement run.
+#[derive(Debug, Clone)]
+pub struct Run {
+    pub rules_installed: usize,
+    /// Per-rule update time in milliseconds, in installation order.
+    pub per_rule_ms: Vec<f64>,
+}
+
+impl Run {
+    fn sorted(&self) -> Vec<f64> {
+        let mut v = self.per_rule_ms.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        self.per_rule_ms.iter().sum::<f64>() / self.per_rule_ms.len().max(1) as f64
+    }
+
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        let v = self.sorted();
+        v[((v.len() as f64 * q) as usize).min(v.len() - 1)]
+    }
+
+    pub fn max_ms(&self) -> f64 {
+        self.sorted().last().copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of rules updating in under 10 ms (the paper's headline).
+    pub fn under_10ms(&self) -> f64 {
+        let n = self.per_rule_ms.iter().filter(|&&t| t < 10.0).count();
+        n as f64 / self.per_rule_ms.len().max(1) as f64
+    }
+}
+
+/// Run the experiment: `background_prefixes` on the other 8 routers,
+/// `rules` installed one-by-one on the target.
+pub fn run(background_prefixes: usize, rules: usize, seed: u64) -> Run {
+    let data = build_setup(Setup::Internet2, Some(background_prefixes), seed);
+    let target = data
+        .topo
+        .switch_by_name("CHIC")
+        .expect("Internet2 has CHIC");
+    // Empty the target's table; the background RIB stays on the other 8.
+    let mut base = data.rules.clone();
+    base.insert(target, Vec::new());
+
+    let mut hs = HeaderSpace::new();
+    let mut table = PathTable::build(&data.topo, &base, &mut hs, 16);
+
+    let fresh = synth::single_switch_rules(&data.topo, target, rules, seed ^ 0xfeed);
+    let mut per_rule_ms = Vec::with_capacity(fresh.len());
+    for (i, (prio, fields, action)) in fresh.into_iter().enumerate() {
+        let rule = FlowRule::new(1_000_000 + i as u64, prio, fields, action);
+        let t = Instant::now();
+        table.add_rule(target, rule, &mut hs);
+        per_rule_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Run { rules_installed: per_rule_ms.len(), per_rule_ms }
+}
+
+/// A smaller cross-check on a fat tree (not in the paper; shows the update
+/// cost tracks path-table churn, not total table size).
+pub fn run_fat_tree(k: u16, rules: usize, seed: u64) -> Run {
+    let data = build_setup(Setup::FatTree(k), None, seed);
+    let target = SwitchId(1); // a core switch
+    let mut hs = HeaderSpace::new();
+    let mut table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let fresh = synth::single_switch_rules(&data.topo, target, rules, seed ^ 0xbeef);
+    let mut per_rule_ms = Vec::with_capacity(fresh.len());
+    for (i, (prio, fields, action)) in fresh.into_iter().enumerate() {
+        let rule = FlowRule::new(2_000_000 + i as u64, prio, fields, action);
+        let t = Instant::now();
+        table.add_rule(target, rule, &mut hs);
+        per_rule_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Run { rules_installed: per_rule_ms.len(), per_rule_ms }
+}
+
+/// Render summary statistics (the figure is a scatter; we print its summary
+/// plus a coarse histogram).
+pub fn render(run: &Run) -> String {
+    let mut out = format!(
+        "Figure 14: incremental path-table update time (Internet2, {} rules)\n\
+         mean {:.3} ms | p50 {:.3} ms | p90 {:.3} ms | p99 {:.3} ms | max {:.3} ms\n\
+         under 10 ms: {:.2}%\n\nhistogram:\n",
+        run.rules_installed,
+        run.mean_ms(),
+        run.percentile_ms(0.50),
+        run.percentile_ms(0.90),
+        run.percentile_ms(0.99),
+        run.max_ms(),
+        run.under_10ms() * 100.0
+    );
+    let buckets = [0.01, 0.1, 1.0, 10.0, 100.0, f64::INFINITY];
+    let mut counts = vec![0usize; buckets.len()];
+    for &t in &run.per_rule_ms {
+        let idx = buckets.iter().position(|&b| t < b).unwrap();
+        counts[idx] += 1;
+    }
+    let labels = ["<10us", "10-100us", "0.1-1ms", "1-10ms", "10-100ms", ">=100ms"];
+    for (l, c) in labels.iter().zip(&counts) {
+        out.push_str(&format!("  {:>9}: {}\n", l, c));
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! One module per table/figure of §6, plus the function tests of §6.2 and
+//! ablations of design choices.
+
+pub mod ablation;
+pub mod baselines;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod function;
+pub mod sampling;
+pub mod table2;
+pub mod table3;
+pub mod table4;

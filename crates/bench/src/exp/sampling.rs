@@ -1,0 +1,112 @@
+//! Sampling-interval sweep (§4.5, Figure 9's worst case as an experiment —
+//! not a numbered figure in the paper, but the design rule behind the
+//! sampler): detection latency stays below `T_s + T_a` while report volume
+//! shrinks proportionally to `T_s`.
+
+use veridp_controller::{Controller, Intent};
+use veridp_core::VeriDpServer;
+use veridp_packet::FiveTuple;
+use veridp_sim::{EventSim, Network};
+use veridp_switch::{Action, Fault, Sampler, VeriDpPipeline};
+use veridp_topo::gen;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Sampling interval `T_s` in ms.
+    pub t_s_ms: f64,
+    /// Reports per packet sent (sampling overhead on the report channel).
+    pub reports_per_packet: f64,
+    /// Measured detection latency in ms.
+    pub detection_ms: f64,
+    /// The §4.5 bound `T_s + T_a` (+ report latency) in ms.
+    pub bound_ms: f64,
+}
+
+impl Point {
+    /// Whether the measured latency honoured the bound.
+    pub fn bound_held(&self) -> bool {
+        self.detection_ms <= self.bound_ms + 1e-9
+    }
+}
+
+/// Run the sweep on the Internet2 backbone: a 1 ms-gap flow from SEAT to
+/// NEWY, one blackhole fault injected mid-run per point.
+pub fn run(t_s_values_ms: &[u64]) -> Vec<Point> {
+    let t_a = 1_000_000u64; // 1 ms packet gap
+    t_s_values_ms
+        .iter()
+        .map(|&t_s_ms| {
+            let t_s = t_s_ms * 1_000_000;
+            let topo = gen::internet2();
+            let mut ctrl = Controller::new(topo.clone());
+            ctrl.install_intent(&Intent::Connectivity).unwrap();
+            let rules: std::collections::HashMap<_, _> =
+                ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+            let server = VeriDpServer::new(&topo, &rules, 16);
+            let mut net = Network::new(topo.clone());
+            net.apply_messages(ctrl.drain_messages());
+
+            let seat = topo.host("h_SEAT").unwrap().clone();
+            let newy = topo.host("h_NEWY").unwrap().clone();
+            let header = FiveTuple::tcp(seat.ip, newy.ip, 40000, 443);
+            let entry = seat.attached.switch;
+            *net.switch_mut(entry) = net
+                .switch(entry)
+                .clone()
+                .with_pipeline(VeriDpPipeline::new(entry).with_sampler(Sampler::new(t_s)));
+
+            let mut sim = EventSim::new(net, server);
+            let fault_at = 60_000_000u64; // 60 ms
+            let end = fault_at + 3 * (t_s + t_a) + 20_000_000;
+            sim.flow(seat.attached, header, 0, t_a, fault_at - 1);
+            sim.run();
+            let healthy_reports = sim.log().len();
+            let healthy_packets = (fault_at / t_a) as f64;
+
+            // Blackhole on the first switch of the flow's path towards NEWY.
+            let victim = topo
+                .shortest_path(entry, newy.attached.switch)
+                .unwrap()[1];
+            let rid = ctrl
+                .rules_of(victim)
+                .iter()
+                .find(|r| {
+                    r.fields.dst_ip == veridp_switch::prefix_mask(newy.ip, newy.plen)
+                })
+                .map(|r| r.id)
+                .expect("route to NEWY on the path");
+            sim.net.switch_mut(victim).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+            sim.flow(seat.attached, header, fault_at, t_a, end);
+            sim.run();
+
+            let detected = sim.first_failure_after(fault_at).expect("fault detected");
+            Point {
+                t_s_ms: t_s_ms as f64,
+                reports_per_packet: healthy_reports as f64 / healthy_packets,
+                detection_ms: (detected - fault_at) as f64 / 1e6,
+                bound_ms: (t_s + t_a + sim.report_latency_ns) as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn render(points: &[Point]) -> String {
+    let mut out = String::from(
+        "Sampling sweep (Internet2, SEAT->NEWY, T_a = 1 ms)\n\
+         T_s (ms) | reports/packet | detection (ms) | bound T_s+T_a (ms) | held\n\
+         ---------+----------------+----------------+--------------------+-----\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>8} | {:>14.4} | {:>14.3} | {:>18.3} | {}\n",
+            p.t_s_ms,
+            p.reports_per_packet,
+            p.detection_ms,
+            p.bound_ms,
+            if p.bound_held() { "yes" } else { "NO" }
+        ));
+    }
+    out
+}

@@ -1,0 +1,61 @@
+//! Table 2: path-table statistics — entries (inport/outport pairs), paths,
+//! average path length, construction time — for the four setups.
+
+use std::time::Instant;
+
+use veridp_core::{HeaderSpace, PathTable};
+
+use crate::setup::{build_setup, Setup};
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub setup: String,
+    pub num_rules: usize,
+    pub entries: usize,
+    pub paths: usize,
+    pub avg_path_len: f64,
+    pub build_secs: f64,
+}
+
+/// Build the path table for one setup and collect its statistics.
+pub fn run_one(setup: Setup, prefixes: Option<usize>, seed: u64) -> Row {
+    let data = build_setup(setup, prefixes, seed);
+    let mut hs = HeaderSpace::new();
+    let start = Instant::now();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let build_secs = start.elapsed().as_secs_f64();
+    let stats = table.stats();
+    Row {
+        setup: setup.name(),
+        num_rules: data.num_rules,
+        entries: stats.num_pairs,
+        paths: stats.num_paths,
+        avg_path_len: stats.avg_path_len,
+        build_secs,
+    }
+}
+
+/// All four rows of Table 2.
+pub fn run(seed: u64) -> Vec<Row> {
+    [Setup::Stanford, Setup::Internet2, Setup::FatTree(4), Setup::FatTree(6)]
+        .into_iter()
+        .map(|s| run_one(s, None, seed))
+        .collect()
+}
+
+/// Render rows in the paper's format.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 2: Path table statistics\n\
+         Setup       | # rules | # entries | # paths | avg. path len. | time (s)\n\
+         ------------+---------+-----------+---------+----------------+---------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} | {:>7} | {:>9} | {:>7} | {:>14.2} | {:>8.3}\n",
+            r.setup, r.num_rules, r.entries, r.paths, r.avg_path_len, r.build_secs
+        ));
+    }
+    out
+}

@@ -1,0 +1,171 @@
+//! Table 4: data-plane processing delay of the VeriDP pipeline vs the
+//! native OpenFlow pipeline (§6.6).
+//!
+//! Two complementary measurements (see DESIGN.md §2 for the substitution):
+//!
+//! * the **hardware model** — the affine cycle model of the ONetSwitch FPGA
+//!   pipeline, reproducing the paper's table shape (module cost constant,
+//!   native cost growing with frame size, relative overhead falling);
+//! * the **software measurement** — actual nanosecond cost of our sampling
+//!   and tagging modules and of a realistic flow-table lookup, per packet.
+
+use std::time::Instant;
+
+use veridp_bloom::HopEncoder;
+use veridp_packet::{FiveTuple, Packet, PortNo, SwitchId};
+use veridp_switch::hw_model::HwCostModel;
+use veridp_switch::{Action, FlowRule, FlowTable, Match, Sampler, VeriDpPipeline};
+
+/// The packet sizes of Table 4.
+pub const SIZES: [u16; 5] = [128, 256, 512, 1024, 1500];
+
+/// One column of the modeled table.
+#[derive(Debug, Clone)]
+pub struct ModelColumn {
+    pub size: u16,
+    pub native_us: f64,
+    pub sampling_us: f64,
+    pub sampling_overhead: f64,
+    pub tagging_us: f64,
+    pub tagging_overhead: f64,
+}
+
+/// The modeled Table 4.
+pub fn run_model() -> Vec<ModelColumn> {
+    let m = HwCostModel::onetswitch();
+    SIZES
+        .iter()
+        .map(|&size| ModelColumn {
+            size,
+            native_us: m.native_delay_us(size),
+            sampling_us: m.sampling_delay_us(),
+            sampling_overhead: m.sampling_overhead(size),
+            tagging_us: m.tagging_delay_us(),
+            tagging_overhead: m.tagging_overhead(size),
+        })
+        .collect()
+}
+
+/// Measured per-packet software costs (size-independent in a software
+/// pipeline; reported once).
+#[derive(Debug, Clone)]
+pub struct SoftwareCosts {
+    /// Flow-table lookup against `table_rules` rules (the software "native
+    /// pipeline" stage VeriDP adds to).
+    pub lookup_ns: f64,
+    pub table_rules: usize,
+    /// Sampling-module decision.
+    pub sampling_ns: f64,
+    /// Tagging-module hop insertion.
+    pub tagging_ns: f64,
+    /// The full VeriDP pipeline (Algorithm 1) at an internal hop.
+    pub pipeline_ns: f64,
+}
+
+/// Measure software module costs with `iters` iterations each.
+pub fn run_software(table_rules: usize, iters: usize, seed: u64) -> SoftwareCosts {
+    // A realistic flow table: destination prefixes at mixed priorities.
+    let mut table = FlowTable::new();
+    for i in 0..table_rules {
+        let ip = 0x0a00_0000u32 | (((i as u32).wrapping_mul(2654435761)) & 0x00ff_ff00);
+        table.insert(FlowRule::new(
+            i as u64,
+            (i % 32) as u16,
+            Match::dst_prefix(ip, 24),
+            Action::Forward(PortNo((i % 4 + 1) as u16)),
+        ));
+    }
+    let headers: Vec<FiveTuple> = (0..256u32)
+        .map(|i| {
+            FiveTuple::tcp(
+                seed as u32 ^ i,
+                0x0a00_0000 | (i.wrapping_mul(2654435761) & 0x00ff_ffff),
+                (i % 65535) as u16,
+                80,
+            )
+        })
+        .collect();
+
+    let t = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(table.lookup(PortNo(1), &headers[i % headers.len()]));
+    }
+    let lookup_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let mut sampler = Sampler::new(1_000);
+    let t = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(sampler.should_sample(&headers[i % headers.len()], i as u64));
+    }
+    let sampling_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let mut tag = veridp_bloom::BloomTag::default_width();
+    let t = Instant::now();
+    for i in 0..iters {
+        tag.insert(&HopEncoder::encode((i % 64) as u16, 7, ((i + 1) % 64) as u16));
+        std::hint::black_box(&tag);
+    }
+    let tagging_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    let mut pipeline = VeriDpPipeline::new(SwitchId(7));
+    let mut pkt = Packet::new(headers[0]);
+    pkt.marker = true;
+    pkt.tag = Some(veridp_bloom::BloomTag::default_width());
+    pkt.inport = Some(veridp_packet::PortRef::new(1, 1));
+    let t = Instant::now();
+    for i in 0..iters {
+        pkt.veridp_ttl = 32;
+        std::hint::black_box(pipeline.process(
+            &mut pkt,
+            PortNo(1),
+            PortNo(2),
+            i as u64,
+            false,
+            false,
+        ));
+    }
+    let pipeline_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    SoftwareCosts { lookup_ns, table_rules, sampling_ns, tagging_ns, pipeline_ns }
+}
+
+/// Render both halves of the experiment.
+pub fn render(model: &[ModelColumn], sw: &SoftwareCosts) -> String {
+    let mut out = String::from(
+        "Table 4: processing delay, VeriDP pipeline vs native pipeline\n\
+         (hardware cycle model, ONetSwitch @125 MHz — see DESIGN.md)\n\n\
+         Packet size (B)  |",
+    );
+    for c in model {
+        out.push_str(&format!(" {:>7} |", c.size));
+    }
+    out.push_str("\nNative (us)      |");
+    for c in model {
+        out.push_str(&format!(" {:>7.2} |", c.native_us));
+    }
+    out.push_str("\nSampling (us)    |");
+    for c in model {
+        out.push_str(&format!(" {:>7.2} |", c.sampling_us));
+    }
+    out.push_str("\nOverhead         |");
+    for c in model {
+        out.push_str(&format!(" {:>6.2}% |", c.sampling_overhead * 100.0));
+    }
+    out.push_str("\nTagging (us)     |");
+    for c in model {
+        out.push_str(&format!(" {:>7.2} |", c.tagging_us));
+    }
+    out.push_str("\nOverhead         |");
+    for c in model {
+        out.push_str(&format!(" {:>6.2}% |", c.tagging_overhead * 100.0));
+    }
+    out.push_str(&format!(
+        "\n\nmeasured software module costs (size-independent):\n\
+         flow-table lookup ({} rules): {:.1} ns/pkt\n\
+         sampling module:              {:.1} ns/pkt\n\
+         tagging module:               {:.1} ns/pkt\n\
+         full pipeline (internal hop): {:.1} ns/pkt\n",
+        sw.table_rules, sw.lookup_ns, sw.sampling_ns, sw.tagging_ns, sw.pipeline_ns
+    ));
+    out
+}

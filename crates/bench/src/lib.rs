@@ -1,0 +1,110 @@
+//! Experiment harness for the VeriDP reproduction.
+//!
+//! Each module under [`exp`] regenerates one table or figure of the paper's
+//! evaluation (§6); the `experiments` binary prints them in the paper's
+//! format. DESIGN.md carries the experiment index; EXPERIMENTS.md records
+//! paper-vs-measured numbers.
+//!
+//! Scales are parameterized: the real Stanford/Internet2 rule dumps are not
+//! available offline, so synthetic RIBs of configurable size stand in (see
+//! DESIGN.md §2). Every experiment is deterministic in its seed.
+
+pub mod exp;
+pub mod setup;
+
+pub use setup::{build_setup, Setup, SetupData};
+
+#[cfg(test)]
+mod tests {
+    use crate::exp;
+    use crate::setup::{build_setup, Setup};
+
+    #[test]
+    fn setups_build_deterministically() {
+        let a = build_setup(Setup::Internet2, Some(30), 1);
+        let b = build_setup(Setup::Internet2, Some(30), 1);
+        assert_eq!(a.num_rules, b.num_rules);
+        assert_eq!(a.num_rules, 30 * 9);
+        let ft = build_setup(Setup::FatTree(4), None, 1);
+        assert_eq!(ft.topo.num_switches(), 20);
+        assert!(ft.num_rules > 0);
+        let st = build_setup(Setup::Stanford, Some(40), 1);
+        assert!(st.num_rules >= 40 * 20, "RIB plus ACLs on 26 switches");
+    }
+
+    #[test]
+    fn table2_row_shape() {
+        let row = exp::table2::run_one(Setup::FatTree(4), None, 1);
+        assert_eq!(row.setup, "FT(k=4)");
+        assert_eq!(row.entries, 272);
+        assert_eq!(row.paths, 272);
+        assert!(row.avg_path_len > 3.0 && row.avg_path_len < 5.0);
+        assert!(exp::table2::render(&[row]).contains("FT(k=4)"));
+    }
+
+    #[test]
+    fn fig6_distribution_sums_to_pairs() {
+        let d = exp::fig6::run_one(Setup::Internet2, Some(40), 1);
+        let total: usize = d.histogram.iter().sum();
+        assert!(total > 0);
+        assert!((d.cdf.last().copied().unwrap() - 1.0).abs() < 1e-9);
+        assert!(d.mean_paths >= 1.0);
+    }
+
+    #[test]
+    fn fig12_point_counts_consistent() {
+        let p = exp::fig12::run_point(Setup::FatTree(4), 16, 60, None, 1);
+        assert_eq!(p.n, 60);
+        assert!(p.n1 <= p.n);
+        assert!(p.n2 <= p.n1, "a pass requires arrival at the right port");
+        assert!(p.absolute() <= p.relative() + 1e-12 || p.n1 == 0);
+    }
+
+    #[test]
+    fn fig12_fn_rate_decreases_with_width() {
+        let narrow = exp::fig12::run_point(Setup::FatTree(4), 8, 250, None, 3);
+        let wide = exp::fig12::run_point(Setup::FatTree(4), 64, 250, None, 3);
+        assert!(wide.absolute() <= narrow.absolute());
+        assert_eq!(wide.n2, 0, "64-bit tags should not collide at this scale");
+    }
+
+    #[test]
+    fn table3_small_run_recovers() {
+        let row = exp::table3::run_one(4, 2, 16, 5);
+        assert!(row.failed_verifications > 0, "exercised faults must break flows");
+        assert!(row.probability() > 0.9);
+    }
+
+    #[test]
+    fn table4_model_matches_paper_anchors() {
+        let cols = exp::table4::run_model();
+        assert_eq!(cols.len(), 5);
+        assert!((cols[0].native_us - 4.32).abs() < 0.05);
+        assert!((cols[0].tagging_overhead - 0.0629).abs() < 0.002);
+        assert!(cols.windows(2).all(|w| w[1].tagging_overhead < w[0].tagging_overhead));
+    }
+
+    #[test]
+    fn function_scenarios_all_detect() {
+        for s in exp::function::run() {
+            assert!(s.detected, "{} not detected", s.name);
+            assert!(s.localized.is_some(), "{} not localized", s.name);
+        }
+    }
+
+    #[test]
+    fn sampling_sweep_bound_holds() {
+        for p in exp::sampling::run(&[2, 8]) {
+            assert!(p.bound_held(), "T_s={} violated the bound", p.t_s_ms);
+        }
+    }
+
+    #[test]
+    fn baselines_matrix_shows_atpg_gap() {
+        let matrix = exp::baselines::detection_matrix();
+        let bypass = matrix.iter().find(|r| r.scenario.contains("deviation")).unwrap();
+        assert!(!bypass.atpg, "ATPG must miss the bypass");
+        assert!(bypass.veridp, "VeriDP must catch the bypass");
+        assert!(matrix.iter().all(|r| r.veridp));
+    }
+}

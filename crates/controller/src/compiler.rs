@@ -1,0 +1,299 @@
+//! Intent compilation: from [`Intent`] to per-switch logical rules and the
+//! OpenFlow messages installing them.
+
+use std::collections::BTreeMap;
+
+use veridp_packet::{PortNo, PortRef, SwitchId};
+use veridp_switch::{Action, FlowRule, Match, OfMessage, PortRange, RuleId};
+use veridp_topo::{Host, HostRole, Topology};
+
+use crate::intent::Intent;
+
+/// Priority bands. Connectivity rules use the prefix length itself
+/// (longest-prefix-match via priority); policy rules sit above all of them.
+const PRIO_TE: u16 = 100;
+const PRIO_WAYPOINT: u16 = 150;
+const PRIO_ACL: u16 = 200;
+
+/// Errors from intent compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    UnknownHost(String),
+    NotAMiddlebox(String),
+    /// A traffic-engineering path is not a connected switch sequence from the
+    /// source's switch to the destination's switch.
+    BadPath(String),
+    Disconnected(SwitchId, SwitchId),
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            ControllerError::NotAMiddlebox(h) => write!(f, "{h} is not a middlebox"),
+            ControllerError::BadPath(why) => write!(f, "bad TE path: {why}"),
+            ControllerError::Disconnected(a, b) => write!(f, "no path from {a} to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// The SDN controller: compiles intents, owns the logical rule set `R`, and
+/// emits the FlowMod/Barrier stream that installs it.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    topo: Topology,
+    rules: BTreeMap<SwitchId, Vec<FlowRule>>,
+    pending: Vec<(SwitchId, OfMessage)>,
+    next_id: u64,
+    next_xid: u64,
+}
+
+impl Controller {
+    /// A controller managing `topo` with an empty rule set.
+    pub fn new(topo: Topology) -> Self {
+        Controller {
+            topo,
+            rules: BTreeMap::new(),
+            pending: Vec::new(),
+            next_id: 1,
+            next_xid: 1,
+        }
+    }
+
+    /// The managed topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The logical rule set `R`, per switch — what the VeriDP server builds
+    /// its path table from.
+    pub fn logical_rules(&self) -> &BTreeMap<SwitchId, Vec<FlowRule>> {
+        &self.rules
+    }
+
+    /// All logical rules of one switch.
+    pub fn rules_of(&self, s: SwitchId) -> &[FlowRule] {
+        self.rules.get(&s).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Add one rule to the logical set and queue its FlowMod.
+    pub fn add_rule(&mut self, s: SwitchId, priority: u16, fields: Match, action: Action) -> RuleId {
+        let rule = FlowRule::new(self.next_id, priority, fields, action);
+        self.next_id += 1;
+        self.rules.entry(s).or_default().push(rule);
+        self.pending.push((s, OfMessage::FlowAdd(rule)));
+        rule.id
+    }
+
+    /// Remove a rule from the logical set and queue its deletion.
+    pub fn remove_rule(&mut self, s: SwitchId, id: RuleId) -> Option<FlowRule> {
+        let list = self.rules.get_mut(&s)?;
+        let pos = list.iter().position(|r| r.id == id)?;
+        let rule = list.remove(pos);
+        self.pending.push((s, OfMessage::FlowDelete(id)));
+        Some(rule)
+    }
+
+    /// Change a rule's action in the logical set and queue the FlowModify.
+    pub fn modify_rule(&mut self, s: SwitchId, id: RuleId, action: Action) -> bool {
+        let Some(rule) = self.rules.get_mut(&s).and_then(|v| v.iter_mut().find(|r| r.id == id))
+        else {
+            return false;
+        };
+        rule.action = action;
+        self.pending.push((s, OfMessage::FlowModify(id, action)));
+        true
+    }
+
+    /// Drain queued messages, appending a Barrier for every switch touched
+    /// (the controller's installation transaction).
+    pub fn drain_messages(&mut self) -> Vec<(SwitchId, OfMessage)> {
+        let mut msgs = std::mem::take(&mut self.pending);
+        let mut touched: Vec<SwitchId> = msgs.iter().map(|(s, _)| *s).collect();
+        touched.sort();
+        touched.dedup();
+        for s in touched {
+            msgs.push((s, OfMessage::Barrier(self.next_xid)));
+            self.next_xid += 1;
+        }
+        msgs
+    }
+
+    fn host(&self, name: &str) -> Result<Host, ControllerError> {
+        self.topo.host(name).cloned().ok_or_else(|| ControllerError::UnknownHost(name.into()))
+    }
+
+    /// Compile one intent into rules (queued for installation).
+    pub fn install_intent(&mut self, intent: &Intent) -> Result<Vec<RuleId>, ControllerError> {
+        match intent {
+            Intent::Connectivity => Ok(self.compile_connectivity()),
+            Intent::Acl { src_host, dst_host, dst_ports } => {
+                self.compile_acl(src_host, dst_host, *dst_ports)
+            }
+            Intent::Waypoint { src_host, dst_host, via } => {
+                self.compile_waypoint(src_host, dst_host, via)
+            }
+            Intent::TrafficEngineering { src_host, dst_host, path_a, path_b } => {
+                self.compile_te(src_host, dst_host, path_a, path_b)
+            }
+        }
+    }
+
+    /// Shortest-path forwarding towards every host subnet, from every switch.
+    /// Rule priority is the prefix length, giving longest-prefix-match.
+    fn compile_connectivity(&mut self) -> Vec<RuleId> {
+        let mut out = Vec::new();
+        let hosts: Vec<Host> = self
+            .topo
+            .hosts()
+            .iter()
+            .filter(|h| h.role == HostRole::Host)
+            .cloned()
+            .collect();
+        let switches: Vec<SwitchId> = self.topo.switches().map(|s| s.id).collect();
+        for h in &hosts {
+            let subnet = veridp_switch::prefix_mask(h.ip, h.plen);
+            let fields = Match::dst_prefix(subnet, h.plen);
+            let target = h.attached.switch;
+            for &s in &switches {
+                let action = if s == target {
+                    Action::Forward(h.attached.port)
+                } else {
+                    let Some(path) = self.topo.shortest_path(s, target) else { continue };
+                    let next = path[1];
+                    let Some(port) = self.topo.port_towards(s, next) else { continue };
+                    Action::Forward(port)
+                };
+                out.push(self.add_rule(s, h.plen as u16, fields, action));
+            }
+        }
+        out
+    }
+
+    /// Drop rules at the source's edge switch (ingress filtering).
+    fn compile_acl(
+        &mut self,
+        src: &str,
+        dst: &str,
+        dst_ports: PortRange,
+    ) -> Result<Vec<RuleId>, ControllerError> {
+        let src = self.host(src)?;
+        let dst = self.host(dst)?;
+        let mut fields = Match::src_prefix(src.ip, src.plen);
+        let dm = Match::dst_prefix(dst.ip, dst.plen);
+        fields.dst_ip = dm.dst_ip;
+        fields.dst_plen = dm.dst_plen;
+        fields.dst_port = dst_ports;
+        let id = self.add_rule(src.attached.switch, PRIO_ACL, fields, Action::Drop);
+        Ok(vec![id])
+    }
+
+    /// Pin a hop-by-hop path with in-port-qualified rules. `arrive_port` is
+    /// the in-port at the first switch of `path`.
+    fn pin_path(
+        &mut self,
+        fields: Match,
+        priority: u16,
+        path: &[SwitchId],
+        mut arrive_port: PortNo,
+        final_port: PortNo,
+    ) -> Result<Vec<RuleId>, ControllerError> {
+        let mut out = Vec::new();
+        for (i, &s) in path.iter().enumerate() {
+            let out_port = if i + 1 < path.len() {
+                let next = path[i + 1];
+                self.topo
+                    .port_towards(s, next)
+                    .ok_or(ControllerError::Disconnected(s, next))?
+            } else {
+                final_port
+            };
+            let f = fields.with_in_port(arrive_port);
+            out.push(self.add_rule(s, priority, f, Action::Forward(out_port)));
+            if i + 1 < path.len() {
+                let here = PortRef { switch: s, port: out_port };
+                let peer = self
+                    .topo
+                    .peer(here)
+                    .ok_or(ControllerError::Disconnected(s, path[i + 1]))?;
+                arrive_port = peer.port;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Waypoint chaining: route src→middlebox, then middlebox→dst, with
+    /// in-port-qualified rules so the two legs cannot interfere even when
+    /// they share switches.
+    fn compile_waypoint(
+        &mut self,
+        src: &str,
+        dst: &str,
+        via: &str,
+    ) -> Result<Vec<RuleId>, ControllerError> {
+        let src = self.host(src)?;
+        let dst = self.host(dst)?;
+        let mb = self.host(via)?;
+        if mb.role != HostRole::Middlebox {
+            return Err(ControllerError::NotAMiddlebox(mb.name));
+        }
+
+        let mut fields = Match::src_prefix(src.ip, src.plen);
+        let dm = Match::dst_prefix(dst.ip, dst.plen);
+        fields.dst_ip = dm.dst_ip;
+        fields.dst_plen = dm.dst_plen;
+
+        let s_src = src.attached.switch;
+        let s_mb = mb.attached.switch;
+        let s_dst = dst.attached.switch;
+
+        let leg1 = self
+            .topo
+            .shortest_path(s_src, s_mb)
+            .ok_or(ControllerError::Disconnected(s_src, s_mb))?;
+        let leg2 = self
+            .topo
+            .shortest_path(s_mb, s_dst)
+            .ok_or(ControllerError::Disconnected(s_mb, s_dst))?;
+
+        let mut ids = self.pin_path(fields, PRIO_WAYPOINT, &leg1, src.attached.port, mb.attached.port)?;
+        ids.extend(self.pin_path(fields, PRIO_WAYPOINT, &leg2, mb.attached.port, dst.attached.port)?);
+        Ok(ids)
+    }
+
+    /// Two-path traffic engineering split on the L4 source-port space.
+    fn compile_te(
+        &mut self,
+        src: &str,
+        dst: &str,
+        path_a: &[u32],
+        path_b: &[u32],
+    ) -> Result<Vec<RuleId>, ControllerError> {
+        let src = self.host(src)?;
+        let dst = self.host(dst)?;
+        let mut fields = Match::src_prefix(src.ip, src.plen);
+        let dm = Match::dst_prefix(dst.ip, dst.plen);
+        fields.dst_ip = dm.dst_ip;
+        fields.dst_plen = dm.dst_plen;
+
+        let mut ids = Vec::new();
+        for (path, range) in [
+            (path_a, PortRange::new(0, 0x7fff)),
+            (path_b, PortRange::new(0x8000, u16::MAX)),
+        ] {
+            let path: Vec<SwitchId> = path.iter().map(|&s| SwitchId(s)).collect();
+            if path.first() != Some(&src.attached.switch) || path.last() != Some(&dst.attached.switch)
+            {
+                return Err(ControllerError::BadPath(
+                    "path must run from the source's switch to the destination's switch".into(),
+                ));
+            }
+            let mut f = fields;
+            f.src_port = range;
+            ids.extend(self.pin_path(f, PRIO_TE, &path, src.attached.port, dst.attached.port)?);
+        }
+        Ok(ids)
+    }
+}

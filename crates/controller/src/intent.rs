@@ -1,0 +1,40 @@
+//! Operator intents (§2.1, §2.3).
+
+use serde::{Deserialize, Serialize};
+use veridp_switch::PortRange;
+
+/// A high-level policy the operator wants the network to enforce.
+///
+/// Intents reference hosts and middleboxes by their topology names; the
+/// compiler resolves them against the [`veridp_topo::Topology`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intent {
+    /// Pairwise reachability: shortest-path forwarding between every pair of
+    /// host subnets (the baseline invariant set).
+    Connectivity,
+    /// Deny traffic from `src_host`'s subnet to `dst_host`'s subnet on the
+    /// given destination ports (compiled to high-priority drop rules on the
+    /// destination's edge switch).
+    Acl {
+        src_host: String,
+        dst_host: String,
+        dst_ports: PortRange,
+    },
+    /// Traffic from `src_host` to `dst_host` must traverse middlebox `via`
+    /// before delivery (Figure 2's firewall chaining).
+    Waypoint {
+        src_host: String,
+        dst_host: String,
+        via: String,
+    },
+    /// Split traffic from `src_host` to `dst_host` across the two given
+    /// switch-level paths by source-port range: the lower half of the L4
+    /// source-port space takes `path_a`, the upper half takes `path_b`
+    /// (Figure 3's two-tunnel load balancing).
+    TrafficEngineering {
+        src_host: String,
+        dst_host: String,
+        path_a: Vec<u32>,
+        path_b: Vec<u32>,
+    },
+}

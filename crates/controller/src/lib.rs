@@ -1,0 +1,25 @@
+//! The SDN control plane.
+//!
+//! The controller owns the *logical rules* `R` of the paper's four-stage
+//! pipeline (operator intent `I` → logical rules `R` → physical rules `R'` →
+//! forwarding `F`, §2.1). It compiles high-level [`Intent`]s — connectivity,
+//! access control, waypoint traversal, traffic engineering (§2.3) — into
+//! per-switch flow rules and emits the OpenFlow messages that install them.
+//!
+//! VeriDP's server is wired as an interceptor on that message stream (§3.2):
+//! everything the controller sends is also what the path table is built from,
+//! so `R = F` is exactly what tag verification checks.
+//!
+//! The [`synth`] module generates the synthetic rule workloads standing in
+//! for the Stanford/Internet2 configuration files (see DESIGN.md for the
+//! substitution argument).
+
+mod compiler;
+mod intent;
+pub mod synth;
+
+pub use compiler::{Controller, ControllerError};
+pub use intent::Intent;
+
+#[cfg(test)]
+mod tests;

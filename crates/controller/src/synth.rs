@@ -1,0 +1,182 @@
+//! Synthetic rule workloads.
+//!
+//! The paper evaluates on the Stanford backbone configuration (757 K
+//! forwarding + 1.5 K ACL rules) and Internet2's public IPv4 tables (126 K
+//! rules). Neither dataset ships with this repository, so these generators
+//! produce rule sets with the structural properties that drive VeriDP's
+//! behaviour (see DESIGN.md §2):
+//!
+//! * RIB-like prefix-length mix (dominated by /24s, with shorter covering
+//!   prefixes and longer punch-holes);
+//! * deliberate prefix *overlap*, so longest-prefix/priority interaction is
+//!   exercised — the situation where priority faults matter;
+//! * end-to-end consistency: every prefix has an owner edge port, and every
+//!   switch forwards the prefix along a shortest path towards it, so path
+//!   tables contain real multi-hop paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_packet::SwitchId;
+use veridp_switch::{Action, Match, PortRange};
+use veridp_topo::{HostRole, Topology};
+
+use crate::compiler::Controller;
+
+/// A generated destination prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefix {
+    pub ip: u32,
+    pub plen: u8,
+}
+
+/// Draw a prefix length with a RIB-like distribution.
+fn draw_plen(rng: &mut StdRng) -> u8 {
+    match rng.gen_range(0..100u32) {
+        0..=9 => 16,
+        10..=24 => 20,
+        25..=79 => 24,
+        80..=92 => 28,
+        _ => 32,
+    }
+}
+
+/// Generate `num` prefixes; roughly 30% are sub-prefixes of earlier ones
+/// (overlap), the rest fresh draws from private address space. Deterministic
+/// in `seed`.
+pub fn prefix_pool(num: usize, seed: u64) -> Vec<Prefix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Prefix> = Vec::with_capacity(num);
+    while out.len() < num {
+        let overlap = !out.is_empty() && rng.gen_bool(0.3);
+        let p = if overlap {
+            // Take an earlier prefix and specialize it.
+            let parent = out[rng.gen_range(0..out.len())];
+            if parent.plen >= 30 {
+                continue;
+            }
+            let extra = rng.gen_range(2..=(32 - parent.plen).min(8));
+            let plen = parent.plen + extra;
+            let host_bits = 32 - plen as u32;
+            let sub: u32 = rng.gen::<u32>() & !((1u64 << host_bits).wrapping_sub(1) as u32);
+            let keep = if parent.plen == 0 { 0 } else { u32::MAX << (32 - parent.plen as u32) };
+            Prefix { ip: (parent.ip & keep) | (sub & !keep), plen }
+        } else {
+            let plen = draw_plen(&mut rng);
+            let base = match rng.gen_range(0..3u8) {
+                0 => 0x0a00_0000u32 | (rng.gen::<u32>() & 0x00ff_ffff), // 10/8
+                1 => 0xac10_0000u32 | (rng.gen::<u32>() & 0x000f_ffff), // 172.16/12
+                _ => 0xc0a8_0000u32 | (rng.gen::<u32>() & 0x0000_ffff), // 192.168/16
+            };
+            Prefix { ip: veridp_switch::prefix_mask(base, plen), plen }
+        };
+        out.push(Prefix { ip: veridp_switch::prefix_mask(p.ip, p.plen), plen: p.plen });
+    }
+    out
+}
+
+/// Install a synthetic RIB on every switch of `ctrl`'s topology:
+/// `num_prefixes` destination prefixes, each owned by a random host port and
+/// routed towards it along shortest paths — with the next hop drawn
+/// uniformly from the *equal-cost set* per (prefix, switch). The per-prefix
+/// ECMP choice is what gives a pair of edge ports several distinct paths in
+/// the path table, the multiplicity Fig. 6 measures on real configurations.
+/// Returns the number of rules added (≈ prefixes × switches).
+pub fn install_rib(ctrl: &mut Controller, num_prefixes: usize, seed: u64) -> usize {
+    use std::collections::HashMap;
+    let topo = ctrl.topo().clone();
+    let hosts: Vec<_> =
+        topo.hosts().iter().filter(|h| h.role == HostRole::Host).cloned().collect();
+    assert!(!hosts.is_empty(), "topology has no hosts to own prefixes");
+    let switches: Vec<SwitchId> = topo.switches().map(|s| s.id).collect();
+    let prefixes = prefix_pool(num_prefixes, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut dist_cache: HashMap<SwitchId, HashMap<SwitchId, u32>> = HashMap::new();
+
+    let mut added = 0;
+    for p in prefixes {
+        let owner = &hosts[rng.gen_range(0..hosts.len())];
+        let fields = Match::dst_prefix(p.ip, p.plen);
+        let target = owner.attached.switch;
+        let dist =
+            dist_cache.entry(target).or_insert_with(|| topo.distances_to(target)).clone();
+        for &s in &switches {
+            let action = if s == target {
+                Action::Forward(owner.attached.port)
+            } else {
+                let choices = topo.ecmp_ports_towards(s, &dist);
+                if choices.is_empty() {
+                    continue;
+                }
+                Action::Forward(choices[rng.gen_range(0..choices.len())])
+            };
+            ctrl.add_rule(s, p.plen as u16, fields, action);
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Synthetic rules for a *single* switch: destination prefixes with next hops
+/// drawn from the switch's wired ports. Used by the incremental-update
+/// experiment (Fig. 14), which feeds one switch's table rule-by-rule.
+pub fn single_switch_rules(
+    topo: &Topology,
+    s: SwitchId,
+    num: usize,
+    seed: u64,
+) -> Vec<(u16, Match, Action)> {
+    let ports: Vec<_> = topo
+        .neighbors(s)
+        .into_iter()
+        .map(|(p, _)| p)
+        .chain(topo.host_ports().into_iter().filter(|p| p.switch == s).map(|p| p.port))
+        .collect();
+    assert!(!ports.is_empty(), "switch {s} has no usable ports");
+    let mut rng = StdRng::seed_from_u64(seed);
+    prefix_pool(num, seed.wrapping_add(1))
+        .into_iter()
+        .map(|p| {
+            let port = ports[rng.gen_range(0..ports.len())];
+            (p.plen as u16, Match::dst_prefix(p.ip, p.plen), Action::Forward(port))
+        })
+        .collect()
+}
+
+/// Install `num` random ACL deny rules between host pairs (the Stanford
+/// configuration's 1.5 K ACLs, scaled). Returns the host-pair list for later
+/// auditing.
+pub fn install_random_acls(
+    ctrl: &mut Controller,
+    num: usize,
+    seed: u64,
+) -> Vec<(String, String)> {
+    let hosts: Vec<_> = ctrl
+        .topo()
+        .hosts()
+        .iter()
+        .filter(|h| h.role == HostRole::Host)
+        .map(|h| h.name.clone())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(num);
+    for _ in 0..num {
+        let a = hosts[rng.gen_range(0..hosts.len())].clone();
+        let mut b = hosts[rng.gen_range(0..hosts.len())].clone();
+        while b == a {
+            b = hosts[rng.gen_range(0..hosts.len())].clone();
+        }
+        let ports = if rng.gen_bool(0.5) {
+            PortRange::ANY
+        } else {
+            PortRange::exact(rng.gen_range(1..1024))
+        };
+        ctrl.install_intent(&crate::Intent::Acl {
+            src_host: a.clone(),
+            dst_host: b.clone(),
+            dst_ports: ports,
+        })
+        .expect("hosts exist");
+        pairs.push((a, b));
+    }
+    pairs
+}

@@ -1,0 +1,304 @@
+//! Router-configuration transfer predicates (§4.1).
+//!
+//! The Stanford backbone in the paper is configured with Cisco files, not
+//! OpenFlow rules: each device has forwarding rules, per-port **in-bound
+//! ACLs**, and per-port **out-bound ACLs** (plus VLANs, which our model
+//! folds into ports). The paper composes port predicates exactly as:
+//!
+//! ```text
+//! P_{x,y} = P^in_x ∧ P^fwd_y ∧ P^out_y                        (y ≠ ⊥)
+//! P_{x,⊥} = ¬P^in_x ∨ (P^in_x ∧ P^fwd_⊥)
+//!         ∨ (P^in_x ∧ ∨_y (P^fwd_y ∧ ¬P^out_y))
+//! ```
+//!
+//! — the three drop terms being (1) filtered by the in-bound ACL,
+//! (2) not forwarded anywhere, (3) filtered by the out-bound ACL.
+//!
+//! [`SwitchConfig`] models one such device; [`SwitchConfig::predicates`]
+//! produces a [`SwitchPredicates`] usable by the ordinary path-table
+//! builder; [`parse_config`] reads a small Cisco-flavoured text format so
+//! whole networks can be described in files (the offline stand-in for the
+//! Hassel-parsed Stanford configuration).
+
+use std::collections::HashMap;
+
+use veridp_bdd::Bdd;
+use veridp_packet::{PortNo, SwitchId, DROP_PORT};
+use veridp_switch::{Action, FlowRule, Match, PortRange, RuleId};
+
+use crate::headerspace::HeaderSpace;
+use crate::predicates::SwitchPredicates;
+
+/// One ACL entry: first match wins; an ACL list ends with an implicit
+/// deny-all (Cisco semantics). A port without an ACL permits everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AclEntry {
+    pub fields: Match,
+    pub permit: bool,
+}
+
+impl AclEntry {
+    /// A permit entry.
+    pub fn permit(fields: Match) -> Self {
+        AclEntry { fields, permit: true }
+    }
+
+    /// A deny entry.
+    pub fn deny(fields: Match) -> Self {
+        AclEntry { fields, permit: false }
+    }
+}
+
+/// Evaluate an ACL list to the BDD of permitted headers.
+fn acl_set(entries: Option<&Vec<AclEntry>>, hs: &mut HeaderSpace) -> Bdd {
+    let Some(entries) = entries else { return Bdd::TRUE };
+    let mut permitted = Bdd::FALSE;
+    let mut remaining = Bdd::TRUE;
+    for e in entries {
+        if remaining.is_false() {
+            break;
+        }
+        let m = hs.match_set(&e.fields);
+        let eff = hs.mgr().and(m, remaining);
+        remaining = hs.mgr().diff(remaining, m);
+        if e.permit {
+            permitted = hs.mgr().or(permitted, eff);
+        }
+    }
+    permitted // implicit deny for `remaining`
+}
+
+/// A full device configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchConfig {
+    pub name: String,
+    /// Data ports `1..=num_ports`.
+    pub num_ports: u16,
+    /// Destination-based forwarding rules (priority = longest prefix, as the
+    /// controller compiles them).
+    pub fwd_rules: Vec<FlowRule>,
+    /// In-bound ACL per port.
+    pub acl_in: HashMap<PortNo, Vec<AclEntry>>,
+    /// Out-bound ACL per port.
+    pub acl_out: HashMap<PortNo, Vec<AclEntry>>,
+}
+
+impl SwitchConfig {
+    /// Compose the §4.1 transfer predicates for this device.
+    pub fn predicates(&self, switch: SwitchId, hs: &mut HeaderSpace) -> SwitchPredicates {
+        let ports: Vec<PortNo> = (1..=self.num_ports).map(PortNo).collect();
+        // P^fwd per output port from the forwarding rules (priority scan,
+        // in-port-agnostic by construction for routing tables).
+        let base = SwitchPredicates::from_rules(switch, &ports, &self.fwd_rules, hs);
+
+        let p_in: HashMap<PortNo, Bdd> =
+            ports.iter().map(|&x| (x, acl_set(self.acl_in.get(&x), hs))).collect();
+        let p_out: HashMap<PortNo, Bdd> =
+            ports.iter().map(|&y| (y, acl_set(self.acl_out.get(&y), hs))).collect();
+
+        let mut transfer: HashMap<(PortNo, PortNo), Bdd> = HashMap::new();
+        for &x in &ports {
+            let pin = p_in[&x];
+            // Forwarding-drop predicate P^fwd_⊥ (rule drop or table miss).
+            let fwd_drop = base.transfer(x, DROP_PORT);
+            // Term 1: filtered by the in-bound ACL.
+            let not_in = hs.mgr().not(pin);
+            // Term 2: admitted but not forwarded anywhere.
+            let t2 = hs.mgr().and(pin, fwd_drop);
+            let mut drop_acc = hs.mgr().or(not_in, t2);
+            for &y in &ports {
+                let fwd_y = base.transfer(x, y);
+                if fwd_y.is_false() {
+                    continue;
+                }
+                let pout = p_out[&y];
+                let pass = {
+                    let a = hs.mgr().and(pin, fwd_y);
+                    hs.mgr().and(a, pout)
+                };
+                if !pass.is_false() {
+                    transfer.insert((x, y), pass);
+                }
+                // Term 3: forwarded to y but filtered by y's out-bound ACL.
+                let blocked = {
+                    let nb = hs.mgr().not(pout);
+                    let a = hs.mgr().and(pin, fwd_y);
+                    hs.mgr().and(a, nb)
+                };
+                drop_acc = hs.mgr().or(drop_acc, blocked);
+            }
+            transfer.insert((x, DROP_PORT), drop_acc);
+        }
+        SwitchPredicates::from_transfer_map(switch, &ports, transfer)
+    }
+}
+
+/// Errors from the text-config parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError { line, message: message.into() }
+}
+
+fn parse_prefix(tok: &str, line: usize) -> Result<(u32, u8), ConfigError> {
+    if tok == "any" {
+        return Ok((0, 0));
+    }
+    let (addr, plen) = tok.split_once('/').ok_or_else(|| err(line, "expected a.b.c.d/len"))?;
+    let ip: std::net::Ipv4Addr =
+        addr.parse().map_err(|_| err(line, format!("bad address {addr}")))?;
+    let plen: u8 = plen.parse().map_err(|_| err(line, format!("bad prefix length {plen}")))?;
+    if plen > 32 {
+        return Err(err(line, "prefix length > 32"));
+    }
+    Ok((veridp_switch::prefix_mask(u32::from(ip), plen), plen))
+}
+
+/// Parse match qualifiers of the form
+/// `[src A/B] [dst A/B] [proto N] [sport N[-M]] [dport N[-M]]`.
+fn parse_match(tokens: &[&str], line: usize) -> Result<Match, ConfigError> {
+    let mut m = Match::ANY;
+    let mut it = tokens.iter();
+    while let Some(&key) = it.next() {
+        if key == "any" {
+            continue; // explicit match-all, mainly for `permit any`
+        }
+        let val = *it.next().ok_or_else(|| err(line, format!("{key} needs a value")))?;
+        match key {
+            "src" => {
+                let (ip, plen) = parse_prefix(val, line)?;
+                m.src_ip = ip;
+                m.src_plen = plen;
+            }
+            "dst" => {
+                let (ip, plen) = parse_prefix(val, line)?;
+                m.dst_ip = ip;
+                m.dst_plen = plen;
+            }
+            "proto" => {
+                m.proto =
+                    Some(val.parse().map_err(|_| err(line, format!("bad proto {val}")))?);
+            }
+            "sport" | "dport" => {
+                let range = match val.split_once('-') {
+                    Some((lo, hi)) => PortRange::new(
+                        lo.parse().map_err(|_| err(line, "bad port"))?,
+                        hi.parse().map_err(|_| err(line, "bad port"))?,
+                    ),
+                    None => PortRange::exact(
+                        val.parse().map_err(|_| err(line, "bad port"))?,
+                    ),
+                };
+                if key == "sport" {
+                    m.src_port = range;
+                } else {
+                    m.dst_port = range;
+                }
+            }
+            other => return Err(err(line, format!("unknown qualifier {other}"))),
+        }
+    }
+    Ok(m)
+}
+
+/// Parse a multi-device configuration text into per-device configs.
+///
+/// Grammar (one directive per line, `#` comments):
+///
+/// ```text
+/// switch <name> ports <n>
+/// fwd <dst-prefix|any> [qualifiers] -> <port>|drop
+/// acl in <port> permit|deny [qualifiers]
+/// acl out <port> permit|deny [qualifiers]
+/// ```
+///
+/// Forwarding priority is the destination prefix length (longest prefix
+/// match); `fwd ... -> drop` installs an explicit null route. Rule ids are
+/// assigned in file order.
+pub fn parse_config(text: &str) -> Result<Vec<SwitchConfig>, ConfigError> {
+    let mut out: Vec<SwitchConfig> = Vec::new();
+    let mut next_id = 1u64;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = stripped.split_whitespace().collect();
+        match tokens[0] {
+            "switch" => {
+                if tokens.len() != 4 || tokens[2] != "ports" {
+                    return Err(err(line, "usage: switch <name> ports <n>"));
+                }
+                let num_ports: u16 =
+                    tokens[3].parse().map_err(|_| err(line, "bad port count"))?;
+                out.push(SwitchConfig {
+                    name: tokens[1].to_string(),
+                    num_ports,
+                    ..SwitchConfig::default()
+                });
+            }
+            "fwd" => {
+                let cfg = out.last_mut().ok_or_else(|| err(line, "fwd before switch"))?;
+                let arrow = tokens
+                    .iter()
+                    .position(|&t| t == "->")
+                    .ok_or_else(|| err(line, "missing ->"))?;
+                if arrow + 1 >= tokens.len() {
+                    return Err(err(line, "missing output port"));
+                }
+                let (dst_ip, dst_plen) = parse_prefix(tokens[1], line)?;
+                let mut fields = parse_match(&tokens[2..arrow], line)?;
+                fields.dst_ip = dst_ip;
+                fields.dst_plen = dst_plen;
+                let action = if tokens[arrow + 1] == "drop" {
+                    Action::Drop
+                } else {
+                    Action::Forward(PortNo(
+                        tokens[arrow + 1].parse().map_err(|_| err(line, "bad port"))?,
+                    ))
+                };
+                cfg.fwd_rules.push(FlowRule {
+                    id: RuleId(next_id),
+                    priority: dst_plen as u16,
+                    fields,
+                    action,
+                });
+                next_id += 1;
+            }
+            "acl" => {
+                let cfg = out.last_mut().ok_or_else(|| err(line, "acl before switch"))?;
+                if tokens.len() < 4 {
+                    return Err(err(line, "usage: acl in|out <port> permit|deny ..."));
+                }
+                let port = PortNo(tokens[2].parse().map_err(|_| err(line, "bad port"))?);
+                let permit = match tokens[3] {
+                    "permit" => true,
+                    "deny" => false,
+                    other => return Err(err(line, format!("expected permit/deny, got {other}"))),
+                };
+                let fields = parse_match(&tokens[4..], line)?;
+                let entry = AclEntry { fields, permit };
+                match tokens[1] {
+                    "in" => cfg.acl_in.entry(port).or_default().push(entry),
+                    "out" => cfg.acl_out.entry(port).or_default().push(entry),
+                    other => return Err(err(line, format!("expected in/out, got {other}"))),
+                }
+            }
+            other => return Err(err(line, format!("unknown directive {other}"))),
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,192 @@
+//! The BDD header space: 5-tuple headers as Boolean functions over 104
+//! variables (§4.1).
+//!
+//! Wildcard expressions need e.g. 16 unions to say `dst_port ≠ 22`; the BDD
+//! says it in one `not`. All header-set algebra in the path table goes
+//! through this type.
+
+use veridp_bdd::{Bdd, Manager};
+use veridp_packet::{FieldLayout, FiveTuple, HEADER_BITS};
+use veridp_switch::{Match, PortRange};
+
+/// A header field, identifying a bit range in the BDD variable order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    SrcIp,
+    DstIp,
+    Proto,
+    SrcPort,
+    DstPort,
+}
+
+impl Field {
+    fn offset(self) -> u32 {
+        match self {
+            Field::SrcIp => FieldLayout::SRC_IP,
+            Field::DstIp => FieldLayout::DST_IP,
+            Field::Proto => FieldLayout::PROTO,
+            Field::SrcPort => FieldLayout::SRC_PORT,
+            Field::DstPort => FieldLayout::DST_PORT,
+        }
+    }
+
+    fn width(self) -> u32 {
+        match self {
+            Field::SrcIp | Field::DstIp => 32,
+            Field::Proto => 8,
+            Field::SrcPort | Field::DstPort => 16,
+        }
+    }
+}
+
+/// The manager plus field-aware constructors. One instance backs one
+/// [`crate::PathTable`]; handles from different header spaces must not mix.
+#[derive(Debug)]
+pub struct HeaderSpace {
+    mgr: Manager,
+}
+
+impl Default for HeaderSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeaderSpace {
+    /// A fresh 104-variable space.
+    pub fn new() -> Self {
+        HeaderSpace { mgr: Manager::new(HEADER_BITS) }
+    }
+
+    /// Access the underlying manager (for set algebra on handles).
+    pub fn mgr(&mut self) -> &mut Manager {
+        &mut self.mgr
+    }
+
+    /// Read-only manager access.
+    pub fn mgr_ref(&self) -> &Manager {
+        &self.mgr
+    }
+
+    /// Headers whose `field` equals `value` on the top `plen` bits.
+    fn prefix(&mut self, field: Field, value: u64, plen: u32) -> Bdd {
+        debug_assert!(plen <= field.width());
+        let off = field.offset();
+        let lits: Vec<(u32, bool)> = (0..plen)
+            .map(|i| (off + i, (value >> (field.width() - 1 - i)) & 1 == 1))
+            .collect();
+        self.mgr.cube(&lits)
+    }
+
+    /// Headers with `src_ip` in `ip/plen`.
+    pub fn src_prefix(&mut self, ip: u32, plen: u8) -> Bdd {
+        self.prefix(Field::SrcIp, ip as u64, plen as u32)
+    }
+
+    /// Headers with `dst_ip` in `ip/plen`.
+    pub fn dst_prefix(&mut self, ip: u32, plen: u8) -> Bdd {
+        self.prefix(Field::DstIp, ip as u64, plen as u32)
+    }
+
+    /// Headers with the given protocol.
+    pub fn proto_is(&mut self, proto: u8) -> Bdd {
+        self.prefix(Field::Proto, proto as u64, 8)
+    }
+
+    /// Headers whose `field` (as unsigned) is `<= bound`.
+    fn le(&mut self, field: Field, bound: u64) -> Bdd {
+        let off = field.offset();
+        let w = field.width();
+        // Build bottom-up from the LSB: le_k = BDD over bits k..w-1.
+        let mut acc = Bdd::TRUE;
+        for i in (0..w).rev() {
+            let var = self.mgr.var(off + i);
+            let bit = (bound >> (w - 1 - i)) & 1 == 1;
+            acc = if bit {
+                // bound bit 1: var=0 → anything below accepted; var=1 → recurse.
+                let hi = self.mgr.and(var, acc);
+                let lo = self.mgr.not(var);
+                self.mgr.or(lo, hi)
+            } else {
+                // bound bit 0: var=1 → too big; var=0 → recurse.
+                let nv = self.mgr.not(var);
+                self.mgr.and(nv, acc)
+            };
+        }
+        acc
+    }
+
+    /// Headers whose `field` is `>= bound`.
+    fn ge(&mut self, field: Field, bound: u64) -> Bdd {
+        if bound == 0 {
+            return Bdd::TRUE;
+        }
+        let lt = self.le(field, bound - 1);
+        self.mgr.not(lt)
+    }
+
+    fn range(&mut self, field: Field, lo: u64, hi: u64) -> Bdd {
+        let max = if field.width() == 64 { u64::MAX } else { (1u64 << field.width()) - 1 };
+        if lo == 0 && hi >= max {
+            return Bdd::TRUE;
+        }
+        let ge = self.ge(field, lo);
+        let le = self.le(field, hi);
+        self.mgr.and(ge, le)
+    }
+
+    /// Headers with `src_port` in the inclusive range.
+    pub fn src_port_range(&mut self, r: PortRange) -> Bdd {
+        self.range(Field::SrcPort, r.lo as u64, r.hi as u64)
+    }
+
+    /// Headers with `dst_port` in the inclusive range.
+    pub fn dst_port_range(&mut self, r: PortRange) -> Bdd {
+        self.range(Field::DstPort, r.lo as u64, r.hi as u64)
+    }
+
+    /// The header set matched by a rule's fields, *ignoring* its `in_port`
+    /// qualifier (ports are handled by the per-port predicate computation).
+    pub fn match_set(&mut self, m: &Match) -> Bdd {
+        let mut acc = self.dst_prefix(m.dst_ip, m.dst_plen);
+        let s = self.src_prefix(m.src_ip, m.src_plen);
+        acc = self.mgr.and(acc, s);
+        if let Some(p) = m.proto {
+            let pb = self.proto_is(p);
+            acc = self.mgr.and(acc, pb);
+        }
+        if !m.src_port.is_any() {
+            let sp = self.src_port_range(m.src_port);
+            acc = self.mgr.and(acc, sp);
+        }
+        if !m.dst_port.is_any() {
+            let dp = self.dst_port_range(m.dst_port);
+            acc = self.mgr.and(acc, dp);
+        }
+        acc
+    }
+
+    /// The singleton set containing exactly `h`.
+    pub fn header_singleton(&mut self, h: &FiveTuple) -> Bdd {
+        let bits = h.to_bits();
+        let lits: Vec<(u32, bool)> = bits.iter().enumerate().map(|(i, &b)| (i as u32, b)).collect();
+        self.mgr.cube(&lits)
+    }
+
+    /// Membership test `h ∈ set` — the `header ≺ p.headers` of Algorithm 3.
+    ///
+    /// Direct BDD evaluation: O(path depth), no intermediate BDD built.
+    pub fn contains(&self, set: Bdd, h: &FiveTuple) -> bool {
+        self.mgr.eval(set, &h.to_bits())
+    }
+
+    /// A deterministic witness header from a non-empty set.
+    pub fn witness(&self, set: Bdd) -> Option<FiveTuple> {
+        self.mgr.any_sat(set).map(|bits| FiveTuple::from_bits(&bits))
+    }
+
+    /// A pseudo-random witness header driven by `pick` (e.g. a seeded RNG).
+    pub fn random_witness(&self, set: Bdd, pick: impl FnMut(u32) -> bool) -> Option<FiveTuple> {
+        self.mgr.random_sat(set, pick).map(|bits| FiveTuple::from_bits(&bits))
+    }
+}

@@ -1,0 +1,138 @@
+//! Fault localization: PathInfer (Algorithm 4, §4.3).
+//!
+//! When verification fails, the server reconstructs the *real* path of the
+//! packet from its Bloom tag. The strawman — walk the correct path and blame
+//! the first hop whose filter bits are missing — mislocalizes on Bloom false
+//! positives. Algorithm 4 instead exploits that downstream switches are
+//! mostly healthy: from each backtracked suspect hop it tries to complete a
+//! tag-consistent path to the reported outport using the *control-plane*
+//! forwarding of the downstream switches, dismissing suspects that admit no
+//! such completion.
+
+use veridp_bloom::BloomTag;
+use veridp_packet::{Hop, PortRef, SwitchId, TagReport};
+
+use crate::headerspace::HeaderSpace;
+use crate::path_table::PathTable;
+
+/// One candidate real path found by PathInfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredPath {
+    /// The full reconstructed hop sequence.
+    pub hops: Vec<Hop>,
+    /// The switch where the path deviates from the correct one — the
+    /// suspected faulty switch.
+    pub faulty_switch: SwitchId,
+    /// Index into `hops` of the deviating hop.
+    pub deviation_index: usize,
+}
+
+/// Result of localization for one failed report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalizeOutcome {
+    /// The correct path the control plane intended (may be empty if the
+    /// header matches no forwarding at the inport).
+    pub correct_path: Vec<Hop>,
+    /// All tag-consistent real-path candidates, in discovery order
+    /// (innermost deviation first).
+    pub candidates: Vec<InferredPath>,
+}
+
+impl LocalizeOutcome {
+    /// The primary suspect: the faulty switch of the first candidate.
+    pub fn primary_suspect(&self) -> Option<SwitchId> {
+        self.candidates.first().map(|c| c.faulty_switch)
+    }
+}
+
+/// `BF(hop) ⊓ tag = BF(hop)` — hop-membership test against the packet tag.
+fn hop_in_tag(hop: &Hop, tag: BloomTag) -> bool {
+    tag.contains(&hop.encode())
+}
+
+impl PathTable {
+    /// Algorithm 4: infer the set of possible real paths for a failed
+    /// report, and the faulty switch each one implicates.
+    pub fn localize(&self, report: &TagReport, hs: &HeaderSpace) -> LocalizeOutcome {
+        let tag = report.tag;
+        // Line 2: the original (correct) path for this header.
+        let correct_path = self.trace(report.inport, &report.header, hs);
+
+        // Lines 4–7: the longest prefix of the correct path consistent with
+        // the tag, *including* the first failing hop (it is the outermost
+        // suspect and gets popped first).
+        let mut com_path: Vec<Hop> = Vec::new();
+        for hop in &correct_path {
+            com_path.push(*hop);
+            if !hop_in_tag(hop, tag) {
+                break;
+            }
+        }
+
+        // Lines 8–22: backtrack, enumerating deviations.
+        let mut candidates = Vec::new();
+        while let Some(dev_hop) = com_path.pop() {
+            let s = dev_hop.switch;
+            let x = dev_hop.in_port;
+            let Some(info) = self.topo().switch(s) else { continue };
+            let mut ports: Vec<veridp_packet::PortNo> =
+                (1..=info.num_ports).map(veridp_packet::PortNo).collect();
+            ports.push(veridp_packet::DROP_PORT);
+            for y in ports {
+                if y == dev_hop.out_port {
+                    continue; // that's the correct hop, already ruled out
+                }
+                let first = Hop { in_port: x, switch: s, out_port: y };
+                if !hop_in_tag(&first, tag) {
+                    continue; // the deviating hop itself must be in the tag
+                }
+                let mut dev_path = vec![first];
+                let out_ref = PortRef { switch: s, port: y };
+                if out_ref == report.outport {
+                    // The deviation immediately exits at the reported port.
+                    candidates.push(assemble(&com_path, dev_path, s));
+                    continue;
+                }
+                if y.is_drop() || self.topo().is_terminal_port(out_ref) {
+                    continue; // leaves the network somewhere else: dismiss
+                }
+                // Follow control-plane forwarding from the next switch,
+                // requiring every hop to be tag-consistent (lines 14–22).
+                let next = if self.topo().is_middlebox_port(out_ref) {
+                    out_ref
+                } else {
+                    match self.topo().peer(out_ref) {
+                        Some(n) => n,
+                        None => continue,
+                    }
+                };
+                let cont = self.trace(next, &report.header, hs);
+                let mut ok = false;
+                for hop in cont {
+                    if !hop_in_tag(&hop, tag) {
+                        break; // dismiss this deviation
+                    }
+                    dev_path.push(hop);
+                    if hop.out_ref() == report.outport {
+                        ok = true;
+                        break;
+                    }
+                    if dev_path.len() > self.topo().num_switches() + 2 {
+                        break;
+                    }
+                }
+                if ok {
+                    candidates.push(assemble(&com_path, dev_path, s));
+                }
+            }
+        }
+        LocalizeOutcome { correct_path, candidates }
+    }
+}
+
+fn assemble(com_path: &[Hop], dev_path: Vec<Hop>, faulty: SwitchId) -> InferredPath {
+    let deviation_index = com_path.len();
+    let mut hops = com_path.to_vec();
+    hops.extend(dev_path);
+    InferredPath { hops, faulty_switch: faulty, deviation_index }
+}

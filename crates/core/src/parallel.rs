@@ -1,0 +1,72 @@
+//! Multi-threaded tag-report verification.
+//!
+//! The paper's server verifies ~5×10⁵ reports/s single-threaded and notes
+//! that "we expect a higher throughput with multi-threading in the future"
+//! (§6.4). Verification is embarrassingly parallel — Algorithm 3 only reads
+//! the path table — so this module shards report batches across scoped
+//! threads. The speedup is measured by the `fig13` experiment's parallel
+//! variant and the `verify_report` bench.
+
+use veridp_packet::TagReport;
+
+use crate::headerspace::HeaderSpace;
+use crate::path_table::PathTable;
+use crate::verify::VerifyOutcome;
+
+/// Verify a batch of reports across `threads` worker threads, preserving
+/// input order in the output.
+///
+/// With `threads <= 1` (or a batch smaller than the thread count) this
+/// degrades to the sequential path with no spawning overhead.
+pub fn verify_batch(
+    table: &PathTable,
+    hs: &HeaderSpace,
+    reports: &[TagReport],
+    threads: usize,
+) -> Vec<VerifyOutcome> {
+    if threads <= 1 || reports.len() < threads * 2 {
+        return reports.iter().map(|r| table.verify(r, hs)).collect();
+    }
+    let chunk = reports.len().div_ceil(threads);
+    let mut out: Vec<Vec<VerifyOutcome>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = reports
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || slice.iter().map(|r| table.verify(r, hs)).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("verifier thread panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Aggregate verdict counts from a batch, in the same shape as
+/// [`crate::ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    pub total: usize,
+    pub passed: usize,
+    pub tag_mismatch: usize,
+    pub no_matching_path: usize,
+}
+
+impl BatchSummary {
+    /// Summarize a verdict list.
+    pub fn from_outcomes(outcomes: &[VerifyOutcome]) -> Self {
+        let mut s = BatchSummary { total: outcomes.len(), ..Default::default() };
+        for o in outcomes {
+            match o {
+                VerifyOutcome::Pass => s.passed += 1,
+                VerifyOutcome::TagMismatch => s.tag_mismatch += 1,
+                VerifyOutcome::NoMatchingPath => s.no_matching_path += 1,
+            }
+        }
+        s
+    }
+
+    /// Failed verifications.
+    pub fn failed(&self) -> usize {
+        self.tag_mismatch + self.no_matching_path
+    }
+}

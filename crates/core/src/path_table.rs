@@ -1,0 +1,337 @@
+//! The path table and its construction (Algorithm 2, §3.4 and §4.1).
+
+use std::collections::HashMap;
+
+use veridp_bdd::Bdd;
+use veridp_bloom::BloomTag;
+use veridp_packet::{FiveTuple, Hop, PortNo, PortRef, SwitchId, DROP_PORT, MAX_PATH_LENGTH};
+use veridp_switch::FlowRule;
+use veridp_topo::Topology;
+
+use crate::headerspace::HeaderSpace;
+use crate::predicates::SwitchPredicates;
+
+/// One path for an `(inport, outport)` pair: the header set admitted on it,
+/// the hop sequence, and the Bloom tag a correctly-forwarded packet would
+/// carry.
+#[derive(Debug, Clone)]
+pub struct PathEntry {
+    pub headers: Bdd,
+    pub hops: Vec<Hop>,
+    pub tag: BloomTag,
+}
+
+impl PathEntry {
+    /// The exit port of the path.
+    pub fn outport(&self) -> PortRef {
+        let last = self.hops.last().expect("paths have at least one hop");
+        last.out_ref()
+    }
+}
+
+/// A header set that reached some switch during construction, with the path
+/// it took to get there. Kept so the incremental update (§4.4) can resume
+/// traversal at the modified switch instead of rebuilding.
+#[derive(Debug, Clone)]
+pub struct ReachRecord {
+    /// The network entry port of this traversal.
+    pub inport: PortRef,
+    /// Where the headers arrived: switch and local in-port.
+    pub at: PortRef,
+    /// The headers that got this far.
+    pub headers: Bdd,
+    /// Hops completed before arriving (empty at the entry switch).
+    pub hops: Vec<Hop>,
+    /// Tag accumulated so far.
+    pub tag: BloomTag,
+}
+
+/// Aggregate statistics for Table 2 / Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTableStats {
+    /// Number of `(inport, outport)` pairs with at least one path.
+    pub num_pairs: usize,
+    /// Total number of paths.
+    pub num_paths: usize,
+    /// Mean path length in hops.
+    pub avg_path_len: f64,
+    /// Histogram of paths-per-pair: `histogram[k]` = number of pairs with
+    /// exactly `k+1` paths.
+    pub paths_per_pair: Vec<usize>,
+}
+
+/// The path table: for every `(inport, outport)` pair, the list of paths a
+/// packet may legitimately take, each with its header set and tag.
+#[derive(Debug)]
+pub struct PathTable {
+    topo: Topology,
+    tag_bits: u32,
+    max_hops: usize,
+    /// Whether reach records are kept (required for incremental update;
+    /// [`PathTable::build_static`] skips them to save memory at scale).
+    track_reach: bool,
+    /// Per-switch logical rules (the control-plane view `R`).
+    pub(crate) rules: HashMap<SwitchId, Vec<FlowRule>>,
+    pub(crate) preds: HashMap<SwitchId, SwitchPredicates>,
+    pub(crate) entries: HashMap<(PortRef, PortRef), Vec<PathEntry>>,
+    pub(crate) reach: HashMap<SwitchId, Vec<ReachRecord>>,
+}
+
+impl PathTable {
+    /// Build the table from the topology and per-switch logical rules,
+    /// traversing from every host-facing edge port (the network's entry
+    /// points). `tag_bits` is the Bloom tag width used for path tags.
+    pub fn build(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<FlowRule>>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+    ) -> Self {
+        Self::build_inner(topo, rules, hs, tag_bits, true)
+    }
+
+    /// Like [`PathTable::build`], but without reach records: roughly halves
+    /// memory on large workloads at the cost of incremental updates
+    /// (add/delete/modify will panic; rebuild instead).
+    pub fn build_static(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<FlowRule>>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+    ) -> Self {
+        Self::build_inner(topo, rules, hs, tag_bits, false)
+    }
+
+    fn build_inner(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<FlowRule>>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+        track_reach: bool,
+    ) -> Self {
+        let mut table = PathTable {
+            topo: topo.clone(),
+            tag_bits,
+            max_hops: MAX_PATH_LENGTH as usize,
+            track_reach,
+            rules: rules.clone(),
+            preds: HashMap::new(),
+            entries: HashMap::new(),
+            reach: HashMap::new(),
+        };
+        for info in topo.switches() {
+            let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
+            let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
+            table.preds.insert(info.id, SwitchPredicates::from_rules(info.id, &ports, list, hs));
+        }
+        let entry_ports: Vec<PortRef> =
+            topo.host_ports().into_iter().filter(|p| topo.is_terminal_port(*p)).collect();
+        for inport in entry_ports {
+            table.traverse(inport, inport, Bdd::TRUE, Vec::new(), BloomTag::empty(tag_bits), hs);
+        }
+        table
+    }
+
+    /// Build the table from precomputed transfer predicates (the §4.1
+    /// configuration pipeline: forwarding + in/out-bound ACLs composed by
+    /// [`crate::config::SwitchConfig::predicates`]).
+    ///
+    /// Tables built this way carry no per-switch rule lists, so the
+    /// rule-granular incremental update is unavailable — rebuild on change
+    /// (configuration files change far less often than OpenFlow rules).
+    pub fn build_with_predicates(
+        topo: &Topology,
+        preds: HashMap<SwitchId, SwitchPredicates>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+    ) -> Self {
+        let mut table = PathTable {
+            topo: topo.clone(),
+            tag_bits,
+            max_hops: MAX_PATH_LENGTH as usize,
+            track_reach: true,
+            rules: HashMap::new(),
+            preds,
+            entries: HashMap::new(),
+            reach: HashMap::new(),
+        };
+        let entry_ports: Vec<PortRef> =
+            topo.host_ports().into_iter().filter(|p| topo.is_terminal_port(*p)).collect();
+        for inport in entry_ports {
+            table.traverse(inport, inport, Bdd::TRUE, Vec::new(), BloomTag::empty(tag_bits), hs);
+        }
+        table
+    }
+
+    /// Tag width used by this table.
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    /// Whether reach records are kept (i.e. incremental update is available).
+    pub fn tracks_reach(&self) -> bool {
+        self.track_reach
+    }
+
+    /// The monitored topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Predicates of one switch.
+    pub fn predicates(&self, s: SwitchId) -> Option<&SwitchPredicates> {
+        self.preds.get(&s)
+    }
+
+    /// Algorithm 2, one step: expand header set `h` arriving at `⟨s,x⟩ = at`,
+    /// with path `hops` and tag `tag` accumulated so far.
+    pub(crate) fn traverse(
+        &mut self,
+        inport: PortRef,
+        at: PortRef,
+        h: Bdd,
+        hops: Vec<Hop>,
+        tag: BloomTag,
+        hs: &mut HeaderSpace,
+    ) {
+        if hops.len() >= self.max_hops {
+            return; // TTL guard; mirrors the data-plane loop cut
+        }
+        // Loop removal (§6.1): stop if this port was already visited on the
+        // current path.
+        if hops.iter().any(|hop| hop.in_ref() == at) {
+            return;
+        }
+        let s = at.switch;
+        let x = at.port;
+        if self.track_reach {
+            self.reach.entry(s).or_default().push(ReachRecord {
+                inport,
+                at,
+                headers: h,
+                hops: hops.clone(),
+                tag,
+            });
+        }
+        let Some(preds) = self.preds.get(&s) else { return };
+        let outputs = preds.outputs(x);
+        for (y, p_xy) in outputs {
+            let h2 = hs.mgr().and(h, p_xy);
+            if h2.is_false() {
+                continue;
+            }
+            let hop = Hop { in_port: x, switch: s, out_port: y };
+            let mut hops2 = hops.clone();
+            hops2.push(hop);
+            let tag2 = tag.union(BloomTag::singleton(&hop.encode(), self.tag_bits));
+            let out_ref = PortRef { switch: s, port: y };
+            if y.is_drop() || self.topo.is_terminal_port(out_ref) {
+                self.insert_entry(inport, out_ref, h2, hops2, tag2, hs);
+            } else if self.topo.is_middlebox_port(out_ref) {
+                // Reflecting middlebox: the packet re-enters on the same port.
+                self.traverse(inport, out_ref, h2, hops2, tag2, hs);
+            } else if let Some(next) = self.topo.peer(out_ref) {
+                self.traverse(inport, next, h2, hops2, tag2, hs);
+            }
+        }
+    }
+
+    /// Insert (or merge into) a path entry.
+    pub(crate) fn insert_entry(
+        &mut self,
+        inport: PortRef,
+        outport: PortRef,
+        headers: Bdd,
+        hops: Vec<Hop>,
+        tag: BloomTag,
+        hs: &mut HeaderSpace,
+    ) {
+        let list = self.entries.entry((inport, outport)).or_default();
+        if let Some(e) = list.iter_mut().find(|e| e.hops == hops) {
+            e.headers = hs.mgr().or(e.headers, headers);
+        } else {
+            list.push(PathEntry { headers, hops, tag });
+        }
+    }
+
+    /// Paths recorded for a pair.
+    pub fn paths(&self, inport: PortRef, outport: PortRef) -> &[PathEntry] {
+        self.entries.get(&(inport, outport)).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Iterate over all `(pair, paths)` groups.
+    pub fn iter(&self) -> impl Iterator<Item = (&(PortRef, PortRef), &Vec<PathEntry>)> {
+        self.entries.iter()
+    }
+
+    /// All entries flattened, in a deterministic order.
+    pub fn all_entries(&self) -> Vec<(&(PortRef, PortRef), &PathEntry)> {
+        let mut keys: Vec<&(PortRef, PortRef)> = self.entries.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .flat_map(|k| self.entries[k].iter().map(move |e| (k, e)))
+            .collect()
+    }
+
+    /// The forwarding trace the *control plane* expects for a concrete
+    /// header injected at `from` — `GetPath` of Algorithm 4. Walks the
+    /// transfer predicates hop by hop until the packet leaves the network,
+    /// drops, or the hop budget runs out.
+    pub fn trace(&self, from: PortRef, header: &FiveTuple, hs: &HeaderSpace) -> Vec<Hop> {
+        let mut hops = Vec::new();
+        let mut at = from;
+        while hops.len() < self.max_hops {
+            let Some(preds) = self.preds.get(&at.switch) else { break };
+            let mut out = None;
+            for (y, p) in preds.outputs(at.port) {
+                if hs.contains(p, header) {
+                    out = Some(y);
+                    break;
+                }
+            }
+            let Some(y) = out else { break };
+            let hop = Hop { in_port: at.port, switch: at.switch, out_port: y };
+            hops.push(hop);
+            let out_ref = PortRef { switch: at.switch, port: y };
+            if y.is_drop() || self.topo.is_terminal_port(out_ref) {
+                break;
+            }
+            if self.topo.is_middlebox_port(out_ref) {
+                at = out_ref;
+                continue;
+            }
+            match self.topo.peer(out_ref) {
+                Some(next) => at = next,
+                None => break,
+            }
+        }
+        hops
+    }
+
+    /// Aggregate statistics (Table 2, Fig. 6).
+    pub fn stats(&self) -> PathTableStats {
+        let num_pairs = self.entries.len();
+        let num_paths: usize = self.entries.values().map(Vec::len).sum();
+        let total_hops: usize =
+            self.entries.values().flatten().map(|e| e.hops.len()).sum();
+        let mut histogram = Vec::new();
+        for list in self.entries.values() {
+            let k = list.len();
+            if histogram.len() < k {
+                histogram.resize(k, 0);
+            }
+            histogram[k - 1] += 1;
+        }
+        PathTableStats {
+            num_pairs,
+            num_paths,
+            avg_path_len: if num_paths == 0 { 0.0 } else { total_hops as f64 / num_paths as f64 },
+            paths_per_pair: histogram,
+        }
+    }
+
+    /// Drop-port reference for a switch (convenience).
+    pub fn drop_port(s: SwitchId) -> PortRef {
+        PortRef { switch: s, port: DROP_PORT }
+    }
+}

@@ -1,0 +1,165 @@
+//! Transfer predicates `P_{x,y}` (§4.1).
+//!
+//! A switch with ports `1..=n` is abstracted as predicates `P_{x,y}` over
+//! headers: a packet received on port `x` is forwarded to port `y` iff its
+//! header satisfies `P_{x,y}`; `y = ⊥` collects everything that is dropped
+//! (table miss, or an explicit drop action — the paper's two drop cases).
+//!
+//! The predicates are computed from the switch's rules with *priority
+//! shadowing*: the effective match of a rule is its own match set minus every
+//! higher-priority match set, which is exactly the semantics of the flow
+//! table's first-match lookup. Rules that carry an `in_port` qualifier make
+//! the predicate genuinely depend on `x`; switches without such rules share
+//! one predicate vector across all in-ports (the common case, and an
+//! important memory optimization at Stanford/Internet2 scale).
+
+use std::collections::HashMap;
+
+use veridp_bdd::Bdd;
+use veridp_packet::{PortNo, SwitchId, DROP_PORT};
+use veridp_switch::{Action, FlowRule};
+
+use crate::headerspace::HeaderSpace;
+
+/// Transfer predicates of one switch.
+#[derive(Debug, Clone)]
+pub struct SwitchPredicates {
+    pub switch: SwitchId,
+    /// Data-plane ports of the switch (excluding `⊥`).
+    ports: Vec<PortNo>,
+    /// `uniform[y]` when no rule is in-port-qualified; otherwise
+    /// `per_port[x][y]`.
+    uniform: Option<HashMap<PortNo, Bdd>>,
+    per_port: HashMap<PortNo, HashMap<PortNo, Bdd>>,
+}
+
+impl SwitchPredicates {
+    /// Compute predicates from the switch's rule list (any order; priorities
+    /// decide shadowing) for a switch with the given data ports.
+    pub fn from_rules(
+        switch: SwitchId,
+        ports: &[PortNo],
+        rules: &[FlowRule],
+        hs: &mut HeaderSpace,
+    ) -> Self {
+        let mut sorted: Vec<&FlowRule> = rules.iter().collect();
+        // Match order: priority desc, then id asc (first-installed wins).
+        sorted.sort_by_key(|r| (std::cmp::Reverse(r.priority), r.id));
+
+        let any_in_port = sorted.iter().any(|r| r.fields.in_port.is_some());
+        if !any_in_port {
+            let map = Self::scan(&sorted, None, hs);
+            return SwitchPredicates {
+                switch,
+                ports: ports.to_vec(),
+                uniform: Some(map),
+                per_port: HashMap::new(),
+            };
+        }
+        let mut per_port = HashMap::new();
+        for &x in ports {
+            per_port.insert(x, Self::scan(&sorted, Some(x), hs));
+        }
+        SwitchPredicates { switch, ports: ports.to_vec(), uniform: None, per_port }
+    }
+
+    /// One pass of priority shadowing for a fixed in-port (or port-agnostic
+    /// when `in_port` is `None`).
+    fn scan(
+        sorted: &[&FlowRule],
+        in_port: Option<PortNo>,
+        hs: &mut HeaderSpace,
+    ) -> HashMap<PortNo, Bdd> {
+        let mut out: HashMap<PortNo, Bdd> = HashMap::new();
+        let mut remaining = Bdd::TRUE; // headers not yet claimed by any rule
+        for r in sorted {
+            if remaining.is_false() {
+                break;
+            }
+            if let (Some(x), Some(rp)) = (in_port, r.fields.in_port) {
+                if x != rp {
+                    continue;
+                }
+            }
+            if in_port.is_none() && r.fields.in_port.is_some() {
+                continue;
+            }
+            let m = hs.match_set(&r.fields);
+            let eff = hs.mgr().and(m, remaining);
+            if eff.is_false() {
+                continue;
+            }
+            remaining = hs.mgr().diff(remaining, m);
+            let y = match r.action {
+                Action::Forward(p) => p,
+                Action::Drop => DROP_PORT,
+            };
+            let entry = out.entry(y).or_insert(Bdd::FALSE);
+            *entry = hs.mgr().or(*entry, eff);
+        }
+        // Table miss: whatever no rule claimed is dropped.
+        if !remaining.is_false() {
+            let entry = out.entry(DROP_PORT).or_insert(Bdd::FALSE);
+            *entry = hs.mgr().or(*entry, remaining);
+        }
+        out
+    }
+
+    /// Build predicates from an explicit `(in_port, out_port) → headers`
+    /// map — used by the configuration pipeline (§4.1), which composes
+    /// forwarding and ACL predicates itself. Pairs absent from the map are
+    /// `FALSE`.
+    pub fn from_transfer_map(
+        switch: SwitchId,
+        ports: &[PortNo],
+        map: HashMap<(PortNo, PortNo), Bdd>,
+    ) -> Self {
+        let mut per_port: HashMap<PortNo, HashMap<PortNo, Bdd>> =
+            ports.iter().map(|&x| (x, HashMap::new())).collect();
+        for ((x, y), b) in map {
+            if b.is_false() {
+                continue;
+            }
+            per_port.entry(x).or_default().insert(y, b);
+        }
+        SwitchPredicates { switch, ports: ports.to_vec(), uniform: None, per_port }
+    }
+
+    /// The data ports of the switch.
+    pub fn ports(&self) -> &[PortNo] {
+        &self.ports
+    }
+
+    /// `P_{x,y}`: headers that transfer from port `x` to port `y`.
+    pub fn transfer(&self, x: PortNo, y: PortNo) -> Bdd {
+        let map = match &self.uniform {
+            Some(m) => m,
+            None => match self.per_port.get(&x) {
+                Some(m) => m,
+                None => return if y.is_drop() { Bdd::TRUE } else { Bdd::FALSE },
+            },
+        };
+        map.get(&y).copied().unwrap_or(Bdd::FALSE)
+    }
+
+    /// Non-empty `(y, P_{x,y})` pairs for a given in-port, drop port
+    /// included, in deterministic order.
+    pub fn outputs(&self, x: PortNo) -> Vec<(PortNo, Bdd)> {
+        let map = match &self.uniform {
+            Some(m) => m,
+            None => match self.per_port.get(&x) {
+                Some(m) => m,
+                None => return vec![(DROP_PORT, Bdd::TRUE)],
+            },
+        };
+        let mut v: Vec<(PortNo, Bdd)> =
+            map.iter().filter(|(_, b)| !b.is_false()).map(|(p, b)| (*p, *b)).collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+
+    /// Whether any rule made the predicates in-port-dependent.
+    pub fn is_port_dependent(&self) -> bool {
+        self.uniform.is_none()
+    }
+}

@@ -1,0 +1,375 @@
+//! Header rewrites — the paper's future-work item 1 (§8), implemented.
+//!
+//! The base system assumes headers are immutable along a path (§3.4), so a
+//! path-table entry carries *one* header set and the exit switch's reported
+//! header can be matched against it directly. With set-field actions (NAT,
+//! load-balancer VIP rewriting, service chaining) the header the exit switch
+//! sees differs from the header that entered, and plain VeriDP would flag
+//! every rewritten flow as inconsistent.
+//!
+//! The extension tracks the header *transformation* along each path:
+//!
+//! * switches attach ordered [`FieldSet`] lists to rules
+//!   ([`veridp_switch::Switch::set_rewrite`]), executed before the VeriDP
+//!   pipeline tags the packet;
+//! * path-table construction splits each switch's transfer predicates by
+//!   **rewrite class** (which set-field chain a matching rule applies) and
+//!   pushes header sets through the BDD *image* of each class;
+//! * every path entry stores both the **entry** header set (what may enter
+//!   the path, in entry coordinates — maintained via *preimages* through the
+//!   rewrite chain) and the **exit** header set (the image at the exit);
+//! * verification matches the reported header against the *exit* set, since
+//!   that is what the exit switch observed and reported.
+//!
+//! Image and preimage of `field := v` over a header-set BDD `S`:
+//!
+//! ```text
+//! image(S)    = (∃ field. S) ∧ (field = v)
+//! preimage(S) = S[field := v]          (restrict / cofactor; field freed)
+//! ```
+
+use std::collections::HashMap;
+
+use veridp_bdd::Bdd;
+use veridp_bloom::BloomTag;
+use veridp_packet::{FiveTuple, Hop, PortNo, PortRef, SwitchId, TagReport, DROP_PORT, MAX_PATH_LENGTH};
+use veridp_switch::{Action, FieldSet, FlowRule};
+use veridp_topo::Topology;
+
+use crate::headerspace::HeaderSpace;
+use crate::verify::VerifyOutcome;
+
+/// BDD variables of a rewritten field.
+fn field_vars(fs: &FieldSet) -> Vec<u32> {
+    let off = fs.field.offset();
+    (0..fs.field.width()).map(|i| off + i).collect()
+}
+
+/// The cube `field = value` as variable assignments (MSB-first).
+fn field_assignments(fs: &FieldSet) -> Vec<(u32, bool)> {
+    let off = fs.field.offset();
+    let w = fs.field.width();
+    (0..w).map(|i| (off + i, (fs.value >> (w - 1 - i)) & 1 == 1)).collect()
+}
+
+/// Image of `set` under one set-field: `(∃ field. set) ∧ (field = value)`.
+pub fn image_one(hs: &mut HeaderSpace, set: Bdd, fs: &FieldSet) -> Bdd {
+    let vars = field_vars(fs);
+    let freed = hs.mgr().exists(set, &vars);
+    let cube = hs.mgr().cube(&field_assignments(fs));
+    hs.mgr().and(freed, cube)
+}
+
+/// Image under an ordered rewrite chain.
+pub fn image(hs: &mut HeaderSpace, set: Bdd, sets: &[FieldSet]) -> Bdd {
+    sets.iter().fold(set, |s, fs| image_one(hs, s, fs))
+}
+
+/// Preimage of `set` under one set-field: `set[field := value]`, with the
+/// field's bits freed (any input value maps onto the assigned one).
+pub fn preimage_one(hs: &mut HeaderSpace, set: Bdd, fs: &FieldSet) -> Bdd {
+    hs.mgr().restrict(set, &field_assignments(fs))
+}
+
+/// Preimage under an ordered chain (applied backwards).
+pub fn preimage(hs: &mut HeaderSpace, set: Bdd, sets: &[FieldSet]) -> Bdd {
+    sets.iter().rev().fold(set, |s, fs| preimage_one(hs, s, fs))
+}
+
+/// A rule plus its rewrite chain (empty chain = plain forwarding).
+#[derive(Debug, Clone)]
+pub struct RwRule {
+    pub rule: FlowRule,
+    pub sets: Vec<FieldSet>,
+}
+
+impl RwRule {
+    /// A plain rule without rewrites.
+    pub fn plain(rule: FlowRule) -> Self {
+        RwRule { rule, sets: Vec::new() }
+    }
+
+    /// A rule with a rewrite chain.
+    pub fn rewriting(rule: FlowRule, sets: Vec<FieldSet>) -> Self {
+        RwRule { rule, sets }
+    }
+}
+
+/// One output class of a switch for a given in-port: all headers going to
+/// `out` while having `sets` applied.
+#[derive(Debug, Clone)]
+struct OutputClass {
+    out: PortNo,
+    sets: Vec<FieldSet>,
+    pred: Bdd,
+}
+
+/// Per-switch transfer predicates split by rewrite class.
+#[derive(Debug, Clone)]
+struct RwPredicates {
+    /// Classes per in-port (`None` key models port-agnostic rule sets, the
+    /// common case).
+    uniform: Option<Vec<OutputClass>>,
+    per_port: HashMap<PortNo, Vec<OutputClass>>,
+}
+
+impl RwPredicates {
+    fn from_rules(ports: &[PortNo], rules: &[RwRule], hs: &mut HeaderSpace) -> Self {
+        let mut sorted: Vec<&RwRule> = rules.iter().collect();
+        sorted.sort_by_key(|r| (std::cmp::Reverse(r.rule.priority), r.rule.id));
+        let any_in_port = sorted.iter().any(|r| r.rule.fields.in_port.is_some());
+        if !any_in_port {
+            return RwPredicates {
+                uniform: Some(Self::scan(&sorted, None, hs)),
+                per_port: HashMap::new(),
+            };
+        }
+        let per_port =
+            ports.iter().map(|&x| (x, Self::scan(&sorted, Some(x), hs))).collect();
+        RwPredicates { uniform: None, per_port }
+    }
+
+    fn scan(sorted: &[&RwRule], in_port: Option<PortNo>, hs: &mut HeaderSpace) -> Vec<OutputClass> {
+        let mut classes: Vec<OutputClass> = Vec::new();
+        let mut remaining = Bdd::TRUE;
+        for r in sorted {
+            if remaining.is_false() {
+                break;
+            }
+            match (in_port, r.rule.fields.in_port) {
+                (Some(x), Some(rp)) if x != rp => continue,
+                (None, Some(_)) => continue,
+                _ => {}
+            }
+            let m = hs.match_set(&r.rule.fields);
+            let eff = hs.mgr().and(m, remaining);
+            if eff.is_false() {
+                continue;
+            }
+            remaining = hs.mgr().diff(remaining, m);
+            let out = match r.rule.action {
+                Action::Forward(p) => p,
+                Action::Drop => DROP_PORT,
+            };
+            // Drops never rewrite observably.
+            let sets = if out.is_drop() { Vec::new() } else { r.sets.clone() };
+            if let Some(c) =
+                classes.iter_mut().find(|c| c.out == out && c.sets == sets)
+            {
+                c.pred = hs.mgr().or(c.pred, eff);
+            } else {
+                classes.push(OutputClass { out, sets, pred: eff });
+            }
+        }
+        if !remaining.is_false() {
+            if let Some(c) = classes.iter_mut().find(|c| c.out.is_drop()) {
+                c.pred = hs.mgr().or(c.pred, remaining);
+            } else {
+                classes.push(OutputClass { out: DROP_PORT, sets: Vec::new(), pred: remaining });
+            }
+        }
+        classes
+    }
+
+    fn classes(&self, x: PortNo) -> &[OutputClass] {
+        match &self.uniform {
+            Some(c) => c,
+            None => self.per_port.get(&x).map_or(&[], |v| v.as_slice()),
+        }
+    }
+}
+
+/// A path entry in the rewrite-aware table.
+#[derive(Debug, Clone)]
+pub struct RwPathEntry {
+    /// Headers (in *entry* coordinates) admitted on this path.
+    pub entry_headers: Bdd,
+    /// Headers as observed at the exit (images through every rewrite).
+    pub exit_headers: Bdd,
+    /// The hop sequence.
+    pub hops: Vec<Hop>,
+    /// The expected tag.
+    pub tag: BloomTag,
+    /// The concatenated rewrite chain applied along the path.
+    pub chain: Vec<FieldSet>,
+}
+
+/// The rewrite-aware path table.
+///
+/// Construction and verification mirror Algorithms 2 and 3, with header sets
+/// transformed per hop. Incremental update is not supported for
+/// rewrite-enabled switches — rebuild on change (documented trade-off).
+#[derive(Debug)]
+pub struct RwPathTable {
+    topo: Topology,
+    tag_bits: u32,
+    preds: HashMap<SwitchId, RwPredicates>,
+    entries: HashMap<(PortRef, PortRef), Vec<RwPathEntry>>,
+}
+
+impl RwPathTable {
+    /// Build the table from per-switch rewrite-annotated rule lists.
+    pub fn build(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<RwRule>>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+    ) -> Self {
+        let mut table = RwPathTable {
+            topo: topo.clone(),
+            tag_bits,
+            preds: HashMap::new(),
+            entries: HashMap::new(),
+        };
+        for info in topo.switches() {
+            let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
+            let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
+            table.preds.insert(info.id, RwPredicates::from_rules(&ports, list, hs));
+        }
+        let entry_ports: Vec<PortRef> =
+            topo.host_ports().into_iter().filter(|p| topo.is_terminal_port(*p)).collect();
+        for inport in entry_ports {
+            table.traverse(
+                inport,
+                inport,
+                Bdd::TRUE,
+                Bdd::TRUE,
+                Vec::new(),
+                Vec::new(),
+                BloomTag::empty(tag_bits),
+                hs,
+            );
+        }
+        table
+    }
+
+    /// One expansion step. `h_entry` lives in entry coordinates; `h_cur` in
+    /// current (post-rewrite) coordinates; `chain` is the rewrite chain
+    /// applied so far.
+    #[allow(clippy::too_many_arguments)]
+    fn traverse(
+        &mut self,
+        inport: PortRef,
+        at: PortRef,
+        h_entry: Bdd,
+        h_cur: Bdd,
+        hops: Vec<Hop>,
+        chain: Vec<FieldSet>,
+        tag: BloomTag,
+        hs: &mut HeaderSpace,
+    ) {
+        if hops.len() >= MAX_PATH_LENGTH as usize
+            || hops.iter().any(|hop| hop.in_ref() == at)
+        {
+            return;
+        }
+        let Some(preds) = self.preds.get(&at.switch) else { return };
+        let classes: Vec<OutputClass> = preds.classes(at.port).to_vec();
+        for class in classes {
+            // Constrain the current header by the class predicate…
+            let cur2 = hs.mgr().and(h_cur, class.pred);
+            if cur2.is_false() {
+                continue;
+            }
+            // …and reflect that constraint back into entry coordinates.
+            let pred_at_entry = preimage(hs, class.pred, &chain);
+            let entry2 = hs.mgr().and(h_entry, pred_at_entry);
+            if entry2.is_false() {
+                continue;
+            }
+            // Apply the class rewrite.
+            let cur3 = image(hs, cur2, &class.sets);
+            let mut chain2 = chain.clone();
+            chain2.extend(class.sets.iter().copied());
+
+            let hop = Hop { in_port: at.port, switch: at.switch, out_port: class.out };
+            let mut hops2 = hops.clone();
+            hops2.push(hop);
+            let tag2 = tag.union(BloomTag::singleton(&hop.encode(), self.tag_bits));
+            let out_ref = PortRef { switch: at.switch, port: class.out };
+            if class.out.is_drop() || self.topo.is_terminal_port(out_ref) {
+                self.entries.entry((inport, out_ref)).or_default().push(RwPathEntry {
+                    entry_headers: entry2,
+                    exit_headers: cur3,
+                    hops: hops2,
+                    tag: tag2,
+                    chain: chain2,
+                });
+            } else if self.topo.is_middlebox_port(out_ref) {
+                self.traverse(inport, out_ref, entry2, cur3, hops2, chain2, tag2, hs);
+            } else if let Some(next) = self.topo.peer(out_ref) {
+                self.traverse(inport, next, entry2, cur3, hops2, chain2, tag2, hs);
+            }
+        }
+    }
+
+    /// Paths for a pair.
+    pub fn paths(&self, inport: PortRef, outport: PortRef) -> &[RwPathEntry] {
+        self.entries.get(&(inport, outport)).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total number of paths.
+    pub fn num_paths(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Algorithm 3, rewrite-aware: the reported header is matched against
+    /// each candidate path's *exit* header set.
+    pub fn verify(&self, report: &TagReport, hs: &HeaderSpace) -> VerifyOutcome {
+        let paths = self.paths(report.inport, report.outport);
+        let mut matched = false;
+        for p in paths {
+            if hs.contains(p.exit_headers, &report.header) {
+                matched = true;
+                if p.tag == report.tag {
+                    return VerifyOutcome::Pass;
+                }
+            }
+        }
+        if matched {
+            VerifyOutcome::TagMismatch
+        } else {
+            VerifyOutcome::NoMatchingPath
+        }
+    }
+
+    /// Concrete control-plane walk applying rewrites: returns the hop list
+    /// and the final (possibly rewritten) header.
+    pub fn trace(
+        &self,
+        from: PortRef,
+        header: &FiveTuple,
+        hs: &HeaderSpace,
+    ) -> (Vec<Hop>, FiveTuple) {
+        let mut hops = Vec::new();
+        let mut h = *header;
+        let mut at = from;
+        while hops.len() < MAX_PATH_LENGTH as usize {
+            let Some(preds) = self.preds.get(&at.switch) else { break };
+            let mut found = None;
+            for class in preds.classes(at.port) {
+                if hs.contains(class.pred, &h) {
+                    found = Some(class.clone());
+                    break;
+                }
+            }
+            let Some(class) = found else { break };
+            FieldSet::apply_all(&class.sets, &mut h);
+            let hop = Hop { in_port: at.port, switch: at.switch, out_port: class.out };
+            hops.push(hop);
+            let out_ref = PortRef { switch: at.switch, port: class.out };
+            if class.out.is_drop() || self.topo.is_terminal_port(out_ref) {
+                break;
+            }
+            if self.topo.is_middlebox_port(out_ref) {
+                at = out_ref;
+                continue;
+            }
+            match self.topo.peer(out_ref) {
+                Some(next) => at = next,
+                None => break,
+            }
+        }
+        (hops, h)
+    }
+}

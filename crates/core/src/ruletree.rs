@@ -1,0 +1,404 @@
+//! The prefix rule tree of §4.4 (Figure 8): incremental *port predicate*
+//! maintenance for IP-prefix forwarding tables.
+//!
+//! For pure destination-prefix rules, longest-prefix-match containment
+//! organizes rules as a forest; adding a virtual drop rule `0.0.0.0/0` turns
+//! it into a tree. Each rule's *effective match* is its prefix minus its
+//! children's prefixes:
+//!
+//! ```text
+//! R.match = R.prefix ∧ ¬(∨ child.prefix)
+//! P_y     = ∨ { R.match : R.outport = y }
+//! ```
+//!
+//! Adding rule `R` (with parent `Q`) therefore moves exactly `Δ = R.match`
+//! from `Q`'s port to `R`'s port:
+//!
+//! ```text
+//! P_{R.out} ← P_{R.out} ∨ Δ        P_{Q.out} ← P_{Q.out} ∧ ¬Δ
+//! ```
+//!
+//! and deletion mirrors it. This gives O(children) BDD work per update
+//! instead of the O(table) rescan the general predicate-diff performs —
+//! the general path ([`crate::PathTable::add_rule`]) remains the correctness
+//! reference and handles arbitrary rules; this tree is the fast path for the
+//! RIB-shaped workloads of Fig. 14, and the test-suite cross-checks the two.
+
+use std::collections::HashMap;
+
+use veridp_bdd::Bdd;
+use veridp_packet::{PortNo, DROP_PORT};
+use veridp_switch::RuleId;
+
+use crate::headerspace::HeaderSpace;
+
+/// A destination-prefix forwarding rule as the tree sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixRule {
+    pub id: RuleId,
+    pub prefix: u32,
+    pub plen: u8,
+    pub out: PortNo,
+}
+
+/// One delta produced by an update: the headers that moved between ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortDelta {
+    /// Headers `Δ` that moved.
+    pub delta: Bdd,
+    /// The port that lost them.
+    pub from: PortNo,
+    /// The port that gained them.
+    pub to: PortNo,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    rule: PrefixRule,
+    children: Vec<usize>,
+}
+
+/// The rule tree: rules ordered by prefix containment, rooted at the virtual
+/// drop rule `0.0.0.0/0 → ⊥`.
+#[derive(Debug, Clone)]
+pub struct RuleTree {
+    nodes: Vec<Node>,
+    /// Port predicates `P_y`, maintained incrementally.
+    preds: HashMap<PortNo, Bdd>,
+}
+
+fn contains(outer: &PrefixRule, inner: &PrefixRule) -> bool {
+    outer.plen <= inner.plen
+        && veridp_switch::prefix_mask(inner.prefix, outer.plen) == outer.prefix
+}
+
+impl RuleTree {
+    /// An empty tree: everything drops.
+    pub fn new() -> Self {
+        let root = Node {
+            rule: PrefixRule { id: RuleId(u64::MAX), prefix: 0, plen: 0, out: DROP_PORT },
+            children: Vec::new(),
+        };
+        RuleTree { nodes: vec![root], preds: HashMap::from([(DROP_PORT, Bdd::TRUE)]) }
+    }
+
+    /// Current predicate for port `y` (headers forwarded there).
+    pub fn predicate(&self, y: PortNo) -> Bdd {
+        self.preds.get(&y).copied().unwrap_or(Bdd::FALSE)
+    }
+
+    /// All ports with non-false predicates, in deterministic order.
+    pub fn ports(&self) -> Vec<PortNo> {
+        let mut v: Vec<PortNo> =
+            self.preds.iter().filter(|(_, b)| !b.is_false()).map(|(p, _)| *p).collect();
+        v.sort();
+        v
+    }
+
+    /// Number of real (non-virtual) rules.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the tree holds no real rules.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deepest node whose prefix *properly* contains `rule` (its future
+    /// parent). Descends from the virtual root; an exact-duplicate prefix
+    /// stops the descent at its parent, where [`RuleTree::add`] detects it.
+    fn find_parent(&self, rule: &PrefixRule) -> usize {
+        let mut at = 0usize;
+        loop {
+            let next = self.nodes[at].children.iter().copied().find(|&c| {
+                let cr = &self.nodes[c].rule;
+                contains(cr, rule) && !(cr.prefix == rule.prefix && cr.plen == rule.plen)
+            });
+            match next {
+                Some(c) => at = c,
+                None => return at,
+            }
+        }
+    }
+
+    /// `R.match = R.prefix ∧ ¬(∨ children prefixes)` for a node.
+    fn match_of(&self, idx: usize, hs: &mut HeaderSpace) -> Bdd {
+        let r = self.nodes[idx].rule;
+        let mut acc = hs.dst_prefix(r.prefix, r.plen);
+        for &c in &self.nodes[idx].children {
+            let cr = self.nodes[c].rule;
+            let cb = hs.dst_prefix(cr.prefix, cr.plen);
+            acc = hs.mgr().diff(acc, cb);
+        }
+        acc
+    }
+
+    /// Insert a rule, returning the delta (`None` for an exact-duplicate
+    /// prefix, which replaces the port in place and moves its match).
+    ///
+    /// # Panics
+    /// Panics if a rule with the same prefix/length already exists (the
+    /// paper treats modification as delete + add).
+    pub fn add(&mut self, rule: PrefixRule, hs: &mut HeaderSpace) -> PortDelta {
+        let parent = self.find_parent(&rule);
+        assert!(
+            !self.nodes[parent].children.iter().any(|&c| {
+                let cr = &self.nodes[c].rule;
+                cr.prefix == rule.prefix && cr.plen == rule.plen
+            }),
+            "duplicate prefix {:#x}/{} — delete first",
+            rule.prefix,
+            rule.plen
+        );
+        let parent_out = self.nodes[parent].rule.out;
+
+        // Children of the parent that fall inside the new prefix move under
+        // it — their matches are *not* part of Δ.
+        let moving: Vec<usize> = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| contains(&rule, &self.nodes[c].rule))
+            .collect();
+
+        let idx = self.nodes.len();
+        self.nodes.push(Node { rule, children: moving.clone() });
+        self.nodes[parent].children.retain(|c| !moving.contains(c));
+        self.nodes[parent].children.push(idx);
+
+        // Δ = the new rule's effective match. Same-port additions shadow the
+        // parent without changing any predicate.
+        let delta = self.match_of(idx, hs);
+        let to = rule.out;
+        if to != parent_out {
+            let p_to = self.predicate(to);
+            let p_from = self.predicate(parent_out);
+            let new_to = hs.mgr().or(p_to, delta);
+            let new_from = hs.mgr().diff(p_from, delta);
+            self.preds.insert(to, new_to);
+            self.preds.insert(parent_out, new_from);
+        }
+        PortDelta { delta, from: parent_out, to }
+    }
+
+    /// Delete a rule by id, returning the delta, or `None` if absent.
+    pub fn delete(&mut self, id: RuleId, hs: &mut HeaderSpace) -> Option<PortDelta> {
+        let idx = self.nodes.iter().position(|n| n.rule.id == id)?;
+        debug_assert_ne!(idx, 0, "virtual root cannot be deleted");
+        let delta = self.match_of(idx, hs);
+        let rule = self.nodes[idx].rule;
+        let parent =
+            (0..self.nodes.len()).find(|&p| self.nodes[p].children.contains(&idx)).expect("parent");
+        let parent_out = self.nodes[parent].rule.out;
+
+        // Reattach children to the parent; remove the node (leave a tombstone
+        // to keep indices stable).
+        let children = std::mem::take(&mut self.nodes[idx].children);
+        self.nodes[parent].children.retain(|&c| c != idx);
+        self.nodes[parent].children.extend(children);
+        self.nodes[idx].rule.out = DROP_PORT; // tombstone; unreachable
+        self.nodes[idx].rule.id = RuleId(u64::MAX - 1);
+
+        if rule.out != parent_out {
+            let p_from = self.predicate(rule.out);
+            let p_to = self.predicate(parent_out);
+            let new_from = hs.mgr().diff(p_from, delta);
+            let new_to = hs.mgr().or(p_to, delta);
+            self.preds.insert(rule.out, new_from);
+            self.preds.insert(parent_out, new_to);
+        }
+        Some(PortDelta { delta, from: rule.out, to: parent_out })
+    }
+}
+
+impl Default for RuleTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridp_packet::FiveTuple;
+    use veridp_topo::gen::ip;
+
+    fn rule(id: u64, prefix: u32, plen: u8, out: u16) -> PrefixRule {
+        PrefixRule {
+            id: RuleId(id),
+            prefix: veridp_switch::prefix_mask(prefix, plen),
+            plen,
+            out: PortNo(out),
+        }
+    }
+
+    /// Longest-prefix-match reference semantics over the raw rule list.
+    fn lpm(rules: &[PrefixRule], dst: u32) -> PortNo {
+        rules
+            .iter()
+            .filter(|r| veridp_switch::prefix_mask(dst, r.plen) == r.prefix)
+            .max_by_key(|r| r.plen)
+            .map_or(DROP_PORT, |r| r.out)
+    }
+
+    fn check_against_lpm(tree: &RuleTree, rules: &[PrefixRule], hs: &HeaderSpace, probes: &[u32]) {
+        for &dst in probes {
+            let h = FiveTuple::tcp(1, dst, 2, 3);
+            let expect = lpm(rules, dst);
+            for y in tree.ports() {
+                let member = hs.contains(tree.predicate(y), &h);
+                assert_eq!(member, y == expect, "dst {:x} port {y} (expect {expect})", dst);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_drops_everything() {
+        let tree = RuleTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.predicate(DROP_PORT).is_true());
+        assert!(tree.predicate(PortNo(1)).is_false());
+    }
+
+    #[test]
+    fn figure8_structure() {
+        // The paper's example: 10.0.0.0/8 covering 10.1.0.0/16 and
+        // 10.2.1.0/24 (adapted to valid prefix/length pairs).
+        let mut hs = HeaderSpace::new();
+        let mut tree = RuleTree::new();
+        let rules = vec![
+            rule(1, ip(10, 0, 0, 0), 8, 1),
+            rule(2, ip(10, 1, 0, 0), 16, 2),
+            rule(3, ip(10, 2, 1, 0), 24, 3),
+        ];
+        for r in &rules {
+            tree.add(*r, &mut hs);
+        }
+        let probes = [
+            ip(10, 5, 5, 5),  // /8 only
+            ip(10, 1, 2, 3),  // /16 hole
+            ip(10, 2, 1, 9),  // /24 hole
+            ip(10, 2, 2, 9),  // /8 again
+            ip(11, 0, 0, 1),  // miss → drop
+        ];
+        check_against_lpm(&tree, &rules, &hs, &probes);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        // Insert the covering prefix AFTER its holes: the tree must adopt
+        // them as children and compute Δ excluding them.
+        let mut hs = HeaderSpace::new();
+        let mut tree = RuleTree::new();
+        let rules = vec![
+            rule(2, ip(10, 1, 0, 0), 16, 2),
+            rule(3, ip(10, 2, 1, 0), 24, 3),
+            rule(1, ip(10, 0, 0, 0), 8, 1), // parent arrives last
+        ];
+        for r in &rules {
+            tree.add(*r, &mut hs);
+        }
+        check_against_lpm(
+            &tree,
+            &rules,
+            &hs,
+            &[ip(10, 5, 5, 5), ip(10, 1, 2, 3), ip(10, 2, 1, 9), ip(9, 9, 9, 9)],
+        );
+    }
+
+    #[test]
+    fn add_delta_moves_between_correct_ports() {
+        let mut hs = HeaderSpace::new();
+        let mut tree = RuleTree::new();
+        let d1 = tree.add(rule(1, ip(10, 0, 0, 0), 8, 1), &mut hs);
+        assert_eq!(d1.from, DROP_PORT);
+        assert_eq!(d1.to, PortNo(1));
+        let d2 = tree.add(rule(2, ip(10, 1, 0, 0), 16, 2), &mut hs);
+        assert_eq!(d2.from, PortNo(1), "hole moves traffic away from the covering rule");
+        assert_eq!(d2.to, PortNo(2));
+    }
+
+    #[test]
+    fn delete_restores_parent() {
+        let mut hs = HeaderSpace::new();
+        let mut tree = RuleTree::new();
+        let rules = vec![rule(1, ip(10, 0, 0, 0), 8, 1), rule(2, ip(10, 1, 0, 0), 16, 2)];
+        for r in &rules {
+            tree.add(*r, &mut hs);
+        }
+        let d = tree.delete(RuleId(2), &mut hs).expect("present");
+        assert_eq!(d.from, PortNo(2));
+        assert_eq!(d.to, PortNo(1));
+        check_against_lpm(
+            &tree,
+            &[rules[0]],
+            &hs,
+            &[ip(10, 1, 2, 3), ip(10, 5, 5, 5), ip(11, 0, 0, 1)],
+        );
+        assert!(tree.delete(RuleId(2), &mut hs).is_none());
+    }
+
+    #[test]
+    fn delete_middle_reattaches_grandchildren() {
+        let mut hs = HeaderSpace::new();
+        let mut tree = RuleTree::new();
+        let all = vec![
+            rule(1, ip(10, 0, 0, 0), 8, 1),
+            rule(2, ip(10, 1, 0, 0), 16, 2),
+            rule(3, ip(10, 1, 2, 0), 24, 3),
+        ];
+        for r in &all {
+            tree.add(*r, &mut hs);
+        }
+        tree.delete(RuleId(2), &mut hs);
+        let remaining = [all[0], all[2]];
+        check_against_lpm(
+            &tree,
+            &remaining,
+            &hs,
+            &[ip(10, 1, 2, 5), ip(10, 1, 9, 9), ip(10, 9, 9, 9)],
+        );
+    }
+
+    #[test]
+    fn predicates_partition_under_random_churn() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut hs = HeaderSpace::new();
+        let mut tree = RuleTree::new();
+        let mut live: Vec<PrefixRule> = Vec::new();
+        let mut next = 1u64;
+        for _ in 0..120 {
+            if live.is_empty() || rng.gen_bool(0.7) {
+                let plen = *[8u8, 12, 16, 20, 24, 28, 32].get(rng.gen_range(0..7)).unwrap();
+                let r = rule(next, ip(10, rng.gen_range(0..4), rng.gen_range(0..4), 0), plen, rng.gen_range(1..5));
+                next += 1;
+                if live.iter().any(|x| x.prefix == r.prefix && x.plen == r.plen) {
+                    continue;
+                }
+                tree.add(r, &mut hs);
+                live.push(r);
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let r = live.swap_remove(i);
+                tree.delete(r.id, &mut hs).expect("live rule");
+            }
+            // Invariant: port predicates partition the space.
+            let ports = tree.ports();
+            let sets: Vec<Bdd> = ports.iter().map(|&y| tree.predicate(y)).collect();
+            let union = hs.mgr().or_many(&sets);
+            assert!(union.is_true());
+            for i in 0..sets.len() {
+                for j in i + 1..sets.len() {
+                    assert!(!hs.mgr().intersects(sets[i], sets[j]));
+                }
+            }
+            // Semantics match longest-prefix-match on random probes.
+            let probes: Vec<u32> =
+                (0..16).map(|_| ip(10, rng.gen_range(0..4), rng.gen_range(0..4), rng.gen())).collect();
+            check_against_lpm(&tree, &live, &hs, &probes);
+        }
+    }
+}

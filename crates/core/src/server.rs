@@ -1,0 +1,224 @@
+//! The VeriDP server (§3.2, §3.4).
+//!
+//! Sits alongside the controller, intercepts the OpenFlow message stream to
+//! keep its path table synchronized with the *intended* configuration, and
+//! verifies tag reports arriving from exit switches. On verification failure
+//! it runs fault localization and accumulates statistics.
+
+use std::collections::HashMap;
+
+use veridp_packet::{SwitchId, TagReport};
+use veridp_switch::OfMessage;
+use veridp_topo::Topology;
+
+use crate::headerspace::HeaderSpace;
+use crate::localize::LocalizeOutcome;
+use crate::path_table::PathTable;
+use crate::verify::VerifyOutcome;
+
+/// Running verification statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub reports: u64,
+    pub passed: u64,
+    pub tag_mismatch: u64,
+    pub no_matching_path: u64,
+    /// Localizations attempted / with at least one candidate path.
+    pub localizations: u64,
+    pub localized: u64,
+}
+
+impl ServerStats {
+    /// Failed verifications.
+    pub fn failed(&self) -> u64 {
+        self.tag_mismatch + self.no_matching_path
+    }
+}
+
+/// The verification server.
+///
+/// Owns the header space, the path table, and the statistics. Construction
+/// takes the controller's logical rules; afterwards the server stays in sync
+/// by watching the same FlowMods the switches receive
+/// ([`VeriDpServer::intercept`]).
+pub struct VeriDpServer {
+    hs: HeaderSpace,
+    table: PathTable,
+    stats: ServerStats,
+    /// Count of localization candidates per switch, for operator dashboards.
+    suspects: HashMap<SwitchId, u64>,
+}
+
+impl VeriDpServer {
+    /// Build the server from a topology and per-switch logical rules.
+    pub fn new(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<veridp_switch::FlowRule>>,
+        tag_bits: u32,
+    ) -> Self {
+        let mut hs = HeaderSpace::new();
+        let table = PathTable::build(topo, rules, &mut hs, tag_bits);
+        VeriDpServer { hs, table, stats: ServerStats::default(), suspects: HashMap::new() }
+    }
+
+    /// Build directly from a controller's current state.
+    pub fn from_controller(ctrl: &veridp_controller::Controller, tag_bits: u32) -> Self {
+        let rules: HashMap<SwitchId, Vec<veridp_switch::FlowRule>> =
+            ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+        Self::new(ctrl.topo(), &rules, tag_bits)
+    }
+
+    /// The path table.
+    pub fn table(&self) -> &PathTable {
+        &self.table
+    }
+
+    /// The header space.
+    pub fn header_space(&self) -> &HeaderSpace {
+        &self.hs
+    }
+
+    /// Mutable header space (witness generation for experiments).
+    pub fn header_space_mut(&mut self) -> &mut HeaderSpace {
+        &mut self.hs
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Suspect counts per switch accumulated by localization.
+    pub fn suspects(&self) -> &HashMap<SwitchId, u64> {
+        &self.suspects
+    }
+
+    /// Watch one controller→switch message and update the path table
+    /// incrementally (§4.4). Barriers are ignored.
+    pub fn intercept(&mut self, switch: SwitchId, msg: &OfMessage) {
+        match msg {
+            OfMessage::FlowAdd(rule) => self.table.add_rule(switch, *rule, &mut self.hs),
+            OfMessage::FlowDelete(id) => self.table.delete_rule(switch, *id, &mut self.hs),
+            OfMessage::FlowModify(id, action) => {
+                self.table.modify_rule(switch, *id, *action, &mut self.hs)
+            }
+            OfMessage::Barrier(_) => {}
+        }
+    }
+
+    /// Verify one tag report (Algorithm 3), updating statistics.
+    pub fn verify(&mut self, report: &TagReport) -> VerifyOutcome {
+        let outcome = self.table.verify(report, &self.hs);
+        self.stats.reports += 1;
+        match outcome {
+            VerifyOutcome::Pass => self.stats.passed += 1,
+            VerifyOutcome::TagMismatch => self.stats.tag_mismatch += 1,
+            VerifyOutcome::NoMatchingPath => self.stats.no_matching_path += 1,
+        }
+        outcome
+    }
+
+    /// Verify, and on failure localize (Algorithm 4). Returns the verdict
+    /// and, for failures, the localization outcome.
+    pub fn verify_and_localize(
+        &mut self,
+        report: &TagReport,
+    ) -> (VerifyOutcome, Option<LocalizeOutcome>) {
+        let outcome = self.verify(report);
+        if outcome.is_pass() {
+            return (outcome, None);
+        }
+        let loc = self.table.localize(report, &self.hs);
+        self.stats.localizations += 1;
+        if !loc.candidates.is_empty() {
+            self.stats.localized += 1;
+        }
+        for c in &loc.candidates {
+            *self.suspects.entry(c.faulty_switch).or_default() += 1;
+        }
+        (outcome, Some(loc))
+    }
+}
+
+/// One aggregated alarm: every failed report for the same flow and entry
+/// point collapses into one operator-facing item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// Entry port of the affected flow.
+    pub inport: veridp_packet::PortRef,
+    /// The flow header (first observed witness).
+    pub header: veridp_packet::FiveTuple,
+    /// Failed reports aggregated into this alarm.
+    pub count: u64,
+    /// Suspect switches across those failures, with candidate counts.
+    pub suspects: Vec<(SwitchId, u64)>,
+}
+
+/// Aggregates failed verifications into per-flow alarms so a persistent
+/// fault raises one escalating alarm instead of one alert per sampled
+/// packet.
+#[derive(Debug, Default)]
+pub struct AlarmAggregator {
+    alarms: HashMap<(veridp_packet::PortRef, veridp_packet::FiveTuple), Alarm>,
+}
+
+impl AlarmAggregator {
+    /// A fresh aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one verdict in; only failures create or update alarms.
+    pub fn observe(
+        &mut self,
+        report: &TagReport,
+        outcome: &crate::verify::VerifyOutcome,
+        localization: Option<&LocalizeOutcome>,
+    ) {
+        if outcome.is_pass() {
+            return;
+        }
+        let key = (report.inport, report.header);
+        let alarm = self.alarms.entry(key).or_insert_with(|| Alarm {
+            inport: report.inport,
+            header: report.header,
+            count: 0,
+            suspects: Vec::new(),
+        });
+        alarm.count += 1;
+        if let Some(loc) = localization {
+            for c in &loc.candidates {
+                match alarm.suspects.iter_mut().find(|(s, _)| *s == c.faulty_switch) {
+                    Some((_, n)) => *n += 1,
+                    None => alarm.suspects.push((c.faulty_switch, 1)),
+                }
+            }
+        }
+    }
+
+    /// Active alarms, most-failures first; suspects within each alarm are
+    /// ordered by candidate count.
+    pub fn alarms(&self) -> Vec<Alarm> {
+        let mut v: Vec<Alarm> = self.alarms.values().cloned().collect();
+        for a in &mut v {
+            a.suspects.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        }
+        v.sort_by_key(|a| std::cmp::Reverse(a.count));
+        v
+    }
+
+    /// Number of distinct flows currently alarming.
+    pub fn len(&self) -> usize {
+        self.alarms.len()
+    }
+
+    /// Whether no alarms are active.
+    pub fn is_empty(&self) -> bool {
+        self.alarms.is_empty()
+    }
+
+    /// Clear alarms (e.g. after a repair round).
+    pub fn clear(&mut self) {
+        self.alarms.clear();
+    }
+}

@@ -1,0 +1,54 @@
+//! Tag verification (Algorithm 3, §4.2).
+
+use veridp_packet::TagReport;
+
+use crate::headerspace::HeaderSpace;
+use crate::path_table::PathTable;
+
+/// Verdict for one tag report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The header matched a path for the pair and the tag agreed: the packet
+    /// followed a control-plane-sanctioned path.
+    Pass,
+    /// The header matched at least one path's header set, but the reported
+    /// tag differs from every matching path's tag: the packet deviated
+    /// somewhere en route.
+    TagMismatch,
+    /// No path for this `(inport, outport)` pair admits the header: the
+    /// packet should never have arrived at that outport at all (covers
+    /// blackholes, access violations, mis-deliveries).
+    NoMatchingPath,
+}
+
+impl VerifyOutcome {
+    /// Whether the report passed verification.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, VerifyOutcome::Pass)
+    }
+}
+
+impl PathTable {
+    /// Algorithm 3: verify a tag report against the path table.
+    ///
+    /// Looks up the `(inport, outport)` pair, linearly scans its paths for
+    /// one whose header set contains the reported header (Fig. 6 justifies
+    /// the linear scan), and compares tags.
+    pub fn verify(&self, report: &TagReport, hs: &HeaderSpace) -> VerifyOutcome {
+        let paths = self.paths(report.inport, report.outport);
+        let mut matched_any = false;
+        for p in paths {
+            if hs.contains(p.headers, &report.header) {
+                matched_any = true;
+                if p.tag == report.tag {
+                    return VerifyOutcome::Pass;
+                }
+            }
+        }
+        if matched_any {
+            VerifyOutcome::TagMismatch
+        } else {
+            VerifyOutcome::NoMatchingPath
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The match header (TCP/UDP 5-tuple) and its canonical bit layout.
+//!
+//! VeriDP identifies flows and verifies headers on the TCP 5-tuple (§5). The
+//! header space used by the path table is the 104-bit Boolean space laid out
+//! by [`FieldLayout`]; keeping the layout here — next to the header type —
+//! guarantees the data plane and the verification server agree on it.
+
+use serde::{Deserialize, Serialize};
+
+/// Total number of header bits in the BDD header space:
+/// 32 (src ip) + 32 (dst ip) + 8 (protocol) + 16 (src port) + 16 (dst port).
+pub const HEADER_BITS: u32 = 104;
+
+/// Bit offsets of each field in the header space. Bits within a field are
+/// MSB-first, so an IP-prefix constraint touches a contiguous leading run of
+/// that field's variables and stays shallow in the BDD order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldLayout;
+
+impl FieldLayout {
+    /// First variable of the source IP (32 bits).
+    pub const SRC_IP: u32 = 0;
+    /// First variable of the destination IP (32 bits).
+    pub const DST_IP: u32 = 32;
+    /// First variable of the IP protocol (8 bits).
+    pub const PROTO: u32 = 64;
+    /// First variable of the source port (16 bits).
+    pub const SRC_PORT: u32 = 72;
+    /// First variable of the destination port (16 bits).
+    pub const DST_PORT: u32 = 88;
+}
+
+/// A concrete 5-tuple header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTuple {
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub proto: u8,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// TCP protocol number.
+    pub const TCP: u8 = 6;
+    /// UDP protocol number.
+    pub const UDP: u8 = 17;
+
+    /// A TCP 5-tuple from dotted-quad-free raw addresses.
+    pub fn tcp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        FiveTuple { src_ip, dst_ip, proto: Self::TCP, src_port, dst_port }
+    }
+
+    /// A UDP 5-tuple.
+    pub fn udp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        FiveTuple { src_ip, dst_ip, proto: Self::UDP, src_port, dst_port }
+    }
+
+    /// Expand into the canonical 104-bit assignment (index = BDD variable).
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = vec![false; HEADER_BITS as usize];
+        write_be(&mut bits, FieldLayout::SRC_IP, self.src_ip as u64, 32);
+        write_be(&mut bits, FieldLayout::DST_IP, self.dst_ip as u64, 32);
+        write_be(&mut bits, FieldLayout::PROTO, self.proto as u64, 8);
+        write_be(&mut bits, FieldLayout::SRC_PORT, self.src_port as u64, 16);
+        write_be(&mut bits, FieldLayout::DST_PORT, self.dst_port as u64, 16);
+        bits
+    }
+
+    /// Rebuild a header from a 104-bit assignment (inverse of [`to_bits`]).
+    ///
+    /// # Panics
+    /// Panics if `bits` is shorter than [`HEADER_BITS`].
+    ///
+    /// [`to_bits`]: FiveTuple::to_bits
+    pub fn from_bits(bits: &[bool]) -> Self {
+        FiveTuple {
+            src_ip: read_be(bits, FieldLayout::SRC_IP, 32) as u32,
+            dst_ip: read_be(bits, FieldLayout::DST_IP, 32) as u32,
+            proto: read_be(bits, FieldLayout::PROTO, 8) as u8,
+            src_port: read_be(bits, FieldLayout::SRC_PORT, 16) as u16,
+            dst_port: read_be(bits, FieldLayout::DST_PORT, 16) as u16,
+        }
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto={}",
+            std::net::Ipv4Addr::from(self.src_ip),
+            self.src_port,
+            std::net::Ipv4Addr::from(self.dst_ip),
+            self.dst_port,
+            self.proto
+        )
+    }
+}
+
+fn write_be(bits: &mut [bool], offset: u32, value: u64, width: u32) {
+    for i in 0..width {
+        bits[(offset + i) as usize] = (value >> (width - 1 - i)) & 1 == 1;
+    }
+}
+
+fn read_be(bits: &[bool], offset: u32, width: u32) -> u64 {
+    let mut v = 0u64;
+    for i in 0..width {
+        v = (v << 1) | bits[(offset + i) as usize] as u64;
+    }
+    v
+}

@@ -1,0 +1,141 @@
+//! Network-wide identifiers shared across the data plane, control plane, and
+//! the VeriDP server.
+
+use serde::{Deserialize, Serialize};
+use veridp_bloom::HopEncoder;
+
+/// Globally unique switch identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId(pub u32);
+
+impl std::fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Switch-local port number. [`DROP_PORT`] is the virtual drop port `⊥`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortNo(pub u16);
+
+/// The virtual drop port `⊥`: packets "output" here were dropped by the
+/// forwarding pipeline (no matching rule, or a rule without an output).
+pub const DROP_PORT: PortNo = PortNo(HopEncoder::DROP_PORT);
+
+impl PortNo {
+    /// Whether this is the virtual drop port `⊥`.
+    #[inline]
+    pub fn is_drop(self) -> bool {
+        self == DROP_PORT
+    }
+}
+
+impl std::fmt::Display for PortNo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_drop() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A fully-qualified network port: `(switch, local port)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortRef {
+    pub switch: SwitchId,
+    pub port: PortNo,
+}
+
+impl PortRef {
+    /// Convenience constructor.
+    pub fn new(switch: u32, port: u16) -> Self {
+        PortRef { switch: SwitchId(switch), port: PortNo(port) }
+    }
+
+    /// The drop pseudo-port of `switch`.
+    pub fn drop_of(switch: SwitchId) -> Self {
+        PortRef { switch, port: DROP_PORT }
+    }
+}
+
+impl std::fmt::Display for PortRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{},{}⟩", self.switch, self.port)
+    }
+}
+
+/// One hop of a forwarding path: `⟨input_port, switch, output_port⟩` (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Hop {
+    pub in_port: PortNo,
+    pub switch: SwitchId,
+    pub out_port: PortNo,
+}
+
+impl Hop {
+    /// Construct a hop.
+    pub fn new(in_port: u16, switch: u32, out_port: u16) -> Self {
+        Hop { in_port: PortNo(in_port), switch: SwitchId(switch), out_port: PortNo(out_port) }
+    }
+
+    /// Canonical byte encoding fed to the Bloom filter: must match what the
+    /// switch tagging pipeline computes.
+    pub fn encode(&self) -> [u8; 8] {
+        HopEncoder::encode(self.in_port.0, self.switch.0, self.out_port.0)
+    }
+
+    /// The port this hop entered through, fully qualified.
+    pub fn in_ref(&self) -> PortRef {
+        PortRef { switch: self.switch, port: self.in_port }
+    }
+
+    /// The port this hop exited through, fully qualified.
+    pub fn out_ref(&self) -> PortRef {
+        PortRef { switch: self.switch, port: self.out_port }
+    }
+}
+
+impl std::fmt::Display for Hop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨{},{},{}⟩", self.in_port, self.switch, self.out_port)
+    }
+}
+
+/// The 14-bit in-band inport code carried in the second VLAN TCI: 8 bits of
+/// switch id, 6 bits of port id (§5).
+///
+/// The simulator uses full-width [`PortRef`]s internally; the wire codec
+/// narrows through this type, so networks that exceed the in-band field width
+/// (more than 256 edge switches or 64 ports per edge switch) are rejected at
+/// encode time rather than silently truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InportCode(u16);
+
+impl InportCode {
+    /// Pack a port reference into the 14-bit code.
+    ///
+    /// Returns `None` if the switch id exceeds 8 bits or the port id exceeds
+    /// 6 bits.
+    pub fn pack(p: PortRef) -> Option<Self> {
+        if p.switch.0 > 0xff || p.port.0 > 0x3f {
+            return None;
+        }
+        Some(InportCode(((p.switch.0 as u16) << 6) | p.port.0))
+    }
+
+    /// Unpack back into a port reference.
+    pub fn unpack(self) -> PortRef {
+        PortRef::new((self.0 >> 6) as u32, self.0 & 0x3f)
+    }
+
+    /// Raw 14-bit value (for the VLAN TCI field).
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Rebuild from a raw TCI payload (upper 2 bits ignored).
+    pub fn from_raw(raw: u16) -> Self {
+        InportCode(raw & 0x3fff)
+    }
+}

@@ -1,0 +1,51 @@
+//! Packet model and VeriDP wire formats (CoNEXT'16, §5).
+//!
+//! VeriDP piggybacks three fields on sampled data packets:
+//!
+//! * a **marker** bit (carried in the IP TOS field) saying "this packet is
+//!   sampled for verification";
+//! * a 16-bit **tag** — the Bloom filter over the hops traversed so far —
+//!   carried in the first VLAN Tag Control Information field;
+//! * a 14-bit **inport** identifier (8 bits switch id, 6 bits port id) naming
+//!   the port where the packet entered the network, carried in the second
+//!   VLAN TCI (802.1ad double tagging).
+//!
+//! This crate owns the network-wide identifier types ([`SwitchId`],
+//! [`PortNo`], [`PortRef`]), the match header ([`FiveTuple`]) with its
+//! canonical 104-bit layout used by the BDD header space, the in-flight
+//! [`Packet`] representation, the byte-level wire codecs, and the
+//! [`TagReport`] that exit switches send to the VeriDP server.
+//!
+//! # Example
+//!
+//! ```
+//! use veridp_packet::{decode_frame, encode_frame, FiveTuple, Packet, PortRef};
+//! use veridp_bloom::BloomTag;
+//!
+//! // A sampled packet mid-flight, serialized to its wire format and back.
+//! let mut pkt = Packet::new(FiveTuple::tcp(0x0a000101, 0x0a000201, 40000, 80));
+//! pkt.marker = true;                          // IP TOS bit
+//! pkt.tag = Some(BloomTag::default_width());  // outer VLAN TCI
+//! pkt.inport = Some(PortRef::new(5, 1));      // inner VLAN TCI (14 bits)
+//!
+//! let wire = encode_frame(&pkt)?;
+//! let back = decode_frame(wire)?;
+//! assert_eq!(back.inport, pkt.inport);
+//! assert_eq!(back.tag, pkt.tag);
+//! # Ok::<(), veridp_packet::WireError>(())
+//! ```
+
+mod header;
+mod ids;
+mod packet;
+mod report;
+mod wire;
+
+pub use header::{FieldLayout, FiveTuple, HEADER_BITS};
+pub use ids::{Hop, InportCode, PortNo, PortRef, SwitchId, DROP_PORT};
+pub use packet::{Packet, MAX_PATH_LENGTH};
+pub use report::TagReport;
+pub use wire::{decode_frame, decode_report, encode_frame, encode_report, WireError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,67 @@
+//! The in-flight packet representation used by the simulator.
+
+use serde::{Deserialize, Serialize};
+use veridp_bloom::BloomTag;
+
+use crate::header::FiveTuple;
+use crate::ids::PortRef;
+
+/// Upper bound on path length, used to initialize the VeriDP TTL
+/// (Algorithm 1, line 3). Large enough for every topology in the evaluation;
+/// packets that exceed it are looping and get reported.
+pub const MAX_PATH_LENGTH: u8 = 32;
+
+/// A packet in flight.
+///
+/// `header` is immutable along the path (the paper's no-rewrite assumption,
+/// §3.4); the VeriDP fields `marker`/`tag`/`inport`/`veridp_ttl` are the
+/// in-band state of Algorithm 1. `payload_len` only matters for the
+/// data-plane overhead experiment (Table 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The 5-tuple match header.
+    pub header: FiveTuple,
+    /// Sampling marker: set by the entry switch when the packet is selected
+    /// for verification (carried in the IP TOS field on the wire).
+    pub marker: bool,
+    /// Bloom-filter path tag; present once the packet is marked.
+    pub tag: Option<BloomTag>,
+    /// Entry port, stamped by the entry switch (second VLAN TCI on the wire).
+    pub inport: Option<PortRef>,
+    /// VeriDP TTL, decremented per hop; hitting zero triggers a report
+    /// (loop guard, Algorithm 1 line 6).
+    pub veridp_ttl: u8,
+    /// Total frame length in bytes (for overhead accounting).
+    pub payload_len: u16,
+}
+
+impl Packet {
+    /// A plain, unsampled packet.
+    pub fn new(header: FiveTuple) -> Self {
+        Packet {
+            header,
+            marker: false,
+            tag: None,
+            inport: None,
+            veridp_ttl: MAX_PATH_LENGTH,
+            payload_len: 512,
+        }
+    }
+
+    /// A plain packet with an explicit frame length.
+    pub fn with_len(header: FiveTuple, payload_len: u16) -> Self {
+        Packet { payload_len, ..Packet::new(header) }
+    }
+
+    /// Whether this packet is currently carrying VeriDP state.
+    pub fn is_sampled(&self) -> bool {
+        self.marker
+    }
+
+    /// Strip VeriDP in-band state (what the exit switch does before
+    /// delivering the packet to the destination host).
+    pub fn pop_veridp_state(&mut self) -> (Option<BloomTag>, Option<PortRef>) {
+        self.marker = false;
+        (self.tag.take(), self.inport.take())
+    }
+}

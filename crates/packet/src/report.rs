@@ -1,0 +1,50 @@
+//! Tag reports: what exit (and conditionally internal) switches send to the
+//! VeriDP server (§3.3).
+
+use serde::{Deserialize, Serialize};
+use veridp_bloom::BloomTag;
+
+use crate::header::FiveTuple;
+use crate::ids::PortRef;
+
+/// A tag report `⟨inport, outport, header, tag⟩`.
+///
+/// * `inport` — the port where the packet entered the network (stamped by the
+///   entry switch);
+/// * `outport` — the port where it left (an edge port, the drop port `⊥`, or
+///   wherever its VeriDP TTL expired);
+/// * `header` — the 5-tuple used to select the path-table entry;
+/// * `tag` — the accumulated Bloom-filter tag of the real path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagReport {
+    pub inport: PortRef,
+    pub outport: PortRef,
+    pub header: FiveTuple,
+    pub tag: BloomTag,
+}
+
+impl TagReport {
+    /// Construct a report.
+    pub fn new(inport: PortRef, outport: PortRef, header: FiveTuple, tag: BloomTag) -> Self {
+        TagReport { inport, outport, header, tag }
+    }
+
+    /// Whether the packet was dropped (reported from the drop port `⊥`).
+    pub fn is_drop(&self) -> bool {
+        self.outport.port.is_drop()
+    }
+}
+
+impl std::fmt::Display for TagReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "report[{} => {}, {}, tag={:#06x}/{}]",
+            self.inport,
+            self.outport,
+            self.header,
+            self.tag.bits(),
+            self.tag.nbits()
+        )
+    }
+}

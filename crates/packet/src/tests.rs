@@ -1,0 +1,295 @@
+use bytes::Bytes;
+use veridp_bloom::BloomTag;
+
+use crate::{
+    decode_frame, decode_report, encode_frame, encode_report, FieldLayout, FiveTuple, Hop,
+    InportCode, Packet, PortNo, PortRef, SwitchId, TagReport, WireError, DROP_PORT, HEADER_BITS,
+    MAX_PATH_LENGTH,
+};
+
+fn sample_header() -> FiveTuple {
+    FiveTuple::tcp(0x0a000101, 0x0a000201, 43211, 80)
+}
+
+#[test]
+fn layout_covers_104_bits() {
+    assert_eq!(HEADER_BITS, 104);
+    assert_eq!(FieldLayout::SRC_IP, 0);
+    assert_eq!(FieldLayout::DST_IP, 32);
+    assert_eq!(FieldLayout::PROTO, 64);
+    assert_eq!(FieldLayout::SRC_PORT, 72);
+    assert_eq!(FieldLayout::DST_PORT, 88);
+}
+
+#[test]
+fn bits_roundtrip() {
+    let h = sample_header();
+    let bits = h.to_bits();
+    assert_eq!(bits.len(), HEADER_BITS as usize);
+    assert_eq!(FiveTuple::from_bits(&bits), h);
+}
+
+#[test]
+fn bits_are_msb_first() {
+    let h = FiveTuple::tcp(0x8000_0000, 0, 0, 1);
+    let bits = h.to_bits();
+    assert!(bits[FieldLayout::SRC_IP as usize]); // MSB of src_ip set
+    assert!(bits[(FieldLayout::DST_PORT + 15) as usize]); // LSB of dst_port set
+}
+
+#[test]
+fn udp_and_tcp_protos() {
+    assert_eq!(FiveTuple::tcp(0, 0, 0, 0).proto, 6);
+    assert_eq!(FiveTuple::udp(0, 0, 0, 0).proto, 17);
+}
+
+#[test]
+fn drop_port_display_and_predicate() {
+    assert!(DROP_PORT.is_drop());
+    assert!(!PortNo(3).is_drop());
+    assert_eq!(format!("{}", DROP_PORT), "⊥");
+    assert_eq!(format!("{}", PortRef::drop_of(SwitchId(2))), "⟨S2,⊥⟩");
+}
+
+#[test]
+fn hop_encoding_matches_bloom_layer() {
+    let h = Hop::new(1, 7, 2);
+    assert_eq!(h.encode(), veridp_bloom::HopEncoder::encode(1, 7, 2));
+    assert_eq!(h.in_ref(), PortRef::new(7, 1));
+    assert_eq!(h.out_ref(), PortRef::new(7, 2));
+}
+
+#[test]
+fn inport_code_roundtrip() {
+    let p = PortRef::new(200, 63);
+    let c = InportCode::pack(p).expect("fits");
+    assert_eq!(c.unpack(), p);
+    assert_eq!(InportCode::from_raw(c.raw()).unpack(), p);
+}
+
+#[test]
+fn inport_code_rejects_wide_ids() {
+    assert!(InportCode::pack(PortRef::new(256, 0)).is_none());
+    assert!(InportCode::pack(PortRef::new(0, 64)).is_none());
+    assert!(InportCode::pack(PortRef::new(255, 63)).is_some());
+}
+
+#[test]
+fn new_packet_defaults() {
+    let p = Packet::new(sample_header());
+    assert!(!p.is_sampled());
+    assert_eq!(p.veridp_ttl, MAX_PATH_LENGTH);
+    assert!(p.tag.is_none());
+    assert!(p.inport.is_none());
+}
+
+#[test]
+fn pop_veridp_state_strips_fields() {
+    let mut p = Packet::new(sample_header());
+    p.marker = true;
+    p.tag = Some(BloomTag::default_width());
+    p.inport = Some(PortRef::new(1, 2));
+    let (tag, inport) = p.pop_veridp_state();
+    assert!(tag.is_some());
+    assert_eq!(inport, Some(PortRef::new(1, 2)));
+    assert!(!p.is_sampled());
+    assert!(p.tag.is_none());
+}
+
+#[test]
+fn frame_roundtrip_plain() {
+    let pkt = Packet::new(sample_header());
+    let wire = encode_frame(&pkt).expect("encodes");
+    let back = decode_frame(wire).expect("decodes");
+    assert_eq!(back.header, pkt.header);
+    assert!(!back.marker);
+    assert!(back.tag.is_none());
+    assert!(back.inport.is_none());
+}
+
+#[test]
+fn frame_roundtrip_sampled() {
+    let mut pkt = Packet::new(sample_header());
+    pkt.marker = true;
+    let mut tag = BloomTag::default_width();
+    tag.insert(&Hop::new(1, 5, 2).encode());
+    pkt.tag = Some(tag);
+    pkt.inport = Some(PortRef::new(5, 1));
+    pkt.veridp_ttl = 17;
+
+    let wire = encode_frame(&pkt).expect("encodes");
+    let back = decode_frame(wire).expect("decodes");
+    assert!(back.marker);
+    assert_eq!(back.tag, Some(tag));
+    assert_eq!(back.inport, Some(PortRef::new(5, 1)));
+    assert_eq!(back.veridp_ttl, 17);
+    assert_eq!(back.header, pkt.header);
+}
+
+#[test]
+fn frame_pads_to_requested_length() {
+    for len in [128u16, 256, 512, 1024, 1500] {
+        let pkt = Packet::with_len(sample_header(), len);
+        let wire = encode_frame(&pkt).expect("encodes");
+        assert_eq!(wire.len(), len as usize);
+        let back = decode_frame(wire).expect("decodes");
+        assert_eq!(back.payload_len, len);
+    }
+}
+
+#[test]
+fn frame_rejects_wide_tag() {
+    let mut pkt = Packet::new(sample_header());
+    pkt.marker = true;
+    pkt.tag = Some(BloomTag::empty(32));
+    assert_eq!(encode_frame(&pkt), Err(WireError::TagWidth(32)));
+}
+
+#[test]
+fn frame_rejects_unpackable_inport() {
+    let mut pkt = Packet::new(sample_header());
+    pkt.inport = Some(PortRef::new(1000, 2));
+    assert!(matches!(encode_frame(&pkt), Err(WireError::InportOverflow(_))));
+}
+
+#[test]
+fn frame_decode_rejects_garbage() {
+    assert_eq!(decode_frame(Bytes::from_static(&[0u8; 4])), Err(WireError::Truncated));
+    let mut junk = vec![0u8; 64];
+    junk[12] = 0xde; // bad outer ethertype
+    junk[13] = 0xad;
+    assert!(matches!(decode_frame(Bytes::from(junk)), Err(WireError::BadMagic(_))));
+}
+
+#[test]
+fn report_roundtrip() {
+    let mut tag = BloomTag::empty(16);
+    tag.insert(b"hop");
+    let r = TagReport::new(PortRef::new(1, 1), PortRef::new(3, 2), sample_header(), tag);
+    let wire = encode_report(&r);
+    let back = decode_report(wire).expect("decodes");
+    assert_eq!(back, r);
+}
+
+#[test]
+fn report_roundtrip_wide_tag() {
+    // Reports (unlike in-band tags) may carry any width up to 64.
+    let mut tag = BloomTag::empty(64);
+    tag.insert(b"hop");
+    let r = TagReport::new(PortRef::new(9, 4), PortRef::drop_of(SwitchId(2)), sample_header(), tag);
+    let back = decode_report(encode_report(&r)).expect("decodes");
+    assert_eq!(back, r);
+    assert!(back.is_drop());
+}
+
+#[test]
+fn report_decode_rejects_garbage() {
+    assert_eq!(decode_report(Bytes::from_static(&[1, 2, 3])), Err(WireError::Truncated));
+    let r = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(2, 2),
+        sample_header(),
+        BloomTag::default_width(),
+    );
+    let mut wire = encode_report(&r).to_vec();
+    wire[0] ^= 0xff;
+    assert!(matches!(decode_report(Bytes::from(wire)), Err(WireError::BadMagic(_))));
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_header() -> impl Strategy<Value = FiveTuple> {
+        (any::<u32>(), any::<u32>(), any::<u8>(), any::<u16>(), any::<u16>()).prop_map(
+            |(src_ip, dst_ip, proto, src_port, dst_port)| FiveTuple {
+                src_ip,
+                dst_ip,
+                proto,
+                src_port,
+                dst_port,
+            },
+        )
+    }
+
+    proptest! {
+        /// Header <-> bit-vector conversion is a bijection.
+        #[test]
+        fn header_bits_bijective(h in arb_header()) {
+            prop_assert_eq!(FiveTuple::from_bits(&h.to_bits()), h);
+        }
+
+        /// Frame encode/decode is lossless for representable packets.
+        #[test]
+        fn frame_roundtrip_any(h in arb_header(), marker in any::<bool>(),
+                               sw in 0u32..256, port in 0u16..64,
+                               ttl in 0u8..=MAX_PATH_LENGTH, len in 64u16..1500) {
+            let mut pkt = Packet::with_len(h, len);
+            pkt.marker = marker;
+            pkt.veridp_ttl = ttl;
+            if marker {
+                let mut tag = BloomTag::default_width();
+                tag.insert(&Hop::new(port, sw, port + 1).encode());
+                pkt.tag = Some(tag);
+                pkt.inport = Some(PortRef::new(sw, port));
+            }
+            let wire = encode_frame(&pkt).unwrap();
+            let back = decode_frame(wire).unwrap();
+            prop_assert_eq!(back.header, pkt.header);
+            prop_assert_eq!(back.marker, pkt.marker);
+            prop_assert_eq!(back.tag, pkt.tag);
+            prop_assert_eq!(back.inport, pkt.inport);
+            prop_assert_eq!(back.veridp_ttl, pkt.veridp_ttl);
+        }
+
+        /// Report encode/decode is lossless.
+        #[test]
+        fn report_roundtrip_any(h in arb_header(), bits in any::<u64>(),
+                                nbits in 8u32..=64,
+                                s1 in any::<u32>(), p1 in any::<u16>(),
+                                s2 in any::<u32>(), p2 in any::<u16>()) {
+            let masked = if nbits == 64 { bits } else { bits & ((1u64 << nbits) - 1) };
+            let tag = BloomTag::from_bits(masked, nbits);
+            let r = TagReport::new(PortRef::new(s1, p1), PortRef::new(s2, p2), h, tag);
+            prop_assert_eq!(decode_report(encode_report(&r)).unwrap(), r);
+        }
+    }
+}
+
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes never panic the frame decoder.
+        #[test]
+        fn decode_frame_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_frame(Bytes::from(data));
+        }
+
+        /// Arbitrary bytes never panic the report decoder.
+        #[test]
+        fn decode_report_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = decode_report(Bytes::from(data));
+        }
+
+        /// Bit-flipping a valid frame either fails cleanly or decodes to
+        /// *something* — never panics, never violates tag-width invariants.
+        #[test]
+        fn frame_bitflip_robustness(flip_byte in 0usize..60, flip_bit in 0u8..8) {
+            let mut pkt = Packet::new(FiveTuple::tcp(0x0a000101, 0x0a000201, 1, 2));
+            pkt.marker = true;
+            pkt.tag = Some(veridp_bloom::BloomTag::default_width());
+            pkt.inport = Some(PortRef::new(3, 4));
+            let mut wire = encode_frame(&pkt).unwrap().to_vec();
+            if flip_byte < wire.len() {
+                wire[flip_byte] ^= 1 << flip_bit;
+            }
+            if let Ok(decoded) = decode_frame(Bytes::from(wire)) {
+                if let Some(t) = decoded.tag {
+                    prop_assert!(t.nbits() == 16);
+                }
+            }
+        }
+    }
+}

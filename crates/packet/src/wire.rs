@@ -1,0 +1,231 @@
+//! Byte-level codecs for the VeriDP packet format and tag reports (§5).
+//!
+//! The data-packet format follows the paper: an Ethernet II frame carrying
+//! 802.1ad double VLAN tags and an IPv4+L4 header. VeriDP state rides in:
+//!
+//! * `marker` — bit 0 of the IP TOS byte;
+//! * `tag` — the 16-bit TCI of the outer (first) VLAN tag;
+//! * `inport` — the low 14 bits of the TCI of the inner (second) VLAN tag.
+//!
+//! Tag reports are encapsulated in plain UDP in the paper; here the codec
+//! produces the UDP *payload* (the simulator's message bus stands in for the
+//! IP/UDP transport).
+//!
+//! Only 16-bit tags fit on the wire; wider tags (used by the Fig. 12 sweep)
+//! exist only inside the simulator and are rejected by the codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use veridp_bloom::BloomTag;
+
+use crate::header::FiveTuple;
+use crate::ids::{InportCode, PortRef};
+use crate::packet::Packet;
+use crate::report::TagReport;
+
+/// Errors raised by the wire codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short or framing malformed.
+    Truncated,
+    /// Unexpected EtherType / magic value.
+    BadMagic(u16),
+    /// The inport does not fit the 14-bit in-band field.
+    InportOverflow(PortRef),
+    /// Only 16-bit tags can be carried in a VLAN TCI.
+    TagWidth(u32),
+    /// Protocol not representable (not TCP/UDP-style with ports).
+    BadProto(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic(m) => write!(f, "unexpected ethertype/magic {m:#06x}"),
+            WireError::InportOverflow(p) => write!(f, "inport {p} exceeds 14-bit in-band field"),
+            WireError::TagWidth(w) => write!(f, "{w}-bit tag cannot ride a 16-bit VLAN TCI"),
+            WireError::BadProto(p) => write!(f, "protocol {p} has no port fields"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const ETHERTYPE_QINQ: u16 = 0x88a8; // 802.1ad outer tag
+const ETHERTYPE_VLAN: u16 = 0x8100; // inner tag
+const ETHERTYPE_IPV4: u16 = 0x0800;
+/// Magic value ("VD") heading every report payload.
+const REPORT_MAGIC: u16 = 0x5644;
+
+/// Encode a (possibly sampled) packet into an Ethernet-style frame.
+///
+/// The frame is padded/extended to `pkt.payload_len` bytes when that exceeds
+/// the header size, mirroring real frames of the sizes Table 4 sweeps.
+pub fn encode_frame(pkt: &Packet) -> Result<Bytes, WireError> {
+    let mut b = BytesMut::with_capacity(64);
+    // Ethernet: synthetic MACs derived from the 5-tuple (documentation value
+    // only; the simulator routes on the IP header).
+    b.put_u48(0x02_00_00_00_00_01);
+    b.put_u48(0x02_00_00_00_00_02);
+
+    // Outer VLAN tag: TCI = Bloom tag bits.
+    b.put_u16(ETHERTYPE_QINQ);
+    let tag_bits = match pkt.tag {
+        Some(t) => {
+            if t.nbits() != 16 {
+                return Err(WireError::TagWidth(t.nbits()));
+            }
+            t.bits() as u16
+        }
+        None => 0,
+    };
+    b.put_u16(tag_bits);
+
+    // Inner VLAN tag: TCI = 14-bit inport code; top bit flags presence.
+    b.put_u16(ETHERTYPE_VLAN);
+    let inport_bits = match pkt.inport {
+        Some(p) => {
+            let code = InportCode::pack(p).ok_or(WireError::InportOverflow(p))?;
+            0x8000 | code.raw()
+        }
+        None => 0,
+    };
+    b.put_u16(inport_bits);
+
+    b.put_u16(ETHERTYPE_IPV4);
+
+    // Minimal IPv4 header (20 bytes): version/IHL, TOS (marker in bit 0),
+    // total length, id/flags/frag zeroed, TTL, proto, checksum zeroed
+    // (computed by real NICs; the simulator does not need it), addresses.
+    b.put_u8(0x45);
+    b.put_u8(if pkt.marker { 0x01 } else { 0x00 });
+    b.put_u16(20 + 4); // IP header + L4 ports
+    b.put_u32(0);
+    b.put_u8(pkt.veridp_ttl);
+    b.put_u8(pkt.header.proto);
+    b.put_u16(0);
+    b.put_u32(pkt.header.src_ip);
+    b.put_u32(pkt.header.dst_ip);
+
+    // L4 ports.
+    b.put_u16(pkt.header.src_port);
+    b.put_u16(pkt.header.dst_port);
+
+    // Frame length accounting: pad to payload_len if larger.
+    let framed = b.len() as u16;
+    if pkt.payload_len > framed {
+        b.resize(pkt.payload_len as usize, 0);
+    }
+    Ok(b.freeze())
+}
+
+/// Decode a frame produced by [`encode_frame`].
+pub fn decode_frame(mut buf: Bytes) -> Result<Packet, WireError> {
+    let total_len = buf.len() as u16;
+    if buf.remaining() < 12 + 4 + 4 + 2 + 20 + 4 {
+        return Err(WireError::Truncated);
+    }
+    buf.advance(12); // MACs
+
+    let et1 = buf.get_u16();
+    if et1 != ETHERTYPE_QINQ {
+        return Err(WireError::BadMagic(et1));
+    }
+    let tag_bits = buf.get_u16();
+
+    let et2 = buf.get_u16();
+    if et2 != ETHERTYPE_VLAN {
+        return Err(WireError::BadMagic(et2));
+    }
+    let inport_bits = buf.get_u16();
+
+    let et3 = buf.get_u16();
+    if et3 != ETHERTYPE_IPV4 {
+        return Err(WireError::BadMagic(et3));
+    }
+
+    let vihl = buf.get_u8();
+    if vihl != 0x45 {
+        return Err(WireError::BadMagic(vihl as u16));
+    }
+    let tos = buf.get_u8();
+    let _total = buf.get_u16();
+    let _idfrag = buf.get_u32();
+    let ttl = buf.get_u8();
+    let proto = buf.get_u8();
+    let _csum = buf.get_u16();
+    let src_ip = buf.get_u32();
+    let dst_ip = buf.get_u32();
+    let src_port = buf.get_u16();
+    let dst_port = buf.get_u16();
+
+    let marker = tos & 1 == 1;
+    Ok(Packet {
+        header: FiveTuple { src_ip, dst_ip, proto, src_port, dst_port },
+        marker,
+        tag: marker.then(|| BloomTag::from_bits(tag_bits as u64, 16)),
+        inport: (inport_bits & 0x8000 != 0)
+            .then(|| InportCode::from_raw(inport_bits).unpack()),
+        veridp_ttl: ttl,
+        payload_len: total_len,
+    })
+}
+
+/// Encode a tag report as a UDP payload.
+///
+/// Layout (big-endian):
+/// `magic(2) | in_switch(4) in_port(2) | out_switch(4) out_port(2) |
+///  src_ip(4) dst_ip(4) proto(1) src_port(2) dst_port(2) |
+///  tag_nbits(1) tag_bits(8)`
+pub fn encode_report(r: &TagReport) -> Bytes {
+    let mut b = BytesMut::with_capacity(40);
+    b.put_u16(REPORT_MAGIC);
+    b.put_u32(r.inport.switch.0);
+    b.put_u16(r.inport.port.0);
+    b.put_u32(r.outport.switch.0);
+    b.put_u16(r.outport.port.0);
+    b.put_u32(r.header.src_ip);
+    b.put_u32(r.header.dst_ip);
+    b.put_u8(r.header.proto);
+    b.put_u16(r.header.src_port);
+    b.put_u16(r.header.dst_port);
+    b.put_u8(r.tag.nbits() as u8);
+    b.put_u64(r.tag.bits());
+    b.freeze()
+}
+
+/// Decode a tag report payload.
+pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
+    if buf.remaining() < 2 + 6 + 6 + 13 + 9 {
+        return Err(WireError::Truncated);
+    }
+    let magic = buf.get_u16();
+    if magic != REPORT_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let inport = PortRef::new(buf.get_u32(), buf.get_u16());
+    let outport = PortRef::new(buf.get_u32(), buf.get_u16());
+    let header = FiveTuple {
+        src_ip: buf.get_u32(),
+        dst_ip: buf.get_u32(),
+        proto: buf.get_u8(),
+        src_port: buf.get_u16(),
+        dst_port: buf.get_u16(),
+    };
+    let nbits = buf.get_u8() as u32;
+    let bits = buf.get_u64();
+    if !(8..=64).contains(&nbits) || (nbits < 64 && bits >> nbits != 0) {
+        return Err(WireError::Truncated);
+    }
+    Ok(TagReport { inport, outport, header, tag: BloomTag::from_bits(bits, nbits) })
+}
+
+trait PutU48 {
+    fn put_u48(&mut self, v: u64);
+}
+
+impl PutU48 for BytesMut {
+    fn put_u48(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes()[2..8]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Discrete-event simulation with a virtual clock.
+//!
+//! [`crate::Network::inject`] walks a packet instantaneously; this layer
+//! spreads packet hops and report delivery over virtual time, which is what
+//! the sampling experiments need: detection latency (§4.5) is the gap
+//! between the virtual instant a fault starts affecting packets and the
+//! instant the first failed report reaches the server.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use veridp_core::{VeriDpServer, VerifyOutcome};
+use veridp_packet::{FiveTuple, Packet, PortRef, TagReport};
+
+use crate::network::Network;
+
+/// One verdict with its virtual timestamp.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    pub at_ns: u64,
+    pub report: TagReport,
+    pub outcome: VerifyOutcome,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Inject a packet at an edge port.
+    Inject { at: PortRef, header: FiveTuple },
+    /// A tag report reaches the server.
+    Report(TagReport),
+}
+
+/// The event-driven simulator: a [`Network`], a [`VeriDpServer`], and a
+/// time-ordered event queue.
+pub struct EventSim {
+    pub net: Network,
+    pub server: VeriDpServer,
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    events: std::collections::HashMap<u64, Event>,
+    seq: u64,
+    /// Latency from a switch emitting a report to the server receiving it.
+    pub report_latency_ns: u64,
+    /// Report-channel loss: tag reports ride plain UDP (§5), so the channel
+    /// may drop them. Loss probability in [0, 1], applied per report with a
+    /// deterministic seeded stream.
+    report_loss: f64,
+    loss_rng: rand::rngs::StdRng,
+    /// Reports dropped by the lossy channel so far.
+    pub reports_lost: u64,
+    log: Vec<EventLog>,
+}
+
+impl EventSim {
+    /// Wrap a network and server.
+    pub fn new(net: Network, server: VeriDpServer) -> Self {
+        use rand::SeedableRng;
+        EventSim {
+            net,
+            server,
+            queue: BinaryHeap::new(),
+            events: std::collections::HashMap::new(),
+            seq: 0,
+            report_latency_ns: 50_000, // 50 µs control-channel latency
+            report_loss: 0.0,
+            loss_rng: rand::rngs::StdRng::seed_from_u64(0x10551055),
+            reports_lost: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Configure UDP-style report loss.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_report_loss(&mut self, p: f64, seed: u64) {
+        use rand::SeedableRng;
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.report_loss = p;
+        self.loss_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    }
+
+    fn push(&mut self, at_ns: u64, ev: Event) {
+        let id = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at_ns, id)));
+        self.events.insert(id, ev);
+    }
+
+    /// Schedule a packet injection at virtual time `at_ns`.
+    pub fn inject_at(&mut self, at_ns: u64, port: PortRef, header: FiveTuple) {
+        self.push(at_ns, Event::Inject { at: port, header });
+    }
+
+    /// Schedule a periodic flow: packets every `gap_ns` from `start_ns`
+    /// until `end_ns`.
+    pub fn flow(
+        &mut self,
+        port: PortRef,
+        header: FiveTuple,
+        start_ns: u64,
+        gap_ns: u64,
+        end_ns: u64,
+    ) {
+        let mut t = start_ns;
+        while t <= end_ns {
+            self.inject_at(t, port, header);
+            t += gap_ns;
+        }
+    }
+
+    /// Run until the queue drains. Returns the verdict log, time-ordered.
+    pub fn run(&mut self) -> &[EventLog] {
+        while let Some(Reverse((t, id))) = self.queue.pop() {
+            let ev = self.events.remove(&id).expect("event body");
+            match ev {
+                Event::Inject { at, header } => {
+                    // Align the network clock with virtual time so samplers
+                    // observe real inter-arrival gaps.
+                    let now = self.net.now_ns();
+                    if t > now {
+                        self.net.advance_clock(t - now);
+                    }
+                    let trace = self.net.inject(at, Packet::new(header));
+                    for r in trace.reports {
+                        if self.report_loss > 0.0
+                            && rand::Rng::gen_bool(&mut self.loss_rng, self.report_loss)
+                        {
+                            self.reports_lost += 1;
+                            continue; // the UDP report never arrives
+                        }
+                        self.push(t + self.report_latency_ns, Event::Report(r));
+                    }
+                }
+                Event::Report(r) => {
+                    let outcome = self.server.verify(&r);
+                    self.log.push(EventLog { at_ns: t, report: r, outcome });
+                }
+            }
+        }
+        &self.log
+    }
+
+    /// The verdict log so far.
+    pub fn log(&self) -> &[EventLog] {
+        &self.log
+    }
+
+    /// Virtual time of the first failed verification at or after `from_ns`,
+    /// if any — the detection instant for a fault started at `from_ns`.
+    pub fn first_failure_after(&self, from_ns: u64) -> Option<u64> {
+        self.log
+            .iter()
+            .filter(|e| e.at_ns >= from_ns && !e.outcome.is_pass())
+            .map(|e| e.at_ns)
+            .min()
+    }
+}

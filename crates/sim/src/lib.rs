@@ -1,0 +1,51 @@
+//! The network simulator: the substrate standing in for Mininet + Open
+//! vSwitch + Floodlight in the paper's evaluation (§6.1).
+//!
+//! Three layers:
+//!
+//! * [`Network`] — the data plane: one [`veridp_switch::Switch`] per
+//!   topology node, synchronous hop-by-hop forwarding with full
+//!   [`DeliveryTrace`]s (the ground truth experiments compare against);
+//! * [`EventSim`] — a discrete-event wrapper with a virtual clock, per-link
+//!   and report latencies; used for time-dependent behaviour (sampling
+//!   intervals, detection latency, §4.5);
+//! * [`Monitor`] — the full VeriDP deployment: controller compiles intents,
+//!   the server intercepts the FlowMod stream (so its path table is built
+//!   incrementally, exactly as deployed), switches install rules through
+//!   their fault plans, and every tag report flows back into the server.
+//!
+//! # Example
+//!
+//! ```
+//! use veridp_controller::Intent;
+//! use veridp_sim::Monitor;
+//! use veridp_switch::{Action, Fault};
+//! use veridp_topo::gen;
+//!
+//! let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16)?;
+//! assert!(m.send("h1", "h2", 80).consistent());
+//!
+//! // Blackhole h2's route at the middle switch, out-of-band.
+//! let sid = veridp_packet::SwitchId(2);
+//! let rid = m.controller.rules_of(sid).iter()
+//!     .find(|r| r.fields.dst_ip == gen::ip(10, 0, 2, 0))
+//!     .unwrap().id;
+//! m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+//! let out = m.send("h1", "h2", 80);
+//! assert!(!out.consistent());
+//! # Ok::<(), veridp_controller::ControllerError>(())
+//! ```
+
+pub mod baselines;
+mod events;
+mod monitor;
+mod network;
+mod rewrite_monitor;
+
+pub use events::{EventLog, EventSim};
+pub use monitor::{Monitor, SendOutcome};
+pub use network::{DeliveryTrace, Network};
+pub use rewrite_monitor::RwMonitor;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,158 @@
+//! The simulated data plane.
+
+use std::collections::HashMap;
+
+use veridp_packet::{Hop, Packet, PortRef, SwitchId, TagReport};
+use veridp_switch::{OfMessage, OfReply, Switch};
+use veridp_topo::Topology;
+
+/// Everything that happened to one injected packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryTrace {
+    /// The hops actually taken, in order (the packet's real path).
+    pub hops: Vec<Hop>,
+    /// The terminal edge port the packet was delivered to, if any.
+    pub delivered_to: Option<PortRef>,
+    /// The switch that dropped the packet, if it was dropped.
+    pub dropped_at: Option<SwitchId>,
+    /// Tag reports emitted along the way (exit, drop, or TTL expiry).
+    pub reports: Vec<TagReport>,
+    /// Whether the simulator hop cap fired (the packet was looping).
+    pub looped: bool,
+}
+
+impl DeliveryTrace {
+    /// Whether the packet reached a host port.
+    pub fn delivered(&self) -> bool {
+        self.delivered_to.is_some()
+    }
+}
+
+/// The data plane: topology plus one switch instance per node.
+///
+/// Forwarding is synchronous (a packet is walked to completion); the
+/// [`crate::EventSim`] layers virtual time on top when experiments need it.
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    switches: HashMap<SwitchId, Switch>,
+    clock_ns: u64,
+    /// Hop budget per injected packet — catches data-plane loops that the
+    /// VeriDP TTL also reports on.
+    hop_cap: usize,
+}
+
+impl Network {
+    /// A network over `topo` with pristine switches (sampling every packet).
+    pub fn new(topo: Topology) -> Self {
+        let switches =
+            topo.switches().map(|info| (info.id, Switch::new(info.id))).collect();
+        Network { topo, switches, clock_ns: 0, hop_cap: 64 }
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advance the virtual clock (e.g. between packet batches so per-flow
+    /// samplers re-arm).
+    pub fn advance_clock(&mut self, delta_ns: u64) {
+        self.clock_ns += delta_ns;
+    }
+
+    /// Access a switch.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[&id]
+    }
+
+    /// Mutable access to a switch (fault injection, pipeline config).
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Switch {
+        self.switches.get_mut(&id).expect("unknown switch")
+    }
+
+    /// All switch ids.
+    pub fn switch_ids(&self) -> Vec<SwitchId> {
+        let mut v: Vec<SwitchId> = self.switches.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Reconfigure every switch's VeriDP pipeline tag width.
+    pub fn set_tag_bits(&mut self, bits: u32) {
+        for (id, sw) in self.switches.iter_mut() {
+            let pipeline = veridp_switch::VeriDpPipeline::new(*id).with_tag_bits(bits);
+            *sw = sw.clone().with_pipeline(pipeline);
+        }
+    }
+
+    /// Deliver controller messages to switches; returns their replies.
+    pub fn apply_messages(
+        &mut self,
+        msgs: impl IntoIterator<Item = (SwitchId, OfMessage)>,
+    ) -> Vec<(SwitchId, OfReply)> {
+        let mut replies = Vec::new();
+        for (s, m) in msgs {
+            if let Some(sw) = self.switches.get_mut(&s) {
+                if let Some(r) = sw.handle(m) {
+                    replies.push((s, r));
+                }
+            }
+        }
+        replies
+    }
+
+    /// Inject a packet at an edge port and walk it to completion.
+    pub fn inject(&mut self, at: PortRef, pkt: Packet) -> DeliveryTrace {
+        let mut trace = DeliveryTrace {
+            hops: Vec::new(),
+            delivered_to: None,
+            dropped_at: None,
+            reports: Vec::new(),
+            looped: false,
+        };
+        let mut pkt = pkt;
+        let mut here = at;
+        loop {
+            if trace.hops.len() >= self.hop_cap {
+                trace.looped = true;
+                break;
+            }
+            self.clock_ns += 1; // nominal per-hop processing time
+            let now = self.clock_ns;
+            let Some(sw) = self.switches.get_mut(&here.switch) else { break };
+            let (out, report) = sw.process_packet(&mut pkt, here.port, now, &self.topo);
+            trace.hops.push(Hop { in_port: here.port, switch: here.switch, out_port: out });
+            if let Some(r) = report {
+                trace.reports.push(r);
+            }
+            if out.is_drop() {
+                trace.dropped_at = Some(here.switch);
+                break;
+            }
+            let out_ref = PortRef { switch: here.switch, port: out };
+            if self.topo.is_terminal_port(out_ref) {
+                trace.delivered_to = Some(out_ref);
+                break;
+            }
+            if self.topo.is_middlebox_port(out_ref) {
+                here = out_ref; // reflecting middlebox
+                continue;
+            }
+            match self.topo.peer(out_ref) {
+                Some(next) => here = next,
+                None => {
+                    // Unwired port: the packet leaves the network.
+                    trace.delivered_to = Some(out_ref);
+                    break;
+                }
+            }
+        }
+        trace
+    }
+}

@@ -1,0 +1,132 @@
+//! Monitoring deployment for rewrite-enabled networks (the header-rewrite
+//! extension, `veridp_core::rewrite`).
+//!
+//! Mirrors [`crate::Monitor`] with a rewrite-aware path table: rules carry
+//! optional set-field chains, switches execute them before tagging, and
+//! verification matches reported (post-rewrite) headers against each path's
+//! exit header set.
+
+use std::collections::HashMap;
+
+use veridp_core::rewrite::{RwPathTable, RwRule};
+use veridp_core::{HeaderSpace, VerifyOutcome};
+use veridp_packet::{FiveTuple, Packet, PortRef, SwitchId, TagReport};
+use veridp_switch::{OfMessage, Switch};
+use veridp_topo::Topology;
+
+use crate::network::DeliveryTrace;
+
+/// A monitored network whose rules may rewrite headers.
+pub struct RwMonitor {
+    topo: Topology,
+    switches: HashMap<SwitchId, Switch>,
+    hs: HeaderSpace,
+    table: RwPathTable,
+    clock_ns: u64,
+}
+
+impl RwMonitor {
+    /// Deploy: install every rule (with its rewrite chain) on the switches
+    /// and build the rewrite-aware path table from the same logical view.
+    pub fn deploy(topo: Topology, rules: &HashMap<SwitchId, Vec<RwRule>>, tag_bits: u32) -> Self {
+        let mut hs = HeaderSpace::new();
+        let table = RwPathTable::build(&topo, rules, &mut hs, tag_bits);
+        let mut switches: HashMap<SwitchId, Switch> = topo
+            .switches()
+            .map(|i| {
+                (
+                    i.id,
+                    Switch::new(i.id).with_pipeline(
+                        veridp_switch::VeriDpPipeline::new(i.id).with_tag_bits(tag_bits),
+                    ),
+                )
+            })
+            .collect();
+        for (sid, list) in rules {
+            let sw = switches.get_mut(sid).expect("switch exists");
+            for r in list {
+                sw.handle(OfMessage::FlowAdd(r.rule));
+                if !r.sets.is_empty() {
+                    sw.set_rewrite(r.rule.id, r.sets.clone());
+                }
+            }
+        }
+        RwMonitor { topo, switches, hs, table, clock_ns: 0 }
+    }
+
+    /// The rewrite-aware path table.
+    pub fn table(&self) -> &RwPathTable {
+        &self.table
+    }
+
+    /// The header space.
+    pub fn header_space(&self) -> &HeaderSpace {
+        &self.hs
+    }
+
+    /// Mutable switch access (fault injection).
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Switch {
+        self.switches.get_mut(&id).expect("unknown switch")
+    }
+
+    /// Inject a packet at an edge port and walk it to completion.
+    pub fn inject(&mut self, at: PortRef, header: FiveTuple) -> DeliveryTrace {
+        let mut trace = DeliveryTrace {
+            hops: Vec::new(),
+            delivered_to: None,
+            dropped_at: None,
+            reports: Vec::new(),
+            looped: false,
+        };
+        let mut pkt = Packet::new(header);
+        let mut here = at;
+        loop {
+            if trace.hops.len() >= 64 {
+                trace.looped = true;
+                break;
+            }
+            self.clock_ns += 1;
+            let now = self.clock_ns;
+            let Some(sw) = self.switches.get_mut(&here.switch) else { break };
+            let (out, report) = sw.process_packet(&mut pkt, here.port, now, &self.topo);
+            trace.hops.push(veridp_packet::Hop {
+                in_port: here.port,
+                switch: here.switch,
+                out_port: out,
+            });
+            if let Some(r) = report {
+                trace.reports.push(r);
+            }
+            if out.is_drop() {
+                trace.dropped_at = Some(here.switch);
+                break;
+            }
+            let out_ref = PortRef { switch: here.switch, port: out };
+            if self.topo.is_terminal_port(out_ref) {
+                trace.delivered_to = Some(out_ref);
+                break;
+            }
+            if self.topo.is_middlebox_port(out_ref) {
+                here = out_ref;
+                continue;
+            }
+            match self.topo.peer(out_ref) {
+                Some(next) => here = next,
+                None => {
+                    trace.delivered_to = Some(out_ref);
+                    break;
+                }
+            }
+        }
+        trace
+    }
+
+    /// Send and verify: returns the trace and per-report verdicts.
+    pub fn send(&mut self, at: PortRef, header: FiveTuple) -> (DeliveryTrace, Vec<(TagReport, VerifyOutcome)>) {
+        self.clock_ns += 1_000_000; // let per-flow samplers re-arm
+        let trace = self.inject(at, header);
+        let verdicts =
+            trace.reports.iter().map(|r| (*r, self.table.verify(r, &self.hs))).collect();
+        (trace, verdicts)
+    }
+}

@@ -1,0 +1,694 @@
+use veridp_controller::Intent;
+use veridp_core::{VeriDpServer, VerifyOutcome};
+use veridp_packet::{FiveTuple, Packet, PortNo, SwitchId};
+use veridp_switch::{Action, Fault, Match, PortRange};
+use veridp_topo::gen::{self, ip};
+
+use crate::{EventSim, Monitor, Network};
+
+fn deploy_figure5() -> Monitor {
+    Monitor::deploy(
+        gen::figure5(),
+        &[
+            Intent::Connectivity,
+            Intent::Waypoint { src_host: "H1".into(), dst_host: "H3".into(), via: "MB".into() },
+        ],
+        16,
+    )
+    .unwrap()
+}
+
+// ----------------------------------------------------------------- network
+
+#[test]
+fn network_injects_and_delivers() {
+    let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16).unwrap();
+    let out = m.send("h1", "h2", 80);
+    assert!(out.trace.delivered());
+    assert_eq!(out.trace.hops.len(), 3);
+    assert_eq!(out.trace.reports.len(), 1);
+    assert!(out.consistent());
+}
+
+#[test]
+fn network_reports_drop_on_miss() {
+    let topo = gen::linear(2);
+    let mut net = Network::new(topo.clone());
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 9, 9), 1, 1);
+    let src = topo.host("h1").unwrap().attached;
+    let trace = net.inject(src, Packet::new(h));
+    assert!(!trace.delivered());
+    assert_eq!(trace.dropped_at, Some(SwitchId(1)));
+    assert_eq!(trace.reports.len(), 1);
+    assert!(trace.reports[0].is_drop());
+}
+
+#[test]
+fn network_detects_forwarding_loop() {
+    // Two switches forwarding everything to each other.
+    let topo = gen::linear(2);
+    let mut net = Network::new(topo.clone());
+    net.switch_mut(SwitchId(1)).handle(veridp_switch::OfMessage::FlowAdd(
+        veridp_switch::FlowRule::new(1, 10, Match::ANY, Action::Forward(PortNo(2))),
+    ));
+    net.switch_mut(SwitchId(2)).handle(veridp_switch::OfMessage::FlowAdd(
+        veridp_switch::FlowRule::new(2, 10, Match::ANY, Action::Forward(PortNo(1))),
+    ));
+    let src = topo.host("h1").unwrap().attached;
+    let trace = net.inject(src, Packet::new(FiveTuple::tcp(1, 2, 3, 4)));
+    assert!(trace.looped);
+    assert!(!trace.reports.is_empty(), "TTL expiry must report the loop");
+}
+
+#[test]
+fn monitor_waypoint_path_verified() {
+    let mut m = deploy_figure5();
+    let out = m.send("H1", "H3", 22);
+    assert!(out.trace.delivered());
+    // The waypoint rules (priority 150) outrank connectivity; the packet
+    // crosses S2 twice (via the middlebox) — 4 hops.
+    assert_eq!(out.trace.hops.len(), 4);
+    assert!(out.consistent(), "verdicts: {:?}", out.verdicts);
+}
+
+#[test]
+fn monitor_detects_waypoint_bypass() {
+    // §6.2 "path deviation" / Figure 2: the waypoint rule at S1 fails and
+    // traffic bypasses the middlebox. VeriDP must flag it and blame S1.
+    let mut m = deploy_figure5();
+    // Find the waypoint rule at S1 (priority 150, in_port 1).
+    let rule_id = m
+        .controller
+        .rules_of(SwitchId(1))
+        .iter()
+        .find(|r| r.priority == 150)
+        .map(|r| r.id)
+        .expect("waypoint rule on S1");
+    m.net
+        .switch_mut(SwitchId(1))
+        .faults_mut()
+        .add(Fault::ExternalModify(rule_id, Action::Forward(PortNo(4))));
+    let out = m.send("H1", "H3", 22);
+    assert!(out.trace.delivered(), "packet still arrives — but the wrong way");
+    assert!(!out.consistent(), "bypass must fail verification");
+    assert_eq!(out.suspect(), Some(SwitchId(1)));
+}
+
+#[test]
+fn monitor_detects_blackhole() {
+    // §6.2 "black hole": a forwarding rule's action becomes Drop.
+    let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16).unwrap();
+    let rule_id = m
+        .controller
+        .rules_of(SwitchId(2))
+        .iter()
+        .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
+        .map(|r| r.id)
+        .unwrap();
+    m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rule_id, Action::Drop));
+    let out = m.send("h1", "h2", 80);
+    assert!(!out.trace.delivered());
+    assert!(!out.consistent());
+    // The drop report comes from S2 itself; localization should implicate it.
+    assert_eq!(out.suspect(), Some(SwitchId(2)));
+}
+
+#[test]
+fn monitor_detects_access_violation() {
+    // §6.2 "access violation": an ACL rule is externally deleted, so denied
+    // traffic gets through — and its tag matches no path for the pair.
+    let topo = gen::figure5();
+    let mut m = Monitor::deploy(
+        topo,
+        &[
+            Intent::Connectivity,
+            Intent::Acl {
+                src_host: "H2".into(),
+                dst_host: "H3".into(),
+                dst_ports: PortRange::ANY,
+            },
+        ],
+        16,
+    )
+    .unwrap();
+    let acl_id = m
+        .controller
+        .rules_of(SwitchId(1))
+        .iter()
+        .find(|r| r.action == Action::Drop)
+        .map(|r| r.id)
+        .unwrap();
+
+    // Intact ACL: traffic is dropped at S1 and the drop verifies as the
+    // expected behaviour.
+    let blocked = m.send("H2", "H3", 80);
+    assert!(!blocked.trace.delivered());
+    assert!(blocked.consistent(), "the drop IS the policy");
+
+    // Delete the ACL behind the controller's back.
+    m.net.switch_mut(SwitchId(1)).faults_mut().add(Fault::ExternalDelete(acl_id));
+    m.net.advance_clock(1_000_000_000);
+    let leaked = m.send("H2", "H3", 80);
+    assert!(leaked.trace.delivered(), "violation: packet reached H3");
+    assert!(!leaked.consistent(), "VeriDP must flag the leak");
+}
+
+#[test]
+fn monitor_detects_silent_rule_loss() {
+    // §2.2 "lack of acknowledgement": FlowMod dropped, barrier acked anyway.
+    let topo = gen::linear(3);
+    let mut m = Monitor::deploy(topo, &[], 16).unwrap();
+    // Pre-arm the fault before rules are installed: the rule towards h2's
+    // subnet on S2 will be silently lost.
+    // First compile to learn ids — deploy with no intents, then install.
+    m.controller.install_intent(&Intent::Connectivity).unwrap();
+    let lost_id = m
+        .controller
+        .rules_of(SwitchId(2))
+        .iter()
+        .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
+        .map(|r| r.id)
+        .unwrap();
+    m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::DropFlowMod(lost_id));
+    m.flush();
+    let out = m.send("h1", "h2", 80);
+    assert!(!out.trace.delivered(), "blackhole at S2");
+    assert!(!out.consistent());
+    assert_eq!(out.suspect(), Some(SwitchId(2)));
+}
+
+#[test]
+fn monitor_sampling_skips_repeat_packets() {
+    let mut m = Monitor::deploy(gen::linear(2), &[Intent::Connectivity], 16).unwrap();
+    // Per-flow sampling interval of 1 ms on the entry switch.
+    let sampler = veridp_switch::Sampler::new(1_000_000);
+    let pipeline =
+        veridp_switch::VeriDpPipeline::new(SwitchId(1)).with_sampler(sampler);
+    *m.net.switch_mut(SwitchId(1)) =
+        m.net.switch(SwitchId(1)).clone().with_pipeline(pipeline);
+
+    let first = m.send("h1", "h2", 80);
+    assert_eq!(first.trace.reports.len(), 1, "first packet of a flow is sampled");
+    let second = m.send("h1", "h2", 80); // immediately after: within T_s
+    assert!(second.trace.reports.is_empty(), "second packet not sampled");
+    m.net.advance_clock(2_000_000);
+    let third = m.send("h1", "h2", 80);
+    assert_eq!(third.trace.reports.len(), 1, "after T_s the flow samples again");
+}
+
+// ---------------------------------------------------------------- eventsim
+
+#[test]
+fn eventsim_orders_events_and_verifies() {
+    let topo = gen::linear(3);
+    let mut ctrl = veridp_controller::Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+    let rules: std::collections::HashMap<_, _> =
+        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let server = VeriDpServer::new(&topo, &rules, 16);
+    let mut net = Network::new(topo.clone());
+    net.apply_messages(ctrl.drain_messages());
+
+    let mut sim = EventSim::new(net, server);
+    let src = topo.host("h1").unwrap().attached;
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 40000, 80);
+    sim.flow(src, h, 0, 1_000_000, 5_000_000); // 6 packets, 1 ms apart
+    let log = sim.run();
+    assert!(!log.is_empty());
+    assert!(log.iter().all(|e| e.outcome == VerifyOutcome::Pass));
+    // Log is time-ordered.
+    assert!(log.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+}
+
+#[test]
+fn eventsim_measures_detection_latency() {
+    // The §4.5 bound: with sampling interval T_s and inter-packet gap T_a,
+    // a fault is detected within T_s + T_a (+ report latency).
+    let topo = gen::linear(3);
+    let mut ctrl = veridp_controller::Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+    let rules: std::collections::HashMap<_, _> =
+        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let server = VeriDpServer::new(&topo, &rules, 16);
+    let mut net = Network::new(topo.clone());
+    net.apply_messages(ctrl.drain_messages());
+
+    let t_s = 3_000_000u64; // 3 ms sampling interval
+    let t_a = 1_000_000u64; // 1 ms packet gap
+    let sampler = veridp_switch::Sampler::new(t_s);
+    let pipeline = veridp_switch::VeriDpPipeline::new(SwitchId(1)).with_sampler(sampler);
+    *net.switch_mut(SwitchId(1)) = net.switch(SwitchId(1)).clone().with_pipeline(pipeline);
+
+    // Fault at t = 10 ms: S2's forwarding rule to h2 flips to a wrong port.
+    let fault_at = 10_000_000u64;
+    let rule_id = ctrl
+        .rules_of(SwitchId(2))
+        .iter()
+        .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
+        .map(|r| r.id)
+        .unwrap();
+
+    let mut sim = EventSim::new(net, server);
+    let src = topo.host("h1").unwrap().attached;
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 40000, 80);
+    // Drive the flow up to the fault instant, inject the fault, continue.
+    sim.flow(src, h, 0, t_a, fault_at - 1);
+    sim.run();
+    sim.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rule_id, Action::Drop));
+    sim.flow(src, h, fault_at, t_a, fault_at + 20_000_000);
+    sim.run();
+
+    let detected = sim.first_failure_after(fault_at).expect("fault detected");
+    let latency = detected - fault_at;
+    let bound = t_s + t_a + sim.report_latency_ns;
+    assert!(latency <= bound, "latency {latency} exceeds bound {bound}");
+}
+
+// -------------------------------------------------------------- TE intent
+
+#[test]
+fn monitor_traffic_engineering_split_and_fault() {
+    // Figure 3: two paths S1→S2→S3 and S1→S3; TE failure at S1 collapses
+    // everything onto one path and VeriDP notices per-packet.
+    let mut m = Monitor::deploy(
+        gen::figure5(),
+        &[
+            Intent::Connectivity,
+            Intent::TrafficEngineering {
+                src_host: "H1".into(),
+                dst_host: "H3".into(),
+                path_a: vec![1, 2, 3],
+                path_b: vec![1, 3],
+            },
+        ],
+        16,
+    )
+    .unwrap();
+
+    // Low source ports take path A (via S2), high take path B (direct).
+    let src = m.net.topo().host("H1").unwrap().attached;
+    let low = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 100, 80);
+    let high = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 60000, 80);
+    let out_low = m.send_header(src, low);
+    let out_high = m.send_header(src, high);
+    assert!(out_low.consistent() && out_high.consistent());
+    assert_eq!(out_low.trace.hops.len(), 3); // S1,S2,S3
+    assert_eq!(out_high.trace.hops.len(), 2); // S1,S3
+
+    // TE rule for the low half fails at S1 (wrong port → direct path).
+    let te_low = m
+        .controller
+        .rules_of(SwitchId(1))
+        .iter()
+        .find(|r| r.priority == 100 && r.fields.src_port.hi == 0x7fff)
+        .map(|r| r.id)
+        .unwrap();
+    m.net
+        .switch_mut(SwitchId(1))
+        .faults_mut()
+        .add(Fault::ExternalModify(te_low, Action::Forward(PortNo(4))));
+    m.net.advance_clock(1_000_000_000);
+    let out_low2 = m.send_header(src, low);
+    assert!(out_low2.trace.delivered(), "traffic still flows — policy broken silently");
+    assert!(!out_low2.consistent(), "VeriDP flags the TE violation");
+    assert_eq!(out_low2.suspect(), Some(SwitchId(1)));
+}
+
+// ------------------------------------------------------------ loop (§6.2)
+
+#[test]
+fn monitor_loop_first_report_passes_rest_fail() {
+    // §6.2 loop test: control plane is loop-free (path table built from the
+    // logical rules), data plane loops. Only the first TTL report can ever
+    // pass; subsequent reports fail.
+    let topo = gen::linear(3);
+    let mut m = Monitor::deploy(topo, &[Intent::Connectivity], 16).unwrap();
+    // Physically rewire S3's delivery rule for h2's subnet back towards S2,
+    // creating a data-plane loop S2 ↔ S3.
+    let s3_rule = m
+        .controller
+        .rules_of(SwitchId(3))
+        .iter()
+        .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
+        .map(|r| r.id)
+        .unwrap();
+    m.net
+        .switch_mut(SwitchId(3))
+        .faults_mut()
+        .add(Fault::ExternalModify(s3_rule, Action::Forward(PortNo(1))));
+    let out = m.send("h1", "h2", 80);
+    assert!(out.trace.looped);
+    assert!(!out.trace.reports.is_empty());
+    assert!(!out.consistent(), "loop reports must fail verification");
+}
+
+// ------------------------------------------------------ premature barrier
+
+#[test]
+fn premature_barrier_hides_loss_but_veridp_sees_it() {
+    let topo = gen::linear(2);
+    let mut m = Monitor::deploy(topo, &[], 16).unwrap();
+    *m.net.switch_mut(SwitchId(2)) = m
+        .net
+        .switch(SwitchId(2))
+        .clone()
+        .with_barrier(veridp_switch::BarrierBehavior::Premature);
+    m.controller.install_intent(&Intent::Connectivity).unwrap();
+    let lost = m.controller.rules_of(SwitchId(2)).iter().next().map(|r| r.id).unwrap();
+    m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::DropFlowMod(lost));
+    let n = m.flush();
+    assert!(n > 0);
+    // All barriers acked — the controller believes everything installed.
+    // The data plane disagrees, and VeriDP catches it on first traffic.
+    let broken: Vec<_> = m
+        .ping_all_pairs(80)
+        .into_iter()
+        .filter(|o| !o.consistent())
+        .collect();
+    assert!(!broken.is_empty());
+}
+
+#[test]
+fn all_pairs_clean_network_all_pass() {
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let outcomes = m.ping_all_pairs(80);
+    assert_eq!(outcomes.len(), 16 * 15);
+    for o in &outcomes {
+        assert!(o.trace.delivered());
+        assert!(o.consistent());
+    }
+    let stats = m.server.stats();
+    assert_eq!(stats.reports, 16 * 15);
+    assert_eq!(stats.failed(), 0);
+}
+
+// --------------------------------------------------------------- baselines
+
+mod baselines {
+    use super::*;
+    use crate::baselines::{
+        atpg_generate, atpg_run, monocle_generate, monocle_run, MonocleVerdict,
+    };
+    use veridp_switch::RuleId;
+
+    #[test]
+    fn atpg_detects_blackhole() {
+        let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16).unwrap();
+        let probes = {
+            let mut hs = veridp_core::HeaderSpace::new();
+            let rules: std::collections::HashMap<_, _> =
+                m.controller.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+            let table = veridp_core::PathTable::build(m.net.topo(), &rules, &mut hs, 16);
+            atpg_generate(&table, &mut hs)
+        };
+        assert!(!probes.is_empty());
+        // Healthy: all pass.
+        let healthy = atpg_run(&mut m.net, &probes);
+        assert_eq!(healthy.failed, 0);
+
+        // Blackhole at S2.
+        let rid = m
+            .controller
+            .rules_of(SwitchId(2))
+            .iter()
+            .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
+            .unwrap()
+            .id;
+        m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+        m.net.advance_clock(1_000_000_000);
+        let faulty = atpg_run(&mut m.net, &probes);
+        assert!(faulty.detects_fault(), "ATPG catches lost probes");
+    }
+
+    #[test]
+    fn atpg_misses_waypoint_bypass_veridp_catches_it() {
+        // The paper's core argument (§3.1/§7): reception-only checking
+        // cannot see a deviation that still delivers.
+        let deploy = || {
+            Monitor::deploy(
+                gen::figure5(),
+                &[
+                    Intent::Connectivity,
+                    Intent::Waypoint {
+                        src_host: "H1".into(),
+                        dst_host: "H3".into(),
+                        via: "MB".into(),
+                    },
+                ],
+                16,
+            )
+            .unwrap()
+        };
+        let mut m = deploy();
+        let rules: std::collections::HashMap<_, _> =
+            m.controller.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+        let mut hs = veridp_core::HeaderSpace::new();
+        let table = veridp_core::PathTable::build(m.net.topo(), &rules, &mut hs, 16);
+        let probes = atpg_generate(&table, &mut hs);
+
+        // Bypass the middlebox at S1.
+        let wp = m
+            .controller
+            .rules_of(SwitchId(1))
+            .iter()
+            .find(|r| r.priority == 150)
+            .unwrap()
+            .id;
+        m.net
+            .switch_mut(SwitchId(1))
+            .faults_mut()
+            .add(Fault::ExternalModify(wp, Action::Forward(PortNo(4))));
+        m.net.advance_clock(1_000_000_000);
+
+        // ATPG: every probe still arrives where expected — silence.
+        let atpg = atpg_run(&mut m.net, &probes);
+        assert_eq!(atpg.failed, 0, "ATPG misses the bypass");
+
+        // VeriDP: the very same traffic fails verification.
+        let mut m2 = deploy();
+        m2.net
+            .switch_mut(SwitchId(1))
+            .faults_mut()
+            .add(Fault::ExternalModify(wp, Action::Forward(PortNo(4))));
+        let out = m2.send("H1", "H3", 22);
+        assert!(!out.consistent(), "VeriDP catches the bypass");
+    }
+
+    #[test]
+    fn monocle_probes_detect_missing_and_corrupted_rules() {
+        let topo = gen::figure5();
+        let mut m = Monitor::deploy(topo, &[Intent::Connectivity], 16).unwrap();
+        let ports: Vec<PortNo> = (1..=4).map(PortNo).collect();
+        let rules: Vec<_> = m.controller.rules_of(SwitchId(1)).to_vec();
+        let mut hs = veridp_core::HeaderSpace::new();
+        let set = monocle_generate(SwitchId(1), &ports, &rules, &mut hs);
+        assert!(!set.probes.is_empty());
+
+        // Healthy table: every probed rule present.
+        let verdicts = monocle_run(&mut m.net, &set.probes);
+        assert!(verdicts.values().all(|v| *v == MonocleVerdict::RulePresent));
+
+        // Delete one rule and corrupt another, out-of-band.
+        let victim_missing = set.probes[0].rule;
+        m.net.switch_mut(SwitchId(1)).faults_mut().add(Fault::ExternalDelete(victim_missing));
+        let victim_wrong = set
+            .probes
+            .iter()
+            .map(|p| p.rule)
+            .find(|r| *r != victim_missing)
+            .unwrap();
+        // Send it to a port that is neither expected nor the no-rule port.
+        let probe = set.probes.iter().find(|p| p.rule == victim_wrong).unwrap();
+        let bogus = (1..=4)
+            .map(PortNo)
+            .find(|p| *p != probe.expect_out && *p != probe.absent_out)
+            .unwrap();
+        m.net
+            .switch_mut(SwitchId(1))
+            .faults_mut()
+            .add(Fault::ExternalModify(victim_wrong, Action::Forward(bogus)));
+
+        let verdicts = monocle_run(&mut m.net, &set.probes);
+        assert_eq!(verdicts[&victim_missing], MonocleVerdict::RuleMissing);
+        assert_eq!(verdicts[&victim_wrong], MonocleVerdict::RuleCorrupted);
+    }
+
+    #[test]
+    fn monocle_counts_unverifiable_shadowed_rules() {
+        // A rule fully shadowed by a higher-priority twin has no
+        // distinguishing packet.
+        let rules = vec![
+            veridp_switch::FlowRule::new(
+                1,
+                100,
+                veridp_switch::Match::dst_prefix(ip(10, 0, 0, 0), 8),
+                Action::Forward(PortNo(1)),
+            ),
+            veridp_switch::FlowRule::new(
+                2,
+                10,
+                veridp_switch::Match::dst_prefix(ip(10, 0, 0, 0), 8),
+                Action::Forward(PortNo(2)),
+            ),
+        ];
+        let mut hs = veridp_core::HeaderSpace::new();
+        let ports: Vec<PortNo> = (1..=2).map(PortNo).collect();
+        let set = monocle_generate(SwitchId(1), &ports, &rules, &mut hs);
+        // Rule 2 is unverifiable... but note deleting rule 1 exposes rule 2,
+        // so rule 1 IS verifiable (absent → port 2).
+        assert_eq!(set.probes.len(), 1);
+        assert_eq!(set.probes[0].rule, RuleId(1));
+        assert_eq!(set.unverifiable, 1);
+    }
+}
+
+// ------------------------------------------------------------- rw monitor
+
+mod rewrite_monitor {
+    use super::*;
+    use crate::RwMonitor;
+    use std::collections::HashMap;
+    use veridp_core::rewrite::RwRule;
+    use veridp_switch::{FieldSet, FlowRule, RuleId};
+
+    fn nat_rules() -> (veridp_topo::Topology, HashMap<SwitchId, Vec<RwRule>>) {
+        let topo = gen::linear(2);
+        let vip = ip(203, 0, 113, 10);
+        let mut rules: HashMap<SwitchId, Vec<RwRule>> = HashMap::new();
+        rules.insert(
+            SwitchId(1),
+            vec![RwRule::rewriting(
+                FlowRule::new(1, 50, Match::dst_prefix(vip, 32), Action::Forward(PortNo(2))),
+                vec![FieldSet::dst_ip(ip(10, 0, 2, 1))],
+            )],
+        );
+        rules.insert(
+            SwitchId(2),
+            vec![RwRule::plain(FlowRule::new(
+                2,
+                24,
+                Match::dst_prefix(ip(10, 0, 2, 0), 24),
+                Action::Forward(PortNo(2)),
+            ))],
+        );
+        (topo, rules)
+    }
+
+    #[test]
+    fn healthy_nat_flow_verifies() {
+        let (topo, rules) = nat_rules();
+        let client = topo.host("h1").unwrap().attached;
+        let mut m = RwMonitor::deploy(topo, &rules, 16);
+        let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(203, 0, 113, 10), 40000, 443);
+        let (trace, verdicts) = m.send(client, h);
+        assert!(trace.delivered());
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].1.is_pass());
+        // The report carries the rewritten destination.
+        assert_eq!(verdicts[0].0.header.dst_ip, ip(10, 0, 2, 1));
+    }
+
+    #[test]
+    fn redirected_rewrite_is_caught() {
+        let (topo, rules) = nat_rules();
+        let client = topo.host("h1").unwrap().attached;
+        let mut m = RwMonitor::deploy(topo, &rules, 16);
+        m.switch_mut(SwitchId(1))
+            .set_rewrite(RuleId(1), vec![FieldSet::dst_ip(ip(10, 0, 2, 66))]);
+        let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(203, 0, 113, 10), 40000, 443);
+        let (trace, verdicts) = m.send(client, h);
+        assert!(trace.delivered(), "the redirect still delivers somewhere");
+        assert!(!verdicts[0].1.is_pass(), "exit-header check flags it");
+    }
+
+    #[test]
+    fn missing_rewrite_is_caught() {
+        // The rewrite silently not applied: the VIP header leaks through.
+        let (topo, rules) = nat_rules();
+        let client = topo.host("h1").unwrap().attached;
+        let mut m = RwMonitor::deploy(topo, &rules, 16);
+        m.switch_mut(SwitchId(1)).set_rewrite(RuleId(1), vec![]);
+        let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(203, 0, 113, 10), 40000, 443);
+        let (_, verdicts) = m.send(client, h);
+        assert!(!verdicts.is_empty());
+        assert!(!verdicts[0].1.is_pass());
+    }
+
+    #[test]
+    fn non_rewritten_traffic_unaffected() {
+        let (topo, mut rules) = nat_rules();
+        // Plain forwarding for another subnet through both switches.
+        rules.get_mut(&SwitchId(1)).unwrap().push(RwRule::plain(FlowRule::new(
+            10,
+            24,
+            Match::dst_prefix(ip(10, 0, 2, 0), 24),
+            Action::Forward(PortNo(2)),
+        )));
+        let client = topo.host("h1").unwrap().attached;
+        let mut m = RwMonitor::deploy(topo, &rules, 16);
+        let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 7), 40000, 80);
+        let (trace, verdicts) = m.send(client, h);
+        assert!(trace.delivered());
+        assert!(verdicts[0].1.is_pass());
+        assert_eq!(verdicts[0].0.header.dst_ip, ip(10, 0, 2, 7), "header untouched");
+    }
+}
+
+// ------------------------------------------------------------- lossy channel
+
+#[test]
+fn lossy_report_channel_delays_but_does_not_prevent_detection() {
+    // Tag reports ride plain UDP (§5). With 50% report loss, detection of a
+    // persistent fault still happens — continuous sampling keeps producing
+    // evidence — only later.
+    let topo = gen::linear(3);
+    let mut ctrl = veridp_controller::Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+    let rules: std::collections::HashMap<_, _> =
+        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let server = VeriDpServer::new(&topo, &rules, 16);
+    let mut net = Network::new(topo.clone());
+    net.apply_messages(ctrl.drain_messages());
+
+    let rid = ctrl
+        .rules_of(SwitchId(2))
+        .iter()
+        .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
+        .map(|r| r.id)
+        .unwrap();
+
+    let mut sim = EventSim::new(net, server);
+    sim.set_report_loss(0.5, 7);
+    let src = topo.host("h1").unwrap().attached;
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 40000, 80);
+
+    sim.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+    sim.flow(src, h, 0, 1_000_000, 60_000_000); // 61 packets, all faulty
+    sim.run();
+
+    assert!(sim.reports_lost > 10, "channel dropped reports: {}", sim.reports_lost);
+    assert!(
+        sim.first_failure_after(0).is_some(),
+        "detection survives report loss"
+    );
+}
+
+#[test]
+fn zero_loss_channel_drops_nothing() {
+    let topo = gen::linear(2);
+    let mut ctrl = veridp_controller::Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+    let rules: std::collections::HashMap<_, _> =
+        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let server = VeriDpServer::new(&topo, &rules, 16);
+    let mut net = Network::new(topo.clone());
+    net.apply_messages(ctrl.drain_messages());
+
+    let mut sim = EventSim::new(net, server);
+    let src = topo.host("h1").unwrap().attached;
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 40000, 80);
+    sim.flow(src, h, 0, 1_000_000, 20_000_000);
+    sim.run();
+    assert_eq!(sim.reports_lost, 0);
+    assert_eq!(sim.log().len(), 21);
+}

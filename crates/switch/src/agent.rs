@@ -1,0 +1,222 @@
+//! The switch: OpenFlow agent + OpenFlow pipeline + VeriDP pipeline.
+
+use serde::{Deserialize, Serialize};
+use veridp_packet::{Packet, PortNo, SwitchId, TagReport};
+use veridp_topo::Topology;
+
+use std::collections::HashMap;
+
+use crate::faults::FaultPlan;
+use crate::pipeline::VeriDpPipeline;
+use crate::rule::{Action, FieldSet, FlowRule, RuleId};
+use crate::table::{FlowTable, LookupResult};
+
+/// OpenFlow-style messages from the controller to a switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OfMessage {
+    /// Install a rule.
+    FlowAdd(FlowRule),
+    /// Remove a rule by id.
+    FlowDelete(RuleId),
+    /// Change the action of an installed rule.
+    FlowModify(RuleId, Action),
+    /// Barrier: the switch must answer once preceding messages took effect.
+    Barrier(u64),
+}
+
+impl OfMessage {
+    /// The rule id this message concerns, if any.
+    pub fn rule_id(&self) -> Option<RuleId> {
+        match self {
+            OfMessage::FlowAdd(r) => Some(r.id),
+            OfMessage::FlowDelete(id) | OfMessage::FlowModify(id, _) => Some(*id),
+            OfMessage::Barrier(_) => None,
+        }
+    }
+}
+
+/// Replies from a switch to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OfReply {
+    /// Barrier acknowledgement.
+    BarrierReply(u64),
+}
+
+/// How the switch handles Barrier messages.
+///
+/// Measurements show real switches may ack a Barrier before rules are
+/// actually in the flow table (§2.2); `Premature` models that: the ack comes
+/// back even when a `DropFlowMod` fault swallowed the preceding FlowMod, so
+/// the controller cannot tell the difference — which is why VeriDP monitors
+/// the data plane instead of trusting acknowledgements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BarrierBehavior {
+    /// Ack only after all previous messages are applied (spec-compliant).
+    #[default]
+    Correct,
+    /// Ack immediately regardless of actual installation state.
+    Premature,
+}
+
+/// A simulated SDN switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    pub id: SwitchId,
+    table: FlowTable,
+    faults: FaultPlan,
+    pipeline: VeriDpPipeline,
+    barrier: BarrierBehavior,
+    externals_applied: bool,
+    /// Set-field action lists per rule (the header-rewrite extension);
+    /// executed before output, i.e. before the VeriDP pipeline sees the
+    /// packet (§5: tagging runs after all actions).
+    rewrites: HashMap<RuleId, Vec<FieldSet>>,
+}
+
+impl Switch {
+    /// A fault-free switch sampling every packet.
+    pub fn new(id: SwitchId) -> Self {
+        Switch {
+            id,
+            table: FlowTable::new(),
+            faults: FaultPlan::none(),
+            pipeline: VeriDpPipeline::new(id),
+            barrier: BarrierBehavior::default(),
+            externals_applied: false,
+            rewrites: HashMap::new(),
+        }
+    }
+
+    /// Attach a set-field action list to a rule (header-rewrite extension).
+    pub fn set_rewrite(&mut self, id: RuleId, sets: Vec<FieldSet>) {
+        self.rewrites.insert(id, sets);
+    }
+
+    /// The rewrite chain of a rule, if any.
+    pub fn rewrite_of(&self, id: RuleId) -> Option<&[FieldSet]> {
+        self.rewrites.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Attach a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the VeriDP pipeline configuration.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: VeriDpPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Set the Barrier behaviour.
+    #[must_use]
+    pub fn with_barrier(mut self, barrier: BarrierBehavior) -> Self {
+        self.barrier = barrier;
+        self
+    }
+
+    /// The physical flow table (what actually got installed).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// The active fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable fault plan (inject faults mid-experiment).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        self.externals_applied = false;
+        &mut self.faults
+    }
+
+    /// The VeriDP pipeline.
+    pub fn pipeline(&self) -> &VeriDpPipeline {
+        &self.pipeline
+    }
+
+    /// Mutable VeriDP pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut VeriDpPipeline {
+        &mut self.pipeline
+    }
+
+    /// Handle one controller message, applying install-time faults.
+    pub fn handle(&mut self, msg: OfMessage) -> Option<OfReply> {
+        match msg {
+            OfMessage::FlowAdd(rule) => {
+                if let Some(rule) = self.faults.mangle_install(rule) {
+                    self.table.insert(rule);
+                }
+                None
+            }
+            OfMessage::FlowDelete(id) => {
+                self.table.remove(id);
+                None
+            }
+            OfMessage::FlowModify(id, action) => {
+                self.table.set_action(id, action);
+                None
+            }
+            OfMessage::Barrier(xid) => Some(OfReply::BarrierReply(xid)),
+        }
+    }
+
+    /// Apply external tampering (`External*` faults) to the installed table.
+    /// Idempotent until the fault plan changes.
+    pub fn apply_external_faults(&mut self) {
+        if self.externals_applied {
+            return;
+        }
+        let (deletes, modifies, inserts) = self.faults.external_edits();
+        for id in deletes {
+            self.table.remove(id);
+        }
+        for (id, action) in modifies {
+            self.table.set_action(id, action);
+        }
+        for rule in inserts {
+            self.table.insert(rule);
+        }
+        self.externals_applied = true;
+    }
+
+    /// OpenFlow pipeline lookup, honouring the `IgnorePriority` fault.
+    pub fn lookup(&self, in_port: PortNo, header: &veridp_packet::FiveTuple) -> LookupResult {
+        if self.faults.ignores_priority() {
+            self.table.lookup_ignoring_priority(in_port, header)
+        } else {
+            self.table.lookup(in_port, header)
+        }
+    }
+
+    /// Full per-hop processing: OpenFlow pipeline lookup followed by the
+    /// VeriDP pipeline (Algorithm 1). Returns the chosen output port
+    /// (possibly `⊥`) and any tag report emitted.
+    pub fn process_packet(
+        &mut self,
+        pkt: &mut Packet,
+        in_port: PortNo,
+        now_ns: u64,
+        topo: &Topology,
+    ) -> (PortNo, Option<TagReport>) {
+        self.apply_external_faults();
+        let result = self.lookup(in_port, &pkt.header);
+        let out_port = result.out_port();
+        // Execute set-field actions before the VeriDP pipeline runs (§5).
+        if let Some(rule) = result.rule() {
+            if let Some(sets) = self.rewrites.get(&rule.id) {
+                FieldSet::apply_all(sets, &mut pkt.header);
+            }
+        }
+        let in_ref = veridp_packet::PortRef { switch: self.id, port: in_port };
+        let out_ref = veridp_packet::PortRef { switch: self.id, port: out_port };
+        let in_is_edge = topo.is_terminal_port(in_ref);
+        let out_is_edge = !out_port.is_drop() && topo.is_terminal_port(out_ref);
+        let out = self.pipeline.process(pkt, in_port, out_port, now_ns, in_is_edge, out_is_edge);
+        (out_port, out.report)
+    }
+}

@@ -1,0 +1,110 @@
+//! Data-plane fault injection.
+//!
+//! Each variant models one of the inconsistency causes catalogued in §2.2.
+//! Faults act on the *physical* flow table only; the controller's logical
+//! view (and therefore the VeriDP path table) never sees them — that gap is
+//! exactly what VeriDP exists to detect.
+
+use serde::{Deserialize, Serialize};
+use veridp_packet::PortNo;
+
+use crate::rule::{Action, FlowRule, RuleId};
+
+/// A single injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The FlowMod adding this rule is silently lost: the switch acks but
+    /// never installs (lack of data-plane acknowledgement; premature Barrier
+    /// replies, §2.2).
+    DropFlowMod(RuleId),
+    /// The rule installs, but forwards to the wrong port (switch software
+    /// bug). This is the fault class of the localization experiment (§6.3).
+    WrongPort(RuleId, PortNo),
+    /// The switch ignores rule priorities and uses first-installed-wins
+    /// (premature switch implementation, §2.2).
+    IgnorePriority,
+    /// After installation, an external actor rewrites the rule's action
+    /// (dpctl misuse or a compromised switch OS, §2.2).
+    ExternalModify(RuleId, Action),
+    /// An external actor inserts a rule the controller never sent.
+    ExternalInsert(FlowRule),
+    /// An external actor deletes an installed rule (e.g. an ACL), the access
+    /// violation scenario of §6.2.
+    ExternalDelete(RuleId),
+}
+
+/// The set of faults active on one switch.
+///
+/// `DropFlowMod` / `WrongPort` intercept FlowMods as they arrive; the
+/// `External*` variants fire on [`FaultPlan::apply_external`], which the
+/// simulator calls after rule installation to model out-of-band tampering.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a fault to the plan.
+    pub fn with(mut self, f: Fault) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// Add a fault in place.
+    pub fn add(&mut self, f: Fault) {
+        self.faults.push(f);
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether this switch ignores priorities.
+    pub fn ignores_priority(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::IgnorePriority))
+    }
+
+    /// Transform an incoming rule installation: `None` means the FlowMod is
+    /// swallowed; otherwise the (possibly corrupted) rule to install.
+    pub fn mangle_install(&self, rule: FlowRule) -> Option<FlowRule> {
+        let mut rule = rule;
+        for f in &self.faults {
+            match f {
+                Fault::DropFlowMod(id) if *id == rule.id => return None,
+                Fault::WrongPort(id, port) if *id == rule.id => {
+                    rule.action = Action::Forward(*port);
+                }
+                _ => {}
+            }
+        }
+        Some(rule)
+    }
+
+    /// The external tampering to apply against an installed table, as
+    /// `(deletes, modifies, inserts)`.
+    pub fn external_edits(&self) -> (Vec<RuleId>, Vec<(RuleId, Action)>, Vec<FlowRule>) {
+        let mut deletes = Vec::new();
+        let mut modifies = Vec::new();
+        let mut inserts = Vec::new();
+        for f in &self.faults {
+            match f {
+                Fault::ExternalDelete(id) => deletes.push(*id),
+                Fault::ExternalModify(id, a) => modifies.push((*id, *a)),
+                Fault::ExternalInsert(r) => inserts.push(*r),
+                _ => {}
+            }
+        }
+        (deletes, modifies, inserts)
+    }
+
+    /// All faults in the plan.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}

@@ -1,0 +1,53 @@
+//! The SDN switch data plane.
+//!
+//! Each simulated switch carries two independent pipelines, mirroring the
+//! paper's architecture (§3.2–3.3):
+//!
+//! * the **OpenFlow pipeline** — a priority flow table installed by the
+//!   controller, which is the component VeriDP *monitors* and the place where
+//!   faults are injected ([`FaultPlan`]): FlowMods silently lost, wrong
+//!   output ports, ignored priorities, external modifications;
+//! * the **VeriDP pipeline** ([`VeriDpPipeline`]) — sampling, tagging, and
+//!   reporting (Algorithm 1), implemented in the fast path *separately* from
+//!   the flow tables so data-plane faults cannot corrupt the tags.
+//!
+//! The [`hw_model`] module reproduces the ONetSwitch FPGA cost accounting
+//! used for the data-plane overhead experiment (Table 4).
+//!
+//! # Example
+//!
+//! ```
+//! use veridp_packet::{FiveTuple, PortNo, SwitchId};
+//! use veridp_switch::{Action, Fault, FaultPlan, FlowRule, Match, OfMessage, Switch};
+//!
+//! // A switch that silently loses the FlowMod for rule 2 but acks anyway.
+//! let mut sw = Switch::new(SwitchId(1))
+//!     .with_faults(FaultPlan::none().with(Fault::DropFlowMod(veridp_switch::RuleId(2))));
+//! sw.handle(OfMessage::FlowAdd(FlowRule::new(
+//!     1, 10, Match::dst_prefix(0x0a000200, 24), Action::Forward(PortNo(3)))));
+//! sw.handle(OfMessage::FlowAdd(FlowRule::new(
+//!     2, 20, Match::dst_prefix(0x0a000300, 24), Action::Forward(PortNo(4)))));
+//!
+//! // Rule 1 forwards; rule 2 never made it — its traffic table-misses.
+//! let h1 = FiveTuple::tcp(1, 0x0a000205, 5, 80);
+//! let h2 = FiveTuple::tcp(1, 0x0a000305, 5, 80);
+//! assert_eq!(sw.lookup(PortNo(1), &h1).out_port(), PortNo(3));
+//! assert!(sw.lookup(PortNo(1), &h2).out_port().is_drop());
+//! ```
+
+mod agent;
+mod faults;
+pub mod hw_model;
+pub mod ofwire;
+mod pipeline;
+mod rule;
+mod table;
+
+pub use agent::{BarrierBehavior, OfMessage, OfReply, Switch};
+pub use faults::{Fault, FaultPlan};
+pub use pipeline::{FlowKey, PipelineOutput, Sampler, VeriDpPipeline};
+pub use rule::{mask as prefix_mask, Action, FieldSet, FlowRule, Match, PortRange, RuleId, RwField};
+pub use table::{FlowTable, LookupResult};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,225 @@
+//! The VeriDP pipeline: sampling, tagging, reporting (Algorithm 1, §3.3) and
+//! the flow sampler (§4.5).
+//!
+//! The pipeline runs in the switch fast path *after* the OpenFlow pipeline
+//! has chosen an output port, and is deliberately independent of the flow
+//! table: a corrupted flow table changes which port a packet takes, never how
+//! the packet is tagged — that independence is what makes the tags
+//! trustworthy evidence.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use veridp_bloom::{BloomTag, HopEncoder};
+use veridp_packet::{FiveTuple, Packet, PortNo, PortRef, SwitchId, TagReport, MAX_PATH_LENGTH};
+
+/// Flow identity for sampling: the TCP/UDP 5-tuple (§5).
+pub type FlowKey = FiveTuple;
+
+/// Per-flow time-based sampler (§4.5).
+///
+/// Each flow `f` has a sampling interval `T_s^f`; a packet of `f` arriving at
+/// time `t` is sampled iff `t − t^f > T_s^f`, where `t^f` is the last
+/// sampling instant. Choosing `T_s^f ≤ τ − T_a^f` (with `T_a^f` the flow's
+/// maximum inter-packet gap) bounds fault-detection latency by `τ`; see
+/// [`Sampler::max_detection_latency`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sampler {
+    /// Default sampling interval `T_s` in virtual nanoseconds.
+    default_interval_ns: u64,
+    /// Per-flow overrides of `T_s`.
+    overrides: HashMap<FlowKey, u64>,
+    /// Last sampling instant `t^f` per active flow.
+    last: HashMap<FlowKey, u64>,
+}
+
+impl Sampler {
+    /// A sampler with the given default interval. Interval 0 samples every
+    /// packet (useful for experiments that need full coverage).
+    pub fn new(default_interval_ns: u64) -> Self {
+        Sampler { default_interval_ns, overrides: HashMap::new(), last: HashMap::new() }
+    }
+
+    /// Sample every packet.
+    pub fn always() -> Self {
+        Sampler::new(0)
+    }
+
+    /// Set a per-flow sampling interval `T_s^f`.
+    pub fn set_flow_interval(&mut self, flow: FlowKey, interval_ns: u64) {
+        self.overrides.insert(flow, interval_ns);
+    }
+
+    /// Compute the sampling interval that bounds detection latency by
+    /// `tau_ns` for a flow with maximum inter-packet gap `t_a_ns`
+    /// (`T_s ≤ τ − T_a`, §4.5). Returns `None` when no interval can meet the
+    /// bound (`τ ≤ T_a`).
+    pub fn interval_for_latency(tau_ns: u64, t_a_ns: u64) -> Option<u64> {
+        tau_ns.checked_sub(t_a_ns).filter(|_| tau_ns > t_a_ns)
+    }
+
+    /// Worst-case detection latency `T_s + T_a` for a flow (§4.5, Figure 9).
+    pub fn max_detection_latency(&self, flow: &FlowKey, t_a_ns: u64) -> u64 {
+        self.interval_of(flow) + t_a_ns
+    }
+
+    fn interval_of(&self, flow: &FlowKey) -> u64 {
+        self.overrides.get(flow).copied().unwrap_or(self.default_interval_ns)
+    }
+
+    /// Decide whether to sample a packet of `flow` arriving at `now_ns`,
+    /// updating the last-sampling instant when sampling. The first packet of
+    /// a flow is always sampled.
+    pub fn should_sample(&mut self, flow: &FlowKey, now_ns: u64) -> bool {
+        let interval = self.interval_of(flow);
+        match self.last.get(flow) {
+            Some(&t_f) if now_ns.saturating_sub(t_f) <= interval => false,
+            _ => {
+                self.last.insert(*flow, now_ns);
+                true
+            }
+        }
+    }
+
+    /// Number of flows currently tracked.
+    pub fn active_flows(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Forget idle flows last sampled before `cutoff_ns` (the hardware
+    /// implementation's limited flow array behaves like this, §5).
+    pub fn evict_idle(&mut self, cutoff_ns: u64) {
+        self.last.retain(|_, &mut t| t >= cutoff_ns);
+    }
+}
+
+/// What the pipeline did with a packet at one hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineOutput {
+    /// Report emitted towards the VeriDP server, if the packet is leaving the
+    /// network (edge port, drop, or TTL expiry) while marked.
+    pub report: Option<TagReport>,
+    /// Whether the entry switch sampled (marked) the packet at this hop.
+    pub sampled_here: bool,
+}
+
+/// Per-switch VeriDP pipeline state (Algorithm 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VeriDpPipeline {
+    switch: SwitchId,
+    /// Bloom tag width carried by sampled packets. 16 on the wire (§5);
+    /// other widths are used by the Fig. 12 sweep inside the simulator.
+    tag_bits: u32,
+    sampler: Sampler,
+    /// Counters for the overhead experiment: packets that went through the
+    /// sampling module and the tagging module.
+    pub sampled_count: u64,
+    pub tagged_count: u64,
+}
+
+impl VeriDpPipeline {
+    /// A pipeline sampling every packet with 16-bit tags.
+    pub fn new(switch: SwitchId) -> Self {
+        VeriDpPipeline {
+            switch,
+            tag_bits: veridp_bloom::DEFAULT_TAG_BITS,
+            sampler: Sampler::always(),
+            sampled_count: 0,
+            tagged_count: 0,
+        }
+    }
+
+    /// Override the tag width (simulator-only widths included).
+    #[must_use]
+    pub fn with_tag_bits(mut self, bits: u32) -> Self {
+        self.tag_bits = bits;
+        self
+    }
+
+    /// Replace the sampler.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Tag width in bits.
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    /// Mutable access to the sampler (per-flow interval tuning).
+    pub fn sampler_mut(&mut self) -> &mut Sampler {
+        &mut self.sampler
+    }
+
+    /// Run Algorithm 1 for a packet that the OpenFlow pipeline is about to
+    /// output on `out_port` (possibly `⊥`).
+    ///
+    /// * `in_is_edge` — whether `⟨s, in_port⟩` faces outside the network
+    ///   (entry switch role for this packet);
+    /// * `out_is_edge` — whether `⟨s, out_port⟩` does (exit switch role).
+    ///
+    /// Mutates the packet's VeriDP fields and returns the tag report when the
+    /// packet is leaving the monitored domain.
+    pub fn process(
+        &mut self,
+        pkt: &mut Packet,
+        in_port: PortNo,
+        out_port: PortNo,
+        now_ns: u64,
+        in_is_edge: bool,
+        out_is_edge: bool,
+    ) -> PipelineOutput {
+        let mut sampled_here = false;
+        // Lines 1–3: entry switches initialize tag and TTL for sampled flows.
+        if in_is_edge {
+            if self.sampler.should_sample(&pkt.header, now_ns) {
+                pkt.marker = true;
+                pkt.tag = Some(BloomTag::empty(self.tag_bits));
+                pkt.veridp_ttl = MAX_PATH_LENGTH;
+                pkt.inport = Some(PortRef { switch: self.switch, port: in_port });
+                sampled_here = true;
+                self.sampled_count += 1;
+            } else {
+                // Unsampled packets carry no VeriDP state.
+                pkt.marker = false;
+                pkt.tag = None;
+                pkt.inport = None;
+            }
+        }
+
+        if !pkt.marker {
+            return PipelineOutput { report: None, sampled_here };
+        }
+
+        // Lines 4–5: fold this hop into the tag; decrement TTL.
+        let hop = HopEncoder::encode(in_port.0, self.switch.0, out_port.0);
+        let tag = pkt.tag.get_or_insert_with(|| BloomTag::empty(self.tag_bits));
+        tag.insert(&hop);
+        self.tagged_count += 1;
+        pkt.veridp_ttl = pkt.veridp_ttl.saturating_sub(1);
+
+        // Lines 6–7: report when leaving the network, dropping, or looping.
+        let report = if out_is_edge || out_port.is_drop() || pkt.veridp_ttl == 0 {
+            let inport = pkt.inport.unwrap_or(PortRef { switch: self.switch, port: in_port });
+            let outport = PortRef { switch: self.switch, port: out_port };
+            let tag = *tag;
+            let header = pkt.header;
+            // The exit switch pops the VeriDP fields before delivery (§3.3),
+            // but keeps tagging state if the packet is still travelling
+            // (TTL-expiry reports on internal switches leave the mark so
+            // loops keep reporting, as in the §6.2 loop test).
+            if out_is_edge || out_port.is_drop() {
+                pkt.pop_veridp_state();
+            } else {
+                pkt.veridp_ttl = MAX_PATH_LENGTH;
+            }
+            Some(TagReport::new(inport, outport, header, tag))
+        } else {
+            None
+        };
+
+        PipelineOutput { report, sampled_here }
+    }
+}

@@ -1,0 +1,262 @@
+//! OpenFlow-style flow rules: match fields and actions.
+
+use serde::{Deserialize, Serialize};
+use veridp_packet::{FiveTuple, PortNo};
+
+/// Controller-assigned rule identifier, unique network-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RuleId(pub u64);
+
+/// An inclusive L4 port range. `PortRange::ANY` matches everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortRange {
+    pub lo: u16,
+    pub hi: u16,
+}
+
+impl PortRange {
+    /// The full range (wildcard).
+    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+
+    /// A single port.
+    pub const fn exact(p: u16) -> Self {
+        PortRange { lo: p, hi: p }
+    }
+
+    /// An inclusive range.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u16, hi: u16) -> Self {
+        assert!(lo <= hi, "empty port range {lo}..={hi}");
+        PortRange { lo, hi }
+    }
+
+    /// Whether `p` falls in the range.
+    #[inline]
+    pub fn contains(self, p: u16) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Whether this is the full wildcard range.
+    pub fn is_any(self) -> bool {
+        self == Self::ANY
+    }
+}
+
+/// Match fields of a rule. `None`/wildcard fields match anything.
+///
+/// IP fields match prefixes (`ip`, `plen`); L4 ports match ranges; the
+/// protocol matches exactly. `in_port` restricts the rule to packets received
+/// on one local port, as OpenFlow allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Match {
+    pub in_port: Option<PortNo>,
+    pub src_ip: u32,
+    pub src_plen: u8,
+    pub dst_ip: u32,
+    pub dst_plen: u8,
+    pub proto: Option<u8>,
+    pub src_port: PortRange,
+    pub dst_port: PortRange,
+}
+
+impl Match {
+    /// Match everything.
+    pub const ANY: Match = Match {
+        in_port: None,
+        src_ip: 0,
+        src_plen: 0,
+        dst_ip: 0,
+        dst_plen: 0,
+        proto: None,
+        src_port: PortRange::ANY,
+        dst_port: PortRange::ANY,
+    };
+
+    /// Match a destination prefix (the common forwarding-rule shape).
+    pub fn dst_prefix(ip: u32, plen: u8) -> Self {
+        assert!(plen <= 32);
+        Match { dst_ip: mask(ip, plen), dst_plen: plen, ..Match::ANY }
+    }
+
+    /// Match a source prefix.
+    pub fn src_prefix(ip: u32, plen: u8) -> Self {
+        assert!(plen <= 32);
+        Match { src_ip: mask(ip, plen), src_plen: plen, ..Match::ANY }
+    }
+
+    /// Restrict to one destination L4 port.
+    #[must_use]
+    pub fn with_dst_port(mut self, p: u16) -> Self {
+        self.dst_port = PortRange::exact(p);
+        self
+    }
+
+    /// Restrict to one source L4 port.
+    #[must_use]
+    pub fn with_src_port(mut self, p: u16) -> Self {
+        self.src_port = PortRange::exact(p);
+        self
+    }
+
+    /// Restrict to one IP protocol.
+    #[must_use]
+    pub fn with_proto(mut self, proto: u8) -> Self {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Restrict to packets received on `port`.
+    #[must_use]
+    pub fn with_in_port(mut self, port: PortNo) -> Self {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Whether `header` arriving on `in_port` satisfies every field.
+    pub fn matches(&self, in_port: PortNo, header: &FiveTuple) -> bool {
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        if mask(header.src_ip, self.src_plen) != self.src_ip {
+            return false;
+        }
+        if mask(header.dst_ip, self.dst_plen) != self.dst_ip {
+            return false;
+        }
+        if let Some(proto) = self.proto {
+            if proto != header.proto {
+                return false;
+            }
+        }
+        self.src_port.contains(header.src_port) && self.dst_port.contains(header.dst_port)
+    }
+}
+
+/// Zero out host bits beyond the prefix length.
+pub fn mask(ip: u32, plen: u8) -> u32 {
+    if plen == 0 {
+        0
+    } else {
+        ip & (u32::MAX << (32 - plen as u32))
+    }
+}
+
+/// What a rule does with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward out of a local port.
+    Forward(PortNo),
+    /// Explicitly drop.
+    Drop,
+}
+
+impl Action {
+    /// The output port, with `Drop` mapping to the virtual drop port `⊥`.
+    pub fn out_port(self) -> PortNo {
+        match self {
+            Action::Forward(p) => p,
+            Action::Drop => veridp_packet::DROP_PORT,
+        }
+    }
+}
+
+/// A header field a rewrite action may set (OpenFlow set-field targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RwField {
+    SrcIp,
+    DstIp,
+    SrcPort,
+    DstPort,
+}
+
+impl RwField {
+    /// Field width in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            RwField::SrcIp | RwField::DstIp => 32,
+            RwField::SrcPort | RwField::DstPort => 16,
+        }
+    }
+
+    /// First BDD variable of the field in the canonical 104-bit layout.
+    pub fn offset(self) -> u32 {
+        use veridp_packet::FieldLayout;
+        match self {
+            RwField::SrcIp => FieldLayout::SRC_IP,
+            RwField::DstIp => FieldLayout::DST_IP,
+            RwField::SrcPort => FieldLayout::SRC_PORT,
+            RwField::DstPort => FieldLayout::DST_PORT,
+        }
+    }
+}
+
+/// One set-field rewrite: `field := value`.
+///
+/// Carried by rules as an ordered action list executed before output —
+/// the header-rewrite extension of the paper's future work (§8), supported
+/// end-to-end by `veridp-core`'s rewrite-aware path table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldSet {
+    pub field: RwField,
+    pub value: u64,
+}
+
+impl FieldSet {
+    /// `src_ip := v`.
+    pub fn src_ip(v: u32) -> Self {
+        FieldSet { field: RwField::SrcIp, value: v as u64 }
+    }
+
+    /// `dst_ip := v` (the NAT-style rewrite).
+    pub fn dst_ip(v: u32) -> Self {
+        FieldSet { field: RwField::DstIp, value: v as u64 }
+    }
+
+    /// `src_port := v`.
+    pub fn src_port(v: u16) -> Self {
+        FieldSet { field: RwField::SrcPort, value: v as u64 }
+    }
+
+    /// `dst_port := v`.
+    pub fn dst_port(v: u16) -> Self {
+        FieldSet { field: RwField::DstPort, value: v as u64 }
+    }
+
+    /// Apply the rewrite to a concrete header.
+    pub fn apply(&self, h: &mut veridp_packet::FiveTuple) {
+        match self.field {
+            RwField::SrcIp => h.src_ip = self.value as u32,
+            RwField::DstIp => h.dst_ip = self.value as u32,
+            RwField::SrcPort => h.src_port = self.value as u16,
+            RwField::DstPort => h.dst_port = self.value as u16,
+        }
+    }
+
+    /// Apply a rewrite chain to a concrete header.
+    pub fn apply_all(sets: &[FieldSet], h: &mut veridp_packet::FiveTuple) {
+        for s in sets {
+            s.apply(h);
+        }
+    }
+}
+
+/// A complete flow rule. Higher `priority` wins; ties break on lower id
+/// (first-installed), matching common switch behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    pub id: RuleId,
+    pub priority: u16,
+    pub fields: Match,
+    pub action: Action,
+}
+
+impl FlowRule {
+    /// Construct a rule.
+    pub fn new(id: u64, priority: u16, fields: Match, action: Action) -> Self {
+        FlowRule { id: RuleId(id), priority, fields, action }
+    }
+}

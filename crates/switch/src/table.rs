@@ -1,0 +1,116 @@
+//! The priority flow table.
+
+use serde::{Deserialize, Serialize};
+use veridp_packet::{FiveTuple, PortNo};
+
+use crate::rule::{Action, FlowRule, RuleId};
+
+/// Outcome of a table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// A rule matched; the packet takes its action.
+    Matched(FlowRule),
+    /// No rule matched — the packet is dropped (table-miss drop, the paper's
+    /// drop case 1).
+    Miss,
+}
+
+impl LookupResult {
+    /// The effective output port: the rule's port, or `⊥` on a miss.
+    pub fn out_port(self) -> PortNo {
+        match self {
+            LookupResult::Matched(r) => r.action.out_port(),
+            LookupResult::Miss => veridp_packet::DROP_PORT,
+        }
+    }
+
+    /// The matched rule, if any.
+    pub fn rule(self) -> Option<FlowRule> {
+        match self {
+            LookupResult::Matched(r) => Some(r),
+            LookupResult::Miss => None,
+        }
+    }
+}
+
+/// A flow table: rules kept sorted by descending priority (ties: ascending
+/// id, i.e. first-installed wins), which makes lookup a linear scan stopping
+/// at the first match — the OpenFlow single-table semantics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    rules: Vec<FlowRule>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Install a rule, keeping match order. Replaces any rule with the same
+    /// id (re-add semantics).
+    pub fn insert(&mut self, rule: FlowRule) {
+        self.remove(rule.id);
+        let pos = self
+            .rules
+            .partition_point(|r| (r.priority, std::cmp::Reverse(r.id)) >= (rule.priority, std::cmp::Reverse(rule.id)));
+        self.rules.insert(pos, rule);
+    }
+
+    /// Remove a rule by id; returns it if present.
+    pub fn remove(&mut self, id: RuleId) -> Option<FlowRule> {
+        let pos = self.rules.iter().position(|r| r.id == id)?;
+        Some(self.rules.remove(pos))
+    }
+
+    /// Replace the action of an installed rule; returns false if absent.
+    pub fn set_action(&mut self, id: RuleId, action: Action) -> bool {
+        if let Some(r) = self.rules.iter_mut().find(|r| r.id == id) {
+            r.action = action;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fetch a rule by id.
+    pub fn get(&self, id: RuleId) -> Option<&FlowRule> {
+        self.rules.iter().find(|r| r.id == id)
+    }
+
+    /// Highest-priority match for `header` arriving on `in_port`.
+    pub fn lookup(&self, in_port: PortNo, header: &FiveTuple) -> LookupResult {
+        for r in &self.rules {
+            if r.fields.matches(in_port, header) {
+                return LookupResult::Matched(*r);
+            }
+        }
+        LookupResult::Miss
+    }
+
+    /// First match in *installation* order, ignoring priority — models the
+    /// priority-unaware switches of §2.2 (HP ProCurve 5406zl) for the
+    /// `IgnorePriority` fault.
+    pub fn lookup_ignoring_priority(&self, in_port: PortNo, header: &FiveTuple) -> LookupResult {
+        self.rules
+            .iter()
+            .filter(|r| r.fields.matches(in_port, header))
+            .min_by_key(|r| r.id)
+            .map_or(LookupResult::Miss, |r| LookupResult::Matched(*r))
+    }
+
+    /// All rules in match order (highest priority first).
+    pub fn rules(&self) -> &[FlowRule] {
+        &self.rules
+    }
+}

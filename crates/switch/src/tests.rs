@@ -1,0 +1,496 @@
+use veridp_bloom::{BloomTag, HopEncoder};
+use veridp_packet::{FiveTuple, Packet, PortNo, PortRef, SwitchId, DROP_PORT, MAX_PATH_LENGTH};
+use veridp_topo::gen;
+
+use crate::hw_model::HwCostModel;
+use crate::{
+    Action, BarrierBehavior, Fault, FaultPlan, FlowRule, FlowTable, LookupResult, Match,
+    OfMessage, OfReply, PortRange, RuleId, Sampler, Switch, VeriDpPipeline,
+};
+
+fn header(dst_ip: u32, dst_port: u16) -> FiveTuple {
+    FiveTuple::tcp(gen::ip(10, 0, 1, 1), dst_ip, 40000, dst_port)
+}
+
+// ---------------------------------------------------------------- matches
+
+#[test]
+fn match_any_matches_everything() {
+    let h = header(gen::ip(10, 0, 2, 1), 80);
+    assert!(Match::ANY.matches(PortNo(1), &h));
+}
+
+#[test]
+fn match_dst_prefix() {
+    let m = Match::dst_prefix(gen::ip(10, 0, 2, 0), 24);
+    assert!(m.matches(PortNo(1), &header(gen::ip(10, 0, 2, 77), 80)));
+    assert!(!m.matches(PortNo(1), &header(gen::ip(10, 0, 3, 77), 80)));
+}
+
+#[test]
+fn match_src_prefix_and_ports() {
+    let m = Match::src_prefix(gen::ip(10, 0, 1, 0), 24).with_dst_port(22).with_proto(6);
+    assert!(m.matches(PortNo(1), &header(gen::ip(1, 2, 3, 4), 22)));
+    assert!(!m.matches(PortNo(1), &header(gen::ip(1, 2, 3, 4), 23)));
+    let mut h = header(gen::ip(1, 2, 3, 4), 22);
+    h.proto = 17;
+    assert!(!m.matches(PortNo(1), &h));
+}
+
+#[test]
+fn match_in_port() {
+    let m = Match::ANY.with_in_port(PortNo(2));
+    assert!(m.matches(PortNo(2), &header(0, 0)));
+    assert!(!m.matches(PortNo(3), &header(0, 0)));
+}
+
+#[test]
+fn match_prefix_normalizes_host_bits() {
+    let m = Match::dst_prefix(gen::ip(10, 0, 2, 99), 24);
+    assert_eq!(m.dst_ip, gen::ip(10, 0, 2, 0));
+}
+
+#[test]
+fn port_range_semantics() {
+    let r = PortRange::new(100, 200);
+    assert!(r.contains(100) && r.contains(200) && r.contains(150));
+    assert!(!r.contains(99) && !r.contains(201));
+    assert!(PortRange::ANY.is_any());
+    assert_eq!(PortRange::exact(80), PortRange::new(80, 80));
+}
+
+#[test]
+#[should_panic(expected = "empty port range")]
+fn port_range_rejects_inverted() {
+    PortRange::new(5, 4);
+}
+
+// ---------------------------------------------------------------- table
+
+#[test]
+fn table_priority_order_wins() {
+    let mut t = FlowTable::new();
+    t.insert(FlowRule::new(1, 10, Match::dst_prefix(gen::ip(10, 0, 0, 0), 8), Action::Forward(PortNo(1))));
+    t.insert(FlowRule::new(2, 20, Match::dst_prefix(gen::ip(10, 0, 2, 0), 24), Action::Forward(PortNo(2))));
+    let r = t.lookup(PortNo(9), &header(gen::ip(10, 0, 2, 5), 80)).rule().unwrap();
+    assert_eq!(r.id, RuleId(2));
+    // Outside the /24 falls to the /8.
+    let r = t.lookup(PortNo(9), &header(gen::ip(10, 9, 9, 9), 80)).rule().unwrap();
+    assert_eq!(r.id, RuleId(1));
+}
+
+#[test]
+fn table_tie_breaks_on_first_installed() {
+    let mut t = FlowTable::new();
+    t.insert(FlowRule::new(7, 10, Match::ANY, Action::Forward(PortNo(1))));
+    t.insert(FlowRule::new(3, 10, Match::ANY, Action::Forward(PortNo(2))));
+    // Same priority: lower id (3) is "first installed" by convention.
+    assert_eq!(t.lookup(PortNo(1), &header(0, 0)).rule().unwrap().id, RuleId(3));
+}
+
+#[test]
+fn table_miss_drops() {
+    let t = FlowTable::new();
+    let res = t.lookup(PortNo(1), &header(0, 0));
+    assert_eq!(res, LookupResult::Miss);
+    assert_eq!(res.out_port(), DROP_PORT);
+    assert!(res.rule().is_none());
+}
+
+#[test]
+fn table_insert_remove_modify() {
+    let mut t = FlowTable::new();
+    t.insert(FlowRule::new(1, 5, Match::ANY, Action::Forward(PortNo(1))));
+    assert_eq!(t.len(), 1);
+    assert!(t.set_action(RuleId(1), Action::Drop));
+    assert_eq!(t.get(RuleId(1)).unwrap().action, Action::Drop);
+    assert!(!t.set_action(RuleId(9), Action::Drop));
+    assert!(t.remove(RuleId(1)).is_some());
+    assert!(t.is_empty());
+    assert!(t.remove(RuleId(1)).is_none());
+}
+
+#[test]
+fn table_reinsert_same_id_replaces() {
+    let mut t = FlowTable::new();
+    t.insert(FlowRule::new(1, 5, Match::ANY, Action::Forward(PortNo(1))));
+    t.insert(FlowRule::new(1, 50, Match::ANY, Action::Forward(PortNo(2))));
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.get(RuleId(1)).unwrap().priority, 50);
+}
+
+#[test]
+fn lookup_ignoring_priority_prefers_first_installed() {
+    let mut t = FlowTable::new();
+    t.insert(FlowRule::new(1, 1, Match::ANY, Action::Forward(PortNo(9)))); // low prio, old
+    t.insert(FlowRule::new(2, 100, Match::ANY, Action::Forward(PortNo(2)))); // high prio, new
+    assert_eq!(t.lookup(PortNo(1), &header(0, 0)).rule().unwrap().id, RuleId(2));
+    assert_eq!(
+        t.lookup_ignoring_priority(PortNo(1), &header(0, 0)).rule().unwrap().id,
+        RuleId(1)
+    );
+}
+
+// ---------------------------------------------------------------- sampler
+
+#[test]
+fn sampler_always_samples_first_packet() {
+    let mut s = Sampler::new(1_000_000);
+    assert!(s.should_sample(&header(1, 1), 0));
+    assert_eq!(s.active_flows(), 1);
+}
+
+#[test]
+fn sampler_respects_interval() {
+    let mut s = Sampler::new(1_000);
+    let f = header(1, 1);
+    assert!(s.should_sample(&f, 0));
+    assert!(!s.should_sample(&f, 500));
+    assert!(!s.should_sample(&f, 1_000)); // boundary: t - t_f must exceed T_s
+    assert!(s.should_sample(&f, 1_001));
+    assert!(!s.should_sample(&f, 1_500)); // clock restarts at 1_001
+}
+
+#[test]
+fn sampler_tracks_flows_independently() {
+    let mut s = Sampler::new(1_000);
+    let f1 = header(1, 1);
+    let f2 = header(2, 2);
+    assert!(s.should_sample(&f1, 0));
+    assert!(s.should_sample(&f2, 10));
+    assert_eq!(s.active_flows(), 2);
+}
+
+#[test]
+fn sampler_per_flow_override() {
+    let mut s = Sampler::new(1_000_000);
+    let f = header(1, 1);
+    s.set_flow_interval(f, 10);
+    assert!(s.should_sample(&f, 0));
+    assert!(s.should_sample(&f, 11));
+}
+
+#[test]
+fn sampler_latency_bound_formula() {
+    // T_s ≤ τ − T_a (§4.5).
+    assert_eq!(Sampler::interval_for_latency(1_000, 400), Some(600));
+    assert_eq!(Sampler::interval_for_latency(400, 400), None);
+    assert_eq!(Sampler::interval_for_latency(100, 400), None);
+    let s = Sampler::new(600);
+    assert_eq!(s.max_detection_latency(&header(1, 1), 400), 1_000);
+}
+
+#[test]
+fn sampler_evicts_idle_flows() {
+    let mut s = Sampler::new(0);
+    s.should_sample(&header(1, 1), 100);
+    s.should_sample(&header(2, 2), 5_000);
+    s.evict_idle(1_000);
+    assert_eq!(s.active_flows(), 1);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+/// A 3-switch linear walk driving the pipeline by hand.
+#[test]
+fn pipeline_tags_along_path_and_reports_at_exit() {
+    let h = header(gen::ip(10, 0, 2, 1), 80);
+    let mut pkt = Packet::new(h);
+    let mut p1 = VeriDpPipeline::new(SwitchId(1));
+    let mut p2 = VeriDpPipeline::new(SwitchId(2));
+    let mut p3 = VeriDpPipeline::new(SwitchId(3));
+
+    // Entry switch: edge in, internal out.
+    let o1 = p1.process(&mut pkt, PortNo(1), PortNo(2), 0, true, false);
+    assert!(o1.sampled_here);
+    assert!(o1.report.is_none());
+    assert!(pkt.marker);
+    assert_eq!(pkt.inport, Some(PortRef::new(1, 1)));
+    assert_eq!(pkt.veridp_ttl, MAX_PATH_LENGTH - 1);
+
+    // Internal switch.
+    let o2 = p2.process(&mut pkt, PortNo(1), PortNo(2), 10, false, false);
+    assert!(!o2.sampled_here);
+    assert!(o2.report.is_none());
+
+    // Exit switch: out is edge — report and strip.
+    let o3 = p3.process(&mut pkt, PortNo(1), PortNo(2), 20, false, true);
+    let report = o3.report.expect("exit emits report");
+    assert_eq!(report.inport, PortRef::new(1, 1));
+    assert_eq!(report.outport, PortRef::new(3, 2));
+    assert_eq!(report.header, h);
+    assert!(!pkt.marker, "VeriDP state popped before delivery");
+
+    // The tag is exactly the OR of the three hop filters.
+    let mut expect = BloomTag::default_width();
+    expect.insert(&HopEncoder::encode(1, 1, 2));
+    expect.insert(&HopEncoder::encode(1, 2, 2));
+    expect.insert(&HopEncoder::encode(1, 3, 2));
+    assert_eq!(report.tag, expect);
+}
+
+#[test]
+fn pipeline_reports_drops() {
+    let mut pkt = Packet::new(header(1, 1));
+    let mut p = VeriDpPipeline::new(SwitchId(5));
+    let o = p.process(&mut pkt, PortNo(1), DROP_PORT, 0, true, false);
+    let r = o.report.expect("drop must be reported for blackhole visibility");
+    assert!(r.is_drop());
+    assert_eq!(r.outport, PortRef::drop_of(SwitchId(5)));
+}
+
+#[test]
+fn pipeline_unsampled_packets_carry_no_state() {
+    let mut pkt = Packet::new(header(1, 1));
+    let sampler = Sampler::new(u64::MAX); // only first packet per flow
+    let mut p = VeriDpPipeline::new(SwitchId(1)).with_sampler(sampler);
+    // First packet sampled.
+    let o = p.process(&mut pkt, PortNo(1), PortNo(2), 0, true, true);
+    assert!(o.sampled_here);
+    assert!(o.report.is_some());
+    // Second packet of same flow: not sampled, no state, no report.
+    let mut pkt2 = Packet::new(header(1, 1));
+    let o2 = p.process(&mut pkt2, PortNo(1), PortNo(2), 1, true, true);
+    assert!(!o2.sampled_here);
+    assert!(o2.report.is_none());
+    assert!(!pkt2.marker);
+    assert!(pkt2.tag.is_none());
+}
+
+#[test]
+fn pipeline_ttl_expiry_reports_loop() {
+    let mut pkt = Packet::new(header(1, 1));
+    let mut p1 = VeriDpPipeline::new(SwitchId(1));
+    let mut p2 = VeriDpPipeline::new(SwitchId(2));
+    // Enter at edge.
+    p1.process(&mut pkt, PortNo(1), PortNo(2), 0, true, false);
+    // Loop between two internal hops until TTL expires.
+    let mut reports = 0;
+    for i in 0..2 * MAX_PATH_LENGTH as u64 {
+        let p = if i % 2 == 0 { &mut p2 } else { &mut p1 };
+        let o = p.process(&mut pkt, PortNo(2), PortNo(2), i + 1, false, false);
+        if o.report.is_some() {
+            reports += 1;
+        }
+    }
+    assert!(reports >= 1, "looping packet must trigger TTL-expiry reports");
+    assert!(pkt.marker, "packet keeps looping with marker intact");
+}
+
+#[test]
+fn pipeline_custom_tag_width() {
+    let mut pkt = Packet::new(header(1, 1));
+    let mut p = VeriDpPipeline::new(SwitchId(1)).with_tag_bits(48);
+    let o = p.process(&mut pkt, PortNo(1), PortNo(2), 0, true, true);
+    assert_eq!(o.report.unwrap().tag.nbits(), 48);
+}
+
+#[test]
+fn pipeline_counters_track_modules() {
+    let mut p = VeriDpPipeline::new(SwitchId(1));
+    let mut pkt = Packet::new(header(1, 1));
+    p.process(&mut pkt, PortNo(1), PortNo(2), 0, true, false);
+    let mut pkt2 = Packet::new(header(2, 2));
+    p.process(&mut pkt2, PortNo(1), PortNo(2), 1, true, false);
+    assert_eq!(p.sampled_count, 2);
+    assert_eq!(p.tagged_count, 2);
+}
+
+// ---------------------------------------------------------------- switch
+
+fn fwd_rule(id: u64, prio: u16, dst: u32, plen: u8, port: u16) -> FlowRule {
+    FlowRule::new(id, prio, Match::dst_prefix(dst, plen), Action::Forward(PortNo(port)))
+}
+
+#[test]
+fn switch_installs_and_forwards() {
+    let mut sw = Switch::new(SwitchId(1));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, gen::ip(10, 0, 2, 0), 24, 3)));
+    let res = sw.lookup(PortNo(1), &header(gen::ip(10, 0, 2, 7), 80));
+    assert_eq!(res.out_port(), PortNo(3));
+    assert_eq!(sw.handle(OfMessage::Barrier(42)), Some(OfReply::BarrierReply(42)));
+}
+
+#[test]
+fn switch_delete_and_modify() {
+    let mut sw = Switch::new(SwitchId(1));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, 0, 0, 3)));
+    sw.handle(OfMessage::FlowModify(RuleId(1), Action::Drop));
+    assert_eq!(sw.lookup(PortNo(1), &header(1, 1)).out_port(), DROP_PORT);
+    sw.handle(OfMessage::FlowDelete(RuleId(1)));
+    assert!(sw.table().is_empty());
+}
+
+#[test]
+fn fault_drop_flowmod_swallows_install() {
+    let mut sw = Switch::new(SwitchId(1))
+        .with_faults(FaultPlan::none().with(Fault::DropFlowMod(RuleId(1))))
+        .with_barrier(BarrierBehavior::Premature);
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, 0, 0, 3)));
+    // Premature barrier: ack arrives even though nothing installed.
+    assert_eq!(sw.handle(OfMessage::Barrier(1)), Some(OfReply::BarrierReply(1)));
+    assert!(sw.table().is_empty(), "controller believes rule exists; switch has nothing");
+}
+
+#[test]
+fn fault_wrong_port_corrupts_action() {
+    let mut sw =
+        Switch::new(SwitchId(1)).with_faults(FaultPlan::none().with(Fault::WrongPort(RuleId(1), PortNo(9))));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, 0, 0, 3)));
+    assert_eq!(sw.lookup(PortNo(1), &header(1, 1)).out_port(), PortNo(9));
+}
+
+#[test]
+fn fault_external_edits_apply_once() {
+    let mut sw = Switch::new(SwitchId(1)).with_faults(
+        FaultPlan::none()
+            .with(Fault::ExternalDelete(RuleId(1)))
+            .with(Fault::ExternalInsert(fwd_rule(99, 200, 0, 0, 7))),
+    );
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, 0, 0, 3)));
+    sw.apply_external_faults();
+    assert!(sw.table().get(RuleId(1)).is_none());
+    assert_eq!(sw.lookup(PortNo(1), &header(1, 1)).out_port(), PortNo(7));
+    // Idempotent.
+    sw.apply_external_faults();
+    assert_eq!(sw.table().len(), 1);
+}
+
+#[test]
+fn fault_ignore_priority_changes_winner() {
+    let mut sw = Switch::new(SwitchId(1)).with_faults(FaultPlan::none().with(Fault::IgnorePriority));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 1, 0, 0, 1)));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(2, 100, 0, 0, 2)));
+    assert_eq!(sw.lookup(PortNo(1), &header(1, 1)).out_port(), PortNo(1));
+}
+
+#[test]
+fn switch_process_packet_end_to_end() {
+    // figure5: S1 forwards H1 traffic out port 4 (to S3).
+    let topo = gen::figure5();
+    let mut sw = Switch::new(SwitchId(1));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, gen::ip(10, 0, 2, 0), 24, 4)));
+    let mut pkt = Packet::new(header(gen::ip(10, 0, 2, 1), 80));
+    let (out, report) = sw.process_packet(&mut pkt, PortNo(1), 0, &topo);
+    assert_eq!(out, PortNo(4));
+    assert!(report.is_none(), "port 4 is an inter-switch link, not an exit");
+    assert!(pkt.marker);
+}
+
+#[test]
+fn switch_process_packet_miss_reports_drop() {
+    let topo = gen::figure5();
+    let mut sw = Switch::new(SwitchId(1));
+    let mut pkt = Packet::new(header(gen::ip(10, 0, 2, 1), 80));
+    let (out, report) = sw.process_packet(&mut pkt, PortNo(1), 0, &topo);
+    assert_eq!(out, DROP_PORT);
+    assert!(report.unwrap().is_drop());
+}
+
+// ---------------------------------------------------------------- hw model
+
+#[test]
+fn hw_model_native_grows_with_size() {
+    let m = HwCostModel::onetswitch();
+    let sizes = [128u16, 256, 512, 1024, 1500];
+    for w in sizes.windows(2) {
+        assert!(m.native_delay_us(w[1]) > m.native_delay_us(w[0]));
+    }
+}
+
+#[test]
+fn hw_model_module_costs_are_constant_and_small() {
+    let m = HwCostModel::onetswitch();
+    // Paper: sampling ≈ 0.15 µs, tagging ≈ 0.27 µs.
+    assert!((m.sampling_delay_us() - 0.15).abs() < 0.02, "{}", m.sampling_delay_us());
+    assert!((m.tagging_delay_us() - 0.27).abs() < 0.02, "{}", m.tagging_delay_us());
+}
+
+#[test]
+fn hw_model_overhead_falls_with_packet_size() {
+    let m = HwCostModel::onetswitch();
+    let o128 = m.tagging_overhead(128);
+    let o1500 = m.tagging_overhead(1500);
+    assert!(o128 > o1500);
+    // Paper band: 6.29% at 128 B, 0.74% at 1500 B — ours must be same order.
+    assert!(o128 > 0.02 && o128 < 0.12, "tagging overhead at 128B = {o128}");
+    assert!(o1500 < 0.012, "tagging overhead at 1500B = {o1500}");
+}
+
+#[test]
+fn hw_model_path_delay_composition() {
+    let m = HwCostModel::onetswitch();
+    let d1 = m.path_delay_us(512, 1);
+    let d3 = m.path_delay_us(512, 3);
+    assert!(d3 > 2.9 * d1 - m.sampling_delay_us() && d3 < 3.0 * d1);
+}
+
+// ---------------------------------------------------------------- property
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_header() -> impl Strategy<Value = FiveTuple> {
+        (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>())
+            .prop_map(|(s, d, sp, dp)| FiveTuple::tcp(s, d, sp, dp))
+    }
+
+    proptest! {
+        /// A rule always matches headers drawn from inside its own prefix.
+        #[test]
+        fn prefix_match_soundness(ip in any::<u32>(), plen in 0u8..=32, h in arb_header()) {
+            let m = Match::dst_prefix(ip, plen);
+            let inside = FiveTuple { dst_ip: crate::rule::mask(ip, plen) | (h.dst_ip & !crate::rule::mask(u32::MAX, plen)), ..h };
+            prop_assert!(m.matches(PortNo(1), &inside));
+        }
+
+        /// Table lookup returns the max-priority matching rule.
+        #[test]
+        fn lookup_max_priority(prios in proptest::collection::vec(0u16..1000, 1..20)) {
+            let mut t = FlowTable::new();
+            for (i, p) in prios.iter().enumerate() {
+                t.insert(FlowRule::new(i as u64, *p, Match::ANY, Action::Forward(PortNo(i as u16 + 1))));
+            }
+            let got = t.lookup(PortNo(1), &header(0, 0)).rule().unwrap();
+            prop_assert_eq!(got.priority, *prios.iter().max().unwrap());
+        }
+
+        /// Sampling decisions never panic and first contact always samples.
+        #[test]
+        fn sampler_first_contact(interval in 0u64..u64::MAX / 2, now in 0u64..u64::MAX / 2, h in arb_header()) {
+            let mut s = Sampler::new(interval);
+            prop_assert!(s.should_sample(&h, now));
+        }
+
+        /// The pipeline's accumulated tag equals the OR of per-hop filters,
+        /// regardless of path shape.
+        #[test]
+        fn tag_accumulation_correct(hops in proptest::collection::vec((1u16..10, 1u32..50, 1u16..10), 1..8)) {
+            let mut pkt = Packet::new(header(1, 1));
+            let mut expect = BloomTag::default_width();
+            for (i, (inp, sw, outp)) in hops.iter().enumerate() {
+                let mut p = VeriDpPipeline::new(SwitchId(*sw));
+                let last = i == hops.len() - 1;
+                p.process(&mut pkt, PortNo(*inp), PortNo(*outp), i as u64, i == 0, last);
+                expect.insert(&HopEncoder::encode(*inp, *sw, *outp));
+                if last {
+                    // Report carried the full tag.
+                }
+            }
+            // After the exit hop the packet is stripped; rebuild from the
+            // last report instead: re-run capturing reports.
+            let mut pkt2 = Packet::new(header(1, 1));
+            let mut final_tag = None;
+            for (i, (inp, sw, outp)) in hops.iter().enumerate() {
+                let mut p = VeriDpPipeline::new(SwitchId(*sw));
+                let last = i == hops.len() - 1;
+                let o = p.process(&mut pkt2, PortNo(*inp), PortNo(*outp), i as u64, i == 0, last);
+                if let Some(r) = o.report {
+                    final_tag = Some(r.tag);
+                }
+            }
+            prop_assert_eq!(final_tag.unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Topology generators for every network in the paper's evaluation (§6.1)
+//! plus the toy networks of Figures 5 and 7.
+//!
+//! All generators are deterministic: the same parameters always produce the
+//! same switch ids, port numbers, and host addresses, which keeps experiments
+//! reproducible bit-for-bit.
+
+use veridp_packet::{PortRef, SwitchId};
+
+use crate::graph::{HostRole, Topology};
+
+/// Build an IPv4 address from dotted components.
+pub const fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    ((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32
+}
+
+/// A single switch with `num_ports` ports and one host per port.
+///
+/// Used by the data-plane overhead experiment (Table 4), which runs a lone
+/// hardware switch.
+pub fn single_switch(num_ports: u16) -> Topology {
+    let mut t = Topology::new();
+    t.add_switch(1, "sw", num_ports).unwrap();
+    for p in 1..=num_ports {
+        let subnet = ip(10, 0, p as u8, 0);
+        t.attach_host(
+            format!("h{p}"),
+            subnet | 1,
+            24,
+            PortRef::new(1, p),
+            HostRole::Host,
+        )
+        .unwrap();
+    }
+    t
+}
+
+/// A chain of `n` switches, one host on each end.
+pub fn linear(n: u32) -> Topology {
+    assert!(n >= 1);
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_switch(i, format!("s{i}"), 3).unwrap();
+    }
+    for i in 1..n {
+        t.add_link(PortRef::new(i, 2), PortRef::new(i + 1, 1)).unwrap();
+    }
+    t.attach_host("h1", ip(10, 0, 1, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
+    t.attach_host("h2", ip(10, 0, 2, 1), 24, PortRef::new(n, 2), HostRole::Host).unwrap();
+    t
+}
+
+/// The classic three-tier fat tree with parameter `k` (k even):
+/// `(k/2)²` core switches, `k` pods of `k/2` aggregation + `k/2` edge
+/// switches, and `k/2` hosts per edge switch.
+///
+/// Used for the medium-sized networks in §6 (k = 4 and k = 6).
+pub fn fat_tree(k: u16) -> Topology {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree k must be even and >= 2");
+    let half = k / 2;
+    let mut t = Topology::new();
+
+    // Id layout: cores first, then per-pod aggs, then per-pod edges.
+    let core_id = |i: u16, j: u16| (i * half + j) as u32 + 1;
+    let num_cores = (half * half) as u32;
+    let agg_id = |pod: u16, i: u16| num_cores + (pod * half + i) as u32 + 1;
+    let num_aggs = (k * half) as u32;
+    let edge_id = |pod: u16, i: u16| num_cores + num_aggs + (pod * half + i) as u32 + 1;
+
+    for i in 0..half {
+        for j in 0..half {
+            t.add_switch(core_id(i, j), format!("core_{i}_{j}"), k).unwrap();
+        }
+    }
+    for pod in 0..k {
+        for i in 0..half {
+            t.add_switch(agg_id(pod, i), format!("agg_{pod}_{i}"), k).unwrap();
+            t.add_switch(edge_id(pod, i), format!("edge_{pod}_{i}"), k).unwrap();
+        }
+    }
+
+    for pod in 0..k {
+        for i in 0..half {
+            // Edge ports 1..=half face hosts; ports half+1..=k face aggs.
+            for a in 0..half {
+                t.add_link(
+                    PortRef::new(edge_id(pod, i), half + 1 + a),
+                    PortRef::new(agg_id(pod, a), i + 1),
+                )
+                .unwrap();
+            }
+            // Agg i ports half+1..=k face cores in row i.
+            for j in 0..half {
+                t.add_link(
+                    PortRef::new(agg_id(pod, i), half + 1 + j),
+                    PortRef::new(core_id(i, j), pod + 1),
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    for pod in 0..k {
+        for e in 0..half {
+            for h in 0..half {
+                let subnet = ip(10, pod as u8, (e * half + h) as u8, 0);
+                t.attach_host(
+                    format!("h_{pod}_{e}_{h}"),
+                    subnet | 2,
+                    24,
+                    PortRef::new(edge_id(pod, e), h + 1),
+                    HostRole::Host,
+                )
+                .unwrap();
+            }
+        }
+    }
+    t
+}
+
+/// The 9-router Internet2 (Abilene) backbone with its real adjacency, one
+/// host subnet per router (§6.1 uses its public IPv4 forwarding tables; the
+/// controller crate generates a synthetic RIB of matching shape).
+pub fn internet2() -> Topology {
+    let names = ["SEAT", "LOSA", "SALT", "HOUS", "KANS", "CHIC", "ATLA", "WASH", "NEWY"];
+    // (a, b) pairs by index into `names`.
+    let links: &[(usize, usize)] = &[
+        (0, 2), // SEAT-SALT
+        (0, 1), // SEAT-LOSA
+        (1, 2), // LOSA-SALT
+        (1, 3), // LOSA-HOUS
+        (2, 4), // SALT-KANS
+        (4, 3), // KANS-HOUS
+        (4, 5), // KANS-CHIC
+        (3, 6), // HOUS-ATLA
+        (5, 6), // CHIC-ATLA
+        (5, 8), // CHIC-NEWY
+        (6, 7), // ATLA-WASH
+        (8, 7), // NEWY-WASH
+    ];
+    let mut t = Topology::new();
+    // Each router: up to 5 backbone links + 1 host port. 8 ports is plenty.
+    for (i, name) in names.iter().enumerate() {
+        t.add_switch(i as u32 + 1, *name, 8).unwrap();
+    }
+    // Assign link ports incrementally per switch, starting at port 2
+    // (port 1 is the host port).
+    let mut next_port = vec![2u16; names.len()];
+    for &(a, b) in links {
+        let pa = PortRef::new(a as u32 + 1, next_port[a]);
+        let pb = PortRef::new(b as u32 + 1, next_port[b]);
+        next_port[a] += 1;
+        next_port[b] += 1;
+        t.add_link(pa, pb).unwrap();
+    }
+    for (i, name) in names.iter().enumerate() {
+        let subnet = ip(10, 100 + i as u8, 0, 0);
+        t.attach_host(
+            format!("h_{name}"),
+            subnet | 1,
+            16,
+            PortRef::new(i as u32 + 1, 1),
+            HostRole::Host,
+        )
+        .unwrap();
+    }
+    t
+}
+
+/// Zone-router base names of the Stanford backbone (paper Figure 11).
+pub const STANFORD_ZONES: [&str; 7] = ["boz", "coz", "goz", "poz", "roz", "soz", "yoz"];
+
+/// A Stanford-backbone-like network: 2 core routers (`bbra`, `bbrb`),
+/// 14 zone routers (7 zones × a/b pair), and 10 layer-2 switches gluing the
+/// zones to the cores — 16 routers + 10 L2 switches as in §6.1.
+///
+/// Wiring follows the paper's figure: each zone pair hangs off one L2 switch
+/// that uplinks to both cores; one L2 switch interconnects the cores; two L2
+/// switches dual-home the first two zones. The resulting multigraph has
+/// redundant paths (and therefore potential loops, which the path-table
+/// construction must cut, §6.1).
+pub fn stanford_like() -> Topology {
+    let mut t = Topology::new();
+    // Ids: 1 = bbra, 2 = bbrb, 3..=16 zone routers, 17..=26 L2 switches.
+    t.add_switch(1, "bbra", 16).unwrap();
+    t.add_switch(2, "bbrb", 16).unwrap();
+    for (z, zone) in STANFORD_ZONES.iter().enumerate() {
+        t.add_switch(3 + 2 * z as u32, format!("{zone}a"), 8).unwrap();
+        t.add_switch(4 + 2 * z as u32, format!("{zone}b"), 8).unwrap();
+    }
+    for l in 0..10u32 {
+        t.add_switch(17 + l, format!("l2_{l}"), 8).unwrap();
+    }
+
+    let mut core_port = [1u16, 1u16]; // next free port on bbra / bbrb
+
+    // Zone L2 switches: ports 1,2 down to the zone pair, 3,4 up to cores.
+    for z in 0..7u32 {
+        let l2 = 17 + z;
+        let za = 3 + 2 * z;
+        let zb = 4 + 2 * z;
+        t.add_link(PortRef::new(l2, 1), PortRef::new(za, 1)).unwrap();
+        t.add_link(PortRef::new(l2, 2), PortRef::new(zb, 1)).unwrap();
+        for (c, core) in [(0usize, 1u32), (1usize, 2u32)] {
+            t.add_link(PortRef::new(l2, 3 + c as u16), PortRef::new(core, core_port[c])).unwrap();
+            core_port[c] += 1;
+        }
+    }
+    // L2 #7 interconnects the cores.
+    t.add_link(PortRef::new(24, 1), PortRef::new(1, core_port[0])).unwrap();
+    core_port[0] += 1;
+    t.add_link(PortRef::new(24, 2), PortRef::new(2, core_port[1])).unwrap();
+    core_port[1] += 1;
+    // L2 #8 and #9 dual-home zones 0 and 1 (second uplink path).
+    for (extra, z) in [(25u32, 0u32), (26u32, 1u32)] {
+        let za = 3 + 2 * z;
+        let zb = 4 + 2 * z;
+        t.add_link(PortRef::new(extra, 1), PortRef::new(za, 2)).unwrap();
+        t.add_link(PortRef::new(extra, 2), PortRef::new(zb, 2)).unwrap();
+        for (c, core) in [(0usize, 1u32), (1usize, 2u32)] {
+            t.add_link(PortRef::new(extra, 3 + c as u16), PortRef::new(core, core_port[c]))
+                .unwrap();
+            core_port[c] += 1;
+        }
+    }
+
+    // Two host subnets per zone router (ports 5 and 6), addressed like the
+    // paper's campus ranges.
+    for z in 0..7u32 {
+        for (side, sid) in [(0u32, 3 + 2 * z), (1u32, 4 + 2 * z)] {
+            for hp in 0..2u16 {
+                let subnet = ip(172, 16 + z as u8, (side * 16 + hp as u32 * 8) as u8, 0);
+                t.attach_host(
+                    format!("h_{}_{}", t.switch(SwitchId(sid)).unwrap().name.clone(), hp),
+                    subnet | 1,
+                    21,
+                    PortRef::new(sid, 5 + hp),
+                    HostRole::Host,
+                )
+                .unwrap();
+            }
+        }
+    }
+    t
+}
+
+/// The toy network of Figure 5: three switches, a middlebox on S2, hosts
+/// H1/H2 on S1 and H3 on S3.
+///
+/// Port wiring matches the figure so the worked example in §4.2 (tag
+/// `[1‖S1‖3] ⊔ [1‖S2‖3] ⊔ [3‖S2‖2] ⊔ [1‖S3‖2]`) holds verbatim:
+/// * S1: port 1 = H1, port 2 = H2, port 3 → S2, port 4 → S3
+/// * S2: port 1 ← S1, port 2 → S3, port 3 = middlebox
+/// * S3: port 1 ← S2, port 2 = H3, port 3 ← S1
+pub fn figure5() -> Topology {
+    let mut t = Topology::new();
+    t.add_switch(1, "S1", 4).unwrap();
+    t.add_switch(2, "S2", 4).unwrap();
+    t.add_switch(3, "S3", 4).unwrap();
+    t.add_link(PortRef::new(1, 3), PortRef::new(2, 1)).unwrap();
+    t.add_link(PortRef::new(1, 4), PortRef::new(3, 3)).unwrap();
+    t.add_link(PortRef::new(2, 2), PortRef::new(3, 1)).unwrap();
+    t.attach_host("H1", ip(10, 0, 1, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
+    t.attach_host("H2", ip(10, 0, 1, 2), 24, PortRef::new(1, 2), HostRole::Host).unwrap();
+    t.attach_host("H3", ip(10, 0, 2, 1), 24, PortRef::new(3, 2), HostRole::Host).unwrap();
+    t.attach_host("MB", ip(10, 0, 3, 1), 24, PortRef::new(2, 3), HostRole::Middlebox).unwrap();
+    t
+}
+
+/// The fault-localization example of Figure 7: six four-port switches wired
+/// so the narrative of §4.3 holds hop-for-hop.
+///
+/// * Correct path: `⟨1,S1,2⟩ ⟨1,S2,2⟩ ⟨1,S4,3⟩` (Src → S1 → S2 → S4 → Dst);
+/// * Faulty S1 outputs to port 4 instead, giving the real path
+///   `⟨1,S1,4⟩ ⟨1,S3,3⟩ ⟨1,S6,⊥⟩`;
+/// * The algorithm's detour probe S2 → S5 uses S2 port 3 and S5 port 3.
+pub fn figure7() -> Topology {
+    let mut t = Topology::new();
+    for id in [1u32, 2, 3, 4, 5, 6] {
+        t.add_switch(id, format!("S{id}"), 4).unwrap();
+    }
+    t.add_link(PortRef::new(1, 2), PortRef::new(2, 1)).unwrap(); // S1 → S2
+    t.add_link(PortRef::new(2, 2), PortRef::new(4, 1)).unwrap(); // S2 → S4
+    t.add_link(PortRef::new(1, 4), PortRef::new(3, 1)).unwrap(); // S1 → S3 (deviation)
+    t.add_link(PortRef::new(3, 3), PortRef::new(6, 1)).unwrap(); // S3 → S6
+    t.add_link(PortRef::new(2, 3), PortRef::new(5, 1)).unwrap(); // S2 → S5 (probe branch)
+    t.add_link(PortRef::new(5, 3), PortRef::new(4, 2)).unwrap(); // S5 → S4
+    t.attach_host("Src", ip(10, 0, 1, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
+    t.attach_host("Dst", ip(10, 0, 2, 1), 24, PortRef::new(4, 3), HostRole::Host).unwrap();
+    t
+}
+
+/// A ring of `n` switches, one host each — the smallest topology with two
+/// disjoint paths between every pair, useful for deviation experiments.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 switches");
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_switch(i, format!("r{i}"), 3).unwrap();
+    }
+    for i in 1..=n {
+        let next = if i == n { 1 } else { i + 1 };
+        t.add_link(PortRef::new(i, 2), PortRef::new(next, 1)).unwrap();
+    }
+    for i in 1..=n {
+        let subnet = ip(10, 0, i as u8, 0);
+        t.attach_host(format!("h{i}"), subnet | 1, 24, PortRef::new(i, 3), HostRole::Host)
+            .unwrap();
+    }
+    t
+}
+
+/// A Jellyfish-style random regular graph: `n` switches with `degree`
+/// inter-switch links each (best effort), one host per switch. Deterministic
+/// in `seed`.
+///
+/// Jellyfish (NSDI'12) topologies stress path diversity: unlike fat trees
+/// they have no tiers, so ECMP sets and path-table multiplicity are
+/// irregular — a harder localization workload.
+pub fn jellyfish(n: u32, degree: u16, seed: u64) -> Topology {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(n >= 4 && degree >= 2, "jellyfish needs n >= 4, degree >= 2");
+    let mut t = Topology::new();
+    for i in 1..=n {
+        t.add_switch(i, format!("j{i}"), degree + 1).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Port 1 is the host port; ports 2..=degree+1 are fabric ports.
+    let mut free: Vec<(u32, u16)> = (1..=n)
+        .flat_map(|s| (2..=degree + 1).map(move |p| (s, p)))
+        .collect();
+    // Random pairing with retry; a few ports may stay unwired (acceptable:
+    // Jellyfish construction is inherently best-effort at the margins).
+    let mut attempts = 0;
+    while free.len() >= 2 && attempts < 10_000 {
+        attempts += 1;
+        let i = rng.gen_range(0..free.len());
+        let j = rng.gen_range(0..free.len());
+        if i == j {
+            continue;
+        }
+        let (sa, pa) = free[i.min(j)];
+        let (sb, pb) = free[i.max(j)];
+        if sa == sb {
+            continue; // no self-links
+        }
+        if t.add_link(PortRef::new(sa, pa), PortRef::new(sb, pb)).is_ok() {
+            let (hi, lo) = (i.max(j), i.min(j));
+            free.swap_remove(hi);
+            free.swap_remove(lo);
+        }
+    }
+    for i in 1..=n {
+        let subnet = ip(10, (i >> 8) as u8 + 1, (i & 0xff) as u8, 0);
+        t.attach_host(format!("h{i}"), subnet | 1, 24, PortRef::new(i, 1), HostRole::Host)
+            .unwrap();
+    }
+    t
+}

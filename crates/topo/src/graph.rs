@@ -1,0 +1,363 @@
+//! The topology graph: switches, ports, links, hosts.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use veridp_packet::{PortNo, PortRef, SwitchId};
+
+/// Classification of a switch, used by the VeriDP pipeline to decide which
+/// role (entry / internal / exit) it plays for a given packet (§3.3) and by
+/// generators for layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchRole {
+    /// Edge switch: has at least one host-facing port; runs sampling and
+    /// reporting.
+    Edge,
+    /// Aggregation/core switch: only updates tags.
+    Internal,
+}
+
+/// What is attached to an edge port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostRole {
+    /// An ordinary end host.
+    Host,
+    /// A middlebox (firewall, IDS, …): traffic enters and leaves the network
+    /// through its port, so the port is an edge port for tagging purposes.
+    Middlebox,
+}
+
+/// A host (or middlebox) attached to an edge port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Host {
+    pub name: String,
+    /// The host's address; also the base of the subnet routed to its port.
+    pub ip: u32,
+    /// Prefix length of the subnet routed towards this host's port.
+    pub plen: u8,
+    pub attached: PortRef,
+    pub role: HostRole,
+}
+
+/// Per-switch static information.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchInfo {
+    pub id: SwitchId,
+    pub name: String,
+    /// Ports are numbered `1..=num_ports` (0 is never used, matching
+    /// OpenFlow conventions).
+    pub num_ports: u16,
+}
+
+/// Errors raised while assembling a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    DuplicateSwitch(SwitchId),
+    UnknownSwitch(SwitchId),
+    BadPort(PortRef),
+    PortInUse(PortRef),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DuplicateSwitch(s) => write!(f, "duplicate switch {s}"),
+            TopologyError::UnknownSwitch(s) => write!(f, "unknown switch {s}"),
+            TopologyError::BadPort(p) => write!(f, "port {p} out of range"),
+            TopologyError::PortInUse(p) => write!(f, "port {p} already wired"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The static network graph.
+///
+/// Links are point-to-point and symmetric: wiring `a ↔ b` registers both
+/// directions. Ports not wired to another switch and not hosting a host are
+/// simply unused.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    switches: BTreeMap<SwitchId, SwitchInfo>,
+    links: HashMap<PortRef, PortRef>,
+    hosts: Vec<Host>,
+    edge_ports: HashSet<PortRef>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a switch with ports `1..=num_ports`.
+    pub fn add_switch(
+        &mut self,
+        id: u32,
+        name: impl Into<String>,
+        num_ports: u16,
+    ) -> Result<SwitchId, TopologyError> {
+        let sid = SwitchId(id);
+        if self.switches.contains_key(&sid) {
+            return Err(TopologyError::DuplicateSwitch(sid));
+        }
+        self.switches.insert(sid, SwitchInfo { id: sid, name: name.into(), num_ports });
+        Ok(sid)
+    }
+
+    fn check_port(&self, p: PortRef) -> Result<(), TopologyError> {
+        let info = self.switches.get(&p.switch).ok_or(TopologyError::UnknownSwitch(p.switch))?;
+        if p.port.0 == 0 || p.port.0 > info.num_ports {
+            return Err(TopologyError::BadPort(p));
+        }
+        Ok(())
+    }
+
+    /// Wire two switch ports together (both directions).
+    pub fn add_link(&mut self, a: PortRef, b: PortRef) -> Result<(), TopologyError> {
+        self.check_port(a)?;
+        self.check_port(b)?;
+        if self.links.contains_key(&a) || self.edge_ports.contains(&a) {
+            return Err(TopologyError::PortInUse(a));
+        }
+        if self.links.contains_key(&b) || self.edge_ports.contains(&b) {
+            return Err(TopologyError::PortInUse(b));
+        }
+        self.links.insert(a, b);
+        self.links.insert(b, a);
+        Ok(())
+    }
+
+    /// Attach a host (or middlebox) to a port, marking it an edge port.
+    pub fn attach_host(
+        &mut self,
+        name: impl Into<String>,
+        ip: u32,
+        plen: u8,
+        attached: PortRef,
+        role: HostRole,
+    ) -> Result<(), TopologyError> {
+        self.check_port(attached)?;
+        if self.links.contains_key(&attached) || self.edge_ports.contains(&attached) {
+            return Err(TopologyError::PortInUse(attached));
+        }
+        self.edge_ports.insert(attached);
+        self.hosts.push(Host { name: name.into(), ip, plen, attached, role });
+        Ok(())
+    }
+
+    /// The port at the far end of the link from `p`, if `p` is wired to
+    /// another switch (`Link(⟨s,y⟩)` in Algorithm 2).
+    pub fn peer(&self, p: PortRef) -> Option<PortRef> {
+        self.links.get(&p).copied()
+    }
+
+    /// Whether `p` faces outside the network (host, middlebox, or simply
+    /// unwired). Such ports terminate path traversal.
+    pub fn is_edge_port(&self, p: PortRef) -> bool {
+        !self.links.contains_key(&p)
+    }
+
+    /// Whether `p` has a host or middlebox attached.
+    pub fn has_host(&self, p: PortRef) -> bool {
+        self.edge_ports.contains(&p)
+    }
+
+    /// Whether `p` has a middlebox attached. Middlebox ports are *reflecting*:
+    /// a packet sent out of one comes back in on the same port with the same
+    /// header (the paper's worked example keeps a single path/tag across the
+    /// `S1 → S2 → MB → S2 → S3` traversal, §4.2).
+    pub fn is_middlebox_port(&self, p: PortRef) -> bool {
+        self.host_at(p).is_some_and(|h| h.role == HostRole::Middlebox)
+    }
+
+    /// Whether `p` terminates a forwarding path: an edge port that is not a
+    /// reflecting middlebox port.
+    pub fn is_terminal_port(&self, p: PortRef) -> bool {
+        self.is_edge_port(p) && !self.is_middlebox_port(p)
+    }
+
+    /// All switches, in id order.
+    pub fn switches(&self) -> impl Iterator<Item = &SwitchInfo> {
+        self.switches.values()
+    }
+
+    /// Look up one switch.
+    pub fn switch(&self, id: SwitchId) -> Option<&SwitchInfo> {
+        self.switches.get(&id)
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// All hosts (and middleboxes).
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// The host attached at `p`, if any.
+    pub fn host_at(&self, p: PortRef) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.attached == p)
+    }
+
+    /// Find a host by name.
+    pub fn host(&self, name: &str) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.name == name)
+    }
+
+    /// Find a switch id by name.
+    pub fn switch_by_name(&self, name: &str) -> Option<SwitchId> {
+        self.switches.values().find(|s| s.name == name).map(|s| s.id)
+    }
+
+    /// Every port of every switch, including unwired ones.
+    pub fn all_ports(&self) -> Vec<PortRef> {
+        let mut out = Vec::new();
+        for info in self.switches.values() {
+            for p in 1..=info.num_ports {
+                out.push(PortRef { switch: info.id, port: PortNo(p) });
+            }
+        }
+        out
+    }
+
+    /// Every port with a host/middlebox attached, in deterministic order.
+    pub fn host_ports(&self) -> Vec<PortRef> {
+        let mut v: Vec<PortRef> = self.edge_ports.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Inter-switch links, each reported once (canonical direction).
+    pub fn unique_links(&self) -> Vec<(PortRef, PortRef)> {
+        let mut v: Vec<(PortRef, PortRef)> =
+            self.links.iter().filter(|(a, b)| a < b).map(|(a, b)| (*a, *b)).collect();
+        v.sort();
+        v
+    }
+
+    /// Switch-level neighbours of `s` with the connecting local ports:
+    /// `(local port, peer port)`.
+    pub fn neighbors(&self, s: SwitchId) -> Vec<(PortNo, PortRef)> {
+        let mut out = Vec::new();
+        if let Some(info) = self.switches.get(&s) {
+            for p in 1..=info.num_ports {
+                let pr = PortRef { switch: s, port: PortNo(p) };
+                if let Some(peer) = self.peer(pr) {
+                    out.push((PortNo(p), peer));
+                }
+            }
+        }
+        out
+    }
+
+    /// Switch-level shortest path from `from` to `to` (BFS, fewest hops).
+    /// Returns the sequence of switches, inclusive, or `None` if disconnected.
+    pub fn shortest_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<SwitchId, SwitchId> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for (_, peer) in self.neighbors(cur) {
+                let n = peer.switch;
+                if seen.insert(n) {
+                    prev.insert(n, cur);
+                    if n == to {
+                        let mut path = vec![to];
+                        let mut at = to;
+                        while let Some(&p) = prev.get(&at) {
+                            path.push(p);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// The local port on `from` that reaches neighbour switch `to` directly,
+    /// choosing the lowest-numbered such port.
+    pub fn port_towards(&self, from: SwitchId, to: SwitchId) -> Option<PortNo> {
+        self.neighbors(from).into_iter().find(|(_, peer)| peer.switch == to).map(|(p, _)| p)
+    }
+
+    /// BFS hop distances from every switch to `target`. Unreachable switches
+    /// are absent from the map.
+    pub fn distances_to(&self, target: SwitchId) -> HashMap<SwitchId, u32> {
+        let mut dist = HashMap::from([(target, 0u32)]);
+        let mut queue = std::collections::VecDeque::from([target]);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            for (_, peer) in self.neighbors(cur) {
+                if !dist.contains_key(&peer.switch) {
+                    dist.insert(peer.switch, d + 1);
+                    queue.push_back(peer.switch);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All local ports of `from` that start an equal-cost shortest path to
+    /// the target of `dist` (a [`Topology::distances_to`] map) — the ECMP
+    /// next-hop set, in port order.
+    pub fn ecmp_ports_towards(
+        &self,
+        from: SwitchId,
+        dist: &HashMap<SwitchId, u32>,
+    ) -> Vec<PortNo> {
+        let Some(&d) = dist.get(&from) else { return Vec::new() };
+        self.neighbors(from)
+            .into_iter()
+            .filter(|(_, peer)| dist.get(&peer.switch).is_some_and(|&pd| pd + 1 == d))
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+impl Topology {
+    /// Render the topology as Graphviz DOT (switches as boxes, hosts as
+    /// ellipses, middleboxes as diamonds) for documentation and debugging.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph topology {\n  node [shape=box];\n");
+        for info in self.switches() {
+            out.push_str(&format!("  s{} [label=\"{}\"];\n", info.id.0, info.name));
+        }
+        for h in self.hosts() {
+            let shape = match h.role {
+                HostRole::Host => "ellipse",
+                HostRole::Middlebox => "diamond",
+            };
+            out.push_str(&format!(
+                "  h_{} [label=\"{}\\n{}\", shape={}];\n",
+                h.name.replace(|c: char| !c.is_alphanumeric(), "_"),
+                h.name,
+                std::net::Ipv4Addr::from(h.ip),
+                shape
+            ));
+            out.push_str(&format!(
+                "  s{} -- h_{} [label=\"{}\"];\n",
+                h.attached.switch.0,
+                h.name.replace(|c: char| !c.is_alphanumeric(), "_"),
+                h.attached.port
+            ));
+        }
+        for (a, b) in self.unique_links() {
+            out.push_str(&format!(
+                "  s{} -- s{} [label=\"{}:{}\"];\n",
+                a.switch.0, b.switch.0, a.port, b.port
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}

@@ -1,0 +1,21 @@
+//! Network topology substrate.
+//!
+//! A [`Topology`] is the static wiring VeriDP monitors: switches with
+//! numbered ports, point-to-point links, and hosts attached to edge ports.
+//! The VeriDP server walks it during path-table construction (`Link(⟨s,y⟩)` in
+//! Algorithm 2), the controller computes shortest paths over it, and the
+//! simulator routes packets along it.
+//!
+//! The [`gen`] module builds every topology in the paper's evaluation (§6.1):
+//! fat trees, an Internet2-like backbone (9 routers, the real Abilene
+//! adjacency), a Stanford-backbone-like network (16 routers + 10 L2
+//! switches), plus the toy networks of Figures 5 and 7 used for unit tests
+//! and examples.
+
+mod graph;
+pub mod gen;
+
+pub use graph::{Host, HostRole, SwitchInfo, SwitchRole, Topology, TopologyError};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,310 @@
+use veridp_packet::{PortRef, SwitchId};
+
+use crate::gen::{self, ip};
+use crate::{HostRole, Topology, TopologyError};
+
+#[test]
+fn ip_helper() {
+    assert_eq!(ip(10, 0, 1, 1), 0x0a000101);
+    assert_eq!(ip(172, 20, 10, 33), 0xac140a21);
+}
+
+#[test]
+fn build_and_query_simple_topology() {
+    let mut t = Topology::new();
+    t.add_switch(1, "a", 4).unwrap();
+    t.add_switch(2, "b", 4).unwrap();
+    t.add_link(PortRef::new(1, 2), PortRef::new(2, 1)).unwrap();
+    t.attach_host("h", ip(10, 0, 0, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
+
+    assert_eq!(t.num_switches(), 2);
+    assert_eq!(t.peer(PortRef::new(1, 2)), Some(PortRef::new(2, 1)));
+    assert_eq!(t.peer(PortRef::new(2, 1)), Some(PortRef::new(1, 2)));
+    assert!(t.is_edge_port(PortRef::new(1, 1)));
+    assert!(!t.is_edge_port(PortRef::new(1, 2)));
+    assert!(t.has_host(PortRef::new(1, 1)));
+    assert!(!t.has_host(PortRef::new(1, 3))); // unwired but empty
+    assert_eq!(t.host("h").unwrap().ip, ip(10, 0, 0, 1));
+    assert_eq!(t.host_at(PortRef::new(1, 1)).unwrap().name, "h");
+    assert_eq!(t.switch_by_name("b"), Some(SwitchId(2)));
+}
+
+#[test]
+fn errors_on_bad_wiring() {
+    let mut t = Topology::new();
+    t.add_switch(1, "a", 2).unwrap();
+    assert_eq!(t.add_switch(1, "dup", 2), Err(TopologyError::DuplicateSwitch(SwitchId(1))));
+    assert_eq!(
+        t.add_link(PortRef::new(1, 1), PortRef::new(9, 1)),
+        Err(TopologyError::UnknownSwitch(SwitchId(9)))
+    );
+    assert_eq!(
+        t.add_link(PortRef::new(1, 0), PortRef::new(1, 1)),
+        Err(TopologyError::BadPort(PortRef::new(1, 0)))
+    );
+    assert_eq!(
+        t.add_link(PortRef::new(1, 3), PortRef::new(1, 1)),
+        Err(TopologyError::BadPort(PortRef::new(1, 3)))
+    );
+    t.add_switch(2, "b", 2).unwrap();
+    t.add_link(PortRef::new(1, 1), PortRef::new(2, 1)).unwrap();
+    assert_eq!(
+        t.add_link(PortRef::new(1, 1), PortRef::new(2, 2)),
+        Err(TopologyError::PortInUse(PortRef::new(1, 1)))
+    );
+    assert_eq!(
+        t.attach_host("h", 0, 24, PortRef::new(1, 1), HostRole::Host),
+        Err(TopologyError::PortInUse(PortRef::new(1, 1)))
+    );
+}
+
+#[test]
+fn neighbors_and_ports() {
+    let t = gen::linear(3);
+    let n2 = t.neighbors(SwitchId(2));
+    assert_eq!(n2.len(), 2);
+    assert_eq!(t.port_towards(SwitchId(1), SwitchId(2)), Some(veridp_packet::PortNo(2)));
+    assert_eq!(t.port_towards(SwitchId(1), SwitchId(3)), None);
+}
+
+#[test]
+fn shortest_path_linear() {
+    let t = gen::linear(5);
+    let p = t.shortest_path(SwitchId(1), SwitchId(5)).unwrap();
+    assert_eq!(p, (1..=5).map(SwitchId).collect::<Vec<_>>());
+    assert_eq!(t.shortest_path(SwitchId(3), SwitchId(3)), Some(vec![SwitchId(3)]));
+}
+
+#[test]
+fn single_switch_topology() {
+    let t = gen::single_switch(4);
+    assert_eq!(t.num_switches(), 1);
+    assert_eq!(t.hosts().len(), 4);
+    assert_eq!(t.host_ports().len(), 4);
+    assert!(t.unique_links().is_empty());
+}
+
+#[test]
+fn fat_tree_k4_shape() {
+    let t = gen::fat_tree(4);
+    // 4 cores + 8 aggs + 8 edges = 20 switches; 16 hosts.
+    assert_eq!(t.num_switches(), 20);
+    assert_eq!(t.hosts().len(), 16);
+    // Standard fat-tree link count: k pods * (k/2 edges * k/2 up) * 2 tiers.
+    assert_eq!(t.unique_links().len(), 32);
+    // Every host port is an edge port; inter-switch ports are not.
+    for h in t.hosts() {
+        assert!(t.is_edge_port(h.attached));
+    }
+}
+
+#[test]
+fn fat_tree_k6_shape() {
+    let t = gen::fat_tree(6);
+    // 9 cores + 18 aggs + 18 edges = 45 switches; 54 hosts.
+    assert_eq!(t.num_switches(), 45);
+    assert_eq!(t.hosts().len(), 54);
+    assert_eq!(t.unique_links().len(), 108);
+}
+
+#[test]
+fn fat_tree_is_connected_at_switch_level() {
+    for k in [4u16, 6] {
+        let t = gen::fat_tree(k);
+        let ids: Vec<SwitchId> = t.switches().map(|s| s.id).collect();
+        let first = ids[0];
+        for id in &ids {
+            assert!(
+                t.shortest_path(first, *id).is_some(),
+                "fat_tree({k}): {id} unreachable from {first}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fat_tree_host_subnets_unique() {
+    let t = gen::fat_tree(6);
+    let mut subnets: Vec<u32> = t.hosts().iter().map(|h| h.ip & 0xffff_ff00).collect();
+    subnets.sort_unstable();
+    subnets.dedup();
+    assert_eq!(subnets.len(), t.hosts().len());
+}
+
+#[test]
+#[should_panic(expected = "must be even")]
+fn fat_tree_odd_k_rejected() {
+    gen::fat_tree(5);
+}
+
+#[test]
+fn internet2_shape() {
+    let t = gen::internet2();
+    assert_eq!(t.num_switches(), 9);
+    assert_eq!(t.hosts().len(), 9);
+    assert_eq!(t.unique_links().len(), 12);
+    // Real Abilene adjacency spot checks.
+    let seat = t.switch_by_name("SEAT").unwrap();
+    let newy = t.switch_by_name("NEWY").unwrap();
+    let path = t.shortest_path(seat, newy).unwrap();
+    assert!(path.len() >= 3, "coast-to-coast needs several hops, got {path:?}");
+    for id in t.switches().map(|s| s.id).collect::<Vec<_>>() {
+        assert!(t.shortest_path(seat, id).is_some());
+    }
+}
+
+#[test]
+fn stanford_like_shape() {
+    let t = gen::stanford_like();
+    assert_eq!(t.num_switches(), 26); // 16 routers + 10 L2
+    assert_eq!(t.hosts().len(), 28); // 2 per zone router
+    let bbra = t.switch_by_name("bbra").unwrap();
+    for z in ["boza", "bozb", "yoza", "sozb"] {
+        let zid = t.switch_by_name(z).unwrap();
+        assert!(t.shortest_path(bbra, zid).is_some(), "{z} unreachable");
+    }
+    // Redundant paths exist (dual-homed zones) — so the graph has cycles.
+    let links = t.unique_links().len();
+    assert!(links >= t.num_switches(), "expected a cyclic multigraph, got {links} links");
+}
+
+#[test]
+fn figure5_matches_paper_wiring() {
+    let t = gen::figure5();
+    assert_eq!(t.peer(PortRef::new(1, 3)), Some(PortRef::new(2, 1)));
+    assert_eq!(t.peer(PortRef::new(1, 4)), Some(PortRef::new(3, 3)));
+    assert_eq!(t.peer(PortRef::new(2, 2)), Some(PortRef::new(3, 1)));
+    assert_eq!(t.host_at(PortRef::new(1, 1)).unwrap().name, "H1");
+    assert_eq!(t.host_at(PortRef::new(3, 2)).unwrap().name, "H3");
+    let mb = t.host("MB").unwrap();
+    assert_eq!(mb.role, HostRole::Middlebox);
+    assert_eq!(mb.attached, PortRef::new(2, 3));
+}
+
+#[test]
+fn figure7_matches_paper_wiring() {
+    let t = gen::figure7();
+    // Correct path S1(2)→S2, S2(2)→S4.
+    assert_eq!(t.peer(PortRef::new(1, 2)), Some(PortRef::new(2, 1)));
+    assert_eq!(t.peer(PortRef::new(2, 2)), Some(PortRef::new(4, 1)));
+    // Deviation S1(4)→S3(1), S3(3)→S6(1).
+    assert_eq!(t.peer(PortRef::new(1, 4)), Some(PortRef::new(3, 1)));
+    assert_eq!(t.peer(PortRef::new(3, 3)), Some(PortRef::new(6, 1)));
+    // Probe branch S2(3)→S5(1), S5(3)→S4(2).
+    assert_eq!(t.peer(PortRef::new(2, 3)), Some(PortRef::new(5, 1)));
+    assert_eq!(t.peer(PortRef::new(5, 3)), Some(PortRef::new(4, 2)));
+}
+
+#[test]
+fn all_ports_enumerates_every_port() {
+    let t = gen::linear(2);
+    assert_eq!(t.all_ports().len(), 6); // 2 switches × 3 ports
+}
+
+#[test]
+fn generators_are_deterministic() {
+    for (a, b) in [
+        (gen::fat_tree(4), gen::fat_tree(4)),
+        (gen::internet2(), gen::internet2()),
+        (gen::stanford_like(), gen::stanford_like()),
+    ] {
+        assert_eq!(a.unique_links(), b.unique_links());
+        assert_eq!(a.hosts(), b.hosts());
+    }
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Links are always symmetric in generated fat trees.
+        #[test]
+        fn fat_tree_links_symmetric(k in (1u16..=4).prop_map(|x| x * 2)) {
+            let t = gen::fat_tree(k);
+            for (a, b) in t.unique_links() {
+                prop_assert_eq!(t.peer(a), Some(b));
+                prop_assert_eq!(t.peer(b), Some(a));
+            }
+        }
+
+        /// Any two switches in a fat tree are connected within 4 hops
+        /// (edge-agg-core-agg-edge is the diameter).
+        #[test]
+        fn fat_tree_diameter(k in (1u16..=3).prop_map(|x| x * 2)) {
+            let t = gen::fat_tree(k);
+            let ids: Vec<SwitchId> = t.switches().map(|s| s.id).collect();
+            for &a in ids.iter().take(5) {
+                for &b in ids.iter().rev().take(5) {
+                    let p = t.shortest_path(a, b).unwrap();
+                    prop_assert!(p.len() <= 5, "path {:?} too long", p);
+                }
+            }
+        }
+
+        /// Linear chains have exactly n-1 links and path length n.
+        #[test]
+        fn linear_chain_invariants(n in 1u32..20) {
+            let t = gen::linear(n);
+            prop_assert_eq!(t.unique_links().len() as u32, n - 1);
+            let p = t.shortest_path(SwitchId(1), SwitchId(n)).unwrap();
+            prop_assert_eq!(p.len() as u32, n);
+        }
+    }
+}
+
+#[test]
+fn ring_shape() {
+    let t = gen::ring(5);
+    assert_eq!(t.num_switches(), 5);
+    assert_eq!(t.unique_links().len(), 5);
+    assert_eq!(t.hosts().len(), 5);
+    // Two-connectivity: the ring survives in both directions.
+    let p = t.shortest_path(SwitchId(1), SwitchId(4)).unwrap();
+    assert!(p.len() <= 4);
+}
+
+#[test]
+#[should_panic(expected = "at least 3")]
+fn ring_too_small_rejected() {
+    gen::ring(2);
+}
+
+#[test]
+fn jellyfish_connected_and_deterministic() {
+    let a = gen::jellyfish(12, 3, 42);
+    let b = gen::jellyfish(12, 3, 42);
+    assert_eq!(a.unique_links(), b.unique_links());
+    assert_eq!(a.num_switches(), 12);
+    assert_eq!(a.hosts().len(), 12);
+    // Usually connected at this density; verify reachability from node 1.
+    let reachable = (1..=12u32)
+        .filter(|&i| a.shortest_path(SwitchId(1), SwitchId(i)).is_some())
+        .count();
+    assert!(reachable >= 10, "only {reachable}/12 reachable");
+    let c = gen::jellyfish(12, 3, 43);
+    assert_ne!(a.unique_links(), c.unique_links(), "seed changes wiring");
+}
+
+#[test]
+fn jellyfish_no_self_links() {
+    let t = gen::jellyfish(16, 4, 7);
+    for (a, b) in t.unique_links() {
+        assert_ne!(a.switch, b.switch);
+    }
+}
+
+#[test]
+fn dot_export_contains_every_node_and_link() {
+    let t = gen::figure5();
+    let dot = t.to_dot();
+    assert!(dot.starts_with("graph topology {"));
+    for name in ["S1", "S2", "S3", "H1", "H2", "H3", "MB"] {
+        assert!(dot.contains(name), "missing {name}");
+    }
+    assert!(dot.contains("shape=diamond"), "middlebox shape");
+    // One edge line per unique link.
+    let edges = dot.matches(" -- s").count();
+    assert_eq!(edges, t.unique_links().len());
+    assert!(dot.ends_with("}\n"));
+}

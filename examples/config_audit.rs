@@ -1,0 +1,125 @@
+//! The configuration pipeline (§4.1): build the path table from
+//! Cisco-flavoured device configuration text — forwarding rules plus
+//! per-port in-bound/out-bound ACLs composed as
+//! `P_{x,y} = P^in_x ∧ P^fwd_y ∧ P^out_y` — then audit live traffic
+//! against it.
+//!
+//! ```sh
+//! cargo run --example config_audit
+//! ```
+
+use std::collections::HashMap;
+
+use veridp::core::config::parse_config;
+use veridp::core::{HeaderSpace, PathTable, SwitchPredicates};
+use veridp::packet::{FiveTuple, Packet, PortNo, SwitchId};
+use veridp::sim::Network;
+use veridp::switch::{Action, FlowRule, Match, OfMessage};
+use veridp::topo::gen::{self, ip};
+
+const CONFIG: &str = r#"
+# Figure 5's network as device configurations.
+switch S1 ports 4
+fwd 10.0.1.1/32 -> 1
+fwd 10.0.1.2/32 -> 2
+fwd 10.0.2.0/24 -> 4
+
+switch S2 ports 4
+fwd 10.0.2.0/24 -> 2
+fwd 10.0.1.0/24 -> 1
+
+switch S3 ports 4
+fwd 10.0.2.0/24 -> 2
+fwd 10.0.1.0/24 -> 3
+acl in 1 deny src 10.0.1.2/32    # block H2 at S3, as in the paper
+acl in 3 deny src 10.0.1.2/32
+acl in 1 permit any
+acl in 3 permit any
+acl out 2 permit proto 6         # only TCP may reach H3
+"#;
+
+fn main() {
+    let topo = gen::figure5();
+    let cfgs = parse_config(CONFIG).expect("config parses");
+    println!("== configuration-driven VeriDP (§4.1 pipeline) ==\n");
+    for c in &cfgs {
+        println!(
+            "parsed {}: {} fwd rules, {} in-ACLs, {} out-ACLs",
+            c.name,
+            c.fwd_rules.len(),
+            c.acl_in.len(),
+            c.acl_out.len()
+        );
+    }
+
+    // Server side: compose transfer predicates and build the path table.
+    let mut hs = HeaderSpace::new();
+    let preds: HashMap<SwitchId, SwitchPredicates> = cfgs
+        .iter()
+        .map(|c| {
+            let sid = topo.switch_by_name(&c.name).unwrap();
+            (sid, c.predicates(sid, &mut hs))
+        })
+        .collect();
+    let table = PathTable::build_with_predicates(&topo, preds, &mut hs, 16);
+    let stats = table.stats();
+    println!(
+        "\npath table: {} pairs, {} paths, avg length {:.2}",
+        stats.num_pairs, stats.num_paths, stats.avg_path_len
+    );
+
+    // Data plane: install the forwarding rules; ACL deny entries become
+    // in-port-qualified drop rules (the switch-level realization of the
+    // same configuration).
+    let mut net = Network::new(topo.clone());
+    let mut next_id = 10_000u64;
+    for c in &cfgs {
+        let sid = topo.switch_by_name(&c.name).unwrap();
+        for r in &c.fwd_rules {
+            net.switch_mut(sid).handle(OfMessage::FlowAdd(*r));
+        }
+        for (port, entries) in &c.acl_in {
+            for e in entries.iter().filter(|e| !e.permit) {
+                let rule = FlowRule::new(
+                    next_id,
+                    1_000,
+                    e.fields.with_in_port(*port),
+                    Action::Drop,
+                );
+                next_id += 1;
+                net.switch_mut(sid).handle(OfMessage::FlowAdd(rule));
+            }
+        }
+        // Out-bound ACLs: implicit-deny lists become drop rules for the
+        // complementary traffic; here, non-TCP to H3's port.
+        if c.name == "S3" {
+            let mut udp_to_h3 = Match::dst_prefix(ip(10, 0, 2, 0), 24);
+            udp_to_h3.proto = Some(17);
+            let rule = FlowRule::new(next_id, 1_000, udp_to_h3, Action::Drop);
+            next_id += 1;
+            net.switch_mut(sid).handle(OfMessage::FlowAdd(rule));
+        }
+    }
+
+    // Audit three flows.
+    let cases = [
+        ("H1 TCP -> H3 (allowed)", FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 5, 80), PortNo(1)),
+        ("H2 TCP -> H3 (ACL-denied)", FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 1), 5, 80), PortNo(2)),
+        ("H1 UDP -> H3 (out-ACL-denied)", FiveTuple::udp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 5, 53), PortNo(1)),
+    ];
+    println!();
+    for (what, header, port) in cases {
+        net.advance_clock(1_000_000);
+        let trace =
+            net.inject(veridp::packet::PortRef { switch: SwitchId(1), port }, Packet::new(header));
+        let verdicts: Vec<_> =
+            trace.reports.iter().map(|r| table.verify(r, &hs)).collect();
+        println!(
+            "{what}: delivered={} verdicts={:?}",
+            trace.delivered(),
+            verdicts
+        );
+        assert!(verdicts.iter().all(|v| v.is_pass()), "data plane matches the config");
+    }
+    println!("\nall flows consistent with the parsed configuration.");
+}

@@ -1,0 +1,93 @@
+//! Waypoint auditing on a campus-style backbone: every flow that must cross
+//! a middlebox is continuously checked against the path table, and bypasses
+//! are caught per-packet (the Figure 2 scenario of the paper, at scale).
+//!
+//! ```sh
+//! cargo run --example waypoint_audit
+//! ```
+
+use veridp::controller::Intent;
+use veridp::sim::Monitor;
+use veridp::switch::{Action, Fault};
+use veridp::topo::{gen, HostRole};
+
+fn main() {
+    // Stanford-like backbone, with a middlebox grafted onto core router
+    // bbra: traffic from zone boz to zone coz must cross it.
+    let mut topo = gen::stanford_like();
+    let bbra = topo.switch_by_name("bbra").unwrap();
+    topo.attach_host(
+        "FW",
+        gen::ip(192, 168, 250, 1),
+        24,
+        veridp::packet::PortRef { switch: bbra, port: veridp::packet::PortNo(16) },
+        HostRole::Middlebox,
+    )
+    .expect("port 16 free on bbra");
+
+    let mut m = Monitor::deploy(
+        topo,
+        &[
+            Intent::Connectivity,
+            Intent::Waypoint {
+                src_host: "h_boza_0".into(),
+                dst_host: "h_coza_0".into(),
+                via: "FW".into(),
+            },
+        ],
+        16,
+    )
+    .expect("intents compile");
+
+    println!("== waypoint audit on the Stanford-like backbone ==\n");
+
+    // Healthy traffic: crosses the firewall, verifies.
+    let ok = m.send("h_boza_0", "h_coza_0", 443);
+    println!(
+        "healthy flow: {} hops, crosses FW: {}, consistent: {}",
+        ok.trace.hops.len(),
+        ok.trace.hops.iter().any(|h| h.switch == bbra && h.out_port.0 == 16),
+        ok.consistent()
+    );
+
+    // Unrelated traffic is unaffected and verifies too.
+    let other = m.send("h_goza_0", "h_roza_1", 80);
+    println!("unrelated flow: consistent: {}", other.consistent());
+
+    // An attacker rewrites the waypoint rule on boza so the flow skips the
+    // firewall leg.
+    let boza = m.net.topo().switch_by_name("boza").unwrap();
+    let wp = m
+        .controller
+        .rules_of(boza)
+        .iter()
+        .find(|r| r.priority == 150)
+        .map(|r| r.id)
+        .expect("waypoint rule at boza");
+    // Send it up the second uplink instead — plain connectivity takes over
+    // downstream and delivers the packet without the firewall.
+    m.net
+        .switch_mut(boza)
+        .faults_mut()
+        .add(Fault::ExternalModify(wp, Action::Forward(veridp::packet::PortNo(2))));
+    m.net.advance_clock(2_000_000_000);
+
+    let bad = m.send("h_boza_0", "h_coza_0", 443);
+    println!(
+        "\ntampered flow: delivered: {}, crosses FW: {}, consistent: {}",
+        bad.trace.delivered(),
+        bad.trace.hops.iter().any(|h| h.switch == bbra && h.out_port.0 == 16),
+        bad.consistent()
+    );
+    if let Some(suspect) = bad.suspect() {
+        let name = m.net.topo().switch(suspect).map(|i| i.name.clone()).unwrap_or_default();
+        println!("VeriDP localizes the tampered switch: {name}");
+    }
+    let s = m.server.stats();
+    println!(
+        "\nserver stats: {} reports, {} passed, {} failed",
+        s.reports,
+        s.passed,
+        s.failed()
+    );
+}

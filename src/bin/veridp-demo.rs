@@ -1,0 +1,187 @@
+//! Interactive demo CLI: deploy VeriDP on a chosen topology, inject a
+//! fault class, run all-pairs traffic, and print the server's verdicts.
+//!
+//! ```text
+//! veridp-demo [--topo fat-tree:4|internet2|stanford|figure5|linear:N|ring:N]
+//!             [--fault none|blackhole|wrongport|acl-delete]
+//!             [--tag-bits N] [--seed N]
+//! ```
+
+use std::env;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp::controller::Intent;
+use veridp::packet::{PortNo, SwitchId};
+use veridp::sim::Monitor;
+use veridp::switch::{Action, Fault, PortRange};
+use veridp::topo::{gen, Topology};
+
+struct Options {
+    topo: String,
+    fault: String,
+    tag_bits: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        topo: "fat-tree:4".into(),
+        fault: "wrongport".into(),
+        tag_bits: 16,
+        seed: 1,
+    };
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| usage(&format!("{name} needs a value"))).clone()
+        };
+        match a.as_str() {
+            "--topo" => o.topo = val("--topo"),
+            "--fault" => o.fault = val("--fault"),
+            "--tag-bits" => {
+                o.tag_bits = val("--tag-bits").parse().unwrap_or_else(|_| usage("bad tag-bits"))
+            }
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad seed")),
+            "--help" | "-h" => usage("",),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    o
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: veridp-demo [--topo fat-tree:K|internet2|stanford|figure5|linear:N|ring:N]\n\
+         \x20                  [--fault none|blackhole|wrongport|acl-delete] [--tag-bits N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn build_topo(spec: &str) -> Topology {
+    match spec.split_once(':') {
+        Some(("fat-tree", k)) => gen::fat_tree(k.parse().unwrap_or_else(|_| usage("bad k"))),
+        Some(("linear", n)) => gen::linear(n.parse().unwrap_or_else(|_| usage("bad n"))),
+        Some(("ring", n)) => gen::ring(n.parse().unwrap_or_else(|_| usage("bad n"))),
+        None if spec == "internet2" => gen::internet2(),
+        None if spec == "stanford" => gen::stanford_like(),
+        None if spec == "figure5" => gen::figure5(),
+        _ => usage(&format!("unknown topology {spec}")),
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    let topo = build_topo(&o.topo);
+    println!(
+        "deploying VeriDP on {} ({} switches, {} hosts), {}-bit tags",
+        o.topo,
+        topo.num_switches(),
+        topo.hosts().len(),
+        o.tag_bits
+    );
+
+    let mut intents = vec![Intent::Connectivity];
+    if o.fault == "acl-delete" {
+        let hosts: Vec<String> = topo.hosts().iter().map(|h| h.name.clone()).collect();
+        intents.push(Intent::Acl {
+            src_host: hosts[0].clone(),
+            dst_host: hosts[hosts.len() - 1].clone(),
+            dst_ports: PortRange::ANY,
+        });
+    }
+    let mut m = Monitor::deploy(topo, &intents, o.tag_bits).expect("intents compile");
+    let stats = m.server.table().stats();
+    println!(
+        "path table: {} pairs, {} paths, avg length {:.2}\n",
+        stats.num_pairs, stats.num_paths, stats.avg_path_len
+    );
+
+    // Inject the requested fault on a random traffic-carrying rule.
+    match o.fault.as_str() {
+        "none" => println!("no fault injected"),
+        "acl-delete" => {
+            let (sid, rid) = m
+                .controller
+                .logical_rules()
+                .iter()
+                .flat_map(|(s, rules)| rules.iter().map(move |r| (*s, r)))
+                .find(|(_, r)| r.action == Action::Drop)
+                .map(|(s, r)| (s, r.id))
+                .expect("ACL installed");
+            m.net.switch_mut(sid).faults_mut().add(Fault::ExternalDelete(rid));
+            println!("fault: ACL rule {rid:?} deleted out-of-band at {sid}");
+        }
+        kind @ ("blackhole" | "wrongport") => {
+            let hosts = m.net.topo().hosts().to_vec();
+            let (sid, rid, old) = loop {
+                let a = &hosts[rng.gen_range(0..hosts.len())];
+                let b = &hosts[rng.gen_range(0..hosts.len())];
+                if a.ip == b.ip {
+                    continue;
+                }
+                let Some(path) =
+                    m.net.topo().shortest_path(a.attached.switch, b.attached.switch)
+                else {
+                    continue;
+                };
+                let s = path[rng.gen_range(0..path.len())];
+                let subnet = veridp::switch::prefix_mask(b.ip, b.plen);
+                let Some(r) = m
+                    .controller
+                    .rules_of(s)
+                    .iter()
+                    .find(|r| r.fields.dst_ip == subnet && r.fields.dst_plen == b.plen)
+                else {
+                    continue;
+                };
+                let Action::Forward(p) = r.action else { continue };
+                break (s, r.id, p);
+            };
+            let action = if kind == "blackhole" {
+                Action::Drop
+            } else {
+                let nports = m.net.topo().switch(sid).unwrap().num_ports;
+                let wrong = loop {
+                    let p = PortNo(rng.gen_range(1..=nports));
+                    if p != old {
+                        break p;
+                    }
+                };
+                Action::Forward(wrong)
+            };
+            m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, action));
+            let name = m.net.topo().switch(sid).unwrap().name.clone();
+            println!("fault: {kind} injected at {name} (rule {rid:?})");
+        }
+        other => usage(&format!("unknown fault {other}")),
+    }
+
+    // Drive all-pairs traffic and summarize.
+    let outcomes = m.ping_all_pairs(80);
+    let total = outcomes.len();
+    let delivered = outcomes.iter().filter(|r| r.trace.delivered()).count();
+    let inconsistent = outcomes.iter().filter(|r| !r.consistent()).count();
+    println!("\ntraffic: {total} flows, {delivered} delivered, {inconsistent} flagged inconsistent");
+
+    let s = m.server.stats();
+    println!(
+        "server: {} reports | {} passed | {} tag mismatches | {} no-matching-path | {} localized",
+        s.reports, s.passed, s.tag_mismatch, s.no_matching_path, s.localized
+    );
+    if !m.server.suspects().is_empty() {
+        let mut suspects: Vec<(SwitchId, u64)> =
+            m.server.suspects().iter().map(|(k, v)| (*k, *v)).collect();
+        suspects.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        println!("suspects (by candidate count):");
+        for (sid, count) in suspects.into_iter().take(5) {
+            let name = m.net.topo().switch(sid).map(|i| i.name.clone()).unwrap_or_default();
+            println!("  {name}: {count}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! VeriDP — monitoring control-data plane consistency in SDN.
+//!
+//! Umbrella crate re-exporting the full public API of the VeriDP
+//! reproduction (CoNEXT'16, Zhang et al.). See the individual crates for
+//! details:
+//!
+//! * [`bdd`] — header-set BDDs;
+//! * [`bloom`] — Bloom-filter path tags;
+//! * [`packet`] — packet model and wire formats;
+//! * [`topo`] — topologies and workload generators;
+//! * [`switch`] — switch data plane, faults, and the VeriDP pipeline;
+//! * [`controller`] — intents and rule compilation;
+//! * [`core`] — path table, verification, localization, incremental update;
+//! * [`sim`] — the discrete-event network simulator tying it all together.
+
+pub use veridp_bdd as bdd;
+pub use veridp_bloom as bloom;
+pub use veridp_controller as controller;
+pub use veridp_core as core;
+pub use veridp_packet as packet;
+pub use veridp_sim as sim;
+pub use veridp_switch as switch;
+pub use veridp_topo as topo;

@@ -1,0 +1,327 @@
+//! End-to-end integration across all crates: controller compilation, wire
+//! codecs, data-plane forwarding, incremental path-table maintenance, and
+//! verification statistics, exercised together.
+
+use std::collections::HashMap;
+
+use veridp::bloom::BloomTag;
+use veridp::controller::{synth, Controller, Intent};
+use veridp::core::{HeaderSpace, PathTable, VeriDpServer, VerifyOutcome};
+use veridp::packet::{
+    decode_frame, decode_report, encode_frame, encode_report, FiveTuple, Packet, SwitchId,
+};
+use veridp::sim::{Monitor, Network};
+use veridp::topo::gen;
+
+#[test]
+fn fat_tree_all_pairs_consistent_and_wire_clean() {
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let outcomes = m.ping_all_pairs(80);
+    assert_eq!(outcomes.len(), 240);
+    for o in &outcomes {
+        assert!(o.consistent());
+        // Every report survives a wire round-trip unchanged.
+        for (r, _, _) in &o.verdicts {
+            let decoded = decode_report(encode_report(r)).unwrap();
+            assert_eq!(&decoded, r);
+        }
+    }
+}
+
+#[test]
+fn sampled_packet_survives_frame_encoding_mid_path() {
+    // Encode a packet to bytes at an arbitrary point of its journey and
+    // decode it back: the VeriDP in-band state must be preserved so the
+    // next switch can keep tagging.
+    let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16).unwrap();
+    let src = m.net.topo().host("h1").unwrap().clone();
+    let dst = m.net.topo().host("h2").unwrap().clone();
+    let header = FiveTuple::tcp(src.ip, dst.ip, 40000, 80);
+
+    // Walk hop 1 manually, serialize, deserialize, continue through inject.
+    let mut pkt = Packet::new(header);
+    let topo = m.net.topo().clone();
+    let (out, report) =
+        m.net.switch_mut(SwitchId(1)).process_packet(&mut pkt, src.attached.port, 1, &topo);
+    assert!(report.is_none());
+    let wire = encode_frame(&pkt).unwrap();
+    let revived = decode_frame(wire).unwrap();
+    assert_eq!(revived.tag, pkt.tag);
+    assert_eq!(revived.inport, pkt.inport);
+
+    // Continue at S2 from the link peer of (S1, out).
+    let next = topo.peer(veridp::packet::PortRef { switch: SwitchId(1), port: out }).unwrap();
+    let mut pkt2 = revived;
+    let (out2, _) = m.net.switch_mut(next.switch).process_packet(&mut pkt2, next.port, 2, &topo);
+    let next2 = topo.peer(veridp::packet::PortRef { switch: next.switch, port: out2 }).unwrap();
+    let (_, report) =
+        m.net.switch_mut(next2.switch).process_packet(&mut pkt2, next2.port, 3, &topo);
+    let report = report.expect("exit switch reports");
+    assert!(m.server.verify_and_localize(&report).0.is_pass());
+}
+
+#[test]
+fn interceptor_keeps_server_synced_through_rule_churn() {
+    // Install, verify, remove, verify, reinstall — the server must track
+    // every step through the intercepted message stream alone.
+    let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16).unwrap();
+    assert!(m.send("h1", "h2", 80).consistent());
+
+    // The controller deliberately blackholes h2 (policy change): both the
+    // data plane and the path table see it, so the drop verifies.
+    let s1 = SwitchId(1);
+    let id = m.add_rule(
+        s1,
+        200,
+        veridp::switch::Match::dst_prefix(gen::ip(10, 0, 2, 0), 24),
+        veridp::switch::Action::Drop,
+    );
+    m.net.advance_clock(1_000_000_000);
+    let dropped = m.send("h1", "h2", 80);
+    assert!(!dropped.trace.delivered());
+    assert!(dropped.consistent(), "a policy drop is consistent behaviour");
+
+    // Roll back: connectivity restored and consistent.
+    m.remove_rule(s1, id);
+    m.net.advance_clock(1_000_000_000);
+    let back = m.send("h1", "h2", 80);
+    assert!(back.trace.delivered());
+    assert!(back.consistent());
+}
+
+#[test]
+fn incremental_server_equals_bulk_server_on_internet2() {
+    // Feed the same synthetic RIB to (a) a server built after the fact and
+    // (b) a server that intercepted every FlowMod: identical verdicts on
+    // identical reports.
+    let topo = gen::internet2();
+    let mut ctrl = Controller::new(topo.clone());
+    synth::install_rib(&mut ctrl, 60, 99);
+    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+
+    let mut bulk = VeriDpServer::new(&topo, &rules, 16);
+    let mut incremental = VeriDpServer::new(&topo, &HashMap::new(), 16);
+    for (s, m) in ctrl.drain_messages() {
+        incremental.intercept(s, &m);
+    }
+
+    // Drive real traffic and compare verdicts report-by-report.
+    let mut net = Network::new(topo.clone());
+    let mut ctrl2 = Controller::new(topo.clone());
+    synth::install_rib(&mut ctrl2, 60, 99); // same seed → same rules
+    net.apply_messages(ctrl2.drain_messages());
+    let hosts = topo.hosts().to_vec();
+    let mut reports = Vec::new();
+    for a in &hosts {
+        for b in &hosts {
+            if a.ip == b.ip {
+                continue;
+            }
+            net.advance_clock(1_000_000);
+            let trace = net.inject(a.attached, Packet::new(FiveTuple::tcp(a.ip, b.ip, 7, 80)));
+            reports.extend(trace.reports);
+        }
+    }
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert_eq!(bulk.verify(r), incremental.verify(r), "diverged on {r}");
+    }
+}
+
+#[test]
+fn path_table_witnesses_traverse_the_real_network() {
+    // For every path-table entry, its witness packet injected into the real
+    // (fault-free) data plane must produce exactly the entry's tag.
+    let topo = gen::fat_tree(4);
+    let mut ctrl = Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&topo, &rules, &mut hs, 16);
+
+    let mut net = Network::new(topo.clone());
+    net.apply_messages(ctrl.drain_messages());
+
+    let mut checked = 0;
+    for ((inport, outport), entries) in table.iter() {
+        // Only entries whose inport is a host port can be injected.
+        if !topo.has_host(*inport) {
+            continue;
+        }
+        for e in entries {
+            let Some(w) = hs.witness(e.headers) else { continue };
+            net.advance_clock(1_000_000);
+            let trace = net.inject(*inport, Packet::new(w));
+            let report = trace.reports.last().expect("report emitted");
+            assert_eq!(report.outport, *outport);
+            assert_eq!(report.tag, e.tag, "tag mismatch for witness {w}");
+            assert_eq!(table.verify(report, &hs), VerifyOutcome::Pass);
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "only {checked} witnesses checked");
+}
+
+#[test]
+fn tag_width_sweep_preserves_soundness() {
+    // Verification must stay sound (no false positives on correct paths) at
+    // every supported width.
+    for bits in [8u32, 16, 24, 32, 48, 64] {
+        let mut m = Monitor::deploy(gen::linear(4), &[Intent::Connectivity], bits).unwrap();
+        let out = m.send("h1", "h2", 80);
+        assert!(out.consistent(), "width {bits}");
+        for (r, _, _) in &out.verdicts {
+            assert_eq!(r.tag.nbits(), bits);
+        }
+    }
+    // Empty tags of every width are equal only to themselves.
+    assert_ne!(BloomTag::empty(16), BloomTag::empty(16).union(BloomTag::singleton(b"x", 16)));
+}
+
+#[test]
+fn byte_level_control_channel_roundtrip() {
+    // Run the whole FlowMod stream through the binary OpenFlow-style codec:
+    // the interceptor and the switches both consume decoded bytes, and the
+    // resulting deployment behaves identically to the in-memory channel.
+    use veridp::switch::ofwire;
+
+    let topo = gen::fat_tree(4);
+    let mut ctrl = Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+
+    let mut server = VeriDpServer::new(&topo, &HashMap::new(), 16);
+    let mut net = Network::new(topo.clone());
+    for (s, msg) in ctrl.drain_messages() {
+        let wire = ofwire::encode_message(&msg);
+        let decoded = ofwire::decode_message(wire).expect("codec roundtrip");
+        assert_eq!(decoded, msg);
+        server.intercept(s, &decoded);
+        let replies = net.apply_messages([(s, decoded)]);
+        for (_, r) in replies {
+            let rw = ofwire::encode_reply(&r);
+            assert_eq!(ofwire::decode_reply(rw).unwrap(), r);
+        }
+    }
+
+    // Traffic verifies against the byte-channel-built path table.
+    let hosts = topo.hosts().to_vec();
+    let a = &hosts[0];
+    let b = &hosts[7];
+    net.advance_clock(1_000);
+    let trace = net.inject(a.attached, Packet::new(FiveTuple::tcp(a.ip, b.ip, 9, 80)));
+    assert!(trace.delivered());
+    for r in &trace.reports {
+        assert!(server.verify(r).is_pass());
+    }
+}
+
+#[test]
+fn parallel_batch_verification_matches_and_scales() {
+    let topo = gen::fat_tree(4);
+    let mut ctrl = Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity).unwrap();
+    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&topo, &rules, &mut hs, 16);
+
+    // Collect a large report batch (all witnesses, repeated).
+    let mut reports = Vec::new();
+    for ((i, o), entries) in table.iter() {
+        for e in entries {
+            if let Some(w) = hs.witness(e.headers) {
+                reports.push(veridp::packet::TagReport::new(*i, *o, w, e.tag));
+            }
+        }
+    }
+    let reports: Vec<_> = reports.iter().cycle().take(4096).copied().collect();
+
+    let seq: Vec<_> = reports.iter().map(|r| table.verify(r, &hs)).collect();
+    for threads in [2usize, 4] {
+        let par = veridp::core::verify_batch(&table, &hs, &reports, threads);
+        assert_eq!(par, seq);
+    }
+    let summary = veridp::core::BatchSummary::from_outcomes(&seq);
+    assert_eq!(summary.passed, reports.len());
+}
+
+#[test]
+fn report_order_does_not_affect_verdicts() {
+    // Reports ride UDP and may be reordered; Algorithm 3 is stateless per
+    // report, so any permutation yields the same verdict multiset.
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    // Break one switch so both verdict classes appear.
+    let sid = SwitchId(1);
+    let rid = m.controller.rules_of(sid)[0].id;
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(veridp::switch::Fault::ExternalModify(rid, veridp::switch::Action::Drop));
+
+    let outcomes = m.ping_all_pairs(80);
+    let reports: Vec<_> = outcomes
+        .iter()
+        .flat_map(|o| o.trace.reports.iter().copied())
+        .collect();
+    let forward: Vec<_> = reports.iter().map(|r| m.server.table().verify(r, m.server.header_space())).collect();
+    let reversed: Vec<_> = reports
+        .iter()
+        .rev()
+        .map(|r| m.server.table().verify(r, m.server.header_space()))
+        .collect();
+    let mut a = forward.clone();
+    let mut b: Vec<_> = reversed.into_iter().rev().collect();
+    assert_eq!(a, b);
+    a.sort_by_key(|v| format!("{v:?}"));
+    b.sort_by_key(|v| format!("{v:?}"));
+    assert_eq!(a, b);
+}
+
+#[test]
+#[should_panic(expected = "unknown source host")]
+fn monitor_send_unknown_host_panics() {
+    let mut m = Monitor::deploy(gen::linear(2), &[Intent::Connectivity], 16).unwrap();
+    let _ = m.send("nope", "h2", 80);
+}
+
+#[test]
+fn two_simultaneous_faults_both_implicated() {
+    // The paper's localization assumes mostly-healthy switches; with two
+    // independent faults, per-report localization still names each faulty
+    // switch for the flows it breaks, and the server's suspect counters
+    // surface both.
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let topo = m.net.topo().clone();
+    // Fault A: an edge switch blackholes its first host subnet.
+    let edge = topo.switch_by_name("edge_0_0").unwrap();
+    // Fault B: a different pod's edge switch misroutes another subnet.
+    let other = topo.switch_by_name("edge_2_1").unwrap();
+    let rid_a = m
+        .controller
+        .rules_of(edge)
+        .iter()
+        .find(|r| r.fields.dst_ip == gen::ip(10, 3, 0, 0))
+        .unwrap()
+        .id;
+    let rid_b = m
+        .controller
+        .rules_of(other)
+        .iter()
+        .find(|r| r.fields.dst_ip == gen::ip(10, 0, 0, 0))
+        .unwrap()
+        .id;
+    m.net
+        .switch_mut(edge)
+        .faults_mut()
+        .add(veridp::switch::Fault::ExternalModify(rid_a, veridp::switch::Action::Drop));
+    m.net.switch_mut(other).faults_mut().add(veridp::switch::Fault::ExternalModify(
+        rid_b,
+        veridp::switch::Action::Forward(veridp::packet::PortNo(2)),
+    ));
+
+    let outcomes = m.ping_all_pairs(80);
+    let broken = outcomes.iter().filter(|o| !o.consistent()).count();
+    assert!(broken >= 2, "both faults must break traffic");
+    let suspects = m.server.suspects();
+    assert!(suspects.contains_key(&edge), "fault A localized: {suspects:?}");
+    assert!(suspects.contains_key(&other), "fault B localized: {suspects:?}");
+}

@@ -1,0 +1,121 @@
+//! Property-style integration tests for the incremental path-table update:
+//! randomized rule churn on real topologies must leave the table
+//! semantically identical to a fresh rebuild.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp::core::{HeaderSpace, PathTable};
+use veridp::packet::{Hop, PortNo, PortRef, SwitchId};
+use veridp::switch::{Action, FlowRule, Match, RuleId};
+use veridp::topo::{gen, Topology};
+
+type Rules = HashMap<SwitchId, Vec<FlowRule>>;
+
+fn normalized(t: &PathTable) -> Vec<(PortRef, PortRef, Vec<Hop>, u64, u32)> {
+    let mut v: Vec<_> = t
+        .all_entries()
+        .into_iter()
+        .map(|((i, o), e)| (*i, *o, e.hops.clone(), e.tag.bits(), e.headers.index()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn random_rule(rng: &mut StdRng, topo: &Topology, s: SwitchId, id: u64) -> FlowRule {
+    let nports = topo.switch(s).unwrap().num_ports;
+    let plen = rng.gen_range(8..=32);
+    let base = gen::ip(10, 0, rng.gen_range(0..8), rng.gen_range(0..4) * 64);
+    let mut fields = Match::dst_prefix(base, plen);
+    if rng.gen_bool(0.2) {
+        fields = fields.with_dst_port(rng.gen_range(1..1024));
+    }
+    if rng.gen_bool(0.15) {
+        fields = fields.with_in_port(PortNo(rng.gen_range(1..=nports)));
+    }
+    let action = if rng.gen_bool(0.15) {
+        Action::Drop
+    } else {
+        Action::Forward(PortNo(rng.gen_range(1..=nports)))
+    };
+    FlowRule::new(id, plen as u16 + rng.gen_range(0..3), fields, action)
+}
+
+/// Apply `steps` random add/delete/modify operations, checking equivalence
+/// with a rebuild after every step.
+fn churn(topo: Topology, seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let switches: Vec<SwitchId> = topo.switches().map(|i| i.id).collect();
+    let mut hs = HeaderSpace::new();
+    let mut current: Rules = HashMap::new();
+    let mut table = PathTable::build(&topo, &current, &mut hs, 16);
+    let mut next_id = 1u64;
+
+    for step in 0..steps {
+        let s = switches[rng.gen_range(0..switches.len())];
+        let have: Vec<RuleId> = current.get(&s).map_or(Vec::new(), |v| v.iter().map(|r| r.id).collect());
+        match rng.gen_range(0..10u8) {
+            // Mostly adds, some deletes, some modifies.
+            0..=5 => {
+                let rule = random_rule(&mut rng, &topo, s, next_id);
+                next_id += 1;
+                table.add_rule(s, rule, &mut hs);
+                current.entry(s).or_default().push(rule);
+            }
+            6..=7 if !have.is_empty() => {
+                let id = have[rng.gen_range(0..have.len())];
+                table.delete_rule(s, id, &mut hs);
+                current.get_mut(&s).unwrap().retain(|r| r.id != id);
+            }
+            _ if !have.is_empty() => {
+                let id = have[rng.gen_range(0..have.len())];
+                let nports = topo.switch(s).unwrap().num_ports;
+                let action = Action::Forward(PortNo(rng.gen_range(1..=nports)));
+                table.modify_rule(s, id, action, &mut hs);
+                if let Some(r) = current.get_mut(&s).unwrap().iter_mut().find(|r| r.id == id) {
+                    r.action = action;
+                }
+            }
+            _ => continue,
+        }
+        let rebuilt = PathTable::build(&topo, &current, &mut hs, 16);
+        assert_eq!(
+            normalized(&table),
+            normalized(&rebuilt),
+            "diverged at step {step} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn churn_on_linear_chain() {
+    churn(gen::linear(4), 1, 60);
+}
+
+#[test]
+fn churn_on_figure5_with_middlebox() {
+    churn(gen::figure5(), 2, 60);
+}
+
+#[test]
+fn churn_on_figure7() {
+    churn(gen::figure7(), 3, 60);
+}
+
+#[test]
+fn churn_on_internet2() {
+    churn(gen::internet2(), 4, 40);
+}
+
+#[test]
+fn churn_on_fat_tree() {
+    churn(gen::fat_tree(4), 5, 25);
+}
+
+#[test]
+fn churn_multiple_seeds_linear() {
+    for seed in 10..16 {
+        churn(gen::linear(3), seed, 30);
+    }
+}

@@ -1,0 +1,97 @@
+//! Large-scale stress tests, ignored by default (minutes of runtime):
+//!
+//! ```sh
+//! cargo test --release --test scale -- --ignored --nocapture
+//! ```
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use veridp::controller::{synth, Controller};
+use veridp::core::{HeaderSpace, PathTable, VerifyOutcome};
+use veridp::packet::TagReport;
+use veridp::topo::gen;
+
+#[test]
+#[ignore = "large-scale run (~minutes); invoke with --ignored"]
+fn stanford_scale_path_table() {
+    // 1,500 prefixes × 26 switches ≈ 39 K rules: well
+    // below the real Stanford dump but in the same structural regime.
+    let topo = gen::stanford_like();
+    let mut ctrl = Controller::new(topo.clone());
+    let rules_added = synth::install_rib(&mut ctrl, 1_500, 2016);
+    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+
+    let mut hs = HeaderSpace::new();
+    let start = Instant::now();
+    // Static build: no incremental updates needed here, halve the memory.
+    let table = PathTable::build_static(&topo, &rules, &mut hs, 16);
+    let build = start.elapsed();
+    let stats = table.stats();
+    println!(
+        "stanford-scale: {rules_added} rules -> {} pairs, {} paths, len {:.2}, {:.2}s, {} BDD nodes",
+        stats.num_pairs,
+        stats.num_paths,
+        stats.avg_path_len,
+        build.as_secs_f64(),
+        hs.mgr_ref().node_count(),
+    );
+    assert!(stats.num_paths >= stats.num_pairs);
+    assert!(stats.avg_path_len > 2.0);
+
+    // Verification throughput at scale.
+    let mut reports: Vec<TagReport> = Vec::new();
+    for ((i, o), entries) in table.iter() {
+        for e in entries.iter().take(1) {
+            if let Some(w) = hs.witness(e.headers) {
+                reports.push(TagReport::new(*i, *o, w, e.tag));
+            }
+        }
+    }
+    let start = Instant::now();
+    for r in &reports {
+        assert_eq!(table.verify(r, &hs), VerifyOutcome::Pass);
+    }
+    let per = start.elapsed().as_secs_f64() / reports.len() as f64;
+    println!("verification at scale: {} reports, {:.2} us each", reports.len(), per * 1e6);
+    assert!(per < 1e-3, "verification should stay sub-millisecond");
+}
+
+#[test]
+#[ignore = "large-scale run (~minutes); invoke with --ignored"]
+fn internet2_incremental_stress() {
+    // Fig. 14 at twice the default scale: 4,000 rules fed one-by-one.
+    let topo = gen::internet2();
+    let mut ctrl = Controller::new(topo.clone());
+    synth::install_rib(&mut ctrl, 1_200, 7);
+    let target = topo.switch_by_name("CHIC").unwrap();
+    let mut rules: HashMap<_, _> =
+        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    rules.insert(target, Vec::new());
+
+    let mut hs = HeaderSpace::new();
+    let mut table = PathTable::build(&topo, &rules, &mut hs, 16);
+    let fresh = synth::single_switch_rules(&topo, target, 4_000, 99);
+    let start = Instant::now();
+    let mut over_10ms = 0usize;
+    for (i, (prio, fields, action)) in fresh.iter().enumerate() {
+        let rule = veridp::switch::FlowRule::new(7_000_000 + i as u64, *prio, *fields, *action);
+        let t = Instant::now();
+        table.add_rule(target, rule, &mut hs);
+        if t.elapsed().as_millis() >= 10 {
+            over_10ms += 1;
+        }
+    }
+    let total = start.elapsed();
+    println!(
+        "incremental stress: 4000 rules in {:.1}s ({:.2} ms mean), {} over 10ms",
+        total.as_secs_f64(),
+        total.as_secs_f64() * 1e3 / 4000.0,
+        over_10ms
+    );
+    // Update cost grows with the accumulated table (the paper's Fig. 14
+    // scatter shows the same drift); at twice the Fig. 14 scale we accept a
+    // larger over-10ms share but the mean must stay in the tens of ms.
+    assert!(over_10ms < 4000 * 7 / 10, "too many slow updates: {over_10ms}");
+    assert!(total.as_secs_f64() * 1e3 / 4000.0 < 50.0, "mean update too slow");
+}
