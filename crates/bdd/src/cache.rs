@@ -1,0 +1,156 @@
+//! Bounded direct-mapped cache for memoized `apply` results.
+//!
+//! An unbounded `HashMap` memo table grows with the number of distinct
+//! operations ever performed, which on large path-table builds dwarfs the
+//! node arena itself. Hardware-style direct mapping (as in CUDD's computed
+//! table) bounds that memory: each `(op, a, b)` key hashes to exactly one
+//! slot, and a colliding insert simply evicts the previous entry. Losing an
+//! entry only costs a recomputation — results stay canonical because `mk`
+//! hash-conses every node.
+//!
+//! The table starts small and doubles (up to [`MAX_BITS`]) whenever inserts
+//! since the last growth exceed the current capacity, so tiny managers pay
+//! tiny fixed costs and big builds converge to a large table quickly.
+
+/// Initial table size: `2^INITIAL_BITS` slots.
+const INITIAL_BITS: u32 = 12;
+
+/// Size ceiling: `2^MAX_BITS` slots (16 bytes each — 16 MiB at the cap).
+const MAX_BITS: u32 = 20;
+
+#[derive(Clone, Copy)]
+struct Slot {
+    op: u8,
+    a: u32,
+    b: u32,
+    r: u32,
+}
+
+/// Sentinel op tag marking an empty slot; real ops are small discriminants.
+const EMPTY: u8 = u8::MAX;
+
+const EMPTY_SLOT: Slot = Slot {
+    op: EMPTY,
+    a: 0,
+    b: 0,
+    r: 0,
+};
+
+/// Direct-mapped, bounded-capacity `(op, a, b) -> result` cache.
+pub(crate) struct ApplyCache {
+    slots: Vec<Slot>,
+    mask: u64,
+    /// Inserts since the last growth; drives the doubling heuristic.
+    inserts: u64,
+}
+
+impl ApplyCache {
+    pub(crate) fn new() -> Self {
+        let len = 1usize << INITIAL_BITS;
+        ApplyCache {
+            slots: vec![EMPTY_SLOT; len],
+            mask: len as u64 - 1,
+            inserts: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_index(&self, op: u8, a: u32, b: u32) -> usize {
+        (crate::fx::mix3(op as u64, a as u64, b as u64) & self.mask) as usize
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, op: u8, a: u32, b: u32) -> Option<u32> {
+        let s = &self.slots[self.slot_index(op, a, b)];
+        (s.op == op && s.a == a && s.b == b).then_some(s.r)
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, op: u8, a: u32, b: u32, r: u32) {
+        let idx = self.slot_index(op, a, b);
+        self.slots[idx] = Slot { op, a, b, r };
+        self.inserts += 1;
+        if self.inserts > self.slots.len() as u64 && self.slots.len() < (1 << MAX_BITS) {
+            self.grow();
+        }
+    }
+
+    /// Double the table. Entries are dropped rather than rehashed — this is
+    /// a cache, and a cold restart after growth is cheaper than a rehash
+    /// pass over slots that are mostly about to be evicted anyway.
+    fn grow(&mut self) {
+        let len = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(len, EMPTY_SLOT);
+        self.mask = len as u64 - 1;
+        self.inserts = 0;
+    }
+
+    /// Drop all entries, keeping the current capacity.
+    pub(crate) fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.inserts = 0;
+    }
+
+    /// Current slot count (diagnostics).
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = ApplyCache::new();
+        c.insert(0, 7, 9, 42);
+        assert_eq!(c.get(0, 7, 9), Some(42));
+        assert_eq!(c.get(1, 7, 9), None);
+        assert_eq!(c.get(0, 9, 7), None);
+    }
+
+    #[test]
+    fn collision_evicts_rather_than_grows_unboundedly() {
+        let mut c = ApplyCache::new();
+        // Far more inserts than the cap allows slots; capacity must stay
+        // bounded while lookups stay correct for whatever is resident.
+        for i in 0..(1u32 << 21) {
+            c.insert(0, i, i + 1, i);
+        }
+        assert!(c.capacity() <= 1 << MAX_BITS);
+        let mut hits = 0u32;
+        for i in 0..(1u32 << 21) {
+            if let Some(r) = c.get(0, i, i + 1) {
+                assert_eq!(r, i);
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn grows_up_to_cap() {
+        let mut c = ApplyCache::new();
+        let initial = c.capacity();
+        for i in 0..(1u32 << 21) {
+            c.insert(0, i, i, i);
+        }
+        assert!(c.capacity() > initial);
+        assert_eq!(c.capacity(), 1 << MAX_BITS);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut c = ApplyCache::new();
+        for i in 0..100_000u32 {
+            c.insert(0, i, i, i);
+        }
+        let cap = c.capacity();
+        c.clear();
+        assert_eq!(c.capacity(), cap);
+        assert_eq!(c.get(0, 5, 5), None);
+    }
+}

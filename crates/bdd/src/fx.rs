@@ -1,0 +1,112 @@
+//! Fast integer hashing for the kernel's hot tables.
+//!
+//! The default `std` hasher (SipHash) is keyed and DoS-resistant, which the
+//! unique table and operation caches do not need: their keys are arena
+//! indices we control. This module provides a from-scratch multiply-rotate
+//! hasher in the style of rustc's FxHash — one 64-bit multiply per word —
+//! plus a standalone [`mix3`] used by the direct-mapped apply cache.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived odd multiplier (same constant family FxHash uses).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher: each input word is folded into the state with one
+/// rotate, one xor, and one multiply. Not keyed and not collision-resistant
+/// against adversaries — only use for internal integer-keyed tables.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed by the multiply-rotate hasher; drop-in for internal
+/// integer-keyed tables.
+pub type FxHashMap<K2, V> = HashMap<K2, V, BuildHasherDefault<FxHasher>>;
+
+/// Hash three words into one — the slot index function of the direct-mapped
+/// apply cache. A final xor-shift spreads the high (well-mixed) bits into the
+/// low bits used for masking.
+#[inline]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = a.wrapping_mul(K);
+    h = (h.rotate_left(5) ^ b).wrapping_mul(K);
+    h = (h.rotate_left(5) ^ c).wrapping_mul(K);
+    h ^ (h >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_basic_ops() {
+        let mut m: FxHashMap<(u8, u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((0, i, i + 1), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(0, i, i + 1)), Some(&i));
+        }
+        assert_eq!(m.get(&(1, 0, 1)), None);
+    }
+
+    #[test]
+    fn mix3_spreads_low_bits() {
+        // Sequential keys must not collapse onto a handful of slots once
+        // masked — that is the exact access pattern of arena indices.
+        let mask = (1u64 << 10) - 1;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            seen.insert(mix3(0, i, i + 1) & mask);
+        }
+        // Perfect spreading would give 1024 distinct slots; demand > 60%.
+        assert!(seen.len() > 614, "only {} distinct slots", seen.len());
+    }
+}

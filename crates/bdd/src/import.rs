@@ -1,0 +1,207 @@
+//! Cross-manager BDD import.
+//!
+//! Handles are indices into one manager's arena, so a BDD built in one
+//! manager is meaningless to another. [`Manager::import`] translates a BDD
+//! structurally from a source manager into `self`, node by node through
+//! `mk`, so the result is canonical in the destination arena (equal
+//! functions imported from anywhere collapse to equal handles).
+//!
+//! This is what makes sharded path-table construction work: each worker
+//! thread seeds a private manager by importing the shared per-switch
+//! transfer predicates, traverses its shard, and the main thread imports
+//! the per-shard results back — no locking on the hot `mk`/`apply` path.
+//!
+//! Translation memoizes on the *source* node index via [`ImportMemo`], so
+//! importing many BDDs that share structure (as per-switch predicates do)
+//! costs each shared subgraph only once.
+
+use crate::fx::FxHashMap;
+use crate::manager::{Bdd, Manager, TERMINAL_VAR};
+
+/// Memo table for [`Manager::import`]: source node index → destination node
+/// index.
+///
+/// A memo is only valid for one (source, destination) manager pair. Reusing
+/// it across calls with the same pair is the point — predicates shared
+/// between imports translate once. Reusing it with a *different* source or
+/// destination produces garbage handles; create a fresh memo instead.
+#[derive(Default)]
+pub struct ImportMemo {
+    map: FxHashMap<u32, u32>,
+}
+
+impl ImportMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        ImportMemo::default()
+    }
+
+    /// Number of translated source nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been translated yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Manager {
+    /// Translate `b` from `other`'s arena into this manager, returning the
+    /// canonical handle for the same Boolean function.
+    ///
+    /// Terminals map to terminals and every internal node goes through
+    /// [`mk`](Manager::mk), so the two ROBDD invariants hold for the result;
+    /// importing the same function twice (even via different memos) yields
+    /// the same handle.
+    ///
+    /// # Panics
+    /// Panics if `b` tests a variable outside this manager's range.
+    pub fn import(&mut self, other: &Manager, b: Bdd, memo: &mut ImportMemo) -> Bdd {
+        Bdd(self.import_rec(other, b.0, memo))
+    }
+
+    fn import_rec(&mut self, other: &Manager, b: u32, memo: &mut ImportMemo) -> u32 {
+        // Terminals are index-stable across all managers.
+        if b <= 1 {
+            return b;
+        }
+        if let Some(&r) = memo.map.get(&b) {
+            return r;
+        }
+        let n = other.node(b);
+        debug_assert_ne!(n.var, TERMINAL_VAR);
+        assert!(
+            n.var < self.num_vars(),
+            "imported variable {} out of range",
+            n.var
+        );
+        let lo = self.import_rec(other, n.lo, memo);
+        let hi = self.import_rec(other, n.hi, memo);
+        let r = self.mk(n.var, lo, hi);
+        memo.map.insert(b, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const VARS: u32 = 16;
+
+    /// Build a random function from cubes; returns the same function in both
+    /// managers by replaying identical construction.
+    fn random_pair(rng: &mut StdRng) -> (Manager, Bdd, Manager) {
+        let mut src = Manager::new(VARS);
+        // Desynchronize the arenas: dst gets extra junk nodes first, so a
+        // correct import cannot just copy indices.
+        let mut dst = Manager::new(VARS);
+        for i in 0..rng.gen_range(1..6u32) {
+            let v = dst.var(i % VARS);
+            let w = dst.nvar((i + 3) % VARS);
+            dst.xor(v, w);
+        }
+        let mut f = Bdd::FALSE;
+        for _ in 0..rng.gen_range(1..8usize) {
+            let lits: Vec<(u32, bool)> = (0..rng.gen_range(1..5usize))
+                .map(|_| (rng.gen_range(0..VARS), rng.gen_bool(0.5)))
+                .collect();
+            let c = src.cube(&lits);
+            f = src.or(f, c);
+        }
+        (src, f, dst)
+    }
+
+    #[test]
+    fn import_preserves_eval_and_sat_count() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (src, f, mut dst) = random_pair(&mut rng);
+            let mut memo = ImportMemo::new();
+            let g = dst.import(&src, f, &mut memo);
+            assert_eq!(
+                src.sat_count(f),
+                dst.sat_count(g),
+                "sat count diverged (seed {seed})"
+            );
+            for _ in 0..200 {
+                let assignment: Vec<bool> = (0..VARS).map(|_| rng.gen_bool(0.5)).collect();
+                assert_eq!(
+                    src.eval(f, &assignment),
+                    dst.eval(g, &assignment),
+                    "eval diverged on {assignment:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_returns_to_same_handle() {
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let (mut src, f, mut dst) = random_pair(&mut rng);
+            let mut fwd = ImportMemo::new();
+            let g = dst.import(&src, f, &mut fwd);
+            let mut back = ImportMemo::new();
+            let f2 = src.import(&dst, g, &mut back);
+            // Canonicity: same function in the same manager is the same handle.
+            assert_eq!(f, f2, "round trip changed the handle (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn import_is_canonical_in_destination() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let (src, f, mut dst) = random_pair(&mut rng);
+        // Import twice with independent memos: identical handles.
+        let g1 = dst.import(&src, f, &mut ImportMemo::new());
+        let g2 = dst.import(&src, f, &mut ImportMemo::new());
+        assert_eq!(g1, g2);
+        // Building the function natively also lands on the same handle.
+        let (src2, f2) = {
+            let mut m = Manager::new(VARS);
+            let a = m.var(0);
+            let b = m.var(1);
+            let f = m.and(a, b);
+            (m, f)
+        };
+        let native = {
+            let a = dst.var(0);
+            let b = dst.var(1);
+            dst.and(a, b)
+        };
+        let imported = dst.import(&src2, f2, &mut ImportMemo::new());
+        assert_eq!(native, imported);
+    }
+
+    #[test]
+    fn memo_reuse_shares_work() {
+        let mut src = Manager::new(VARS);
+        let x: Vec<Bdd> = (0..VARS).map(|i| src.var(i)).collect();
+        let f = src.and_many(&x[0..8]);
+        let mut dst = Manager::new(VARS);
+        let mut memo = ImportMemo::new();
+        let g1 = dst.import(&src, f, &mut memo);
+        let after_first = memo.len();
+        let nodes_after_first = dst.node_count();
+        // A second import through the same memo is a pure lookup: no new
+        // translations and no new nodes.
+        let g2 = dst.import(&src, f, &mut memo);
+        assert_eq!(g1, g2);
+        assert_eq!(memo.len(), after_first, "memoized nodes re-translated");
+        assert_eq!(dst.node_count(), nodes_after_first);
+    }
+
+    #[test]
+    fn terminals_import_to_terminals() {
+        let src = Manager::new(4);
+        let mut dst = Manager::new(4);
+        let mut memo = ImportMemo::new();
+        assert!(dst.import(&src, Bdd::TRUE, &mut memo).is_true());
+        assert!(dst.import(&src, Bdd::FALSE, &mut memo).is_false());
+    }
+}

@@ -34,11 +34,15 @@
 //! assert_eq!(m.sat_count(f), 64);
 //! ```
 
+mod cache;
+mod fx;
+mod import;
 mod manager;
 mod ops;
 mod quant;
 mod sat;
 
+pub use import::ImportMemo;
 pub use manager::{Bdd, Manager};
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Node arena, hash-consing, and the basic node constructors.
 
-use std::collections::HashMap;
+use crate::cache::ApplyCache;
+use crate::fx::FxHashMap;
 
 /// A handle to a BDD node inside a [`Manager`].
 ///
@@ -54,9 +55,9 @@ pub(crate) struct Node {
 /// representation.
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
-    unique: HashMap<Node, u32>,
-    pub(crate) apply_cache: HashMap<(u8, u32, u32), u32>,
-    pub(crate) not_cache: HashMap<u32, u32>,
+    unique: FxHashMap<Node, u32>,
+    pub(crate) apply_cache: ApplyCache,
+    pub(crate) not_cache: FxHashMap<u32, u32>,
     num_vars: u32,
 }
 
@@ -76,13 +77,21 @@ impl Manager {
     /// Panics if `num_vars` cannot be represented (`>= u32::MAX`).
     pub fn new(num_vars: u32) -> Self {
         assert!(num_vars < TERMINAL_VAR, "too many variables");
-        let f = Node { var: TERMINAL_VAR, lo: 0, hi: 0 };
-        let t = Node { var: TERMINAL_VAR, lo: 1, hi: 1 };
+        let f = Node {
+            var: TERMINAL_VAR,
+            lo: 0,
+            hi: 0,
+        };
+        let t = Node {
+            var: TERMINAL_VAR,
+            lo: 1,
+            hi: 1,
+        };
         Manager {
             nodes: vec![f, t],
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            apply_cache: ApplyCache::new(),
+            not_cache: FxHashMap::default(),
             num_vars,
         }
     }
@@ -147,17 +156,26 @@ impl Manager {
     pub fn cube(&mut self, lits: &[(u32, bool)]) -> Bdd {
         let mut sorted: Vec<(u32, bool)> = lits.to_vec();
         sorted.sort_unstable();
-        // Build bottom-up (highest variable first) so each step is O(1).
-        let mut acc = 1u32; // TRUE
-        for &(var, pol) in sorted.iter().rev() {
-            assert!(var < self.num_vars, "variable {var} out of range");
-            acc = if pol { self.mk(var, 0, acc) } else { self.mk(var, acc, 0) };
-        }
-        // Detect conflicting duplicate literals: (v, true) and (v, false).
+        // Detect conflicting duplicate literals — (v, true) and (v, false) —
+        // before interning anything, so an unsatisfiable cube does not leak
+        // nodes into the arena.
         for w in sorted.windows(2) {
             if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
                 return Bdd::FALSE;
             }
+        }
+        // Repeated identical literals are idempotent; drop them so the
+        // bottom-up build never stacks two tests of the same variable.
+        sorted.dedup();
+        // Build bottom-up (highest variable first) so each step is O(1).
+        let mut acc = 1u32; // TRUE
+        for &(var, pol) in sorted.iter().rev() {
+            assert!(var < self.num_vars, "variable {var} out of range");
+            acc = if pol {
+                self.mk(var, 0, acc)
+            } else {
+                self.mk(var, acc, 0)
+            };
         }
         Bdd(acc)
     }
@@ -173,7 +191,11 @@ impl Manager {
             if n.var == TERMINAL_VAR {
                 return cur == 1;
             }
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
     }
 

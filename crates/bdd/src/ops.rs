@@ -53,21 +53,32 @@ impl Manager {
         if let Some(t) = op.terminal(a, b) {
             return t;
         }
-        let (ka, kb) = if op.commutative() && a > b { (b, a) } else { (a, b) };
-        let key = (op as u8, ka, kb);
-        if let Some(&r) = self.apply_cache.get(&key) {
+        let (ka, kb) = if op.commutative() && a > b {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let Some(r) = self.apply_cache.get(op as u8, ka, kb) {
             return r;
         }
         let na = self.node(a);
         let nb = self.node(b);
         let var = na.var.min(nb.var);
         debug_assert!(var != TERMINAL_VAR);
-        let (alo, ahi) = if na.var == var { (na.lo, na.hi) } else { (a, a) };
-        let (blo, bhi) = if nb.var == var { (nb.lo, nb.hi) } else { (b, b) };
+        let (alo, ahi) = if na.var == var {
+            (na.lo, na.hi)
+        } else {
+            (a, a)
+        };
+        let (blo, bhi) = if nb.var == var {
+            (nb.lo, nb.hi)
+        } else {
+            (b, b)
+        };
         let lo = self.apply(op, alo, blo);
         let hi = self.apply(op, ahi, bhi);
         let r = self.mk(var, lo, hi);
-        self.apply_cache.insert(key, r);
+        self.apply_cache.insert(op as u8, ka, kb, r);
         r
     }
 

@@ -102,6 +102,19 @@ fn cube_conflicting_literals_is_false() {
 }
 
 #[test]
+fn cube_conflicting_literals_allocates_no_nodes() {
+    let mut m = Manager::new(8);
+    let before = m.node_count();
+    let c = m.cube(&[(2, true), (5, false), (2, false), (7, true)]);
+    assert!(c.is_false());
+    assert_eq!(
+        m.node_count(),
+        before,
+        "conflicting cube leaked interned nodes"
+    );
+}
+
+#[test]
 fn cube_empty_is_true() {
     let mut m = Manager::new(3);
     assert!(m.cube(&[]).is_true());
@@ -216,11 +229,17 @@ fn reachable_count_small() {
     assert_eq!(m.reachable_count(Bdd::TRUE), 1);
 }
 
+/// Seeded random Boolean-expression ASTs, cross-checked against the BDD on
+/// every assignment. Replaces the former proptest strategies with explicit
+/// seeded loops so the suite runs with zero external dependencies while
+/// staying deterministic and reproducible (re-run a failure by its seed).
 mod property {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     const NVARS: u32 = 6;
+    const CASES: u64 = 96;
 
     /// A random Boolean-expression AST we can evaluate both directly and
     /// through the BDD, to cross-check semantics.
@@ -233,18 +252,25 @@ mod property {
         Xor(Box<Expr>, Box<Expr>),
     }
 
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let leaf = (0..NVARS).prop_map(Expr::Var);
-        leaf.prop_recursive(5, 64, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-                (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            ]
-        })
+    fn arb_expr(rng: &mut StdRng, depth: u32) -> Expr {
+        if depth == 0 || rng.gen_bool(0.3) {
+            return Expr::Var(rng.gen_range(0..NVARS));
+        }
+        match rng.gen_range(0..4) {
+            0 => Expr::Not(Box::new(arb_expr(rng, depth - 1))),
+            1 => Expr::And(
+                Box::new(arb_expr(rng, depth - 1)),
+                Box::new(arb_expr(rng, depth - 1)),
+            ),
+            2 => Expr::Or(
+                Box::new(arb_expr(rng, depth - 1)),
+                Box::new(arb_expr(rng, depth - 1)),
+            ),
+            _ => Expr::Xor(
+                Box::new(arb_expr(rng, depth - 1)),
+                Box::new(arb_expr(rng, depth - 1)),
+            ),
+        }
     }
 
     fn eval_expr(e: &Expr, a: &[bool]) -> bool {
@@ -282,146 +308,200 @@ mod property {
         }
     }
 
-    proptest! {
-        /// The BDD agrees with direct AST evaluation on every assignment.
-        #[test]
-        fn bdd_matches_ast(e in arb_expr()) {
+    /// The BDD agrees with direct AST evaluation on every assignment.
+    #[test]
+    fn bdd_matches_ast() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = arb_expr(&mut rng, 5);
             let mut m = Manager::new(NVARS);
             let b = build_bdd(&mut m, &e);
             for a in all_assignments(NVARS) {
-                prop_assert_eq!(m.eval(b, &a), eval_expr(&e, &a));
+                assert_eq!(m.eval(b, &a), eval_expr(&e, &a), "seed {seed}: {e:?}");
             }
         }
+    }
 
-        /// sat_count equals a brute-force count of satisfying assignments.
-        #[test]
-        fn sat_count_matches_bruteforce(e in arb_expr()) {
+    /// sat_count equals a brute-force count of satisfying assignments.
+    #[test]
+    fn sat_count_matches_bruteforce() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = arb_expr(&mut rng, 5);
             let mut m = Manager::new(NVARS);
             let b = build_bdd(&mut m, &e);
             let brute = all_assignments(NVARS).filter(|a| eval_expr(&e, a)).count() as u128;
-            prop_assert_eq!(m.sat_count(b), brute);
+            assert_eq!(m.sat_count(b), brute, "seed {seed}: {e:?}");
         }
+    }
 
-        /// Canonicity: semantically equal expressions get identical handles.
-        #[test]
-        fn canonicity(e in arb_expr()) {
+    /// Canonicity: semantically equal expressions get identical handles.
+    #[test]
+    fn canonicity() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = arb_expr(&mut rng, 5);
             let mut m = Manager::new(NVARS);
             let b = build_bdd(&mut m, &e);
             // Rebuild via double negation — must hash-cons to the same node.
             let n = m.not(b);
             let nn = m.not(n);
-            prop_assert_eq!(b, nn);
+            assert_eq!(b, nn, "seed {seed}");
         }
+    }
 
-        /// any_sat returns a real witness whenever one exists.
-        #[test]
-        fn any_sat_sound(e in arb_expr()) {
+    /// any_sat returns a real witness whenever one exists.
+    #[test]
+    fn any_sat_sound() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let e = arb_expr(&mut rng, 5);
             let mut m = Manager::new(NVARS);
             let b = build_bdd(&mut m, &e);
             match m.any_sat(b) {
-                Some(w) => prop_assert!(m.eval(b, &w)),
-                None => prop_assert!(b.is_false()),
+                Some(w) => assert!(m.eval(b, &w), "seed {seed}"),
+                None => assert!(b.is_false(), "seed {seed}"),
             }
         }
+    }
 
-        /// Absorption and distribution laws hold structurally.
-        #[test]
-        fn algebraic_laws(e1 in arb_expr(), e2 in arb_expr()) {
+    /// Absorption and distribution laws hold structurally.
+    #[test]
+    fn algebraic_laws() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let e1 = arb_expr(&mut rng, 5);
+            let e2 = arb_expr(&mut rng, 5);
             let mut m = Manager::new(NVARS);
             let a = build_bdd(&mut m, &e1);
             let b = build_bdd(&mut m, &e2);
             // a ∨ (a ∧ b) = a
             let ab = m.and(a, b);
             let absorb = m.or(a, ab);
-            prop_assert_eq!(absorb, a);
+            assert_eq!(absorb, a, "seed {seed}");
             // a ∧ (a ∨ b) = a
             let aob = m.or(a, b);
             let absorb2 = m.and(a, aob);
-            prop_assert_eq!(absorb2, a);
+            assert_eq!(absorb2, a, "seed {seed}");
             // diff(a, b) ∨ (a ∧ b) = a
             let d = m.diff(a, b);
             let back = m.or(d, ab);
-            prop_assert_eq!(back, a);
+            assert_eq!(back, a, "seed {seed}");
         }
     }
 }
 
 mod quant_property {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     const NVARS: u32 = 6;
+    const CASES: u64 = 96;
 
-    fn arb_small_expr() -> impl Strategy<Value = Vec<(u32, bool, u32, bool)>> {
-        // A DNF of up to 4 two-literal cubes — enough structure for
-        // quantifier laws without blowing up brute force.
-        proptest::collection::vec(
-            (0..NVARS, any::<bool>(), 0..NVARS, any::<bool>()),
-            1..4,
-        )
+    /// A DNF of up to 4 two-literal cubes — enough structure for quantifier
+    /// laws without blowing up brute force.
+    fn arb_small_expr(rng: &mut StdRng) -> Vec<(u32, bool, u32, bool)> {
+        let n = rng.gen_range(1..4usize);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..NVARS),
+                    rng.gen(),
+                    rng.gen_range(0..NVARS),
+                    rng.gen(),
+                )
+            })
+            .collect()
     }
 
     fn build(m: &mut Manager, dnf: &[(u32, bool, u32, bool)]) -> Bdd {
-        let cubes: Vec<Bdd> =
-            dnf.iter().map(|&(a, pa, b, pb)| m.cube(&[(a, pa), (b, pb)])).collect();
+        let cubes: Vec<Bdd> = dnf
+            .iter()
+            .map(|&(a, pa, b, pb)| m.cube(&[(a, pa), (b, pb)]))
+            .collect();
         m.or_many(&cubes)
     }
 
-    proptest! {
-        /// ∃x.f agrees with f[x:=0] ∨ f[x:=1].
-        #[test]
-        fn exists_is_disjunction_of_cofactors(dnf in arb_small_expr(), var in 0..NVARS) {
+    /// ∃x.f agrees with f[x:=0] ∨ f[x:=1].
+    #[test]
+    fn exists_is_disjunction_of_cofactors() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dnf = arb_small_expr(&mut rng);
+            let var = rng.gen_range(0..NVARS);
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &dnf);
             let e = m.exists(f, &[var]);
             let c0 = m.restrict(f, &[(var, false)]);
             let c1 = m.restrict(f, &[(var, true)]);
             let expect = m.or(c0, c1);
-            prop_assert_eq!(e, expect);
+            assert_eq!(e, expect, "seed {seed}");
         }
+    }
 
-        /// Quantification is monotone and increases the set.
-        #[test]
-        fn exists_is_upward_closed(dnf in arb_small_expr(), var in 0..NVARS) {
+    /// Quantification is monotone and increases the set.
+    #[test]
+    fn exists_is_upward_closed() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dnf = arb_small_expr(&mut rng);
+            let var = rng.gen_range(0..NVARS);
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &dnf);
             let e = m.exists(f, &[var]);
-            prop_assert!(m.implies(f, e));
+            assert!(m.implies(f, e), "seed {seed}");
         }
+    }
 
-        /// Quantifying all variables yields a constant.
-        #[test]
-        fn exists_all_vars_is_constant(dnf in arb_small_expr()) {
+    /// Quantifying all variables yields a constant.
+    #[test]
+    fn exists_all_vars_is_constant() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dnf = arb_small_expr(&mut rng);
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &dnf);
             let vars: Vec<u32> = (0..NVARS).collect();
             let e = m.exists(f, &vars);
-            prop_assert!(e.is_true() || e.is_false());
-            prop_assert_eq!(e.is_true(), !f.is_false());
+            assert!(e.is_true() || e.is_false(), "seed {seed}");
+            assert_eq!(e.is_true(), !f.is_false(), "seed {seed}");
         }
+    }
 
-        /// restrict agrees with brute-force evaluation.
-        #[test]
-        fn restrict_matches_eval(dnf in arb_small_expr(), var in 0..NVARS, val in any::<bool>()) {
+    /// restrict agrees with brute-force evaluation.
+    #[test]
+    fn restrict_matches_eval() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dnf = arb_small_expr(&mut rng);
+            let var = rng.gen_range(0..NVARS);
+            let val: bool = rng.gen();
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &dnf);
             let r = m.restrict(f, &[(var, val)]);
             for mut a in all_assignments(NVARS) {
                 a[var as usize] = val;
-                prop_assert_eq!(m.eval(r, &a), m.eval(f, &a));
+                assert_eq!(m.eval(r, &a), m.eval(f, &a), "seed {seed}");
             }
         }
+    }
 
-        /// Quantifier order does not matter.
-        #[test]
-        fn exists_commutes(dnf in arb_small_expr(), v1 in 0..NVARS, v2 in 0..NVARS) {
+    /// Quantifier order does not matter.
+    #[test]
+    fn exists_commutes() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dnf = arb_small_expr(&mut rng);
+            let v1 = rng.gen_range(0..NVARS);
+            let v2 = rng.gen_range(0..NVARS);
             let mut m = Manager::new(NVARS);
             let f = build(&mut m, &dnf);
             let a = m.exists(f, &[v1]);
             let ab = m.exists(a, &[v2]);
             let b = m.exists(f, &[v2]);
             let ba = m.exists(b, &[v1]);
-            prop_assert_eq!(ab, ba);
+            assert_eq!(ab, ba, "seed {seed}");
         }
     }
 }

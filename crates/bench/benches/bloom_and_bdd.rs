@@ -1,17 +1,21 @@
-//! Criterion bench for the substrate data structures: Bloom tag operations
-//! (every data-plane hop pays these) and BDD set algebra (path-table
-//! construction pays these).
+//! Substrate micro-benchmarks: Bloom tag operations (every data-plane hop
+//! pays these) and BDD set algebra (path-table construction pays these).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use veridp_bdd::Manager;
+use veridp_bench::harness::{bench, quick_mode};
 use veridp_bloom::{BloomTag, HopEncoder};
 use veridp_core::HeaderSpace;
 use veridp_switch::PortRange;
 
-fn bench_bloom(c: &mut Criterion) {
-    c.bench_function("bloom_singleton_16", |b| {
-        b.iter(|| std::hint::black_box(BloomTag::singleton(&HopEncoder::encode(1, 42, 2), 16)))
+fn main() {
+    let iters: u64 = if quick_mode() { 10_000 } else { 200_000 };
+    println!("bloom_and_bdd: substrate micro-ops\n");
+
+    let s = bench("bloom_singleton_16", 3, iters, || {
+        BloomTag::singleton(&HopEncoder::encode(1, 42, 2), 16)
     });
+    println!("{}", s.line());
+
     let tag = {
         let mut t = BloomTag::empty(16);
         for i in 0..4u16 {
@@ -19,41 +23,38 @@ fn bench_bloom(c: &mut Criterion) {
         }
         t
     };
-    c.bench_function("bloom_contains", |b| {
-        b.iter(|| std::hint::black_box(tag.contains(&HopEncoder::encode(2, 2, 3))))
+    let s = bench("bloom_contains", 3, iters, || {
+        tag.contains(&HopEncoder::encode(2, 2, 3))
     });
-}
+    println!("{}", s.line());
 
-fn bench_bdd(c: &mut Criterion) {
-    c.bench_function("bdd_prefix_24", |b| {
-        let mut hs = HeaderSpace::new();
-        b.iter(|| std::hint::black_box(hs.dst_prefix(0x0a000200, 24)))
-    });
-    c.bench_function("bdd_port_range", |b| {
-        let mut hs = HeaderSpace::new();
-        b.iter(|| std::hint::black_box(hs.dst_port_range(PortRange::new(1024, 49151))))
-    });
-    c.bench_function("bdd_and_of_prefixes", |b| {
-        let mut hs = HeaderSpace::new();
-        let x = hs.dst_prefix(0x0a000000, 16);
-        let y = hs.src_prefix(0xc0a80000, 16);
-        b.iter(|| std::hint::black_box(hs.mgr().and(x, y)))
-    });
-    c.bench_function("bdd_eval_contains", |b| {
-        let mut hs = HeaderSpace::new();
-        let set = hs.dst_prefix(0x0a000200, 24);
-        let h = veridp_packet::FiveTuple::tcp(1, 0x0a000205, 2, 3);
-        b.iter(|| std::hint::black_box(hs.contains(set, &h)))
-    });
-    c.bench_function("bdd_manager_var_churn", |b| {
-        b.iter(|| {
-            let mut m = Manager::new(104);
-            let x = m.var(10);
-            let y = m.var(50);
-            std::hint::black_box(m.and(x, y))
-        })
-    });
-}
+    let mut hs = HeaderSpace::new();
+    let s = bench("bdd_prefix_24", 3, iters, || hs.dst_prefix(0x0a000200, 24));
+    println!("{}", s.line());
 
-criterion_group!(benches, bench_bloom, bench_bdd);
-criterion_main!(benches);
+    let mut hs = HeaderSpace::new();
+    let s = bench("bdd_port_range", 3, iters / 10, || {
+        hs.dst_port_range(PortRange::new(1024, 49151))
+    });
+    println!("{}", s.line());
+
+    let mut hs = HeaderSpace::new();
+    let x = hs.dst_prefix(0x0a000000, 16);
+    let y = hs.src_prefix(0xc0a80000, 16);
+    let s = bench("bdd_and_of_prefixes", 3, iters, || hs.mgr().and(x, y));
+    println!("{}", s.line());
+
+    let mut hs = HeaderSpace::new();
+    let set = hs.dst_prefix(0x0a000200, 24);
+    let h = veridp_packet::FiveTuple::tcp(1, 0x0a000205, 2, 3);
+    let s = bench("bdd_eval_contains", 3, iters, || hs.contains(set, &h));
+    println!("{}", s.line());
+
+    let s = bench("bdd_manager_var_churn", 3, iters / 10, || {
+        let mut m = Manager::new(104);
+        let x = m.var(10);
+        let y = m.var(50);
+        m.and(x, y)
+    });
+    println!("{}", s.line());
+}

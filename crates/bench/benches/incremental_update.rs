@@ -1,40 +1,39 @@
-//! Criterion bench for Figure 14: incremental path-table update per rule,
-//! plus the rebuild baseline (the ablation's comparison point).
+//! Incremental path-table update per rule (Figure 14) vs the rebuild
+//! baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use veridp_bench::harness::{bench, bench_once, quick_mode};
 use veridp_bench::{build_setup, Setup};
 use veridp_controller::synth;
 use veridp_core::{HeaderSpace, PathTable};
 use veridp_switch::FlowRule;
 
-fn bench_incremental(c: &mut Criterion) {
-    let data = build_setup(Setup::Internet2, Some(300), 2016);
+fn main() {
+    let quick = quick_mode();
+    let prefixes = if quick { 60 } else { 300 };
+    let adds: u64 = if quick { 200 } else { 2_000 };
+    let data = build_setup(Setup::Internet2, Some(prefixes), 2016);
     let target = data.topo.switch_by_name("CHIC").unwrap();
     let fresh = synth::single_switch_rules(&data.topo, target, 10_000, 99);
 
+    println!("incremental_update: per-rule update vs full rebuild (Internet2)\n");
     let mut hs = HeaderSpace::new();
     let mut table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
     let mut i = 0usize;
-    c.bench_function("incremental_add_rule(Internet2)", |b| {
-        b.iter(|| {
-            let (prio, fields, action) = fresh[i % fresh.len()];
-            let rule = FlowRule::new(5_000_000 + i as u64, prio, fields, action);
-            i += 1;
-            table.add_rule(target, rule, &mut hs);
-        })
+    let inc = bench("incremental_add_rule", 3, adds, || {
+        let (prio, fields, action) = fresh[i % fresh.len()];
+        let rule = FlowRule::new(5_000_000 + i as u64, prio, fields, action);
+        i += 1;
+        table.add_rule(target, rule, &mut hs);
     });
+    println!("{}", inc.line());
 
-    c.bench_function("full_rebuild(Internet2)", |b| {
-        b.iter(|| {
-            let mut hs = HeaderSpace::new();
-            std::hint::black_box(PathTable::build(&data.topo, &data.rules, &mut hs, 16))
-        })
+    let rebuild = bench_once("full_rebuild", if quick { 1 } else { 3 }, || {
+        let mut hs = HeaderSpace::new();
+        PathTable::build(&data.topo, &data.rules, &mut hs, 16)
     });
+    println!("{}", rebuild.line());
+    println!(
+        "\nincremental update is {:.0}x faster than rebuild (per rule, by min)",
+        rebuild.min_ns / inc.min_ns
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_incremental
-}
-criterion_main!(benches);

@@ -1,28 +1,125 @@
-//! Criterion bench for Table 2: path-table construction time.
+//! Path-table construction time (Table 2), sequential vs the sharded
+//! parallel build, with machine-readable output.
+//!
+//! For each setup the sequential `PathTable::build` is timed, then
+//! `PathTable::build_parallel` at 1/2/4/8 threads. Results go to stdout and
+//! to `BENCH_path_table.json` (override with `VERIDP_BENCH_OUT`); quick
+//! smoke mode (`VERIDP_BENCH_QUICK=1`) shrinks workloads and sample counts.
+//!
+//! Reported per variant: wall-clock (mean and min over samples),
+//! `(inport, outport)` pairs per second, and nodes allocated in the main
+//! BDD manager after the build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use veridp_bench::{build_setup, Setup};
+use veridp_bench::harness::{bench_once, quick_mode, Sampled};
+use veridp_bench::json::Json;
+use veridp_bench::{build_setup, Setup, SetupData};
 use veridp_core::{HeaderSpace, PathTable};
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("path_table_build");
-    group.sample_size(10);
-    for (setup, prefixes) in [
-        (Setup::FatTree(4), None),
-        (Setup::FatTree(6), None),
-        (Setup::Internet2, Some(300usize)),
-        (Setup::Stanford, Some(150)),
-    ] {
-        let data = build_setup(setup, prefixes, 2016);
-        group.bench_function(setup.name(), |b| {
-            b.iter(|| {
-                let mut hs = HeaderSpace::new();
-                std::hint::black_box(PathTable::build(&data.topo, &data.rules, &mut hs, 16))
-            })
-        });
-    }
-    group.finish();
+struct Variant {
+    name: &'static str,
+    threads: usize,
+    timing: Sampled,
+    pairs: usize,
+    pairs_per_sec: f64,
+    nodes_allocated: usize,
 }
 
-criterion_group!(benches, bench_build);
-criterion_main!(benches);
+fn run_variant(data: &SetupData, threads: Option<usize>, samples: usize) -> Variant {
+    let label = match threads {
+        None => format!("{}/sequential", data.setup.name()),
+        Some(t) => format!("{}/parallel x{t}", data.setup.name()),
+    };
+    let mut pairs = 0usize;
+    let mut nodes = 0usize;
+    let timing = bench_once(&label, samples, || {
+        let mut hs = HeaderSpace::new();
+        let table = match threads {
+            None => PathTable::build(&data.topo, &data.rules, &mut hs, 16),
+            Some(t) => PathTable::build_parallel(&data.topo, &data.rules, &mut hs, 16, t),
+        };
+        pairs = table.stats().num_pairs;
+        nodes = hs.mgr_ref().node_count();
+        table
+    });
+    Variant {
+        name: if threads.is_none() {
+            "sequential"
+        } else {
+            "parallel"
+        },
+        threads: threads.unwrap_or(1),
+        pairs,
+        pairs_per_sec: pairs as f64 / (timing.min_ns / 1e9),
+        nodes_allocated: nodes,
+        timing,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let out_path =
+        std::env::var("VERIDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_path_table.json".to_string());
+    let samples = if quick { 1 } else { 3 };
+    let setups: Vec<(Setup, Option<usize>)> = if quick {
+        vec![(Setup::FatTree(4), None), (Setup::Internet2, Some(60))]
+    } else {
+        vec![
+            (Setup::FatTree(4), None),
+            (Setup::FatTree(6), None),
+            (Setup::Internet2, Some(300)),
+        ]
+    };
+    let thread_counts = [1usize, 2, 4, 8];
+
+    println!("path_table_build: sequential vs sharded parallel build");
+    println!("(1 sample = 1 full build; min over {samples} samples drives pairs/sec)\n");
+
+    let mut results: Vec<Json> = Vec::new();
+    for (setup, prefixes) in setups {
+        let data = build_setup(setup, prefixes, 2016);
+        let mut variants = vec![run_variant(&data, None, samples)];
+        for &t in &thread_counts {
+            variants.push(run_variant(&data, Some(t), samples));
+        }
+        let seq_min = variants[0].timing.min_ns;
+        for v in &variants {
+            let speedup = seq_min / v.timing.min_ns;
+            println!(
+                "{}  pairs={} nodes={}  speedup_vs_seq={speedup:.2}x",
+                v.timing.line(),
+                v.pairs,
+                v.nodes_allocated
+            );
+            results.push(Json::obj([
+                ("setup", Json::str(setup.name())),
+                ("rules", Json::Int(data.num_rules as i64)),
+                ("variant", Json::str(v.name)),
+                ("threads", Json::Int(v.threads as i64)),
+                ("wall_s_min", Json::Num(v.timing.min_ns / 1e9)),
+                ("wall_s_mean", Json::Num(v.timing.mean_ns / 1e9)),
+                ("pairs", Json::Int(v.pairs as i64)),
+                ("pairs_per_sec", Json::Num(v.pairs_per_sec)),
+                ("nodes_allocated", Json::Int(v.nodes_allocated as i64)),
+                ("speedup_vs_sequential", Json::Num(speedup)),
+                ("samples", Json::Int(v.timing.samples as i64)),
+            ]));
+        }
+        println!();
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("path_table_build")),
+        ("seed", Json::Int(2016)),
+        ("quick", Json::Bool(quick)),
+        (
+            "hardware_threads",
+            Json::Int(std::thread::available_parallelism().map_or(0, |n| n.get() as i64)),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
+        eprintln!("error: cannot write bench json to {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

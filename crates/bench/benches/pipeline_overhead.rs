@@ -1,40 +1,45 @@
-//! Criterion bench for Table 4: per-packet cost of the VeriDP pipeline
-//! modules vs the native lookup, across the paper's packet sizes (the
-//! software modules are size-independent; the codec is not).
+//! Per-packet cost of the VeriDP pipeline modules vs the native lookup
+//! (Table 4); the codec cost is packet-size dependent.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use veridp_bench::harness::{bench, quick_mode};
 use veridp_bloom::HopEncoder;
 use veridp_packet::{encode_frame, FiveTuple, Packet, PortNo, PortRef, SwitchId};
 use veridp_switch::{Action, FlowRule, FlowTable, Match, Sampler, VeriDpPipeline};
 
-fn bench_modules(c: &mut Criterion) {
+fn main() {
+    let iters: u64 = if quick_mode() { 10_000 } else { 200_000 };
     let header = FiveTuple::tcp(0x0a000101, 0x0a000201, 40000, 80);
+    println!("pipeline_overhead: per-packet module costs\n");
 
     let mut table = FlowTable::new();
     for i in 0..10_000u64 {
         let ip = 0x0a00_0000u32 | (((i as u32).wrapping_mul(2654435761)) & 0x00ff_ff00);
-        table.insert(FlowRule::new(i, (i % 32) as u16, Match::dst_prefix(ip, 24), Action::Forward(PortNo(1))));
+        table.insert(FlowRule::new(
+            i,
+            (i % 32) as u16,
+            Match::dst_prefix(ip, 24),
+            Action::Forward(PortNo(1)),
+        ));
     }
-    c.bench_function("native_lookup_10k_rules", |b| {
-        b.iter(|| std::hint::black_box(table.lookup(PortNo(1), &header)))
+    let s = bench("native_lookup_10k_rules", 3, iters, || {
+        table.lookup(PortNo(1), &header)
     });
+    println!("{}", s.line());
 
     let mut sampler = Sampler::new(1_000);
     let mut now = 0u64;
-    c.bench_function("sampling_module", |b| {
-        b.iter(|| {
-            now += 1;
-            std::hint::black_box(sampler.should_sample(&header, now))
-        })
+    let s = bench("sampling_module", 3, iters, || {
+        now += 1;
+        sampler.should_sample(&header, now)
     });
+    println!("{}", s.line());
 
     let mut tag = veridp_bloom::BloomTag::default_width();
-    c.bench_function("tagging_module", |b| {
-        b.iter(|| {
-            tag.insert(&HopEncoder::encode(1, 7, 2));
-            std::hint::black_box(tag.bits())
-        })
+    let s = bench("tagging_module", 3, iters, || {
+        tag.insert(&HopEncoder::encode(1, 7, 2));
+        tag.bits()
     });
+    println!("{}", s.line());
 
     let mut pipeline = VeriDpPipeline::new(SwitchId(7));
     let mut pkt = Packet::new(header);
@@ -42,23 +47,18 @@ fn bench_modules(c: &mut Criterion) {
     pkt.tag = Some(veridp_bloom::BloomTag::default_width());
     pkt.inport = Some(PortRef::new(1, 1));
     let mut t = 0u64;
-    c.bench_function("full_pipeline_internal_hop", |b| {
-        b.iter(|| {
-            t += 1;
-            pkt.veridp_ttl = 32;
-            std::hint::black_box(pipeline.process(&mut pkt, PortNo(1), PortNo(2), t, false, false))
-        })
+    let s = bench("full_pipeline_internal_hop", 3, iters, || {
+        t += 1;
+        pkt.veridp_ttl = 32;
+        pipeline.process(&mut pkt, PortNo(1), PortNo(2), t, false, false)
     });
+    println!("{}", s.line());
 
-    let mut group = c.benchmark_group("frame_encode_by_size");
     for size in [128u16, 256, 512, 1024, 1500] {
         let pkt = Packet::with_len(header, size);
-        group.bench_with_input(BenchmarkId::from_parameter(size), &pkt, |b, pkt| {
-            b.iter(|| std::hint::black_box(encode_frame(pkt).unwrap()))
+        let s = bench(&format!("frame_encode_{size}B"), 3, iters, || {
+            encode_frame(&pkt).unwrap()
         });
+        println!("{}", s.line());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_modules);
-criterion_main!(benches);

@@ -1,16 +1,19 @@
-//! Criterion bench for Figure 13: tag-report verification latency.
+//! Tag-report verification latency (Figure 13).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use veridp_bench::harness::{bench, quick_mode};
 use veridp_bench::{build_setup, Setup};
 use veridp_core::{HeaderSpace, PathTable};
 use veridp_packet::TagReport;
 
-fn bench_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verify_report");
+fn main() {
+    let quick = quick_mode();
+    let prefixes = if quick { 60 } else { 300 };
+    let iters: u64 = if quick { 2_000 } else { 50_000 };
+    println!("verify_report: Algorithm 3 latency per tag report\n");
     for setup in [Setup::Stanford, Setup::Internet2] {
-        let data = build_setup(setup, Some(300), 2016);
+        let data = build_setup(setup, Some(prefixes), 2016);
         let mut hs = HeaderSpace::new();
         let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
         let mut rng = StdRng::seed_from_u64(7);
@@ -26,15 +29,10 @@ fn bench_verify(c: &mut Criterion) {
         }
         assert!(!reports.is_empty());
         let mut i = 0usize;
-        group.bench_function(setup.name(), |b| {
-            b.iter(|| {
-                i = (i + 1) % reports.len();
-                std::hint::black_box(table.verify(&reports[i], &hs))
-            })
+        let s = bench(&setup.name(), 3, iters, || {
+            i = (i + 1) % reports.len();
+            table.verify(&reports[i], &hs)
         });
+        println!("{}", s.line());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_verify);
-criterion_main!(benches);

@@ -20,7 +20,10 @@ struct Config {
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
-    let mut cfg = Config { seed: 2016, quick: false };
+    let mut cfg = Config {
+        seed: 2016,
+        quick: false,
+    };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,10 +39,22 @@ fn main() {
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = ["table2", "fig6", "function", "fig12", "table3", "fig13", "fig14", "table4", "baselines", "sampling", "ablation"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = [
+            "table2",
+            "fig6",
+            "function",
+            "fig12",
+            "table3",
+            "fig13",
+            "fig14",
+            "table4",
+            "baselines",
+            "sampling",
+            "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     for w in which {
         run(&w, &cfg);
@@ -100,17 +115,29 @@ fn run(which: &str, cfg: &Config) {
         "table4" => {
             let model = exp::table4::run_model();
             let iters = if cfg.quick { 100_000 } else { 1_000_000 };
-            let sw = exp::table4::run_software(10_000.min(if cfg.quick { 1_000 } else { 10_000 }), iters, cfg.seed);
+            let sw = exp::table4::run_software(
+                10_000.min(if cfg.quick { 1_000 } else { 10_000 }),
+                iters,
+                cfg.seed,
+            );
             print!("{}", exp::table4::render(&model, &sw));
         }
         "baselines" => {
             let matrix = exp::baselines::detection_matrix();
-            let counts: &[usize] = if cfg.quick { &[50, 100, 200] } else { &[100, 200, 400, 800] };
+            let counts: &[usize] = if cfg.quick {
+                &[50, 100, 200]
+            } else {
+                &[100, 200, 400, 800]
+            };
             let costs = exp::baselines::probe_cost(counts, cfg.seed);
             print!("{}", exp::baselines::render(&matrix, &costs));
         }
         "sampling" => {
-            let values: &[u64] = if cfg.quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32] };
+            let values: &[u64] = if cfg.quick {
+                &[1, 4, 16]
+            } else {
+                &[1, 2, 4, 8, 16, 32]
+            };
             let points = exp::sampling::run(values);
             print!("{}", exp::sampling::render(&points));
         }

@@ -48,7 +48,9 @@ pub fn localization(tag_bits: u32, trials: usize, seed: u64) -> LocalizationAbla
                 continue;
             }
             let r = rules[rng.gen_range(0..rules.len())];
-            let Action::Forward(p) = r.action else { continue };
+            let Action::Forward(p) = r.action else {
+                continue;
+            };
             break (s, r.id, p);
         };
         let nports = m.net.topo().switch(sid).unwrap().num_ports;
@@ -71,10 +73,10 @@ pub fn localization(tag_bits: u32, trials: usize, seed: u64) -> LocalizationAbla
                 failures += 1;
                 // Ground truth: the first hop of the real path that differs
                 // from the correct path.
-                let correct = m
-                    .server
-                    .table()
-                    .trace(report.inport, &report.header, m.server.header_space());
+                let correct =
+                    m.server
+                        .table()
+                        .trace(report.inport, &report.header, m.server.header_space());
                 let real = &outcome.trace.hops;
                 let truth: Option<SwitchId> = correct
                     .iter()
@@ -139,7 +141,11 @@ impl UpdateAblation {
 }
 
 /// Time `changes` single-rule additions both ways.
-pub fn incremental_vs_rebuild(background_prefixes: usize, changes: usize, seed: u64) -> UpdateAblation {
+pub fn incremental_vs_rebuild(
+    background_prefixes: usize,
+    changes: usize,
+    seed: u64,
+) -> UpdateAblation {
     let data = build_setup(Setup::Internet2, Some(background_prefixes), seed);
     let target = data.topo.switch_by_name("KANS").unwrap();
     let mut hs = HeaderSpace::new();
@@ -202,7 +208,10 @@ pub fn render_predicates(p: &PredicateAblation) -> String {
     format!(
         "\nAblation 3: port-predicate maintenance, rule tree (Fig. 8) vs rescan\n\
          {} prefix rules | rule tree {:.1} ms total | rescan {:.1} ms total | speedup {:.0}x\n",
-        p.rules, p.ruletree_total_ms, p.rescan_total_ms, p.speedup()
+        p.rules,
+        p.ruletree_total_ms,
+        p.rescan_total_ms,
+        p.speedup()
     )
 }
 
@@ -241,7 +250,9 @@ pub fn ruletree_vs_rescan(n: usize, seed: u64) -> PredicateAblation {
         if !seen.insert((fields.dst_ip, fields.dst_plen)) {
             continue; // the tree keys rules by prefix
         }
-        let Action::Forward(out) = action else { continue };
+        let Action::Forward(out) = action else {
+            continue;
+        };
         tree.add(
             PrefixRule {
                 id: veridp_switch::RuleId(i as u64),
@@ -268,9 +279,15 @@ pub fn ruletree_vs_rescan(n: usize, seed: u64) -> PredicateAblation {
             continue;
         }
         rules.push(FlowRule::new(i as u64, *prio, *fields, *action));
-        std::hint::black_box(SwitchPredicates::from_rules(target, &ports, &rules, &mut hs2));
+        std::hint::black_box(SwitchPredicates::from_rules(
+            target, &ports, &rules, &mut hs2,
+        ));
     }
     let rescan_total_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    PredicateAblation { rules: tree_added, ruletree_total_ms, rescan_total_ms }
+    PredicateAblation {
+        rules: tree_added,
+        ruletree_total_ms,
+        rescan_total_ms,
+    }
 }

@@ -72,8 +72,12 @@ fn scenario(
 ) -> MatrixRow {
     // ATPG: generate probes on the healthy deployment, inject, re-run.
     let mut m = Monitor::deploy(gen::figure5(), intents, 16).expect("deploys");
-    let rules: std::collections::HashMap<_, _> =
-        m.controller.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: std::collections::HashMap<_, _> = m
+        .controller
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let mut hs = HeaderSpace::new();
     let table = PathTable::build(m.net.topo(), &rules, &mut hs, 16);
     let probes = atpg_generate(&table, &mut hs);
@@ -87,7 +91,12 @@ fn scenario(
     m2.net.advance_clock(1_000_000_000);
     let veridp = traffic(&mut m2);
 
-    MatrixRow { scenario: name, atpg, monocle: monocle_sees, veridp }
+    MatrixRow {
+        scenario: name,
+        atpg,
+        monocle: monocle_sees,
+        veridp,
+    }
 }
 
 /// Build the full detection matrix.
@@ -107,7 +116,10 @@ pub fn detection_matrix() -> Vec<MatrixRow> {
             &figure5_intents(false, false),
             |m| {
                 let id = wp_rule(m);
-                m.net.switch_mut(SwitchId(1)).faults_mut().add(Fault::ExternalModify(id, Action::Drop));
+                m.net
+                    .switch_mut(SwitchId(1))
+                    .faults_mut()
+                    .add(Fault::ExternalModify(id, Action::Drop));
             },
             |m| !m.send("H1", "H3", 22).consistent(),
             true, // Monocle's probe for the rule observes the wrong output
@@ -136,7 +148,10 @@ pub fn detection_matrix() -> Vec<MatrixRow> {
                     .find(|r| r.action == Action::Drop)
                     .unwrap()
                     .id;
-                m.net.switch_mut(SwitchId(1)).faults_mut().add(Fault::ExternalDelete(acl));
+                m.net
+                    .switch_mut(SwitchId(1))
+                    .faults_mut()
+                    .add(Fault::ExternalDelete(acl));
             },
             |m| {
                 let out = m.send("H2", "H3", 80);
@@ -162,8 +177,10 @@ pub fn detection_matrix() -> Vec<MatrixRow> {
             },
             |m| {
                 let src = m.net.topo().host("H1").unwrap().attached;
-                let (sip, dip) =
-                    (m.net.topo().host("H1").unwrap().ip, m.net.topo().host("H3").unwrap().ip);
+                let (sip, dip) = (
+                    m.net.topo().host("H1").unwrap().ip,
+                    m.net.topo().host("H3").unwrap().ip,
+                );
                 let h = veridp_packet::FiveTuple::tcp(sip, dip, 100, 80);
                 !m.send_header(src, h).consistent()
             },

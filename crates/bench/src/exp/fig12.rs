@@ -46,6 +46,7 @@ impl Point {
 }
 
 /// Simulate one fault on one path entry; returns `(arrived, passed)`.
+#[allow(clippy::too_many_arguments)]
 fn simulate_fault(
     table: &PathTable,
     hs: &mut HeaderSpace,
@@ -64,8 +65,10 @@ fn simulate_fault(
     let i = rng.gen_range(0..entry_hops.len());
     let bad = entry_hops[i];
     let info = table.topo().switch(bad.switch)?;
-    let candidates: Vec<PortNo> =
-        (1..=info.num_ports).map(PortNo).filter(|p| *p != bad.out_port).collect();
+    let candidates: Vec<PortNo> = (1..=info.num_ports)
+        .map(PortNo)
+        .filter(|p| *p != bad.out_port)
+        .collect();
     if candidates.is_empty() {
         return None;
     }
@@ -73,7 +76,11 @@ fn simulate_fault(
 
     // Real trajectory: prefix + deviating hop + control-plane continuation.
     let mut real: Vec<Hop> = entry_hops[..i].to_vec();
-    let dev = Hop { in_port: bad.in_port, switch: bad.switch, out_port: wrong };
+    let dev = Hop {
+        in_port: bad.in_port,
+        switch: bad.switch,
+        out_port: wrong,
+    };
     real.push(dev);
     let out_ref = dev.out_ref();
     let mut final_out = out_ref;
@@ -120,13 +127,19 @@ pub fn run_point(
     let mut rng = StdRng::seed_from_u64(seed ^ (tag_bits as u64) << 32);
     let (mut n, mut n1, mut n2) = (0usize, 0usize, 0usize);
     if entries.is_empty() {
-        return Point { setup: setup.name(), tag_bits, n, n1, n2 };
+        return Point {
+            setup: setup.name(),
+            tag_bits,
+            n,
+            n1,
+            n2,
+        };
     }
     while n < samples {
         let (inport, outport, hops, headers) = entries[rng.gen_range(0..entries.len())].clone();
-        let Some((arrived, passed)) =
-            simulate_fault(&table, &mut hs, inport, outport, &hops, headers, tag_bits, &mut rng)
-        else {
+        let Some((arrived, passed)) = simulate_fault(
+            &table, &mut hs, inport, outport, &hops, headers, tag_bits, &mut rng,
+        ) else {
             continue;
         };
         n += 1;
@@ -137,7 +150,13 @@ pub fn run_point(
             n2 += 1;
         }
     }
-    Point { setup: setup.name(), tag_bits, n, n1, n2 }
+    Point {
+        setup: setup.name(),
+        tag_bits,
+        n,
+        n1,
+        n2,
+    }
 }
 
 /// The full sweep: three setups × six Bloom sizes.

@@ -66,7 +66,8 @@ pub fn run_one(setup: Setup, iterations: usize, prefixes: Option<usize>, seed: u
     }
     samples_ns.sort_unstable();
     let mean_us = total.as_secs_f64() * 1e6 / iterations as f64;
-    let pct = |q: f64| samples_ns[(samples_ns.len() as f64 * q) as usize % samples_ns.len()] as f64 / 1e3;
+    let pct =
+        |q: f64| samples_ns[(samples_ns.len() as f64 * q) as usize % samples_ns.len()] as f64 / 1e3;
     Series {
         setup: setup.name(),
         reports: reports.len(),
@@ -121,8 +122,10 @@ pub fn run_parallel(
         .iter()
         .map(|&threads| {
             let start = Instant::now();
-            let out = veridp_core::verify_batch(&table, &hs, &reports, threads);
+            // Summary fast path: workers fold counts, no verdict vector.
+            let out = veridp_core::verify_batch_summary(&table, &hs, &reports, threads);
             let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out.total, reports.len());
             std::hint::black_box(out);
             ParallelPoint {
                 setup: setup.name(),
@@ -135,9 +138,8 @@ pub fn run_parallel(
 
 /// Render the parallel-throughput points.
 pub fn render_parallel(points: &[ParallelPoint]) -> String {
-    let mut out = String::from(
-        "Figure 13b (extension): batch verification throughput vs threads\n",
-    );
+    let mut out =
+        String::from("Figure 13b (extension): batch verification throughput vs threads\n");
     for p in points {
         out.push_str(&format!(
             "  {:<11} threads={:<2} {:>12.0} verif/sec\n",

@@ -71,7 +71,10 @@ pub fn run(background_prefixes: usize, rules: usize, seed: u64) -> Run {
         table.add_rule(target, rule, &mut hs);
         per_rule_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    Run { rules_installed: per_rule_ms.len(), per_rule_ms }
+    Run {
+        rules_installed: per_rule_ms.len(),
+        per_rule_ms,
+    }
 }
 
 /// A smaller cross-check on a fat tree (not in the paper; shows the update
@@ -89,7 +92,10 @@ pub fn run_fat_tree(k: u16, rules: usize, seed: u64) -> Run {
         table.add_rule(target, rule, &mut hs);
         per_rule_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
-    Run { rules_installed: per_rule_ms.len(), per_rule_ms }
+    Run {
+        rules_installed: per_rule_ms.len(),
+        per_rule_ms,
+    }
 }
 
 /// Render summary statistics (the figure is a scatter; we print its summary
@@ -113,7 +119,9 @@ pub fn render(run: &Run) -> String {
         let idx = buckets.iter().position(|&b| t < b).unwrap();
         counts[idx] += 1;
     }
-    let labels = ["<10us", "10-100us", "0.1-1ms", "1-10ms", "10-100ms", ">=100ms"];
+    let labels = [
+        "<10us", "10-100us", "0.1-1ms", "1-10ms", "10-100ms", ">=100ms",
+    ];
     for (l, c) in labels.iter().zip(&counts) {
         out.push_str(&format!("  {:>9}: {}\n", l, c));
     }

@@ -41,7 +41,10 @@ pub fn run_one(setup: Setup, prefixes: Option<usize>, seed: u64) -> Distribution
 
 /// Both series of Figure 6.
 pub fn run(seed: u64) -> Vec<Distribution> {
-    vec![run_one(Setup::Stanford, None, seed), run_one(Setup::Internet2, None, seed)]
+    vec![
+        run_one(Setup::Stanford, None, seed),
+        run_one(Setup::Internet2, None, seed),
+    ]
 }
 
 /// Render the distributions as CDF tables.

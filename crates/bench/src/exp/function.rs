@@ -17,7 +17,11 @@ pub struct Scenario {
 }
 
 fn switch_name(m: &Monitor, s: SwitchId) -> String {
-    m.net.topo().switch(s).map(|i| i.name.clone()).unwrap_or_else(|| s.to_string())
+    m.net
+        .topo()
+        .switch(s)
+        .map(|i| i.name.clone())
+        .unwrap_or_else(|| s.to_string())
 }
 
 fn fwd_rule_towards(m: &Monitor, on: &str, dst_host: &str) -> (SwitchId, veridp_switch::RuleId) {
@@ -41,7 +45,10 @@ pub fn black_hole() -> Scenario {
     let mut m =
         Monitor::deploy(gen::stanford_like(), &[Intent::Connectivity], 16).expect("deploys");
     let (sid, rid) = fwd_rule_towards(&m, "boza", "h_coza_0");
-    m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, Action::Drop));
     let out = m.send("h_boza_0", "h_coza_0", 80);
     Scenario {
         name: "black hole",
@@ -72,7 +79,11 @@ pub fn path_deviation() -> Scenario {
         name: "path deviation",
         detected: !out.consistent(),
         localized: out.suspect().map(|s| switch_name(&m, s)),
-        note: format!("real path {} hops, delivered={}", out.trace.hops.len(), out.trace.delivered()),
+        note: format!(
+            "real path {} hops, delivered={}",
+            out.trace.hops.len(),
+            out.trace.delivered()
+        ),
     }
 }
 
@@ -100,7 +111,10 @@ pub fn access_violation() -> Scenario {
         .find(|r| r.action == Action::Drop)
         .expect("ACL installed at sozb")
         .id;
-    m.net.switch_mut(sid).faults_mut().add(Fault::ExternalDelete(acl));
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalDelete(acl));
     let out = m.send("h_sozb_0", "h_cozb_0", 80);
     Scenario {
         name: "access violation",
@@ -139,7 +153,12 @@ pub fn forwarding_loop() -> Scenario {
 
 /// All four scenarios.
 pub fn run() -> Vec<Scenario> {
-    vec![black_hole(), path_deviation(), access_violation(), forwarding_loop()]
+    vec![
+        black_hole(),
+        path_deviation(),
+        access_violation(),
+        forwarding_loop(),
+    ]
 }
 
 /// Render the scenarios.

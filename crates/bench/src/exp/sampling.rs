@@ -41,8 +41,11 @@ pub fn run(t_s_values_ms: &[u64]) -> Vec<Point> {
             let topo = gen::internet2();
             let mut ctrl = Controller::new(topo.clone());
             ctrl.install_intent(&Intent::Connectivity).unwrap();
-            let rules: std::collections::HashMap<_, _> =
-                ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+            let rules: std::collections::HashMap<_, _> = ctrl
+                .logical_rules()
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
             let server = VeriDpServer::new(&topo, &rules, 16);
             let mut net = Network::new(topo.clone());
             net.apply_messages(ctrl.drain_messages());
@@ -65,18 +68,17 @@ pub fn run(t_s_values_ms: &[u64]) -> Vec<Point> {
             let healthy_packets = (fault_at / t_a) as f64;
 
             // Blackhole on the first switch of the flow's path towards NEWY.
-            let victim = topo
-                .shortest_path(entry, newy.attached.switch)
-                .unwrap()[1];
+            let victim = topo.shortest_path(entry, newy.attached.switch).unwrap()[1];
             let rid = ctrl
                 .rules_of(victim)
                 .iter()
-                .find(|r| {
-                    r.fields.dst_ip == veridp_switch::prefix_mask(newy.ip, newy.plen)
-                })
+                .find(|r| r.fields.dst_ip == veridp_switch::prefix_mask(newy.ip, newy.plen))
                 .map(|r| r.id)
                 .expect("route to NEWY on the path");
-            sim.net.switch_mut(victim).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+            sim.net
+                .switch_mut(victim)
+                .faults_mut()
+                .add(Fault::ExternalModify(rid, Action::Drop));
             sim.flow(seat.attached, header, fault_at, t_a, end);
             sim.run();
 

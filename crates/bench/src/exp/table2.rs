@@ -38,10 +38,15 @@ pub fn run_one(setup: Setup, prefixes: Option<usize>, seed: u64) -> Row {
 
 /// All four rows of Table 2.
 pub fn run(seed: u64) -> Vec<Row> {
-    [Setup::Stanford, Setup::Internet2, Setup::FatTree(4), Setup::FatTree(6)]
-        .into_iter()
-        .map(|s| run_one(s, None, seed))
-        .collect()
+    [
+        Setup::Stanford,
+        Setup::Internet2,
+        Setup::FatTree(4),
+        Setup::FatTree(6),
+    ]
+    .into_iter()
+    .map(|s| run_one(s, None, seed))
+    .collect()
 }
 
 /// Render rows in the paper's format.

@@ -42,8 +42,8 @@ pub fn run_one(k: u16, trials: usize, tag_bits: u32, seed: u64) -> Row {
     let mut recovered = 0usize;
 
     for _trial in 0..trials {
-        let mut m = Monitor::deploy(gen::fat_tree(k), &[Intent::Connectivity], tag_bits)
-            .expect("deploys");
+        let mut m =
+            Monitor::deploy(gen::fat_tree(k), &[Intent::Connectivity], tag_bits).expect("deploys");
         // Corrupt a random rule that actually carries traffic: pick a random
         // host pair, a random switch on its forwarding path, and flip the
         // output port of the rule governing that destination there.
@@ -54,8 +54,10 @@ pub fn run_one(k: u16, trials: usize, tag_bits: u32, seed: u64) -> Row {
             if src.ip == dst.ip {
                 continue;
             }
-            let Some(path) =
-                m.net.topo().shortest_path(src.attached.switch, dst.attached.switch)
+            let Some(path) = m
+                .net
+                .topo()
+                .shortest_path(src.attached.switch, dst.attached.switch)
             else {
                 continue;
             };
@@ -69,7 +71,9 @@ pub fn run_one(k: u16, trials: usize, tag_bits: u32, seed: u64) -> Row {
             else {
                 continue;
             };
-            let Action::Forward(p) = r.action else { continue };
+            let Action::Forward(p) = r.action else {
+                continue;
+            };
             break (s, r.id, p);
         };
         let nports = m.net.topo().switch(sid).unwrap().num_ports;
@@ -123,7 +127,10 @@ pub fn run_one(k: u16, trials: usize, tag_bits: u32, seed: u64) -> Row {
 /// Both rows of Table 3. `trials` scales the k=4 row; k=6 runs a quarter as
 /// many (each trial pings 2862 pairs instead of 240).
 pub fn run(trials: usize, seed: u64) -> Vec<Row> {
-    vec![run_one(4, trials, 16, seed), run_one(6, trials.div_ceil(4).max(2), 16, seed ^ 1)]
+    vec![
+        run_one(4, trials, 16, seed),
+        run_one(6, trials.div_ceil(4).max(2), 16, seed ^ 1),
+    ]
 }
 
 /// Render in the paper's format.

@@ -102,7 +102,11 @@ pub fn run_software(table_rules: usize, iters: usize, seed: u64) -> SoftwareCost
     let mut tag = veridp_bloom::BloomTag::default_width();
     let t = Instant::now();
     for i in 0..iters {
-        tag.insert(&HopEncoder::encode((i % 64) as u16, 7, ((i + 1) % 64) as u16));
+        tag.insert(&HopEncoder::encode(
+            (i % 64) as u16,
+            7,
+            ((i + 1) % 64) as u16,
+        ));
         std::hint::black_box(&tag);
     }
     let tagging_ns = t.elapsed().as_nanos() as f64 / iters as f64;
@@ -126,7 +130,13 @@ pub fn run_software(table_rules: usize, iters: usize, seed: u64) -> SoftwareCost
     }
     let pipeline_ns = t.elapsed().as_nanos() as f64 / iters as f64;
 
-    SoftwareCosts { lookup_ns, table_rules, sampling_ns, tagging_ns, pipeline_ns }
+    SoftwareCosts {
+        lookup_ns,
+        table_rules,
+        sampling_ns,
+        tagging_ns,
+        pipeline_ns,
+    }
 }
 
 /// Render both halves of the experiment.

@@ -1,0 +1,121 @@
+//! Minimal timing harness for the `benches/` programs.
+//!
+//! The workspace builds offline, so instead of criterion each bench is a
+//! plain `fn main()` (`harness = false`) that times closures with
+//! `std::time::Instant` and reports mean/min over a few samples. This is a
+//! wall-clock harness, not a statistical one: run on an idle machine and
+//! prefer `min` when comparing builds.
+//!
+//! Environment knobs shared by all benches:
+//!
+//! * `VERIDP_BENCH_QUICK=1` — shrink workloads to smoke-test size
+//!   (`scripts/bench_smoke.sh` sets this);
+//! * `VERIDP_BENCH_OUT=<path>` — where benches that emit machine-readable
+//!   results write their JSON.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations of the measured closure per sample.
+    pub iters_per_sample: u64,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, per iteration.
+    pub max_ns: f64,
+}
+
+impl Sampled {
+    /// Render one aligned report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} {:>14}  (min {:>12}, {} samples x {} iters)",
+            self.name,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns),
+            self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Whether the quick (smoke) mode is requested.
+pub fn quick_mode() -> bool {
+    std::env::var("VERIDP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Time `f`, running it `iters` times per sample for `samples` samples.
+/// Results are per iteration. The closure's output is black-boxed.
+pub fn bench<R>(name: &str, samples: usize, iters: u64, mut f: impl FnMut() -> R) -> Sampled {
+    assert!(samples > 0 && iters > 0);
+    // One untimed warmup iteration (page in code and data).
+    std::hint::black_box(f());
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min_ns = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_ns = per_iter.iter().copied().fold(0.0, f64::max);
+    Sampled {
+        name: name.to_string(),
+        samples,
+        iters_per_sample: iters,
+        mean_ns,
+        min_ns,
+        max_ns,
+    }
+}
+
+/// [`bench`] with one iteration per sample — for heavyweight cases (whole
+/// path-table builds) where a single run is already milliseconds or more.
+pub fn bench_once<R>(name: &str, samples: usize, f: impl FnMut() -> R) -> Sampled {
+    bench(name, samples, 1, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let s = bench("spin", 3, 100, || {
+            std::hint::black_box(17u64.wrapping_mul(31))
+        });
+        assert_eq!(s.samples, 3);
+        assert!(s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
+        assert!(s.mean_ns > 0.0);
+        assert!(s.line().contains("spin"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal JSON writer for machine-readable bench output.
+//!
+//! Serialization only, no parsing — benches emit result files
+//! (`BENCH_path_table.json`) that CI and plotting scripts consume. Built
+//! in-tree because the workspace has no serde.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers are kept separate from floats so counts render exactly.
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// String value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Object from `(key, value)` pairs, preserving order.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with a trailing newline — the shape result files want.
+    pub fn render_line(&self) -> String {
+        let mut s = self.render();
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                // JSON has no NaN/Infinity; degrade to null.
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj([
+            ("bench", Json::str("path_table")),
+            ("n", Json::Int(42)),
+            ("wall_s", Json::Num(0.125)),
+            ("ok", Json::Bool(true)),
+            ("tags", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"bench":"path_table","n":42,"wall_s":0.125,"ok":true,"tags":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn integers_render_exactly() {
+        assert_eq!(
+            Json::Int(9_007_199_254_740_993).render(),
+            "9007199254740993"
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //! DESIGN.md §2). Every experiment is deterministic in its seed.
 
 pub mod exp;
+pub mod harness;
+pub mod json;
 pub mod setup;
 
 pub use setup::{build_setup, Setup, SetupData};
@@ -71,7 +73,10 @@ mod tests {
     #[test]
     fn table3_small_run_recovers() {
         let row = exp::table3::run_one(4, 2, 16, 5);
-        assert!(row.failed_verifications > 0, "exercised faults must break flows");
+        assert!(
+            row.failed_verifications > 0,
+            "exercised faults must break flows"
+        );
         assert!(row.probability() > 0.9);
     }
 
@@ -81,7 +86,9 @@ mod tests {
         assert_eq!(cols.len(), 5);
         assert!((cols[0].native_us - 4.32).abs() < 0.05);
         assert!((cols[0].tagging_overhead - 0.0629).abs() < 0.002);
-        assert!(cols.windows(2).all(|w| w[1].tagging_overhead < w[0].tagging_overhead));
+        assert!(cols
+            .windows(2)
+            .all(|w| w[1].tagging_overhead < w[0].tagging_overhead));
     }
 
     #[test]
@@ -102,7 +109,10 @@ mod tests {
     #[test]
     fn baselines_matrix_shows_atpg_gap() {
         let matrix = exp::baselines::detection_matrix();
-        let bypass = matrix.iter().find(|r| r.scenario.contains("deviation")).unwrap();
+        let bypass = matrix
+            .iter()
+            .find(|r| r.scenario.contains("deviation"))
+            .unwrap();
         assert!(!bypass.atpg, "ATPG must miss the bypass");
         assert!(bypass.veridp, "VeriDP must catch the bypass");
         assert!(matrix.iter().all(|r| r.veridp));

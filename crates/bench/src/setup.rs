@@ -61,7 +61,8 @@ pub fn build_setup(setup: Setup, prefixes: Option<usize>, seed: u64) -> SetupDat
     let mut ctrl = Controller::new(topo.clone());
     match setup {
         Setup::FatTree(_) => {
-            ctrl.install_intent(&Intent::Connectivity).expect("connectivity compiles");
+            ctrl.install_intent(&Intent::Connectivity)
+                .expect("connectivity compiles");
         }
         Setup::Stanford => {
             let n = prefixes.unwrap_or_else(|| setup.default_prefixes());
@@ -75,8 +76,16 @@ pub fn build_setup(setup: Setup, prefixes: Option<usize>, seed: u64) -> SetupDat
             synth::install_rib(&mut ctrl, n, seed);
         }
     }
-    let rules: HashMap<SwitchId, Vec<FlowRule>> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: HashMap<SwitchId, Vec<FlowRule>> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let num_rules = rules.values().map(Vec::len).sum();
-    SetupData { setup, topo, rules, num_rules }
+    SetupData {
+        setup,
+        topo,
+        rules,
+        num_rules,
+    }
 }

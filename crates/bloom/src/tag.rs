@@ -1,7 +1,5 @@
 //! The Bloom-filter tag carried in packets and stored in the path table.
 
-use serde::{Deserialize, Serialize};
-
 use crate::murmur3::murmur3_x86_32;
 
 /// Number of hash functions (bit positions) per element, fixed at 3 as in the
@@ -22,7 +20,7 @@ const MURMUR_SEED: u32 = 0x5eed_0bf5;
 /// * [`BloomTag::insert`] — fold one element in (switch tagging, Algorithm 1);
 /// * equality — tag verification (Algorithm 3);
 /// * [`BloomTag::contains`] — per-hop membership test (Algorithm 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BloomTag {
     bits: u64,
     nbits: u32,
@@ -112,7 +110,10 @@ impl BloomTag {
     #[must_use]
     pub fn union(self, other: BloomTag) -> BloomTag {
         assert_eq!(self.nbits, other.nbits, "tag width mismatch");
-        BloomTag { bits: self.bits | other.bits, nbits: self.nbits }
+        BloomTag {
+            bits: self.bits | other.bits,
+            nbits: self.nbits,
+        }
     }
 
     /// Membership test: `BF(element) ⊓ tag = BF(element)`, i.e. all of the

@@ -11,7 +11,10 @@ fn murmur3_reference_vectors() {
     assert_eq!(murmur3_x86_32(b"test", 0x9747b28c), 0x704b81dc);
     assert_eq!(murmur3_x86_32(b"Hello, world!", 0), 0xc0363e43);
     assert_eq!(murmur3_x86_32(b"Hello, world!", 0x9747b28c), 0x24884CBA);
-    assert_eq!(murmur3_x86_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c), 0x2FA826CD);
+    assert_eq!(
+        murmur3_x86_32(b"The quick brown fox jumps over the lazy dog", 0x9747b28c),
+        0x2FA826CD
+    );
     assert_eq!(murmur3_x86_32(&[0xff, 0xff, 0xff, 0xff], 0), 0x76293B50);
     assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65, 0x87], 0), 0xF55B516B);
     assert_eq!(murmur3_x86_32(&[0x21, 0x43, 0x65], 0), 0x7E4A8634);
@@ -64,8 +67,9 @@ fn no_false_negatives_ever() {
     // Fundamental Bloom filter property: inserted elements always test true.
     for nbits in [8u32, 16, 24, 32, 48, 64] {
         let mut t = BloomTag::empty(nbits);
-        let elements: Vec<[u8; 8]> =
-            (0..20u16).map(|i| HopEncoder::encode(i, 1000 + i as u32, i + 1)).collect();
+        let elements: Vec<[u8; 8]> = (0..20u16)
+            .map(|i| HopEncoder::encode(i, 1000 + i as u32, i + 1))
+            .collect();
         for e in &elements {
             t.insert(e);
         }
@@ -157,9 +161,12 @@ fn hop_filter_matches_manual_construction() {
 fn wider_filters_have_fewer_collisions() {
     // Statistical sanity: with 64 bits, 200 random non-member probes should
     // collide far less often than with 8 bits after inserting 5 elements.
-    let inserted: Vec<[u8; 8]> = (0..5u16).map(|i| HopEncoder::encode(i, i as u32, i)).collect();
-    let probes: Vec<[u8; 8]> =
-        (100..300u16).map(|i| HopEncoder::encode(i, i as u32 * 7, i ^ 0xff)).collect();
+    let inserted: Vec<[u8; 8]> = (0..5u16)
+        .map(|i| HopEncoder::encode(i, i as u32, i))
+        .collect();
+    let probes: Vec<[u8; 8]> = (100..300u16)
+        .map(|i| HopEncoder::encode(i, i as u32 * 7, i ^ 0xff))
+        .collect();
     let fp = |nbits: u32| {
         let mut t = BloomTag::empty(nbits);
         for e in &inserted {
@@ -174,54 +181,84 @@ fn wider_filters_have_fewer_collisions() {
 
 mod property {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_elements() -> impl Strategy<Value = Vec<Vec<u8>>> {
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..12)
+    /// Seeded replacement for the former proptest strategy: 1..12 elements
+    /// of 1..16 arbitrary bytes each.
+    fn arb_elements(rng: &mut StdRng) -> Vec<Vec<u8>> {
+        let n = rng.gen_range(1..12usize);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..16usize);
+                (0..len).map(|_| rng.gen::<u8>()).collect()
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Inserted elements are always members (no false negatives).
-        #[test]
-        fn insert_implies_contains(elements in arb_elements(), nbits in 8u32..=64) {
+    /// Inserted elements are always members (no false negatives).
+    #[test]
+    fn insert_implies_contains() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let elements = arb_elements(&mut rng);
+            let nbits = rng.gen_range(8u32..=64);
             let mut t = BloomTag::empty(nbits);
             for e in &elements {
                 t.insert(e);
             }
             for e in &elements {
-                prop_assert!(t.contains(e));
+                assert!(t.contains(e), "seed {seed}");
             }
         }
+    }
 
-        /// Union is commutative, associative, idempotent, monotone.
-        #[test]
-        fn union_laws(a in arb_elements(), b in arb_elements(), nbits in 8u32..=64) {
+    /// Union is commutative, associative, idempotent, monotone.
+    #[test]
+    fn union_laws() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = arb_elements(&mut rng);
+            let b = arb_elements(&mut rng);
+            let nbits = rng.gen_range(8u32..=64);
             let mk = |es: &Vec<Vec<u8>>| {
                 let mut t = BloomTag::empty(nbits);
-                for e in es { t.insert(e); }
+                for e in es {
+                    t.insert(e);
+                }
                 t
             };
             let ta = mk(&a);
             let tb = mk(&b);
-            prop_assert_eq!(ta.union(tb), tb.union(ta));
-            prop_assert_eq!(ta.union(ta), ta);
-            prop_assert!(ta.union(tb).superset_of(ta));
-            prop_assert!(ta.union(tb).superset_of(tb));
+            assert_eq!(ta.union(tb), tb.union(ta), "seed {seed}");
+            assert_eq!(ta.union(ta), ta, "seed {seed}");
+            assert!(ta.union(tb).superset_of(ta), "seed {seed}");
+            assert!(ta.union(tb).superset_of(tb), "seed {seed}");
         }
+    }
 
-        /// Bits never exceed the declared width.
-        #[test]
-        fn bits_stay_in_width(elements in arb_elements(), nbits in 8u32..=63) {
+    /// Bits never exceed the declared width.
+    #[test]
+    fn bits_stay_in_width() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let elements = arb_elements(&mut rng);
+            let nbits = rng.gen_range(8u32..=63);
             let mut t = BloomTag::empty(nbits);
             for e in &elements {
                 t.insert(e);
             }
-            prop_assert_eq!(t.bits() >> nbits, 0);
+            assert_eq!(t.bits() >> nbits, 0, "seed {seed}");
         }
+    }
 
-        /// Tagging is order-independent: any permutation yields the same tag.
-        #[test]
-        fn order_independent(mut elements in arb_elements(), nbits in 8u32..=64) {
+    /// Tagging is order-independent: any permutation yields the same tag.
+    #[test]
+    fn order_independent() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut elements = arb_elements(&mut rng);
+            let nbits = rng.gen_range(8u32..=64);
             let mut t1 = BloomTag::empty(nbits);
             for e in &elements {
                 t1.insert(e);
@@ -231,7 +268,7 @@ mod property {
             for e in &elements {
                 t2.insert(e);
             }
-            prop_assert_eq!(t1, t2);
+            assert_eq!(t1, t2, "seed {seed}");
         }
     }
 }

@@ -1,0 +1,351 @@
+//! In-tree byte buffers for the wire codecs.
+//!
+//! The workspace builds offline, so the external `bytes` crate is replaced
+//! by this from-scratch implementation (Cargo renames the package to
+//! `bytes`, keeping `use bytes::...` call sites unchanged). Semantics match
+//! the subset VeriDP uses:
+//!
+//! * [`BytesMut`] — growable write buffer with big-endian `put_*` methods;
+//! * [`Bytes`] — immutable view with a consuming read cursor: `get_*` and
+//!   [`Buf::advance`] move the front of the view forward, and `len()` /
+//!   `AsRef<[u8]>` expose only the unread remainder;
+//! * the [`Buf`] / [`BufMut`] traits carrying those methods.
+//!
+//! Cloning a [`Bytes`] copies the underlying storage — the zero-copy
+//! refcounting of the real crate is deliberately not reproduced; codec
+//! buffers here are tens of bytes.
+
+/// Read cursor over a byte sequence. All integer reads are big-endian
+/// (network order), matching the codecs.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Borrow the unread remainder.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if `n > self.remaining()`.
+    fn advance(&mut self, n: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+
+    /// Fill `dst` from the front of the buffer.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write sink for byte sequences. All integer writes are big-endian.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Immutable byte buffer with a consuming read cursor.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wrap a static slice (copies; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether nothing is left to read.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the unread remainder out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Split off and return the first `n` unread bytes as a new `Bytes`,
+    /// advancing this buffer past them.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..n]);
+        self.advance(n);
+        out
+    }
+
+    /// A copy of the given subrange of the unread remainder.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.chunk()[range])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of Bytes");
+        self.pos += n;
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.to_vec()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_bytes(self.as_ref(), f)
+    }
+}
+
+/// Growable write buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop all contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Resize to `len`, padding with `fill`.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.data.resize(len, fill);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Copy the contents out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_bytes(self.as_ref(), f)
+    }
+}
+
+fn fmt_bytes(bytes: &[u8], f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    write!(f, "b\"")?;
+    for &byte in bytes {
+        write!(f, "\\x{byte:02x}")?;
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn round_trip_integers() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xab);
+        b.put_u16(0x1234);
+        b.put_u32(0xdead_beef);
+        b.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(b.len(), 15);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn advance_and_len_track_the_cursor() {
+        let mut r = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(r.len(), 5);
+        r.advance(2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.to_vec(), vec![3, 4, 5]);
+        assert_eq!(r.as_ref(), &[3, 4, 5]);
+        assert_eq!(r.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut r = Bytes::from(vec![1u8]);
+        r.advance(2);
+    }
+
+    #[test]
+    fn big_endian_byte_order() {
+        let mut b = BytesMut::new();
+        b.put_u16(0x0102);
+        assert_eq!(b.as_ref(), &[0x01, 0x02]);
+    }
+
+    #[test]
+    fn split_to_takes_prefix() {
+        let mut r = Bytes::from(vec![9, 8, 7, 6]);
+        let head = r.split_to(2);
+        assert_eq!(head.to_vec(), vec![9, 8]);
+        assert_eq!(r.to_vec(), vec![7, 6]);
+    }
+}

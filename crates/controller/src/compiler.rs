@@ -79,7 +79,13 @@ impl Controller {
     }
 
     /// Add one rule to the logical set and queue its FlowMod.
-    pub fn add_rule(&mut self, s: SwitchId, priority: u16, fields: Match, action: Action) -> RuleId {
+    pub fn add_rule(
+        &mut self,
+        s: SwitchId,
+        priority: u16,
+        fields: Match,
+        action: Action,
+    ) -> RuleId {
         let rule = FlowRule::new(self.next_id, priority, fields, action);
         self.next_id += 1;
         self.rules.entry(s).or_default().push(rule);
@@ -98,7 +104,10 @@ impl Controller {
 
     /// Change a rule's action in the logical set and queue the FlowModify.
     pub fn modify_rule(&mut self, s: SwitchId, id: RuleId, action: Action) -> bool {
-        let Some(rule) = self.rules.get_mut(&s).and_then(|v| v.iter_mut().find(|r| r.id == id))
+        let Some(rule) = self
+            .rules
+            .get_mut(&s)
+            .and_then(|v| v.iter_mut().find(|r| r.id == id))
         else {
             return false;
         };
@@ -122,22 +131,32 @@ impl Controller {
     }
 
     fn host(&self, name: &str) -> Result<Host, ControllerError> {
-        self.topo.host(name).cloned().ok_or_else(|| ControllerError::UnknownHost(name.into()))
+        self.topo
+            .host(name)
+            .cloned()
+            .ok_or_else(|| ControllerError::UnknownHost(name.into()))
     }
 
     /// Compile one intent into rules (queued for installation).
     pub fn install_intent(&mut self, intent: &Intent) -> Result<Vec<RuleId>, ControllerError> {
         match intent {
             Intent::Connectivity => Ok(self.compile_connectivity()),
-            Intent::Acl { src_host, dst_host, dst_ports } => {
-                self.compile_acl(src_host, dst_host, *dst_ports)
-            }
-            Intent::Waypoint { src_host, dst_host, via } => {
-                self.compile_waypoint(src_host, dst_host, via)
-            }
-            Intent::TrafficEngineering { src_host, dst_host, path_a, path_b } => {
-                self.compile_te(src_host, dst_host, path_a, path_b)
-            }
+            Intent::Acl {
+                src_host,
+                dst_host,
+                dst_ports,
+            } => self.compile_acl(src_host, dst_host, *dst_ports),
+            Intent::Waypoint {
+                src_host,
+                dst_host,
+                via,
+            } => self.compile_waypoint(src_host, dst_host, via),
+            Intent::TrafficEngineering {
+                src_host,
+                dst_host,
+                path_a,
+                path_b,
+            } => self.compile_te(src_host, dst_host, path_a, path_b),
         }
     }
 
@@ -161,9 +180,13 @@ impl Controller {
                 let action = if s == target {
                     Action::Forward(h.attached.port)
                 } else {
-                    let Some(path) = self.topo.shortest_path(s, target) else { continue };
+                    let Some(path) = self.topo.shortest_path(s, target) else {
+                        continue;
+                    };
                     let next = path[1];
-                    let Some(port) = self.topo.port_towards(s, next) else { continue };
+                    let Some(port) = self.topo.port_towards(s, next) else {
+                        continue;
+                    };
                     Action::Forward(port)
                 };
                 out.push(self.add_rule(s, h.plen as u16, fields, action));
@@ -213,7 +236,10 @@ impl Controller {
             let f = fields.with_in_port(arrive_port);
             out.push(self.add_rule(s, priority, f, Action::Forward(out_port)));
             if i + 1 < path.len() {
-                let here = PortRef { switch: s, port: out_port };
+                let here = PortRef {
+                    switch: s,
+                    port: out_port,
+                };
                 let peer = self
                     .topo
                     .peer(here)
@@ -258,8 +284,20 @@ impl Controller {
             .shortest_path(s_mb, s_dst)
             .ok_or(ControllerError::Disconnected(s_mb, s_dst))?;
 
-        let mut ids = self.pin_path(fields, PRIO_WAYPOINT, &leg1, src.attached.port, mb.attached.port)?;
-        ids.extend(self.pin_path(fields, PRIO_WAYPOINT, &leg2, mb.attached.port, dst.attached.port)?);
+        let mut ids = self.pin_path(
+            fields,
+            PRIO_WAYPOINT,
+            &leg1,
+            src.attached.port,
+            mb.attached.port,
+        )?;
+        ids.extend(self.pin_path(
+            fields,
+            PRIO_WAYPOINT,
+            &leg2,
+            mb.attached.port,
+            dst.attached.port,
+        )?);
         Ok(ids)
     }
 
@@ -284,7 +322,8 @@ impl Controller {
             (path_b, PortRange::new(0x8000, u16::MAX)),
         ] {
             let path: Vec<SwitchId> = path.iter().map(|&s| SwitchId(s)).collect();
-            if path.first() != Some(&src.attached.switch) || path.last() != Some(&dst.attached.switch)
+            if path.first() != Some(&src.attached.switch)
+                || path.last() != Some(&dst.attached.switch)
             {
                 return Err(ControllerError::BadPath(
                     "path must run from the source's switch to the destination's switch".into(),

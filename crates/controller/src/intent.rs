@@ -1,13 +1,12 @@
 //! Operator intents (§2.1, §2.3).
 
-use serde::{Deserialize, Serialize};
 use veridp_switch::PortRange;
 
 /// A high-level policy the operator wants the network to enforce.
 ///
 /// Intents reference hosts and middleboxes by their topology names; the
 /// compiler resolves them against the [`veridp_topo::Topology`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Intent {
     /// Pairwise reachability: shortest-path forwarding between every pair of
     /// host subnets (the baseline invariant set).

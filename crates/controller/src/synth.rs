@@ -58,8 +58,15 @@ pub fn prefix_pool(num: usize, seed: u64) -> Vec<Prefix> {
             let plen = parent.plen + extra;
             let host_bits = 32 - plen as u32;
             let sub: u32 = rng.gen::<u32>() & !((1u64 << host_bits).wrapping_sub(1) as u32);
-            let keep = if parent.plen == 0 { 0 } else { u32::MAX << (32 - parent.plen as u32) };
-            Prefix { ip: (parent.ip & keep) | (sub & !keep), plen }
+            let keep = if parent.plen == 0 {
+                0
+            } else {
+                u32::MAX << (32 - parent.plen as u32)
+            };
+            Prefix {
+                ip: (parent.ip & keep) | (sub & !keep),
+                plen,
+            }
         } else {
             let plen = draw_plen(&mut rng);
             let base = match rng.gen_range(0..3u8) {
@@ -67,9 +74,15 @@ pub fn prefix_pool(num: usize, seed: u64) -> Vec<Prefix> {
                 1 => 0xac10_0000u32 | (rng.gen::<u32>() & 0x000f_ffff), // 172.16/12
                 _ => 0xc0a8_0000u32 | (rng.gen::<u32>() & 0x0000_ffff), // 192.168/16
             };
-            Prefix { ip: veridp_switch::prefix_mask(base, plen), plen }
+            Prefix {
+                ip: veridp_switch::prefix_mask(base, plen),
+                plen,
+            }
         };
-        out.push(Prefix { ip: veridp_switch::prefix_mask(p.ip, p.plen), plen: p.plen });
+        out.push(Prefix {
+            ip: veridp_switch::prefix_mask(p.ip, p.plen),
+            plen: p.plen,
+        });
     }
     out
 }
@@ -84,8 +97,12 @@ pub fn prefix_pool(num: usize, seed: u64) -> Vec<Prefix> {
 pub fn install_rib(ctrl: &mut Controller, num_prefixes: usize, seed: u64) -> usize {
     use std::collections::HashMap;
     let topo = ctrl.topo().clone();
-    let hosts: Vec<_> =
-        topo.hosts().iter().filter(|h| h.role == HostRole::Host).cloned().collect();
+    let hosts: Vec<_> = topo
+        .hosts()
+        .iter()
+        .filter(|h| h.role == HostRole::Host)
+        .cloned()
+        .collect();
     assert!(!hosts.is_empty(), "topology has no hosts to own prefixes");
     let switches: Vec<SwitchId> = topo.switches().map(|s| s.id).collect();
     let prefixes = prefix_pool(num_prefixes, seed);
@@ -97,8 +114,10 @@ pub fn install_rib(ctrl: &mut Controller, num_prefixes: usize, seed: u64) -> usi
         let owner = &hosts[rng.gen_range(0..hosts.len())];
         let fields = Match::dst_prefix(p.ip, p.plen);
         let target = owner.attached.switch;
-        let dist =
-            dist_cache.entry(target).or_insert_with(|| topo.distances_to(target)).clone();
+        let dist = dist_cache
+            .entry(target)
+            .or_insert_with(|| topo.distances_to(target))
+            .clone();
         for &s in &switches {
             let action = if s == target {
                 Action::Forward(owner.attached.port)
@@ -129,7 +148,12 @@ pub fn single_switch_rules(
         .neighbors(s)
         .into_iter()
         .map(|(p, _)| p)
-        .chain(topo.host_ports().into_iter().filter(|p| p.switch == s).map(|p| p.port))
+        .chain(
+            topo.host_ports()
+                .into_iter()
+                .filter(|p| p.switch == s)
+                .map(|p| p.port),
+        )
         .collect();
     assert!(!ports.is_empty(), "switch {s} has no usable ports");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -137,7 +161,11 @@ pub fn single_switch_rules(
         .into_iter()
         .map(|p| {
             let port = ports[rng.gen_range(0..ports.len())];
-            (p.plen as u16, Match::dst_prefix(p.ip, p.plen), Action::Forward(port))
+            (
+                p.plen as u16,
+                Match::dst_prefix(p.ip, p.plen),
+                Action::Forward(port),
+            )
         })
         .collect()
 }
@@ -145,11 +173,7 @@ pub fn single_switch_rules(
 /// Install `num` random ACL deny rules between host pairs (the Stanford
 /// configuration's 1.5 K ACLs, scaled). Returns the host-pair list for later
 /// auditing.
-pub fn install_random_acls(
-    ctrl: &mut Controller,
-    num: usize,
-    seed: u64,
-) -> Vec<(String, String)> {
+pub fn install_random_acls(ctrl: &mut Controller, num: usize, seed: u64) -> Vec<(String, String)> {
     let hosts: Vec<_> = ctrl
         .topo()
         .hosts()

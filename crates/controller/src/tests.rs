@@ -45,11 +45,19 @@ fn connectivity_rules_deliver_locally_and_forward_remotely() {
 fn drain_messages_appends_barriers() {
     let mut c = connectivity_controller(gen::linear(2));
     let msgs = c.drain_messages();
-    let barriers = msgs.iter().filter(|(_, m)| matches!(m, OfMessage::Barrier(_))).count();
+    let barriers = msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, OfMessage::Barrier(_)))
+        .count();
     assert_eq!(barriers, 2, "one barrier per touched switch");
     // FlowAdds precede barriers.
-    let first_barrier = msgs.iter().position(|(_, m)| matches!(m, OfMessage::Barrier(_))).unwrap();
-    assert!(msgs[..first_barrier].iter().all(|(_, m)| matches!(m, OfMessage::FlowAdd(_))));
+    let first_barrier = msgs
+        .iter()
+        .position(|(_, m)| matches!(m, OfMessage::Barrier(_)))
+        .unwrap();
+    assert!(msgs[..first_barrier]
+        .iter()
+        .all(|(_, m)| matches!(m, OfMessage::FlowAdd(_))));
     // Draining again yields nothing.
     assert!(c.drain_messages().is_empty());
 }
@@ -57,8 +65,7 @@ fn drain_messages_appends_barriers() {
 #[test]
 fn rule_ids_are_unique() {
     let c = connectivity_controller(gen::fat_tree(4));
-    let mut ids: Vec<RuleId> =
-        c.logical_rules().values().flatten().map(|r| r.id).collect();
+    let mut ids: Vec<RuleId> = c.logical_rules().values().flatten().map(|r| r.id).collect();
     let n = ids.len();
     ids.sort();
     ids.dedup();
@@ -76,8 +83,12 @@ fn remove_and_modify_rule_update_logical_set() {
     assert!(c.rules_of(SwitchId(1)).is_empty());
     assert!(!c.modify_rule(SwitchId(1), id, Action::Drop));
     let msgs = c.drain_messages();
-    assert!(msgs.iter().any(|(_, m)| matches!(m, OfMessage::FlowModify(..))));
-    assert!(msgs.iter().any(|(_, m)| matches!(m, OfMessage::FlowDelete(_))));
+    assert!(msgs
+        .iter()
+        .any(|(_, m)| matches!(m, OfMessage::FlowModify(..))));
+    assert!(msgs
+        .iter()
+        .any(|(_, m)| matches!(m, OfMessage::FlowDelete(_))));
 }
 
 #[test]
@@ -92,7 +103,11 @@ fn acl_installs_drop_at_source_switch() {
         .unwrap();
     assert_eq!(ids.len(), 1);
     // H2 sits on S1; the deny rule must outrank connectivity there.
-    let rule = c.rules_of(SwitchId(1)).iter().find(|r| r.id == ids[0]).unwrap();
+    let rule = c
+        .rules_of(SwitchId(1))
+        .iter()
+        .find(|r| r.id == ids[0])
+        .unwrap();
     assert_eq!(rule.action, Action::Drop);
     assert!(rule.priority > 32);
     assert!(rule.fields.matches(
@@ -133,18 +148,30 @@ fn waypoint_routes_through_middlebox() {
     assert_eq!(ids.len(), 4);
     // S1 forwards H1-port traffic towards S2 (port 3).
     let s1 = c.rules_of(SwitchId(1));
-    let r = s1.iter().find(|r| r.fields.in_port == Some(PortNo(1))).unwrap();
+    let r = s1
+        .iter()
+        .find(|r| r.fields.in_port == Some(PortNo(1)))
+        .unwrap();
     assert_eq!(r.action, Action::Forward(PortNo(3)));
     // S2: from S1 (port 1) to the middlebox port 3; from MB (port 3) onward
     // to S3 (port 2).
     let s2 = c.rules_of(SwitchId(2));
-    let to_mb = s2.iter().find(|r| r.fields.in_port == Some(PortNo(1))).unwrap();
+    let to_mb = s2
+        .iter()
+        .find(|r| r.fields.in_port == Some(PortNo(1)))
+        .unwrap();
     assert_eq!(to_mb.action, Action::Forward(PortNo(3)));
-    let from_mb = s2.iter().find(|r| r.fields.in_port == Some(PortNo(3))).unwrap();
+    let from_mb = s2
+        .iter()
+        .find(|r| r.fields.in_port == Some(PortNo(3)))
+        .unwrap();
     assert_eq!(from_mb.action, Action::Forward(PortNo(2)));
     // S3 delivers to H3's port 2.
     let s3 = c.rules_of(SwitchId(3));
-    let deliver = s3.iter().find(|r| r.fields.in_port == Some(PortNo(1))).unwrap();
+    let deliver = s3
+        .iter()
+        .find(|r| r.fields.in_port == Some(PortNo(1)))
+        .unwrap();
     assert_eq!(deliver.action, Action::Forward(PortNo(2)));
 }
 
@@ -175,8 +202,14 @@ fn te_splits_on_source_port_halves() {
         .unwrap();
     assert_eq!(ids.len(), 5); // 3 hops + 2 hops
     let s1 = c.rules_of(SwitchId(1));
-    let low = s1.iter().find(|r| r.fields.src_port == PortRange::new(0, 0x7fff)).unwrap();
-    let high = s1.iter().find(|r| r.fields.src_port == PortRange::new(0x8000, u16::MAX)).unwrap();
+    let low = s1
+        .iter()
+        .find(|r| r.fields.src_port == PortRange::new(0, 0x7fff))
+        .unwrap();
+    let high = s1
+        .iter()
+        .find(|r| r.fields.src_port == PortRange::new(0x8000, u16::MAX))
+        .unwrap();
     assert_eq!(low.action, Action::Forward(PortNo(3))); // via S2
     assert_eq!(high.action, Action::Forward(PortNo(4))); // direct to S3
 }
@@ -226,7 +259,13 @@ fn prefix_pool_is_deterministic_and_sized() {
 #[test]
 fn prefix_pool_masks_host_bits() {
     for p in synth::prefix_pool(300, 3) {
-        assert_eq!(p.ip, veridp_switch::prefix_mask(p.ip, p.plen), "{:x}/{}", p.ip, p.plen);
+        assert_eq!(
+            p.ip,
+            veridp_switch::prefix_mask(p.ip, p.plen),
+            "{:x}/{}",
+            p.ip,
+            p.plen
+        );
         assert!(p.plen >= 16 && p.plen <= 32);
     }
 }
@@ -235,9 +274,8 @@ fn prefix_pool_masks_host_bits() {
 fn prefix_pool_contains_overlaps() {
     let pool = synth::prefix_pool(400, 11);
     let overlapping = pool.iter().any(|a| {
-        pool.iter().any(|b| {
-            a.plen < b.plen && veridp_switch::prefix_mask(b.ip, a.plen) == a.ip
-        })
+        pool.iter()
+            .any(|b| a.plen < b.plen && veridp_switch::prefix_mask(b.ip, a.plen) == a.ip)
     });
     assert!(overlapping, "pool should contain covering prefixes");
 }
@@ -265,7 +303,9 @@ fn single_switch_rules_use_local_ports() {
         .chain(std::iter::once(PortNo(1)))
         .collect();
     for (_, _, action) in &rules {
-        let Action::Forward(p) = action else { panic!("expected forward") };
+        let Action::Forward(p) = action else {
+            panic!("expected forward")
+        };
         assert!(valid.contains(p), "port {p} not on CHIC");
     }
 }

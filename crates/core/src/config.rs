@@ -40,18 +40,26 @@ pub struct AclEntry {
 impl AclEntry {
     /// A permit entry.
     pub fn permit(fields: Match) -> Self {
-        AclEntry { fields, permit: true }
+        AclEntry {
+            fields,
+            permit: true,
+        }
     }
 
     /// A deny entry.
     pub fn deny(fields: Match) -> Self {
-        AclEntry { fields, permit: false }
+        AclEntry {
+            fields,
+            permit: false,
+        }
     }
 }
 
 /// Evaluate an ACL list to the BDD of permitted headers.
 fn acl_set(entries: Option<&Vec<AclEntry>>, hs: &mut HeaderSpace) -> Bdd {
-    let Some(entries) = entries else { return Bdd::TRUE };
+    let Some(entries) = entries else {
+        return Bdd::TRUE;
+    };
     let mut permitted = Bdd::FALSE;
     let mut remaining = Bdd::TRUE;
     for e in entries {
@@ -91,10 +99,14 @@ impl SwitchConfig {
         // in-port-agnostic by construction for routing tables).
         let base = SwitchPredicates::from_rules(switch, &ports, &self.fwd_rules, hs);
 
-        let p_in: HashMap<PortNo, Bdd> =
-            ports.iter().map(|&x| (x, acl_set(self.acl_in.get(&x), hs))).collect();
-        let p_out: HashMap<PortNo, Bdd> =
-            ports.iter().map(|&y| (y, acl_set(self.acl_out.get(&y), hs))).collect();
+        let p_in: HashMap<PortNo, Bdd> = ports
+            .iter()
+            .map(|&x| (x, acl_set(self.acl_in.get(&x), hs)))
+            .collect();
+        let p_out: HashMap<PortNo, Bdd> = ports
+            .iter()
+            .map(|&y| (y, acl_set(self.acl_out.get(&y), hs)))
+            .collect();
 
         let mut transfer: HashMap<(PortNo, PortNo), Bdd> = HashMap::new();
         for &x in &ports {
@@ -149,17 +161,25 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 fn err(line: usize, message: impl Into<String>) -> ConfigError {
-    ConfigError { line, message: message.into() }
+    ConfigError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_prefix(tok: &str, line: usize) -> Result<(u32, u8), ConfigError> {
     if tok == "any" {
         return Ok((0, 0));
     }
-    let (addr, plen) = tok.split_once('/').ok_or_else(|| err(line, "expected a.b.c.d/len"))?;
-    let ip: std::net::Ipv4Addr =
-        addr.parse().map_err(|_| err(line, format!("bad address {addr}")))?;
-    let plen: u8 = plen.parse().map_err(|_| err(line, format!("bad prefix length {plen}")))?;
+    let (addr, plen) = tok
+        .split_once('/')
+        .ok_or_else(|| err(line, "expected a.b.c.d/len"))?;
+    let ip: std::net::Ipv4Addr = addr
+        .parse()
+        .map_err(|_| err(line, format!("bad address {addr}")))?;
+    let plen: u8 = plen
+        .parse()
+        .map_err(|_| err(line, format!("bad prefix length {plen}")))?;
     if plen > 32 {
         return Err(err(line, "prefix length > 32"));
     }
@@ -175,7 +195,9 @@ fn parse_match(tokens: &[&str], line: usize) -> Result<Match, ConfigError> {
         if key == "any" {
             continue; // explicit match-all, mainly for `permit any`
         }
-        let val = *it.next().ok_or_else(|| err(line, format!("{key} needs a value")))?;
+        let val = *it
+            .next()
+            .ok_or_else(|| err(line, format!("{key} needs a value")))?;
         match key {
             "src" => {
                 let (ip, plen) = parse_prefix(val, line)?;
@@ -188,8 +210,10 @@ fn parse_match(tokens: &[&str], line: usize) -> Result<Match, ConfigError> {
                 m.dst_plen = plen;
             }
             "proto" => {
-                m.proto =
-                    Some(val.parse().map_err(|_| err(line, format!("bad proto {val}")))?);
+                m.proto = Some(
+                    val.parse()
+                        .map_err(|_| err(line, format!("bad proto {val}")))?,
+                );
             }
             "sport" | "dport" => {
                 let range = match val.split_once('-') {
@@ -197,9 +221,7 @@ fn parse_match(tokens: &[&str], line: usize) -> Result<Match, ConfigError> {
                         lo.parse().map_err(|_| err(line, "bad port"))?,
                         hi.parse().map_err(|_| err(line, "bad port"))?,
                     ),
-                    None => PortRange::exact(
-                        val.parse().map_err(|_| err(line, "bad port"))?,
-                    ),
+                    None => PortRange::exact(val.parse().map_err(|_| err(line, "bad port"))?),
                 };
                 if key == "sport" {
                     m.src_port = range;
@@ -242,8 +264,7 @@ pub fn parse_config(text: &str) -> Result<Vec<SwitchConfig>, ConfigError> {
                 if tokens.len() != 4 || tokens[2] != "ports" {
                     return Err(err(line, "usage: switch <name> ports <n>"));
                 }
-                let num_ports: u16 =
-                    tokens[3].parse().map_err(|_| err(line, "bad port count"))?;
+                let num_ports: u16 = tokens[3].parse().map_err(|_| err(line, "bad port count"))?;
                 out.push(SwitchConfig {
                     name: tokens[1].to_string(),
                     num_ports,
@@ -251,7 +272,9 @@ pub fn parse_config(text: &str) -> Result<Vec<SwitchConfig>, ConfigError> {
                 });
             }
             "fwd" => {
-                let cfg = out.last_mut().ok_or_else(|| err(line, "fwd before switch"))?;
+                let cfg = out
+                    .last_mut()
+                    .ok_or_else(|| err(line, "fwd before switch"))?;
                 let arrow = tokens
                     .iter()
                     .position(|&t| t == "->")
@@ -267,7 +290,9 @@ pub fn parse_config(text: &str) -> Result<Vec<SwitchConfig>, ConfigError> {
                     Action::Drop
                 } else {
                     Action::Forward(PortNo(
-                        tokens[arrow + 1].parse().map_err(|_| err(line, "bad port"))?,
+                        tokens[arrow + 1]
+                            .parse()
+                            .map_err(|_| err(line, "bad port"))?,
                     ))
                 };
                 cfg.fwd_rules.push(FlowRule {
@@ -279,7 +304,9 @@ pub fn parse_config(text: &str) -> Result<Vec<SwitchConfig>, ConfigError> {
                 next_id += 1;
             }
             "acl" => {
-                let cfg = out.last_mut().ok_or_else(|| err(line, "acl before switch"))?;
+                let cfg = out
+                    .last_mut()
+                    .ok_or_else(|| err(line, "acl before switch"))?;
                 if tokens.len() < 4 {
                     return Err(err(line, "usage: acl in|out <port> permit|deny ..."));
                 }

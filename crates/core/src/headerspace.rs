@@ -55,7 +55,9 @@ impl Default for HeaderSpace {
 impl HeaderSpace {
     /// A fresh 104-variable space.
     pub fn new() -> Self {
-        HeaderSpace { mgr: Manager::new(HEADER_BITS) }
+        HeaderSpace {
+            mgr: Manager::new(HEADER_BITS),
+        }
     }
 
     /// Access the underlying manager (for set algebra on handles).
@@ -126,7 +128,11 @@ impl HeaderSpace {
     }
 
     fn range(&mut self, field: Field, lo: u64, hi: u64) -> Bdd {
-        let max = if field.width() == 64 { u64::MAX } else { (1u64 << field.width()) - 1 };
+        let max = if field.width() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << field.width()) - 1
+        };
         if lo == 0 && hi >= max {
             return Bdd::TRUE;
         }
@@ -169,7 +175,11 @@ impl HeaderSpace {
     /// The singleton set containing exactly `h`.
     pub fn header_singleton(&mut self, h: &FiveTuple) -> Bdd {
         let bits = h.to_bits();
-        let lits: Vec<(u32, bool)> = bits.iter().enumerate().map(|(i, &b)| (i as u32, b)).collect();
+        let lits: Vec<(u32, bool)> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as u32, b))
+            .collect();
         self.mgr.cube(&lits)
     }
 
@@ -182,11 +192,15 @@ impl HeaderSpace {
 
     /// A deterministic witness header from a non-empty set.
     pub fn witness(&self, set: Bdd) -> Option<FiveTuple> {
-        self.mgr.any_sat(set).map(|bits| FiveTuple::from_bits(&bits))
+        self.mgr
+            .any_sat(set)
+            .map(|bits| FiveTuple::from_bits(&bits))
     }
 
     /// A pseudo-random witness header driven by `pick` (e.g. a seeded RNG).
     pub fn random_witness(&self, set: Bdd, pick: impl FnMut(u32) -> bool) -> Option<FiveTuple> {
-        self.mgr.random_sat(set, pick).map(|bits| FiveTuple::from_bits(&bits))
+        self.mgr
+            .random_sat(set, pick)
+            .map(|bits| FiveTuple::from_bits(&bits))
     }
 }

@@ -69,7 +69,9 @@ impl PathTable {
             self.tracks_reach(),
             "incremental update requires reach records (use PathTable::build, not build_static)"
         );
-        let Some(info) = self.topo().switch(s) else { return };
+        let Some(info) = self.topo().switch(s) else {
+            return;
+        };
         let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
 
         // Phase 1: port-predicate update.
@@ -98,7 +100,14 @@ impl PathTable {
                 }
                 let minus = hs.mgr().diff(before, after);
                 if !minus.is_false() {
-                    shrink.insert(Hop { in_port: x, switch: s, out_port: y }, minus);
+                    shrink.insert(
+                        Hop {
+                            in_port: x,
+                            switch: s,
+                            out_port: y,
+                        },
+                        minus,
+                    );
                 }
                 let plus = hs.mgr().diff(after, before);
                 if !plus.is_false() {
@@ -160,7 +169,11 @@ impl PathTable {
                 if h2.is_false() {
                     continue;
                 }
-                let hop = Hop { in_port: x, switch: s, out_port: y };
+                let hop = Hop {
+                    in_port: x,
+                    switch: s,
+                    out_port: y,
+                };
                 // Loop guard: skip if this port pair already appears upstream.
                 if rec.hops.iter().any(|h| h.in_ref() == rec.at) {
                     continue;

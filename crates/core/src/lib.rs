@@ -57,6 +57,7 @@ mod headerspace;
 mod incremental;
 mod localize;
 pub mod parallel;
+mod parallel_build;
 mod path_table;
 mod predicates;
 pub mod repair;
@@ -67,7 +68,7 @@ mod verify;
 
 pub use headerspace::HeaderSpace;
 pub use localize::{InferredPath, LocalizeOutcome};
-pub use parallel::{verify_batch, BatchSummary};
+pub use parallel::{verify_batch, verify_batch_summary, BatchSummary};
 pub use path_table::{PathEntry, PathTable, PathTableStats, ReachRecord};
 pub use predicates::SwitchPredicates;
 pub use server::{Alarm, AlarmAggregator, ServerStats, VeriDpServer};

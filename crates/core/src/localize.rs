@@ -74,7 +74,9 @@ impl PathTable {
         while let Some(dev_hop) = com_path.pop() {
             let s = dev_hop.switch;
             let x = dev_hop.in_port;
-            let Some(info) = self.topo().switch(s) else { continue };
+            let Some(info) = self.topo().switch(s) else {
+                continue;
+            };
             let mut ports: Vec<veridp_packet::PortNo> =
                 (1..=info.num_ports).map(veridp_packet::PortNo).collect();
             ports.push(veridp_packet::DROP_PORT);
@@ -82,7 +84,11 @@ impl PathTable {
                 if y == dev_hop.out_port {
                     continue; // that's the correct hop, already ruled out
                 }
-                let first = Hop { in_port: x, switch: s, out_port: y };
+                let first = Hop {
+                    in_port: x,
+                    switch: s,
+                    out_port: y,
+                };
                 if !hop_in_tag(&first, tag) {
                     continue; // the deviating hop itself must be in the tag
                 }
@@ -126,7 +132,10 @@ impl PathTable {
                 }
             }
         }
-        LocalizeOutcome { correct_path, candidates }
+        LocalizeOutcome {
+            correct_path,
+            candidates,
+        }
     }
 }
 
@@ -134,5 +143,9 @@ fn assemble(com_path: &[Hop], dev_path: Vec<Hop>, faulty: SwitchId) -> InferredP
     let deviation_index = com_path.len();
     let mut hops = com_path.to_vec();
     hops.extend(dev_path);
-    InferredPath { hops, faulty_switch: faulty, deviation_index }
+    InferredPath {
+        hops,
+        faulty_switch: faulty,
+        deviation_index,
+    }
 }

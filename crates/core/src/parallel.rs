@@ -32,13 +32,55 @@ pub fn verify_batch(
     std::thread::scope(|s| {
         let handles: Vec<_> = reports
             .chunks(chunk)
-            .map(|slice| s.spawn(move || slice.iter().map(|r| table.verify(r, hs)).collect::<Vec<_>>()))
+            .map(|slice| {
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|r| table.verify(r, hs))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         for h in handles {
             out.push(h.join().expect("verifier thread panicked"));
         }
     });
     out.into_iter().flatten().collect()
+}
+
+/// Verify a batch and return only the aggregate counts.
+///
+/// Fast path for throughput measurement (the fig. 13 experiment): each
+/// worker folds its shard into a [`BatchSummary`] as it verifies, so no
+/// per-report verdict vector is allocated or concatenated.
+pub fn verify_batch_summary(
+    table: &PathTable,
+    hs: &HeaderSpace,
+    reports: &[TagReport],
+    threads: usize,
+) -> BatchSummary {
+    fn fold(table: &PathTable, hs: &HeaderSpace, slice: &[TagReport]) -> BatchSummary {
+        let mut s = BatchSummary::default();
+        for r in slice {
+            s.add(table.verify(r, hs));
+        }
+        s
+    }
+    if threads <= 1 || reports.len() < threads * 2 {
+        return fold(table, hs, reports);
+    }
+    let chunk = reports.len().div_ceil(threads);
+    let mut total = BatchSummary::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = reports
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || fold(table, hs, slice)))
+            .collect();
+        for h in handles {
+            total.merge(&h.join().expect("verifier thread panicked"));
+        }
+    });
+    total
 }
 
 /// Aggregate verdict counts from a batch, in the same shape as
@@ -54,7 +96,10 @@ pub struct BatchSummary {
 impl BatchSummary {
     /// Summarize a verdict list.
     pub fn from_outcomes(outcomes: &[VerifyOutcome]) -> Self {
-        let mut s = BatchSummary { total: outcomes.len(), ..Default::default() };
+        let mut s = BatchSummary {
+            total: outcomes.len(),
+            ..Default::default()
+        };
         for o in outcomes {
             match o {
                 VerifyOutcome::Pass => s.passed += 1,
@@ -63,6 +108,24 @@ impl BatchSummary {
             }
         }
         s
+    }
+
+    /// Count one verdict.
+    pub fn add(&mut self, o: VerifyOutcome) {
+        self.total += 1;
+        match o {
+            VerifyOutcome::Pass => self.passed += 1,
+            VerifyOutcome::TagMismatch => self.tag_mismatch += 1,
+            VerifyOutcome::NoMatchingPath => self.no_matching_path += 1,
+        }
+    }
+
+    /// Fold another summary (e.g. one worker's shard) into this one.
+    pub fn merge(&mut self, other: &BatchSummary) {
+        self.total += other.total;
+        self.passed += other.passed;
+        self.tag_mismatch += other.tag_mismatch;
+        self.no_matching_path += other.no_matching_path;
     }
 
     /// Failed verifications.

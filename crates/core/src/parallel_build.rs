@@ -1,0 +1,168 @@
+//! Sharded parallel path-table construction.
+//!
+//! Algorithm 2 is embarrassingly parallel across network entry ports: the
+//! traversal from one entry port never reads state produced by another. What
+//! serializes the sequential build is the single BDD [`Manager`] — every
+//! `and` on the hot path mutates the shared arena and caches.
+//!
+//! The parallel build removes that bottleneck with *sharded managers*:
+//!
+//! 1. transfer predicates are computed once in the main manager (exactly as
+//!    the sequential build does);
+//! 2. entry ports are partitioned into contiguous shards, one per worker;
+//! 3. each worker creates a private manager, seeds it by importing the
+//!    shared predicates ([`Manager::import`] — structural translation that
+//!    preserves canonicity), and traverses its shard with zero locking;
+//! 4. the main thread imports each shard's path entries and reach records
+//!    back into the main manager, in shard order.
+//!
+//! Because shards are contiguous and merged in order, and because a
+//! traversal's output depends only on its entry port, the merged table is
+//! *identical* to the sequential one: same pairs, same per-pair path order,
+//! same hop sequences and tags, and — by canonicity of import — the same
+//! header-set functions. The only nondeterminism-shaped difference is BDD
+//! handle numbering in intermediate worker arenas, which never escapes.
+
+use std::collections::HashMap;
+
+use veridp_bdd::{Bdd, ImportMemo, Manager};
+use veridp_bloom::BloomTag;
+use veridp_packet::{PortNo, PortRef, SwitchId, MAX_PATH_LENGTH};
+use veridp_switch::FlowRule;
+use veridp_topo::Topology;
+
+use crate::headerspace::HeaderSpace;
+use crate::path_table::{PathEntry, PathTable, ReachRecord, Traversal};
+use crate::predicates::SwitchPredicates;
+
+/// Everything a worker sends back: its private arena plus results whose
+/// handles still point into it.
+struct ShardResult {
+    mgr: Manager,
+    entries: HashMap<(PortRef, PortRef), Vec<PathEntry>>,
+    reach: HashMap<SwitchId, Vec<ReachRecord>>,
+}
+
+/// Traverse one shard of entry ports against a worker-private manager.
+fn run_shard(
+    topo: &Topology,
+    preds: &HashMap<SwitchId, SwitchPredicates>,
+    src_mgr: &Manager,
+    ports: &[PortRef],
+    tag_bits: u32,
+    track_reach: bool,
+) -> ShardResult {
+    let mut mgr = Manager::new(src_mgr.num_vars());
+    let mut memo = ImportMemo::new();
+    let local_preds: HashMap<SwitchId, SwitchPredicates> = preds
+        .iter()
+        .map(|(s, p)| (*s, p.translated(src_mgr, &mut mgr, &mut memo)))
+        .collect();
+    let mut entries = HashMap::new();
+    let mut reach = HashMap::new();
+    let mut t = Traversal {
+        topo,
+        preds: &local_preds,
+        tag_bits,
+        max_hops: MAX_PATH_LENGTH as usize,
+        track_reach,
+        entries: &mut entries,
+        reach: &mut reach,
+    };
+    for &inport in ports {
+        t.traverse(
+            &mut mgr,
+            inport,
+            inport,
+            Bdd::TRUE,
+            Vec::new(),
+            BloomTag::empty(tag_bits),
+        );
+    }
+    ShardResult {
+        mgr,
+        entries,
+        reach,
+    }
+}
+
+impl PathTable {
+    /// Build the table as [`PathTable::build`] does, but traversing entry
+    /// ports on `threads` worker threads, each with a private sharded BDD
+    /// manager. The result is semantically identical to the sequential
+    /// build — same pairs, hops, tags, and header sets — for any thread
+    /// count.
+    ///
+    /// `threads` is clamped to `[1, entry ports]`; `threads <= 1` still
+    /// runs the sharded path (one worker), so timing it measures the true
+    /// sharding overhead.
+    pub fn build_parallel(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<FlowRule>>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+        threads: usize,
+    ) -> Self {
+        let mut table = PathTable::new_empty(topo, rules, tag_bits, true);
+        for info in topo.switches() {
+            let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
+            let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
+            table.preds.insert(
+                info.id,
+                SwitchPredicates::from_rules(info.id, &ports, list, hs),
+            );
+        }
+        let entry_ports: Vec<PortRef> = topo
+            .host_ports()
+            .into_iter()
+            .filter(|p| topo.is_terminal_port(*p))
+            .collect();
+        if entry_ports.is_empty() {
+            return table;
+        }
+
+        let workers = threads.clamp(1, entry_ports.len());
+        let chunk = entry_ports.len().div_ceil(workers);
+        let preds = &table.preds;
+        let src_mgr: &Manager = hs.mgr_ref();
+        // Contiguous shards, joined in order: merge order equals the
+        // sequential build's entry-port order.
+        let results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = entry_ports
+                .chunks(chunk)
+                .map(|ports| {
+                    scope.spawn(move || run_shard(topo, preds, src_mgr, ports, tag_bits, true))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        for shard in results {
+            let mut memo = ImportMemo::new();
+            for (pair, list) in shard.entries {
+                // Entry-port disjointness makes pairs disjoint across
+                // shards, so this is a pure extend — no cross-shard merge.
+                let dst = table.entries.entry(pair).or_default();
+                for e in list {
+                    let headers = hs.mgr().import(&shard.mgr, e.headers, &mut memo);
+                    dst.push(PathEntry {
+                        headers,
+                        hops: e.hops,
+                        tag: e.tag,
+                    });
+                }
+            }
+            for (s, recs) in shard.reach {
+                let dst = table.reach.entry(s).or_default();
+                for r in recs {
+                    let headers = hs.mgr().import(&shard.mgr, r.headers, &mut memo);
+                    dst.push(ReachRecord { headers, ..r });
+                }
+            }
+        }
+        table
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use veridp_bdd::Bdd;
+use veridp_bdd::{Bdd, Manager};
 use veridp_bloom::BloomTag;
 use veridp_packet::{FiveTuple, Hop, PortNo, PortRef, SwitchId, DROP_PORT, MAX_PATH_LENGTH};
 use veridp_switch::FlowRule;
@@ -102,14 +102,15 @@ impl PathTable {
         Self::build_inner(topo, rules, hs, tag_bits, false)
     }
 
-    fn build_inner(
+    /// Empty table skeleton shared by the sequential and parallel builds:
+    /// topology and rules recorded, predicates and entries not yet computed.
+    pub(crate) fn new_empty(
         topo: &Topology,
         rules: &HashMap<SwitchId, Vec<FlowRule>>,
-        hs: &mut HeaderSpace,
         tag_bits: u32,
         track_reach: bool,
     ) -> Self {
-        let mut table = PathTable {
+        PathTable {
             topo: topo.clone(),
             tag_bits,
             max_hops: MAX_PATH_LENGTH as usize,
@@ -118,16 +119,39 @@ impl PathTable {
             preds: HashMap::new(),
             entries: HashMap::new(),
             reach: HashMap::new(),
-        };
+        }
+    }
+
+    fn build_inner(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<FlowRule>>,
+        hs: &mut HeaderSpace,
+        tag_bits: u32,
+        track_reach: bool,
+    ) -> Self {
+        let mut table = Self::new_empty(topo, rules, tag_bits, track_reach);
         for info in topo.switches() {
             let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
             let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
-            table.preds.insert(info.id, SwitchPredicates::from_rules(info.id, &ports, list, hs));
+            table.preds.insert(
+                info.id,
+                SwitchPredicates::from_rules(info.id, &ports, list, hs),
+            );
         }
-        let entry_ports: Vec<PortRef> =
-            topo.host_ports().into_iter().filter(|p| topo.is_terminal_port(*p)).collect();
+        let entry_ports: Vec<PortRef> = topo
+            .host_ports()
+            .into_iter()
+            .filter(|p| topo.is_terminal_port(*p))
+            .collect();
         for inport in entry_ports {
-            table.traverse(inport, inport, Bdd::TRUE, Vec::new(), BloomTag::empty(tag_bits), hs);
+            table.traverse(
+                inport,
+                inport,
+                Bdd::TRUE,
+                Vec::new(),
+                BloomTag::empty(tag_bits),
+                hs,
+            );
         }
         table
     }
@@ -155,10 +179,20 @@ impl PathTable {
             entries: HashMap::new(),
             reach: HashMap::new(),
         };
-        let entry_ports: Vec<PortRef> =
-            topo.host_ports().into_iter().filter(|p| topo.is_terminal_port(*p)).collect();
+        let entry_ports: Vec<PortRef> = topo
+            .host_ports()
+            .into_iter()
+            .filter(|p| topo.is_terminal_port(*p))
+            .collect();
         for inport in entry_ports {
-            table.traverse(inport, inport, Bdd::TRUE, Vec::new(), BloomTag::empty(tag_bits), hs);
+            table.traverse(
+                inport,
+                inport,
+                Bdd::TRUE,
+                Vec::new(),
+                BloomTag::empty(tag_bits),
+                hs,
+            );
         }
         table
     }
@@ -194,46 +228,16 @@ impl PathTable {
         tag: BloomTag,
         hs: &mut HeaderSpace,
     ) {
-        if hops.len() >= self.max_hops {
-            return; // TTL guard; mirrors the data-plane loop cut
-        }
-        // Loop removal (§6.1): stop if this port was already visited on the
-        // current path.
-        if hops.iter().any(|hop| hop.in_ref() == at) {
-            return;
-        }
-        let s = at.switch;
-        let x = at.port;
-        if self.track_reach {
-            self.reach.entry(s).or_default().push(ReachRecord {
-                inport,
-                at,
-                headers: h,
-                hops: hops.clone(),
-                tag,
-            });
-        }
-        let Some(preds) = self.preds.get(&s) else { return };
-        let outputs = preds.outputs(x);
-        for (y, p_xy) in outputs {
-            let h2 = hs.mgr().and(h, p_xy);
-            if h2.is_false() {
-                continue;
-            }
-            let hop = Hop { in_port: x, switch: s, out_port: y };
-            let mut hops2 = hops.clone();
-            hops2.push(hop);
-            let tag2 = tag.union(BloomTag::singleton(&hop.encode(), self.tag_bits));
-            let out_ref = PortRef { switch: s, port: y };
-            if y.is_drop() || self.topo.is_terminal_port(out_ref) {
-                self.insert_entry(inport, out_ref, h2, hops2, tag2, hs);
-            } else if self.topo.is_middlebox_port(out_ref) {
-                // Reflecting middlebox: the packet re-enters on the same port.
-                self.traverse(inport, out_ref, h2, hops2, tag2, hs);
-            } else if let Some(next) = self.topo.peer(out_ref) {
-                self.traverse(inport, next, h2, hops2, tag2, hs);
-            }
-        }
+        let mut t = Traversal {
+            topo: &self.topo,
+            preds: &self.preds,
+            tag_bits: self.tag_bits,
+            max_hops: self.max_hops,
+            track_reach: self.track_reach,
+            entries: &mut self.entries,
+            reach: &mut self.reach,
+        };
+        t.traverse(hs.mgr(), inport, at, h, hops, tag);
     }
 
     /// Insert (or merge into) a path entry.
@@ -246,17 +250,22 @@ impl PathTable {
         tag: BloomTag,
         hs: &mut HeaderSpace,
     ) {
-        let list = self.entries.entry((inport, outport)).or_default();
-        if let Some(e) = list.iter_mut().find(|e| e.hops == hops) {
-            e.headers = hs.mgr().or(e.headers, headers);
-        } else {
-            list.push(PathEntry { headers, hops, tag });
-        }
+        Traversal::insert_into(
+            &mut self.entries,
+            hs.mgr(),
+            inport,
+            outport,
+            headers,
+            hops,
+            tag,
+        )
     }
 
     /// Paths recorded for a pair.
     pub fn paths(&self, inport: PortRef, outport: PortRef) -> &[PathEntry] {
-        self.entries.get(&(inport, outport)).map_or(&[], |v| v.as_slice())
+        self.entries
+            .get(&(inport, outport))
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Iterate over all `(pair, paths)` groups.
@@ -281,7 +290,9 @@ impl PathTable {
         let mut hops = Vec::new();
         let mut at = from;
         while hops.len() < self.max_hops {
-            let Some(preds) = self.preds.get(&at.switch) else { break };
+            let Some(preds) = self.preds.get(&at.switch) else {
+                break;
+            };
             let mut out = None;
             for (y, p) in preds.outputs(at.port) {
                 if hs.contains(p, header) {
@@ -290,9 +301,16 @@ impl PathTable {
                 }
             }
             let Some(y) = out else { break };
-            let hop = Hop { in_port: at.port, switch: at.switch, out_port: y };
+            let hop = Hop {
+                in_port: at.port,
+                switch: at.switch,
+                out_port: y,
+            };
             hops.push(hop);
-            let out_ref = PortRef { switch: at.switch, port: y };
+            let out_ref = PortRef {
+                switch: at.switch,
+                port: y,
+            };
             if y.is_drop() || self.topo.is_terminal_port(out_ref) {
                 break;
             }
@@ -312,8 +330,7 @@ impl PathTable {
     pub fn stats(&self) -> PathTableStats {
         let num_pairs = self.entries.len();
         let num_paths: usize = self.entries.values().map(Vec::len).sum();
-        let total_hops: usize =
-            self.entries.values().flatten().map(|e| e.hops.len()).sum();
+        let total_hops: usize = self.entries.values().flatten().map(|e| e.hops.len()).sum();
         let mut histogram = Vec::new();
         for list in self.entries.values() {
             let k = list.len();
@@ -325,13 +342,115 @@ impl PathTable {
         PathTableStats {
             num_pairs,
             num_paths,
-            avg_path_len: if num_paths == 0 { 0.0 } else { total_hops as f64 / num_paths as f64 },
+            avg_path_len: if num_paths == 0 {
+                0.0
+            } else {
+                total_hops as f64 / num_paths as f64
+            },
             paths_per_pair: histogram,
         }
     }
 
     /// Drop-port reference for a switch (convenience).
     pub fn drop_port(s: SwitchId) -> PortRef {
-        PortRef { switch: s, port: DROP_PORT }
+        PortRef {
+            switch: s,
+            port: DROP_PORT,
+        }
+    }
+}
+
+/// Borrowed view of everything Algorithm 2 needs, decoupled from
+/// [`PathTable`] so the same traversal drives both the sequential build
+/// (borrowing the table's own fields) and the per-shard workers of
+/// [`PathTable::build_parallel`] (borrowing worker-local state and a
+/// worker-private [`Manager`]).
+pub(crate) struct Traversal<'a> {
+    pub topo: &'a Topology,
+    pub preds: &'a HashMap<SwitchId, SwitchPredicates>,
+    pub tag_bits: u32,
+    pub max_hops: usize,
+    pub track_reach: bool,
+    pub entries: &'a mut HashMap<(PortRef, PortRef), Vec<PathEntry>>,
+    pub reach: &'a mut HashMap<SwitchId, Vec<ReachRecord>>,
+}
+
+impl Traversal<'_> {
+    /// Algorithm 2, one step (see [`PathTable::traverse`] for the
+    /// semantics). All BDD work goes through the supplied `mgr`; handles in
+    /// `h` and in `self.preds` must belong to it.
+    pub(crate) fn traverse(
+        &mut self,
+        mgr: &mut Manager,
+        inport: PortRef,
+        at: PortRef,
+        h: Bdd,
+        hops: Vec<Hop>,
+        tag: BloomTag,
+    ) {
+        if hops.len() >= self.max_hops {
+            return; // TTL guard; mirrors the data-plane loop cut
+        }
+        // Loop removal (§6.1): stop if this port was already visited on the
+        // current path.
+        if hops.iter().any(|hop| hop.in_ref() == at) {
+            return;
+        }
+        let s = at.switch;
+        let x = at.port;
+        if self.track_reach {
+            self.reach.entry(s).or_default().push(ReachRecord {
+                inport,
+                at,
+                headers: h,
+                hops: hops.clone(),
+                tag,
+            });
+        }
+        let Some(preds) = self.preds.get(&s) else {
+            return;
+        };
+        let outputs = preds.outputs(x);
+        for (y, p_xy) in outputs {
+            let h2 = mgr.and(h, p_xy);
+            if h2.is_false() {
+                continue;
+            }
+            let hop = Hop {
+                in_port: x,
+                switch: s,
+                out_port: y,
+            };
+            let mut hops2 = hops.clone();
+            hops2.push(hop);
+            let tag2 = tag.union(BloomTag::singleton(&hop.encode(), self.tag_bits));
+            let out_ref = PortRef { switch: s, port: y };
+            if y.is_drop() || self.topo.is_terminal_port(out_ref) {
+                Self::insert_into(self.entries, mgr, inport, out_ref, h2, hops2, tag2);
+            } else if self.topo.is_middlebox_port(out_ref) {
+                // Reflecting middlebox: the packet re-enters on the same port.
+                self.traverse(mgr, inport, out_ref, h2, hops2, tag2);
+            } else if let Some(next) = self.topo.peer(out_ref) {
+                self.traverse(mgr, inport, next, h2, hops2, tag2);
+            }
+        }
+    }
+
+    /// Insert (or merge into) a path entry of `entries`.
+    pub(crate) fn insert_into(
+        entries: &mut HashMap<(PortRef, PortRef), Vec<PathEntry>>,
+        mgr: &mut Manager,
+        inport: PortRef,
+        outport: PortRef,
+        headers: Bdd,
+        hops: Vec<Hop>,
+        tag: BloomTag,
+    ) {
+        let list = entries.entry((inport, outport)).or_default();
+        if let Some(e) = list.iter_mut().find(|e| e.hops == hops) {
+            e.headers = mgr.or(e.headers, headers);
+        } else {
+            list.push(PathEntry { headers, hops, tag });
+        }
     }
 }

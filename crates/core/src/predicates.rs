@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use veridp_bdd::Bdd;
+use veridp_bdd::{Bdd, ImportMemo, Manager};
 use veridp_packet::{PortNo, SwitchId, DROP_PORT};
 use veridp_switch::{Action, FlowRule};
 
@@ -60,7 +60,12 @@ impl SwitchPredicates {
         for &x in ports {
             per_port.insert(x, Self::scan(&sorted, Some(x), hs));
         }
-        SwitchPredicates { switch, ports: ports.to_vec(), uniform: None, per_port }
+        SwitchPredicates {
+            switch,
+            ports: ports.to_vec(),
+            uniform: None,
+            per_port,
+        }
     }
 
     /// One pass of priority shadowing for a fixed in-port (or port-agnostic
@@ -122,7 +127,12 @@ impl SwitchPredicates {
             }
             per_port.entry(x).or_default().insert(y, b);
         }
-        SwitchPredicates { switch, ports: ports.to_vec(), uniform: None, per_port }
+        SwitchPredicates {
+            switch,
+            ports: ports.to_vec(),
+            uniform: None,
+            per_port,
+        }
     }
 
     /// The data ports of the switch.
@@ -152,8 +162,11 @@ impl SwitchPredicates {
                 None => return vec![(DROP_PORT, Bdd::TRUE)],
             },
         };
-        let mut v: Vec<(PortNo, Bdd)> =
-            map.iter().filter(|(_, b)| !b.is_false()).map(|(p, b)| (*p, *b)).collect();
+        let mut v: Vec<(PortNo, Bdd)> = map
+            .iter()
+            .filter(|(_, b)| !b.is_false())
+            .map(|(p, b)| (*p, *b))
+            .collect();
         v.sort_by_key(|(p, _)| *p);
         v
     }
@@ -161,5 +174,35 @@ impl SwitchPredicates {
     /// Whether any rule made the predicates in-port-dependent.
     pub fn is_port_dependent(&self) -> bool {
         self.uniform.is_none()
+    }
+
+    /// Copy these predicates into another manager, translating every BDD
+    /// handle via [`Manager::import`]. Handles in `self` must belong to
+    /// `src`; the returned predicates' handles belong to `dst`.
+    ///
+    /// Reusing one `memo` across all switches of a network makes predicates
+    /// that share structure (common prefixes, default drops) translate only
+    /// once — this is the seeding step of the sharded parallel build.
+    pub fn translated(&self, src: &Manager, dst: &mut Manager, memo: &mut ImportMemo) -> Self {
+        fn tr(
+            map: &HashMap<PortNo, Bdd>,
+            src: &Manager,
+            dst: &mut Manager,
+            memo: &mut ImportMemo,
+        ) -> HashMap<PortNo, Bdd> {
+            map.iter()
+                .map(|(p, b)| (*p, dst.import(src, *b, memo)))
+                .collect()
+        }
+        SwitchPredicates {
+            switch: self.switch,
+            ports: self.ports.clone(),
+            uniform: self.uniform.as_ref().map(|m| tr(m, src, dst, memo)),
+            per_port: self
+                .per_port
+                .iter()
+                .map(|(x, m)| (*x, tr(m, src, dst, memo)))
+                .collect(),
+        }
     }
 }

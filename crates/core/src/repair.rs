@@ -39,7 +39,9 @@ pub fn propose(
     let rules = table.rules.get(&switch)?;
     let mut sorted: Vec<&FlowRule> = rules.iter().collect();
     sorted.sort_by_key(|r| (std::cmp::Reverse(r.priority), r.id));
-    let rule = *sorted.into_iter().find(|r| r.fields.matches(in_port, witness))?;
+    let rule = *sorted
+        .into_iter()
+        .find(|r| r.fields.matches(in_port, witness))?;
     Some(RepairProposal {
         switch,
         rule,

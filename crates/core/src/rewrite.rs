@@ -32,7 +32,9 @@ use std::collections::HashMap;
 
 use veridp_bdd::Bdd;
 use veridp_bloom::BloomTag;
-use veridp_packet::{FiveTuple, Hop, PortNo, PortRef, SwitchId, TagReport, DROP_PORT, MAX_PATH_LENGTH};
+use veridp_packet::{
+    FiveTuple, Hop, PortNo, PortRef, SwitchId, TagReport, DROP_PORT, MAX_PATH_LENGTH,
+};
 use veridp_switch::{Action, FieldSet, FlowRule};
 use veridp_topo::Topology;
 
@@ -49,7 +51,9 @@ fn field_vars(fs: &FieldSet) -> Vec<u32> {
 fn field_assignments(fs: &FieldSet) -> Vec<(u32, bool)> {
     let off = fs.field.offset();
     let w = fs.field.width();
-    (0..w).map(|i| (off + i, (fs.value >> (w - 1 - i)) & 1 == 1)).collect()
+    (0..w)
+        .map(|i| (off + i, (fs.value >> (w - 1 - i)) & 1 == 1))
+        .collect()
 }
 
 /// Image of `set` under one set-field: `(∃ field. set) ∧ (field = value)`.
@@ -86,7 +90,10 @@ pub struct RwRule {
 impl RwRule {
     /// A plain rule without rewrites.
     pub fn plain(rule: FlowRule) -> Self {
-        RwRule { rule, sets: Vec::new() }
+        RwRule {
+            rule,
+            sets: Vec::new(),
+        }
     }
 
     /// A rule with a rewrite chain.
@@ -124,9 +131,14 @@ impl RwPredicates {
                 per_port: HashMap::new(),
             };
         }
-        let per_port =
-            ports.iter().map(|&x| (x, Self::scan(&sorted, Some(x), hs))).collect();
-        RwPredicates { uniform: None, per_port }
+        let per_port = ports
+            .iter()
+            .map(|&x| (x, Self::scan(&sorted, Some(x), hs)))
+            .collect();
+        RwPredicates {
+            uniform: None,
+            per_port,
+        }
     }
 
     fn scan(sorted: &[&RwRule], in_port: Option<PortNo>, hs: &mut HeaderSpace) -> Vec<OutputClass> {
@@ -152,20 +164,30 @@ impl RwPredicates {
                 Action::Drop => DROP_PORT,
             };
             // Drops never rewrite observably.
-            let sets = if out.is_drop() { Vec::new() } else { r.sets.clone() };
-            if let Some(c) =
-                classes.iter_mut().find(|c| c.out == out && c.sets == sets)
-            {
+            let sets = if out.is_drop() {
+                Vec::new()
+            } else {
+                r.sets.clone()
+            };
+            if let Some(c) = classes.iter_mut().find(|c| c.out == out && c.sets == sets) {
                 c.pred = hs.mgr().or(c.pred, eff);
             } else {
-                classes.push(OutputClass { out, sets, pred: eff });
+                classes.push(OutputClass {
+                    out,
+                    sets,
+                    pred: eff,
+                });
             }
         }
         if !remaining.is_false() {
             if let Some(c) = classes.iter_mut().find(|c| c.out.is_drop()) {
                 c.pred = hs.mgr().or(c.pred, remaining);
             } else {
-                classes.push(OutputClass { out: DROP_PORT, sets: Vec::new(), pred: remaining });
+                classes.push(OutputClass {
+                    out: DROP_PORT,
+                    sets: Vec::new(),
+                    pred: remaining,
+                });
             }
         }
         classes
@@ -224,10 +246,15 @@ impl RwPathTable {
         for info in topo.switches() {
             let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
             let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
-            table.preds.insert(info.id, RwPredicates::from_rules(&ports, list, hs));
+            table
+                .preds
+                .insert(info.id, RwPredicates::from_rules(&ports, list, hs));
         }
-        let entry_ports: Vec<PortRef> =
-            topo.host_ports().into_iter().filter(|p| topo.is_terminal_port(*p)).collect();
+        let entry_ports: Vec<PortRef> = topo
+            .host_ports()
+            .into_iter()
+            .filter(|p| topo.is_terminal_port(*p))
+            .collect();
         for inport in entry_ports {
             table.traverse(
                 inport,
@@ -258,12 +285,12 @@ impl RwPathTable {
         tag: BloomTag,
         hs: &mut HeaderSpace,
     ) {
-        if hops.len() >= MAX_PATH_LENGTH as usize
-            || hops.iter().any(|hop| hop.in_ref() == at)
-        {
+        if hops.len() >= MAX_PATH_LENGTH as usize || hops.iter().any(|hop| hop.in_ref() == at) {
             return;
         }
-        let Some(preds) = self.preds.get(&at.switch) else { return };
+        let Some(preds) = self.preds.get(&at.switch) else {
+            return;
+        };
         let classes: Vec<OutputClass> = preds.classes(at.port).to_vec();
         for class in classes {
             // Constrain the current header by the class predicate…
@@ -282,19 +309,29 @@ impl RwPathTable {
             let mut chain2 = chain.clone();
             chain2.extend(class.sets.iter().copied());
 
-            let hop = Hop { in_port: at.port, switch: at.switch, out_port: class.out };
+            let hop = Hop {
+                in_port: at.port,
+                switch: at.switch,
+                out_port: class.out,
+            };
             let mut hops2 = hops.clone();
             hops2.push(hop);
             let tag2 = tag.union(BloomTag::singleton(&hop.encode(), self.tag_bits));
-            let out_ref = PortRef { switch: at.switch, port: class.out };
+            let out_ref = PortRef {
+                switch: at.switch,
+                port: class.out,
+            };
             if class.out.is_drop() || self.topo.is_terminal_port(out_ref) {
-                self.entries.entry((inport, out_ref)).or_default().push(RwPathEntry {
-                    entry_headers: entry2,
-                    exit_headers: cur3,
-                    hops: hops2,
-                    tag: tag2,
-                    chain: chain2,
-                });
+                self.entries
+                    .entry((inport, out_ref))
+                    .or_default()
+                    .push(RwPathEntry {
+                        entry_headers: entry2,
+                        exit_headers: cur3,
+                        hops: hops2,
+                        tag: tag2,
+                        chain: chain2,
+                    });
             } else if self.topo.is_middlebox_port(out_ref) {
                 self.traverse(inport, out_ref, entry2, cur3, hops2, chain2, tag2, hs);
             } else if let Some(next) = self.topo.peer(out_ref) {
@@ -305,7 +342,9 @@ impl RwPathTable {
 
     /// Paths for a pair.
     pub fn paths(&self, inport: PortRef, outport: PortRef) -> &[RwPathEntry] {
-        self.entries.get(&(inport, outport)).map_or(&[], |v| v.as_slice())
+        self.entries
+            .get(&(inport, outport))
+            .map_or(&[], |v| v.as_slice())
     }
 
     /// Total number of paths.
@@ -345,7 +384,9 @@ impl RwPathTable {
         let mut h = *header;
         let mut at = from;
         while hops.len() < MAX_PATH_LENGTH as usize {
-            let Some(preds) = self.preds.get(&at.switch) else { break };
+            let Some(preds) = self.preds.get(&at.switch) else {
+                break;
+            };
             let mut found = None;
             for class in preds.classes(at.port) {
                 if hs.contains(class.pred, &h) {
@@ -355,9 +396,16 @@ impl RwPathTable {
             }
             let Some(class) = found else { break };
             FieldSet::apply_all(&class.sets, &mut h);
-            let hop = Hop { in_port: at.port, switch: at.switch, out_port: class.out };
+            let hop = Hop {
+                in_port: at.port,
+                switch: at.switch,
+                out_port: class.out,
+            };
             hops.push(hop);
-            let out_ref = PortRef { switch: at.switch, port: class.out };
+            let out_ref = PortRef {
+                switch: at.switch,
+                port: class.out,
+            };
             if class.out.is_drop() || self.topo.is_terminal_port(out_ref) {
                 break;
             }

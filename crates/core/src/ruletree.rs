@@ -68,18 +68,25 @@ pub struct RuleTree {
 }
 
 fn contains(outer: &PrefixRule, inner: &PrefixRule) -> bool {
-    outer.plen <= inner.plen
-        && veridp_switch::prefix_mask(inner.prefix, outer.plen) == outer.prefix
+    outer.plen <= inner.plen && veridp_switch::prefix_mask(inner.prefix, outer.plen) == outer.prefix
 }
 
 impl RuleTree {
     /// An empty tree: everything drops.
     pub fn new() -> Self {
         let root = Node {
-            rule: PrefixRule { id: RuleId(u64::MAX), prefix: 0, plen: 0, out: DROP_PORT },
+            rule: PrefixRule {
+                id: RuleId(u64::MAX),
+                prefix: 0,
+                plen: 0,
+                out: DROP_PORT,
+            },
             children: Vec::new(),
         };
-        RuleTree { nodes: vec![root], preds: HashMap::from([(DROP_PORT, Bdd::TRUE)]) }
+        RuleTree {
+            nodes: vec![root],
+            preds: HashMap::from([(DROP_PORT, Bdd::TRUE)]),
+        }
     }
 
     /// Current predicate for port `y` (headers forwarded there).
@@ -89,8 +96,12 @@ impl RuleTree {
 
     /// All ports with non-false predicates, in deterministic order.
     pub fn ports(&self) -> Vec<PortNo> {
-        let mut v: Vec<PortNo> =
-            self.preds.iter().filter(|(_, b)| !b.is_false()).map(|(p, _)| *p).collect();
+        let mut v: Vec<PortNo> = self
+            .preds
+            .iter()
+            .filter(|(_, b)| !b.is_false())
+            .map(|(p, _)| *p)
+            .collect();
         v.sort();
         v
     }
@@ -163,7 +174,10 @@ impl RuleTree {
             .collect();
 
         let idx = self.nodes.len();
-        self.nodes.push(Node { rule, children: moving.clone() });
+        self.nodes.push(Node {
+            rule,
+            children: moving.clone(),
+        });
         self.nodes[parent].children.retain(|c| !moving.contains(c));
         self.nodes[parent].children.push(idx);
 
@@ -179,7 +193,11 @@ impl RuleTree {
             self.preds.insert(to, new_to);
             self.preds.insert(parent_out, new_from);
         }
-        PortDelta { delta, from: parent_out, to }
+        PortDelta {
+            delta,
+            from: parent_out,
+            to,
+        }
     }
 
     /// Delete a rule by id, returning the delta, or `None` if absent.
@@ -188,8 +206,9 @@ impl RuleTree {
         debug_assert_ne!(idx, 0, "virtual root cannot be deleted");
         let delta = self.match_of(idx, hs);
         let rule = self.nodes[idx].rule;
-        let parent =
-            (0..self.nodes.len()).find(|&p| self.nodes[p].children.contains(&idx)).expect("parent");
+        let parent = (0..self.nodes.len())
+            .find(|&p| self.nodes[p].children.contains(&idx))
+            .expect("parent");
         let parent_out = self.nodes[parent].rule.out;
 
         // Reattach children to the parent; remove the node (leave a tombstone
@@ -208,7 +227,11 @@ impl RuleTree {
             self.preds.insert(rule.out, new_from);
             self.preds.insert(parent_out, new_to);
         }
-        Some(PortDelta { delta, from: rule.out, to: parent_out })
+        Some(PortDelta {
+            delta,
+            from: rule.out,
+            to: parent_out,
+        })
     }
 }
 
@@ -248,7 +271,12 @@ mod tests {
             let expect = lpm(rules, dst);
             for y in tree.ports() {
                 let member = hs.contains(tree.predicate(y), &h);
-                assert_eq!(member, y == expect, "dst {:x} port {y} (expect {expect})", dst);
+                assert_eq!(
+                    member,
+                    y == expect,
+                    "dst {:x} port {y} (expect {expect})",
+                    dst
+                );
             }
         }
     }
@@ -276,11 +304,11 @@ mod tests {
             tree.add(*r, &mut hs);
         }
         let probes = [
-            ip(10, 5, 5, 5),  // /8 only
-            ip(10, 1, 2, 3),  // /16 hole
-            ip(10, 2, 1, 9),  // /24 hole
-            ip(10, 2, 2, 9),  // /8 again
-            ip(11, 0, 0, 1),  // miss → drop
+            ip(10, 5, 5, 5), // /8 only
+            ip(10, 1, 2, 3), // /16 hole
+            ip(10, 2, 1, 9), // /24 hole
+            ip(10, 2, 2, 9), // /8 again
+            ip(11, 0, 0, 1), // miss → drop
         ];
         check_against_lpm(&tree, &rules, &hs, &probes);
     }
@@ -303,7 +331,12 @@ mod tests {
             &tree,
             &rules,
             &hs,
-            &[ip(10, 5, 5, 5), ip(10, 1, 2, 3), ip(10, 2, 1, 9), ip(9, 9, 9, 9)],
+            &[
+                ip(10, 5, 5, 5),
+                ip(10, 1, 2, 3),
+                ip(10, 2, 1, 9),
+                ip(9, 9, 9, 9),
+            ],
         );
     }
 
@@ -315,7 +348,11 @@ mod tests {
         assert_eq!(d1.from, DROP_PORT);
         assert_eq!(d1.to, PortNo(1));
         let d2 = tree.add(rule(2, ip(10, 1, 0, 0), 16, 2), &mut hs);
-        assert_eq!(d2.from, PortNo(1), "hole moves traffic away from the covering rule");
+        assert_eq!(
+            d2.from,
+            PortNo(1),
+            "hole moves traffic away from the covering rule"
+        );
         assert_eq!(d2.to, PortNo(2));
     }
 
@@ -323,7 +360,10 @@ mod tests {
     fn delete_restores_parent() {
         let mut hs = HeaderSpace::new();
         let mut tree = RuleTree::new();
-        let rules = vec![rule(1, ip(10, 0, 0, 0), 8, 1), rule(2, ip(10, 1, 0, 0), 16, 2)];
+        let rules = vec![
+            rule(1, ip(10, 0, 0, 0), 8, 1),
+            rule(2, ip(10, 1, 0, 0), 16, 2),
+        ];
         for r in &rules {
             tree.add(*r, &mut hs);
         }
@@ -372,10 +412,20 @@ mod tests {
         let mut next = 1u64;
         for _ in 0..120 {
             if live.is_empty() || rng.gen_bool(0.7) {
-                let plen = *[8u8, 12, 16, 20, 24, 28, 32].get(rng.gen_range(0..7)).unwrap();
-                let r = rule(next, ip(10, rng.gen_range(0..4), rng.gen_range(0..4), 0), plen, rng.gen_range(1..5));
+                let plen = *[8u8, 12, 16, 20, 24, 28, 32]
+                    .get(rng.gen_range(0..7usize))
+                    .unwrap();
+                let r = rule(
+                    next,
+                    ip(10, rng.gen_range(0..4), rng.gen_range(0..4), 0),
+                    plen,
+                    rng.gen_range(1..5),
+                );
                 next += 1;
-                if live.iter().any(|x| x.prefix == r.prefix && x.plen == r.plen) {
+                if live
+                    .iter()
+                    .any(|x| x.prefix == r.prefix && x.plen == r.plen)
+                {
                     continue;
                 }
                 tree.add(r, &mut hs);
@@ -396,8 +446,9 @@ mod tests {
                 }
             }
             // Semantics match longest-prefix-match on random probes.
-            let probes: Vec<u32> =
-                (0..16).map(|_| ip(10, rng.gen_range(0..4), rng.gen_range(0..4), rng.gen())).collect();
+            let probes: Vec<u32> = (0..16)
+                .map(|_| ip(10, rng.gen_range(0..4), rng.gen_range(0..4), rng.gen()))
+                .collect();
             check_against_lpm(&tree, &live, &hs, &probes);
         }
     }

@@ -58,13 +58,40 @@ impl VeriDpServer {
     ) -> Self {
         let mut hs = HeaderSpace::new();
         let table = PathTable::build(topo, rules, &mut hs, tag_bits);
-        VeriDpServer { hs, table, stats: ServerStats::default(), suspects: HashMap::new() }
+        VeriDpServer {
+            hs,
+            table,
+            stats: ServerStats::default(),
+            suspects: HashMap::new(),
+        }
+    }
+
+    /// Like [`VeriDpServer::new`], but constructing the path table with the
+    /// sharded parallel build on `threads` workers (semantically identical
+    /// to the sequential build; see [`PathTable::build_parallel`]).
+    pub fn new_parallel(
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<veridp_switch::FlowRule>>,
+        tag_bits: u32,
+        threads: usize,
+    ) -> Self {
+        let mut hs = HeaderSpace::new();
+        let table = PathTable::build_parallel(topo, rules, &mut hs, tag_bits, threads);
+        VeriDpServer {
+            hs,
+            table,
+            stats: ServerStats::default(),
+            suspects: HashMap::new(),
+        }
     }
 
     /// Build directly from a controller's current state.
     pub fn from_controller(ctrl: &veridp_controller::Controller, tag_bits: u32) -> Self {
-        let rules: HashMap<SwitchId, Vec<veridp_switch::FlowRule>> =
-            ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+        let rules: HashMap<SwitchId, Vec<veridp_switch::FlowRule>> = ctrl
+            .logical_rules()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         Self::new(ctrl.topo(), &rules, tag_bits)
     }
 
@@ -188,7 +215,11 @@ impl AlarmAggregator {
         alarm.count += 1;
         if let Some(loc) = localization {
             for c in &loc.candidates {
-                match alarm.suspects.iter_mut().find(|(s, _)| *s == c.faulty_switch) {
+                match alarm
+                    .suspects
+                    .iter_mut()
+                    .find(|(s, _)| *s == c.faulty_switch)
+                {
                     Some((_, n)) => *n += 1,
                     None => alarm.suspects.push((c.faulty_switch, 1)),
                 }

@@ -23,7 +23,12 @@ fn figure5_rules() -> Rules {
             fwd(1, 32, Match::dst_prefix(ip(10, 0, 1, 1), 32), 1),
             fwd(2, 32, Match::dst_prefix(ip(10, 0, 1, 2), 32), 2),
             // R3: SSH traffic to 10.0.2/24 goes via S2 (towards the MB).
-            fwd(3, 40, Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22), 3),
+            fwd(
+                3,
+                40,
+                Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22),
+                3,
+            ),
             // R4: everything else towards 10.0.2/24 goes to S3 directly.
             fwd(4, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 4),
         ],
@@ -34,9 +39,19 @@ fn figure5_rules() -> Rules {
             // R5: traffic from port 1 (S1) goes to the middlebox.
             fwd(5, 50, Match::ANY.with_in_port(PortNo(1)), 3),
             // R6: traffic back from the middlebox continues towards S3.
-            fwd(6, 50, Match::dst_prefix(ip(10, 0, 2, 0), 24).with_in_port(PortNo(3)), 2),
+            fwd(
+                6,
+                50,
+                Match::dst_prefix(ip(10, 0, 2, 0), 24).with_in_port(PortNo(3)),
+                2,
+            ),
             // R7: return path towards H1/H2's subnet.
-            fwd(7, 24, Match::dst_prefix(ip(10, 0, 1, 0), 24).with_in_port(PortNo(2)), 1),
+            fwd(
+                7,
+                24,
+                Match::dst_prefix(ip(10, 0, 1, 0), 24).with_in_port(PortNo(2)),
+                1,
+            ),
         ],
     );
     rules.insert(
@@ -115,7 +130,9 @@ fn headerspace_proto() {
 #[test]
 fn headerspace_match_set_composition() {
     let mut hs = HeaderSpace::new();
-    let m = Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22).with_proto(6);
+    let m = Match::dst_prefix(ip(10, 0, 2, 0), 24)
+        .with_dst_port(22)
+        .with_proto(6);
     let set = hs.match_set(&m);
     assert!(hs.contains(set, &FiveTuple::tcp(9, ip(10, 0, 2, 1), 5, 22)));
     assert!(!hs.contains(set, &FiveTuple::tcp(9, ip(10, 0, 2, 1), 5, 23)));
@@ -187,10 +204,20 @@ fn predicates_partition_header_space() {
 fn predicates_priority_shadowing() {
     let mut hs = HeaderSpace::new();
     let rules = vec![
-        fwd(1, 40, Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22), 3),
+        fwd(
+            1,
+            40,
+            Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22),
+            3,
+        ),
         fwd(2, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 4),
     ];
-    let p = SwitchPredicates::from_rules(SwitchId(1), &[PortNo(1), PortNo(3), PortNo(4)], &rules, &mut hs);
+    let p = SwitchPredicates::from_rules(
+        SwitchId(1),
+        &[PortNo(1), PortNo(3), PortNo(4)],
+        &rules,
+        &mut hs,
+    );
     let ssh = FiveTuple::tcp(0, ip(10, 0, 2, 1), 5, 22);
     let web = FiveTuple::tcp(0, ip(10, 0, 2, 1), 5, 80);
     assert!(hs.contains(p.transfer(PortNo(1), PortNo(3)), &ssh));
@@ -252,15 +279,28 @@ fn figure5_path_table_matches_paper_table1() {
     let ssh = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 22);
     let paths = table.paths(h1, h3);
     assert!(!paths.is_empty(), "no (S1,1)->(S3,2) paths");
-    let ssh_path = paths.iter().find(|p| hs.contains(p.headers, &ssh)).expect("ssh path");
-    let expect_hops =
-        vec![Hop::new(1, 1, 3), Hop::new(1, 2, 3), Hop::new(3, 2, 2), Hop::new(1, 3, 2)];
+    let ssh_path = paths
+        .iter()
+        .find(|p| hs.contains(p.headers, &ssh))
+        .expect("ssh path");
+    let expect_hops = vec![
+        Hop::new(1, 1, 3),
+        Hop::new(1, 2, 3),
+        Hop::new(3, 2, 2),
+        Hop::new(1, 3, 2),
+    ];
     assert_eq!(ssh_path.hops, expect_hops, "worked example of §4.2");
-    assert_eq!(ssh_path.tag, tag_of(&[(1, 1, 3), (1, 2, 3), (3, 2, 2), (1, 3, 2)]));
+    assert_eq!(
+        ssh_path.tag,
+        tag_of(&[(1, 1, 3), (1, 2, 3), (3, 2, 2), (1, 3, 2)])
+    );
 
     // Row 2: non-SSH from H1 goes direct S1→S3.
     let web = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 80);
-    let web_path = paths.iter().find(|p| hs.contains(p.headers, &web)).expect("web path");
+    let web_path = paths
+        .iter()
+        .find(|p| hs.contains(p.headers, &web))
+        .expect("web path");
     assert_eq!(web_path.hops, vec![Hop::new(1, 1, 4), Hop::new(3, 3, 2)]);
     assert_eq!(web_path.tag, tag_of(&[(1, 1, 4), (3, 3, 2)]));
     // Header sets are disjoint: SSH not in the direct path.
@@ -269,8 +309,14 @@ fn figure5_path_table_matches_paper_table1() {
     // Row 3: H2's non-SSH traffic is dropped at S3.
     let from_h2 = FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 1), 999, 80);
     let drop_paths = table.paths(h2_port, PathTable::drop_port(SwitchId(3)));
-    let dp = drop_paths.iter().find(|p| hs.contains(p.headers, &from_h2)).expect("drop path");
-    assert_eq!(dp.hops, vec![Hop::new(2, 1, 4), Hop::new(3, 3, DROP_PORT.0)]);
+    let dp = drop_paths
+        .iter()
+        .find(|p| hs.contains(p.headers, &from_h2))
+        .expect("drop path");
+    assert_eq!(
+        dp.hops,
+        vec![Hop::new(2, 1, 4), Hop::new(3, 3, DROP_PORT.0)]
+    );
     assert_eq!(dp.tag, tag_of(&[(2, 1, 4), (3, 3, DROP_PORT.0)]));
 }
 
@@ -290,8 +336,13 @@ fn path_table_fat_tree_connectivity() {
     // With shortest-path connectivity rules, every host pair has a path.
     let topo = gen::fat_tree(4);
     let mut ctrl = veridp_controller::Controller::new(topo.clone());
-    ctrl.install_intent(&veridp_controller::Intent::Connectivity).unwrap();
-    let rules: Rules = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    ctrl.install_intent(&veridp_controller::Intent::Connectivity)
+        .unwrap();
+    let rules: Rules = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let mut hs = HeaderSpace::new();
     let table = PathTable::build(&topo, &rules, &mut hs, 16);
     let hosts = topo.hosts();
@@ -320,7 +371,12 @@ fn trace_follows_control_plane() {
     let hops = table.trace(PortRef::new(1, 1), &ssh, &hs);
     assert_eq!(
         hops,
-        vec![Hop::new(1, 1, 3), Hop::new(1, 2, 3), Hop::new(3, 2, 2), Hop::new(1, 3, 2)]
+        vec![
+            Hop::new(1, 1, 3),
+            Hop::new(1, 2, 3),
+            Hop::new(3, 2, 2),
+            Hop::new(1, 3, 2)
+        ]
     );
     // A header with no matching entry at S1's port 1 still drops somewhere.
     let stray = FiveTuple::tcp(ip(9, 9, 9, 9), ip(9, 9, 9, 9), 1, 1);
@@ -430,7 +486,9 @@ fn localize_recovers_figure7_real_path() {
     );
     let expect: Vec<Hop> = real.iter().map(|&(x, s, y)| Hop::new(x, s, y)).collect();
     assert!(
-        loc.candidates.iter().any(|c| c.hops == expect && c.faulty_switch == SwitchId(1)),
+        loc.candidates
+            .iter()
+            .any(|c| c.hops == expect && c.faulty_switch == SwitchId(1)),
         "real path not recovered: {:?}",
         loc.candidates
     );
@@ -454,7 +512,9 @@ fn localize_mid_path_fault() {
     let loc = table.localize(&report, &hs);
     let expect: Vec<Hop> = real.iter().map(|&(x, s, y)| Hop::new(x, s, y)).collect();
     assert!(
-        loc.candidates.iter().any(|c| c.hops == expect && c.faulty_switch == SwitchId(2)),
+        loc.candidates
+            .iter()
+            .any(|c| c.hops == expect && c.faulty_switch == SwitchId(2)),
         "candidates: {:?}",
         loc.candidates
     );
@@ -484,9 +544,16 @@ fn incremental_add_matches_rebuild() {
 
     // Start from a table without R3 (the SSH detour), then add it.
     let mut without: Rules = base.clone();
-    without.get_mut(&SwitchId(1)).unwrap().retain(|r| r.id.0 != 3);
+    without
+        .get_mut(&SwitchId(1))
+        .unwrap()
+        .retain(|r| r.id.0 != 3);
     let mut incremental = PathTable::build(&topo, &without, &mut hs, 16);
-    let r3 = base[&SwitchId(1)].iter().find(|r| r.id.0 == 3).copied().unwrap();
+    let r3 = base[&SwitchId(1)]
+        .iter()
+        .find(|r| r.id.0 == 3)
+        .copied()
+        .unwrap();
     incremental.add_rule(SwitchId(1), r3, &mut hs);
 
     let rebuilt = PathTable::build(&topo, &base, &mut hs, 16);
@@ -502,7 +569,10 @@ fn incremental_delete_matches_rebuild() {
     incremental.delete_rule(SwitchId(1), veridp_switch::RuleId(3), &mut hs);
 
     let mut without: Rules = base.clone();
-    without.get_mut(&SwitchId(1)).unwrap().retain(|r| r.id.0 != 3);
+    without
+        .get_mut(&SwitchId(1))
+        .unwrap()
+        .retain(|r| r.id.0 != 3);
     let rebuilt = PathTable::build(&topo, &without, &mut hs, 16);
     assert_tables_equal(&incremental, &rebuilt);
 }
@@ -514,7 +584,12 @@ fn incremental_modify_matches_rebuild() {
     let base = figure5_rules();
     let mut incremental = PathTable::build(&topo, &base, &mut hs, 16);
     // Redirect R4 to port 3 (everything via S2).
-    incremental.modify_rule(SwitchId(1), veridp_switch::RuleId(4), Action::Forward(PortNo(3)), &mut hs);
+    incremental.modify_rule(
+        SwitchId(1),
+        veridp_switch::RuleId(4),
+        Action::Forward(PortNo(3)),
+        &mut hs,
+    );
 
     let mut modified: Rules = base.clone();
     for r in modified.get_mut(&SwitchId(1)).unwrap() {
@@ -536,11 +611,26 @@ fn incremental_rule_sequence_matches_rebuild_linear() {
     let mut incremental = PathTable::build(&topo, &current, &mut hs, 16);
 
     let steps = vec![
-        (SwitchId(1), fwd(1, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 2)),
-        (SwitchId(2), fwd(2, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 2)),
-        (SwitchId(3), fwd(3, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 2)),
-        (SwitchId(3), fwd(4, 32, Match::dst_prefix(ip(10, 0, 2, 7), 32), 1)), // punch-hole
-        (SwitchId(1), fwd(5, 16, Match::dst_prefix(ip(10, 0, 0, 0), 16), 2)), // covering
+        (
+            SwitchId(1),
+            fwd(1, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 2),
+        ),
+        (
+            SwitchId(2),
+            fwd(2, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 2),
+        ),
+        (
+            SwitchId(3),
+            fwd(3, 24, Match::dst_prefix(ip(10, 0, 2, 0), 24), 2),
+        ),
+        (
+            SwitchId(3),
+            fwd(4, 32, Match::dst_prefix(ip(10, 0, 2, 7), 32), 1),
+        ), // punch-hole
+        (
+            SwitchId(1),
+            fwd(5, 16, Match::dst_prefix(ip(10, 0, 0, 0), 16), 2),
+        ), // covering
     ];
     for (s, rule) in steps {
         incremental.add_rule(s, rule, &mut hs);
@@ -565,8 +655,12 @@ fn server_end_to_end_verify_and_stats() {
     );
     assert!(server.verify(&good).is_pass());
 
-    let bad =
-        TagReport::new(PortRef::new(1, 1), PortRef::new(3, 2), ssh, tag_of(&[(1, 1, 4), (3, 3, 2)]));
+    let bad = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        ssh,
+        tag_of(&[(1, 1, 4), (3, 3, 2)]),
+    );
     let (outcome, loc) = server.verify_and_localize(&bad);
     assert_eq!(outcome, VerifyOutcome::TagMismatch);
     let loc = loc.unwrap();
@@ -585,7 +679,10 @@ fn server_end_to_end_verify_and_stats() {
 fn server_intercept_keeps_table_synced() {
     let topo = gen::figure5();
     let mut without: Rules = figure5_rules();
-    without.get_mut(&SwitchId(1)).unwrap().retain(|r| r.id.0 != 3);
+    without
+        .get_mut(&SwitchId(1))
+        .unwrap()
+        .retain(|r| r.id.0 != 3);
     let mut server = VeriDpServer::new(&topo, &without, 16);
 
     let ssh = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 22);
@@ -599,7 +696,12 @@ fn server_intercept_keeps_table_synced() {
     assert!(!server.verify(&via_mb).is_pass());
 
     // Controller installs R3; server intercepts the FlowMod.
-    let r3 = fwd(3, 40, Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22), 3);
+    let r3 = fwd(
+        3,
+        40,
+        Match::dst_prefix(ip(10, 0, 2, 0), 24).with_dst_port(22),
+        3,
+    );
     server.intercept(SwitchId(1), &veridp_switch::OfMessage::FlowAdd(r3));
     assert!(server.verify(&via_mb).is_pass());
 }
@@ -620,34 +722,37 @@ fn repair_proposes_the_disobeyed_rule() {
 
 mod property {
     use super::*;
-    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Port-range BDDs agree with arithmetic on random probes.
-        #[test]
-        fn range_bdd_matches_arithmetic(lo in any::<u16>(), hi in any::<u16>(), probes in proptest::collection::vec(any::<u16>(), 20)) {
-            prop_assume!(lo <= hi);
+    /// Port-range BDDs agree with arithmetic on random probes.
+    #[test]
+    fn range_bdd_matches_arithmetic() {
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (a, b): (u16, u16) = (rng.gen(), rng.gen());
+            let (lo, hi) = (a.min(b), a.max(b));
             let mut hs = HeaderSpace::new();
             let set = hs.dst_port_range(PortRange::new(lo, hi));
-            for p in probes {
+            for _ in 0..20 {
+                let p: u16 = rng.gen();
                 let h = FiveTuple::tcp(0, 0, 0, p);
-                prop_assert_eq!(hs.contains(set, &h), lo <= p && p <= hi);
+                assert_eq!(hs.contains(set, &h), lo <= p && p <= hi, "seed {seed}");
             }
         }
+    }
 
-        /// match_set agrees with Match::matches on random headers
-        /// (in_port excluded — it is not part of the header space).
-        #[test]
-        fn match_set_agrees_with_matcher(
-            dst in any::<u32>(), dplen in 0u8..=32,
-            src in any::<u32>(), splen in 0u8..=32,
-            port in any::<u16>(),
-            probes in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u16>()), 20),
-        ) {
+    /// match_set agrees with Match::matches on random headers
+    /// (in_port excluded — it is not part of the header space).
+    #[test]
+    fn match_set_agrees_with_matcher() {
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dst: u32 = rng.gen();
+            let dplen = rng.gen_range(0u8..=32);
+            let src: u32 = rng.gen();
+            let splen = rng.gen_range(0u8..=32);
+            let port: u16 = rng.gen();
             let mut hs = HeaderSpace::new();
             let mut m = Match::dst_prefix(dst, dplen);
             let sm = Match::src_prefix(src, splen);
@@ -655,59 +760,72 @@ mod property {
             m.src_plen = sm.src_plen;
             m.dst_port = PortRange::exact(port);
             let set = hs.match_set(&m);
-            for (s, d, dp) in probes {
+            for _ in 0..20 {
+                let (s, d, dp): (u32, u32, u16) = (rng.gen(), rng.gen(), rng.gen());
                 let h = FiveTuple::tcp(s, d, 7, dp);
-                prop_assert_eq!(hs.contains(set, &h), m.matches(PortNo(1), &h));
+                assert_eq!(
+                    hs.contains(set, &h),
+                    m.matches(PortNo(1), &h),
+                    "seed {seed}"
+                );
             }
         }
+    }
 
-        /// Predicate outputs always partition the header space, for random
-        /// rule sets.
-        #[test]
-        fn random_rules_partition(seed in any::<u64>()) {
+    /// Predicate outputs always partition the header space, for random
+    /// rule sets.
+    #[test]
+    fn random_rules_partition() {
+        for seed in 0..24u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut hs = HeaderSpace::new();
             let n = rng.gen_range(1..12);
-            let rules: Vec<FlowRule> = (0..n).map(|i| {
-                let plen = rng.gen_range(0..=32);
-                let m = Match::dst_prefix(rng.gen(), plen);
-                let action = if rng.gen_bool(0.2) {
-                    Action::Drop
-                } else {
-                    Action::Forward(PortNo(rng.gen_range(1..4)))
-                };
-                FlowRule::new(i, rng.gen_range(0..100), m, action)
-            }).collect();
+            let rules: Vec<FlowRule> = (0..n)
+                .map(|i| {
+                    let plen = rng.gen_range(0..=32);
+                    let m = Match::dst_prefix(rng.gen(), plen);
+                    let action = if rng.gen_bool(0.2) {
+                        Action::Drop
+                    } else {
+                        Action::Forward(PortNo(rng.gen_range(1..4)))
+                    };
+                    FlowRule::new(i, rng.gen_range(0..100), m, action)
+                })
+                .collect();
             let ports: Vec<PortNo> = (1..=4).map(PortNo).collect();
             let p = SwitchPredicates::from_rules(SwitchId(1), &ports, &rules, &mut hs);
             let outs = p.outputs(PortNo(1));
             let sets: Vec<_> = outs.iter().map(|(_, b)| *b).collect();
             let union = hs.mgr().or_many(&sets);
-            prop_assert!(union.is_true());
+            assert!(union.is_true(), "seed {seed}");
             for i in 0..sets.len() {
                 for j in i + 1..sets.len() {
-                    prop_assert!(!hs.mgr().intersects(sets[i], sets[j]));
+                    assert!(!hs.mgr().intersects(sets[i], sets[j]), "seed {seed}");
                 }
             }
         }
+    }
 
-        /// For random rule sets on a linear topology, trace() lands where
-        /// the path table says the witness header should land, and the tag
-        /// verification of a faithful walk always passes.
-        #[test]
-        fn witness_walk_always_verifies(seed in any::<u64>()) {
+    /// For random rule sets on a linear topology, trace() lands where
+    /// the path table says the witness header should land, and the tag
+    /// verification of a faithful walk always passes.
+    #[test]
+    fn witness_walk_always_verifies() {
+        for seed in 0..24u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = gen::linear(3);
             let mut rules: Rules = HashMap::new();
             for s in 1..=3u32 {
                 let n = rng.gen_range(1..6);
-                let list: Vec<FlowRule> = (0..n).map(|i| {
-                    let plen = rng.gen_range(8..=32);
-                    let base = ip(10, 0, rng.gen_range(0..4), 0);
-                    let m = Match::dst_prefix(base, plen);
-                    let port = PortNo(rng.gen_range(1..=3));
-                    FlowRule::new(s as u64 * 100 + i, plen as u16, m, Action::Forward(port))
-                }).collect();
+                let list: Vec<FlowRule> = (0..n)
+                    .map(|i| {
+                        let plen = rng.gen_range(8..=32);
+                        let base = ip(10, 0, rng.gen_range(0..4), 0);
+                        let m = Match::dst_prefix(base, plen);
+                        let port = PortNo(rng.gen_range(1..=3));
+                        FlowRule::new(s as u64 * 100 + i, plen as u16, m, Action::Forward(port))
+                    })
+                    .collect();
                 rules.insert(SwitchId(s), list);
             }
             let mut hs = HeaderSpace::new();
@@ -716,7 +834,11 @@ mod property {
                 for e in entries {
                     if let Some(w) = hs.witness(e.headers) {
                         let report = TagReport::new(*inport, *outport, w, e.tag);
-                        prop_assert_eq!(table.verify(&report, &hs), VerifyOutcome::Pass);
+                        assert_eq!(
+                            table.verify(&report, &hs),
+                            VerifyOutcome::Pass,
+                            "seed {seed}"
+                        );
                     }
                 }
             }
@@ -745,11 +867,18 @@ fn parallel_verify_matches_sequential() {
         reports.push(bad);
     }
     let sequential: Vec<_> = reports.iter().map(|r| table.verify(r, &hs)).collect();
+    let summary = crate::parallel::BatchSummary::from_outcomes(&sequential);
     for threads in [1usize, 2, 4, 8] {
         let parallel = crate::parallel::verify_batch(&table, &hs, &reports, threads);
         assert_eq!(parallel, sequential, "threads={threads}");
+        // The folding fast path must count exactly what the verdict
+        // vector counts, at every thread count.
+        let fast = crate::parallel::verify_batch_summary(&table, &hs, &reports, threads);
+        assert_eq!(
+            fast, summary,
+            "summary fast path diverged at threads={threads}"
+        );
     }
-    let summary = crate::parallel::BatchSummary::from_outcomes(&sequential);
     assert_eq!(summary.total, reports.len());
     assert!(summary.passed > 0);
     assert!(summary.failed() > 0);
@@ -804,7 +933,10 @@ mod rewrite_tests {
         let fs = FieldSet::dst_port(8080);
         let post = hs.dst_port_range(veridp_switch::PortRange::exact(80));
         let pre = rewrite::preimage_one(&mut hs, post, &fs);
-        assert!(pre.is_false(), "rewriting to 8080 can never land in dst_port==80");
+        assert!(
+            pre.is_false(),
+            "rewriting to 8080 can never land in dst_port==80"
+        );
     }
 
     #[test]
@@ -833,7 +965,12 @@ mod rewrite_tests {
         );
         rules.insert(
             SwitchId(2),
-            vec![RwRule::plain(fwd(2, 24, Match::dst_prefix(server_subnet, 24), 2))],
+            vec![RwRule::plain(fwd(
+                2,
+                24,
+                Match::dst_prefix(server_subnet, 24),
+                2,
+            ))],
         );
         (topo, rules)
     }
@@ -886,8 +1023,14 @@ mod rewrite_tests {
             }
         }
         let vip_hdr = FiveTuple::tcp(ip(1, 2, 3, 4), ip(203, 0, 113, 10), 5, 80);
-        let report = net.send(&topo, PortRef::new(1, 1), vip_hdr).expect("report");
-        assert_eq!(report.header.dst_ip, ip(10, 0, 2, 1), "exit header is rewritten");
+        let report = net
+            .send(&topo, PortRef::new(1, 1), vip_hdr)
+            .expect("report");
+        assert_eq!(
+            report.header.dst_ip,
+            ip(10, 0, 2, 1),
+            "exit header is rewritten"
+        );
         assert_eq!(table.verify(&report, &hs), VerifyOutcome::Pass);
 
         // And a tampered rewrite (wrong target) is caught.
@@ -902,7 +1045,9 @@ mod rewrite_tests {
                 net2.install(*sid, r.rule, sets);
             }
         }
-        let bad = net2.send(&topo, PortRef::new(1, 1), vip_hdr).expect("report");
+        let bad = net2
+            .send(&topo, PortRef::new(1, 1), vip_hdr)
+            .expect("report");
         assert_ne!(table.verify(&bad, &hs), VerifyOutcome::Pass);
     }
 
@@ -919,10 +1064,7 @@ mod rewrite_tests {
         impl Net {
             pub fn new(topo: &veridp_topo::Topology) -> Self {
                 Net {
-                    switches: topo
-                        .switches()
-                        .map(|i| (i.id, Switch::new(i.id)))
-                        .collect(),
+                    switches: topo.switches().map(|i| (i.id, Switch::new(i.id))).collect(),
                 }
             }
 
@@ -948,7 +1090,10 @@ mod rewrite_tests {
                     if let Some(r) = report {
                         return Some(r);
                     }
-                    let out_ref = PortRef { switch: here.switch, port: out };
+                    let out_ref = PortRef {
+                        switch: here.switch,
+                        port: out,
+                    };
                     if out.is_drop() || topo.is_terminal_port(out_ref) {
                         return None;
                     }
@@ -1068,8 +1213,10 @@ mod config_tests {
                 AclEntry::permit(Match::ANY),
             ],
         );
-        cfg.acl_out
-            .insert(PortNo(2), vec![AclEntry::permit(Match::ANY.with_dst_port(443))]);
+        cfg.acl_out.insert(
+            PortNo(2),
+            vec![AclEntry::permit(Match::ANY.with_dst_port(443))],
+        );
         let p = cfg.predicates(SwitchId(1), &mut hs);
         for x in [PortNo(1), PortNo(2), PortNo(3)] {
             let outs = p.outputs(x);
@@ -1121,7 +1268,10 @@ acl in 3 permit any
 
     #[test]
     fn parse_errors_are_reported_with_line_numbers() {
-        assert!(parse_config("fwd 10.0.0.0/8 -> 1").unwrap_err().message.contains("before switch"));
+        assert!(parse_config("fwd 10.0.0.0/8 -> 1")
+            .unwrap_err()
+            .message
+            .contains("before switch"));
         assert!(parse_config("switch s ports x").is_err());
         let e = parse_config("switch s ports 2\nfwd 10.0.0.0/40 -> 1").unwrap_err();
         assert_eq!(e.line, 2);
@@ -1150,7 +1300,10 @@ acl in 3 permit any
         // config variant still must match destination-based behaviour).
         let web = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 80);
         let paths = table.paths(PortRef::new(1, 1), PortRef::new(3, 2));
-        let p = paths.iter().find(|p| hs.contains(p.headers, &web)).expect("direct path");
+        let p = paths
+            .iter()
+            .find(|p| hs.contains(p.headers, &web))
+            .expect("direct path");
         assert_eq!(p.hops, vec![Hop::new(1, 1, 4), Hop::new(3, 3, 2)]);
 
         // H2's traffic dies at S3's in-bound ACL — the drop path exists and
@@ -1173,34 +1326,33 @@ acl in 3 permit any
 mod extension_properties {
     use super::*;
     use crate::rewrite;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use veridp_switch::{FieldSet, RwField};
 
-    fn arb_fieldset() -> impl Strategy<Value = FieldSet> {
-        prop_oneof![
-            any::<u32>().prop_map(FieldSet::src_ip),
-            any::<u32>().prop_map(FieldSet::dst_ip),
-            any::<u16>().prop_map(FieldSet::src_port),
-            any::<u16>().prop_map(FieldSet::dst_port),
-        ]
+    fn arb_fieldset(rng: &mut StdRng) -> FieldSet {
+        match rng.gen_range(0..4) {
+            0 => FieldSet::src_ip(rng.gen()),
+            1 => FieldSet::dst_ip(rng.gen()),
+            2 => FieldSet::src_port(rng.gen()),
+            _ => FieldSet::dst_port(rng.gen()),
+        }
     }
 
-    fn arb_header() -> impl Strategy<Value = FiveTuple> {
-        (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>())
-            .prop_map(|(s, d, sp, dp)| FiveTuple::tcp(s, d, sp, dp))
+    fn arb_header(rng: &mut StdRng) -> FiveTuple {
+        FiveTuple::tcp(rng.gen(), rng.gen(), rng.gen(), rng.gen())
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Adjointness: h ∈ preimage(S) ⟺ apply(h) ∈ S.
-        #[test]
-        fn preimage_is_adjoint_to_apply(
-            fs in arb_fieldset(),
-            h in arb_header(),
-            dst in any::<u32>(), plen in 0u8..=32,
-            port_lo in any::<u16>(),
-        ) {
+    /// Adjointness: h ∈ preimage(S) ⟺ apply(h) ∈ S.
+    #[test]
+    fn preimage_is_adjoint_to_apply() {
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fs = arb_fieldset(&mut rng);
+            let h = arb_header(&mut rng);
+            let dst: u32 = rng.gen();
+            let plen = rng.gen_range(0u8..=32);
+            let port_lo: u16 = rng.gen();
             let mut hs = HeaderSpace::new();
             // S: a non-trivial set mixing two fields.
             let a = hs.dst_prefix(dst, plen);
@@ -1209,35 +1361,46 @@ mod extension_properties {
             let pre = rewrite::preimage_one(&mut hs, s, &fs);
             let mut applied = h;
             fs.apply(&mut applied);
-            prop_assert_eq!(hs.contains(pre, &h), hs.contains(s, &applied));
+            assert_eq!(
+                hs.contains(pre, &h),
+                hs.contains(s, &applied),
+                "seed {seed}"
+            );
         }
+    }
 
-        /// Image soundness: apply(h) ∈ image(S) for every h ∈ S.
-        #[test]
-        fn image_contains_applied_members(
-            fs in arb_fieldset(),
-            dst in any::<u32>(), plen in 0u8..=32,
-        ) {
+    /// Image soundness: apply(h) ∈ image(S) for every h ∈ S.
+    #[test]
+    fn image_contains_applied_members() {
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fs = arb_fieldset(&mut rng);
+            let dst: u32 = rng.gen();
+            let plen = rng.gen_range(0u8..=32);
             let mut hs = HeaderSpace::new();
             let s = hs.dst_prefix(dst, plen);
             let img = rewrite::image_one(&mut hs, s, &fs);
             if let Some(h) = hs.witness(s) {
                 let mut applied = h;
                 fs.apply(&mut applied);
-                prop_assert!(hs.contains(img, &applied));
+                assert!(hs.contains(img, &applied), "seed {seed}");
             }
         }
+    }
 
-        /// Field metadata is consistent with the canonical layout.
-        #[test]
-        fn rwfield_layout_consistent(fs in arb_fieldset()) {
+    /// Field metadata is consistent with the canonical layout.
+    #[test]
+    fn rwfield_layout_consistent() {
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fs = arb_fieldset(&mut rng);
             let f = fs.field;
-            prop_assert!(f.offset() + f.width() <= veridp_packet::HEADER_BITS);
+            assert!(f.offset() + f.width() <= veridp_packet::HEADER_BITS);
             let expect = match f {
                 RwField::SrcIp | RwField::DstIp => 32,
                 RwField::SrcPort | RwField::DstPort => 16,
             };
-            prop_assert_eq!(f.width(), expect);
+            assert_eq!(f.width(), expect);
         }
     }
 
@@ -1256,7 +1419,9 @@ mod extension_properties {
             let mut flat: Vec<FlowRule> = Vec::new();
             let mut seen = std::collections::HashSet::new();
             for i in 0..rng.gen_range(1..25u64) {
-                let plen = *[0u8, 8, 12, 16, 20, 24, 28, 32].get(rng.gen_range(0..8)).unwrap();
+                let plen = *[0u8, 8, 12, 16, 20, 24, 28, 32]
+                    .get(rng.gen_range(0..8usize))
+                    .unwrap();
                 let prefix = veridp_switch::prefix_mask(
                     ip(10, rng.gen_range(0..3), rng.gen_range(0..3), rng.gen()),
                     plen,
@@ -1266,7 +1431,12 @@ mod extension_properties {
                 }
                 let out = PortNo(rng.gen_range(1..5));
                 tree.add(
-                    PrefixRule { id: veridp_switch::RuleId(i), prefix, plen, out },
+                    PrefixRule {
+                        id: veridp_switch::RuleId(i),
+                        prefix,
+                        plen,
+                        out,
+                    },
                     &mut hs,
                 );
                 flat.push(FlowRule::new(
@@ -1323,8 +1493,12 @@ fn alarm_aggregator_collapses_per_flow_failures() {
     let mut hs = HeaderSpace::new();
     let table = figure5_table(&mut hs);
     let ssh = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 22);
-    let bad =
-        TagReport::new(PortRef::new(1, 1), PortRef::new(3, 2), ssh, tag_of(&[(1, 1, 4), (3, 3, 2)]));
+    let bad = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        ssh,
+        tag_of(&[(1, 1, 4), (3, 3, 2)]),
+    );
     let good = TagReport::new(
         PortRef::new(1, 1),
         PortRef::new(3, 2),
@@ -1348,7 +1522,10 @@ fn alarm_aggregator_collapses_per_flow_failures() {
     let alarms = agg.alarms();
     assert_eq!(alarms[0].count, 10);
     assert_eq!(alarms[0].header, ssh);
-    assert_eq!(alarms[0].suspects.first().map(|(s, _)| *s), Some(SwitchId(1)));
+    assert_eq!(
+        alarms[0].suspects.first().map(|(s, _)| *s),
+        Some(SwitchId(1))
+    );
 
     agg.clear();
     assert!(agg.is_empty());

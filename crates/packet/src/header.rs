@@ -5,8 +5,6 @@
 //! by [`FieldLayout`]; keeping the layout here — next to the header type —
 //! guarantees the data plane and the verification server agree on it.
 
-use serde::{Deserialize, Serialize};
-
 /// Total number of header bits in the BDD header space:
 /// 32 (src ip) + 32 (dst ip) + 8 (protocol) + 16 (src port) + 16 (dst port).
 pub const HEADER_BITS: u32 = 104;
@@ -31,7 +29,7 @@ impl FieldLayout {
 }
 
 /// A concrete 5-tuple header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     pub src_ip: u32,
     pub dst_ip: u32,
@@ -48,12 +46,24 @@ impl FiveTuple {
 
     /// A TCP 5-tuple from dotted-quad-free raw addresses.
     pub fn tcp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
-        FiveTuple { src_ip, dst_ip, proto: Self::TCP, src_port, dst_port }
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            proto: Self::TCP,
+            src_port,
+            dst_port,
+        }
     }
 
     /// A UDP 5-tuple.
     pub fn udp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
-        FiveTuple { src_ip, dst_ip, proto: Self::UDP, src_port, dst_port }
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            proto: Self::UDP,
+            src_port,
+            dst_port,
+        }
     }
 
     /// Expand into the canonical 104-bit assignment (index = BDD variable).

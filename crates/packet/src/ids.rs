@@ -1,11 +1,10 @@
 //! Network-wide identifiers shared across the data plane, control plane, and
 //! the VeriDP server.
 
-use serde::{Deserialize, Serialize};
 use veridp_bloom::HopEncoder;
 
 /// Globally unique switch identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SwitchId(pub u32);
 
 impl std::fmt::Display for SwitchId {
@@ -15,7 +14,7 @@ impl std::fmt::Display for SwitchId {
 }
 
 /// Switch-local port number. [`DROP_PORT`] is the virtual drop port `⊥`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortNo(pub u16);
 
 /// The virtual drop port `⊥`: packets "output" here were dropped by the
@@ -41,7 +40,7 @@ impl std::fmt::Display for PortNo {
 }
 
 /// A fully-qualified network port: `(switch, local port)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortRef {
     pub switch: SwitchId,
     pub port: PortNo,
@@ -50,12 +49,18 @@ pub struct PortRef {
 impl PortRef {
     /// Convenience constructor.
     pub fn new(switch: u32, port: u16) -> Self {
-        PortRef { switch: SwitchId(switch), port: PortNo(port) }
+        PortRef {
+            switch: SwitchId(switch),
+            port: PortNo(port),
+        }
     }
 
     /// The drop pseudo-port of `switch`.
     pub fn drop_of(switch: SwitchId) -> Self {
-        PortRef { switch, port: DROP_PORT }
+        PortRef {
+            switch,
+            port: DROP_PORT,
+        }
     }
 }
 
@@ -66,7 +71,7 @@ impl std::fmt::Display for PortRef {
 }
 
 /// One hop of a forwarding path: `⟨input_port, switch, output_port⟩` (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Hop {
     pub in_port: PortNo,
     pub switch: SwitchId,
@@ -76,7 +81,11 @@ pub struct Hop {
 impl Hop {
     /// Construct a hop.
     pub fn new(in_port: u16, switch: u32, out_port: u16) -> Self {
-        Hop { in_port: PortNo(in_port), switch: SwitchId(switch), out_port: PortNo(out_port) }
+        Hop {
+            in_port: PortNo(in_port),
+            switch: SwitchId(switch),
+            out_port: PortNo(out_port),
+        }
     }
 
     /// Canonical byte encoding fed to the Bloom filter: must match what the
@@ -87,12 +96,18 @@ impl Hop {
 
     /// The port this hop entered through, fully qualified.
     pub fn in_ref(&self) -> PortRef {
-        PortRef { switch: self.switch, port: self.in_port }
+        PortRef {
+            switch: self.switch,
+            port: self.in_port,
+        }
     }
 
     /// The port this hop exited through, fully qualified.
     pub fn out_ref(&self) -> PortRef {
-        PortRef { switch: self.switch, port: self.out_port }
+        PortRef {
+            switch: self.switch,
+            port: self.out_port,
+        }
     }
 }
 
@@ -109,7 +124,7 @@ impl std::fmt::Display for Hop {
 /// narrows through this type, so networks that exceed the in-band field width
 /// (more than 256 edge switches or 64 ports per edge switch) are rejected at
 /// encode time rather than silently truncated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InportCode(u16);
 
 impl InportCode {

@@ -1,6 +1,5 @@
 //! The in-flight packet representation used by the simulator.
 
-use serde::{Deserialize, Serialize};
 use veridp_bloom::BloomTag;
 
 use crate::header::FiveTuple;
@@ -17,7 +16,7 @@ pub const MAX_PATH_LENGTH: u8 = 32;
 /// §3.4); the VeriDP fields `marker`/`tag`/`inport`/`veridp_ttl` are the
 /// in-band state of Algorithm 1. `payload_len` only matters for the
 /// data-plane overhead experiment (Table 4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// The 5-tuple match header.
     pub header: FiveTuple,
@@ -50,7 +49,10 @@ impl Packet {
 
     /// A plain packet with an explicit frame length.
     pub fn with_len(header: FiveTuple, payload_len: u16) -> Self {
-        Packet { payload_len, ..Packet::new(header) }
+        Packet {
+            payload_len,
+            ..Packet::new(header)
+        }
     }
 
     /// Whether this packet is currently carrying VeriDP state.

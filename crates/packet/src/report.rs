@@ -1,7 +1,6 @@
 //! Tag reports: what exit (and conditionally internal) switches send to the
 //! VeriDP server (§3.3).
 
-use serde::{Deserialize, Serialize};
 use veridp_bloom::BloomTag;
 
 use crate::header::FiveTuple;
@@ -15,7 +14,7 @@ use crate::ids::PortRef;
 ///   wherever its VeriDP TTL expired);
 /// * `header` — the 5-tuple used to select the path-table entry;
 /// * `tag` — the accumulated Bloom-filter tag of the real path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TagReport {
     pub inport: PortRef,
     pub outport: PortRef,
@@ -26,7 +25,12 @@ pub struct TagReport {
 impl TagReport {
     /// Construct a report.
     pub fn new(inport: PortRef, outport: PortRef, header: FiveTuple, tag: BloomTag) -> Self {
-        TagReport { inport, outport, header, tag }
+        TagReport {
+            inport,
+            outport,
+            header,
+            tag,
+        }
     }
 
     /// Whether the packet was dropped (reported from the drop port `⊥`).

@@ -149,16 +149,25 @@ fn frame_rejects_wide_tag() {
 fn frame_rejects_unpackable_inport() {
     let mut pkt = Packet::new(sample_header());
     pkt.inport = Some(PortRef::new(1000, 2));
-    assert!(matches!(encode_frame(&pkt), Err(WireError::InportOverflow(_))));
+    assert!(matches!(
+        encode_frame(&pkt),
+        Err(WireError::InportOverflow(_))
+    ));
 }
 
 #[test]
 fn frame_decode_rejects_garbage() {
-    assert_eq!(decode_frame(Bytes::from_static(&[0u8; 4])), Err(WireError::Truncated));
+    assert_eq!(
+        decode_frame(Bytes::from_static(&[0u8; 4])),
+        Err(WireError::Truncated)
+    );
     let mut junk = vec![0u8; 64];
     junk[12] = 0xde; // bad outer ethertype
     junk[13] = 0xad;
-    assert!(matches!(decode_frame(Bytes::from(junk)), Err(WireError::BadMagic(_))));
+    assert!(matches!(
+        decode_frame(Bytes::from(junk)),
+        Err(WireError::BadMagic(_))
+    ));
 }
 
 #[test]
@@ -176,7 +185,12 @@ fn report_roundtrip_wide_tag() {
     // Reports (unlike in-band tags) may carry any width up to 64.
     let mut tag = BloomTag::empty(64);
     tag.insert(b"hop");
-    let r = TagReport::new(PortRef::new(9, 4), PortRef::drop_of(SwitchId(2)), sample_header(), tag);
+    let r = TagReport::new(
+        PortRef::new(9, 4),
+        PortRef::drop_of(SwitchId(2)),
+        sample_header(),
+        tag,
+    );
     let back = decode_report(encode_report(&r)).expect("decodes");
     assert_eq!(back, r);
     assert!(back.is_drop());
@@ -184,7 +198,10 @@ fn report_roundtrip_wide_tag() {
 
 #[test]
 fn report_decode_rejects_garbage() {
-    assert_eq!(decode_report(Bytes::from_static(&[1, 2, 3])), Err(WireError::Truncated));
+    assert_eq!(
+        decode_report(Bytes::from_static(&[1, 2, 3])),
+        Err(WireError::Truncated)
+    );
     let r = TagReport::new(
         PortRef::new(1, 1),
         PortRef::new(2, 2),
@@ -193,37 +210,50 @@ fn report_decode_rejects_garbage() {
     );
     let mut wire = encode_report(&r).to_vec();
     wire[0] ^= 0xff;
-    assert!(matches!(decode_report(Bytes::from(wire)), Err(WireError::BadMagic(_))));
+    assert!(matches!(
+        decode_report(Bytes::from(wire)),
+        Err(WireError::BadMagic(_))
+    ));
 }
 
+/// Seeded-loop property tests (formerly proptest strategies): deterministic,
+/// offline, reproducible by seed.
 mod property {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_header() -> impl Strategy<Value = FiveTuple> {
-        (any::<u32>(), any::<u32>(), any::<u8>(), any::<u16>(), any::<u16>()).prop_map(
-            |(src_ip, dst_ip, proto, src_port, dst_port)| FiveTuple {
-                src_ip,
-                dst_ip,
-                proto,
-                src_port,
-                dst_port,
-            },
-        )
+    fn arb_header(rng: &mut StdRng) -> FiveTuple {
+        FiveTuple {
+            src_ip: rng.gen(),
+            dst_ip: rng.gen(),
+            proto: rng.gen(),
+            src_port: rng.gen(),
+            dst_port: rng.gen(),
+        }
     }
 
-    proptest! {
-        /// Header <-> bit-vector conversion is a bijection.
-        #[test]
-        fn header_bits_bijective(h in arb_header()) {
-            prop_assert_eq!(FiveTuple::from_bits(&h.to_bits()), h);
+    /// Header <-> bit-vector conversion is a bijection.
+    #[test]
+    fn header_bits_bijective() {
+        for seed in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = arb_header(&mut rng);
+            assert_eq!(FiveTuple::from_bits(&h.to_bits()), h, "seed {seed}");
         }
+    }
 
-        /// Frame encode/decode is lossless for representable packets.
-        #[test]
-        fn frame_roundtrip_any(h in arb_header(), marker in any::<bool>(),
-                               sw in 0u32..256, port in 0u16..64,
-                               ttl in 0u8..=MAX_PATH_LENGTH, len in 64u16..1500) {
+    /// Frame encode/decode is lossless for representable packets.
+    #[test]
+    fn frame_roundtrip_any() {
+        for seed in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = arb_header(&mut rng);
+            let marker: bool = rng.gen();
+            let sw = rng.gen_range(0u32..256);
+            let port = rng.gen_range(0u16..64);
+            let ttl = rng.gen_range(0u8..=MAX_PATH_LENGTH);
+            let len = rng.gen_range(64u16..1500);
             let mut pkt = Packet::with_len(h, len);
             pkt.marker = marker;
             pkt.veridp_ttl = ttl;
@@ -235,59 +265,83 @@ mod property {
             }
             let wire = encode_frame(&pkt).unwrap();
             let back = decode_frame(wire).unwrap();
-            prop_assert_eq!(back.header, pkt.header);
-            prop_assert_eq!(back.marker, pkt.marker);
-            prop_assert_eq!(back.tag, pkt.tag);
-            prop_assert_eq!(back.inport, pkt.inport);
-            prop_assert_eq!(back.veridp_ttl, pkt.veridp_ttl);
+            assert_eq!(back.header, pkt.header, "seed {seed}");
+            assert_eq!(back.marker, pkt.marker, "seed {seed}");
+            assert_eq!(back.tag, pkt.tag, "seed {seed}");
+            assert_eq!(back.inport, pkt.inport, "seed {seed}");
+            assert_eq!(back.veridp_ttl, pkt.veridp_ttl, "seed {seed}");
         }
+    }
 
-        /// Report encode/decode is lossless.
-        #[test]
-        fn report_roundtrip_any(h in arb_header(), bits in any::<u64>(),
-                                nbits in 8u32..=64,
-                                s1 in any::<u32>(), p1 in any::<u16>(),
-                                s2 in any::<u32>(), p2 in any::<u16>()) {
-            let masked = if nbits == 64 { bits } else { bits & ((1u64 << nbits) - 1) };
+    /// Report encode/decode is lossless.
+    #[test]
+    fn report_roundtrip_any() {
+        for seed in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = arb_header(&mut rng);
+            let bits: u64 = rng.gen();
+            let nbits = rng.gen_range(8u32..=64);
+            let (s1, p1, s2, p2) = (rng.gen(), rng.gen(), rng.gen(), rng.gen());
+            let masked = if nbits == 64 {
+                bits
+            } else {
+                bits & ((1u64 << nbits) - 1)
+            };
             let tag = BloomTag::from_bits(masked, nbits);
             let r = TagReport::new(PortRef::new(s1, p1), PortRef::new(s2, p2), h, tag);
-            prop_assert_eq!(decode_report(encode_report(&r)).unwrap(), r);
+            assert_eq!(decode_report(encode_report(&r)).unwrap(), r, "seed {seed}");
         }
     }
 }
 
 mod fuzz {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        /// Arbitrary bytes never panic the frame decoder.
-        #[test]
-        fn decode_frame_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    fn arb_bytes(rng: &mut StdRng, max: usize) -> Vec<u8> {
+        let n = rng.gen_range(0..max);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    /// Arbitrary bytes never panic the frame decoder.
+    #[test]
+    fn decode_frame_never_panics() {
+        for seed in 0..512u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = arb_bytes(&mut rng, 256);
             let _ = decode_frame(Bytes::from(data));
         }
+    }
 
-        /// Arbitrary bytes never panic the report decoder.
-        #[test]
-        fn decode_report_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+    /// Arbitrary bytes never panic the report decoder.
+    #[test]
+    fn decode_report_never_panics() {
+        for seed in 0..512u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data = arb_bytes(&mut rng, 128);
             let _ = decode_report(Bytes::from(data));
         }
+    }
 
-        /// Bit-flipping a valid frame either fails cleanly or decodes to
-        /// *something* — never panics, never violates tag-width invariants.
-        #[test]
-        fn frame_bitflip_robustness(flip_byte in 0usize..60, flip_bit in 0u8..8) {
-            let mut pkt = Packet::new(FiveTuple::tcp(0x0a000101, 0x0a000201, 1, 2));
-            pkt.marker = true;
-            pkt.tag = Some(veridp_bloom::BloomTag::default_width());
-            pkt.inport = Some(PortRef::new(3, 4));
-            let mut wire = encode_frame(&pkt).unwrap().to_vec();
-            if flip_byte < wire.len() {
-                wire[flip_byte] ^= 1 << flip_bit;
-            }
-            if let Ok(decoded) = decode_frame(Bytes::from(wire)) {
-                if let Some(t) = decoded.tag {
-                    prop_assert!(t.nbits() == 16);
+    /// Bit-flipping a valid frame either fails cleanly or decodes to
+    /// *something* — never panics, never violates tag-width invariants.
+    #[test]
+    fn frame_bitflip_robustness() {
+        for flip_byte in 0usize..60 {
+            for flip_bit in 0u8..8 {
+                let mut pkt = Packet::new(FiveTuple::tcp(0x0a000101, 0x0a000201, 1, 2));
+                pkt.marker = true;
+                pkt.tag = Some(veridp_bloom::BloomTag::default_width());
+                pkt.inport = Some(PortRef::new(3, 4));
+                let mut wire = encode_frame(&pkt).unwrap().to_vec();
+                if flip_byte < wire.len() {
+                    wire[flip_byte] ^= 1 << flip_bit;
+                }
+                if let Ok(decoded) = decode_frame(Bytes::from(wire)) {
+                    if let Some(t) = decoded.tag {
+                        assert!(t.nbits() == 16);
+                    }
                 }
             }
         }

@@ -161,11 +161,16 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Packet, WireError> {
 
     let marker = tos & 1 == 1;
     Ok(Packet {
-        header: FiveTuple { src_ip, dst_ip, proto, src_port, dst_port },
+        header: FiveTuple {
+            src_ip,
+            dst_ip,
+            proto,
+            src_port,
+            dst_port,
+        },
         marker,
         tag: marker.then(|| BloomTag::from_bits(tag_bits as u64, 16)),
-        inport: (inport_bits & 0x8000 != 0)
-            .then(|| InportCode::from_raw(inport_bits).unpack()),
+        inport: (inport_bits & 0x8000 != 0).then(|| InportCode::from_raw(inport_bits).unpack()),
         veridp_ttl: ttl,
         payload_len: total_len,
     })
@@ -217,7 +222,12 @@ pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
     if !(8..=64).contains(&nbits) || (nbits < 64 && bits >> nbits != 0) {
         return Err(WireError::Truncated);
     }
-    Ok(TagReport { inport, outport, header, tag: BloomTag::from_bits(bits, nbits) })
+    Ok(TagReport {
+        inport,
+        outport,
+        header,
+        tag: BloomTag::from_bits(bits, nbits),
+    })
 }
 
 trait PutU48 {

@@ -66,7 +66,9 @@ pub fn atpg_generate(table: &PathTable, hs: &mut HeaderSpace) -> Vec<AtpgProbe> 
             continue;
         }
         for e in entries {
-            let Some(w) = hs.witness(e.headers) else { continue };
+            let Some(w) = hs.witness(e.headers) else {
+                continue;
+            };
             probes.push(AtpgProbe {
                 inject_at: *inport,
                 header: w,
@@ -80,7 +82,10 @@ pub fn atpg_generate(table: &PathTable, hs: &mut HeaderSpace) -> Vec<AtpgProbe> 
 /// Run probes against the (possibly faulty) data plane, checking reception
 /// only — deliberately ignoring the path taken.
 pub fn atpg_run(net: &mut Network, probes: &[AtpgProbe]) -> AtpgResult {
-    let mut result = AtpgResult { probes: probes.len(), ..Default::default() };
+    let mut result = AtpgResult {
+        probes: probes.len(),
+        ..Default::default()
+    };
     for p in probes {
         net.advance_clock(1_000_000);
         let trace = net.inject(p.inject_at, Packet::new(p.header));
@@ -186,7 +191,11 @@ pub fn monocle_generate(
             None => unverifiable += 1,
         }
     }
-    MonocleProbeSet { probes, unverifiable, generation_time: start.elapsed() }
+    MonocleProbeSet {
+        probes,
+        unverifiable,
+        generation_time: start.elapsed(),
+    }
 }
 
 /// Per-rule probe verdict.
@@ -201,10 +210,7 @@ pub enum MonocleVerdict {
 }
 
 /// Run a Monocle probe set directly against each switch's physical table.
-pub fn monocle_run(
-    net: &mut Network,
-    probes: &[MonocleProbe],
-) -> HashMap<RuleId, MonocleVerdict> {
+pub fn monocle_run(net: &mut Network, probes: &[MonocleProbe]) -> HashMap<RuleId, MonocleVerdict> {
     let mut out = HashMap::new();
     for p in probes {
         let sw = net.switch_mut(p.switch);

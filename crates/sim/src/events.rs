@@ -133,7 +133,11 @@ impl EventSim {
                 }
                 Event::Report(r) => {
                     let outcome = self.server.verify(&r);
-                    self.log.push(EventLog { at_ns: t, report: r, outcome });
+                    self.log.push(EventLog {
+                        at_ns: t,
+                        report: r,
+                        outcome,
+                    });
                 }
             }
         }

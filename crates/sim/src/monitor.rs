@@ -60,7 +60,11 @@ impl Monitor {
         let server = VeriDpServer::new(&topo, &std::collections::HashMap::new(), tag_bits);
         let mut net = Network::new(topo);
         net.set_tag_bits(tag_bits);
-        let mut m = Monitor { controller, net, server };
+        let mut m = Monitor {
+            controller,
+            net,
+            server,
+        };
         for i in intents {
             m.controller.install_intent(i)?;
         }
@@ -102,8 +106,18 @@ impl Monitor {
     /// Send a packet between two named hosts; returns the trace and the
     /// server's verdicts on every report it produced.
     pub fn send(&mut self, from: &str, to: &str, dst_port: u16) -> SendOutcome {
-        let src = self.net.topo().host(from).expect("unknown source host").clone();
-        let dst = self.net.topo().host(to).expect("unknown destination host").clone();
+        let src = self
+            .net
+            .topo()
+            .host(from)
+            .expect("unknown source host")
+            .clone();
+        let dst = self
+            .net
+            .topo()
+            .host(to)
+            .expect("unknown destination host")
+            .clone();
         let header = FiveTuple::tcp(src.ip, dst.ip, 40000, dst_port);
         self.send_header(src.attached, header)
     }

@@ -45,9 +45,16 @@ pub struct Network {
 impl Network {
     /// A network over `topo` with pristine switches (sampling every packet).
     pub fn new(topo: Topology) -> Self {
-        let switches =
-            topo.switches().map(|info| (info.id, Switch::new(info.id))).collect();
-        Network { topo, switches, clock_ns: 0, hop_cap: 64 }
+        let switches = topo
+            .switches()
+            .map(|info| (info.id, Switch::new(info.id)))
+            .collect();
+        Network {
+            topo,
+            switches,
+            clock_ns: 0,
+            hop_cap: 64,
+        }
     }
 
     /// The topology.
@@ -125,9 +132,15 @@ impl Network {
             }
             self.clock_ns += 1; // nominal per-hop processing time
             let now = self.clock_ns;
-            let Some(sw) = self.switches.get_mut(&here.switch) else { break };
+            let Some(sw) = self.switches.get_mut(&here.switch) else {
+                break;
+            };
             let (out, report) = sw.process_packet(&mut pkt, here.port, now, &self.topo);
-            trace.hops.push(Hop { in_port: here.port, switch: here.switch, out_port: out });
+            trace.hops.push(Hop {
+                in_port: here.port,
+                switch: here.switch,
+                out_port: out,
+            });
             if let Some(r) = report {
                 trace.reports.push(r);
             }
@@ -135,7 +148,10 @@ impl Network {
                 trace.dropped_at = Some(here.switch);
                 break;
             }
-            let out_ref = PortRef { switch: here.switch, port: out };
+            let out_ref = PortRef {
+                switch: here.switch,
+                port: out,
+            };
             if self.topo.is_terminal_port(out_ref) {
                 trace.delivered_to = Some(out_ref);
                 break;

@@ -51,7 +51,13 @@ impl RwMonitor {
                 }
             }
         }
-        RwMonitor { topo, switches, hs, table, clock_ns: 0 }
+        RwMonitor {
+            topo,
+            switches,
+            hs,
+            table,
+            clock_ns: 0,
+        }
     }
 
     /// The rewrite-aware path table.
@@ -87,7 +93,9 @@ impl RwMonitor {
             }
             self.clock_ns += 1;
             let now = self.clock_ns;
-            let Some(sw) = self.switches.get_mut(&here.switch) else { break };
+            let Some(sw) = self.switches.get_mut(&here.switch) else {
+                break;
+            };
             let (out, report) = sw.process_packet(&mut pkt, here.port, now, &self.topo);
             trace.hops.push(veridp_packet::Hop {
                 in_port: here.port,
@@ -101,7 +109,10 @@ impl RwMonitor {
                 trace.dropped_at = Some(here.switch);
                 break;
             }
-            let out_ref = PortRef { switch: here.switch, port: out };
+            let out_ref = PortRef {
+                switch: here.switch,
+                port: out,
+            };
             if self.topo.is_terminal_port(out_ref) {
                 trace.delivered_to = Some(out_ref);
                 break;
@@ -122,11 +133,18 @@ impl RwMonitor {
     }
 
     /// Send and verify: returns the trace and per-report verdicts.
-    pub fn send(&mut self, at: PortRef, header: FiveTuple) -> (DeliveryTrace, Vec<(TagReport, VerifyOutcome)>) {
+    pub fn send(
+        &mut self,
+        at: PortRef,
+        header: FiveTuple,
+    ) -> (DeliveryTrace, Vec<(TagReport, VerifyOutcome)>) {
         self.clock_ns += 1_000_000; // let per-flow samplers re-arm
         let trace = self.inject(at, header);
-        let verdicts =
-            trace.reports.iter().map(|r| (*r, self.table.verify(r, &self.hs))).collect();
+        let verdicts = trace
+            .reports
+            .iter()
+            .map(|r| (*r, self.table.verify(r, &self.hs)))
+            .collect();
         (trace, verdicts)
     }
 }

@@ -11,7 +11,11 @@ fn deploy_figure5() -> Monitor {
         gen::figure5(),
         &[
             Intent::Connectivity,
-            Intent::Waypoint { src_host: "H1".into(), dst_host: "H3".into(), via: "MB".into() },
+            Intent::Waypoint {
+                src_host: "H1".into(),
+                dst_host: "H3".into(),
+                via: "MB".into(),
+            },
         ],
         16,
     )
@@ -48,12 +52,14 @@ fn network_detects_forwarding_loop() {
     // Two switches forwarding everything to each other.
     let topo = gen::linear(2);
     let mut net = Network::new(topo.clone());
-    net.switch_mut(SwitchId(1)).handle(veridp_switch::OfMessage::FlowAdd(
-        veridp_switch::FlowRule::new(1, 10, Match::ANY, Action::Forward(PortNo(2))),
-    ));
-    net.switch_mut(SwitchId(2)).handle(veridp_switch::OfMessage::FlowAdd(
-        veridp_switch::FlowRule::new(2, 10, Match::ANY, Action::Forward(PortNo(1))),
-    ));
+    net.switch_mut(SwitchId(1))
+        .handle(veridp_switch::OfMessage::FlowAdd(
+            veridp_switch::FlowRule::new(1, 10, Match::ANY, Action::Forward(PortNo(2))),
+        ));
+    net.switch_mut(SwitchId(2))
+        .handle(veridp_switch::OfMessage::FlowAdd(
+            veridp_switch::FlowRule::new(2, 10, Match::ANY, Action::Forward(PortNo(1))),
+        ));
     let src = topo.host("h1").unwrap().attached;
     let trace = net.inject(src, Packet::new(FiveTuple::tcp(1, 2, 3, 4)));
     assert!(trace.looped);
@@ -89,7 +95,10 @@ fn monitor_detects_waypoint_bypass() {
         .faults_mut()
         .add(Fault::ExternalModify(rule_id, Action::Forward(PortNo(4))));
     let out = m.send("H1", "H3", 22);
-    assert!(out.trace.delivered(), "packet still arrives — but the wrong way");
+    assert!(
+        out.trace.delivered(),
+        "packet still arrives — but the wrong way"
+    );
     assert!(!out.consistent(), "bypass must fail verification");
     assert_eq!(out.suspect(), Some(SwitchId(1)));
 }
@@ -105,7 +114,10 @@ fn monitor_detects_blackhole() {
         .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
         .map(|r| r.id)
         .unwrap();
-    m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rule_id, Action::Drop));
+    m.net
+        .switch_mut(SwitchId(2))
+        .faults_mut()
+        .add(Fault::ExternalModify(rule_id, Action::Drop));
     let out = m.send("h1", "h2", 80);
     assert!(!out.trace.delivered());
     assert!(!out.consistent());
@@ -146,7 +158,10 @@ fn monitor_detects_access_violation() {
     assert!(blocked.consistent(), "the drop IS the policy");
 
     // Delete the ACL behind the controller's back.
-    m.net.switch_mut(SwitchId(1)).faults_mut().add(Fault::ExternalDelete(acl_id));
+    m.net
+        .switch_mut(SwitchId(1))
+        .faults_mut()
+        .add(Fault::ExternalDelete(acl_id));
     m.net.advance_clock(1_000_000_000);
     let leaked = m.send("H2", "H3", 80);
     assert!(leaked.trace.delivered(), "violation: packet reached H3");
@@ -169,7 +184,10 @@ fn monitor_detects_silent_rule_loss() {
         .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
         .map(|r| r.id)
         .unwrap();
-    m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::DropFlowMod(lost_id));
+    m.net
+        .switch_mut(SwitchId(2))
+        .faults_mut()
+        .add(Fault::DropFlowMod(lost_id));
     m.flush();
     let out = m.send("h1", "h2", 80);
     assert!(!out.trace.delivered(), "blackhole at S2");
@@ -182,18 +200,24 @@ fn monitor_sampling_skips_repeat_packets() {
     let mut m = Monitor::deploy(gen::linear(2), &[Intent::Connectivity], 16).unwrap();
     // Per-flow sampling interval of 1 ms on the entry switch.
     let sampler = veridp_switch::Sampler::new(1_000_000);
-    let pipeline =
-        veridp_switch::VeriDpPipeline::new(SwitchId(1)).with_sampler(sampler);
-    *m.net.switch_mut(SwitchId(1)) =
-        m.net.switch(SwitchId(1)).clone().with_pipeline(pipeline);
+    let pipeline = veridp_switch::VeriDpPipeline::new(SwitchId(1)).with_sampler(sampler);
+    *m.net.switch_mut(SwitchId(1)) = m.net.switch(SwitchId(1)).clone().with_pipeline(pipeline);
 
     let first = m.send("h1", "h2", 80);
-    assert_eq!(first.trace.reports.len(), 1, "first packet of a flow is sampled");
+    assert_eq!(
+        first.trace.reports.len(),
+        1,
+        "first packet of a flow is sampled"
+    );
     let second = m.send("h1", "h2", 80); // immediately after: within T_s
     assert!(second.trace.reports.is_empty(), "second packet not sampled");
     m.net.advance_clock(2_000_000);
     let third = m.send("h1", "h2", 80);
-    assert_eq!(third.trace.reports.len(), 1, "after T_s the flow samples again");
+    assert_eq!(
+        third.trace.reports.len(),
+        1,
+        "after T_s the flow samples again"
+    );
 }
 
 // ---------------------------------------------------------------- eventsim
@@ -203,8 +227,11 @@ fn eventsim_orders_events_and_verifies() {
     let topo = gen::linear(3);
     let mut ctrl = veridp_controller::Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: std::collections::HashMap<_, _> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: std::collections::HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let server = VeriDpServer::new(&topo, &rules, 16);
     let mut net = Network::new(topo.clone());
     net.apply_messages(ctrl.drain_messages());
@@ -227,8 +254,11 @@ fn eventsim_measures_detection_latency() {
     let topo = gen::linear(3);
     let mut ctrl = veridp_controller::Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: std::collections::HashMap<_, _> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: std::collections::HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let server = VeriDpServer::new(&topo, &rules, 16);
     let mut net = Network::new(topo.clone());
     net.apply_messages(ctrl.drain_messages());
@@ -254,7 +284,10 @@ fn eventsim_measures_detection_latency() {
     // Drive the flow up to the fault instant, inject the fault, continue.
     sim.flow(src, h, 0, t_a, fault_at - 1);
     sim.run();
-    sim.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rule_id, Action::Drop));
+    sim.net
+        .switch_mut(SwitchId(2))
+        .faults_mut()
+        .add(Fault::ExternalModify(rule_id, Action::Drop));
     sim.flow(src, h, fault_at, t_a, fault_at + 20_000_000);
     sim.run();
 
@@ -309,7 +342,10 @@ fn monitor_traffic_engineering_split_and_fault() {
         .add(Fault::ExternalModify(te_low, Action::Forward(PortNo(4))));
     m.net.advance_clock(1_000_000_000);
     let out_low2 = m.send_header(src, low);
-    assert!(out_low2.trace.delivered(), "traffic still flows — policy broken silently");
+    assert!(
+        out_low2.trace.delivered(),
+        "traffic still flows — policy broken silently"
+    );
     assert!(!out_low2.consistent(), "VeriDP flags the TE violation");
     assert_eq!(out_low2.suspect(), Some(SwitchId(1)));
 }
@@ -354,8 +390,17 @@ fn premature_barrier_hides_loss_but_veridp_sees_it() {
         .clone()
         .with_barrier(veridp_switch::BarrierBehavior::Premature);
     m.controller.install_intent(&Intent::Connectivity).unwrap();
-    let lost = m.controller.rules_of(SwitchId(2)).iter().next().map(|r| r.id).unwrap();
-    m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::DropFlowMod(lost));
+    let lost = m
+        .controller
+        .rules_of(SwitchId(2))
+        .iter()
+        .next()
+        .map(|r| r.id)
+        .unwrap();
+    m.net
+        .switch_mut(SwitchId(2))
+        .faults_mut()
+        .add(Fault::DropFlowMod(lost));
     let n = m.flush();
     assert!(n > 0);
     // All barriers acked — the controller believes everything installed.
@@ -396,8 +441,12 @@ mod baselines {
         let mut m = Monitor::deploy(gen::linear(3), &[Intent::Connectivity], 16).unwrap();
         let probes = {
             let mut hs = veridp_core::HeaderSpace::new();
-            let rules: std::collections::HashMap<_, _> =
-                m.controller.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+            let rules: std::collections::HashMap<_, _> = m
+                .controller
+                .logical_rules()
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
             let table = veridp_core::PathTable::build(m.net.topo(), &rules, &mut hs, 16);
             atpg_generate(&table, &mut hs)
         };
@@ -414,7 +463,10 @@ mod baselines {
             .find(|r| r.fields.dst_ip == ip(10, 0, 2, 0))
             .unwrap()
             .id;
-        m.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+        m.net
+            .switch_mut(SwitchId(2))
+            .faults_mut()
+            .add(Fault::ExternalModify(rid, Action::Drop));
         m.net.advance_clock(1_000_000_000);
         let faulty = atpg_run(&mut m.net, &probes);
         assert!(faulty.detects_fault(), "ATPG catches lost probes");
@@ -440,8 +492,12 @@ mod baselines {
             .unwrap()
         };
         let mut m = deploy();
-        let rules: std::collections::HashMap<_, _> =
-            m.controller.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+        let rules: std::collections::HashMap<_, _> = m
+            .controller
+            .logical_rules()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         let mut hs = veridp_core::HeaderSpace::new();
         let table = veridp_core::PathTable::build(m.net.topo(), &rules, &mut hs, 16);
         let probes = atpg_generate(&table, &mut hs);
@@ -490,7 +546,10 @@ mod baselines {
 
         // Delete one rule and corrupt another, out-of-band.
         let victim_missing = set.probes[0].rule;
-        m.net.switch_mut(SwitchId(1)).faults_mut().add(Fault::ExternalDelete(victim_missing));
+        m.net
+            .switch_mut(SwitchId(1))
+            .faults_mut()
+            .add(Fault::ExternalDelete(victim_missing));
         let victim_wrong = set
             .probes
             .iter()
@@ -558,7 +617,12 @@ mod rewrite_monitor {
         rules.insert(
             SwitchId(1),
             vec![RwRule::rewriting(
-                FlowRule::new(1, 50, Match::dst_prefix(vip, 32), Action::Forward(PortNo(2))),
+                FlowRule::new(
+                    1,
+                    50,
+                    Match::dst_prefix(vip, 32),
+                    Action::Forward(PortNo(2)),
+                ),
                 vec![FieldSet::dst_ip(ip(10, 0, 2, 1))],
             )],
         );
@@ -618,19 +682,26 @@ mod rewrite_monitor {
     fn non_rewritten_traffic_unaffected() {
         let (topo, mut rules) = nat_rules();
         // Plain forwarding for another subnet through both switches.
-        rules.get_mut(&SwitchId(1)).unwrap().push(RwRule::plain(FlowRule::new(
-            10,
-            24,
-            Match::dst_prefix(ip(10, 0, 2, 0), 24),
-            Action::Forward(PortNo(2)),
-        )));
+        rules
+            .get_mut(&SwitchId(1))
+            .unwrap()
+            .push(RwRule::plain(FlowRule::new(
+                10,
+                24,
+                Match::dst_prefix(ip(10, 0, 2, 0), 24),
+                Action::Forward(PortNo(2)),
+            )));
         let client = topo.host("h1").unwrap().attached;
         let mut m = RwMonitor::deploy(topo, &rules, 16);
         let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 7), 40000, 80);
         let (trace, verdicts) = m.send(client, h);
         assert!(trace.delivered());
         assert!(verdicts[0].1.is_pass());
-        assert_eq!(verdicts[0].0.header.dst_ip, ip(10, 0, 2, 7), "header untouched");
+        assert_eq!(
+            verdicts[0].0.header.dst_ip,
+            ip(10, 0, 2, 7),
+            "header untouched"
+        );
     }
 }
 
@@ -644,8 +715,11 @@ fn lossy_report_channel_delays_but_does_not_prevent_detection() {
     let topo = gen::linear(3);
     let mut ctrl = veridp_controller::Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: std::collections::HashMap<_, _> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: std::collections::HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let server = VeriDpServer::new(&topo, &rules, 16);
     let mut net = Network::new(topo.clone());
     net.apply_messages(ctrl.drain_messages());
@@ -662,11 +736,18 @@ fn lossy_report_channel_delays_but_does_not_prevent_detection() {
     let src = topo.host("h1").unwrap().attached;
     let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 40000, 80);
 
-    sim.net.switch_mut(SwitchId(2)).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+    sim.net
+        .switch_mut(SwitchId(2))
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, Action::Drop));
     sim.flow(src, h, 0, 1_000_000, 60_000_000); // 61 packets, all faulty
     sim.run();
 
-    assert!(sim.reports_lost > 10, "channel dropped reports: {}", sim.reports_lost);
+    assert!(
+        sim.reports_lost > 10,
+        "channel dropped reports: {}",
+        sim.reports_lost
+    );
     assert!(
         sim.first_failure_after(0).is_some(),
         "detection survives report loss"
@@ -678,8 +759,11 @@ fn zero_loss_channel_drops_nothing() {
     let topo = gen::linear(2);
     let mut ctrl = veridp_controller::Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: std::collections::HashMap<_, _> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: std::collections::HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let server = VeriDpServer::new(&topo, &rules, 16);
     let mut net = Network::new(topo.clone());
     net.apply_messages(ctrl.drain_messages());

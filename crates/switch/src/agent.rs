@@ -1,6 +1,5 @@
 //! The switch: OpenFlow agent + OpenFlow pipeline + VeriDP pipeline.
 
-use serde::{Deserialize, Serialize};
 use veridp_packet::{Packet, PortNo, SwitchId, TagReport};
 use veridp_topo::Topology;
 
@@ -12,7 +11,7 @@ use crate::rule::{Action, FieldSet, FlowRule, RuleId};
 use crate::table::{FlowTable, LookupResult};
 
 /// OpenFlow-style messages from the controller to a switch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OfMessage {
     /// Install a rule.
     FlowAdd(FlowRule),
@@ -36,7 +35,7 @@ impl OfMessage {
 }
 
 /// Replies from a switch to the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OfReply {
     /// Barrier acknowledgement.
     BarrierReply(u64),
@@ -49,7 +48,7 @@ pub enum OfReply {
 /// back even when a `DropFlowMod` fault swallowed the preceding FlowMod, so
 /// the controller cannot tell the difference — which is why VeriDP monitors
 /// the data plane instead of trusting acknowledgements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BarrierBehavior {
     /// Ack only after all previous messages are applied (spec-compliant).
     #[default]
@@ -212,11 +211,19 @@ impl Switch {
                 FieldSet::apply_all(sets, &mut pkt.header);
             }
         }
-        let in_ref = veridp_packet::PortRef { switch: self.id, port: in_port };
-        let out_ref = veridp_packet::PortRef { switch: self.id, port: out_port };
+        let in_ref = veridp_packet::PortRef {
+            switch: self.id,
+            port: in_port,
+        };
+        let out_ref = veridp_packet::PortRef {
+            switch: self.id,
+            port: out_port,
+        };
         let in_is_edge = topo.is_terminal_port(in_ref);
         let out_is_edge = !out_port.is_drop() && topo.is_terminal_port(out_ref);
-        let out = self.pipeline.process(pkt, in_port, out_port, now_ns, in_is_edge, out_is_edge);
+        let out = self
+            .pipeline
+            .process(pkt, in_port, out_port, now_ns, in_is_edge, out_is_edge);
         (out_port, out.report)
     }
 }

@@ -5,13 +5,12 @@
 //! view (and therefore the VeriDP path table) never sees them — that gap is
 //! exactly what VeriDP exists to detect.
 
-use serde::{Deserialize, Serialize};
 use veridp_packet::PortNo;
 
 use crate::rule::{Action, FlowRule, RuleId};
 
 /// A single injected fault.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Fault {
     /// The FlowMod adding this rule is silently lost: the switch acks but
     /// never installs (lack of data-plane acknowledgement; premature Barrier
@@ -38,7 +37,7 @@ pub enum Fault {
 /// `DropFlowMod` / `WrongPort` intercept FlowMods as they arrive; the
 /// `External*` variants fire on [`FaultPlan::apply_external`], which the
 /// simulator calls after rule installation to model out-of-band tampering.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
 }
@@ -67,7 +66,9 @@ impl FaultPlan {
 
     /// Whether this switch ignores priorities.
     pub fn ignores_priority(&self) -> bool {
-        self.faults.iter().any(|f| matches!(f, Fault::IgnorePriority))
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::IgnorePriority))
     }
 
     /// Transform an incoming rule installation: `None` means the FlowMod is

@@ -46,7 +46,9 @@ mod table;
 pub use agent::{BarrierBehavior, OfMessage, OfReply, Switch};
 pub use faults::{Fault, FaultPlan};
 pub use pipeline::{FlowKey, PipelineOutput, Sampler, VeriDpPipeline};
-pub use rule::{mask as prefix_mask, Action, FieldSet, FlowRule, Match, PortRange, RuleId, RwField};
+pub use rule::{
+    mask as prefix_mask, Action, FieldSet, FlowRule, Match, PortRange, RuleId, RwField,
+};
 pub use table::{FlowTable, LookupResult};
 
 #[cfg(test)]

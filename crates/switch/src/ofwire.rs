@@ -10,8 +10,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use veridp_packet::PortNo;
 
-use crate::rule::{Action, FlowRule, Match, PortRange, RuleId};
 use crate::agent::{OfMessage, OfReply};
+use crate::rule::{Action, FlowRule, Match, PortRange, RuleId};
 
 /// Protocol version byte (mirrors OpenFlow 1.0's 0x01).
 const OF_VERSION: u8 = 0x01;
@@ -102,7 +102,8 @@ fn get_match(buf: &mut Bytes) -> Result<Match, OfWireError> {
     if sp_lo > sp_hi || dp_lo > dp_hi {
         return Err(OfWireError::BadField("port range"));
     }
-    if crate::rule::mask(src_ip, src_plen) != src_ip || crate::rule::mask(dst_ip, dst_plen) != dst_ip
+    if crate::rule::mask(src_ip, src_plen) != src_ip
+        || crate::rule::mask(dst_ip, dst_plen) != dst_ip
     {
         return Err(OfWireError::BadField("prefix host bits"));
     }
@@ -113,8 +114,14 @@ fn get_match(buf: &mut Bytes) -> Result<Match, OfWireError> {
         dst_ip,
         dst_plen,
         proto: (has_proto == 1).then_some(proto),
-        src_port: PortRange { lo: sp_lo, hi: sp_hi },
-        dst_port: PortRange { lo: dp_lo, hi: dp_hi },
+        src_port: PortRange {
+            lo: sp_lo,
+            hi: sp_hi,
+        },
+        dst_port: PortRange {
+            lo: dp_lo,
+            hi: dp_hi,
+        },
     })
 }
 
@@ -199,7 +206,10 @@ fn check_header(buf: &mut Bytes) -> Result<(u8, u32), OfWireError> {
     let len = buf.get_u16();
     let xid = buf.get_u32();
     if len as usize != total {
-        return Err(OfWireError::BadLength { declared: len, actual: total });
+        return Err(OfWireError::BadLength {
+            declared: len,
+            actual: total,
+        });
     }
     Ok((ty, xid))
 }
@@ -216,7 +226,12 @@ pub fn decode_message(mut buf: Bytes) -> Result<OfMessage, OfWireError> {
             let priority = buf.get_u16();
             let fields = get_match(&mut buf)?;
             let action = get_action(&mut buf)?;
-            Ok(OfMessage::FlowAdd(FlowRule { id: RuleId(id), priority, fields, action }))
+            Ok(OfMessage::FlowAdd(FlowRule {
+                id: RuleId(id),
+                priority,
+                fields,
+                action,
+            }))
         }
         T_FLOW_DELETE => {
             if buf.remaining() < 8 {
@@ -249,13 +264,16 @@ pub fn decode_reply(mut buf: Bytes) -> Result<OfReply, OfWireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn sample_rule() -> FlowRule {
         FlowRule::new(
             42,
             300,
-            Match::dst_prefix(0x0a000200, 24).with_dst_port(22).with_in_port(PortNo(3)),
+            Match::dst_prefix(0x0a000200, 24)
+                .with_dst_port(22)
+                .with_in_port(PortNo(3)),
             Action::Forward(PortNo(2)),
         )
     }
@@ -290,14 +308,20 @@ mod tests {
     fn rejects_bad_version() {
         let mut wire = encode_message(&OfMessage::Barrier(1)).to_vec();
         wire[0] = 0x04;
-        assert_eq!(decode_message(Bytes::from(wire)), Err(OfWireError::BadVersion(0x04)));
+        assert_eq!(
+            decode_message(Bytes::from(wire)),
+            Err(OfWireError::BadVersion(0x04))
+        );
     }
 
     #[test]
     fn rejects_bad_length() {
         let mut wire = encode_message(&OfMessage::Barrier(1)).to_vec();
         wire[3] += 1;
-        assert!(matches!(decode_message(Bytes::from(wire)), Err(OfWireError::BadLength { .. })));
+        assert!(matches!(
+            decode_message(Bytes::from(wire)),
+            Err(OfWireError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -315,21 +339,31 @@ mod tests {
         let mut rule = sample_rule();
         rule.fields.dst_ip = 0x0a000201; // /24 with a host bit
         let wire = encode_message(&OfMessage::FlowAdd(rule));
-        assert_eq!(decode_message(wire), Err(OfWireError::BadField("prefix host bits")));
+        assert_eq!(
+            decode_message(wire),
+            Err(OfWireError::BadField("prefix host bits"))
+        );
     }
 
-    proptest! {
-        /// Arbitrary valid rules survive the wire unchanged.
-        #[test]
-        fn roundtrip_any_rule(
-            id in any::<u64>(), prio in any::<u16>(),
-            src in any::<u32>(), splen in 0u8..=32,
-            dst in any::<u32>(), dplen in 0u8..=32,
-            in_port in proptest::option::of(1u16..64),
-            proto in proptest::option::of(any::<u8>()),
-            sp in any::<u16>(), dp in any::<u16>(),
-            drop in any::<bool>(), out in 1u16..64,
-        ) {
+    /// Arbitrary valid rules survive the wire unchanged (seeded loop,
+    /// formerly a proptest strategy).
+    #[test]
+    fn roundtrip_any_rule() {
+        for seed in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let id: u64 = rng.gen();
+            let prio: u16 = rng.gen();
+            let src: u32 = rng.gen();
+            let splen = rng.gen_range(0u8..=32);
+            let dst: u32 = rng.gen();
+            let dplen = rng.gen_range(0u8..=32);
+            let in_port = rng.gen_bool(0.5).then(|| rng.gen_range(1u16..64));
+            let proto = rng.gen_bool(0.5).then(|| rng.gen::<u8>());
+            let sp: u16 = rng.gen();
+            let dp: u16 = rng.gen();
+            let drop: bool = rng.gen();
+            let out = rng.gen_range(1u16..64);
+
             let mut fields = Match::dst_prefix(dst, dplen);
             let sm = Match::src_prefix(src, splen);
             fields.src_ip = sm.src_ip;
@@ -337,14 +371,27 @@ mod tests {
             fields.in_port = in_port.map(PortNo);
             fields.proto = proto;
             fields.src_port = PortRange::new(sp.min(dp), sp.max(dp));
-            let action = if drop { Action::Drop } else { Action::Forward(PortNo(out)) };
+            let action = if drop {
+                Action::Drop
+            } else {
+                Action::Forward(PortNo(out))
+            };
             let msg = OfMessage::FlowAdd(FlowRule::new(id, prio, fields, action));
-            prop_assert_eq!(decode_message(encode_message(&msg)).unwrap(), msg);
+            assert_eq!(
+                decode_message(encode_message(&msg)).unwrap(),
+                msg,
+                "seed {seed}"
+            );
         }
+    }
 
-        /// Arbitrary bytes never panic the decoder.
-        #[test]
-        fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decode_never_panics() {
+        for seed in 0..512u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..64usize);
+            let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
             let _ = decode_message(Bytes::from(data.clone()));
             let _ = decode_reply(Bytes::from(data));
         }

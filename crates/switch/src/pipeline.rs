@@ -9,7 +9,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use veridp_bloom::{BloomTag, HopEncoder};
 use veridp_packet::{FiveTuple, Packet, PortNo, PortRef, SwitchId, TagReport, MAX_PATH_LENGTH};
 
@@ -23,7 +22,7 @@ pub type FlowKey = FiveTuple;
 /// sampling instant. Choosing `T_s^f ≤ τ − T_a^f` (with `T_a^f` the flow's
 /// maximum inter-packet gap) bounds fault-detection latency by `τ`; see
 /// [`Sampler::max_detection_latency`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sampler {
     /// Default sampling interval `T_s` in virtual nanoseconds.
     default_interval_ns: u64,
@@ -37,7 +36,11 @@ impl Sampler {
     /// A sampler with the given default interval. Interval 0 samples every
     /// packet (useful for experiments that need full coverage).
     pub fn new(default_interval_ns: u64) -> Self {
-        Sampler { default_interval_ns, overrides: HashMap::new(), last: HashMap::new() }
+        Sampler {
+            default_interval_ns,
+            overrides: HashMap::new(),
+            last: HashMap::new(),
+        }
     }
 
     /// Sample every packet.
@@ -64,7 +67,10 @@ impl Sampler {
     }
 
     fn interval_of(&self, flow: &FlowKey) -> u64 {
-        self.overrides.get(flow).copied().unwrap_or(self.default_interval_ns)
+        self.overrides
+            .get(flow)
+            .copied()
+            .unwrap_or(self.default_interval_ns)
     }
 
     /// Decide whether to sample a packet of `flow` arriving at `now_ns`,
@@ -104,7 +110,7 @@ pub struct PipelineOutput {
 }
 
 /// Per-switch VeriDP pipeline state (Algorithm 1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VeriDpPipeline {
     switch: SwitchId,
     /// Bloom tag width carried by sampled packets. 16 on the wire (§5);
@@ -178,7 +184,10 @@ impl VeriDpPipeline {
                 pkt.marker = true;
                 pkt.tag = Some(BloomTag::empty(self.tag_bits));
                 pkt.veridp_ttl = MAX_PATH_LENGTH;
-                pkt.inport = Some(PortRef { switch: self.switch, port: in_port });
+                pkt.inport = Some(PortRef {
+                    switch: self.switch,
+                    port: in_port,
+                });
                 sampled_here = true;
                 self.sampled_count += 1;
             } else {
@@ -190,20 +199,31 @@ impl VeriDpPipeline {
         }
 
         if !pkt.marker {
-            return PipelineOutput { report: None, sampled_here };
+            return PipelineOutput {
+                report: None,
+                sampled_here,
+            };
         }
 
         // Lines 4–5: fold this hop into the tag; decrement TTL.
         let hop = HopEncoder::encode(in_port.0, self.switch.0, out_port.0);
-        let tag = pkt.tag.get_or_insert_with(|| BloomTag::empty(self.tag_bits));
+        let tag = pkt
+            .tag
+            .get_or_insert_with(|| BloomTag::empty(self.tag_bits));
         tag.insert(&hop);
         self.tagged_count += 1;
         pkt.veridp_ttl = pkt.veridp_ttl.saturating_sub(1);
 
         // Lines 6–7: report when leaving the network, dropping, or looping.
         let report = if out_is_edge || out_port.is_drop() || pkt.veridp_ttl == 0 {
-            let inport = pkt.inport.unwrap_or(PortRef { switch: self.switch, port: in_port });
-            let outport = PortRef { switch: self.switch, port: out_port };
+            let inport = pkt.inport.unwrap_or(PortRef {
+                switch: self.switch,
+                port: in_port,
+            });
+            let outport = PortRef {
+                switch: self.switch,
+                port: out_port,
+            };
             let tag = *tag;
             let header = pkt.header;
             // The exit switch pops the VeriDP fields before delivery (§3.3),
@@ -220,6 +240,9 @@ impl VeriDpPipeline {
             None
         };
 
-        PipelineOutput { report, sampled_here }
+        PipelineOutput {
+            report,
+            sampled_here,
+        }
     }
 }

@@ -1,14 +1,13 @@
 //! OpenFlow-style flow rules: match fields and actions.
 
-use serde::{Deserialize, Serialize};
 use veridp_packet::{FiveTuple, PortNo};
 
 /// Controller-assigned rule identifier, unique network-wide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleId(pub u64);
 
 /// An inclusive L4 port range. `PortRange::ANY` matches everything.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortRange {
     pub lo: u16,
     pub hi: u16,
@@ -16,7 +15,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full range (wildcard).
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// A single port.
     pub const fn exact(p: u16) -> Self {
@@ -49,7 +51,7 @@ impl PortRange {
 /// IP fields match prefixes (`ip`, `plen`); L4 ports match ranges; the
 /// protocol matches exactly. `in_port` restricts the rule to packets received
 /// on one local port, as OpenFlow allows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Match {
     pub in_port: Option<PortNo>,
     pub src_ip: u32,
@@ -77,13 +79,21 @@ impl Match {
     /// Match a destination prefix (the common forwarding-rule shape).
     pub fn dst_prefix(ip: u32, plen: u8) -> Self {
         assert!(plen <= 32);
-        Match { dst_ip: mask(ip, plen), dst_plen: plen, ..Match::ANY }
+        Match {
+            dst_ip: mask(ip, plen),
+            dst_plen: plen,
+            ..Match::ANY
+        }
     }
 
     /// Match a source prefix.
     pub fn src_prefix(ip: u32, plen: u8) -> Self {
         assert!(plen <= 32);
-        Match { src_ip: mask(ip, plen), src_plen: plen, ..Match::ANY }
+        Match {
+            src_ip: mask(ip, plen),
+            src_plen: plen,
+            ..Match::ANY
+        }
     }
 
     /// Restrict to one destination L4 port.
@@ -146,7 +156,7 @@ pub fn mask(ip: u32, plen: u8) -> u32 {
 }
 
 /// What a rule does with a matching packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Forward out of a local port.
     Forward(PortNo),
@@ -165,7 +175,7 @@ impl Action {
 }
 
 /// A header field a rewrite action may set (OpenFlow set-field targets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RwField {
     SrcIp,
     DstIp,
@@ -199,7 +209,7 @@ impl RwField {
 /// Carried by rules as an ordered action list executed before output —
 /// the header-rewrite extension of the paper's future work (§8), supported
 /// end-to-end by `veridp-core`'s rewrite-aware path table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FieldSet {
     pub field: RwField,
     pub value: u64,
@@ -208,22 +218,34 @@ pub struct FieldSet {
 impl FieldSet {
     /// `src_ip := v`.
     pub fn src_ip(v: u32) -> Self {
-        FieldSet { field: RwField::SrcIp, value: v as u64 }
+        FieldSet {
+            field: RwField::SrcIp,
+            value: v as u64,
+        }
     }
 
     /// `dst_ip := v` (the NAT-style rewrite).
     pub fn dst_ip(v: u32) -> Self {
-        FieldSet { field: RwField::DstIp, value: v as u64 }
+        FieldSet {
+            field: RwField::DstIp,
+            value: v as u64,
+        }
     }
 
     /// `src_port := v`.
     pub fn src_port(v: u16) -> Self {
-        FieldSet { field: RwField::SrcPort, value: v as u64 }
+        FieldSet {
+            field: RwField::SrcPort,
+            value: v as u64,
+        }
     }
 
     /// `dst_port := v`.
     pub fn dst_port(v: u16) -> Self {
-        FieldSet { field: RwField::DstPort, value: v as u64 }
+        FieldSet {
+            field: RwField::DstPort,
+            value: v as u64,
+        }
     }
 
     /// Apply the rewrite to a concrete header.
@@ -246,7 +268,7 @@ impl FieldSet {
 
 /// A complete flow rule. Higher `priority` wins; ties break on lower id
 /// (first-installed), matching common switch behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowRule {
     pub id: RuleId,
     pub priority: u16,
@@ -257,6 +279,11 @@ pub struct FlowRule {
 impl FlowRule {
     /// Construct a rule.
     pub fn new(id: u64, priority: u16, fields: Match, action: Action) -> Self {
-        FlowRule { id: RuleId(id), priority, fields, action }
+        FlowRule {
+            id: RuleId(id),
+            priority,
+            fields,
+            action,
+        }
     }
 }

@@ -1,6 +1,5 @@
 //! The priority flow table.
 
-use serde::{Deserialize, Serialize};
 use veridp_packet::{FiveTuple, PortNo};
 
 use crate::rule::{Action, FlowRule, RuleId};
@@ -36,7 +35,7 @@ impl LookupResult {
 /// A flow table: rules kept sorted by descending priority (ties: ascending
 /// id, i.e. first-installed wins), which makes lookup a linear scan stopping
 /// at the first match — the OpenFlow single-table semantics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowTable {
     rules: Vec<FlowRule>,
 }
@@ -61,9 +60,9 @@ impl FlowTable {
     /// id (re-add semantics).
     pub fn insert(&mut self, rule: FlowRule) {
         self.remove(rule.id);
-        let pos = self
-            .rules
-            .partition_point(|r| (r.priority, std::cmp::Reverse(r.id)) >= (rule.priority, std::cmp::Reverse(rule.id)));
+        let pos = self.rules.partition_point(|r| {
+            (r.priority, std::cmp::Reverse(r.id)) >= (rule.priority, std::cmp::Reverse(rule.id))
+        });
         self.rules.insert(pos, rule);
     }
 

@@ -4,8 +4,8 @@ use veridp_topo::gen;
 
 use crate::hw_model::HwCostModel;
 use crate::{
-    Action, BarrierBehavior, Fault, FaultPlan, FlowRule, FlowTable, LookupResult, Match,
-    OfMessage, OfReply, PortRange, RuleId, Sampler, Switch, VeriDpPipeline,
+    Action, BarrierBehavior, Fault, FaultPlan, FlowRule, FlowTable, LookupResult, Match, OfMessage,
+    OfReply, PortRange, RuleId, Sampler, Switch, VeriDpPipeline,
 };
 
 fn header(dst_ip: u32, dst_port: u16) -> FiveTuple {
@@ -29,7 +29,9 @@ fn match_dst_prefix() {
 
 #[test]
 fn match_src_prefix_and_ports() {
-    let m = Match::src_prefix(gen::ip(10, 0, 1, 0), 24).with_dst_port(22).with_proto(6);
+    let m = Match::src_prefix(gen::ip(10, 0, 1, 0), 24)
+        .with_dst_port(22)
+        .with_proto(6);
     assert!(m.matches(PortNo(1), &header(gen::ip(1, 2, 3, 4), 22)));
     assert!(!m.matches(PortNo(1), &header(gen::ip(1, 2, 3, 4), 23)));
     let mut h = header(gen::ip(1, 2, 3, 4), 22);
@@ -70,12 +72,28 @@ fn port_range_rejects_inverted() {
 #[test]
 fn table_priority_order_wins() {
     let mut t = FlowTable::new();
-    t.insert(FlowRule::new(1, 10, Match::dst_prefix(gen::ip(10, 0, 0, 0), 8), Action::Forward(PortNo(1))));
-    t.insert(FlowRule::new(2, 20, Match::dst_prefix(gen::ip(10, 0, 2, 0), 24), Action::Forward(PortNo(2))));
-    let r = t.lookup(PortNo(9), &header(gen::ip(10, 0, 2, 5), 80)).rule().unwrap();
+    t.insert(FlowRule::new(
+        1,
+        10,
+        Match::dst_prefix(gen::ip(10, 0, 0, 0), 8),
+        Action::Forward(PortNo(1)),
+    ));
+    t.insert(FlowRule::new(
+        2,
+        20,
+        Match::dst_prefix(gen::ip(10, 0, 2, 0), 24),
+        Action::Forward(PortNo(2)),
+    ));
+    let r = t
+        .lookup(PortNo(9), &header(gen::ip(10, 0, 2, 5), 80))
+        .rule()
+        .unwrap();
     assert_eq!(r.id, RuleId(2));
     // Outside the /24 falls to the /8.
-    let r = t.lookup(PortNo(9), &header(gen::ip(10, 9, 9, 9), 80)).rule().unwrap();
+    let r = t
+        .lookup(PortNo(9), &header(gen::ip(10, 9, 9, 9), 80))
+        .rule()
+        .unwrap();
     assert_eq!(r.id, RuleId(1));
 }
 
@@ -85,7 +103,10 @@ fn table_tie_breaks_on_first_installed() {
     t.insert(FlowRule::new(7, 10, Match::ANY, Action::Forward(PortNo(1))));
     t.insert(FlowRule::new(3, 10, Match::ANY, Action::Forward(PortNo(2))));
     // Same priority: lower id (3) is "first installed" by convention.
-    assert_eq!(t.lookup(PortNo(1), &header(0, 0)).rule().unwrap().id, RuleId(3));
+    assert_eq!(
+        t.lookup(PortNo(1), &header(0, 0)).rule().unwrap().id,
+        RuleId(3)
+    );
 }
 
 #[test]
@@ -123,10 +144,21 @@ fn table_reinsert_same_id_replaces() {
 fn lookup_ignoring_priority_prefers_first_installed() {
     let mut t = FlowTable::new();
     t.insert(FlowRule::new(1, 1, Match::ANY, Action::Forward(PortNo(9)))); // low prio, old
-    t.insert(FlowRule::new(2, 100, Match::ANY, Action::Forward(PortNo(2)))); // high prio, new
-    assert_eq!(t.lookup(PortNo(1), &header(0, 0)).rule().unwrap().id, RuleId(2));
+    t.insert(FlowRule::new(
+        2,
+        100,
+        Match::ANY,
+        Action::Forward(PortNo(2)),
+    )); // high prio, new
     assert_eq!(
-        t.lookup_ignoring_priority(PortNo(1), &header(0, 0)).rule().unwrap().id,
+        t.lookup(PortNo(1), &header(0, 0)).rule().unwrap().id,
+        RuleId(2)
+    );
+    assert_eq!(
+        t.lookup_ignoring_priority(PortNo(1), &header(0, 0))
+            .rule()
+            .unwrap()
+            .id,
         RuleId(1)
     );
 }
@@ -234,7 +266,9 @@ fn pipeline_reports_drops() {
     let mut pkt = Packet::new(header(1, 1));
     let mut p = VeriDpPipeline::new(SwitchId(5));
     let o = p.process(&mut pkt, PortNo(1), DROP_PORT, 0, true, false);
-    let r = o.report.expect("drop must be reported for blackhole visibility");
+    let r = o
+        .report
+        .expect("drop must be reported for blackhole visibility");
     assert!(r.is_drop());
     assert_eq!(r.outport, PortRef::drop_of(SwitchId(5)));
 }
@@ -273,7 +307,10 @@ fn pipeline_ttl_expiry_reports_loop() {
             reports += 1;
         }
     }
-    assert!(reports >= 1, "looping packet must trigger TTL-expiry reports");
+    assert!(
+        reports >= 1,
+        "looping packet must trigger TTL-expiry reports"
+    );
     assert!(pkt.marker, "packet keeps looping with marker intact");
 }
 
@@ -299,16 +336,30 @@ fn pipeline_counters_track_modules() {
 // ---------------------------------------------------------------- switch
 
 fn fwd_rule(id: u64, prio: u16, dst: u32, plen: u8, port: u16) -> FlowRule {
-    FlowRule::new(id, prio, Match::dst_prefix(dst, plen), Action::Forward(PortNo(port)))
+    FlowRule::new(
+        id,
+        prio,
+        Match::dst_prefix(dst, plen),
+        Action::Forward(PortNo(port)),
+    )
 }
 
 #[test]
 fn switch_installs_and_forwards() {
     let mut sw = Switch::new(SwitchId(1));
-    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, gen::ip(10, 0, 2, 0), 24, 3)));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(
+        1,
+        10,
+        gen::ip(10, 0, 2, 0),
+        24,
+        3,
+    )));
     let res = sw.lookup(PortNo(1), &header(gen::ip(10, 0, 2, 7), 80));
     assert_eq!(res.out_port(), PortNo(3));
-    assert_eq!(sw.handle(OfMessage::Barrier(42)), Some(OfReply::BarrierReply(42)));
+    assert_eq!(
+        sw.handle(OfMessage::Barrier(42)),
+        Some(OfReply::BarrierReply(42))
+    );
 }
 
 #[test]
@@ -328,14 +379,20 @@ fn fault_drop_flowmod_swallows_install() {
         .with_barrier(BarrierBehavior::Premature);
     sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, 0, 0, 3)));
     // Premature barrier: ack arrives even though nothing installed.
-    assert_eq!(sw.handle(OfMessage::Barrier(1)), Some(OfReply::BarrierReply(1)));
-    assert!(sw.table().is_empty(), "controller believes rule exists; switch has nothing");
+    assert_eq!(
+        sw.handle(OfMessage::Barrier(1)),
+        Some(OfReply::BarrierReply(1))
+    );
+    assert!(
+        sw.table().is_empty(),
+        "controller believes rule exists; switch has nothing"
+    );
 }
 
 #[test]
 fn fault_wrong_port_corrupts_action() {
-    let mut sw =
-        Switch::new(SwitchId(1)).with_faults(FaultPlan::none().with(Fault::WrongPort(RuleId(1), PortNo(9))));
+    let mut sw = Switch::new(SwitchId(1))
+        .with_faults(FaultPlan::none().with(Fault::WrongPort(RuleId(1), PortNo(9))));
     sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, 0, 0, 3)));
     assert_eq!(sw.lookup(PortNo(1), &header(1, 1)).out_port(), PortNo(9));
 }
@@ -358,7 +415,8 @@ fn fault_external_edits_apply_once() {
 
 #[test]
 fn fault_ignore_priority_changes_winner() {
-    let mut sw = Switch::new(SwitchId(1)).with_faults(FaultPlan::none().with(Fault::IgnorePriority));
+    let mut sw =
+        Switch::new(SwitchId(1)).with_faults(FaultPlan::none().with(Fault::IgnorePriority));
     sw.handle(OfMessage::FlowAdd(fwd_rule(1, 1, 0, 0, 1)));
     sw.handle(OfMessage::FlowAdd(fwd_rule(2, 100, 0, 0, 2)));
     assert_eq!(sw.lookup(PortNo(1), &header(1, 1)).out_port(), PortNo(1));
@@ -369,11 +427,20 @@ fn switch_process_packet_end_to_end() {
     // figure5: S1 forwards H1 traffic out port 4 (to S3).
     let topo = gen::figure5();
     let mut sw = Switch::new(SwitchId(1));
-    sw.handle(OfMessage::FlowAdd(fwd_rule(1, 10, gen::ip(10, 0, 2, 0), 24, 4)));
+    sw.handle(OfMessage::FlowAdd(fwd_rule(
+        1,
+        10,
+        gen::ip(10, 0, 2, 0),
+        24,
+        4,
+    )));
     let mut pkt = Packet::new(header(gen::ip(10, 0, 2, 1), 80));
     let (out, report) = sw.process_packet(&mut pkt, PortNo(1), 0, &topo);
     assert_eq!(out, PortNo(4));
-    assert!(report.is_none(), "port 4 is an inter-switch link, not an exit");
+    assert!(
+        report.is_none(),
+        "port 4 is an inter-switch link, not an exit"
+    );
     assert!(pkt.marker);
 }
 
@@ -402,8 +469,16 @@ fn hw_model_native_grows_with_size() {
 fn hw_model_module_costs_are_constant_and_small() {
     let m = HwCostModel::onetswitch();
     // Paper: sampling ≈ 0.15 µs, tagging ≈ 0.27 µs.
-    assert!((m.sampling_delay_us() - 0.15).abs() < 0.02, "{}", m.sampling_delay_us());
-    assert!((m.tagging_delay_us() - 0.27).abs() < 0.02, "{}", m.tagging_delay_us());
+    assert!(
+        (m.sampling_delay_us() - 0.15).abs() < 0.02,
+        "{}",
+        m.sampling_delay_us()
+    );
+    assert!(
+        (m.tagging_delay_us() - 0.27).abs() < 0.02,
+        "{}",
+        m.tagging_delay_us()
+    );
 }
 
 #[test]
@@ -413,7 +488,10 @@ fn hw_model_overhead_falls_with_packet_size() {
     let o1500 = m.tagging_overhead(1500);
     assert!(o128 > o1500);
     // Paper band: 6.29% at 128 B, 0.74% at 1500 B — ours must be same order.
-    assert!(o128 > 0.02 && o128 < 0.12, "tagging overhead at 128B = {o128}");
+    assert!(
+        o128 > 0.02 && o128 < 0.12,
+        "tagging overhead at 128B = {o128}"
+    );
     assert!(o1500 < 0.012, "tagging overhead at 1500B = {o1500}");
 }
 
@@ -429,54 +507,95 @@ fn hw_model_path_delay_composition() {
 
 mod property {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_header() -> impl Strategy<Value = FiveTuple> {
-        (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>())
-            .prop_map(|(s, d, sp, dp)| FiveTuple::tcp(s, d, sp, dp))
+    fn arb_header(rng: &mut StdRng) -> FiveTuple {
+        FiveTuple::tcp(rng.gen(), rng.gen(), rng.gen(), rng.gen())
     }
 
-    proptest! {
-        /// A rule always matches headers drawn from inside its own prefix.
-        #[test]
-        fn prefix_match_soundness(ip in any::<u32>(), plen in 0u8..=32, h in arb_header()) {
+    /// A rule always matches headers drawn from inside its own prefix.
+    #[test]
+    fn prefix_match_soundness() {
+        for seed in 0..256u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ip: u32 = rng.gen();
+            let plen = rng.gen_range(0u8..=32);
+            let h = arb_header(&mut rng);
             let m = Match::dst_prefix(ip, plen);
-            let inside = FiveTuple { dst_ip: crate::rule::mask(ip, plen) | (h.dst_ip & !crate::rule::mask(u32::MAX, plen)), ..h };
-            prop_assert!(m.matches(PortNo(1), &inside));
+            let inside = FiveTuple {
+                dst_ip: crate::rule::mask(ip, plen)
+                    | (h.dst_ip & !crate::rule::mask(u32::MAX, plen)),
+                ..h
+            };
+            assert!(m.matches(PortNo(1), &inside), "seed {seed}");
         }
+    }
 
-        /// Table lookup returns the max-priority matching rule.
-        #[test]
-        fn lookup_max_priority(prios in proptest::collection::vec(0u16..1000, 1..20)) {
+    /// Table lookup returns the max-priority matching rule.
+    #[test]
+    fn lookup_max_priority() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..20usize);
+            let prios: Vec<u16> = (0..n).map(|_| rng.gen_range(0u16..1000)).collect();
             let mut t = FlowTable::new();
             for (i, p) in prios.iter().enumerate() {
-                t.insert(FlowRule::new(i as u64, *p, Match::ANY, Action::Forward(PortNo(i as u16 + 1))));
+                t.insert(FlowRule::new(
+                    i as u64,
+                    *p,
+                    Match::ANY,
+                    Action::Forward(PortNo(i as u16 + 1)),
+                ));
             }
             let got = t.lookup(PortNo(1), &header(0, 0)).rule().unwrap();
-            prop_assert_eq!(got.priority, *prios.iter().max().unwrap());
+            assert_eq!(got.priority, *prios.iter().max().unwrap(), "seed {seed}");
         }
+    }
 
-        /// Sampling decisions never panic and first contact always samples.
-        #[test]
-        fn sampler_first_contact(interval in 0u64..u64::MAX / 2, now in 0u64..u64::MAX / 2, h in arb_header()) {
+    /// Sampling decisions never panic and first contact always samples.
+    #[test]
+    fn sampler_first_contact() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let interval = rng.gen_range(0..u64::MAX / 2);
+            let now = rng.gen_range(0..u64::MAX / 2);
+            let h = arb_header(&mut rng);
             let mut s = Sampler::new(interval);
-            prop_assert!(s.should_sample(&h, now));
+            assert!(s.should_sample(&h, now), "seed {seed}");
         }
+    }
 
-        /// The pipeline's accumulated tag equals the OR of per-hop filters,
-        /// regardless of path shape.
-        #[test]
-        fn tag_accumulation_correct(hops in proptest::collection::vec((1u16..10, 1u32..50, 1u16..10), 1..8)) {
+    /// The pipeline's accumulated tag equals the OR of per-hop filters,
+    /// regardless of path shape.
+    #[test]
+    fn tag_accumulation_correct() {
+        for seed in 0..128u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..8usize);
+            let hops: Vec<(u16, u32, u16)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(1u16..10),
+                        rng.gen_range(1u32..50),
+                        rng.gen_range(1u16..10),
+                    )
+                })
+                .collect();
             let mut pkt = Packet::new(header(1, 1));
             let mut expect = BloomTag::default_width();
             for (i, (inp, sw, outp)) in hops.iter().enumerate() {
                 let mut p = VeriDpPipeline::new(SwitchId(*sw));
                 let last = i == hops.len() - 1;
-                p.process(&mut pkt, PortNo(*inp), PortNo(*outp), i as u64, i == 0, last);
+                p.process(
+                    &mut pkt,
+                    PortNo(*inp),
+                    PortNo(*outp),
+                    i as u64,
+                    i == 0,
+                    last,
+                );
                 expect.insert(&HopEncoder::encode(*inp, *sw, *outp));
-                if last {
-                    // Report carried the full tag.
-                }
             }
             // After the exit hop the packet is stripped; rebuild from the
             // last report instead: re-run capturing reports.
@@ -485,12 +604,19 @@ mod property {
             for (i, (inp, sw, outp)) in hops.iter().enumerate() {
                 let mut p = VeriDpPipeline::new(SwitchId(*sw));
                 let last = i == hops.len() - 1;
-                let o = p.process(&mut pkt2, PortNo(*inp), PortNo(*outp), i as u64, i == 0, last);
+                let o = p.process(
+                    &mut pkt2,
+                    PortNo(*inp),
+                    PortNo(*outp),
+                    i as u64,
+                    i == 0,
+                    last,
+                );
                 if let Some(r) = o.report {
                     final_tag = Some(r.tag);
                 }
             }
-            prop_assert_eq!(final_tag.unwrap(), expect);
+            assert_eq!(final_tag.unwrap(), expect, "seed {seed}");
         }
     }
 }

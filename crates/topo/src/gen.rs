@@ -43,10 +43,25 @@ pub fn linear(n: u32) -> Topology {
         t.add_switch(i, format!("s{i}"), 3).unwrap();
     }
     for i in 1..n {
-        t.add_link(PortRef::new(i, 2), PortRef::new(i + 1, 1)).unwrap();
+        t.add_link(PortRef::new(i, 2), PortRef::new(i + 1, 1))
+            .unwrap();
     }
-    t.attach_host("h1", ip(10, 0, 1, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
-    t.attach_host("h2", ip(10, 0, 2, 1), 24, PortRef::new(n, 2), HostRole::Host).unwrap();
+    t.attach_host(
+        "h1",
+        ip(10, 0, 1, 1),
+        24,
+        PortRef::new(1, 1),
+        HostRole::Host,
+    )
+    .unwrap();
+    t.attach_host(
+        "h2",
+        ip(10, 0, 2, 1),
+        24,
+        PortRef::new(n, 2),
+        HostRole::Host,
+    )
+    .unwrap();
     t
 }
 
@@ -56,7 +71,10 @@ pub fn linear(n: u32) -> Topology {
 ///
 /// Used for the medium-sized networks in §6 (k = 4 and k = 6).
 pub fn fat_tree(k: u16) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree k must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree k must be even and >= 2"
+    );
     let half = k / 2;
     let mut t = Topology::new();
 
@@ -69,13 +87,16 @@ pub fn fat_tree(k: u16) -> Topology {
 
     for i in 0..half {
         for j in 0..half {
-            t.add_switch(core_id(i, j), format!("core_{i}_{j}"), k).unwrap();
+            t.add_switch(core_id(i, j), format!("core_{i}_{j}"), k)
+                .unwrap();
         }
     }
     for pod in 0..k {
         for i in 0..half {
-            t.add_switch(agg_id(pod, i), format!("agg_{pod}_{i}"), k).unwrap();
-            t.add_switch(edge_id(pod, i), format!("edge_{pod}_{i}"), k).unwrap();
+            t.add_switch(agg_id(pod, i), format!("agg_{pod}_{i}"), k)
+                .unwrap();
+            t.add_switch(edge_id(pod, i), format!("edge_{pod}_{i}"), k)
+                .unwrap();
         }
     }
 
@@ -122,7 +143,9 @@ pub fn fat_tree(k: u16) -> Topology {
 /// host subnet per router (§6.1 uses its public IPv4 forwarding tables; the
 /// controller crate generates a synthetic RIB of matching shape).
 pub fn internet2() -> Topology {
-    let names = ["SEAT", "LOSA", "SALT", "HOUS", "KANS", "CHIC", "ATLA", "WASH", "NEWY"];
+    let names = [
+        "SEAT", "LOSA", "SALT", "HOUS", "KANS", "CHIC", "ATLA", "WASH", "NEWY",
+    ];
     // (a, b) pairs by index into `names`.
     let links: &[(usize, usize)] = &[
         (0, 2), // SEAT-SALT
@@ -185,8 +208,10 @@ pub fn stanford_like() -> Topology {
     t.add_switch(1, "bbra", 16).unwrap();
     t.add_switch(2, "bbrb", 16).unwrap();
     for (z, zone) in STANFORD_ZONES.iter().enumerate() {
-        t.add_switch(3 + 2 * z as u32, format!("{zone}a"), 8).unwrap();
-        t.add_switch(4 + 2 * z as u32, format!("{zone}b"), 8).unwrap();
+        t.add_switch(3 + 2 * z as u32, format!("{zone}a"), 8)
+            .unwrap();
+        t.add_switch(4 + 2 * z as u32, format!("{zone}b"), 8)
+            .unwrap();
     }
     for l in 0..10u32 {
         t.add_switch(17 + l, format!("l2_{l}"), 8).unwrap();
@@ -199,27 +224,40 @@ pub fn stanford_like() -> Topology {
         let l2 = 17 + z;
         let za = 3 + 2 * z;
         let zb = 4 + 2 * z;
-        t.add_link(PortRef::new(l2, 1), PortRef::new(za, 1)).unwrap();
-        t.add_link(PortRef::new(l2, 2), PortRef::new(zb, 1)).unwrap();
+        t.add_link(PortRef::new(l2, 1), PortRef::new(za, 1))
+            .unwrap();
+        t.add_link(PortRef::new(l2, 2), PortRef::new(zb, 1))
+            .unwrap();
         for (c, core) in [(0usize, 1u32), (1usize, 2u32)] {
-            t.add_link(PortRef::new(l2, 3 + c as u16), PortRef::new(core, core_port[c])).unwrap();
+            t.add_link(
+                PortRef::new(l2, 3 + c as u16),
+                PortRef::new(core, core_port[c]),
+            )
+            .unwrap();
             core_port[c] += 1;
         }
     }
     // L2 #7 interconnects the cores.
-    t.add_link(PortRef::new(24, 1), PortRef::new(1, core_port[0])).unwrap();
+    t.add_link(PortRef::new(24, 1), PortRef::new(1, core_port[0]))
+        .unwrap();
     core_port[0] += 1;
-    t.add_link(PortRef::new(24, 2), PortRef::new(2, core_port[1])).unwrap();
+    t.add_link(PortRef::new(24, 2), PortRef::new(2, core_port[1]))
+        .unwrap();
     core_port[1] += 1;
     // L2 #8 and #9 dual-home zones 0 and 1 (second uplink path).
     for (extra, z) in [(25u32, 0u32), (26u32, 1u32)] {
         let za = 3 + 2 * z;
         let zb = 4 + 2 * z;
-        t.add_link(PortRef::new(extra, 1), PortRef::new(za, 2)).unwrap();
-        t.add_link(PortRef::new(extra, 2), PortRef::new(zb, 2)).unwrap();
+        t.add_link(PortRef::new(extra, 1), PortRef::new(za, 2))
+            .unwrap();
+        t.add_link(PortRef::new(extra, 2), PortRef::new(zb, 2))
+            .unwrap();
         for (c, core) in [(0usize, 1u32), (1usize, 2u32)] {
-            t.add_link(PortRef::new(extra, 3 + c as u16), PortRef::new(core, core_port[c]))
-                .unwrap();
+            t.add_link(
+                PortRef::new(extra, 3 + c as u16),
+                PortRef::new(core, core_port[c]),
+            )
+            .unwrap();
             core_port[c] += 1;
         }
     }
@@ -260,10 +298,38 @@ pub fn figure5() -> Topology {
     t.add_link(PortRef::new(1, 3), PortRef::new(2, 1)).unwrap();
     t.add_link(PortRef::new(1, 4), PortRef::new(3, 3)).unwrap();
     t.add_link(PortRef::new(2, 2), PortRef::new(3, 1)).unwrap();
-    t.attach_host("H1", ip(10, 0, 1, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
-    t.attach_host("H2", ip(10, 0, 1, 2), 24, PortRef::new(1, 2), HostRole::Host).unwrap();
-    t.attach_host("H3", ip(10, 0, 2, 1), 24, PortRef::new(3, 2), HostRole::Host).unwrap();
-    t.attach_host("MB", ip(10, 0, 3, 1), 24, PortRef::new(2, 3), HostRole::Middlebox).unwrap();
+    t.attach_host(
+        "H1",
+        ip(10, 0, 1, 1),
+        24,
+        PortRef::new(1, 1),
+        HostRole::Host,
+    )
+    .unwrap();
+    t.attach_host(
+        "H2",
+        ip(10, 0, 1, 2),
+        24,
+        PortRef::new(1, 2),
+        HostRole::Host,
+    )
+    .unwrap();
+    t.attach_host(
+        "H3",
+        ip(10, 0, 2, 1),
+        24,
+        PortRef::new(3, 2),
+        HostRole::Host,
+    )
+    .unwrap();
+    t.attach_host(
+        "MB",
+        ip(10, 0, 3, 1),
+        24,
+        PortRef::new(2, 3),
+        HostRole::Middlebox,
+    )
+    .unwrap();
     t
 }
 
@@ -285,8 +351,22 @@ pub fn figure7() -> Topology {
     t.add_link(PortRef::new(3, 3), PortRef::new(6, 1)).unwrap(); // S3 → S6
     t.add_link(PortRef::new(2, 3), PortRef::new(5, 1)).unwrap(); // S2 → S5 (probe branch)
     t.add_link(PortRef::new(5, 3), PortRef::new(4, 2)).unwrap(); // S5 → S4
-    t.attach_host("Src", ip(10, 0, 1, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
-    t.attach_host("Dst", ip(10, 0, 2, 1), 24, PortRef::new(4, 3), HostRole::Host).unwrap();
+    t.attach_host(
+        "Src",
+        ip(10, 0, 1, 1),
+        24,
+        PortRef::new(1, 1),
+        HostRole::Host,
+    )
+    .unwrap();
+    t.attach_host(
+        "Dst",
+        ip(10, 0, 2, 1),
+        24,
+        PortRef::new(4, 3),
+        HostRole::Host,
+    )
+    .unwrap();
     t
 }
 
@@ -300,12 +380,19 @@ pub fn ring(n: u32) -> Topology {
     }
     for i in 1..=n {
         let next = if i == n { 1 } else { i + 1 };
-        t.add_link(PortRef::new(i, 2), PortRef::new(next, 1)).unwrap();
+        t.add_link(PortRef::new(i, 2), PortRef::new(next, 1))
+            .unwrap();
     }
     for i in 1..=n {
         let subnet = ip(10, 0, i as u8, 0);
-        t.attach_host(format!("h{i}"), subnet | 1, 24, PortRef::new(i, 3), HostRole::Host)
-            .unwrap();
+        t.attach_host(
+            format!("h{i}"),
+            subnet | 1,
+            24,
+            PortRef::new(i, 3),
+            HostRole::Host,
+        )
+        .unwrap();
     }
     t
 }
@@ -345,7 +432,9 @@ pub fn jellyfish(n: u32, degree: u16, seed: u64) -> Topology {
         if sa == sb {
             continue; // no self-links
         }
-        if t.add_link(PortRef::new(sa, pa), PortRef::new(sb, pb)).is_ok() {
+        if t.add_link(PortRef::new(sa, pa), PortRef::new(sb, pb))
+            .is_ok()
+        {
             let (hi, lo) = (i.max(j), i.min(j));
             free.swap_remove(hi);
             free.swap_remove(lo);
@@ -353,8 +442,14 @@ pub fn jellyfish(n: u32, degree: u16, seed: u64) -> Topology {
     }
     for i in 1..=n {
         let subnet = ip(10, (i >> 8) as u8 + 1, (i & 0xff) as u8, 0);
-        t.attach_host(format!("h{i}"), subnet | 1, 24, PortRef::new(i, 1), HostRole::Host)
-            .unwrap();
+        t.attach_host(
+            format!("h{i}"),
+            subnet | 1,
+            24,
+            PortRef::new(i, 1),
+            HostRole::Host,
+        )
+        .unwrap();
     }
     t
 }

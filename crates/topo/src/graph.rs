@@ -2,13 +2,12 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
 use veridp_packet::{PortNo, PortRef, SwitchId};
 
 /// Classification of a switch, used by the VeriDP pipeline to decide which
 /// role (entry / internal / exit) it plays for a given packet (§3.3) and by
 /// generators for layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchRole {
     /// Edge switch: has at least one host-facing port; runs sampling and
     /// reporting.
@@ -18,7 +17,7 @@ pub enum SwitchRole {
 }
 
 /// What is attached to an edge port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostRole {
     /// An ordinary end host.
     Host,
@@ -28,7 +27,7 @@ pub enum HostRole {
 }
 
 /// A host (or middlebox) attached to an edge port.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Host {
     pub name: String,
     /// The host's address; also the base of the subnet routed to its port.
@@ -40,7 +39,7 @@ pub struct Host {
 }
 
 /// Per-switch static information.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchInfo {
     pub id: SwitchId,
     pub name: String,
@@ -76,7 +75,7 @@ impl std::error::Error for TopologyError {}
 /// Links are point-to-point and symmetric: wiring `a ↔ b` registers both
 /// directions. Ports not wired to another switch and not hosting a host are
 /// simply unused.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     switches: BTreeMap<SwitchId, SwitchInfo>,
     links: HashMap<PortRef, PortRef>,
@@ -101,12 +100,22 @@ impl Topology {
         if self.switches.contains_key(&sid) {
             return Err(TopologyError::DuplicateSwitch(sid));
         }
-        self.switches.insert(sid, SwitchInfo { id: sid, name: name.into(), num_ports });
+        self.switches.insert(
+            sid,
+            SwitchInfo {
+                id: sid,
+                name: name.into(),
+                num_ports,
+            },
+        );
         Ok(sid)
     }
 
     fn check_port(&self, p: PortRef) -> Result<(), TopologyError> {
-        let info = self.switches.get(&p.switch).ok_or(TopologyError::UnknownSwitch(p.switch))?;
+        let info = self
+            .switches
+            .get(&p.switch)
+            .ok_or(TopologyError::UnknownSwitch(p.switch))?;
         if p.port.0 == 0 || p.port.0 > info.num_ports {
             return Err(TopologyError::BadPort(p));
         }
@@ -142,7 +151,13 @@ impl Topology {
             return Err(TopologyError::PortInUse(attached));
         }
         self.edge_ports.insert(attached);
-        self.hosts.push(Host { name: name.into(), ip, plen, attached, role });
+        self.hosts.push(Host {
+            name: name.into(),
+            ip,
+            plen,
+            attached,
+            role,
+        });
         Ok(())
     }
 
@@ -168,7 +183,8 @@ impl Topology {
     /// header (the paper's worked example keeps a single path/tag across the
     /// `S1 → S2 → MB → S2 → S3` traversal, §4.2).
     pub fn is_middlebox_port(&self, p: PortRef) -> bool {
-        self.host_at(p).is_some_and(|h| h.role == HostRole::Middlebox)
+        self.host_at(p)
+            .is_some_and(|h| h.role == HostRole::Middlebox)
     }
 
     /// Whether `p` terminates a forwarding path: an edge port that is not a
@@ -209,7 +225,10 @@ impl Topology {
 
     /// Find a switch id by name.
     pub fn switch_by_name(&self, name: &str) -> Option<SwitchId> {
-        self.switches.values().find(|s| s.name == name).map(|s| s.id)
+        self.switches
+            .values()
+            .find(|s| s.name == name)
+            .map(|s| s.id)
     }
 
     /// Every port of every switch, including unwired ones.
@@ -217,7 +236,10 @@ impl Topology {
         let mut out = Vec::new();
         for info in self.switches.values() {
             for p in 1..=info.num_ports {
-                out.push(PortRef { switch: info.id, port: PortNo(p) });
+                out.push(PortRef {
+                    switch: info.id,
+                    port: PortNo(p),
+                });
             }
         }
         out
@@ -232,8 +254,12 @@ impl Topology {
 
     /// Inter-switch links, each reported once (canonical direction).
     pub fn unique_links(&self) -> Vec<(PortRef, PortRef)> {
-        let mut v: Vec<(PortRef, PortRef)> =
-            self.links.iter().filter(|(a, b)| a < b).map(|(a, b)| (*a, *b)).collect();
+        let mut v: Vec<(PortRef, PortRef)> = self
+            .links
+            .iter()
+            .filter(|(a, b)| a < b)
+            .map(|(a, b)| (*a, *b))
+            .collect();
         v.sort();
         v
     }
@@ -244,7 +270,10 @@ impl Topology {
         let mut out = Vec::new();
         if let Some(info) = self.switches.get(&s) {
             for p in 1..=info.num_ports {
-                let pr = PortRef { switch: s, port: PortNo(p) };
+                let pr = PortRef {
+                    switch: s,
+                    port: PortNo(p),
+                };
                 if let Some(peer) = self.peer(pr) {
                     out.push((PortNo(p), peer));
                 }
@@ -287,7 +316,10 @@ impl Topology {
     /// The local port on `from` that reaches neighbour switch `to` directly,
     /// choosing the lowest-numbered such port.
     pub fn port_towards(&self, from: SwitchId, to: SwitchId) -> Option<PortNo> {
-        self.neighbors(from).into_iter().find(|(_, peer)| peer.switch == to).map(|(p, _)| p)
+        self.neighbors(from)
+            .into_iter()
+            .find(|(_, peer)| peer.switch == to)
+            .map(|(p, _)| p)
     }
 
     /// BFS hop distances from every switch to `target`. Unreachable switches
@@ -298,8 +330,8 @@ impl Topology {
         while let Some(cur) = queue.pop_front() {
             let d = dist[&cur];
             for (_, peer) in self.neighbors(cur) {
-                if !dist.contains_key(&peer.switch) {
-                    dist.insert(peer.switch, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(peer.switch) {
+                    e.insert(d + 1);
                     queue.push_back(peer.switch);
                 }
             }
@@ -310,12 +342,10 @@ impl Topology {
     /// All local ports of `from` that start an equal-cost shortest path to
     /// the target of `dist` (a [`Topology::distances_to`] map) — the ECMP
     /// next-hop set, in port order.
-    pub fn ecmp_ports_towards(
-        &self,
-        from: SwitchId,
-        dist: &HashMap<SwitchId, u32>,
-    ) -> Vec<PortNo> {
-        let Some(&d) = dist.get(&from) else { return Vec::new() };
+    pub fn ecmp_ports_towards(&self, from: SwitchId, dist: &HashMap<SwitchId, u32>) -> Vec<PortNo> {
+        let Some(&d) = dist.get(&from) else {
+            return Vec::new();
+        };
         self.neighbors(from)
             .into_iter()
             .filter(|(_, peer)| dist.get(&peer.switch).is_some_and(|&pd| pd + 1 == d))

@@ -12,8 +12,8 @@
 //! switches), plus the toy networks of Figures 5 and 7 used for unit tests
 //! and examples.
 
-mod graph;
 pub mod gen;
+mod graph;
 
 pub use graph::{Host, HostRole, SwitchInfo, SwitchRole, Topology, TopologyError};
 

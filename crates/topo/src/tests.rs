@@ -15,7 +15,8 @@ fn build_and_query_simple_topology() {
     t.add_switch(1, "a", 4).unwrap();
     t.add_switch(2, "b", 4).unwrap();
     t.add_link(PortRef::new(1, 2), PortRef::new(2, 1)).unwrap();
-    t.attach_host("h", ip(10, 0, 0, 1), 24, PortRef::new(1, 1), HostRole::Host).unwrap();
+    t.attach_host("h", ip(10, 0, 0, 1), 24, PortRef::new(1, 1), HostRole::Host)
+        .unwrap();
 
     assert_eq!(t.num_switches(), 2);
     assert_eq!(t.peer(PortRef::new(1, 2)), Some(PortRef::new(2, 1)));
@@ -33,7 +34,10 @@ fn build_and_query_simple_topology() {
 fn errors_on_bad_wiring() {
     let mut t = Topology::new();
     t.add_switch(1, "a", 2).unwrap();
-    assert_eq!(t.add_switch(1, "dup", 2), Err(TopologyError::DuplicateSwitch(SwitchId(1))));
+    assert_eq!(
+        t.add_switch(1, "dup", 2),
+        Err(TopologyError::DuplicateSwitch(SwitchId(1)))
+    );
     assert_eq!(
         t.add_link(PortRef::new(1, 1), PortRef::new(9, 1)),
         Err(TopologyError::UnknownSwitch(SwitchId(9)))
@@ -63,7 +67,10 @@ fn neighbors_and_ports() {
     let t = gen::linear(3);
     let n2 = t.neighbors(SwitchId(2));
     assert_eq!(n2.len(), 2);
-    assert_eq!(t.port_towards(SwitchId(1), SwitchId(2)), Some(veridp_packet::PortNo(2)));
+    assert_eq!(
+        t.port_towards(SwitchId(1), SwitchId(2)),
+        Some(veridp_packet::PortNo(2))
+    );
     assert_eq!(t.port_towards(SwitchId(1), SwitchId(3)), None);
 }
 
@@ -72,7 +79,10 @@ fn shortest_path_linear() {
     let t = gen::linear(5);
     let p = t.shortest_path(SwitchId(1), SwitchId(5)).unwrap();
     assert_eq!(p, (1..=5).map(SwitchId).collect::<Vec<_>>());
-    assert_eq!(t.shortest_path(SwitchId(3), SwitchId(3)), Some(vec![SwitchId(3)]));
+    assert_eq!(
+        t.shortest_path(SwitchId(3), SwitchId(3)),
+        Some(vec![SwitchId(3)])
+    );
 }
 
 #[test]
@@ -147,7 +157,10 @@ fn internet2_shape() {
     let seat = t.switch_by_name("SEAT").unwrap();
     let newy = t.switch_by_name("NEWY").unwrap();
     let path = t.shortest_path(seat, newy).unwrap();
-    assert!(path.len() >= 3, "coast-to-coast needs several hops, got {path:?}");
+    assert!(
+        path.len() >= 3,
+        "coast-to-coast needs several hops, got {path:?}"
+    );
     for id in t.switches().map(|s| s.id).collect::<Vec<_>>() {
         assert!(t.shortest_path(seat, id).is_some());
     }
@@ -165,7 +178,10 @@ fn stanford_like_shape() {
     }
     // Redundant paths exist (dual-homed zones) — so the graph has cycles.
     let links = t.unique_links().len();
-    assert!(links >= t.num_switches(), "expected a cyclic multigraph, got {links} links");
+    assert!(
+        links >= t.num_switches(),
+        "expected a cyclic multigraph, got {links} links"
+    );
 }
 
 #[test]
@@ -215,40 +231,45 @@ fn generators_are_deterministic() {
 
 mod property {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Links are always symmetric in generated fat trees.
-        #[test]
-        fn fat_tree_links_symmetric(k in (1u16..=4).prop_map(|x| x * 2)) {
+    /// Links are always symmetric in generated fat trees. (The former
+    /// proptest parameter range was k ∈ {2,4,6,8} — small enough to sweep
+    /// exhaustively.)
+    #[test]
+    fn fat_tree_links_symmetric() {
+        for k in [2u16, 4, 6, 8] {
             let t = gen::fat_tree(k);
             for (a, b) in t.unique_links() {
-                prop_assert_eq!(t.peer(a), Some(b));
-                prop_assert_eq!(t.peer(b), Some(a));
+                assert_eq!(t.peer(a), Some(b));
+                assert_eq!(t.peer(b), Some(a));
             }
         }
+    }
 
-        /// Any two switches in a fat tree are connected within 4 hops
-        /// (edge-agg-core-agg-edge is the diameter).
-        #[test]
-        fn fat_tree_diameter(k in (1u16..=3).prop_map(|x| x * 2)) {
+    /// Any two switches in a fat tree are connected within 4 hops
+    /// (edge-agg-core-agg-edge is the diameter).
+    #[test]
+    fn fat_tree_diameter() {
+        for k in [2u16, 4, 6] {
             let t = gen::fat_tree(k);
             let ids: Vec<SwitchId> = t.switches().map(|s| s.id).collect();
             for &a in ids.iter().take(5) {
                 for &b in ids.iter().rev().take(5) {
                     let p = t.shortest_path(a, b).unwrap();
-                    prop_assert!(p.len() <= 5, "path {:?} too long", p);
+                    assert!(p.len() <= 5, "path {:?} too long", p);
                 }
             }
         }
+    }
 
-        /// Linear chains have exactly n-1 links and path length n.
-        #[test]
-        fn linear_chain_invariants(n in 1u32..20) {
+    /// Linear chains have exactly n-1 links and path length n.
+    #[test]
+    fn linear_chain_invariants() {
+        for n in 1u32..20 {
             let t = gen::linear(n);
-            prop_assert_eq!(t.unique_links().len() as u32, n - 1);
+            assert_eq!(t.unique_links().len() as u32, n - 1);
             let p = t.shortest_path(SwitchId(1), SwitchId(n)).unwrap();
-            prop_assert_eq!(p.len() as u32, n);
+            assert_eq!(p.len() as u32, n);
         }
     }
 }

@@ -80,12 +80,8 @@ fn main() {
         }
         for (port, entries) in &c.acl_in {
             for e in entries.iter().filter(|e| !e.permit) {
-                let rule = FlowRule::new(
-                    next_id,
-                    1_000,
-                    e.fields.with_in_port(*port),
-                    Action::Drop,
-                );
+                let rule =
+                    FlowRule::new(next_id, 1_000, e.fields.with_in_port(*port), Action::Drop);
                 next_id += 1;
                 net.switch_mut(sid).handle(OfMessage::FlowAdd(rule));
             }
@@ -103,23 +99,42 @@ fn main() {
 
     // Audit three flows.
     let cases = [
-        ("H1 TCP -> H3 (allowed)", FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 5, 80), PortNo(1)),
-        ("H2 TCP -> H3 (ACL-denied)", FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 1), 5, 80), PortNo(2)),
-        ("H1 UDP -> H3 (out-ACL-denied)", FiveTuple::udp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 5, 53), PortNo(1)),
+        (
+            "H1 TCP -> H3 (allowed)",
+            FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 5, 80),
+            PortNo(1),
+        ),
+        (
+            "H2 TCP -> H3 (ACL-denied)",
+            FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 1), 5, 80),
+            PortNo(2),
+        ),
+        (
+            "H1 UDP -> H3 (out-ACL-denied)",
+            FiveTuple::udp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 5, 53),
+            PortNo(1),
+        ),
     ];
     println!();
     for (what, header, port) in cases {
         net.advance_clock(1_000_000);
-        let trace =
-            net.inject(veridp::packet::PortRef { switch: SwitchId(1), port }, Packet::new(header));
-        let verdicts: Vec<_> =
-            trace.reports.iter().map(|r| table.verify(r, &hs)).collect();
+        let trace = net.inject(
+            veridp::packet::PortRef {
+                switch: SwitchId(1),
+                port,
+            },
+            Packet::new(header),
+        );
+        let verdicts: Vec<_> = trace.reports.iter().map(|r| table.verify(r, &hs)).collect();
         println!(
             "{what}: delivered={} verdicts={:?}",
             trace.delivered(),
             verdicts
         );
-        assert!(verdicts.iter().all(|v| v.is_pass()), "data plane matches the config");
+        assert!(
+            verdicts.iter().all(|v| v.is_pass()),
+            "data plane matches the config"
+        );
     }
     println!("\nall flows consistent with the parsed configuration.");
 }

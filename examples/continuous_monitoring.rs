@@ -18,8 +18,11 @@ fn main() {
     let topo = gen::internet2();
     let mut ctrl = Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: std::collections::HashMap<_, _> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: std::collections::HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let server = VeriDpServer::new(&topo, &rules, 16);
     let mut net = Network::new(topo.clone());
     net.apply_messages(ctrl.drain_messages());
@@ -42,8 +45,12 @@ fn main() {
         .with_pipeline(VeriDpPipeline::new(entry).with_sampler(sampler));
 
     println!("== continuous monitoring: SEAT -> NEWY over Internet2 ==");
-    println!("inter-packet gap T_a = {} ms, target latency tau = {} ms, T_s = {} ms\n",
-        t_a / 1_000_000, tau / 1_000_000, t_s / 1_000_000);
+    println!(
+        "inter-packet gap T_a = {} ms, target latency tau = {} ms, T_s = {} ms\n",
+        t_a / 1_000_000,
+        tau / 1_000_000,
+        t_s / 1_000_000
+    );
 
     let mut sim = EventSim::new(net, server);
 
@@ -51,8 +58,10 @@ fn main() {
     sim.flow(seat.attached, header, 0, t_a, 50_000_000);
     sim.run();
     let healthy = sim.log().len();
-    println!("healthy phase: {healthy} sampled reports, all pass: {}",
-        sim.log().iter().all(|e| e.outcome.is_pass()));
+    println!(
+        "healthy phase: {healthy} sampled reports, all pass: {}",
+        sim.log().iter().all(|e| e.outcome.is_pass())
+    );
 
     // Phase 2: at t = 50 ms, KANS's rule towards NEWY's subnet degrades to a
     // drop (blackhole). Traffic continues.
@@ -63,7 +72,10 @@ fn main() {
         .find(|r| r.fields.dst_ip == veridp::switch::prefix_mask(newy.ip, newy.plen))
         .map(|r| r.id);
     if let Some(rid) = victim {
-        sim.net.switch_mut(kans).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+        sim.net
+            .switch_mut(kans)
+            .faults_mut()
+            .add(Fault::ExternalModify(rid, Action::Drop));
     } else {
         // The flow may not cross KANS under ECMP-free shortest paths; fall
         // back to CHIC which is on every SEAT->NEWY path.
@@ -74,7 +86,10 @@ fn main() {
             .find(|r| r.fields.dst_ip == veridp::switch::prefix_mask(newy.ip, newy.plen))
             .map(|r| r.id)
             .expect("CHIC routes to NEWY");
-        sim.net.switch_mut(chic).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+        sim.net
+            .switch_mut(chic)
+            .faults_mut()
+            .add(Fault::ExternalModify(rid, Action::Drop));
     }
     let fault_at = 50_000_000u64;
     sim.flow(seat.attached, header, fault_at, t_a, fault_at + 40_000_000);
@@ -91,7 +106,11 @@ fn main() {
                 "detection latency {:.3} ms — bound T_s + T_a (+ report latency) = {:.3} ms: {}",
                 latency as f64 / 1e6,
                 (t_s + t_a + sim.report_latency_ns) as f64 / 1e6,
-                if latency <= t_s + t_a + sim.report_latency_ns { "HELD" } else { "VIOLATED" }
+                if latency <= t_s + t_a + sim.report_latency_ns {
+                    "HELD"
+                } else {
+                    "VIOLATED"
+                }
             );
         }
         None => println!("fault was not detected (unexpected)"),
@@ -100,6 +119,8 @@ fn main() {
     let s = sim.server.stats();
     println!(
         "\ntotal: {} reports verified, {} passed, {} failed",
-        s.reports, s.passed, s.failed()
+        s.reports,
+        s.passed,
+        s.failed()
     );
 }

@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use veridp::controller::Intent;
-use veridp::sim::Monitor;
 use veridp::packet::PortNo;
+use veridp::sim::Monitor;
 use veridp::switch::{Action, Fault};
 use veridp::topo::gen;
 
@@ -37,12 +37,17 @@ fn main() {
                 .unwrap();
             let s = path[rng.gen_range(0..path.len())];
             let subnet = veridp::switch::prefix_mask(b.ip, b.plen);
-            let Some(r) =
-                m.controller.rules_of(s).iter().find(|r| r.fields.dst_ip == subnet)
+            let Some(r) = m
+                .controller
+                .rules_of(s)
+                .iter()
+                .find(|r| r.fields.dst_ip == subnet)
             else {
                 continue;
             };
-            let Action::Forward(p) = r.action else { continue };
+            let Action::Forward(p) = r.action else {
+                continue;
+            };
             break (s, r.id, p);
         };
         let wrong = loop {
@@ -51,7 +56,10 @@ fn main() {
                 break p;
             }
         };
-        m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, Action::Forward(wrong)));
+        m.net
+            .switch_mut(sid)
+            .faults_mut()
+            .add(Fault::ExternalModify(rid, Action::Forward(wrong)));
 
         let name = m.net.topo().switch(sid).unwrap().name.clone();
         let mut failed = 0;

@@ -25,7 +25,12 @@ fn main() {
     rules.insert(
         SwitchId(1),
         vec![RwRule::rewriting(
-            FlowRule::new(1, 50, Match::dst_prefix(vip, 32), Action::Forward(PortNo(2))),
+            FlowRule::new(
+                1,
+                50,
+                Match::dst_prefix(vip, 32),
+                Action::Forward(PortNo(2)),
+            ),
             vec![FieldSet::dst_ip(server)],
         )],
     );
@@ -50,7 +55,10 @@ fn main() {
 
     let mut m = RwMonitor::deploy(topo.clone(), &rules, 16);
     println!("== NAT rewrite monitoring (rewrite-aware path table) ==\n");
-    println!("path table: {} paths (entry + exit header sets per path)\n", m.table().num_paths());
+    println!(
+        "path table: {} paths (entry + exit header sets per path)\n",
+        m.table().num_paths()
+    );
 
     let client = topo.host("h1").unwrap().attached;
     let to_vip = FiveTuple::tcp(ip(10, 0, 1, 1), vip, 40000, 443);
@@ -61,7 +69,10 @@ fn main() {
     println!("healthy VIP flow:");
     println!("  delivered: {}", trace.delivered());
     for (r, v) in &verdicts {
-        println!("  exit header dst = {} (rewritten from VIP)", std::net::Ipv4Addr::from(r.header.dst_ip));
+        println!(
+            "  exit header dst = {} (rewritten from VIP)",
+            std::net::Ipv4Addr::from(r.header.dst_ip)
+        );
         println!("  verdict: {v:?}");
     }
 
@@ -76,7 +87,10 @@ fn main() {
     println!("\nafter an attacker redirects the rewrite to 10.0.2.66:");
     println!("  delivered: {} (same path, same tag!)", trace2.delivered());
     for (r, v) in &verdicts2 {
-        println!("  exit header dst = {}", std::net::Ipv4Addr::from(r.header.dst_ip));
+        println!(
+            "  exit header dst = {}",
+            std::net::Ipv4Addr::from(r.header.dst_ip)
+        );
         println!("  verdict: {v:?}  <- caught by the exit-header check");
     }
 }

@@ -6,8 +6,8 @@
 //! ```
 
 use veridp::controller::Intent;
-use veridp::sim::Monitor;
 use veridp::packet::PortNo;
+use veridp::sim::Monitor;
 use veridp::switch::{Action, Fault};
 use veridp::topo::gen;
 
@@ -19,7 +19,11 @@ fn main() {
         gen::figure5(),
         &[
             Intent::Connectivity,
-            Intent::Waypoint { src_host: "H1".into(), dst_host: "H3".into(), via: "MB".into() },
+            Intent::Waypoint {
+                src_host: "H1".into(),
+                dst_host: "H3".into(),
+                via: "MB".into(),
+            },
         ],
         16,
     )
@@ -53,12 +57,18 @@ fn main() {
     m.net
         .switch_mut(veridp::packet::SwitchId(1))
         .faults_mut()
-        .add(Fault::ExternalModify(waypoint_rule, Action::Forward(PortNo(4))));
+        .add(Fault::ExternalModify(
+            waypoint_rule,
+            Action::Forward(PortNo(4)),
+        ));
     m.net.advance_clock(1_000_000_000); // let the flow sampler re-arm
 
     let bad = m.send("H1", "H3", 22);
     println!("\nafter tampering with S1's waypoint rule:");
-    println!("  real path: {} (middlebox bypassed!)", fmt_path(&bad.trace.hops));
+    println!(
+        "  real path: {} (middlebox bypassed!)",
+        fmt_path(&bad.trace.hops)
+    );
     for (report, verdict, loc) in &bad.verdicts {
         println!("  {report}\n  verdict: {verdict:?}");
         if let Some(loc) = loc {
@@ -81,5 +91,8 @@ fn main() {
 }
 
 fn fmt_path(hops: &[veridp::packet::Hop]) -> String {
-    hops.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(" ")
+    hops.iter()
+        .map(|h| h.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }

@@ -31,8 +31,10 @@ fn main() {
 
     println!("== traffic engineering compliance ==\n");
     let src = m.net.topo().host("H1").unwrap().attached;
-    let (src_ip, dst_ip) =
-        (m.net.topo().host("H1").unwrap().ip, m.net.topo().host("H3").unwrap().ip);
+    let (src_ip, dst_ip) = (
+        m.net.topo().host("H1").unwrap().ip,
+        m.net.topo().host("H3").unwrap().ip,
+    );
 
     // Simulate 32 flows with random-ish source ports; count tunnel usage.
     let mut via_s2 = 0;

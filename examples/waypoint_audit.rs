@@ -20,7 +20,10 @@ fn main() {
         "FW",
         gen::ip(192, 168, 250, 1),
         24,
-        veridp::packet::PortRef { switch: bbra, port: veridp::packet::PortNo(16) },
+        veridp::packet::PortRef {
+            switch: bbra,
+            port: veridp::packet::PortNo(16),
+        },
         HostRole::Middlebox,
     )
     .expect("port 16 free on bbra");
@@ -46,7 +49,10 @@ fn main() {
     println!(
         "healthy flow: {} hops, crosses FW: {}, consistent: {}",
         ok.trace.hops.len(),
-        ok.trace.hops.iter().any(|h| h.switch == bbra && h.out_port.0 == 16),
+        ok.trace
+            .hops
+            .iter()
+            .any(|h| h.switch == bbra && h.out_port.0 == 16),
         ok.consistent()
     );
 
@@ -69,18 +75,29 @@ fn main() {
     m.net
         .switch_mut(boza)
         .faults_mut()
-        .add(Fault::ExternalModify(wp, Action::Forward(veridp::packet::PortNo(2))));
+        .add(Fault::ExternalModify(
+            wp,
+            Action::Forward(veridp::packet::PortNo(2)),
+        ));
     m.net.advance_clock(2_000_000_000);
 
     let bad = m.send("h_boza_0", "h_coza_0", 443);
     println!(
         "\ntampered flow: delivered: {}, crosses FW: {}, consistent: {}",
         bad.trace.delivered(),
-        bad.trace.hops.iter().any(|h| h.switch == bbra && h.out_port.0 == 16),
+        bad.trace
+            .hops
+            .iter()
+            .any(|h| h.switch == bbra && h.out_port.0 == 16),
         bad.consistent()
     );
     if let Some(suspect) = bad.suspect() {
-        let name = m.net.topo().switch(suspect).map(|i| i.name.clone()).unwrap_or_default();
+        let name = m
+            .net
+            .topo()
+            .switch(suspect)
+            .map(|i| i.name.clone())
+            .unwrap_or_default();
         println!("VeriDP localizes the tampered switch: {name}");
     }
     let s = m.server.stats();

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Quick smoke run of the benchmark suite: shrunken workloads, one sample
+# each, JSON emitted at the repo root. Used by CI to keep the bench
+# programs honest without paying full measurement time.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export VERIDP_BENCH_QUICK=1
+export VERIDP_BENCH_OUT="${VERIDP_BENCH_OUT:-$PWD/BENCH_path_table.json}"
+
+echo "== path_table_build (quick) =="
+cargo bench -q --offline -p veridp-bench --bench path_table_build
+
+echo
+echo "== verify_report (quick) =="
+cargo bench -q --offline -p veridp-bench --bench verify_report
+
+echo
+echo "== incremental_update (quick) =="
+cargo bench -q --offline -p veridp-bench --bench incremental_update
+
+echo
+echo "== bloom_and_bdd (quick) =="
+cargo bench -q --offline -p veridp-bench --bench bloom_and_bdd
+
+echo
+echo "== pipeline_overhead (quick) =="
+cargo bench -q --offline -p veridp-bench --bench pipeline_overhead
+
+echo
+echo "smoke benches done; JSON at $VERIDP_BENCH_OUT"

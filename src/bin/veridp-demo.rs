@@ -35,16 +35,20 @@ fn parse_args() -> Options {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| usage(&format!("{name} needs a value"))).clone()
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                .clone()
         };
         match a.as_str() {
             "--topo" => o.topo = val("--topo"),
             "--fault" => o.fault = val("--fault"),
             "--tag-bits" => {
-                o.tag_bits = val("--tag-bits").parse().unwrap_or_else(|_| usage("bad tag-bits"))
+                o.tag_bits = val("--tag-bits")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad tag-bits"))
             }
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad seed")),
-            "--help" | "-h" => usage("",),
+            "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -114,7 +118,10 @@ fn main() {
                 .find(|(_, r)| r.action == Action::Drop)
                 .map(|(s, r)| (s, r.id))
                 .expect("ACL installed");
-            m.net.switch_mut(sid).faults_mut().add(Fault::ExternalDelete(rid));
+            m.net
+                .switch_mut(sid)
+                .faults_mut()
+                .add(Fault::ExternalDelete(rid));
             println!("fault: ACL rule {rid:?} deleted out-of-band at {sid}");
         }
         kind @ ("blackhole" | "wrongport") => {
@@ -125,8 +132,10 @@ fn main() {
                 if a.ip == b.ip {
                     continue;
                 }
-                let Some(path) =
-                    m.net.topo().shortest_path(a.attached.switch, b.attached.switch)
+                let Some(path) = m
+                    .net
+                    .topo()
+                    .shortest_path(a.attached.switch, b.attached.switch)
                 else {
                     continue;
                 };
@@ -140,7 +149,9 @@ fn main() {
                 else {
                     continue;
                 };
-                let Action::Forward(p) = r.action else { continue };
+                let Action::Forward(p) = r.action else {
+                    continue;
+                };
                 break (s, r.id, p);
             };
             let action = if kind == "blackhole" {
@@ -155,7 +166,10 @@ fn main() {
                 };
                 Action::Forward(wrong)
             };
-            m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, action));
+            m.net
+                .switch_mut(sid)
+                .faults_mut()
+                .add(Fault::ExternalModify(rid, action));
             let name = m.net.topo().switch(sid).unwrap().name.clone();
             println!("fault: {kind} injected at {name} (rule {rid:?})");
         }
@@ -167,7 +181,9 @@ fn main() {
     let total = outcomes.len();
     let delivered = outcomes.iter().filter(|r| r.trace.delivered()).count();
     let inconsistent = outcomes.iter().filter(|r| !r.consistent()).count();
-    println!("\ntraffic: {total} flows, {delivered} delivered, {inconsistent} flagged inconsistent");
+    println!(
+        "\ntraffic: {total} flows, {delivered} delivered, {inconsistent} flagged inconsistent"
+    );
 
     let s = m.server.stats();
     println!(
@@ -180,7 +196,12 @@ fn main() {
         suspects.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
         println!("suspects (by candidate count):");
         for (sid, count) in suspects.into_iter().take(5) {
-            let name = m.net.topo().switch(sid).map(|i| i.name.clone()).unwrap_or_default();
+            let name = m
+                .net
+                .topo()
+                .switch(sid)
+                .map(|i| i.name.clone())
+                .unwrap_or_default();
             println!("  {name}: {count}");
         }
     }

@@ -42,7 +42,9 @@ fn sampled_packet_survives_frame_encoding_mid_path() {
     let mut pkt = Packet::new(header);
     let topo = m.net.topo().clone();
     let (out, report) =
-        m.net.switch_mut(SwitchId(1)).process_packet(&mut pkt, src.attached.port, 1, &topo);
+        m.net
+            .switch_mut(SwitchId(1))
+            .process_packet(&mut pkt, src.attached.port, 1, &topo);
     assert!(report.is_none());
     let wire = encode_frame(&pkt).unwrap();
     let revived = decode_frame(wire).unwrap();
@@ -50,12 +52,27 @@ fn sampled_packet_survives_frame_encoding_mid_path() {
     assert_eq!(revived.inport, pkt.inport);
 
     // Continue at S2 from the link peer of (S1, out).
-    let next = topo.peer(veridp::packet::PortRef { switch: SwitchId(1), port: out }).unwrap();
+    let next = topo
+        .peer(veridp::packet::PortRef {
+            switch: SwitchId(1),
+            port: out,
+        })
+        .unwrap();
     let mut pkt2 = revived;
-    let (out2, _) = m.net.switch_mut(next.switch).process_packet(&mut pkt2, next.port, 2, &topo);
-    let next2 = topo.peer(veridp::packet::PortRef { switch: next.switch, port: out2 }).unwrap();
-    let (_, report) =
-        m.net.switch_mut(next2.switch).process_packet(&mut pkt2, next2.port, 3, &topo);
+    let (out2, _) = m
+        .net
+        .switch_mut(next.switch)
+        .process_packet(&mut pkt2, next.port, 2, &topo);
+    let next2 = topo
+        .peer(veridp::packet::PortRef {
+            switch: next.switch,
+            port: out2,
+        })
+        .unwrap();
+    let (_, report) = m
+        .net
+        .switch_mut(next2.switch)
+        .process_packet(&mut pkt2, next2.port, 3, &topo);
     let report = report.expect("exit switch reports");
     assert!(m.server.verify_and_localize(&report).0.is_pass());
 }
@@ -79,7 +96,10 @@ fn interceptor_keeps_server_synced_through_rule_churn() {
     m.net.advance_clock(1_000_000_000);
     let dropped = m.send("h1", "h2", 80);
     assert!(!dropped.trace.delivered());
-    assert!(dropped.consistent(), "a policy drop is consistent behaviour");
+    assert!(
+        dropped.consistent(),
+        "a policy drop is consistent behaviour"
+    );
 
     // Roll back: connectivity restored and consistent.
     m.remove_rule(s1, id);
@@ -97,7 +117,11 @@ fn incremental_server_equals_bulk_server_on_internet2() {
     let topo = gen::internet2();
     let mut ctrl = Controller::new(topo.clone());
     synth::install_rib(&mut ctrl, 60, 99);
-    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
 
     let mut bulk = VeriDpServer::new(&topo, &rules, 16);
     let mut incremental = VeriDpServer::new(&topo, &HashMap::new(), 16);
@@ -135,7 +159,11 @@ fn path_table_witnesses_traverse_the_real_network() {
     let topo = gen::fat_tree(4);
     let mut ctrl = Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let mut hs = HeaderSpace::new();
     let table = PathTable::build(&topo, &rules, &mut hs, 16);
 
@@ -149,7 +177,9 @@ fn path_table_witnesses_traverse_the_real_network() {
             continue;
         }
         for e in entries {
-            let Some(w) = hs.witness(e.headers) else { continue };
+            let Some(w) = hs.witness(e.headers) else {
+                continue;
+            };
             net.advance_clock(1_000_000);
             let trace = net.inject(*inport, Packet::new(w));
             let report = trace.reports.last().expect("report emitted");
@@ -175,7 +205,10 @@ fn tag_width_sweep_preserves_soundness() {
         }
     }
     // Empty tags of every width are equal only to themselves.
-    assert_ne!(BloomTag::empty(16), BloomTag::empty(16).union(BloomTag::singleton(b"x", 16)));
+    assert_ne!(
+        BloomTag::empty(16),
+        BloomTag::empty(16).union(BloomTag::singleton(b"x", 16))
+    );
 }
 
 #[test]
@@ -220,7 +253,11 @@ fn parallel_batch_verification_matches_and_scales() {
     let topo = gen::fat_tree(4);
     let mut ctrl = Controller::new(topo.clone());
     ctrl.install_intent(&Intent::Connectivity).unwrap();
-    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     let mut hs = HeaderSpace::new();
     let table = PathTable::build(&topo, &rules, &mut hs, 16);
 
@@ -255,14 +292,20 @@ fn report_order_does_not_affect_verdicts() {
     m.net
         .switch_mut(sid)
         .faults_mut()
-        .add(veridp::switch::Fault::ExternalModify(rid, veridp::switch::Action::Drop));
+        .add(veridp::switch::Fault::ExternalModify(
+            rid,
+            veridp::switch::Action::Drop,
+        ));
 
     let outcomes = m.ping_all_pairs(80);
     let reports: Vec<_> = outcomes
         .iter()
         .flat_map(|o| o.trace.reports.iter().copied())
         .collect();
-    let forward: Vec<_> = reports.iter().map(|r| m.server.table().verify(r, m.server.header_space())).collect();
+    let forward: Vec<_> = reports
+        .iter()
+        .map(|r| m.server.table().verify(r, m.server.header_space()))
+        .collect();
     let reversed: Vec<_> = reports
         .iter()
         .rev()
@@ -312,16 +355,28 @@ fn two_simultaneous_faults_both_implicated() {
     m.net
         .switch_mut(edge)
         .faults_mut()
-        .add(veridp::switch::Fault::ExternalModify(rid_a, veridp::switch::Action::Drop));
-    m.net.switch_mut(other).faults_mut().add(veridp::switch::Fault::ExternalModify(
-        rid_b,
-        veridp::switch::Action::Forward(veridp::packet::PortNo(2)),
-    ));
+        .add(veridp::switch::Fault::ExternalModify(
+            rid_a,
+            veridp::switch::Action::Drop,
+        ));
+    m.net
+        .switch_mut(other)
+        .faults_mut()
+        .add(veridp::switch::Fault::ExternalModify(
+            rid_b,
+            veridp::switch::Action::Forward(veridp::packet::PortNo(2)),
+        ));
 
     let outcomes = m.ping_all_pairs(80);
     let broken = outcomes.iter().filter(|o| !o.consistent()).count();
     assert!(broken >= 2, "both faults must break traffic");
     let suspects = m.server.suspects();
-    assert!(suspects.contains_key(&edge), "fault A localized: {suspects:?}");
-    assert!(suspects.contains_key(&other), "fault B localized: {suspects:?}");
+    assert!(
+        suspects.contains_key(&edge),
+        "fault A localized: {suspects:?}"
+    );
+    assert!(
+        suspects.contains_key(&other),
+        "fault B localized: {suspects:?}"
+    );
 }

@@ -12,7 +12,11 @@ fn deploy() -> Monitor {
     Monitor::deploy(gen::stanford_like(), &[Intent::Connectivity], 16).expect("deploys")
 }
 
-fn rule_towards(m: &Monitor, on: &str, dst_host: &str) -> (veridp::packet::SwitchId, veridp::switch::RuleId) {
+fn rule_towards(
+    m: &Monitor,
+    on: &str,
+    dst_host: &str,
+) -> (veridp::packet::SwitchId, veridp::switch::RuleId) {
     let topo = m.net.topo();
     let sid = topo.switch_by_name(on).unwrap();
     let dst = topo.host(dst_host).unwrap();
@@ -30,7 +34,10 @@ fn rule_towards(m: &Monitor, on: &str, dst_host: &str) -> (veridp::packet::Switc
 fn black_hole_detected_and_localized() {
     let mut m = deploy();
     let (sid, rid) = rule_towards(&m, "boza", "h_coza_0");
-    m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, Action::Drop));
     let out = m.send("h_boza_0", "h_coza_0", 80);
     assert!(!out.trace.delivered());
     assert!(!out.consistent());
@@ -80,7 +87,10 @@ fn access_violation_detected() {
     assert!(blocked.consistent());
 
     // ACL deleted behind the controller's back: the leak is flagged.
-    m.net.switch_mut(sid).faults_mut().add(Fault::ExternalDelete(acl));
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalDelete(acl));
     m.net.advance_clock(1_000_000_000);
     let leaked = m.send("h_sozb_0", "h_cozb_0", 80);
     assert!(leaked.trace.delivered());
@@ -99,7 +109,10 @@ fn data_plane_loop_detected() {
         .add(Fault::ExternalModify(rid, Action::Forward(PortNo(1))));
     let out = m.send("h_bozb_0", "h_yoza_0", 80);
     assert!(out.trace.looped);
-    assert!(!out.trace.reports.is_empty(), "TTL expiry must produce reports");
+    assert!(
+        !out.trace.reports.is_empty(),
+        "TTL expiry must produce reports"
+    );
     assert!(!out.consistent());
 }
 
@@ -108,7 +121,10 @@ fn repair_restores_consistency_after_fault() {
     // Extension (paper future work #2): detect → localize → repair → verify.
     let mut m = deploy();
     let (sid, rid) = rule_towards(&m, "boza", "h_coza_0");
-    m.net.switch_mut(sid).faults_mut().add(Fault::ExternalModify(rid, Action::Drop));
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, Action::Drop));
     let out = m.send("h_boza_0", "h_coza_0", 80);
     assert!(!out.consistent());
     let suspect = out.suspect().expect("localized");

@@ -26,7 +26,7 @@ fn normalized(t: &PathTable) -> Vec<(PortRef, PortRef, Vec<Hop>, u64, u32)> {
 fn random_rule(rng: &mut StdRng, topo: &Topology, s: SwitchId, id: u64) -> FlowRule {
     let nports = topo.switch(s).unwrap().num_ports;
     let plen = rng.gen_range(8..=32);
-    let base = gen::ip(10, 0, rng.gen_range(0..8), rng.gen_range(0..4) * 64);
+    let base = gen::ip(10, 0, rng.gen_range(0..8), rng.gen_range(0..4u8) * 64);
     let mut fields = Match::dst_prefix(base, plen);
     if rng.gen_bool(0.2) {
         fields = fields.with_dst_port(rng.gen_range(1..1024));
@@ -39,7 +39,7 @@ fn random_rule(rng: &mut StdRng, topo: &Topology, s: SwitchId, id: u64) -> FlowR
     } else {
         Action::Forward(PortNo(rng.gen_range(1..=nports)))
     };
-    FlowRule::new(id, plen as u16 + rng.gen_range(0..3), fields, action)
+    FlowRule::new(id, plen as u16 + rng.gen_range(0..3u16), fields, action)
 }
 
 /// Apply `steps` random add/delete/modify operations, checking equivalence
@@ -54,7 +54,9 @@ fn churn(topo: Topology, seed: u64, steps: usize) {
 
     for step in 0..steps {
         let s = switches[rng.gen_range(0..switches.len())];
-        let have: Vec<RuleId> = current.get(&s).map_or(Vec::new(), |v| v.iter().map(|r| r.id).collect());
+        let have: Vec<RuleId> = current
+            .get(&s)
+            .map_or(Vec::new(), |v| v.iter().map(|r| r.id).collect());
         match rng.gen_range(0..10u8) {
             // Mostly adds, some deletes, some modifies.
             0..=5 => {

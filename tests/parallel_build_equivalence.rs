@@ -1,0 +1,179 @@
+//! The hard correctness bar for the sharded parallel build: for every
+//! topology, rule set, and thread count, `PathTable::build_parallel` must be
+//! semantically identical to `PathTable::build` — same `(inport, outport)`
+//! pairs, same hop sequences, same tags, and the same header sets.
+//!
+//! Both tables are built against the *same* `HeaderSpace`, so BDD canonicity
+//! turns semantic equality of header sets into plain handle equality.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp::core::{HeaderSpace, PathTable};
+use veridp::packet::{Hop, PortNo, PortRef, SwitchId};
+use veridp::switch::{Action, FlowRule, Match};
+use veridp::topo::{gen, Topology};
+
+type Rules = HashMap<SwitchId, Vec<FlowRule>>;
+
+/// Full normalized view of a table: pair, hops, tag bits, and the header-set
+/// handle (canonical within the shared header space).
+fn normalized(t: &PathTable) -> Vec<(PortRef, PortRef, Vec<Hop>, u64, u32)> {
+    let mut v: Vec<_> = t
+        .all_entries()
+        .into_iter()
+        .map(|((i, o), e)| (*i, *o, e.hops.clone(), e.tag.bits(), e.headers.index()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// One path as (hop list, header-set BDD handle).
+type OrderedPath = (Vec<Hop>, u32);
+
+/// Per-pair path lists in insertion order (order must also match, not just
+/// the sorted multiset).
+fn ordered_paths(t: &PathTable) -> Vec<(PortRef, PortRef, Vec<OrderedPath>)> {
+    let mut keys: Vec<(PortRef, PortRef)> = t.iter().map(|(k, _)| *k).collect();
+    keys.sort();
+    keys.into_iter()
+        .map(|(i, o)| {
+            let list = t
+                .paths(i, o)
+                .iter()
+                .map(|e| (e.hops.clone(), e.headers.index()))
+                .collect();
+            (i, o, list)
+        })
+        .collect()
+}
+
+fn random_rules(rng: &mut StdRng, topo: &Topology, per_switch: usize) -> Rules {
+    let mut rules: Rules = HashMap::new();
+    let mut id = 1u64;
+    for info in topo.switches() {
+        let nports = info.num_ports;
+        for _ in 0..per_switch {
+            let plen = rng.gen_range(8..=24u8);
+            let base = gen::ip(10, rng.gen_range(0..4u8), rng.gen_range(0..8u8), 0);
+            let mut fields = Match::dst_prefix(base, plen);
+            if rng.gen_bool(0.2) {
+                fields = fields.with_dst_port(rng.gen_range(1..1024u16));
+            }
+            if rng.gen_bool(0.1) {
+                fields = fields.with_in_port(PortNo(rng.gen_range(1..=nports)));
+            }
+            let action = if rng.gen_bool(0.1) {
+                Action::Drop
+            } else {
+                Action::Forward(PortNo(rng.gen_range(1..=nports)))
+            };
+            rules
+                .entry(info.id)
+                .or_default()
+                .push(FlowRule::new(id, plen as u16, fields, action));
+            id += 1;
+        }
+    }
+    rules
+}
+
+/// Build sequentially and at several thread counts against one header
+/// space; every parallel result must equal the sequential one exactly.
+fn check_equivalence(topo: Topology, seed: u64, per_switch: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rules = random_rules(&mut rng, &topo, per_switch);
+    let mut hs = HeaderSpace::new();
+    let seq = PathTable::build(&topo, &rules, &mut hs, 16);
+    let seq_norm = normalized(&seq);
+    let seq_paths = ordered_paths(&seq);
+    assert!(!seq_norm.is_empty(), "degenerate test: empty table");
+    for threads in [1usize, 2, 4, 8] {
+        let par = PathTable::build_parallel(&topo, &rules, &mut hs, 16, threads);
+        assert_eq!(
+            seq_norm,
+            normalized(&par),
+            "parallel table diverged at {threads} threads (seed {seed})"
+        );
+        assert_eq!(
+            seq_paths,
+            ordered_paths(&par),
+            "per-pair path order diverged at {threads} threads (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn equivalent_on_fat_tree4() {
+    check_equivalence(gen::fat_tree(4), 1, 6);
+}
+
+#[test]
+fn equivalent_on_internet2() {
+    check_equivalence(gen::internet2(), 2, 8);
+}
+
+#[test]
+fn equivalent_on_figure5_with_middlebox() {
+    check_equivalence(gen::figure5(), 3, 8);
+}
+
+#[test]
+fn equivalent_on_linear_chain() {
+    for seed in 10..14 {
+        check_equivalence(gen::linear(5), seed, 5);
+    }
+}
+
+#[test]
+fn deterministic_across_thread_counts() {
+    let topo = gen::fat_tree(4);
+    let mut rng = StdRng::seed_from_u64(77);
+    let rules = random_rules(&mut rng, &topo, 6);
+    let mut hs = HeaderSpace::new();
+    let a = PathTable::build_parallel(&topo, &rules, &mut hs, 16, 2);
+    let b = PathTable::build_parallel(&topo, &rules, &mut hs, 16, 4);
+    let c = PathTable::build_parallel(&topo, &rules, &mut hs, 16, 7);
+    assert_eq!(normalized(&a), normalized(&b));
+    assert_eq!(normalized(&b), normalized(&c));
+    assert_eq!(ordered_paths(&a), ordered_paths(&b));
+    assert_eq!(ordered_paths(&b), ordered_paths(&c));
+}
+
+/// Reach records must survive the merge: incremental updates applied to a
+/// parallel-built table must behave exactly as on a sequentially-built one.
+#[test]
+fn incremental_update_after_parallel_build() {
+    let topo = gen::linear(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let rules = random_rules(&mut rng, &topo, 4);
+    let mut hs = HeaderSpace::new();
+    let mut seq = PathTable::build(&topo, &rules, &mut hs, 16);
+    let mut par = PathTable::build_parallel(&topo, &rules, &mut hs, 16, 3);
+
+    let mut current = rules;
+    for step in 0..20u64 {
+        let s = SwitchId(rng.gen_range(1..=4u32));
+        let nports = topo.switch(s).unwrap().num_ports;
+        let plen = rng.gen_range(8..=24u8);
+        let base = gen::ip(10, rng.gen_range(0..4u8), rng.gen_range(0..8u8), 0);
+        let rule = FlowRule::new(
+            1000 + step,
+            plen as u16,
+            Match::dst_prefix(base, plen),
+            Action::Forward(PortNo(rng.gen_range(1..=nports))),
+        );
+        seq.add_rule(s, rule, &mut hs);
+        par.add_rule(s, rule, &mut hs);
+        current.entry(s).or_default().push(rule);
+        assert_eq!(
+            normalized(&seq),
+            normalized(&par),
+            "incremental divergence at step {step}"
+        );
+    }
+    // Both stay equal to a fresh rebuild.
+    let rebuilt = PathTable::build(&topo, &current, &mut hs, 16);
+    assert_eq!(normalized(&par), normalized(&rebuilt));
+}

@@ -20,7 +20,11 @@ fn stanford_scale_path_table() {
     let topo = gen::stanford_like();
     let mut ctrl = Controller::new(topo.clone());
     let rules_added = synth::install_rib(&mut ctrl, 1_500, 2016);
-    let rules: HashMap<_, _> = ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let rules: HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
 
     let mut hs = HeaderSpace::new();
     let start = Instant::now();
@@ -53,7 +57,11 @@ fn stanford_scale_path_table() {
         assert_eq!(table.verify(r, &hs), VerifyOutcome::Pass);
     }
     let per = start.elapsed().as_secs_f64() / reports.len() as f64;
-    println!("verification at scale: {} reports, {:.2} us each", reports.len(), per * 1e6);
+    println!(
+        "verification at scale: {} reports, {:.2} us each",
+        reports.len(),
+        per * 1e6
+    );
     assert!(per < 1e-3, "verification should stay sub-millisecond");
 }
 
@@ -65,8 +73,11 @@ fn internet2_incremental_stress() {
     let mut ctrl = Controller::new(topo.clone());
     synth::install_rib(&mut ctrl, 1_200, 7);
     let target = topo.switch_by_name("CHIC").unwrap();
-    let mut rules: HashMap<_, _> =
-        ctrl.logical_rules().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let mut rules: HashMap<_, _> = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
     rules.insert(target, Vec::new());
 
     let mut hs = HeaderSpace::new();
@@ -92,6 +103,12 @@ fn internet2_incremental_stress() {
     // Update cost grows with the accumulated table (the paper's Fig. 14
     // scatter shows the same drift); at twice the Fig. 14 scale we accept a
     // larger over-10ms share but the mean must stay in the tens of ms.
-    assert!(over_10ms < 4000 * 7 / 10, "too many slow updates: {over_10ms}");
-    assert!(total.as_secs_f64() * 1e3 / 4000.0 < 50.0, "mean update too slow");
+    assert!(
+        over_10ms < 4000 * 7 / 10,
+        "too many slow updates: {over_10ms}"
+    );
+    assert!(
+        total.as_secs_f64() * 1e3 / 4000.0 < 50.0,
+        "mean update too slow"
+    );
 }

@@ -18,23 +18,27 @@ fn reports_over_loopback_udp() {
     // Deploy and collect reports from real traffic.
     let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
     let outcomes = m.ping_all_pairs(80);
-    let reports: Vec<_> =
-        outcomes.iter().flat_map(|o| o.trace.reports.iter().copied()).collect();
+    let reports: Vec<_> = outcomes
+        .iter()
+        .flat_map(|o| o.trace.reports.iter().copied())
+        .collect();
     assert!(!reports.is_empty());
     let expected = reports.len();
 
     // Server side: bind, then verify everything that arrives.
     let server_sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
     let addr = server_sock.local_addr().unwrap();
-    server_sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    server_sock
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
     let (tx, rx) = mpsc::channel();
     let table_server = std::thread::spawn(move || {
         let mut verdicts = Vec::new();
         let mut buf = [0u8; 256];
         while verdicts.len() < expected {
             let (n, _) = server_sock.recv_from(&mut buf).expect("recv");
-            let report = decode_report(bytes::Bytes::copy_from_slice(&buf[..n]))
-                .expect("wire-clean report");
+            let report =
+                decode_report(bytes::Bytes::copy_from_slice(&buf[..n])).expect("wire-clean report");
             verdicts.push(report);
         }
         tx.send(verdicts).unwrap();
@@ -47,7 +51,9 @@ fn reports_over_loopback_udp() {
         switch_sock.send_to(&payload, addr).expect("send");
     }
 
-    let received = rx.recv_timeout(Duration::from_secs(10)).expect("all reports arrive");
+    let received = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("all reports arrive");
     table_server.join().unwrap();
     assert_eq!(received.len(), expected);
 
