@@ -1,0 +1,163 @@
+//! Five-field interval cubes: the geometric primitive under the atom
+//! partition.
+//!
+//! A cube is a product of one inclusive integer range per header field, in
+//! the canonical field order (src ip, dst ip, proto, src port, dst port).
+//! Every [`Match`](veridp_switch::Match) denotes a cube — prefixes and port
+//! ranges are both intervals — and cube subtraction yields at most two
+//! pieces per field, which is what keeps lazy refinement cheap.
+
+use veridp_packet::FiveTuple;
+use veridp_switch::{prefix_mask, Match};
+
+/// Number of header fields a cube constrains.
+pub const NUM_FIELDS: usize = 5;
+
+/// Field indices into [`Cube::lo`] / [`Cube::hi`].
+pub const F_SRC_IP: usize = 0;
+pub const F_DST_IP: usize = 1;
+pub const F_PROTO: usize = 2;
+pub const F_SRC_PORT: usize = 3;
+pub const F_DST_PORT: usize = 4;
+
+/// Bit width of each field, in canonical order.
+pub const FIELD_BITS: [u32; NUM_FIELDS] = [32, 32, 8, 16, 16];
+
+/// Inclusive maximum value of each field.
+pub const FIELD_MAX: [u64; NUM_FIELDS] = [
+    u32::MAX as u64,
+    u32::MAX as u64,
+    u8::MAX as u64,
+    u16::MAX as u64,
+    u16::MAX as u64,
+];
+
+/// A non-empty product of inclusive per-field ranges. Invariant:
+/// `lo[f] <= hi[f] <= FIELD_MAX[f]` for every field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    pub lo: [u64; NUM_FIELDS],
+    pub hi: [u64; NUM_FIELDS],
+}
+
+/// The inclusive value range of an IP prefix.
+fn prefix_range(ip: u32, plen: u8) -> (u64, u64) {
+    let base = prefix_mask(ip, plen) as u64;
+    let span = 0xffff_ffffu64 >> plen;
+    (base, base + span)
+}
+
+fn point(h: &FiveTuple) -> [u64; NUM_FIELDS] {
+    [
+        h.src_ip as u64,
+        h.dst_ip as u64,
+        h.proto as u64,
+        h.src_port as u64,
+        h.dst_port as u64,
+    ]
+}
+
+impl Cube {
+    /// The whole 104-bit header space.
+    pub const FULL: Cube = Cube {
+        lo: [0; NUM_FIELDS],
+        hi: FIELD_MAX,
+    };
+
+    /// The cube denoted by a rule match, *ignoring* its `in_port` qualifier
+    /// (in-ports are resolved by the per-port predicate scan, exactly as in
+    /// the BDD backend's `match_set`).
+    pub fn from_match(m: &Match) -> Cube {
+        let mut c = Cube::FULL;
+        (c.lo[F_SRC_IP], c.hi[F_SRC_IP]) = prefix_range(m.src_ip, m.src_plen);
+        (c.lo[F_DST_IP], c.hi[F_DST_IP]) = prefix_range(m.dst_ip, m.dst_plen);
+        if let Some(p) = m.proto {
+            c.lo[F_PROTO] = p as u64;
+            c.hi[F_PROTO] = p as u64;
+        }
+        c.lo[F_SRC_PORT] = m.src_port.lo as u64;
+        c.hi[F_SRC_PORT] = m.src_port.hi as u64;
+        c.lo[F_DST_PORT] = m.dst_port.lo as u64;
+        c.hi[F_DST_PORT] = m.dst_port.hi as u64;
+        c
+    }
+
+    /// Whether the cubes share any point.
+    pub fn intersects(&self, o: &Cube) -> bool {
+        (0..NUM_FIELDS).all(|f| self.lo[f].max(o.lo[f]) <= self.hi[f].min(o.hi[f]))
+    }
+
+    /// The common sub-cube, if any.
+    pub fn intersect(&self, o: &Cube) -> Option<Cube> {
+        let mut r = Cube {
+            lo: [0; NUM_FIELDS],
+            hi: [0; NUM_FIELDS],
+        };
+        for f in 0..NUM_FIELDS {
+            r.lo[f] = self.lo[f].max(o.lo[f]);
+            r.hi[f] = self.hi[f].min(o.hi[f]);
+            if r.lo[f] > r.hi[f] {
+                return None;
+            }
+        }
+        Some(r)
+    }
+
+    /// Whether `o` lies entirely inside `self`.
+    pub fn contains_cube(&self, o: &Cube) -> bool {
+        (0..NUM_FIELDS).all(|f| self.lo[f] <= o.lo[f] && o.hi[f] <= self.hi[f])
+    }
+
+    /// Whether the concrete header lies in the cube.
+    pub fn contains_point(&self, h: &FiveTuple) -> bool {
+        let p = point(h);
+        (0..NUM_FIELDS).all(|f| self.lo[f] <= p[f] && p[f] <= self.hi[f])
+    }
+
+    /// Split `self` against `m`: returns the core `self ∩ m` (if non-empty)
+    /// and the pieces of `self ∖ m` as disjoint cubes — the standard slab
+    /// decomposition, at most two pieces per field, whose union with the
+    /// core is exactly `self`.
+    pub fn split(&self, m: &Cube) -> (Option<Cube>, Vec<Cube>) {
+        let Some(core) = self.intersect(m) else {
+            return (None, vec![*self]);
+        };
+        let mut pieces = Vec::new();
+        let mut cur = *self;
+        for f in 0..NUM_FIELDS {
+            if cur.lo[f] < core.lo[f] {
+                let mut p = cur;
+                p.hi[f] = core.lo[f] - 1;
+                pieces.push(p);
+                cur.lo[f] = core.lo[f];
+            }
+            if cur.hi[f] > core.hi[f] {
+                let mut p = cur;
+                p.lo[f] = core.hi[f] + 1;
+                pieces.push(p);
+                cur.hi[f] = core.hi[f];
+            }
+        }
+        debug_assert_eq!(cur, core);
+        (Some(core), pieces)
+    }
+
+    /// Number of concrete headers in the cube (at most `2^104`).
+    pub fn volume(&self) -> u128 {
+        (0..NUM_FIELDS)
+            .map(|f| (self.hi[f] - self.lo[f] + 1) as u128)
+            .product()
+    }
+
+    /// The lexicographically smallest header of the cube — a deterministic
+    /// witness.
+    pub fn lo_point(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.lo[F_SRC_IP] as u32,
+            dst_ip: self.lo[F_DST_IP] as u32,
+            proto: self.lo[F_PROTO] as u8,
+            src_port: self.lo[F_SRC_PORT] as u16,
+            dst_port: self.lo[F_DST_PORT] as u16,
+        }
+    }
+}

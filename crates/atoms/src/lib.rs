@@ -1,0 +1,473 @@
+//! Atom-partition header sets: a Delta-net-inspired alternative to the BDD
+//! backend.
+//!
+//! The BDD backend represents a header set as a Boolean function over 104
+//! variables. This crate represents the same sets *extensionally*: the
+//! 5-tuple space is maintained as a global partition into disjoint interval
+//! cubes (**atoms**), refined lazily as rule matches arrive, and a header
+//! set is simply the set of atom ids it covers — stored as an interned
+//! sorted vector. Set algebra then degenerates to linear merges of sorted
+//! id lists: no node allocation, no operation caches, no variable ordering
+//! sensitivity.
+//!
+//! The trade-off mirrors the Delta-net-vs-HSA/BDD discussion: interval
+//! atoms excel when rule matches are prefixes and ranges (IP forwarding
+//! tables — the VeriDP workload), because `k` distinct matches can create at
+//! most `O(k)` interval boundaries per field. They lose to BDDs when sets
+//! have dense cross-field correlation structure that intervals must
+//! enumerate but a Boolean function can share.
+//!
+//! # Canonicity
+//!
+//! [`AtomSpace`] upholds the [`HeaderSetBackend`] canonicity contract —
+//! equal handles **iff** equal sets — by interning: every distinct sorted
+//! id vector gets exactly one [`AtomSet`] handle. Refinement preserves the
+//! contract in place: when atom `a` splits into `a` (the part inside the
+//! refining cube) plus fresh atoms `b, c, …` (the parts outside), every
+//! interned vector containing `a` is rewritten to also contain `b, c, …`.
+//! Handles never change, denotations never change, and distinct sets stay
+//! distinct, so handles held by a [`PathTable`](veridp_core::PathTable)
+//! remain valid across arbitrary later refinement.
+
+mod cube;
+mod partition;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use veridp_core::HeaderSetBackend;
+use veridp_packet::FiveTuple;
+use veridp_switch::Match;
+
+pub use cube::{Cube, FIELD_BITS, FIELD_MAX, NUM_FIELDS};
+pub use cube::{F_DST_IP, F_DST_PORT, F_PROTO, F_SRC_IP, F_SRC_PORT};
+pub use partition::{AtomId, Partition};
+
+/// A canonical handle to an interned header set: equal handles iff equal
+/// sets, within one [`AtomSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AtomSet(u32);
+
+impl AtomSet {
+    /// The empty set (no atoms).
+    pub const EMPTY: AtomSet = AtomSet(0);
+    /// The full header space (every atom).
+    pub const FULL: AtomSet = AtomSet(1);
+
+    /// The raw interner index, for diagnostics.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Import-translation memo: maps source-space set handles to
+/// destination-space handles. Reuse one memo across a batch of imports from
+/// the same source.
+#[derive(Debug, Default)]
+pub struct AtomMemo {
+    map: HashMap<u32, u32>,
+}
+
+/// The atom-partition backend. One instance backs one path table; handles
+/// from different instances must not mix (same discipline as BDD managers).
+#[derive(Debug, Clone)]
+pub struct AtomSpace {
+    partition: Partition,
+    /// Interned sets: index = handle, value = sorted atom ids. Index 0 is
+    /// the empty vector, index 1 the all-atoms vector, maintained under
+    /// refinement.
+    vecs: Vec<Arc<[AtomId]>>,
+    /// Reverse interner: vector → handle.
+    ids: HashMap<Arc<[AtomId]>, u32>,
+    /// Memoized `from_match` results, keyed with `in_port` normalized away
+    /// (the cube ignores it, so distinct in-ports share one entry). Stays
+    /// valid under refinement because handles are rewritten in place.
+    match_cache: HashMap<Match, AtomSet>,
+}
+
+impl AtomSpace {
+    /// A fresh space with the trivial one-atom partition.
+    pub fn new() -> Self {
+        let empty: Arc<[AtomId]> = Arc::from(Vec::new());
+        let full: Arc<[AtomId]> = Arc::from(vec![0]);
+        let mut ids = HashMap::new();
+        ids.insert(empty.clone(), 0);
+        ids.insert(full.clone(), 1);
+        AtomSpace {
+            partition: Partition::new(),
+            vecs: vec![empty, full],
+            ids,
+            match_cache: HashMap::new(),
+        }
+    }
+
+    /// Current number of atoms — the partition's size metric, the analogue
+    /// of the BDD backend's node count.
+    pub fn num_atoms(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Number of distinct interned sets (diagnostic).
+    pub fn num_sets(&self) -> usize {
+        self.vecs.len()
+    }
+
+    /// The sorted atom ids of a set.
+    pub fn set_ids(&self, s: AtomSet) -> &[AtomId] {
+        &self.vecs[s.0 as usize]
+    }
+
+    /// The cube of one atom.
+    pub fn atom_cube(&self, id: AtomId) -> &Cube {
+        self.partition.atom(id)
+    }
+
+    /// The disjoint cubes whose union denotes `s` — the bridge the
+    /// differential test suite uses to rebuild the same set in a BDD space.
+    pub fn cubes_of(&self, s: AtomSet) -> Vec<Cube> {
+        self.set_ids(s)
+            .iter()
+            .map(|&id| *self.partition.atom(id))
+            .collect()
+    }
+
+    /// Read access to the partition (for invariant checks in tests).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Intern a (not necessarily sorted) id vector into a canonical handle.
+    fn intern(&mut self, mut v: Vec<AtomId>) -> AtomSet {
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            return AtomSet::EMPTY;
+        }
+        let arc: Arc<[AtomId]> = v.into();
+        if let Some(&id) = self.ids.get(&arc) {
+            return AtomSet(id);
+        }
+        let id = self.vecs.len() as u32;
+        self.vecs.push(arc.clone());
+        self.ids.insert(arc, id);
+        AtomSet(id)
+    }
+
+    /// Rewrite every interned set for a batch of atom splits: a set that
+    /// contained a split parent gains the parent's children, preserving its
+    /// denotation exactly. Injective on denotations, so canonicity survives
+    /// the interner rebuild.
+    fn apply_splits(&mut self, splits: &[(AtomId, Vec<AtomId>)]) {
+        if splits.is_empty() {
+            return;
+        }
+        let kids: HashMap<AtomId, &[AtomId]> =
+            splits.iter().map(|(p, k)| (*p, k.as_slice())).collect();
+        for slot in self.vecs.iter_mut() {
+            if !slot.iter().any(|id| kids.contains_key(id)) {
+                continue;
+            }
+            let mut nv: Vec<AtomId> = Vec::with_capacity(slot.len() + splits.len());
+            nv.extend_from_slice(slot);
+            for id in slot.iter() {
+                if let Some(k) = kids.get(id) {
+                    nv.extend_from_slice(k);
+                }
+            }
+            nv.sort_unstable();
+            *slot = nv.into();
+        }
+        self.ids.clear();
+        for (i, v) in self.vecs.iter().enumerate() {
+            self.ids.insert(v.clone(), i as u32);
+        }
+    }
+
+    /// Refine the partition by one cube and return the handle of the set of
+    /// atoms inside it.
+    fn refine_and_collect(&mut self, cube: &Cube) -> AtomSet {
+        let splits = self.partition.refine(cube);
+        self.apply_splits(&splits);
+        let ids = self.partition.ids_within(cube);
+        self.intern(ids)
+    }
+}
+
+impl Default for AtomSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `a ∩ b` on sorted slices.
+fn intersect_sorted(a: &[AtomId], b: &[AtomId]) -> Vec<AtomId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `a ∪ b` on sorted slices.
+fn union_sorted(a: &[AtomId], b: &[AtomId]) -> Vec<AtomId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// `a ∖ b` on sorted slices.
+fn diff_sorted(a: &[AtomId], b: &[AtomId]) -> Vec<AtomId> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// `a ⊆ b` on sorted slices.
+fn subset_sorted(a: &[AtomId], b: &[AtomId]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j == b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+impl HeaderSetBackend for AtomSpace {
+    type Set = AtomSet;
+    type Memo = AtomMemo;
+
+    const NAME: &'static str = "atoms";
+
+    fn full(&self) -> AtomSet {
+        AtomSet::FULL
+    }
+
+    fn empty(&self) -> AtomSet {
+        AtomSet::EMPTY
+    }
+
+    fn from_match(&mut self, m: &Match) -> AtomSet {
+        let mut key = *m;
+        key.in_port = None;
+        if let Some(&s) = self.match_cache.get(&key) {
+            return s;
+        }
+        let cube = Cube::from_match(&key);
+        let s = self.refine_and_collect(&cube);
+        self.match_cache.insert(key, s);
+        s
+    }
+
+    fn and(&mut self, a: AtomSet, b: AtomSet) -> AtomSet {
+        if a == b || b == AtomSet::FULL {
+            return a;
+        }
+        if a == AtomSet::FULL {
+            return b;
+        }
+        if a == AtomSet::EMPTY || b == AtomSet::EMPTY {
+            return AtomSet::EMPTY;
+        }
+        let v = intersect_sorted(self.set_ids(a), self.set_ids(b));
+        self.intern(v)
+    }
+
+    fn or(&mut self, a: AtomSet, b: AtomSet) -> AtomSet {
+        if a == b || b == AtomSet::EMPTY {
+            return a;
+        }
+        if a == AtomSet::EMPTY {
+            return b;
+        }
+        if a == AtomSet::FULL || b == AtomSet::FULL {
+            return AtomSet::FULL;
+        }
+        let v = union_sorted(self.set_ids(a), self.set_ids(b));
+        self.intern(v)
+    }
+
+    fn diff(&mut self, a: AtomSet, b: AtomSet) -> AtomSet {
+        if a == b || a == AtomSet::EMPTY || b == AtomSet::FULL {
+            return AtomSet::EMPTY;
+        }
+        if b == AtomSet::EMPTY {
+            return a;
+        }
+        let v = diff_sorted(self.set_ids(a), self.set_ids(b));
+        self.intern(v)
+    }
+
+    fn is_empty(&self, s: AtomSet) -> bool {
+        s == AtomSet::EMPTY
+    }
+
+    fn is_full(&self, s: AtomSet) -> bool {
+        s == AtomSet::FULL
+    }
+
+    fn is_subset(&mut self, a: AtomSet, b: AtomSet) -> bool {
+        if a == AtomSet::EMPTY || a == b || b == AtomSet::FULL {
+            return true;
+        }
+        subset_sorted(self.set_ids(a), self.set_ids(b))
+    }
+
+    fn contains(&self, s: AtomSet, h: &FiveTuple) -> bool {
+        self.set_ids(s)
+            .iter()
+            .any(|&id| self.partition.atom(id).contains_point(h))
+    }
+
+    fn witness(&self, s: AtomSet) -> Option<FiveTuple> {
+        self.set_ids(s)
+            .first()
+            .map(|&id| self.partition.atom(id).lo_point())
+    }
+
+    fn random_witness(&self, s: AtomSet, mut pick: impl FnMut(u32) -> bool) -> Option<FiveTuple> {
+        let v = self.set_ids(s);
+        if v.is_empty() {
+            return None;
+        }
+        // Draw bits through `pick` so the caller's seeded RNG drives the
+        // choice, like the BDD backend's random_sat. The u32 argument is an
+        // opaque per-draw discriminator.
+        let mut draw = |tag: u32, n: u32| -> u64 {
+            let mut x = 0u64;
+            for i in 0..n {
+                x = (x << 1) | pick(tag + i) as u64;
+            }
+            x
+        };
+        let cube = {
+            let idx = (draw(1000, 24) as usize) % v.len();
+            *self.partition.atom(v[idx])
+        };
+        let mut vals = [0u64; NUM_FIELDS];
+        for (f, val) in vals.iter_mut().enumerate() {
+            let span = cube.hi[f] - cube.lo[f] + 1;
+            *val = cube.lo[f] + draw((f as u32) * 64, FIELD_BITS[f]) % span;
+        }
+        Some(FiveTuple {
+            src_ip: vals[F_SRC_IP] as u32,
+            dst_ip: vals[F_DST_IP] as u32,
+            proto: vals[F_PROTO] as u8,
+            src_port: vals[F_SRC_PORT] as u16,
+            dst_port: vals[F_DST_PORT] as u16,
+        })
+    }
+
+    fn sat_count(&self, s: AtomSet) -> u128 {
+        self.set_ids(s)
+            .iter()
+            .map(|&id| self.partition.atom(id).volume())
+            .sum()
+    }
+
+    fn size_metric(&self) -> usize {
+        self.partition.len()
+    }
+
+    fn prepare(&mut self, matches: &[Match]) {
+        // Build the whole partition up front: one refinement pass per
+        // distinct match, each populating the match cache, so the traversal
+        // that follows never refines and every set handle it creates is
+        // final. Purely an optimization — correctness never depends on
+        // which matches were prepared.
+        let mut seen = HashSet::new();
+        for m in matches {
+            let mut key = *m;
+            key.in_port = None;
+            if seen.insert(key) {
+                self.from_match(&key);
+            }
+        }
+    }
+
+    fn fork_worker(&self) -> Self {
+        // A fork shares the parent's full refinement history (same atoms,
+        // same interned sets), so parent handles are directly meaningful in
+        // the fork — imports between instances with a common history hit
+        // the cheap identical-partition path.
+        self.clone()
+    }
+
+    fn import(&mut self, src: &Self, s: AtomSet, memo: &mut AtomMemo) -> AtomSet {
+        if s == AtomSet::EMPTY {
+            return AtomSet::EMPTY;
+        }
+        if let Some(&d) = memo.map.get(&s.0) {
+            return AtomSet(d);
+        }
+        let out = if self.partition.len() == src.partition.len() {
+            // Instances that share a refinement history and have refined
+            // equally much have *identical* partitions (refinement is
+            // deterministic and append-only), so ids carry over verbatim.
+            debug_assert!(self.partition.same_cubes(&src.partition));
+            self.intern(src.set_ids(s).to_vec())
+        } else {
+            // General path: re-express each source atom's cube in this
+            // partition, refining as needed.
+            let mut ids = Vec::new();
+            let cubes = src.cubes_of(s);
+            for cube in cubes {
+                let splits = self.partition.refine(&cube);
+                self.apply_splits(&splits);
+                ids.extend(self.partition.ids_within(&cube));
+            }
+            self.intern(ids)
+        };
+        memo.map.insert(s.0, out.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,96 @@
+//! The global atom partition.
+//!
+//! Following Delta-net's central idea, the header space is maintained as a
+//! dynamic partition into *atoms*: pairwise-disjoint cubes whose union is
+//! the full space. Atoms are only ever **split**, never merged or moved, so
+//! an atom id, once issued, forever denotes a subset of what it denoted
+//! before — this is what lets interned atom-id sets be rewritten in place
+//! when the partition refines.
+
+use crate::cube::Cube;
+
+/// Index of an atom in the partition.
+pub type AtomId = u32;
+
+/// The partition: `atoms[i]` is the current cube of atom `i`. Starts as one
+/// full-space atom and refines lazily as rule matches arrive.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    atoms: Vec<Cube>,
+}
+
+impl Partition {
+    /// The trivial one-atom partition of the full space.
+    pub fn new() -> Self {
+        Partition {
+            atoms: vec![Cube::FULL],
+        }
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the partition is still the trivial one.
+    pub fn is_empty(&self) -> bool {
+        false // a partition always covers the full space
+    }
+
+    /// The cube of atom `id`.
+    pub fn atom(&self, id: AtomId) -> &Cube {
+        &self.atoms[id as usize]
+    }
+
+    /// Iterate all atom cubes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cube> {
+        self.atoms.iter()
+    }
+
+    /// Refine the partition so every atom is either inside `m` or disjoint
+    /// from it. Each straddling atom keeps its id for the inside part
+    /// (`atom ∩ m`) and spawns fresh ids for the outside pieces; the
+    /// returned list maps each split parent to its new children, which the
+    /// set interner uses to rewrite denotations in place.
+    pub fn refine(&mut self, m: &Cube) -> Vec<(AtomId, Vec<AtomId>)> {
+        let mut splits = Vec::new();
+        let n = self.atoms.len();
+        for i in 0..n {
+            let a = self.atoms[i];
+            if !a.intersects(m) || m.contains_cube(&a) {
+                continue;
+            }
+            let (core, pieces) = a.split(m);
+            let core = core.expect("intersecting cubes have a core");
+            self.atoms[i] = core;
+            let mut kids = Vec::with_capacity(pieces.len());
+            for p in pieces {
+                kids.push(self.atoms.len() as AtomId);
+                self.atoms.push(p);
+            }
+            splits.push((i as AtomId, kids));
+        }
+        splits
+    }
+
+    /// The sorted ids of all atoms inside `m`. Only meaningful after
+    /// `refine(m)`: refinement guarantees no atom straddles `m`'s boundary.
+    pub fn ids_within(&self, m: &Cube) -> Vec<AtomId> {
+        (0..self.atoms.len() as AtomId)
+            .filter(|&i| m.contains_cube(&self.atoms[i as usize]))
+            .collect()
+    }
+
+    /// Whether two partitions consist of identical cubes in identical order
+    /// (true for instances that share a refinement history, e.g. a fork and
+    /// its parent).
+    pub fn same_cubes(&self, o: &Partition) -> bool {
+        self.atoms == o.atoms
+    }
+}
+
+impl Default for Partition {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,393 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_core::HeaderSetBackend;
+use veridp_packet::{FiveTuple, PortNo};
+use veridp_switch::{Match, PortRange};
+
+use crate::{AtomMemo, AtomSet, AtomSpace, Cube, NUM_FIELDS};
+
+/// Full-space cardinality: 2^104.
+const FULL_VOLUME: u128 = 1u128 << 104;
+
+fn random_match(rng: &mut StdRng) -> Match {
+    let mut m = Match::ANY;
+    let dst_plen = rng.gen_range(0u8..=28);
+    m.dst_ip = veridp_switch::prefix_mask(rng.gen::<u32>(), dst_plen);
+    m.dst_plen = dst_plen;
+    if rng.gen_bool(0.4) {
+        let src_plen = rng.gen_range(1u8..=24);
+        m.src_ip = veridp_switch::prefix_mask(rng.gen::<u32>(), src_plen);
+        m.src_plen = src_plen;
+    }
+    if rng.gen_bool(0.3) {
+        m.proto = Some(if rng.gen_bool(0.5) { 6 } else { 17 });
+    }
+    if rng.gen_bool(0.25) {
+        let lo = rng.gen_range(0u16..1000);
+        let hi = rng.gen_range(lo..=lo.saturating_add(2000));
+        m.dst_port = PortRange::new(lo, hi);
+    }
+    if rng.gen_bool(0.1) {
+        m.src_port = PortRange::exact(rng.gen::<u16>());
+    }
+    m
+}
+
+fn random_header(rng: &mut StdRng) -> FiveTuple {
+    FiveTuple {
+        src_ip: rng.gen(),
+        dst_ip: rng.gen(),
+        proto: match rng.gen_range(0u8..4) {
+            0 => 6,
+            1 => 17,
+            other => other,
+        },
+        src_port: rng.gen(),
+        dst_port: rng.gen(),
+    }
+}
+
+/// Check the partition invariants: atoms are pairwise disjoint and cover
+/// the full space.
+fn assert_partition(hs: &AtomSpace) {
+    let atoms: Vec<Cube> = hs.partition().iter().copied().collect();
+    let total: u128 = atoms.iter().map(Cube::volume).sum();
+    assert_eq!(
+        total, FULL_VOLUME,
+        "atoms must cover the full space exactly"
+    );
+    // Volume equality plus pairwise disjointness is equivalent to a
+    // partition; check disjointness directly for small partitions.
+    if atoms.len() <= 256 {
+        for (i, a) in atoms.iter().enumerate() {
+            for b in &atoms[..i] {
+                assert!(!a.intersects(b), "atoms {a:?} and {b:?} overlap");
+            }
+        }
+    }
+    // FULL must always denote every atom.
+    assert_eq!(hs.set_ids(AtomSet::FULL).len(), atoms.len());
+}
+
+#[test]
+fn trivial_space_is_one_full_atom() {
+    let hs = AtomSpace::new();
+    assert_eq!(hs.num_atoms(), 1);
+    assert_eq!(hs.sat_count(AtomSet::FULL), FULL_VOLUME);
+    assert_eq!(hs.sat_count(AtomSet::EMPTY), 0);
+    assert_partition(&hs);
+}
+
+#[test]
+fn partition_invariants_hold_under_random_refinement() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xA70A + seed);
+        let mut hs = AtomSpace::new();
+        for _ in 0..20 {
+            let m = random_match(&mut rng);
+            hs.from_match(&m);
+            assert_partition(&hs);
+        }
+    }
+}
+
+#[test]
+fn from_match_denotes_the_match_predicate() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF + seed);
+        let mut hs = AtomSpace::new();
+        let matches: Vec<Match> = (0..12).map(|_| random_match(&mut rng)).collect();
+        let sets: Vec<AtomSet> = matches.iter().map(|m| hs.from_match(m)).collect();
+        let port = PortNo(1);
+        for _ in 0..200 {
+            let h = random_header(&mut rng);
+            for (m, &s) in matches.iter().zip(&sets) {
+                assert_eq!(
+                    hs.contains(s, &h),
+                    m.matches(port, &h),
+                    "membership mismatch for {m:?} on {h}"
+                );
+            }
+        }
+        // Boundary points: every atom's low corner must classify correctly
+        // too (random headers rarely land on interval edges).
+        for id in 0..hs.num_atoms() as u32 {
+            let h = hs.atom_cube(id).lo_point();
+            for (m, &s) in matches.iter().zip(&sets) {
+                assert_eq!(hs.contains(s, &h), m.matches(port, &h));
+            }
+        }
+    }
+}
+
+#[test]
+fn refinement_preserves_denotations_of_live_handles() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xF00D + seed);
+        let mut hs = AtomSpace::new();
+        let probes: Vec<FiveTuple> = (0..64).map(|_| random_header(&mut rng)).collect();
+        // Build some handles, snapshot their denotations.
+        let mut live: Vec<(AtomSet, u128, Vec<bool>)> = Vec::new();
+        for round in 0..15 {
+            let m = random_match(&mut rng);
+            let s = hs.from_match(&m);
+            let extra = if round % 3 == 0 {
+                let t = hs.from_match(&random_match(&mut rng));
+                hs.or(s, t)
+            } else {
+                let t = hs.from_match(&random_match(&mut rng));
+                hs.diff(s, t)
+            };
+            for set in [s, extra] {
+                let members = probes.iter().map(|h| hs.contains(set, h)).collect();
+                live.push((set, hs.sat_count(set), members));
+            }
+            // Every previously snapshotted handle must still denote the
+            // same set, no matter how much the partition refined since.
+            for (set, count, members) in &live {
+                assert_eq!(hs.sat_count(*set), *count, "sat_count drifted");
+                for (h, &was) in probes.iter().zip(members) {
+                    assert_eq!(hs.contains(*set, h), was, "membership drifted");
+                }
+            }
+        }
+        assert_partition(&hs);
+    }
+}
+
+#[test]
+fn handles_are_canonical() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xCA11 + seed);
+        let mut hs = AtomSpace::new();
+        let a = hs.from_match(&random_match(&mut rng));
+        let b = hs.from_match(&random_match(&mut rng));
+        let c = hs.from_match(&random_match(&mut rng));
+
+        // Algebraic identities must hold as handle equalities.
+        assert_eq!(hs.and(a, b), hs.and(b, a));
+        assert_eq!(hs.or(a, b), hs.or(b, a));
+        let ab = hs.or(a, b);
+        let lhs = hs.and(ab, c);
+        let ac = hs.and(a, c);
+        let bc = hs.and(b, c);
+        let rhs = hs.or(ac, bc);
+        assert_eq!(lhs, rhs, "distributivity as handle equality");
+        let d = hs.diff(a, b);
+        let d2 = {
+            let anb = hs.and(a, b);
+            hs.diff(a, anb)
+        };
+        assert_eq!(d, d2);
+        // a = (a∖b) ∪ (a∩b), reconstructed, interns to the same handle.
+        let anb = hs.and(a, b);
+        assert_eq!(hs.or(d, anb), a);
+        // Complement round-trip through FULL.
+        let not_a = hs.diff(AtomSet::FULL, a);
+        let back = hs.diff(AtomSet::FULL, not_a);
+        assert_eq!(back, a);
+        assert_eq!(hs.or(a, not_a), AtomSet::FULL);
+        assert_eq!(hs.and(a, not_a), AtomSet::EMPTY);
+    }
+}
+
+#[test]
+fn sat_count_and_subset_agree_with_algebra() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x5A7 + seed);
+        let mut hs = AtomSpace::new();
+        let a = hs.from_match(&random_match(&mut rng));
+        let b = hs.from_match(&random_match(&mut rng));
+        let both = hs.and(a, b);
+        let either = hs.or(a, b);
+        let only_a = hs.diff(a, b);
+        // Inclusion–exclusion.
+        assert_eq!(
+            hs.sat_count(either),
+            hs.sat_count(a) + hs.sat_count(b) - hs.sat_count(both)
+        );
+        assert_eq!(hs.sat_count(only_a), hs.sat_count(a) - hs.sat_count(both));
+        assert!(hs.is_subset(both, a) && hs.is_subset(both, b));
+        assert!(hs.is_subset(a, either) && hs.is_subset(b, either));
+        assert!(hs.is_subset(only_a, a));
+        assert_eq!(hs.is_subset(a, b), hs.and(a, b) == a);
+    }
+}
+
+#[test]
+fn witnesses_are_members() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x717 + seed);
+        let mut hs = AtomSpace::new();
+        for _ in 0..10 {
+            let s = hs.from_match(&random_match(&mut rng));
+            if hs.is_empty(s) {
+                continue;
+            }
+            let w = hs.witness(s).expect("non-empty set has a witness");
+            assert!(hs.contains(s, &w));
+            let rw = hs
+                .random_witness(s, |_| rng.gen_bool(0.5))
+                .expect("non-empty set has a random witness");
+            assert!(hs.contains(s, &rw));
+        }
+        assert!(hs.witness(AtomSet::EMPTY).is_none());
+        assert!(hs.random_witness(AtomSet::EMPTY, |_| true).is_none());
+    }
+}
+
+#[test]
+fn prepare_is_semantically_invisible() {
+    // A space that prepared all matches up front and a space that refined
+    // lazily must agree on every denotation (handles may differ).
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0x9E9 + seed);
+        let matches: Vec<Match> = (0..15).map(|_| random_match(&mut rng)).collect();
+        let mut eager = AtomSpace::new();
+        eager.prepare(&matches);
+        let eager_atoms = eager.num_atoms();
+        let mut lazy = AtomSpace::new();
+        let probes: Vec<FiveTuple> = (0..100).map(|_| random_header(&mut rng)).collect();
+        for m in &matches {
+            let se = eager.from_match(m);
+            let sl = lazy.from_match(m);
+            assert_eq!(eager.sat_count(se), lazy.sat_count(sl));
+            for h in &probes {
+                assert_eq!(eager.contains(se, h), lazy.contains(sl, h));
+            }
+        }
+        // Preparing already-seen matches must not refine further.
+        assert_eq!(eager.num_atoms(), eager_atoms);
+        assert_eq!(lazy.num_atoms(), eager_atoms);
+    }
+}
+
+#[test]
+fn import_preserves_denotation_across_instances() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
+        let mut src = AtomSpace::new();
+        let sets: Vec<AtomSet> = (0..8)
+            .map(|_| {
+                let a = src.from_match(&random_match(&mut rng));
+                let b = src.from_match(&random_match(&mut rng));
+                src.or(a, b)
+            })
+            .collect();
+        let probes: Vec<FiveTuple> = (0..100).map(|_| random_header(&mut rng)).collect();
+
+        // Fork (shared history): the fast identical-partition path.
+        let mut fork = src.fork_worker();
+        let mut memo = AtomMemo::default();
+        for &s in &sets {
+            let t = fork.import(&src, s, &mut memo);
+            assert_eq!(fork.sat_count(t), src.sat_count(s));
+            for h in &probes {
+                assert_eq!(fork.contains(t, h), src.contains(s, h));
+            }
+        }
+
+        // Fresh instance (no shared history): the general path.
+        let mut fresh = AtomSpace::new();
+        // Give it an unrelated refinement first, so partitions diverge.
+        fresh.from_match(&random_match(&mut rng));
+        let mut memo = AtomMemo::default();
+        let imported: Vec<AtomSet> = sets
+            .iter()
+            .map(|&s| fresh.import(&src, s, &mut memo))
+            .collect();
+        for (&s, &t) in sets.iter().zip(&imported) {
+            assert_eq!(fresh.sat_count(t), src.sat_count(s));
+            for h in &probes {
+                assert_eq!(fresh.contains(t, h), src.contains(s, h));
+            }
+        }
+        // Memoized: importing again returns identical handles.
+        for (&s, &t) in sets.iter().zip(&imported) {
+            assert_eq!(fresh.import(&src, s, &mut memo), t);
+        }
+        assert_partition(&fresh);
+    }
+}
+
+#[test]
+fn cubes_of_partitions_the_set() {
+    let mut rng = StdRng::seed_from_u64(0xC0BE);
+    let mut hs = AtomSpace::new();
+    let a = hs.from_match(&random_match(&mut rng));
+    let b = hs.from_match(&random_match(&mut rng));
+    let s = hs.or(a, b);
+    let cubes = hs.cubes_of(s);
+    let total: u128 = cubes.iter().map(Cube::volume).sum();
+    assert_eq!(total, hs.sat_count(s), "cubes are disjoint and exhaustive");
+    for (i, c) in cubes.iter().enumerate() {
+        for d in &cubes[..i] {
+            assert!(!c.intersects(d));
+        }
+    }
+}
+
+#[test]
+fn cube_split_partitions_the_cube() {
+    let mut rng = StdRng::seed_from_u64(0x5B117);
+    for _ in 0..200 {
+        let a = Cube::from_match(&random_match(&mut rng));
+        let b = Cube::from_match(&random_match(&mut rng));
+        let (core, pieces) = a.split(&b);
+        let mut vol = pieces.iter().map(Cube::volume).sum::<u128>();
+        if let Some(c) = core {
+            vol += c.volume();
+            assert!(b.contains_cube(&c));
+            assert!(a.contains_cube(&c));
+        }
+        assert_eq!(vol, a.volume(), "split must partition the cube");
+        for (i, p) in pieces.iter().enumerate() {
+            assert!(!p.intersects(&b), "piece must be outside the splitter");
+            assert!(a.contains_cube(p));
+            for q in &pieces[..i] {
+                assert!(!p.intersects(q), "pieces must be disjoint");
+            }
+            if let Some(c) = core {
+                assert!(!p.intersects(&c));
+            }
+        }
+    }
+}
+
+#[test]
+fn path_table_builds_on_atoms_backend() {
+    use std::collections::HashMap;
+    use veridp_core::PathTable;
+    use veridp_switch::{Action, FlowRule};
+    use veridp_topo::gen;
+
+    // Two-switch chain forwarding 10.0.2.0/24 — the crate-level example of
+    // veridp-core, run on the atom backend instead of the BDD one.
+    let topo = gen::linear(2);
+    let mut rules: HashMap<veridp_packet::SwitchId, Vec<FlowRule>> = HashMap::new();
+    let m = Match::dst_prefix(gen::ip(10, 0, 2, 0), 24);
+    rules.insert(
+        veridp_packet::SwitchId(1),
+        vec![FlowRule::new(1, 24, m, Action::Forward(PortNo(2)))],
+    );
+    rules.insert(
+        veridp_packet::SwitchId(2),
+        vec![FlowRule::new(2, 24, m, Action::Forward(PortNo(2)))],
+    );
+
+    let mut hs = AtomSpace::new();
+    let table: PathTable<AtomSpace> = PathTable::build(&topo, &rules, &mut hs, 16);
+    assert!(table.stats().num_pairs > 0);
+    // The sequential and sharded builds agree on the atom backend too.
+    let mut hs2 = AtomSpace::new();
+    let par: PathTable<AtomSpace> = PathTable::build_parallel(&topo, &rules, &mut hs2, 16, 2);
+    assert_eq!(table.stats().num_pairs, par.stats().num_pairs);
+    assert_eq!(table.stats().num_paths, par.stats().num_paths);
+}
+
+#[test]
+fn field_constants_are_consistent() {
+    assert_eq!(NUM_FIELDS, 5);
+    let full = Cube::FULL;
+    assert_eq!(full.volume(), FULL_VOLUME);
+}

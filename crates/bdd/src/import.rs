@@ -52,7 +52,7 @@ impl Manager {
     /// canonical handle for the same Boolean function.
     ///
     /// Terminals map to terminals and every internal node goes through
-    /// [`mk`](Manager::mk), so the two ROBDD invariants hold for the result;
+    /// the internal `mk` constructor, so the two ROBDD invariants hold for the result;
     /// importing the same function twice (even via different memos) yields
     /// the same handle.
     ///

@@ -1,47 +1,58 @@
 //! Path-table construction time (Table 2), sequential vs the sharded
-//! parallel build, with machine-readable output.
+//! parallel build, across header-set backends, with machine-readable
+//! output.
 //!
-//! For each setup the sequential `PathTable::build` is timed, then
-//! `PathTable::build_parallel` at 1/2/4/8 threads. Results go to stdout and
-//! to `BENCH_path_table.json` (override with `VERIDP_BENCH_OUT`); quick
-//! smoke mode (`VERIDP_BENCH_QUICK=1`) shrinks workloads and sample counts.
+//! For each setup and each backend (`bdd`, `atoms`) the sequential
+//! `PathTable::build` is timed, then `PathTable::build_parallel` at 1/2/4/8
+//! threads. Results go to stdout and to `BENCH_path_table.json` (override
+//! with `VERIDP_BENCH_OUT`); quick smoke mode (`VERIDP_BENCH_QUICK=1`)
+//! shrinks workloads and sample counts. One invocation covers both
+//! backends, so every JSON document carries the comparison side by side.
 //!
 //! Reported per variant: wall-clock (mean and min over samples),
-//! `(inport, outport)` pairs per second, and nodes allocated in the main
-//! BDD manager after the build.
+//! `(inport, outport)` pairs per second, and the backend's memory proxy
+//! after the build — interned BDD nodes for `bdd`, partition atoms for
+//! `atoms` (`backend_size`).
 
+use veridp_atoms::AtomSpace;
 use veridp_bench::harness::{bench_once, quick_mode, Sampled};
 use veridp_bench::json::Json;
 use veridp_bench::{build_setup, Setup, SetupData};
-use veridp_core::{HeaderSpace, PathTable};
+use veridp_core::{HeaderSetBackend, HeaderSpace, PathTable};
 
 struct Variant {
+    backend: &'static str,
     name: &'static str,
     threads: usize,
     timing: Sampled,
     pairs: usize,
     pairs_per_sec: f64,
-    nodes_allocated: usize,
+    backend_size: usize,
 }
 
-fn run_variant(data: &SetupData, threads: Option<usize>, samples: usize) -> Variant {
+fn run_variant<B: HeaderSetBackend>(
+    data: &SetupData,
+    threads: Option<usize>,
+    samples: usize,
+) -> Variant {
     let label = match threads {
-        None => format!("{}/sequential", data.setup.name()),
-        Some(t) => format!("{}/parallel x{t}", data.setup.name()),
+        None => format!("{}/{}/sequential", data.setup.name(), B::NAME),
+        Some(t) => format!("{}/{}/parallel x{t}", data.setup.name(), B::NAME),
     };
     let mut pairs = 0usize;
-    let mut nodes = 0usize;
+    let mut size = 0usize;
     let timing = bench_once(&label, samples, || {
-        let mut hs = HeaderSpace::new();
+        let mut hs = B::default();
         let table = match threads {
             None => PathTable::build(&data.topo, &data.rules, &mut hs, 16),
             Some(t) => PathTable::build_parallel(&data.topo, &data.rules, &mut hs, 16, t),
         };
         pairs = table.stats().num_pairs;
-        nodes = hs.mgr_ref().node_count();
+        size = hs.size_metric();
         table
     });
     Variant {
+        backend: B::NAME,
         name: if threads.is_none() {
             "sequential"
         } else {
@@ -50,9 +61,21 @@ fn run_variant(data: &SetupData, threads: Option<usize>, samples: usize) -> Vari
         threads: threads.unwrap_or(1),
         pairs,
         pairs_per_sec: pairs as f64 / (timing.min_ns / 1e9),
-        nodes_allocated: nodes,
+        backend_size: size,
         timing,
     }
+}
+
+fn run_backend<B: HeaderSetBackend>(
+    data: &SetupData,
+    thread_counts: &[usize],
+    samples: usize,
+) -> Vec<Variant> {
+    let mut variants = vec![run_variant::<B>(data, None, samples)];
+    for &t in thread_counts {
+        variants.push(run_variant::<B>(data, Some(t), samples));
+    }
+    variants
 }
 
 fn main() {
@@ -71,40 +94,42 @@ fn main() {
     };
     let thread_counts = [1usize, 2, 4, 8];
 
-    println!("path_table_build: sequential vs sharded parallel build");
+    println!("path_table_build: sequential vs sharded parallel build, bdd vs atoms backend");
     println!("(1 sample = 1 full build; min over {samples} samples drives pairs/sec)\n");
 
     let mut results: Vec<Json> = Vec::new();
     for (setup, prefixes) in setups {
         let data = build_setup(setup, prefixes, 2016);
-        let mut variants = vec![run_variant(&data, None, samples)];
-        for &t in &thread_counts {
-            variants.push(run_variant(&data, Some(t), samples));
+        for variants in [
+            run_backend::<HeaderSpace>(&data, &thread_counts, samples),
+            run_backend::<AtomSpace>(&data, &thread_counts, samples),
+        ] {
+            let seq_min = variants[0].timing.min_ns;
+            for v in &variants {
+                let speedup = seq_min / v.timing.min_ns;
+                println!(
+                    "{}  pairs={} backend_size={}  speedup_vs_seq={speedup:.2}x",
+                    v.timing.line(),
+                    v.pairs,
+                    v.backend_size
+                );
+                results.push(Json::obj([
+                    ("setup", Json::str(setup.name())),
+                    ("rules", Json::Int(data.num_rules as i64)),
+                    ("backend", Json::str(v.backend)),
+                    ("variant", Json::str(v.name)),
+                    ("threads", Json::Int(v.threads as i64)),
+                    ("wall_s_min", Json::Num(v.timing.min_ns / 1e9)),
+                    ("wall_s_mean", Json::Num(v.timing.mean_ns / 1e9)),
+                    ("pairs", Json::Int(v.pairs as i64)),
+                    ("pairs_per_sec", Json::Num(v.pairs_per_sec)),
+                    ("backend_size", Json::Int(v.backend_size as i64)),
+                    ("speedup_vs_sequential", Json::Num(speedup)),
+                    ("samples", Json::Int(v.timing.samples as i64)),
+                ]));
+            }
+            println!();
         }
-        let seq_min = variants[0].timing.min_ns;
-        for v in &variants {
-            let speedup = seq_min / v.timing.min_ns;
-            println!(
-                "{}  pairs={} nodes={}  speedup_vs_seq={speedup:.2}x",
-                v.timing.line(),
-                v.pairs,
-                v.nodes_allocated
-            );
-            results.push(Json::obj([
-                ("setup", Json::str(setup.name())),
-                ("rules", Json::Int(data.num_rules as i64)),
-                ("variant", Json::str(v.name)),
-                ("threads", Json::Int(v.threads as i64)),
-                ("wall_s_min", Json::Num(v.timing.min_ns / 1e9)),
-                ("wall_s_mean", Json::Num(v.timing.mean_ns / 1e9)),
-                ("pairs", Json::Int(v.pairs as i64)),
-                ("pairs_per_sec", Json::Num(v.pairs_per_sec)),
-                ("nodes_allocated", Json::Int(v.nodes_allocated as i64)),
-                ("speedup_vs_sequential", Json::Num(speedup)),
-                ("samples", Json::Int(v.timing.samples as i64)),
-            ]));
-        }
-        println!();
     }
 
     let doc = Json::obj([

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation]
+//! experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation|backends]
 //!             [--quick] [--seed N]
 //! ```
 //!
@@ -51,6 +51,7 @@ fn main() {
             "baselines",
             "sampling",
             "ablation",
+            "backends",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -65,7 +66,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation] [--quick] [--seed N]"
+        "usage: experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation|backends] [--quick] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -140,6 +141,11 @@ fn run(which: &str, cfg: &Config) {
             };
             let points = exp::sampling::run(values);
             print!("{}", exp::sampling::render(&points));
+        }
+        "backends" => {
+            let iters = if cfg.quick { 2_000 } else { 20_000 };
+            let rows = exp::backends::run(iters, cfg.seed);
+            print!("{}", exp::backends::render(&rows));
         }
         "ablation" => {
             let trials = if cfg.quick { 1 } else { 5 };

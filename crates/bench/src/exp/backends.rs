@@ -1,0 +1,118 @@
+//! Header-set backend comparison (extension): the same path-table build and
+//! verification workload on the BDD backend (`HeaderSpace`) and the
+//! atom-partition backend (`veridp-atoms`), side by side.
+//!
+//! For each setup both backends build the full path table (timed), report
+//! their store size (`size_metric`: interned BDD nodes vs partition atoms —
+//! the memory proxy), and then verify one witness report per path in a
+//! timed loop for throughput. The differential test suite
+//! (`tests/backend_differential.rs`) guarantees the two tables are
+//! semantically identical, so any delta here is pure representation cost.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_atoms::AtomSpace;
+use veridp_core::{HeaderSetBackend, HeaderSpace, PathTable, VerifyOutcome};
+use veridp_packet::TagReport;
+
+use crate::setup::{build_setup, Setup};
+
+/// One backend on one setup.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub setup: String,
+    pub backend: &'static str,
+    pub num_rules: usize,
+    pub entries: usize,
+    pub paths: usize,
+    pub build_secs: f64,
+    pub backend_size: usize,
+    pub verify_mean_us: f64,
+    pub verify_per_sec: f64,
+}
+
+fn run_backend<B: HeaderSetBackend>(setup: Setup, iterations: usize, seed: u64) -> Row {
+    let data = build_setup(setup, None, seed);
+    let mut hs = B::default();
+    let start = Instant::now();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let build_secs = start.elapsed().as_secs_f64();
+    let stats = table.stats();
+
+    // One faithful report per path (witness packets), as in Figure 13.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reports: Vec<TagReport> = Vec::new();
+    for ((inport, outport), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                reports.push(TagReport::new(*inport, *outport, w, e.tag));
+            }
+        }
+    }
+    assert!(!reports.is_empty(), "no reports to verify");
+    for r in reports.iter().take(100) {
+        assert_eq!(table.verify(r, &hs), VerifyOutcome::Pass);
+    }
+
+    let t = Instant::now();
+    for i in 0..iterations {
+        let r = &reports[i % reports.len()];
+        std::hint::black_box(table.verify(std::hint::black_box(r), &hs));
+    }
+    let verify_mean_us = t.elapsed().as_secs_f64() * 1e6 / iterations as f64;
+
+    Row {
+        setup: setup.name(),
+        backend: B::NAME,
+        num_rules: data.num_rules,
+        entries: stats.num_pairs,
+        paths: stats.num_paths,
+        build_secs,
+        backend_size: hs.size_metric(),
+        verify_mean_us,
+        verify_per_sec: 1e6 / verify_mean_us,
+    }
+}
+
+/// Both backends across fat-tree(4/6/8) and the Stanford-like backbone.
+pub fn run(iterations: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for setup in [
+        Setup::FatTree(4),
+        Setup::FatTree(6),
+        Setup::FatTree(8),
+        Setup::Stanford,
+    ] {
+        rows.push(run_backend::<HeaderSpace>(setup, iterations, seed));
+        rows.push(run_backend::<AtomSpace>(setup, iterations, seed));
+    }
+    rows
+}
+
+/// Render the comparison table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Header-set backends: bdd vs atoms (same workload, identical tables)\n\
+         Setup       | backend | # rules | entries |  paths | build (s) | store size | verify (us) | verif/sec\n\
+         ------------+---------+---------+---------+--------+-----------+------------+-------------+----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} | {:<7} | {:>7} | {:>7} | {:>6} | {:>9.3} | {:>10} | {:>11.3} | {:>9.0}\n",
+            r.setup,
+            r.backend,
+            r.num_rules,
+            r.entries,
+            r.paths,
+            r.build_secs,
+            r.backend_size,
+            r.verify_mean_us,
+            r.verify_per_sec
+        ));
+    }
+    out
+}

@@ -2,6 +2,7 @@
 //! ablations of design choices.
 
 pub mod ablation;
+pub mod backends;
 pub mod baselines;
 pub mod fig12;
 pub mod fig13;

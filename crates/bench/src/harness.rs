@@ -90,7 +90,7 @@ pub fn bench<R>(name: &str, samples: usize, iters: u64, mut f: impl FnMut() -> R
     }
 }
 
-/// [`bench`] with one iteration per sample — for heavyweight cases (whole
+/// [`bench()`] with one iteration per sample — for heavyweight cases (whole
 /// path-table builds) where a single run is already milliseconds or more.
 pub fn bench_once<R>(name: &str, samples: usize, f: impl FnMut() -> R) -> Sampled {
     bench(name, samples, 1, f)

@@ -1,0 +1,125 @@
+//! Pluggable header-set backends.
+//!
+//! The path table stores one *header set* per path (§4.1). The seed
+//! implementation represented those sets exclusively as BDDs; Delta-net-style
+//! systems (Horn et al., NSDI '17) show that for the IP-prefix-dominated rule
+//! sets of real networks, a partition of the header space into disjoint
+//! *atoms* makes the same set algebra a linear merge of sorted id lists.
+//!
+//! [`HeaderSetBackend`] abstracts exactly the operations the path-table
+//! pipeline needs, so construction (sequential and sharded-parallel),
+//! incremental update, verification, and localization are generic over the
+//! representation. Two implementations exist:
+//!
+//! * [`HeaderSpace`](crate::HeaderSpace) — the BDD manager (`veridp-bdd`),
+//!   the default;
+//! * `AtomSpace` (`veridp-atoms`) — the atom-partition backend.
+//!
+//! # Contract
+//!
+//! Implementations must be *canonical*: two handles compare equal **iff**
+//! they denote the same header set. The BDD backend gets this from
+//! hash-consed ROBDDs; the atom backend from interning sorted atom-id
+//! vectors against a shared partition. Canonicity is load-bearing — the
+//! incremental update compares old and new transfer predicates by handle
+//! equality, and the differential tests compare whole tables this way.
+//!
+//! Handles are only meaningful to the backend instance that created them
+//! (or to one derived from it via [`fork_worker`](HeaderSetBackend::fork_worker)
+//! and [`import`](HeaderSetBackend::import)); mixing handles across unrelated
+//! instances is a logic error.
+
+use veridp_packet::FiveTuple;
+use veridp_switch::Match;
+
+/// A header-set representation the path table can be built on.
+///
+/// The backend owns all set state (arena, partition, caches); sets themselves
+/// are small `Copy` handles, mirroring how [`veridp_bdd::Manager`] hands out
+/// [`veridp_bdd::Bdd`] indices.
+pub trait HeaderSetBackend: std::fmt::Debug + Default + Send + Sync + Sized + 'static {
+    /// A handle to one header set. Equality of handles must coincide with
+    /// equality of the denoted sets (see the module docs on canonicity).
+    type Set: Copy + Eq + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static;
+
+    /// Memo state for [`import`](HeaderSetBackend::import); one memo is
+    /// valid for a single `(source, destination)` instance pair.
+    type Memo: Default;
+
+    /// Short stable name used for CLI selection and bench output
+    /// (`"bdd"`, `"atoms"`).
+    const NAME: &'static str;
+
+    /// The set of all headers.
+    fn full(&self) -> Self::Set;
+
+    /// The empty set.
+    fn empty(&self) -> Self::Set;
+
+    /// The set of headers matched by a rule's fields, ignoring its
+    /// `in_port` qualifier (in-ports are handled by the per-port predicate
+    /// computation, not the header space). Takes `&mut self` because
+    /// constructing a set may extend the backend's store (BDD nodes, atom
+    /// refinements) — it builds a set *in* the backend, not a backend from
+    /// a match.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_match(&mut self, m: &Match) -> Self::Set;
+
+    /// Intersection.
+    fn and(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
+
+    /// Union.
+    fn or(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
+
+    /// Difference `a \ b`.
+    fn diff(&mut self, a: Self::Set, b: Self::Set) -> Self::Set;
+
+    /// Whether the set is empty. Equivalent to `s == self.empty()` by
+    /// canonicity; backends may implement it directly.
+    fn is_empty(&self, s: Self::Set) -> bool;
+
+    /// Whether the set is the full space.
+    fn is_full(&self, s: Self::Set) -> bool;
+
+    /// Whether `a ⊆ b`.
+    fn is_subset(&mut self, a: Self::Set, b: Self::Set) -> bool;
+
+    /// Membership test `h ∈ s` — the `header ≺ p.headers` of Algorithm 3.
+    fn contains(&self, s: Self::Set, h: &FiveTuple) -> bool;
+
+    /// A deterministic witness header from a non-empty set (report
+    /// generation, repair proposals).
+    fn witness(&self, s: Self::Set) -> Option<FiveTuple>;
+
+    /// A pseudo-random witness driven by `pick` (e.g. a seeded RNG asked
+    /// one bit at a time); `pick` receives a backend-chosen discriminator
+    /// such as a variable index.
+    fn random_witness(&self, s: Self::Set, pick: impl FnMut(u32) -> bool) -> Option<FiveTuple>;
+
+    /// Exact number of concrete headers in the set (fits `u128`: the space
+    /// has 104 bits). Used for table statistics and differential checks.
+    fn sat_count(&self, s: Self::Set) -> u128;
+
+    /// Size of the backend's store — BDD nodes allocated or atoms in the
+    /// partition. The bench suite records this as the memory proxy.
+    fn size_metric(&self) -> usize;
+
+    /// Hint called once before a full build with every rule match that will
+    /// be inserted. Backends that maintain global state keyed on matches
+    /// (the atom partition) refine it here in one batch instead of paying
+    /// per-insertion rewrites; the BDD backend ignores it. Correctness must
+    /// not depend on this being called.
+    fn prepare(&mut self, matches: &[Match]) {
+        let _ = matches;
+    }
+
+    /// A fresh backend instance suitable for a worker thread of the sharded
+    /// parallel build. Handles from `self` are *not* valid in the fork;
+    /// translate them with [`import`](HeaderSetBackend::import).
+    fn fork_worker(&self) -> Self;
+
+    /// Translate a set from another instance of the same backend into this
+    /// one, preserving the denoted set and canonicity. `memo` carries shared
+    /// work across calls for one `(src, self)` pair.
+    fn import(&mut self, src: &Self, s: Self::Set, memo: &mut Self::Memo) -> Self::Set;
+}

@@ -141,7 +141,7 @@ impl SwitchConfig {
             }
             transfer.insert((x, DROP_PORT), drop_acc);
         }
-        SwitchPredicates::from_transfer_map(switch, &ports, transfer)
+        SwitchPredicates::from_transfer_map(switch, &ports, transfer, hs)
     }
 }
 

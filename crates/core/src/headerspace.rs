@@ -5,9 +5,11 @@
 //! says it in one `not`. All header-set algebra in the path table goes
 //! through this type.
 
-use veridp_bdd::{Bdd, Manager};
+use veridp_bdd::{Bdd, ImportMemo, Manager};
 use veridp_packet::{FieldLayout, FiveTuple, HEADER_BITS};
 use veridp_switch::{Match, PortRange};
+
+use crate::backend::HeaderSetBackend;
 
 /// A header field, identifying a bit range in the BDD variable order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +143,25 @@ impl HeaderSpace {
         self.mgr.and(ge, le)
     }
 
+    /// Headers with `src_ip` in the inclusive range `[lo, hi]`.
+    ///
+    /// Non-prefix-aligned ranges arise from set differences of prefixes —
+    /// the atom backend's partition pieces are exactly such ranges, and the
+    /// differential test suite reconstructs them here.
+    pub fn src_ip_range(&mut self, lo: u32, hi: u32) -> Bdd {
+        self.range(Field::SrcIp, lo as u64, hi as u64)
+    }
+
+    /// Headers with `dst_ip` in the inclusive range `[lo, hi]`.
+    pub fn dst_ip_range(&mut self, lo: u32, hi: u32) -> Bdd {
+        self.range(Field::DstIp, lo as u64, hi as u64)
+    }
+
+    /// Headers with the protocol in the inclusive range `[lo, hi]`.
+    pub fn proto_range(&mut self, lo: u8, hi: u8) -> Bdd {
+        self.range(Field::Proto, lo as u64, hi as u64)
+    }
+
     /// Headers with `src_port` in the inclusive range.
     pub fn src_port_range(&mut self, r: PortRange) -> Bdd {
         self.range(Field::SrcPort, r.lo as u64, r.hi as u64)
@@ -202,5 +223,80 @@ impl HeaderSpace {
         self.mgr
             .random_sat(set, pick)
             .map(|bits| FiveTuple::from_bits(&bits))
+    }
+}
+
+/// The BDD backend: sets are hash-consed ROBDD handles, so canonicity comes
+/// directly from the manager.
+impl HeaderSetBackend for HeaderSpace {
+    type Set = Bdd;
+    type Memo = ImportMemo;
+
+    const NAME: &'static str = "bdd";
+
+    fn full(&self) -> Bdd {
+        Bdd::TRUE
+    }
+
+    fn empty(&self) -> Bdd {
+        Bdd::FALSE
+    }
+
+    fn from_match(&mut self, m: &Match) -> Bdd {
+        self.match_set(m)
+    }
+
+    fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.mgr.and(a, b)
+    }
+
+    fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.mgr.or(a, b)
+    }
+
+    fn diff(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.mgr.diff(a, b)
+    }
+
+    fn is_empty(&self, s: Bdd) -> bool {
+        s.is_false()
+    }
+
+    fn is_full(&self, s: Bdd) -> bool {
+        s.is_true()
+    }
+
+    fn is_subset(&mut self, a: Bdd, b: Bdd) -> bool {
+        self.mgr.diff(a, b).is_false()
+    }
+
+    fn contains(&self, s: Bdd, h: &FiveTuple) -> bool {
+        HeaderSpace::contains(self, s, h)
+    }
+
+    fn witness(&self, s: Bdd) -> Option<FiveTuple> {
+        HeaderSpace::witness(self, s)
+    }
+
+    fn random_witness(&self, s: Bdd, pick: impl FnMut(u32) -> bool) -> Option<FiveTuple> {
+        HeaderSpace::random_witness(self, s, pick)
+    }
+
+    fn sat_count(&self, s: Bdd) -> u128 {
+        self.mgr.sat_count(s)
+    }
+
+    fn size_metric(&self) -> usize {
+        self.mgr.node_count()
+    }
+
+    fn fork_worker(&self) -> Self {
+        HeaderSpace {
+            mgr: Manager::new(self.mgr.num_vars()),
+        }
+    }
+
+    fn import(&mut self, src: &Self, s: Bdd, memo: &mut ImportMemo) -> Bdd {
+        self.mgr.import(&src.mgr, s, memo)
     }
 }

@@ -25,18 +25,17 @@
 
 use std::collections::HashMap;
 
-use veridp_bdd::Bdd;
 use veridp_bloom::BloomTag;
 use veridp_packet::{Hop, PortNo, PortRef, SwitchId, DROP_PORT};
 use veridp_switch::{Action, FlowRule, RuleId};
 
-use crate::headerspace::HeaderSpace;
+use crate::backend::HeaderSetBackend;
 use crate::path_table::PathTable;
 use crate::predicates::SwitchPredicates;
 
-impl PathTable {
+impl<B: HeaderSetBackend> PathTable<B> {
     /// Incrementally apply a rule addition at switch `s`.
-    pub fn add_rule(&mut self, s: SwitchId, rule: FlowRule, hs: &mut HeaderSpace) {
+    pub fn add_rule(&mut self, s: SwitchId, rule: FlowRule, hs: &mut B) {
         self.update_switch(s, hs, |rules| {
             rules.retain(|r| r.id != rule.id);
             rules.push(rule);
@@ -44,14 +43,14 @@ impl PathTable {
     }
 
     /// Incrementally apply a rule deletion at switch `s`.
-    pub fn delete_rule(&mut self, s: SwitchId, id: RuleId, hs: &mut HeaderSpace) {
+    pub fn delete_rule(&mut self, s: SwitchId, id: RuleId, hs: &mut B) {
         self.update_switch(s, hs, |rules| {
             rules.retain(|r| r.id != id);
         });
     }
 
     /// Incrementally apply an action change (delete + add, as in §4.4).
-    pub fn modify_rule(&mut self, s: SwitchId, id: RuleId, action: Action, hs: &mut HeaderSpace) {
+    pub fn modify_rule(&mut self, s: SwitchId, id: RuleId, action: Action, hs: &mut B) {
         self.update_switch(s, hs, |rules| {
             if let Some(r) = rules.iter_mut().find(|r| r.id == id) {
                 r.action = action;
@@ -59,12 +58,7 @@ impl PathTable {
         });
     }
 
-    fn update_switch(
-        &mut self,
-        s: SwitchId,
-        hs: &mut HeaderSpace,
-        edit: impl FnOnce(&mut Vec<FlowRule>),
-    ) {
+    fn update_switch(&mut self, s: SwitchId, hs: &mut B, edit: impl FnOnce(&mut Vec<FlowRule>)) {
         assert!(
             self.tracks_reach(),
             "incremental update requires reach records (use PathTable::build, not build_static)"
@@ -89,8 +83,8 @@ impl PathTable {
 
         let mut all_outs: Vec<PortNo> = ports.clone();
         all_outs.push(DROP_PORT);
-        let mut shrink: HashMap<Hop, Bdd> = HashMap::new();
-        let mut grow: HashMap<(PortNo, PortNo), Bdd> = HashMap::new();
+        let mut shrink: HashMap<Hop, B::Set> = HashMap::new();
+        let mut grow: HashMap<(PortNo, PortNo), B::Set> = HashMap::new();
         for &x in &ports {
             for &y in &all_outs {
                 let before = old.transfer(x, y);
@@ -98,8 +92,8 @@ impl PathTable {
                 if before == after {
                     continue;
                 }
-                let minus = hs.mgr().diff(before, after);
-                if !minus.is_false() {
+                let minus = hs.diff(before, after);
+                if !hs.is_empty(minus) {
                     shrink.insert(
                         Hop {
                             in_port: x,
@@ -109,8 +103,8 @@ impl PathTable {
                         minus,
                     );
                 }
-                let plus = hs.mgr().diff(after, before);
-                if !plus.is_false() {
+                let plus = hs.diff(after, before);
+                if !hs.is_empty(plus) {
                     grow.insert((x, y), plus);
                 }
             }
@@ -127,8 +121,8 @@ impl PathTable {
                 list.retain_mut(|entry| {
                     for hop in &entry.hops {
                         if let Some(&minus) = shrink.get(hop) {
-                            entry.headers = hs.mgr().diff(entry.headers, minus);
-                            if entry.headers.is_false() {
+                            entry.headers = hs.diff(entry.headers, minus);
+                            if hs.is_empty(entry.headers) {
                                 return false;
                             }
                         }
@@ -141,8 +135,8 @@ impl PathTable {
                 records.retain_mut(|r| {
                     for hop in &r.hops {
                         if let Some(&minus) = shrink.get(hop) {
-                            r.headers = hs.mgr().diff(r.headers, minus);
-                            if r.headers.is_false() {
+                            r.headers = hs.diff(r.headers, minus);
+                            if hs.is_empty(r.headers) {
                                 return false;
                             }
                         }
@@ -157,7 +151,7 @@ impl PathTable {
         if grow.is_empty() {
             return;
         }
-        let snapshot: Vec<crate::path_table::ReachRecord> =
+        let snapshot: Vec<crate::path_table::ReachRecord<B>> =
             self.reach.get(&s).map(|v| v.to_vec()).unwrap_or_default();
         let tag_bits = self.tag_bits();
         for rec in snapshot {
@@ -165,8 +159,8 @@ impl PathTable {
                 if rec.at.port != x {
                     continue;
                 }
-                let h2 = hs.mgr().and(rec.headers, plus);
-                if h2.is_false() {
+                let h2 = hs.and(rec.headers, plus);
+                if hs.is_empty(h2) {
                     continue;
                 }
                 let hop = Hop {

@@ -52,6 +52,7 @@
 //! assert_eq!(table.verify(&report, &hs), VerifyOutcome::Pass);
 //! ```
 
+mod backend;
 pub mod config;
 mod headerspace;
 mod incremental;
@@ -66,6 +67,7 @@ pub mod ruletree;
 mod server;
 mod verify;
 
+pub use backend::HeaderSetBackend;
 pub use headerspace::HeaderSpace;
 pub use localize::{InferredPath, LocalizeOutcome};
 pub use parallel::{verify_batch, verify_batch_summary, BatchSummary};

@@ -12,7 +12,7 @@
 use veridp_bloom::BloomTag;
 use veridp_packet::{Hop, PortRef, SwitchId, TagReport};
 
-use crate::headerspace::HeaderSpace;
+use crate::backend::HeaderSetBackend;
 use crate::path_table::PathTable;
 
 /// One candidate real path found by PathInfer.
@@ -50,10 +50,10 @@ fn hop_in_tag(hop: &Hop, tag: BloomTag) -> bool {
     tag.contains(&hop.encode())
 }
 
-impl PathTable {
+impl<B: HeaderSetBackend> PathTable<B> {
     /// Algorithm 4: infer the set of possible real paths for a failed
     /// report, and the faulty switch each one implicates.
-    pub fn localize(&self, report: &TagReport, hs: &HeaderSpace) -> LocalizeOutcome {
+    pub fn localize(&self, report: &TagReport, hs: &B) -> LocalizeOutcome {
         let tag = report.tag;
         // Line 2: the original (correct) path for this header.
         let correct_path = self.trace(report.inport, &report.header, hs);

@@ -9,7 +9,7 @@
 
 use veridp_packet::TagReport;
 
-use crate::headerspace::HeaderSpace;
+use crate::backend::HeaderSetBackend;
 use crate::path_table::PathTable;
 use crate::verify::VerifyOutcome;
 
@@ -18,9 +18,9 @@ use crate::verify::VerifyOutcome;
 ///
 /// With `threads <= 1` (or a batch smaller than the thread count) this
 /// degrades to the sequential path with no spawning overhead.
-pub fn verify_batch(
-    table: &PathTable,
-    hs: &HeaderSpace,
+pub fn verify_batch<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
     reports: &[TagReport],
     threads: usize,
 ) -> Vec<VerifyOutcome> {
@@ -53,13 +53,17 @@ pub fn verify_batch(
 /// Fast path for throughput measurement (the fig. 13 experiment): each
 /// worker folds its shard into a [`BatchSummary`] as it verifies, so no
 /// per-report verdict vector is allocated or concatenated.
-pub fn verify_batch_summary(
-    table: &PathTable,
-    hs: &HeaderSpace,
+pub fn verify_batch_summary<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
     reports: &[TagReport],
     threads: usize,
 ) -> BatchSummary {
-    fn fold(table: &PathTable, hs: &HeaderSpace, slice: &[TagReport]) -> BatchSummary {
+    fn fold<B: HeaderSetBackend>(
+        table: &PathTable<B>,
+        hs: &B,
+        slice: &[TagReport],
+    ) -> BatchSummary {
         let mut s = BatchSummary::default();
         for r in slice {
             s.add(table.verify(r, hs));

@@ -2,61 +2,62 @@
 //!
 //! Algorithm 2 is embarrassingly parallel across network entry ports: the
 //! traversal from one entry port never reads state produced by another. What
-//! serializes the sequential build is the single BDD [`Manager`] — every
-//! `and` on the hot path mutates the shared arena and caches.
+//! serializes the sequential build is the single backend instance — for the
+//! BDD backend every `and` on the hot path mutates the shared arena and
+//! caches; for the atom backend it is the shared set interner.
 //!
-//! The parallel build removes that bottleneck with *sharded managers*:
+//! The parallel build removes that bottleneck with *sharded backends*:
 //!
-//! 1. transfer predicates are computed once in the main manager (exactly as
+//! 1. transfer predicates are computed once in the main backend (exactly as
 //!    the sequential build does);
 //! 2. entry ports are partitioned into contiguous shards, one per worker;
-//! 3. each worker creates a private manager, seeds it by importing the
-//!    shared predicates ([`Manager::import`] — structural translation that
-//!    preserves canonicity), and traverses its shard with zero locking;
+//! 3. each worker forks a private backend instance
+//!    ([`HeaderSetBackend::fork_worker`]), seeds it by importing the shared
+//!    predicates ([`HeaderSetBackend::import`] — translation that preserves
+//!    canonicity), and traverses its shard with zero locking;
 //! 4. the main thread imports each shard's path entries and reach records
-//!    back into the main manager, in shard order.
+//!    back into the main backend, in shard order.
 //!
 //! Because shards are contiguous and merged in order, and because a
 //! traversal's output depends only on its entry port, the merged table is
 //! *identical* to the sequential one: same pairs, same per-pair path order,
 //! same hop sequences and tags, and — by canonicity of import — the same
-//! header-set functions. The only nondeterminism-shaped difference is BDD
-//! handle numbering in intermediate worker arenas, which never escapes.
+//! header-set functions. The only nondeterminism-shaped difference is
+//! handle numbering in intermediate worker instances, which never escapes.
 
 use std::collections::HashMap;
 
-use veridp_bdd::{Bdd, ImportMemo, Manager};
 use veridp_bloom::BloomTag;
 use veridp_packet::{PortNo, PortRef, SwitchId, MAX_PATH_LENGTH};
 use veridp_switch::FlowRule;
 use veridp_topo::Topology;
 
-use crate::headerspace::HeaderSpace;
+use crate::backend::HeaderSetBackend;
 use crate::path_table::{PathEntry, PathTable, ReachRecord, Traversal};
 use crate::predicates::SwitchPredicates;
 
-/// Everything a worker sends back: its private arena plus results whose
+/// Everything a worker sends back: its private backend plus results whose
 /// handles still point into it.
-struct ShardResult {
-    mgr: Manager,
-    entries: HashMap<(PortRef, PortRef), Vec<PathEntry>>,
-    reach: HashMap<SwitchId, Vec<ReachRecord>>,
+struct ShardResult<B: HeaderSetBackend> {
+    backend: B,
+    entries: HashMap<(PortRef, PortRef), Vec<PathEntry<B>>>,
+    reach: HashMap<SwitchId, Vec<ReachRecord<B>>>,
 }
 
-/// Traverse one shard of entry ports against a worker-private manager.
-fn run_shard(
+/// Traverse one shard of entry ports against a worker-private backend.
+fn run_shard<B: HeaderSetBackend>(
     topo: &Topology,
-    preds: &HashMap<SwitchId, SwitchPredicates>,
-    src_mgr: &Manager,
+    preds: &HashMap<SwitchId, SwitchPredicates<B>>,
+    src: &B,
     ports: &[PortRef],
     tag_bits: u32,
     track_reach: bool,
-) -> ShardResult {
-    let mut mgr = Manager::new(src_mgr.num_vars());
-    let mut memo = ImportMemo::new();
-    let local_preds: HashMap<SwitchId, SwitchPredicates> = preds
+) -> ShardResult<B> {
+    let mut backend = src.fork_worker();
+    let mut memo = B::Memo::default();
+    let local_preds: HashMap<SwitchId, SwitchPredicates<B>> = preds
         .iter()
-        .map(|(s, p)| (*s, p.translated(src_mgr, &mut mgr, &mut memo)))
+        .map(|(s, p)| (*s, p.translated(src, &mut backend, &mut memo)))
         .collect();
     let mut entries = HashMap::new();
     let mut reach = HashMap::new();
@@ -70,28 +71,29 @@ fn run_shard(
         reach: &mut reach,
     };
     for &inport in ports {
+        let full = backend.full();
         t.traverse(
-            &mut mgr,
+            &mut backend,
             inport,
             inport,
-            Bdd::TRUE,
+            full,
             Vec::new(),
             BloomTag::empty(tag_bits),
         );
     }
     ShardResult {
-        mgr,
+        backend,
         entries,
         reach,
     }
 }
 
-impl PathTable {
+impl<B: HeaderSetBackend> PathTable<B> {
     /// Build the table as [`PathTable::build`] does, but traversing entry
-    /// ports on `threads` worker threads, each with a private sharded BDD
-    /// manager. The result is semantically identical to the sequential
-    /// build — same pairs, hops, tags, and header sets — for any thread
-    /// count.
+    /// ports on `threads` worker threads, each with a private sharded
+    /// backend instance. The result is semantically identical to the
+    /// sequential build — same pairs, hops, tags, and header sets — for any
+    /// thread count.
     ///
     /// `threads` is clamped to `[1, entry ports]`; `threads <= 1` still
     /// runs the sharded path (one worker), so timing it measures the true
@@ -99,11 +101,12 @@ impl PathTable {
     pub fn build_parallel(
         topo: &Topology,
         rules: &HashMap<SwitchId, Vec<FlowRule>>,
-        hs: &mut HeaderSpace,
+        hs: &mut B,
         tag_bits: u32,
         threads: usize,
     ) -> Self {
         let mut table = PathTable::new_empty(topo, rules, tag_bits, true);
+        Self::prepare_backend(rules, hs);
         for info in topo.switches() {
             let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
             let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
@@ -124,14 +127,14 @@ impl PathTable {
         let workers = threads.clamp(1, entry_ports.len());
         let chunk = entry_ports.len().div_ceil(workers);
         let preds = &table.preds;
-        let src_mgr: &Manager = hs.mgr_ref();
+        let src: &B = hs;
         // Contiguous shards, joined in order: merge order equals the
         // sequential build's entry-port order.
-        let results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let results: Vec<ShardResult<B>> = std::thread::scope(|scope| {
             let handles: Vec<_> = entry_ports
                 .chunks(chunk)
                 .map(|ports| {
-                    scope.spawn(move || run_shard(topo, preds, src_mgr, ports, tag_bits, true))
+                    scope.spawn(move || run_shard(topo, preds, src, ports, tag_bits, true))
                 })
                 .collect();
             handles
@@ -141,13 +144,13 @@ impl PathTable {
         });
 
         for shard in results {
-            let mut memo = ImportMemo::new();
+            let mut memo = B::Memo::default();
             for (pair, list) in shard.entries {
                 // Entry-port disjointness makes pairs disjoint across
                 // shards, so this is a pure extend — no cross-shard merge.
                 let dst = table.entries.entry(pair).or_default();
                 for e in list {
-                    let headers = hs.mgr().import(&shard.mgr, e.headers, &mut memo);
+                    let headers = hs.import(&shard.backend, e.headers, &mut memo);
                     dst.push(PathEntry {
                         headers,
                         hops: e.hops,
@@ -158,7 +161,7 @@ impl PathTable {
             for (s, recs) in shard.reach {
                 let dst = table.reach.entry(s).or_default();
                 for r in recs {
-                    let headers = hs.mgr().import(&shard.mgr, r.headers, &mut memo);
+                    let headers = hs.import(&shard.backend, r.headers, &mut memo);
                     dst.push(ReachRecord { headers, ..r });
                 }
             }

@@ -1,49 +1,100 @@
 //! The path table and its construction (Algorithm 2, §3.4 and §4.1).
+//!
+//! The table is generic over the header-set representation
+//! ([`HeaderSetBackend`]): `PathTable` defaults to the BDD backend
+//! ([`HeaderSpace`]), `PathTable<AtomSpace>` runs the identical algorithm on
+//! the atom-partition backend. Both produce the same pairs, hop sequences,
+//! and tags; the differential test suite asserts this on every supported
+//! topology.
 
 use std::collections::HashMap;
 
-use veridp_bdd::{Bdd, Manager};
 use veridp_bloom::BloomTag;
 use veridp_packet::{FiveTuple, Hop, PortNo, PortRef, SwitchId, DROP_PORT, MAX_PATH_LENGTH};
-use veridp_switch::FlowRule;
+use veridp_switch::{FlowRule, Match};
 use veridp_topo::Topology;
 
+use crate::backend::HeaderSetBackend;
 use crate::headerspace::HeaderSpace;
 use crate::predicates::SwitchPredicates;
 
 /// One path for an `(inport, outport)` pair: the header set admitted on it,
 /// the hop sequence, and the Bloom tag a correctly-forwarded packet would
 /// carry.
-#[derive(Debug, Clone)]
-pub struct PathEntry {
-    pub headers: Bdd,
+pub struct PathEntry<B: HeaderSetBackend = HeaderSpace> {
+    pub headers: B::Set,
     pub hops: Vec<Hop>,
     pub tag: BloomTag,
 }
 
-impl PathEntry {
-    /// The exit port of the path.
-    pub fn outport(&self) -> PortRef {
-        let last = self.hops.last().expect("paths have at least one hop");
-        last.out_ref()
+impl<B: HeaderSetBackend> std::fmt::Debug for PathEntry<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathEntry")
+            .field("headers", &self.headers)
+            .field("hops", &self.hops)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+impl<B: HeaderSetBackend> Clone for PathEntry<B> {
+    fn clone(&self) -> Self {
+        PathEntry {
+            headers: self.headers,
+            hops: self.hops.clone(),
+            tag: self.tag,
+        }
+    }
+}
+
+impl<B: HeaderSetBackend> PathEntry<B> {
+    /// The exit port of the path, or `None` for an entry with no recorded
+    /// hops. Construction always records at least one hop, so `None` never
+    /// occurs for table-built entries — but the accessor stays total instead
+    /// of panicking on hand-assembled values.
+    pub fn outport(&self) -> Option<PortRef> {
+        self.hops.last().map(|last| last.out_ref())
     }
 }
 
 /// A header set that reached some switch during construction, with the path
 /// it took to get there. Kept so the incremental update (§4.4) can resume
 /// traversal at the modified switch instead of rebuilding.
-#[derive(Debug, Clone)]
-pub struct ReachRecord {
+pub struct ReachRecord<B: HeaderSetBackend = HeaderSpace> {
     /// The network entry port of this traversal.
     pub inport: PortRef,
     /// Where the headers arrived: switch and local in-port.
     pub at: PortRef,
     /// The headers that got this far.
-    pub headers: Bdd,
+    pub headers: B::Set,
     /// Hops completed before arriving (empty at the entry switch).
     pub hops: Vec<Hop>,
     /// Tag accumulated so far.
     pub tag: BloomTag,
+}
+
+impl<B: HeaderSetBackend> std::fmt::Debug for ReachRecord<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReachRecord")
+            .field("inport", &self.inport)
+            .field("at", &self.at)
+            .field("headers", &self.headers)
+            .field("hops", &self.hops)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+impl<B: HeaderSetBackend> Clone for ReachRecord<B> {
+    fn clone(&self) -> Self {
+        ReachRecord {
+            inport: self.inport,
+            at: self.at,
+            headers: self.headers,
+            hops: self.hops.clone(),
+            tag: self.tag,
+        }
+    }
 }
 
 /// Aggregate statistics for Table 2 / Fig. 6.
@@ -62,8 +113,7 @@ pub struct PathTableStats {
 
 /// The path table: for every `(inport, outport)` pair, the list of paths a
 /// packet may legitimately take, each with its header set and tag.
-#[derive(Debug)]
-pub struct PathTable {
+pub struct PathTable<B: HeaderSetBackend = HeaderSpace> {
     topo: Topology,
     tag_bits: u32,
     max_hops: usize,
@@ -72,19 +122,30 @@ pub struct PathTable {
     track_reach: bool,
     /// Per-switch logical rules (the control-plane view `R`).
     pub(crate) rules: HashMap<SwitchId, Vec<FlowRule>>,
-    pub(crate) preds: HashMap<SwitchId, SwitchPredicates>,
-    pub(crate) entries: HashMap<(PortRef, PortRef), Vec<PathEntry>>,
-    pub(crate) reach: HashMap<SwitchId, Vec<ReachRecord>>,
+    pub(crate) preds: HashMap<SwitchId, SwitchPredicates<B>>,
+    pub(crate) entries: HashMap<(PortRef, PortRef), Vec<PathEntry<B>>>,
+    pub(crate) reach: HashMap<SwitchId, Vec<ReachRecord<B>>>,
 }
 
-impl PathTable {
+impl<B: HeaderSetBackend> std::fmt::Debug for PathTable<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathTable")
+            .field("tag_bits", &self.tag_bits)
+            .field("max_hops", &self.max_hops)
+            .field("track_reach", &self.track_reach)
+            .field("pairs", &self.entries.len())
+            .finish()
+    }
+}
+
+impl<B: HeaderSetBackend> PathTable<B> {
     /// Build the table from the topology and per-switch logical rules,
     /// traversing from every host-facing edge port (the network's entry
     /// points). `tag_bits` is the Bloom tag width used for path tags.
     pub fn build(
         topo: &Topology,
         rules: &HashMap<SwitchId, Vec<FlowRule>>,
-        hs: &mut HeaderSpace,
+        hs: &mut B,
         tag_bits: u32,
     ) -> Self {
         Self::build_inner(topo, rules, hs, tag_bits, true)
@@ -96,7 +157,7 @@ impl PathTable {
     pub fn build_static(
         topo: &Topology,
         rules: &HashMap<SwitchId, Vec<FlowRule>>,
-        hs: &mut HeaderSpace,
+        hs: &mut B,
         tag_bits: u32,
     ) -> Self {
         Self::build_inner(topo, rules, hs, tag_bits, false)
@@ -122,14 +183,26 @@ impl PathTable {
         }
     }
 
+    /// Batch-announce every rule match to the backend before predicate
+    /// computation ([`HeaderSetBackend::prepare`]); the atom backend builds
+    /// its whole partition here in one pass.
+    pub(crate) fn prepare_backend(rules: &HashMap<SwitchId, Vec<FlowRule>>, hs: &mut B) {
+        let matches: Vec<Match> = rules
+            .values()
+            .flat_map(|v| v.iter().map(|r| r.fields))
+            .collect();
+        hs.prepare(&matches);
+    }
+
     fn build_inner(
         topo: &Topology,
         rules: &HashMap<SwitchId, Vec<FlowRule>>,
-        hs: &mut HeaderSpace,
+        hs: &mut B,
         tag_bits: u32,
         track_reach: bool,
     ) -> Self {
         let mut table = Self::new_empty(topo, rules, tag_bits, track_reach);
+        Self::prepare_backend(rules, hs);
         for info in topo.switches() {
             let ports: Vec<PortNo> = (1..=info.num_ports).map(PortNo).collect();
             let list = rules.get(&info.id).map_or(&[][..], |v| v.as_slice());
@@ -144,10 +217,11 @@ impl PathTable {
             .filter(|p| topo.is_terminal_port(*p))
             .collect();
         for inport in entry_ports {
+            let full = hs.full();
             table.traverse(
                 inport,
                 inport,
-                Bdd::TRUE,
+                full,
                 Vec::new(),
                 BloomTag::empty(tag_bits),
                 hs,
@@ -165,8 +239,8 @@ impl PathTable {
     /// (configuration files change far less often than OpenFlow rules).
     pub fn build_with_predicates(
         topo: &Topology,
-        preds: HashMap<SwitchId, SwitchPredicates>,
-        hs: &mut HeaderSpace,
+        preds: HashMap<SwitchId, SwitchPredicates<B>>,
+        hs: &mut B,
         tag_bits: u32,
     ) -> Self {
         let mut table = PathTable {
@@ -185,10 +259,11 @@ impl PathTable {
             .filter(|p| topo.is_terminal_port(*p))
             .collect();
         for inport in entry_ports {
+            let full = hs.full();
             table.traverse(
                 inport,
                 inport,
-                Bdd::TRUE,
+                full,
                 Vec::new(),
                 BloomTag::empty(tag_bits),
                 hs,
@@ -213,7 +288,7 @@ impl PathTable {
     }
 
     /// Predicates of one switch.
-    pub fn predicates(&self, s: SwitchId) -> Option<&SwitchPredicates> {
+    pub fn predicates(&self, s: SwitchId) -> Option<&SwitchPredicates<B>> {
         self.preds.get(&s)
     }
 
@@ -223,10 +298,10 @@ impl PathTable {
         &mut self,
         inport: PortRef,
         at: PortRef,
-        h: Bdd,
+        h: B::Set,
         hops: Vec<Hop>,
         tag: BloomTag,
-        hs: &mut HeaderSpace,
+        hs: &mut B,
     ) {
         let mut t = Traversal {
             topo: &self.topo,
@@ -237,7 +312,7 @@ impl PathTable {
             entries: &mut self.entries,
             reach: &mut self.reach,
         };
-        t.traverse(hs.mgr(), inport, at, h, hops, tag);
+        t.traverse(hs, inport, at, h, hops, tag);
     }
 
     /// Insert (or merge into) a path entry.
@@ -245,36 +320,28 @@ impl PathTable {
         &mut self,
         inport: PortRef,
         outport: PortRef,
-        headers: Bdd,
+        headers: B::Set,
         hops: Vec<Hop>,
         tag: BloomTag,
-        hs: &mut HeaderSpace,
+        hs: &mut B,
     ) {
-        Traversal::insert_into(
-            &mut self.entries,
-            hs.mgr(),
-            inport,
-            outport,
-            headers,
-            hops,
-            tag,
-        )
+        Traversal::insert_into(&mut self.entries, hs, inport, outport, headers, hops, tag)
     }
 
     /// Paths recorded for a pair.
-    pub fn paths(&self, inport: PortRef, outport: PortRef) -> &[PathEntry] {
+    pub fn paths(&self, inport: PortRef, outport: PortRef) -> &[PathEntry<B>] {
         self.entries
             .get(&(inport, outport))
             .map_or(&[], |v| v.as_slice())
     }
 
     /// Iterate over all `(pair, paths)` groups.
-    pub fn iter(&self) -> impl Iterator<Item = (&(PortRef, PortRef), &Vec<PathEntry>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(PortRef, PortRef), &Vec<PathEntry<B>>)> {
         self.entries.iter()
     }
 
     /// All entries flattened, in a deterministic order.
-    pub fn all_entries(&self) -> Vec<(&(PortRef, PortRef), &PathEntry)> {
+    pub fn all_entries(&self) -> Vec<(&(PortRef, PortRef), &PathEntry<B>)> {
         let mut keys: Vec<&(PortRef, PortRef)> = self.entries.keys().collect();
         keys.sort();
         keys.into_iter()
@@ -286,7 +353,7 @@ impl PathTable {
     /// header injected at `from` — `GetPath` of Algorithm 4. Walks the
     /// transfer predicates hop by hop until the packet leaves the network,
     /// drops, or the hop budget runs out.
-    pub fn trace(&self, from: PortRef, header: &FiveTuple, hs: &HeaderSpace) -> Vec<Hop> {
+    pub fn trace(&self, from: PortRef, header: &FiveTuple, hs: &B) -> Vec<Hop> {
         let mut hops = Vec::new();
         let mut at = from;
         while hops.len() < self.max_hops {
@@ -351,6 +418,17 @@ impl PathTable {
         }
     }
 
+    /// Total number of concrete headers admitted across all paths
+    /// (saturating), via [`HeaderSetBackend::sat_count`]. A cheap semantic
+    /// fingerprint: two tables over the same topology and rules must agree
+    /// on it regardless of backend.
+    pub fn total_header_count(&self, hs: &B) -> u128 {
+        self.entries
+            .values()
+            .flatten()
+            .fold(0u128, |acc, e| acc.saturating_add(hs.sat_count(e.headers)))
+    }
+
     /// Drop-port reference for a switch (convenience).
     pub fn drop_port(s: SwitchId) -> PortRef {
         PortRef {
@@ -364,27 +442,27 @@ impl PathTable {
 /// [`PathTable`] so the same traversal drives both the sequential build
 /// (borrowing the table's own fields) and the per-shard workers of
 /// [`PathTable::build_parallel`] (borrowing worker-local state and a
-/// worker-private [`Manager`]).
-pub(crate) struct Traversal<'a> {
+/// worker-private backend instance).
+pub(crate) struct Traversal<'a, B: HeaderSetBackend> {
     pub topo: &'a Topology,
-    pub preds: &'a HashMap<SwitchId, SwitchPredicates>,
+    pub preds: &'a HashMap<SwitchId, SwitchPredicates<B>>,
     pub tag_bits: u32,
     pub max_hops: usize,
     pub track_reach: bool,
-    pub entries: &'a mut HashMap<(PortRef, PortRef), Vec<PathEntry>>,
-    pub reach: &'a mut HashMap<SwitchId, Vec<ReachRecord>>,
+    pub entries: &'a mut HashMap<(PortRef, PortRef), Vec<PathEntry<B>>>,
+    pub reach: &'a mut HashMap<SwitchId, Vec<ReachRecord<B>>>,
 }
 
-impl Traversal<'_> {
+impl<B: HeaderSetBackend> Traversal<'_, B> {
     /// Algorithm 2, one step (see [`PathTable::traverse`] for the
-    /// semantics). All BDD work goes through the supplied `mgr`; handles in
-    /// `h` and in `self.preds` must belong to it.
+    /// semantics). All set algebra goes through the supplied backend `hs`;
+    /// handles in `h` and in `self.preds` must belong to it.
     pub(crate) fn traverse(
         &mut self,
-        mgr: &mut Manager,
+        hs: &mut B,
         inport: PortRef,
         at: PortRef,
-        h: Bdd,
+        h: B::Set,
         hops: Vec<Hop>,
         tag: BloomTag,
     ) {
@@ -412,8 +490,8 @@ impl Traversal<'_> {
         };
         let outputs = preds.outputs(x);
         for (y, p_xy) in outputs {
-            let h2 = mgr.and(h, p_xy);
-            if h2.is_false() {
+            let h2 = hs.and(h, p_xy);
+            if hs.is_empty(h2) {
                 continue;
             }
             let hop = Hop {
@@ -426,29 +504,29 @@ impl Traversal<'_> {
             let tag2 = tag.union(BloomTag::singleton(&hop.encode(), self.tag_bits));
             let out_ref = PortRef { switch: s, port: y };
             if y.is_drop() || self.topo.is_terminal_port(out_ref) {
-                Self::insert_into(self.entries, mgr, inport, out_ref, h2, hops2, tag2);
+                Self::insert_into(self.entries, hs, inport, out_ref, h2, hops2, tag2);
             } else if self.topo.is_middlebox_port(out_ref) {
                 // Reflecting middlebox: the packet re-enters on the same port.
-                self.traverse(mgr, inport, out_ref, h2, hops2, tag2);
+                self.traverse(hs, inport, out_ref, h2, hops2, tag2);
             } else if let Some(next) = self.topo.peer(out_ref) {
-                self.traverse(mgr, inport, next, h2, hops2, tag2);
+                self.traverse(hs, inport, next, h2, hops2, tag2);
             }
         }
     }
 
     /// Insert (or merge into) a path entry of `entries`.
     pub(crate) fn insert_into(
-        entries: &mut HashMap<(PortRef, PortRef), Vec<PathEntry>>,
-        mgr: &mut Manager,
+        entries: &mut HashMap<(PortRef, PortRef), Vec<PathEntry<B>>>,
+        hs: &mut B,
         inport: PortRef,
         outport: PortRef,
-        headers: Bdd,
+        headers: B::Set,
         hops: Vec<Hop>,
         tag: BloomTag,
     ) {
         let list = entries.entry((inport, outport)).or_default();
         if let Some(e) = list.iter_mut().find(|e| e.hops == hops) {
-            e.headers = mgr.or(e.headers, headers);
+            e.headers = hs.or(e.headers, headers);
         } else {
             list.push(PathEntry { headers, hops, tag });
         }

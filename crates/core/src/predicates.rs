@@ -12,36 +12,62 @@
 //! the predicate genuinely depend on `x`; switches without such rules share
 //! one predicate vector across all in-ports (the common case, and an
 //! important memory optimization at Stanford/Internet2 scale).
+//!
+//! The computation is generic over the header-set representation
+//! ([`HeaderSetBackend`]): the same shadowing scan drives the BDD backend
+//! and the atom-partition backend.
 
 use std::collections::HashMap;
 
-use veridp_bdd::{Bdd, ImportMemo, Manager};
 use veridp_packet::{PortNo, SwitchId, DROP_PORT};
 use veridp_switch::{Action, FlowRule};
 
+use crate::backend::HeaderSetBackend;
 use crate::headerspace::HeaderSpace;
 
 /// Transfer predicates of one switch.
-#[derive(Debug, Clone)]
-pub struct SwitchPredicates {
+pub struct SwitchPredicates<B: HeaderSetBackend = HeaderSpace> {
     pub switch: SwitchId,
     /// Data-plane ports of the switch (excluding `⊥`).
     ports: Vec<PortNo>,
+    /// The backend's canonical full/empty handles, kept so lookups can
+    /// answer without backend access.
+    full: B::Set,
+    empty: B::Set,
     /// `uniform[y]` when no rule is in-port-qualified; otherwise
     /// `per_port[x][y]`.
-    uniform: Option<HashMap<PortNo, Bdd>>,
-    per_port: HashMap<PortNo, HashMap<PortNo, Bdd>>,
+    uniform: Option<HashMap<PortNo, B::Set>>,
+    per_port: HashMap<PortNo, HashMap<PortNo, B::Set>>,
 }
 
-impl SwitchPredicates {
+impl<B: HeaderSetBackend> std::fmt::Debug for SwitchPredicates<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchPredicates")
+            .field("switch", &self.switch)
+            .field("ports", &self.ports)
+            .field("uniform", &self.uniform)
+            .field("per_port", &self.per_port)
+            .finish()
+    }
+}
+
+impl<B: HeaderSetBackend> Clone for SwitchPredicates<B> {
+    fn clone(&self) -> Self {
+        SwitchPredicates {
+            switch: self.switch,
+            ports: self.ports.clone(),
+            full: self.full,
+            empty: self.empty,
+            uniform: self.uniform.clone(),
+            per_port: self.per_port.clone(),
+        }
+    }
+}
+
+impl<B: HeaderSetBackend> SwitchPredicates<B> {
     /// Compute predicates from the switch's rule list (any order; priorities
     /// decide shadowing) for a switch with the given data ports.
-    pub fn from_rules(
-        switch: SwitchId,
-        ports: &[PortNo],
-        rules: &[FlowRule],
-        hs: &mut HeaderSpace,
-    ) -> Self {
+    pub fn from_rules(switch: SwitchId, ports: &[PortNo], rules: &[FlowRule], hs: &mut B) -> Self {
         let mut sorted: Vec<&FlowRule> = rules.iter().collect();
         // Match order: priority desc, then id asc (first-installed wins).
         sorted.sort_by_key(|r| (std::cmp::Reverse(r.priority), r.id));
@@ -52,6 +78,8 @@ impl SwitchPredicates {
             return SwitchPredicates {
                 switch,
                 ports: ports.to_vec(),
+                full: hs.full(),
+                empty: hs.empty(),
                 uniform: Some(map),
                 per_port: HashMap::new(),
             };
@@ -63,6 +91,8 @@ impl SwitchPredicates {
         SwitchPredicates {
             switch,
             ports: ports.to_vec(),
+            full: hs.full(),
+            empty: hs.empty(),
             uniform: None,
             per_port,
         }
@@ -70,15 +100,11 @@ impl SwitchPredicates {
 
     /// One pass of priority shadowing for a fixed in-port (or port-agnostic
     /// when `in_port` is `None`).
-    fn scan(
-        sorted: &[&FlowRule],
-        in_port: Option<PortNo>,
-        hs: &mut HeaderSpace,
-    ) -> HashMap<PortNo, Bdd> {
-        let mut out: HashMap<PortNo, Bdd> = HashMap::new();
-        let mut remaining = Bdd::TRUE; // headers not yet claimed by any rule
+    fn scan(sorted: &[&FlowRule], in_port: Option<PortNo>, hs: &mut B) -> HashMap<PortNo, B::Set> {
+        let mut out: HashMap<PortNo, B::Set> = HashMap::new();
+        let mut remaining = hs.full(); // headers not yet claimed by any rule
         for r in sorted {
-            if remaining.is_false() {
+            if hs.is_empty(remaining) {
                 break;
             }
             if let (Some(x), Some(rp)) = (in_port, r.fields.in_port) {
@@ -89,23 +115,23 @@ impl SwitchPredicates {
             if in_port.is_none() && r.fields.in_port.is_some() {
                 continue;
             }
-            let m = hs.match_set(&r.fields);
-            let eff = hs.mgr().and(m, remaining);
-            if eff.is_false() {
+            let m = hs.from_match(&r.fields);
+            let eff = hs.and(m, remaining);
+            if hs.is_empty(eff) {
                 continue;
             }
-            remaining = hs.mgr().diff(remaining, m);
+            remaining = hs.diff(remaining, m);
             let y = match r.action {
                 Action::Forward(p) => p,
                 Action::Drop => DROP_PORT,
             };
-            let entry = out.entry(y).or_insert(Bdd::FALSE);
-            *entry = hs.mgr().or(*entry, eff);
+            let entry = out.entry(y).or_insert_with(|| hs.empty());
+            *entry = hs.or(*entry, eff);
         }
         // Table miss: whatever no rule claimed is dropped.
-        if !remaining.is_false() {
-            let entry = out.entry(DROP_PORT).or_insert(Bdd::FALSE);
-            *entry = hs.mgr().or(*entry, remaining);
+        if !hs.is_empty(remaining) {
+            let entry = out.entry(DROP_PORT).or_insert_with(|| hs.empty());
+            *entry = hs.or(*entry, remaining);
         }
         out
     }
@@ -117,12 +143,13 @@ impl SwitchPredicates {
     pub fn from_transfer_map(
         switch: SwitchId,
         ports: &[PortNo],
-        map: HashMap<(PortNo, PortNo), Bdd>,
+        map: HashMap<(PortNo, PortNo), B::Set>,
+        hs: &B,
     ) -> Self {
-        let mut per_port: HashMap<PortNo, HashMap<PortNo, Bdd>> =
+        let mut per_port: HashMap<PortNo, HashMap<PortNo, B::Set>> =
             ports.iter().map(|&x| (x, HashMap::new())).collect();
         for ((x, y), b) in map {
-            if b.is_false() {
+            if hs.is_empty(b) {
                 continue;
             }
             per_port.entry(x).or_default().insert(y, b);
@@ -130,6 +157,8 @@ impl SwitchPredicates {
         SwitchPredicates {
             switch,
             ports: ports.to_vec(),
+            full: hs.full(),
+            empty: hs.empty(),
             uniform: None,
             per_port,
         }
@@ -141,30 +170,30 @@ impl SwitchPredicates {
     }
 
     /// `P_{x,y}`: headers that transfer from port `x` to port `y`.
-    pub fn transfer(&self, x: PortNo, y: PortNo) -> Bdd {
+    pub fn transfer(&self, x: PortNo, y: PortNo) -> B::Set {
         let map = match &self.uniform {
             Some(m) => m,
             None => match self.per_port.get(&x) {
                 Some(m) => m,
-                None => return if y.is_drop() { Bdd::TRUE } else { Bdd::FALSE },
+                None => return if y.is_drop() { self.full } else { self.empty },
             },
         };
-        map.get(&y).copied().unwrap_or(Bdd::FALSE)
+        map.get(&y).copied().unwrap_or(self.empty)
     }
 
     /// Non-empty `(y, P_{x,y})` pairs for a given in-port, drop port
     /// included, in deterministic order.
-    pub fn outputs(&self, x: PortNo) -> Vec<(PortNo, Bdd)> {
+    pub fn outputs(&self, x: PortNo) -> Vec<(PortNo, B::Set)> {
         let map = match &self.uniform {
             Some(m) => m,
             None => match self.per_port.get(&x) {
                 Some(m) => m,
-                None => return vec![(DROP_PORT, Bdd::TRUE)],
+                None => return vec![(DROP_PORT, self.full)],
             },
         };
-        let mut v: Vec<(PortNo, Bdd)> = map
+        let mut v: Vec<(PortNo, B::Set)> = map
             .iter()
-            .filter(|(_, b)| !b.is_false())
+            .filter(|(_, b)| **b != self.empty)
             .map(|(p, b)| (*p, *b))
             .collect();
         v.sort_by_key(|(p, _)| *p);
@@ -176,20 +205,21 @@ impl SwitchPredicates {
         self.uniform.is_none()
     }
 
-    /// Copy these predicates into another manager, translating every BDD
-    /// handle via [`Manager::import`]. Handles in `self` must belong to
-    /// `src`; the returned predicates' handles belong to `dst`.
+    /// Copy these predicates into another backend instance, translating
+    /// every set handle via [`HeaderSetBackend::import`]. Handles in `self`
+    /// must belong to `src`; the returned predicates' handles belong to
+    /// `dst`.
     ///
     /// Reusing one `memo` across all switches of a network makes predicates
     /// that share structure (common prefixes, default drops) translate only
     /// once — this is the seeding step of the sharded parallel build.
-    pub fn translated(&self, src: &Manager, dst: &mut Manager, memo: &mut ImportMemo) -> Self {
-        fn tr(
-            map: &HashMap<PortNo, Bdd>,
-            src: &Manager,
-            dst: &mut Manager,
-            memo: &mut ImportMemo,
-        ) -> HashMap<PortNo, Bdd> {
+    pub fn translated(&self, src: &B, dst: &mut B, memo: &mut B::Memo) -> Self {
+        fn tr<B: HeaderSetBackend>(
+            map: &HashMap<PortNo, B::Set>,
+            src: &B,
+            dst: &mut B,
+            memo: &mut B::Memo,
+        ) -> HashMap<PortNo, B::Set> {
             map.iter()
                 .map(|(p, b)| (*p, dst.import(src, *b, memo)))
                 .collect()
@@ -197,11 +227,13 @@ impl SwitchPredicates {
         SwitchPredicates {
             switch: self.switch,
             ports: self.ports.clone(),
+            full: dst.full(),
+            empty: dst.empty(),
             uniform: self.uniform.as_ref().map(|m| tr(m, src, dst, memo)),
             per_port: self
                 .per_port
                 .iter()
-                .map(|(x, m)| (*x, tr(m, src, dst, memo)))
+                .map(|(x, m)| (*x, tr::<B>(m, src, dst, memo)))
                 .collect(),
         }
     }

@@ -11,6 +11,7 @@ use veridp_packet::{SwitchId, TagReport};
 use veridp_switch::OfMessage;
 use veridp_topo::Topology;
 
+use crate::backend::HeaderSetBackend;
 use crate::headerspace::HeaderSpace;
 use crate::localize::LocalizeOutcome;
 use crate::path_table::PathTable;
@@ -37,33 +38,29 @@ impl ServerStats {
 
 /// The verification server.
 ///
-/// Owns the header space, the path table, and the statistics. Construction
-/// takes the controller's logical rules; afterwards the server stays in sync
-/// by watching the same FlowMods the switches receive
-/// ([`VeriDpServer::intercept`]).
-pub struct VeriDpServer {
-    hs: HeaderSpace,
-    table: PathTable,
+/// Owns the header-set backend, the path table, and the statistics.
+/// Construction takes the controller's logical rules; afterwards the server
+/// stays in sync by watching the same FlowMods the switches receive
+/// ([`VeriDpServer::intercept`]). Generic over the header-set backend, with
+/// the BDD [`HeaderSpace`] as the default.
+pub struct VeriDpServer<B: HeaderSetBackend = HeaderSpace> {
+    hs: B,
+    table: PathTable<B>,
     stats: ServerStats,
     /// Count of localization candidates per switch, for operator dashboards.
     suspects: HashMap<SwitchId, u64>,
 }
 
-impl VeriDpServer {
-    /// Build the server from a topology and per-switch logical rules.
+impl VeriDpServer<HeaderSpace> {
+    /// Build the server from a topology and per-switch logical rules, on
+    /// the default BDD backend. (Use [`VeriDpServer::with_backend`] to pick
+    /// a different header-set representation.)
     pub fn new(
         topo: &Topology,
         rules: &HashMap<SwitchId, Vec<veridp_switch::FlowRule>>,
         tag_bits: u32,
     ) -> Self {
-        let mut hs = HeaderSpace::new();
-        let table = PathTable::build(topo, rules, &mut hs, tag_bits);
-        VeriDpServer {
-            hs,
-            table,
-            stats: ServerStats::default(),
-            suspects: HashMap::new(),
-        }
+        Self::with_backend(HeaderSpace::new(), topo, rules, tag_bits)
     }
 
     /// Like [`VeriDpServer::new`], but constructing the path table with the
@@ -75,14 +72,7 @@ impl VeriDpServer {
         tag_bits: u32,
         threads: usize,
     ) -> Self {
-        let mut hs = HeaderSpace::new();
-        let table = PathTable::build_parallel(topo, rules, &mut hs, tag_bits, threads);
-        VeriDpServer {
-            hs,
-            table,
-            stats: ServerStats::default(),
-            suspects: HashMap::new(),
-        }
+        Self::with_backend_parallel(HeaderSpace::new(), topo, rules, tag_bits, threads)
     }
 
     /// Build directly from a controller's current state.
@@ -94,19 +84,55 @@ impl VeriDpServer {
             .collect();
         Self::new(ctrl.topo(), &rules, tag_bits)
     }
+}
+
+impl<B: HeaderSetBackend> VeriDpServer<B> {
+    /// Build the server on an explicit backend instance (`--backend atoms`
+    /// wiring goes through here).
+    pub fn with_backend(
+        mut hs: B,
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<veridp_switch::FlowRule>>,
+        tag_bits: u32,
+    ) -> Self {
+        let table = PathTable::build(topo, rules, &mut hs, tag_bits);
+        VeriDpServer {
+            hs,
+            table,
+            stats: ServerStats::default(),
+            suspects: HashMap::new(),
+        }
+    }
+
+    /// [`VeriDpServer::with_backend`] with the sharded parallel build.
+    pub fn with_backend_parallel(
+        mut hs: B,
+        topo: &Topology,
+        rules: &HashMap<SwitchId, Vec<veridp_switch::FlowRule>>,
+        tag_bits: u32,
+        threads: usize,
+    ) -> Self {
+        let table = PathTable::build_parallel(topo, rules, &mut hs, tag_bits, threads);
+        VeriDpServer {
+            hs,
+            table,
+            stats: ServerStats::default(),
+            suspects: HashMap::new(),
+        }
+    }
 
     /// The path table.
-    pub fn table(&self) -> &PathTable {
+    pub fn table(&self) -> &PathTable<B> {
         &self.table
     }
 
-    /// The header space.
-    pub fn header_space(&self) -> &HeaderSpace {
+    /// The header-set backend.
+    pub fn header_space(&self) -> &B {
         &self.hs
     }
 
-    /// Mutable header space (witness generation for experiments).
-    pub fn header_space_mut(&mut self) -> &mut HeaderSpace {
+    /// Mutable backend (witness generation for experiments).
+    pub fn header_space_mut(&mut self) -> &mut B {
         &mut self.hs
     }
 

@@ -308,7 +308,7 @@ fn figure5_path_table_matches_paper_table1() {
 
     // Row 3: H2's non-SSH traffic is dropped at S3.
     let from_h2 = FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 1), 999, 80);
-    let drop_paths = table.paths(h2_port, PathTable::drop_port(SwitchId(3)));
+    let drop_paths = table.paths(h2_port, PathTable::<HeaderSpace>::drop_port(SwitchId(3)));
     let dp = drop_paths
         .iter()
         .find(|p| hs.contains(p.headers, &from_h2))
@@ -1309,7 +1309,10 @@ acl in 3 permit any
         // H2's traffic dies at S3's in-bound ACL — the drop path exists and
         // verification accepts only the drop, not a delivery.
         let from_h2 = FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 1), 999, 80);
-        let drops = table.paths(PortRef::new(1, 2), PathTable::drop_port(SwitchId(3)));
+        let drops = table.paths(
+            PortRef::new(1, 2),
+            PathTable::<HeaderSpace>::drop_port(SwitchId(3)),
+        );
         assert!(drops.iter().any(|p| hs.contains(p.headers, &from_h2)));
         let leak = TagReport::new(
             PortRef::new(1, 2),

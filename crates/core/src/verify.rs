@@ -2,7 +2,7 @@
 
 use veridp_packet::TagReport;
 
-use crate::headerspace::HeaderSpace;
+use crate::backend::HeaderSetBackend;
 use crate::path_table::PathTable;
 
 /// Verdict for one tag report.
@@ -28,13 +28,13 @@ impl VerifyOutcome {
     }
 }
 
-impl PathTable {
+impl<B: HeaderSetBackend> PathTable<B> {
     /// Algorithm 3: verify a tag report against the path table.
     ///
     /// Looks up the `(inport, outport)` pair, linearly scans its paths for
     /// one whose header set contains the reported header (Fig. 6 justifies
     /// the linear scan), and compares tags.
-    pub fn verify(&self, report: &TagReport, hs: &HeaderSpace) -> VerifyOutcome {
+    pub fn verify(&self, report: &TagReport, hs: &B) -> VerifyOutcome {
         let paths = self.paths(report.inport, report.outport);
         let mut matched_any = false;
         for p in paths {

@@ -1,7 +1,7 @@
 //! The full VeriDP deployment: controller + switches + interceptor + server.
 
 use veridp_controller::{Controller, ControllerError, Intent};
-use veridp_core::{LocalizeOutcome, VeriDpServer, VerifyOutcome};
+use veridp_core::{HeaderSetBackend, HeaderSpace, LocalizeOutcome, VeriDpServer, VerifyOutcome};
 use veridp_packet::{FiveTuple, Packet, PortRef, SwitchId, TagReport};
 use veridp_switch::{Action, RuleId};
 use veridp_topo::Topology;
@@ -41,23 +41,37 @@ impl SendOutcome {
 /// every FlowMod on its way to the switches, building its path table
 /// incrementally (§4.4); switches install the rules through their fault
 /// plans. Experiments then inject packets and read verdicts.
-pub struct Monitor {
+pub struct Monitor<B: HeaderSetBackend = HeaderSpace> {
     pub controller: Controller,
     pub net: Network,
-    pub server: VeriDpServer,
+    pub server: VeriDpServer<B>,
 }
 
-impl Monitor {
-    /// Deploy over `topo` with the given intents and tag width. Faults can
-    /// be injected afterwards via [`Monitor::net`] and take effect on the
-    /// next flush.
+impl Monitor<HeaderSpace> {
+    /// Deploy over `topo` with the given intents and tag width, on the
+    /// default BDD backend. Faults can be injected afterwards via
+    /// [`Monitor::net`] and take effect on the next flush.
     pub fn deploy(
         topo: Topology,
         intents: &[Intent],
         tag_bits: u32,
     ) -> Result<Self, ControllerError> {
+        Self::deploy_with(HeaderSpace::new(), topo, intents, tag_bits)
+    }
+}
+
+impl<B: HeaderSetBackend> Monitor<B> {
+    /// [`Monitor::deploy`] on an explicit header-set backend instance
+    /// (the `--backend atoms` wiring goes through here).
+    pub fn deploy_with(
+        hs: B,
+        topo: Topology,
+        intents: &[Intent],
+        tag_bits: u32,
+    ) -> Result<Self, ControllerError> {
         let controller = Controller::new(topo.clone());
-        let server = VeriDpServer::new(&topo, &std::collections::HashMap::new(), tag_bits);
+        let server =
+            VeriDpServer::with_backend(hs, &topo, &std::collections::HashMap::new(), tag_bits);
         let mut net = Network::new(topo);
         net.set_tag_bits(tag_bits);
         let mut m = Monitor {

@@ -35,7 +35,7 @@ pub enum Fault {
 /// The set of faults active on one switch.
 ///
 /// `DropFlowMod` / `WrongPort` intercept FlowMods as they arrive; the
-/// `External*` variants fire on [`FaultPlan::apply_external`], which the
+/// `External*` variants fire on [`FaultPlan::external_edits`], which the
 /// simulator calls after rule installation to model out-of-band tampering.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {

@@ -4,14 +4,21 @@
 //! ```text
 //! veridp-demo [--topo fat-tree:4|internet2|stanford|figure5|linear:N|ring:N]
 //!             [--fault none|blackhole|wrongport|acl-delete]
-//!             [--tag-bits N] [--seed N]
+//!             [--backend bdd|atoms] [--tag-bits N] [--seed N]
 //! ```
+//!
+//! The header-set backend defaults to `bdd`; `--backend atoms` (or the
+//! `VERIDP_BACKEND` environment variable) switches the whole pipeline to
+//! the atom-partition representation. Verdicts are identical either way —
+//! only build time and memory shape differ.
 
 use std::env;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use veridp::atoms::AtomSpace;
 use veridp::controller::Intent;
+use veridp::core::{HeaderSetBackend, HeaderSpace};
 use veridp::packet::{PortNo, SwitchId};
 use veridp::sim::Monitor;
 use veridp::switch::{Action, Fault, PortRange};
@@ -20,6 +27,7 @@ use veridp::topo::{gen, Topology};
 struct Options {
     topo: String,
     fault: String,
+    backend: String,
     tag_bits: u32,
     seed: u64,
 }
@@ -28,6 +36,7 @@ fn parse_args() -> Options {
     let mut o = Options {
         topo: "fat-tree:4".into(),
         fault: "wrongport".into(),
+        backend: env::var("VERIDP_BACKEND").unwrap_or_else(|_| "bdd".into()),
         tag_bits: 16,
         seed: 1,
     };
@@ -42,6 +51,7 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--topo" => o.topo = val("--topo"),
             "--fault" => o.fault = val("--fault"),
+            "--backend" => o.backend = val("--backend"),
             "--tag-bits" => {
                 o.tag_bits = val("--tag-bits")
                     .parse()
@@ -61,7 +71,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: veridp-demo [--topo fat-tree:K|internet2|stanford|figure5|linear:N|ring:N]\n\
-         \x20                  [--fault none|blackhole|wrongport|acl-delete] [--tag-bits N] [--seed N]"
+         \x20                  [--fault none|blackhole|wrongport|acl-delete]\n\
+         \x20                  [--backend bdd|atoms] [--tag-bits N] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -80,14 +91,23 @@ fn build_topo(spec: &str) -> Topology {
 
 fn main() {
     let o = parse_args();
+    match o.backend.as_str() {
+        "bdd" => run(&o, HeaderSpace::new()),
+        "atoms" => run(&o, AtomSpace::new()),
+        other => usage(&format!("unknown backend {other}")),
+    }
+}
+
+fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
     let mut rng = StdRng::seed_from_u64(o.seed);
     let topo = build_topo(&o.topo);
     println!(
-        "deploying VeriDP on {} ({} switches, {} hosts), {}-bit tags",
+        "deploying VeriDP on {} ({} switches, {} hosts), {}-bit tags, {} backend",
         o.topo,
         topo.num_switches(),
         topo.hosts().len(),
-        o.tag_bits
+        o.tag_bits,
+        B::NAME
     );
 
     let mut intents = vec![Intent::Connectivity];
@@ -99,11 +119,15 @@ fn main() {
             dst_ports: PortRange::ANY,
         });
     }
-    let mut m = Monitor::deploy(topo, &intents, o.tag_bits).expect("intents compile");
+    let mut m = Monitor::deploy_with(hs, topo, &intents, o.tag_bits).expect("intents compile");
     let stats = m.server.table().stats();
     println!(
-        "path table: {} pairs, {} paths, avg length {:.2}\n",
-        stats.num_pairs, stats.num_paths, stats.avg_path_len
+        "path table: {} pairs, {} paths, avg length {:.2} ({} backend size: {})\n",
+        stats.num_pairs,
+        stats.num_paths,
+        stats.avg_path_len,
+        B::NAME,
+        m.server.header_space().size_metric()
     );
 
     // Inject the requested fault on a random traffic-carrying rule.

@@ -11,8 +11,11 @@
 //! * [`switch`] — switch data plane, faults, and the VeriDP pipeline;
 //! * [`controller`] — intents and rule compilation;
 //! * [`core`] — path table, verification, localization, incremental update;
+//! * [`atoms`] — the atom-partition header-set backend (Delta-net-style
+//!   interval atoms, an alternative to the BDD backend);
 //! * [`sim`] — the discrete-event network simulator tying it all together.
 
+pub use veridp_atoms as atoms;
 pub use veridp_bdd as bdd;
 pub use veridp_bloom as bloom;
 pub use veridp_controller as controller;

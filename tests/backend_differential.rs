@@ -1,0 +1,356 @@
+//! The differential correctness bar for the header-set backends: on the
+//! same topology and rule set, the BDD backend and the atom-partition
+//! backend must produce *identical* path tables — same `(inport, outport)`
+//! pairs, same per-pair path order, same hop sequences, same Bloom tags —
+//! and identical verify/localize verdicts for any report, including after
+//! incremental rule updates.
+//!
+//! Header sets live in different representations, so equality is checked
+//! denotationally: every atom set is a union of disjoint interval cubes,
+//! each cube is rebuilt as a BDD with the range constructors, and BDD
+//! canonicity turns set equality into handle equality. Cardinalities
+//! (`sat_count`) are compared as well.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp::atoms::{AtomSpace, Cube, F_DST_IP, F_DST_PORT, F_PROTO, F_SRC_IP, F_SRC_PORT};
+use veridp::bdd::Bdd;
+use veridp::bloom::BloomTag;
+use veridp::core::{HeaderSetBackend, HeaderSpace, PathTable};
+use veridp::packet::{PortNo, PortRef, SwitchId, TagReport};
+use veridp::switch::{Action, FlowRule, Match, PortRange, RuleId};
+use veridp::topo::{gen, Topology};
+
+type Rules = HashMap<SwitchId, Vec<FlowRule>>;
+
+fn random_rules(rng: &mut StdRng, topo: &Topology, per_switch: usize) -> Rules {
+    let mut rules: Rules = HashMap::new();
+    let mut id = 1u64;
+    for info in topo.switches() {
+        let nports = info.num_ports;
+        for _ in 0..per_switch {
+            let plen = rng.gen_range(8..=24u8);
+            let base = gen::ip(10, rng.gen_range(0..4u8), rng.gen_range(0..8u8), 0);
+            let mut fields = Match::dst_prefix(base, plen);
+            if rng.gen_bool(0.2) {
+                fields = fields.with_dst_port(rng.gen_range(1..1024u16));
+            }
+            if rng.gen_bool(0.15) {
+                fields = fields.with_proto(if rng.gen_bool(0.5) { 6 } else { 17 });
+            }
+            if rng.gen_bool(0.1) {
+                fields = fields.with_in_port(PortNo(rng.gen_range(1..=nports)));
+            }
+            let action = if rng.gen_bool(0.1) {
+                Action::Drop
+            } else {
+                Action::Forward(PortNo(rng.gen_range(1..=nports)))
+            };
+            rules
+                .entry(info.id)
+                .or_default()
+                .push(FlowRule::new(id, plen as u16, fields, action));
+            id += 1;
+        }
+    }
+    rules
+}
+
+/// Rebuild one interval cube as a BDD in the given header space.
+fn cube_to_bdd(hs: &mut HeaderSpace, c: &Cube) -> Bdd {
+    let mut acc = hs.src_ip_range(c.lo[F_SRC_IP] as u32, c.hi[F_SRC_IP] as u32);
+    let d = hs.dst_ip_range(c.lo[F_DST_IP] as u32, c.hi[F_DST_IP] as u32);
+    acc = hs.mgr().and(acc, d);
+    let p = hs.proto_range(c.lo[F_PROTO] as u8, c.hi[F_PROTO] as u8);
+    acc = hs.mgr().and(acc, p);
+    let sp = hs.src_port_range(PortRange::new(
+        c.lo[F_SRC_PORT] as u16,
+        c.hi[F_SRC_PORT] as u16,
+    ));
+    acc = hs.mgr().and(acc, sp);
+    let dp = hs.dst_port_range(PortRange::new(
+        c.lo[F_DST_PORT] as u16,
+        c.hi[F_DST_PORT] as u16,
+    ));
+    hs.mgr().and(acc, dp)
+}
+
+/// Translate an atom set to the BDD space, cube by cube. The cache is keyed
+/// on cubes (stable across refinement) and shared across all sets of one
+/// comparison pass.
+fn atoms_to_bdd(
+    bdd: &mut HeaderSpace,
+    atoms: &AtomSpace,
+    s: veridp::atoms::AtomSet,
+    cache: &mut HashMap<Cube, Bdd>,
+) -> Bdd {
+    let mut acc = Bdd::FALSE;
+    for c in atoms.cubes_of(s) {
+        let cb = match cache.get(&c) {
+            Some(&b) => b,
+            None => {
+                let b = cube_to_bdd(bdd, &c);
+                cache.insert(c, b);
+                b
+            }
+        };
+        acc = bdd.mgr().or(acc, cb);
+    }
+    acc
+}
+
+struct Diff {
+    topo: Topology,
+    bdd_hs: HeaderSpace,
+    atom_hs: AtomSpace,
+    bdd_table: PathTable<HeaderSpace>,
+    atom_table: PathTable<AtomSpace>,
+    cube_cache: HashMap<Cube, Bdd>,
+}
+
+impl Diff {
+    fn build(topo: Topology, rules: &Rules, parallel_threads: Option<usize>) -> Self {
+        let mut bdd_hs = HeaderSpace::new();
+        let mut atom_hs = AtomSpace::new();
+        let (bdd_table, atom_table) = match parallel_threads {
+            None => (
+                PathTable::build(&topo, rules, &mut bdd_hs, 16),
+                PathTable::build(&topo, rules, &mut atom_hs, 16),
+            ),
+            Some(t) => (
+                PathTable::build_parallel(&topo, rules, &mut bdd_hs, 16, t),
+                PathTable::build_parallel(&topo, rules, &mut atom_hs, 16, t),
+            ),
+        };
+        Diff {
+            topo,
+            bdd_hs,
+            atom_hs,
+            bdd_table,
+            atom_table,
+            cube_cache: HashMap::new(),
+        }
+    }
+
+    /// Assert both tables are identical: pair set, per-pair path order, hop
+    /// sequences, tags, and (denotationally) header sets.
+    fn assert_tables_identical(&mut self, ctx: &str) {
+        let mut bdd_keys: Vec<(PortRef, PortRef)> =
+            self.bdd_table.iter().map(|(k, _)| *k).collect();
+        bdd_keys.sort();
+        let mut atom_keys: Vec<(PortRef, PortRef)> =
+            self.atom_table.iter().map(|(k, _)| *k).collect();
+        atom_keys.sort();
+        assert_eq!(bdd_keys, atom_keys, "pair sets differ ({ctx})");
+        assert!(!bdd_keys.is_empty(), "degenerate test: empty table ({ctx})");
+
+        for (i, o) in bdd_keys {
+            let bp = self.bdd_table.paths(i, o);
+            let ap = self.atom_table.paths(i, o);
+            assert_eq!(
+                bp.len(),
+                ap.len(),
+                "path count differs for ({i:?},{o:?}) ({ctx})"
+            );
+            for (k, (be, ae)) in bp.iter().zip(ap.iter()).enumerate() {
+                assert_eq!(
+                    be.hops, ae.hops,
+                    "hops differ for ({i:?},{o:?}) path {k} ({ctx})"
+                );
+                assert_eq!(
+                    be.tag.bits(),
+                    ae.tag.bits(),
+                    "tags differ for ({i:?},{o:?}) path {k} ({ctx})"
+                );
+                assert_eq!(
+                    self.bdd_hs.sat_count(be.headers),
+                    self.atom_hs.sat_count(ae.headers),
+                    "header-set cardinality differs for ({i:?},{o:?}) path {k} ({ctx})"
+                );
+            }
+        }
+
+        // Denotational header-set equality, via cube reconstruction and BDD
+        // canonicity. (Borrow discipline: collect the handle pairs first.)
+        let atom_table = &self.atom_table;
+        let work: Vec<(PortRef, PortRef, usize, Bdd, veridp::atoms::AtomSet)> = self
+            .bdd_table
+            .iter()
+            .flat_map(|(&(i, o), list)| {
+                let ap = atom_table.paths(i, o);
+                list.iter()
+                    .zip(ap.iter())
+                    .enumerate()
+                    .map(move |(k, (be, ae))| (i, o, k, be.headers, ae.headers))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (i, o, k, bh, ah) in work {
+            let rebuilt = atoms_to_bdd(&mut self.bdd_hs, &self.atom_hs, ah, &mut self.cube_cache);
+            assert_eq!(
+                rebuilt, bh,
+                "header sets denote different sets for ({i:?},{o:?}) path {k} ({ctx})"
+            );
+        }
+    }
+
+    /// Assert both tables give the same verdict (verify *and* localize) on
+    /// a battery of reports derived from real entries plus perturbations.
+    fn assert_verdicts_identical(&mut self, rng: &mut StdRng, ctx: &str) {
+        let atom_hs = &self.atom_hs;
+        let entries: Vec<(PortRef, PortRef, FiveTupleBox, BloomTag)> = self
+            .atom_table
+            .iter()
+            .flat_map(|(&(i, o), list)| {
+                list.iter()
+                    .filter_map(move |e| atom_hs.witness(e.headers).map(|h| (i, o, h, e.tag)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(!entries.is_empty(), "no entries to verify ({ctx})");
+        let pairs: Vec<(PortRef, PortRef)> = self.atom_table.iter().map(|(k, _)| *k).collect();
+
+        let mut checked_pass = false;
+        for (i, o, h, tag) in entries.iter().take(64) {
+            // A faithful report must pass on both backends.
+            let good = TagReport::new(*i, *o, *h, *tag);
+            let bv = self.bdd_table.verify(&good, &self.bdd_hs);
+            let av = self.atom_table.verify(&good, &self.atom_hs);
+            assert_eq!(bv, av, "verify verdicts differ on faithful report ({ctx})");
+            checked_pass |= bv == veridp::core::VerifyOutcome::Pass;
+
+            // A corrupted tag and a shuffled pair must fail identically.
+            let bad_tag = TagReport::new(*i, *o, *h, BloomTag::empty(16));
+            let (j, p) = pairs[rng.gen_range(0..pairs.len())];
+            let wrong_pair = TagReport::new(j, p, *h, *tag);
+            for r in [bad_tag, wrong_pair] {
+                let bv = self.bdd_table.verify(&r, &self.bdd_hs);
+                let av = self.atom_table.verify(&r, &self.atom_hs);
+                assert_eq!(bv, av, "verify verdicts differ on perturbed report ({ctx})");
+                if bv != veridp::core::VerifyOutcome::Pass {
+                    let bl = self.bdd_table.localize(&r, &self.bdd_hs);
+                    let al = self.atom_table.localize(&r, &self.atom_hs);
+                    assert_eq!(bl, al, "localize verdicts differ ({ctx})");
+                }
+            }
+        }
+        assert!(checked_pass, "no faithful report passed ({ctx})");
+    }
+}
+
+type FiveTupleBox = veridp::packet::FiveTuple;
+
+fn check_topology(topo: Topology, seed: u64, per_switch: usize, updates: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rules = random_rules(&mut rng, &topo, per_switch);
+    let mut d = Diff::build(topo, &rules, None);
+    d.assert_tables_identical("initial build");
+    d.assert_verdicts_identical(&mut rng, "initial build");
+
+    // Mirror a random update sequence into both tables and stay identical
+    // throughout: adds, deletes, and action modifications.
+    let mut current = rules;
+    let mut next_id = 100_000u64;
+    for step in 0..updates {
+        let sids: Vec<SwitchId> = d.topo.switches().map(|s| s.id).collect();
+        let s = sids[rng.gen_range(0..sids.len())];
+        let nports = d.topo.switch(s).unwrap().num_ports;
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let plen = rng.gen_range(8..=24u8);
+                let base = gen::ip(10, rng.gen_range(0..4u8), rng.gen_range(0..8u8), 0);
+                let rule = FlowRule::new(
+                    next_id,
+                    plen as u16,
+                    Match::dst_prefix(base, plen),
+                    Action::Forward(PortNo(rng.gen_range(1..=nports))),
+                );
+                next_id += 1;
+                d.bdd_table.add_rule(s, rule, &mut d.bdd_hs);
+                d.atom_table.add_rule(s, rule, &mut d.atom_hs);
+                current.entry(s).or_default().push(rule);
+            }
+            1 => {
+                let Some(list) = current.get_mut(&s).filter(|l| !l.is_empty()) else {
+                    continue;
+                };
+                let victim = list.remove(rng.gen_range(0..list.len()));
+                d.bdd_table.delete_rule(s, victim.id, &mut d.bdd_hs);
+                d.atom_table.delete_rule(s, victim.id, &mut d.atom_hs);
+            }
+            _ => {
+                let Some(list) = current.get_mut(&s).filter(|l| !l.is_empty()) else {
+                    continue;
+                };
+                let k = rng.gen_range(0..list.len());
+                let action = Action::Forward(PortNo(rng.gen_range(1..=nports)));
+                list[k].action = action;
+                let id: RuleId = list[k].id;
+                d.bdd_table.modify_rule(s, id, action, &mut d.bdd_hs);
+                d.atom_table.modify_rule(s, id, action, &mut d.atom_hs);
+            }
+        }
+        d.assert_tables_identical(&format!("after update {step}"));
+    }
+    d.assert_verdicts_identical(&mut rng, "after updates");
+
+    // Both updated tables must still match fresh rebuilds on their own
+    // backends.
+    let mut d2 = Diff::build(d.topo.clone(), &current, None);
+    d2.assert_tables_identical("rebuild after updates");
+}
+
+#[test]
+fn identical_on_fat_tree4() {
+    check_topology(gen::fat_tree(4), 11, 6, 12);
+}
+
+#[test]
+fn identical_on_fat_tree6() {
+    check_topology(gen::fat_tree(6), 12, 3, 4);
+}
+
+#[test]
+fn identical_on_stanford_like() {
+    check_topology(gen::stanford_like(), 13, 6, 6);
+}
+
+#[test]
+fn identical_on_internet2() {
+    check_topology(gen::internet2(), 14, 10, 12);
+}
+
+#[test]
+fn identical_under_parallel_build() {
+    // The sharded build must agree across backends too (it exercises
+    // fork_worker and import on both).
+    for threads in [2usize, 4] {
+        let topo = gen::fat_tree(4);
+        let mut rng = StdRng::seed_from_u64(21);
+        let rules = random_rules(&mut rng, &topo, 6);
+        let mut d = Diff::build(topo, &rules, Some(threads));
+        d.assert_tables_identical(&format!("parallel x{threads}"));
+        d.assert_verdicts_identical(&mut rng, &format!("parallel x{threads}"));
+    }
+}
+
+#[test]
+fn identical_on_connectivity_intents() {
+    // The demo's actual workload: controller-compiled connectivity rules.
+    use veridp::controller::{Controller, Intent};
+    let topo = gen::fat_tree(4);
+    let mut ctrl = Controller::new(topo.clone());
+    ctrl.install_intent(&Intent::Connectivity)
+        .expect("connectivity compiles");
+    let rules: Rules = ctrl
+        .logical_rules()
+        .iter()
+        .map(|(k, v)| (*k, v.clone()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut d = Diff::build(topo, &rules, None);
+    d.assert_tables_identical("connectivity");
+    d.assert_verdicts_identical(&mut rng, "connectivity");
+}
