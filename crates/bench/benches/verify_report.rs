@@ -1,38 +1,169 @@
-//! Tag-report verification latency (Figure 13).
+//! Tag-report verification throughput (Figure 13): the plain Algorithm 3
+//! scan vs the verification fast path (tag-indexed candidate probe +
+//! epoch-invalidated verdict cache), across header-set backends, with
+//! machine-readable output.
+//!
+//! The report stream cycles over one witness report per path-table entry —
+//! the steady state of a deployment, where samplers keep re-reporting the
+//! same live flows. The first cycle through the stream is all cache misses
+//! (it measures the tag-index probe); subsequent cycles hit the verdict
+//! cache. `scan` and `fastpath` verify the identical stream, so the ratio
+//! of their per-report times is the fast-path speedup.
+//!
+//! Results go to stdout and to `BENCH_verify_report.json` (override with
+//! `VERIDP_BENCH_OUT`); quick smoke mode (`VERIDP_BENCH_QUICK=1`) shrinks
+//! the workloads. One invocation covers both backends and both modes, so
+//! every JSON document carries the comparison side by side.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use veridp_bench::harness::{bench, quick_mode};
-use veridp_bench::{build_setup, Setup};
-use veridp_core::{HeaderSpace, PathTable};
+use veridp_atoms::AtomSpace;
+use veridp_bench::harness::{bench, quick_mode, Sampled};
+use veridp_bench::json::Json;
+use veridp_bench::{build_setup, Setup, SetupData};
+use veridp_core::{HeaderSetBackend, HeaderSpace, PathTable, VerifyFastPath};
 use veridp_packet::TagReport;
+
+struct Variant {
+    backend: &'static str,
+    mode: &'static str,
+    timing: Sampled,
+    reports_per_sec: f64,
+    hit_ratio: f64,
+}
+
+/// One witness report per path entry, deterministic across backends.
+fn witness_reports<B: HeaderSetBackend>(table: &PathTable<B>, hs: &B) -> Vec<TagReport> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut reports = Vec::new();
+    for ((i, o), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                reports.push(TagReport::new(*i, *o, w, e.tag));
+            }
+        }
+    }
+    assert!(!reports.is_empty());
+    reports
+}
+
+fn run_backend<B: HeaderSetBackend>(data: &SetupData, iters: u64, samples: usize) -> Vec<Variant> {
+    let mut hs = B::default();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let reports = witness_reports(&table, &hs);
+
+    let mut i = 0usize;
+    let scan = bench(
+        &format!("{}/{}/scan", data.setup.name(), B::NAME),
+        samples,
+        iters,
+        || {
+            i = (i + 1) % reports.len();
+            table.verify(&reports[i], &hs)
+        },
+    );
+
+    let mut fp = VerifyFastPath::new();
+    let mut j = 0usize;
+    let fast = bench(
+        &format!("{}/{}/fastpath", data.setup.name(), B::NAME),
+        samples,
+        iters,
+        || {
+            j = (j + 1) % reports.len();
+            fp.verify(&table, &hs, &reports[j])
+        },
+    );
+    let hit_ratio = fp.stats().hit_ratio();
+
+    // Sanity: the fast path must agree with the scan on the whole stream
+    // (the differential suite proves this in depth; here it guards the
+    // numbers being compared).
+    for r in &reports {
+        assert_eq!(table.verify(r, &hs), fp.verify(&table, &hs, r));
+    }
+
+    vec![
+        Variant {
+            backend: B::NAME,
+            mode: "scan",
+            reports_per_sec: 1e9 / scan.min_ns,
+            hit_ratio: 0.0,
+            timing: scan,
+        },
+        Variant {
+            backend: B::NAME,
+            mode: "fastpath",
+            reports_per_sec: 1e9 / fast.min_ns,
+            hit_ratio,
+            timing: fast,
+        },
+    ]
+}
 
 fn main() {
     let quick = quick_mode();
+    let out_path = std::env::var("VERIDP_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_verify_report.json".to_string());
     let prefixes = if quick { 60 } else { 300 };
     let iters: u64 = if quick { 2_000 } else { 50_000 };
-    println!("verify_report: Algorithm 3 latency per tag report\n");
+    let samples = 3usize;
+
+    println!("verify_report: Algorithm 3 scan vs verification fast path, per tag report");
+    println!("(stream cycles witness reports; steady-state repeats hit the verdict cache)\n");
+
+    let mut results: Vec<Json> = Vec::new();
     for setup in [Setup::Stanford, Setup::Internet2] {
         let data = build_setup(setup, Some(prefixes), 2016);
-        let mut hs = HeaderSpace::new();
-        let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut reports: Vec<TagReport> = Vec::new();
-        for ((i, o), entries) in table.iter() {
-            for e in entries {
-                let s: u64 = rng.gen();
-                let mut wr = StdRng::seed_from_u64(s);
-                if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
-                    reports.push(TagReport::new(*i, *o, w, e.tag));
-                }
+        for variants in [
+            run_backend::<HeaderSpace>(&data, iters, samples),
+            run_backend::<AtomSpace>(&data, iters, samples),
+        ] {
+            let scan_min = variants[0].timing.min_ns;
+            for v in &variants {
+                let speedup = scan_min / v.timing.min_ns;
+                println!(
+                    "{}  {:.2}M reports/s  hit_ratio={:.3}  speedup_vs_scan={speedup:.2}x",
+                    v.timing.line(),
+                    v.reports_per_sec / 1e6,
+                    v.hit_ratio
+                );
+                results.push(Json::obj([
+                    ("setup", Json::str(setup.name())),
+                    ("rules", Json::Int(data.num_rules as i64)),
+                    ("backend", Json::str(v.backend)),
+                    ("mode", Json::str(v.mode)),
+                    ("ns_per_report_min", Json::Num(v.timing.min_ns)),
+                    ("ns_per_report_mean", Json::Num(v.timing.mean_ns)),
+                    ("reports_per_sec", Json::Num(v.reports_per_sec)),
+                    ("cache_hit_ratio", Json::Num(v.hit_ratio)),
+                    ("speedup_vs_scan", Json::Num(speedup)),
+                    ("samples", Json::Int(v.timing.samples as i64)),
+                    (
+                        "iters_per_sample",
+                        Json::Int(v.timing.iters_per_sample as i64),
+                    ),
+                ]));
             }
+            println!();
         }
-        assert!(!reports.is_empty());
-        let mut i = 0usize;
-        let s = bench(&setup.name(), 3, iters, || {
-            i = (i + 1) % reports.len();
-            table.verify(&reports[i], &hs)
-        });
-        println!("{}", s.line());
     }
+
+    let doc = Json::obj([
+        ("bench", Json::str("verify_report")),
+        ("seed", Json::Int(2016)),
+        ("quick", Json::Bool(quick)),
+        (
+            "hardware_threads",
+            Json::Int(std::thread::available_parallelism().map_or(0, |n| n.get() as i64)),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
+        eprintln!("error: cannot write bench json to {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
 }

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation|backends]
+//! experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation|backends|verify_fastpath]
 //!             [--quick] [--seed N]
 //! ```
 //!
@@ -52,6 +52,7 @@ fn main() {
             "sampling",
             "ablation",
             "backends",
+            "verify_fastpath",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -66,7 +67,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation|backends] [--quick] [--seed N]"
+        "usage: experiments [all|table2|fig6|function|fig12|table3|fig13|fig14|table4|baselines|sampling|ablation|backends|verify_fastpath] [--quick] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -163,6 +164,19 @@ fn run(which: &str, cfg: &Config) {
             let n = if cfg.quick { 150 } else { 600 };
             let pred = exp::ablation::ruletree_vs_rescan(n, cfg.seed);
             print!("{}", exp::ablation::render_predicates(&pred));
+        }
+        "verify_fastpath" => {
+            let iters = if cfg.quick { 20_000 } else { 400_000 };
+            let rows = exp::verify_fastpath::run(iters, cfg.seed);
+            print!("{}", exp::verify_fastpath::render(&rows));
+            let batch = if cfg.quick { 50_000 } else { 400_000 };
+            let points = exp::verify_fastpath::run_batch(
+                veridp_bench::Setup::Stanford,
+                batch,
+                &[1, 2, 4, 8],
+                cfg.seed,
+            );
+            print!("{}", exp::verify_fastpath::render_batch(&points));
         }
         other => usage(&format!("unknown experiment {other}")),
     }

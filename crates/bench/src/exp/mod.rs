@@ -13,3 +13,4 @@ pub mod sampling;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod verify_fastpath;

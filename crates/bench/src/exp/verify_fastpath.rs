@@ -1,0 +1,178 @@
+//! Fast-path ablation: the plain Algorithm 3 scan vs the verification fast
+//! path (tag-indexed candidate probe + epoch-invalidated verdict cache),
+//! sequential and sharded.
+//!
+//! The report stream cycles one witness report per path-table entry — the
+//! deployment steady state, where per-flow samplers keep re-reporting the
+//! same live flows. The first cycle is all cache misses (pure index-probe
+//! cost); later cycles hit the verdict cache. Both modes verify the
+//! identical stream, so throughput ratios are the fast-path speedup.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_core::{
+    verify_batch_summary, verify_batch_summary_fast, HeaderSpace, PathTable, VerifyFastPath,
+};
+use veridp_packet::TagReport;
+
+use crate::setup::{build_setup, Setup};
+
+/// One sequential-throughput row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub setup: String,
+    pub mode: &'static str,
+    pub reports: usize,
+    pub throughput_per_sec: f64,
+    pub hit_ratio: f64,
+    pub speedup: f64,
+}
+
+/// One sharded-batch throughput point.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    pub setup: String,
+    pub threads: usize,
+    pub plain_per_sec: f64,
+    pub fast_per_sec: f64,
+    pub speedup: f64,
+}
+
+fn witness_reports(table: &PathTable, hs: &HeaderSpace, seed: u64) -> Vec<TagReport> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reports = Vec::new();
+    for ((i, o), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                reports.push(TagReport::new(*i, *o, w, e.tag));
+            }
+        }
+    }
+    assert!(!reports.is_empty(), "no reports to verify");
+    reports
+}
+
+/// Sequential scan-vs-fastpath on one setup.
+pub fn run_one(setup: Setup, iterations: usize, seed: u64) -> Vec<Row> {
+    let data = build_setup(setup, None, seed);
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let reports = witness_reports(&table, &hs, seed);
+
+    let start = Instant::now();
+    for i in 0..iterations {
+        let r = &reports[i % reports.len()];
+        std::hint::black_box(table.verify(std::hint::black_box(r), &hs));
+    }
+    let scan_secs = start.elapsed().as_secs_f64();
+
+    let mut fp = VerifyFastPath::new();
+    let start = Instant::now();
+    for i in 0..iterations {
+        let r = &reports[i % reports.len()];
+        std::hint::black_box(fp.verify(&table, &hs, std::hint::black_box(r)));
+    }
+    let fast_secs = start.elapsed().as_secs_f64();
+
+    let scan_tp = iterations as f64 / scan_secs;
+    let fast_tp = iterations as f64 / fast_secs;
+    vec![
+        Row {
+            setup: setup.name(),
+            mode: "scan",
+            reports: reports.len(),
+            throughput_per_sec: scan_tp,
+            hit_ratio: 0.0,
+            speedup: 1.0,
+        },
+        Row {
+            setup: setup.name(),
+            mode: "fastpath",
+            reports: reports.len(),
+            throughput_per_sec: fast_tp,
+            hit_ratio: fp.stats().hit_ratio(),
+            speedup: fast_tp / scan_tp,
+        },
+    ]
+}
+
+/// Both evaluation setups.
+pub fn run(iterations: usize, seed: u64) -> Vec<Row> {
+    let mut rows = run_one(Setup::Stanford, iterations, seed);
+    rows.extend(run_one(Setup::Internet2, iterations, seed));
+    rows
+}
+
+/// Sharded batches: `verify_batch_summary` vs `verify_batch_summary_fast`
+/// per thread count. Worker caches stay warm across the repeated batches,
+/// as they do in the server's ingest loop.
+pub fn run_batch(
+    setup: Setup,
+    batch: usize,
+    thread_counts: &[usize],
+    seed: u64,
+) -> Vec<BatchPoint> {
+    let data = build_setup(setup, None, seed);
+    let mut hs = HeaderSpace::new();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let base = witness_reports(&table, &hs, seed);
+    let reports: Vec<TagReport> = base.iter().cycle().take(batch).copied().collect();
+
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let start = Instant::now();
+            let plain = verify_batch_summary(&table, &hs, &reports, threads);
+            let plain_secs = start.elapsed().as_secs_f64();
+
+            let mut fp = VerifyFastPath::new();
+            let start = Instant::now();
+            let fast = verify_batch_summary_fast(&table, &hs, &mut fp, &reports, threads);
+            let fast_secs = start.elapsed().as_secs_f64();
+
+            assert_eq!(plain.verdict_counts(), fast.verdict_counts());
+            let plain_per_sec = batch as f64 / plain_secs;
+            let fast_per_sec = batch as f64 / fast_secs;
+            BatchPoint {
+                setup: setup.name(),
+                threads,
+                plain_per_sec,
+                fast_per_sec,
+                speedup: fast_per_sec / plain_per_sec,
+            }
+        })
+        .collect()
+}
+
+/// Render the sequential rows.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Fast-path ablation: Algorithm 3 scan vs tag index + verdict cache\n\
+         Setup       | mode     | reports | verif/sec   | hit ratio | speedup\n\
+         ------------+----------+---------+-------------+-----------+--------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} | {:<8} | {:>7} | {:>11.0} | {:>9.3} | {:>6.2}x\n",
+            r.setup, r.mode, r.reports, r.throughput_per_sec, r.hit_ratio, r.speedup
+        ));
+    }
+    out
+}
+
+/// Render the sharded-batch points.
+pub fn render_batch(points: &[BatchPoint]) -> String {
+    let mut out =
+        String::from("Sharded batch ingest: plain vs fast-path workers (private verdict caches)\n");
+    for p in points {
+        out.push_str(&format!(
+            "  {:<11} threads={:<2} plain {:>12.0}/s  fast {:>12.0}/s  speedup {:>5.2}x\n",
+            p.setup, p.threads, p.plain_per_sec, p.fast_per_sec, p.speedup
+        ));
+    }
+    out
+}

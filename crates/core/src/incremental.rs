@@ -74,6 +74,11 @@ impl<B: HeaderSetBackend> PathTable<B> {
             None => return,
         };
         edit(self.rules.entry(s).or_default());
+        // Invalidate fast-path state before any early return below: even a
+        // semantically-neutral rule edit must never leave a verdict cache
+        // keyed on the pre-edit table. (Conservative; a spurious bump only
+        // costs a cache refill.)
+        self.bump_epoch();
         let new = SwitchPredicates::from_rules(
             s,
             &ports,

@@ -10,7 +10,9 @@
 //!    producing, per `(inport, outport)` pair, the set of forwarding paths,
 //!    each with a BDD header set and a Bloom-filter tag;
 //! 4. [`PathTable::verify`] implements Algorithm 3: match the reported
-//!    header against the pair's paths and compare tags;
+//!    header against the pair's paths and compare tags; [`VerifyFastPath`]
+//!    layers a tag-indexed candidate probe and an epoch-invalidated verdict
+//!    cache over it with identical verdicts (the steady-state hot loop);
 //! 5. [`PathTable::localize`] implements Algorithm 4 (PathInfer):
 //!    reconstruct the real path a failed packet took and name the first
 //!    deviating switch;
@@ -54,6 +56,7 @@
 
 mod backend;
 pub mod config;
+mod fastpath;
 mod headerspace;
 mod incremental;
 mod localize;
@@ -68,9 +71,12 @@ mod server;
 mod verify;
 
 pub use backend::HeaderSetBackend;
+pub use fastpath::{FastPathStats, TagIndex, VerdictCache, VerifyFastPath};
 pub use headerspace::HeaderSpace;
 pub use localize::{InferredPath, LocalizeOutcome};
-pub use parallel::{verify_batch, verify_batch_summary, BatchSummary};
+pub use parallel::{
+    verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast, BatchSummary,
+};
 pub use path_table::{PathEntry, PathTable, PathTableStats, ReachRecord};
 pub use predicates::SwitchPredicates;
 pub use server::{Alarm, AlarmAggregator, ServerStats, VeriDpServer};

@@ -6,10 +6,20 @@
 //! the path table — so this module shards report batches across scoped
 //! threads. The speedup is measured by the `fig13` experiment's parallel
 //! variant and the `verify_report` bench.
+//!
+//! The `*_fast` variants run the same sharding through the verification
+//! fast path (`crate::fastpath`): the immutable [`TagIndex`] is shared
+//! across workers by reference, while every worker owns a **private**
+//! [`VerdictCache`] and private hit/miss counters —
+//! no shared mutable state on the hot path. Worker caches live inside the
+//! [`VerifyFastPath`] and stay warm across batches; counters are folded
+//! into the returned [`BatchSummary`] (and, by the server, into
+//! [`crate::ServerStats`]) at join time.
 
 use veridp_packet::TagReport;
 
 use crate::backend::HeaderSetBackend;
+use crate::fastpath::{FastPathStats, TagIndex, VerdictCache, VerifyFastPath};
 use crate::path_table::PathTable;
 use crate::verify::VerifyOutcome;
 
@@ -87,6 +97,130 @@ pub fn verify_batch_summary<B: HeaderSetBackend>(
     total
 }
 
+/// One report through the fast path against a worker-private cache. Mirrors
+/// [`VerifyFastPath::verify`] but with the cache and counters supplied by
+/// the caller, so batch workers never touch shared mutable state.
+fn verify_cached<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    index: &TagIndex,
+    cache: &mut VerdictCache,
+    stats: &mut FastPathStats,
+    report: &TagReport,
+) -> VerifyOutcome {
+    let epoch = table.epoch();
+    if let Some(v) = cache.lookup(report, epoch) {
+        stats.hits += 1;
+        return v;
+    }
+    let v = table.verify_indexed(report, hs, index);
+    cache.insert(report, epoch, v);
+    stats.misses += 1;
+    v
+}
+
+/// [`verify_batch`] through the verification fast path: the fast path's
+/// index is synced once, shared read-only across workers, and each worker
+/// runs its shard against its own private verdict cache. Verdicts are
+/// bit-identical to [`verify_batch`]; `fp` accumulates the hit/miss
+/// counters.
+pub fn verify_batch_fast<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    fp: &mut VerifyFastPath,
+    reports: &[TagReport],
+    threads: usize,
+) -> Vec<VerifyOutcome> {
+    fp.sync(table);
+    if threads <= 1 || reports.len() < threads * 2 {
+        return reports.iter().map(|r| fp.verify(table, hs, r)).collect();
+    }
+    let chunk = reports.len().div_ceil(threads);
+    let workers = reports.len().div_ceil(chunk);
+    let (index, caches) = fp.index_and_workers(workers);
+    let mut out: Vec<Vec<VerifyOutcome>> = Vec::with_capacity(workers);
+    let mut stats = FastPathStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = reports
+            .chunks(chunk)
+            .zip(caches.iter_mut())
+            .map(|(slice, cache)| {
+                s.spawn(move || {
+                    let mut local = FastPathStats::default();
+                    let verdicts: Vec<_> = slice
+                        .iter()
+                        .map(|r| verify_cached(table, hs, index, cache, &mut local, r))
+                        .collect();
+                    (verdicts, local)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (verdicts, local) = h.join().expect("verifier thread panicked");
+            out.push(verdicts);
+            stats.merge(&local);
+        }
+    });
+    fp.record(&stats);
+    out.into_iter().flatten().collect()
+}
+
+/// [`verify_batch_summary`] through the verification fast path: per-worker
+/// private caches, per-worker counters, one fold at join. The summary's
+/// verdict counts are identical to the plain variant's; `cache_hits` /
+/// `cache_misses` carry the fast-path counters (also accumulated into
+/// `fp`).
+pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    fp: &mut VerifyFastPath,
+    reports: &[TagReport],
+    threads: usize,
+) -> BatchSummary {
+    fn fold<B: HeaderSetBackend>(
+        table: &PathTable<B>,
+        hs: &B,
+        index: &TagIndex,
+        cache: &mut VerdictCache,
+        slice: &[TagReport],
+    ) -> BatchSummary {
+        let mut s = BatchSummary::default();
+        let mut stats = FastPathStats::default();
+        for r in slice {
+            s.add(verify_cached(table, hs, index, cache, &mut stats, r));
+        }
+        s.cache_hits = stats.hits as usize;
+        s.cache_misses = stats.misses as usize;
+        s
+    }
+    fp.sync(table);
+    let total = if threads <= 1 || reports.len() < threads * 2 {
+        let (index, caches) = fp.index_and_workers(1);
+        fold(table, hs, index, &mut caches[0], reports)
+    } else {
+        let chunk = reports.len().div_ceil(threads);
+        let workers = reports.len().div_ceil(chunk);
+        let (index, caches) = fp.index_and_workers(workers);
+        let mut total = BatchSummary::default();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = reports
+                .chunks(chunk)
+                .zip(caches.iter_mut())
+                .map(|(slice, cache)| s.spawn(move || fold(table, hs, index, cache, slice)))
+                .collect();
+            for h in handles {
+                total.merge(&h.join().expect("verifier thread panicked"));
+            }
+        });
+        total
+    };
+    fp.record(&FastPathStats {
+        hits: total.cache_hits as u64,
+        misses: total.cache_misses as u64,
+    });
+    total
+}
+
 /// Aggregate verdict counts from a batch, in the same shape as
 /// [`crate::ServerStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -95,6 +229,11 @@ pub struct BatchSummary {
     pub passed: usize,
     pub tag_mismatch: usize,
     pub no_matching_path: usize,
+    /// Verdicts served from worker verdict caches (fast-path batches only;
+    /// zero on the plain scan variants).
+    pub cache_hits: usize,
+    /// Verdicts computed via index probe or scan.
+    pub cache_misses: usize,
 }
 
 impl BatchSummary {
@@ -130,6 +269,19 @@ impl BatchSummary {
         self.passed += other.passed;
         self.tag_mismatch += other.tag_mismatch;
         self.no_matching_path += other.no_matching_path;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// The verdict counts alone — equal between the plain and fast-path
+    /// pipelines, while the cache counters are fast-path-only by design.
+    pub fn verdict_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.total,
+            self.passed,
+            self.tag_mismatch,
+            self.no_matching_path,
+        )
     }
 
     /// Failed verifications.

@@ -120,6 +120,11 @@ pub struct PathTable<B: HeaderSetBackend = HeaderSpace> {
     /// Whether reach records are kept (required for incremental update;
     /// [`PathTable::build_static`] skips them to save memory at scale).
     track_reach: bool,
+    /// Update generation: bumped on every incremental rule change. The
+    /// verification fast path ([`crate::VerifyFastPath`]) keys its tag index
+    /// and verdict cache on this, so stale index entries and cached verdicts
+    /// are lazily invalidated the moment the table changes.
+    epoch: u64,
     /// Per-switch logical rules (the control-plane view `R`).
     pub(crate) rules: HashMap<SwitchId, Vec<FlowRule>>,
     pub(crate) preds: HashMap<SwitchId, SwitchPredicates<B>>,
@@ -176,6 +181,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
             tag_bits,
             max_hops: MAX_PATH_LENGTH as usize,
             track_reach,
+            epoch: 0,
             rules: rules.clone(),
             preds: HashMap::new(),
             entries: HashMap::new(),
@@ -248,6 +254,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
             tag_bits,
             max_hops: MAX_PATH_LENGTH as usize,
             track_reach: true,
+            epoch: 0,
             rules: HashMap::new(),
             preds,
             entries: HashMap::new(),
@@ -280,6 +287,19 @@ impl<B: HeaderSetBackend> PathTable<B> {
     /// Whether reach records are kept (i.e. incremental update is available).
     pub fn tracks_reach(&self) -> bool {
         self.track_reach
+    }
+
+    /// Current update generation. Every incremental rule change bumps this;
+    /// fast-path state built against an older epoch must be refreshed before
+    /// use (see [`crate::VerifyFastPath::sync`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Mark the table as changed, invalidating all fast-path state derived
+    /// from it.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// The monitored topology.

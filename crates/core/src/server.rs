@@ -12,8 +12,10 @@ use veridp_switch::OfMessage;
 use veridp_topo::Topology;
 
 use crate::backend::HeaderSetBackend;
+use crate::fastpath::VerifyFastPath;
 use crate::headerspace::HeaderSpace;
 use crate::localize::LocalizeOutcome;
+use crate::parallel::BatchSummary;
 use crate::path_table::PathTable;
 use crate::verify::VerifyOutcome;
 
@@ -27,12 +29,43 @@ pub struct ServerStats {
     /// Localizations attempted / with at least one candidate path.
     pub localizations: u64,
     pub localized: u64,
+    /// Verdicts answered from the fast path's verdict cache. Both cache
+    /// counters stay zero while the fast path is disabled.
+    pub cache_hits: u64,
+    /// Verdicts that missed the cache and were computed against the path
+    /// table (via the tag index).
+    pub cache_misses: u64,
 }
 
 impl ServerStats {
     /// Failed verifications.
     pub fn failed(&self) -> u64 {
         self.tag_mismatch + self.no_matching_path
+    }
+
+    /// The verdict/localization counters alone, excluding the cache
+    /// counters: a fast-path server and a plain server processing the same
+    /// report stream must agree exactly on these (the differential suite
+    /// asserts it), while their cache counters differ by design.
+    pub fn verdict_counts(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.reports,
+            self.passed,
+            self.tag_mismatch,
+            self.no_matching_path,
+            self.localizations,
+            self.localized,
+        )
+    }
+
+    /// Fraction of verdicts served from the verdict cache.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
@@ -46,6 +79,10 @@ impl ServerStats {
 pub struct VeriDpServer<B: HeaderSetBackend = HeaderSpace> {
     hs: B,
     table: PathTable<B>,
+    /// The verification fast path (tag index + verdict cache), when enabled
+    /// via [`VeriDpServer::set_fastpath`]. Verdicts are identical either
+    /// way; only throughput differs.
+    fastpath: Option<VerifyFastPath>,
     stats: ServerStats,
     /// Count of localization candidates per switch, for operator dashboards.
     suspects: HashMap<SwitchId, u64>,
@@ -99,6 +136,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         VeriDpServer {
             hs,
             table,
+            fastpath: None,
             stats: ServerStats::default(),
             suspects: HashMap::new(),
         }
@@ -116,6 +154,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         VeriDpServer {
             hs,
             table,
+            fastpath: None,
             stats: ServerStats::default(),
             suspects: HashMap::new(),
         }
@@ -141,6 +180,23 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         &self.stats
     }
 
+    /// Enable or disable the verification fast path. Enabling builds the
+    /// tag index lazily on the next verification; disabling drops the index
+    /// and all cached verdicts. Verdicts, localization, and every
+    /// non-cache statistic are identical in both modes.
+    pub fn set_fastpath(&mut self, on: bool) {
+        match (on, &self.fastpath) {
+            (true, None) => self.fastpath = Some(VerifyFastPath::new()),
+            (false, Some(_)) => self.fastpath = None,
+            _ => {}
+        }
+    }
+
+    /// Whether the verification fast path is enabled.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fastpath.is_some()
+    }
+
     /// Suspect counts per switch accumulated by localization.
     pub fn suspects(&self) -> &HashMap<SwitchId, u64> {
         &self.suspects
@@ -159,9 +215,22 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         }
     }
 
-    /// Verify one tag report (Algorithm 3), updating statistics.
+    /// Verify one tag report (Algorithm 3), updating statistics. Routed
+    /// through the fast path when enabled; the verdict is identical either
+    /// way.
     pub fn verify(&mut self, report: &TagReport) -> VerifyOutcome {
-        let outcome = self.table.verify(report, &self.hs);
+        let outcome = match &mut self.fastpath {
+            Some(fp) => {
+                let (outcome, hit) = fp.verify_flagged(&self.table, &self.hs, report);
+                if hit {
+                    self.stats.cache_hits += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                }
+                outcome
+            }
+            None => self.table.verify(report, &self.hs),
+        };
         self.stats.reports += 1;
         match outcome {
             VerifyOutcome::Pass => self.stats.passed += 1,
@@ -169,6 +238,31 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             VerifyOutcome::NoMatchingPath => self.stats.no_matching_path += 1,
         }
         outcome
+    }
+
+    /// Verify a whole batch of reports across `threads` workers and fold
+    /// the counts into the server statistics — the high-throughput ingest
+    /// entry point (no per-report localization; failing flows surface via
+    /// the summary counts). Uses the sharded fast-path pipeline when the
+    /// fast path is enabled, with one private verdict cache per worker.
+    pub fn ingest_batch(&mut self, reports: &[TagReport], threads: usize) -> BatchSummary {
+        let summary = match &mut self.fastpath {
+            Some(fp) => crate::parallel::verify_batch_summary_fast(
+                &self.table,
+                &self.hs,
+                fp,
+                reports,
+                threads,
+            ),
+            None => crate::parallel::verify_batch_summary(&self.table, &self.hs, reports, threads),
+        };
+        self.stats.reports += summary.total as u64;
+        self.stats.passed += summary.passed as u64;
+        self.stats.tag_mismatch += summary.tag_mismatch as u64;
+        self.stats.no_matching_path += summary.no_matching_path as u64;
+        self.stats.cache_hits += summary.cache_hits as u64;
+        self.stats.cache_misses += summary.cache_misses as u64;
+        summary
     }
 
     /// Verify, and on failure localize (Algorithm 4). Returns the verdict

@@ -1533,3 +1533,277 @@ fn alarm_aggregator_collapses_per_flow_failures() {
     agg.clear();
     assert!(agg.is_empty());
 }
+
+// ---------------------------------------------------------------- fastpath
+
+mod fastpath_tests {
+    use super::*;
+    use crate::{
+        verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast,
+        VerifyFastPath,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rules(rng: &mut StdRng, switches: u32, nports: u16) -> Rules {
+        let mut rules: Rules = HashMap::new();
+        let mut id = 1u64;
+        for s in 1..=switches {
+            let n = rng.gen_range(2..6);
+            let list: Vec<FlowRule> = (0..n)
+                .map(|_| {
+                    let plen = rng.gen_range(8..=24u8);
+                    let base = ip(10, 0, rng.gen_range(0..4), 0);
+                    let mut m = Match::dst_prefix(base, plen);
+                    if rng.gen_bool(0.2) {
+                        m = m.with_dst_port(rng.gen_range(1..1024));
+                    }
+                    let action = if rng.gen_bool(0.1) {
+                        Action::Drop
+                    } else {
+                        Action::Forward(PortNo(rng.gen_range(1..=nports)))
+                    };
+                    id += 1;
+                    FlowRule::new(id, plen as u16, m, action)
+                })
+                .collect();
+            rules.insert(SwitchId(s), list);
+        }
+        rules
+    }
+
+    /// Faithful witnesses plus perturbations: corrupted tags, shuffled
+    /// pairs, and random headers — all three verdict kinds appear.
+    fn report_battery(table: &PathTable, hs: &HeaderSpace, rng: &mut StdRng) -> Vec<TagReport> {
+        let mut reports = Vec::new();
+        let pairs: Vec<(PortRef, PortRef)> = table.iter().map(|(k, _)| *k).collect();
+        for ((i, o), entries) in table.iter() {
+            for e in entries {
+                if let Some(w) = hs.witness(e.headers) {
+                    reports.push(TagReport::new(*i, *o, w, e.tag));
+                    let mut bad = TagReport::new(*i, *o, w, e.tag);
+                    bad.tag = tag_of(&[(9, 9, 9)]);
+                    reports.push(bad);
+                    if !pairs.is_empty() {
+                        let (j, p) = pairs[rng.gen_range(0..pairs.len())];
+                        reports.push(TagReport::new(j, p, w, e.tag));
+                    }
+                }
+            }
+        }
+        for _ in 0..32 {
+            let h = FiveTuple::tcp(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+            if pairs.is_empty() {
+                break;
+            }
+            let (i, o) = pairs[rng.gen_range(0..pairs.len())];
+            reports.push(TagReport::new(
+                i,
+                o,
+                h,
+                BloomTag::from_bits(rng.gen::<u64>() & 0xffff, 16),
+            ));
+        }
+        reports
+    }
+
+    /// Apply exactly one incremental rule change (always bumps the epoch):
+    /// delete or modify when the chosen switch has rules, add otherwise.
+    fn random_update(
+        rng: &mut StdRng,
+        table: &mut PathTable,
+        hs: &mut HeaderSpace,
+        next_id: &mut u64,
+    ) {
+        let sids: Vec<SwitchId> = table.topo().switches().map(|s| s.id).collect();
+        let s = sids[rng.gen_range(0..sids.len())];
+        let nports = table.topo().switch(s).unwrap().num_ports;
+        let ids: Vec<_> = table
+            .rules
+            .get(&s)
+            .map(|v| v.iter().map(|r| r.id).collect())
+            .unwrap_or_default();
+        match rng.gen_range(0..3u8) {
+            1 if !ids.is_empty() => {
+                table.delete_rule(s, ids[0], hs);
+            }
+            2 if !ids.is_empty() => {
+                let id = ids[rng.gen_range(0..ids.len())];
+                table.modify_rule(
+                    s,
+                    id,
+                    Action::Forward(PortNo(rng.gen_range(1..=nports))),
+                    hs,
+                );
+            }
+            _ => {
+                let plen = rng.gen_range(8..=24u8);
+                let base = ip(10, 0, rng.gen_range(0..4), 0);
+                let rule = FlowRule::new(
+                    *next_id,
+                    plen as u16,
+                    Match::dst_prefix(base, plen),
+                    Action::Forward(PortNo(rng.gen_range(1..=nports))),
+                );
+                *next_id += 1;
+                table.add_rule(s, rule, hs);
+            }
+        }
+    }
+
+    /// Seeded loop: the fast path (index + cache) agrees with the plain scan
+    /// on randomized report streams interleaved with rule updates; the
+    /// epoch bump means no cached verdict ever survives a change.
+    #[test]
+    fn fastpath_agrees_with_scan_under_updates() {
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = gen::linear(3);
+            let rules = random_rules(&mut rng, 3, 3);
+            let mut hs = HeaderSpace::new();
+            let mut table = PathTable::build(&topo, &rules, &mut hs, 16);
+            let mut fp = VerifyFastPath::new();
+            let mut next_id = 10_000u64;
+            for round in 0..6 {
+                let reports = report_battery(&table, &hs, &mut rng);
+                // Verify the stream twice so repeats hit the cache.
+                for r in reports.iter().chain(reports.iter()) {
+                    assert_eq!(
+                        fp.verify(&table, &hs, r),
+                        table.verify(r, &hs),
+                        "seed {seed} round {round} report {r}"
+                    );
+                }
+                random_update(&mut rng, &mut table, &mut hs, &mut next_id);
+            }
+            let stats = fp.stats();
+            assert!(stats.hits > 0, "seed {seed}: repeats never hit the cache");
+            assert!(stats.misses > 0, "seed {seed}: nothing was ever computed");
+        }
+    }
+
+    /// A pinned report is re-verified after every single update; the cached
+    /// verdict from before the update must never be served if the table
+    /// changed the answer (and even when it didn't, the verdict must match
+    /// the plain scan exactly).
+    #[test]
+    fn verdict_cache_never_serves_stale_across_epochs() {
+        for seed in 100..112u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = gen::linear(3);
+            let rules = random_rules(&mut rng, 3, 3);
+            let mut hs = HeaderSpace::new();
+            let mut table = PathTable::build(&topo, &rules, &mut hs, 16);
+            let mut fp = VerifyFastPath::new();
+            let pinned = report_battery(&table, &hs, &mut rng);
+            let mut next_id = 20_000u64;
+            for step in 0..10 {
+                for r in pinned.iter().take(16) {
+                    // Warm the cache, then change the table, then re-ask.
+                    let before = fp.verify(&table, &hs, r);
+                    assert_eq!(before, table.verify(r, &hs), "seed {seed} step {step}");
+                }
+                let epoch_before = table.epoch();
+                random_update(&mut rng, &mut table, &mut hs, &mut next_id);
+                assert!(table.epoch() > epoch_before, "update must bump the epoch");
+                for r in pinned.iter().take(16) {
+                    assert_eq!(
+                        fp.verify(&table, &hs, r),
+                        table.verify(r, &hs),
+                        "seed {seed} step {step}: stale verdict after update"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The sharded fast-path batch pipeline is bit-identical to the plain
+    /// batch pipeline at every thread count, and its summary counts the
+    /// same verdicts plus coherent cache counters.
+    #[test]
+    fn batch_fastpath_matches_plain_batches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hs = HeaderSpace::new();
+        let table = figure5_table(&mut hs);
+        // Duplicate every report adjacently so each worker's chunk contains
+        // repeats no matter how the batch is sharded.
+        let reports: Vec<TagReport> = report_battery(&table, &hs, &mut rng)
+            .into_iter()
+            .flat_map(|r| [r, r])
+            .collect();
+        let plain: Vec<_> = reports.iter().map(|r| table.verify(r, &hs)).collect();
+        let summary = verify_batch_summary(&table, &hs, &reports, 1);
+        for threads in [1usize, 2, 4, 8] {
+            let mut fp = VerifyFastPath::new();
+            let fast = verify_batch_fast(&table, &hs, &mut fp, &reports, threads);
+            assert_eq!(fast, plain, "threads={threads}");
+            assert_eq!(
+                verify_batch(&table, &hs, &reports, threads),
+                plain,
+                "plain batch self-check threads={threads}"
+            );
+            let mut fp2 = VerifyFastPath::new();
+            let fast_summary = verify_batch_summary_fast(&table, &hs, &mut fp2, &reports, threads);
+            assert_eq!(
+                fast_summary.verdict_counts(),
+                summary.verdict_counts(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                fast_summary.cache_hits + fast_summary.cache_misses,
+                reports.len(),
+                "every report is either a hit or a miss (threads={threads})"
+            );
+            assert!(
+                fast_summary.cache_hits > 0,
+                "repeated stream must produce hits (threads={threads})"
+            );
+        }
+    }
+
+    /// Server-level wiring: a fast-path server and a plain server agree on
+    /// every verdict and on all verdict statistics; the fast-path server
+    /// additionally reports cache traffic.
+    #[test]
+    fn server_fastpath_stats_and_verdicts() {
+        let mut hs = HeaderSpace::new();
+        let table = figure5_table(&mut hs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reports = report_battery(&table, &hs, &mut rng);
+
+        let topo = gen::figure5();
+        let rules = figure5_rules();
+        let mut plain = VeriDpServer::new(&topo, &rules, 16);
+        let mut fast = VeriDpServer::new(&topo, &rules, 16);
+        fast.set_fastpath(true);
+        assert!(fast.fastpath_enabled());
+
+        for r in reports.iter().chain(reports.iter()) {
+            assert_eq!(plain.verify(r), fast.verify(r), "{r}");
+        }
+        assert_eq!(
+            plain.stats().verdict_counts(),
+            fast.stats().verdict_counts()
+        );
+        assert_eq!(plain.stats().cache_hits + plain.stats().cache_misses, 0);
+        assert_eq!(
+            fast.stats().cache_hits + fast.stats().cache_misses,
+            fast.stats().reports
+        );
+        assert!(fast.stats().cache_hits > 0);
+        assert!(fast.stats().cache_hit_ratio() > 0.0);
+
+        // Batch ingest folds into the same statistics.
+        let before = fast.stats().reports;
+        let summary = fast.ingest_batch(&reports, 4);
+        assert_eq!(summary.total, reports.len());
+        assert_eq!(fast.stats().reports, before + reports.len() as u64);
+
+        // Toggling the fast path off drops cache state but not verdicts.
+        fast.set_fastpath(false);
+        assert!(!fast.fastpath_enabled());
+        for r in reports.iter().take(8) {
+            assert_eq!(plain.verify(r), fast.verify(r));
+        }
+    }
+}

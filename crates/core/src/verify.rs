@@ -3,10 +3,11 @@
 use veridp_packet::TagReport;
 
 use crate::backend::HeaderSetBackend;
+use crate::fastpath::TagIndex;
 use crate::path_table::PathTable;
 
 /// Verdict for one tag report.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VerifyOutcome {
     /// The header matched a path for the pair and the tag agreed: the packet
     /// followed a control-plane-sanctioned path.
@@ -36,16 +37,64 @@ impl<B: HeaderSetBackend> PathTable<B> {
     /// the linear scan), and compares tags.
     pub fn verify(&self, report: &TagReport, hs: &B) -> VerifyOutcome {
         let paths = self.paths(report.inport, report.outport);
-        let mut matched_any = false;
+        // Pass probe first: tag equality is one u64 compare, containment a
+        // header-set walk, so only run `contains` on tag-equal paths. The
+        // verdict is order-independent (Pass if any path contains the header
+        // with an equal tag, else TagMismatch if any path contains it at
+        // all), so the reordering is semantics-preserving.
         for p in paths {
-            if hs.contains(p.headers, &report.header) {
-                matched_any = true;
-                if p.tag == report.tag {
-                    return VerifyOutcome::Pass;
-                }
+            if p.tag == report.tag && hs.contains(p.headers, &report.header) {
+                return VerifyOutcome::Pass;
             }
         }
-        if matched_any {
+        // No pass: tag-equal paths cannot contain the header (they were just
+        // tested), so containment among the remaining paths alone decides
+        // `matched_any`.
+        if paths
+            .iter()
+            .any(|p| p.tag != report.tag && hs.contains(p.headers, &report.header))
+        {
+            VerifyOutcome::TagMismatch
+        } else {
+            VerifyOutcome::NoMatchingPath
+        }
+    }
+
+    /// Algorithm 3 with a tag-indexed Pass probe: instead of scanning every
+    /// path of the pair, probe only the paths whose tag bits equal the
+    /// report's (the candidates the [`TagIndex`] recorded). Falls back to a
+    /// containment scan over the remaining paths only to distinguish
+    /// [`VerifyOutcome::TagMismatch`] from [`VerifyOutcome::NoMatchingPath`]
+    /// — i.e. only on the (rare) failing reports.
+    ///
+    /// Semantically identical to [`PathTable::verify`] for any report; the
+    /// differential suite asserts it.
+    ///
+    /// # Panics
+    /// Panics if `index` was built against a different epoch of this table
+    /// (see [`PathTable::epoch`]).
+    pub fn verify_indexed(&self, report: &TagReport, hs: &B, index: &TagIndex) -> VerifyOutcome {
+        assert_eq!(
+            index.epoch(),
+            self.epoch(),
+            "stale tag index: rebuild it after every table update"
+        );
+        let paths = self.paths(report.inport, report.outport);
+        for &i in index.candidates(report.inport, report.outport, report.tag.bits()) {
+            let p = &paths[i as usize];
+            // Candidates share the report's tag *bits*; the width can still
+            // differ, and plain `verify` compares whole tags.
+            if p.tag == report.tag && hs.contains(p.headers, &report.header) {
+                return VerifyOutcome::Pass;
+            }
+        }
+        // No candidate passed, so any tag-equal path fails containment and
+        // the verdict rests on the tag-unequal paths, exactly as in the
+        // plain scan's mismatch arm.
+        if paths
+            .iter()
+            .any(|p| p.tag != report.tag && hs.contains(p.headers, &report.header))
+        {
             VerifyOutcome::TagMismatch
         } else {
             VerifyOutcome::NoMatchingPath

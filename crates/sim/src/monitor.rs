@@ -86,6 +86,14 @@ impl<B: HeaderSetBackend> Monitor<B> {
         Ok(m)
     }
 
+    /// Enable or disable the server's verification fast path (tag index +
+    /// epoch-invalidated verdict cache). Verdicts are identical either way;
+    /// only throughput and the cache counters in
+    /// [`veridp_core::ServerStats`] change.
+    pub fn set_fastpath(&mut self, on: bool) {
+        self.server.set_fastpath(on);
+    }
+
     /// Push pending controller messages through the interceptor to the
     /// switches. Returns the number of messages delivered.
     pub fn flush(&mut self) -> usize {

@@ -7,14 +7,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export VERIDP_BENCH_QUICK=1
-export VERIDP_BENCH_OUT="${VERIDP_BENCH_OUT:-$PWD/BENCH_path_table.json}"
+# Each JSON-emitting bench gets its own output file (override the directory
+# with VERIDP_BENCH_OUT_DIR).
+OUT_DIR="${VERIDP_BENCH_OUT_DIR:-$PWD}"
 
 echo "== path_table_build (quick) =="
-cargo bench -q --offline -p veridp-bench --bench path_table_build
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_path_table.json" \
+    cargo bench -q --offline -p veridp-bench --bench path_table_build
 
 echo
 echo "== verify_report (quick) =="
-cargo bench -q --offline -p veridp-bench --bench verify_report
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_verify_report.json" \
+    cargo bench -q --offline -p veridp-bench --bench verify_report
 
 echo
 echo "== incremental_update (quick) =="
@@ -29,4 +33,4 @@ echo "== pipeline_overhead (quick) =="
 cargo bench -q --offline -p veridp-bench --bench pipeline_overhead
 
 echo
-echo "smoke benches done; JSON at $VERIDP_BENCH_OUT"
+echo "smoke benches done; JSON at $OUT_DIR/BENCH_*.json"

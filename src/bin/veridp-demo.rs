@@ -5,12 +5,17 @@
 //! veridp-demo [--topo fat-tree:4|internet2|stanford|figure5|linear:N|ring:N]
 //!             [--fault none|blackhole|wrongport|acl-delete]
 //!             [--backend bdd|atoms] [--tag-bits N] [--seed N]
+//!             [--verify-cache on|off]
 //! ```
 //!
 //! The header-set backend defaults to `bdd`; `--backend atoms` (or the
 //! `VERIDP_BACKEND` environment variable) switches the whole pipeline to
 //! the atom-partition representation. Verdicts are identical either way —
 //! only build time and memory shape differ.
+//!
+//! `--verify-cache` (default `on`) toggles the server's verification fast
+//! path: the tag-indexed candidate probe plus the epoch-invalidated verdict
+//! cache. Verdicts never change; the stats line reports the hit ratio.
 
 use std::env;
 
@@ -30,6 +35,7 @@ struct Options {
     backend: String,
     tag_bits: u32,
     seed: u64,
+    verify_cache: bool,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +45,7 @@ fn parse_args() -> Options {
         backend: env::var("VERIDP_BACKEND").unwrap_or_else(|_| "bdd".into()),
         tag_bits: 16,
         seed: 1,
+        verify_cache: true,
     };
     let args: Vec<String> = env::args().skip(1).collect();
     let mut it = args.iter();
@@ -58,6 +65,13 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|_| usage("bad tag-bits"))
             }
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad seed")),
+            "--verify-cache" => {
+                o.verify_cache = match val("--verify-cache").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => usage(&format!("bad --verify-cache {other} (use on|off)")),
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -72,7 +86,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: veridp-demo [--topo fat-tree:K|internet2|stanford|figure5|linear:N|ring:N]\n\
          \x20                  [--fault none|blackhole|wrongport|acl-delete]\n\
-         \x20                  [--backend bdd|atoms] [--tag-bits N] [--seed N]"
+         \x20                  [--backend bdd|atoms] [--tag-bits N] [--seed N]\n\
+         \x20                  [--verify-cache on|off]"
     );
     std::process::exit(2);
 }
@@ -120,6 +135,7 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         });
     }
     let mut m = Monitor::deploy_with(hs, topo, &intents, o.tag_bits).expect("intents compile");
+    m.set_fastpath(o.verify_cache);
     let stats = m.server.table().stats();
     println!(
         "path table: {} pairs, {} paths, avg length {:.2} ({} backend size: {})\n",
@@ -214,6 +230,16 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         "server: {} reports | {} passed | {} tag mismatches | {} no-matching-path | {} localized",
         s.reports, s.passed, s.tag_mismatch, s.no_matching_path, s.localized
     );
+    if o.verify_cache {
+        println!(
+            "verify cache: {} hits / {} misses ({:.1}% hit ratio)",
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_hit_ratio() * 100.0
+        );
+    } else {
+        println!("verify cache: off (plain Algorithm 3 scan)");
+    }
     if !m.server.suspects().is_empty() {
         let mut suspects: Vec<(SwitchId, u64)> =
             m.server.suspects().iter().map(|(k, v)| (*k, *v)).collect();

@@ -1,0 +1,355 @@
+//! The differential correctness bar for the verification fast path: on the
+//! same topology and rule set, a server (or batch pipeline) running with
+//! the tag index + epoch-invalidated verdict cache must produce verdicts,
+//! verdict statistics, and localizations **bit-identical** to the plain
+//! Algorithm 3 scan — on every report, at every thread count, and after
+//! every incremental rule update (which exercises the epoch invalidation).
+//!
+//! The cache counters (`cache_hits`/`cache_misses`) are the only permitted
+//! difference: they are fast-path-only by design, so the comparisons go
+//! through `verdict_counts()`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp::atoms::AtomSpace;
+use veridp::bloom::BloomTag;
+use veridp::core::{
+    verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast,
+    HeaderSetBackend, HeaderSpace, PathTable, VeriDpServer, VerifyFastPath,
+};
+use veridp::packet::{FiveTuple, PortNo, PortRef, SwitchId, TagReport};
+use veridp::switch::{Action, FlowRule, Match, OfMessage};
+use veridp::topo::{gen, Topology};
+
+type Rules = HashMap<SwitchId, Vec<FlowRule>>;
+
+fn random_rules(rng: &mut StdRng, topo: &Topology, per_switch: usize) -> Rules {
+    let mut rules: Rules = HashMap::new();
+    let mut id = 1u64;
+    for info in topo.switches() {
+        let nports = info.num_ports;
+        for _ in 0..per_switch {
+            let plen = rng.gen_range(8..=24u8);
+            let base = gen::ip(10, rng.gen_range(0..4u8), rng.gen_range(0..8u8), 0);
+            let mut fields = Match::dst_prefix(base, plen);
+            if rng.gen_bool(0.2) {
+                fields = fields.with_dst_port(rng.gen_range(1..1024u16));
+            }
+            let action = if rng.gen_bool(0.1) {
+                Action::Drop
+            } else {
+                Action::Forward(PortNo(rng.gen_range(1..=nports)))
+            };
+            rules
+                .entry(info.id)
+                .or_default()
+                .push(FlowRule::new(id, plen as u16, fields, action));
+            id += 1;
+        }
+    }
+    rules
+}
+
+/// Faithful witness reports for every path entry, plus perturbations that
+/// hit all three verdicts: corrupted tags, shuffled pairs, random headers.
+/// Every report is emitted twice so caches see repeats.
+fn report_battery<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    rng: &mut StdRng,
+) -> Vec<TagReport> {
+    let pairs: Vec<(PortRef, PortRef)> = table.iter().map(|(k, _)| *k).collect();
+    let mut reports = Vec::new();
+    for (&(i, o), list) in table.iter() {
+        for e in list {
+            let Some(h) = hs.witness(e.headers) else {
+                continue;
+            };
+            reports.push(TagReport::new(i, o, h, e.tag));
+            reports.push(TagReport::new(i, o, h, BloomTag::empty(16)));
+            let (j, p) = pairs[rng.gen_range(0..pairs.len())];
+            reports.push(TagReport::new(j, p, h, e.tag));
+        }
+    }
+    for _ in 0..64 {
+        let (i, o) = pairs[rng.gen_range(0..pairs.len())];
+        let h = FiveTuple::tcp(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+        reports.push(TagReport::new(
+            i,
+            o,
+            h,
+            BloomTag::from_bits(rng.gen::<u64>() & 0xffff, 16),
+        ));
+    }
+    let repeated: Vec<TagReport> = reports.iter().flat_map(|r| [*r, *r]).collect();
+    repeated
+}
+
+/// Feed the same report stream to a plain server and a fast-path server and
+/// require identical verdicts + localizations, then identical
+/// `verdict_counts()`. Returns both servers for further mirrored updates.
+fn assert_servers_agree<B: HeaderSetBackend>(
+    plain: &mut VeriDpServer<B>,
+    fast: &mut VeriDpServer<B>,
+    reports: &[TagReport],
+    ctx: &str,
+) {
+    for r in reports {
+        let (pv, pl) = plain.verify_and_localize(r);
+        let (fv, fl) = fast.verify_and_localize(r);
+        assert_eq!(pv, fv, "verdicts differ on {r} ({ctx})");
+        assert_eq!(pl, fl, "localizations differ on {r} ({ctx})");
+    }
+    assert_eq!(
+        plain.stats().verdict_counts(),
+        fast.stats().verdict_counts(),
+        "verdict statistics differ ({ctx})"
+    );
+    assert_eq!(
+        plain.suspects(),
+        fast.suspects(),
+        "suspect counts differ ({ctx})"
+    );
+    // The fast path accounts every report as exactly one hit or miss; the
+    // plain server never touches the cache counters.
+    assert_eq!(plain.stats().cache_hits + plain.stats().cache_misses, 0);
+    assert_eq!(
+        fast.stats().cache_hits + fast.stats().cache_misses,
+        fast.stats().reports,
+        "cache accounting broken ({ctx})"
+    );
+}
+
+/// One incremental rule change mirrored into both servers via the OpenFlow
+/// interceptor (the deployment path) — always applies, always bumps the
+/// table epoch on both sides.
+fn mirrored_update<B: HeaderSetBackend>(
+    rng: &mut StdRng,
+    topo: &Topology,
+    live: &mut Rules,
+    next_id: &mut u64,
+    plain: &mut VeriDpServer<B>,
+    fast: &mut VeriDpServer<B>,
+) {
+    let sids: Vec<SwitchId> = topo.switches().map(|s| s.id).collect();
+    let s = sids[rng.gen_range(0..sids.len())];
+    let nports = topo.switch(s).unwrap().num_ports;
+    let list = live.entry(s).or_default();
+    let msg = match rng.gen_range(0..3u8) {
+        1 if !list.is_empty() => {
+            let victim = list.remove(rng.gen_range(0..list.len()));
+            OfMessage::FlowDelete(victim.id)
+        }
+        2 if !list.is_empty() => {
+            let k = rng.gen_range(0..list.len());
+            let action = Action::Forward(PortNo(rng.gen_range(1..=nports)));
+            list[k].action = action;
+            OfMessage::FlowModify(list[k].id, action)
+        }
+        _ => {
+            let plen = rng.gen_range(8..=24u8);
+            let rule = FlowRule::new(
+                *next_id,
+                plen as u16,
+                Match::dst_prefix(gen::ip(10, rng.gen_range(0..4u8), 0, 0), plen),
+                Action::Forward(PortNo(rng.gen_range(1..=nports))),
+            );
+            *next_id += 1;
+            list.push(rule);
+            OfMessage::FlowAdd(rule)
+        }
+    };
+    let epoch_before = fast.table().epoch();
+    plain.intercept(s, &msg);
+    fast.intercept(s, &msg);
+    assert!(
+        fast.table().epoch() > epoch_before,
+        "rule update must bump the epoch"
+    );
+}
+
+fn check_servers<B: HeaderSetBackend>(
+    hs_a: B,
+    hs_b: B,
+    topo: Topology,
+    seed: u64,
+    per_switch: usize,
+    updates: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rules = random_rules(&mut rng, &topo, per_switch);
+    let mut plain = VeriDpServer::with_backend(hs_a, &topo, &rules, 16);
+    let mut fast = VeriDpServer::with_backend(hs_b, &topo, &rules, 16);
+    fast.set_fastpath(true);
+
+    let reports = report_battery(plain.table(), plain.header_space(), &mut rng);
+    assert_servers_agree(&mut plain, &mut fast, &reports, "initial build");
+    assert!(
+        fast.stats().cache_hits > 0,
+        "repeated stream produced no cache hits"
+    );
+
+    // Mirrored incremental updates: after every change, the old battery and
+    // a fresh battery must still agree (the old one is exactly where a
+    // stale cached verdict would surface).
+    let mut next_id = 100_000u64;
+    for step in 0..updates {
+        mirrored_update(
+            &mut rng,
+            &topo,
+            &mut rules,
+            &mut next_id,
+            &mut plain,
+            &mut fast,
+        );
+        assert_servers_agree(
+            &mut plain,
+            &mut fast,
+            &reports,
+            &format!("old battery after update {step}"),
+        );
+        let fresh = report_battery(plain.table(), plain.header_space(), &mut rng);
+        assert_servers_agree(
+            &mut plain,
+            &mut fast,
+            &fresh,
+            &format!("fresh battery after update {step}"),
+        );
+    }
+}
+
+/// Sharded batch pipelines, plain vs fast, over a shared table: identical
+/// verdict vectors and summaries at every thread count, with worker caches
+/// kept warm across batches and invalidated across updates.
+fn check_batches(topo: Topology, seed: u64, per_switch: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rules = random_rules(&mut rng, &topo, per_switch);
+    let mut hs = HeaderSpace::new();
+    let mut table = PathTable::build(&topo, &rules, &mut hs, 16);
+    let mut fp = VerifyFastPath::new();
+
+    for round in 0..3u64 {
+        let reports = report_battery(&table, &hs, &mut rng);
+        let expected: Vec<_> = reports.iter().map(|r| table.verify(r, &hs)).collect();
+        let expected_summary = verify_batch_summary(&table, &hs, &reports, 1);
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                verify_batch(&table, &hs, &reports, threads),
+                expected,
+                "plain batch self-check (round {round}, threads {threads})"
+            );
+            assert_eq!(
+                verify_batch_fast(&table, &hs, &mut fp, &reports, threads),
+                expected,
+                "fast batch verdicts differ (round {round}, threads {threads})"
+            );
+            let fast = verify_batch_summary_fast(&table, &hs, &mut fp, &reports, threads);
+            assert_eq!(
+                fast.verdict_counts(),
+                expected_summary.verdict_counts(),
+                "fast batch summary differs (round {round}, threads {threads})"
+            );
+            assert_eq!(
+                fast.cache_hits + fast.cache_misses,
+                reports.len(),
+                "cache accounting broken (round {round}, threads {threads})"
+            );
+        }
+        // Change the table between rounds: stale worker caches must never
+        // leak a pre-update verdict into the next round.
+        let sids: Vec<SwitchId> = topo.switches().map(|s| s.id).collect();
+        let s = sids[rng.gen_range(0..sids.len())];
+        let nports = topo.switch(s).unwrap().num_ports;
+        let plen = rng.gen_range(8..=24u8);
+        let rule = FlowRule::new(
+            200_000 + round,
+            plen as u16,
+            Match::dst_prefix(gen::ip(10, rng.gen_range(0..4u8), 0, 0), plen),
+            Action::Forward(PortNo(rng.gen_range(1..=nports))),
+        );
+        rules.entry(s).or_default().push(rule);
+        table.add_rule(s, rule, &mut hs);
+    }
+    let stats = fp.stats();
+    assert!(stats.hits > 0, "batches never hit the worker caches");
+    assert!(stats.misses > 0, "batches never missed");
+}
+
+#[test]
+fn server_fastpath_identical_on_fat_tree4() {
+    check_servers(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::fat_tree(4),
+        41,
+        6,
+        8,
+    );
+}
+
+#[test]
+fn server_fastpath_identical_on_fat_tree6() {
+    check_servers(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::fat_tree(6),
+        42,
+        3,
+        3,
+    );
+}
+
+#[test]
+fn server_fastpath_identical_on_stanford_like() {
+    check_servers(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::stanford_like(),
+        43,
+        8,
+        6,
+    );
+}
+
+#[test]
+fn server_fastpath_identical_on_internet2() {
+    check_servers(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::internet2(),
+        44,
+        10,
+        6,
+    );
+}
+
+#[test]
+fn server_fastpath_identical_on_atoms_backend() {
+    // The fast path is backend-generic: the same invariants hold on the
+    // atom-partition representation.
+    check_servers(
+        AtomSpace::new(),
+        AtomSpace::new(),
+        gen::fat_tree(4),
+        45,
+        4,
+        4,
+    );
+}
+
+#[test]
+fn batch_fastpath_identical_on_stanford_like() {
+    check_batches(gen::stanford_like(), 51, 8);
+}
+
+#[test]
+fn batch_fastpath_identical_on_internet2() {
+    check_batches(gen::internet2(), 52, 10);
+}
+
+#[test]
+fn batch_fastpath_identical_on_fat_tree4() {
+    check_batches(gen::fat_tree(4), 53, 6);
+}
