@@ -1,0 +1,220 @@
+//! Observability overhead: the verify_report workload with instrumentation
+//! enabled vs compiled out.
+//!
+//! A single binary cannot measure both sides — `obs-off` removes the
+//! instrumentation at compile time — so the comparison runs as two builds:
+//!
+//! 1. `cargo bench --features obs-off --bench obs_overhead` — the baseline
+//!    build; writes its timings to `BENCH_obs_overhead_off.json`.
+//! 2. `cargo bench --bench obs_overhead` (default features) — the
+//!    instrumented build; if `VERIDP_BENCH_OBS_BASELINE` points at the
+//!    baseline JSON, it computes the per-mode overhead percentage, writes
+//!    `BENCH_obs_overhead.json`, and exits nonzero when the overhead
+//!    exceeds `VERIDP_BENCH_OBS_MAX_PCT` (unset = report only).
+//!
+//! Two builds cannot interleave inside one process, so ambient load drift
+//! (CI neighbors, thermal throttle) would otherwise masquerade as
+//! overhead. Both env knobs therefore accept `:`-separated lists —
+//! `VERIDP_BENCH_OBS_BASELINE` of baseline-run JSONs and
+//! `VERIDP_BENCH_OBS_PREV` of earlier enabled-run JSONs — and the
+//! comparison uses the per-mode minimum across all runs of each side.
+//! `scripts/bench_smoke.sh` alternates three off and three on runs
+//! exactly for this.
+//!
+//! The workload mirrors `verify_report`: witness reports cycled through
+//! the plain Algorithm 3 scan and through the verification fast path, plus
+//! the batch-ingest pipeline — the three per-report paths the
+//! instrumentation touches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_bench::harness::{bench, quick_mode, Sampled};
+use veridp_bench::json::Json;
+use veridp_bench::{build_setup, Setup};
+use veridp_core::{HeaderSetBackend, HeaderSpace, PathTable, VeriDpServer, VerifyFastPath};
+use veridp_packet::TagReport;
+
+/// One witness report per path entry, deterministic across builds (same
+/// seeds as `verify_report`, so the streams are identical).
+fn witness_reports<B: HeaderSetBackend>(table: &PathTable<B>, hs: &B) -> Vec<TagReport> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut reports = Vec::new();
+    for ((i, o), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                reports.push(TagReport::new(*i, *o, w, e.tag));
+            }
+        }
+    }
+    assert!(!reports.is_empty());
+    reports
+}
+
+/// Pull one `"key": <number>` field out of a flat baseline JSON document.
+/// The workspace has no JSON parser (serialization only, by design); the
+/// baseline file is produced by this same bench, so the format is fixed.
+fn extract_num(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Minimum of `key` across a `:`-separated list of result files (missing
+/// files and missing keys are skipped).
+fn min_across_files(paths: &str, key: &str) -> Option<f64> {
+    paths
+        .split(':')
+        .filter(|p| !p.is_empty())
+        .filter_map(|p| std::fs::read_to_string(p).ok())
+        .filter_map(|doc| extract_num(&doc, key))
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+}
+
+struct Mode {
+    name: &'static str,
+    timing: Sampled,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let out_path =
+        std::env::var("VERIDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs_overhead.json".to_string());
+    let prefixes = if quick { 60 } else { 300 };
+    // Comparing two separate builds at the few-percent level needs long,
+    // repeated samples: short ones are dominated by scheduler noise.
+    let iters: u64 = if quick { 100_000 } else { 500_000 };
+    let samples = 7usize;
+
+    let enabled = veridp_obs::ENABLED;
+    println!(
+        "obs_overhead: verify_report workload, instrumentation {}",
+        if enabled { "ENABLED" } else { "COMPILED OUT" }
+    );
+
+    let data = build_setup(Setup::Stanford, Some(prefixes), 2016);
+    let mut hs = HeaderSpace::default();
+    let table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let reports = witness_reports(&table, &hs);
+
+    let mut i = 0usize;
+    let scan = bench("stanford/bdd/scan", samples, iters, || {
+        i = (i + 1) % reports.len();
+        table.verify(&reports[i], &hs)
+    });
+
+    let mut fp = VerifyFastPath::new();
+    let mut j = 0usize;
+    let fast = bench("stanford/bdd/fastpath", samples, iters, || {
+        j = (j + 1) % reports.len();
+        fp.verify(&table, &hs, &reports[j])
+    });
+
+    // Batch ingest: the per-worker LocalHistogram + stats-merge path. Batches
+    // are sized like the paper's ingest rate (~5×10⁵ reports/s arriving in
+    // thousands-deep batches) by cycling the witness set, then timed per
+    // report (batch size divides out).
+    let mut server =
+        VeriDpServer::with_backend(HeaderSpace::default(), &data.topo, &data.rules, 16);
+    server.set_fastpath(true);
+    let batch: Vec<TagReport> = reports
+        .iter()
+        .cycle()
+        .take(reports.len() * 8)
+        .copied()
+        .collect();
+    let batch_iters = (iters / batch.len() as u64).max(2);
+    let timing = bench("stanford/bdd/ingest_batch", samples, batch_iters, || {
+        server.ingest_batch(&batch, 1)
+    });
+    let batch_per_report = Sampled {
+        name: timing.name.clone(),
+        samples: timing.samples,
+        iters_per_sample: timing.iters_per_sample,
+        mean_ns: timing.mean_ns / batch.len() as f64,
+        min_ns: timing.min_ns / batch.len() as f64,
+        max_ns: timing.max_ns / batch.len() as f64,
+    };
+
+    let modes = [
+        Mode {
+            name: "scan",
+            timing: scan,
+        },
+        Mode {
+            name: "fastpath",
+            timing: fast,
+        },
+        Mode {
+            name: "ingest_batch",
+            timing: batch_per_report,
+        },
+    ];
+    for m in &modes {
+        println!("{}", m.timing.line());
+    }
+
+    // Compare against the compiled-out baseline, when one is supplied.
+    let baseline_paths = std::env::var("VERIDP_BENCH_OBS_BASELINE").ok();
+    let prev_paths = std::env::var("VERIDP_BENCH_OBS_PREV").unwrap_or_default();
+    let max_pct: Option<f64> = std::env::var("VERIDP_BENCH_OBS_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let mut fields: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str("obs_overhead")),
+        ("obs_enabled".into(), Json::Bool(enabled)),
+        ("quick".into(), Json::Bool(quick)),
+        ("rules".into(), Json::Int(data.num_rules as i64)),
+    ];
+    for m in &modes {
+        fields.push((format!("{}_ns_min", m.name), Json::Num(m.timing.min_ns)));
+        fields.push((format!("{}_ns_mean", m.name), Json::Num(m.timing.mean_ns)));
+    }
+
+    let mut worst_overhead: Option<f64> = None;
+    if let Some(paths) = &baseline_paths {
+        println!();
+        for m in &modes {
+            let key = format!("{}_ns_min", m.name);
+            let Some(base_min) = min_across_files(paths, &key) else {
+                continue;
+            };
+            // This run's min, folded with any earlier enabled runs.
+            let on_min = min_across_files(&prev_paths, &key)
+                .map_or(m.timing.min_ns, |p| p.min(m.timing.min_ns));
+            let pct = (on_min / base_min - 1.0) * 100.0;
+            println!(
+                "{:<24} enabled {on_min:>8.1} ns vs off {base_min:>8.1} ns  -> {pct:+.2}% overhead",
+                m.name
+            );
+            fields.push((format!("{}_baseline_ns_min", m.name), Json::Num(base_min)));
+            fields.push((format!("{}_enabled_ns_min", m.name), Json::Num(on_min)));
+            fields.push((format!("{}_overhead_pct", m.name), Json::Num(pct)));
+            worst_overhead = Some(worst_overhead.map_or(pct, |w: f64| w.max(pct)));
+        }
+        if let Some(w) = worst_overhead {
+            fields.push(("worst_overhead_pct".into(), Json::Num(w)));
+        }
+    }
+
+    let doc = Json::Obj(fields);
+    if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
+        eprintln!("error: cannot write bench json to {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let (Some(worst), Some(limit)) = (worst_overhead, max_pct) {
+        if worst > limit {
+            eprintln!("error: instrumentation overhead {worst:.2}% exceeds limit {limit}%");
+            std::process::exit(1);
+        }
+        println!("overhead gate: worst {worst:.2}% <= limit {limit}%");
+    }
+}

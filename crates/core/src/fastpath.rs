@@ -33,6 +33,7 @@
 
 use std::collections::HashMap;
 
+use veridp_obs as obs;
 use veridp_packet::{PortRef, TagReport};
 
 use crate::backend::HeaderSetBackend;
@@ -208,10 +209,29 @@ impl VerdictCache {
     }
 
     /// Cached verdict for `report`, if present and filled at `epoch`.
+    #[inline]
     pub fn lookup(&self, report: &TagReport, epoch: u64) -> Option<VerifyOutcome> {
         let key = CacheKey::of(report);
         let s = &self.slots[(key.hash() & self.mask) as usize];
-        (s.epoch == epoch && s.key == key).then_some(s.verdict)
+        if s.epoch == epoch && s.key == key {
+            return Some(s.verdict);
+        }
+        // A slot holding this exact report at an older epoch is a verdict
+        // lazily invalidated by a table update — the interesting case for
+        // operators sizing update churn (vs. a plain collision/cold miss).
+        if s.epoch != epoch && s.epoch != u64::MAX && s.key == key {
+            Self::note_stale_epoch();
+        }
+        None
+    }
+
+    /// Counter bump for lazily-invalidated slots, kept out of line so the
+    /// registry-handle machinery never bloats (or de-inlines) the
+    /// hit-path [`lookup`](Self::lookup).
+    #[cold]
+    #[inline(never)]
+    fn note_stale_epoch() {
+        obs::counter!("veridp_verdict_cache_stale_epoch_total").inc();
     }
 
     /// Record `verdict` for `report` at `epoch`, evicting whatever occupied
@@ -374,9 +394,17 @@ impl VerifyFastPath {
         self.sync(table);
         let epoch = table.epoch();
         if let Some(v) = self.cache.lookup(report, epoch) {
+            // Cache hits run instruction-identical to the obs-off build:
+            // all latency sampling lives on the miss path below, and the
+            // hit count itself is mirrored from `stats` pull-style.
             self.stats.hits += 1;
             return (v, true);
         }
+        // Decimated span over the computed-verdict (miss) path: index probe,
+        // containment tests, cache fill. Hit latency is the verdict-cache
+        // lookup itself — effectively constant — so sampling misses is what
+        // tells an operator whether the index is doing its job.
+        let _span = obs::sampled_span!(obs::histogram!("veridp_fastpath_miss_ns"), 16);
         let index = self.index.as_ref().expect("sync populated the index");
         let v = table.verify_indexed(report, hs, index);
         self.cache.insert(report, epoch, v);

@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 
 use veridp_bloom::BloomTag;
+use veridp_obs as obs;
 use veridp_packet::{Hop, PortNo, PortRef, SwitchId, DROP_PORT};
 use veridp_switch::{Action, FlowRule, RuleId};
 
@@ -59,6 +60,11 @@ impl<B: HeaderSetBackend> PathTable<B> {
     }
 
     fn update_switch(&mut self, s: SwitchId, hs: &mut B, edit: impl FnOnce(&mut Vec<FlowRule>)) {
+        // Updates are control-plane-rate (not report-rate) events, so a
+        // full span per update is affordable and the latency distribution
+        // is exactly what Fig. 14 measures.
+        obs::counter!("veridp_incremental_updates_total").inc();
+        let _span = obs::histogram!("veridp_incremental_update_ns").start_span();
         assert!(
             self.tracks_reach(),
             "incremental update requires reach records (use PathTable::build, not build_static)"
@@ -79,6 +85,12 @@ impl<B: HeaderSetBackend> PathTable<B> {
         // keyed on the pre-edit table. (Conservative; a spurious bump only
         // costs a cache refill.)
         self.bump_epoch();
+        obs::counter!("veridp_epoch_bumps_total").inc();
+        obs::event!(
+            "epoch_bump",
+            "rule update at {s:?} bumped table epoch to {}",
+            self.epoch()
+        );
         let new = SwitchPredicates::from_rules(
             s,
             &ports,
@@ -122,12 +134,14 @@ impl<B: HeaderSetBackend> PathTable<B> {
         // Phase 2a: shrink — subtract Δ⁻ from every path and reach record
         // crossing an affected hop.
         if !shrink.is_empty() {
+            let mut pruned: u64 = 0;
             for list in self.entries.values_mut() {
                 list.retain_mut(|entry| {
                     for hop in &entry.hops {
                         if let Some(&minus) = shrink.get(hop) {
                             entry.headers = hs.diff(entry.headers, minus);
                             if hs.is_empty(entry.headers) {
+                                pruned += 1;
                                 return false;
                             }
                         }
@@ -149,6 +163,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
                     true
                 });
             }
+            obs::counter!("veridp_incremental_paths_pruned_total").add(pruned);
         }
 
         // Phase 2b: grow — resume traversal for headers that reached S and
@@ -159,6 +174,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
         let snapshot: Vec<crate::path_table::ReachRecord<B>> =
             self.reach.get(&s).map(|v| v.to_vec()).unwrap_or_default();
         let tag_bits = self.tag_bits();
+        let mut regrown: u64 = 0;
         for rec in snapshot {
             for (&(x, y), &plus) in &grow {
                 if rec.at.port != x {
@@ -181,6 +197,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
                 hops2.push(hop);
                 let tag2 = rec.tag.union(BloomTag::singleton(&hop.encode(), tag_bits));
                 let out_ref = PortRef { switch: s, port: y };
+                regrown += 1;
                 if y.is_drop() || self.topo().is_terminal_port(out_ref) {
                     self.insert_entry(rec.inport, out_ref, h2, hops2, tag2, hs);
                 } else if self.topo().is_middlebox_port(out_ref) {
@@ -190,5 +207,6 @@ impl<B: HeaderSetBackend> PathTable<B> {
                 }
             }
         }
+        obs::counter!("veridp_incremental_paths_regrown_total").add(regrown);
     }
 }

@@ -10,6 +10,7 @@
 //! such completion.
 
 use veridp_bloom::BloomTag;
+use veridp_obs as obs;
 use veridp_packet::{Hop, PortRef, SwitchId, TagReport};
 
 use crate::backend::HeaderSetBackend;
@@ -54,6 +55,10 @@ impl<B: HeaderSetBackend> PathTable<B> {
     /// Algorithm 4: infer the set of possible real paths for a failed
     /// report, and the faulty switch each one implicates.
     pub fn localize(&self, report: &TagReport, hs: &B) -> LocalizeOutcome {
+        // Localization only runs on (rare) failed reports, so a full span
+        // and per-step counters cost nothing on the verification hot path.
+        obs::counter!("veridp_localize_total").inc();
+        let _span = obs::histogram!("veridp_localize_ns").start_span();
         let tag = report.tag;
         // Line 2: the original (correct) path for this header.
         let correct_path = self.trace(report.inport, &report.header, hs);
@@ -71,7 +76,10 @@ impl<B: HeaderSetBackend> PathTable<B> {
 
         // Lines 8–22: backtrack, enumerating deviations.
         let mut candidates = Vec::new();
+        let mut backtracks: u64 = 0;
+        let mut deviations_probed: u64 = 0;
         while let Some(dev_hop) = com_path.pop() {
+            backtracks += 1;
             let s = dev_hop.switch;
             let x = dev_hop.in_port;
             let Some(info) = self.topo().switch(s) else {
@@ -92,6 +100,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
                 if !hop_in_tag(&first, tag) {
                     continue; // the deviating hop itself must be in the tag
                 }
+                deviations_probed += 1;
                 let mut dev_path = vec![first];
                 let out_ref = PortRef { switch: s, port: y };
                 if out_ref == report.outport {
@@ -132,6 +141,9 @@ impl<B: HeaderSetBackend> PathTable<B> {
                 }
             }
         }
+        obs::counter!("veridp_localize_backtrack_steps_total").add(backtracks);
+        obs::counter!("veridp_localize_deviations_probed_total").add(deviations_probed);
+        obs::histogram!("veridp_localize_candidates").record(candidates.len() as u64);
         LocalizeOutcome {
             correct_path,
             candidates,

@@ -16,12 +16,21 @@
 //! into the returned [`BatchSummary`] (and, by the server, into
 //! [`crate::ServerStats`]) at join time.
 
+use std::time::Instant;
+
+use veridp_obs as obs;
 use veridp_packet::TagReport;
 
 use crate::backend::HeaderSetBackend;
 use crate::fastpath::{FastPathStats, TagIndex, VerdictCache, VerifyFastPath};
 use crate::path_table::PathTable;
 use crate::verify::VerifyOutcome;
+
+/// One report in [`LATENCY_SAMPLE`] gets a wall-clock measurement in the
+/// summary pipelines. The fold loops iterate in chunks of this size and
+/// time only each chunk's first report, so the remaining reports run the
+/// same instructions as the obs-off build — no per-report branch at all.
+const LATENCY_SAMPLE: usize = 128;
 
 /// Verify a batch of reports across `threads` worker threads, preserving
 /// input order in the output.
@@ -73,27 +82,52 @@ pub fn verify_batch_summary<B: HeaderSetBackend>(
         table: &PathTable<B>,
         hs: &B,
         slice: &[TagReport],
-    ) -> BatchSummary {
+    ) -> (BatchSummary, obs::LocalHistogram) {
         let mut s = BatchSummary::default();
-        for r in slice {
-            s.add(table.verify(r, hs));
+        let mut lat = obs::LocalHistogram::new();
+        for chunk in slice.chunks(LATENCY_SAMPLE) {
+            let mut it = chunk.iter();
+            if let Some(r) = it.next() {
+                let t0 = obs::ENABLED.then(Instant::now);
+                s.add(table.verify(r, hs));
+                if let Some(t0) = t0 {
+                    lat.record_duration(t0.elapsed());
+                }
+            }
+            for r in it {
+                s.add(table.verify(r, hs));
+            }
         }
-        s
+        (s, lat)
     }
-    if threads <= 1 || reports.len() < threads * 2 {
-        return fold(table, hs, reports);
+    let (mut total, lat) = if threads <= 1 || reports.len() < threads * 2 {
+        fold(table, hs, reports)
+    } else {
+        let chunk = reports.len().div_ceil(threads);
+        let mut total = BatchSummary::default();
+        let mut lat = obs::LocalHistogram::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = reports
+                .chunks(chunk)
+                .map(|slice| {
+                    s.spawn(move || {
+                        let _span = obs::histogram!("veridp_batch_worker_compute_ns").start_span();
+                        fold(table, hs, slice)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (shard, shard_lat) = h.join().expect("verifier thread panicked");
+                total.merge(&shard);
+                lat.merge(&shard_lat);
+            }
+        });
+        (total, lat)
+    };
+    obs::histogram!("veridp_batch_verify_report_ns").merge_local(&lat);
+    if lat.count() > 0 {
+        total.latency = Some(lat.snapshot());
     }
-    let chunk = reports.len().div_ceil(threads);
-    let mut total = BatchSummary::default();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = reports
-            .chunks(chunk)
-            .map(|slice| s.spawn(move || fold(table, hs, slice)))
-            .collect();
-        for h in handles {
-            total.merge(&h.join().expect("verifier thread panicked"));
-        }
-    });
     total
 }
 
@@ -183,18 +217,29 @@ pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
         index: &TagIndex,
         cache: &mut VerdictCache,
         slice: &[TagReport],
-    ) -> BatchSummary {
+    ) -> (BatchSummary, obs::LocalHistogram) {
         let mut s = BatchSummary::default();
         let mut stats = FastPathStats::default();
-        for r in slice {
-            s.add(verify_cached(table, hs, index, cache, &mut stats, r));
+        let mut lat = obs::LocalHistogram::new();
+        for chunk in slice.chunks(LATENCY_SAMPLE) {
+            let mut it = chunk.iter();
+            if let Some(r) = it.next() {
+                let t0 = obs::ENABLED.then(Instant::now);
+                s.add(verify_cached(table, hs, index, cache, &mut stats, r));
+                if let Some(t0) = t0 {
+                    lat.record_duration(t0.elapsed());
+                }
+            }
+            for r in it {
+                s.add(verify_cached(table, hs, index, cache, &mut stats, r));
+            }
         }
         s.cache_hits = stats.hits as usize;
         s.cache_misses = stats.misses as usize;
-        s
+        (s, lat)
     }
     fp.sync(table);
-    let total = if threads <= 1 || reports.len() < threads * 2 {
+    let (mut total, lat) = if threads <= 1 || reports.len() < threads * 2 {
         let (index, caches) = fp.index_and_workers(1);
         fold(table, hs, index, &mut caches[0], reports)
     } else {
@@ -202,18 +247,30 @@ pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
         let workers = reports.len().div_ceil(chunk);
         let (index, caches) = fp.index_and_workers(workers);
         let mut total = BatchSummary::default();
+        let mut lat = obs::LocalHistogram::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = reports
                 .chunks(chunk)
                 .zip(caches.iter_mut())
-                .map(|(slice, cache)| s.spawn(move || fold(table, hs, index, cache, slice)))
+                .map(|(slice, cache)| {
+                    s.spawn(move || {
+                        let _span = obs::histogram!("veridp_batch_worker_compute_ns").start_span();
+                        fold(table, hs, index, cache, slice)
+                    })
+                })
                 .collect();
             for h in handles {
-                total.merge(&h.join().expect("verifier thread panicked"));
+                let (shard, shard_lat) = h.join().expect("verifier thread panicked");
+                total.merge(&shard);
+                lat.merge(&shard_lat);
             }
         });
-        total
+        (total, lat)
     };
+    obs::histogram!("veridp_batch_verify_report_ns").merge_local(&lat);
+    if lat.count() > 0 {
+        total.latency = Some(lat.snapshot());
+    }
     fp.record(&FastPathStats {
         hits: total.cache_hits as u64,
         misses: total.cache_misses as u64,
@@ -223,7 +280,7 @@ pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
 
 /// Aggregate verdict counts from a batch, in the same shape as
 /// [`crate::ServerStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BatchSummary {
     pub total: usize,
     pub passed: usize,
@@ -234,7 +291,35 @@ pub struct BatchSummary {
     pub cache_hits: usize,
     /// Verdicts computed via index probe or scan.
     pub cache_misses: usize,
+    /// Sampled per-report verify latency (nanoseconds), folded from the
+    /// workers' private histograms at join. `None` when instrumentation is
+    /// compiled out (`obs-off`) or the batch went through a non-summary
+    /// entry point. Excluded from equality: two runs with identical
+    /// verdicts compare equal regardless of timing.
+    pub latency: Option<veridp_obs::HistSnapshot>,
 }
+
+impl PartialEq for BatchSummary {
+    fn eq(&self, other: &Self) -> bool {
+        (
+            self.total,
+            self.passed,
+            self.tag_mismatch,
+            self.no_matching_path,
+            self.cache_hits,
+            self.cache_misses,
+        ) == (
+            other.total,
+            other.passed,
+            other.tag_mismatch,
+            other.no_matching_path,
+            other.cache_hits,
+            other.cache_misses,
+        )
+    }
+}
+
+impl Eq for BatchSummary {}
 
 impl BatchSummary {
     /// Summarize a verdict list.
@@ -263,7 +348,10 @@ impl BatchSummary {
         }
     }
 
-    /// Fold another summary (e.g. one worker's shard) into this one.
+    /// Fold another summary (e.g. one worker's shard) into this one. Counts
+    /// only: `latency` snapshots are not mergeable (the entry points attach
+    /// one from the still-mergeable worker histograms before returning), so
+    /// `self.latency` is left as-is.
     pub fn merge(&mut self, other: &BatchSummary) {
         self.total += other.total;
         self.passed += other.passed;

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use veridp_bloom::BloomTag;
+use veridp_obs as obs;
 use veridp_packet::{PortNo, PortRef, SwitchId, MAX_PATH_LENGTH};
 use veridp_switch::FlowRule;
 use veridp_topo::Topology;
@@ -55,10 +56,15 @@ fn run_shard<B: HeaderSetBackend>(
 ) -> ShardResult<B> {
     let mut backend = src.fork_worker();
     let mut memo = B::Memo::default();
+    // Builds are rare, whole-phase events, so full (undecimated) spans per
+    // shard are affordable and give the per-phase breakdown directly.
+    let translate_span = obs::histogram!("veridp_build_shard_translate_ns").start_span();
     let local_preds: HashMap<SwitchId, SwitchPredicates<B>> = preds
         .iter()
         .map(|(s, p)| (*s, p.translated(src, &mut backend, &mut memo)))
         .collect();
+    drop(translate_span);
+    let _traverse_span = obs::histogram!("veridp_build_shard_traverse_ns").start_span();
     let mut entries = HashMap::new();
     let mut reach = HashMap::new();
     let mut t = Traversal {
@@ -105,6 +111,8 @@ impl<B: HeaderSetBackend> PathTable<B> {
         tag_bits: u32,
         threads: usize,
     ) -> Self {
+        let _build_span = obs::histogram!("veridp_build_parallel_ns").start_span();
+        obs::counter!("veridp_build_parallel_total").inc();
         let mut table = PathTable::new_empty(topo, rules, tag_bits, true);
         Self::prepare_backend(rules, hs);
         for info in topo.switches() {
@@ -125,6 +133,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
         }
 
         let workers = threads.clamp(1, entry_ports.len());
+        obs::gauge!("veridp_build_workers").set(workers as i64);
         let chunk = entry_ports.len().div_ceil(workers);
         let preds = &table.preds;
         let src: &B = hs;
@@ -143,6 +152,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
                 .collect()
         });
 
+        let _merge_span = obs::histogram!("veridp_build_merge_ns").start_span();
         for shard in results {
             let mut memo = B::Memo::default();
             for (pair, list) in shard.entries {

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use veridp_obs as obs;
 use veridp_packet::{SwitchId, TagReport};
 use veridp_switch::OfMessage;
 use veridp_topo::Topology;
@@ -43,6 +44,21 @@ impl ServerStats {
         self.tag_mismatch + self.no_matching_path
     }
 
+    /// Fold another stats block into this one, field-wise. This is the one
+    /// place stats aggregation is defined: batch ingest folds worker
+    /// summaries through it, and it is associative — merging shards in any
+    /// grouping yields the same totals (the unit suite asserts it).
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.reports += other.reports;
+        self.passed += other.passed;
+        self.tag_mismatch += other.tag_mismatch;
+        self.no_matching_path += other.no_matching_path;
+        self.localizations += other.localizations;
+        self.localized += other.localized;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
     /// The verdict/localization counters alone, excluding the cache
     /// counters: a fast-path server and a plain server processing the same
     /// report stream must agree exactly on these (the differential suite
@@ -65,6 +81,24 @@ impl ServerStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl From<&BatchSummary> for ServerStats {
+    /// A batch summary viewed as a stats block (no localization runs in the
+    /// batch pipeline, so those counters are zero), ready for
+    /// [`ServerStats::merge`].
+    fn from(s: &BatchSummary) -> Self {
+        ServerStats {
+            reports: s.total as u64,
+            passed: s.passed as u64,
+            tag_mismatch: s.tag_mismatch as u64,
+            no_matching_path: s.no_matching_path as u64,
+            localizations: 0,
+            localized: 0,
+            cache_hits: s.cache_hits as u64,
+            cache_misses: s.cache_misses as u64,
         }
     }
 }
@@ -180,6 +214,30 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         &self.stats
     }
 
+    /// Mirror the running [`ServerStats`] into the global obs registry.
+    ///
+    /// The plain `u64` fields stay the source of truth; this publishes them
+    /// as absolute values with relaxed stores ([`obs::Counter::store`]) —
+    /// far cheaper than atomic increments on the per-report hot path. Called
+    /// automatically whenever the running report count crosses a
+    /// 1024-report boundary (single reports and batches alike); call it
+    /// manually before snapshotting if exact up-to-the-report counts
+    /// matter.
+    pub fn publish_obs(&self) {
+        if !obs::ENABLED {
+            return;
+        }
+        obs::counter!("veridp_server_reports_total").store(self.stats.reports);
+        obs::counter!("veridp_server_passed_total").store(self.stats.passed);
+        obs::counter!("veridp_server_tag_mismatch_total").store(self.stats.tag_mismatch);
+        obs::counter!("veridp_server_no_matching_path_total").store(self.stats.no_matching_path);
+        obs::counter!("veridp_server_localizations_total").store(self.stats.localizations);
+        obs::counter!("veridp_server_localized_total").store(self.stats.localized);
+        obs::counter!("veridp_server_cache_hits_total").store(self.stats.cache_hits);
+        obs::counter!("veridp_server_cache_misses_total").store(self.stats.cache_misses);
+        obs::gauge!("veridp_server_suspect_switches").set(self.suspects.len() as i64);
+    }
+
     /// Enable or disable the verification fast path. Enabling builds the
     /// tag index lazily on the next verification; disabling drops the index
     /// and all cached verdicts. Verdicts, localization, and every
@@ -237,6 +295,11 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             VerifyOutcome::TagMismatch => self.stats.tag_mismatch += 1,
             VerifyOutcome::NoMatchingPath => self.stats.no_matching_path += 1,
         }
+        // Periodic pull-model publish: one branch per report, the stores
+        // amortized over 1024 verdicts.
+        if obs::ENABLED && self.stats.reports & 1023 == 0 {
+            self.publish_obs();
+        }
         outcome
     }
 
@@ -256,12 +319,14 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             ),
             None => crate::parallel::verify_batch_summary(&self.table, &self.hs, reports, threads),
         };
-        self.stats.reports += summary.total as u64;
-        self.stats.passed += summary.passed as u64;
-        self.stats.tag_mismatch += summary.tag_mismatch as u64;
-        self.stats.no_matching_path += summary.no_matching_path as u64;
-        self.stats.cache_hits += summary.cache_hits as u64;
-        self.stats.cache_misses += summary.cache_misses as u64;
+        let before = self.stats.reports;
+        self.stats.merge(&ServerStats::from(&summary));
+        // Same 1024-report publish rhythm as single-report verify(): mirror
+        // the stats whenever this batch crossed a 1024 boundary, so small
+        // hot batches don't pay the store fan-out every time.
+        if obs::ENABLED && before >> 10 != self.stats.reports >> 10 {
+            self.publish_obs();
+        }
         summary
     }
 
@@ -283,6 +348,12 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         for c in &loc.candidates {
             *self.suspects.entry(c.faulty_switch).or_default() += 1;
         }
+        obs::event!(
+            "localization",
+            "{outcome:?} for flow entering {:?}: {} candidate switch(es)",
+            report.inport,
+            loc.candidates.len()
+        );
         (outcome, Some(loc))
     }
 }
@@ -325,7 +396,16 @@ impl AlarmAggregator {
         if outcome.is_pass() {
             return;
         }
+        obs::counter!("veridp_alarm_observations_total").inc();
         let key = (report.inport, report.header);
+        let is_new = !self.alarms.contains_key(&key);
+        if is_new {
+            obs::event!(
+                "alarm_raised",
+                "new alarm ({outcome:?}) for flow entering {:?}",
+                report.inport
+            );
+        }
         let alarm = self.alarms.entry(key).or_insert_with(|| Alarm {
             inport: report.inport,
             header: report.header,

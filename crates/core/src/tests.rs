@@ -1534,6 +1534,110 @@ fn alarm_aggregator_collapses_per_flow_failures() {
     assert!(agg.is_empty());
 }
 
+#[test]
+fn alarm_aggregator_dedups_suspects_and_orders_output() {
+    use crate::{InferredPath, LocalizeOutcome};
+    let loc = |suspects: &[u32]| LocalizeOutcome {
+        correct_path: Vec::new(),
+        candidates: suspects
+            .iter()
+            .map(|&s| InferredPath {
+                hops: Vec::new(),
+                faulty_switch: SwitchId(s),
+                deviation_index: 0,
+            })
+            .collect(),
+    };
+    let h1 = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 1000, 80);
+    let h2 = FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 2), 1000, 443);
+    let r1 = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        h1,
+        tag_of(&[(1, 1, 1)]),
+    );
+    let r2 = TagReport::new(
+        PortRef::new(2, 1),
+        PortRef::new(3, 2),
+        h2,
+        tag_of(&[(2, 2, 2)]),
+    );
+
+    let mut agg = crate::AlarmAggregator::new();
+    // Flow 1 fails three times: switch 5 implicated every time, 7 once.
+    // Repeated (switch, verdict) observations must fold into one suspect
+    // entry with a count, not duplicate entries.
+    agg.observe(&r1, &VerifyOutcome::TagMismatch, Some(&loc(&[5])));
+    agg.observe(&r1, &VerifyOutcome::TagMismatch, Some(&loc(&[5, 7])));
+    agg.observe(&r1, &VerifyOutcome::NoMatchingPath, Some(&loc(&[5])));
+    // Flow 2 fails once.
+    agg.observe(&r2, &VerifyOutcome::TagMismatch, Some(&loc(&[9])));
+
+    assert_eq!(agg.len(), 2);
+    let alarms = agg.alarms();
+    // Most-failures first, suspects by descending candidate count.
+    assert_eq!(alarms[0].count, 3);
+    assert_eq!(alarms[0].header, h1);
+    assert_eq!(alarms[0].suspects, vec![(SwitchId(5), 3), (SwitchId(7), 1)]);
+    assert_eq!(alarms[1].count, 1);
+    assert_eq!(alarms[1].suspects, vec![(SwitchId(9), 1)]);
+
+    // Pass verdicts never touch an existing alarm.
+    agg.observe(&r1, &VerifyOutcome::Pass, None);
+    assert_eq!(agg.alarms()[0].count, 3);
+
+    // clear() empties everything, is idempotent, and observation afterwards
+    // starts from fresh counts.
+    agg.clear();
+    assert!(agg.is_empty());
+    assert_eq!(agg.len(), 0);
+    assert!(agg.alarms().is_empty());
+    agg.clear();
+    assert!(agg.is_empty());
+    agg.observe(&r1, &VerifyOutcome::TagMismatch, None);
+    assert_eq!(agg.alarms()[0].count, 1);
+    assert!(agg.alarms()[0].suspects.is_empty());
+}
+
+#[test]
+fn server_stats_merge_is_associative() {
+    use crate::ServerStats;
+    let mk = |seed: u64| ServerStats {
+        reports: seed,
+        passed: seed / 2,
+        tag_mismatch: seed % 7,
+        no_matching_path: seed % 5,
+        localizations: seed % 3,
+        localized: seed % 2,
+        cache_hits: seed * 3,
+        cache_misses: seed + 1,
+    };
+    let (a, b, c) = (mk(10), mk(23), mk(47));
+
+    // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): shard grouping can't change totals.
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right);
+
+    // Commutative, with the default as identity.
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba);
+    let mut id = a.clone();
+    id.merge(&ServerStats::default());
+    assert_eq!(id, a);
+
+    // Derived quantities distribute over the merge.
+    assert_eq!(left.failed(), a.failed() + b.failed() + c.failed());
+}
+
 // ---------------------------------------------------------------- fastpath
 
 mod fastpath_tests {

@@ -1,5 +1,14 @@
 //! Tag verification (Algorithm 3, §4.2).
+//!
+//! Both entry points are instrumented through `veridp-obs`. The scan path
+//! batches its call counter and decimates latency (one timed call in 128)
+//! through a single thread-local tick (`counted_span!`), so the per-verdict
+//! cost is a thread-local increment and a branch — no shared atomics. The
+//! indexed path only runs on verdict-cache misses, so it affords an exact
+//! counter and a probe-depth histogram per call. Verdicts are never
+//! affected; the `obs-off` feature removes all of it.
 
+use veridp_obs as obs;
 use veridp_packet::TagReport;
 
 use crate::backend::HeaderSetBackend;
@@ -36,6 +45,11 @@ impl<B: HeaderSetBackend> PathTable<B> {
     /// one whose header set contains the reported header (Fig. 6 justifies
     /// the linear scan), and compares tags.
     pub fn verify(&self, report: &TagReport, hs: &B) -> VerifyOutcome {
+        let _span = obs::counted_span!(
+            obs::counter!("veridp_verify_scan_total"),
+            obs::histogram!("veridp_verify_scan_ns"),
+            128
+        );
         let paths = self.paths(report.inport, report.outport);
         // Pass probe first: tag equality is one u64 compare, containment a
         // header-set walk, so only run `contains` on tag-equal paths. The
@@ -79,8 +93,11 @@ impl<B: HeaderSetBackend> PathTable<B> {
             self.epoch(),
             "stale tag index: rebuild it after every table update"
         );
+        obs::counter!("veridp_verify_indexed_total").inc();
         let paths = self.paths(report.inport, report.outport);
-        for &i in index.candidates(report.inport, report.outport, report.tag.bits()) {
+        let candidates = index.candidates(report.inport, report.outport, report.tag.bits());
+        obs::histogram!("veridp_fastpath_probe_depth").record(candidates.len() as u64);
+        for &i in candidates {
             let p = &paths[i as usize];
             // Candidates share the report's tag *bits*; the width can still
             // differ, and plain `verify` compares whole tags.

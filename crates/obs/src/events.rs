@@ -1,0 +1,77 @@
+//! Bounded ring buffer of structured events.
+//!
+//! Metrics answer "how much / how fast"; the event ring answers "what were
+//! the last interesting things that happened" — alarms, localization
+//! verdicts, path-table epoch bumps. Events are rare by construction (the
+//! hot verification path never emits one), so a mutex-guarded `VecDeque`
+//! capped at [`EVENT_RING_CAPACITY`] is plenty: the newest events win,
+//! `dropped` counts what scrolled off.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum retained events; older entries are dropped first.
+pub const EVENT_RING_CAPACITY: usize = 1024;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Global sequence number (monotonic across the process, so consumers
+    /// can detect gaps from ring overflow).
+    pub seq: u64,
+    /// Event kind, e.g. `"alarm"`, `"localize"`, `"epoch_bump"`.
+    pub kind: &'static str,
+    /// Preformatted detail line.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct EventRing {
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<EventRecord>,
+}
+
+fn ring() -> &'static Mutex<EventRing> {
+    static RING: OnceLock<Mutex<EventRing>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(EventRing::default()))
+}
+
+/// Append one event (no-op when compiled out). Prefer the
+/// [`event!`](crate::event) macro, which also skips argument formatting
+/// when disabled.
+pub fn record_event(kind: &'static str, detail: String) {
+    if !crate::ENABLED {
+        return;
+    }
+    let mut r = ring().lock().expect("obs event ring poisoned");
+    let seq = r.next_seq;
+    r.next_seq += 1;
+    if r.ring.len() == EVENT_RING_CAPACITY {
+        r.ring.pop_front();
+        r.dropped += 1;
+    }
+    r.ring.push_back(EventRecord { seq, kind, detail });
+}
+
+/// Copy of the currently retained events, oldest first.
+pub fn events_snapshot() -> Vec<EventRecord> {
+    if !crate::ENABLED {
+        return Vec::new();
+    }
+    ring()
+        .lock()
+        .expect("obs event ring poisoned")
+        .ring
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Events evicted from the ring so far (diagnostics).
+pub fn events_dropped() -> u64 {
+    if !crate::ENABLED {
+        return 0;
+    }
+    ring().lock().expect("obs event ring poisoned").dropped
+}

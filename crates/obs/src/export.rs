@@ -1,0 +1,134 @@
+//! Snapshot rendering: one JSON document and Prometheus text exposition.
+//!
+//! Both renderings are deterministic (metrics sorted by name, events by
+//! sequence) so CI artifacts diff cleanly across runs of the same workload.
+//! Histograms are exposed as Prometheus *summaries* (pre-computed
+//! quantiles) rather than `histogram` types — shipping all 976 log-linear
+//! buckets per metric would bloat the exposition for no consumer we have.
+
+use std::fmt::Write as _;
+
+use crate::events::EventRecord;
+use crate::hist::HistSnapshot;
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` sorted by name.
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// Retained events, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Render the snapshot as one compact JSON document:
+    ///
+    /// ```json
+    /// {"counters":{...},"gauges":{...},
+    ///  "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+    ///                        "mean":..,"p50":..,"p90":..,"p99":..,"p999":..}},
+    ///  "events":[{"seq":..,"kind":"..","detail":".."}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.mean(),
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999
+            );
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"kind\":\"{}\",\"detail\":\"",
+                e.seq, e.kind
+            );
+            json_escape(&mut out, &e.detail);
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render the metrics (events excluded) in Prometheus text-exposition
+    /// format. Counters and gauges map directly; histograms become
+    /// summaries with `quantile` labels plus `_sum`, `_count`, `_min`, and
+    /// `_max` series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [
+                ("0.5", h.p50),
+                ("0.9", h.p90),
+                ("0.99", h.p99),
+                ("0.999", h.p999),
+            ] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "{name}_min {}", if h.count == 0 { 0 } else { h.min });
+            let _ = writeln!(out, "{name}_max {}", h.max);
+        }
+        out
+    }
+}

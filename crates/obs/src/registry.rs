@@ -1,0 +1,338 @@
+//! The global named-metric registry and the call-site handles that resolve
+//! against it.
+//!
+//! Registration happens once per `(kind, name)`; the registry hands out
+//! `&'static` metric references (leaked allocations — metrics live for the
+//! process lifetime by design, like the paper's always-on server counters).
+//! Handles ([`CounterHandle`] etc.) are `const`-constructible so the
+//! [`counter!`](crate::counter)/[`gauge!`](crate::gauge)/
+//! [`histogram!`](crate::histogram) macros can cache one per call site in a
+//! `static`, reducing the steady-state cost of a metric update to one
+//! `OnceLock` load plus one relaxed atomic op.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::export::Snapshot;
+use crate::hist::Histogram;
+
+/// Monotonic event/occurrence counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::ENABLED {
+            self.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Publish an absolute value (single-writer mirror of a counter that
+    /// already exists as a plain field, e.g. `ServerStats`). A relaxed store
+    /// is cheaper than a read-modify-write on the hot path; callers must be
+    /// the sole writer and the mirrored value monotonic.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        if crate::ENABLED {
+            self.value.store(v, Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Instantaneous level (relaxed atomic, signed).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::ENABLED {
+            self.value.store(v, Relaxed);
+        }
+    }
+
+    /// Adjust the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::ENABLED {
+            self.value.fetch_add(d, Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// The global registry: name → metric, one map per metric kind, sorted (so
+/// every snapshot and exposition is deterministically ordered).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut m = self.counters.lock().expect("obs registry poisoned");
+        m.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::default())))
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut m = self.gauges.lock().expect("obs registry poisoned");
+        m.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut m = self.histograms.lock().expect("obs registry poisoned");
+        m.entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+    }
+
+    /// Snapshot every registered metric plus the event ring.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: crate::events_snapshot(),
+        }
+    }
+}
+
+/// Call-site-cached counter handle (see [`crate::counter!`]).
+#[derive(Debug)]
+pub struct CounterHandle {
+    name: &'static str,
+    slot: OnceLock<&'static Counter>,
+}
+
+impl CounterHandle {
+    /// A handle for `name`; resolution is deferred to first use.
+    pub const fn new(name: &'static str) -> Self {
+        CounterHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn metric(&self) -> &'static Counter {
+        self.slot.get_or_init(|| registry().counter(self.name))
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        if crate::ENABLED {
+            self.metric().inc();
+        }
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::ENABLED {
+            self.metric().add(n);
+        }
+    }
+
+    /// Publish an absolute value (see [`Counter::store`]).
+    #[inline]
+    pub fn store(&self, v: u64) {
+        if crate::ENABLED {
+            self.metric().store(v);
+        }
+    }
+
+    /// Current value (0 when compiled out).
+    pub fn get(&self) -> u64 {
+        if crate::ENABLED {
+            self.metric().get()
+        } else {
+            0
+        }
+    }
+}
+
+/// Call-site-cached gauge handle (see [`crate::gauge!`]).
+#[derive(Debug)]
+pub struct GaugeHandle {
+    name: &'static str,
+    slot: OnceLock<&'static Gauge>,
+}
+
+impl GaugeHandle {
+    /// A handle for `name`; resolution is deferred to first use.
+    pub const fn new(name: &'static str) -> Self {
+        GaugeHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn metric(&self) -> &'static Gauge {
+        self.slot.get_or_init(|| registry().gauge(self.name))
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::ENABLED {
+            self.metric().set(v);
+        }
+    }
+
+    /// Adjust the level by `d`.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::ENABLED {
+            self.metric().add(d);
+        }
+    }
+
+    /// Current level (0 when compiled out).
+    pub fn get(&self) -> i64 {
+        if crate::ENABLED {
+            self.metric().get()
+        } else {
+            0
+        }
+    }
+}
+
+/// Call-site-cached histogram handle (see [`crate::histogram!`]).
+#[derive(Debug)]
+pub struct HistogramHandle {
+    name: &'static str,
+    slot: OnceLock<&'static Histogram>,
+}
+
+impl HistogramHandle {
+    /// A handle for `name`; resolution is deferred to first use.
+    pub const fn new(name: &'static str) -> Self {
+        HistogramHandle {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn metric(&self) -> &'static Histogram {
+        self.slot.get_or_init(|| registry().histogram(self.name))
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::ENABLED {
+            self.metric().record(v);
+        }
+    }
+
+    /// Record a duration as whole nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        if crate::ENABLED {
+            self.metric().record_duration(d);
+        }
+    }
+
+    /// Fold a worker-private histogram in.
+    pub fn merge_local(&self, local: &crate::LocalHistogram) {
+        if crate::ENABLED {
+            self.metric().merge_local(local);
+        }
+    }
+
+    /// Start a span; elapsed nanoseconds are recorded when the guard drops.
+    #[inline]
+    pub fn start_span(&'static self) -> SpanGuard {
+        SpanGuard {
+            inner: if crate::ENABLED {
+                Some((self, Instant::now()))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Current summary (empty when compiled out).
+    pub fn snapshot(&self) -> crate::HistSnapshot {
+        if crate::ENABLED {
+            self.metric().snapshot()
+        } else {
+            crate::HistSnapshot::default()
+        }
+    }
+}
+
+/// Span timer guard: records elapsed wall-clock nanoseconds into its
+/// histogram on drop (or never, when instrumentation is compiled out).
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(&'static HistogramHandle, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record_duration(start.elapsed());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Unit tests for the observability layer.
+//!
+//! The registry is process-global and the test harness runs tests
+//! concurrently, so every test uses metric names unique to itself.
+
+#[cfg(not(feature = "off"))]
+use crate::hist::{bucket_index, bucket_lo, BUCKET_COUNT};
+#[cfg(not(feature = "off"))]
+use crate::{registry, Histogram, LocalHistogram};
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn enabled_by_default() {
+    assert!(std::hint::black_box(crate::ENABLED));
+}
+
+/// With the `off` feature every recording call must be a no-op and every
+/// read must come back empty — this is the compile-out contract.
+#[cfg(feature = "off")]
+#[test]
+fn off_feature_noops_everything() {
+    assert!(!std::hint::black_box(crate::ENABLED));
+    let c = crate::counter!("off_counter");
+    c.inc();
+    c.add(100);
+    c.store(7);
+    assert_eq!(c.get(), 0);
+    let g = crate::gauge!("off_gauge");
+    g.set(5);
+    assert_eq!(g.get(), 0);
+    let h = crate::histogram!("off_hist");
+    h.record(123);
+    {
+        let _g = h.start_span();
+    }
+    assert_eq!(h.snapshot().count, 0);
+    crate::event!("off_event", "never formatted {}", 1);
+    assert!(crate::events_snapshot().is_empty());
+    let snap = crate::snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert_eq!(
+        snap.to_json(),
+        "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":[]}"
+    );
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn counter_inc_add_store() {
+    let c = crate::counter!("test_counter_inc_add_store");
+    assert_eq!(c.get(), 0);
+    c.inc();
+    c.add(4);
+    assert_eq!(c.get(), 5);
+    c.store(42);
+    assert_eq!(c.get(), 42);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn counter_handles_share_by_name() {
+    crate::counter!("test_counter_shared").add(2);
+    crate::counter!("test_counter_shared").add(3);
+    assert_eq!(registry().counter("test_counter_shared").get(), 5);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn gauge_set_and_add() {
+    let g = crate::gauge!("test_gauge_set_add");
+    g.set(10);
+    g.add(-3);
+    assert_eq!(g.get(), 7);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn bucket_index_is_monotone_and_consistent_with_lo() {
+    let mut samples: Vec<u64> = Vec::new();
+    for e in 0..64u32 {
+        for &off in &[0u64, 1, 3] {
+            samples.push((1u64 << e).saturating_add(off << e.saturating_sub(5)));
+        }
+    }
+    samples.sort_unstable();
+    let mut prev = 0usize;
+    for v in samples {
+        let i = bucket_index(v);
+        assert!(i >= prev, "bucket index not monotone at {v}");
+        assert!(i < BUCKET_COUNT);
+        assert!(bucket_lo(i) <= v, "lo({i}) > {v}");
+        prev = i;
+    }
+    // Exact unit buckets below 16.
+    for v in 0..16u64 {
+        assert_eq!(bucket_index(v), v as usize);
+        assert_eq!(bucket_lo(v as usize), v);
+    }
+    assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn histogram_quantiles_within_bucket_error() {
+    let h = Histogram::new();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 1000);
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, 1000);
+    assert_eq!(s.sum, 500_500);
+    // Log-linear bucketing bounds relative error by 1/16 ≈ 6.25 %.
+    let within = |got: u64, want: f64| {
+        let err = (got as f64 - want).abs() / want;
+        assert!(err < 0.08, "quantile {got} too far from {want}");
+    };
+    within(s.p50, 500.0);
+    within(s.p90, 900.0);
+    within(s.p99, 990.0);
+    within(s.p999, 999.0);
+    assert!((s.mean() - 500.5).abs() < 0.001);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn histogram_empty_snapshot_is_zero() {
+    let h = Histogram::new();
+    let s = h.snapshot();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.max, 0);
+    assert_eq!(s.p999, 0);
+    assert_eq!(s.mean(), 0.0);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn local_histogram_merge_equals_direct_recording() {
+    let mut a = LocalHistogram::new();
+    let mut b = LocalHistogram::new();
+    let mut direct = LocalHistogram::new();
+    for v in 0..500u64 {
+        let v = v * 17 % 10_000;
+        if v % 2 == 0 {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        direct.record(v);
+    }
+    a.merge(&b);
+    assert_eq!(a.snapshot(), direct.snapshot());
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn merge_local_folds_into_shared() {
+    let shared = Histogram::new();
+    let mut w1 = LocalHistogram::new();
+    let mut w2 = LocalHistogram::new();
+    for v in [5u64, 50, 500, 5_000] {
+        w1.record(v);
+        w2.record(v * 2);
+    }
+    shared.merge_local(&w1);
+    shared.merge_local(&w2);
+    let s = shared.snapshot();
+    assert_eq!(s.count, 8);
+    assert_eq!(s.min, 5);
+    assert_eq!(s.max, 10_000);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn span_guard_records_on_drop() {
+    let h = crate::histogram!("test_span_guard_ns");
+    {
+        let _g = h.start_span();
+        std::hint::black_box(1 + 1);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 1);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn sampled_span_decimates() {
+    let h = crate::histogram!("test_sampled_span_ns");
+    for _ in 0..256 {
+        let _g = crate::sampled_span!(h, 64);
+    }
+    // One in 64 → exactly 4 on this thread's fresh per-call-site tick.
+    assert_eq!(h.snapshot().count, 4);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn counted_span_batches_counter_and_decimates() {
+    let c = crate::counter!("test_counted_span_total");
+    let h = crate::histogram!("test_counted_span_ns");
+    for _ in 0..256 {
+        let _g = crate::counted_span!(c, h, 64);
+    }
+    // Four batch boundaries, each crediting the full 64-call batch up
+    // front and timing one call.
+    assert_eq!(c.get(), 256);
+    assert_eq!(h.snapshot().count, 4);
+    // A fresh call site has its own tick, so its first call opens a new
+    // batch; the span lands once the guard drops.
+    {
+        let _g = crate::counted_span!(c, h, 64);
+        assert_eq!(c.get(), 320);
+    }
+    assert_eq!(h.snapshot().count, 5);
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn event_ring_bounds_and_sequences() {
+    // Events are global; only assert relative behavior.
+    let before = crate::events_snapshot().len();
+    crate::event!("test_event", "first {}", 1);
+    crate::event!("test_event", "second {}", 2);
+    let evs = crate::events_snapshot();
+    assert!(evs.len() >= 2 && evs.len() <= crate::EVENT_RING_CAPACITY);
+    assert!(evs.len() >= before.min(crate::EVENT_RING_CAPACITY));
+    let ours: Vec<_> = evs.iter().filter(|e| e.kind == "test_event").collect();
+    assert!(ours.len() >= 2);
+    // Sequence numbers strictly increase in ring order.
+    for w in evs.windows(2) {
+        assert!(w[0].seq < w[1].seq);
+    }
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn snapshot_renders_json_and_prometheus() {
+    crate::counter!("test_export_counter_total").add(7);
+    crate::gauge!("test_export_gauge").set(-3);
+    let h = crate::histogram!("test_export_latency_ns");
+    h.record(100);
+    h.record(200);
+    crate::event!("test_export", "detail with \"quotes\" and\nnewline");
+
+    let snap = crate::snapshot();
+    let json = snap.to_json();
+    assert!(json.contains("\"test_export_counter_total\":7"));
+    assert!(json.contains("\"test_export_gauge\":-3"));
+    assert!(json.contains("\"test_export_latency_ns\":{\"count\":2"));
+    assert!(json.contains("\\\"quotes\\\" and\\nnewline"));
+    // Balanced braces/brackets — cheap well-formedness check.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced JSON"
+    );
+
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE test_export_counter_total counter"));
+    assert!(prom.contains("test_export_counter_total 7"));
+    assert!(prom.contains("# TYPE test_export_gauge gauge"));
+    assert!(prom.contains("# TYPE test_export_latency_ns summary"));
+    assert!(prom.contains("test_export_latency_ns{quantile=\"0.5\"}"));
+    assert!(prom.contains("test_export_latency_ns_count 2"));
+    assert!(prom.contains("test_export_latency_ns_sum 300"));
+}
+
+#[cfg(not(feature = "off"))]
+#[test]
+fn snapshot_is_sorted_by_name() {
+    crate::counter!("test_sort_zz").inc();
+    crate::counter!("test_sort_aa").inc();
+    let snap = crate::snapshot();
+    let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+}

@@ -2,6 +2,7 @@
 
 use veridp_controller::{Controller, ControllerError, Intent};
 use veridp_core::{HeaderSetBackend, HeaderSpace, LocalizeOutcome, VeriDpServer, VerifyOutcome};
+use veridp_obs as obs;
 use veridp_packet::{FiveTuple, Packet, PortRef, SwitchId, TagReport};
 use veridp_switch::{Action, RuleId};
 use veridp_topo::Topology;
@@ -103,6 +104,7 @@ impl<B: HeaderSetBackend> Monitor<B> {
             self.server.intercept(*s, m);
         }
         self.net.apply_messages(msgs);
+        obs::counter!("veridp_monitor_flowmods_total").add(n as u64);
         n
     }
 
@@ -147,6 +149,9 @@ impl<B: HeaderSetBackend> Monitor<B> {
     /// Send a raw header from an edge port.
     pub fn send_header(&mut self, from: PortRef, header: FiveTuple) -> SendOutcome {
         let trace = self.net.inject(from, Packet::new(header));
+        obs::counter!("veridp_monitor_packets_injected_total").inc();
+        obs::counter!("veridp_monitor_reports_total").add(trace.reports.len() as u64);
+        obs::histogram!("veridp_monitor_reports_per_packet").record(trace.reports.len() as u64);
         let verdicts = trace
             .reports
             .iter()
@@ -162,6 +167,17 @@ impl<B: HeaderSetBackend> Monitor<B> {
     /// outcomes. The clock advances between pings so per-flow samplers
     /// re-arm.
     pub fn ping_all_pairs(&mut self, dst_port: u16) -> Vec<SendOutcome> {
+        self.ping_all_pairs_with(dst_port, |_, _| {})
+    }
+
+    /// [`Monitor::ping_all_pairs`] with a progress callback, invoked after
+    /// every flow with the 1-based flow count and its outcome — the hook a
+    /// CLI needs to print periodic one-line summaries on long runs.
+    pub fn ping_all_pairs_with(
+        &mut self,
+        dst_port: u16,
+        mut progress: impl FnMut(usize, &SendOutcome),
+    ) -> Vec<SendOutcome> {
         let hosts: Vec<(String, PortRef, u32)> = self
             .net
             .topo()
@@ -178,7 +194,9 @@ impl<B: HeaderSetBackend> Monitor<B> {
                 }
                 self.net.advance_clock(1_000_000);
                 let header = FiveTuple::tcp(*src_ip, *dst_ip, 40000, dst_port);
-                out.push(self.send_header(*src_port, header));
+                let outcome = self.send_header(*src_port, header);
+                progress(out.len() + 1, &outcome);
+                out.push(outcome);
             }
         }
         out

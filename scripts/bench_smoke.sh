@@ -33,4 +33,28 @@ echo "== pipeline_overhead (quick) =="
 cargo bench -q --offline -p veridp-bench --bench pipeline_overhead
 
 echo
+echo "== obs_overhead (quick): instrumentation enabled vs compiled out =="
+# Two builds cannot interleave in one process, so alternate them
+# (off/on/off/on/off/on) and let the final run take per-mode minimums
+# across all six — ambient load drift then hits both sides instead of
+# masquerading as instrumentation overhead. The last run gates: the job
+# fails if the enabled build is more than VERIDP_BENCH_OBS_MAX_PCT
+# (default 5) percent slower than the compiled-out baseline on any mode.
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off1.json" \
+    cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_on1.json" \
+    cargo bench -q --offline -p veridp-bench --bench obs_overhead
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off2.json" \
+    cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_on2.json" \
+    cargo bench -q --offline -p veridp-bench --bench obs_overhead
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off3.json" \
+    cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead.json" \
+    VERIDP_BENCH_OBS_BASELINE="$OUT_DIR/BENCH_obs_overhead_off1.json:$OUT_DIR/BENCH_obs_overhead_off2.json:$OUT_DIR/BENCH_obs_overhead_off3.json" \
+    VERIDP_BENCH_OBS_PREV="$OUT_DIR/BENCH_obs_overhead_on1.json:$OUT_DIR/BENCH_obs_overhead_on2.json" \
+    VERIDP_BENCH_OBS_MAX_PCT="${VERIDP_BENCH_OBS_MAX_PCT:-5}" \
+    cargo bench -q --offline -p veridp-bench --bench obs_overhead
+
+echo
 echo "smoke benches done; JSON at $OUT_DIR/BENCH_*.json"

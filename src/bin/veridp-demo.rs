@@ -5,7 +5,7 @@
 //! veridp-demo [--topo fat-tree:4|internet2|stanford|figure5|linear:N|ring:N]
 //!             [--fault none|blackhole|wrongport|acl-delete]
 //!             [--backend bdd|atoms] [--tag-bits N] [--seed N]
-//!             [--verify-cache on|off]
+//!             [--verify-cache on|off] [--metrics-json PATH]
 //! ```
 //!
 //! The header-set backend defaults to `bdd`; `--backend atoms` (or the
@@ -16,6 +16,12 @@
 //! `--verify-cache` (default `on`) toggles the server's verification fast
 //! path: the tag-indexed candidate probe plus the epoch-invalidated verdict
 //! cache. Verdicts never change; the stats line reports the hit ratio.
+//!
+//! `--metrics-json PATH` dumps the full observability snapshot (every
+//! counter, gauge, latency histogram, and recent event from `veridp-obs`)
+//! as JSON to `PATH` after the run; with the `obs-off` build feature the
+//! snapshot is empty. While traffic runs, a one-line progress summary
+//! prints every 100 flows.
 
 use std::env;
 
@@ -36,6 +42,7 @@ struct Options {
     tag_bits: u32,
     seed: u64,
     verify_cache: bool,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -46,6 +53,7 @@ fn parse_args() -> Options {
         tag_bits: 16,
         seed: 1,
         verify_cache: true,
+        metrics_json: None,
     };
     let args: Vec<String> = env::args().skip(1).collect();
     let mut it = args.iter();
@@ -72,6 +80,7 @@ fn parse_args() -> Options {
                     other => usage(&format!("bad --verify-cache {other} (use on|off)")),
                 }
             }
+            "--metrics-json" => o.metrics_json = Some(val("--metrics-json")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -87,7 +96,15 @@ fn usage(msg: &str) -> ! {
         "usage: veridp-demo [--topo fat-tree:K|internet2|stanford|figure5|linear:N|ring:N]\n\
          \x20                  [--fault none|blackhole|wrongport|acl-delete]\n\
          \x20                  [--backend bdd|atoms] [--tag-bits N] [--seed N]\n\
-         \x20                  [--verify-cache on|off]"
+         \x20                  [--verify-cache on|off] [--metrics-json PATH]\n\
+         \n\
+         \x20 --verify-cache on|off   toggle the verification fast path (tag index +\n\
+         \x20                         epoch-invalidated verdict cache; default on).\n\
+         \x20                         Verdicts are identical either way; the stats\n\
+         \x20                         line reports the cache hit ratio.\n\
+         \x20 --metrics-json PATH     after the run, write the full veridp-obs\n\
+         \x20                         snapshot (counters, gauges, latency histograms,\n\
+         \x20                         recent events) as JSON to PATH"
     );
     std::process::exit(2);
 }
@@ -216,8 +233,16 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         other => usage(&format!("unknown fault {other}")),
     }
 
-    // Drive all-pairs traffic and summarize.
-    let outcomes = m.ping_all_pairs(80);
+    // Drive all-pairs traffic, printing a one-line summary every 100 flows.
+    let mut flagged_so_far = 0usize;
+    let outcomes = m.ping_all_pairs_with(80, |i, outcome| {
+        if !outcome.consistent() {
+            flagged_so_far += 1;
+        }
+        if i % 100 == 0 {
+            println!("  [{i} flows] {flagged_so_far} flagged inconsistent so far");
+        }
+    });
     let total = outcomes.len();
     let delivered = outcomes.iter().filter(|r| r.trace.delivered()).count();
     let inconsistent = outcomes.iter().filter(|r| !r.consistent()).count();
@@ -227,9 +252,16 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
 
     let s = m.server.stats();
     println!(
-        "server: {} reports | {} passed | {} tag mismatches | {} no-matching-path | {} localized",
-        s.reports, s.passed, s.tag_mismatch, s.no_matching_path, s.localized
+        "server: {} reports | {} passed | {} failed ({} tag mismatch, {} no-matching-path) | {} localized",
+        s.reports,
+        s.passed,
+        s.failed(),
+        s.tag_mismatch,
+        s.no_matching_path,
+        s.localized
     );
+    // Printed for every backend and both cache modes, so runs are directly
+    // comparable line-for-line.
     if o.verify_cache {
         println!(
             "verify cache: {} hits / {} misses ({:.1}% hit ratio)",
@@ -238,7 +270,10 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
             s.cache_hit_ratio() * 100.0
         );
     } else {
-        println!("verify cache: off (plain Algorithm 3 scan)");
+        println!(
+            "verify cache: off (plain Algorithm 3 scan; {:.1}% hit ratio)",
+            s.cache_hit_ratio() * 100.0
+        );
     }
     if !m.server.suspects().is_empty() {
         let mut suspects: Vec<(SwitchId, u64)> =
@@ -253,6 +288,20 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
                 .map(|i| i.name.clone())
                 .unwrap_or_default();
             println!("  {name}: {count}");
+        }
+    }
+
+    if let Some(path) = &o.metrics_json {
+        m.server.publish_obs(); // flush the periodic stat mirrors
+        let snap = veridp::obs::registry().snapshot();
+        match std::fs::write(path, snap.to_json()) {
+            Ok(()) => println!(
+                "metrics: wrote {} counters, {} histograms, {} events to {path}",
+                snap.counters.len(),
+                snap.histograms.len(),
+                snap.events.len()
+            ),
+            Err(e) => eprintln!("error: writing metrics to {path}: {e}"),
         }
     }
 }

@@ -13,13 +13,16 @@
 //! * [`core`] — path table, verification, localization, incremental update;
 //! * [`atoms`] — the atom-partition header-set backend (Delta-net-style
 //!   interval atoms, an alternative to the BDD backend);
-//! * [`sim`] — the discrete-event network simulator tying it all together.
+//! * [`sim`] — the discrete-event network simulator tying it all together;
+//! * [`obs`] — the zero-dependency metrics/tracing layer every stage above
+//!   reports into (compile out with the `obs-off` feature).
 
 pub use veridp_atoms as atoms;
 pub use veridp_bdd as bdd;
 pub use veridp_bloom as bloom;
 pub use veridp_controller as controller;
 pub use veridp_core as core;
+pub use veridp_obs as obs;
 pub use veridp_packet as packet;
 pub use veridp_sim as sim;
 pub use veridp_switch as switch;
