@@ -1,0 +1,230 @@
+//! Epoch-grace verification: a bounded ring of recently-retired path entries.
+//!
+//! Reports travel in-band while the path table mutates underneath them
+//! (§4.4), so a packet sampled under epoch *N* can arrive at the server after
+//! an incremental update has already moved the table to epoch *N+1* and
+//! deleted the very path the packet (correctly!) followed. Verified naively,
+//! that report fails and raises a spurious alarm.
+//!
+//! The fix: every incremental update, before shrinking (Phase 2a of
+//! §4.4), snapshots the `(headers, tag)` of each path
+//! entry it is about to mutate into a [`RetiredRecord`] stamped with the last
+//! epoch at which those entries were valid. Records live in a bounded
+//! [`RetiredRing`]; a report that fails against the *current* table but was
+//! sampled at an *older* epoch is re-checked against every ring record whose
+//! validity covers the report's epoch ([`PathTable::grace_check`]) and passes
+//! if a retired path admits its header with an equal tag.
+//!
+//! # Soundness / tuning
+//!
+//! Grace can only turn a failure into a Pass for a path the control plane
+//! *did* sanction within the last `depth` updates — it is exactly as
+//! trustworthy as the table itself was `≤ depth` epochs ago. The exposure is
+//! a genuinely-faulty packet whose corrupt trajectory happens to match a
+//! recently-retired path; that window is bounded by the ring depth (default
+//! [`DEFAULT_GRACE_DEPTH`]) and further absorbed by K-of-N alarm confirmation
+//! (a faulty *switch* keeps producing failures across epochs, while a grace
+//! coincidence does not repeat once the record ages out). Deeper rings
+//! tolerate longer report-in-flight times at the cost of a wider acceptance
+//! window; depth 0 disables grace entirely.
+
+use std::collections::{HashMap, VecDeque};
+
+use veridp_bloom::BloomTag;
+use veridp_obs as obs;
+use veridp_packet::{PortRef, TagReport};
+
+use crate::backend::HeaderSetBackend;
+use crate::headerspace::HeaderSpace;
+use crate::path_table::PathTable;
+use crate::verify::VerifyOutcome;
+
+/// How many retired update generations [`RetiredRing`] keeps by default.
+pub const DEFAULT_GRACE_DEPTH: usize = 8;
+
+/// The `(headers, tag)` of one path entry at the moment an incremental
+/// update retired (mutated or pruned) it. Hops are deliberately not kept:
+/// grace only needs Algorithm-3 semantics (containment + tag equality).
+pub struct RetiredEntry<B: HeaderSetBackend = HeaderSpace> {
+    pub headers: B::Set,
+    pub tag: BloomTag,
+}
+
+impl<B: HeaderSetBackend> Clone for RetiredEntry<B> {
+    fn clone(&self) -> Self {
+        RetiredEntry {
+            headers: self.headers,
+            tag: self.tag,
+        }
+    }
+}
+
+impl<B: HeaderSetBackend> std::fmt::Debug for RetiredEntry<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetiredEntry")
+            .field("headers", &self.headers)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+/// Everything one incremental update retired, stamped with the last epoch at
+/// which these entries were part of the live table.
+pub struct RetiredRecord<B: HeaderSetBackend = HeaderSpace> {
+    /// Reports sampled at epochs `<= valid_until` may match this record;
+    /// reports sampled later post-date the retirement and get no grace.
+    pub valid_until: u64,
+    /// Retired entries, grouped by `(inport, outport)` pair.
+    pub pairs: HashMap<(PortRef, PortRef), Vec<RetiredEntry<B>>>,
+}
+
+impl<B: HeaderSetBackend> std::fmt::Debug for RetiredRecord<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetiredRecord")
+            .field("valid_until", &self.valid_until)
+            .field("pairs", &self.pairs.len())
+            .finish()
+    }
+}
+
+/// Bounded FIFO of [`RetiredRecord`]s, newest at the back.
+pub struct RetiredRing<B: HeaderSetBackend = HeaderSpace> {
+    depth: usize,
+    records: VecDeque<RetiredRecord<B>>,
+    evictions: u64,
+}
+
+impl<B: HeaderSetBackend> std::fmt::Debug for RetiredRing<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetiredRing")
+            .field("depth", &self.depth)
+            .field("records", &self.records.len())
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+impl<B: HeaderSetBackend> RetiredRing<B> {
+    /// An empty ring keeping at most `depth` update generations.
+    pub fn new(depth: usize) -> Self {
+        RetiredRing {
+            depth,
+            records: VecDeque::with_capacity(depth.min(64)),
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of retired update generations kept.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Change the ring depth, evicting oldest records if shrinking.
+    pub fn set_depth(&mut self, depth: usize) {
+        self.depth = depth;
+        while self.records.len() > depth {
+            self.records.pop_front();
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted over the ring's lifetime (capacity pressure signal:
+    /// a nonzero rate under steady traffic means in-flight reports may
+    /// outlive their grace window).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Append one update's retirements, evicting the oldest record past
+    /// `depth`. A zero-depth ring drops the record immediately.
+    pub fn push(&mut self, record: RetiredRecord<B>) {
+        if self.depth == 0 {
+            self.evictions += 1;
+            obs::counter!("veridp_grace_ring_evictions_total").inc();
+            return;
+        }
+        self.records.push_back(record);
+        if self.records.len() > self.depth {
+            self.records.pop_front();
+            self.evictions += 1;
+            obs::counter!("veridp_grace_ring_evictions_total").inc();
+        }
+        obs::gauge!("veridp_grace_ring_records").set(self.records.len() as i64);
+    }
+
+    /// Whether any retired path covering the report's sampling epoch admits
+    /// its header with an equal tag (Algorithm-3 Pass semantics against
+    /// retired state). Scans newest-first: recent retirements are the
+    /// likeliest grace candidates for an in-flight report.
+    pub fn admits(&self, report: &TagReport, hs: &B) -> bool {
+        let pair = (report.inport, report.outport);
+        for rec in self.records.iter().rev() {
+            if rec.valid_until < report.epoch {
+                continue;
+            }
+            if let Some(list) = rec.pairs.get(&pair) {
+                if list
+                    .iter()
+                    .any(|e| e.tag == report.tag && hs.contains(e.headers, &report.header))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Drop every record (used on full rebuilds, where no retired state can
+    /// be meaningfully carried over).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl<B: HeaderSetBackend> PathTable<B> {
+    /// Re-check a report that failed against the current table against the
+    /// retired ring. `true` means the report was sampled at an older epoch
+    /// and a recently-retired control-plane-sanctioned path explains it —
+    /// the failure is an update race, not a data-plane fault.
+    ///
+    /// Reports stamped with the current (or a future) epoch never get grace:
+    /// they were sampled against the live table and must answer to it.
+    pub fn grace_check(&self, report: &TagReport, hs: &B) -> bool {
+        if report.epoch >= self.epoch() {
+            return false;
+        }
+        obs::counter!("veridp_grace_checks_total").inc();
+        let hit = self.retired.admits(report, hs);
+        if hit {
+            obs::counter!("veridp_grace_hits_total").inc();
+        }
+        hit
+    }
+
+    /// Algorithm 3 with epoch grace: plain [`verify`](PathTable::verify),
+    /// then — only for failing reports sampled at an older epoch — a
+    /// [`grace_check`](PathTable::grace_check). Returns the final outcome and
+    /// whether grace converted a failure into the Pass.
+    ///
+    /// When no update is in flight (the report's epoch equals the table's),
+    /// this is bit-identical to plain verification: the grace arm is never
+    /// taken.
+    pub fn verify_graced(&self, report: &TagReport, hs: &B) -> (VerifyOutcome, bool) {
+        let outcome = self.verify(report, hs);
+        if !outcome.is_pass() && self.grace_check(report, hs) {
+            (VerifyOutcome::Pass, true)
+        } else {
+            (outcome, false)
+        }
+    }
+}

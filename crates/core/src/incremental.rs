@@ -134,6 +134,36 @@ impl<B: HeaderSetBackend> PathTable<B> {
         // Phase 2a: shrink — subtract Δ⁻ from every path and reach record
         // crossing an affected hop.
         if !shrink.is_empty() {
+            // Before mutating, snapshot every affected entry into the
+            // epoch-grace ring: reports sampled at epochs up to (and
+            // including) the pre-bump epoch may still legitimately match
+            // these paths while they are in flight (see `crate::grace`).
+            let valid_until = self.epoch() - 1;
+            let mut retired_pairs: HashMap<(PortRef, PortRef), Vec<crate::grace::RetiredEntry<B>>> =
+                HashMap::new();
+            let mut retired_count: u64 = 0;
+            for (&pair, list) in &self.entries {
+                for entry in list {
+                    if entry.hops.iter().any(|hop| shrink.contains_key(hop)) {
+                        retired_pairs
+                            .entry(pair)
+                            .or_default()
+                            .push(crate::grace::RetiredEntry {
+                                headers: entry.headers,
+                                tag: entry.tag,
+                            });
+                        retired_count += 1;
+                    }
+                }
+            }
+            if !retired_pairs.is_empty() {
+                obs::counter!("veridp_grace_entries_retired_total").add(retired_count);
+                self.retired.push(crate::grace::RetiredRecord {
+                    valid_until,
+                    pairs: retired_pairs,
+                });
+            }
+
             let mut pruned: u64 = 0;
             for list in self.entries.values_mut() {
                 list.retain_mut(|entry| {

@@ -57,6 +57,7 @@
 mod backend;
 pub mod config;
 mod fastpath;
+pub mod grace;
 mod headerspace;
 mod incremental;
 mod localize;
@@ -66,12 +67,14 @@ mod path_table;
 mod predicates;
 pub mod repair;
 pub mod rewrite;
+mod robust;
 pub mod ruletree;
 mod server;
 mod verify;
 
 pub use backend::HeaderSetBackend;
 pub use fastpath::{FastPathStats, TagIndex, VerdictCache, VerifyFastPath};
+pub use grace::{RetiredEntry, RetiredRecord, RetiredRing, DEFAULT_GRACE_DEPTH};
 pub use headerspace::HeaderSpace;
 pub use localize::{InferredPath, LocalizeOutcome};
 pub use parallel::{
@@ -79,7 +82,8 @@ pub use parallel::{
 };
 pub use path_table::{PathEntry, PathTable, PathTableStats, ReachRecord};
 pub use predicates::SwitchPredicates;
-pub use server::{Alarm, AlarmAggregator, ServerStats, VeriDpServer};
+pub use robust::{Disposition, RecentFilter, RobustConfig, RobustState};
+pub use server::{Alarm, AlarmAggregator, ConfirmedAlarm, ServerStats, VeriDpServer};
 pub use verify::VerifyOutcome;
 
 #[cfg(test)]

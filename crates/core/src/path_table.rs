@@ -15,6 +15,7 @@ use veridp_switch::{FlowRule, Match};
 use veridp_topo::Topology;
 
 use crate::backend::HeaderSetBackend;
+use crate::grace::{RetiredRing, DEFAULT_GRACE_DEPTH};
 use crate::headerspace::HeaderSpace;
 use crate::predicates::SwitchPredicates;
 
@@ -125,6 +126,10 @@ pub struct PathTable<B: HeaderSetBackend = HeaderSpace> {
     /// and verdict cache on this, so stale index entries and cached verdicts
     /// are lazily invalidated the moment the table changes.
     epoch: u64,
+    /// Recently-retired path entries, kept so reports sampled before an
+    /// incremental update can still be verified against the table state they
+    /// actually traversed (epoch-grace verification, [`crate::grace`]).
+    pub(crate) retired: RetiredRing<B>,
     /// Per-switch logical rules (the control-plane view `R`).
     pub(crate) rules: HashMap<SwitchId, Vec<FlowRule>>,
     pub(crate) preds: HashMap<SwitchId, SwitchPredicates<B>>,
@@ -182,6 +187,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
             max_hops: MAX_PATH_LENGTH as usize,
             track_reach,
             epoch: 0,
+            retired: RetiredRing::new(DEFAULT_GRACE_DEPTH),
             rules: rules.clone(),
             preds: HashMap::new(),
             entries: HashMap::new(),
@@ -255,6 +261,7 @@ impl<B: HeaderSetBackend> PathTable<B> {
             max_hops: MAX_PATH_LENGTH as usize,
             track_reach: true,
             epoch: 0,
+            retired: RetiredRing::new(DEFAULT_GRACE_DEPTH),
             rules: HashMap::new(),
             preds,
             entries: HashMap::new(),
@@ -300,6 +307,17 @@ impl<B: HeaderSetBackend> PathTable<B> {
     /// from it.
     pub(crate) fn bump_epoch(&mut self) {
         self.epoch += 1;
+    }
+
+    /// The ring of recently-retired path entries (epoch-grace state).
+    pub fn retired_ring(&self) -> &RetiredRing<B> {
+        &self.retired
+    }
+
+    /// Resize the epoch-grace ring. Depth 0 disables grace: retired entries
+    /// are discarded immediately and [`PathTable::grace_check`] never hits.
+    pub fn set_grace_depth(&mut self, depth: usize) {
+        self.retired.set_depth(depth);
     }
 
     /// The monitored topology.

@@ -1,0 +1,173 @@
+//! Robust report ingest: deduplication, quarantine, and their knobs.
+//!
+//! Reports reach the server over a lossy, reordering, duplicating transport
+//! (plain UDP in the paper, §5). The robust ingest path
+//! ([`crate::VeriDpServer::ingest_robust`]) layers three defenses over plain
+//! verification, each bounded and counted:
+//!
+//! 1. **Deduplication** ([`RecentFilter`]) — an exact bounded filter over
+//!    recently-seen reports, so a duplicated frame neither double-counts
+//!    statistics nor double-feeds alarm confirmation.
+//! 2. **Epoch grace** ([`crate::grace`]) — failing reports sampled before
+//!    the table's current epoch are re-checked against recently-retired
+//!    paths.
+//! 3. **Quarantine** — a failing old-epoch report that grace cannot explain
+//!    is *held*, not failed: it may be a mixed-epoch trajectory (sampled
+//!    while an update was propagating hop by hop). Once updates settle
+//!    ([`crate::VeriDpServer::settle`]) the quarantine drains through
+//!    grace-aware re-verification and only then do verdicts land in the
+//!    statistics and the alarm aggregator. Overflow sheds the oldest report
+//!    by resolving it immediately (counted, never silently dropped).
+//!
+//! With no update in flight (every report stamped with the current epoch)
+//! none of the three arms can trigger, and robust ingest is bit-identical to
+//! plain verification — the differential suite asserts this.
+
+use std::collections::{HashSet, VecDeque};
+
+use veridp_packet::TagReport;
+
+/// Tuning for the robust ingest path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobustConfig {
+    /// Entries kept by the duplicate filter. Must exceed the largest burst
+    /// between a frame and its duplicate; defaults comfortably above any
+    /// realistic reorder window.
+    pub dedup_capacity: usize,
+    /// Maximum reports held in quarantine before overflow shedding.
+    pub quarantine_capacity: usize,
+    /// Epoch-grace ring depth applied to the path table on enable
+    /// (see [`crate::DEFAULT_GRACE_DEPTH`]).
+    pub grace_depth: usize,
+    /// Alarm confirmation threshold K: a `(pair, suspect)` needs K distinct
+    /// failing observations before its alarm is confirmed.
+    pub confirm_k: u64,
+    /// Sliding confirmation window N (in failing observations): only the
+    /// last N failures network-wide can contribute to a confirmation.
+    pub confirm_window: u64,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            dedup_capacity: 8192,
+            quarantine_capacity: 4096,
+            grace_depth: crate::grace::DEFAULT_GRACE_DEPTH,
+            confirm_k: 3,
+            confirm_window: 256,
+        }
+    }
+}
+
+/// Exact bounded filter over recently-seen reports (FIFO eviction).
+///
+/// Exactness matters: a probabilistic filter would occasionally swallow a
+/// *fresh* report, and under K-of-N confirmation every genuine failing
+/// observation counts. The window only needs to cover the transport's
+/// duplication horizon, so a few thousand entries suffice.
+#[derive(Debug, Default)]
+pub struct RecentFilter {
+    capacity: usize,
+    seen: HashSet<TagReport>,
+    order: VecDeque<TagReport>,
+}
+
+impl RecentFilter {
+    /// A filter remembering at most `capacity` recent reports.
+    pub fn new(capacity: usize) -> Self {
+        RecentFilter {
+            capacity,
+            seen: HashSet::with_capacity(capacity.min(1 << 16)),
+            order: VecDeque::with_capacity(capacity.min(1 << 16)),
+        }
+    }
+
+    /// Record a report; `true` if it is fresh (not currently in the window),
+    /// `false` if it duplicates a recent one. A zero-capacity filter treats
+    /// everything as fresh (dedup disabled).
+    pub fn insert(&mut self, report: &TagReport) -> bool {
+        if self.capacity == 0 {
+            return true;
+        }
+        if !self.seen.insert(*report) {
+            return false;
+        }
+        self.order.push_back(*report);
+        if self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Number of reports currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// What [`crate::VeriDpServer::ingest_robust`] did with one report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Duplicate of a recently-seen report; dropped, counted.
+    Duplicate,
+    /// Passed plain verification.
+    Passed,
+    /// Failed plain verification but a retired path explains it (update
+    /// race); counted as a pass.
+    Graced,
+    /// Old-epoch failure grace could not explain; held for
+    /// [`crate::VeriDpServer::settle`].
+    Quarantined,
+    /// Current-epoch failure: verified, localized, fed to alarms.
+    Failed,
+}
+
+/// Mutable state of the robust ingest path, owned by the server while
+/// robust mode is enabled.
+pub struct RobustState {
+    pub config: RobustConfig,
+    pub(crate) filter: RecentFilter,
+    pub(crate) quarantine: VecDeque<TagReport>,
+    /// Alarm aggregation with K-of-N confirmation, fed only by resolved
+    /// (non-duplicate, non-graced) failures.
+    pub alarms: crate::server::AlarmAggregator,
+}
+
+impl std::fmt::Debug for RobustState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RobustState")
+            .field("config", &self.config)
+            .field("filter", &self.filter.len())
+            .field("quarantine", &self.quarantine.len())
+            .finish()
+    }
+}
+
+impl RobustState {
+    /// Fresh state for the given configuration.
+    pub fn new(config: RobustConfig) -> Self {
+        let filter = RecentFilter::new(config.dedup_capacity);
+        let alarms = crate::server::AlarmAggregator::with_confirmation(
+            config.confirm_k,
+            config.confirm_window,
+        );
+        RobustState {
+            config,
+            filter,
+            quarantine: VecDeque::new(),
+            alarms,
+        }
+    }
+
+    /// Reports currently held in quarantine.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.len()
+    }
+}

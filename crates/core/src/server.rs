@@ -5,7 +5,7 @@
 //! verifies tag reports arriving from exit switches. On verification failure
 //! it runs fault localization and accumulates statistics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use veridp_obs as obs;
 use veridp_packet::{SwitchId, TagReport};
@@ -18,6 +18,7 @@ use crate::headerspace::HeaderSpace;
 use crate::localize::LocalizeOutcome;
 use crate::parallel::BatchSummary;
 use crate::path_table::PathTable;
+use crate::robust::{Disposition, RobustConfig, RobustState};
 use crate::verify::VerifyOutcome;
 
 /// Running verification statistics.
@@ -36,6 +37,18 @@ pub struct ServerStats {
     /// Verdicts that missed the cache and were computed against the path
     /// table (via the tag index).
     pub cache_misses: u64,
+    /// Reports dropped by the robust ingest's duplicate filter (not counted
+    /// in `reports`). All four robust counters stay zero outside robust
+    /// ingest ([`VeriDpServer::ingest_robust`]).
+    pub duplicates: u64,
+    /// Failing reports converted to a Pass by epoch grace (included in
+    /// `passed`).
+    pub graced: u64,
+    /// Reports that entered the quarantine queue (counted into the verdict
+    /// totals only once resolved at [`VeriDpServer::settle`] or shed).
+    pub quarantined: u64,
+    /// Quarantined reports resolved early by overflow shedding.
+    pub shed: u64,
 }
 
 impl ServerStats {
@@ -57,6 +70,10 @@ impl ServerStats {
         self.localized += other.localized;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.duplicates += other.duplicates;
+        self.graced += other.graced;
+        self.quarantined += other.quarantined;
+        self.shed += other.shed;
     }
 
     /// The verdict/localization counters alone, excluding the cache
@@ -99,6 +116,7 @@ impl From<&BatchSummary> for ServerStats {
             localized: 0,
             cache_hits: s.cache_hits as u64,
             cache_misses: s.cache_misses as u64,
+            ..ServerStats::default()
         }
     }
 }
@@ -117,6 +135,9 @@ pub struct VeriDpServer<B: HeaderSetBackend = HeaderSpace> {
     /// via [`VeriDpServer::set_fastpath`]. Verdicts are identical either
     /// way; only throughput differs.
     fastpath: Option<VerifyFastPath>,
+    /// Robust ingest state (dedup + quarantine + confirmed alarms), when
+    /// enabled via [`VeriDpServer::set_robust`].
+    robust: Option<RobustState>,
     stats: ServerStats,
     /// Count of localization candidates per switch, for operator dashboards.
     suspects: HashMap<SwitchId, u64>,
@@ -171,6 +192,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             hs,
             table,
             fastpath: None,
+            robust: None,
             stats: ServerStats::default(),
             suspects: HashMap::new(),
         }
@@ -189,6 +211,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             hs,
             table,
             fastpath: None,
+            robust: None,
             stats: ServerStats::default(),
             suspects: HashMap::new(),
         }
@@ -235,6 +258,10 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         obs::counter!("veridp_server_localized_total").store(self.stats.localized);
         obs::counter!("veridp_server_cache_hits_total").store(self.stats.cache_hits);
         obs::counter!("veridp_server_cache_misses_total").store(self.stats.cache_misses);
+        obs::counter!("veridp_server_duplicates_total").store(self.stats.duplicates);
+        obs::counter!("veridp_server_graced_total").store(self.stats.graced);
+        obs::counter!("veridp_server_quarantined_total").store(self.stats.quarantined);
+        obs::counter!("veridp_server_shed_total").store(self.stats.shed);
         obs::gauge!("veridp_server_suspect_switches").set(self.suspects.len() as i64);
     }
 
@@ -273,11 +300,11 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         }
     }
 
-    /// Verify one tag report (Algorithm 3), updating statistics. Routed
-    /// through the fast path when enabled; the verdict is identical either
-    /// way.
-    pub fn verify(&mut self, report: &TagReport) -> VerifyOutcome {
-        let outcome = match &mut self.fastpath {
+    /// Raw Algorithm-3 verdict (fast path when enabled, cache counters
+    /// updated) without touching the verdict statistics.
+    #[inline]
+    fn raw_verify(&mut self, report: &TagReport) -> VerifyOutcome {
+        match &mut self.fastpath {
             Some(fp) => {
                 let (outcome, hit) = fp.verify_flagged(&self.table, &self.hs, report);
                 if hit {
@@ -288,7 +315,13 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
                 outcome
             }
             None => self.table.verify(report, &self.hs),
-        };
+        }
+    }
+
+    /// Fold one final verdict into the statistics (with the periodic obs
+    /// publish rhythm).
+    #[inline]
+    fn count_verdict(&mut self, outcome: VerifyOutcome) {
         self.stats.reports += 1;
         match outcome {
             VerifyOutcome::Pass => self.stats.passed += 1,
@@ -300,6 +333,14 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         if obs::ENABLED && self.stats.reports & 1023 == 0 {
             self.publish_obs();
         }
+    }
+
+    /// Verify one tag report (Algorithm 3), updating statistics. Routed
+    /// through the fast path when enabled; the verdict is identical either
+    /// way.
+    pub fn verify(&mut self, report: &TagReport) -> VerifyOutcome {
+        let outcome = self.raw_verify(report);
+        self.count_verdict(outcome);
         outcome
     }
 
@@ -356,6 +397,141 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         );
         (outcome, Some(loc))
     }
+
+    // ---- Robust ingest: dedup + epoch grace + quarantine + confirmation ----
+
+    /// Enable (with `Some(config)`) or disable (`None`) the robust ingest
+    /// path. Enabling sizes the table's epoch-grace ring from the config and
+    /// resets the dedup filter, quarantine, and confirmed-alarm state.
+    pub fn set_robust(&mut self, config: Option<RobustConfig>) {
+        match config {
+            Some(cfg) => {
+                self.table.set_grace_depth(cfg.grace_depth);
+                self.robust = Some(RobustState::new(cfg));
+            }
+            None => self.robust = None,
+        }
+    }
+
+    /// Robust ingest state, when enabled (confirmed alarms live here).
+    pub fn robust(&self) -> Option<&RobustState> {
+        self.robust.as_ref()
+    }
+
+    /// Mutable robust ingest state.
+    pub fn robust_mut(&mut self) -> Option<&mut RobustState> {
+        self.robust.as_mut()
+    }
+
+    /// Ingest one report through the hardened pipeline: duplicate filter,
+    /// Algorithm-3 verdict, epoch grace for update races, quarantine for
+    /// unexplained old-epoch failures, localization + K-of-N alarm
+    /// confirmation for genuine current-epoch failures.
+    ///
+    /// With no update in flight (report epoch == table epoch, no duplicate
+    /// frames) every report takes the plain `verify`+localize path and the
+    /// verdict statistics are bit-identical to [`VeriDpServer::verify`] /
+    /// [`VeriDpServer::verify_and_localize`].
+    ///
+    /// # Panics
+    /// Panics if robust mode is not enabled ([`VeriDpServer::set_robust`]).
+    pub fn ingest_robust(&mut self, report: &TagReport) -> Disposition {
+        let mut robust = self
+            .robust
+            .take()
+            .expect("ingest_robust requires set_robust(Some(..))");
+        let disposition = self.ingest_robust_inner(report, &mut robust);
+        self.robust = Some(robust);
+        disposition
+    }
+
+    fn ingest_robust_inner(&mut self, report: &TagReport, robust: &mut RobustState) -> Disposition {
+        if !robust.filter.insert(report) {
+            self.stats.duplicates += 1;
+            obs::counter!("veridp_robust_duplicates_total").inc();
+            return Disposition::Duplicate;
+        }
+        let outcome = self.raw_verify(report);
+        if outcome.is_pass() {
+            self.count_verdict(outcome);
+            return Disposition::Passed;
+        }
+        if report.epoch < self.table.epoch() {
+            // The report predates the current table: an update raced it.
+            if self.table.grace_check(report, &self.hs) {
+                self.stats.graced += 1;
+                self.count_verdict(VerifyOutcome::Pass);
+                return Disposition::Graced;
+            }
+            // Grace cannot explain it, but the trajectory may have mixed
+            // epochs mid-path; hold the verdict until updates settle.
+            self.stats.quarantined += 1;
+            obs::counter!("veridp_robust_quarantined_total").inc();
+            robust.quarantine.push_back(*report);
+            if robust.quarantine.len() > robust.config.quarantine_capacity {
+                if let Some(old) = robust.quarantine.pop_front() {
+                    self.stats.shed += 1;
+                    obs::counter!("veridp_robust_shed_total").inc();
+                    self.resolve_final(&old, &mut robust.alarms);
+                }
+            }
+            obs::gauge!("veridp_robust_quarantine_len").set(robust.quarantine.len() as i64);
+            return Disposition::Quarantined;
+        }
+        // Sampled against the live table and still failing: a real fault.
+        self.finalize_failure(report, outcome, &mut robust.alarms);
+        Disposition::Failed
+    }
+
+    /// Drain the quarantine once updates have settled, re-verifying each
+    /// held report (with grace) and landing final verdicts in the
+    /// statistics and alarm aggregator. No-op outside robust mode.
+    pub fn settle(&mut self) {
+        let Some(mut robust) = self.robust.take() else {
+            return;
+        };
+        while let Some(report) = robust.quarantine.pop_front() {
+            self.resolve_final(&report, &mut robust.alarms);
+        }
+        obs::gauge!("veridp_robust_quarantine_len").set(0);
+        self.robust = Some(robust);
+    }
+
+    /// Final resolution of a quarantined report: re-verify against the
+    /// now-settled table, grace what an update retired, fail the rest.
+    fn resolve_final(&mut self, report: &TagReport, alarms: &mut AlarmAggregator) {
+        let outcome = self.raw_verify(report);
+        if outcome.is_pass() {
+            self.count_verdict(outcome);
+            return;
+        }
+        if self.table.grace_check(report, &self.hs) {
+            self.stats.graced += 1;
+            self.count_verdict(VerifyOutcome::Pass);
+            return;
+        }
+        self.finalize_failure(report, outcome, alarms);
+    }
+
+    /// A failure that survived every forgiveness layer: count it, localize
+    /// it, and feed the alarm aggregator.
+    fn finalize_failure(
+        &mut self,
+        report: &TagReport,
+        outcome: VerifyOutcome,
+        alarms: &mut AlarmAggregator,
+    ) {
+        self.count_verdict(outcome);
+        let loc = self.table.localize(report, &self.hs);
+        self.stats.localizations += 1;
+        if !loc.candidates.is_empty() {
+            self.stats.localized += 1;
+        }
+        for c in &loc.candidates {
+            *self.suspects.entry(c.faulty_switch).or_default() += 1;
+        }
+        alarms.observe(report, &outcome, Some(&loc));
+    }
 }
 
 /// One aggregated alarm: every failed report for the same flow and entry
@@ -372,21 +548,88 @@ pub struct Alarm {
     pub suspects: Vec<(SwitchId, u64)>,
 }
 
+/// A confirmed alarm: a `(pair, suspect)` that accumulated at least K
+/// distinct failing observations within the sliding confirmation window —
+/// evidence strong enough to page an operator or trigger repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmedAlarm {
+    /// The `(inport, outport)` pair whose reports implicated the suspect.
+    pub pair: (veridp_packet::PortRef, veridp_packet::PortRef),
+    /// The implicated switch.
+    pub suspect: SwitchId,
+    /// Total failing observations supporting the confirmation so far.
+    pub count: u64,
+}
+
 /// Aggregates failed verifications into per-flow alarms so a persistent
 /// fault raises one escalating alarm instead of one alert per sampled
 /// packet.
-#[derive(Debug, Default)]
+///
+/// Two robustness layers (Burdonov et al.'s confirm-before-repair
+/// principle) sit on top of the aggregation:
+///
+/// * **Duplicate suppression** — an identical failing report (same pair,
+///   header, tag, and epoch) observed twice bumps nothing twice; the
+///   transport duplicates frames, not evidence.
+/// * **K-of-N confirmation** — a `(pair, suspect)` alarm is only *confirmed*
+///   once `confirm_k` distinct failing observations implicate it within the
+///   last `confirm_window` failing observations network-wide. A flipped
+///   Bloom bit that slips the wire checksum produces one isolated failure
+///   (usually with no localization candidates at all) and never confirms; a
+///   faulty switch keeps failing and crosses K quickly.
+#[derive(Debug)]
 pub struct AlarmAggregator {
     alarms: HashMap<(veridp_packet::PortRef, veridp_packet::FiveTuple), Alarm>,
+    /// Exact bounded dedup over failing reports.
+    recent: crate::robust::RecentFilter,
+    confirm_k: u64,
+    confirm_window: u64,
+    /// Monotone counter of non-duplicate failing observations.
+    seq: u64,
+    /// Per-`(pair, suspect)` recent supporting observation sequence numbers
+    /// (pruned to the sliding window).
+    support: HashMap<((veridp_packet::PortRef, veridp_packet::PortRef), SwitchId), VecDeque<u64>>,
+    /// Confirmed `(pair, suspect)`s with their total supporting counts.
+    confirmed: HashMap<((veridp_packet::PortRef, veridp_packet::PortRef), SwitchId), u64>,
+}
+
+/// Dedup horizon for failing reports; only needs to cover the transport's
+/// duplication window.
+const ALARM_DEDUP_CAPACITY: usize = 4096;
+
+impl Default for AlarmAggregator {
+    fn default() -> Self {
+        // K=3 within a 256-failure window: small enough to confirm a real
+        // fault after a handful of sampled packets, large enough that
+        // isolated corruption artifacts never confirm.
+        Self::with_confirmation(3, 256)
+    }
 }
 
 impl AlarmAggregator {
-    /// A fresh aggregator.
+    /// A fresh aggregator with default confirmation tuning (K=3, N=256).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An aggregator confirming after `k` supporting failures within a
+    /// sliding window of `window` failing observations. `k = 1` confirms on
+    /// first implication; `window` is clamped to at least `k`.
+    pub fn with_confirmation(k: u64, window: u64) -> Self {
+        AlarmAggregator {
+            alarms: HashMap::new(),
+            recent: crate::robust::RecentFilter::new(ALARM_DEDUP_CAPACITY),
+            confirm_k: k.max(1),
+            confirm_window: window.max(k.max(1)),
+            seq: 0,
+            support: HashMap::new(),
+            confirmed: HashMap::new(),
+        }
+    }
+
     /// Fold one verdict in; only failures create or update alarms.
+    /// Duplicate failing reports (same pair, header, tag, epoch) within the
+    /// dedup window are counted once.
     pub fn observe(
         &mut self,
         report: &TagReport,
@@ -396,7 +639,12 @@ impl AlarmAggregator {
         if outcome.is_pass() {
             return;
         }
+        if !self.recent.insert(report) {
+            obs::counter!("veridp_alarm_duplicates_total").inc();
+            return;
+        }
         obs::counter!("veridp_alarm_observations_total").inc();
+        self.seq += 1;
         let key = (report.inport, report.header);
         let is_new = !self.alarms.contains_key(&key);
         if is_new {
@@ -424,17 +672,85 @@ impl AlarmAggregator {
                     None => alarm.suspects.push((c.faulty_switch, 1)),
                 }
             }
+            for c in &loc.candidates {
+                self.note_support(report, c.faulty_switch);
+            }
+        }
+    }
+
+    /// Record one supporting observation for `(pair, suspect)` and confirm
+    /// once K of the last N failing observations implicate it.
+    fn note_support(&mut self, report: &TagReport, suspect: SwitchId) {
+        let ckey = ((report.inport, report.outport), suspect);
+        if let Some(total) = self.confirmed.get_mut(&ckey) {
+            *total += 1;
+            return;
+        }
+        let window_floor = self.seq.saturating_sub(self.confirm_window - 1);
+        let seqs = self.support.entry(ckey).or_default();
+        seqs.push_back(self.seq);
+        while seqs.front().is_some_and(|&s| s < window_floor) {
+            seqs.pop_front();
+        }
+        if seqs.len() as u64 >= self.confirm_k {
+            let total = seqs.len() as u64;
+            self.support.remove(&ckey);
+            self.confirmed.insert(ckey, total);
+            obs::counter!("veridp_alarms_confirmed_total").inc();
+            obs::event!(
+                "alarm_confirmed",
+                "suspect {suspect:?} confirmed for pair {:?} -> {:?} after {total} failures",
+                report.inport,
+                report.outport
+            );
         }
     }
 
     /// Active alarms, most-failures first; suspects within each alarm are
-    /// ordered by candidate count.
+    /// ordered by candidate count (ties broken by switch id for
+    /// determinism).
     pub fn alarms(&self) -> Vec<Alarm> {
         let mut v: Vec<Alarm> = self.alarms.values().cloned().collect();
         for a in &mut v {
-            a.suspects.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+            a.suspects.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
         }
-        v.sort_by_key(|a| std::cmp::Reverse(a.count));
+        v.sort_by_key(|a| {
+            (
+                std::cmp::Reverse(a.count),
+                a.inport,
+                (
+                    a.header.src_ip,
+                    a.header.dst_ip,
+                    a.header.proto,
+                    a.header.src_port,
+                    a.header.dst_port,
+                ),
+            )
+        });
+        v
+    }
+
+    /// Confirmed alarms in deterministic order (most-supported first, ties
+    /// by suspect then pair).
+    pub fn confirmed(&self) -> Vec<ConfirmedAlarm> {
+        let mut v: Vec<ConfirmedAlarm> = self
+            .confirmed
+            .iter()
+            .map(|(&(pair, suspect), &count)| ConfirmedAlarm {
+                pair,
+                suspect,
+                count,
+            })
+            .collect();
+        v.sort_by_key(|c| (std::cmp::Reverse(c.count), c.suspect, c.pair));
+        v
+    }
+
+    /// Switches with at least one confirmed alarm, deduplicated and sorted.
+    pub fn confirmed_suspects(&self) -> Vec<SwitchId> {
+        let mut v: Vec<SwitchId> = self.confirmed.keys().map(|&(_, s)| s).collect();
+        v.sort();
+        v.dedup();
         v
     }
 
@@ -448,8 +764,13 @@ impl AlarmAggregator {
         self.alarms.is_empty()
     }
 
-    /// Clear alarms (e.g. after a repair round).
+    /// Clear all alarm state, including confirmations (e.g. after a repair
+    /// round).
     pub fn clear(&mut self) {
         self.alarms.clear();
+        self.recent = crate::robust::RecentFilter::new(ALARM_DEDUP_CAPACITY);
+        self.seq = 0;
+        self.support.clear();
+        self.confirmed.clear();
     }
 }

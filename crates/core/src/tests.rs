@@ -1511,8 +1511,10 @@ fn alarm_aggregator_collapses_per_flow_failures() {
 
     let mut agg = crate::AlarmAggregator::new();
     assert!(agg.is_empty());
-    // Ten sampled failures of the same flow → one alarm with count 10.
-    for _ in 0..10 {
+    // Ten distinct sampled failures of the same flow (one per epoch) → one
+    // alarm with count 10.
+    for epoch in 0..10 {
+        let bad = bad.with_epoch(epoch);
         let outcome = table.verify(&bad, &hs);
         let loc = table.localize(&bad, &hs);
         agg.observe(&bad, &outcome, Some(&loc));
@@ -1564,12 +1566,25 @@ fn alarm_aggregator_dedups_suspects_and_orders_output() {
     );
 
     let mut agg = crate::AlarmAggregator::new();
-    // Flow 1 fails three times: switch 5 implicated every time, 7 once.
-    // Repeated (switch, verdict) observations must fold into one suspect
-    // entry with a count, not duplicate entries.
-    agg.observe(&r1, &VerifyOutcome::TagMismatch, Some(&loc(&[5])));
-    agg.observe(&r1, &VerifyOutcome::TagMismatch, Some(&loc(&[5, 7])));
-    agg.observe(&r1, &VerifyOutcome::NoMatchingPath, Some(&loc(&[5])));
+    // Flow 1 fails three times (distinct epochs, so none dedup away):
+    // switch 5 implicated every time, 7 once. Repeated (switch, verdict)
+    // observations must fold into one suspect entry with a count, not
+    // duplicate entries.
+    agg.observe(
+        &r1.with_epoch(1),
+        &VerifyOutcome::TagMismatch,
+        Some(&loc(&[5])),
+    );
+    agg.observe(
+        &r1.with_epoch(2),
+        &VerifyOutcome::TagMismatch,
+        Some(&loc(&[5, 7])),
+    );
+    agg.observe(
+        &r1.with_epoch(3),
+        &VerifyOutcome::NoMatchingPath,
+        Some(&loc(&[5])),
+    );
     // Flow 2 fails once.
     agg.observe(&r2, &VerifyOutcome::TagMismatch, Some(&loc(&[9])));
 
@@ -1611,6 +1626,10 @@ fn server_stats_merge_is_associative() {
         localized: seed % 2,
         cache_hits: seed * 3,
         cache_misses: seed + 1,
+        duplicates: seed % 11,
+        graced: seed % 13,
+        quarantined: seed % 17,
+        shed: seed % 19,
     };
     let (a, b, c) = (mk(10), mk(23), mk(47));
 
@@ -1636,6 +1655,345 @@ fn server_stats_merge_is_associative() {
 
     // Derived quantities distribute over the merge.
     assert_eq!(left.failed(), a.failed() + b.failed() + c.failed());
+}
+
+// ------------------------------------------------------------- robustness
+
+/// Satellite regression: an identical failing report (same pair, header,
+/// tag, epoch) observed twice must not bump the alarm or suspect counts
+/// twice — transports duplicate frames, not evidence.
+#[test]
+fn alarm_aggregator_ignores_duplicate_reports() {
+    use crate::{InferredPath, LocalizeOutcome};
+    let loc = LocalizeOutcome {
+        correct_path: Vec::new(),
+        candidates: vec![InferredPath {
+            hops: Vec::new(),
+            faulty_switch: SwitchId(5),
+            deviation_index: 0,
+        }],
+    };
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 1000, 80);
+    let r = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        h,
+        tag_of(&[(1, 1, 1)]),
+    );
+
+    let mut agg = crate::AlarmAggregator::new();
+    agg.observe(&r, &VerifyOutcome::TagMismatch, Some(&loc));
+    agg.observe(&r, &VerifyOutcome::TagMismatch, Some(&loc));
+    agg.observe(&r, &VerifyOutcome::TagMismatch, Some(&loc));
+
+    let alarms = agg.alarms();
+    assert_eq!(alarms.len(), 1);
+    assert_eq!(alarms[0].count, 1, "duplicates must not inflate the count");
+    assert_eq!(alarms[0].suspects, vec![(SwitchId(5), 1)]);
+
+    // A genuinely new observation (different epoch) still counts.
+    agg.observe(&r.with_epoch(7), &VerifyOutcome::TagMismatch, Some(&loc));
+    assert_eq!(agg.alarms()[0].count, 2);
+    assert_eq!(agg.alarms()[0].suspects, vec![(SwitchId(5), 2)]);
+}
+
+#[test]
+fn alarm_confirmation_requires_k_failures() {
+    use crate::{InferredPath, LocalizeOutcome};
+    let loc = |s: u32| LocalizeOutcome {
+        correct_path: Vec::new(),
+        candidates: vec![InferredPath {
+            hops: Vec::new(),
+            faulty_switch: SwitchId(s),
+            deviation_index: 0,
+        }],
+    };
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 1000, 80);
+    let r = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        h,
+        tag_of(&[(1, 1, 1)]),
+    );
+
+    let mut agg = crate::AlarmAggregator::with_confirmation(3, 256);
+    agg.observe(&r.with_epoch(1), &VerifyOutcome::TagMismatch, Some(&loc(5)));
+    agg.observe(&r.with_epoch(2), &VerifyOutcome::TagMismatch, Some(&loc(5)));
+    assert!(agg.confirmed().is_empty(), "2 of 3 must not confirm");
+
+    agg.observe(&r.with_epoch(3), &VerifyOutcome::TagMismatch, Some(&loc(5)));
+    let confirmed = agg.confirmed();
+    assert_eq!(confirmed.len(), 1);
+    assert_eq!(confirmed[0].suspect, SwitchId(5));
+    assert_eq!(confirmed[0].count, 3);
+    assert_eq!(agg.confirmed_suspects(), vec![SwitchId(5)]);
+
+    // Post-confirmation observations keep escalating the count.
+    agg.observe(&r.with_epoch(4), &VerifyOutcome::TagMismatch, Some(&loc(5)));
+    assert_eq!(agg.confirmed()[0].count, 4);
+
+    // A suspect-less failure (e.g. corruption artifact) can never confirm.
+    let other = r.with_epoch(5);
+    agg.observe(&other, &VerifyOutcome::NoMatchingPath, None);
+    assert_eq!(agg.confirmed().len(), 1);
+}
+
+#[test]
+fn alarm_confirmation_window_slides() {
+    use crate::{InferredPath, LocalizeOutcome};
+    let loc = |s: u32| LocalizeOutcome {
+        correct_path: Vec::new(),
+        candidates: vec![InferredPath {
+            hops: Vec::new(),
+            faulty_switch: SwitchId(s),
+            deviation_index: 0,
+        }],
+    };
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 1000, 80);
+    let ra = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        h,
+        tag_of(&[(1, 1, 1)]),
+    );
+    let rb = TagReport::new(
+        PortRef::new(2, 1),
+        PortRef::new(3, 2),
+        FiveTuple::tcp(ip(10, 0, 1, 2), ip(10, 0, 2, 2), 1000, 80),
+        tag_of(&[(2, 2, 2)]),
+    );
+
+    // K=2 within the last N=2 failing observations: an intervening failure
+    // of another flow ages the first support for A out of the window.
+    let mut agg = crate::AlarmAggregator::with_confirmation(2, 2);
+    agg.observe(
+        &ra.with_epoch(1),
+        &VerifyOutcome::TagMismatch,
+        Some(&loc(5)),
+    );
+    agg.observe(
+        &rb.with_epoch(1),
+        &VerifyOutcome::TagMismatch,
+        Some(&loc(9)),
+    );
+    agg.observe(
+        &ra.with_epoch(2),
+        &VerifyOutcome::TagMismatch,
+        Some(&loc(5)),
+    );
+    assert!(
+        agg.confirmed().is_empty(),
+        "support outside the sliding window must not count"
+    );
+
+    // Two back-to-back failures confirm.
+    agg.observe(
+        &ra.with_epoch(3),
+        &VerifyOutcome::TagMismatch,
+        Some(&loc(5)),
+    );
+    assert_eq!(agg.confirmed_suspects(), vec![SwitchId(5)]);
+}
+
+#[test]
+fn grace_ring_passes_pre_update_reports() {
+    let topo = gen::figure5();
+    let mut hs = HeaderSpace::new();
+    let mut table = PathTable::build(&topo, &figure5_rules(), &mut hs, 16);
+    let ssh = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 22);
+    let detour = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        ssh,
+        tag_of(&[(1, 1, 3), (1, 2, 3), (3, 2, 2), (1, 3, 2)]),
+    );
+    assert_eq!(table.verify(&detour, &hs), VerifyOutcome::Pass);
+    assert_eq!(table.epoch(), 0);
+
+    // Delete the SSH detour rule while `detour`'s packet is in flight.
+    table.delete_rule(SwitchId(1), veridp_switch::RuleId(3), &mut hs);
+    assert_eq!(table.epoch(), 1);
+    assert!(!table.retired_ring().is_empty());
+
+    // The pre-update report now fails plain verification...
+    assert_ne!(table.verify(&detour, &hs), VerifyOutcome::Pass);
+    // ...but grace recognizes the retired path (report epoch 0 < table 1).
+    let (outcome, graced) = table.verify_graced(&detour, &hs);
+    assert_eq!(outcome, VerifyOutcome::Pass);
+    assert!(graced);
+
+    // The same trajectory stamped with the current epoch gets no grace: it
+    // was sampled against the live table and must answer to it.
+    let (outcome, graced) = table.verify_graced(&detour.with_epoch(1), &hs);
+    assert_ne!(outcome, VerifyOutcome::Pass);
+    assert!(!graced);
+
+    // Depth 0 drops all retired state and disables grace.
+    table.set_grace_depth(0);
+    let (outcome, graced) = table.verify_graced(&detour, &hs);
+    assert_ne!(outcome, VerifyOutcome::Pass);
+    assert!(!graced);
+}
+
+#[test]
+fn retired_ring_bounded_by_depth() {
+    let topo = gen::figure5();
+    let mut hs = HeaderSpace::new();
+    let base = figure5_rules();
+    let mut table = PathTable::build(&topo, &base, &mut hs, 16);
+    let r3 = base[&SwitchId(1)]
+        .iter()
+        .find(|r| r.id.0 == 3)
+        .copied()
+        .unwrap();
+
+    // Each delete/re-add cycle shrinks some hop, producing ring records;
+    // the ring must stay bounded at its depth and count evictions.
+    for _ in 0..10 {
+        table.delete_rule(SwitchId(1), veridp_switch::RuleId(3), &mut hs);
+        table.add_rule(SwitchId(1), r3, &mut hs);
+    }
+    let ring = table.retired_ring();
+    assert!(ring.len() <= ring.depth());
+    assert_eq!(ring.len(), ring.depth());
+    assert!(ring.evictions() > 0);
+}
+
+#[test]
+fn recent_filter_exact_and_bounded() {
+    let r = |n: u64| {
+        TagReport::new(
+            PortRef::new(1, 1),
+            PortRef::new(2, 2),
+            FiveTuple::tcp(0, 0, 0, 80),
+            BloomTag::default_width(),
+        )
+        .with_epoch(n)
+    };
+    let mut f = crate::RecentFilter::new(2);
+    assert!(f.insert(&r(1)));
+    assert!(!f.insert(&r(1)), "exact duplicate is caught");
+    assert!(f.insert(&r(2)));
+    assert!(f.insert(&r(3))); // evicts r(1)
+    assert!(f.insert(&r(1)), "evicted entries read as fresh again");
+    assert_eq!(f.len(), 2);
+
+    // Zero capacity disables dedup entirely.
+    let mut off = crate::RecentFilter::new(0);
+    assert!(off.insert(&r(1)));
+    assert!(off.insert(&r(1)));
+}
+
+#[test]
+fn robust_ingest_dispositions_and_settle() {
+    use crate::{Disposition, RobustConfig};
+    let topo = gen::figure5();
+    let rules = figure5_rules();
+    let mut server = VeriDpServer::new(&topo, &rules, 16);
+    server.set_robust(Some(RobustConfig::default()));
+
+    let ssh = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 22);
+    let detour_tag = tag_of(&[(1, 1, 3), (1, 2, 3), (3, 2, 2), (1, 3, 2)]);
+    let good = TagReport::new(PortRef::new(1, 1), PortRef::new(3, 2), ssh, detour_tag);
+
+    assert_eq!(server.ingest_robust(&good), Disposition::Passed);
+    assert_eq!(server.ingest_robust(&good), Disposition::Duplicate);
+    assert_eq!(server.stats().duplicates, 1);
+    assert_eq!(server.stats().reports, 1);
+
+    // Delete the SSH detour: the table moves to epoch 1.
+    server.intercept(
+        SwitchId(1),
+        &veridp_switch::OfMessage::FlowDelete(veridp_switch::RuleId(3)),
+    );
+    assert_eq!(server.table().epoch(), 1);
+
+    // An in-flight pre-update report of another SSH flow: graced.
+    let ssh2 = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 1000, 22);
+    let late = TagReport::new(PortRef::new(1, 1), PortRef::new(3, 2), ssh2, detour_tag);
+    assert_eq!(server.ingest_robust(&late), Disposition::Graced);
+    assert_eq!(server.stats().graced, 1);
+
+    // Old-epoch garbage neither passes nor graces: held until settle, with
+    // its verdict deferred.
+    let garbage = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        ssh2,
+        tag_of(&[(2, 9, 2)]),
+    );
+    assert_eq!(server.ingest_robust(&garbage), Disposition::Quarantined);
+    assert_eq!(server.stats().quarantined, 1);
+    assert_eq!(server.stats().reports, 2);
+    assert_eq!(server.stats().failed(), 0);
+    assert_eq!(server.robust().unwrap().quarantine_len(), 1);
+
+    server.settle();
+    assert_eq!(server.robust().unwrap().quarantine_len(), 0);
+    assert_eq!(server.stats().reports, 3);
+    assert_eq!(server.stats().failed(), 1);
+    assert_eq!(server.robust().unwrap().alarms.len(), 1);
+
+    // A current-epoch failure is final immediately and feeds the same alarm.
+    let fresh_bad = garbage.with_epoch(1);
+    assert_eq!(server.ingest_robust(&fresh_bad), Disposition::Failed);
+    assert_eq!(server.stats().failed(), 2);
+    assert_eq!(server.robust().unwrap().alarms.len(), 1);
+    assert_eq!(server.robust().unwrap().alarms.alarms()[0].count, 2);
+}
+
+/// With every report stamped at the table's current epoch and no duplicate
+/// frames, robust ingest must produce verdict statistics bit-identical to
+/// the plain verify-and-localize path.
+#[test]
+fn robust_ingest_matches_plain_when_settled() {
+    use crate::RobustConfig;
+    let topo = gen::figure5();
+    let rules = figure5_rules();
+    let mut plain = VeriDpServer::new(&topo, &rules, 16);
+    let mut robust = VeriDpServer::new(&topo, &rules, 16);
+    robust.set_robust(Some(RobustConfig::default()));
+
+    let ssh = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 22);
+    let web = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 999, 80);
+    let reports = [
+        TagReport::new(
+            PortRef::new(1, 1),
+            PortRef::new(3, 2),
+            ssh,
+            tag_of(&[(1, 1, 3), (1, 2, 3), (3, 2, 2), (1, 3, 2)]),
+        ),
+        TagReport::new(
+            PortRef::new(1, 1),
+            PortRef::new(3, 2),
+            web,
+            tag_of(&[(1, 1, 4), (1, 3, 2)]),
+        ),
+        TagReport::new(
+            PortRef::new(1, 1),
+            PortRef::new(3, 2),
+            web,
+            tag_of(&[(9, 9, 9)]),
+        ),
+        TagReport::new(
+            PortRef::new(1, 1),
+            PortRef::new(3, 2),
+            ssh,
+            tag_of(&[(1, 1, 4), (1, 3, 2)]),
+        ),
+    ];
+    for r in &reports {
+        plain.verify_and_localize(r);
+        robust.ingest_robust(r);
+    }
+    robust.settle();
+    assert_eq!(
+        plain.stats().verdict_counts(),
+        robust.stats().verdict_counts()
+    );
+    assert_eq!(robust.stats().graced, 0);
+    assert_eq!(robust.stats().quarantined, 0);
+    assert_eq!(plain.suspects(), robust.suspects());
 }
 
 // ---------------------------------------------------------------- fastpath

@@ -45,7 +45,9 @@ pub use header::{FieldLayout, FiveTuple, HEADER_BITS};
 pub use ids::{Hop, InportCode, PortNo, PortRef, SwitchId, DROP_PORT};
 pub use packet::{Packet, MAX_PATH_LENGTH};
 pub use report::TagReport;
-pub use wire::{decode_frame, decode_report, encode_frame, encode_report, WireError};
+pub use wire::{
+    decode_frame, decode_report, encode_frame, encode_report, WireError, REPORT_WIRE_LEN,
+};
 
 #[cfg(test)]
 mod tests;

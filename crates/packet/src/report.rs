@@ -6,31 +6,48 @@ use veridp_bloom::BloomTag;
 use crate::header::FiveTuple;
 use crate::ids::PortRef;
 
-/// A tag report `⟨inport, outport, header, tag⟩`.
+/// A tag report `⟨inport, outport, header, tag⟩`, plus the configuration
+/// epoch it was sampled under.
 ///
 /// * `inport` — the port where the packet entered the network (stamped by the
 ///   entry switch);
 /// * `outport` — the port where it left (an edge port, the drop port `⊥`, or
 ///   wherever its VeriDP TTL expired);
 /// * `header` — the 5-tuple used to select the path-table entry;
-/// * `tag` — the accumulated Bloom-filter tag of the real path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// * `tag` — the accumulated Bloom-filter tag of the real path;
+/// * `epoch` — the path-table update generation the packet was sampled
+///   under. Reports travel in-band over UDP while the table keeps mutating
+///   ([`§4.4` incremental updates]); the epoch lets the server tell "this
+///   report raced an update" from "this report is genuinely inconsistent"
+///   (epoch-grace verification). Switches that predate epoch stamping send
+///   `0`, which the server treats as "sampled at an unknown earlier epoch".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TagReport {
     pub inport: PortRef,
     pub outport: PortRef,
     pub header: FiveTuple,
     pub tag: BloomTag,
+    pub epoch: u64,
 }
 
 impl TagReport {
-    /// Construct a report.
+    /// Construct a report at epoch 0 (the pre-stamping default).
     pub fn new(inport: PortRef, outport: PortRef, header: FiveTuple, tag: BloomTag) -> Self {
         TagReport {
             inport,
             outport,
             header,
             tag,
+            epoch: 0,
         }
+    }
+
+    /// The same report stamped with the configuration epoch it was sampled
+    /// under (the exit switch / emission point fills this in).
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Whether the packet was dropped (reported from the drop port `⊥`).
@@ -43,12 +60,13 @@ impl std::fmt::Display for TagReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "report[{} => {}, {}, tag={:#06x}/{}]",
+            "report[{} => {}, {}, tag={:#06x}/{}, epoch {}]",
             self.inport,
             self.outport,
             self.header,
             self.tag.bits(),
-            self.tag.nbits()
+            self.tag.nbits(),
+            self.epoch
         )
     }
 }

@@ -208,12 +208,67 @@ fn report_decode_rejects_garbage() {
         sample_header(),
         BloomTag::default_width(),
     );
+    // Corrupted magic trips the checksum before field decoding even starts.
     let mut wire = encode_report(&r).to_vec();
     wire[0] ^= 0xff;
+    assert_eq!(
+        decode_report(Bytes::from(wire)),
+        Err(WireError::BadChecksum)
+    );
+    // With the checksum recomputed to match, the magic check itself fires.
+    let mut wire = encode_report(&r).to_vec();
+    wire[0] ^= 0xff;
+    let n = wire.len();
+    let mut acc: u32 = wire[..n - 1].iter().map(|&b| b as u32).sum();
+    while acc > 0xff {
+        acc = (acc & 0xff) + (acc >> 8);
+    }
+    wire[n - 1] = !(acc as u8);
     assert!(matches!(
         decode_report(Bytes::from(wire)),
         Err(WireError::BadMagic(_))
     ));
+}
+
+#[test]
+fn report_roundtrip_epoch() {
+    let r = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        sample_header(),
+        BloomTag::default_width(),
+    )
+    .with_epoch(u64::MAX - 7);
+    let back = decode_report(encode_report(&r)).expect("decodes");
+    assert_eq!(back, r);
+    assert_eq!(back.epoch, u64::MAX - 7);
+}
+
+/// Every single-bit flip anywhere in the frame is rejected: an 8-bit
+/// ones-complement sum changes under any ±2^k (k < 8) perturbation.
+#[test]
+fn report_rejects_every_single_bit_flip() {
+    let mut tag = BloomTag::empty(16);
+    tag.insert(b"hop");
+    let r = TagReport::new(
+        PortRef::new(7, 3),
+        PortRef::new(12, 1),
+        sample_header(),
+        tag,
+    )
+    .with_epoch(42);
+    let wire = encode_report(&r);
+    assert_eq!(wire.len(), crate::REPORT_WIRE_LEN);
+    for byte in 0..wire.len() {
+        for bit in 0..8u8 {
+            let mut flipped = wire.to_vec();
+            flipped[byte] ^= 1 << bit;
+            assert!(
+                decode_report(Bytes::from(flipped)).is_err(),
+                "flip byte {byte} bit {bit} slipped through"
+            );
+        }
+    }
 }
 
 /// Seeded-loop property tests (formerly proptest strategies): deterministic,
@@ -288,7 +343,9 @@ mod property {
                 bits & ((1u64 << nbits) - 1)
             };
             let tag = BloomTag::from_bits(masked, nbits);
-            let r = TagReport::new(PortRef::new(s1, p1), PortRef::new(s2, p2), h, tag);
+            let epoch: u64 = rng.gen();
+            let r = TagReport::new(PortRef::new(s1, p1), PortRef::new(s2, p2), h, tag)
+                .with_epoch(epoch);
             assert_eq!(decode_report(encode_report(&r)).unwrap(), r, "seed {seed}");
         }
     }

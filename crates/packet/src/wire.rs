@@ -35,6 +35,8 @@ pub enum WireError {
     TagWidth(u32),
     /// Protocol not representable (not TCP/UDP-style with ports).
     BadProto(u8),
+    /// Report frame failed its ones-complement checksum (bit corruption).
+    BadChecksum,
 }
 
 impl std::fmt::Display for WireError {
@@ -45,6 +47,7 @@ impl std::fmt::Display for WireError {
             WireError::InportOverflow(p) => write!(f, "inport {p} exceeds 14-bit in-band field"),
             WireError::TagWidth(w) => write!(f, "{w}-bit tag cannot ride a 16-bit VLAN TCI"),
             WireError::BadProto(p) => write!(f, "protocol {p} has no port fields"),
+            WireError::BadChecksum => write!(f, "report checksum mismatch (corrupted frame)"),
         }
     }
 }
@@ -176,15 +179,40 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Packet, WireError> {
     })
 }
 
+/// Fold a byte slice into an 8-bit ones-complement sum.
+///
+/// Every single-bit flip anywhere in the payload changes the folded sum
+/// (`2^k mod 255 ≠ 0` for `k < 8`), so the checksum below catches *all*
+/// single-bit corruption; multi-bit flips can compensate with probability
+/// ~1/255, which the server-side K-of-N alarm confirmation absorbs.
+fn ones_complement_fold(bytes: &[u8]) -> u8 {
+    let mut acc: u32 = 0;
+    for &b in bytes {
+        acc += b as u32;
+    }
+    while acc > 0xff {
+        acc = (acc & 0xff) + (acc >> 8);
+    }
+    acc as u8
+}
+
+/// Byte length of an encoded tag report.
+pub const REPORT_WIRE_LEN: usize = 2 + 8 + 6 + 6 + 13 + 9 + 1;
+
 /// Encode a tag report as a UDP payload.
 ///
 /// Layout (big-endian):
-/// `magic(2) | in_switch(4) in_port(2) | out_switch(4) out_port(2) |
+/// `magic(2) | epoch(8) | in_switch(4) in_port(2) | out_switch(4) out_port(2) |
 ///  src_ip(4) dst_ip(4) proto(1) src_port(2) dst_port(2) |
-///  tag_nbits(1) tag_bits(8)`
+///  tag_nbits(1) tag_bits(8) | checksum(1)`
+///
+/// The trailing byte is the ones-complement of the 8-bit ones-complement sum
+/// of every preceding byte; [`decode_report`] rejects frames whose total sum
+/// does not fold to `0xff` with [`WireError::BadChecksum`].
 pub fn encode_report(r: &TagReport) -> Bytes {
-    let mut b = BytesMut::with_capacity(40);
+    let mut b = BytesMut::with_capacity(REPORT_WIRE_LEN);
     b.put_u16(REPORT_MAGIC);
+    b.put_u64(r.epoch);
     b.put_u32(r.inport.switch.0);
     b.put_u16(r.inport.port.0);
     b.put_u32(r.outport.switch.0);
@@ -196,18 +224,26 @@ pub fn encode_report(r: &TagReport) -> Bytes {
     b.put_u16(r.header.dst_port);
     b.put_u8(r.tag.nbits() as u8);
     b.put_u64(r.tag.bits());
+    let csum = !ones_complement_fold(&b);
+    b.put_u8(csum);
     b.freeze()
 }
 
-/// Decode a tag report payload.
+/// Decode a tag report payload, rejecting corrupted frames.
 pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
-    if buf.remaining() < 2 + 6 + 6 + 13 + 9 {
+    if buf.remaining() < REPORT_WIRE_LEN {
         return Err(WireError::Truncated);
+    }
+    // Checksum covers the whole frame; a valid frame's total (payload plus
+    // its complemented checksum byte) folds to 0xff.
+    if ones_complement_fold(&buf[..REPORT_WIRE_LEN]) != 0xff {
+        return Err(WireError::BadChecksum);
     }
     let magic = buf.get_u16();
     if magic != REPORT_MAGIC {
         return Err(WireError::BadMagic(magic));
     }
+    let epoch = buf.get_u64();
     let inport = PortRef::new(buf.get_u32(), buf.get_u16());
     let outport = PortRef::new(buf.get_u32(), buf.get_u16());
     let header = FiveTuple {
@@ -227,6 +263,7 @@ pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
         outport,
         header,
         tag: BloomTag::from_bits(bits, nbits),
+        epoch,
     })
 }
 

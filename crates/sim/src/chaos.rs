@@ -1,0 +1,560 @@
+//! Deterministic chaos layer: a lossy, duplicating, reordering, corrupting
+//! report channel plus a scenario driver that interleaves rule churn with
+//! in-flight traffic.
+//!
+//! The paper ships tag reports over plain UDP (§5) and relies on the server
+//! to stay trustworthy anyway. This module makes that claim testable:
+//!
+//! * [`ReportChannel`] stands between the switches and the server. Every
+//!   report is encoded through the real wire codec
+//!   ([`veridp_packet::encode_report`]), then a seeded RNG decides whether
+//!   the frame is dropped, duplicated, bit-corrupted, or delayed past its
+//!   neighbours. [`ReportChannel::drain`] delivers the survivors in
+//!   scrambled order through [`veridp_packet::decode_report`], so checksum
+//!   rejection is exercised end to end.
+//! * [`run_chaos_scenario`] drives multi-round all-pairs traffic through a
+//!   [`Monitor`] while *churning* rules (remove, then re-add an equivalent
+//!   rule a few flows later) so path-table epochs advance underneath
+//!   in-flight reports — the race the epoch-grace ring and quarantine exist
+//!   for. Optionally one real fault is injected; the summary then separates
+//!   genuine detections from false alarms.
+//!
+//! Everything is keyed off [`ChaosConfig::seed`]: identical seeds replay
+//! identical drops, duplicates, bit flips, reorderings, fault placements,
+//! and churn choices.
+
+use std::collections::HashSet;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_core::{ConfirmedAlarm, HeaderSetBackend, RobustConfig, ServerStats};
+use veridp_obs as obs;
+use veridp_packet::{
+    decode_report, encode_report, FiveTuple, Packet, PortNo, PortRef, SwitchId, TagReport,
+};
+use veridp_switch::{prefix_mask, Action, Fault, Match, RuleId};
+use veridp_topo::HostRole;
+
+use crate::monitor::Monitor;
+
+/// Knobs of the lossy report channel. Rates are percentages in `[0, 100]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for every random decision the chaos layer makes.
+    pub seed: u64,
+    /// Probability (%) that a report frame is silently dropped.
+    pub loss_pct: f64,
+    /// Probability (%) that a report frame is delivered twice.
+    pub dup_pct: f64,
+    /// Probability (%) that 1–3 random bits of the frame are flipped.
+    pub corrupt_pct: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            loss_pct: 5.0,
+            dup_pct: 5.0,
+            corrupt_pct: 2.0,
+        }
+    }
+}
+
+fn prob(pct: f64) -> f64 {
+    (pct / 100.0).clamp(0.0, 1.0)
+}
+
+/// What the channel did to the frames that crossed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Reports handed to [`ReportChannel::send`].
+    pub emitted: u64,
+    /// Frames dropped outright.
+    pub dropped: u64,
+    /// Frames queued a second time.
+    pub duplicated: u64,
+    /// Frames whose bits were flipped in flight.
+    pub corrupted: u64,
+    /// Frames the wire decoder rejected on delivery (checksum/format).
+    pub rejected: u64,
+    /// Reports successfully decoded and delivered to the consumer.
+    pub delivered: u64,
+}
+
+/// A lossy, duplicating, reordering, corrupting report transport.
+///
+/// Reports go in as [`TagReport`]s, travel as real wire frames, and come
+/// back out of [`ReportChannel::drain`] as whatever survived decoding —
+/// exactly the view a VeriDP server behind a bad UDP path would get.
+#[derive(Debug)]
+pub struct ReportChannel {
+    config: ChaosConfig,
+    rng: StdRng,
+    stats: ChaosStats,
+    /// (reorder slot, arrival tiebreak, wire frame).
+    in_flight: Vec<(u64, usize, Vec<u8>)>,
+    seq: u64,
+}
+
+impl ReportChannel {
+    /// A channel with the given chaos knobs, deterministically seeded.
+    pub fn new(config: ChaosConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        ReportChannel {
+            config,
+            rng,
+            stats: ChaosStats::default(),
+            in_flight: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Submit one report to the channel. It may be dropped, duplicated,
+    /// corrupted, and/or delayed past later submissions.
+    pub fn send(&mut self, report: &TagReport) {
+        self.stats.emitted += 1;
+        obs::counter!("veridp_chaos_emitted_total").inc();
+        // Each report owns 4 reorder slots; jitter up to 16 slots lets a
+        // frame land behind the next few reports without unbounded delay.
+        let slot_base = self.seq * 4;
+        self.seq += 1;
+        if self.rng.gen_bool(prob(self.config.loss_pct)) {
+            self.stats.dropped += 1;
+            obs::counter!("veridp_chaos_dropped_total").inc();
+            return;
+        }
+        let mut frame = encode_report(report).to_vec();
+        if self.rng.gen_bool(prob(self.config.corrupt_pct)) {
+            self.stats.corrupted += 1;
+            obs::counter!("veridp_chaos_corrupted_total").inc();
+            let flips = self.rng.gen_range(1..=3usize);
+            for _ in 0..flips {
+                let bit = self.rng.gen_range(0..frame.len() * 8);
+                frame[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        let copies = if self.rng.gen_bool(prob(self.config.dup_pct)) {
+            self.stats.duplicated += 1;
+            obs::counter!("veridp_chaos_duplicated_total").inc();
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let jitter = self.rng.gen_range(0..16u64);
+            self.in_flight
+                .push((slot_base + jitter, self.in_flight.len(), frame.clone()));
+        }
+    }
+
+    /// Deliver everything currently in flight, in reorder-slot order,
+    /// through the real wire decoder. Corrupted frames the checksum catches
+    /// are counted as rejected, not returned.
+    pub fn drain(&mut self) -> Vec<TagReport> {
+        let mut frames = std::mem::take(&mut self.in_flight);
+        frames.sort_by_key(|&(slot, tiebreak, _)| (slot, tiebreak));
+        let mut out = Vec::with_capacity(frames.len());
+        for (_, _, frame) in frames {
+            match decode_report(Bytes::from(frame)) {
+                Ok(report) => {
+                    self.stats.delivered += 1;
+                    out.push(report);
+                }
+                Err(_) => {
+                    self.stats.rejected += 1;
+                    obs::counter!("veridp_chaos_rejected_total").inc();
+                }
+            }
+        }
+        obs::counter!("veridp_chaos_delivered_total").add(out.len() as u64);
+        out
+    }
+
+    /// Frames queued but not yet drained.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Running channel statistics.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+}
+
+/// Which data-plane fault the scenario injects out-of-band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No fault: every confirmed alarm is false by definition.
+    None,
+    /// `ExternalModify` turning one forwarding rule into a misdirection.
+    WrongPort,
+    /// `ExternalModify` turning one forwarding rule into a drop.
+    Blackhole,
+}
+
+/// Full scenario parameters: chaos knobs, robust-ingest knobs, fault class,
+/// and the traffic/churn/drain rhythm.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    pub chaos: ChaosConfig,
+    pub robust: RobustConfig,
+    pub fault: FaultKind,
+    /// All-pairs traffic rounds (each ordered host pair sends once per
+    /// round). Must comfortably exceed `robust.confirm_k` for detection.
+    pub rounds: usize,
+    /// Every `churn_period` flows, remove one forwarding rule (or re-add
+    /// the previously removed one), forcing an epoch bump under traffic.
+    pub churn_period: usize,
+    /// Every `drain_period` flows, drain the channel into the server.
+    pub drain_period: usize,
+    /// TCP destination port of the generated flows.
+    pub dst_port: u16,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            chaos: ChaosConfig::default(),
+            robust: RobustConfig::default(),
+            fault: FaultKind::WrongPort,
+            rounds: 5,
+            churn_period: 7,
+            drain_period: 5,
+            dst_port: 80,
+        }
+    }
+}
+
+/// End-of-scenario verdict sheet.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// Seed the whole scenario was keyed on.
+    pub seed: u64,
+    /// Flows injected across all rounds.
+    pub flows: u64,
+    /// Rule removals + re-adds performed under traffic.
+    pub churn_ops: u64,
+    /// What the channel did to the report stream.
+    pub channel: ChaosStats,
+    /// The switch whose rule was externally modified, if any.
+    pub injected: Option<SwitchId>,
+    /// Its topology name (empty when no fault was injected).
+    pub injected_name: String,
+    /// Whether a confirmed alarm names the injected switch.
+    pub detected: bool,
+    /// Confirmed alarms that cannot be explained by the injected fault: any
+    /// confirmed alarm whose suspect differs from the injected switch *and*
+    /// whose `(inport, outport)` pair never confirmed the injected switch
+    /// (localization ambiguity on a genuinely faulty pair is not a false
+    /// alarm; paging the operator about a healthy pair is).
+    pub false_alarms: u64,
+    /// Every confirmed `(pair, suspect)` alarm, strongest first.
+    pub confirmed: Vec<ConfirmedAlarm>,
+    /// Final server statistics (verdicts, dedup/grace/quarantine counters).
+    pub stats: ServerStats,
+}
+
+impl ChaosSummary {
+    /// The invariant the soak gates on: zero false alarms, and — when a
+    /// fault was injected — a confirmed alarm naming the faulty switch.
+    pub fn ok(&self) -> bool {
+        self.false_alarms == 0 && (self.injected.is_none() || self.detected)
+    }
+
+    /// Hand-rolled JSON rendering (the workspace is dependency-free), for
+    /// CI artifacts and the demo's `--chaos-json` flag.
+    pub fn to_json(&self) -> String {
+        let c = &self.channel;
+        let s = &self.stats;
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\n  \"seed\": {},\n  \"flows\": {},\n  \"churn_ops\": {},\n",
+            self.seed, self.flows, self.churn_ops
+        ));
+        out.push_str(&format!(
+            "  \"channel\": {{\"emitted\": {}, \"dropped\": {}, \"duplicated\": {}, \"corrupted\": {}, \"rejected\": {}, \"delivered\": {}}},\n",
+            c.emitted, c.dropped, c.duplicated, c.corrupted, c.rejected, c.delivered
+        ));
+        out.push_str(&format!(
+            "  \"fault\": {{\"injected\": {}, \"detected\": {}}},\n",
+            match self.injected {
+                Some(sid) => format!(
+                    "{{\"switch\": {}, \"name\": \"{}\"}}",
+                    sid.0,
+                    escape_json(&self.injected_name)
+                ),
+                None => "null".into(),
+            },
+            self.detected
+        ));
+        let suspects: Vec<String> = self
+            .confirmed
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"switch\": {}, \"count\": {}, \"inport\": [{}, {}], \"outport\": [{}, {}]}}",
+                    a.suspect.0,
+                    a.count,
+                    a.pair.0.switch.0,
+                    a.pair.0.port.0,
+                    a.pair.1.switch.0,
+                    a.pair.1.port.0
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  \"alarms\": {{\"confirmed\": {}, \"false_alarms\": {}, \"items\": [{}]}},\n",
+            self.confirmed.len(),
+            self.false_alarms,
+            suspects.join(", ")
+        ));
+        out.push_str(&format!(
+            "  \"server\": {{\"reports\": {}, \"passed\": {}, \"tag_mismatch\": {}, \"no_matching_path\": {}, \"duplicates\": {}, \"graced\": {}, \"quarantined\": {}, \"shed\": {}}},\n",
+            s.reports,
+            s.passed,
+            s.tag_mismatch,
+            s.no_matching_path,
+            s.duplicates,
+            s.graced,
+            s.quarantined,
+            s.shed
+        ));
+        out.push_str(&format!("  \"ok\": {}\n}}\n", self.ok()));
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|ch| match ch {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A rule the scenario may remove and later re-add. The re-added rule is
+/// semantically identical (same priority/match/action) but gets a fresh
+/// [`RuleId`], exactly like a controller reinstalling a route.
+#[derive(Debug, Clone, Copy)]
+struct ChurnRule {
+    switch: SwitchId,
+    id: RuleId,
+    priority: u16,
+    fields: Match,
+    action: Action,
+}
+
+/// Pick a traffic-carrying forwarding rule and externally modify it, as the
+/// demo's fault injection does. Returns the faulted switch and rule.
+fn inject_fault<B: HeaderSetBackend>(
+    m: &mut Monitor<B>,
+    kind: FaultKind,
+    rng: &mut StdRng,
+) -> Option<(SwitchId, RuleId)> {
+    if kind == FaultKind::None {
+        return None;
+    }
+    let hosts = m.net.topo().hosts().to_vec();
+    let mut attempts = 0;
+    let (sid, rid, old) = loop {
+        attempts += 1;
+        assert!(attempts < 100_000, "no faultable forwarding rule found");
+        let a = &hosts[rng.gen_range(0..hosts.len())];
+        let b = &hosts[rng.gen_range(0..hosts.len())];
+        if a.ip == b.ip {
+            continue;
+        }
+        let Some(path) = m
+            .net
+            .topo()
+            .shortest_path(a.attached.switch, b.attached.switch)
+        else {
+            continue;
+        };
+        let s = path[rng.gen_range(0..path.len())];
+        let subnet = prefix_mask(b.ip, b.plen);
+        let Some(r) = m
+            .controller
+            .rules_of(s)
+            .iter()
+            .find(|r| r.fields.dst_ip == subnet && r.fields.dst_plen == b.plen)
+        else {
+            continue;
+        };
+        let Action::Forward(p) = r.action else {
+            continue;
+        };
+        break (s, r.id, p);
+    };
+    let action = match kind {
+        FaultKind::Blackhole => Action::Drop,
+        FaultKind::WrongPort => {
+            let nports = m.net.topo().switch(sid).expect("switch exists").num_ports;
+            loop {
+                let p = PortNo(rng.gen_range(1..=nports));
+                if p != old {
+                    break Action::Forward(p);
+                }
+            }
+        }
+        FaultKind::None => unreachable!(),
+    };
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, action));
+    obs::event!(
+        "chaos_fault",
+        "chaos scenario injected {kind:?} at {sid:?} (rule {rid:?})"
+    );
+    Some((sid, rid))
+}
+
+/// Run the full chaos scenario against an already-deployed monitor:
+/// multi-round all-pairs traffic, reports routed through a [`ReportChannel`],
+/// rules churned under traffic, robust ingest on the server, quarantine
+/// settled at each round boundary. Deterministic in `cfg.chaos.seed`.
+pub fn run_chaos_scenario<B: HeaderSetBackend>(
+    m: &mut Monitor<B>,
+    cfg: &ScenarioConfig,
+) -> ChaosSummary {
+    // Independent stream from the channel's: fault placement and churn
+    // choices must not shift when loss/dup/corrupt rates change.
+    let mut rng =
+        StdRng::seed_from_u64(cfg.chaos.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed);
+    let mut channel = ReportChannel::new(cfg.chaos.clone());
+    m.server.set_robust(Some(cfg.robust.clone()));
+
+    let injected = inject_fault(m, cfg.fault, &mut rng);
+
+    // Churn pool: every forwarding rule except the faulted one (the fault
+    // plan is keyed on its RuleId; churning it would silently clear the
+    // fault).
+    let mut pool: Vec<ChurnRule> = m
+        .controller
+        .logical_rules()
+        .iter()
+        .flat_map(|(s, rules)| rules.iter().map(move |r| (*s, *r)))
+        .filter(|(_, r)| matches!(r.action, Action::Forward(_)))
+        .filter(|(_, r)| injected.is_none_or(|(_, rid)| r.id != rid))
+        .map(|(s, r)| ChurnRule {
+            switch: s,
+            id: r.id,
+            priority: r.priority,
+            fields: r.fields,
+            action: r.action,
+        })
+        .collect();
+    // Index into `pool` of the rule currently removed, awaiting re-add.
+    let mut removed: Option<usize> = None;
+
+    let hosts: Vec<(PortRef, u32)> = m
+        .net
+        .topo()
+        .hosts()
+        .iter()
+        .filter(|h| h.role == HostRole::Host)
+        .map(|h| (h.attached, h.ip))
+        .collect();
+
+    let mut flows: u64 = 0;
+    let mut churn_ops: u64 = 0;
+    for _round in 0..cfg.rounds {
+        for &(src_port, src_ip) in &hosts {
+            for &(_, dst_ip) in &hosts {
+                if src_ip == dst_ip {
+                    continue;
+                }
+                m.net.advance_clock(1_000_000);
+                let header = FiveTuple::tcp(src_ip, dst_ip, 40000, cfg.dst_port);
+                let trace = m.net.inject(src_port, Packet::new(header));
+                // Stamp reports with the emission-time table epoch: this is
+                // the "which table was live when the switch sampled me"
+                // metadata the grace/quarantine machinery keys on.
+                let epoch = m.server.table().epoch();
+                for r in &trace.reports {
+                    channel.send(&r.with_epoch(epoch));
+                }
+                flows += 1;
+                if cfg.drain_period > 0 && flows.is_multiple_of(cfg.drain_period as u64) {
+                    for r in channel.drain() {
+                        m.server.ingest_robust(&r);
+                    }
+                }
+                if cfg.churn_period > 0
+                    && flows.is_multiple_of(cfg.churn_period as u64)
+                    && !pool.is_empty()
+                {
+                    match removed.take() {
+                        Some(i) => {
+                            let r = &mut pool[i];
+                            r.id = m.add_rule(r.switch, r.priority, r.fields, r.action);
+                        }
+                        None => {
+                            let i = rng.gen_range(0..pool.len());
+                            let r = pool[i];
+                            m.remove_rule(r.switch, r.id);
+                            removed = Some(i);
+                        }
+                    }
+                    churn_ops += 1;
+                }
+            }
+        }
+        // Round boundary = update quiescence: restore any removed rule,
+        // deliver stragglers, and settle the quarantine.
+        if let Some(i) = removed.take() {
+            let r = &mut pool[i];
+            r.id = m.add_rule(r.switch, r.priority, r.fields, r.action);
+            churn_ops += 1;
+        }
+        for r in channel.drain() {
+            m.server.ingest_robust(&r);
+        }
+        m.server.settle();
+    }
+
+    let stats = m.server.stats().clone();
+    let confirmed = m
+        .server
+        .robust()
+        .expect("robust mode enabled above")
+        .alarms
+        .confirmed();
+    let injected_sid = injected.map(|(s, _)| s);
+    let genuine_pairs: HashSet<(PortRef, PortRef)> = confirmed
+        .iter()
+        .filter(|a| Some(a.suspect) == injected_sid)
+        .map(|a| a.pair)
+        .collect();
+    let false_alarms = confirmed
+        .iter()
+        .filter(|a| Some(a.suspect) != injected_sid && !genuine_pairs.contains(&a.pair))
+        .count() as u64;
+    let detected = injected_sid.is_some_and(|s| confirmed.iter().any(|a| a.suspect == s));
+    let injected_name = injected_sid
+        .and_then(|s| m.net.topo().switch(s).map(|i| i.name.clone()))
+        .unwrap_or_default();
+    obs::event!(
+        "chaos_summary",
+        "chaos scenario done: {flows} flows, {churn_ops} churn ops, {} confirmed, {false_alarms} false alarms",
+        confirmed.len()
+    );
+    ChaosSummary {
+        seed: cfg.chaos.seed,
+        flows,
+        churn_ops,
+        channel: *channel.stats(),
+        injected: injected_sid,
+        injected_name,
+        detected,
+        false_alarms,
+        confirmed,
+        stats,
+    }
+}

@@ -37,11 +37,16 @@
 //! ```
 
 pub mod baselines;
+pub mod chaos;
 mod events;
 mod monitor;
 mod network;
 mod rewrite_monitor;
 
+pub use chaos::{
+    run_chaos_scenario, ChaosConfig, ChaosStats, ChaosSummary, FaultKind, ReportChannel,
+    ScenarioConfig,
+};
 pub use events::{EventLog, EventSim};
 pub use monitor::{Monitor, SendOutcome};
 pub use network::{DeliveryTrace, Network};

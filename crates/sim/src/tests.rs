@@ -754,6 +754,204 @@ fn lossy_report_channel_delays_but_does_not_prevent_detection() {
     );
 }
 
+// ----------------------------------------------------------------- chaos
+
+mod chaos {
+    use super::*;
+    use crate::chaos::{run_chaos_scenario, ChaosConfig, FaultKind, ReportChannel, ScenarioConfig};
+    use veridp_bloom::BloomTag;
+    use veridp_packet::{PortRef, TagReport};
+
+    fn sample_reports(n: u64) -> Vec<TagReport> {
+        (0..n)
+            .map(|i| {
+                let mut tag = BloomTag::default_width();
+                tag.insert(&veridp_bloom::HopEncoder::encode(1, 1, 2));
+                TagReport::new(
+                    PortRef::new(1, 1),
+                    PortRef::new(2, 2),
+                    FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 40000, (i % 500) as u16),
+                    tag,
+                )
+                .with_epoch(i / 500)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn channel_same_seed_same_story() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            loss_pct: 10.0,
+            dup_pct: 10.0,
+            corrupt_pct: 5.0,
+        };
+        let reports = sample_reports(500);
+        let run = |cfg: ChaosConfig| {
+            let mut ch = ReportChannel::new(cfg);
+            let mut delivered = Vec::new();
+            for (i, r) in reports.iter().enumerate() {
+                ch.send(r);
+                if i % 17 == 16 {
+                    delivered.extend(ch.drain());
+                }
+            }
+            delivered.extend(ch.drain());
+            (delivered, *ch.stats())
+        };
+        let (d1, s1) = run(cfg.clone());
+        let (d2, s2) = run(cfg.clone());
+        assert_eq!(d1, d2, "identical seeds must replay identical chaos");
+        assert_eq!(s1, s2);
+        let (d3, _) = run(ChaosConfig { seed: 43, ..cfg });
+        assert_ne!(d1, d3, "different seeds must diverge");
+    }
+
+    #[test]
+    fn channel_zero_rates_delivers_everything() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            loss_pct: 0.0,
+            dup_pct: 0.0,
+            corrupt_pct: 0.0,
+        };
+        let reports = sample_reports(200);
+        let mut ch = ReportChannel::new(cfg);
+        for r in &reports {
+            ch.send(r);
+        }
+        let mut out = ch.drain();
+        let s = ch.stats();
+        assert_eq!(
+            (s.dropped, s.duplicated, s.corrupted, s.rejected),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(s.delivered, 200);
+        // Reordering is bounded (±4 reports), never lossy: same multiset.
+        let mut want = reports.clone();
+        out.sort_by_key(|r| (r.epoch, r.header.dst_port));
+        want.sort_by_key(|r| (r.epoch, r.header.dst_port));
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn channel_checksum_catches_corruption() {
+        let cfg = ChaosConfig {
+            seed: 3,
+            loss_pct: 0.0,
+            dup_pct: 0.0,
+            corrupt_pct: 100.0,
+        };
+        let reports = sample_reports(300);
+        let mut ch = ReportChannel::new(cfg);
+        for r in &reports {
+            ch.send(r);
+        }
+        let out = ch.drain();
+        let s = ch.stats();
+        assert_eq!(s.corrupted, 300);
+        assert_eq!(s.rejected + s.delivered, 300);
+        assert!(
+            s.rejected > 290,
+            "ones-complement checksum should reject almost every 1–3 bit flip (rejected {})",
+            s.rejected
+        );
+        // Whatever slipped through decoded to *something*; it must not be
+        // silently identical to an original (that would mean no flip).
+        assert_eq!(out.len() as u64, s.delivered);
+    }
+
+    #[test]
+    fn scenario_clean_network_zero_false_alarms() {
+        let mut m = Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).unwrap();
+        let cfg = ScenarioConfig {
+            fault: FaultKind::None,
+            rounds: 3,
+            ..ScenarioConfig::default()
+        };
+        let summary = run_chaos_scenario(&mut m, &cfg);
+        assert!(summary.flows > 0 && summary.churn_ops > 0);
+        assert_eq!(
+            summary.false_alarms, 0,
+            "confirmed: {:?}",
+            summary.confirmed
+        );
+        assert!(summary.confirmed.is_empty());
+        assert!(summary.ok());
+        // Conservation: every decoded report was either deduplicated or got
+        // exactly one final verdict.
+        assert_eq!(
+            summary.channel.delivered,
+            summary.stats.reports + summary.stats.duplicates
+        );
+        assert_eq!(
+            summary.stats.quarantined,
+            summary.stats.shed + quarantine_resolved(&summary)
+        );
+    }
+
+    // Quarantined reports all resolve by the end (settle each round), so the
+    // resolved count is everything that ever entered minus what was shed.
+    fn quarantine_resolved(s: &crate::chaos::ChaosSummary) -> u64 {
+        s.stats.quarantined - s.stats.shed
+    }
+
+    #[test]
+    fn scenario_detects_wrongport_under_chaos() {
+        for seed in [1u64, 2, 3] {
+            let mut m = Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).unwrap();
+            let cfg = ScenarioConfig {
+                chaos: ChaosConfig {
+                    seed,
+                    ..ChaosConfig::default()
+                },
+                fault: FaultKind::WrongPort,
+                ..ScenarioConfig::default()
+            };
+            let summary = run_chaos_scenario(&mut m, &cfg);
+            assert!(
+                summary.detected,
+                "seed {seed}: fault at {} not confirmed; confirmed = {:?}",
+                summary.injected_name, summary.confirmed
+            );
+            assert_eq!(
+                summary.false_alarms, 0,
+                "seed {seed}: false alarms; confirmed = {:?}",
+                summary.confirmed
+            );
+            assert!(summary.ok());
+        }
+    }
+
+    #[test]
+    fn scenario_summary_json_is_wellformed() {
+        let mut m = Monitor::deploy(gen::figure5(), &[Intent::Connectivity], 16).unwrap();
+        let cfg = ScenarioConfig {
+            fault: FaultKind::Blackhole,
+            rounds: 4,
+            ..ScenarioConfig::default()
+        };
+        let summary = run_chaos_scenario(&mut m, &cfg);
+        let json = summary.to_json();
+        for key in [
+            "\"seed\"",
+            "\"channel\"",
+            "\"fault\"",
+            "\"alarms\"",
+            "\"false_alarms\"",
+            "\"server\"",
+            "\"ok\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+    }
+}
+
 #[test]
 fn zero_loss_channel_drops_nothing() {
     let topo = gen::linear(2);

@@ -6,6 +6,8 @@
 //!             [--fault none|blackhole|wrongport|acl-delete]
 //!             [--backend bdd|atoms] [--tag-bits N] [--seed N]
 //!             [--verify-cache on|off] [--metrics-json PATH]
+//!             [--chaos SEED] [--chaos-loss PCT] [--chaos-dup PCT]
+//!             [--chaos-corrupt PCT] [--chaos-json PATH]
 //! ```
 //!
 //! The header-set backend defaults to `bdd`; `--backend atoms` (or the
@@ -22,6 +24,13 @@
 //! as JSON to `PATH` after the run; with the `obs-off` build feature the
 //! snapshot is empty. While traffic runs, a one-line progress summary
 //! prints every 100 flows.
+//!
+//! `--chaos SEED` switches the run to the chaos scenario: reports travel a
+//! lossy/duplicating/reordering/corrupting channel, rules are churned under
+//! traffic, and the server runs the robust ingest path (dedup, epoch grace,
+//! quarantine, K-of-N alarm confirmation). The run exits nonzero if any
+//! *false* alarm is confirmed, or if an injected fault goes undetected —
+//! the invariant the CI chaos soak gates on.
 
 use std::env;
 
@@ -31,7 +40,7 @@ use veridp::atoms::AtomSpace;
 use veridp::controller::Intent;
 use veridp::core::{HeaderSetBackend, HeaderSpace};
 use veridp::packet::{PortNo, SwitchId};
-use veridp::sim::Monitor;
+use veridp::sim::{run_chaos_scenario, ChaosConfig, FaultKind, Monitor, ScenarioConfig};
 use veridp::switch::{Action, Fault, PortRange};
 use veridp::topo::{gen, Topology};
 
@@ -43,6 +52,11 @@ struct Options {
     seed: u64,
     verify_cache: bool,
     metrics_json: Option<String>,
+    chaos: Option<u64>,
+    chaos_loss: f64,
+    chaos_dup: f64,
+    chaos_corrupt: f64,
+    chaos_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -54,6 +68,11 @@ fn parse_args() -> Options {
         seed: 1,
         verify_cache: true,
         metrics_json: None,
+        chaos: None,
+        chaos_loss: 5.0,
+        chaos_dup: 5.0,
+        chaos_corrupt: 2.0,
+        chaos_json: None,
     };
     let args: Vec<String> = env::args().skip(1).collect();
     let mut it = args.iter();
@@ -81,6 +100,29 @@ fn parse_args() -> Options {
                 }
             }
             "--metrics-json" => o.metrics_json = Some(val("--metrics-json")),
+            "--chaos" => {
+                o.chaos = Some(
+                    val("--chaos")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --chaos seed")),
+                )
+            }
+            "--chaos-loss" => {
+                o.chaos_loss = val("--chaos-loss")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --chaos-loss"))
+            }
+            "--chaos-dup" => {
+                o.chaos_dup = val("--chaos-dup")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --chaos-dup"))
+            }
+            "--chaos-corrupt" => {
+                o.chaos_corrupt = val("--chaos-corrupt")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --chaos-corrupt"))
+            }
+            "--chaos-json" => o.chaos_json = Some(val("--chaos-json")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -104,7 +146,16 @@ fn usage(msg: &str) -> ! {
          \x20                         line reports the cache hit ratio.\n\
          \x20 --metrics-json PATH     after the run, write the full veridp-obs\n\
          \x20                         snapshot (counters, gauges, latency histograms,\n\
-         \x20                         recent events) as JSON to PATH"
+         \x20                         recent events) as JSON to PATH\n\
+         \x20 --chaos SEED            run the chaos scenario: reports cross a lossy,\n\
+         \x20                         duplicating, reordering, corrupting channel while\n\
+         \x20                         rules churn under traffic; the server runs the\n\
+         \x20                         robust ingest path. Exits nonzero on any false\n\
+         \x20                         alarm or undetected injected fault.\n\
+         \x20 --chaos-loss PCT        report drop percentage (default 5)\n\
+         \x20 --chaos-dup PCT         report duplication percentage (default 5)\n\
+         \x20 --chaos-corrupt PCT     report bit-corruption percentage (default 2)\n\
+         \x20 --chaos-json PATH       write the chaos summary as JSON to PATH"
     );
     std::process::exit(2);
 }
@@ -162,6 +213,11 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         B::NAME,
         m.server.header_space().size_metric()
     );
+
+    if let Some(chaos_seed) = o.chaos {
+        run_chaos(o, &mut m, chaos_seed);
+        return;
+    }
 
     // Inject the requested fault on a random traffic-carrying rule.
     match o.fault.as_str() {
@@ -291,6 +347,10 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         }
     }
 
+    write_metrics(&mut m, o);
+}
+
+fn write_metrics<B: HeaderSetBackend>(m: &mut Monitor<B>, o: &Options) {
     if let Some(path) = &o.metrics_json {
         m.server.publish_obs(); // flush the periodic stat mirrors
         let snap = veridp::obs::registry().snapshot();
@@ -303,5 +363,91 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
             ),
             Err(e) => eprintln!("error: writing metrics to {path}: {e}"),
         }
+    }
+}
+
+/// The `--chaos` mode: robust ingest behind a hostile report channel, rule
+/// churn under traffic, K-of-N-confirmed alarms. Exits nonzero if the run
+/// violates the soak invariant (a false alarm, or a missed injected fault).
+fn run_chaos<B: HeaderSetBackend>(o: &Options, m: &mut Monitor<B>, seed: u64) {
+    let fault = match o.fault.as_str() {
+        "none" => FaultKind::None,
+        "wrongport" => FaultKind::WrongPort,
+        "blackhole" => FaultKind::Blackhole,
+        other => usage(&format!(
+            "--chaos supports --fault none|wrongport|blackhole, not {other}"
+        )),
+    };
+    let cfg = ScenarioConfig {
+        chaos: ChaosConfig {
+            seed,
+            loss_pct: o.chaos_loss,
+            dup_pct: o.chaos_dup,
+            corrupt_pct: o.chaos_corrupt,
+        },
+        fault,
+        ..ScenarioConfig::default()
+    };
+    println!(
+        "chaos: seed {seed}, {}% loss, {}% dup, {}% corrupt, fault {:?}, {} rounds",
+        o.chaos_loss, o.chaos_dup, o.chaos_corrupt, fault, cfg.rounds
+    );
+    let summary = run_chaos_scenario(m, &cfg);
+
+    let c = &summary.channel;
+    println!(
+        "\nchaos channel: {} emitted | {} dropped | {} duplicated | {} corrupted | {} rejected | {} delivered",
+        c.emitted, c.dropped, c.duplicated, c.corrupted, c.rejected, c.delivered
+    );
+    let s = &summary.stats;
+    println!(
+        "robust ingest: {} flows, {} churn ops | {} verdicts: {} passed, {} failed | {} duplicates dropped, {} graced, {} quarantined ({} shed)",
+        summary.flows,
+        summary.churn_ops,
+        s.reports,
+        s.passed,
+        s.failed(),
+        s.duplicates,
+        s.graced,
+        s.quarantined,
+        s.shed
+    );
+    match summary.injected {
+        Some(_) => println!(
+            "fault at {}: {}",
+            summary.injected_name,
+            if summary.detected {
+                "detected (confirmed alarm)"
+            } else {
+                "NOT DETECTED"
+            }
+        ),
+        None => println!("no fault injected"),
+    }
+    println!("confirmed alarms: {}", summary.confirmed.len());
+    for a in summary.confirmed.iter().take(5) {
+        let name = m
+            .net
+            .topo()
+            .switch(a.suspect)
+            .map(|i| i.name.clone())
+            .unwrap_or_default();
+        println!(
+            "  {} suspected by {} failing observations (pair {} -> {})",
+            name, a.count, a.pair.0, a.pair.1
+        );
+    }
+    println!("false alarms: {}", summary.false_alarms);
+
+    if let Some(path) = &o.chaos_json {
+        match std::fs::write(path, summary.to_json()) {
+            Ok(()) => println!("chaos summary written to {path}"),
+            Err(e) => eprintln!("error: writing chaos summary to {path}: {e}"),
+        }
+    }
+    write_metrics(m, o);
+    if !summary.ok() {
+        eprintln!("CHAOS INVARIANT VIOLATED: false alarms or undetected fault (see above)");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,165 @@
+//! Order-independence of the robust ingest pipeline: for a fixed report
+//! batch (collected from real traffic across rule churn and a real fault),
+//! *any* permutation and any duplication of the batch must land on
+//! identical final verdict counts, identical suspect tallies, and an
+//! identical confirmed-alarm set once the quarantine settles — the property
+//! that makes verdicts trustworthy over a reordering, duplicating UDP path.
+//!
+//! Preconditions for the property (all satisfied by the default
+//! [`RobustConfig`] here): the dedup and quarantine windows exceed the
+//! batch size, and the confirmation window exceeds the number of failing
+//! observations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp::controller::Intent;
+use veridp::core::{ConfirmedAlarm, RobustConfig};
+use veridp::packet::{SwitchId, TagReport};
+use veridp::sim::Monitor;
+use veridp::switch::{prefix_mask, Action, Fault, FlowRule};
+use veridp::topo::gen;
+
+/// The first two *transit* forwarding rules (by switch id, then rule id):
+/// rules towards a subnet not attached to the rule's own switch, so real
+/// cross-network traffic uses them. The first becomes the fault victim, the
+/// second the churn victim.
+fn pick_transit_rules(m: &Monitor) -> (SwitchId, FlowRule, SwitchId, FlowRule) {
+    let mut picks: Vec<(SwitchId, FlowRule)> = Vec::new();
+    let mut sids: Vec<SwitchId> = m.net.topo().switches().map(|s| s.id).collect();
+    sids.sort();
+    for s in sids {
+        let local: Vec<u32> = m
+            .net
+            .topo()
+            .hosts()
+            .iter()
+            .filter(|h| h.attached.switch == s)
+            .map(|h| prefix_mask(h.ip, h.plen))
+            .collect();
+        let mut rules: Vec<FlowRule> = m.controller.rules_of(s).to_vec();
+        rules.sort_by_key(|r| r.id);
+        for r in rules {
+            if matches!(r.action, Action::Forward(_)) && !local.contains(&r.fields.dst_ip) {
+                picks.push((s, r));
+                if picks.len() == 2 {
+                    return (picks[0].0, picks[0].1, picks[1].0, picks[1].1);
+                }
+            }
+        }
+    }
+    panic!("fewer than two transit rules in topology");
+}
+
+/// Deterministically rebuild the same monitor state every time: deploy
+/// internet2, blackhole one transit rule, run four all-pairs rounds with
+/// one remove/re-add churn cycle per round, and collect every report
+/// stamped with its emission-time epoch. The returned monitor's table,
+/// epoch, and grace ring are identical across calls, so each permutation
+/// replays against the same server state.
+fn build_scenario() -> (Monitor, Vec<TagReport>, SwitchId) {
+    let mut m = Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).unwrap();
+    m.server.set_robust(Some(RobustConfig::default()));
+
+    let (fault_sid, fault_rule, churn_sid, churn) = pick_transit_rules(&m);
+    m.net
+        .switch_mut(fault_sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(fault_rule.id, Action::Drop));
+
+    let hosts: Vec<(veridp::packet::PortRef, u32)> = m
+        .net
+        .topo()
+        .hosts()
+        .iter()
+        .filter(|h| h.role == veridp::topo::HostRole::Host)
+        .map(|h| (h.attached, h.ip))
+        .collect();
+    let mut reports = Vec::new();
+    let mut churn_id = churn.id;
+    for _round in 0..4 {
+        // Remove the churn rule mid-round, re-add it at the end: reports
+        // sampled in between carry epochs the final table has outgrown.
+        let mut flow = 0;
+        for &(src, src_ip) in &hosts {
+            for &(_, dst_ip) in &hosts {
+                if src_ip == dst_ip {
+                    continue;
+                }
+                m.net.advance_clock(1_000_000);
+                let header = veridp::packet::FiveTuple::tcp(src_ip, dst_ip, 40000, 80);
+                let trace = m.net.inject(src, veridp::packet::Packet::new(header));
+                let epoch = m.server.table().epoch();
+                reports.extend(trace.reports.iter().map(|r| r.with_epoch(epoch)));
+                flow += 1;
+                if flow == 4 {
+                    m.remove_rule(churn_sid, churn_id);
+                }
+            }
+        }
+        churn_id = m.add_rule(churn_sid, churn.priority, churn.fields, churn.action);
+    }
+    (m, reports, fault_sid)
+}
+
+type VerdictCounts = (u64, u64, u64, u64, u64, u64);
+
+fn ingest_and_summarize(
+    m: &mut Monitor,
+    batch: &[TagReport],
+) -> (VerdictCounts, Vec<(SwitchId, u64)>, Vec<ConfirmedAlarm>) {
+    for r in batch {
+        m.server.ingest_robust(r);
+    }
+    m.server.settle();
+    let mut suspects: Vec<(SwitchId, u64)> =
+        m.server.suspects().iter().map(|(k, v)| (*k, *v)).collect();
+    suspects.sort();
+    let confirmed = m.server.robust().unwrap().alarms.confirmed();
+    (m.server.stats().verdict_counts(), suspects, confirmed)
+}
+
+#[test]
+fn any_permutation_and_duplication_same_verdicts_and_alarms() {
+    let (mut m0, reports, fault_sid) = build_scenario();
+    assert!(
+        reports.len() >= 40,
+        "scenario too small to be meaningful: {} reports",
+        reports.len()
+    );
+    let (base_counts, base_suspects, base_confirmed) = ingest_and_summarize(&mut m0, &reports);
+    assert!(base_counts.0 > 0);
+    assert!(
+        base_confirmed.iter().any(|a| a.suspect == fault_sid),
+        "the blackhole at {fault_sid:?} must be confirmed in the baseline: {base_confirmed:?}"
+    );
+
+    for seed in [9u64, 10, 11, 12, 13] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = reports.clone();
+        // Fisher–Yates permutation.
+        for i in (1..batch.len()).rev() {
+            batch.swap(i, rng.gen_range(0..=i));
+        }
+        // Random duplication: re-deliver ~20% of the batch at random spots.
+        for _ in 0..batch.len() / 5 {
+            let dup = batch[rng.gen_range(0..batch.len())];
+            let at = rng.gen_range(0..=batch.len());
+            batch.insert(at, dup);
+        }
+
+        let (mut m, _, _) = build_scenario();
+        let (counts, suspects, confirmed) = ingest_and_summarize(&mut m, &batch);
+        assert_eq!(counts, base_counts, "verdict counts diverged (seed {seed})");
+        assert_eq!(suspects, base_suspects, "suspects diverged (seed {seed})");
+        assert_eq!(
+            confirmed, base_confirmed,
+            "confirmed alarms diverged (seed {seed})"
+        );
+        // Duplication must be absorbed by dedup, not verified twice.
+        assert_eq!(
+            m.server.stats().duplicates as usize,
+            batch.len() - reports.len(),
+            "every injected duplicate must be filtered (seed {seed})"
+        );
+    }
+}

@@ -17,7 +17,7 @@ use veridp::atoms::AtomSpace;
 use veridp::bloom::BloomTag;
 use veridp::core::{
     verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast,
-    HeaderSetBackend, HeaderSpace, PathTable, VeriDpServer, VerifyFastPath,
+    HeaderSetBackend, HeaderSpace, PathTable, RobustConfig, VeriDpServer, VerifyFastPath,
 };
 use veridp::packet::{FiveTuple, PortNo, PortRef, SwitchId, TagReport};
 use veridp::switch::{Action, FlowRule, Match, OfMessage};
@@ -275,6 +275,123 @@ fn check_batches(topo: Topology, seed: u64, per_switch: usize) {
     let stats = fp.stats();
     assert!(stats.hits > 0, "batches never hit the worker caches");
     assert!(stats.misses > 0, "batches never missed");
+}
+
+/// The robust ingest pipeline (dedup + epoch grace + quarantine + alarm
+/// confirmation) with **no update in flight** — every report stamped with
+/// the table's current epoch — must be bit-identical to plain
+/// verification: same verdict counts, same suspects, zero graced /
+/// quarantined / shed. Run with the fast path on, so this also extends the
+/// fastpath differential through the robust entry point.
+fn check_robust_ingest_differential<B: HeaderSetBackend>(
+    hs_a: B,
+    hs_b: B,
+    topo: Topology,
+    seed: u64,
+    per_switch: usize,
+    updates: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rules = random_rules(&mut rng, &topo, per_switch);
+    let mut plain = VeriDpServer::with_backend(hs_a, &topo, &rules, 16);
+    let mut robust = VeriDpServer::with_backend(hs_b, &topo, &rules, 16);
+    robust.set_fastpath(true);
+    // The battery repeats every report on purpose; disable dedup so the
+    // repeat reaches verification on both sides identically.
+    robust.set_robust(Some(RobustConfig {
+        dedup_capacity: 0,
+        ..RobustConfig::default()
+    }));
+
+    fn feed<B: HeaderSetBackend>(
+        rng: &mut StdRng,
+        plain: &mut VeriDpServer<B>,
+        robust: &mut VeriDpServer<B>,
+        ctx: &str,
+    ) {
+        let reports = report_battery(plain.table(), plain.header_space(), rng);
+        let epoch = plain.table().epoch();
+        assert_eq!(epoch, robust.table().epoch(), "tables diverged ({ctx})");
+        for r in &reports {
+            // Current-epoch stamp = no update in flight from the report's
+            // point of view: grace and quarantine must never trigger.
+            let r = r.with_epoch(epoch);
+            plain.verify_and_localize(&r);
+            robust.ingest_robust(&r);
+        }
+        robust.settle();
+        assert_eq!(
+            plain.stats().verdict_counts(),
+            robust.stats().verdict_counts(),
+            "robust ingest diverged from plain verification ({ctx})"
+        );
+        assert_eq!(
+            plain.suspects(),
+            robust.suspects(),
+            "suspects differ ({ctx})"
+        );
+        let s = robust.stats();
+        assert_eq!(
+            (s.duplicates, s.graced, s.quarantined, s.shed),
+            (0, 0, 0, 0),
+            "forgiveness arms fired with no update in flight ({ctx})"
+        );
+    }
+
+    feed(&mut rng, &mut plain, &mut robust, "initial build");
+    let mut next_id = 100_000u64;
+    for step in 0..updates {
+        mirrored_update(
+            &mut rng,
+            &topo,
+            &mut rules,
+            &mut next_id,
+            &mut plain,
+            &mut robust,
+        );
+        feed(
+            &mut rng,
+            &mut plain,
+            &mut robust,
+            &format!("after update {step}"),
+        );
+    }
+}
+
+#[test]
+fn robust_ingest_identical_on_internet2() {
+    check_robust_ingest_differential(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::internet2(),
+        61,
+        10,
+        5,
+    );
+}
+
+#[test]
+fn robust_ingest_identical_on_fat_tree4() {
+    check_robust_ingest_differential(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::fat_tree(4),
+        62,
+        6,
+        5,
+    );
+}
+
+#[test]
+fn robust_ingest_identical_on_atoms_backend() {
+    check_robust_ingest_differential(
+        AtomSpace::new(),
+        AtomSpace::new(),
+        gen::fat_tree(4),
+        63,
+        4,
+        3,
+    );
 }
 
 #[test]
