@@ -1,39 +1,303 @@
-//! Incremental path-table update per rule (Figure 14) vs the rebuild
-//! baseline.
+//! Rule churn against the snapshot path table: incremental update rate,
+//! time-to-consistent-table, incremental-vs-rebuild crossover, and verify
+//! throughput under production-rate churn, across header-set backends.
+//!
+//! Four measurements per backend, over Internet2 with synthetic prefixes:
+//!
+//! 1. **`master_update`** — one incremental rule update applied to the
+//!    master table alone (§4.4, the Figure 14 experiment), driven by the
+//!    [`ChurnGen`] production mix (announce/withdraw/reroute).
+//! 2. **`apply_publish`** — the same update through
+//!    [`ConcurrentTable::apply`]: master update + log record + snapshot
+//!    publication. When `apply` returns, the new version is visible to
+//!    every pinned-reader thread, so this *is* the time-to-consistent-table;
+//!    the difference to `master_update` is the publication overhead.
+//! 3. **`full_rebuild`** — the from-scratch build baseline. The crossover
+//!    (`rebuild / apply_publish`) is the number of updates a rebuild-based
+//!    design could batch before incremental publication wins.
+//! 4. **`verify_quiescent` / `verify_under_churn`** — a wait-free
+//!    [`ReaderHandle`] verifying the witness battery in a loop, first on an
+//!    idle table, then while a writer thread applies sleep-paced churn
+//!    (~1 k updates/s target). The churn touches only TEST-NET-3 prefixes
+//!    and the witness battery is drawn from outside that block, so every
+//!    witness verdict must stay `Pass` — the bench asserts it — and the
+//!    ratio of the two rates is the cost of concurrent churn.
+//!
+//! Results go to stdout and `BENCH_incremental_update.json` (override with
+//! `VERIDP_BENCH_OUT`); `VERIDP_BENCH_QUICK=1` shrinks workloads. The
+//! concurrent phase needs two hardware threads (writer + reader); on
+//! capped runners the JSON carries `single_core_caveat: true` and the
+//! churn/quiescent ratio measures time-slicing, not contention.
 
-use veridp_bench::harness::{bench, bench_once, quick_mode};
-use veridp_bench::{build_setup, Setup};
-use veridp_controller::synth;
-use veridp_core::{HeaderSpace, PathTable};
-use veridp_switch::FlowRule;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use veridp_atoms::AtomSpace;
+use veridp_bench::harness::{self, bench, bench_once, quick_mode};
+use veridp_bench::json::Json;
+use veridp_bench::{build_setup, Setup, SetupData};
+use veridp_core::{ConcurrentTable, HeaderSetBackend, HeaderSpace, PathTable, RuleUpdate};
+use veridp_packet::TagReport;
+use veridp_sim::churn::ChurnGen;
+
+/// Writer + verifying reader: the thread count the concurrent phase needs.
+const CONCURRENT_THREADS: usize = 2;
+
+/// Sleep between paced churn updates: ~1 k updates/s target.
+const PACE: Duration = Duration::from_micros(1_000);
+
+/// One witness report per path entry, deterministic across backends.
+/// Witnesses inside the churn block are dropped ([`ChurnGen::covers`]):
+/// broad entries can cover TEST-NET-3 points, and a live churn rule would
+/// legitimately re-route exactly those, so they cannot serve as
+/// churn-invariant probes.
+fn witness_reports<B: HeaderSetBackend>(table: &PathTable<B>, hs: &B) -> Vec<TagReport> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut reports = Vec::new();
+    for ((i, o), entries) in table.iter() {
+        for e in entries {
+            let s: u64 = rng.gen();
+            let mut wr = StdRng::seed_from_u64(s);
+            if let Some(w) = hs.random_witness(e.headers, |_| wr.gen()) {
+                if ChurnGen::covers(&w) {
+                    continue;
+                }
+                reports.push(TagReport::new(*i, *o, w, e.tag));
+            }
+        }
+    }
+    assert!(!reports.is_empty());
+    reports
+}
+
+/// Apply one churn update to a bare master table (no publication).
+fn apply_master<B: HeaderSetBackend>(table: &mut PathTable<B>, hs: &mut B, upd: RuleUpdate) {
+    match upd {
+        RuleUpdate::Add(s, rule) => table.add_rule(s, rule, hs),
+        RuleUpdate::Delete(s, id) => table.delete_rule(s, id, hs),
+        RuleUpdate::Modify(s, id, action) => table.modify_rule(s, id, action, hs),
+    }
+}
+
+/// Loop the witness battery through `reader` until `min_wall` elapses.
+/// Returns (reports/s, verdict count, failed verdict count). Failures are
+/// *returned*, never asserted here: a panic inside the concurrent phase's
+/// thread scope would unwind before the stop flag is set and leave the
+/// churn writer spinning forever.
+fn verify_rate<B: HeaderSetBackend>(
+    reader: &mut veridp_core::ReaderHandle<B>,
+    reports: &[TagReport],
+    min_wall: Duration,
+) -> (f64, u64, u64) {
+    let start = std::time::Instant::now();
+    let mut n: u64 = 0;
+    let mut failed: u64 = 0;
+    loop {
+        let s = reader.verify_summary(reports, 1);
+        n += s.total as u64;
+        failed += (s.total - s.passed) as u64;
+        let elapsed = start.elapsed();
+        if elapsed >= min_wall {
+            return (n as f64 / elapsed.as_secs_f64(), n, failed);
+        }
+    }
+}
+
+fn run_backend<B: HeaderSetBackend>(data: &SetupData, quick: bool) -> Json {
+    let samples = if quick { 2 } else { 3 };
+    let updates: u64 = if quick { 100 } else { 1_000 };
+
+    // 1. Master-only incremental update (the PR-1 Figure 14 number).
+    let mut hs = B::default();
+    let mut master = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
+    let mut churn = ChurnGen::new(&data.topo, 42);
+    let master_upd = bench(
+        &format!("{}/master_update", B::NAME),
+        samples,
+        updates,
+        || apply_master(&mut master, &mut hs, churn.step()),
+    );
+    println!("{}", master_upd.line());
+
+    // 2. Update + snapshot publication (time-to-consistent-table).
+    let mut ct = ConcurrentTable::build(&data.topo, &data.rules, B::default(), 16, true);
+    let mut churn = ChurnGen::new(&data.topo, 42);
+    let apply = bench(
+        &format!("{}/apply_publish", B::NAME),
+        samples,
+        updates,
+        || ct.apply(churn.step()),
+    );
+    println!("{}", apply.line());
+    let drain = churn.drain();
+    ct.apply_batch(&drain);
+
+    // 3. Full rebuild baseline and the crossover point.
+    let rebuild = bench_once(
+        &format!("{}/full_rebuild", B::NAME),
+        if quick { 1 } else { 3 },
+        || {
+            let mut hs = B::default();
+            PathTable::build(&data.topo, &data.rules, &mut hs, 16)
+        },
+    );
+    println!("{}", rebuild.line());
+    let crossover = rebuild.min_ns / apply.min_ns;
+
+    // 4. Verify throughput, quiescent vs under paced churn, through a
+    //    wait-free reader pinned per battery pass. Deadline-based so the
+    //    churn window is long enough for the paced writer to actually run.
+    let reports = witness_reports(ct.table(), ct.backend());
+    let mut reader = ct.reader();
+    let wall = if quick {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_millis(2_000)
+    };
+
+    let (quiescent_rps, quiescent_n, quiescent_failed) = verify_rate(&mut reader, &reports, wall);
+    assert_eq!(quiescent_failed, 0, "false alarm on a quiescent table");
+    println!(
+        "{:<44} {:>10.2}M reports/s  ({} verdicts)",
+        format!("{}/verify_quiescent", B::NAME),
+        quiescent_rps / 1e6,
+        quiescent_n
+    );
+
+    let stop = &AtomicBool::new(false);
+    let ct_ref = &mut ct;
+    let topo = &data.topo;
+    let (churned_rps, churned_n, churned_failed, churn_applied, churn_wall_s) =
+        std::thread::scope(|s| {
+            let writer = s.spawn(move || {
+                let mut churn = ChurnGen::new(topo, 43);
+                let mut applied: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    ct_ref.apply(churn.step());
+                    applied += 1;
+                    std::thread::sleep(PACE);
+                }
+                // Mirror the table back so later phases see the deployed rules.
+                let undo = churn.drain();
+                ct_ref.apply_batch(&undo);
+                applied
+            });
+            let start = std::time::Instant::now();
+            let (rps, n, failed) = verify_rate(&mut reader, &reports, wall);
+            stop.store(true, Ordering::Relaxed);
+            let applied = writer.join().expect("churn writer panicked");
+            (rps, n, failed, applied, start.elapsed().as_secs_f64())
+        });
+    // Only now, with the writer stopped and joined, may a failure panic.
+    assert_eq!(churned_failed, 0, "false alarm on a churning table");
+    println!(
+        "{:<44} {:>10.2}M reports/s  ({} verdicts)",
+        format!("{}/verify_under_churn", B::NAME),
+        churned_rps / 1e6,
+        churned_n
+    );
+
+    let ratio = churned_rps / quiescent_rps;
+    let stats = *ct.publisher().stats();
+    println!(
+        "  verify under churn at {:.2} of quiescent ({:.2}M vs {:.2}M reports/s, \
+         {churn_applied} updates applied)",
+        ratio,
+        churned_rps / 1e6,
+        quiescent_rps / 1e6
+    );
+    println!(
+        "  snapshot stats: {} publishes, {} reclaims, {} clone fallbacks, {} live versions\n",
+        stats.publishes,
+        stats.reclaims,
+        stats.clone_fallbacks,
+        ct.publisher().live_versions()
+    );
+
+    Json::obj([
+        ("backend", Json::str(B::NAME)),
+        ("ns_per_master_update_min", Json::Num(master_upd.min_ns)),
+        ("ns_per_apply_publish_min", Json::Num(apply.min_ns)),
+        ("time_to_consistent_ns", Json::Num(apply.min_ns)),
+        (
+            "publish_overhead_ns",
+            Json::Num((apply.min_ns - master_upd.min_ns).max(0.0)),
+        ),
+        ("updates_per_sec", Json::Num(1e9 / apply.min_ns)),
+        ("rebuild_s_min", Json::Num(rebuild.min_ns / 1e9)),
+        ("crossover_updates", Json::Num(crossover)),
+        ("verify_quiescent_reports_per_sec", Json::Num(quiescent_rps)),
+        ("verify_churn_reports_per_sec", Json::Num(churned_rps)),
+        ("churn_over_quiescent_ratio", Json::Num(ratio)),
+        ("churn_updates_applied", Json::Int(churn_applied as i64)),
+        (
+            "churn_updates_per_sec_achieved",
+            Json::Num(if churn_wall_s > 0.0 {
+                churn_applied as f64 / churn_wall_s
+            } else {
+                0.0
+            }),
+        ),
+        ("snapshot_publishes", Json::Int(stats.publishes as i64)),
+        ("snapshot_reclaims", Json::Int(stats.reclaims as i64)),
+        (
+            "snapshot_clone_fallbacks",
+            Json::Int(stats.clone_fallbacks as i64),
+        ),
+        ("witness_reports", Json::Int(reports.len() as i64)),
+        ("verdicts_quiescent", Json::Int(quiescent_n as i64)),
+        ("verdicts_under_churn", Json::Int(churned_n as i64)),
+    ])
+}
 
 fn main() {
     let quick = quick_mode();
+    let out_path = std::env::var("VERIDP_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_incremental_update.json".to_string());
     let prefixes = if quick { 60 } else { 300 };
-    let adds: u64 = if quick { 200 } else { 2_000 };
-    let data = build_setup(Setup::Internet2, Some(prefixes), 2016);
-    let target = data.topo.switch_by_name("CHIC").unwrap();
-    let fresh = synth::single_switch_rules(&data.topo, target, 10_000, 99);
 
-    println!("incremental_update: per-rule update vs full rebuild (Internet2)\n");
-    let mut hs = HeaderSpace::new();
-    let mut table = PathTable::build(&data.topo, &data.rules, &mut hs, 16);
-    let mut i = 0usize;
-    let inc = bench("incremental_add_rule", 3, adds, || {
-        let (prio, fields, action) = fresh[i % fresh.len()];
-        let rule = FlowRule::new(5_000_000 + i as u64, prio, fields, action);
-        i += 1;
-        table.add_rule(target, rule, &mut hs);
-    });
-    println!("{}", inc.line());
-
-    let rebuild = bench_once("full_rebuild", if quick { 1 } else { 3 }, || {
-        let mut hs = HeaderSpace::new();
-        PathTable::build(&data.topo, &data.rules, &mut hs, 16)
-    });
-    println!("{}", rebuild.line());
+    println!("incremental_update: snapshot publication under production-rate churn (Internet2)");
     println!(
-        "\nincremental update is {:.0}x faster than rebuild (per rule, by min)",
-        rebuild.min_ns / inc.min_ns
+        "(churn = TEST-NET-3 announce/withdraw/reroute mix; witness verdicts must all pass)\n"
     );
+
+    let data = build_setup(Setup::Internet2, Some(prefixes), 2016);
+    let results = vec![
+        run_backend::<HeaderSpace>(&data, quick),
+        run_backend::<AtomSpace>(&data, quick),
+    ];
+
+    let caveat = harness::single_core_caveat(CONCURRENT_THREADS);
+    if caveat {
+        println!(
+            "WARNING: only {} hardware thread(s) available for a {}-thread bench;",
+            harness::hardware_threads(),
+            CONCURRENT_THREADS
+        );
+        println!("         concurrent-churn numbers measure time-slicing, not contention.");
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("incremental_update")),
+        ("setup", Json::str(Setup::Internet2.name())),
+        ("seed", Json::Int(2016)),
+        ("quick", Json::Bool(quick)),
+        (
+            "pace_target_updates_per_sec",
+            Json::Num(1e6 / PACE.as_micros() as f64),
+        ),
+        (
+            "hardware_threads",
+            Json::Int(harness::hardware_threads() as i64),
+        ),
+        ("single_core_caveat", Json::Bool(caveat)),
+        ("results", Json::Arr(results)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
+        eprintln!("error: cannot write bench json to {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
 }

@@ -15,7 +15,7 @@
 //! `atoms` (`backend_size`).
 
 use veridp_atoms::AtomSpace;
-use veridp_bench::harness::{bench_once, quick_mode, Sampled};
+use veridp_bench::harness::{self, bench_once, quick_mode, Sampled};
 use veridp_bench::json::Json;
 use veridp_bench::{build_setup, Setup, SetupData};
 use veridp_core::{HeaderSetBackend, HeaderSpace, PathTable};
@@ -132,13 +132,18 @@ fn main() {
         }
     }
 
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
     let doc = Json::obj([
         ("bench", Json::str("path_table_build")),
         ("seed", Json::Int(2016)),
         ("quick", Json::Bool(quick)),
         (
             "hardware_threads",
-            Json::Int(std::thread::available_parallelism().map_or(0, |n| n.get() as i64)),
+            Json::Int(harness::hardware_threads() as i64),
+        ),
+        (
+            "single_core_caveat",
+            Json::Bool(harness::single_core_caveat(max_threads)),
         ),
         ("results", Json::Arr(results)),
     ]);

@@ -18,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use veridp_atoms::AtomSpace;
-use veridp_bench::harness::{bench, quick_mode, Sampled};
+use veridp_bench::harness::{self, bench, quick_mode, Sampled};
 use veridp_bench::json::Json;
 use veridp_bench::{build_setup, Setup, SetupData};
 use veridp_core::{HeaderSetBackend, HeaderSpace, PathTable, VerifyFastPath};
@@ -157,7 +157,14 @@ fn main() {
         ("quick", Json::Bool(quick)),
         (
             "hardware_threads",
-            Json::Int(std::thread::available_parallelism().map_or(0, |n| n.get() as i64)),
+            Json::Int(harness::hardware_threads() as i64),
+        ),
+        // This bench is single-threaded, so the caveat can only fire when
+        // the machine reports no parallelism at all; the key is emitted for
+        // schema uniformity with the concurrent benches.
+        (
+            "single_core_caveat",
+            Json::Bool(harness::hardware_threads() == 0),
         ),
         ("results", Json::Arr(results)),
     ]);

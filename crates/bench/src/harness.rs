@@ -63,6 +63,22 @@ pub fn quick_mode() -> bool {
     std::env::var("VERIDP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// Detected hardware parallelism (0 when the platform will not say).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
+/// Whether a bench that spawns up to `want` concurrent threads is running
+/// on a machine that cannot actually run them in parallel — the
+/// `single_core_caveat` flag in the bench JSON. Shared CI runners often cap
+/// available parallelism at 1–2, which turns "concurrent" measurements into
+/// time-sliced ones; consumers must not read scaling conclusions out of a
+/// document that carries this flag.
+pub fn single_core_caveat(want: usize) -> bool {
+    let hw = hardware_threads();
+    hw != 0 && hw < want
+}
+
 /// Time `f`, running it `iters` times per sample for `samples` samples.
 /// Results are per iteration. The closure's output is black-boxed.
 pub fn bench<R>(name: &str, samples: usize, iters: u64, mut f: impl FnMut() -> R) -> Sampled {

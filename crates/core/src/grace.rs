@@ -189,6 +189,41 @@ impl<B: HeaderSetBackend> RetiredRing<B> {
     pub fn clear(&mut self) {
         self.records.clear();
     }
+
+    /// Copy the ring into another backend instance, translating every
+    /// retired header set via [`HeaderSetBackend::import`]. Handles in
+    /// `self` must belong to `src`; the returned ring's handles belong to
+    /// `dst`. Used when cloning a whole table into a snapshot buffer
+    /// ([`crate::snapshot`]): grace verdicts against the copy must be
+    /// identical to grace verdicts against the original.
+    pub(crate) fn translated(&self, src: &B, dst: &mut B, memo: &mut B::Memo) -> RetiredRing<B> {
+        RetiredRing {
+            depth: self.depth,
+            records: self
+                .records
+                .iter()
+                .map(|rec| RetiredRecord {
+                    valid_until: rec.valid_until,
+                    pairs: rec
+                        .pairs
+                        .iter()
+                        .map(|(&pair, list)| {
+                            (
+                                pair,
+                                list.iter()
+                                    .map(|e| RetiredEntry {
+                                        headers: dst.import(src, e.headers, memo),
+                                        tag: e.tag,
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect(),
+            evictions: self.evictions,
+        }
+    }
 }
 
 impl<B: HeaderSetBackend> PathTable<B> {

@@ -70,6 +70,7 @@ pub mod rewrite;
 mod robust;
 pub mod ruletree;
 mod server;
+pub mod snapshot;
 mod verify;
 
 pub use backend::HeaderSetBackend;
@@ -78,12 +79,17 @@ pub use grace::{RetiredEntry, RetiredRecord, RetiredRing, DEFAULT_GRACE_DEPTH};
 pub use headerspace::HeaderSpace;
 pub use localize::{InferredPath, LocalizeOutcome};
 pub use parallel::{
-    verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast, BatchSummary,
+    verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast,
+    verify_batch_summary_indexed, BatchSummary,
 };
 pub use path_table::{PathEntry, PathTable, PathTableStats, ReachRecord};
 pub use predicates::SwitchPredicates;
 pub use robust::{Disposition, RecentFilter, RobustConfig, RobustState};
 pub use server::{Alarm, AlarmAggregator, ConfirmedAlarm, ServerStats, VeriDpServer};
+pub use snapshot::{
+    ConcurrentTable, ReaderHandle, RuleUpdate, SnapshotGuard, SnapshotPublisher, SnapshotStats,
+    TableVersion,
+};
 pub use verify::VerifyOutcome;
 
 #[cfg(test)]

@@ -211,41 +211,70 @@ pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
     reports: &[TagReport],
     threads: usize,
 ) -> BatchSummary {
-    fn fold<B: HeaderSetBackend>(
-        table: &PathTable<B>,
-        hs: &B,
-        index: &TagIndex,
-        cache: &mut VerdictCache,
-        slice: &[TagReport],
-    ) -> (BatchSummary, obs::LocalHistogram) {
-        let mut s = BatchSummary::default();
-        let mut stats = FastPathStats::default();
-        let mut lat = obs::LocalHistogram::new();
-        for chunk in slice.chunks(LATENCY_SAMPLE) {
-            let mut it = chunk.iter();
-            if let Some(r) = it.next() {
-                let t0 = obs::ENABLED.then(Instant::now);
-                s.add(verify_cached(table, hs, index, cache, &mut stats, r));
-                if let Some(t0) = t0 {
-                    lat.record_duration(t0.elapsed());
-                }
-            }
-            for r in it {
-                s.add(verify_cached(table, hs, index, cache, &mut stats, r));
-            }
-        }
-        s.cache_hits = stats.hits as usize;
-        s.cache_misses = stats.misses as usize;
-        (s, lat)
-    }
     fp.sync(table);
-    let (mut total, lat) = if threads <= 1 || reports.len() < threads * 2 {
+    let total = if threads <= 1 || reports.len() < threads * 2 {
         let (index, caches) = fp.index_and_workers(1);
-        fold(table, hs, index, &mut caches[0], reports)
+        run_indexed(table, hs, index, caches, reports, threads)
     } else {
         let chunk = reports.len().div_ceil(threads);
         let workers = reports.len().div_ceil(chunk);
         let (index, caches) = fp.index_and_workers(workers);
+        run_indexed(table, hs, index, caches, reports, threads)
+    };
+    fp.record(&FastPathStats {
+        hits: total.cache_hits as u64,
+        misses: total.cache_misses as u64,
+    });
+    total
+}
+
+/// One worker's shard through the indexed fast path (private cache, private
+/// counters, sampled latency). Shared by the fast-path and snapshot-pinned
+/// batch entry points.
+fn fold_indexed<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    index: &TagIndex,
+    cache: &mut VerdictCache,
+    slice: &[TagReport],
+) -> (BatchSummary, obs::LocalHistogram) {
+    let mut s = BatchSummary::default();
+    let mut stats = FastPathStats::default();
+    let mut lat = obs::LocalHistogram::new();
+    for chunk in slice.chunks(LATENCY_SAMPLE) {
+        let mut it = chunk.iter();
+        if let Some(r) = it.next() {
+            let t0 = obs::ENABLED.then(Instant::now);
+            s.add(verify_cached(table, hs, index, cache, &mut stats, r));
+            if let Some(t0) = t0 {
+                lat.record_duration(t0.elapsed());
+            }
+        }
+        for r in it {
+            s.add(verify_cached(table, hs, index, cache, &mut stats, r));
+        }
+    }
+    s.cache_hits = stats.hits as usize;
+    s.cache_misses = stats.misses as usize;
+    (s, lat)
+}
+
+/// The sharded indexed pipeline over caller-supplied worker caches: the
+/// common machinery of [`verify_batch_summary_fast`] and
+/// [`verify_batch_summary_indexed`]. `caches` must hold one cache per
+/// worker the thread split produces.
+fn run_indexed<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    index: &TagIndex,
+    caches: &mut [VerdictCache],
+    reports: &[TagReport],
+    threads: usize,
+) -> BatchSummary {
+    let (mut total, lat) = if threads <= 1 || reports.len() < threads * 2 {
+        fold_indexed(table, hs, index, &mut caches[0], reports)
+    } else {
+        let chunk = reports.len().div_ceil(threads);
         let mut total = BatchSummary::default();
         let mut lat = obs::LocalHistogram::new();
         std::thread::scope(|s| {
@@ -255,7 +284,7 @@ pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
                 .map(|(slice, cache)| {
                     s.spawn(move || {
                         let _span = obs::histogram!("veridp_batch_worker_compute_ns").start_span();
-                        fold(table, hs, index, cache, slice)
+                        fold_indexed(table, hs, index, cache, slice)
                     })
                 })
                 .collect();
@@ -271,11 +300,36 @@ pub fn verify_batch_summary_fast<B: HeaderSetBackend>(
     if lat.count() > 0 {
         total.latency = Some(lat.snapshot());
     }
-    fp.record(&FastPathStats {
-        hits: total.cache_hits as u64,
-        misses: total.cache_misses as u64,
-    });
     total
+}
+
+/// [`verify_batch_summary_fast`] against an externally-owned [`TagIndex`]
+/// and worker caches, with no [`VerifyFastPath`] in the loop — the shape
+/// the snapshot readers (`crate::snapshot`) need: the index belongs to the
+/// pinned table version, the caches to the reader handle, and nothing is
+/// shared with the writer. `caches` grows on demand and persists across
+/// calls (epoch keying invalidates stale verdicts lazily).
+///
+/// # Panics
+/// Panics (inside [`PathTable::verify_indexed`]) if `index` was not built
+/// against `table`'s current epoch.
+pub fn verify_batch_summary_indexed<B: HeaderSetBackend>(
+    table: &PathTable<B>,
+    hs: &B,
+    index: &TagIndex,
+    caches: &mut Vec<VerdictCache>,
+    reports: &[TagReport],
+    threads: usize,
+) -> BatchSummary {
+    let workers = if threads <= 1 || reports.len() < threads * 2 {
+        1
+    } else {
+        reports.len().div_ceil(reports.len().div_ceil(threads))
+    };
+    if caches.len() < workers {
+        caches.resize_with(workers, VerdictCache::new);
+    }
+    run_indexed(table, hs, index, &mut caches[..workers], reports, threads)
 }
 
 /// Aggregate verdict counts from a batch, in the same shape as

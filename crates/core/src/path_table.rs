@@ -474,6 +474,65 @@ impl<B: HeaderSetBackend> PathTable<B> {
             port: DROP_PORT,
         }
     }
+
+    /// Deep-copy this table into a fresh backend instance, translating every
+    /// header-set handle via [`HeaderSetBackend::import`]. The copy is
+    /// observationally identical to `self` — same pairs, per-pair path order,
+    /// hops, tags, reach records, epoch, and retired ring — but all its
+    /// handles belong to `dst`, so it can be read (or incrementally updated)
+    /// independently of the original. This is how the snapshot publisher
+    /// ([`crate::snapshot`]) seeds a new version buffer.
+    pub(crate) fn translated(&self, src: &B, dst: &mut B) -> PathTable<B> {
+        let mut memo = B::Memo::default();
+        PathTable {
+            topo: self.topo.clone(),
+            tag_bits: self.tag_bits,
+            max_hops: self.max_hops,
+            track_reach: self.track_reach,
+            epoch: self.epoch,
+            retired: self.retired.translated(src, dst, &mut memo),
+            rules: self.rules.clone(),
+            preds: self
+                .preds
+                .iter()
+                .map(|(&s, p)| (s, p.translated(src, dst, &mut memo)))
+                .collect(),
+            entries: self
+                .entries
+                .iter()
+                .map(|(&pair, list)| {
+                    (
+                        pair,
+                        list.iter()
+                            .map(|e| PathEntry {
+                                headers: dst.import(src, e.headers, &mut memo),
+                                hops: e.hops.clone(),
+                                tag: e.tag,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            reach: self
+                .reach
+                .iter()
+                .map(|(&s, list)| {
+                    (
+                        s,
+                        list.iter()
+                            .map(|r| ReachRecord {
+                                inport: r.inport,
+                                at: r.at,
+                                headers: dst.import(src, r.headers, &mut memo),
+                                hops: r.hops.clone(),
+                                tag: r.tag,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Borrowed view of everything Algorithm 2 needs, decoupled from

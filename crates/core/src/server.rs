@@ -19,7 +19,32 @@ use crate::localize::LocalizeOutcome;
 use crate::parallel::BatchSummary;
 use crate::path_table::PathTable;
 use crate::robust::{Disposition, RobustConfig, RobustState};
+use crate::snapshot::{ReaderHandle, RuleUpdate, SnapshotPublisher, SnapshotStats};
 use crate::verify::VerifyOutcome;
+
+/// The server's snapshot publication layer ([`crate::snapshot`]), when
+/// enabled: the publisher kept in lock-step with the master table, plus the
+/// server's own reader handle so the ingest paths pin a version per
+/// batch/report instead of reading the master directly.
+struct SnapshotLayer<B: HeaderSetBackend> {
+    publisher: SnapshotPublisher<B>,
+    reader: ReaderHandle<B>,
+}
+
+impl<B: HeaderSetBackend> SnapshotLayer<B> {
+    fn new(table: &PathTable<B>, hs: &B, build_index: bool) -> Self {
+        let publisher = SnapshotPublisher::new(table, hs, build_index);
+        let reader = publisher.reader();
+        SnapshotLayer { publisher, reader }
+    }
+
+    /// Run `f` against a pinned snapshot (table + backend of one immutable
+    /// version).
+    fn with_pinned<R>(&mut self, f: impl FnOnce(&PathTable<B>, &B) -> R) -> R {
+        let guard = self.reader.pin();
+        f(guard.table(), guard.backend())
+    }
+}
 
 /// Running verification statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -138,6 +163,12 @@ pub struct VeriDpServer<B: HeaderSetBackend = HeaderSpace> {
     /// Robust ingest state (dedup + quarantine + confirmed alarms), when
     /// enabled via [`VeriDpServer::set_robust`].
     robust: Option<RobustState>,
+    /// RCU-style snapshot publication ([`crate::snapshot`]), when enabled
+    /// via [`VeriDpServer::set_snapshots`]: every intercepted rule change is
+    /// recorded and republished, and the verify paths pin a version per
+    /// batch/report — identical verdicts (the published epoch always equals
+    /// the master's), but external reader threads run wait-free under churn.
+    snapshots: Option<SnapshotLayer<B>>,
     stats: ServerStats,
     /// Count of localization candidates per switch, for operator dashboards.
     suspects: HashMap<SwitchId, u64>,
@@ -193,6 +224,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             table,
             fastpath: None,
             robust: None,
+            snapshots: None,
             stats: ServerStats::default(),
             suspects: HashMap::new(),
         }
@@ -212,6 +244,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             table,
             fastpath: None,
             robust: None,
+            snapshots: None,
             stats: ServerStats::default(),
             suspects: HashMap::new(),
         }
@@ -288,33 +321,108 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
     }
 
     /// Watch one controller→switch message and update the path table
-    /// incrementally (§4.4). Barriers are ignored.
+    /// incrementally (§4.4). Barriers are ignored. With snapshots enabled
+    /// the update is also recorded and a fresh version published, so pinned
+    /// readers converge within one atomic load.
     pub fn intercept(&mut self, switch: SwitchId, msg: &OfMessage) {
-        match msg {
-            OfMessage::FlowAdd(rule) => self.table.add_rule(switch, *rule, &mut self.hs),
-            OfMessage::FlowDelete(id) => self.table.delete_rule(switch, *id, &mut self.hs),
-            OfMessage::FlowModify(id, action) => {
-                self.table.modify_rule(switch, *id, *action, &mut self.hs)
-            }
-            OfMessage::Barrier(_) => {}
+        let upd = match msg {
+            OfMessage::FlowAdd(rule) => RuleUpdate::Add(switch, *rule),
+            OfMessage::FlowDelete(id) => RuleUpdate::Delete(switch, *id),
+            OfMessage::FlowModify(id, action) => RuleUpdate::Modify(switch, *id, *action),
+            OfMessage::Barrier(_) => return,
+        };
+        upd.apply_to(&mut self.table, &mut self.hs);
+        if let Some(layer) = &mut self.snapshots {
+            layer.publisher.record(upd);
+            layer.publisher.publish(&self.table, &self.hs);
         }
     }
 
+    /// Enable or disable RCU-style snapshot publication ([`crate::snapshot`]).
+    ///
+    /// Enabling publishes a first version (a deep copy of the current table)
+    /// and from then on keeps the published snapshot in lock-step with every
+    /// intercepted rule change; the ingest paths pin a version per
+    /// batch/report, and [`VeriDpServer::snapshot_reader`] hands out
+    /// wait-free reader handles for external verify threads. Verdicts and
+    /// statistics are identical with snapshots on or off (the differential
+    /// suite asserts it). Published versions carry a tag index iff the fast
+    /// path is enabled at the time of this call.
+    pub fn set_snapshots(&mut self, on: bool) {
+        match (on, &self.snapshots) {
+            (true, None) => {
+                self.snapshots = Some(SnapshotLayer::new(
+                    &self.table,
+                    &self.hs,
+                    self.fastpath.is_some(),
+                ))
+            }
+            (false, Some(_)) => self.snapshots = None,
+            _ => {}
+        }
+    }
+
+    /// Whether snapshot publication is enabled.
+    pub fn snapshots_enabled(&self) -> bool {
+        self.snapshots.is_some()
+    }
+
+    /// A wait-free reader handle onto the published snapshots, for verify
+    /// threads that must keep running while this server applies churn.
+    /// `None` while snapshots are disabled.
+    pub fn snapshot_reader(&self) -> Option<ReaderHandle<B>> {
+        self.snapshots.as_ref().map(|l| l.publisher.reader())
+    }
+
+    /// Publication counters of the snapshot layer (`None` while disabled).
+    pub fn snapshot_stats(&self) -> Option<&SnapshotStats> {
+        self.snapshots.as_ref().map(|l| l.publisher.stats())
+    }
+
     /// Raw Algorithm-3 verdict (fast path when enabled, cache counters
-    /// updated) without touching the verdict statistics.
+    /// updated) without touching the verdict statistics. With snapshots
+    /// enabled the verdict is computed against a pinned published version —
+    /// identical outcome, since publication tracks every intercept.
     #[inline]
     fn raw_verify(&mut self, report: &TagReport) -> VerifyOutcome {
-        match &mut self.fastpath {
+        let VeriDpServer {
+            hs,
+            table,
+            fastpath,
+            stats,
+            snapshots,
+            ..
+        } = self;
+        match snapshots {
+            Some(layer) => {
+                let guard = layer.reader.pin();
+                Self::verdict_at(fastpath, stats, guard.table(), guard.backend(), report)
+            }
+            None => Self::verdict_at(fastpath, stats, table, hs, report),
+        }
+    }
+
+    /// One Algorithm-3 verdict against an explicit (table, backend) view —
+    /// the master or a pinned snapshot — folding cache-hit counters.
+    #[inline]
+    fn verdict_at(
+        fastpath: &mut Option<VerifyFastPath>,
+        stats: &mut ServerStats,
+        table: &PathTable<B>,
+        hs: &B,
+        report: &TagReport,
+    ) -> VerifyOutcome {
+        match fastpath {
             Some(fp) => {
-                let (outcome, hit) = fp.verify_flagged(&self.table, &self.hs, report);
+                let (outcome, hit) = fp.verify_flagged(table, hs, report);
                 if hit {
-                    self.stats.cache_hits += 1;
+                    stats.cache_hits += 1;
                 } else {
-                    self.stats.cache_misses += 1;
+                    stats.cache_misses += 1;
                 }
                 outcome
             }
-            None => self.table.verify(report, &self.hs),
+            None => table.verify(report, hs),
         }
     }
 
@@ -350,15 +458,21 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
     /// the summary counts). Uses the sharded fast-path pipeline when the
     /// fast path is enabled, with one private verdict cache per worker.
     pub fn ingest_batch(&mut self, reports: &[TagReport], threads: usize) -> BatchSummary {
-        let summary = match &mut self.fastpath {
-            Some(fp) => crate::parallel::verify_batch_summary_fast(
-                &self.table,
-                &self.hs,
-                fp,
-                reports,
-                threads,
-            ),
-            None => crate::parallel::verify_batch_summary(&self.table, &self.hs, reports, threads),
+        let VeriDpServer {
+            hs,
+            table,
+            fastpath,
+            snapshots,
+            ..
+        } = self;
+        let summary = match snapshots {
+            Some(layer) => {
+                // One pin for the whole batch: the workers read an immutable
+                // version while the writer stays free to publish successors.
+                let guard = layer.reader.pin();
+                Self::batch_at(fastpath, guard.table(), guard.backend(), reports, threads)
+            }
+            None => Self::batch_at(fastpath, table, hs, reports, threads),
         };
         let before = self.stats.reports;
         self.stats.merge(&ServerStats::from(&summary));
@@ -369,6 +483,20 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             self.publish_obs();
         }
         summary
+    }
+
+    /// One batch summary against an explicit (table, backend) view.
+    fn batch_at(
+        fastpath: &mut Option<VerifyFastPath>,
+        table: &PathTable<B>,
+        hs: &B,
+        reports: &[TagReport],
+        threads: usize,
+    ) -> BatchSummary {
+        match fastpath {
+            Some(fp) => crate::parallel::verify_batch_summary_fast(table, hs, fp, reports, threads),
+            None => crate::parallel::verify_batch_summary(table, hs, reports, threads),
+        }
     }
 
     /// Verify, and on failure localize (Algorithm 4). Returns the verdict
@@ -408,6 +536,15 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             Some(cfg) => {
                 self.table.set_grace_depth(cfg.grace_depth);
                 self.robust = Some(RobustState::new(cfg));
+                // Published versions carry their own retired rings; rebuild
+                // the layer so every future version adopts the new depth.
+                if self.snapshots.is_some() {
+                    self.snapshots = Some(SnapshotLayer::new(
+                        &self.table,
+                        &self.hs,
+                        self.fastpath.is_some(),
+                    ));
+                }
             }
             None => self.robust = None,
         }
@@ -458,7 +595,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         }
         if report.epoch < self.table.epoch() {
             // The report predates the current table: an update raced it.
-            if self.table.grace_check(report, &self.hs) {
+            if self.grace_check_pinned(report) {
                 self.stats.graced += 1;
                 self.count_verdict(VerifyOutcome::Pass);
                 return Disposition::Graced;
@@ -505,12 +642,23 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             self.count_verdict(outcome);
             return;
         }
-        if self.table.grace_check(report, &self.hs) {
+        if self.grace_check_pinned(report) {
             self.stats.graced += 1;
             self.count_verdict(VerifyOutcome::Pass);
             return;
         }
         self.finalize_failure(report, outcome, alarms);
+    }
+
+    /// Epoch-grace check against a pinned snapshot when publication is on
+    /// (replay converges the versions' retired rings, so the answer matches
+    /// the master's), the master table otherwise.
+    #[inline]
+    fn grace_check_pinned(&mut self, report: &TagReport) -> bool {
+        match &mut self.snapshots {
+            Some(layer) => layer.with_pinned(|t, hs| t.grace_check(report, hs)),
+            None => self.table.grace_check(report, &self.hs),
+        }
     }
 
     /// A failure that survived every forgiveness layer: count it, localize

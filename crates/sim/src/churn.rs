@@ -1,0 +1,213 @@
+//! Production-rate rule churn for the snapshot path table.
+//!
+//! BGP-scale control planes update forwarding state continuously: prefix
+//! announce/withdraw bursts from route flaps, and reroute storms when a link
+//! failure moves every affected next hop at once. This module synthesises
+//! those patterns as [`RuleUpdate`] streams over a deployed topology, so the
+//! concurrent-churn benchmark and stress tests can drive a
+//! [`veridp_core::SnapshotPublisher`] at a controlled rate while verify
+//! readers keep running.
+//!
+//! Two properties make the generated churn safe to run under a live
+//! verification battery:
+//!
+//! * **Traffic isolation** — every churn rule matches a destination inside
+//!   TEST-NET-3 (`203.0.113.0/24`, RFC 5737), an address block no simulated
+//!   host occupies. Real witness traffic never matches a churn rule, so the
+//!   table's *denotation for observed flows* is unchanged at every epoch and
+//!   any verification failure during churn is a genuine false alarm. The
+//!   one obligation this puts on the caller: witness batteries must be
+//!   drawn from outside the churn block — see [`ChurnGen::covers`].
+//! * **Mirrored cycles** — [`ChurnGen::drain`] withdraws every live churn
+//!   rule, returning the table to its pre-churn rule set. A fully drained
+//!   table must therefore be denotationally identical to a fresh sequential
+//!   build, which the stress test asserts.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use veridp_core::RuleUpdate;
+use veridp_packet::{FiveTuple, PortNo, SwitchId};
+use veridp_switch::{Action, FlowRule, Match, RuleId};
+use veridp_topo::{gen, Topology};
+
+/// Churn rule ids start far above anything a controller assigns, so
+/// generated updates can never collide with deployed rules.
+const CHURN_ID_BASE: u64 = 1 << 32;
+
+/// One live churn rule: where it lives, its id, and its current next hop.
+#[derive(Debug, Clone, Copy)]
+struct LiveRule {
+    switch: SwitchId,
+    id: RuleId,
+    port: PortNo,
+}
+
+/// Seeded generator of announce/withdraw bursts and reroute storms.
+///
+/// ```
+/// use veridp_sim::churn::ChurnGen;
+/// use veridp_topo::gen;
+///
+/// let topo = gen::fat_tree(2);
+/// let mut churn = ChurnGen::new(&topo, 7);
+/// let burst = churn.announce(16);
+/// assert_eq!(burst.len(), 16);
+/// let storm = churn.reroute_storm();
+/// let undo = churn.drain();
+/// assert_eq!(undo.len(), 16);
+/// assert_eq!(churn.live(), 0);
+/// # let _ = (burst, storm);
+/// ```
+pub struct ChurnGen {
+    /// Switches with their usable output ports (wired links + host ports).
+    switches: Vec<(SwitchId, Vec<PortNo>)>,
+    rng: StdRng,
+    next_id: u64,
+    live: Vec<LiveRule>,
+    next_octet: u8,
+}
+
+impl ChurnGen {
+    /// Build a generator over `topo`'s switches. `seed` fixes the whole
+    /// update sequence.
+    pub fn new(topo: &Topology, seed: u64) -> Self {
+        let mut switches = Vec::new();
+        for info in topo.switches() {
+            let s = info.id;
+            let mut ports: Vec<PortNo> = topo.neighbors(s).into_iter().map(|(p, _)| p).collect();
+            ports.extend(
+                topo.host_ports()
+                    .into_iter()
+                    .filter(|p| p.switch == s)
+                    .map(|p| p.port),
+            );
+            if !ports.is_empty() {
+                switches.push((s, ports));
+            }
+        }
+        assert!(!switches.is_empty(), "topology has no usable switches");
+        ChurnGen {
+            switches,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: CHURN_ID_BASE,
+            live: Vec::new(),
+            next_octet: 1,
+        }
+    }
+
+    /// Number of churn rules currently installed.
+    pub fn live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether a header falls inside the churn address block (TEST-NET-3).
+    ///
+    /// Any witness battery verified concurrently with churn must exclude
+    /// such points. A backend's witness draw samples the *whole* header set
+    /// of a path entry, and broad entries (default or drop space) can
+    /// contain TEST-NET-3 points even though no simulated host lives there;
+    /// a live churn rule then legitimately re-routes exactly that point and
+    /// the verdict flip would masquerade as a false alarm. The atoms
+    /// backend makes the collision likely rather than astronomically rare:
+    /// refinement is append-only, so earlier churn leaves single-`/32`
+    /// atoms behind, and an atom-uniform witness draw picks one of those
+    /// with the same probability as a continent-sized atom.
+    pub fn covers(h: &FiveTuple) -> bool {
+        h.dst_ip & 0xffff_ff00 == gen::ip(203, 0, 113, 0)
+    }
+
+    /// A prefix announcement burst: `n` new `/32` rules for TEST-NET-3
+    /// destinations, each on a random switch with a random next hop.
+    pub fn announce(&mut self, n: usize) -> Vec<RuleUpdate> {
+        (0..n).map(|_| self.announce_one()).collect()
+    }
+
+    /// A withdraw burst: delete up to `n` random live churn rules.
+    pub fn withdraw(&mut self, n: usize) -> Vec<RuleUpdate> {
+        let n = n.min(self.live.len());
+        (0..n).map(|_| self.withdraw_one()).collect()
+    }
+
+    /// A link-failure reroute storm: every live rule whose switch has an
+    /// alternate port moves to a different next hop at once — the mirrored
+    /// ECMP repath a failed link triggers.
+    pub fn reroute_storm(&mut self) -> Vec<RuleUpdate> {
+        let mut out = Vec::new();
+        for i in 0..self.live.len() {
+            let r = self.live[i];
+            let ports = self.ports_of(r.switch);
+            if ports.len() < 2 {
+                continue;
+            }
+            let mut port = ports[self.rng.gen_range(0..ports.len())];
+            while port == r.port {
+                port = ports[self.rng.gen_range(0..ports.len())];
+            }
+            self.live[i].port = port;
+            out.push(RuleUpdate::Modify(r.switch, r.id, Action::Forward(port)));
+        }
+        out
+    }
+
+    /// One update drawn from the production mix: announces dominate while
+    /// the live set is small, then adds, deletes, and modifies interleave.
+    pub fn step(&mut self) -> RuleUpdate {
+        if self.live.len() < 8 {
+            return self.announce_one();
+        }
+        match self.rng.gen_range(0..3u32) {
+            0 => self.announce_one(),
+            1 => self.withdraw_one(),
+            _ => self.modify_one(),
+        }
+    }
+
+    /// Withdraw every live churn rule, mirroring the table back to its
+    /// pre-churn rule set.
+    pub fn drain(&mut self) -> Vec<RuleUpdate> {
+        let n = self.live.len();
+        (0..n).map(|_| self.withdraw_one()).collect()
+    }
+
+    fn ports_of(&self, s: SwitchId) -> Vec<PortNo> {
+        self.switches
+            .iter()
+            .find(|(sid, _)| *sid == s)
+            .expect("live rule on unknown switch")
+            .1
+            .clone()
+    }
+
+    fn announce_one(&mut self) -> RuleUpdate {
+        let (switch, ports) = &self.switches[self.rng.gen_range(0..self.switches.len())];
+        let switch = *switch;
+        let port = ports[self.rng.gen_range(0..ports.len())];
+        let octet = self.next_octet;
+        // Cycle through 203.0.113.1 .. 203.0.113.254.
+        self.next_octet = if octet >= 254 { 1 } else { octet + 1 };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.push(LiveRule {
+            switch,
+            id: RuleId(id),
+            port,
+        });
+        let m = Match::dst_prefix(gen::ip(203, 0, 113, octet), 32);
+        RuleUpdate::Add(switch, FlowRule::new(id, 32, m, Action::Forward(port)))
+    }
+
+    fn withdraw_one(&mut self) -> RuleUpdate {
+        debug_assert!(!self.live.is_empty(), "withdraw from an empty live set");
+        let i = self.rng.gen_range(0..self.live.len());
+        let r = self.live.swap_remove(i);
+        RuleUpdate::Delete(r.switch, r.id)
+    }
+
+    fn modify_one(&mut self) -> RuleUpdate {
+        let i = self.rng.gen_range(0..self.live.len());
+        let r = self.live[i];
+        let ports = self.ports_of(r.switch);
+        let port = ports[self.rng.gen_range(0..ports.len())];
+        self.live[i].port = port;
+        RuleUpdate::Modify(r.switch, r.id, Action::Forward(port))
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod baselines;
 pub mod chaos;
+pub mod churn;
 mod events;
 mod monitor;
 mod network;
@@ -47,6 +48,7 @@ pub use chaos::{
     run_chaos_scenario, ChaosConfig, ChaosStats, ChaosSummary, FaultKind, ReportChannel,
     ScenarioConfig,
 };
+pub use churn::ChurnGen;
 pub use events::{EventLog, EventSim};
 pub use monitor::{Monitor, SendOutcome};
 pub use network::{DeliveryTrace, Network};

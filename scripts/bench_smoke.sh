@@ -22,7 +22,8 @@ VERIDP_BENCH_OUT="$OUT_DIR/BENCH_verify_report.json" \
 
 echo
 echo "== incremental_update (quick) =="
-cargo bench -q --offline -p veridp-bench --bench incremental_update
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_incremental_update.json" \
+    cargo bench -q --offline -p veridp-bench --bench incremental_update
 
 echo
 echo "== bloom_and_bdd (quick) =="
@@ -57,4 +58,14 @@ VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead.json" \
     cargo bench -q --offline -p veridp-bench --bench obs_overhead
 
 echo
+# Metadata honesty: any concurrent bench that ran with fewer hardware
+# threads than it wanted flags its JSON; surface that loudly so nobody
+# reads scaling conclusions out of a time-sliced run.
+for j in "$OUT_DIR"/BENCH_*.json; do
+    if grep -q '"single_core_caveat": *true' "$j"; then
+        echo "WARNING: $(basename "$j") ran with capped parallelism" \
+             "(single_core_caveat=true) — concurrent numbers are time-sliced."
+    fi
+done
+
 echo "smoke benches done; JSON at $OUT_DIR/BENCH_*.json"

@@ -5,7 +5,7 @@
 //! veridp-demo [--topo fat-tree:4|internet2|stanford|figure5|linear:N|ring:N]
 //!             [--fault none|blackhole|wrongport|acl-delete]
 //!             [--backend bdd|atoms] [--tag-bits N] [--seed N]
-//!             [--verify-cache on|off] [--metrics-json PATH]
+//!             [--verify-cache on|off] [--churn-rate N] [--metrics-json PATH]
 //!             [--chaos SEED] [--chaos-loss PCT] [--chaos-dup PCT]
 //!             [--chaos-corrupt PCT] [--chaos-json PATH]
 //! ```
@@ -18,6 +18,15 @@
 //! `--verify-cache` (default `on`) toggles the server's verification fast
 //! path: the tag-indexed candidate probe plus the epoch-invalidated verdict
 //! cache. Verdicts never change; the stats line reports the hit ratio.
+//!
+//! `--churn-rate N` enables the server's RCU-style snapshot publication and
+//! applies ~`N` live rule updates per 1000 flows while traffic runs:
+//! TEST-NET-3 announce/withdraw churn through the full controller →
+//! switches → server-intercept path, fully mirrored back by the end. No
+//! simulated host lives in TEST-NET-3, so with `--fault none` every verdict
+//! must still pass — the run exits nonzero otherwise. Snapshot-swap and
+//! grace-reclaim counters from the observability snapshot print after the
+//! run.
 //!
 //! `--metrics-json PATH` dumps the full observability snapshot (every
 //! counter, gauge, latency histogram, and recent event from `veridp-obs`)
@@ -39,9 +48,11 @@ use rand::{Rng, SeedableRng};
 use veridp::atoms::AtomSpace;
 use veridp::controller::Intent;
 use veridp::core::{HeaderSetBackend, HeaderSpace};
-use veridp::packet::{PortNo, SwitchId};
-use veridp::sim::{run_chaos_scenario, ChaosConfig, FaultKind, Monitor, ScenarioConfig};
-use veridp::switch::{Action, Fault, PortRange};
+use veridp::packet::{FiveTuple, PortNo, PortRef, SwitchId};
+use veridp::sim::{
+    run_chaos_scenario, ChaosConfig, FaultKind, Monitor, ScenarioConfig, SendOutcome,
+};
+use veridp::switch::{Action, Fault, Match, PortRange, RuleId};
 use veridp::topo::{gen, Topology};
 
 struct Options {
@@ -51,6 +62,7 @@ struct Options {
     tag_bits: u32,
     seed: u64,
     verify_cache: bool,
+    churn_rate: u64,
     metrics_json: Option<String>,
     chaos: Option<u64>,
     chaos_loss: f64,
@@ -67,6 +79,7 @@ fn parse_args() -> Options {
         tag_bits: 16,
         seed: 1,
         verify_cache: true,
+        churn_rate: 0,
         metrics_json: None,
         chaos: None,
         chaos_loss: 5.0,
@@ -98,6 +111,11 @@ fn parse_args() -> Options {
                     "off" => false,
                     other => usage(&format!("bad --verify-cache {other} (use on|off)")),
                 }
+            }
+            "--churn-rate" => {
+                o.churn_rate = val("--churn-rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --churn-rate"))
             }
             "--metrics-json" => o.metrics_json = Some(val("--metrics-json")),
             "--chaos" => {
@@ -138,12 +156,19 @@ fn usage(msg: &str) -> ! {
         "usage: veridp-demo [--topo fat-tree:K|internet2|stanford|figure5|linear:N|ring:N]\n\
          \x20                  [--fault none|blackhole|wrongport|acl-delete]\n\
          \x20                  [--backend bdd|atoms] [--tag-bits N] [--seed N]\n\
-         \x20                  [--verify-cache on|off] [--metrics-json PATH]\n\
+         \x20                  [--verify-cache on|off] [--churn-rate N]\n\
+         \x20                  [--metrics-json PATH]\n\
          \n\
          \x20 --verify-cache on|off   toggle the verification fast path (tag index +\n\
          \x20                         epoch-invalidated verdict cache; default on).\n\
          \x20                         Verdicts are identical either way; the stats\n\
          \x20                         line reports the cache hit ratio.\n\
+         \x20 --churn-rate N          apply ~N live rule updates per 1000 flows while\n\
+         \x20                         traffic runs (TEST-NET-3 announce/withdraw, fully\n\
+         \x20                         mirrored), with the server's RCU-style snapshot\n\
+         \x20                         publication enabled; prints snapshot-swap and\n\
+         \x20                         grace-reclaim counters. With --fault none, exits\n\
+         \x20                         nonzero if churn causes any false alarm.\n\
          \x20 --metrics-json PATH     after the run, write the full veridp-obs\n\
          \x20                         snapshot (counters, gauges, latency histograms,\n\
          \x20                         recent events) as JSON to PATH\n\
@@ -204,6 +229,13 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
     }
     let mut m = Monitor::deploy_with(hs, topo, &intents, o.tag_bits).expect("intents compile");
     m.set_fastpath(o.verify_cache);
+    if o.churn_rate > 0 {
+        m.server.set_snapshots(true);
+        println!(
+            "snapshot publication: on (churn rate ~{} rule updates / 1000 flows)",
+            o.churn_rate
+        );
+    }
     let stats = m.server.table().stats();
     println!(
         "path table: {} pairs, {} paths, avg length {:.2} ({} backend size: {})\n",
@@ -290,15 +322,19 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
     }
 
     // Drive all-pairs traffic, printing a one-line summary every 100 flows.
-    let mut flagged_so_far = 0usize;
-    let outcomes = m.ping_all_pairs_with(80, |i, outcome| {
-        if !outcome.consistent() {
-            flagged_so_far += 1;
-        }
-        if i % 100 == 0 {
-            println!("  [{i} flows] {flagged_so_far} flagged inconsistent so far");
-        }
-    });
+    let outcomes = if o.churn_rate > 0 {
+        run_traffic_with_churn(&mut m, o, &mut rng)
+    } else {
+        let mut flagged_so_far = 0usize;
+        m.ping_all_pairs_with(80, |i, outcome| {
+            if !outcome.consistent() {
+                flagged_so_far += 1;
+            }
+            if i % 100 == 0 {
+                println!("  [{i} flows] {flagged_so_far} flagged inconsistent so far");
+            }
+        })
+    };
     let total = outcomes.len();
     let delivered = outcomes.iter().filter(|r| r.trace.delivered()).count();
     let inconsistent = outcomes.iter().filter(|r| !r.consistent()).count();
@@ -347,7 +383,116 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         }
     }
 
+    if o.churn_rate > 0 {
+        m.server.publish_obs();
+        let snap = veridp::obs::registry().snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        let (publishes, reclaims) = match (
+            counter("veridp_snapshot_publishes_total"),
+            counter("veridp_snapshot_reclaims_total"),
+        ) {
+            (Some(p), Some(r)) => (p, r),
+            // obs-off builds export an empty snapshot; the layer keeps its
+            // own tally either way.
+            _ => {
+                let st = m.server.snapshot_stats().expect("snapshots enabled");
+                (st.publishes, st.reclaims)
+            }
+        };
+        println!(
+            "snapshot layer: {publishes} publishes (atomic swaps), {reclaims} buffer reclaims"
+        );
+    }
+
     write_metrics(&mut m, o);
+
+    // Mirrored TEST-NET-3 churn never touches real traffic, so a faultless
+    // run that still flags flows has a consistency bug — the invariant the
+    // CI churn soak gates on.
+    if o.churn_rate > 0 && o.fault == "none" && inconsistent > 0 {
+        eprintln!(
+            "CHURN INVARIANT VIOLATED: {inconsistent} flows flagged inconsistent under mirrored churn with no fault"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// All-pairs traffic with live rule churn interleaved: roughly every
+/// `1000 / churn_rate` flows, one announce or withdraw of a TEST-NET-3 /32
+/// rule travels the full controller → switches → server-intercept path, and
+/// the snapshot layer publishes a fresh version mid-verification. Every
+/// announced rule is withdrawn by the end (mirrored churn), so the final
+/// table matches the quiescent deployment.
+fn run_traffic_with_churn<B: HeaderSetBackend>(
+    m: &mut Monitor<B>,
+    o: &Options,
+    rng: &mut StdRng,
+) -> Vec<SendOutcome> {
+    let every = (1000 / o.churn_rate).max(1) as usize;
+    let sids: Vec<SwitchId> = m.net.topo().switches().map(|i| i.id).collect();
+    let hosts: Vec<(PortRef, u32)> = m
+        .net
+        .topo()
+        .hosts()
+        .iter()
+        .filter(|h| h.role == veridp::topo::HostRole::Host)
+        .map(|h| (h.attached, h.ip))
+        .collect();
+    let mut live: Vec<(SwitchId, RuleId)> = Vec::new();
+    let mut octet: u8 = 0;
+    let mut updates = 0u64;
+    let mut flagged = 0usize;
+    let mut out = Vec::new();
+    for &(src_port, src_ip) in &hosts {
+        for &(_, dst_ip) in &hosts {
+            if src_ip == dst_ip {
+                continue;
+            }
+            m.net.advance_clock(1_000_000);
+            let outcome = m.send_header(src_port, FiveTuple::tcp(src_ip, dst_ip, 40000, 80));
+            if !outcome.consistent() {
+                flagged += 1;
+            }
+            out.push(outcome);
+            if out.len() % every == 0 {
+                // Announce while few rules are live (and on most coin
+                // flips), otherwise withdraw the oldest. TEST-NET-3
+                // (RFC 5737) hosts don't exist here, so these rules never
+                // carry witness traffic.
+                if live.len() < 4 || rng.gen_range(0u8..100) < 64 {
+                    let s = sids[rng.gen_range(0..sids.len())];
+                    octet = if octet >= 254 { 1 } else { octet + 1 };
+                    let fields = Match::dst_prefix(gen::ip(203, 0, 113, octet), 32);
+                    let id = m.add_rule(s, 32, fields, Action::Drop);
+                    live.push((s, id));
+                } else {
+                    let (s, id) = live.remove(0);
+                    m.remove_rule(s, id);
+                }
+                updates += 1;
+            }
+            if out.len() % 100 == 0 {
+                println!(
+                    "  [{} flows] {flagged} flagged inconsistent, {updates} rule updates so far",
+                    out.len()
+                );
+            }
+        }
+    }
+    let drained = live.len();
+    for (s, id) in live {
+        m.remove_rule(s, id);
+        updates += 1;
+    }
+    println!(
+        "churn: {updates} live rule updates applied ({drained} drained at the end), rule set mirrored back"
+    );
+    out
 }
 
 fn write_metrics<B: HeaderSetBackend>(m: &mut Monitor<B>, o: &Options) {

@@ -57,8 +57,18 @@ fn pick_transit_rules(m: &Monitor) -> (SwitchId, FlowRule, SwitchId, FlowRule) {
 /// epoch, and grace ring are identical across calls, so each permutation
 /// replays against the same server state.
 fn build_scenario() -> (Monitor, Vec<TagReport>, SwitchId) {
+    build_scenario_with(|_| {})
+}
+
+/// [`build_scenario`] with a configuration hook applied right after robust
+/// mode is enabled (before any churn), e.g. to turn on snapshot
+/// publication.
+fn build_scenario_with(
+    configure: impl FnOnce(&mut Monitor),
+) -> (Monitor, Vec<TagReport>, SwitchId) {
     let mut m = Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).unwrap();
     m.server.set_robust(Some(RobustConfig::default()));
+    configure(&mut m);
 
     let (fault_sid, fault_rule, churn_sid, churn) = pick_transit_rules(&m);
     m.net
@@ -162,4 +172,42 @@ fn any_permutation_and_duplication_same_verdicts_and_alarms() {
             "every injected duplicate must be filtered (seed {seed})"
         );
     }
+}
+
+/// The whole scenario — churn rounds intercepted through the server,
+/// robust ingest with grace and quarantine — run again with snapshot
+/// publication enabled must land on identical verdict counts, suspects,
+/// and confirmed alarms: the pinned per-report verify and pinned grace
+/// checks are behaviorally invisible.
+#[test]
+fn snapshot_publication_identical_verdicts_and_alarms() {
+    let (mut m0, reports, fault_sid) = build_scenario();
+    let (base_counts, base_suspects, base_confirmed) = ingest_and_summarize(&mut m0, &reports);
+    assert!(
+        base_confirmed.iter().any(|a| a.suspect == fault_sid),
+        "baseline scenario must confirm the blackhole"
+    );
+
+    let (mut m, reports_snap, _) = build_scenario_with(|m| m.server.set_snapshots(true));
+    // The scenario replay is deterministic, so the report stream itself
+    // must be unaffected by publication.
+    assert_eq!(reports_snap, reports, "snapshots perturbed the scenario");
+    let (counts, suspects, confirmed) = ingest_and_summarize(&mut m, &reports_snap);
+    assert_eq!(
+        counts, base_counts,
+        "verdict counts diverged with snapshots"
+    );
+    assert_eq!(suspects, base_suspects, "suspects diverged with snapshots");
+    assert_eq!(
+        confirmed, base_confirmed,
+        "confirmed alarms diverged with snapshots"
+    );
+    // The churn rounds intercept through the server, so publication must
+    // have tracked them all the way to the final epoch.
+    let stats = m.server.snapshot_stats().expect("snapshots enabled");
+    assert!(
+        stats.publishes > 8,
+        "four churn rounds must publish many versions (got {})",
+        stats.publishes
+    );
 }

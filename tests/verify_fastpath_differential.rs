@@ -17,7 +17,8 @@ use veridp::atoms::AtomSpace;
 use veridp::bloom::BloomTag;
 use veridp::core::{
     verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast,
-    HeaderSetBackend, HeaderSpace, PathTable, RobustConfig, VeriDpServer, VerifyFastPath,
+    ConcurrentTable, HeaderSetBackend, HeaderSpace, PathTable, RobustConfig, RuleUpdate,
+    VeriDpServer, VerifyFastPath,
 };
 use veridp::packet::{FiveTuple, PortNo, PortRef, SwitchId, TagReport};
 use veridp::switch::{Action, FlowRule, Match, OfMessage};
@@ -454,6 +455,125 @@ fn server_fastpath_identical_on_atoms_backend() {
         4,
         4,
     );
+}
+
+/// A server with snapshot publication enabled (pinned per-report verify,
+/// pinned grace checks, publication on every intercept) must be
+/// bit-identical to the plain server — same shape as [`check_servers`],
+/// with the snapshot+fastpath server in the fast seat.
+fn check_snapshot_servers<B: HeaderSetBackend>(
+    hs_a: B,
+    hs_b: B,
+    topo: Topology,
+    seed: u64,
+    per_switch: usize,
+    updates: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rules = random_rules(&mut rng, &topo, per_switch);
+    let mut plain = VeriDpServer::with_backend(hs_a, &topo, &rules, 16);
+    let mut snap = VeriDpServer::with_backend(hs_b, &topo, &rules, 16);
+    snap.set_fastpath(true);
+    snap.set_snapshots(true);
+    assert!(snap.snapshots_enabled());
+
+    let reports = report_battery(plain.table(), plain.header_space(), &mut rng);
+    assert_servers_agree(&mut plain, &mut snap, &reports, "initial build");
+
+    let mut next_id = 100_000u64;
+    for step in 0..updates {
+        mirrored_update(
+            &mut rng,
+            &topo,
+            &mut rules,
+            &mut next_id,
+            &mut plain,
+            &mut snap,
+        );
+        // Publication must track every intercept: published epoch == master.
+        let stats = snap.snapshot_stats().unwrap();
+        assert!(
+            stats.publishes as usize > step,
+            "intercept {step} did not publish"
+        );
+        assert_servers_agree(
+            &mut plain,
+            &mut snap,
+            &reports,
+            &format!("old battery after update {step}"),
+        );
+        let fresh = report_battery(plain.table(), plain.header_space(), &mut rng);
+        assert_servers_agree(
+            &mut plain,
+            &mut snap,
+            &fresh,
+            &format!("fresh battery after update {step}"),
+        );
+    }
+}
+
+#[test]
+fn snapshot_server_identical_on_internet2() {
+    check_snapshot_servers(
+        HeaderSpace::new(),
+        HeaderSpace::new(),
+        gen::internet2(),
+        71,
+        10,
+        6,
+    );
+}
+
+#[test]
+fn snapshot_server_identical_on_atoms_backend() {
+    check_snapshot_servers(
+        AtomSpace::new(),
+        AtomSpace::new(),
+        gen::fat_tree(4),
+        72,
+        4,
+        4,
+    );
+}
+
+/// Batches through a pinned snapshot reader vs the sequential batch
+/// pipeline on the master table: identical summaries at every thread
+/// count, across rule updates (version indexes and private caches must
+/// invalidate exactly like the shared fast path).
+#[test]
+fn snapshot_reader_batches_identical() {
+    let topo = gen::internet2();
+    let mut rng = StdRng::seed_from_u64(81);
+    let rules = random_rules(&mut rng, &topo, 8);
+    let mut ct = ConcurrentTable::<HeaderSpace>::build(&topo, &rules, HeaderSpace::new(), 16, true);
+    let mut reader = ct.reader();
+
+    for round in 0..3u64 {
+        let next_id = 300_000 + round;
+        let reports = report_battery(ct.table(), ct.backend(), &mut rng);
+        let expected = verify_batch_summary(ct.table(), ct.backend(), &reports, 1);
+        for threads in [1usize, 2, 4] {
+            let got = reader.verify_summary(&reports, threads);
+            assert_eq!(
+                got.verdict_counts(),
+                expected.verdict_counts(),
+                "snapshot batch differs (round {round}, threads {threads})"
+            );
+        }
+        // Churn the table between rounds; the next pin must observe it.
+        let sids: Vec<SwitchId> = topo.switches().map(|s| s.id).collect();
+        let s = sids[rng.gen_range(0..sids.len())];
+        let nports = topo.switch(s).unwrap().num_ports;
+        let plen = rng.gen_range(8..=24u8);
+        let rule = FlowRule::new(
+            next_id,
+            plen as u16,
+            Match::dst_prefix(gen::ip(10, rng.gen_range(0..4u8), 0, 0), plen),
+            Action::Forward(PortNo(rng.gen_range(1..=nports))),
+        );
+        ct.apply(RuleUpdate::Add(s, rule));
+        assert_eq!(ct.publisher().published_epoch(), ct.table().epoch());
+    }
 }
 
 #[test]
