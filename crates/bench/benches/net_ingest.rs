@@ -1,0 +1,172 @@
+//! Aggregate ingest throughput of the socket front end: N concurrent
+//! clients blast tag reports over real loopback sockets at a single
+//! [`veridp_net::IngestPipeline`], and we measure how many reports/second
+//! the listener decodes + verifies end-to-end (wall clock spans first send
+//! through full drain-then-shutdown).
+//!
+//! Both transports are measured at each client count. TCP is lossless —
+//! backpressure blocks the senders, so `verified == sent` and the rate is
+//! the pipeline's true capacity. UDP senders outrun the kernel's socket
+//! buffer on purpose; wire drops and counted queue shed are reported
+//! alongside the rate so the JSON never overstates delivery.
+//!
+//! Results go to stdout and `BENCH_net_ingest.json` (override with
+//! `VERIDP_BENCH_OUT`); `VERIDP_BENCH_QUICK=1` shrinks the volume and the
+//! client-count sweep. Every run records `hardware_threads` and a
+//! `single_core_caveat` flag — on capped CI runners the "concurrent"
+//! clients are time-sliced and the numbers must not be read as scaling.
+
+use std::time::{Duration, Instant};
+
+use veridp_bench::harness::{fmt_ns, hardware_threads, quick_mode, single_core_caveat};
+use veridp_bench::json::Json;
+use veridp_controller::Intent;
+use veridp_net::{serve, IngestConfig, NetSender, Transport};
+use veridp_packet::TagReport;
+use veridp_sim::Monitor;
+use veridp_topo::gen;
+
+/// One deployment's worth of real traffic, epoch-stamped; every client
+/// replays slices of this pool.
+fn report_pool() -> Vec<TagReport> {
+    let mut m =
+        Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).expect("intents compile");
+    let outcomes = m.ping_all_pairs(80);
+    let epoch = m.server.table().epoch();
+    outcomes
+        .iter()
+        .flat_map(|o| o.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+        .collect()
+}
+
+/// Fresh verify pipeline over an identical deployment (path table rebuilt
+/// from the same intents, so replayed reports all pass).
+fn fresh_server() -> veridp_core::VeriDpServer {
+    let Monitor { server, .. } =
+        Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).expect("intents compile");
+    server
+}
+
+struct Case {
+    transport: Transport,
+    clients: usize,
+    sent: u64,
+    wall_s: f64,
+    snap: veridp_net::NetStatsSnapshot,
+}
+
+fn run_case(pool: &[TagReport], transport: Transport, clients: usize, per_client: usize) -> Case {
+    let pipeline = serve(
+        IngestConfig::for_addr(transport, "127.0.0.1:0").expect("loopback"),
+        fresh_server(),
+    )
+    .expect("bind loopback");
+    let addr = pipeline.local_addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let pool: Vec<TagReport> = pool.to_vec();
+            std::thread::spawn(move || {
+                let mut tx = NetSender::connect(transport, addr).expect("connect");
+                for i in 0..per_client {
+                    // Offset each client's walk so streams interleave
+                    // distinct reports instead of marching in lockstep.
+                    tx.send_report(&pool[(c * 37 + i) % pool.len()])
+                        .expect("send");
+                }
+                tx.finish().expect("finish")
+            })
+        })
+        .collect();
+    let sent: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread").reports_sent)
+        .sum();
+    // TCP is lossless: wait for the full count. UDP: wait for whatever the
+    // kernel delivered (the frame counter goes quiet quickly).
+    if transport == Transport::Tcp {
+        assert!(
+            pipeline.wait_frames(sent, Duration::from_secs(120)),
+            "lossless TCP must deliver every frame"
+        );
+    } else {
+        pipeline.wait_frames(sent, Duration::from_millis(300));
+    }
+    let (_server, snap) = pipeline.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+
+    assert!(snap.conserved(), "accounting leak: {snap:?}");
+    Case {
+        transport,
+        clients,
+        sent,
+        wall_s,
+        snap,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let out_path =
+        std::env::var("VERIDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_net_ingest.json".to_string());
+    // Total reports per case, split across the clients.
+    let total: usize = if quick { 64_000 } else { 1_500_000 };
+    let client_counts: &[usize] = if quick { &[1, 64] } else { &[1, 4, 16, 64] };
+    let max_clients = *client_counts.iter().max().unwrap();
+
+    println!("net_ingest: loopback socket ingest, {total} reports/case across N clients");
+    println!(
+        "(hardware threads: {}; rates include full drain-then-shutdown)\n",
+        hardware_threads()
+    );
+
+    let pool = report_pool();
+    let mut results: Vec<Json> = Vec::new();
+    for &transport in &[Transport::Udp, Transport::Tcp] {
+        for &clients in client_counts {
+            let per_client = total.div_ceil(clients);
+            let case = run_case(&pool, transport, clients, per_client);
+            let rate = case.snap.verified as f64 / case.wall_s;
+            let lat = case.snap.ingest_latency.unwrap_or_default();
+            println!(
+                "{:<4} clients={:<3} sent={:>8} verified={:>8} shed={:>6} rate={:>12.0} reports/s  p99={}",
+                case.transport.name(),
+                case.clients,
+                case.sent,
+                case.snap.verified,
+                case.snap.shed,
+                rate,
+                fmt_ns(lat.p99 as f64),
+            );
+            results.push(Json::obj([
+                ("transport", Json::str(case.transport.name())),
+                ("clients", Json::Int(case.clients as i64)),
+                ("reports_sent", Json::Int(case.sent as i64)),
+                ("frames", Json::Int(case.snap.frames as i64)),
+                ("verified", Json::Int(case.snap.verified as i64)),
+                ("shed", Json::Int(case.snap.shed as i64)),
+                ("decode_errors", Json::Int(case.snap.decode_errors as i64)),
+                ("wall_s", Json::Num(case.wall_s)),
+                ("reports_per_sec", Json::Num(rate)),
+                ("ingest_p50_ns", Json::Int(lat.p50 as i64)),
+                ("ingest_p99_ns", Json::Int(lat.p99 as i64)),
+                ("conserved", Json::Bool(case.snap.conserved())),
+            ]));
+        }
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("net_ingest")),
+        ("quick", Json::Bool(quick)),
+        ("reports_per_case", Json::Int(total as i64)),
+        ("hardware_threads", Json::Int(hardware_threads() as i64)),
+        (
+            "single_core_caveat",
+            Json::Bool(single_core_caveat(max_clients)),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write(&out_path, doc.render_line()).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

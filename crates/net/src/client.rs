@@ -1,0 +1,170 @@
+//! Client half of the wire: connect to an [`crate::IngestServer`] and ship
+//! framed tag reports over either transport.
+//!
+//! Framing is identical on both transports (`u16` big-endian length prefix +
+//! report payload, see `veridp_packet::append_framed_report`); only the
+//! flush granularity differs. UDP buffers whole frames up to a safe
+//! datagram size (~1400 B, ≈29 reports) and sends each buffer as one
+//! datagram, so the receiver can decode with `decode_datagram` and never
+//! sees a frame torn across datagrams. TCP treats the buffer purely as a
+//! write-coalescing window — frames may span `write` calls, the server's
+//! `FrameReader` reassembles.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs, UdpSocket};
+
+use veridp_packet::{append_framed_payload, append_framed_report, TagReport, MAX_FRAME_LEN};
+
+use crate::Transport;
+
+/// Conservative UDP payload budget: under the common 1500-byte MTU minus
+/// IP/UDP headers, with margin. Every buffered frame fits whole.
+const UDP_DATAGRAM_BUDGET: usize = 1400;
+
+/// TCP write-coalescing window.
+const TCP_WRITE_BUDGET: usize = 16 * 1024;
+
+/// What one sender shipped; returned by [`NetSender::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Well-formed reports handed to [`NetSender::send_report`].
+    pub reports_sent: u64,
+    /// Frames written, including raw/corrupted frames from
+    /// [`NetSender::send_frame_payload`].
+    pub frames_sent: u64,
+    /// Payload bytes written to the socket (framing included).
+    pub bytes_sent: u64,
+    /// Datagrams (UDP) or `write` calls (TCP) issued.
+    pub flushes: u64,
+}
+
+#[derive(Debug)]
+enum Io {
+    Udp(UdpSocket),
+    Tcp(TcpStream),
+}
+
+/// A buffered report sender over one socket.
+#[derive(Debug)]
+pub struct NetSender {
+    transport: Transport,
+    io: Io,
+    buf: Vec<u8>,
+    budget: usize,
+    stats: ClientStats,
+}
+
+impl NetSender {
+    /// Connect to a listener. UDP binds an ephemeral local port and
+    /// `connect`s it; TCP dials with `TCP_NODELAY` so small flushes are
+    /// not coalesced by Nagle on top of our own buffering.
+    pub fn connect(transport: Transport, addr: impl ToSocketAddrs) -> io::Result<NetSender> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let (io, budget) = match transport {
+            Transport::Udp => {
+                let bind = if addr.is_ipv4() {
+                    "0.0.0.0:0"
+                } else {
+                    "[::]:0"
+                };
+                let sock = UdpSocket::bind(bind)?;
+                sock.connect(addr)?;
+                (Io::Udp(sock), UDP_DATAGRAM_BUDGET)
+            }
+            Transport::Tcp => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                (Io::Tcp(stream), TCP_WRITE_BUDGET)
+            }
+        };
+        Ok(NetSender {
+            transport,
+            io,
+            buf: Vec::with_capacity(budget),
+            budget,
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// Which transport this sender speaks.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The local socket address (useful in logs/tests).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        match &self.io {
+            Io::Udp(s) => s.local_addr(),
+            Io::Tcp(s) => s.local_addr(),
+        }
+    }
+
+    /// Buffer one framed report, flushing first if it would not fit in the
+    /// current buffer window.
+    pub fn send_report(&mut self, r: &TagReport) -> io::Result<()> {
+        self.reserve(veridp_packet::FRAMED_REPORT_WIRE_LEN)?;
+        append_framed_report(&mut self.buf, r);
+        self.stats.reports_sent += 1;
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    /// Buffer one frame with an arbitrary payload — the escape hatch the
+    /// chaos layer uses to put *corrupted* bytes on the wire while keeping
+    /// the framing intact (so the server skips exactly one frame).
+    pub fn send_frame_payload(&mut self, payload: &[u8]) -> io::Result<()> {
+        assert!(
+            payload.len() <= MAX_FRAME_LEN,
+            "payload exceeds MAX_FRAME_LEN"
+        );
+        self.reserve(2 + payload.len())?;
+        append_framed_payload(&mut self.buf, payload);
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    fn reserve(&mut self, need: usize) -> io::Result<()> {
+        if !self.buf.is_empty() && self.buf.len() + need > self.budget {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Write out everything buffered: one datagram (UDP) or one stream
+    /// write (TCP).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        match &mut self.io {
+            Io::Udp(sock) => {
+                sock.send(&self.buf)?;
+            }
+            Io::Tcp(stream) => {
+                stream.write_all(&self.buf)?;
+            }
+        }
+        self.stats.bytes_sent += self.buf.len() as u64;
+        self.stats.flushes += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush, signal end-of-stream (TCP half-close so the server's reader
+    /// sees EOF and finalizes its accounting), and return what was sent.
+    pub fn finish(mut self) -> io::Result<ClientStats> {
+        self.flush()?;
+        if let Io::Tcp(stream) = &self.io {
+            stream.shutdown(Shutdown::Write)?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Stats so far (without consuming the sender).
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+}

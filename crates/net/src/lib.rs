@@ -1,0 +1,95 @@
+//! Network-facing report ingest: the socket front end between real switch
+//! agents and the VeriDP verification pipeline.
+//!
+//! The paper's monitoring server receives tag reports from switches over
+//! plain UDP (§5); everything in this reproduction used to hand reports to
+//! [`veridp_core::VeriDpServer`] in-process. This crate puts an actual wire
+//! between the two endpoints, zero-dependency over nonblocking
+//! `std::net` sockets:
+//!
+//! * [`IngestServer`] — the listener. UDP datagrams pack whole
+//!   length-prefixed report frames ([`veridp_packet::decode_datagram`]);
+//!   TCP connections carry the same frames as a stream decoded by
+//!   [`veridp_packet::FrameReader`]. Decoding is zero-copy off the recv
+//!   buffers, per-connection batches accumulate up to a configured size,
+//!   and completed batches land in a bounded queue with explicit
+//!   backpressure: TCP producers *block* (the kernel's flow control then
+//!   pushes back to the sender), UDP producers *shed* — counted in
+//!   [`NetStats`], never silent, the same contract as
+//!   `veridp_core::robust`'s quarantine overflow.
+//! * [`VerifyPump`] / [`serve`] — the consumer side: a thread owning the
+//!   `VeriDpServer`, draining batches through `ingest_batch` and recording
+//!   per-report ingest latency into the obs histograms. [`serve`] wires
+//!   listener + pump into an [`IngestPipeline`] whose
+//!   [`shutdown`](IngestPipeline::shutdown) performs the drain-then-stop
+//!   dance: intake stops first, the queue is closed, the pump drains it to
+//!   empty, and only then does the call return — every accepted frame is
+//!   either verified or counted as shed.
+//! * [`NetSender`] — the client half: connect over either transport, buffer
+//!   framed reports, flush as full datagrams / stream writes. The
+//!   simulator's `SwitchAgent` wraps this to ship reports from simulated
+//!   switches over real loopback sockets.
+//!
+//! Accounting is conservation-based end to end. With `frames` counted as
+//! whole frames read off the wire:
+//!
+//! ```text
+//! frames  == reports + (decode_errors - torn_or_poisoned_streams)
+//! reports == enqueued + shed
+//! enqueued == verified            (after IngestPipeline::shutdown)
+//! ```
+//!
+//! and [`NetStatsSnapshot::conserved`] checks the report-level identity —
+//! the invariant the loopback soak and the drain tests gate on.
+
+mod client;
+mod queue;
+mod server;
+mod stats;
+
+pub use client::{ClientStats, NetSender};
+pub use server::{serve, IngestConfig, IngestPipeline, IngestServer, VerifyPump};
+pub use stats::{NetStats, NetStatsSnapshot};
+
+/// Which transport a listener or sender speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Datagrams; each packs whole length-prefixed report frames. Lossy by
+    /// nature: overflow at the bounded queue sheds (counted).
+    Udp,
+    /// A length-prefixed frame stream per connection. Lossless end to end:
+    /// queue pressure blocks the reader, and TCP flow control propagates
+    /// the backpressure to the sending agent.
+    Tcp,
+}
+
+impl Transport {
+    /// Lowercase name, as used in CLI flags and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transport::Udp => "udp",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "udp" => Ok(Transport::Udp),
+            "tcp" => Ok(Transport::Tcp),
+            other => Err(format!("unknown transport {other:?} (use udp|tcp)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,142 @@
+//! Bounded batch queue between socket intake and the verify pump.
+//!
+//! Capacity is measured in *reports*, not batches, so the memory bound holds
+//! regardless of how intake chops its batches. Producers choose their
+//! overflow policy per transport: [`BatchQueue::try_push`] (UDP — fail fast,
+//! the caller counts the batch as shed) or [`BatchQueue::push_wait`] (TCP —
+//! block until space, which stalls the connection's read loop and lets TCP
+//! flow control push back to the sender).
+//!
+//! Closing is one-way: after [`BatchQueue::close`], pushes fail and
+//! [`BatchQueue::pop_wait`] returns [`Pop::Closed`] only once the queue is
+//! *empty* — the consumer always drains everything that was accepted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use veridp_packet::TagReport;
+
+/// Result of a blocking pop.
+pub(crate) enum Pop {
+    /// A batch of decoded reports, in arrival order per producer.
+    Batch(Vec<TagReport>),
+    /// The queue is closed *and* empty; no more batches will ever arrive.
+    Closed,
+}
+
+#[derive(Default)]
+struct Inner {
+    batches: VecDeque<Vec<TagReport>>,
+    reports: usize,
+    closed: bool,
+}
+
+impl Inner {
+    fn fits(&self, len: usize, capacity: usize) -> bool {
+        // An oversized batch is admitted into an empty queue so a batch
+        // larger than the whole capacity can never wedge its producer.
+        self.reports == 0 || self.reports + len <= capacity
+    }
+}
+
+pub(crate) struct BatchQueue {
+    inner: Mutex<Inner>,
+    /// Signalled when reports leave the queue (producers wait here).
+    space: Condvar,
+    /// Signalled when a batch arrives or the queue closes (consumers wait).
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    pub(crate) fn new(capacity_reports: usize) -> Self {
+        BatchQueue {
+            inner: Mutex::new(Inner::default()),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            capacity: capacity_reports.max(1),
+        }
+    }
+
+    /// Non-blocking push. On a full or closed queue the batch is handed
+    /// back so the caller can count it as shed.
+    pub(crate) fn try_push(&self, batch: Vec<TagReport>) -> Result<(), Vec<TagReport>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || !inner.fits(batch.len(), self.capacity) {
+            return Err(batch);
+        }
+        inner.reports += batch.len();
+        inner.batches.push_back(batch);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space, failing only if the queue closes
+    /// first. The periodic timeout is belt-and-braces against a lost
+    /// wakeup, not a deadline.
+    pub(crate) fn push_wait(&self, batch: Vec<TagReport>) -> Result<(), Vec<TagReport>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Err(batch);
+            }
+            if inner.fits(batch.len(), self.capacity) {
+                inner.reports += batch.len();
+                inner.batches.push_back(batch);
+                drop(inner);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .space
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+    }
+
+    /// Blocking pop; returns [`Pop::Closed`] only once closed *and* empty.
+    pub(crate) fn pop_wait(&self) -> Pop {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = inner.batches.pop_front() {
+                inner.reports -= batch.len();
+                drop(inner);
+                self.space.notify_all();
+                return Pop::Batch(batch);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            inner = self
+                .ready
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+    }
+
+    /// Non-blocking pop.
+    pub(crate) fn try_pop(&self) -> Option<Vec<TagReport>> {
+        let mut inner = self.inner.lock().unwrap();
+        let batch = inner.batches.pop_front()?;
+        inner.reports -= batch.len();
+        drop(inner);
+        self.space.notify_all();
+        Some(batch)
+    }
+
+    /// Reports currently queued (diagnostics/tests).
+    pub(crate) fn queued_reports(&self) -> usize {
+        self.inner.lock().unwrap().reports
+    }
+
+    /// Close the queue: future pushes fail, consumers drain what remains.
+    pub(crate) fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.space.notify_all();
+        self.ready.notify_all();
+    }
+}

@@ -1,0 +1,601 @@
+//! The listener, the verify pump, and the pipeline that glues them.
+//!
+//! Threading model (zero dependencies, blocking `std::net` sockets with
+//! short read timeouts instead of an event loop):
+//!
+//! * **UDP** — `recv_threads` clones of one bound socket, each running a
+//!   blocking `recv` loop with a read timeout. Every datagram packs whole
+//!   length-prefixed frames; `decode_datagram` appends the decoded reports
+//!   straight into the thread's batch buffer. Full batches go to the queue
+//!   with [`BatchQueue::try_push`]; overflow is *shed* and counted.
+//! * **TCP** — one nonblocking accept loop plus one blocking handler thread
+//!   per connection, each owning a [`FrameReader`]. Full batches go to the
+//!   queue with [`BatchQueue::push_wait`]; a full queue stalls the read
+//!   loop, the socket buffer fills, and TCP flow control pushes back to the
+//!   sending agent — lossless end to end.
+//! * **Pump** — one thread owning the `VeriDpServer`, popping batches and
+//!   running `ingest_batch`. [`IngestPipeline::shutdown`] sequences the
+//!   drain: stop intake → join intake threads (they flush partial batches
+//!   with a blocking push, which succeeds because the pump is still
+//!   draining) → close the queue → the pump empties it and exits → hand the
+//!   `VeriDpServer` back with the final [`NetStatsSnapshot`].
+//!
+//! The listener can also run *polled* (no pump): the owner pulls decoded
+//! reports out with [`IngestServer::try_drain`] and ends with
+//! [`IngestServer::shutdown_polled`], which drains concurrently with the
+//! intake join so a blocked producer can never deadlock the shutdown. The
+//! chaos scenarios use this mode because they interleave rule churn on the
+//! same `VeriDpServer` between drains.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use veridp_core::{HeaderSetBackend, VeriDpServer};
+use veridp_obs as obs;
+use veridp_obs::LocalHistogram;
+use veridp_packet::{decode_datagram, FrameReader, TagReport};
+
+use crate::queue::{BatchQueue, Pop};
+use crate::stats::{NetStats, NetStatsSnapshot};
+use crate::Transport;
+
+/// Socket read timeout: the cadence at which intake loops notice the stop
+/// flag and flush partial batches on idle connections.
+const READ_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Receive buffer per intake thread. Comfortably above any UDP datagram
+/// and large enough to amortize TCP syscalls.
+const RECV_BUF_LEN: usize = 64 * 1024;
+
+/// How an [`IngestServer`] binds and batches.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// UDP or TCP.
+    pub transport: Transport,
+    /// Bind address, e.g. `127.0.0.1:0` to let the OS pick a port.
+    pub addr: SocketAddr,
+    /// UDP receive loops sharing the socket (ignored for TCP, which runs
+    /// one handler per connection).
+    pub recv_threads: usize,
+    /// Decoded reports accumulated per intake thread/connection before the
+    /// batch is pushed to the queue.
+    pub batch_reports: usize,
+    /// Bounded queue capacity, in reports. This is the backpressure knob:
+    /// TCP blocks on it, UDP sheds over it.
+    pub queue_reports: usize,
+    /// Worker threads `ingest_batch` fans each batch out to.
+    pub verify_threads: usize,
+}
+
+impl IngestConfig {
+    /// Defaults tuned for loopback ingest; `addr` may use port 0.
+    pub fn new(transport: Transport, addr: SocketAddr) -> Self {
+        IngestConfig {
+            transport,
+            addr,
+            recv_threads: 2,
+            batch_reports: 1024,
+            queue_reports: 1 << 16,
+            verify_threads: thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1),
+        }
+    }
+
+    /// Convenience over a string address (first resolution wins).
+    pub fn for_addr(transport: Transport, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(IngestConfig::new(transport, addr))
+    }
+}
+
+/// Decrements the live-intake count when an intake thread exits, however
+/// it exits.
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The socket front end: owns the bound socket(s), the intake threads, and
+/// the bounded batch queue.
+pub struct IngestServer {
+    transport: Transport,
+    local_addr: SocketAddr,
+    stats: Arc<NetStats>,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    intake: Vec<JoinHandle<()>>,
+    /// TCP connection handlers, appended by the accept loop.
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl IngestServer {
+    /// Bind and start the intake threads. Returns once the socket is
+    /// listening; the actual bound address (with the OS-assigned port when
+    /// the config used port 0) is [`IngestServer::local_addr`].
+    pub fn bind(config: IngestConfig) -> io::Result<IngestServer> {
+        let stats = Arc::new(NetStats::default());
+        let queue = Arc::new(BatchQueue::new(config.queue_reports));
+        let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let batch_reports = config.batch_reports.max(1);
+
+        let mut intake = Vec::new();
+        let local_addr =
+            match config.transport {
+                Transport::Udp => {
+                    let socket = UdpSocket::bind(config.addr)?;
+                    socket.set_read_timeout(Some(READ_TIMEOUT))?;
+                    let local = socket.local_addr()?;
+                    let threads = config.recv_threads.max(1);
+                    for i in 0..threads {
+                        let socket = socket.try_clone()?;
+                        let stats = Arc::clone(&stats);
+                        let queue = Arc::clone(&queue);
+                        let stop = Arc::clone(&stop);
+                        live.fetch_add(1, Ordering::Relaxed);
+                        let guard = LiveGuard(Arc::clone(&live));
+                        intake.push(thread::Builder::new().name(format!("net-udp-{i}")).spawn(
+                            move || {
+                                let _guard = guard;
+                                udp_loop(socket, stats, queue, stop, batch_reports);
+                            },
+                        )?);
+                    }
+                    local
+                }
+                Transport::Tcp => {
+                    let listener = TcpListener::bind(config.addr)?;
+                    listener.set_nonblocking(true)?;
+                    let local = listener.local_addr()?;
+                    let stats_a = Arc::clone(&stats);
+                    let queue_a = Arc::clone(&queue);
+                    let stop_a = Arc::clone(&stop);
+                    let live_a = Arc::clone(&live);
+                    let handlers_a = Arc::clone(&handlers);
+                    live.fetch_add(1, Ordering::Relaxed);
+                    let guard = LiveGuard(Arc::clone(&live));
+                    intake.push(thread::Builder::new().name("net-accept".into()).spawn(
+                        move || {
+                            let _guard = guard;
+                            accept_loop(
+                                listener,
+                                stats_a,
+                                queue_a,
+                                stop_a,
+                                live_a,
+                                handlers_a,
+                                batch_reports,
+                            );
+                        },
+                    )?);
+                    local
+                }
+            };
+
+        Ok(IngestServer {
+            transport: config.transport,
+            local_addr,
+            stats,
+            queue,
+            stop,
+            live,
+            intake,
+            handlers,
+        })
+    }
+
+    /// The transport this listener speaks.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The bound address (resolved port when the config asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reports currently sitting in the bounded queue (diagnostics).
+    pub fn queued_reports(&self) -> usize {
+        self.queue.queued_reports()
+    }
+
+    pub(crate) fn stats_arc(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub(crate) fn queue_arc(&self) -> Arc<BatchQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Pop every currently queued batch into `out` (polled mode). The
+    /// drained reports count as `verified` in the stats — the caller is
+    /// the consumer now.
+    pub fn try_drain(&self, out: &mut Vec<TagReport>) -> usize {
+        let mut n = 0;
+        while let Some(batch) = self.queue.try_pop() {
+            n += batch.len();
+            self.stats.add_verified(batch.len() as u64);
+            out.extend(batch);
+        }
+        n
+    }
+
+    /// Block until at least `n` whole frames have been read off the wire,
+    /// or the timeout passes. Lets tests and scenarios wait for in-flight
+    /// loopback traffic without guessing at sleeps.
+    pub fn wait_frames(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.stats.frames.load(Ordering::Relaxed) >= n {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Signal intake threads to wind down (they flush partials and exit).
+    pub(crate) fn begin_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn intake_done(&self) -> bool {
+        self.live.load(Ordering::Acquire) == 0
+    }
+
+    /// Join every intake thread. Call only when a consumer is draining (or
+    /// has drained) the queue, otherwise a producer blocked on a full
+    /// queue would block the join.
+    pub(crate) fn join_intake(&mut self) {
+        for handle in self.intake.drain(..) {
+            let _ = handle.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+
+    pub(crate) fn close_queue(&self) {
+        self.queue.close();
+    }
+
+    /// Polled-mode shutdown: stop intake while *concurrently* draining the
+    /// queue into `out`, so producers blocked on a full queue always make
+    /// progress; then join, close, and take the final sweep. Afterwards the
+    /// stats satisfy the conservation identity
+    /// [`NetStatsSnapshot::conserved`].
+    pub fn shutdown_polled(mut self, out: &mut Vec<TagReport>) -> NetStatsSnapshot {
+        self.begin_stop();
+        while !self.intake_done() {
+            self.try_drain(out);
+            thread::sleep(Duration::from_micros(500));
+        }
+        self.join_intake();
+        self.close_queue();
+        self.try_drain(out);
+        self.stats.snapshot()
+    }
+}
+
+/// Flush a batch to the queue, counting the outcome. `blocking` selects
+/// the transport's overflow policy: wait (TCP) or shed (UDP).
+fn flush_batch(
+    batch: &mut Vec<TagReport>,
+    cap: usize,
+    queue: &BatchQueue,
+    stats: &NetStats,
+    blocking: bool,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let full = std::mem::replace(batch, Vec::with_capacity(cap));
+    let n = full.len() as u64;
+    let res = if blocking {
+        queue.push_wait(full)
+    } else {
+        queue.try_push(full)
+    };
+    match res {
+        Ok(()) => stats.add_enqueued(n),
+        Err(_) => stats.add_shed(n),
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn udp_loop(
+    socket: UdpSocket,
+    stats: Arc<NetStats>,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    batch_reports: usize,
+) {
+    let mut buf = vec![0u8; RECV_BUF_LEN];
+    let mut batch: Vec<TagReport> = Vec::with_capacity(batch_reports);
+    loop {
+        match socket.recv(&mut buf) {
+            Ok(n) => {
+                stats.add_datagram(n);
+                let before = batch.len();
+                let summary = decode_datagram(&buf[..n], &mut batch);
+                stats.add_decoded(
+                    summary.frames,
+                    (batch.len() - before) as u64,
+                    summary.decode_errors,
+                );
+                if batch.len() >= batch_reports {
+                    // Steady-state overflow sheds: a blocked recv loop
+                    // would just move the loss into the kernel, uncounted.
+                    flush_batch(&mut batch, batch_reports, &queue, &stats, false);
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                // Idle: flush the partial batch so quiet periods do not
+                // hold reports hostage, and notice the stop flag.
+                flush_batch(&mut batch, batch_reports, &queue, &stats, false);
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        // No early break on stop while data keeps arriving: datagrams the
+        // kernel already accepted are part of the drain contract. The loop
+        // ends at the first quiet read-timeout after the stop flag is up.
+    }
+    // Final flush may wait: the shutdown paths keep draining the queue, so
+    // accepted reports are never shed just because we are stopping.
+    flush_batch(&mut batch, batch_reports, &queue, &stats, true);
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stats: Arc<NetStats>,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    batch_reports: usize,
+) {
+    let mut next_id = 0u64;
+    let mut spawn_handler = |stream: TcpStream| {
+        if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
+        {
+            return;
+        }
+        stats.add_connection();
+        let conn_stats = Arc::clone(&stats);
+        let conn_queue = Arc::clone(&queue);
+        let conn_stop = Arc::clone(&stop);
+        live.fetch_add(1, Ordering::Relaxed);
+        let guard = LiveGuard(Arc::clone(&live));
+        let handle = thread::Builder::new()
+            .name(format!("net-conn-{next_id}"))
+            .spawn(move || {
+                let _guard = guard;
+                conn_loop(stream, conn_stats, conn_queue, conn_stop, batch_reports);
+            });
+        next_id += 1;
+        match handle {
+            Ok(h) => handlers.lock().unwrap().push(h),
+            Err(_) => stats.close_connection(),
+        }
+    };
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => spawn_handler(stream),
+            Err(e) if is_timeout(&e) => thread::sleep(Duration::from_millis(2)),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    // Final sweep: connections the kernel completed before the stop flag
+    // went up count as accepted — hand them to (draining) handlers rather
+    // than abandoning their bytes.
+    while let Ok((stream, _peer)) = listener.accept() {
+        spawn_handler(stream);
+    }
+}
+
+fn conn_loop(
+    mut stream: TcpStream,
+    stats: Arc<NetStats>,
+    queue: Arc<BatchQueue>,
+    stop: Arc<AtomicBool>,
+    batch_reports: usize,
+) {
+    let mut buf = vec![0u8; RECV_BUF_LEN];
+    let mut reader = FrameReader::new();
+    let mut batch: Vec<TagReport> = Vec::with_capacity(batch_reports);
+    // FrameReader counters are cumulative; publish deltas after each step.
+    let (mut seen_f, mut seen_r, mut seen_e) = (0u64, 0u64, 0u64);
+    let sync = |reader: &FrameReader, seen: &mut (u64, u64, u64)| {
+        stats.add_decoded(
+            reader.frames() - seen.0,
+            reader.reports() - seen.1,
+            reader.decode_errors() - seen.2,
+        );
+        *seen = (reader.frames(), reader.reports(), reader.decode_errors());
+    };
+    // On stop we keep reading: bytes already accepted by the kernel are
+    // part of the drain contract. The loop ends at EOF or at the first
+    // quiet read-timeout after the stop flag went up.
+    let mut draining = false;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            draining = true;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // clean EOF
+            Ok(n) => {
+                stats.add_stream_bytes(n);
+                reader.push(&buf[..n]);
+                reader.drain_into(&mut batch);
+                let mut seen = (seen_f, seen_r, seen_e);
+                sync(&reader, &mut seen);
+                (seen_f, seen_r, seen_e) = seen;
+                if reader.poisoned() {
+                    // Framing lost: nothing downstream of this point can be
+                    // trusted, drop the connection.
+                    break;
+                }
+                if batch.len() >= batch_reports {
+                    // Blocking push: queue pressure stalls this read loop
+                    // and TCP flow control carries it back to the sender.
+                    flush_batch(&mut batch, batch_reports, &queue, &stats, true);
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                flush_batch(&mut batch, batch_reports, &queue, &stats, true);
+                if draining {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    reader.finish();
+    let mut seen = (seen_f, seen_r, seen_e);
+    sync(&reader, &mut seen);
+    flush_batch(&mut batch, batch_reports, &queue, &stats, true);
+    stats.close_connection();
+}
+
+/// The consumer thread: owns a `VeriDpServer`, drains the queue through
+/// `ingest_batch`, and keeps a private ingest-latency histogram so each
+/// pipeline's percentiles are self-contained (the global obs histogram is
+/// cumulative across all pipelines in the process).
+pub struct VerifyPump<B: HeaderSetBackend> {
+    handle: JoinHandle<(VeriDpServer<B>, LocalHistogram)>,
+}
+
+impl<B: HeaderSetBackend> VerifyPump<B> {
+    /// Attach a pump to a listener's queue.
+    pub fn spawn(listener: &IngestServer, server: VeriDpServer<B>, verify_threads: usize) -> Self {
+        let queue = listener.queue_arc();
+        let stats = listener.stats_arc();
+        let threads = verify_threads.max(1);
+        let handle = thread::Builder::new()
+            .name("net-pump".into())
+            .spawn(move || pump_loop(server, queue, stats, threads))
+            .expect("spawn verify pump");
+        VerifyPump { handle }
+    }
+
+    /// Wait for the pump to exit (it does so once the queue is closed and
+    /// drained) and take the `VeriDpServer` back.
+    pub fn join(self) -> (VeriDpServer<B>, LocalHistogram) {
+        self.handle.join().expect("verify pump panicked")
+    }
+}
+
+fn pump_loop<B: HeaderSetBackend>(
+    mut server: VeriDpServer<B>,
+    queue: Arc<BatchQueue>,
+    stats: Arc<NetStats>,
+    threads: usize,
+) -> (VeriDpServer<B>, LocalHistogram) {
+    let mut lat = LocalHistogram::new();
+    while let Pop::Batch(batch) = queue.pop_wait() {
+        let t0 = Instant::now();
+        let _summary = server.ingest_batch(&batch, threads);
+        let per_report = t0.elapsed().as_nanos() as u64 / batch.len().max(1) as u64;
+        lat.record(per_report);
+        stats.add_verified(batch.len() as u64);
+    }
+    obs::histogram!("veridp_net_ingest_report_ns").merge_local(&lat);
+    (server, lat)
+}
+
+/// Listener + pump, bundled. Build with [`serve`].
+pub struct IngestPipeline<B: HeaderSetBackend> {
+    listener: IngestServer,
+    pump: Option<VerifyPump<B>>,
+}
+
+/// Bind a listener per `config` and attach a verify pump owning `server`.
+pub fn serve<B: HeaderSetBackend>(
+    config: IngestConfig,
+    server: VeriDpServer<B>,
+) -> io::Result<IngestPipeline<B>> {
+    let verify_threads = config.verify_threads;
+    let listener = IngestServer::bind(config)?;
+    let pump = VerifyPump::spawn(&listener, server, verify_threads);
+    Ok(IngestPipeline {
+        listener,
+        pump: Some(pump),
+    })
+}
+
+impl<B: HeaderSetBackend> IngestPipeline<B> {
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr()
+    }
+
+    /// The listener's transport.
+    pub fn transport(&self) -> Transport {
+        self.listener.transport()
+    }
+
+    /// Point-in-time counters (no latency histogram until shutdown).
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.listener.stats()
+    }
+
+    /// Block until `n` frames arrived or `timeout` passed (see
+    /// [`IngestServer::wait_frames`]).
+    pub fn wait_frames(&self, n: u64, timeout: Duration) -> bool {
+        self.listener.wait_frames(n, timeout)
+    }
+
+    /// Drain-then-stop: stop intake, let producers flush their partial
+    /// batches (the pump keeps draining, so their blocking pushes land),
+    /// join intake, close the queue, and join the pump after it empties
+    /// the queue. Every report decoded off the wire has been verified or
+    /// counted shed when this returns — the snapshot satisfies
+    /// [`NetStatsSnapshot::conserved`].
+    pub fn shutdown(mut self) -> (VeriDpServer<B>, NetStatsSnapshot) {
+        self.listener.begin_stop();
+        while !self.listener.intake_done() {
+            thread::sleep(Duration::from_micros(500));
+        }
+        self.listener.join_intake();
+        self.listener.close_queue();
+        let (server, lat) = self.pump.take().expect("pump already joined").join();
+        let mut snap = self.listener.stats();
+        if lat.count() > 0 {
+            snap.ingest_latency = Some(lat.snapshot());
+        }
+        (server, snap)
+    }
+}

@@ -1,0 +1,157 @@
+//! Shared ingest counters: one atomic block threaded through every recv
+//! loop, connection handler, and the verify pump.
+//!
+//! The atomics are the source of truth (they work under `obs-off` too);
+//! every increment also mirrors into the global obs registry so the
+//! counters show up in `--metrics-json` snapshots next to the rest of the
+//! pipeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use veridp_obs as obs;
+
+/// Live counters of one [`crate::IngestServer`] (plus the pump's verified
+/// count). All loads/stores are relaxed: these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// TCP connections accepted over the listener's lifetime.
+    pub connections: AtomicU64,
+    /// TCP connections fully closed (handler exited).
+    pub connections_closed: AtomicU64,
+    /// UDP datagrams received.
+    pub datagrams: AtomicU64,
+    /// Payload bytes read off sockets.
+    pub bytes: AtomicU64,
+    /// Whole report frames seen (decoded + rejected).
+    pub frames: AtomicU64,
+    /// Reports successfully decoded off recv buffers.
+    pub reports: AtomicU64,
+    /// Frames or streams the wire codec rejected: checksum/format
+    /// failures, out-of-bounds length prefixes, torn stream tails.
+    pub decode_errors: AtomicU64,
+    /// Decoded reports accepted into the bounded batch queue.
+    pub enqueued: AtomicU64,
+    /// Decoded reports dropped because the queue was full (UDP shed
+    /// policy) or already closed — counted, never silent.
+    pub shed: AtomicU64,
+    /// Reports the verify pump ran through `ingest_batch`.
+    pub verified: AtomicU64,
+    /// Batches the verify pump consumed.
+    pub batches: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn add_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("veridp_net_connections_total").inc();
+        obs::gauge!("veridp_net_connections_active").add(1);
+    }
+
+    pub(crate) fn close_connection(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+        obs::gauge!("veridp_net_connections_active").add(-1);
+    }
+
+    pub(crate) fn add_datagram(&self, bytes: usize) {
+        self.datagrams.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        obs::counter!("veridp_net_datagrams_total").inc();
+        obs::counter!("veridp_net_bytes_total").add(bytes as u64);
+    }
+
+    pub(crate) fn add_stream_bytes(&self, bytes: usize) {
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        obs::counter!("veridp_net_bytes_total").add(bytes as u64);
+    }
+
+    pub(crate) fn add_decoded(&self, frames: u64, reports: u64, errors: u64) {
+        if frames > 0 {
+            self.frames.fetch_add(frames, Ordering::Relaxed);
+            obs::counter!("veridp_net_frames_total").add(frames);
+        }
+        if reports > 0 {
+            self.reports.fetch_add(reports, Ordering::Relaxed);
+            obs::counter!("veridp_net_reports_total").add(reports);
+        }
+        if errors > 0 {
+            self.decode_errors.fetch_add(errors, Ordering::Relaxed);
+            obs::counter!("veridp_net_decode_errors_total").add(errors);
+        }
+    }
+
+    pub(crate) fn add_enqueued(&self, n: u64) {
+        self.enqueued.fetch_add(n, Ordering::Relaxed);
+        obs::counter!("veridp_net_enqueued_total").add(n);
+    }
+
+    pub(crate) fn add_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+        obs::counter!("veridp_net_shed_total").add(n);
+    }
+
+    pub(crate) fn add_verified(&self, n: u64) {
+        self.verified.fetch_add(n, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("veridp_net_verified_total").add(n);
+        obs::counter!("veridp_net_batches_total").inc();
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            datagrams: self.datagrams.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            reports: self.reports.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            ingest_latency: None,
+        }
+    }
+}
+
+/// Plain-value snapshot of [`NetStats`], with the pump's ingest-latency
+/// histogram attached once the pipeline has shut down.
+#[derive(Debug, Clone, Default)]
+pub struct NetStatsSnapshot {
+    pub connections: u64,
+    pub connections_closed: u64,
+    pub datagrams: u64,
+    pub bytes: u64,
+    pub frames: u64,
+    pub reports: u64,
+    pub decode_errors: u64,
+    pub enqueued: u64,
+    pub shed: u64,
+    pub verified: u64,
+    pub batches: u64,
+    /// Per-report ingest latency (nanoseconds: batch verify wall / batch
+    /// size), recorded by the verify pump. `None` until
+    /// [`crate::IngestPipeline::shutdown`] folds the pump's private
+    /// histogram in, or when the pump never ran.
+    pub ingest_latency: Option<veridp_obs::HistSnapshot>,
+}
+
+impl NetStatsSnapshot {
+    /// The report-level conservation identity: every decoded report was
+    /// either enqueued or counted as shed, and (after a full drain) every
+    /// enqueued report was verified. Call only once the pipeline has shut
+    /// down — mid-flight there are legitimately reports in the queue.
+    pub fn conserved(&self) -> bool {
+        self.reports == self.enqueued + self.shed && self.enqueued == self.verified
+    }
+
+    /// Decoded reports not yet accounted for as verified or shed (queued
+    /// or in flight); zero after a clean shutdown.
+    pub fn unaccounted(&self) -> u64 {
+        self.reports
+            .saturating_sub(self.verified)
+            .saturating_sub(self.shed)
+    }
+}

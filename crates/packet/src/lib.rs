@@ -46,7 +46,9 @@ pub use ids::{Hop, InportCode, PortNo, PortRef, SwitchId, DROP_PORT};
 pub use packet::{Packet, MAX_PATH_LENGTH};
 pub use report::TagReport;
 pub use wire::{
-    decode_frame, decode_report, encode_frame, encode_report, WireError, REPORT_WIRE_LEN,
+    append_framed_payload, append_framed_report, decode_datagram, decode_frame, decode_report,
+    decode_report_slice, encode_frame, encode_report, encode_report_to, DatagramSummary,
+    FrameReader, WireError, FRAMED_REPORT_WIRE_LEN, MAX_FRAME_LEN, REPORT_WIRE_LEN,
 };
 
 #[cfg(test)]

@@ -404,3 +404,234 @@ mod fuzz {
         }
     }
 }
+
+/// Stream framing: the length-prefixed reader TCP ingest runs on.
+mod stream {
+    use super::*;
+    use crate::{
+        append_framed_payload, append_framed_report, decode_datagram, FrameReader, MAX_FRAME_LEN,
+        REPORT_WIRE_LEN,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_report(seed: u64) -> TagReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = FiveTuple {
+            src_ip: rng.gen(),
+            dst_ip: rng.gen(),
+            proto: rng.gen(),
+            src_port: rng.gen(),
+            dst_port: rng.gen(),
+        };
+        let tag = BloomTag::from_bits(rng.gen::<u64>() & 0xffff, 16);
+        TagReport::new(
+            PortRef::new(rng.gen::<u32>() & 0xff, rng.gen::<u16>() & 0x3f),
+            PortRef::new(rng.gen::<u32>() & 0xff, rng.gen::<u16>() & 0x3f),
+            h,
+            tag,
+        )
+        .with_epoch(rng.gen())
+    }
+
+    /// Whole frames split at every possible byte boundary still decode.
+    #[test]
+    fn reader_handles_any_tear_point() {
+        let reports: Vec<TagReport> = (0..3).map(sample_report).collect();
+        let mut stream = Vec::new();
+        for r in &reports {
+            append_framed_report(&mut stream, r);
+        }
+        for cut in 0..=stream.len() {
+            let mut fr = FrameReader::new();
+            fr.push(&stream[..cut]);
+            fr.push(&stream[cut..]);
+            let mut out = Vec::new();
+            fr.drain_into(&mut out);
+            fr.finish();
+            assert_eq!(out, reports, "cut at {cut}");
+            assert_eq!(fr.decode_errors(), 0, "cut at {cut}");
+            assert_eq!(fr.frames(), 3);
+        }
+    }
+
+    /// A short frame (wrong declared length) is counted and skipped;
+    /// later frames still decode.
+    #[test]
+    fn reader_skips_short_frames() {
+        let r = sample_report(7);
+        let mut stream = Vec::new();
+        append_framed_payload(&mut stream, &[0xaa; 10]); // short garbage frame
+        append_framed_report(&mut stream, &r);
+        let mut fr = FrameReader::new();
+        fr.push(&stream);
+        let mut out = Vec::new();
+        fr.drain_into(&mut out);
+        assert_eq!(out, vec![r]);
+        assert_eq!(fr.decode_errors(), 1);
+        assert_eq!(fr.frames(), 2);
+        assert!(!fr.poisoned());
+    }
+
+    /// An out-of-bounds length prefix poisons the stream: one error, no
+    /// further decoding, connection must drop.
+    #[test]
+    fn reader_poisons_on_oversized_prefix() {
+        let r = sample_report(8);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&((MAX_FRAME_LEN + 1) as u16).to_be_bytes());
+        stream.extend_from_slice(&[0u8; 64]);
+        append_framed_report(&mut stream, &r);
+        let mut fr = FrameReader::new();
+        fr.push(&stream);
+        assert_eq!(fr.next_report(), None);
+        assert!(fr.poisoned());
+        assert_eq!(fr.decode_errors(), 1);
+        // Pushes after poison are ignored; finish() adds nothing more.
+        fr.push(&stream);
+        fr.finish();
+        assert_eq!(fr.decode_errors(), 1);
+        assert_eq!(fr.reports(), 0);
+    }
+
+    /// A zero length prefix is likewise a desync, not an empty frame.
+    #[test]
+    fn reader_poisons_on_zero_prefix() {
+        let mut fr = FrameReader::new();
+        fr.push(&[0, 0, 1, 2, 3]);
+        assert_eq!(fr.next_report(), None);
+        assert!(fr.poisoned());
+        assert_eq!(fr.decode_errors(), 1);
+    }
+
+    /// A stream ending mid-frame counts exactly one torn-tail error.
+    #[test]
+    fn reader_counts_torn_tail_once() {
+        let r = sample_report(9);
+        let mut stream = Vec::new();
+        append_framed_report(&mut stream, &r);
+        append_framed_report(&mut stream, &sample_report(10));
+        let mut fr = FrameReader::new();
+        fr.push(&stream[..stream.len() - 5]); // second frame torn
+        let mut out = Vec::new();
+        fr.drain_into(&mut out);
+        assert_eq!(out, vec![r]);
+        fr.finish();
+        assert_eq!(fr.decode_errors(), 1);
+        assert_eq!(fr.reports(), 1);
+        assert_eq!(fr.frames(), 1);
+    }
+
+    /// Datagram decode: whole frames packed back-to-back, torn tail counted.
+    #[test]
+    fn datagram_roundtrip_and_torn_tail() {
+        let reports: Vec<TagReport> = (20..25).map(sample_report).collect();
+        let mut dgram = Vec::new();
+        for r in &reports {
+            append_framed_report(&mut dgram, r);
+        }
+        let mut out = Vec::new();
+        let s = decode_datagram(&dgram, &mut out);
+        assert_eq!(out, reports);
+        assert_eq!((s.frames, s.decode_errors), (5, 0));
+
+        let mut out = Vec::new();
+        let s = decode_datagram(&dgram[..dgram.len() - 3], &mut out);
+        assert_eq!(out, reports[..4].to_vec());
+        assert_eq!((s.frames, s.decode_errors), (4, 1));
+    }
+
+    /// Seeded corruption property test: streams of framed reports are torn
+    /// into random-size pushes and a known subset of payloads takes a
+    /// single-bit flip (the checksum catches *all* single-bit corruption),
+    /// so the reader must report exactly that many decode errors, decode
+    /// exactly the clean reports, and never panic.
+    #[test]
+    fn torn_corrupted_streams_count_errors_exactly() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(0x57e4_0000 ^ seed);
+            let n = rng.gen_range(1..40usize);
+            let reports: Vec<TagReport> = (0..n)
+                .map(|i| sample_report(seed * 1000 + i as u64))
+                .collect();
+            let mut stream = Vec::new();
+            let mut expect_errors = 0u64;
+            let mut expect_ok: Vec<TagReport> = Vec::new();
+            for r in &reports {
+                if rng.gen_bool(0.25) {
+                    // Corrupt one bit of the payload (never the prefix, so
+                    // framing stays intact and the count is exact).
+                    let mut payload = Vec::with_capacity(REPORT_WIRE_LEN);
+                    crate::encode_report_to(&mut payload, r);
+                    let bit = rng.gen_range(0..payload.len() * 8);
+                    payload[bit / 8] ^= 1 << (bit % 8);
+                    append_framed_payload(&mut stream, &payload);
+                    expect_errors += 1;
+                } else {
+                    append_framed_report(&mut stream, r);
+                    expect_ok.push(*r);
+                }
+            }
+            // Optionally tear the tail off mid-frame: the torn frame (and
+            // any fully-lost ones) leave the expectation sets.
+            let torn = rng.gen_bool(0.5);
+            let cut = if torn {
+                rng.gen_range(0..stream.len())
+            } else {
+                stream.len()
+            };
+
+            let mut fr = FrameReader::new();
+            let mut fed = 0usize;
+            let mut out = Vec::new();
+            while fed < cut {
+                let chunk = rng.gen_range(1..=64usize).min(cut - fed);
+                fr.push(&stream[fed..fed + chunk]);
+                fed += chunk;
+                fr.drain_into(&mut out);
+            }
+            fr.finish();
+            // Exactness on the untorn case; on torn streams the decoded
+            // reports must be a strict prefix of the clean set and the
+            // error count can lose whole corrupted frames past the cut but
+            // gains at most the one torn-tail error.
+            if !torn {
+                assert_eq!(out, expect_ok, "seed {seed}");
+                assert_eq!(fr.decode_errors(), expect_errors, "seed {seed}");
+                assert_eq!(fr.frames(), n as u64, "seed {seed}");
+            } else {
+                assert!(out.len() <= expect_ok.len(), "seed {seed}");
+                assert_eq!(out[..], expect_ok[..out.len()], "seed {seed}");
+                assert!(fr.decode_errors() <= expect_errors + 1, "seed {seed}");
+            }
+            // Conservation: every consumed frame is a report or an error
+            // (torn tails add an error without a frame).
+            assert!(
+                fr.frames() <= fr.reports() + fr.decode_errors(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// Pure garbage never panics the reader, whatever the chunking.
+    #[test]
+    fn garbage_streams_never_panic() {
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(0xbad_f00d ^ seed);
+            let len = rng.gen_range(0..2048usize);
+            let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let mut fr = FrameReader::new();
+            let mut fed = 0usize;
+            let mut out = Vec::new();
+            while fed < garbage.len() {
+                let chunk = rng.gen_range(1..=128usize).min(garbage.len() - fed);
+                fr.push(&garbage[fed..fed + chunk]);
+                fed += chunk;
+                fr.drain_into(&mut out);
+            }
+            fr.finish();
+            let mut out2 = Vec::new();
+            decode_datagram(&garbage, &mut out2);
+        }
+    }
+}

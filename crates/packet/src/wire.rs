@@ -37,6 +37,10 @@ pub enum WireError {
     BadProto(u8),
     /// Report frame failed its ones-complement checksum (bit corruption).
     BadChecksum,
+    /// A length prefix declared a frame the stream framing cannot carry
+    /// (zero or beyond [`MAX_FRAME_LEN`]). Byte-stream framing is lost at
+    /// this point; the connection must be dropped.
+    BadFrameLength(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -48,6 +52,12 @@ impl std::fmt::Display for WireError {
             WireError::TagWidth(w) => write!(f, "{w}-bit tag cannot ride a 16-bit VLAN TCI"),
             WireError::BadProto(p) => write!(f, "protocol {p} has no port fields"),
             WireError::BadChecksum => write!(f, "report checksum mismatch (corrupted frame)"),
+            WireError::BadFrameLength(n) => {
+                write!(
+                    f,
+                    "length prefix {n} outside framing bounds (stream desynced)"
+                )
+            }
         }
     }
 }
@@ -199,6 +209,41 @@ fn ones_complement_fold(bytes: &[u8]) -> u8 {
 /// Byte length of an encoded tag report.
 pub const REPORT_WIRE_LEN: usize = 2 + 8 + 6 + 6 + 13 + 9 + 1;
 
+/// Byte length of one length-prefixed report frame as it travels a stream
+/// transport ([`append_framed_report`]): `u16` length prefix + payload.
+pub const FRAMED_REPORT_WIRE_LEN: usize = 2 + REPORT_WIRE_LEN;
+
+/// Upper bound a stream length prefix may declare. Reports are fixed-size
+/// today; the slack leaves room for future frame kinds without letting a
+/// corrupted prefix make a reader buffer megabytes before noticing the
+/// stream is garbage.
+pub const MAX_FRAME_LEN: usize = 256;
+
+/// Append a tag report's wire bytes (no length prefix) to `out`.
+///
+/// This is the allocation-free core shared by [`encode_report`] (which
+/// wraps the bytes in a [`Bytes`]) and the framed stream writers; ingest
+/// clients call it in a loop against one reusable buffer.
+pub fn encode_report_to(out: &mut Vec<u8>, r: &TagReport) {
+    let start = out.len();
+    out.reserve(REPORT_WIRE_LEN);
+    out.extend_from_slice(&REPORT_MAGIC.to_be_bytes());
+    out.extend_from_slice(&r.epoch.to_be_bytes());
+    out.extend_from_slice(&r.inport.switch.0.to_be_bytes());
+    out.extend_from_slice(&r.inport.port.0.to_be_bytes());
+    out.extend_from_slice(&r.outport.switch.0.to_be_bytes());
+    out.extend_from_slice(&r.outport.port.0.to_be_bytes());
+    out.extend_from_slice(&r.header.src_ip.to_be_bytes());
+    out.extend_from_slice(&r.header.dst_ip.to_be_bytes());
+    out.push(r.header.proto);
+    out.extend_from_slice(&r.header.src_port.to_be_bytes());
+    out.extend_from_slice(&r.header.dst_port.to_be_bytes());
+    out.push(r.tag.nbits() as u8);
+    out.extend_from_slice(&r.tag.bits().to_be_bytes());
+    let csum = !ones_complement_fold(&out[start..]);
+    out.push(csum);
+}
+
 /// Encode a tag report as a UDP payload.
 ///
 /// Layout (big-endian):
@@ -210,28 +255,36 @@ pub const REPORT_WIRE_LEN: usize = 2 + 8 + 6 + 6 + 13 + 9 + 1;
 /// of every preceding byte; [`decode_report`] rejects frames whose total sum
 /// does not fold to `0xff` with [`WireError::BadChecksum`].
 pub fn encode_report(r: &TagReport) -> Bytes {
-    let mut b = BytesMut::with_capacity(REPORT_WIRE_LEN);
-    b.put_u16(REPORT_MAGIC);
-    b.put_u64(r.epoch);
-    b.put_u32(r.inport.switch.0);
-    b.put_u16(r.inport.port.0);
-    b.put_u32(r.outport.switch.0);
-    b.put_u16(r.outport.port.0);
-    b.put_u32(r.header.src_ip);
-    b.put_u32(r.header.dst_ip);
-    b.put_u8(r.header.proto);
-    b.put_u16(r.header.src_port);
-    b.put_u16(r.header.dst_port);
-    b.put_u8(r.tag.nbits() as u8);
-    b.put_u64(r.tag.bits());
-    let csum = !ones_complement_fold(&b);
-    b.put_u8(csum);
-    b.freeze()
+    let mut v = Vec::with_capacity(REPORT_WIRE_LEN);
+    encode_report_to(&mut v, r);
+    Bytes::from(v)
 }
 
-/// Decode a tag report payload, rejecting corrupted frames.
-pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
-    if buf.remaining() < REPORT_WIRE_LEN {
+/// Append one length-prefixed report frame (`u16` length + payload) to
+/// `out` — the unit both stream transports carry: a TCP connection is a
+/// sequence of these frames, and a UDP datagram packs as many whole frames
+/// as fit ([`decode_datagram`]).
+pub fn append_framed_report(out: &mut Vec<u8>, r: &TagReport) {
+    out.reserve(FRAMED_REPORT_WIRE_LEN);
+    out.extend_from_slice(&(REPORT_WIRE_LEN as u16).to_be_bytes());
+    encode_report_to(out, r);
+}
+
+/// Append one length-prefixed frame around pre-encoded payload bytes —
+/// the escape hatch chaos injection uses to ship deliberately corrupted
+/// payloads through the real framing.
+pub fn append_framed_payload(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    out.reserve(2 + payload.len());
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decode a tag report straight off a borrowed buffer — the zero-copy path
+/// the ingest server runs against its recv buffers. [`decode_report`] is
+/// this plus [`Bytes`] ownership.
+pub fn decode_report_slice(buf: &[u8]) -> Result<TagReport, WireError> {
+    if buf.len() < REPORT_WIRE_LEN {
         return Err(WireError::Truncated);
     }
     // Checksum covers the whole frame; a valid frame's total (payload plus
@@ -239,22 +292,36 @@ pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
     if ones_complement_fold(&buf[..REPORT_WIRE_LEN]) != 0xff {
         return Err(WireError::BadChecksum);
     }
-    let magic = buf.get_u16();
+    let u16at = |i: usize| u16::from_be_bytes([buf[i], buf[i + 1]]);
+    let u32at = |i: usize| u32::from_be_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
+    let u64at = |i: usize| {
+        u64::from_be_bytes([
+            buf[i],
+            buf[i + 1],
+            buf[i + 2],
+            buf[i + 3],
+            buf[i + 4],
+            buf[i + 5],
+            buf[i + 6],
+            buf[i + 7],
+        ])
+    };
+    let magic = u16at(0);
     if magic != REPORT_MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let epoch = buf.get_u64();
-    let inport = PortRef::new(buf.get_u32(), buf.get_u16());
-    let outport = PortRef::new(buf.get_u32(), buf.get_u16());
+    let epoch = u64at(2);
+    let inport = PortRef::new(u32at(10), u16at(14));
+    let outport = PortRef::new(u32at(16), u16at(20));
     let header = FiveTuple {
-        src_ip: buf.get_u32(),
-        dst_ip: buf.get_u32(),
-        proto: buf.get_u8(),
-        src_port: buf.get_u16(),
-        dst_port: buf.get_u16(),
+        src_ip: u32at(22),
+        dst_ip: u32at(26),
+        proto: buf[30],
+        src_port: u16at(31),
+        dst_port: u16at(33),
     };
-    let nbits = buf.get_u8() as u32;
-    let bits = buf.get_u64();
+    let nbits = buf[35] as u32;
+    let bits = u64at(36);
     if !(8..=64).contains(&nbits) || (nbits < 64 && bits >> nbits != 0) {
         return Err(WireError::Truncated);
     }
@@ -265,6 +332,186 @@ pub fn decode_report(mut buf: Bytes) -> Result<TagReport, WireError> {
         tag: BloomTag::from_bits(bits, nbits),
         epoch,
     })
+}
+
+/// Decode a tag report payload, rejecting corrupted frames.
+pub fn decode_report(buf: Bytes) -> Result<TagReport, WireError> {
+    decode_report_slice(buf.as_ref())
+}
+
+/// What [`decode_datagram`] saw inside one datagram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatagramSummary {
+    /// Whole frames the datagram carried (decoded + rejected).
+    pub frames: u64,
+    /// Frames rejected by the report decoder (checksum/format), plus one
+    /// for a torn trailing partial frame if the datagram ends mid-frame.
+    pub decode_errors: u64,
+}
+
+/// Decode every length-prefixed report frame packed into one datagram,
+/// zero-copy off the recv buffer. Datagrams carry only whole frames; a
+/// truncated tail or an out-of-bounds length prefix counts as one decode
+/// error and ends the walk (datagram framing cannot resync past it).
+pub fn decode_datagram(buf: &[u8], out: &mut Vec<TagReport>) -> DatagramSummary {
+    let mut s = DatagramSummary::default();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < 2 {
+            s.decode_errors += 1;
+            break;
+        }
+        let len = u16::from_be_bytes([buf[pos], buf[pos + 1]]) as usize;
+        pos += 2;
+        if len == 0 || len > MAX_FRAME_LEN || buf.len() - pos < len {
+            s.decode_errors += 1;
+            break;
+        }
+        s.frames += 1;
+        match decode_report_slice(&buf[pos..pos + len]) {
+            Ok(r) => out.push(r),
+            Err(_) => s.decode_errors += 1,
+        }
+        pos += len;
+    }
+    s
+}
+
+/// Incremental decoder for the length-prefixed report stream a TCP
+/// connection carries.
+///
+/// Feed arbitrary byte chunks with [`FrameReader::push`] (exactly as they
+/// come off `read()` — torn anywhere, including mid-prefix) and pull decoded
+/// reports with [`FrameReader::next_report`]. Malformed frames never panic
+/// and are never silent:
+///
+/// * a **partial frame** (prefix or payload not fully arrived) simply waits
+///   for more bytes;
+/// * a **short or corrupted frame** (wrong declared length for a report, or
+///   checksum/format rejection) counts one decode error and skips to the
+///   next frame — framing stays intact because the prefix was honored;
+/// * an **out-of-bounds length prefix** (zero or beyond [`MAX_FRAME_LEN`])
+///   means the byte stream itself is desynced: the reader counts one decode
+///   error and *poisons* itself ([`FrameReader::poisoned`]); the connection
+///   must be dropped, since no later byte can be trusted to start a frame.
+///
+/// At connection end, [`FrameReader::finish`] counts a torn trailing
+/// partial frame as one final decode error, so
+/// `frames == reports + decode_errors` holds over any prefix of any byte
+/// stream — the conservation identity the ingest server's accounting gates
+/// on.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted on push once it outgrows the
+    /// unread remainder.
+    pos: usize,
+    frames: u64,
+    reports: u64,
+    decode_errors: u64,
+    poisoned: bool,
+}
+
+impl FrameReader {
+    /// A fresh reader at stream start.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Feed bytes exactly as received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, if one has fully arrived. Bad frames
+    /// are counted and skipped internally, so `None` always means "wait for
+    /// more bytes" (or a poisoned stream), never "there was a bad frame".
+    pub fn next_report(&mut self) -> Option<TagReport> {
+        while !self.poisoned {
+            let avail = self.buf.len() - self.pos;
+            if avail < 2 {
+                return None;
+            }
+            let len = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]) as usize;
+            if len == 0 || len > MAX_FRAME_LEN {
+                self.decode_errors += 1;
+                self.poisoned = true;
+                return None;
+            }
+            if avail < 2 + len {
+                return None;
+            }
+            let start = self.pos + 2;
+            let frame = &self.buf[start..start + len];
+            self.frames += 1;
+            let decoded = decode_report_slice(frame);
+            self.pos = start + len;
+            match decoded {
+                Ok(r) => {
+                    self.reports += 1;
+                    return Some(r);
+                }
+                Err(_) => self.decode_errors += 1,
+            }
+        }
+        None
+    }
+
+    /// Decode everything currently buffered into `out`; returns how many
+    /// reports were appended.
+    pub fn drain_into(&mut self, out: &mut Vec<TagReport>) -> usize {
+        let before = out.len();
+        while let Some(r) = self.next_report() {
+            out.push(r);
+        }
+        out.len() - before
+    }
+
+    /// Close the stream: a torn trailing partial frame (any undecoded bytes
+    /// left, on a non-poisoned stream) counts as one last decode error.
+    /// Idempotent once the buffer is empty.
+    pub fn finish(&mut self) {
+        while self.next_report().is_some() {}
+        if !self.poisoned && self.pos < self.buf.len() {
+            self.decode_errors += 1;
+        }
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Whole frames consumed so far (decoded + rejected; poison and torn
+    /// tails count as errors but not frames).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Reports successfully decoded.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Frames/streams rejected: checksum or format failures, out-of-bounds
+    /// prefixes, torn tails at [`FrameReader::finish`].
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Whether the byte stream lost framing (the connection is dead).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 trait PutU48 {

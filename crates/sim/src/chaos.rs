@@ -36,6 +36,7 @@ use veridp_packet::{
 use veridp_switch::{prefix_mask, Action, Fault, Match, RuleId};
 use veridp_topo::HostRole;
 
+use crate::agent::SwitchAgent;
 use crate::monitor::Monitor;
 
 /// Knobs of the lossy report channel. Rates are percentages in `[0, 100]`.
@@ -64,6 +65,20 @@ impl Default for ChaosConfig {
 
 fn prob(pct: f64) -> f64 {
     (pct / 100.0).clamp(0.0, 1.0)
+}
+
+impl ChaosConfig {
+    pub(crate) fn loss_prob(&self) -> f64 {
+        prob(self.loss_pct)
+    }
+
+    pub(crate) fn dup_prob(&self) -> f64 {
+        prob(self.dup_pct)
+    }
+
+    pub(crate) fn corrupt_prob(&self) -> f64 {
+        prob(self.corrupt_pct)
+    }
 }
 
 /// What the channel did to the frames that crossed it.
@@ -211,6 +226,13 @@ pub struct ScenarioConfig {
     pub drain_period: usize,
     /// TCP destination port of the generated flows.
     pub dst_port: u16,
+    /// When set, reports travel over a real loopback socket: a
+    /// [`SwitchAgent`] applies the chaos knobs at the
+    /// send side and a [`veridp_net::IngestServer`] (polled mode) decodes
+    /// on the far end, so datagram packing / stream reassembly / checksum
+    /// rejection all happen in the actual wire path. `None` keeps the
+    /// in-process [`ReportChannel`] (which additionally reorders).
+    pub transport: Option<veridp_net::Transport>,
 }
 
 impl Default for ScenarioConfig {
@@ -223,6 +245,7 @@ impl Default for ScenarioConfig {
             churn_period: 7,
             drain_period: 5,
             dst_port: 80,
+            transport: None,
         }
     }
 }
@@ -415,6 +438,96 @@ fn inject_fault<B: HeaderSetBackend>(
     Some((sid, rid))
 }
 
+/// The report path of one scenario run: the in-process [`ReportChannel`]
+/// or a [`SwitchAgent`] + polled [`veridp_net::IngestServer`] over a real
+/// loopback socket.
+enum Wire {
+    InProcess(ReportChannel),
+    Socket {
+        agent: SwitchAgent,
+        listener: veridp_net::IngestServer,
+        delivered: u64,
+    },
+}
+
+impl Wire {
+    fn new(cfg: &ScenarioConfig) -> Wire {
+        match cfg.transport {
+            None => Wire::InProcess(ReportChannel::new(cfg.chaos.clone())),
+            Some(transport) => {
+                let net_cfg = veridp_net::IngestConfig::for_addr(transport, "127.0.0.1:0")
+                    .expect("loopback resolves");
+                let listener =
+                    veridp_net::IngestServer::bind(net_cfg).expect("bind loopback listener");
+                let agent =
+                    SwitchAgent::connect(transport, listener.local_addr(), cfg.chaos.clone())
+                        .expect("connect agent");
+                Wire::Socket {
+                    agent,
+                    listener,
+                    delivered: 0,
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, report: &TagReport) {
+        match self {
+            Wire::InProcess(ch) => ch.send(report),
+            Wire::Socket { agent, .. } => agent.send(report).expect("loopback send"),
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TagReport> {
+        match self {
+            Wire::InProcess(ch) => ch.drain(),
+            Wire::Socket {
+                agent,
+                listener,
+                delivered,
+            } => {
+                agent.flush().expect("loopback flush");
+                // Frames stay countable through corruption (framing is
+                // intact), so on loopback the server's frame counter
+                // converges to what the agent put on the wire; the timeout
+                // only matters if the kernel dropped datagrams.
+                listener.wait_frames(agent.frames_sent(), std::time::Duration::from_secs(5));
+                let mut out = Vec::new();
+                listener.try_drain(&mut out);
+                *delivered += out.len() as u64;
+                out
+            }
+        }
+    }
+
+    /// Tear the wire down, returning the final channel accounting plus any
+    /// reports that were still in flight at shutdown.
+    fn finish(self) -> (ChaosStats, Vec<TagReport>) {
+        match self {
+            Wire::InProcess(ch) => (*ch.stats(), Vec::new()),
+            Wire::Socket {
+                agent,
+                listener,
+                delivered,
+            } => {
+                let frames_sent = agent.frames_sent();
+                let (mut stats, _client) = agent.finish().expect("loopback finish");
+                listener.wait_frames(frames_sent, std::time::Duration::from_secs(5));
+                let mut leftovers = Vec::new();
+                let snap = listener.shutdown_polled(&mut leftovers);
+                stats.delivered = delivered + leftovers.len() as u64;
+                stats.rejected = snap.decode_errors;
+                // Queue overflow sheds count as drops: lost on the wire
+                // path, visibly accounted either way.
+                stats.dropped += snap.shed;
+                obs::counter!("veridp_chaos_rejected_total").add(snap.decode_errors);
+                obs::counter!("veridp_chaos_delivered_total").add(stats.delivered);
+                (stats, leftovers)
+            }
+        }
+    }
+}
+
 /// Run the full chaos scenario against an already-deployed monitor:
 /// multi-round all-pairs traffic, reports routed through a [`ReportChannel`],
 /// rules churned under traffic, robust ingest on the server, quarantine
@@ -427,7 +540,7 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
     // choices must not shift when loss/dup/corrupt rates change.
     let mut rng =
         StdRng::seed_from_u64(cfg.chaos.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed);
-    let mut channel = ReportChannel::new(cfg.chaos.clone());
+    let mut channel = Wire::new(cfg);
     m.server.set_robust(Some(cfg.robust.clone()));
 
     let injected = inject_fault(m, cfg.fault, &mut rng);
@@ -519,6 +632,16 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
         m.server.settle();
     }
 
+    // Tear the wire down; anything still in flight (socket mode) gets one
+    // last ingest + settle so the accounting closes.
+    let (channel_stats, leftovers) = channel.finish();
+    if !leftovers.is_empty() {
+        for r in &leftovers {
+            m.server.ingest_robust(r);
+        }
+        m.server.settle();
+    }
+
     let stats = m.server.stats().clone();
     let confirmed = m
         .server
@@ -549,7 +672,7 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
         seed: cfg.chaos.seed,
         flows,
         churn_ops,
-        channel: *channel.stats(),
+        channel: channel_stats,
         injected: injected_sid,
         injected_name,
         detected,

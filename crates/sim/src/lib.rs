@@ -36,6 +36,7 @@
 //! # Ok::<(), veridp_controller::ControllerError>(())
 //! ```
 
+pub mod agent;
 pub mod baselines;
 pub mod chaos;
 pub mod churn;
@@ -44,6 +45,7 @@ mod monitor;
 mod network;
 mod rewrite_monitor;
 
+pub use agent::SwitchAgent;
 pub use chaos::{
     run_chaos_scenario, ChaosConfig, ChaosStats, ChaosSummary, FaultKind, ReportChannel,
     ScenarioConfig,

@@ -950,6 +950,107 @@ mod chaos {
             "unbalanced braces in {json}"
         );
     }
+
+    #[test]
+    fn agent_zero_rates_is_faithful_over_tcp() {
+        use veridp_net::{IngestConfig, IngestServer, Transport};
+        let listener =
+            IngestServer::bind(IngestConfig::for_addr(Transport::Tcp, "127.0.0.1:0").unwrap())
+                .unwrap();
+        let cfg = ChaosConfig {
+            seed: 11,
+            loss_pct: 0.0,
+            dup_pct: 0.0,
+            corrupt_pct: 0.0,
+        };
+        let mut agent =
+            crate::SwitchAgent::connect(Transport::Tcp, listener.local_addr(), cfg).unwrap();
+        let reports = sample_reports(400);
+        for r in &reports {
+            agent.send(r).unwrap();
+        }
+        let (chaos, client) = agent.finish().unwrap();
+        assert_eq!(chaos.emitted, 400);
+        assert_eq!(
+            (chaos.dropped, chaos.duplicated, chaos.corrupted),
+            (0, 0, 0)
+        );
+        assert_eq!(client.reports_sent, 400);
+
+        let mut got = Vec::new();
+        let snap = listener.shutdown_polled(&mut got);
+        assert_eq!(got, reports, "faithful agent over TCP preserves order");
+        assert_eq!(snap.decode_errors, 0);
+        assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn agent_send_side_chaos_reaches_server_checksum() {
+        use veridp_net::{IngestConfig, IngestServer, Transport};
+        let listener =
+            IngestServer::bind(IngestConfig::for_addr(Transport::Tcp, "127.0.0.1:0").unwrap())
+                .unwrap();
+        let cfg = ChaosConfig {
+            seed: 13,
+            loss_pct: 0.0,
+            dup_pct: 0.0,
+            corrupt_pct: 100.0,
+        };
+        let mut agent =
+            crate::SwitchAgent::connect(Transport::Tcp, listener.local_addr(), cfg).unwrap();
+        let reports = sample_reports(300);
+        for r in &reports {
+            agent.send(r).unwrap();
+        }
+        let (chaos, _client) = agent.finish().unwrap();
+        assert_eq!(chaos.corrupted, 300);
+
+        let mut got = Vec::new();
+        let snap = listener.shutdown_polled(&mut got);
+        assert_eq!(snap.frames, 300, "corrupt frames keep framing intact");
+        assert_eq!(snap.decode_errors + got.len() as u64, 300);
+        assert!(
+            snap.decode_errors > 290,
+            "server-side checksum should reject almost every 1–3 bit flip: {snap:?}"
+        );
+        assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn scenario_over_sockets_detects_wrongport() {
+        for transport in [veridp_net::Transport::Tcp, veridp_net::Transport::Udp] {
+            let mut m = Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).unwrap();
+            let cfg = ScenarioConfig {
+                chaos: ChaosConfig {
+                    seed: 2,
+                    ..ChaosConfig::default()
+                },
+                fault: FaultKind::WrongPort,
+                transport: Some(transport),
+                ..ScenarioConfig::default()
+            };
+            let summary = run_chaos_scenario(&mut m, &cfg);
+            assert!(
+                summary.detected,
+                "{transport}: fault at {} not confirmed; confirmed = {:?}",
+                summary.injected_name, summary.confirmed
+            );
+            assert_eq!(
+                summary.false_alarms, 0,
+                "{transport}: false alarms; confirmed = {:?}",
+                summary.confirmed
+            );
+            // The wire path rejected some of the corrupted frames, and the
+            // ingest accounting still balances exactly.
+            assert!(summary.channel.corrupted > 0);
+            assert_eq!(
+                summary.channel.delivered,
+                summary.stats.reports + summary.stats.duplicates,
+                "{transport}: report accounting leak"
+            );
+            assert!(summary.ok());
+        }
+    }
 }
 
 #[test]

@@ -34,6 +34,11 @@ echo "== pipeline_overhead (quick) =="
 cargo bench -q --offline -p veridp-bench --bench pipeline_overhead
 
 echo
+echo "== net_ingest (quick): loopback socket ingest throughput =="
+VERIDP_BENCH_OUT="$OUT_DIR/BENCH_net_ingest.json" \
+    cargo bench -q --offline -p veridp-bench --bench net_ingest
+
+echo
 echo "== obs_overhead (quick): instrumentation enabled vs compiled out =="
 # Two builds cannot interleave in one process, so alternate them
 # (off/on/off/on/off/on) and let the final run take per-mode minimums

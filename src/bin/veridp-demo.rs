@@ -8,7 +8,16 @@
 //!             [--verify-cache on|off] [--churn-rate N] [--metrics-json PATH]
 //!             [--chaos SEED] [--chaos-loss PCT] [--chaos-dup PCT]
 //!             [--chaos-corrupt PCT] [--chaos-json PATH]
+//!             [--listen PROTO:ADDR] [--connect PROTO:ADDR]
+//!             [--clients N] [--repeat N]
 //! ```
+//!
+//! `--listen udp:127.0.0.1:7641` puts the deployed server behind a real
+//! socket listener (UDP datagrams or a length-prefixed TCP stream) with a
+//! verify pump draining it; `--connect udp:127.0.0.1:7641` on the same
+//! topology generates the all-pairs report set and replays it from
+//! `--clients` concurrent senders. See the "Network ingest" section of the
+//! README for end-to-end examples.
 //!
 //! The header-set backend defaults to `bdd`; `--backend atoms` (or the
 //! `VERIDP_BACKEND` environment variable) switches the whole pipeline to
@@ -69,6 +78,12 @@ struct Options {
     chaos_dup: f64,
     chaos_corrupt: f64,
     chaos_json: Option<String>,
+    listen: Option<String>,
+    connect: Option<String>,
+    clients: usize,
+    repeat: usize,
+    serve_idle_ms: u64,
+    serve_max_secs: u64,
 }
 
 fn parse_args() -> Options {
@@ -86,6 +101,12 @@ fn parse_args() -> Options {
         chaos_dup: 5.0,
         chaos_corrupt: 2.0,
         chaos_json: None,
+        listen: None,
+        connect: None,
+        clients: 4,
+        repeat: 1,
+        serve_idle_ms: 2000,
+        serve_max_secs: 120,
     };
     let args: Vec<String> = env::args().skip(1).collect();
     let mut it = args.iter();
@@ -141,6 +162,28 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|_| usage("bad --chaos-corrupt"))
             }
             "--chaos-json" => o.chaos_json = Some(val("--chaos-json")),
+            "--listen" => o.listen = Some(val("--listen")),
+            "--connect" => o.connect = Some(val("--connect")),
+            "--clients" => {
+                o.clients = val("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --clients"))
+            }
+            "--repeat" => {
+                o.repeat = val("--repeat")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --repeat"))
+            }
+            "--serve-idle-ms" => {
+                o.serve_idle_ms = val("--serve-idle-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --serve-idle-ms"))
+            }
+            "--serve-max-secs" => {
+                o.serve_max_secs = val("--serve-max-secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --serve-max-secs"))
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -180,7 +223,23 @@ fn usage(msg: &str) -> ! {
          \x20 --chaos-loss PCT        report drop percentage (default 5)\n\
          \x20 --chaos-dup PCT         report duplication percentage (default 5)\n\
          \x20 --chaos-corrupt PCT     report bit-corruption percentage (default 2)\n\
-         \x20 --chaos-json PATH       write the chaos summary as JSON to PATH"
+         \x20 --chaos-json PATH       write the chaos summary as JSON to PATH\n\
+         \x20 --listen PROTO:ADDR     network ingest server mode: deploy the monitor,\n\
+         \x20                         then listen for tag reports over real sockets\n\
+         \x20                         (udp:127.0.0.1:7641 or tcp:0.0.0.0:0). Exits once\n\
+         \x20                         traffic has been idle for --serve-idle-ms (or at\n\
+         \x20                         --serve-max-secs); prints reports/sec and p99\n\
+         \x20                         ingest latency. Exits nonzero on an ingest\n\
+         \x20                         accounting leak, or (with --fault none) on any\n\
+         \x20                         failed verdict.\n\
+         \x20 --connect PROTO:ADDR    client mode: generate all-pairs reports on the\n\
+         \x20                         same deployment and ship them to a --listen\n\
+         \x20                         server from --clients concurrent senders,\n\
+         \x20                         --repeat times each\n\
+         \x20 --clients N             concurrent sender connections (default 4)\n\
+         \x20 --repeat N              times each client replays the report set\n\
+         \x20 --serve-idle-ms MS      idle window ending a --listen run (default 2000)\n\
+         \x20 --serve-max-secs S      hard cap on a --listen run (default 120)"
     );
     std::process::exit(2);
 }
@@ -245,6 +304,15 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
         B::NAME,
         m.server.header_space().size_metric()
     );
+
+    if let Some(spec) = &o.listen {
+        run_listen(o, m, spec);
+        return;
+    }
+    if let Some(spec) = &o.connect {
+        run_connect(o, m, spec);
+        return;
+    }
 
     if let Some(chaos_seed) = o.chaos {
         run_chaos(o, &mut m, chaos_seed);
@@ -509,6 +577,188 @@ fn write_metrics<B: HeaderSetBackend>(m: &mut Monitor<B>, o: &Options) {
             Err(e) => eprintln!("error: writing metrics to {path}: {e}"),
         }
     }
+}
+
+/// Parse `PROTO:ADDR` (e.g. `udp:127.0.0.1:7641`) into a transport and a
+/// socket address.
+fn parse_endpoint(spec: &str) -> (veridp::net::Transport, std::net::SocketAddr) {
+    let Some((proto, addr)) = spec.split_once(':') else {
+        usage(&format!("bad endpoint {spec} (want PROTO:ADDR)"));
+    };
+    let transport: veridp::net::Transport = proto.parse().unwrap_or_else(|e: String| usage(&e));
+    use std::net::ToSocketAddrs;
+    let addr = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| usage(&format!("bad address {addr}")));
+    (transport, addr)
+}
+
+/// The `--listen` mode: the deployed `VeriDpServer` moves behind a real
+/// socket listener + verify pump; switch agents elsewhere (another
+/// veridp-demo with `--connect`) feed it over loopback or the network. The
+/// run ends after `--serve-idle-ms` of wire silence (once at least one
+/// frame arrived) or at `--serve-max-secs`, whichever is first.
+fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
+    use std::time::{Duration, Instant};
+
+    let (transport, addr) = parse_endpoint(spec);
+    let Monitor { server, .. } = m;
+    let cfg = veridp::net::IngestConfig::new(transport, addr);
+    let pipeline = veridp::net::serve(cfg, server).unwrap_or_else(|e| {
+        eprintln!("error: binding {spec}: {e}");
+        std::process::exit(2);
+    });
+    // Scrapeable by scripts: "listening <proto> <addr>".
+    println!(
+        "listening {} {}",
+        pipeline.transport(),
+        pipeline.local_addr()
+    );
+
+    let start = Instant::now();
+    let max = Duration::from_secs(o.serve_max_secs.max(1));
+    let idle = Duration::from_millis(o.serve_idle_ms.max(1));
+    let mut last_frames = 0u64;
+    let mut last_change = start;
+    let mut first_frame: Option<Instant> = None;
+    let mut last_print = start;
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = Instant::now();
+        let snap = pipeline.stats();
+        if snap.frames != last_frames {
+            last_frames = snap.frames;
+            last_change = now;
+            first_frame.get_or_insert(now);
+        }
+        if now - start > max || (first_frame.is_some() && now - last_change > idle) {
+            break;
+        }
+        if now - last_print > Duration::from_secs(2) && first_frame.is_some() {
+            println!(
+                "  [{:.1}s] {} frames, {} reports, {} verified, {} shed",
+                (now - start).as_secs_f64(),
+                snap.frames,
+                snap.reports,
+                snap.verified,
+                snap.shed
+            );
+            last_print = now;
+        }
+    }
+
+    let (server, snap) = pipeline.shutdown();
+    // Floor at one poll period: sub-50ms bursts would otherwise divide by
+    // (near) zero and print a nonsense rate.
+    let active = match first_frame {
+        Some(t0) => (last_change - t0).as_secs_f64().max(0.05),
+        None => start.elapsed().as_secs_f64(),
+    };
+    println!(
+        "\nwire: {} connections | {} datagrams | {} bytes | {} frames | {} decode errors",
+        snap.connections, snap.datagrams, snap.bytes, snap.frames, snap.decode_errors
+    );
+    println!(
+        "ingest: {} reports -> {} verified + {} shed ({} unaccounted) | {:.0} reports/sec over {:.2}s active",
+        snap.reports,
+        snap.verified,
+        snap.shed,
+        snap.unaccounted(),
+        snap.verified as f64 / active,
+        active
+    );
+    if let Some(lat) = &snap.ingest_latency {
+        println!(
+            "ingest latency per report: p50 {} ns, p99 {} ns, max {} ns ({} batches)",
+            lat.p50, lat.p99, lat.max, lat.count
+        );
+    }
+    let s = server.stats();
+    println!(
+        "server: {} reports | {} passed | {} failed ({} tag mismatch, {} no-matching-path)",
+        s.reports,
+        s.passed,
+        s.failed(),
+        s.tag_mismatch,
+        s.no_matching_path
+    );
+
+    if !snap.conserved() {
+        eprintln!(
+            "NET INVARIANT VIOLATED: ingest accounting leak ({} reports unaccounted)",
+            snap.unaccounted()
+        );
+        std::process::exit(1);
+    }
+    if o.fault == "none" && s.failed() > 0 {
+        eprintln!(
+            "NET INVARIANT VIOLATED: {} failed verdicts with no fault injected",
+            s.failed()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The `--connect` mode: deploy the same monitor, generate all-pairs
+/// traffic locally to obtain the ground-truth report set, then replay it
+/// to a `--listen` server from `--clients` concurrent senders. No fault is
+/// injected on this side — the reports describe a healthy network.
+fn run_connect<B: HeaderSetBackend>(o: &Options, mut m: Monitor<B>, spec: &str) {
+    use std::time::Instant;
+
+    let (transport, addr) = parse_endpoint(spec);
+    let outcomes = m.ping_all_pairs(80);
+    let epoch = m.server.table().epoch();
+    let reports: Vec<veridp::packet::TagReport> = outcomes
+        .iter()
+        .flat_map(|oc| oc.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+        .collect();
+    println!(
+        "replaying {} reports x {} to {spec} from {} clients",
+        reports.len(),
+        o.repeat,
+        o.clients.max(1)
+    );
+
+    let t0 = Instant::now();
+    let repeat = o.repeat.max(1);
+    let handles: Vec<_> = (0..o.clients.max(1))
+        .map(|c| {
+            let reports = reports.clone();
+            std::thread::spawn(move || {
+                let mut tx = veridp::net::NetSender::connect(transport, addr).unwrap_or_else(|e| {
+                    eprintln!("error: client {c} connecting: {e}");
+                    std::process::exit(2);
+                });
+                for _ in 0..repeat {
+                    for r in &reports {
+                        tx.send_report(r).expect("send report");
+                    }
+                    if transport == veridp::net::Transport::Udp {
+                        // Give the loopback socket buffer a breather between
+                        // replays so the kernel drops less.
+                        tx.flush().expect("flush");
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                tx.finish().expect("finish")
+            })
+        })
+        .collect();
+    let mut sent = 0u64;
+    let mut bytes = 0u64;
+    for h in handles {
+        let cs = h.join().expect("client thread");
+        sent += cs.reports_sent;
+        bytes += cs.bytes_sent;
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "clients done: {sent} reports, {bytes} bytes in {dt:.2}s ({:.0} reports/sec send-side)",
+        sent as f64 / dt
+    );
 }
 
 /// The `--chaos` mode: robust ingest behind a hostile report channel, rule

@@ -13,6 +13,8 @@
 //! * [`core`] — path table, verification, localization, incremental update;
 //! * [`atoms`] — the atom-partition header-set backend (Delta-net-style
 //!   interval atoms, an alternative to the BDD backend);
+//! * [`net`] — the socket front end: UDP/TCP report listeners feeding the
+//!   verify pipeline over real sockets;
 //! * [`sim`] — the discrete-event network simulator tying it all together;
 //! * [`obs`] — the zero-dependency metrics/tracing layer every stage above
 //!   reports into (compile out with the `obs-off` feature).
@@ -22,6 +24,7 @@ pub use veridp_bdd as bdd;
 pub use veridp_bloom as bloom;
 pub use veridp_controller as controller;
 pub use veridp_core as core;
+pub use veridp_net as net;
 pub use veridp_obs as obs;
 pub use veridp_packet as packet;
 pub use veridp_sim as sim;

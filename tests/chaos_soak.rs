@@ -15,6 +15,7 @@
 use veridp::atoms::AtomSpace;
 use veridp::controller::Intent;
 use veridp::core::{HeaderSetBackend, HeaderSpace};
+use veridp::net::Transport;
 use veridp::sim::{
     run_chaos_scenario, ChaosConfig, ChaosSummary, FaultKind, Monitor, ScenarioConfig,
 };
@@ -126,6 +127,51 @@ fn internet2_atoms_backend_wrongport() {
             true,
         );
         assert_soak_ok(&s, &format!("internet2/atoms/fast/seed{seed}"));
+    }
+}
+
+/// The same soak, but with every report leaving the switch agent over a
+/// real loopback socket (chaos applied at the send side) instead of the
+/// in-process `ReportChannel`. The conservation identity in
+/// `assert_soak_ok` then spans the OS: delivered counts what the listener
+/// actually decoded and enqueued, and `dropped` absorbs both send-side
+/// loss and any counted queue shed.
+fn soak_socket(transport: Transport, seed: u64, fault: FaultKind) -> ChaosSummary {
+    let mut m =
+        Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).expect("intents compile");
+    let cfg = ScenarioConfig {
+        chaos: ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        },
+        fault,
+        transport: Some(transport),
+        ..ScenarioConfig::default()
+    };
+    run_chaos_scenario(&mut m, &cfg)
+}
+
+#[test]
+fn internet2_wrongport_over_tcp_socket() {
+    for seed in [1u64, 2] {
+        let s = soak_socket(Transport::Tcp, seed, FaultKind::WrongPort);
+        assert_soak_ok(&s, &format!("internet2/tcp-socket/seed{seed}"));
+    }
+}
+
+#[test]
+fn internet2_blackhole_over_udp_socket() {
+    let s = soak_socket(Transport::Udp, 5, FaultKind::Blackhole);
+    assert_soak_ok(&s, "internet2/udp-socket/seed5");
+}
+
+#[test]
+fn internet2_no_fault_over_sockets_stays_silent() {
+    for transport in [Transport::Tcp, Transport::Udp] {
+        let s = soak_socket(transport, 8, FaultKind::None);
+        assert_soak_ok(&s, &format!("internet2/{transport}-socket/nofault/seed8"));
+        // Send-side chaos really ran against the wire.
+        assert!(s.channel.dropped > 0 && s.channel.duplicated > 0);
     }
 }
 
