@@ -1,14 +1,27 @@
 //! Aggregate ingest throughput of the socket front end: N concurrent
 //! clients blast tag reports over real loopback sockets at a single
 //! [`veridp_net::IngestPipeline`], and we measure how many reports/second
-//! the listener decodes + verifies end-to-end (wall clock spans first send
-//! through full drain-then-shutdown).
+//! the listener decodes + verifies end-to-end. All clients connect first
+//! and are released through a barrier; the wall clock spans the release
+//! through full drain-then-shutdown, so the rate reflects the pipeline
+//! with N live connections rather than client-thread setup cost.
 //!
-//! Both transports are measured at each client count. TCP is lossless —
-//! backpressure blocks the senders, so `verified == sent` and the rate is
-//! the pipeline's true capacity. UDP senders outrun the kernel's socket
-//! buffer on purpose; wire drops and counted queue shed are reported
-//! alongside the rate so the JSON never overstates delivery.
+//! Both transports are measured at each client count, and TCP is swept
+//! across both intake engines: the epoll **reactor** (a fixed pool of
+//! event-loop threads multiplexing every connection; Linux default) climbs
+//! to 1024 concurrent connections, while the portable **threaded** engine
+//! (one handler thread per connection) is sampled at the low end for
+//! comparison — the thread-per-connection column is the cost the reactor
+//! exists to avoid. TCP is lossless — backpressure blocks the senders, so
+//! `verified == sent` and the rate is the pipeline's true capacity. UDP
+//! senders outrun the kernel's socket buffer on purpose; wire drops and
+//! counted queue shed are reported alongside the rate so the JSON never
+//! overstates delivery.
+//!
+//! A final quiet-listener probe binds each engine, parks one idle
+//! connection on it for half a second of wire silence, and records
+//! `idle_wakeups` — the regression gate against the old 10ms-timeout spin:
+//! event-driven intake must report **zero**.
 //!
 //! Results go to stdout and `BENCH_net_ingest.json` (override with
 //! `VERIDP_BENCH_OUT`); `VERIDP_BENCH_QUICK=1` shrinks the volume and the
@@ -21,7 +34,7 @@ use std::time::{Duration, Instant};
 use veridp_bench::harness::{fmt_ns, hardware_threads, quick_mode, single_core_caveat};
 use veridp_bench::json::Json;
 use veridp_controller::Intent;
-use veridp_net::{serve, IngestConfig, NetSender, Transport};
+use veridp_net::{serve, IngestConfig, IngestMode, NetSender, Transport};
 use veridp_packet::TagReport;
 use veridp_sim::Monitor;
 use veridp_topo::gen;
@@ -48,6 +61,7 @@ fn fresh_server() -> veridp_core::VeriDpServer {
 }
 
 struct Case {
+    mode: IngestMode,
     transport: Transport,
     clients: usize,
     sent: u64,
@@ -55,20 +69,30 @@ struct Case {
     snap: veridp_net::NetStatsSnapshot,
 }
 
-fn run_case(pool: &[TagReport], transport: Transport, clients: usize, per_client: usize) -> Case {
-    let pipeline = serve(
-        IngestConfig::for_addr(transport, "127.0.0.1:0").expect("loopback"),
-        fresh_server(),
-    )
-    .expect("bind loopback");
+fn run_case(
+    pool: &[TagReport],
+    mode: IngestMode,
+    transport: Transport,
+    clients: usize,
+    per_client: usize,
+) -> Case {
+    let mut cfg = IngestConfig::for_addr(transport, "127.0.0.1:0").expect("loopback");
+    cfg.mode = mode;
+    let pipeline = serve(cfg, fresh_server()).expect("bind loopback");
+    let mode = pipeline.mode();
     let addr = pipeline.local_addr();
 
-    let start = Instant::now();
+    // Connect every client first, then release them together: the rate
+    // measures the pipeline with N live connections, not the client-side
+    // cost of spawning N threads on a possibly-capped runner.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients + 1));
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let pool: Vec<TagReport> = pool.to_vec();
+            let barrier = std::sync::Arc::clone(&barrier);
             std::thread::spawn(move || {
                 let mut tx = NetSender::connect(transport, addr).expect("connect");
+                barrier.wait();
                 for i in 0..per_client {
                     // Offset each client's walk so streams interleave
                     // distinct reports instead of marching in lockstep.
@@ -79,6 +103,8 @@ fn run_case(pool: &[TagReport], transport: Transport, clients: usize, per_client
             })
         })
         .collect();
+    barrier.wait();
+    let start = Instant::now();
     let sent: u64 = handles
         .into_iter()
         .map(|h| h.join().expect("client thread").reports_sent)
@@ -98,6 +124,7 @@ fn run_case(pool: &[TagReport], transport: Transport, clients: usize, per_client
 
     assert!(snap.conserved(), "accounting leak: {snap:?}");
     Case {
+        mode,
         transport,
         clients,
         sent,
@@ -106,14 +133,65 @@ fn run_case(pool: &[TagReport], transport: Transport, clients: usize, per_client
     }
 }
 
+/// Bind a listener, park one idle TCP connection on it, and hold the wire
+/// silent: event-driven intake must log zero idle wakeups over the window.
+fn quiet_probe(mode: IngestMode, quiet: Duration) -> veridp_net::NetStatsSnapshot {
+    let mut cfg = IngestConfig::for_addr(Transport::Tcp, "127.0.0.1:0").expect("loopback");
+    cfg.mode = mode;
+    let pipeline = serve(cfg, fresh_server()).expect("bind loopback");
+    let _idle = NetSender::connect(Transport::Tcp, pipeline.local_addr()).expect("connect");
+    std::thread::sleep(quiet);
+    let (_server, snap) = pipeline.shutdown();
+    snap
+}
+
+fn case_json(case: &Case) -> Json {
+    let rate = case.snap.verified as f64 / case.wall_s;
+    let lat = case.snap.ingest_latency.unwrap_or_default();
+    Json::obj([
+        ("mode", Json::str(case.mode.to_string())),
+        ("transport", Json::str(case.transport.name())),
+        ("clients", Json::Int(case.clients as i64)),
+        ("reports_sent", Json::Int(case.sent as i64)),
+        ("frames", Json::Int(case.snap.frames as i64)),
+        ("verified", Json::Int(case.snap.verified as i64)),
+        ("shed", Json::Int(case.snap.shed as i64)),
+        ("decode_errors", Json::Int(case.snap.decode_errors as i64)),
+        ("idle_wakeups", Json::Int(case.snap.idle_wakeups as i64)),
+        ("wall_s", Json::Num(case.wall_s)),
+        ("reports_per_sec", Json::Num(rate)),
+        ("ingest_p50_ns", Json::Int(lat.p50 as i64)),
+        ("ingest_p99_ns", Json::Int(lat.p99 as i64)),
+        ("conserved", Json::Bool(case.snap.conserved())),
+    ])
+}
+
 fn main() {
     let quick = quick_mode();
     let out_path =
         std::env::var("VERIDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_net_ingest.json".to_string());
     // Total reports per case, split across the clients.
     let total: usize = if quick { 64_000 } else { 1_500_000 };
-    let client_counts: &[usize] = if quick { &[1, 64] } else { &[1, 4, 16, 64] };
-    let max_clients = *client_counts.iter().max().unwrap();
+    // The event-driven engine: epoll on Linux; elsewhere the resolver falls
+    // back to the threaded engine and the JSON labels it honestly.
+    let event = if cfg!(target_os = "linux") {
+        IngestMode::Reactor
+    } else {
+        IngestMode::Threaded
+    };
+    let udp_counts: &[usize] = if quick { &[1, 64] } else { &[1, 4, 16, 64] };
+    let tcp_counts: &[usize] = if quick {
+        &[1, 64, 256]
+    } else {
+        &[1, 4, 16, 64, 256, 512, 1024]
+    };
+    let threaded_counts: &[usize] = if quick { &[1, 64] } else { &[1, 64, 256] };
+    let sweeps: &[(IngestMode, Transport, &[usize])] = &[
+        (event, Transport::Udp, udp_counts),
+        (event, Transport::Tcp, tcp_counts),
+        (IngestMode::Threaded, Transport::Tcp, threaded_counts),
+    ];
+    let max_clients = *tcp_counts.iter().max().unwrap();
 
     println!("net_ingest: loopback socket ingest, {total} reports/case across N clients");
     println!(
@@ -123,14 +201,16 @@ fn main() {
 
     let pool = report_pool();
     let mut results: Vec<Json> = Vec::new();
-    for &transport in &[Transport::Udp, Transport::Tcp] {
-        for &clients in client_counts {
+    let mut tcp_rates: Vec<(usize, f64)> = Vec::new();
+    for &(mode, transport, counts) in sweeps {
+        for &clients in counts {
             let per_client = total.div_ceil(clients);
-            let case = run_case(&pool, transport, clients, per_client);
+            let case = run_case(&pool, mode, transport, clients, per_client);
             let rate = case.snap.verified as f64 / case.wall_s;
             let lat = case.snap.ingest_latency.unwrap_or_default();
             println!(
-                "{:<4} clients={:<3} sent={:>8} verified={:>8} shed={:>6} rate={:>12.0} reports/s  p99={}",
+                "{:<8} {:<4} clients={:<4} sent={:>8} verified={:>8} shed={:>6} rate={:>12.0} reports/s  p99={}",
+                case.mode.to_string(),
                 case.transport.name(),
                 case.clients,
                 case.sent,
@@ -139,34 +219,63 @@ fn main() {
                 rate,
                 fmt_ns(lat.p99 as f64),
             );
-            results.push(Json::obj([
-                ("transport", Json::str(case.transport.name())),
-                ("clients", Json::Int(case.clients as i64)),
-                ("reports_sent", Json::Int(case.sent as i64)),
-                ("frames", Json::Int(case.snap.frames as i64)),
-                ("verified", Json::Int(case.snap.verified as i64)),
-                ("shed", Json::Int(case.snap.shed as i64)),
-                ("decode_errors", Json::Int(case.snap.decode_errors as i64)),
-                ("wall_s", Json::Num(case.wall_s)),
-                ("reports_per_sec", Json::Num(rate)),
-                ("ingest_p50_ns", Json::Int(lat.p50 as i64)),
-                ("ingest_p99_ns", Json::Int(lat.p99 as i64)),
-                ("conserved", Json::Bool(case.snap.conserved())),
-            ]));
+            if case.mode == event && transport == Transport::Tcp {
+                tcp_rates.push((clients, rate));
+            }
+            results.push(case_json(&case));
         }
     }
 
-    let doc = Json::obj([
-        ("bench", Json::str("net_ingest")),
-        ("quick", Json::Bool(quick)),
-        ("reports_per_case", Json::Int(total as i64)),
-        ("hardware_threads", Json::Int(hardware_threads() as i64)),
+    // Connection-scaling headline: the reactor must hold its rate as the
+    // connection count climbs (ISSUE gate: 512 clients within 10% of 64).
+    let rate_at = |n: usize| tcp_rates.iter().find(|(c, _)| *c == n).map(|(_, r)| *r);
+    let scaling = match (rate_at(64), rate_at(512)) {
+        (Some(base), Some(wide)) if base > 0.0 => {
+            let ratio = wide / base;
+            println!("\ntcp {event} scaling: 512-client rate is {ratio:.2}x the 64-client rate");
+            Some(ratio)
+        }
+        _ => None,
+    };
+
+    // Quiet listener: a parked connection and a silent wire must cost zero
+    // wakeups on event-driven intake (the old engine woke 100x/sec/socket).
+    let quiet = Duration::from_millis(500);
+    let mut quiet_json: Vec<Json> = Vec::new();
+    for mode in [event, IngestMode::Threaded] {
+        let snap = quiet_probe(mode, quiet);
+        println!(
+            "quiet {:<8} {}ms silent wire, 1 idle conn: {} idle wakeups",
+            mode.to_string(),
+            quiet.as_millis(),
+            snap.idle_wakeups
+        );
+        quiet_json.push(Json::obj([
+            ("mode", Json::str(mode.to_string())),
+            ("quiet_ms", Json::Int(quiet.as_millis() as i64)),
+            ("idle_wakeups", Json::Int(snap.idle_wakeups as i64)),
+        ]));
+    }
+
+    let mut top: Vec<(String, Json)> = vec![
+        ("bench".into(), Json::str("net_ingest")),
+        ("quick".into(), Json::Bool(quick)),
+        ("reports_per_case".into(), Json::Int(total as i64)),
         (
-            "single_core_caveat",
+            "hardware_threads".into(),
+            Json::Int(hardware_threads() as i64),
+        ),
+        (
+            "single_core_caveat".into(),
             Json::Bool(single_core_caveat(max_clients)),
         ),
-        ("results", Json::Arr(results)),
-    ]);
+        ("results".into(), Json::Arr(results)),
+        ("quiet_listener".into(), Json::Arr(quiet_json)),
+    ];
+    if let Some(ratio) = scaling {
+        top.push(("tcp_512_over_64_rate_ratio".into(), Json::Num(ratio)));
+    }
+    let doc = Json::Obj(top);
     std::fs::write(&out_path, doc.render_line()).expect("write bench json");
     println!("\nwrote {out_path}");
 }

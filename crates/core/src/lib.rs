@@ -85,7 +85,9 @@ pub use parallel::{
 pub use path_table::{PathEntry, PathTable, PathTableStats, ReachRecord};
 pub use predicates::SwitchPredicates;
 pub use robust::{Disposition, RecentFilter, RobustConfig, RobustState};
-pub use server::{Alarm, AlarmAggregator, ConfirmedAlarm, ServerStats, VeriDpServer};
+pub use server::{
+    Alarm, AlarmAggregator, ConfirmedAlarm, RobustHarvest, RobustWorker, ServerStats, VeriDpServer,
+};
 pub use snapshot::{
     ConcurrentTable, ReaderHandle, RuleUpdate, SnapshotGuard, SnapshotPublisher, SnapshotStats,
     TableVersion,

@@ -37,13 +37,6 @@ impl<B: HeaderSetBackend> SnapshotLayer<B> {
         let reader = publisher.reader();
         SnapshotLayer { publisher, reader }
     }
-
-    /// Run `f` against a pinned snapshot (table + backend of one immutable
-    /// version).
-    fn with_pinned<R>(&mut self, f: impl FnOnce(&PathTable<B>, &B) -> R) -> R {
-        let guard = self.reader.pin();
-        f(guard.table(), guard.backend())
-    }
 }
 
 /// Running verification statistics.
@@ -280,22 +273,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
     /// manually before snapshotting if exact up-to-the-report counts
     /// matter.
     pub fn publish_obs(&self) {
-        if !obs::ENABLED {
-            return;
-        }
-        obs::counter!("veridp_server_reports_total").store(self.stats.reports);
-        obs::counter!("veridp_server_passed_total").store(self.stats.passed);
-        obs::counter!("veridp_server_tag_mismatch_total").store(self.stats.tag_mismatch);
-        obs::counter!("veridp_server_no_matching_path_total").store(self.stats.no_matching_path);
-        obs::counter!("veridp_server_localizations_total").store(self.stats.localizations);
-        obs::counter!("veridp_server_localized_total").store(self.stats.localized);
-        obs::counter!("veridp_server_cache_hits_total").store(self.stats.cache_hits);
-        obs::counter!("veridp_server_cache_misses_total").store(self.stats.cache_misses);
-        obs::counter!("veridp_server_duplicates_total").store(self.stats.duplicates);
-        obs::counter!("veridp_server_graced_total").store(self.stats.graced);
-        obs::counter!("veridp_server_quarantined_total").store(self.stats.quarantined);
-        obs::counter!("veridp_server_shed_total").store(self.stats.shed);
-        obs::gauge!("veridp_server_suspect_switches").set(self.suspects.len() as i64);
+        publish_stats_obs(&self.stats, self.suspects.len());
     }
 
     /// Enable or disable the verification fast path. Enabling builds the
@@ -577,25 +555,171 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
             .robust
             .take()
             .expect("ingest_robust requires set_robust(Some(..))");
-        let disposition = self.ingest_robust_inner(report, &mut robust);
+        let VeriDpServer {
+            hs,
+            table,
+            fastpath,
+            snapshots,
+            stats,
+            suspects,
+            ..
+        } = self;
+        // One pinned view per report: under lock-step publication the
+        // latest published version *is* the master state, so every check
+        // (verdict, epoch compare, grace, localization) reads the same
+        // world the master-path branch does.
+        let disposition = match snapshots {
+            Some(layer) => {
+                let guard = layer.reader.pin();
+                RobustCtx {
+                    table: guard.table(),
+                    hs: guard.backend(),
+                    fastpath,
+                    stats,
+                    suspects,
+                    mirror_obs: true,
+                }
+                .step(&mut robust, report)
+            }
+            None => RobustCtx {
+                table,
+                hs,
+                fastpath,
+                stats,
+                suspects,
+                mirror_obs: true,
+            }
+            .step(&mut robust, report),
+        };
         self.robust = Some(robust);
         disposition
     }
 
-    fn ingest_robust_inner(&mut self, report: &TagReport, robust: &mut RobustState) -> Disposition {
+    /// Drain the quarantine once updates have settled, re-verifying each
+    /// held report (with grace) and landing final verdicts in the
+    /// statistics and alarm aggregator. No-op outside robust mode.
+    pub fn settle(&mut self) {
+        let Some(mut robust) = self.robust.take() else {
+            return;
+        };
+        let VeriDpServer {
+            hs,
+            table,
+            fastpath,
+            snapshots,
+            stats,
+            suspects,
+            ..
+        } = self;
+        match snapshots {
+            Some(layer) => {
+                let guard = layer.reader.pin();
+                RobustCtx {
+                    table: guard.table(),
+                    hs: guard.backend(),
+                    fastpath,
+                    stats,
+                    suspects,
+                    mirror_obs: true,
+                }
+                .settle(&mut robust)
+            }
+            None => RobustCtx {
+                table,
+                hs,
+                fastpath,
+                stats,
+                suspects,
+                mirror_obs: true,
+            }
+            .settle(&mut robust),
+        }
+        self.robust = Some(robust);
+    }
+
+    /// A sharded robust-verify worker over this server's published
+    /// snapshots: its own dedup filter, quarantine, alarm aggregator,
+    /// statistics, and (when the fast path is on here) a private verdict
+    /// cache, all driven by the exact step logic
+    /// [`VeriDpServer::ingest_robust`] runs.
+    ///
+    /// Workers exist so a network pipeline can run the robust path on N
+    /// threads without locking the server: reports are partitioned by
+    /// [`TagReport::shard`] (the `(inport, outport)` pair), and because the
+    /// dedup filter, quarantine resolution, and alarm confirmation are all
+    /// pair-keyed, shard-local state loses nothing — every duplicate and
+    /// every supporting failure for a given pair lands on the same worker.
+    /// The one documented divergence: K-of-N confirmation windows count
+    /// per-shard failing observations, so a suspect implicated by several
+    /// *pairs* confirms per pair-shard rather than against the global
+    /// failure sequence.
+    ///
+    /// Returns `None` unless both snapshots and robust mode are enabled.
+    pub fn robust_worker(&self) -> Option<RobustWorker<B>> {
+        let reader = self.snapshot_reader()?;
+        let config = self.robust.as_ref()?.config.clone();
+        Some(RobustWorker {
+            reader,
+            fastpath: self.fastpath.is_some().then(VerifyFastPath::new),
+            state: RobustState::new(config),
+            stats: ServerStats::default(),
+            suspects: HashMap::new(),
+        })
+    }
+
+    /// Fold a finished worker's harvest back into this server: statistics
+    /// merge field-wise ([`ServerStats::merge`] is associative), suspect
+    /// counts add, and the worker's alarms — confirmed and pending — merge
+    /// into the server's aggregator ([`AlarmAggregator::absorb`]). Requires
+    /// robust mode for the alarm merge; stats and suspects fold regardless.
+    pub fn absorb(&mut self, harvest: RobustHarvest) {
+        self.stats.merge(&harvest.stats);
+        for (s, n) in harvest.suspects {
+            *self.suspects.entry(s).or_default() += n;
+        }
+        if let Some(robust) = &mut self.robust {
+            robust.alarms.absorb(harvest.alarms);
+        }
+        self.publish_obs();
+    }
+}
+
+/// One immutable verification view — the master state or a pinned snapshot
+/// — plus the mutable sinks the robust pipeline folds into. The server's
+/// own `ingest_robust`/`settle` and the sharded [`RobustWorker`]s all drive
+/// this same step logic, which is what keeps wire-path verdicts
+/// bit-identical to in-process ones.
+struct RobustCtx<'a, B: HeaderSetBackend> {
+    table: &'a PathTable<B>,
+    hs: &'a B,
+    fastpath: &'a mut Option<VerifyFastPath>,
+    stats: &'a mut ServerStats,
+    suspects: &'a mut HashMap<SwitchId, u64>,
+    /// Mirror absolute stats into the global obs registry on the
+    /// 1024-report rhythm and keep the quarantine gauge fresh. On for the
+    /// single-owner server paths; off for sharded workers, whose absolute
+    /// stores would clobber each other (their totals reach obs when the
+    /// server absorbs the harvest).
+    mirror_obs: bool,
+}
+
+impl<B: HeaderSetBackend> RobustCtx<'_, B> {
+    /// The full robust disposition of one report against this view.
+    fn step(&mut self, robust: &mut RobustState, report: &TagReport) -> Disposition {
         if !robust.filter.insert(report) {
             self.stats.duplicates += 1;
             obs::counter!("veridp_robust_duplicates_total").inc();
             return Disposition::Duplicate;
         }
-        let outcome = self.raw_verify(report);
+        let outcome =
+            VeriDpServer::verdict_at(self.fastpath, self.stats, self.table, self.hs, report);
         if outcome.is_pass() {
             self.count_verdict(outcome);
             return Disposition::Passed;
         }
         if report.epoch < self.table.epoch() {
-            // The report predates the current table: an update raced it.
-            if self.grace_check_pinned(report) {
+            // The report predates the table: an update raced it.
+            if self.table.grace_check(report, self.hs) {
                 self.stats.graced += 1;
                 self.count_verdict(VerifyOutcome::Pass);
                 return Disposition::Graced;
@@ -612,7 +736,9 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
                     self.resolve_final(&old, &mut robust.alarms);
                 }
             }
-            obs::gauge!("veridp_robust_quarantine_len").set(robust.quarantine.len() as i64);
+            if self.mirror_obs {
+                obs::gauge!("veridp_robust_quarantine_len").set(robust.quarantine.len() as i64);
+            }
             return Disposition::Quarantined;
         }
         // Sampled against the live table and still failing: a real fault.
@@ -620,45 +746,31 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         Disposition::Failed
     }
 
-    /// Drain the quarantine once updates have settled, re-verifying each
-    /// held report (with grace) and landing final verdicts in the
-    /// statistics and alarm aggregator. No-op outside robust mode.
-    pub fn settle(&mut self) {
-        let Some(mut robust) = self.robust.take() else {
-            return;
-        };
+    /// Drain the quarantine through grace-aware re-verification.
+    fn settle(&mut self, robust: &mut RobustState) {
         while let Some(report) = robust.quarantine.pop_front() {
             self.resolve_final(&report, &mut robust.alarms);
         }
-        obs::gauge!("veridp_robust_quarantine_len").set(0);
-        self.robust = Some(robust);
+        if self.mirror_obs {
+            obs::gauge!("veridp_robust_quarantine_len").set(0);
+        }
     }
 
     /// Final resolution of a quarantined report: re-verify against the
-    /// now-settled table, grace what an update retired, fail the rest.
+    /// now-settled view, grace what an update retired, fail the rest.
     fn resolve_final(&mut self, report: &TagReport, alarms: &mut AlarmAggregator) {
-        let outcome = self.raw_verify(report);
+        let outcome =
+            VeriDpServer::verdict_at(self.fastpath, self.stats, self.table, self.hs, report);
         if outcome.is_pass() {
             self.count_verdict(outcome);
             return;
         }
-        if self.grace_check_pinned(report) {
+        if self.table.grace_check(report, self.hs) {
             self.stats.graced += 1;
             self.count_verdict(VerifyOutcome::Pass);
             return;
         }
         self.finalize_failure(report, outcome, alarms);
-    }
-
-    /// Epoch-grace check against a pinned snapshot when publication is on
-    /// (replay converges the versions' retired rings, so the answer matches
-    /// the master's), the master table otherwise.
-    #[inline]
-    fn grace_check_pinned(&mut self, report: &TagReport) -> bool {
-        match &mut self.snapshots {
-            Some(layer) => layer.with_pinned(|t, hs| t.grace_check(report, hs)),
-            None => self.table.grace_check(report, &self.hs),
-        }
     }
 
     /// A failure that survived every forgiveness layer: count it, localize
@@ -670,7 +782,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         alarms: &mut AlarmAggregator,
     ) {
         self.count_verdict(outcome);
-        let loc = self.table.localize(report, &self.hs);
+        let loc = self.table.localize(report, self.hs);
         self.stats.localizations += 1;
         if !loc.candidates.is_empty() {
             self.stats.localized += 1;
@@ -680,6 +792,157 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         }
         alarms.observe(report, &outcome, Some(&loc));
     }
+
+    /// Fold one final verdict in, mirroring to obs on the same 1024-report
+    /// rhythm [`VeriDpServer::count_verdict`] uses (when enabled).
+    fn count_verdict(&mut self, outcome: VerifyOutcome) {
+        self.stats.reports += 1;
+        match outcome {
+            VerifyOutcome::Pass => self.stats.passed += 1,
+            VerifyOutcome::TagMismatch => self.stats.tag_mismatch += 1,
+            VerifyOutcome::NoMatchingPath => self.stats.no_matching_path += 1,
+        }
+        if self.mirror_obs && obs::ENABLED && self.stats.reports & 1023 == 0 {
+            publish_stats_obs(self.stats, self.suspects.len());
+        }
+    }
+}
+
+/// A sharded robust-verify worker: one pinned-snapshot reader plus
+/// shard-local robust state (see [`VeriDpServer::robust_worker`] for the
+/// partitioning contract that makes shard-local state lossless).
+///
+/// The worker is `Send` — built on one thread, driven on another — and
+/// wait-free with respect to the server: batches pin a published version,
+/// never a lock the intercept path holds.
+pub struct RobustWorker<B: HeaderSetBackend = HeaderSpace> {
+    reader: ReaderHandle<B>,
+    fastpath: Option<VerifyFastPath>,
+    state: RobustState,
+    stats: ServerStats,
+    suspects: HashMap<SwitchId, u64>,
+}
+
+impl<B: HeaderSetBackend> RobustWorker<B> {
+    /// Robust-ingest one report (pins a snapshot for the single step).
+    pub fn ingest(&mut self, report: &TagReport) -> Disposition {
+        let mut last = Disposition::Passed;
+        self.ingest_batch_with(std::slice::from_ref(report), |d| last = d);
+        last
+    }
+
+    /// Robust-ingest a batch under one snapshot pin — the wire-path entry
+    /// point. Every report in the batch sees the same immutable version;
+    /// the publisher stays free to publish successors concurrently.
+    pub fn ingest_batch(&mut self, reports: &[TagReport]) {
+        self.ingest_batch_with(reports, |_| {});
+    }
+
+    /// [`RobustWorker::ingest_batch`] with a per-report disposition
+    /// observer, for callers that track dispositions without re-deriving
+    /// them from stats deltas.
+    pub fn ingest_batch_with(
+        &mut self,
+        reports: &[TagReport],
+        mut observe: impl FnMut(Disposition),
+    ) {
+        let RobustWorker {
+            reader,
+            fastpath,
+            state,
+            stats,
+            suspects,
+        } = self;
+        let guard = reader.pin();
+        let mut ctx = RobustCtx {
+            table: guard.table(),
+            hs: guard.backend(),
+            fastpath,
+            stats,
+            suspects,
+            mirror_obs: false,
+        };
+        for r in reports {
+            observe(ctx.step(state, r));
+        }
+    }
+
+    /// Drain this shard's quarantine against the latest published version.
+    pub fn settle(&mut self) {
+        let RobustWorker {
+            reader,
+            fastpath,
+            state,
+            stats,
+            suspects,
+        } = self;
+        let guard = reader.pin();
+        RobustCtx {
+            table: guard.table(),
+            hs: guard.backend(),
+            fastpath,
+            stats,
+            suspects,
+            mirror_obs: false,
+        }
+        .settle(state);
+    }
+
+    /// This shard's running statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// This shard's alarm aggregator (confirmed alarms live here until
+    /// harvest).
+    pub fn alarms(&self) -> &AlarmAggregator {
+        &self.state.alarms
+    }
+
+    /// Reports currently quarantined on this shard.
+    pub fn quarantine_len(&self) -> usize {
+        self.state.quarantine_len()
+    }
+
+    /// Settle and consume the worker, yielding everything the server needs
+    /// to fold the shard back in ([`VeriDpServer::absorb`]).
+    pub fn harvest(mut self) -> RobustHarvest {
+        self.settle();
+        RobustHarvest {
+            stats: self.stats,
+            suspects: self.suspects,
+            alarms: self.state.alarms,
+        }
+    }
+}
+
+/// Everything a finished [`RobustWorker`] hands back: the shard's verdict
+/// statistics, localization suspect counts, and alarm state.
+pub struct RobustHarvest {
+    pub stats: ServerStats,
+    pub suspects: HashMap<SwitchId, u64>,
+    pub alarms: AlarmAggregator,
+}
+
+/// Mirror a stats block into the global obs registry as absolute stores —
+/// the shared body of [`VeriDpServer::publish_obs`] and the ctx rhythm.
+fn publish_stats_obs(stats: &ServerStats, suspect_switches: usize) {
+    if !obs::ENABLED {
+        return;
+    }
+    obs::counter!("veridp_server_reports_total").store(stats.reports);
+    obs::counter!("veridp_server_passed_total").store(stats.passed);
+    obs::counter!("veridp_server_tag_mismatch_total").store(stats.tag_mismatch);
+    obs::counter!("veridp_server_no_matching_path_total").store(stats.no_matching_path);
+    obs::counter!("veridp_server_localizations_total").store(stats.localizations);
+    obs::counter!("veridp_server_localized_total").store(stats.localized);
+    obs::counter!("veridp_server_cache_hits_total").store(stats.cache_hits);
+    obs::counter!("veridp_server_cache_misses_total").store(stats.cache_misses);
+    obs::counter!("veridp_server_duplicates_total").store(stats.duplicates);
+    obs::counter!("veridp_server_graced_total").store(stats.graced);
+    obs::counter!("veridp_server_quarantined_total").store(stats.quarantined);
+    obs::counter!("veridp_server_shed_total").store(stats.shed);
+    obs::gauge!("veridp_server_suspect_switches").set(suspect_switches as i64);
 }
 
 /// One aggregated alarm: every failed report for the same flow and entry
@@ -910,6 +1173,44 @@ impl AlarmAggregator {
     /// Whether no alarms are active.
     pub fn is_empty(&self) -> bool {
         self.alarms.is_empty()
+    }
+
+    /// Merge another aggregator (a finished shard's) into this one.
+    ///
+    /// Per-flow alarms add their counts and suspect tallies; confirmed
+    /// `(pair, suspect)`s add their supporting counts (confirming here if
+    /// the other side confirmed); the failing-observation sequence counters
+    /// add so future windows keep advancing. What does *not* transfer is
+    /// the other side's pending (unconfirmed) window support: sequence
+    /// numbers are aggregator-local, so partial support cannot be aligned
+    /// across shards — confirmation is per-shard by design, which the
+    /// pair-sharding contract makes sound (all support for a given pair
+    /// accumulates on one shard; see [`VeriDpServer::robust_worker`]).
+    pub fn absorb(&mut self, other: AlarmAggregator) {
+        for (key, alarm) in other.alarms {
+            match self.alarms.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(alarm);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    mine.count += alarm.count;
+                    for (s, n) in alarm.suspects {
+                        match mine.suspects.iter_mut().find(|(ms, _)| *ms == s) {
+                            Some((_, mn)) => *mn += n,
+                            None => mine.suspects.push((s, n)),
+                        }
+                    }
+                }
+            }
+        }
+        self.seq += other.seq;
+        for (ckey, count) in other.confirmed {
+            // A confirmation anywhere is a confirmation here; any pending
+            // local support for the same key is subsumed by it.
+            self.support.remove(&ckey);
+            *self.confirmed.entry(ckey).or_insert(0) += count;
+        }
     }
 
     /// Clear all alarm state, including confirmations (e.g. after a repair

@@ -1996,6 +1996,78 @@ fn robust_ingest_matches_plain_when_settled() {
     assert_eq!(plain.suspects(), robust.suspects());
 }
 
+/// Pair-sharded [`crate::RobustWorker`]s fed through [`TagReport::shard`]
+/// must land exactly where single-threaded `ingest_robust` + `settle` does:
+/// same verdict counts, same robust counters, same suspects, same alarms —
+/// under dedup, epoch churn, grace, and quarantine all firing.
+#[test]
+fn sharded_workers_match_single_threaded_robust() {
+    use crate::{RobustConfig, RobustWorker};
+    let topo = gen::figure5();
+    let rules = figure5_rules();
+    let mk = || {
+        let mut s = VeriDpServer::new(&topo, &rules, 16);
+        s.set_fastpath(true);
+        s.set_robust(Some(RobustConfig::default()));
+        s.set_snapshots(true);
+        s
+    };
+    let mut reference = mk();
+    let mut sharded = mk();
+
+    // A battery touching every pair: faithful witnesses, corrupted tags,
+    // and duplicated frames.
+    let mut stream: Vec<TagReport> = Vec::new();
+    for ((i, o), entries) in reference.table().iter() {
+        for e in entries {
+            if let Some(w) = reference.header_space().witness(e.headers) {
+                let good = TagReport::new(*i, *o, w, e.tag);
+                stream.push(good);
+                stream.push(TagReport::new(*i, *o, w, tag_of(&[(9, 9, 9)])));
+                stream.push(good); // exact duplicate frame
+            }
+        }
+    }
+
+    const SHARDS: usize = 3;
+    let mut workers: Vec<RobustWorker> = (0..SHARDS)
+        .map(|_| sharded.robust_worker().expect("snapshots+robust enabled"))
+        .collect();
+    let churn_at = stream.len() / 2;
+    for (k, r) in stream.iter().enumerate() {
+        if k == churn_at {
+            // Epoch churn mid-stream: later old-epoch failures hit the
+            // grace/quarantine arms on both sides.
+            let upd = veridp_switch::OfMessage::FlowDelete(veridp_switch::RuleId(3));
+            reference.intercept(SwitchId(1), &upd);
+            sharded.intercept(SwitchId(1), &upd);
+        }
+        reference.ingest_robust(r);
+        workers[r.shard(SHARDS)].ingest(r);
+    }
+    reference.settle();
+    for w in workers {
+        sharded.absorb(w.harvest());
+    }
+
+    assert_eq!(
+        reference.stats().verdict_counts(),
+        sharded.stats().verdict_counts()
+    );
+    assert_eq!(reference.stats().duplicates, sharded.stats().duplicates);
+    assert_eq!(reference.stats().graced, sharded.stats().graced);
+    assert_eq!(reference.stats().quarantined, sharded.stats().quarantined);
+    assert_eq!(reference.stats().shed, sharded.stats().shed);
+    assert_eq!(reference.suspects(), sharded.suspects());
+    let (ra, sa) = (
+        &reference.robust().unwrap().alarms,
+        &sharded.robust().unwrap().alarms,
+    );
+    assert_eq!(ra.alarms(), sa.alarms());
+    assert_eq!(ra.confirmed(), sa.confirmed());
+    assert_eq!(ra.confirmed_suspects(), sa.confirmed_suspects());
+}
+
 // ---------------------------------------------------------------- fastpath
 
 mod fastpath_tests {

@@ -5,26 +5,40 @@
 //! plain UDP (§5); everything in this reproduction used to hand reports to
 //! [`veridp_core::VeriDpServer`] in-process. This crate puts an actual wire
 //! between the two endpoints, zero-dependency over nonblocking
-//! `std::net` sockets:
+//! `std::net` sockets plus a raw-syscall epoll shim:
 //!
-//! * [`IngestServer`] — the listener. UDP datagrams pack whole
-//!   length-prefixed report frames ([`veridp_packet::decode_datagram`]);
-//!   TCP connections carry the same frames as a stream decoded by
-//!   [`veridp_packet::FrameReader`]. Decoding is zero-copy off the recv
-//!   buffers, per-connection batches accumulate up to a configured size,
-//!   and completed batches land in a bounded queue with explicit
-//!   backpressure: TCP producers *block* (the kernel's flow control then
-//!   pushes back to the sender), UDP producers *shed* — counted in
-//!   [`NetStats`], never silent, the same contract as
+//! * [`IngestServer`] — the listener, behind two interchangeable intake
+//!   engines selected by [`IngestMode`]. On Linux the default is an
+//!   **epoll reactor**: a small fixed pool of event-loop threads
+//!   multiplexing every TCP connection (or the UDP socket) through
+//!   level-triggered readiness — nonblocking accept/read, no timers, no
+//!   thread-per-connection, so thousands of agents cost a handful of
+//!   threads. Elsewhere (or with `VERIDP_NET_MODE=threaded`) a portable
+//!   **threaded** engine runs one handler thread per connection, parked in
+//!   `poll(2)` on its socket and a shared stop pipe — still zero wakeups
+//!   on a quiet server ([`NetStats::idle_wakeups`] gates this). UDP
+//!   datagrams pack whole length-prefixed report frames
+//!   ([`veridp_packet::decode_datagram`]); TCP connections carry the same
+//!   frames as a stream decoded by [`veridp_packet::FrameReader`].
+//!   Decoding is zero-copy off the recv buffers, batches accumulate up to
+//!   a configured size (partials flush the moment a read drains to
+//!   would-block), and completed batches land in bounded queues with
+//!   explicit backpressure: TCP producers *block* (the kernel's flow
+//!   control then pushes back to the sender), UDP producers *shed* —
+//!   counted in [`NetStats`], never silent, the same contract as
 //!   `veridp_core::robust`'s quarantine overflow.
-//! * [`VerifyPump`] / [`serve`] — the consumer side: a thread owning the
-//!   `VeriDpServer`, draining batches through `ingest_batch` and recording
-//!   per-report ingest latency into the obs histograms. [`serve`] wires
-//!   listener + pump into an [`IngestPipeline`] whose
-//!   [`shutdown`](IngestPipeline::shutdown) performs the drain-then-stop
-//!   dance: intake stops first, the queue is closed, the pump drains it to
-//!   empty, and only then does the call return — every accepted frame is
-//!   either verified or counted as shed.
+//! * [`VerifyPump`] / [`serve`] — the consumer side. Without
+//!   [`IngestConfig::robust`]: one thread owning the `VeriDpServer`,
+//!   draining batches through `ingest_batch`. With it: intake shards every
+//!   batch by `(inport, outport)` pair and one `RobustWorker` per shard
+//!   runs the full robust path (dedup, epoch grace, quarantine, alarm
+//!   confirmation) against pinned RCU snapshots, all pair-keyed state
+//!   shard-local. [`serve`] wires listener + pump(s) into an
+//!   [`IngestPipeline`] whose [`shutdown`](IngestPipeline::shutdown)
+//!   performs the drain-then-stop dance: intake stops first, the queues
+//!   are closed, the pumps drain them to empty, worker harvests are
+//!   absorbed back into the server, and only then does the call return —
+//!   every accepted frame is either verified or counted as shed.
 //! * [`NetSender`] — the client half: connect over either transport, buffer
 //!   framed reports, flush as full datagrams / stream writes. The
 //!   simulator's `SwitchAgent` wraps this to ship reports from simulated
@@ -44,11 +58,14 @@
 
 mod client;
 mod queue;
+mod reactor;
 mod server;
 mod stats;
 
 pub use client::{ClientStats, NetSender};
-pub use server::{serve, IngestConfig, IngestPipeline, IngestServer, VerifyPump};
+pub use server::{
+    serve, IngestConfig, IngestMode, IngestPipeline, IngestServer, PumpOutput, VerifyPump,
+};
 pub use stats::{NetStats, NetStatsSnapshot};
 
 /// Which transport a listener or sender speaks.

@@ -1,0 +1,757 @@
+//! Event-driven intake: the raw readiness primitives and the epoll reactor.
+//!
+//! Everything here is a thin, zero-dependency shim over the platform's own
+//! readiness syscalls — `std` already links libc, so the declarations cost
+//! nothing and stay out of the dependency graph:
+//!
+//! * [`StopSignal`] — the shutdown wake. A `std::io::pipe` whose write end
+//!   is dropped on stop: the read end becomes permanently readable (EOF), a
+//!   *level* signal that every poll/epoll interest set includes, so one
+//!   `stop()` wakes every intake wait at once without consuming anything.
+//! * [`readiness`] (unix) — a `poll(2)` wrapper the threaded fallback
+//!   blocks on. No timeouts in steady state: a quiet server makes zero
+//!   wakeups (see `NetStats::idle_wakeups`).
+//! * [`epoll`]/[`tcp`]/[`udp`] (Linux) — `epoll_create1`/`epoll_ctl`/
+//!   `epoll_wait` plus an `eventfd` per event loop, driving nonblocking
+//!   accept/read across thousands of connections from a small fixed pool
+//!   of event-loop threads.
+//!
+//! The reactor's drain contract mirrors the threaded path's: after
+//! [`StopSignal::stop`], loops keep reading while data keeps arriving
+//! (bytes the kernel accepted are part of the contract), and exit at the
+//! first sustained quiet window, counting torn stream tails on the way out.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(unix)]
+use std::sync::Mutex;
+
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+
+/// One-way shutdown signal shared by every intake wait.
+///
+/// The flag is the source of truth; on unix a pipe mirrors it into fd
+/// space so blocking `poll`/`epoll_wait` calls wake without timeouts:
+/// dropping the write end makes the read end readable forever.
+pub(crate) struct StopSignal {
+    flag: AtomicBool,
+    #[cfg(unix)]
+    pipe_r: io::PipeReader,
+    #[cfg(unix)]
+    pipe_w: Mutex<Option<io::PipeWriter>>,
+}
+
+impl StopSignal {
+    pub(crate) fn new() -> io::Result<StopSignal> {
+        #[cfg(unix)]
+        {
+            let (pipe_r, pipe_w) = io::pipe()?;
+            Ok(StopSignal {
+                flag: AtomicBool::new(false),
+                pipe_r,
+                pipe_w: Mutex::new(Some(pipe_w)),
+            })
+        }
+        #[cfg(not(unix))]
+        Ok(StopSignal {
+            flag: AtomicBool::new(false),
+        })
+    }
+
+    /// Raise the stop flag and wake every waiter, permanently.
+    pub(crate) fn stop(&self) {
+        self.flag.store(true, Ordering::Release);
+        #[cfg(unix)]
+        drop(self.pipe_w.lock().unwrap().take());
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The fd that becomes readable once [`StopSignal::stop`] has run.
+    #[cfg(unix)]
+    pub(crate) fn fd(&self) -> RawFd {
+        self.pipe_r.as_raw_fd()
+    }
+}
+
+/// Deepen a bound listener's accept backlog. `std` hardcodes 128, which
+/// melts under a thundering herd of simultaneous connects: handshakes that
+/// complete while the accept queue is full get dropped by the kernel and
+/// the client's first write is answered with RST. Calling `listen(2)` again
+/// on an already-listening socket updates the backlog in place; the kernel
+/// silently caps it at `net.core.somaxconn`.
+#[cfg(unix)]
+pub(crate) fn deepen_backlog(listener: &std::net::TcpListener) {
+    use std::os::raw::c_int;
+    extern "C" {
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+    unsafe { listen(listener.as_raw_fd(), 4096) };
+}
+
+/// Blocking readiness waits over `poll(2)` for the threaded fallback.
+#[cfg(unix)]
+pub(crate) mod readiness {
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short};
+
+    use super::StopSignal;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x1;
+
+    // POSIX leaves nfds_t to the platform: unsigned long on Linux/glibc,
+    // unsigned int on the BSDs and macOS.
+    #[cfg(target_os = "linux")]
+    type NFds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+    }
+
+    fn poll_raw(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// What a blocking [`wait_readable`] came back with. Both can be true.
+    pub(crate) struct Wait {
+        pub(crate) readable: bool,
+        pub(crate) stopped: bool,
+    }
+
+    /// Block — without a timeout — until `fd` is readable (data, EOF, or
+    /// error: the caller's `read` disambiguates) or the stop pipe signals.
+    pub(crate) fn wait_readable(fd: RawFd, stop: &StopSignal) -> io::Result<Wait> {
+        let mut fds = [
+            PollFd {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            },
+            PollFd {
+                fd: stop.fd(),
+                events: POLLIN,
+                revents: 0,
+            },
+        ];
+        poll_raw(&mut fds, -1)?;
+        Ok(Wait {
+            readable: fds[0].revents != 0,
+            stopped: fds[1].revents != 0,
+        })
+    }
+
+    /// Readability of one fd within `timeout_ms` (0 = instant check).
+    pub(crate) fn readable_within(fd: RawFd, timeout_ms: i32) -> io::Result<bool> {
+        let mut fds = [PollFd {
+            fd,
+            events: POLLIN,
+            revents: 0,
+        }];
+        Ok(poll_raw(&mut fds, timeout_ms)? > 0 && fds[0].revents != 0)
+    }
+}
+
+/// Raw epoll + eventfd wrappers (Linux only; no `libc` crate — `std`
+/// already links the symbols).
+#[cfg(target_os = "linux")]
+pub(crate) mod epoll {
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CLOEXEC: c_int = 0x8_0000;
+    const EFD_CLOEXEC: c_int = 0x8_0000;
+    const EFD_NONBLOCK: c_int = 0x800;
+
+    /// Mirrors the kernel's `struct epoll_event`. x86-64 is the one ABI
+    /// where the kernel declares it packed; elsewhere `repr(C)` natural
+    /// alignment matches.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub(crate) struct EpollEvent {
+        pub(crate) events: u32,
+        pub(crate) token: u64,
+    }
+
+    impl EpollEvent {
+        pub(crate) fn zeroed() -> EpollEvent {
+            EpollEvent {
+                events: 0,
+                token: 0,
+            }
+        }
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    fn cvt(rc: c_int) -> io::Result<c_int> {
+        if rc >= 0 {
+            Ok(rc)
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// One level-triggered epoll instance.
+    pub(crate) struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        pub(crate) fn new() -> io::Result<Epoll> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        /// Register `fd` for level-triggered read readiness under `token`.
+        pub(crate) fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN | EPOLLRDHUP,
+                token,
+            };
+            cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_ADD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub(crate) fn del(&self, fd: RawFd) -> io::Result<()> {
+            cvt(unsafe {
+                epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+            })?;
+            Ok(())
+        }
+
+        /// Wait for events; negative `timeout_ms` blocks indefinitely.
+        /// `EINTR` reads as "no events" so callers simply loop.
+        pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            let rc = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                Ok(0)
+            } else {
+                Err(err)
+            }
+        }
+    }
+
+    /// A consumable cross-thread wake (connection hand-off between event
+    /// loops): `ring` from the producer, `drain` from the woken loop.
+    pub(crate) struct EventFd(OwnedFd);
+
+    impl EventFd {
+        pub(crate) fn new() -> io::Result<EventFd> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(EventFd(unsafe { OwnedFd::from_raw_fd(fd) }))
+        }
+
+        pub(crate) fn fd(&self) -> RawFd {
+            self.0.as_raw_fd()
+        }
+
+        pub(crate) fn ring(&self) {
+            let one: u64 = 1;
+            let _ = unsafe { write(self.0.as_raw_fd(), (&one as *const u64).cast(), 8) };
+        }
+
+        pub(crate) fn drain(&self) {
+            let mut v: u64 = 0;
+            let _ = unsafe { read(self.0.as_raw_fd(), (&mut v as *mut u64).cast(), 8) };
+        }
+    }
+}
+
+/// Tokens and drain cadence shared by the Linux event loops.
+#[cfg(target_os = "linux")]
+mod tokens {
+    /// The stop pipe's read end (deregistered once seen, so drain-phase
+    /// timed waits can actually go quiet).
+    pub(super) const TOK_STOP: u64 = 0;
+    /// The loop's own eventfd (connection injection).
+    pub(super) const TOK_WAKE: u64 = 1;
+    /// The TCP listener (loop 0 only) or the UDP socket.
+    pub(super) const TOK_SOCKET: u64 = 2;
+    /// First connection token.
+    pub(super) const TOK_CONN0: u64 = 3;
+
+    /// Reads per connection per event, so one fire-hose connection cannot
+    /// starve the rest of the loop (level-triggered epoll re-reports).
+    pub(super) const READ_ROUNDS: usize = 8;
+    /// Bounded `recv` burst per UDP readiness event, same fairness idea.
+    pub(super) const RECV_ROUNDS: usize = 64;
+    /// Timed-wait cadence after stop, while draining in-flight bytes.
+    pub(super) const DRAIN_POLL_MS: i32 = 5;
+    /// Consecutive eventless drain rounds that count as "quiet" — the
+    /// point where kernel-buffered data has demonstrably run dry.
+    pub(super) const DRAIN_QUIET_ROUNDS: u32 = 3;
+}
+
+/// The TCP reactor: a fixed pool of event-loop threads multiplexing every
+/// connection, loop 0 owning the listener and handing accepted sockets
+/// round-robin to its peers through injection queues + eventfd wakes.
+#[cfg(target_os = "linux")]
+pub(crate) mod tcp {
+    use std::collections::HashMap;
+    use std::io::{self, Read};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::thread::{self, JoinHandle};
+
+    use veridp_packet::{FrameReader, TagReport};
+
+    use super::epoll::{Epoll, EpollEvent, EventFd};
+    use super::readiness;
+    use super::tokens::*;
+    use crate::server::{flush_batch, sync_reader, IntakeCtx, LiveGuard, RECV_BUF_LEN};
+
+    struct Conn {
+        stream: TcpStream,
+        reader: FrameReader,
+        /// Cumulative (frames, reports, errors) already published.
+        seen: (u64, u64, u64),
+    }
+
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        ctx: IntakeCtx,
+        live: Arc<AtomicUsize>,
+        loops: usize,
+    ) -> io::Result<Vec<JoinHandle<()>>> {
+        let loops = loops.max(1);
+        let mut wakes = Vec::with_capacity(loops);
+        let mut inject = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            wakes.push(EventFd::new()?);
+            inject.push(Mutex::new(Vec::new()));
+        }
+        let wakes = Arc::new(wakes);
+        let inject = Arc::new(inject);
+
+        let mut listener = Some(listener);
+        let mut handles = Vec::with_capacity(loops);
+        for i in 0..loops {
+            let ep = Epoll::new()?;
+            ep.add(ctx.stop.fd(), TOK_STOP)?;
+            ep.add(wakes[i].fd(), TOK_WAKE)?;
+            let lst = if i == 0 { listener.take() } else { None };
+            if let Some(l) = &lst {
+                ep.add(l.as_raw_fd(), TOK_SOCKET)?;
+            }
+            let ctx = ctx.clone();
+            let wakes = Arc::clone(&wakes);
+            let inject = Arc::clone(&inject);
+            live.fetch_add(1, Ordering::Relaxed);
+            let guard = LiveGuard(Arc::clone(&live));
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("net-reactor-{i}"))
+                    .spawn(move || {
+                        let _guard = guard;
+                        event_loop(i, ep, lst, wakes, inject, ctx);
+                    })?,
+            );
+        }
+        Ok(handles)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn event_loop(
+        idx: usize,
+        ep: Epoll,
+        listener: Option<TcpListener>,
+        wakes: Arc<Vec<EventFd>>,
+        inject: Arc<Vec<Mutex<Vec<TcpStream>>>>,
+        ctx: IntakeCtx,
+    ) {
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        let mut buf = vec![0u8; RECV_BUF_LEN];
+        let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token = TOK_CONN0;
+        let mut next_loop = 0usize;
+        let mut stopping = false;
+        let mut quiet = 0u32;
+
+        loop {
+            let timeout = if stopping { DRAIN_POLL_MS } else { -1 };
+            let n = match ep.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            if n == 0 && !stopping {
+                // An infinite wait only comes back empty on EINTR; still an
+                // idle wake of this loop, and a quiet server must show none.
+                ctx.stats.add_idle_wakeup();
+                continue;
+            }
+            // Notice stop before anything else so the accept path below
+            // keeps new connections local instead of injecting them into
+            // loops that may already be winding down.
+            if !stopping {
+                for ev in events[..n].iter() {
+                    if ev.token == TOK_STOP {
+                        stopping = true;
+                        let _ = ep.del(ctx.stop.fd());
+                        break;
+                    }
+                }
+            }
+            let mut activity = false;
+            let mut dead: Vec<u64> = Vec::new();
+            for ev in events[..n].iter() {
+                let token = ev.token;
+                match token {
+                    TOK_STOP => {}
+                    TOK_WAKE => {
+                        wakes[idx].drain();
+                        let adopted = std::mem::take(&mut *inject[idx].lock().unwrap());
+                        for stream in adopted {
+                            activity = true;
+                            register(&ep, &mut conns, &mut next_token, stream, &ctx);
+                        }
+                    }
+                    TOK_SOCKET => {
+                        if let Some(l) = &listener {
+                            activity |= accept_burst(
+                                l,
+                                &ep,
+                                &mut conns,
+                                &mut next_token,
+                                &wakes,
+                                &inject,
+                                &mut next_loop,
+                                stopping,
+                                &ctx,
+                            );
+                        }
+                    }
+                    tok => {
+                        if let Some(conn) = conns.get_mut(&tok) {
+                            activity = true;
+                            if !read_conn(conn, &mut buf, &mut batch, &ctx) {
+                                dead.push(tok);
+                            }
+                        }
+                    }
+                }
+            }
+            for tok in dead {
+                if let Some(mut conn) = conns.remove(&tok) {
+                    finish_conn(&mut conn, &ctx);
+                }
+            }
+            // The burst is over — every readable byte has been consumed, so
+            // hand the partial batch over instead of letting it idle.
+            flush_batch(&mut batch, &ctx, true);
+            if stopping {
+                if activity {
+                    quiet = 0;
+                } else {
+                    quiet += 1;
+                }
+                if quiet >= DRAIN_QUIET_ROUNDS {
+                    break;
+                }
+            }
+        }
+
+        // Connections still open after the quiet window (half-open peers,
+        // silent slow writers): count their torn tails and close.
+        for (_, mut conn) in conns.drain() {
+            finish_conn(&mut conn, &ctx);
+        }
+        // Injections that raced our exit: read them to quiet right here so
+        // accepted bytes are never silently dropped.
+        let leftovers = std::mem::take(&mut *inject[idx].lock().unwrap());
+        for stream in leftovers {
+            drain_stream(stream, &mut buf, &mut batch, &ctx);
+        }
+        flush_batch(&mut batch, &ctx, true);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accept_burst(
+        listener: &TcpListener,
+        ep: &Epoll,
+        conns: &mut HashMap<u64, Conn>,
+        next_token: &mut u64,
+        wakes: &[EventFd],
+        inject: &[Mutex<Vec<TcpStream>>],
+        next_loop: &mut usize,
+        stopping: bool,
+        ctx: &IntakeCtx,
+    ) -> bool {
+        let mut any = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    any = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    ctx.stats.add_connection();
+                    let target = if stopping || wakes.len() == 1 {
+                        0
+                    } else {
+                        let t = *next_loop % wakes.len();
+                        *next_loop += 1;
+                        t
+                    };
+                    if target == 0 {
+                        register(ep, conns, next_token, stream, ctx);
+                    } else {
+                        inject[target].lock().unwrap().push(stream);
+                        wakes[target].ring();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    fn register(
+        ep: &Epoll,
+        conns: &mut HashMap<u64, Conn>,
+        next_token: &mut u64,
+        stream: TcpStream,
+        ctx: &IntakeCtx,
+    ) {
+        let token = *next_token;
+        *next_token += 1;
+        if ep.add(stream.as_raw_fd(), token).is_err() {
+            ctx.stats.close_connection();
+            return;
+        }
+        conns.insert(
+            token,
+            Conn {
+                stream,
+                reader: FrameReader::new(),
+                seen: (0, 0, 0),
+            },
+        );
+    }
+
+    /// Read one connection until it would block (bounded rounds). Returns
+    /// `false` once the connection is done: EOF, error, or poisoned stream.
+    fn read_conn(
+        conn: &mut Conn,
+        buf: &mut [u8],
+        batch: &mut Vec<TagReport>,
+        ctx: &IntakeCtx,
+    ) -> bool {
+        for _ in 0..READ_ROUNDS {
+            match conn.stream.read(buf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    ctx.stats.add_stream_bytes(n);
+                    conn.reader.push(&buf[..n]);
+                    conn.reader.drain_into(batch);
+                    sync_reader(&conn.reader, &mut conn.seen, &ctx.stats);
+                    if conn.reader.poisoned() {
+                        return false;
+                    }
+                    if batch.len() >= ctx.batch_reports {
+                        // Queue pressure stalls the whole loop and TCP flow
+                        // control carries it back to the senders.
+                        flush_batch(batch, ctx, true);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    fn finish_conn(conn: &mut Conn, ctx: &IntakeCtx) {
+        conn.reader.finish();
+        sync_reader(&conn.reader, &mut conn.seen, &ctx.stats);
+        ctx.stats.close_connection();
+        // Dropping the stream closes the fd, which also removes it from
+        // every epoll interest list.
+    }
+
+    /// Drain a late-injected connection (its target loop had already begun
+    /// exiting) with short timed polls, then finish it.
+    fn drain_stream(
+        stream: TcpStream,
+        buf: &mut [u8],
+        batch: &mut Vec<TagReport>,
+        ctx: &IntakeCtx,
+    ) {
+        let mut conn = Conn {
+            stream,
+            reader: FrameReader::new(),
+            seen: (0, 0, 0),
+        };
+        let quiet_ms = DRAIN_POLL_MS * DRAIN_QUIET_ROUNDS as i32;
+        while let Ok(true) = readiness::readable_within(conn.stream.as_raw_fd(), quiet_ms) {
+            if !read_conn(&mut conn, buf, batch, ctx) {
+                break;
+            }
+        }
+        finish_conn(&mut conn, ctx);
+    }
+}
+
+/// The UDP reactor: one event loop on the (nonblocking) socket.
+#[cfg(target_os = "linux")]
+pub(crate) mod udp {
+    use std::io;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread::{self, JoinHandle};
+
+    use veridp_packet::{decode_datagram, TagReport};
+
+    use super::epoll::{Epoll, EpollEvent};
+    use super::tokens::*;
+    use crate::server::{flush_batch, IntakeCtx, LiveGuard, RECV_BUF_LEN};
+
+    pub(crate) fn spawn(
+        socket: UdpSocket,
+        ctx: IntakeCtx,
+        live: Arc<AtomicUsize>,
+    ) -> io::Result<Vec<JoinHandle<()>>> {
+        socket.set_nonblocking(true)?;
+        let ep = Epoll::new()?;
+        ep.add(ctx.stop.fd(), TOK_STOP)?;
+        ep.add(socket.as_raw_fd(), TOK_SOCKET)?;
+        live.fetch_add(1, Ordering::Relaxed);
+        let guard = LiveGuard(Arc::clone(&live));
+        let handle = thread::Builder::new()
+            .name("net-reactor-udp".into())
+            .spawn(move || {
+                let _guard = guard;
+                event_loop(ep, socket, ctx);
+            })?;
+        Ok(vec![handle])
+    }
+
+    fn event_loop(ep: Epoll, socket: UdpSocket, ctx: IntakeCtx) {
+        let mut events = vec![EpollEvent::zeroed(); 64];
+        let mut buf = vec![0u8; RECV_BUF_LEN];
+        let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+        let mut stopping = false;
+        let mut quiet = 0u32;
+
+        loop {
+            let timeout = if stopping { DRAIN_POLL_MS } else { -1 };
+            let n = match ep.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            if n == 0 && !stopping {
+                ctx.stats.add_idle_wakeup();
+                continue;
+            }
+            if !stopping {
+                for ev in events[..n].iter() {
+                    if ev.token == TOK_STOP {
+                        stopping = true;
+                        let _ = ep.del(ctx.stop.fd());
+                        break;
+                    }
+                }
+            }
+            let mut activity = false;
+            for _ in 0..RECV_ROUNDS {
+                match socket.recv(&mut buf) {
+                    Ok(len) => {
+                        activity = true;
+                        ctx.stats.add_datagram(len);
+                        let before = batch.len();
+                        let summary = decode_datagram(&buf[..len], &mut batch);
+                        ctx.stats.add_decoded(
+                            summary.frames,
+                            (batch.len() - before) as u64,
+                            summary.decode_errors,
+                        );
+                        if batch.len() >= ctx.batch_reports {
+                            // UDP sheds over a full queue: blocking would
+                            // just move the loss into the kernel, uncounted.
+                            flush_batch(&mut batch, &ctx, false);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            // Burst over: hand off the partial batch rather than idling it.
+            flush_batch(&mut batch, &ctx, false);
+            if stopping {
+                if activity {
+                    quiet = 0;
+                } else {
+                    quiet += 1;
+                }
+                if quiet >= DRAIN_QUIET_ROUNDS {
+                    break;
+                }
+            }
+        }
+        // Shutdown paths keep draining the queue, so the final flush may
+        // block rather than shed.
+        flush_batch(&mut batch, &ctx, true);
+    }
+}

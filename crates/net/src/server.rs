@@ -1,24 +1,45 @@
 //! The listener, the verify pump, and the pipeline that glues them.
 //!
-//! Threading model (zero dependencies, blocking `std::net` sockets with
-//! short read timeouts instead of an event loop):
+//! Two intake engines share one contract (see [`IngestMode`]):
 //!
-//! * **UDP** — `recv_threads` clones of one bound socket, each running a
-//!   blocking `recv` loop with a read timeout. Every datagram packs whole
-//!   length-prefixed frames; `decode_datagram` appends the decoded reports
-//!   straight into the thread's batch buffer. Full batches go to the queue
-//!   with [`BatchQueue::try_push`]; overflow is *shed* and counted.
-//! * **TCP** — one nonblocking accept loop plus one blocking handler thread
-//!   per connection, each owning a [`FrameReader`]. Full batches go to the
-//!   queue with [`BatchQueue::push_wait`]; a full queue stalls the read
-//!   loop, the socket buffer fills, and TCP flow control pushes back to the
-//!   sending agent — lossless end to end.
-//! * **Pump** — one thread owning the `VeriDpServer`, popping batches and
-//!   running `ingest_batch`. [`IngestPipeline::shutdown`] sequences the
-//!   drain: stop intake → join intake threads (they flush partial batches
-//!   with a blocking push, which succeeds because the pump is still
-//!   draining) → close the queue → the pump empties it and exits → hand the
-//!   `VeriDpServer` back with the final [`NetStatsSnapshot`].
+//! * **Reactor** (Linux, the default there) — a small fixed pool of
+//!   event-loop threads multiplexing every TCP connection (or the UDP
+//!   socket) through level-triggered epoll; nonblocking accept/read, no
+//!   timeouts, no thread-per-connection. Loop 0 owns the listener and
+//!   hands accepted sockets round-robin to its peers.
+//! * **Threaded** (portable fallback) — one blocking handler thread per
+//!   TCP connection (plus `recv_threads` UDP loops), each parked in
+//!   `poll(2)` on its socket *and* the shared stop pipe. No read-timeout
+//!   spinning: a quiet server makes zero wakeups (`NetStats::idle_wakeups`
+//!   stays 0; only the non-unix timeout shim accrues them).
+//!
+//! Batching and backpressure are identical in both engines: decoded
+//! reports accumulate into batches; full batches go to the bounded queue
+//! with a blocking push (TCP — queue pressure stalls the read path and TCP
+//! flow control carries it to the sender) or a shedding push (UDP —
+//! counted, never silent); partial batches flush the moment a read drains
+//! to would-block, so idle periods never hold reports hostage and no timer
+//! is needed.
+//!
+//! The verify side has two shapes:
+//!
+//! * **Single pump** — one thread owning the `VeriDpServer`, popping
+//!   batches and running `ingest_batch` (the non-robust path).
+//! * **Sharded robust pumps** — with [`IngestConfig::robust`] set, intake
+//!   partitions every batch by [`TagReport::shard`] (the `(inport,
+//!   outport)` pair) across `verify_shards` queues, and one
+//!   `RobustWorker` thread per shard pins RCU snapshots and runs the full
+//!   robust path — dedup, epoch grace, quarantine, alarm confirmation —
+//!   with all pair-keyed state shard-local. At shutdown each worker's
+//!   harvest is absorbed back into the server; the conservation identity
+//!   extends across shards (`reports == Σ enqueued + shed` and
+//!   `enqueued == verified`, summed over every shard queue).
+//!
+//! [`IngestPipeline::shutdown`] sequences the drain: stop intake (one
+//! level-triggered wake, no polling) → intake reads kernel-accepted bytes
+//! until quiet and flushes partials → join intake → close the queues → the
+//! pumps empty them and exit → hand the `VeriDpServer` back with the final
+//! [`NetStatsSnapshot`].
 //!
 //! The listener can also run *polled* (no pump): the owner pulls decoded
 //! reports out with [`IngestServer::try_drain`] and ends with
@@ -27,29 +48,112 @@
 //! chaos scenarios use this mode because they interleave rule churn on the
 //! same `VeriDpServer` between drains.
 
-use std::io::{self, Read};
+use std::io;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use veridp_core::{HeaderSetBackend, VeriDpServer};
+#[cfg(unix)]
+use std::os::fd::AsRawFd;
+
+use veridp_core::{HeaderSetBackend, RobustConfig, RobustHarvest, RobustWorker, VeriDpServer};
 use veridp_obs as obs;
 use veridp_obs::LocalHistogram;
 use veridp_packet::{decode_datagram, FrameReader, TagReport};
 
 use crate::queue::{BatchQueue, Pop};
+use crate::reactor;
+#[cfg(unix)]
+use crate::reactor::readiness;
+use crate::reactor::StopSignal;
 use crate::stats::{NetStats, NetStatsSnapshot};
 use crate::Transport;
 
-/// Socket read timeout: the cadence at which intake loops notice the stop
-/// flag and flush partial batches on idle connections.
+/// Socket read timeout for the non-unix shim, which has no `poll(2)`: the
+/// cadence at which its loops notice the stop flag. Every such wake is
+/// counted in `NetStats::idle_wakeups`.
+#[cfg(not(unix))]
 const READ_TIMEOUT: Duration = Duration::from_millis(10);
 
-/// Receive buffer per intake thread. Comfortably above any UDP datagram
-/// and large enough to amortize TCP syscalls.
-const RECV_BUF_LEN: usize = 64 * 1024;
+/// How long a draining socket must stay silent, after stop, before its
+/// kernel-buffered bytes are considered fully read.
+#[cfg(unix)]
+const DRAIN_QUIET_MS: i32 = 15;
+
+/// Receive buffer per intake thread/event loop. Comfortably above any UDP
+/// datagram and large enough to amortize TCP syscalls.
+pub(crate) const RECV_BUF_LEN: usize = 64 * 1024;
+
+/// Which intake engine an [`IngestServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Pick per platform (epoll reactor on Linux, threaded elsewhere),
+    /// honouring a `VERIDP_NET_MODE=reactor|threaded` override when it
+    /// names an engine the platform supports.
+    Auto,
+    /// The epoll event-loop pool. Binding fails with
+    /// [`io::ErrorKind::Unsupported`] off Linux.
+    Reactor,
+    /// Blocking threads parked on `poll(2)` readiness (read timeouts only
+    /// on non-unix platforms).
+    Threaded,
+}
+
+impl IngestMode {
+    /// Resolve to a concrete engine ([`IngestMode::Reactor`] or
+    /// [`IngestMode::Threaded`]), or fail if an explicitly requested
+    /// engine is unsupported here.
+    pub fn resolve(self) -> io::Result<IngestMode> {
+        let linux = cfg!(target_os = "linux");
+        match self {
+            IngestMode::Reactor if linux => Ok(IngestMode::Reactor),
+            IngestMode::Reactor => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "reactor mode requires Linux epoll",
+            )),
+            IngestMode::Threaded => Ok(IngestMode::Threaded),
+            IngestMode::Auto => {
+                let env = std::env::var("VERIDP_NET_MODE")
+                    .ok()
+                    .and_then(|v| v.parse::<IngestMode>().ok());
+                Ok(match env {
+                    Some(IngestMode::Reactor) if linux => IngestMode::Reactor,
+                    Some(IngestMode::Threaded) => IngestMode::Threaded,
+                    _ if linux => IngestMode::Reactor,
+                    _ => IngestMode::Threaded,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IngestMode::Auto => "auto",
+            IngestMode::Reactor => "reactor",
+            IngestMode::Threaded => "threaded",
+        })
+    }
+}
+
+impl std::str::FromStr for IngestMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IngestMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(IngestMode::Auto),
+            "reactor" | "epoll" => Ok(IngestMode::Reactor),
+            "threaded" | "threads" => Ok(IngestMode::Threaded),
+            other => Err(format!(
+                "unknown ingest mode {other:?} (expected auto, reactor, or threaded)"
+            )),
+        }
+    }
+}
 
 /// How an [`IngestServer`] binds and batches.
 #[derive(Debug, Clone)]
@@ -58,31 +162,51 @@ pub struct IngestConfig {
     pub transport: Transport,
     /// Bind address, e.g. `127.0.0.1:0` to let the OS pick a port.
     pub addr: SocketAddr,
-    /// UDP receive loops sharing the socket (ignored for TCP, which runs
-    /// one handler per connection).
+    /// Intake engine (see [`IngestMode`]).
+    pub mode: IngestMode,
+    /// Event-loop threads in reactor mode (TCP; the UDP reactor always
+    /// runs one loop). Ignored in threaded mode.
+    pub event_loops: usize,
+    /// UDP receive loops sharing the socket in threaded mode (ignored for
+    /// TCP and for the reactor).
     pub recv_threads: usize,
-    /// Decoded reports accumulated per intake thread/connection before the
+    /// Decoded reports accumulated per intake thread/event loop before the
     /// batch is pushed to the queue.
     pub batch_reports: usize,
-    /// Bounded queue capacity, in reports. This is the backpressure knob:
-    /// TCP blocks on it, UDP sheds over it.
+    /// Bounded queue capacity, in reports (per shard queue in robust
+    /// mode). This is the backpressure knob: TCP blocks on it, UDP sheds
+    /// over it.
     pub queue_reports: usize,
-    /// Worker threads `ingest_batch` fans each batch out to.
+    /// Worker threads `ingest_batch` fans each batch out to (single-pump
+    /// mode only).
     pub verify_threads: usize,
+    /// When set, [`serve`] runs the robust wire path: intake shards every
+    /// batch by `(inport, outport)` pair across [`IngestConfig::verify_shards`]
+    /// queues, and one `RobustWorker` per shard applies dedup, epoch
+    /// grace, quarantine, and alarm confirmation against pinned RCU
+    /// snapshots.
+    pub robust: Option<RobustConfig>,
+    /// Verify shards (queues + `RobustWorker` threads) in robust mode.
+    pub verify_shards: usize,
 }
 
 impl IngestConfig {
     /// Defaults tuned for loopback ingest; `addr` may use port 0.
     pub fn new(transport: Transport, addr: SocketAddr) -> Self {
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         IngestConfig {
             transport,
             addr,
+            mode: IngestMode::Auto,
+            event_loops: 2,
             recv_threads: 2,
             batch_reports: 1024,
             queue_reports: 1 << 16,
-            verify_threads: thread::available_parallelism()
-                .map(|n| n.get().min(4))
-                .unwrap_or(1),
+            verify_threads: cores.min(4),
+            robust: None,
+            verify_shards: cores.clamp(2, 4),
         }
     }
 
@@ -98,7 +222,7 @@ impl IngestConfig {
 
 /// Decrements the live-intake count when an intake thread exits, however
 /// it exits.
-struct LiveGuard(Arc<AtomicUsize>);
+pub(crate) struct LiveGuard(pub(crate) Arc<AtomicUsize>);
 
 impl Drop for LiveGuard {
     fn drop(&mut self) {
@@ -106,90 +230,132 @@ impl Drop for LiveGuard {
     }
 }
 
+/// Everything an intake loop needs to decode, batch, and account: shared
+/// between the reactor event loops and the threaded handlers.
+#[derive(Clone)]
+pub(crate) struct IntakeCtx {
+    pub(crate) stats: Arc<NetStats>,
+    /// One queue in single-pump mode; `verify_shards` queues in robust
+    /// mode, indexed by [`TagReport::shard`].
+    pub(crate) queues: Arc<Vec<Arc<BatchQueue>>>,
+    pub(crate) stop: Arc<StopSignal>,
+    pub(crate) batch_reports: usize,
+}
+
+/// Flush a batch to the queue(s), counting the outcome. With sharded
+/// queues the batch is partitioned by `(inport, outport)` pair first.
+/// `blocking` selects the transport's overflow policy: wait (TCP) or shed
+/// (UDP).
+pub(crate) fn flush_batch(batch: &mut Vec<TagReport>, ctx: &IntakeCtx, blocking: bool) {
+    if batch.is_empty() {
+        return;
+    }
+    let full = std::mem::replace(batch, Vec::with_capacity(ctx.batch_reports));
+    let shards = ctx.queues.len();
+    if shards == 1 {
+        push_part(&ctx.queues[0], full, &ctx.stats, blocking);
+        return;
+    }
+    let mut parts: Vec<Vec<TagReport>> = (0..shards).map(|_| Vec::new()).collect();
+    for report in full {
+        parts[report.shard(shards)].push(report);
+    }
+    for (queue, part) in ctx.queues.iter().zip(parts) {
+        if !part.is_empty() {
+            push_part(queue, part, &ctx.stats, blocking);
+        }
+    }
+}
+
+fn push_part(queue: &BatchQueue, part: Vec<TagReport>, stats: &NetStats, blocking: bool) {
+    let n = part.len() as u64;
+    let res = if blocking {
+        queue.push_wait(part)
+    } else {
+        queue.try_push(part)
+    };
+    match res {
+        Ok(()) => stats.add_enqueued(n),
+        Err(_) => stats.add_shed(n),
+    }
+}
+
+/// Publish a `FrameReader`'s cumulative counters as deltas against what
+/// was already published for this stream.
+pub(crate) fn sync_reader(reader: &FrameReader, seen: &mut (u64, u64, u64), stats: &NetStats) {
+    stats.add_decoded(
+        reader.frames() - seen.0,
+        reader.reports() - seen.1,
+        reader.decode_errors() - seen.2,
+    );
+    *seen = (reader.frames(), reader.reports(), reader.decode_errors());
+}
+
 /// The socket front end: owns the bound socket(s), the intake threads, and
-/// the bounded batch queue.
+/// the bounded batch queue(s).
 pub struct IngestServer {
     transport: Transport,
+    mode: IngestMode,
     local_addr: SocketAddr,
     stats: Arc<NetStats>,
-    queue: Arc<BatchQueue>,
-    stop: Arc<AtomicBool>,
+    queues: Arc<Vec<Arc<BatchQueue>>>,
+    stop: Arc<StopSignal>,
     live: Arc<AtomicUsize>,
     intake: Vec<JoinHandle<()>>,
-    /// TCP connection handlers, appended by the accept loop.
+    /// TCP connection handlers, appended by the threaded accept loop
+    /// (empty in reactor mode, where the event loops are the intake).
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl IngestServer {
-    /// Bind and start the intake threads. Returns once the socket is
+    /// Bind and start the intake engine. Returns once the socket is
     /// listening; the actual bound address (with the OS-assigned port when
     /// the config used port 0) is [`IngestServer::local_addr`].
     pub fn bind(config: IngestConfig) -> io::Result<IngestServer> {
+        let mode = config.mode.resolve()?;
+        let shards = if config.robust.is_some() {
+            config.verify_shards.max(1)
+        } else {
+            1
+        };
         let stats = Arc::new(NetStats::default());
-        let queue = Arc::new(BatchQueue::new(config.queue_reports));
-        let stop = Arc::new(AtomicBool::new(false));
+        let queues: Arc<Vec<Arc<BatchQueue>>> = Arc::new(
+            (0..shards)
+                .map(|_| Arc::new(BatchQueue::new(config.queue_reports)))
+                .collect(),
+        );
+        let stop = Arc::new(StopSignal::new()?);
         let live = Arc::new(AtomicUsize::new(0));
-        let handlers = Arc::new(Mutex::new(Vec::new()));
-        let batch_reports = config.batch_reports.max(1);
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let ctx = IntakeCtx {
+            stats: Arc::clone(&stats),
+            queues: Arc::clone(&queues),
+            stop: Arc::clone(&stop),
+            batch_reports: config.batch_reports.max(1),
+        };
 
-        let mut intake = Vec::new();
-        let local_addr =
-            match config.transport {
-                Transport::Udp => {
-                    let socket = UdpSocket::bind(config.addr)?;
-                    socket.set_read_timeout(Some(READ_TIMEOUT))?;
-                    let local = socket.local_addr()?;
-                    let threads = config.recv_threads.max(1);
-                    for i in 0..threads {
-                        let socket = socket.try_clone()?;
-                        let stats = Arc::clone(&stats);
-                        let queue = Arc::clone(&queue);
-                        let stop = Arc::clone(&stop);
-                        live.fetch_add(1, Ordering::Relaxed);
-                        let guard = LiveGuard(Arc::clone(&live));
-                        intake.push(thread::Builder::new().name(format!("net-udp-{i}")).spawn(
-                            move || {
-                                let _guard = guard;
-                                udp_loop(socket, stats, queue, stop, batch_reports);
-                            },
-                        )?);
-                    }
-                    local
-                }
-                Transport::Tcp => {
-                    let listener = TcpListener::bind(config.addr)?;
-                    listener.set_nonblocking(true)?;
-                    let local = listener.local_addr()?;
-                    let stats_a = Arc::clone(&stats);
-                    let queue_a = Arc::clone(&queue);
-                    let stop_a = Arc::clone(&stop);
-                    let live_a = Arc::clone(&live);
-                    let handlers_a = Arc::clone(&handlers);
-                    live.fetch_add(1, Ordering::Relaxed);
-                    let guard = LiveGuard(Arc::clone(&live));
-                    intake.push(thread::Builder::new().name("net-accept".into()).spawn(
-                        move || {
-                            let _guard = guard;
-                            accept_loop(
-                                listener,
-                                stats_a,
-                                queue_a,
-                                stop_a,
-                                live_a,
-                                handlers_a,
-                                batch_reports,
-                            );
-                        },
-                    )?);
-                    local
-                }
-            };
+        let (local_addr, intake) = match (config.transport, mode) {
+            (Transport::Udp, IngestMode::Reactor) => {
+                bind_reactor_udp(&config, ctx, Arc::clone(&live))?
+            }
+            (Transport::Tcp, IngestMode::Reactor) => {
+                bind_reactor_tcp(&config, ctx, Arc::clone(&live))?
+            }
+            (Transport::Udp, IngestMode::Threaded) => {
+                bind_threaded_udp(&config, ctx, Arc::clone(&live))?
+            }
+            (Transport::Tcp, IngestMode::Threaded) => {
+                bind_threaded_tcp(&config, ctx, Arc::clone(&live), Arc::clone(&handlers))?
+            }
+            (_, IngestMode::Auto) => unreachable!("resolve() never returns Auto"),
+        };
 
         Ok(IngestServer {
             transport: config.transport,
+            mode,
             local_addr,
             stats,
-            queue,
+            queues,
             stop,
             live,
             intake,
@@ -202,6 +368,11 @@ impl IngestServer {
         self.transport
     }
 
+    /// The resolved intake engine this listener runs.
+    pub fn mode(&self) -> IngestMode {
+        self.mode
+    }
+
     /// The bound address (resolved port when the config asked for port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
@@ -212,17 +383,17 @@ impl IngestServer {
         self.stats.snapshot()
     }
 
-    /// Reports currently sitting in the bounded queue (diagnostics).
+    /// Reports currently sitting in the bounded queue(s) (diagnostics).
     pub fn queued_reports(&self) -> usize {
-        self.queue.queued_reports()
+        self.queues.iter().map(|q| q.queued_reports()).sum()
     }
 
     pub(crate) fn stats_arc(&self) -> Arc<NetStats> {
         Arc::clone(&self.stats)
     }
 
-    pub(crate) fn queue_arc(&self) -> Arc<BatchQueue> {
-        Arc::clone(&self.queue)
+    pub(crate) fn queues_arc(&self) -> Arc<Vec<Arc<BatchQueue>>> {
+        Arc::clone(&self.queues)
     }
 
     /// Pop every currently queued batch into `out` (polled mode). The
@@ -230,10 +401,19 @@ impl IngestServer {
     /// the consumer now.
     pub fn try_drain(&self, out: &mut Vec<TagReport>) -> usize {
         let mut n = 0;
-        while let Some(batch) = self.queue.try_pop() {
-            n += batch.len();
-            self.stats.add_verified(batch.len() as u64);
-            out.extend(batch);
+        loop {
+            let mut got = false;
+            for queue in self.queues.iter() {
+                while let Some(batch) = queue.try_pop() {
+                    got = true;
+                    n += batch.len();
+                    self.stats.add_verified(batch.len() as u64);
+                    out.extend(batch);
+                }
+            }
+            if !got {
+                break;
+            }
         }
         n
     }
@@ -254,9 +434,11 @@ impl IngestServer {
         }
     }
 
-    /// Signal intake threads to wind down (they flush partials and exit).
+    /// Signal intake to wind down: one level-triggered wake (the stop
+    /// pipe) reaches every blocked wait at once; loops drain
+    /// kernel-accepted bytes, flush partials, and exit.
     pub(crate) fn begin_stop(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
     }
 
     pub(crate) fn intake_done(&self) -> bool {
@@ -277,7 +459,9 @@ impl IngestServer {
     }
 
     pub(crate) fn close_queue(&self) {
-        self.queue.close();
+        for queue in self.queues.iter() {
+            queue.close();
+        }
     }
 
     /// Polled-mode shutdown: stop intake while *concurrently* draining the
@@ -298,31 +482,313 @@ impl IngestServer {
     }
 }
 
-/// Flush a batch to the queue, counting the outcome. `blocking` selects
-/// the transport's overflow policy: wait (TCP) or shed (UDP).
-fn flush_batch(
-    batch: &mut Vec<TagReport>,
-    cap: usize,
-    queue: &BatchQueue,
-    stats: &NetStats,
-    blocking: bool,
-) {
-    if batch.is_empty() {
-        return;
+// ---------------------------------------------------------------- binding
+
+#[cfg(target_os = "linux")]
+fn bind_reactor_udp(
+    config: &IngestConfig,
+    ctx: IntakeCtx,
+    live: Arc<AtomicUsize>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    let socket = UdpSocket::bind(config.addr)?;
+    let local = socket.local_addr()?;
+    Ok((local, reactor::udp::spawn(socket, ctx, live)?))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reactor_udp(
+    _config: &IngestConfig,
+    _ctx: IntakeCtx,
+    _live: Arc<AtomicUsize>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "reactor mode requires Linux epoll",
+    ))
+}
+
+#[cfg(target_os = "linux")]
+fn bind_reactor_tcp(
+    config: &IngestConfig,
+    ctx: IntakeCtx,
+    live: Arc<AtomicUsize>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    let listener = TcpListener::bind(config.addr)?;
+    listener.set_nonblocking(true)?;
+    reactor::deepen_backlog(&listener);
+    let local = listener.local_addr()?;
+    let loops = config.event_loops.max(1);
+    Ok((local, reactor::tcp::spawn(listener, ctx, live, loops)?))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reactor_tcp(
+    _config: &IngestConfig,
+    _ctx: IntakeCtx,
+    _live: Arc<AtomicUsize>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "reactor mode requires Linux epoll",
+    ))
+}
+
+fn bind_threaded_udp(
+    config: &IngestConfig,
+    ctx: IntakeCtx,
+    live: Arc<AtomicUsize>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    let socket = UdpSocket::bind(config.addr)?;
+    #[cfg(unix)]
+    socket.set_nonblocking(true)?;
+    #[cfg(not(unix))]
+    socket.set_read_timeout(Some(READ_TIMEOUT))?;
+    let local = socket.local_addr()?;
+    let mut intake = Vec::new();
+    for i in 0..config.recv_threads.max(1) {
+        let socket = socket.try_clone()?;
+        let ctx = ctx.clone();
+        live.fetch_add(1, Ordering::Relaxed);
+        let guard = LiveGuard(Arc::clone(&live));
+        intake.push(
+            thread::Builder::new()
+                .name(format!("net-udp-{i}"))
+                .spawn(move || {
+                    let _guard = guard;
+                    udp_loop(socket, ctx);
+                })?,
+        );
     }
-    let full = std::mem::replace(batch, Vec::with_capacity(cap));
-    let n = full.len() as u64;
-    let res = if blocking {
-        queue.push_wait(full)
-    } else {
-        queue.try_push(full)
+    Ok((local, intake))
+}
+
+fn bind_threaded_tcp(
+    config: &IngestConfig,
+    ctx: IntakeCtx,
+    live: Arc<AtomicUsize>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    let listener = TcpListener::bind(config.addr)?;
+    listener.set_nonblocking(true)?;
+    #[cfg(unix)]
+    reactor::deepen_backlog(&listener);
+    let local = listener.local_addr()?;
+    live.fetch_add(1, Ordering::Relaxed);
+    let guard = LiveGuard(Arc::clone(&live));
+    let handle = thread::Builder::new()
+        .name("net-accept".into())
+        .spawn(move || {
+            let _guard = guard;
+            accept_loop(listener, ctx, live, handlers);
+        })?;
+    Ok((local, vec![handle]))
+}
+
+// Threaded engine, unix flavour: every socket is nonblocking and every
+// thread parks in poll(2) on its socket plus the shared stop pipe — no
+// timeouts, zero wakeups on a quiet server. The non-unix variants further
+// below fall back to short read timeouts and count each timeout wake.
+
+#[cfg(unix)]
+fn accept_loop(
+    listener: TcpListener,
+    ctx: IntakeCtx,
+    live: Arc<AtomicUsize>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let lfd = listener.as_raw_fd();
+    let mut next_id = 0u64;
+    let mut spawn_handler = |stream: TcpStream| {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        ctx.stats.add_connection();
+        let conn_ctx = ctx.clone();
+        live.fetch_add(1, Ordering::Relaxed);
+        let guard = LiveGuard(Arc::clone(&live));
+        let handle = thread::Builder::new()
+            .name(format!("net-conn-{next_id}"))
+            .spawn(move || {
+                let _guard = guard;
+                conn_loop(stream, conn_ctx);
+            });
+        next_id += 1;
+        match handle {
+            Ok(h) => handlers.lock().unwrap().push(h),
+            Err(_) => ctx.stats.close_connection(),
+        }
     };
-    match res {
-        Ok(()) => stats.add_enqueued(n),
-        Err(_) => stats.add_shed(n),
+    loop {
+        if ctx.stop.is_stopped() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => spawn_handler(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                match readiness::wait_readable(lfd, &ctx.stop) {
+                    Ok(w) => {
+                        if w.stopped {
+                            break;
+                        }
+                        if !w.readable {
+                            ctx.stats.add_idle_wakeup();
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    // Final sweep: connections the kernel completed before the stop signal
+    // count as accepted — hand them to (draining) handlers rather than
+    // abandoning their bytes.
+    while let Ok((stream, _peer)) = listener.accept() {
+        spawn_handler(stream);
     }
 }
 
+#[cfg(unix)]
+fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
+    let fd = stream.as_raw_fd();
+    let mut buf = vec![0u8; RECV_BUF_LEN];
+    let mut reader = FrameReader::new();
+    let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut seen = (0u64, 0u64, 0u64);
+    // On stop we keep reading: bytes already accepted by the kernel are
+    // part of the drain contract. The loop ends at EOF or at the first
+    // sustained quiet window after the stop signal.
+    let mut draining = false;
+    loop {
+        if !draining && ctx.stop.is_stopped() {
+            draining = true;
+        }
+        if draining {
+            match readiness::readable_within(fd, DRAIN_QUIET_MS) {
+                Ok(true) => {}
+                _ => break,
+            }
+        } else {
+            match readiness::readable_within(fd, 0) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // About to block: flush the partial batch first so idle
+                    // periods do not hold reports hostage.
+                    flush_batch(&mut batch, &ctx, true);
+                    match readiness::wait_readable(fd, &ctx.stop) {
+                        Ok(w) => {
+                            if w.stopped {
+                                draining = true;
+                            }
+                            if !w.readable {
+                                if !w.stopped {
+                                    ctx.stats.add_idle_wakeup();
+                                }
+                                continue;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // clean EOF
+            Ok(n) => {
+                ctx.stats.add_stream_bytes(n);
+                reader.push(&buf[..n]);
+                reader.drain_into(&mut batch);
+                sync_reader(&reader, &mut seen, &ctx.stats);
+                if reader.poisoned() {
+                    // Framing lost: nothing downstream of this point can be
+                    // trusted, drop the connection.
+                    break;
+                }
+                if batch.len() >= ctx.batch_reports {
+                    // Blocking push: queue pressure stalls this read loop
+                    // and TCP flow control carries it back to the sender.
+                    flush_batch(&mut batch, &ctx, true);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    reader.finish();
+    sync_reader(&reader, &mut seen, &ctx.stats);
+    flush_batch(&mut batch, &ctx, true);
+    ctx.stats.close_connection();
+}
+
+#[cfg(unix)]
+fn udp_loop(socket: UdpSocket, ctx: IntakeCtx) {
+    let fd = socket.as_raw_fd();
+    let mut buf = vec![0u8; RECV_BUF_LEN];
+    let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut draining = false;
+    loop {
+        if !draining && ctx.stop.is_stopped() {
+            draining = true;
+        }
+        if draining {
+            match readiness::readable_within(fd, DRAIN_QUIET_MS) {
+                Ok(true) => {}
+                _ => break,
+            }
+        } else {
+            match readiness::readable_within(fd, 0) {
+                Ok(true) => {}
+                Ok(false) => {
+                    flush_batch(&mut batch, &ctx, false);
+                    match readiness::wait_readable(fd, &ctx.stop) {
+                        Ok(w) => {
+                            if w.stopped {
+                                draining = true;
+                            }
+                            if !w.readable {
+                                if !w.stopped {
+                                    ctx.stats.add_idle_wakeup();
+                                }
+                                continue;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        match socket.recv(&mut buf) {
+            Ok(n) => {
+                ctx.stats.add_datagram(n);
+                let before = batch.len();
+                let summary = decode_datagram(&buf[..n], &mut batch);
+                ctx.stats.add_decoded(
+                    summary.frames,
+                    (batch.len() - before) as u64,
+                    summary.decode_errors,
+                );
+                if batch.len() >= ctx.batch_reports {
+                    flush_batch(&mut batch, &ctx, false);
+                }
+            }
+            // Lost a recv race against a sibling loop on the cloned fd.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    flush_batch(&mut batch, &ctx, true);
+}
+
+// Non-unix: no poll(2); fall back to short read timeouts and count every
+// timeout-driven wake in `NetStats::idle_wakeups`.
+
+#[cfg(not(unix))]
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
@@ -330,60 +796,12 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-fn udp_loop(
-    socket: UdpSocket,
-    stats: Arc<NetStats>,
-    queue: Arc<BatchQueue>,
-    stop: Arc<AtomicBool>,
-    batch_reports: usize,
-) {
-    let mut buf = vec![0u8; RECV_BUF_LEN];
-    let mut batch: Vec<TagReport> = Vec::with_capacity(batch_reports);
-    loop {
-        match socket.recv(&mut buf) {
-            Ok(n) => {
-                stats.add_datagram(n);
-                let before = batch.len();
-                let summary = decode_datagram(&buf[..n], &mut batch);
-                stats.add_decoded(
-                    summary.frames,
-                    (batch.len() - before) as u64,
-                    summary.decode_errors,
-                );
-                if batch.len() >= batch_reports {
-                    // Steady-state overflow sheds: a blocked recv loop
-                    // would just move the loss into the kernel, uncounted.
-                    flush_batch(&mut batch, batch_reports, &queue, &stats, false);
-                }
-            }
-            Err(e) if is_timeout(&e) => {
-                // Idle: flush the partial batch so quiet periods do not
-                // hold reports hostage, and notice the stop flag.
-                flush_batch(&mut batch, batch_reports, &queue, &stats, false);
-                if stop.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => break,
-        }
-        // No early break on stop while data keeps arriving: datagrams the
-        // kernel already accepted are part of the drain contract. The loop
-        // ends at the first quiet read-timeout after the stop flag is up.
-    }
-    // Final flush may wait: the shutdown paths keep draining the queue, so
-    // accepted reports are never shed just because we are stopping.
-    flush_batch(&mut batch, batch_reports, &queue, &stats, true);
-}
-
+#[cfg(not(unix))]
 fn accept_loop(
     listener: TcpListener,
-    stats: Arc<NetStats>,
-    queue: Arc<BatchQueue>,
-    stop: Arc<AtomicBool>,
+    ctx: IntakeCtx,
     live: Arc<AtomicUsize>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    batch_reports: usize,
 ) {
     let mut next_id = 0u64;
     let mut spawn_handler = |stream: TcpStream| {
@@ -391,130 +809,227 @@ fn accept_loop(
         {
             return;
         }
-        stats.add_connection();
-        let conn_stats = Arc::clone(&stats);
-        let conn_queue = Arc::clone(&queue);
-        let conn_stop = Arc::clone(&stop);
+        ctx.stats.add_connection();
+        let conn_ctx = ctx.clone();
         live.fetch_add(1, Ordering::Relaxed);
         let guard = LiveGuard(Arc::clone(&live));
         let handle = thread::Builder::new()
             .name(format!("net-conn-{next_id}"))
             .spawn(move || {
                 let _guard = guard;
-                conn_loop(stream, conn_stats, conn_queue, conn_stop, batch_reports);
+                conn_loop(stream, conn_ctx);
             });
         next_id += 1;
         match handle {
             Ok(h) => handlers.lock().unwrap().push(h),
-            Err(_) => stats.close_connection(),
+            Err(_) => ctx.stats.close_connection(),
         }
     };
-    while !stop.load(Ordering::Acquire) {
+    while !ctx.stop.is_stopped() {
         match listener.accept() {
             Ok((stream, _peer)) => spawn_handler(stream),
-            Err(e) if is_timeout(&e) => thread::sleep(Duration::from_millis(2)),
+            Err(e) if is_timeout(&e) => {
+                ctx.stats.add_idle_wakeup();
+                thread::sleep(Duration::from_millis(2));
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return,
         }
     }
-    // Final sweep: connections the kernel completed before the stop flag
-    // went up count as accepted — hand them to (draining) handlers rather
-    // than abandoning their bytes.
     while let Ok((stream, _peer)) = listener.accept() {
         spawn_handler(stream);
     }
 }
 
-fn conn_loop(
-    mut stream: TcpStream,
-    stats: Arc<NetStats>,
-    queue: Arc<BatchQueue>,
-    stop: Arc<AtomicBool>,
-    batch_reports: usize,
-) {
+#[cfg(not(unix))]
+fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
     let mut buf = vec![0u8; RECV_BUF_LEN];
     let mut reader = FrameReader::new();
-    let mut batch: Vec<TagReport> = Vec::with_capacity(batch_reports);
-    // FrameReader counters are cumulative; publish deltas after each step.
-    let (mut seen_f, mut seen_r, mut seen_e) = (0u64, 0u64, 0u64);
-    let sync = |reader: &FrameReader, seen: &mut (u64, u64, u64)| {
-        stats.add_decoded(
-            reader.frames() - seen.0,
-            reader.reports() - seen.1,
-            reader.decode_errors() - seen.2,
-        );
-        *seen = (reader.frames(), reader.reports(), reader.decode_errors());
-    };
-    // On stop we keep reading: bytes already accepted by the kernel are
-    // part of the drain contract. The loop ends at EOF or at the first
-    // quiet read-timeout after the stop flag went up.
+    let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut seen = (0u64, 0u64, 0u64);
     let mut draining = false;
     loop {
-        if stop.load(Ordering::Acquire) {
+        if ctx.stop.is_stopped() {
             draining = true;
         }
         match stream.read(&mut buf) {
-            Ok(0) => break, // clean EOF
+            Ok(0) => break,
             Ok(n) => {
-                stats.add_stream_bytes(n);
+                ctx.stats.add_stream_bytes(n);
                 reader.push(&buf[..n]);
                 reader.drain_into(&mut batch);
-                let mut seen = (seen_f, seen_r, seen_e);
-                sync(&reader, &mut seen);
-                (seen_f, seen_r, seen_e) = seen;
+                sync_reader(&reader, &mut seen, &ctx.stats);
                 if reader.poisoned() {
-                    // Framing lost: nothing downstream of this point can be
-                    // trusted, drop the connection.
                     break;
                 }
-                if batch.len() >= batch_reports {
-                    // Blocking push: queue pressure stalls this read loop
-                    // and TCP flow control carries it back to the sender.
-                    flush_batch(&mut batch, batch_reports, &queue, &stats, true);
+                if batch.len() >= ctx.batch_reports {
+                    flush_batch(&mut batch, &ctx, true);
                 }
             }
             Err(e) if is_timeout(&e) => {
-                flush_batch(&mut batch, batch_reports, &queue, &stats, true);
+                flush_batch(&mut batch, &ctx, true);
                 if draining {
                     break;
                 }
+                ctx.stats.add_idle_wakeup();
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => break,
         }
     }
     reader.finish();
-    let mut seen = (seen_f, seen_r, seen_e);
-    sync(&reader, &mut seen);
-    flush_batch(&mut batch, batch_reports, &queue, &stats, true);
-    stats.close_connection();
+    sync_reader(&reader, &mut seen, &ctx.stats);
+    flush_batch(&mut batch, &ctx, true);
+    ctx.stats.close_connection();
 }
 
-/// The consumer thread: owns a `VeriDpServer`, drains the queue through
-/// `ingest_batch`, and keeps a private ingest-latency histogram so each
+#[cfg(not(unix))]
+fn udp_loop(socket: UdpSocket, ctx: IntakeCtx) {
+    let mut buf = vec![0u8; RECV_BUF_LEN];
+    let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    loop {
+        match socket.recv(&mut buf) {
+            Ok(n) => {
+                ctx.stats.add_datagram(n);
+                let before = batch.len();
+                let summary = decode_datagram(&buf[..n], &mut batch);
+                ctx.stats.add_decoded(
+                    summary.frames,
+                    (batch.len() - before) as u64,
+                    summary.decode_errors,
+                );
+                if batch.len() >= ctx.batch_reports {
+                    flush_batch(&mut batch, &ctx, false);
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                flush_batch(&mut batch, &ctx, false);
+                if ctx.stop.is_stopped() {
+                    break;
+                }
+                ctx.stats.add_idle_wakeup();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    flush_batch(&mut batch, &ctx, true);
+}
+
+// ---------------------------------------------------------------- pumps
+
+/// The consumer side: either one thread owning the `VeriDpServer` and
+/// running `ingest_batch`, or — in robust mode — one `RobustWorker` thread
+/// per shard queue, with the server held back for harvest absorption at
+/// join. Each pump keeps a private ingest-latency histogram so every
 /// pipeline's percentiles are self-contained (the global obs histogram is
 /// cumulative across all pipelines in the process).
 pub struct VerifyPump<B: HeaderSetBackend> {
-    handle: JoinHandle<(VeriDpServer<B>, LocalHistogram)>,
+    inner: PumpInner<B>,
+}
+
+enum PumpInner<B: HeaderSetBackend> {
+    Single {
+        handle: JoinHandle<(VeriDpServer<B>, LocalHistogram)>,
+    },
+    Sharded {
+        server: Box<VeriDpServer<B>>,
+        workers: Vec<JoinHandle<(RobustHarvest, LocalHistogram, u64)>>,
+    },
+}
+
+/// What a joined pump hands back.
+pub struct PumpOutput<B: HeaderSetBackend> {
+    /// The `VeriDpServer`, with every worker harvest absorbed in robust
+    /// mode.
+    pub server: VeriDpServer<B>,
+    /// Per-report ingest latency across every pump thread.
+    pub latency: LocalHistogram,
+    /// Reports verified per shard (empty in single-pump mode).
+    pub shard_verified: Vec<u64>,
 }
 
 impl<B: HeaderSetBackend> VerifyPump<B> {
-    /// Attach a pump to a listener's queue.
+    /// Attach a single batch-mode pump to a listener's queue.
     pub fn spawn(listener: &IngestServer, server: VeriDpServer<B>, verify_threads: usize) -> Self {
-        let queue = listener.queue_arc();
+        let queue = Arc::clone(&listener.queues_arc()[0]);
         let stats = listener.stats_arc();
         let threads = verify_threads.max(1);
         let handle = thread::Builder::new()
             .name("net-pump".into())
             .spawn(move || pump_loop(server, queue, stats, threads))
             .expect("spawn verify pump");
-        VerifyPump { handle }
+        VerifyPump {
+            inner: PumpInner::Single { handle },
+        }
     }
 
-    /// Wait for the pump to exit (it does so once the queue is closed and
-    /// drained) and take the `VeriDpServer` back.
-    pub fn join(self) -> (VeriDpServer<B>, LocalHistogram) {
-        self.handle.join().expect("verify pump panicked")
+    /// Attach sharded robust pumps: enable robust mode + snapshots on the
+    /// server, then spawn one `RobustWorker` per shard queue. Workers pin
+    /// an RCU snapshot per batch, so the server (held here until
+    /// [`VerifyPump::join`]) stays free for concurrent rule churn.
+    pub fn spawn_robust(
+        listener: &IngestServer,
+        mut server: VeriDpServer<B>,
+        robust: RobustConfig,
+    ) -> Self {
+        server.set_robust(Some(robust));
+        server.set_snapshots(true);
+        let queues = listener.queues_arc();
+        let stats = listener.stats_arc();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(i, queue)| {
+                let worker = server
+                    .robust_worker()
+                    .expect("robust worker: robust mode and snapshots are on");
+                let queue = Arc::clone(queue);
+                let stats = Arc::clone(&stats);
+                thread::Builder::new()
+                    .name(format!("net-verify-{i}"))
+                    .spawn(move || robust_pump_loop(worker, queue, stats))
+                    .expect("spawn verify shard")
+            })
+            .collect();
+        VerifyPump {
+            inner: PumpInner::Sharded {
+                server: Box::new(server),
+                workers,
+            },
+        }
+    }
+
+    /// Wait for the pump(s) to exit (they do so once the queues are closed
+    /// and drained) and take the `VeriDpServer` back, with every worker
+    /// harvest absorbed.
+    pub fn join(self) -> PumpOutput<B> {
+        match self.inner {
+            PumpInner::Single { handle } => {
+                let (server, latency) = handle.join().expect("verify pump panicked");
+                PumpOutput {
+                    server,
+                    latency,
+                    shard_verified: Vec::new(),
+                }
+            }
+            PumpInner::Sharded { server, workers } => {
+                let mut server = *server;
+                let mut latency = LocalHistogram::new();
+                let mut shard_verified = Vec::with_capacity(workers.len());
+                for handle in workers {
+                    let (harvest, lat, verified) = handle.join().expect("verify shard panicked");
+                    server.absorb(harvest);
+                    latency.merge(&lat);
+                    shard_verified.push(verified);
+                }
+                PumpOutput {
+                    server,
+                    latency,
+                    shard_verified,
+                }
+            }
+        }
     }
 }
 
@@ -536,20 +1051,48 @@ fn pump_loop<B: HeaderSetBackend>(
     (server, lat)
 }
 
+fn robust_pump_loop<B: HeaderSetBackend>(
+    mut worker: RobustWorker<B>,
+    queue: Arc<BatchQueue>,
+    stats: Arc<NetStats>,
+) -> (RobustHarvest, LocalHistogram, u64) {
+    let mut lat = LocalHistogram::new();
+    let mut verified = 0u64;
+    while let Pop::Batch(batch) = queue.pop_wait() {
+        let t0 = Instant::now();
+        worker.ingest_batch(&batch);
+        let per_report = t0.elapsed().as_nanos() as u64 / batch.len().max(1) as u64;
+        lat.record(per_report);
+        verified += batch.len() as u64;
+        stats.add_verified(batch.len() as u64);
+    }
+    obs::histogram!("veridp_net_ingest_report_ns").merge_local(&lat);
+    // `harvest` settles the worker first: quarantined stragglers resolve
+    // against the newest pinned snapshot before the state is folded back.
+    (worker.harvest(), lat, verified)
+}
+
 /// Listener + pump, bundled. Build with [`serve`].
 pub struct IngestPipeline<B: HeaderSetBackend> {
     listener: IngestServer,
     pump: Option<VerifyPump<B>>,
 }
 
-/// Bind a listener per `config` and attach a verify pump owning `server`.
+/// Bind a listener per `config` and attach the verify side owning
+/// `server`: a single `ingest_batch` pump, or — when
+/// [`IngestConfig::robust`] is set — sharded `RobustWorker` pumps running
+/// the robust path against pinned snapshots.
 pub fn serve<B: HeaderSetBackend>(
     config: IngestConfig,
     server: VeriDpServer<B>,
 ) -> io::Result<IngestPipeline<B>> {
     let verify_threads = config.verify_threads;
+    let robust = config.robust.clone();
     let listener = IngestServer::bind(config)?;
-    let pump = VerifyPump::spawn(&listener, server, verify_threads);
+    let pump = match robust {
+        Some(rc) => VerifyPump::spawn_robust(&listener, server, rc),
+        None => VerifyPump::spawn(&listener, server, verify_threads),
+    };
     Ok(IngestPipeline {
         listener,
         pump: Some(pump),
@@ -567,6 +1110,11 @@ impl<B: HeaderSetBackend> IngestPipeline<B> {
         self.listener.transport()
     }
 
+    /// The resolved intake engine the listener runs.
+    pub fn mode(&self) -> IngestMode {
+        self.listener.mode()
+    }
+
     /// Point-in-time counters (no latency histogram until shutdown).
     pub fn stats(&self) -> NetStatsSnapshot {
         self.listener.stats()
@@ -578,12 +1126,13 @@ impl<B: HeaderSetBackend> IngestPipeline<B> {
         self.listener.wait_frames(n, timeout)
     }
 
-    /// Drain-then-stop: stop intake, let producers flush their partial
-    /// batches (the pump keeps draining, so their blocking pushes land),
-    /// join intake, close the queue, and join the pump after it empties
-    /// the queue. Every report decoded off the wire has been verified or
-    /// counted shed when this returns — the snapshot satisfies
-    /// [`NetStatsSnapshot::conserved`].
+    /// Drain-then-stop: stop intake (one level-triggered wake), let intake
+    /// read kernel-accepted bytes until quiet and flush partial batches
+    /// (the pumps keep draining, so blocking pushes land), join intake,
+    /// close the queues, and join the pumps after they empty them. Every
+    /// report decoded off the wire has been verified or counted shed when
+    /// this returns — the snapshot satisfies
+    /// [`NetStatsSnapshot::conserved`], across every shard.
     pub fn shutdown(mut self) -> (VeriDpServer<B>, NetStatsSnapshot) {
         self.listener.begin_stop();
         while !self.listener.intake_done() {
@@ -591,11 +1140,12 @@ impl<B: HeaderSetBackend> IngestPipeline<B> {
         }
         self.listener.join_intake();
         self.listener.close_queue();
-        let (server, lat) = self.pump.take().expect("pump already joined").join();
+        let out = self.pump.take().expect("pump already joined").join();
         let mut snap = self.listener.stats();
-        if lat.count() > 0 {
-            snap.ingest_latency = Some(lat.snapshot());
+        if out.latency.count() > 0 {
+            snap.ingest_latency = Some(out.latency.snapshot());
         }
-        (server, snap)
+        snap.shard_verified = out.shard_verified;
+        (out.server, snap)
     }
 }

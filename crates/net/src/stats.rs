@@ -39,6 +39,12 @@ pub struct NetStats {
     pub verified: AtomicU64,
     /// Batches the verify pump consumed.
     pub batches: AtomicU64,
+    /// Intake waits that woke up without finding work: timeout expiries in
+    /// the non-unix shim, spurious readiness returns elsewhere. The
+    /// event-driven engines block until a socket or the stop pipe is
+    /// actually ready, so a quiet server holds this at zero — the
+    /// regression gate for the old 10ms-timeout spin.
+    pub idle_wakeups: AtomicU64,
 }
 
 impl NetStats {
@@ -97,6 +103,11 @@ impl NetStats {
         obs::counter!("veridp_net_batches_total").inc();
     }
 
+    pub(crate) fn add_idle_wakeup(&self) {
+        self.idle_wakeups.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("veridp_net_idle_wakeups_total").inc();
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
@@ -111,7 +122,9 @@ impl NetStats {
             shed: self.shed.load(Ordering::Relaxed),
             verified: self.verified.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            idle_wakeups: self.idle_wakeups.load(Ordering::Relaxed),
             ingest_latency: None,
+            shard_verified: Vec::new(),
         }
     }
 }
@@ -131,11 +144,17 @@ pub struct NetStatsSnapshot {
     pub shed: u64,
     pub verified: u64,
     pub batches: u64,
+    /// Intake waits that found no work (see [`NetStats::idle_wakeups`]).
+    pub idle_wakeups: u64,
     /// Per-report ingest latency (nanoseconds: batch verify wall / batch
     /// size), recorded by the verify pump. `None` until
     /// [`crate::IngestPipeline::shutdown`] folds the pump's private
     /// histogram in, or when the pump never ran.
     pub ingest_latency: Option<veridp_obs::HistSnapshot>,
+    /// Reports verified by each robust shard worker, filled in by
+    /// [`crate::IngestPipeline::shutdown`] when the pipeline ran sharded
+    /// robust pumps (empty otherwise). Sums to `verified`.
+    pub shard_verified: Vec<u64>,
 }
 
 impl NetStatsSnapshot {

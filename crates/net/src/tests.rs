@@ -6,10 +6,10 @@
 use std::time::Duration;
 
 use veridp_bloom::BloomTag;
-use veridp_packet::{encode_report, FiveTuple, PortRef, TagReport};
+use veridp_packet::{append_framed_report, encode_report, FiveTuple, PortRef, TagReport};
 
 use crate::queue::{BatchQueue, Pop};
-use crate::{IngestConfig, IngestServer, NetSender, Transport};
+use crate::{IngestConfig, IngestMode, IngestServer, NetSender, Transport};
 
 fn report(i: u32) -> TagReport {
     let tuple = FiveTuple::tcp(
@@ -184,6 +184,229 @@ fn udp_shed_is_counted_never_silent() {
     assert_eq!(snap.reports, snap.enqueued + snap.shed);
     assert_eq!(snap.enqueued, snap.verified);
     assert_eq!(got.len() as u64, snap.verified);
+}
+
+#[test]
+fn ingest_mode_parses_and_resolves() {
+    assert_eq!("auto".parse::<IngestMode>().unwrap(), IngestMode::Auto);
+    assert_eq!(
+        "Reactor".parse::<IngestMode>().unwrap(),
+        IngestMode::Reactor
+    );
+    assert_eq!("epoll".parse::<IngestMode>().unwrap(), IngestMode::Reactor);
+    assert_eq!(
+        "threaded".parse::<IngestMode>().unwrap(),
+        IngestMode::Threaded
+    );
+    assert!("green-threads".parse::<IngestMode>().is_err());
+    assert_eq!(IngestMode::Reactor.to_string(), "reactor");
+    // Resolution always lands on a concrete engine, and Threaded resolves
+    // everywhere.
+    assert_ne!(IngestMode::Auto.resolve().unwrap(), IngestMode::Auto);
+    assert_eq!(
+        IngestMode::Threaded.resolve().unwrap(),
+        IngestMode::Threaded
+    );
+    #[cfg(target_os = "linux")]
+    assert_eq!(IngestMode::Reactor.resolve().unwrap(), IngestMode::Reactor);
+}
+
+/// Explicit-mode round trip used by the quiet/wakeup and fallback tests.
+fn roundtrip_in_mode(mode: IngestMode, quiet: Duration) -> crate::NetStatsSnapshot {
+    let mut cfg = loopback(Transport::Tcp);
+    cfg.mode = mode;
+    let server = IngestServer::bind(cfg).unwrap();
+    assert_eq!(server.mode(), mode);
+    let mut tx = NetSender::connect(Transport::Tcp, server.local_addr()).unwrap();
+    let sent: Vec<TagReport> = (0..100).map(report).collect();
+    for r in &sent {
+        tx.send_report(r).unwrap();
+    }
+    tx.flush().unwrap();
+    assert!(server.wait_frames(100, Duration::from_secs(5)));
+    // Hold the connection open and silent: an event-driven intake blocks
+    // on readiness and must not wake at all during this window.
+    std::thread::sleep(quiet);
+    tx.finish().unwrap();
+    let mut got = Vec::new();
+    let snap = server.shutdown_polled(&mut got);
+    assert_eq!(got, sent);
+    assert!(snap.conserved(), "{snap:?}");
+    snap
+}
+
+#[test]
+fn quiet_server_makes_no_idle_wakeups() {
+    // The regression gate for the old 10ms-read-timeout spin: across a
+    // 300ms idle window with a live but silent connection, the intake
+    // side must not wake once. (The non-unix shim still uses timeouts and
+    // is exempt — it has no poll(2).)
+    #[cfg(target_os = "linux")]
+    {
+        let snap = roundtrip_in_mode(IngestMode::Reactor, Duration::from_millis(300));
+        assert_eq!(snap.idle_wakeups, 0, "reactor wakes on events only");
+    }
+    #[cfg(unix)]
+    {
+        let snap = roundtrip_in_mode(IngestMode::Threaded, Duration::from_millis(300));
+        assert_eq!(snap.idle_wakeups, 0, "threaded unix parks in poll(2)");
+    }
+    #[cfg(not(unix))]
+    {
+        roundtrip_in_mode(IngestMode::Threaded, Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn threaded_fallback_matches_contract() {
+    // The portable engine honours the same accounting contract as the
+    // reactor, selected per-listener regardless of platform default.
+    let snap = roundtrip_in_mode(IngestMode::Threaded, Duration::from_millis(10));
+    assert_eq!(snap.connections, 1);
+    assert_eq!(snap.connections_closed, 1);
+    assert_eq!(snap.frames, 100);
+    assert_eq!(snap.decode_errors, 0);
+}
+
+#[test]
+fn eof_mid_frame_counts_torn_tail() {
+    use std::io::Write;
+
+    let server = IngestServer::bind(loopback(Transport::Tcp)).unwrap();
+    let mut framed = Vec::new();
+    for i in 0..5 {
+        append_framed_report(&mut framed, &report(i));
+    }
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Five whole frames plus a torn tail: prefix and half a payload.
+    raw.write_all(&framed).unwrap();
+    raw.write_all(&framed[..20]).unwrap();
+    drop(raw); // EOF mid-frame
+    assert!(server.wait_frames(5, Duration::from_secs(5)));
+    let mut got = Vec::new();
+    let snap = server.shutdown_polled(&mut got);
+    assert_eq!(got.len(), 5, "whole frames decode");
+    assert_eq!(snap.frames, 5);
+    assert_eq!(snap.decode_errors, 1, "torn tail counted: {snap:?}");
+    assert_eq!(snap.connections_closed, 1);
+    assert!(snap.conserved(), "{snap:?}");
+}
+
+#[test]
+fn slow_loris_one_byte_writes_still_decode() {
+    use std::io::Write;
+
+    let server = IngestServer::bind(loopback(Transport::Tcp)).unwrap();
+    let addr = server.local_addr();
+    // One byte at a time across the loopback: the reader must reassemble
+    // the frame across dozens of partial reads without stalling the fast
+    // client sharing the intake.
+    let loris = std::thread::spawn(move || {
+        let mut framed = Vec::new();
+        append_framed_report(&mut framed, &report(60_000));
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        for b in framed {
+            raw.write_all(&[b]).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    let mut tx = NetSender::connect(Transport::Tcp, addr).unwrap();
+    for i in 0..200 {
+        tx.send_report(&report(i)).unwrap();
+    }
+    tx.finish().unwrap();
+    loris.join().unwrap();
+    assert!(server.wait_frames(201, Duration::from_secs(10)));
+    let mut got = Vec::new();
+    let snap = server.shutdown_polled(&mut got);
+    assert_eq!(got.len(), 201);
+    assert!(got.contains(&report(60_000)), "the slow frame decodes");
+    assert_eq!(snap.decode_errors, 0);
+    assert_eq!(snap.connections, 2);
+    assert_eq!(snap.connections_closed, 2);
+    assert!(snap.conserved(), "{snap:?}");
+}
+
+#[test]
+fn half_open_connection_drains_on_shutdown() {
+    let server = IngestServer::bind(loopback(Transport::Tcp)).unwrap();
+    let mut tx = NetSender::connect(Transport::Tcp, server.local_addr()).unwrap();
+    let sent: Vec<TagReport> = (0..50).map(report).collect();
+    for r in &sent {
+        tx.send_report(r).unwrap();
+    }
+    tx.flush().unwrap();
+    assert!(server.wait_frames(50, Duration::from_secs(5)));
+    // The client never closes: shutdown must drain the buffered bytes,
+    // ride out the quiet window, and close the half-open connection
+    // server-side instead of waiting for an EOF that will never come.
+    let mut got = Vec::new();
+    let snap = server.shutdown_polled(&mut got);
+    assert_eq!(got, sent);
+    assert_eq!(snap.connections, 1);
+    assert_eq!(
+        snap.connections_closed, 1,
+        "half-open conn closed: {snap:?}"
+    );
+    assert!(snap.conserved(), "{snap:?}");
+    drop(tx);
+}
+
+#[test]
+fn connection_churn_during_shutdown_drain() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut cfg = loopback(Transport::Tcp);
+    cfg.batch_reports = 16;
+    let server = IngestServer::bind(cfg).unwrap();
+    let addr = server.local_addr();
+    let done = Arc::new(AtomicBool::new(false));
+    // Four clients connect, send a burst, and disconnect in a loop while
+    // the server shuts down underneath them. Late connections may land in
+    // the backlog and never be accepted (their reports are never decoded,
+    // so they owe nothing to conservation); every *accepted* byte must
+    // still be drained and accounted.
+    let churners: Vec<_> = (0..4)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut burst = 0u32;
+                while !done.load(Ordering::Relaxed) {
+                    let Ok(mut tx) = NetSender::connect(Transport::Tcp, addr) else {
+                        break;
+                    };
+                    for i in 0..50 {
+                        // report() widths cap ids at 16 bits; wrap the
+                        // burst counter to stay inside.
+                        if tx
+                            .send_report(&report(c * 10_000 + (burst % 90) * 100 + i))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    let _ = tx.finish();
+                    burst += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut got = Vec::new();
+    let snap = server.shutdown_polled(&mut got);
+    done.store(true, Ordering::Relaxed);
+    for h in churners {
+        h.join().unwrap();
+    }
+    assert!(snap.connections > 0, "churn produced connections");
+    assert_eq!(
+        snap.connections, snap.connections_closed,
+        "every accepted connection closed: {snap:?}"
+    );
+    assert_eq!(got.len() as u64, snap.verified);
+    assert!(snap.conserved(), "{snap:?}");
 }
 
 #[test]

@@ -54,6 +54,37 @@ impl TagReport {
     pub fn is_drop(&self) -> bool {
         self.outport.port.is_drop()
     }
+
+    /// Stable shard index in `0..n` derived from the `(inport, outport)`
+    /// pair — and *only* the pair, never the header/tag/epoch.
+    ///
+    /// Sharded verify pipelines partition reports with this so that every
+    /// report of a given path entry (duplicates included) lands on the same
+    /// worker: the robust path's dedup filter, quarantine, and K-of-N alarm
+    /// confirmation are all keyed by the pair, so pair-sharding keeps that
+    /// state shard-local without cross-worker coordination. The hash is
+    /// FNV-1a over the pair bytes plus an avalanche finalizer (FNV alone
+    /// leaves its low bits nearly linear in low input bytes, which are the
+    /// only bytes small port numbers vary) — deterministic across runs and
+    /// platforms, so tests can replay partitions.
+    pub fn shard(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(u64::from(self.inport.switch.0) << 16 | u64::from(self.inport.port.0));
+        eat(u64::from(self.outport.switch.0) << 16 | u64::from(self.outport.port.0));
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % n as u64) as usize
+    }
 }
 
 impl std::fmt::Display for TagReport {

@@ -231,6 +231,46 @@ fn report_decode_rejects_garbage() {
 }
 
 #[test]
+fn shard_depends_only_on_port_pair() {
+    let a = TagReport::new(
+        PortRef::new(3, 1),
+        PortRef::new(9, 2),
+        sample_header(),
+        BloomTag::default_width(),
+    );
+    // Same pair, different header/tag/epoch: same shard at every width.
+    let mut tag = BloomTag::empty(16);
+    tag.insert(b"other");
+    let b = TagReport::new(
+        PortRef::new(3, 1),
+        PortRef::new(9, 2),
+        FiveTuple::udp(1, 2, 3, 4),
+        tag,
+    )
+    .with_epoch(77);
+    for n in 1..=16 {
+        assert_eq!(a.shard(n), b.shard(n), "n={n}");
+        assert!(a.shard(n) < n);
+    }
+    assert_eq!(a.shard(0), 0, "degenerate widths collapse to shard 0");
+    assert_eq!(a.shard(1), 0);
+    // Distinct pairs spread: over many pairs every shard gets traffic.
+    let mut hit = [false; 8];
+    for sw in 0..64u32 {
+        for port in 0..4u16 {
+            let r = TagReport::new(
+                PortRef::new(sw, port),
+                PortRef::new(sw + 1, port),
+                sample_header(),
+                BloomTag::default_width(),
+            );
+            hit[r.shard(8)] = true;
+        }
+    }
+    assert!(hit.iter().all(|&h| h), "FNV pair hash covers all shards");
+}
+
+#[test]
 fn report_roundtrip_epoch() {
     let r = TagReport::new(
         PortRef::new(1, 1),
@@ -611,6 +651,76 @@ mod stream {
                 "seed {seed}"
             );
         }
+    }
+
+    /// Every representable hostile length prefix is classified correctly:
+    /// values in `1..=MAX_FRAME_LEN` are honored as framing (decode error
+    /// at worst, never poison), everything else desyncs and poisons. The
+    /// sweep covers the full 16-bit prefix space — no sampled gaps.
+    #[test]
+    fn every_prefix_value_classified() {
+        for len in 0..=u16::MAX {
+            let mut fr = FrameReader::new();
+            let mut stream = len.to_be_bytes().to_vec();
+            // Enough payload that in-bounds prefixes see a whole frame.
+            stream.resize(2 + len as usize, 0xab);
+            fr.push(&stream);
+            assert_eq!(fr.next_report(), None, "prefix {len}");
+            if len == 0 || len as usize > MAX_FRAME_LEN {
+                assert!(fr.poisoned(), "prefix {len} must poison");
+                assert_eq!(fr.decode_errors(), 1, "prefix {len}");
+                assert_eq!(fr.frames(), 0, "prefix {len}");
+            } else {
+                assert!(!fr.poisoned(), "prefix {len} is in-bounds framing");
+                assert_eq!(fr.frames(), 1, "prefix {len}");
+                assert_eq!(fr.decode_errors(), 1, "garbage payload rejected");
+            }
+        }
+    }
+
+    /// A peer that streams bytes which never complete a frame cannot make
+    /// the reader buffer without bound: the backstop poisons it.
+    #[test]
+    fn reader_bounds_buffered_bytes() {
+        use crate::MAX_BUFFERED_BYTES;
+        // One push past the bound poisons immediately and drops the bytes.
+        let mut fr = FrameReader::new();
+        fr.push(&vec![0xab; MAX_BUFFERED_BYTES + 1]);
+        assert!(fr.poisoned(), "oversized single push poisons");
+        assert_eq!(fr.decode_errors(), 1);
+        assert_eq!(fr.pending(), 0, "poisoned reader holds no bytes");
+
+        // Accumulation across pushes with no drain in between (a stalled
+        // consumer) trips the same bound before memory grows unbounded.
+        let mut fr = FrameReader::new();
+        let mut total = 0usize;
+        while !fr.poisoned() && total < 4 * MAX_BUFFERED_BYTES {
+            fr.push(&vec![0xab; 200 * 1024]);
+            total += 200 * 1024;
+        }
+        assert!(fr.poisoned(), "undrained flood poisons");
+        assert!(fr.pending() <= MAX_BUFFERED_BYTES);
+    }
+
+    /// `reset` rewinds a used (even poisoned) reader to stream start.
+    #[test]
+    fn reader_reset_restores_fresh_state() {
+        let r = sample_report(31);
+        let mut fr = FrameReader::new();
+        fr.push(&[0, 0]); // zero prefix: poison
+        assert_eq!(fr.next_report(), None);
+        assert!(fr.poisoned());
+        fr.reset();
+        assert!(!fr.poisoned());
+        assert_eq!(
+            (fr.frames(), fr.reports(), fr.decode_errors(), fr.pending()),
+            (0, 0, 0, 0)
+        );
+        let mut stream = Vec::new();
+        append_framed_report(&mut stream, &r);
+        fr.push(&stream);
+        assert_eq!(fr.next_report(), Some(r), "reader decodes after reset");
+        assert_eq!(fr.reports(), 1);
     }
 
     /// Pure garbage never panics the reader, whatever the chunking.

@@ -219,6 +219,14 @@ pub const FRAMED_REPORT_WIRE_LEN: usize = 2 + REPORT_WIRE_LEN;
 /// stream is garbage.
 pub const MAX_FRAME_LEN: usize = 256;
 
+/// Hard ceiling on bytes a [`FrameReader`] will hold un-decoded. Callers
+/// drain between pushes, so a healthy stream never buffers more than one
+/// recv chunk plus one torn frame; a pile-up past this bound means the
+/// peer (or a bug upstream) is feeding bytes faster than frames decode —
+/// the reader poisons itself rather than grow without bound. Sized at
+/// several recv buffers (64 KiB each) of slack.
+pub const MAX_BUFFERED_BYTES: usize = 512 * 1024;
+
 /// Append a tag report's wire bytes (no length prefix) to `out`.
 ///
 /// This is the allocation-free core shared by [`encode_report`] (which
@@ -419,6 +427,10 @@ impl FrameReader {
     }
 
     /// Feed bytes exactly as received from the transport.
+    ///
+    /// A push that would leave more than [`MAX_BUFFERED_BYTES`] pending
+    /// counts one decode error and poisons the reader instead of buffering
+    /// — the backstop against a peer that streams bytes which never frame.
     pub fn push(&mut self, bytes: &[u8]) {
         if self.poisoned {
             return;
@@ -426,6 +438,13 @@ impl FrameReader {
         if self.pos > 0 && self.pos >= self.buf.len().saturating_sub(self.pos) {
             self.buf.drain(..self.pos);
             self.pos = 0;
+        }
+        if self.buf.len() - self.pos + bytes.len() > MAX_BUFFERED_BYTES {
+            self.decode_errors += 1;
+            self.poisoned = true;
+            self.buf.clear();
+            self.pos = 0;
+            return;
         }
         self.buf.extend_from_slice(bytes);
     }
@@ -511,6 +530,20 @@ impl FrameReader {
     /// Bytes buffered but not yet consumed.
     pub fn pending(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Rewind to stream start for a fresh connection, keeping the buffer
+    /// allocation. Counters, poison, and any buffered bytes are discarded —
+    /// callers harvest the counters (and [`FrameReader::finish`] the tail)
+    /// before reusing a reader, which is how the event loops recycle one
+    /// reader allocation per connection slot.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+        self.frames = 0;
+        self.reports = 0;
+        self.decode_errors = 0;
+        self.poisoned = false;
     }
 }
 

@@ -233,6 +233,16 @@ pub struct ScenarioConfig {
     /// rejection all happen in the actual wire path. `None` keeps the
     /// in-process [`ReportChannel`] (which additionally reorders).
     pub transport: Option<veridp_net::Transport>,
+    /// Route ingest through pair-sharded `RobustWorker`s instead of
+    /// calling `ingest_robust` on the server directly: each drained batch
+    /// is partitioned by [`TagReport::shard`] across
+    /// [`ScenarioConfig::verify_shards`] workers pinning RCU snapshots
+    /// (the same consumer shape `veridp_net::serve` runs with a robust
+    /// config), and the harvests are absorbed before the verdict sheet is
+    /// read. Exercises snapshot pinning under the scenario's rule churn.
+    pub wire_robust_pump: bool,
+    /// Shard count when [`ScenarioConfig::wire_robust_pump`] is set.
+    pub verify_shards: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -246,6 +256,8 @@ impl Default for ScenarioConfig {
             drain_period: 5,
             dst_port: 80,
             transport: None,
+            wire_robust_pump: false,
+            verify_shards: 4,
         }
     }
 }
@@ -528,6 +540,78 @@ impl Wire {
     }
 }
 
+/// The scenario's ingest side: either `ingest_robust` straight into the
+/// server, or the sharded-`RobustWorker` consumer shape the network
+/// pipeline runs (`ScenarioConfig::wire_robust_pump`).
+enum RobustIngest<B: HeaderSetBackend> {
+    Direct,
+    Sharded(Vec<veridp_core::RobustWorker<B>>),
+}
+
+impl<B: HeaderSetBackend> RobustIngest<B> {
+    fn new(m: &mut Monitor<B>, cfg: &ScenarioConfig) -> Self {
+        if !cfg.wire_robust_pump {
+            return RobustIngest::Direct;
+        }
+        // Workers verify against pinned RCU snapshots, so the live table
+        // must publish them; churn keeps publishing new versions while the
+        // workers hold older pins — exactly the wire pipeline's race.
+        m.server.set_snapshots(true);
+        let shards = cfg.verify_shards.max(1);
+        let workers = (0..shards)
+            .map(|_| {
+                m.server
+                    .robust_worker()
+                    .expect("robust mode and snapshots enabled")
+            })
+            .collect();
+        RobustIngest::Sharded(workers)
+    }
+
+    fn ingest(&mut self, m: &mut Monitor<B>, reports: &[TagReport]) {
+        match self {
+            RobustIngest::Direct => {
+                for r in reports {
+                    m.server.ingest_robust(r);
+                }
+            }
+            RobustIngest::Sharded(workers) => {
+                let n = workers.len();
+                let mut parts: Vec<Vec<TagReport>> = (0..n).map(|_| Vec::new()).collect();
+                for r in reports {
+                    parts[r.shard(n)].push(*r);
+                }
+                for (w, part) in workers.iter_mut().zip(parts) {
+                    if !part.is_empty() {
+                        w.ingest_batch(&part);
+                    }
+                }
+            }
+        }
+    }
+
+    fn settle(&mut self, m: &mut Monitor<B>) {
+        match self {
+            RobustIngest::Direct => m.server.settle(),
+            RobustIngest::Sharded(workers) => {
+                for w in workers.iter_mut() {
+                    w.settle();
+                }
+            }
+        }
+    }
+
+    /// Fold per-shard state (stats, suspects, confirmed alarms) back into
+    /// the server so the verdict sheet reads identically in both shapes.
+    fn finish(self, m: &mut Monitor<B>) {
+        if let RobustIngest::Sharded(workers) = self {
+            for w in workers {
+                m.server.absorb(w.harvest());
+            }
+        }
+    }
+}
+
 /// Run the full chaos scenario against an already-deployed monitor:
 /// multi-round all-pairs traffic, reports routed through a [`ReportChannel`],
 /// rules churned under traffic, robust ingest on the server, quarantine
@@ -542,6 +626,7 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
         StdRng::seed_from_u64(cfg.chaos.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed);
     let mut channel = Wire::new(cfg);
     m.server.set_robust(Some(cfg.robust.clone()));
+    let mut ingest = RobustIngest::new(m, cfg);
 
     let injected = inject_fault(m, cfg.fault, &mut rng);
 
@@ -595,9 +680,8 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
                 }
                 flows += 1;
                 if cfg.drain_period > 0 && flows.is_multiple_of(cfg.drain_period as u64) {
-                    for r in channel.drain() {
-                        m.server.ingest_robust(&r);
-                    }
+                    let drained = channel.drain();
+                    ingest.ingest(m, &drained);
                 }
                 if cfg.churn_period > 0
                     && flows.is_multiple_of(cfg.churn_period as u64)
@@ -626,21 +710,19 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
             r.id = m.add_rule(r.switch, r.priority, r.fields, r.action);
             churn_ops += 1;
         }
-        for r in channel.drain() {
-            m.server.ingest_robust(&r);
-        }
-        m.server.settle();
+        let drained = channel.drain();
+        ingest.ingest(m, &drained);
+        ingest.settle(m);
     }
 
     // Tear the wire down; anything still in flight (socket mode) gets one
     // last ingest + settle so the accounting closes.
     let (channel_stats, leftovers) = channel.finish();
     if !leftovers.is_empty() {
-        for r in &leftovers {
-            m.server.ingest_robust(r);
-        }
-        m.server.settle();
+        ingest.ingest(m, &leftovers);
+        ingest.settle(m);
     }
+    ingest.finish(m);
 
     let stats = m.server.stats().clone();
     let confirmed = m

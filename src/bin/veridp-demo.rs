@@ -8,7 +8,7 @@
 //!             [--verify-cache on|off] [--churn-rate N] [--metrics-json PATH]
 //!             [--chaos SEED] [--chaos-loss PCT] [--chaos-dup PCT]
 //!             [--chaos-corrupt PCT] [--chaos-json PATH]
-//!             [--listen PROTO:ADDR] [--connect PROTO:ADDR]
+//!             [--listen PROTO:ADDR] [--connect PROTO:ADDR] [--robust]
 //!             [--clients N] [--repeat N]
 //! ```
 //!
@@ -16,8 +16,13 @@
 //! socket listener (UDP datagrams or a length-prefixed TCP stream) with a
 //! verify pump draining it; `--connect udp:127.0.0.1:7641` on the same
 //! topology generates the all-pairs report set and replays it from
-//! `--clients` concurrent senders. See the "Network ingest" section of the
-//! README for end-to-end examples.
+//! `--clients` concurrent senders. Adding `--robust` to both sides turns
+//! the pair into an end-to-end fault-localization check: the client injects
+//! the seeded `--fault` into its data plane before generating reports, the
+//! listener drains intake through pair-sharded `RobustWorker` pumps and
+//! exits nonzero on an accounting leak, a false alarm, or a missed fault —
+//! both sides predict the faulty switch independently from `--seed`. See
+//! the "Network ingest" section of the README for end-to-end examples.
 //!
 //! The header-set backend defaults to `bdd`; `--backend atoms` (or the
 //! `VERIDP_BACKEND` environment variable) switches the whole pipeline to
@@ -80,6 +85,7 @@ struct Options {
     chaos_json: Option<String>,
     listen: Option<String>,
     connect: Option<String>,
+    robust: bool,
     clients: usize,
     repeat: usize,
     serve_idle_ms: u64,
@@ -103,6 +109,7 @@ fn parse_args() -> Options {
         chaos_json: None,
         listen: None,
         connect: None,
+        robust: false,
         clients: 4,
         repeat: 1,
         serve_idle_ms: 2000,
@@ -164,6 +171,7 @@ fn parse_args() -> Options {
             "--chaos-json" => o.chaos_json = Some(val("--chaos-json")),
             "--listen" => o.listen = Some(val("--listen")),
             "--connect" => o.connect = Some(val("--connect")),
+            "--robust" => o.robust = true,
             "--clients" => {
                 o.clients = val("--clients")
                     .parse()
@@ -236,6 +244,16 @@ fn usage(msg: &str) -> ! {
          \x20                         same deployment and ship them to a --listen\n\
          \x20                         server from --clients concurrent senders,\n\
          \x20                         --repeat times each\n\
+         \x20 --robust                with --listen: drain intake through pair-sharded\n\
+         \x20                         RobustWorker pumps (dedup, epoch grace,\n\
+         \x20                         quarantine, K-of-N alarm confirmation) and exit\n\
+         \x20                         nonzero on an accounting leak, a false alarm, or\n\
+         \x20                         a missed fault. With --connect: inject the seeded\n\
+         \x20                         --fault into this side's data plane first, so the\n\
+         \x20                         shipped reports carry the inconsistency, and turn\n\
+         \x20                         --repeat into distinct traffic rounds (floored at\n\
+         \x20                         K=3 — K-of-N needs K distinct observations). Both\n\
+         \x20                         sides must share --topo/--fault/--seed.\n\
          \x20 --clients N             concurrent sender connections (default 4)\n\
          \x20 --repeat N              times each client replays the report set\n\
          \x20 --serve-idle-ms MS      idle window ending a --listen run (default 2000)\n\
@@ -338,51 +356,7 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
             println!("fault: ACL rule {rid:?} deleted out-of-band at {sid}");
         }
         kind @ ("blackhole" | "wrongport") => {
-            let hosts = m.net.topo().hosts().to_vec();
-            let (sid, rid, old) = loop {
-                let a = &hosts[rng.gen_range(0..hosts.len())];
-                let b = &hosts[rng.gen_range(0..hosts.len())];
-                if a.ip == b.ip {
-                    continue;
-                }
-                let Some(path) = m
-                    .net
-                    .topo()
-                    .shortest_path(a.attached.switch, b.attached.switch)
-                else {
-                    continue;
-                };
-                let s = path[rng.gen_range(0..path.len())];
-                let subnet = veridp::switch::prefix_mask(b.ip, b.plen);
-                let Some(r) = m
-                    .controller
-                    .rules_of(s)
-                    .iter()
-                    .find(|r| r.fields.dst_ip == subnet && r.fields.dst_plen == b.plen)
-                else {
-                    continue;
-                };
-                let Action::Forward(p) = r.action else {
-                    continue;
-                };
-                break (s, r.id, p);
-            };
-            let action = if kind == "blackhole" {
-                Action::Drop
-            } else {
-                let nports = m.net.topo().switch(sid).unwrap().num_ports;
-                let wrong = loop {
-                    let p = PortNo(rng.gen_range(1..=nports));
-                    if p != old {
-                        break p;
-                    }
-                };
-                Action::Forward(wrong)
-            };
-            m.net
-                .switch_mut(sid)
-                .faults_mut()
-                .add(Fault::ExternalModify(rid, action));
+            let (sid, rid) = inject_fault(&mut m, kind, &mut rng);
             let name = m.net.topo().switch(sid).unwrap().name.clone();
             println!("fault: {kind} injected at {name} (rule {rid:?})");
         }
@@ -579,6 +553,73 @@ fn write_metrics<B: HeaderSetBackend>(m: &mut Monitor<B>, o: &Options) {
     }
 }
 
+/// Pick the seeded fault target: a traffic-carrying `Forward` rule on a
+/// random host-pair shortest path. Pure function of the rng stream and the
+/// deployment, so a `--listen --robust` server and its `--connect --robust`
+/// peer — sharing `--topo`, `--fault`, and `--seed` — independently agree
+/// on which switch the confirmed alarms must name, with no side channel.
+fn pick_fault_target<B: HeaderSetBackend>(
+    m: &Monitor<B>,
+    rng: &mut StdRng,
+) -> (SwitchId, RuleId, PortNo) {
+    let hosts = m.net.topo().hosts().to_vec();
+    loop {
+        let a = &hosts[rng.gen_range(0..hosts.len())];
+        let b = &hosts[rng.gen_range(0..hosts.len())];
+        if a.ip == b.ip {
+            continue;
+        }
+        let Some(path) = m
+            .net
+            .topo()
+            .shortest_path(a.attached.switch, b.attached.switch)
+        else {
+            continue;
+        };
+        let s = path[rng.gen_range(0..path.len())];
+        let subnet = veridp::switch::prefix_mask(b.ip, b.plen);
+        let Some(r) = m
+            .controller
+            .rules_of(s)
+            .iter()
+            .find(|r| r.fields.dst_ip == subnet && r.fields.dst_plen == b.plen)
+        else {
+            continue;
+        };
+        let Action::Forward(p) = r.action else {
+            continue;
+        };
+        return (s, r.id, p);
+    }
+}
+
+/// Inject `kind` (`blackhole` | `wrongport`) at the seeded target via an
+/// out-of-band `ExternalModify`; returns the suspect switch and rule.
+fn inject_fault<B: HeaderSetBackend>(
+    m: &mut Monitor<B>,
+    kind: &str,
+    rng: &mut StdRng,
+) -> (SwitchId, RuleId) {
+    let (sid, rid, old) = pick_fault_target(m, rng);
+    let action = if kind == "blackhole" {
+        Action::Drop
+    } else {
+        let nports = m.net.topo().switch(sid).unwrap().num_ports;
+        let wrong = loop {
+            let p = PortNo(rng.gen_range(1..=nports));
+            if p != old {
+                break p;
+            }
+        };
+        Action::Forward(wrong)
+    };
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, action));
+    (sid, rid)
+}
+
 /// Parse `PROTO:ADDR` (e.g. `udp:127.0.0.1:7641`) into a transport and a
 /// socket address.
 fn parse_endpoint(spec: &str) -> (veridp::net::Transport, std::net::SocketAddr) {
@@ -600,12 +641,45 @@ fn parse_endpoint(spec: &str) -> (veridp::net::Transport, std::net::SocketAddr) 
 /// veridp-demo with `--connect`) feed it over loopback or the network. The
 /// run ends after `--serve-idle-ms` of wire silence (once at least one
 /// frame arrived) or at `--serve-max-secs`, whichever is first.
+///
+/// With `--robust`, intake shards every batch by `(inport, outport)` pair
+/// across `RobustWorker` pumps, and the exit code turns into a full verdict
+/// gate: nonzero on an ingest accounting leak, on any false alarm, or — when
+/// a fault kind was given — on a missed fault. The expected suspect is
+/// recomputed locally by replaying the seeded fault selection the
+/// `--connect --robust` peer performs.
 fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
     use std::time::{Duration, Instant};
 
     let (transport, addr) = parse_endpoint(spec);
-    let Monitor { server, .. } = m;
-    let cfg = veridp::net::IngestConfig::new(transport, addr);
+    let expected: Option<SwitchId> = if o.robust {
+        match o.fault.as_str() {
+            "none" => None,
+            "blackhole" | "wrongport" => {
+                // Only the target selection consumes rng here; the peer's
+                // later draws (the wrong-port choice) don't affect it.
+                let mut rng = StdRng::seed_from_u64(o.seed);
+                Some(pick_fault_target(&m, &mut rng).0)
+            }
+            other => usage(&format!(
+                "--listen --robust supports --fault none|blackhole|wrongport, not {other}"
+            )),
+        }
+    } else {
+        None
+    };
+    let Monitor { server, net, .. } = m;
+    let switch_name = |sid: SwitchId| -> String {
+        net.topo()
+            .switch(sid)
+            .map(|i| i.name.clone())
+            .unwrap_or_else(|| format!("{sid:?}"))
+    };
+    let mut cfg = veridp::net::IngestConfig::new(transport, addr);
+    if o.robust {
+        cfg.robust = Some(veridp::core::RobustConfig::default());
+    }
+    let shards = cfg.verify_shards;
     let pipeline = veridp::net::serve(cfg, server).unwrap_or_else(|e| {
         eprintln!("error: binding {spec}: {e}");
         std::process::exit(2);
@@ -616,6 +690,18 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
         pipeline.transport(),
         pipeline.local_addr()
     );
+    println!("intake: {} engine", pipeline.mode());
+    if o.robust {
+        println!("robust verify: {shards} pair-sharded workers (K-of-N alarm confirmation)");
+        if let Some(sid) = expected {
+            println!(
+                "expecting {} fault at {} (seed {})",
+                o.fault,
+                switch_name(sid),
+                o.seed
+            );
+        }
+    }
 
     let start = Instant::now();
     let max = Duration::from_secs(o.serve_max_secs.max(1));
@@ -684,6 +770,12 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
         s.tag_mismatch,
         s.no_matching_path
     );
+    if o.robust {
+        println!(
+            "robust: {} duplicates dropped | {} graced | {} quarantined ({} shed) | per-shard verified {:?}",
+            s.duplicates, s.graced, s.quarantined, s.shed, snap.shard_verified
+        );
+    }
 
     if !snap.conserved() {
         eprintln!(
@@ -699,31 +791,124 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
         );
         std::process::exit(1);
     }
+    if !o.robust {
+        return;
+    }
+
+    // The verdict gate: confirmed alarms must exactly reflect the (shared,
+    // seeded) fault story. Same classification as the chaos soak — an alarm
+    // is false when its suspect differs from the injected switch and its
+    // pair never confirmed the injected switch (localization ambiguity on a
+    // genuinely faulty pair is not a false alarm).
+    let confirmed = server
+        .robust()
+        .expect("robust mode enabled above")
+        .alarms
+        .confirmed();
+    println!("confirmed alarms: {}", confirmed.len());
+    for a in confirmed.iter().take(5) {
+        println!(
+            "  {} suspected by {} failing observations (pair {} -> {})",
+            switch_name(a.suspect),
+            a.count,
+            a.pair.0,
+            a.pair.1
+        );
+    }
+    match expected {
+        None => {
+            if !confirmed.is_empty() {
+                eprintln!(
+                    "NET INVARIANT VIOLATED: {} alarms confirmed on a healthy network",
+                    confirmed.len()
+                );
+                std::process::exit(1);
+            }
+            println!("no fault expected, no alarm confirmed");
+        }
+        Some(sid) => {
+            let genuine_pairs: std::collections::HashSet<_> = confirmed
+                .iter()
+                .filter(|a| a.suspect == sid)
+                .map(|a| a.pair)
+                .collect();
+            let false_alarms = confirmed
+                .iter()
+                .filter(|a| a.suspect != sid && !genuine_pairs.contains(&a.pair))
+                .count();
+            if false_alarms > 0 {
+                eprintln!("NET INVARIANT VIOLATED: {false_alarms} false alarms confirmed");
+                std::process::exit(1);
+            }
+            if genuine_pairs.is_empty() {
+                eprintln!(
+                    "NET INVARIANT VIOLATED: {} fault at {} went undetected",
+                    o.fault,
+                    switch_name(sid)
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "fault at {}: detected ({} confirmed pairs)",
+                switch_name(sid),
+                genuine_pairs.len()
+            );
+        }
+    }
 }
 
 /// The `--connect` mode: deploy the same monitor, generate all-pairs
 /// traffic locally to obtain the ground-truth report set, then replay it
-/// to a `--listen` server from `--clients` concurrent senders. No fault is
-/// injected on this side — the reports describe a healthy network.
+/// to a `--listen` server from `--clients` concurrent senders.
+///
+/// By default no fault is injected on this side — the reports describe a
+/// healthy network. With `--robust` and a fault kind, the seeded fault is
+/// injected into this side's data plane *before* traffic runs, so the
+/// shipped reports carry the inconsistency for the `--listen --robust`
+/// server (sharing `--topo`/`--fault`/`--seed`) to detect and localize.
 fn run_connect<B: HeaderSetBackend>(o: &Options, mut m: Monitor<B>, spec: &str) {
     use std::time::Instant;
 
     let (transport, addr) = parse_endpoint(spec);
-    let outcomes = m.ping_all_pairs(80);
+    if o.robust {
+        match o.fault.as_str() {
+            "none" => println!("no fault injected: reports describe a healthy network"),
+            kind @ ("blackhole" | "wrongport") => {
+                let mut rng = StdRng::seed_from_u64(o.seed);
+                let (sid, rid) = inject_fault(&mut m, kind, &mut rng);
+                let name = m.net.topo().switch(sid).unwrap().name.clone();
+                println!(
+                    "fault: {kind} injected at {name} (rule {rid:?}); shipping faulty reports"
+                );
+            }
+            other => usage(&format!(
+                "--connect --robust supports --fault none|blackhole|wrongport, not {other}"
+            )),
+        }
+    }
     let epoch = m.server.table().epoch();
-    let reports: Vec<veridp::packet::TagReport> = outcomes
-        .iter()
-        .flat_map(|oc| oc.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+    // With --robust, K-of-N confirmation on the listener needs K *distinct*
+    // failing observations per pair — identical replays are deduplicated on
+    // arrival. So --repeat becomes distinct traffic rounds (dst port varies
+    // per round; IP-prefix rules keep the paths identical), floored at the
+    // default confirm_k so a faulted run can actually confirm.
+    let rounds = if o.robust { o.repeat.max(3) } else { 1 };
+    let reports: Vec<veridp::packet::TagReport> = (0..rounds)
+        .flat_map(|round| {
+            m.ping_all_pairs(80 + round as u16)
+                .iter()
+                .flat_map(|oc| oc.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+                .collect::<Vec<_>>()
+        })
         .collect();
+    let repeat = if o.robust { 1 } else { o.repeat.max(1) };
     println!(
-        "replaying {} reports x {} to {spec} from {} clients",
+        "replaying {} reports ({rounds} distinct rounds) x {repeat} to {spec} from {} clients",
         reports.len(),
-        o.repeat,
         o.clients.max(1)
     );
 
     let t0 = Instant::now();
-    let repeat = o.repeat.max(1);
     let handles: Vec<_> = (0..o.clients.max(1))
         .map(|c| {
             let reports = reports.clone();

@@ -175,6 +175,70 @@ fn internet2_no_fault_over_sockets_stays_silent() {
     }
 }
 
+/// Socket soak with the wire pipeline's consumer shape: drains are
+/// partitioned by `(inport, outport)` pair across sharded `RobustWorker`s
+/// pinning RCU snapshots, and the harvests are absorbed before verdicts
+/// are read.
+fn soak_pump(transport: Transport, seed: u64, fault: FaultKind, pump: bool) -> ChaosSummary {
+    let mut m =
+        Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).expect("intents compile");
+    let cfg = ScenarioConfig {
+        chaos: ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        },
+        fault,
+        transport: Some(transport),
+        wire_robust_pump: pump,
+        ..ScenarioConfig::default()
+    };
+    run_chaos_scenario(&mut m, &cfg)
+}
+
+#[test]
+fn internet2_sharded_pump_over_tcp_socket() {
+    let s = soak_pump(Transport::Tcp, 3, FaultKind::WrongPort, true);
+    assert_soak_ok(&s, "internet2/tcp-socket/sharded-pump/seed3");
+}
+
+#[test]
+fn sharded_pump_matches_direct_ingest() {
+    // TCP is lossless end to end and the chaos knobs are seeded, so the
+    // same seed must produce identical verdict sheets whether reports go
+    // through `ingest_robust` on the server or through pair-sharded
+    // workers — the bit-identical contract the K-of-N-per-shard design
+    // rests on (all reports of a pair land on one shard).
+    for fault in [FaultKind::WrongPort, FaultKind::None] {
+        let direct = soak_pump(Transport::Tcp, 11, fault, false);
+        let sharded = soak_pump(Transport::Tcp, 11, fault, true);
+        let ctx = format!("pump-differential/{fault:?}/seed11");
+        assert_eq!(direct.detected, sharded.detected, "{ctx}");
+        assert_eq!(direct.false_alarms, sharded.false_alarms, "{ctx}");
+        let key = |s: &ChaosSummary| {
+            let mut k: Vec<_> = s
+                .confirmed
+                .iter()
+                .map(|a| (a.suspect, a.pair, a.count))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&direct), key(&sharded), "{ctx}: confirmed alarms");
+        let d = &direct.stats;
+        let s = &sharded.stats;
+        assert_eq!(
+            (d.reports, d.passed, d.tag_mismatch, d.no_matching_path),
+            (s.reports, s.passed, s.tag_mismatch, s.no_matching_path),
+            "{ctx}: verdict counts"
+        );
+        assert_eq!(
+            (d.duplicates, d.graced, d.quarantined, d.shed),
+            (s.duplicates, s.graced, s.quarantined, s.shed),
+            "{ctx}: robust counters"
+        );
+    }
+}
+
 #[test]
 fn stanford_wrongport_fastpath_on() {
     let s = soak(

@@ -6,10 +6,11 @@
 use std::time::Duration;
 
 use veridp::controller::Intent;
-use veridp::core::VeriDpServer;
+use veridp::core::{RobustConfig, VeriDpServer};
 use veridp::net::{serve, IngestConfig, IngestServer, NetSender, Transport};
-use veridp::packet::TagReport;
+use veridp::packet::{PortNo, TagReport};
 use veridp::sim::Monitor;
+use veridp::switch::{Action, Fault};
 use veridp::topo::gen;
 
 /// Deploy the reference monitor and produce the all-pairs report set,
@@ -166,6 +167,130 @@ fn shutdown_drains_in_flight_tcp_frames() {
     // fully decoded: frames seen == frames the client managed to send (the
     // client finished before we closed, so all of them).
     assert_eq!(snap.frames, client.frames_sent);
+}
+
+/// Misdirect the first traffic-carrying forward rule on the
+/// first-to-last-host shortest path (deterministic — no rng), then
+/// generate three distinct all-pairs rounds (dst port varies; prefix rules
+/// keep paths identical) so the same `(pair, suspect)` fails often enough
+/// to clear the default K-of-N confirmation threshold.
+fn faulty_report_set() -> Vec<TagReport> {
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let hosts = m.net.topo().hosts().to_vec();
+    let (a, b) = (&hosts[0], &hosts[hosts.len() - 1]);
+    let path = m
+        .net
+        .topo()
+        .shortest_path(a.attached.switch, b.attached.switch)
+        .unwrap();
+    let subnet = veridp::switch::prefix_mask(b.ip, b.plen);
+    let (sid, rid, old) = path
+        .iter()
+        .find_map(|&s| {
+            m.controller
+                .rules_of(s)
+                .iter()
+                .find(|r| r.fields.dst_ip == subnet && r.fields.dst_plen == b.plen)
+                .and_then(|r| match r.action {
+                    Action::Forward(p) => Some((s, r.id, p)),
+                    _ => None,
+                })
+        })
+        .expect("a traffic-carrying forward rule on the path");
+    let nports = m.net.topo().switch(sid).unwrap().num_ports;
+    let wrong = (1..=nports).map(PortNo).find(|&q| q != old).unwrap();
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, Action::Forward(wrong)));
+
+    let epoch = m.server.table().epoch();
+    (0..3u16)
+        .flat_map(|round| {
+            m.ping_all_pairs(80 + round)
+                .iter()
+                .flat_map(|o| o.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_robust_pump_matches_in_process_robust_ingest() {
+    let reports = faulty_report_set();
+
+    // Baseline: the in-process robust path, one report at a time, in order.
+    let mut baseline = fresh_server();
+    baseline.set_robust(Some(RobustConfig::default()));
+    for r in &reports {
+        baseline.ingest_robust(r);
+    }
+    baseline.settle();
+
+    // Wire path: the same reports in the same order down one lossless TCP
+    // stream, decoded by the intake engine and fanned out to pair-sharded
+    // RobustWorker pumps. All reports of a pair land on one shard, so
+    // dedup, grace, quarantine, and K-of-N confirmation state is
+    // shard-local — and the verdict sheet must still be bit-identical.
+    let mut cfg = IngestConfig::for_addr(Transport::Tcp, "127.0.0.1:0").unwrap();
+    cfg.robust = Some(RobustConfig::default());
+    let shards = cfg.verify_shards;
+    let pipeline = serve(cfg, fresh_server()).unwrap();
+    let addr = pipeline.local_addr();
+    let mut tx = NetSender::connect(Transport::Tcp, addr).unwrap();
+    for r in &reports {
+        tx.send_report(r).unwrap();
+    }
+    tx.finish().unwrap();
+    assert!(
+        pipeline.wait_frames(reports.len() as u64, Duration::from_secs(20)),
+        "all frames arrive over lossless TCP"
+    );
+    let (server, snap) = pipeline.shutdown();
+
+    // Cross-shard conservation: every enqueued report was verified by
+    // exactly one shard.
+    assert!(snap.conserved(), "{snap:?}");
+    assert_eq!(snap.shard_verified.len(), shards, "{snap:?}");
+    assert_eq!(
+        snap.shard_verified.iter().sum::<u64>(),
+        snap.verified,
+        "{snap:?}"
+    );
+
+    // Bit-identical verdict sheet and robust counters.
+    let (b, s) = (baseline.stats().clone(), server.stats().clone());
+    assert_eq!(
+        (b.reports, b.passed, b.tag_mismatch, b.no_matching_path),
+        (s.reports, s.passed, s.tag_mismatch, s.no_matching_path),
+        "verdict counts"
+    );
+    assert_eq!(
+        (b.duplicates, b.graced, b.quarantined, b.shed),
+        (s.duplicates, s.graced, s.quarantined, s.shed),
+        "robust counters"
+    );
+    assert!(
+        s.failed() > 0,
+        "the misdirection must actually fail verdicts"
+    );
+
+    // And the same confirmed alarms, down to the observation counts.
+    let key = |srv: &VeriDpServer| {
+        let mut k: Vec<_> = srv
+            .robust()
+            .expect("robust mode enabled")
+            .alarms
+            .confirmed()
+            .iter()
+            .map(|a| (a.suspect, a.pair, a.count))
+            .collect();
+        k.sort();
+        k
+    };
+    let (want, got) = (key(&baseline), key(&server));
+    assert!(!want.is_empty(), "K-of-N must confirm the misdirection");
+    assert_eq!(want, got, "confirmed alarms match the direct robust path");
 }
 
 #[test]
