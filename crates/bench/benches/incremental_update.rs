@@ -279,22 +279,15 @@ fn main() {
         println!("         concurrent-churn numbers measure time-slicing, not contention.");
     }
 
-    let doc = Json::obj([
-        ("bench", Json::str("incremental_update")),
-        ("setup", Json::str(Setup::Internet2.name())),
-        ("seed", Json::Int(2016)),
-        ("quick", Json::Bool(quick)),
-        (
-            "pace_target_updates_per_sec",
-            Json::Num(1e6 / PACE.as_micros() as f64),
-        ),
-        (
-            "hardware_threads",
-            Json::Int(harness::hardware_threads() as i64),
-        ),
-        ("single_core_caveat", Json::Bool(caveat)),
-        ("results", Json::Arr(results)),
-    ]);
+    let mut fields = harness::meta_fields("incremental_update", quick, CONCURRENT_THREADS);
+    fields.push(("setup".into(), Json::str(Setup::Internet2.name())));
+    fields.push(("seed".into(), Json::Int(2016)));
+    fields.push((
+        "pace_target_updates_per_sec".into(),
+        Json::Num(1e6 / PACE.as_micros() as f64),
+    ));
+    fields.push(("results".into(), Json::Arr(results)));
+    let doc = Json::Obj(fields);
     if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
         eprintln!("error: cannot write bench json to {out_path}: {e}");
         std::process::exit(1);

@@ -31,7 +31,7 @@
 
 use std::time::{Duration, Instant};
 
-use veridp_bench::harness::{fmt_ns, hardware_threads, quick_mode, single_core_caveat};
+use veridp_bench::harness::{fmt_ns, hardware_threads, meta_fields, quick_mode};
 use veridp_bench::json::Json;
 use veridp_controller::Intent;
 use veridp_net::{serve, IngestConfig, IngestMode, NetSender, Transport};
@@ -257,21 +257,10 @@ fn main() {
         ]));
     }
 
-    let mut top: Vec<(String, Json)> = vec![
-        ("bench".into(), Json::str("net_ingest")),
-        ("quick".into(), Json::Bool(quick)),
-        ("reports_per_case".into(), Json::Int(total as i64)),
-        (
-            "hardware_threads".into(),
-            Json::Int(hardware_threads() as i64),
-        ),
-        (
-            "single_core_caveat".into(),
-            Json::Bool(single_core_caveat(max_clients)),
-        ),
-        ("results".into(), Json::Arr(results)),
-        ("quiet_listener".into(), Json::Arr(quiet_json)),
-    ];
+    let mut top = meta_fields("net_ingest", quick, max_clients);
+    top.push(("reports_per_case".into(), Json::Int(total as i64)));
+    top.push(("results".into(), Json::Arr(results)));
+    top.push(("quiet_listener".into(), Json::Arr(quiet_json)));
     if let Some(ratio) = scaling {
         top.push(("tcp_512_over_64_rate_ratio".into(), Json::Num(ratio)));
     }

@@ -10,15 +10,19 @@
 //!    instrumented build; if `VERIDP_BENCH_OBS_BASELINE` points at the
 //!    baseline JSON, it computes the per-mode overhead percentage, writes
 //!    `BENCH_obs_overhead.json`, and exits nonzero when the overhead
-//!    exceeds `VERIDP_BENCH_OBS_MAX_PCT` (unset = report only).
+//!    exceeds `VERIDP_BENCH_OBS_MAX_PCT` (unset = report only) by more
+//!    than `VERIDP_BENCH_OBS_MAX_NS` nanoseconds per report (default 3 —
+//!    the absolute slack keeps cross-build layout noise on the ~20 ns
+//!    micro modes from gating as instrumentation cost).
 //!
 //! Two builds cannot interleave inside one process, so ambient load drift
 //! (CI neighbors, thermal throttle) would otherwise masquerade as
 //! overhead. Both env knobs therefore accept `:`-separated lists —
 //! `VERIDP_BENCH_OBS_BASELINE` of baseline-run JSONs and
 //! `VERIDP_BENCH_OBS_PREV` of earlier enabled-run JSONs — and the
-//! comparison uses the per-mode minimum across all runs of each side.
-//! `scripts/bench_smoke.sh` alternates three off and three on runs
+//! comparison uses the per-mode MEDIAN of per-run minima across each
+//! side (see [`median`] for why not min-of-mins).
+//! `scripts/bench_smoke.sh` alternates four off and four on runs
 //! exactly for this.
 //!
 //! The workload mirrors `verify_report`: witness reports cycled through
@@ -63,17 +67,35 @@ fn extract_num(doc: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-/// Minimum of `key` across a `:`-separated list of result files (missing
+/// Values of `key` across a `:`-separated list of result files (missing
 /// files and missing keys are skipped).
-fn min_across_files(paths: &str, key: &str) -> Option<f64> {
+fn nums_across_files(paths: &str, key: &str) -> Vec<f64> {
     paths
         .split(':')
         .filter(|p| !p.is_empty())
         .filter_map(|p| std::fs::read_to_string(p).ok())
         .filter_map(|doc| extract_num(&doc, key))
-        .fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.min(v)))
-        })
+        .collect()
+}
+
+/// Median (midpoint of the middle pair for even counts). `None` when empty.
+///
+/// The gate compares the MEDIAN of per-run minima, not the minimum of
+/// minima: the per-run min already strips intra-run preemption, and the
+/// cross-run median strips the occasional freakishly fast window that a
+/// min-of-mins would hand to whichever side drew it — on ~20 ns/report
+/// modes one such draw swings the comparison by double-digit percent.
+fn median(mut vals: Vec<f64>) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(f64::total_cmp);
+    let mid = vals.len() / 2;
+    Some(if vals.len() % 2 == 1 {
+        vals[mid]
+    } else {
+        (vals[mid - 1] + vals[mid]) / 2.0
+    })
 }
 
 struct Mode {
@@ -87,9 +109,12 @@ fn main() {
         std::env::var("VERIDP_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs_overhead.json".to_string());
     let prefixes = if quick { 60 } else { 300 };
     // Comparing two separate builds at the few-percent level needs long,
-    // repeated samples: short ones are dominated by scheduler noise.
-    let iters: u64 = if quick { 100_000 } else { 500_000 };
-    let samples = 7usize;
+    // repeated samples: the gate reads min-of-samples, and on a saturated
+    // single-core runner a sample window shorter than a scheduler quantum
+    // rarely runs unpreempted — so quick mode still uses windows of a few
+    // milliseconds, and extra samples buy more chances at a clean window.
+    let iters: u64 = if quick { 200_000 } else { 500_000 };
+    let samples = if quick { 15 } else { 7 };
 
     let enabled = veridp_obs::ENABLED;
     println!(
@@ -166,37 +191,54 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok());
 
-    let mut fields: Vec<(String, Json)> = vec![
-        ("bench".into(), Json::str("obs_overhead")),
-        ("obs_enabled".into(), Json::Bool(enabled)),
-        ("quick".into(), Json::Bool(quick)),
-        ("rules".into(), Json::Int(data.num_rules as i64)),
-    ];
+    // Single-threaded bench; the shared header keeps the schema uniform
+    // with the concurrent emitters.
+    let mut fields = veridp_bench::harness::meta_fields("obs_overhead", quick, 1);
+    fields.push(("obs_enabled".into(), Json::Bool(enabled)));
+    fields.push(("rules".into(), Json::Int(data.num_rules as i64)));
     for m in &modes {
         fields.push((format!("{}_ns_min", m.name), Json::Num(m.timing.min_ns)));
         fields.push((format!("{}_ns_mean", m.name), Json::Num(m.timing.mean_ns)));
     }
 
+    // Absolute slack for the percentage gate, in ns/report. Two separate
+    // builds of the same hot loop differ by a couple of nanoseconds from
+    // code layout and frequency-scaling luck alone, so on the ~20 ns micro
+    // modes a purely relative limit gates noise, not instrumentation; a
+    // mode only violates when it exceeds BOTH the percentage limit and
+    // this floor. The 240 ns scan mode is effectively governed by the
+    // percentage limit alone.
+    let max_ns: f64 = std::env::var("VERIDP_BENCH_OBS_MAX_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
     let mut worst_overhead: Option<f64> = None;
+    let mut violations: Vec<String> = Vec::new();
     if let Some(paths) = &baseline_paths {
         println!();
         for m in &modes {
             let key = format!("{}_ns_min", m.name);
-            let Some(base_min) = min_across_files(paths, &key) else {
+            let Some(base_min) = median(nums_across_files(paths, &key)) else {
                 continue;
             };
-            // This run's min, folded with any earlier enabled runs.
-            let on_min = min_across_files(&prev_paths, &key)
-                .map_or(m.timing.min_ns, |p| p.min(m.timing.min_ns));
+            // This run's min, pooled with any earlier enabled runs.
+            let mut on_mins = nums_across_files(&prev_paths, &key);
+            on_mins.push(m.timing.min_ns);
+            let on_min = median(on_mins).expect("pool is non-empty");
             let pct = (on_min / base_min - 1.0) * 100.0;
+            let delta_ns = on_min - base_min;
             println!(
-                "{:<24} enabled {on_min:>8.1} ns vs off {base_min:>8.1} ns  -> {pct:+.2}% overhead",
+                "{:<24} enabled {on_min:>8.1} ns vs off {base_min:>8.1} ns  -> {pct:+.2}% ({delta_ns:+.1} ns) overhead",
                 m.name
             );
-            fields.push((format!("{}_baseline_ns_min", m.name), Json::Num(base_min)));
-            fields.push((format!("{}_enabled_ns_min", m.name), Json::Num(on_min)));
+            fields.push((format!("{}_baseline_ns_med", m.name), Json::Num(base_min)));
+            fields.push((format!("{}_enabled_ns_med", m.name), Json::Num(on_min)));
             fields.push((format!("{}_overhead_pct", m.name), Json::Num(pct)));
             worst_overhead = Some(worst_overhead.map_or(pct, |w: f64| w.max(pct)));
+            if max_pct.is_some_and(|limit| pct > limit) && delta_ns > max_ns {
+                violations.push(format!("{} (+{pct:.2}%, +{delta_ns:.1} ns)", m.name));
+            }
         }
         if let Some(w) = worst_overhead {
             fields.push(("worst_overhead_pct".into(), Json::Num(w)));
@@ -211,10 +253,13 @@ fn main() {
     println!("wrote {out_path}");
 
     if let (Some(worst), Some(limit)) = (worst_overhead, max_pct) {
-        if worst > limit {
-            eprintln!("error: instrumentation overhead {worst:.2}% exceeds limit {limit}%");
+        if !violations.is_empty() {
+            eprintln!(
+                "error: instrumentation overhead exceeds limit {limit}% (+{max_ns} ns slack): {}",
+                violations.join(", ")
+            );
             std::process::exit(1);
         }
-        println!("overhead gate: worst {worst:.2}% <= limit {limit}%");
+        println!("overhead gate: worst {worst:.2}% within limit {limit}% (+{max_ns} ns slack)");
     }
 }

@@ -133,20 +133,10 @@ fn main() {
     }
 
     let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
-    let doc = Json::obj([
-        ("bench", Json::str("path_table_build")),
-        ("seed", Json::Int(2016)),
-        ("quick", Json::Bool(quick)),
-        (
-            "hardware_threads",
-            Json::Int(harness::hardware_threads() as i64),
-        ),
-        (
-            "single_core_caveat",
-            Json::Bool(harness::single_core_caveat(max_threads)),
-        ),
-        ("results", Json::Arr(results)),
-    ]);
+    let mut fields = harness::meta_fields("path_table_build", quick, max_threads);
+    fields.push(("seed".into(), Json::Int(2016)));
+    fields.push(("results".into(), Json::Arr(results)));
+    let doc = Json::Obj(fields);
     if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
         eprintln!("error: cannot write bench json to {out_path}: {e}");
         std::process::exit(1);

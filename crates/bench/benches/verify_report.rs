@@ -151,23 +151,13 @@ fn main() {
         }
     }
 
-    let doc = Json::obj([
-        ("bench", Json::str("verify_report")),
-        ("seed", Json::Int(2016)),
-        ("quick", Json::Bool(quick)),
-        (
-            "hardware_threads",
-            Json::Int(harness::hardware_threads() as i64),
-        ),
-        // This bench is single-threaded, so the caveat can only fire when
-        // the machine reports no parallelism at all; the key is emitted for
-        // schema uniformity with the concurrent benches.
-        (
-            "single_core_caveat",
-            Json::Bool(harness::hardware_threads() == 0),
-        ),
-        ("results", Json::Arr(results)),
-    ]);
+    // Single-threaded bench: want_threads 1, so the caveat can only fire
+    // when the machine reports no parallelism at all; the key is emitted
+    // for schema uniformity with the concurrent benches.
+    let mut fields = harness::meta_fields("verify_report", quick, 1);
+    fields.push(("seed".into(), Json::Int(2016)));
+    fields.push(("results".into(), Json::Arr(results)));
+    let doc = Json::Obj(fields);
     if let Err(e) = std::fs::write(&out_path, doc.render_line()) {
         eprintln!("error: cannot write bench json to {out_path}: {e}");
         std::process::exit(1);

@@ -15,6 +15,8 @@
 
 use std::time::Instant;
 
+use crate::json::Json;
+
 /// Timing summary of one benchmark case.
 #[derive(Debug, Clone)]
 pub struct Sampled {
@@ -77,6 +79,27 @@ pub fn hardware_threads() -> usize {
 pub fn single_core_caveat(want: usize) -> bool {
     let hw = hardware_threads();
     hw != 0 && hw < want
+}
+
+/// The shared metadata header every `BENCH_*.json` document starts with:
+/// bench name, quick-mode flag, detected `hardware_threads`, and the
+/// `single_core_caveat` honesty flag for a bench that wants up to
+/// `want_threads` concurrent threads. Unlike [`single_core_caveat`], the
+/// flag also fires when the platform cannot report its parallelism at all
+/// (`hardware_threads() == 0`) — an unknown machine earns no scaling
+/// conclusions either. One constructor so the schema cannot drift between
+/// emitters; callers append their bench-specific fields and `results`.
+pub fn meta_fields(bench: &str, quick: bool, want_threads: usize) -> Vec<(String, Json)> {
+    let hw = hardware_threads();
+    vec![
+        ("bench".to_string(), Json::str(bench)),
+        ("quick".to_string(), Json::Bool(quick)),
+        ("hardware_threads".to_string(), Json::Int(hw as i64)),
+        (
+            "single_core_caveat".to_string(),
+            Json::Bool(hw == 0 || hw < want_threads),
+        ),
+    ]
 }
 
 /// Time `f`, running it `iters` times per sample for `samples` samples.

@@ -86,7 +86,8 @@ pub use path_table::{PathEntry, PathTable, PathTableStats, ReachRecord};
 pub use predicates::SwitchPredicates;
 pub use robust::{Disposition, RecentFilter, RobustConfig, RobustState};
 pub use server::{
-    Alarm, AlarmAggregator, ConfirmedAlarm, RobustHarvest, RobustWorker, ServerStats, VeriDpServer,
+    Alarm, AlarmAggregator, ConfirmedAlarm, FlightDump, FlightEvent, RobustHarvest, RobustWorker,
+    ServerStats, VeriDpServer,
 };
 pub use snapshot::{
     ConcurrentTable, ReaderHandle, RuleUpdate, SnapshotGuard, SnapshotPublisher, SnapshotStats,

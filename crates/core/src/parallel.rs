@@ -16,8 +16,6 @@
 //! into the returned [`BatchSummary`] (and, by the server, into
 //! [`crate::ServerStats`]) at join time.
 
-use std::time::Instant;
-
 use veridp_obs as obs;
 use veridp_packet::TagReport;
 
@@ -85,13 +83,16 @@ pub fn verify_batch_summary<B: HeaderSetBackend>(
     ) -> (BatchSummary, obs::LocalHistogram) {
         let mut s = BatchSummary::default();
         let mut lat = obs::LocalHistogram::new();
+        let epoch = table.epoch();
         for chunk in slice.chunks(LATENCY_SAMPLE) {
             let mut it = chunk.iter();
             if let Some(r) = it.next() {
-                let t0 = obs::ENABLED.then(Instant::now);
+                let t0 = obs::ENABLED.then(obs::monotonic_ns);
                 s.add(table.verify(r, hs));
                 if let Some(t0) = t0 {
-                    lat.record_duration(t0.elapsed());
+                    let now = obs::monotonic_ns();
+                    lat.record(now.saturating_sub(t0));
+                    crate::server::record_gap_at(r, epoch, now, &mut s.gap_detect);
                 }
             }
             for r in it {
@@ -125,6 +126,7 @@ pub fn verify_batch_summary<B: HeaderSetBackend>(
         (total, lat)
     };
     obs::histogram!("veridp_batch_verify_report_ns").merge_local(&lat);
+    obs::histogram!("veridp_gap_detect_ns").merge_local(&total.gap_detect);
     if lat.count() > 0 {
         total.latency = Some(lat.snapshot());
     }
@@ -241,13 +243,16 @@ fn fold_indexed<B: HeaderSetBackend>(
     let mut s = BatchSummary::default();
     let mut stats = FastPathStats::default();
     let mut lat = obs::LocalHistogram::new();
+    let epoch = table.epoch();
     for chunk in slice.chunks(LATENCY_SAMPLE) {
         let mut it = chunk.iter();
         if let Some(r) = it.next() {
-            let t0 = obs::ENABLED.then(Instant::now);
+            let t0 = obs::ENABLED.then(obs::monotonic_ns);
             s.add(verify_cached(table, hs, index, cache, &mut stats, r));
             if let Some(t0) = t0 {
-                lat.record_duration(t0.elapsed());
+                let now = obs::monotonic_ns();
+                lat.record(now.saturating_sub(t0));
+                crate::server::record_gap_at(r, epoch, now, &mut s.gap_detect);
             }
         }
         for r in it {
@@ -297,6 +302,7 @@ fn run_indexed<B: HeaderSetBackend>(
         (total, lat)
     };
     obs::histogram!("veridp_batch_verify_report_ns").merge_local(&lat);
+    obs::histogram!("veridp_gap_detect_ns").merge_local(&total.gap_detect);
     if lat.count() > 0 {
         total.latency = Some(lat.snapshot());
     }
@@ -334,7 +340,7 @@ pub fn verify_batch_summary_indexed<B: HeaderSetBackend>(
 
 /// Aggregate verdict counts from a batch, in the same shape as
 /// [`crate::ServerStats`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BatchSummary {
     pub total: usize,
     pub passed: usize,
@@ -351,6 +357,15 @@ pub struct BatchSummary {
     /// entry point. Excluded from equality: two runs with identical
     /// verdicts compare equal regardless of timing.
     pub latency: Option<veridp_obs::HistSnapshot>,
+    /// End-to-end gap-detection latency (origin stamp → verdict) for
+    /// origin-stamped reports, recorded inside the worker folds while the
+    /// report is still cache-hot and on the same 1-in-[`LATENCY_SAMPLE`]
+    /// rhythm as `latency` — the batch pipeline keeps its hot loop free of
+    /// per-report instrumentation, so this histogram is a sample of the
+    /// batch, not a census (the per-report robust/wire ingest paths record
+    /// every stamped report). Empty for unstamped batches and under
+    /// `obs-off`; excluded from equality like `latency`.
+    pub gap_detect: veridp_obs::LocalHistogram,
 }
 
 impl PartialEq for BatchSummary {
@@ -402,10 +417,11 @@ impl BatchSummary {
         }
     }
 
-    /// Fold another summary (e.g. one worker's shard) into this one. Counts
-    /// only: `latency` snapshots are not mergeable (the entry points attach
-    /// one from the still-mergeable worker histograms before returning), so
-    /// `self.latency` is left as-is.
+    /// Fold another summary (e.g. one worker's shard) into this one. The
+    /// counts and the worker gap histograms merge; `latency` snapshots are
+    /// not mergeable (the entry points attach one from the still-mergeable
+    /// worker histograms before returning), so `self.latency` is left
+    /// as-is.
     pub fn merge(&mut self, other: &BatchSummary) {
         self.total += other.total;
         self.passed += other.passed;
@@ -413,6 +429,7 @@ impl BatchSummary {
         self.no_matching_path += other.no_matching_path;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.gap_detect.merge(&other.gap_detect);
     }
 
     /// The verdict counts alone — equal between the plain and fast-path

@@ -40,7 +40,7 @@ impl<B: HeaderSetBackend> SnapshotLayer<B> {
 }
 
 /// Running verification statistics.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ServerStats {
     pub reports: u64,
     pub passed: u64,
@@ -67,7 +67,37 @@ pub struct ServerStats {
     pub quarantined: u64,
     /// Quarantined reports resolved early by overflow shedding.
     pub shed: u64,
+    /// Per-run end-to-end gap-detection latency (origin stamp → verdict),
+    /// recorded only for origin-stamped reports (wire v2 frames). A local
+    /// histogram rather than the global `veridp_gap_detect_ns` alone so each
+    /// run/shard owns an isolated distribution (the global registry is
+    /// process-wide and shared across concurrent pipelines). Excluded from
+    /// equality: two runs with identical verdict counts compare equal even
+    /// though their latencies never will.
+    pub gap_detect: obs::LocalHistogram,
 }
+
+/// Equality over the verdict/accounting counters only; the latency
+/// histogram is observability payload, not identity (and timestamps are
+/// never bit-reproducible across runs).
+impl PartialEq for ServerStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.reports == other.reports
+            && self.passed == other.passed
+            && self.tag_mismatch == other.tag_mismatch
+            && self.no_matching_path == other.no_matching_path
+            && self.localizations == other.localizations
+            && self.localized == other.localized
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.duplicates == other.duplicates
+            && self.graced == other.graced
+            && self.quarantined == other.quarantined
+            && self.shed == other.shed
+    }
+}
+
+impl Eq for ServerStats {}
 
 impl ServerStats {
     /// Failed verifications.
@@ -92,6 +122,7 @@ impl ServerStats {
         self.graced += other.graced;
         self.quarantined += other.quarantined;
         self.shed += other.shed;
+        self.gap_detect.merge(&other.gap_detect);
     }
 
     /// The verdict/localization counters alone, excluding the cache
@@ -134,6 +165,7 @@ impl From<&BatchSummary> for ServerStats {
             localized: 0,
             cache_hits: s.cache_hits as u64,
             cache_misses: s.cache_misses as u64,
+            gap_detect: s.gap_detect.clone(),
             ..ServerStats::default()
         }
     }
@@ -407,7 +439,9 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
     /// Fold one final verdict into the statistics (with the periodic obs
     /// publish rhythm).
     #[inline]
-    fn count_verdict(&mut self, outcome: VerifyOutcome) {
+    fn count_verdict(&mut self, report: &TagReport, outcome: VerifyOutcome) {
+        let epoch = self.table.epoch();
+        record_verdict_obs(report, epoch, &mut self.stats.gap_detect);
         self.stats.reports += 1;
         match outcome {
             VerifyOutcome::Pass => self.stats.passed += 1,
@@ -426,7 +460,7 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
     /// way.
     pub fn verify(&mut self, report: &TagReport) -> VerifyOutcome {
         let outcome = self.raw_verify(report);
-        self.count_verdict(outcome);
+        self.count_verdict(report, outcome);
         outcome
     }
 
@@ -448,11 +482,16 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
                 // One pin for the whole batch: the workers read an immutable
                 // version while the writer stays free to publish successors.
                 let guard = layer.reader.pin();
+                obs::gauge!("veridp_snapshot_age")
+                    .set(table.epoch().saturating_sub(guard.table().epoch()) as i64);
                 Self::batch_at(fastpath, guard.table(), guard.backend(), reports, threads)
             }
             None => Self::batch_at(fastpath, table, hs, reports, threads),
         };
         let before = self.stats.reports;
+        // The workers sampled detection latency for stamped reports into
+        // `summary.gap_detect` (while each report was still cache-hot);
+        // the merge folds the samples into `stats.gap_detect`.
         self.stats.merge(&ServerStats::from(&summary));
         // Same 1024-report publish rhythm as single-report verify(): mirror
         // the stats whenever this batch crossed a 1024 boundary, so small
@@ -571,6 +610,8 @@ impl<B: HeaderSetBackend> VeriDpServer<B> {
         let disposition = match snapshots {
             Some(layer) => {
                 let guard = layer.reader.pin();
+                obs::gauge!("veridp_snapshot_age")
+                    .set(table.epoch().saturating_sub(guard.table().epoch()) as i64);
                 RobustCtx {
                     table: guard.table(),
                     hs: guard.backend(),
@@ -714,14 +755,14 @@ impl<B: HeaderSetBackend> RobustCtx<'_, B> {
         let outcome =
             VeriDpServer::verdict_at(self.fastpath, self.stats, self.table, self.hs, report);
         if outcome.is_pass() {
-            self.count_verdict(outcome);
+            self.count_verdict(report, outcome);
             return Disposition::Passed;
         }
         if report.epoch < self.table.epoch() {
             // The report predates the table: an update raced it.
             if self.table.grace_check(report, self.hs) {
                 self.stats.graced += 1;
-                self.count_verdict(VerifyOutcome::Pass);
+                self.count_verdict(report, VerifyOutcome::Pass);
                 return Disposition::Graced;
             }
             // Grace cannot explain it, but the trajectory may have mixed
@@ -762,12 +803,12 @@ impl<B: HeaderSetBackend> RobustCtx<'_, B> {
         let outcome =
             VeriDpServer::verdict_at(self.fastpath, self.stats, self.table, self.hs, report);
         if outcome.is_pass() {
-            self.count_verdict(outcome);
+            self.count_verdict(report, outcome);
             return;
         }
         if self.table.grace_check(report, self.hs) {
             self.stats.graced += 1;
-            self.count_verdict(VerifyOutcome::Pass);
+            self.count_verdict(report, VerifyOutcome::Pass);
             return;
         }
         self.finalize_failure(report, outcome, alarms);
@@ -781,7 +822,7 @@ impl<B: HeaderSetBackend> RobustCtx<'_, B> {
         outcome: VerifyOutcome,
         alarms: &mut AlarmAggregator,
     ) {
-        self.count_verdict(outcome);
+        self.count_verdict(report, outcome);
         let loc = self.table.localize(report, self.hs);
         self.stats.localizations += 1;
         if !loc.candidates.is_empty() {
@@ -795,7 +836,8 @@ impl<B: HeaderSetBackend> RobustCtx<'_, B> {
 
     /// Fold one final verdict in, mirroring to obs on the same 1024-report
     /// rhythm [`VeriDpServer::count_verdict`] uses (when enabled).
-    fn count_verdict(&mut self, outcome: VerifyOutcome) {
+    fn count_verdict(&mut self, report: &TagReport, outcome: VerifyOutcome) {
+        record_verdict_obs(report, self.table.epoch(), &mut self.stats.gap_detect);
         self.stats.reports += 1;
         match outcome {
             VerifyOutcome::Pass => self.stats.passed += 1,
@@ -899,6 +941,13 @@ impl<B: HeaderSetBackend> RobustWorker<B> {
         &self.state.alarms
     }
 
+    /// Label this shard's flight-recorder events with its shard index, so
+    /// dumps assembled after [`VeriDpServer::absorb`] say which worker saw
+    /// each event.
+    pub fn set_shard(&mut self, shard: usize) {
+        self.state.alarms.set_shard(shard);
+    }
+
     /// Reports currently quarantined on this shard.
     pub fn quarantine_len(&self) -> usize {
         self.state.quarantine_len()
@@ -922,6 +971,59 @@ pub struct RobustHarvest {
     pub stats: ServerStats,
     pub suspects: HashMap<SwitchId, u64>,
     pub alarms: AlarmAggregator,
+}
+
+/// Stamp deltas beyond this (one hour) are implausible — a report stamped
+/// by a different machine's monotonic clock, or a corrupted stamp that
+/// slipped the wire checksum — and are counted instead of recorded, so one
+/// garbage stamp cannot stretch the latency histograms across decades.
+const GAP_STAMP_PLAUSIBLE_NS: u64 = 3_600_000_000_000;
+
+/// Per-verdict telemetry, shared by every final-verdict site: the
+/// end-to-end gap-detection latency (origin stamp → verdict, stamped wire
+/// reports only) into both the global `veridp_gap_detect_ns` histogram and
+/// the run-local one, plus the `veridp_epoch_lag` gauge. `table_epoch` is
+/// the epoch of the view the verdict was computed against.
+#[inline]
+fn record_verdict_obs(report: &TagReport, table_epoch: u64, gap: &mut obs::LocalHistogram) {
+    // Unstamped reports (in-process ingest, v1 frames) exit after two plain
+    // compares, before any clock is read — the telemetry below is priced
+    // for wire reports only.
+    if !obs::ENABLED || report.origin_ns == 0 {
+        return;
+    }
+    if let Some(delta) = record_gap_at(report, table_epoch, obs::monotonic_ns(), gap) {
+        obs::histogram!("veridp_gap_detect_ns").record(delta);
+    }
+}
+
+/// Worker-side core of [`record_verdict_obs`]: `now_ns` is supplied by the
+/// caller (the batch folds reuse the clock read their verify-latency
+/// sample already paid for), the sample lands in the caller's
+/// [`obs::LocalHistogram`] only, and the recorded delta is returned so
+/// single-report callers can mirror it into the global histogram. Batch
+/// workers instead merge their local histogram into the global one once
+/// per batch — one round of atomic traffic per batch, not per report.
+#[inline]
+pub(crate) fn record_gap_at(
+    report: &TagReport,
+    table_epoch: u64,
+    now_ns: u64,
+    gap: &mut obs::LocalHistogram,
+) -> Option<u64> {
+    if !obs::ENABLED || report.origin_ns == 0 {
+        return None;
+    }
+    if report.epoch != 0 && report.epoch <= table_epoch {
+        obs::gauge!("veridp_epoch_lag").set((table_epoch - report.epoch) as i64);
+    }
+    let delta = now_ns.saturating_sub(report.origin_ns).max(1);
+    if delta > GAP_STAMP_PLAUSIBLE_NS {
+        obs::counter!("veridp_gap_stamp_implausible_total").inc();
+        return None;
+    }
+    gap.record(delta);
+    Some(delta)
 }
 
 /// Mirror a stats block into the global obs registry as absolute stores —
@@ -972,6 +1074,91 @@ pub struct ConfirmedAlarm {
     pub count: u64,
 }
 
+/// One retained verification event in the alarm flight recorder: enough to
+/// reconstruct what a pair's reports looked like in the run-up to a
+/// confirmed alarm without storing the full report stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// The aggregator's failing-observation sequence number when recorded.
+    pub seq: u64,
+    /// Epoch the report was stamped with.
+    pub epoch: u64,
+    /// Raw Bloom-tag bits / width carried by the report.
+    pub tag_bits: u64,
+    pub tag_nbits: u32,
+    /// Shard that processed the report (0 for the unsharded server path).
+    pub shard: usize,
+    /// Final verdict, as a stable lowercase token.
+    pub verdict: &'static str,
+    /// Origin-stamp-to-observation latency in nanoseconds (0 when the
+    /// report carried no stamp).
+    pub latency_ns: u64,
+}
+
+/// A frozen flight-recorder dump: the retained event ring for a pair at the
+/// moment one of its alarms reached K-of-N confirmation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// The `(inport, outport)` pair whose ring was frozen.
+    pub pair: (veridp_packet::PortRef, veridp_packet::PortRef),
+    /// The confirmed suspect switch.
+    pub suspect: SwitchId,
+    /// Supporting failing observations at confirmation time.
+    pub count: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    /// Render the dump as one self-describing JSON document (hand-rolled,
+    /// matching the workspace's zero-dependency JSON idiom).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.events.len() * 96);
+        let port = |p: &veridp_packet::PortRef| format!("\"{}:{}\"", p.switch.0, p.port.0);
+        let _ = write!(
+            out,
+            "{{\"pair\":{{\"in\":{},\"out\":{}}},\"suspect_switch\":{},\"count\":{},\"events\":[",
+            port(&self.pair.0),
+            port(&self.pair.1),
+            self.suspect.0,
+            self.count
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"epoch\":{},\"tag\":\"{:#x}/{}\",\"shard\":{},\
+                 \"verdict\":\"{}\",\"latency_ns\":{}}}",
+                e.seq, e.epoch, e.tag_bits, e.tag_nbits, e.shard, e.verdict, e.latency_ns
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Pending confirmation support for one `(pair, suspect)`: the sliding
+/// window of implicating sequence numbers plus the timestamp of the first
+/// implication, which anchors the confirmation-latency histogram.
+#[derive(Debug)]
+struct SupportWindow {
+    seqs: VecDeque<u64>,
+    /// Origin stamp of the first implicating report (falling back to the
+    /// local monotonic clock for unstamped reports; 0 when obs is compiled
+    /// out, which disables the latency sample).
+    first_ns: u64,
+}
+
+/// Events retained per pair in the flight recorder.
+const FLIGHT_RING_EVENTS: usize = 16;
+/// Pairs the flight recorder tracks at most; beyond this, new pairs are not
+/// recorded (existing rings keep rolling) so a pathological workload cannot
+/// grow the recorder without bound.
+const FLIGHT_MAX_PAIRS: usize = 512;
+
 /// Aggregates failed verifications into per-flow alarms so a persistent
 /// fault raises one escalating alarm instead of one alert per sampled
 /// packet.
@@ -998,10 +1185,18 @@ pub struct AlarmAggregator {
     /// Monotone counter of non-duplicate failing observations.
     seq: u64,
     /// Per-`(pair, suspect)` recent supporting observation sequence numbers
-    /// (pruned to the sliding window).
-    support: HashMap<((veridp_packet::PortRef, veridp_packet::PortRef), SwitchId), VecDeque<u64>>,
+    /// (pruned to the sliding window) plus the first-implication timestamp.
+    support: HashMap<((veridp_packet::PortRef, veridp_packet::PortRef), SwitchId), SupportWindow>,
     /// Confirmed `(pair, suspect)`s with their total supporting counts.
     confirmed: HashMap<((veridp_packet::PortRef, veridp_packet::PortRef), SwitchId), u64>,
+    /// Flight recorder: per-pair bounded ring of recent failing
+    /// observations, frozen into `dumps` when an alarm confirms.
+    flight: HashMap<(veridp_packet::PortRef, veridp_packet::PortRef), VecDeque<FlightEvent>>,
+    /// Frozen flight-recorder dumps, in confirmation order.
+    dumps: Vec<FlightDump>,
+    /// Shard label stamped into recorded events (0 for the unsharded
+    /// server; workers set their shard index via [`RobustWorker::set_shard`]).
+    shard: usize,
 }
 
 /// Dedup horizon for failing reports; only needs to cover the transport's
@@ -1035,7 +1230,16 @@ impl AlarmAggregator {
             seq: 0,
             support: HashMap::new(),
             confirmed: HashMap::new(),
+            flight: HashMap::new(),
+            dumps: Vec::new(),
+            shard: 0,
         }
+    }
+
+    /// Label events recorded from here on with `shard` (sharded pipelines
+    /// call this once per worker so dumps say which shard saw what).
+    pub fn set_shard(&mut self, shard: usize) {
+        self.shard = shard;
     }
 
     /// Fold one verdict in; only failures create or update alarms.
@@ -1056,6 +1260,33 @@ impl AlarmAggregator {
         }
         obs::counter!("veridp_alarm_observations_total").inc();
         self.seq += 1;
+        if obs::ENABLED {
+            let pair = (report.inport, report.outport);
+            if self.flight.len() < FLIGHT_MAX_PAIRS || self.flight.contains_key(&pair) {
+                let latency_ns = if report.origin_ns != 0 {
+                    obs::monotonic_ns().saturating_sub(report.origin_ns)
+                } else {
+                    0
+                };
+                let ring = self.flight.entry(pair).or_default();
+                if ring.len() == FLIGHT_RING_EVENTS {
+                    ring.pop_front();
+                }
+                ring.push_back(FlightEvent {
+                    seq: self.seq,
+                    epoch: report.epoch,
+                    tag_bits: report.tag.bits(),
+                    tag_nbits: report.tag.nbits(),
+                    shard: self.shard,
+                    verdict: match outcome {
+                        crate::verify::VerifyOutcome::Pass => "pass",
+                        crate::verify::VerifyOutcome::TagMismatch => "tag_mismatch",
+                        crate::verify::VerifyOutcome::NoMatchingPath => "no_matching_path",
+                    },
+                    latency_ns,
+                });
+            }
+        }
         let key = (report.inport, report.header);
         let is_new = !self.alarms.contains_key(&key);
         if is_new {
@@ -1098,16 +1329,48 @@ impl AlarmAggregator {
             return;
         }
         let window_floor = self.seq.saturating_sub(self.confirm_window - 1);
-        let seqs = self.support.entry(ckey).or_default();
-        seqs.push_back(self.seq);
-        while seqs.front().is_some_and(|&s| s < window_floor) {
-            seqs.pop_front();
+        let w = self.support.entry(ckey).or_insert_with(|| SupportWindow {
+            seqs: VecDeque::new(),
+            first_ns: if report.origin_ns != 0 {
+                report.origin_ns
+            } else {
+                obs::monotonic_ns()
+            },
+        });
+        w.seqs.push_back(self.seq);
+        while w.seqs.front().is_some_and(|&s| s < window_floor) {
+            w.seqs.pop_front();
         }
-        if seqs.len() as u64 >= self.confirm_k {
-            let total = seqs.len() as u64;
+        if w.seqs.len() as u64 >= self.confirm_k {
+            let total = w.seqs.len() as u64;
+            let first_ns = w.first_ns;
             self.support.remove(&ckey);
             self.confirmed.insert(ckey, total);
             obs::counter!("veridp_alarms_confirmed_total").inc();
+            // First-failure → K-of-N-confirmed latency, anchored on the
+            // first implicating report's origin stamp when it carried one.
+            if first_ns != 0 {
+                let delta = obs::monotonic_ns().saturating_sub(first_ns).max(1);
+                if delta <= GAP_STAMP_PLAUSIBLE_NS {
+                    obs::histogram!("veridp_gap_confirm_ns").record(delta);
+                } else {
+                    obs::counter!("veridp_gap_stamp_implausible_total").inc();
+                }
+            }
+            // Freeze the pair's event ring into a flight-recorder dump.
+            let events: Vec<FlightEvent> = self
+                .flight
+                .get(&ckey.0)
+                .map(|r| r.iter().cloned().collect())
+                .unwrap_or_default();
+            let dump = FlightDump {
+                pair: ckey.0,
+                suspect,
+                count: total,
+                events,
+            };
+            obs::event!("flight_recorder", "{}", dump.to_json());
+            self.dumps.push(dump);
             obs::event!(
                 "alarm_confirmed",
                 "suspect {suspect:?} confirmed for pair {:?} -> {:?} after {total} failures",
@@ -1115,6 +1378,11 @@ impl AlarmAggregator {
                 report.outport
             );
         }
+    }
+
+    /// Flight-recorder dumps frozen so far, in confirmation order.
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        &self.dumps
     }
 
     /// Active alarms, most-failures first; suspects within each alarm are
@@ -1211,6 +1479,20 @@ impl AlarmAggregator {
             self.support.remove(&ckey);
             *self.confirmed.entry(ckey).or_insert(0) += count;
         }
+        // Pair-sharding means rings never overlap across shards; append any
+        // the bound allows and carry every frozen dump over verbatim.
+        for (pair, ring) in other.flight {
+            if self.flight.len() < FLIGHT_MAX_PAIRS || self.flight.contains_key(&pair) {
+                let mine = self.flight.entry(pair).or_default();
+                for e in ring {
+                    if mine.len() == FLIGHT_RING_EVENTS {
+                        mine.pop_front();
+                    }
+                    mine.push_back(e);
+                }
+            }
+        }
+        self.dumps.extend(other.dumps);
     }
 
     /// Clear all alarm state, including confirmations (e.g. after a repair
@@ -1221,5 +1503,7 @@ impl AlarmAggregator {
         self.seq = 0;
         self.support.clear();
         self.confirmed.clear();
+        self.flight.clear();
+        self.dumps.clear();
     }
 }

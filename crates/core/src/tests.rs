@@ -1615,6 +1615,67 @@ fn alarm_aggregator_dedups_suspects_and_orders_output() {
 }
 
 #[test]
+fn flight_recorder_freezes_on_confirmation() {
+    use crate::{InferredPath, LocalizeOutcome};
+    let loc = |suspects: &[u32]| LocalizeOutcome {
+        correct_path: Vec::new(),
+        candidates: suspects
+            .iter()
+            .map(|&s| InferredPath {
+                hops: Vec::new(),
+                faulty_switch: SwitchId(s),
+                deviation_index: 0,
+            })
+            .collect(),
+    };
+    let h = FiveTuple::tcp(ip(10, 0, 1, 1), ip(10, 0, 2, 1), 1000, 80);
+    let r = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        h,
+        tag_of(&[(1, 1, 1)]),
+    );
+
+    let mut agg = crate::AlarmAggregator::with_confirmation(3, 256);
+    agg.set_shard(4);
+    assert!(agg.flight_dumps().is_empty());
+    for epoch in 1..=3u64 {
+        let stamped = r.with_epoch(epoch).with_origin(veridp_obs::monotonic_ns());
+        agg.observe(&stamped, &VerifyOutcome::TagMismatch, Some(&loc(&[5])));
+    }
+
+    // Third implication confirms (5, pair) and freezes the pair's ring.
+    let dumps = agg.flight_dumps();
+    assert_eq!(dumps.len(), 1);
+    let d = &dumps[0];
+    assert_eq!(d.pair, (r.inport, r.outport));
+    assert_eq!(d.suspect, SwitchId(5));
+    assert_eq!(d.count, 3);
+    let json = d.to_json();
+    assert!(json.contains("\"suspect_switch\":5"), "json: {json}");
+    assert!(
+        json.contains("\"pair\":{\"in\":\"1:1\",\"out\":\"3:2\"}"),
+        "json: {json}"
+    );
+    if veridp_obs::ENABLED {
+        assert_eq!(d.events.len(), 3);
+        assert!(d.events.iter().all(|e| e.shard == 4));
+        assert!(d.events.iter().all(|e| e.verdict == "tag_mismatch"));
+        assert!(d.events.iter().all(|e| e.latency_ns > 0));
+        assert!(d.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(json.contains("\"verdict\":\"tag_mismatch\""));
+    }
+
+    // Dumps survive a shard merge, and clear() drops them.
+    let mut root = crate::AlarmAggregator::new();
+    root.absorb(agg);
+    assert_eq!(root.flight_dumps().len(), 1);
+    assert_eq!(root.flight_dumps()[0].suspect, SwitchId(5));
+    root.clear();
+    assert!(root.flight_dumps().is_empty());
+}
+
+#[test]
 fn server_stats_merge_is_associative() {
     use crate::ServerStats;
     let mk = |seed: u64| ServerStats {
@@ -1630,6 +1691,7 @@ fn server_stats_merge_is_associative() {
         graced: seed % 13,
         quarantined: seed % 17,
         shed: seed % 19,
+        ..ServerStats::default()
     };
     let (a, b, c) = (mk(10), mk(23), mk(47));
 

@@ -104,9 +104,19 @@ impl NetSender {
 
     /// Buffer one framed report, flushing first if it would not fit in the
     /// current buffer window.
+    ///
+    /// Reports not already carrying an origin stamp are stamped with the
+    /// monotonic clock here — the wire edge — so the server can measure
+    /// end-to-end detection latency (wire v2 frames). Under `obs-off` the
+    /// clock reads 0 and frames stay at the v1 length.
     pub fn send_report(&mut self, r: &TagReport) -> io::Result<()> {
         self.reserve(veridp_packet::FRAMED_REPORT_WIRE_LEN)?;
-        append_framed_report(&mut self.buf, r);
+        let stamped = if r.origin_ns == 0 {
+            r.with_origin(veridp_obs::monotonic_ns())
+        } else {
+            *r
+        };
+        append_framed_report(&mut self.buf, &stamped);
         self.stats.reports_sent += 1;
         self.stats.frames_sent += 1;
         Ok(())

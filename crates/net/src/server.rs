@@ -981,9 +981,10 @@ impl<B: HeaderSetBackend> VerifyPump<B> {
             .iter()
             .enumerate()
             .map(|(i, queue)| {
-                let worker = server
+                let mut worker = server
                     .robust_worker()
                     .expect("robust worker: robust mode and snapshots are on");
+                worker.set_shard(i);
                 let queue = Arc::clone(queue);
                 let stats = Arc::clone(&stats);
                 thread::Builder::new()
@@ -1118,6 +1119,12 @@ impl<B: HeaderSetBackend> IngestPipeline<B> {
     /// Point-in-time counters (no latency histogram until shutdown).
     pub fn stats(&self) -> NetStatsSnapshot {
         self.listener.stats()
+    }
+
+    /// Shared handle to the live counters — for scrape endpoints that read
+    /// stats from another thread while the pipeline keeps running.
+    pub fn stats_arc(&self) -> Arc<NetStats> {
+        self.listener.stats_arc()
     }
 
     /// Block until `n` frames arrived or `timeout` passed (see

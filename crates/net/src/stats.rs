@@ -173,4 +173,53 @@ impl NetStatsSnapshot {
             .saturating_sub(self.verified)
             .saturating_sub(self.shed)
     }
+
+    /// The mid-run relaxation of [`NetStatsSnapshot::conserved`]: with the
+    /// pipeline still pumping, reports may legitimately sit in the queue,
+    /// so the identity weakens to inequalities — nothing was enqueued or
+    /// verified that was never decoded. This is what a live `/healthz`
+    /// endpoint can check without racing the drain.
+    pub fn consistent_mid_run(&self) -> bool {
+        self.enqueued + self.shed <= self.reports && self.verified <= self.enqueued
+    }
+
+    /// Hand-rolled JSON rendering of every counter (plus the latency
+    /// summary and shard breakdown when present), for `/statz`-style
+    /// endpoints and failure-path dumps.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"connections\":{},\"connections_closed\":{},\"datagrams\":{},\"bytes\":{},\
+             \"frames\":{},\"reports\":{},\"decode_errors\":{},\"enqueued\":{},\"shed\":{},\
+             \"verified\":{},\"batches\":{},\"idle_wakeups\":{},\"unaccounted\":{}",
+            self.connections,
+            self.connections_closed,
+            self.datagrams,
+            self.bytes,
+            self.frames,
+            self.reports,
+            self.decode_errors,
+            self.enqueued,
+            self.shed,
+            self.verified,
+            self.batches,
+            self.idle_wakeups,
+            self.unaccounted()
+        );
+        if let Some(lat) = &self.ingest_latency {
+            let _ = write!(
+                out,
+                ",\"ingest_latency_ns\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                lat.count, lat.p50, lat.p99, lat.max
+            );
+        }
+        if !self.shard_verified.is_empty() {
+            let shards: Vec<String> = self.shard_verified.iter().map(u64::to_string).collect();
+            let _ = write!(out, ",\"shard_verified\":[{}]", shards.join(","));
+        }
+        out.push('}');
+        out
+    }
 }

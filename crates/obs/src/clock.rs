@@ -1,0 +1,58 @@
+//! Monotonic wall-clock reads for cross-process latency stamps.
+//!
+//! Gap-detection latency spans two processes: a switch agent stamps a
+//! report when it leaves, and the verify server subtracts that stamp at
+//! verdict time. `Instant` cannot cross a process boundary, so the stamp is
+//! raw `CLOCK_MONOTONIC` nanoseconds — the one clock every process on a
+//! Linux machine shares (same epoch: boot), immune to NTP steps. The shim
+//! is a direct `clock_gettime` syscall binding, matching the workspace's
+//! no-dependency rule; non-Linux builds fall back to `SystemTime` (still
+//! comparable across processes on one host, just step-prone under clock
+//! adjustments — the recorder's plausibility guard absorbs that).
+
+/// Current monotonic time in nanoseconds, never `0` (so a reading is always
+/// distinguishable from the "unstamped" wire value). Returns `0` when
+/// instrumentation is compiled out — stamping and latency recording both
+/// collapse to no-ops under `obs-off`.
+#[inline]
+pub fn monotonic_ns() -> u64 {
+    if !crate::ENABLED {
+        return 0;
+    }
+    now_ns().max(1)
+}
+
+#[cfg(target_os = "linux")]
+fn now_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_MONOTONIC: i32 = 1;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, properly aligned timespec for the duration
+    // of the call; CLOCK_MONOTONIC is always supported on Linux.
+    let rc = unsafe { clock_gettime(CLOCK_MONOTONIC, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    (ts.tv_sec as u64)
+        .saturating_mul(1_000_000_000)
+        .saturating_add(ts.tv_nsec as u64)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn now_ns() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}

@@ -2,9 +2,10 @@
 //!
 //! Both renderings are deterministic (metrics sorted by name, events by
 //! sequence) so CI artifacts diff cleanly across runs of the same workload.
-//! Histograms are exposed as Prometheus *summaries* (pre-computed
-//! quantiles) rather than `histogram` types — shipping all 976 log-linear
-//! buckets per metric would bloat the exposition for no consumer we have.
+//! Histograms are exposed as true Prometheus `histogram` families — sparse
+//! cumulative `_bucket{le="..."}` series over the log-linear buckets a
+//! metric actually touched (a handful, never all 976) — plus companion
+//! `_min`/`_max`/`_p*` gauge families for human eyes.
 
 use std::fmt::Write as _;
 
@@ -20,6 +21,10 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, summary)` sorted by name.
     pub histograms: Vec<(String, HistSnapshot)>,
+    /// `(name, sparse cumulative buckets)` sorted by name, parallel to
+    /// `histograms`: only touched buckets, as `(le, cumulative_count)` with
+    /// strictly increasing `le`. Feeds the Prometheus `_bucket` series.
+    pub histogram_buckets: Vec<(String, Vec<(u64, u64)>)>,
     /// Retained events, oldest first.
     pub events: Vec<EventRecord>,
 }
@@ -103,32 +108,113 @@ impl Snapshot {
     }
 
     /// Render the metrics (events excluded) in Prometheus text-exposition
-    /// format. Counters and gauges map directly; histograms become
-    /// summaries with `quantile` labels plus `_sum`, `_count`, `_min`, and
-    /// `_max` series.
+    /// format. Counters and gauges map directly; each histogram becomes a
+    /// proper `histogram` family (sparse cumulative `_bucket{le="..."}`
+    /// series plus `_sum`/`_count`) with companion `_min`/`_max`/`_p50`/
+    /// `_p90`/`_p99`/`_p999` gauge families.
+    ///
+    /// Conformance notes (promtool grammar): every family gets `# HELP`
+    /// then `# TYPE`; `le` label values are strictly increasing with a
+    /// final `+Inf` whose value equals `_count`; HELP text escapes `\` and
+    /// newline, label values would additionally escape `"` (ours are
+    /// numeric, but the escaper handles it).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
+        let help = |out: &mut String, name: &str, kind: &str, text: &str| {
+            let _ = write!(out, "# HELP {name} ");
+            escape_help(out, text);
+            out.push('\n');
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            help(&mut out, name, "counter", &describe(name));
+            let _ = writeln!(out, "{name} {v}");
         }
         for (name, v) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            help(&mut out, name, "gauge", &describe(name));
+            let _ = writeln!(out, "{name} {v}");
         }
+        let buckets_of = |name: &str| -> &[(u64, u64)] {
+            self.histogram_buckets
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| b.as_slice())
+                .unwrap_or(&[])
+        };
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} summary");
-            for (q, v) in [
-                ("0.5", h.p50),
-                ("0.9", h.p90),
-                ("0.99", h.p99),
-                ("0.999", h.p999),
-            ] {
-                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            help(&mut out, name, "histogram", &describe(name));
+            for &(le, cum) in buckets_of(name) {
+                let mut le_text = String::new();
+                escape_label_value(&mut le_text, &le.to_string());
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le_text}\"}} {cum}");
             }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
-            let _ = writeln!(out, "{name}_min {}", if h.count == 0 { 0 } else { h.min });
-            let _ = writeln!(out, "{name}_max {}", h.max);
+            for (suffix, v) in [
+                ("min", if h.count == 0 { 0 } else { h.min }),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p90", h.p90),
+                ("p99", h.p99),
+                ("p999", h.p999),
+            ] {
+                let family = format!("{name}_{suffix}");
+                help(&mut out, &family, "gauge", &describe(&family));
+                let _ = writeln!(out, "{family} {v}");
+            }
         }
         out
+    }
+}
+
+/// HELP text escaping per the text-exposition spec: backslash and newline.
+fn escape_help(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Label-value escaping per the text-exposition spec: backslash, newline,
+/// and the double quote.
+fn escape_label_value(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+}
+
+/// One-line HELP text for a metric family. Known pipeline metrics get real
+/// descriptions; everything else gets an honest generic line (HELP is
+/// mandatory in our exposition so scrapers and linters never see a bare
+/// family).
+fn describe(name: &str) -> String {
+    let known = match name {
+        "veridp_gap_detect_ns" => {
+            "End-to-end gap-detection latency: report origin stamp to verdict"
+        }
+        "veridp_gap_confirm_ns" => {
+            "Alarm confirmation latency: first failing observation to K-of-N confirmed alarm"
+        }
+        "veridp_epoch_lag" => "Table epochs between a verified report's stamp and the live table",
+        "veridp_snapshot_age" => {
+            "Epochs between the pinned verify snapshot and the newest published"
+        }
+        "veridp_alarms_confirmed_total" => "Alarms that reached K-of-N confirmation",
+        "veridp_net_ingest_report_ns" => "Per-report verify latency inside the ingest pumps",
+        _ => "",
+    };
+    if known.is_empty() {
+        format!("veridp metric {name}")
+    } else {
+        known.to_string()
     }
 }

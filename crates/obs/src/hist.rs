@@ -38,6 +38,18 @@ pub(crate) fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket) —
+/// the value Prometheus histogram exposition uses as the `le` label, since
+/// bucket values are integers and an inclusive integer bound is exactly a
+/// `le` bound.
+pub(crate) fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_lo(i + 1) - 1
+    }
+}
+
 /// Inclusive lower bound of bucket `i`.
 pub(crate) fn bucket_lo(i: usize) -> u64 {
     if i < SUB {
@@ -213,6 +225,24 @@ impl Histogram {
             self.min.load(Relaxed),
             self.max.load(Relaxed),
         )
+    }
+
+    /// Touched buckets as `(le, cumulative_count)` pairs, `le` strictly
+    /// increasing — the Prometheus `_bucket{le="..."}` series, minus the
+    /// implicit trailing `+Inf` (which equals the total count). Only
+    /// nonempty buckets are emitted; cumulative sums make the sparse form
+    /// lossless for any `histogram_quantile` consumer.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c != 0 {
+                cum += c;
+                out.push((bucket_hi(i), cum));
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,164 @@
+//! Embedded scrape endpoint: a minimal blocking HTTP/1.0 server exposing
+//! the live registry.
+//!
+//! Zero dependencies, one listener thread, one short-lived connection per
+//! scrape — the right weight for a metrics port that sees a request every
+//! few seconds, not a reactor's worth of machinery. Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the global registry;
+//! * `GET /statz` — a caller-supplied JSON snapshot (pipeline stats the
+//!   registry alone cannot see: `NetStatsSnapshot`, snapshot-table
+//!   publish/reclaim counts, shard breakdown);
+//! * `GET /healthz` — caller-supplied health verdict (conservation
+//!   identity, pump liveness): `200` healthy, `503` violated.
+//!
+//! The exporter works under `obs-off` too — it serves whatever the (then
+//! empty) registry holds plus the caller's closures. It lives entirely off
+//! the verify hot path, so compiling it out would save nothing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Producer of the `/statz` JSON body.
+pub type StatzFn = Box<dyn Fn() -> String + Send + Sync>;
+/// Producer of the `/healthz` verdict: `(healthy, json_body)`.
+pub type HealthzFn = Box<dyn Fn() -> (bool, String) + Send + Sync>;
+
+/// Handle to a running scrape endpoint; dropping it (or calling
+/// [`ObsServer::shutdown`]) stops the listener thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// The bound address (resolves an `:0` request to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and join it. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Wake the blocking accept with one throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind `addr` and serve the scrape endpoint from a background thread.
+///
+/// `statz` and `healthz` are called per request from that thread; they must
+/// only touch shared-atomic state (e.g. `NetStats` handles), never take
+/// locks the verify path holds.
+pub fn serve_obs<A: ToSocketAddrs>(
+    addr: A,
+    statz: StatzFn,
+    healthz: HealthzFn,
+) -> std::io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("veridp-obs-http".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // One scrape at a time: a metrics port never needs
+                    // concurrency, and serial handling keeps the thread
+                    // count flat.
+                    let _ = handle_conn(stream, &statz, &healthz);
+                }
+            }
+        })?;
+    Ok(ObsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Read one request head (bounded, with a timeout so a stalled client
+/// cannot wedge the scrape port), route it, write one response, close.
+fn handle_conn(mut stream: TcpStream, statz: &StatzFn, healthz: &HealthzFn) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "GET only\n".into())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::snapshot().to_prometheus(),
+            ),
+            "/statz" => ("200 OK", "application/json", statz()),
+            "/healthz" => {
+                let (healthy, body) = healthz();
+                let status = if healthy {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                (status, "application/json", body)
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "try /metrics, /statz, /healthz\n".into(),
+            ),
+        }
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -45,21 +45,25 @@
 //! let snap = obs::snapshot();
 //! if obs::ENABLED {
 //!     assert!(snap.to_json().contains("demo_requests_total"));
-//!     assert!(snap.to_prometheus().contains("# TYPE demo_latency_ns summary"));
+//!     assert!(snap.to_prometheus().contains("# TYPE demo_latency_ns histogram"));
 //! }
 //! ```
 
+mod clock;
 mod events;
 mod export;
 mod hist;
+mod http;
 mod registry;
 
 #[cfg(test)]
 mod tests;
 
+pub use clock::monotonic_ns;
 pub use events::{events_dropped, events_snapshot, record_event, EventRecord, EVENT_RING_CAPACITY};
 pub use export::Snapshot;
 pub use hist::{HistSnapshot, Histogram, LocalHistogram};
+pub use http::{serve_obs, HealthzFn, ObsServer, StatzFn};
 pub use registry::{
     registry, Counter, CounterHandle, Gauge, GaugeHandle, HistogramHandle, Registry, SpanGuard,
 };

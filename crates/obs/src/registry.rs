@@ -138,17 +138,21 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.to_string(), v.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .lock()
-            .expect("obs registry poisoned")
+        let hists = self.histograms.lock().expect("obs registry poisoned");
+        let histograms = hists
             .iter()
             .map(|(k, v)| (k.to_string(), v.snapshot()))
             .collect();
+        let histogram_buckets = hists
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.cumulative_buckets()))
+            .collect();
+        drop(hists);
         Snapshot {
             counters,
             gauges,
             histograms,
+            histogram_buckets,
             events: crate::events_snapshot(),
         }
     }

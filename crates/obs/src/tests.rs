@@ -261,8 +261,8 @@ fn snapshot_renders_json_and_prometheus() {
     assert!(prom.contains("# TYPE test_export_counter_total counter"));
     assert!(prom.contains("test_export_counter_total 7"));
     assert!(prom.contains("# TYPE test_export_gauge gauge"));
-    assert!(prom.contains("# TYPE test_export_latency_ns summary"));
-    assert!(prom.contains("test_export_latency_ns{quantile=\"0.5\"}"));
+    assert!(prom.contains("# TYPE test_export_latency_ns histogram"));
+    assert!(prom.contains("test_export_latency_ns_bucket{le=\"+Inf\"} 2"));
     assert!(prom.contains("test_export_latency_ns_count 2"));
     assert!(prom.contains("test_export_latency_ns_sum 300"));
 }
@@ -277,4 +277,210 @@ fn snapshot_is_sorted_by_name() {
     let mut sorted = names.clone();
     sorted.sort_unstable();
     assert_eq!(names, sorted);
+}
+
+#[test]
+fn monotonic_ns_behaves() {
+    let a = crate::monotonic_ns();
+    let b = crate::monotonic_ns();
+    if crate::ENABLED {
+        assert!(a > 0, "enabled clock never reads 0");
+        assert!(b >= a, "monotonic");
+    } else {
+        assert_eq!((a, b), (0, 0), "compiled out means unstamped");
+    }
+}
+
+/// Promtool-grammar conformance of the full text exposition: line shapes,
+/// metric/label name validity, HELP/TYPE pairing, `le` ordering, and the
+/// histogram's internal identities.
+#[cfg(not(feature = "off"))]
+#[test]
+fn prometheus_exposition_conforms() {
+    crate::counter!("test_conform_total").add(3);
+    crate::gauge!("test_conform_level").set(-9);
+    let h = crate::histogram!("test_conform_ns");
+    for v in [0u64, 1, 17, 500, 1_000_000, u64::MAX] {
+        h.record(v);
+    }
+
+    let prom = crate::snapshot().to_prometheus();
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && n.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let label_ok = |n: &str| {
+        !n.is_empty()
+            && n.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    };
+
+    let mut typed: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut helped: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for line in prom.lines() {
+        assert!(!line.is_empty(), "no blank lines in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _text) = rest.split_once(' ').expect("HELP has text");
+            assert!(name_ok(name), "bad HELP name {name:?}");
+            helped.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap();
+            let kind = it.next().expect("TYPE has a kind");
+            assert!(name_ok(name), "bad TYPE name {name:?}");
+            assert!(
+                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind),
+                "bad TYPE kind {kind:?}"
+            );
+            assert!(helped.contains(name), "HELP must precede TYPE for {name:?}");
+            assert!(
+                typed.insert(name.to_string(), kind.to_string()).is_none(),
+                "family {name:?} declared twice"
+            );
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("sample has value");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "bad sample value {value:?}"
+        );
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let rest = rest.strip_suffix('}').expect("balanced label braces");
+                (n, Some(rest))
+            }
+            None => (series, None),
+        };
+        assert!(name_ok(name), "bad metric name {name:?}");
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (lname, lval) = pair.split_once('=').expect("label pair");
+                assert!(label_ok(lname), "bad label name {lname:?}");
+                assert!(
+                    lval.starts_with('"') && lval.ends_with('"'),
+                    "unquoted label value {lval:?}"
+                );
+                let inner = &lval[1..lval.len() - 1];
+                // Escaping: no raw quote/newline may survive; a backslash
+                // may only introduce a valid escape.
+                let mut chars = inner.chars();
+                while let Some(c) = chars.next() {
+                    assert!(c != '"' && c != '\n', "unescaped {c:?} in label value");
+                    if c == '\\' {
+                        let next = chars.next().expect("dangling backslash");
+                        assert!(matches!(next, '\\' | '"' | 'n'), "bad escape \\{next}");
+                    }
+                }
+            }
+        }
+        // Every sample must belong to a declared family (histogram samples
+        // hang off the base family name).
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(typed.contains_key(family), "undeclared family for {name:?}");
+    }
+
+    // Histogram-specific grammar: strictly increasing `le`, trailing +Inf
+    // equal to _count, cumulative counts nondecreasing.
+    let bucket_lines: Vec<&str> = prom
+        .lines()
+        .filter(|l| l.starts_with("test_conform_ns_bucket{"))
+        .collect();
+    assert!(bucket_lines.len() >= 2, "expected sparse buckets plus +Inf");
+    let mut last_le = f64::NEG_INFINITY;
+    let mut last_cum = 0u64;
+    for line in &bucket_lines {
+        let le_text = line
+            .split("le=\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .expect("le label");
+        let le = if le_text == "+Inf" {
+            f64::INFINITY
+        } else {
+            le_text.parse::<f64>().expect("numeric le")
+        };
+        assert!(le > last_le, "le values must strictly increase");
+        last_le = le;
+        let cum: u64 = line.rsplit(' ').next().unwrap().parse().expect("count");
+        assert!(cum >= last_cum, "cumulative counts nondecreasing");
+        last_cum = cum;
+    }
+    assert!(last_le.is_infinite(), "last bucket is +Inf");
+    let count: u64 = prom
+        .lines()
+        .find(|l| l.starts_with("test_conform_ns_count "))
+        .and_then(|l| l.rsplit(' ').next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(last_cum, count, "+Inf bucket equals _count");
+    assert!(count >= 6, "all recorded samples counted");
+}
+
+/// The embedded scrape endpoint serves all three routes over real HTTP.
+#[test]
+fn http_exporter_serves_routes() {
+    use std::io::{Read as _, Write as _};
+
+    crate::counter!("test_http_total").add(5);
+    let healthy = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let h = std::sync::Arc::clone(&healthy);
+    let mut srv = crate::serve_obs(
+        "127.0.0.1:0",
+        Box::new(|| "{\"statz\":true}".to_string()),
+        Box::new(move || {
+            let ok = h.load(std::sync::atomic::Ordering::Relaxed);
+            (ok, format!("{{\"healthy\":{ok}}}"))
+        }),
+    )
+    .expect("bind exporter");
+    let addr = srv.local_addr();
+
+    let get = |path: &str| -> (String, String) {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).expect("read response");
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header split");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    };
+
+    let (status, body) = get("/metrics");
+    assert!(status.contains("200"), "metrics status {status:?}");
+    if crate::ENABLED {
+        assert!(body.contains("test_http_total 5"), "live registry served");
+    }
+
+    let (status, body) = get("/statz");
+    assert!(status.contains("200"));
+    assert_eq!(body, "{\"statz\":true}");
+
+    let (status, body) = get("/healthz");
+    assert!(status.contains("200"));
+    assert!(body.contains("true"));
+
+    healthy.store(false, std::sync::atomic::Ordering::Relaxed);
+    let (status, _) = get("/healthz");
+    assert!(status.contains("503"), "unhealthy flips to 503: {status:?}");
+
+    let (status, _) = get("/nope");
+    assert!(status.contains("404"));
+
+    srv.shutdown();
+    srv.shutdown(); // idempotent
 }

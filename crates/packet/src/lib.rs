@@ -47,9 +47,9 @@ pub use packet::{Packet, MAX_PATH_LENGTH};
 pub use report::TagReport;
 pub use wire::{
     append_framed_payload, append_framed_report, decode_datagram, decode_frame, decode_report,
-    decode_report_slice, encode_frame, encode_report, encode_report_to, DatagramSummary,
-    FrameReader, WireError, FRAMED_REPORT_WIRE_LEN, MAX_BUFFERED_BYTES, MAX_FRAME_LEN,
-    REPORT_WIRE_LEN,
+    decode_report_slice, encode_frame, encode_report, encode_report_to, report_wire_len,
+    DatagramSummary, FrameReader, WireError, FRAMED_REPORT_WIRE_LEN, MAX_BUFFERED_BYTES,
+    MAX_FRAME_LEN, REPORT_V2_WIRE_LEN, REPORT_WIRE_LEN,
 };
 
 #[cfg(test)]

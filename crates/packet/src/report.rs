@@ -21,13 +21,46 @@ use crate::ids::PortRef;
 ///   report raced an update" from "this report is genuinely inconsistent"
 ///   (epoch-grace verification). Switches that predate epoch stamping send
 ///   `0`, which the server treats as "sampled at an unknown earlier epoch".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// * `origin_ns` — monotonic nanosecond timestamp taken at the emission
+///   point (the switch agent / net sender), `0` when unstamped. The server
+///   subtracts it from its own clock at verdict time to measure end-to-end
+///   gap-detection latency. Pure telemetry: it is deliberately **excluded**
+///   from equality and hashing, so duplicate detection, verdict caching,
+///   and sharding treat a re-sent report as the same observation no matter
+///   when each copy left the switch.
+#[derive(Debug, Clone, Copy)]
 pub struct TagReport {
     pub inport: PortRef,
     pub outport: PortRef,
     pub header: FiveTuple,
     pub tag: BloomTag,
     pub epoch: u64,
+    pub origin_ns: u64,
+}
+
+// Manual Eq/Hash over everything *except* `origin_ns`: the robust dedup
+// filter, the verdict cache, and the sharded-vs-direct differential tests
+// all rely on "same observation" being timestamp-blind.
+impl PartialEq for TagReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.inport == other.inport
+            && self.outport == other.outport
+            && self.header == other.header
+            && self.tag == other.tag
+            && self.epoch == other.epoch
+    }
+}
+
+impl Eq for TagReport {}
+
+impl std::hash::Hash for TagReport {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inport.hash(state);
+        self.outport.hash(state);
+        self.header.hash(state);
+        self.tag.hash(state);
+        self.epoch.hash(state);
+    }
 }
 
 impl TagReport {
@@ -39,6 +72,7 @@ impl TagReport {
             header,
             tag,
             epoch: 0,
+            origin_ns: 0,
         }
     }
 
@@ -47,6 +81,14 @@ impl TagReport {
     #[must_use]
     pub fn with_epoch(mut self, epoch: u64) -> Self {
         self.epoch = epoch;
+        self
+    }
+
+    /// The same report stamped with a monotonic origin timestamp (the
+    /// emission point fills this in; `0` means "unstamped").
+    #[must_use]
+    pub fn with_origin(mut self, origin_ns: u64) -> Self {
+        self.origin_ns = origin_ns;
         self
     }
 

@@ -284,6 +284,57 @@ fn report_roundtrip_epoch() {
     assert_eq!(back.epoch, u64::MAX - 7);
 }
 
+/// v2 frames (origin-stamped) are 8 bytes longer, roundtrip the stamp, and
+/// coexist with v1 frames on the same wire; unstamped reports still encode
+/// as byte-identical v1.
+#[test]
+fn report_roundtrip_origin_v2() {
+    use crate::wire::{REPORT_V2_WIRE_LEN, REPORT_WIRE_LEN};
+    let base = TagReport::new(
+        PortRef::new(1, 1),
+        PortRef::new(3, 2),
+        sample_header(),
+        BloomTag::default_width(),
+    )
+    .with_epoch(9);
+
+    let v1 = encode_report(&base);
+    assert_eq!(v1.len(), REPORT_WIRE_LEN, "unstamped stays v1");
+
+    let stamped = base.with_origin(0x1122_3344_5566_7788);
+    let v2 = encode_report(&stamped);
+    assert_eq!(v2.len(), REPORT_V2_WIRE_LEN);
+    let back = decode_report(v2).expect("v2 decodes");
+    assert_eq!(back, stamped, "identity ignores the stamp");
+    assert_eq!(back.origin_ns, 0x1122_3344_5566_7788, "stamp survives");
+
+    // Equality and hashing are stamp-blind: a duplicate re-sent later is
+    // the same observation.
+    assert_eq!(base, stamped);
+    let mut set = std::collections::HashSet::new();
+    set.insert(base);
+    assert!(set.contains(&stamped));
+
+    // Both versions interleave on one datagram wire.
+    let mut wire = Vec::new();
+    crate::append_framed_report(&mut wire, &base);
+    crate::append_framed_report(&mut wire, &stamped);
+    let mut out = Vec::new();
+    let s = crate::decode_datagram(&wire, &mut out);
+    assert_eq!((s.frames, s.decode_errors), (2, 0));
+    assert_eq!(out[0].origin_ns, 0);
+    assert_eq!(out[1].origin_ns, 0x1122_3344_5566_7788);
+
+    // A v2 frame with a flipped stamp bit fails its checksum like any
+    // other corruption.
+    let mut bytes = encode_report(&stamped).to_vec();
+    bytes[44] ^= 0x10;
+    assert_eq!(
+        decode_report(Bytes::from(bytes)),
+        Err(WireError::BadChecksum)
+    );
+}
+
 /// Every single-bit flip anywhere in the frame is rejected: an 8-bit
 /// ones-complement sum changes under any ±2^k (k < 8) perturbation.
 #[test]

@@ -206,12 +206,30 @@ fn ones_complement_fold(bytes: &[u8]) -> u8 {
     acc as u8
 }
 
-/// Byte length of an encoded tag report.
+/// Byte length of an encoded v1 tag report (no origin timestamp).
 pub const REPORT_WIRE_LEN: usize = 2 + 8 + 6 + 6 + 13 + 9 + 1;
+
+/// Byte length of an encoded v2 tag report: the v1 payload with an 8-byte
+/// monotonic origin timestamp spliced in before the checksum.
+///
+/// # Wire-format versioning
+///
+/// The report format has no explicit version field; the *frame length*
+/// discriminates. Every frame travels behind a length prefix (streams) or
+/// the walk of [`decode_datagram`] (datagrams), so the decoder always sees
+/// the exact payload length: 45 bytes is v1 (`origin_ns = 0`, "unstamped"),
+/// 53 bytes is v2 (origin at offset 44, checksum over all 53 bytes).
+/// Encoders emit v2 **only when a nonzero origin stamp is present**, so old
+/// receivers keep working against unstamped senders and the byte stream of
+/// a pre-existing deployment is unchanged. Any other length in between
+/// fails the checksum and is rejected like corruption.
+pub const REPORT_V2_WIRE_LEN: usize = REPORT_WIRE_LEN + 8;
 
 /// Byte length of one length-prefixed report frame as it travels a stream
 /// transport ([`append_framed_report`]): `u16` length prefix + payload.
-pub const FRAMED_REPORT_WIRE_LEN: usize = 2 + REPORT_WIRE_LEN;
+/// Sized for the larger (v2) encoding; unstamped reports frame 8 bytes
+/// shorter.
+pub const FRAMED_REPORT_WIRE_LEN: usize = 2 + REPORT_V2_WIRE_LEN;
 
 /// Upper bound a stream length prefix may declare. Reports are fixed-size
 /// today; the slack leaves room for future frame kinds without letting a
@@ -234,7 +252,7 @@ pub const MAX_BUFFERED_BYTES: usize = 512 * 1024;
 /// clients call it in a loop against one reusable buffer.
 pub fn encode_report_to(out: &mut Vec<u8>, r: &TagReport) {
     let start = out.len();
-    out.reserve(REPORT_WIRE_LEN);
+    out.reserve(REPORT_V2_WIRE_LEN);
     out.extend_from_slice(&REPORT_MAGIC.to_be_bytes());
     out.extend_from_slice(&r.epoch.to_be_bytes());
     out.extend_from_slice(&r.inport.switch.0.to_be_bytes());
@@ -248,8 +266,21 @@ pub fn encode_report_to(out: &mut Vec<u8>, r: &TagReport) {
     out.extend_from_slice(&r.header.dst_port.to_be_bytes());
     out.push(r.tag.nbits() as u8);
     out.extend_from_slice(&r.tag.bits().to_be_bytes());
+    // v2 only when stamped: unstamped reports keep the v1 byte stream.
+    if r.origin_ns != 0 {
+        out.extend_from_slice(&r.origin_ns.to_be_bytes());
+    }
     let csum = !ones_complement_fold(&out[start..]);
     out.push(csum);
+}
+
+/// Wire length [`encode_report_to`] will produce for this report.
+pub fn report_wire_len(r: &TagReport) -> usize {
+    if r.origin_ns != 0 {
+        REPORT_V2_WIRE_LEN
+    } else {
+        REPORT_WIRE_LEN
+    }
 }
 
 /// Encode a tag report as a UDP payload.
@@ -257,13 +288,15 @@ pub fn encode_report_to(out: &mut Vec<u8>, r: &TagReport) {
 /// Layout (big-endian):
 /// `magic(2) | epoch(8) | in_switch(4) in_port(2) | out_switch(4) out_port(2) |
 ///  src_ip(4) dst_ip(4) proto(1) src_port(2) dst_port(2) |
-///  tag_nbits(1) tag_bits(8) | checksum(1)`
+///  tag_nbits(1) tag_bits(8) | [origin_ns(8)] | checksum(1)`
 ///
+/// `origin_ns` is present only in v2 frames (stamped reports); see
+/// [`REPORT_V2_WIRE_LEN`] for how the two versions coexist on one wire.
 /// The trailing byte is the ones-complement of the 8-bit ones-complement sum
 /// of every preceding byte; [`decode_report`] rejects frames whose total sum
 /// does not fold to `0xff` with [`WireError::BadChecksum`].
 pub fn encode_report(r: &TagReport) -> Bytes {
-    let mut v = Vec::with_capacity(REPORT_WIRE_LEN);
+    let mut v = Vec::with_capacity(REPORT_V2_WIRE_LEN);
     encode_report_to(&mut v, r);
     Bytes::from(v)
 }
@@ -274,7 +307,7 @@ pub fn encode_report(r: &TagReport) -> Bytes {
 /// as fit ([`decode_datagram`]).
 pub fn append_framed_report(out: &mut Vec<u8>, r: &TagReport) {
     out.reserve(FRAMED_REPORT_WIRE_LEN);
-    out.extend_from_slice(&(REPORT_WIRE_LEN as u16).to_be_bytes());
+    out.extend_from_slice(&(report_wire_len(r) as u16).to_be_bytes());
     encode_report_to(out, r);
 }
 
@@ -295,9 +328,19 @@ pub fn decode_report_slice(buf: &[u8]) -> Result<TagReport, WireError> {
     if buf.len() < REPORT_WIRE_LEN {
         return Err(WireError::Truncated);
     }
+    // The frame length discriminates the version: ≥ 53 bytes means v2
+    // (origin timestamp at offset 44), otherwise v1 (origin unknown = 0).
+    // Framers hand exact slices, so an in-between length is corruption and
+    // fails the v1 checksum below.
+    let v2 = buf.len() >= REPORT_V2_WIRE_LEN;
+    let checked_len = if v2 {
+        REPORT_V2_WIRE_LEN
+    } else {
+        REPORT_WIRE_LEN
+    };
     // Checksum covers the whole frame; a valid frame's total (payload plus
     // its complemented checksum byte) folds to 0xff.
-    if ones_complement_fold(&buf[..REPORT_WIRE_LEN]) != 0xff {
+    if ones_complement_fold(&buf[..checked_len]) != 0xff {
         return Err(WireError::BadChecksum);
     }
     let u16at = |i: usize| u16::from_be_bytes([buf[i], buf[i + 1]]);
@@ -333,12 +376,14 @@ pub fn decode_report_slice(buf: &[u8]) -> Result<TagReport, WireError> {
     if !(8..=64).contains(&nbits) || (nbits < 64 && bits >> nbits != 0) {
         return Err(WireError::Truncated);
     }
+    let origin_ns = if v2 { u64at(44) } else { 0 };
     Ok(TagReport {
         inport,
         outport,
         header,
         tag: BloomTag::from_bits(bits, nbits),
         epoch,
+        origin_ns,
     })
 }
 

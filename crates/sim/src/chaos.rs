@@ -140,7 +140,15 @@ impl ReportChannel {
             obs::counter!("veridp_chaos_dropped_total").inc();
             return;
         }
-        let mut frame = encode_report(report).to_vec();
+        // Stamp the monotonic origin time at the wire edge (as the socket
+        // sender does) so detection-latency tracing covers the in-process
+        // transport too; under obs-off the clock reads 0 → v1 frames.
+        let stamped = if report.origin_ns == 0 {
+            report.with_origin(obs::monotonic_ns())
+        } else {
+            *report
+        };
+        let mut frame = encode_report(&stamped).to_vec();
         if self.rng.gen_bool(prob(self.config.corrupt_pct)) {
             self.stats.corrupted += 1;
             obs::counter!("veridp_chaos_corrupted_total").inc();
@@ -287,8 +295,12 @@ pub struct ChaosSummary {
     pub false_alarms: u64,
     /// Every confirmed `(pair, suspect)` alarm, strongest first.
     pub confirmed: Vec<ConfirmedAlarm>,
-    /// Final server statistics (verdicts, dedup/grace/quarantine counters).
+    /// Final server statistics (verdicts, dedup/grace/quarantine counters,
+    /// and the per-run gap-detection latency histogram).
     pub stats: ServerStats,
+    /// Flight-recorder dumps frozen when alarms confirmed, in confirmation
+    /// order (shard-merged in the sharded ingest shape).
+    pub flight_dumps: Vec<veridp_core::FlightDump>,
 }
 
 impl ChaosSummary {
@@ -356,6 +368,17 @@ impl ChaosSummary {
             s.quarantined,
             s.shed
         ));
+        let gap = s.gap_detect.snapshot();
+        out.push_str(&format!(
+            "  \"gap_detect_ns\": {{\"count\": {}, \"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}},\n",
+            gap.count,
+            if gap.count == 0 { 0 } else { gap.min },
+            gap.p50,
+            gap.p99,
+            gap.max
+        ));
+        let dumps: Vec<String> = self.flight_dumps.iter().map(|d| d.to_json()).collect();
+        out.push_str(&format!("  \"flight_dumps\": [{}],\n", dumps.join(", ")));
         out.push_str(&format!("  \"ok\": {}\n}}\n", self.ok()));
         out
     }
@@ -559,10 +582,13 @@ impl<B: HeaderSetBackend> RobustIngest<B> {
         m.server.set_snapshots(true);
         let shards = cfg.verify_shards.max(1);
         let workers = (0..shards)
-            .map(|_| {
-                m.server
+            .map(|i| {
+                let mut w = m
+                    .server
                     .robust_worker()
-                    .expect("robust mode and snapshots enabled")
+                    .expect("robust mode and snapshots enabled");
+                w.set_shard(i);
+                w
             })
             .collect();
         RobustIngest::Sharded(workers)
@@ -725,12 +751,9 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
     ingest.finish(m);
 
     let stats = m.server.stats().clone();
-    let confirmed = m
-        .server
-        .robust()
-        .expect("robust mode enabled above")
-        .alarms
-        .confirmed();
+    let robust_state = m.server.robust().expect("robust mode enabled above");
+    let confirmed = robust_state.alarms.confirmed();
+    let flight_dumps = robust_state.alarms.flight_dumps().to_vec();
     let injected_sid = injected.map(|(s, _)| s);
     let genuine_pairs: HashSet<(PortRef, PortRef)> = confirmed
         .iter()
@@ -761,5 +784,6 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
         false_alarms,
         confirmed,
         stats,
+        flight_dumps,
     }
 }

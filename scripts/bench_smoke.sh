@@ -41,35 +41,42 @@ VERIDP_BENCH_OUT="$OUT_DIR/BENCH_net_ingest.json" \
 echo
 echo "== obs_overhead (quick): instrumentation enabled vs compiled out =="
 # Two builds cannot interleave in one process, so alternate them
-# (off/on/off/on/off/on) and let the final run take per-mode minimums
-# across all six — ambient load drift then hits both sides instead of
-# masquerading as instrumentation overhead. The last run gates: the job
-# fails if the enabled build is more than VERIDP_BENCH_OBS_MAX_PCT
-# (default 5) percent slower than the compiled-out baseline on any mode.
-VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off1.json" \
-    cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
-VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_on1.json" \
-    cargo bench -q --offline -p veridp-bench --bench obs_overhead
-VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off2.json" \
-    cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
-VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_on2.json" \
-    cargo bench -q --offline -p veridp-bench --bench obs_overhead
-VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off3.json" \
-    cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
+# (off/on repeated four times) and let the final run take each side's
+# per-mode MEDIAN of per-run minimums — ambient load drift and
+# per-process layout luck then hit both sides instead of masquerading
+# as instrumentation overhead (the micro modes sit near 20 ns/report,
+# where one freakishly fast run's minimum handed to either side swings
+# the comparison double-digit percent). The last run gates: the
+# job fails if the enabled build is more than VERIDP_BENCH_OBS_MAX_PCT
+# (default 5) percent AND more than VERIDP_BENCH_OBS_MAX_NS (default 3)
+# nanoseconds per report slower than the compiled-out baseline on any
+# mode — the absolute slack absorbs cross-build code-layout luck on the
+# ~20 ns micro modes, which a purely relative limit would gate as cost.
+for i in 1 2 3 4; do
+    VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_off$i.json" \
+        cargo bench -q --offline -p veridp-bench --features obs-off --bench obs_overhead
+    if [ "$i" -lt 4 ]; then
+        VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead_on$i.json" \
+            cargo bench -q --offline -p veridp-bench --bench obs_overhead
+    fi
+done
 VERIDP_BENCH_OUT="$OUT_DIR/BENCH_obs_overhead.json" \
-    VERIDP_BENCH_OBS_BASELINE="$OUT_DIR/BENCH_obs_overhead_off1.json:$OUT_DIR/BENCH_obs_overhead_off2.json:$OUT_DIR/BENCH_obs_overhead_off3.json" \
-    VERIDP_BENCH_OBS_PREV="$OUT_DIR/BENCH_obs_overhead_on1.json:$OUT_DIR/BENCH_obs_overhead_on2.json" \
+    VERIDP_BENCH_OBS_BASELINE="$OUT_DIR/BENCH_obs_overhead_off1.json:$OUT_DIR/BENCH_obs_overhead_off2.json:$OUT_DIR/BENCH_obs_overhead_off3.json:$OUT_DIR/BENCH_obs_overhead_off4.json" \
+    VERIDP_BENCH_OBS_PREV="$OUT_DIR/BENCH_obs_overhead_on1.json:$OUT_DIR/BENCH_obs_overhead_on2.json:$OUT_DIR/BENCH_obs_overhead_on3.json" \
     VERIDP_BENCH_OBS_MAX_PCT="${VERIDP_BENCH_OBS_MAX_PCT:-5}" \
     cargo bench -q --offline -p veridp-bench --bench obs_overhead
 
 echo
 # Metadata honesty: any concurrent bench that ran with fewer hardware
-# threads than it wanted flags its JSON; surface that loudly so nobody
-# reads scaling conclusions out of a time-sliced run.
+# threads than it wanted flags its JSON; surface that loudly — with the
+# core count this machine actually offered — so nobody reads scaling
+# conclusions out of a time-sliced run.
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
 for j in "$OUT_DIR"/BENCH_*.json; do
     if grep -q '"single_core_caveat": *true' "$j"; then
         echo "WARNING: $(basename "$j") ran with capped parallelism" \
-             "(single_core_caveat=true) — concurrent numbers are time-sliced."
+             "(single_core_caveat=true, detected cores: $CORES) —" \
+             "concurrent numbers are time-sliced."
     fi
 done
 

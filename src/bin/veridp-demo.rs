@@ -10,6 +10,7 @@
 //!             [--chaos-corrupt PCT] [--chaos-json PATH]
 //!             [--listen PROTO:ADDR] [--connect PROTO:ADDR] [--robust]
 //!             [--clients N] [--repeat N]
+//!             [--obs-addr ADDR] [--flight-json PATH]
 //! ```
 //!
 //! `--listen udp:127.0.0.1:7641` puts the deployed server behind a real
@@ -47,6 +48,16 @@
 //! as JSON to `PATH` after the run; with the `obs-off` build feature the
 //! snapshot is empty. While traffic runs, a one-line progress summary
 //! prints every 100 flows.
+//!
+//! `--obs-addr 127.0.0.1:9641` (with `--listen`) starts the embedded
+//! scrape endpoint while the ingest pipeline runs: `GET /metrics` serves
+//! the live registry in Prometheus text format, `GET /statz` a JSON
+//! snapshot of the wire counters plus the full observability snapshot, and
+//! `GET /healthz` the mid-run conservation check (every enqueued or
+//! verified report was decoded first; the backlog is reported for pump
+//! liveness). `--flight-json PATH` writes the alarm flight recorder —
+//! the frozen per-pair rings of the verification events that led to each
+//! confirmed alarm — as a JSON array after a `--robust` run.
 //!
 //! `--chaos SEED` switches the run to the chaos scenario: reports travel a
 //! lossy/duplicating/reordering/corrupting channel, rules are churned under
@@ -90,6 +101,8 @@ struct Options {
     repeat: usize,
     serve_idle_ms: u64,
     serve_max_secs: u64,
+    obs_addr: Option<String>,
+    flight_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -114,6 +127,8 @@ fn parse_args() -> Options {
         repeat: 1,
         serve_idle_ms: 2000,
         serve_max_secs: 120,
+        obs_addr: None,
+        flight_json: None,
     };
     let args: Vec<String> = env::args().skip(1).collect();
     let mut it = args.iter();
@@ -192,6 +207,8 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --serve-max-secs"))
             }
+            "--obs-addr" => o.obs_addr = Some(val("--obs-addr")),
+            "--flight-json" => o.flight_json = Some(val("--flight-json")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -257,7 +274,15 @@ fn usage(msg: &str) -> ! {
          \x20 --clients N             concurrent sender connections (default 4)\n\
          \x20 --repeat N              times each client replays the report set\n\
          \x20 --serve-idle-ms MS      idle window ending a --listen run (default 2000)\n\
-         \x20 --serve-max-secs S      hard cap on a --listen run (default 120)"
+         \x20 --serve-max-secs S      hard cap on a --listen run (default 120)\n\
+         \x20 --obs-addr ADDR         with --listen: serve GET /metrics (Prometheus\n\
+         \x20                         text), /statz (JSON snapshot), and /healthz\n\
+         \x20                         (mid-run conservation check) on ADDR (e.g.\n\
+         \x20                         127.0.0.1:9641, port 0 for ephemeral) while the\n\
+         \x20                         ingest pipeline runs\n\
+         \x20 --flight-json PATH      after a --robust run, write the alarm flight\n\
+         \x20                         recorder dumps (frozen per-pair event rings for\n\
+         \x20                         each confirmed alarm) as a JSON array to PATH"
     );
     std::process::exit(2);
 }
@@ -457,10 +482,13 @@ fn run<B: HeaderSetBackend>(o: &Options, hs: B) {
     // run that still flags flows has a consistency bug — the invariant the
     // CI churn soak gates on.
     if o.churn_rate > 0 && o.fault == "none" && inconsistent > 0 {
-        eprintln!(
-            "CHURN INVARIANT VIOLATED: {inconsistent} flows flagged inconsistent under mirrored churn with no fault"
+        fail_with_statz(
+            "churn_false_flags",
+            &format!(
+                "CHURN INVARIANT VIOLATED: {inconsistent} flows flagged inconsistent under mirrored churn with no fault"
+            ),
+            None,
         );
-        std::process::exit(1);
     }
 }
 
@@ -551,6 +579,23 @@ fn write_metrics<B: HeaderSetBackend>(m: &mut Monitor<B>, o: &Options) {
             Err(e) => eprintln!("error: writing metrics to {path}: {e}"),
         }
     }
+}
+
+/// Every nonzero exit path ends here: print the human-readable violation,
+/// then one `/statz`-equivalent JSON line, so a failed CI run always
+/// leaves a machine-readable final snapshot in the log even when nobody
+/// scraped the live endpoint.
+fn fail_with_statz(reason: &str, detail: &str, net: Option<&veridp::net::NetStatsSnapshot>) -> ! {
+    eprintln!("{detail}");
+    let net_json = net.map_or_else(
+        || "null".to_string(),
+        veridp::net::NetStatsSnapshot::to_json,
+    );
+    eprintln!(
+        "final statz: {{\"failure\":\"{reason}\",\"net\":{net_json},\"obs\":{}}}",
+        veridp::obs::registry().snapshot().to_json()
+    );
+    std::process::exit(1);
 }
 
 /// Pick the seeded fault target: a traffic-carrying `Forward` rule on a
@@ -691,6 +736,42 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
         pipeline.local_addr()
     );
     println!("intake: {} engine", pipeline.mode());
+    // The live observability plane: /metrics, /statz, /healthz served off a
+    // shared handle to the pipeline's counters while it runs. Mid-run the
+    // conservation identity relaxes to inequalities (reports legitimately
+    // sit in the queue), so /healthz checks `consistent_mid_run` and
+    // reports the pump backlog as the liveness signal.
+    let mut obs_server = o.obs_addr.as_deref().map(|addr| {
+        let stats = pipeline.stats_arc();
+        let statz_stats = std::sync::Arc::clone(&stats);
+        let statz: veridp::obs::StatzFn = Box::new(move || {
+            format!(
+                "{{\"net\":{},\"obs\":{}}}",
+                statz_stats.snapshot().to_json(),
+                veridp::obs::registry().snapshot().to_json()
+            )
+        });
+        let healthz: veridp::obs::HealthzFn = Box::new(move || {
+            let s = stats.snapshot();
+            let ok = s.consistent_mid_run();
+            let body = format!(
+                "{{\"ok\":{ok},\"reports\":{},\"enqueued\":{},\"verified\":{},\"shed\":{},\"backlog\":{}}}",
+                s.reports,
+                s.enqueued,
+                s.verified,
+                s.shed,
+                s.enqueued.saturating_sub(s.verified)
+            );
+            (ok, body)
+        });
+        let srv = veridp::obs::serve_obs(addr, statz, healthz).unwrap_or_else(|e| {
+            eprintln!("error: binding obs endpoint {addr}: {e}");
+            std::process::exit(2);
+        });
+        // Scrapeable by scripts: "obs listening <addr>".
+        println!("obs listening {}", srv.local_addr());
+        srv
+    });
     if o.robust {
         println!("robust verify: {shards} pair-sharded workers (K-of-N alarm confirmation)");
         if let Some(sid) = expected {
@@ -736,6 +817,13 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
     }
 
     let (server, snap) = pipeline.shutdown();
+    // Flush the server-side stat mirrors so the final obs snapshot (the
+    // still-running scrape endpoint and any failure-path dump) reflects
+    // the drained run, then retire the endpoint.
+    server.publish_obs();
+    if let Some(srv) = obs_server.as_mut() {
+        srv.shutdown();
+    }
     // Floor at one poll period: sub-50ms bursts would otherwise divide by
     // (near) zero and print a nonsense rate.
     let active = match first_frame {
@@ -778,18 +866,24 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
     }
 
     if !snap.conserved() {
-        eprintln!(
-            "NET INVARIANT VIOLATED: ingest accounting leak ({} reports unaccounted)",
-            snap.unaccounted()
+        fail_with_statz(
+            "accounting_leak",
+            &format!(
+                "NET INVARIANT VIOLATED: ingest accounting leak ({} reports unaccounted)",
+                snap.unaccounted()
+            ),
+            Some(&snap),
         );
-        std::process::exit(1);
     }
     if o.fault == "none" && s.failed() > 0 {
-        eprintln!(
-            "NET INVARIANT VIOLATED: {} failed verdicts with no fault injected",
-            s.failed()
+        fail_with_statz(
+            "failed_verdicts_without_fault",
+            &format!(
+                "NET INVARIANT VIOLATED: {} failed verdicts with no fault injected",
+                s.failed()
+            ),
+            Some(&snap),
         );
-        std::process::exit(1);
     }
     if !o.robust {
         return;
@@ -800,11 +894,8 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
     // is false when its suspect differs from the injected switch and its
     // pair never confirmed the injected switch (localization ambiguity on a
     // genuinely faulty pair is not a false alarm).
-    let confirmed = server
-        .robust()
-        .expect("robust mode enabled above")
-        .alarms
-        .confirmed();
+    let robust_state = server.robust().expect("robust mode enabled above");
+    let confirmed = robust_state.alarms.confirmed();
     println!("confirmed alarms: {}", confirmed.len());
     for a in confirmed.iter().take(5) {
         println!(
@@ -815,14 +906,35 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
             a.pair.1
         );
     }
+    // The flight recorder: one frozen ring of recent verification events
+    // per confirmed alarm, dumped as JSON for post-mortem.
+    let dumps = robust_state.alarms.flight_dumps();
+    println!("flight recorder: {} frozen dumps", dumps.len());
+    if let Some(path) = &o.flight_json {
+        let body = format!(
+            "[{}]\n",
+            dumps
+                .iter()
+                .map(veridp::core::FlightDump::to_json)
+                .collect::<Vec<_>>()
+                .join(",\n ")
+        );
+        match std::fs::write(path, body) {
+            Ok(()) => println!("flight recorder written to {path}"),
+            Err(e) => eprintln!("error: writing flight recorder to {path}: {e}"),
+        }
+    }
     match expected {
         None => {
             if !confirmed.is_empty() {
-                eprintln!(
-                    "NET INVARIANT VIOLATED: {} alarms confirmed on a healthy network",
-                    confirmed.len()
+                fail_with_statz(
+                    "false_alarm",
+                    &format!(
+                        "NET INVARIANT VIOLATED: {} alarms confirmed on a healthy network",
+                        confirmed.len()
+                    ),
+                    Some(&snap),
                 );
-                std::process::exit(1);
             }
             println!("no fault expected, no alarm confirmed");
         }
@@ -837,16 +949,22 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
                 .filter(|a| a.suspect != sid && !genuine_pairs.contains(&a.pair))
                 .count();
             if false_alarms > 0 {
-                eprintln!("NET INVARIANT VIOLATED: {false_alarms} false alarms confirmed");
-                std::process::exit(1);
+                fail_with_statz(
+                    "false_alarm",
+                    &format!("NET INVARIANT VIOLATED: {false_alarms} false alarms confirmed"),
+                    Some(&snap),
+                );
             }
             if genuine_pairs.is_empty() {
-                eprintln!(
-                    "NET INVARIANT VIOLATED: {} fault at {} went undetected",
-                    o.fault,
-                    switch_name(sid)
+                fail_with_statz(
+                    "missed_fault",
+                    &format!(
+                        "NET INVARIANT VIOLATED: {} fault at {} went undetected",
+                        o.fault,
+                        switch_name(sid)
+                    ),
+                    Some(&snap),
                 );
-                std::process::exit(1);
             }
             println!(
                 "fault at {}: detected ({} confirmed pairs)",
@@ -1018,6 +1136,25 @@ fn run_chaos<B: HeaderSetBackend>(o: &Options, m: &mut Monitor<B>, seed: u64) {
         );
     }
     println!("false alarms: {}", summary.false_alarms);
+    println!(
+        "flight recorder: {} frozen dumps",
+        summary.flight_dumps.len()
+    );
+    if let Some(path) = &o.flight_json {
+        let body = format!(
+            "[{}]\n",
+            summary
+                .flight_dumps
+                .iter()
+                .map(veridp::core::FlightDump::to_json)
+                .collect::<Vec<_>>()
+                .join(",\n ")
+        );
+        match std::fs::write(path, body) {
+            Ok(()) => println!("flight recorder written to {path}"),
+            Err(e) => eprintln!("error: writing flight recorder to {path}: {e}"),
+        }
+    }
 
     if let Some(path) = &o.chaos_json {
         match std::fs::write(path, summary.to_json()) {
@@ -1027,7 +1164,11 @@ fn run_chaos<B: HeaderSetBackend>(o: &Options, m: &mut Monitor<B>, seed: u64) {
     }
     write_metrics(m, o);
     if !summary.ok() {
-        eprintln!("CHAOS INVARIANT VIOLATED: false alarms or undetected fault (see above)");
-        std::process::exit(1);
+        m.server.publish_obs();
+        fail_with_statz(
+            "chaos_invariant",
+            "CHAOS INVARIANT VIOLATED: false alarms or undetected fault (see above)",
+            None,
+        );
     }
 }

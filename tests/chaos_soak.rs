@@ -69,6 +69,36 @@ fn assert_soak_ok(s: &ChaosSummary, ctx: &str) {
         "{ctx}: report accounting leak"
     );
     assert!(s.ok(), "{ctx}: summary.ok() must mirror the asserts");
+    assert_latency_sane(s, ctx);
+}
+
+/// End-to-end gap-detection latency sanity: every verdicted report carries
+/// exactly one origin-stamped sample (dedup happens before verdicts, so
+/// duplicates contribute none), no sample has a zero/negative duration,
+/// and the histogram summary is monotone. Runs on every soak — in-process
+/// channel and both socket transports — and under whichever ingest engine
+/// `VERIDP_NET_MODE` selects. Under `obs-off` the wire carries no origin
+/// stamps, so the histogram must stay empty instead.
+fn assert_latency_sane(s: &ChaosSummary, ctx: &str) {
+    let h = s.stats.gap_detect.snapshot();
+    if !veridp::obs::ENABLED {
+        assert_eq!(h.count, 0, "{ctx}: obs-off must record no latency samples");
+        return;
+    }
+    assert!(h.count > 0, "{ctx}: soak verdicted nothing");
+    assert_eq!(
+        h.count, s.stats.reports,
+        "{ctx}: one gap-detection sample per verdicted report"
+    );
+    assert!(h.min > 0, "{ctx}: zero-duration latency sample");
+    assert!(
+        h.min <= h.p50 && h.p50 <= h.p99 && h.p99 <= h.max,
+        "{ctx}: non-monotone latency summary (min {} p50 {} p99 {} max {})",
+        h.min,
+        h.p50,
+        h.p99,
+        h.max
+    );
 }
 
 #[test]

@@ -87,8 +87,14 @@ fn tcp_verdicts_bit_identical_to_in_process() {
         want,
         "socket-path verdicts must be bit-identical to in-process ingest"
     );
-    let lat = snap.ingest_latency.expect("pump recorded latency");
-    assert!(lat.count > 0 && lat.p99 >= lat.p50);
+    // The pump's per-batch latency histogram rides on the obs crate; when
+    // instrumentation is compiled out the snapshot legitimately omits it.
+    if veridp::obs::ENABLED {
+        let lat = snap.ingest_latency.expect("pump recorded latency");
+        assert!(lat.count > 0 && lat.p99 >= lat.p50);
+    } else {
+        assert!(snap.ingest_latency.is_none(), "obs-off records no latency");
+    }
 }
 
 #[test]
