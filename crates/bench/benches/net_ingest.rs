@@ -34,8 +34,10 @@ use std::time::{Duration, Instant};
 use veridp_bench::harness::{fmt_ns, hardware_threads, meta_fields, quick_mode};
 use veridp_bench::json::Json;
 use veridp_controller::Intent;
-use veridp_net::{serve, IngestConfig, IngestMode, NetSender, Transport};
-use veridp_packet::TagReport;
+use veridp_net::{
+    serve, IngestConfig, IngestMode, NetSender, ResilientConfig, ResilientSender, Transport,
+};
+use veridp_packet::{SwitchId, TagReport};
 use veridp_sim::Monitor;
 use veridp_topo::gen;
 
@@ -143,6 +145,72 @@ fn quiet_probe(mode: IngestMode, quiet: Duration) -> veridp_net::NetStatsSnapsho
     std::thread::sleep(quiet);
     let (_server, snap) = pipeline.shutdown();
     snap
+}
+
+/// Clean-path recovery-overhead probe: the same blast through
+/// [`ResilientSender`]s — ring retention, idle-heartbeat timer, and
+/// reconnect machinery all armed — over a wire nobody severs. Nothing
+/// reconnects or replays, so the rate delta against the plain sender at
+/// the same client count is the standing price of self-healing.
+fn resilient_probe(
+    pool: &[TagReport],
+    mode: IngestMode,
+    clients: usize,
+    per_client: usize,
+) -> (Case, u64, u64, u64) {
+    let mut cfg = IngestConfig::for_addr(Transport::Tcp, "127.0.0.1:0").expect("loopback");
+    cfg.mode = mode;
+    let pipeline = serve(cfg, fresh_server()).expect("bind loopback");
+    let mode = pipeline.mode();
+    let addr = pipeline.local_addr();
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let pool: Vec<TagReport> = pool.to_vec();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let rc = ResilientConfig::new(SwitchId(0xBE7C_0000 + c as u32), c as u64);
+                let mut tx = ResilientSender::connect(Transport::Tcp, addr, rc).expect("connect");
+                barrier.wait();
+                for i in 0..per_client {
+                    tx.send_report(&pool[(c * 37 + i) % pool.len()])
+                        .expect("send");
+                }
+                let (reconnects, replayed) = (tx.reconnects(), tx.replayed());
+                (tx.finish().expect("finish"), reconnects, replayed)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let mut sent = 0u64;
+    let mut frames = 0u64;
+    let (mut reconnects, mut replayed, mut heartbeats) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (cs, rec, rep) = h.join().expect("client thread");
+        sent += cs.reports_sent;
+        frames += cs.frames_sent;
+        heartbeats += cs.heartbeats_sent;
+        reconnects += rec;
+        replayed += rep;
+    }
+    assert!(
+        pipeline.wait_frames(frames, Duration::from_secs(120)),
+        "lossless TCP must deliver every frame"
+    );
+    let (_server, snap) = pipeline.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(snap.conserved(), "accounting leak: {snap:?}");
+    let case = Case {
+        mode,
+        transport: Transport::Tcp,
+        clients,
+        sent,
+        wall_s,
+        snap,
+    };
+    (case, reconnects, replayed, heartbeats)
 }
 
 fn case_json(case: &Case) -> Json {
@@ -257,10 +325,50 @@ fn main() {
         ]));
     }
 
+    // Recovery-overhead probe: the self-healing sender on a clean path.
+    // Reconnects and replays must be exactly zero (nothing severed the
+    // wire), and the rate ratio against the plain 64-client case records
+    // what the armed machinery costs when it never fires.
+    let rec_clients = 64;
+    let (rec_case, reconnects, replayed, heartbeats) =
+        resilient_probe(&pool, event, rec_clients, total.div_ceil(rec_clients));
+    assert_eq!(reconnects, 0, "clean path never reconnects");
+    assert_eq!(replayed, 0, "clean path never replays");
+    let rec_rate = rec_case.snap.verified as f64 / rec_case.wall_s;
+    let overhead = rate_at(rec_clients).map(|plain| plain / rec_rate.max(1.0));
+    println!(
+        "resilient {} clients={} rate={:.0} reports/s  reconnects={} replayed={} heartbeats={}{}",
+        rec_case.mode,
+        rec_clients,
+        rec_rate,
+        reconnects,
+        replayed,
+        heartbeats,
+        overhead
+            .map(|r| format!("  plain/resilient rate ratio={r:.2}"))
+            .unwrap_or_default()
+    );
+    let mut recovery = vec![
+        ("clients".to_string(), Json::Int(rec_clients as i64)),
+        ("reports_sent".to_string(), Json::Int(rec_case.sent as i64)),
+        ("reconnects".to_string(), Json::Int(reconnects as i64)),
+        ("replayed".to_string(), Json::Int(replayed as i64)),
+        ("heartbeats_sent".to_string(), Json::Int(heartbeats as i64)),
+        (
+            "heartbeats_decoded".to_string(),
+            Json::Int(rec_case.snap.heartbeats as i64),
+        ),
+        ("reports_per_sec".to_string(), Json::Num(rec_rate)),
+    ];
+    if let Some(r) = overhead {
+        recovery.push(("plain_over_resilient_rate_ratio".to_string(), Json::Num(r)));
+    }
+
     let mut top = meta_fields("net_ingest", quick, max_clients);
     top.push(("reports_per_case".into(), Json::Int(total as i64)));
     top.push(("results".into(), Json::Arr(results)));
     top.push(("quiet_listener".into(), Json::Arr(quiet_json)));
+    top.push(("recovery".into(), Json::Obj(recovery)));
     if let Some(ratio) = scaling {
         top.push(("tcp_512_over_64_rate_ratio".into(), Json::Num(ratio)));
     }

@@ -60,6 +60,7 @@ mod fastpath;
 pub mod grace;
 mod headerspace;
 mod incremental;
+pub mod liveness;
 mod localize;
 pub mod parallel;
 mod parallel_build;
@@ -77,6 +78,7 @@ pub use backend::HeaderSetBackend;
 pub use fastpath::{FastPathStats, TagIndex, VerdictCache, VerifyFastPath};
 pub use grace::{RetiredEntry, RetiredRecord, RetiredRing, DEFAULT_GRACE_DEPTH};
 pub use headerspace::HeaderSpace;
+pub use liveness::{LivenessConfig, LivenessRegistry, ReporterId, StaleReporter};
 pub use localize::{InferredPath, LocalizeOutcome};
 pub use parallel::{
     verify_batch, verify_batch_fast, verify_batch_summary, verify_batch_summary_fast,

@@ -1,0 +1,336 @@
+//! Reporter liveness: per-switch / per-pair freshness tracking.
+//!
+//! Verification is passive — a crashed switch, a dropped session, or a dead
+//! agent produces *zero* reports, and silence reads as "consistent". This
+//! registry closes that gap: every ingested report and every heartbeat
+//! frame refreshes the emitting reporter's freshness, and a periodic
+//! [`LivenessRegistry::sweep`] flags previously-active reporters whose
+//! silence exceeds the staleness window as [`StaleReporter`]s.
+//!
+//! Two levels are tracked:
+//!
+//! * **Switches** — refreshed by heartbeats and by reports leaving the
+//!   switch. A switch becomes trackable the moment it first speaks; a
+//!   switch that never spoke is never flagged (nothing was promised).
+//! * **`(inport, outport)` pairs** — refreshed only by reports. Pair
+//!   staleness is *suppressed* unless the pair is in the registry's
+//!   active-pair set (pairs with installed forwarding paths, taken from the
+//!   path table): a pair with no installed path is legitimately idle and
+//!   must never page an operator.
+//!
+//! The registry is deliberately clock-agnostic: every method takes an
+//! explicit `now_ns`, so it works identically under `obs-off` (where the
+//! monotonic helper reads 0), in simulation (virtual clocks), and in tests
+//! (deterministic sweeps). Each stale episode flags once; any later
+//! observation from the same reporter clears the flag and counts a
+//! recovery, re-arming the alarm.
+
+use std::collections::{HashMap, HashSet};
+
+use veridp_obs as obs;
+use veridp_packet::{PortRef, SwitchId, TagReport};
+
+/// Tuning for the liveness registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// Silence beyond this many nanoseconds flags a previously-active
+    /// reporter as stale.
+    pub window_ns: u64,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        // Generous for a LAN monitoring plane: heartbeat idle timers fire
+        // well inside this, so a healthy-but-quiet agent never flags.
+        LivenessConfig {
+            window_ns: 2_000_000_000,
+        }
+    }
+}
+
+/// Which reporter went stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReporterId {
+    /// A reporting switch (heartbeat identity or report exit switch).
+    Switch(SwitchId),
+    /// An `(inport, outport)` path-table pair with installed paths.
+    Pair(PortRef, PortRef),
+}
+
+impl std::fmt::Display for ReporterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReporterId::Switch(s) => write!(f, "switch {}", s.0),
+            ReporterId::Pair(i, o) => write!(f, "pair {i} => {o}"),
+        }
+    }
+}
+
+/// One stale-reporter finding: a previously-active reporter whose silence
+/// exceeded the staleness window at sweep time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleReporter {
+    /// Who went quiet.
+    pub reporter: ReporterId,
+    /// Registry clock of the reporter's last observation.
+    pub last_seen_ns: u64,
+    /// Silence accumulated when the sweep flagged it (`now - last_seen`);
+    /// the "flagged within 2 windows" acceptance gate reads this.
+    pub idle_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    last_seen_ns: u64,
+    flagged: bool,
+}
+
+/// The freshness registry. See the module docs for the model.
+#[derive(Debug)]
+pub struct LivenessRegistry {
+    window_ns: u64,
+    switches: HashMap<SwitchId, Entry>,
+    pairs: HashMap<(PortRef, PortRef), Entry>,
+    /// Pairs with installed forwarding paths — the only pairs whose silence
+    /// is alarmable. `None` until the caller publishes the set, which
+    /// suppresses *all* pair alarms (fail quiet, never false-page).
+    active_pairs: Option<HashSet<(PortRef, PortRef)>>,
+    /// Every flag raised so far, in sweep order.
+    stale_log: Vec<StaleReporter>,
+    /// Flagged reporters that spoke again (stale episodes that healed).
+    recovered: u64,
+}
+
+impl LivenessRegistry {
+    /// A fresh registry with the given staleness window.
+    pub fn new(config: LivenessConfig) -> Self {
+        LivenessRegistry {
+            window_ns: config.window_ns.max(1),
+            switches: HashMap::new(),
+            pairs: HashMap::new(),
+            active_pairs: None,
+            stale_log: Vec::new(),
+            recovered: 0,
+        }
+    }
+
+    /// The configured staleness window.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Publish the set of pairs that have installed forwarding paths
+    /// (typically every pair the path table holds entries for). Until this
+    /// is called, pair-level staleness never flags.
+    pub fn set_active_pairs(&mut self, pairs: impl IntoIterator<Item = (PortRef, PortRef)>) {
+        self.active_pairs = Some(pairs.into_iter().collect());
+    }
+
+    fn touch(e: &mut Entry, now_ns: u64, recovered: &mut u64) {
+        if e.flagged {
+            e.flagged = false;
+            *recovered += 1;
+            obs::counter!("veridp_liveness_recovered_total").inc();
+        }
+        e.last_seen_ns = e.last_seen_ns.max(now_ns);
+    }
+
+    /// Fold one ingested report in: refreshes the exit switch and the
+    /// report's `(inport, outport)` pair.
+    pub fn note_report(&mut self, report: &TagReport, now_ns: u64) {
+        let rec = &mut self.recovered;
+        Self::touch(
+            self.switches.entry(report.outport.switch).or_insert(Entry {
+                last_seen_ns: now_ns,
+                flagged: false,
+            }),
+            now_ns,
+            rec,
+        );
+        Self::touch(
+            self.pairs
+                .entry((report.inport, report.outport))
+                .or_insert(Entry {
+                    last_seen_ns: now_ns,
+                    flagged: false,
+                }),
+            now_ns,
+            rec,
+        );
+    }
+
+    /// Fold one heartbeat in: refreshes the asserting switch.
+    pub fn note_heartbeat(&mut self, switch: SwitchId, now_ns: u64) {
+        Self::touch(
+            self.switches.entry(switch).or_insert(Entry {
+                last_seen_ns: now_ns,
+                flagged: false,
+            }),
+            now_ns,
+            &mut self.recovered,
+        );
+    }
+
+    /// Flag every previously-active, unflagged reporter whose silence
+    /// exceeds the window. Pair flags are suppressed for pairs outside the
+    /// active-pair set (or when no set was ever published). Returns the
+    /// fresh flags in deterministic (sorted) order; they are also appended
+    /// to [`LivenessRegistry::stale_log`].
+    pub fn sweep(&mut self, now_ns: u64) -> Vec<StaleReporter> {
+        let mut found = Vec::new();
+        for (&sw, e) in self.switches.iter_mut() {
+            if !e.flagged && now_ns.saturating_sub(e.last_seen_ns) > self.window_ns {
+                e.flagged = true;
+                found.push(StaleReporter {
+                    reporter: ReporterId::Switch(sw),
+                    last_seen_ns: e.last_seen_ns,
+                    idle_ns: now_ns - e.last_seen_ns,
+                });
+            }
+        }
+        if let Some(active) = &self.active_pairs {
+            for (&pair, e) in self.pairs.iter_mut() {
+                if !e.flagged
+                    && active.contains(&pair)
+                    && now_ns.saturating_sub(e.last_seen_ns) > self.window_ns
+                {
+                    e.flagged = true;
+                    found.push(StaleReporter {
+                        reporter: ReporterId::Pair(pair.0, pair.1),
+                        last_seen_ns: e.last_seen_ns,
+                        idle_ns: now_ns - e.last_seen_ns,
+                    });
+                }
+            }
+        }
+        found.sort_by_key(|s| s.reporter);
+        for s in &found {
+            obs::event!(
+                "stale_reporter",
+                "{} went stale: silent {}ms past a {}ms window",
+                s.reporter,
+                s.idle_ns / 1_000_000,
+                self.window_ns / 1_000_000
+            );
+        }
+        self.stale_log.extend_from_slice(&found);
+        obs::gauge!("veridp_liveness_stale_pairs").set(self.flagged_count() as i64);
+        found
+    }
+
+    /// Every flag raised so far, in sweep order.
+    pub fn stale_log(&self) -> &[StaleReporter] {
+        &self.stale_log
+    }
+
+    /// Reporters currently flagged (stale and not yet recovered).
+    pub fn flagged_count(&self) -> usize {
+        self.switches.values().filter(|e| e.flagged).count()
+            + self.pairs.values().filter(|e| e.flagged).count()
+    }
+
+    /// Whether this reporter is currently flagged stale.
+    pub fn is_flagged(&self, reporter: ReporterId) -> bool {
+        match reporter {
+            ReporterId::Switch(s) => self.switches.get(&s).is_some_and(|e| e.flagged),
+            ReporterId::Pair(i, o) => self.pairs.get(&(i, o)).is_some_and(|e| e.flagged),
+        }
+    }
+
+    /// Stale episodes that healed (a flagged reporter spoke again).
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Reporters ever observed: `(switches, pairs)`.
+    pub fn tracked(&self) -> (usize, usize) {
+        (self.switches.len(), self.pairs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veridp_bloom::BloomTag;
+    use veridp_packet::FiveTuple;
+
+    fn report(in_sw: u32, out_sw: u32) -> TagReport {
+        TagReport::new(
+            PortRef::new(in_sw, 1),
+            PortRef::new(out_sw, 2),
+            FiveTuple::tcp(0x0a000001, 0x0a000002, 9, 80),
+            BloomTag::from_bits(0x1234, 16),
+        )
+    }
+
+    fn reg(window: u64) -> LivenessRegistry {
+        LivenessRegistry::new(LivenessConfig { window_ns: window })
+    }
+
+    #[test]
+    fn never_seen_never_flagged() {
+        let mut r = reg(100);
+        assert!(r.sweep(1_000_000).is_empty(), "empty registry stays silent");
+    }
+
+    #[test]
+    fn silence_past_window_flags_switch_once() {
+        let mut r = reg(100);
+        r.note_heartbeat(SwitchId(7), 50);
+        assert!(r.sweep(120).is_empty(), "inside window");
+        let flags = r.sweep(200);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].reporter, ReporterId::Switch(SwitchId(7)));
+        assert_eq!(flags[0].idle_ns, 150);
+        assert!(r.is_flagged(ReporterId::Switch(SwitchId(7))));
+        assert!(r.sweep(10_000).is_empty(), "one flag per episode");
+    }
+
+    #[test]
+    fn observation_heals_and_rearms() {
+        let mut r = reg(100);
+        r.note_heartbeat(SwitchId(7), 0);
+        assert_eq!(r.sweep(500).len(), 1);
+        r.note_heartbeat(SwitchId(7), 600);
+        assert!(!r.is_flagged(ReporterId::Switch(SwitchId(7))));
+        assert_eq!(r.recovered(), 1);
+        assert_eq!(r.sweep(1_000).len(), 1, "re-armed after recovery");
+    }
+
+    #[test]
+    fn idle_pair_without_installed_paths_never_flags() {
+        let mut r = reg(100);
+        r.note_report(&report(1, 9), 10);
+        // No active-pair set published: pair silence is suppressed, but the
+        // exit switch still flags.
+        let flags = r.sweep(1_000);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].reporter, ReporterId::Switch(SwitchId(9)));
+
+        // Published set that excludes the pair: still suppressed.
+        let mut r = reg(100);
+        r.note_report(&report(1, 9), 10);
+        r.set_active_pairs([(PortRef::new(5, 5), PortRef::new(6, 6))]);
+        let flags = r.sweep(1_000);
+        assert_eq!(flags.len(), 1, "only the switch, never the idle pair");
+    }
+
+    #[test]
+    fn active_pair_flags_and_reports_refresh_it() {
+        let mut r = reg(100);
+        let rep = report(1, 9);
+        r.set_active_pairs([(rep.inport, rep.outport)]);
+        r.note_report(&rep, 10);
+        r.note_report(&rep, 150); // refresh both levels
+        assert!(r.sweep(240).is_empty());
+        let flags = r.sweep(300);
+        assert_eq!(flags.len(), 2, "switch and pair both stale: {flags:?}");
+        assert_eq!(
+            flags[0].reporter,
+            ReporterId::Switch(SwitchId(9)),
+            "deterministic order"
+        );
+        assert_eq!(flags[1].reporter, ReporterId::Pair(rep.inport, rep.outport));
+        assert_eq!(r.stale_log().len(), 2);
+    }
+}

@@ -359,7 +359,7 @@ pub struct BatchSummary {
     pub latency: Option<veridp_obs::HistSnapshot>,
     /// End-to-end gap-detection latency (origin stamp → verdict) for
     /// origin-stamped reports, recorded inside the worker folds while the
-    /// report is still cache-hot and on the same 1-in-[`LATENCY_SAMPLE`]
+    /// report is still cache-hot and on the same 1-in-`LATENCY_SAMPLE`
     /// rhythm as `latency` — the batch pipeline keeps its hot loop free of
     /// per-report instrumentation, so this histogram is a sample of the
     /// batch, not a census (the per-report robust/wire ingest paths record

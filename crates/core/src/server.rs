@@ -1194,6 +1194,11 @@ pub struct AlarmAggregator {
     flight: HashMap<(veridp_packet::PortRef, veridp_packet::PortRef), VecDeque<FlightEvent>>,
     /// Frozen flight-recorder dumps, in confirmation order.
     dumps: Vec<FlightDump>,
+    /// Stale-reporter alarms raised by the liveness registry
+    /// ([`crate::liveness`]): reporters whose *silence* — not whose reports
+    /// — implicates them. Kept beside the report-driven alarms so one
+    /// aggregator holds the operator's complete picture.
+    stale: Vec<crate::liveness::StaleReporter>,
     /// Shard label stamped into recorded events (0 for the unsharded
     /// server; workers set their shard index via [`RobustWorker::set_shard`]).
     shard: usize,
@@ -1232,6 +1237,7 @@ impl AlarmAggregator {
             confirmed: HashMap::new(),
             flight: HashMap::new(),
             dumps: Vec::new(),
+            stale: Vec::new(),
             shard: 0,
         }
     }
@@ -1385,6 +1391,27 @@ impl AlarmAggregator {
         &self.dumps
     }
 
+    /// Raise a stale-reporter alarm from the liveness registry. Unlike
+    /// report-driven alarms these need no K-of-N confirmation — the
+    /// registry already debounced (one flag per stale episode, idle pairs
+    /// suppressed), and the evidence is the *absence* of reports, which
+    /// cannot be corroborated by more of them.
+    pub fn note_stale(&mut self, stale: crate::liveness::StaleReporter) {
+        obs::counter!("veridp_liveness_stale_alarms_total").inc();
+        obs::event!(
+            "stale_alarm",
+            "stale reporter alarm: {} (idle {}ms)",
+            stale.reporter,
+            stale.idle_ns / 1_000_000
+        );
+        self.stale.push(stale);
+    }
+
+    /// Stale-reporter alarms raised so far, in arrival order.
+    pub fn stale_reporters(&self) -> &[crate::liveness::StaleReporter] {
+        &self.stale
+    }
+
     /// Active alarms, most-failures first; suspects within each alarm are
     /// ordered by candidate count (ties broken by switch id for
     /// determinism).
@@ -1493,6 +1520,7 @@ impl AlarmAggregator {
             }
         }
         self.dumps.extend(other.dumps);
+        self.stale.extend(other.stale);
     }
 
     /// Clear all alarm state, including confirmations (e.g. after a repair
@@ -1505,5 +1533,6 @@ impl AlarmAggregator {
         self.confirmed.clear();
         self.flight.clear();
         self.dumps.clear();
+        self.stale.clear();
     }
 }

@@ -13,7 +13,10 @@
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs, UdpSocket};
 
-use veridp_packet::{append_framed_payload, append_framed_report, TagReport, MAX_FRAME_LEN};
+use veridp_packet::{
+    append_framed_heartbeat, append_framed_payload, append_framed_report, Heartbeat, TagReport,
+    HEARTBEAT_WIRE_LEN, MAX_FRAME_LEN,
+};
 
 use crate::Transport;
 
@@ -36,6 +39,21 @@ pub struct ClientStats {
     pub bytes_sent: u64,
     /// Datagrams (UDP) or `write` calls (TCP) issued.
     pub flushes: u64,
+    /// Heartbeat frames sent (liveness keep-alives; also counted in
+    /// `frames_sent`).
+    pub heartbeats_sent: u64,
+}
+
+impl ClientStats {
+    /// Fold another sender's totals in — used by the resilient wrapper to
+    /// accumulate stats across reconnect incarnations.
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.reports_sent += other.reports_sent;
+        self.frames_sent += other.frames_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.flushes += other.flushes;
+        self.heartbeats_sent += other.heartbeats_sent;
+    }
 }
 
 #[derive(Debug)]
@@ -119,6 +137,18 @@ impl NetSender {
         append_framed_report(&mut self.buf, &stamped);
         self.stats.reports_sent += 1;
         self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    /// Buffer one framed heartbeat — the liveness keep-alive that tells
+    /// the server "this reporter is alive but has nothing to report". The
+    /// origin stamp rides along so the server could measure heartbeat skew
+    /// if it ever wants to; under `obs-off` it is simply 0.
+    pub fn send_heartbeat(&mut self, hb: &Heartbeat) -> io::Result<()> {
+        self.reserve(2 + HEARTBEAT_WIRE_LEN)?;
+        append_framed_heartbeat(&mut self.buf, hb);
+        self.stats.frames_sent += 1;
+        self.stats.heartbeats_sent += 1;
         Ok(())
     }
 

@@ -43,6 +43,19 @@
 //!   framed reports, flush as full datagrams / stream writes. The
 //!   simulator's `SwitchAgent` wraps this to ship reports from simulated
 //!   switches over real loopback sockets.
+//! * **Self-healing** — the monitoring plane monitors itself and survives
+//!   its own failures. [`ResilientSender`] wraps the client with
+//!   seeded full-jitter reconnect backoff, a bounded resend ring replayed
+//!   on reconnect (at-least-once on the wire; the server's robust dedup
+//!   makes verdicts exactly-once), and idle-timer [`veridp_packet::Heartbeat`]
+//!   emission. Server-side, [`IngestConfig::liveness`] attaches a
+//!   [`LivenessHandle`] freshness registry + background sweeper that flags
+//!   reporters whose silence outlives the staleness window (dead agents
+//!   are otherwise *invisible* to passive verification), verify workers
+//!   run supervised (a panic is caught, counted, and the batch replayed
+//!   against a fresh RCU snapshot), and blocking queue pushes carry a
+//!   deadline ([`IngestConfig::push_deadline`]) so a dead consumer turns
+//!   into counted `push_timeouts` instead of a wedged intake thread.
 //!
 //! Accounting is conservation-based end to end. With `frames` counted as
 //! whole frames read off the wire:
@@ -57,12 +70,16 @@
 //! the invariant the loopback soak and the drain tests gate on.
 
 mod client;
+mod liveness;
 mod queue;
 mod reactor;
+mod resilient;
 mod server;
 mod stats;
 
 pub use client::{ClientStats, NetSender};
+pub use liveness::LivenessHandle;
+pub use resilient::{BackoffConfig, ReconnectBackoff, ResilientConfig, ResilientSender};
 pub use server::{
     serve, IngestConfig, IngestMode, IngestPipeline, IngestServer, PumpOutput, VerifyPump,
 };

@@ -1,0 +1,97 @@
+//! The wire-side liveness plumbing: a shared, clocked wrapper around
+//! [`veridp_core::LivenessRegistry`].
+//!
+//! The core registry is clock-agnostic (every call takes `now_ns`); this
+//! handle supplies the clock — nanoseconds since the listener bound — and
+//! the locking, so intake loops, the background sweeper, and operator
+//! endpoints can all feed and read one registry. It only exists when
+//! [`crate::IngestConfig::liveness`] is set; the `None` default keeps the
+//! clean ingest path entirely free of liveness overhead (no lock, no
+//! registry, no sweeper thread).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use veridp_core::{LivenessConfig, LivenessRegistry, ReporterId, StaleReporter};
+use veridp_packet::{Heartbeat, PortRef, TagReport};
+
+/// Shared freshness registry + monotonic clock for one listener.
+#[derive(Debug)]
+pub struct LivenessHandle {
+    start: Instant,
+    registry: Mutex<LivenessRegistry>,
+}
+
+impl LivenessHandle {
+    pub(crate) fn new(config: LivenessConfig) -> Self {
+        LivenessHandle {
+            start: Instant::now(),
+            registry: Mutex::new(LivenessRegistry::new(config)),
+        }
+    }
+
+    /// The registry clock: nanoseconds since the listener bound.
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The configured staleness window.
+    pub fn window_ns(&self) -> u64 {
+        self.registry.lock().unwrap().window_ns()
+    }
+
+    /// Publish the pairs with installed forwarding paths; pair-level
+    /// staleness stays suppressed until this runs (see the core registry).
+    pub fn set_active_pairs(&self, pairs: impl IntoIterator<Item = (PortRef, PortRef)>) {
+        self.registry.lock().unwrap().set_active_pairs(pairs);
+    }
+
+    pub(crate) fn note_reports(&self, reports: &[TagReport]) {
+        let now = self.now_ns();
+        let mut reg = self.registry.lock().unwrap();
+        for r in reports {
+            reg.note_report(r, now);
+        }
+    }
+
+    pub(crate) fn note_heartbeats(&self, hbs: &[Heartbeat]) {
+        let now = self.now_ns();
+        let mut reg = self.registry.lock().unwrap();
+        for hb in hbs {
+            reg.note_heartbeat(hb.switch, now);
+        }
+    }
+
+    /// Run one staleness sweep now; returns the fresh flags. The
+    /// background sweeper calls this on its own cadence — tests and demos
+    /// call it directly for deterministic timing.
+    pub fn sweep(&self) -> Vec<StaleReporter> {
+        let now = self.now_ns();
+        self.registry.lock().unwrap().sweep(now)
+    }
+
+    /// Every stale flag raised so far, in sweep order.
+    pub fn stale_log(&self) -> Vec<StaleReporter> {
+        self.registry.lock().unwrap().stale_log().to_vec()
+    }
+
+    /// Whether `reporter` is currently flagged stale.
+    pub fn is_flagged(&self, reporter: ReporterId) -> bool {
+        self.registry.lock().unwrap().is_flagged(reporter)
+    }
+
+    /// Reporters currently flagged stale.
+    pub fn flagged_count(&self) -> usize {
+        self.registry.lock().unwrap().flagged_count()
+    }
+
+    /// Stale episodes that healed (reporter spoke again after flagging).
+    pub fn recovered(&self) -> u64 {
+        self.registry.lock().unwrap().recovered()
+    }
+
+    /// Reporters ever observed: `(switches, pairs)`.
+    pub fn tracked(&self) -> (usize, usize) {
+        self.registry.lock().unwrap().tracked()
+    }
+}

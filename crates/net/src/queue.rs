@@ -3,9 +3,11 @@
 //! Capacity is measured in *reports*, not batches, so the memory bound holds
 //! regardless of how intake chops its batches. Producers choose their
 //! overflow policy per transport: [`BatchQueue::try_push`] (UDP — fail fast,
-//! the caller counts the batch as shed) or [`BatchQueue::push_wait`] (TCP —
-//! block until space, which stalls the connection's read loop and lets TCP
-//! flow control push back to the sender).
+//! the caller counts the batch as shed) or [`BatchQueue::push_deadline`]
+//! (TCP — block until space, which stalls the connection's read loop and
+//! lets TCP flow control push back to the sender, but never past the
+//! deadline: a dead consumer turns into a counted error, not a wedged
+//! producer).
 //!
 //! Closing is one-way: after [`BatchQueue::close`], pushes fail and
 //! [`BatchQueue::pop_wait`] returns [`Pop::Closed`] only once the queue is
@@ -13,9 +15,20 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use veridp_packet::TagReport;
+
+/// Why a deadline-bounded push refused the batch (which the caller counts
+/// as shed either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue closed before space appeared; routine during shutdown.
+    Closed,
+    /// The deadline passed with the queue still full — the consumer is
+    /// gone or wedged, and the producer must not block forever.
+    TimedOut,
+}
 
 /// Result of a blocking pop.
 pub(crate) enum Pop {
@@ -73,14 +86,21 @@ impl BatchQueue {
         Ok(())
     }
 
-    /// Blocking push: waits for space, failing only if the queue closes
-    /// first. The periodic timeout is belt-and-braces against a lost
-    /// wakeup, not a deadline.
-    pub(crate) fn push_wait(&self, batch: Vec<TagReport>) -> Result<(), Vec<TagReport>> {
+    /// Deadline-bounded blocking push: waits for space, but gives up once
+    /// `deadline` passes so a producer can never deadlock on a consumer
+    /// that died without closing the queue (the old `push_wait` looped
+    /// forever). The two failure modes are distinguished so callers can
+    /// count a timeout (supervision signal) separately from a routine
+    /// shutdown-path close.
+    pub(crate) fn push_deadline(
+        &self,
+        batch: Vec<TagReport>,
+        deadline: Instant,
+    ) -> Result<(), PushError> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if inner.closed {
-                return Err(batch);
+                return Err(PushError::Closed);
             }
             if inner.fits(batch.len(), self.capacity) {
                 inner.reports += batch.len();
@@ -89,11 +109,12 @@ impl BatchQueue {
                 self.ready.notify_one();
                 return Ok(());
             }
-            inner = self
-                .space
-                .wait_timeout(inner, Duration::from_millis(50))
-                .unwrap()
-                .0;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::TimedOut);
+            }
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            inner = self.space.wait_timeout(inner, wait).unwrap().0;
         }
     }
 

@@ -348,12 +348,14 @@ pub(crate) mod tcp {
     use std::sync::{Arc, Mutex};
     use std::thread::{self, JoinHandle};
 
-    use veridp_packet::{FrameReader, TagReport};
+    use veridp_packet::{FrameReader, Heartbeat, TagReport};
 
     use super::epoll::{Epoll, EpollEvent, EventFd};
     use super::readiness;
     use super::tokens::*;
-    use crate::server::{flush_batch, sync_reader, IntakeCtx, LiveGuard, RECV_BUF_LEN};
+    use crate::server::{
+        drain_heartbeats, flush_batch, sync_reader, IntakeCtx, LiveGuard, RECV_BUF_LEN,
+    };
 
     struct Conn {
         stream: TcpStream,
@@ -417,6 +419,7 @@ pub(crate) mod tcp {
         let mut events = vec![EpollEvent::zeroed(); 256];
         let mut buf = vec![0u8; RECV_BUF_LEN];
         let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+        let mut hbs: Vec<Heartbeat> = Vec::new();
         let mut conns: HashMap<u64, Conn> = HashMap::new();
         let mut next_token = TOK_CONN0;
         let mut next_loop = 0usize;
@@ -479,7 +482,7 @@ pub(crate) mod tcp {
                     tok => {
                         if let Some(conn) = conns.get_mut(&tok) {
                             activity = true;
-                            if !read_conn(conn, &mut buf, &mut batch, &ctx) {
+                            if !read_conn(conn, &mut buf, &mut batch, &mut hbs, &ctx) {
                                 dead.push(tok);
                             }
                         }
@@ -488,7 +491,7 @@ pub(crate) mod tcp {
             }
             for tok in dead {
                 if let Some(mut conn) = conns.remove(&tok) {
-                    finish_conn(&mut conn, &ctx);
+                    finish_conn(&mut conn, &mut hbs, &ctx);
                 }
             }
             // The burst is over — every readable byte has been consumed, so
@@ -509,13 +512,13 @@ pub(crate) mod tcp {
         // Connections still open after the quiet window (half-open peers,
         // silent slow writers): count their torn tails and close.
         for (_, mut conn) in conns.drain() {
-            finish_conn(&mut conn, &ctx);
+            finish_conn(&mut conn, &mut hbs, &ctx);
         }
         // Injections that raced our exit: read them to quiet right here so
         // accepted bytes are never silently dropped.
         let leftovers = std::mem::take(&mut *inject[idx].lock().unwrap());
         for stream in leftovers {
-            drain_stream(stream, &mut buf, &mut batch, &ctx);
+            drain_stream(stream, &mut buf, &mut batch, &mut hbs, &ctx);
         }
         flush_batch(&mut batch, &ctx, true);
     }
@@ -593,6 +596,7 @@ pub(crate) mod tcp {
         conn: &mut Conn,
         buf: &mut [u8],
         batch: &mut Vec<TagReport>,
+        hbs: &mut Vec<Heartbeat>,
         ctx: &IntakeCtx,
     ) -> bool {
         for _ in 0..READ_ROUNDS {
@@ -603,12 +607,17 @@ pub(crate) mod tcp {
                     conn.reader.push(&buf[..n]);
                     conn.reader.drain_into(batch);
                     sync_reader(&conn.reader, &mut conn.seen, &ctx.stats);
+                    drain_heartbeats(&mut conn.reader, ctx, hbs);
                     if conn.reader.poisoned() {
                         return false;
                     }
                     if batch.len() >= ctx.batch_reports {
                         // Queue pressure stalls the whole loop and TCP flow
-                        // control carries it back to the senders.
+                        // control carries it back to the senders. A
+                        // deadline-hit push is counted (shed +
+                        // push_timeouts) by flush_batch; the loop carries
+                        // on — one dead consumer must not take down every
+                        // multiplexed connection's accounting.
                         flush_batch(batch, ctx, true);
                     }
                 }
@@ -620,9 +629,10 @@ pub(crate) mod tcp {
         true
     }
 
-    fn finish_conn(conn: &mut Conn, ctx: &IntakeCtx) {
+    fn finish_conn(conn: &mut Conn, hbs: &mut Vec<Heartbeat>, ctx: &IntakeCtx) {
         conn.reader.finish();
         sync_reader(&conn.reader, &mut conn.seen, &ctx.stats);
+        drain_heartbeats(&mut conn.reader, ctx, hbs);
         ctx.stats.close_connection();
         // Dropping the stream closes the fd, which also removes it from
         // every epoll interest list.
@@ -634,6 +644,7 @@ pub(crate) mod tcp {
         stream: TcpStream,
         buf: &mut [u8],
         batch: &mut Vec<TagReport>,
+        hbs: &mut Vec<Heartbeat>,
         ctx: &IntakeCtx,
     ) {
         let mut conn = Conn {
@@ -643,11 +654,11 @@ pub(crate) mod tcp {
         };
         let quiet_ms = DRAIN_POLL_MS * DRAIN_QUIET_ROUNDS as i32;
         while let Ok(true) = readiness::readable_within(conn.stream.as_raw_fd(), quiet_ms) {
-            if !read_conn(&mut conn, buf, batch, ctx) {
+            if !read_conn(&mut conn, buf, batch, hbs, ctx) {
                 break;
             }
         }
-        finish_conn(&mut conn, ctx);
+        finish_conn(&mut conn, hbs, ctx);
     }
 }
 
@@ -661,11 +672,13 @@ pub(crate) mod udp {
     use std::sync::Arc;
     use std::thread::{self, JoinHandle};
 
-    use veridp_packet::{decode_datagram, TagReport};
+    use veridp_packet::{decode_datagram_full, Heartbeat, TagReport};
 
     use super::epoll::{Epoll, EpollEvent};
     use super::tokens::*;
-    use crate::server::{flush_batch, IntakeCtx, LiveGuard, RECV_BUF_LEN};
+    use crate::server::{
+        flush_batch, note_datagram_heartbeats, IntakeCtx, LiveGuard, RECV_BUF_LEN,
+    };
 
     pub(crate) fn spawn(
         socket: UdpSocket,
@@ -691,6 +704,7 @@ pub(crate) mod udp {
         let mut events = vec![EpollEvent::zeroed(); 64];
         let mut buf = vec![0u8; RECV_BUF_LEN];
         let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+        let mut hbs: Vec<Heartbeat> = Vec::new();
         let mut stopping = false;
         let mut quiet = 0u32;
 
@@ -720,12 +734,13 @@ pub(crate) mod udp {
                         activity = true;
                         ctx.stats.add_datagram(len);
                         let before = batch.len();
-                        let summary = decode_datagram(&buf[..len], &mut batch);
+                        let summary = decode_datagram_full(&buf[..len], &mut batch, &mut hbs);
                         ctx.stats.add_decoded(
                             summary.frames,
                             (batch.len() - before) as u64,
                             summary.decode_errors,
                         );
+                        note_datagram_heartbeats(&ctx, &mut hbs);
                         if batch.len() >= ctx.batch_reports {
                             // UDP sheds over a full queue: blocking would
                             // just move the loss into the kernel, uncounted.

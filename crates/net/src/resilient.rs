@@ -1,0 +1,365 @@
+//! Client-side resilience: seeded-jitter reconnect, bounded replay, and
+//! heartbeat emission on top of [`NetSender`].
+//!
+//! A real switch agent outlives its TCP connection: the monitoring server
+//! restarts, a middlebox drops the session, the link flaps. The plain
+//! [`NetSender`] surfaces that as an I/O error and loses whatever was in
+//! flight; [`ResilientSender`] turns it into a bounded recovery:
+//!
+//! * **Reconnect with full-jitter exponential backoff** — every sender
+//!   seeds its own [`ReconnectBackoff`], so a fleet of agents severed by
+//!   the same event retries *decorrelated* instead of stampeding the
+//!   listener in lockstep (the thundering-herd failure mode of fixed
+//!   backoff). Delays are deterministic per seed, which keeps chaos runs
+//!   replayable.
+//! * **Bounded resend ring** — the last [`ResilientConfig::resend_capacity`]
+//!   reports are retained; a reconnect replays the whole ring. Delivery is
+//!   at-least-once (replay can duplicate what already arrived), which the
+//!   server's robust dedup ([`veridp_core::RecentFilter`]) collapses back
+//!   to exactly-once *verdicts*. The ring is memory-bounded by evicting the
+//!   oldest report, trading tail-loss under extreme outage for a hard cap.
+//! * **Heartbeats** — an idle timer emits [`Heartbeat`] frames under the
+//!   sender's switch identity so the server's liveness registry can tell a
+//!   healthy-but-quiet agent from a dead one. An initial heartbeat goes out
+//!   on every (re)connect, announcing the identity before any report.
+//!
+//! [`ClientStats`] accumulate across incarnations: `frames_sent` is the
+//! total the wire actually carried (severs flush first), so server-side
+//! `wait_frames` bookkeeping stays exact across reconnects.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use veridp_packet::{Heartbeat, SwitchId, TagReport};
+
+use crate::client::{ClientStats, NetSender};
+use crate::Transport;
+
+/// Tuning for [`ReconnectBackoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First-attempt delay ceiling, milliseconds.
+    pub base_ms: u64,
+    /// Hard ceiling any delay is clamped to, milliseconds.
+    pub max_ms: u64,
+    /// Per-agent jitter seed. Distinct seeds decorrelate a fleet.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_ms: 10,
+            max_ms: 2_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Full-jitter exponential backoff (the AWS architecture-blog variant):
+/// attempt `k` sleeps `uniform(0, min(max_ms, base_ms << k))`. The random
+/// stream is seeded, so a given agent's schedule is reproducible, while
+/// different seeds spread a severed fleet's retries across the window.
+#[derive(Debug)]
+pub struct ReconnectBackoff {
+    config: BackoffConfig,
+    rng: StdRng,
+    attempt: u32,
+}
+
+impl ReconnectBackoff {
+    /// A fresh schedule at attempt 0.
+    pub fn new(config: BackoffConfig) -> Self {
+        ReconnectBackoff {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xb0ff_5eed),
+            config,
+            attempt: 0,
+        }
+    }
+
+    /// The delay before the next attempt; advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let cap = self
+            .config
+            .base_ms
+            .checked_shl(self.attempt.min(20))
+            .unwrap_or(u64::MAX)
+            .min(self.config.max_ms.max(1));
+        let ms = self.rng.gen_range(0..=cap);
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_millis(ms)
+    }
+
+    /// Attempts consumed since the last [`ReconnectBackoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Success: the next outage starts back at the base window.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Tuning for [`ResilientSender`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// The switch identity heartbeats assert.
+    pub identity: SwitchId,
+    /// Reconnect jitter schedule.
+    pub backoff: BackoffConfig,
+    /// Reports retained for replay-on-reconnect (oldest evicted beyond
+    /// this). Size it to cover the worst outage's send volume; the
+    /// server-side dedup absorbs any overlap.
+    pub resend_capacity: usize,
+    /// Idle gap after which [`ResilientSender::tick`] emits a heartbeat.
+    pub heartbeat_every: Duration,
+    /// Consecutive failed reconnect attempts before giving up with an
+    /// error (the agent is then genuinely partitioned).
+    pub max_reconnect_attempts: u32,
+}
+
+impl ResilientConfig {
+    /// Defaults for a loopback/LAN agent with the given identity and seed.
+    pub fn new(identity: SwitchId, seed: u64) -> Self {
+        ResilientConfig {
+            identity,
+            backoff: BackoffConfig {
+                seed,
+                ..BackoffConfig::default()
+            },
+            resend_capacity: 4096,
+            heartbeat_every: Duration::from_millis(200),
+            max_reconnect_attempts: 10,
+        }
+    }
+}
+
+/// A [`NetSender`] that survives its socket: reconnects with seeded
+/// backoff, replays a bounded ring of recent reports, and heartbeats when
+/// idle. See the module docs for the delivery semantics.
+#[derive(Debug)]
+pub struct ResilientSender {
+    transport: Transport,
+    addr: SocketAddr,
+    config: ResilientConfig,
+    inner: Option<NetSender>,
+    backoff: ReconnectBackoff,
+    ring: VecDeque<TagReport>,
+    /// Stats of finished (dead) incarnations; the live sender's are folded
+    /// in on read.
+    totals: ClientStats,
+    last_send: Instant,
+    hb_seq: u64,
+    reconnects: u64,
+    replayed: u64,
+}
+
+impl ResilientSender {
+    /// Dial the listener and announce the identity with an initial
+    /// heartbeat (buffered; it rides out with the first flush).
+    pub fn connect(
+        transport: Transport,
+        addr: impl ToSocketAddrs,
+        config: ResilientConfig,
+    ) -> io::Result<ResilientSender> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let mut s = ResilientSender {
+            transport,
+            addr,
+            backoff: ReconnectBackoff::new(config.backoff),
+            config,
+            inner: Some(NetSender::connect(transport, addr)?),
+            ring: VecDeque::new(),
+            totals: ClientStats::default(),
+            last_send: Instant::now(),
+            hb_seq: 0,
+            reconnects: 0,
+            replayed: 0,
+        };
+        s.heartbeat_now()?;
+        Ok(s)
+    }
+
+    /// Which transport this sender speaks.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Remember `r` in the resend ring (bounded), then send it; a send
+    /// failure triggers reconnect-and-replay, which re-ships this report.
+    pub fn send_report(&mut self, r: &TagReport) -> io::Result<()> {
+        if self.ring.len() >= self.config.resend_capacity.max(1) {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(*r);
+        if self.inner.is_none() {
+            // Reconnect replays the ring, which now includes `r`.
+            return self.reconnect();
+        }
+        let res = self.inner.as_mut().unwrap().send_report(r);
+        self.after_send(res)
+    }
+
+    /// Send a raw pre-encoded frame payload (chaos harness: corrupted
+    /// frames). Not retained in the resend ring — a deliberately broken
+    /// frame is not worth replaying — so a sever can lose it; the send
+    /// itself still reconnects like any other.
+    pub fn send_frame_payload(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.inner.is_none() {
+            self.reconnect()?;
+        }
+        let res = self.inner.as_mut().unwrap().send_frame_payload(payload);
+        self.after_send(res)
+    }
+
+    /// Emit a heartbeat if the idle timer expired; call this from the
+    /// agent's main loop. Returns whether one was sent.
+    pub fn tick(&mut self) -> io::Result<bool> {
+        if self.last_send.elapsed() < self.config.heartbeat_every {
+            return Ok(false);
+        }
+        self.heartbeat_now()?;
+        // Heartbeats exist to be *seen*; push the frame out now rather
+        // than letting it age in the coalescing buffer.
+        self.flush()?;
+        Ok(true)
+    }
+
+    /// Emit one heartbeat immediately (buffered until the next flush).
+    pub fn heartbeat_now(&mut self) -> io::Result<()> {
+        if self.inner.is_none() {
+            self.reconnect()?;
+        }
+        self.hb_seq += 1;
+        let hb = Heartbeat {
+            switch: self.config.identity,
+            seq: self.hb_seq,
+            origin_ns: veridp_obs::monotonic_ns(),
+        };
+        let res = self.inner.as_mut().unwrap().send_heartbeat(&hb);
+        self.after_send(res)
+    }
+
+    /// Flush the live connection (reconnecting first if severed).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.inner.is_none() {
+            self.reconnect()?;
+            return Ok(()); // reconnect already flushed the replay
+        }
+        let res = self.inner.as_mut().unwrap().flush();
+        self.after_send(res)
+    }
+
+    /// Chaos hook: flush, then drop the connection *without* telling the
+    /// peer anything useful — the next send finds a dead socket and runs
+    /// the reconnect path. Flushing first keeps `frames_sent` equal to
+    /// what the wire actually carried, so frame accounting stays exact.
+    pub fn sever(&mut self) -> io::Result<()> {
+        if let Some(mut inner) = self.inner.take() {
+            inner.flush()?;
+            self.totals.merge(&inner.stats());
+        }
+        Ok(())
+    }
+
+    fn after_send(&mut self, res: io::Result<()>) -> io::Result<()> {
+        match res {
+            Ok(()) => {
+                self.last_send = Instant::now();
+                Ok(())
+            }
+            Err(_) => {
+                // The incarnation is dead; bank its stats and rebuild. Its
+                // buffered-but-unflushed frames never reached the wire, so
+                // they are *not* banked — the ring replay re-ships the
+                // reports and re-counts the frames on the new connection.
+                if let Some(inner) = self.inner.take() {
+                    let mut st = inner.stats();
+                    st.frames_sent = 0; // unknowable split; replay recounts
+                    st.reports_sent = 0;
+                    st.heartbeats_sent = 0;
+                    self.totals.merge(&st);
+                }
+                self.reconnect()
+            }
+        }
+    }
+
+    /// Redial with full-jitter backoff, then replay the resend ring and an
+    /// identity heartbeat. Gives up (with the last error) after
+    /// [`ResilientConfig::max_reconnect_attempts`].
+    fn reconnect(&mut self) -> io::Result<()> {
+        let mut last_err = io::Error::new(io::ErrorKind::NotConnected, "never attempted");
+        for _ in 0..self.config.max_reconnect_attempts.max(1) {
+            thread::sleep(self.backoff.next_delay());
+            match NetSender::connect(self.transport, self.addr) {
+                Ok(mut sender) => {
+                    self.backoff.reset();
+                    self.reconnects += 1;
+                    veridp_obs::counter!("veridp_net_reconnects_total").inc();
+                    self.hb_seq += 1;
+                    let hb = Heartbeat {
+                        switch: self.config.identity,
+                        seq: self.hb_seq,
+                        origin_ns: veridp_obs::monotonic_ns(),
+                    };
+                    sender.send_heartbeat(&hb)?;
+                    for r in &self.ring {
+                        sender.send_report(r)?;
+                    }
+                    self.replayed += self.ring.len() as u64;
+                    veridp_obs::counter!("veridp_net_replayed_reports_total")
+                        .add(self.ring.len() as u64);
+                    sender.flush()?;
+                    self.last_send = Instant::now();
+                    self.inner = Some(sender);
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Times this sender rebuilt its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Reports re-shipped by ring replay (counted per replay, so a report
+    /// surviving two outages counts twice).
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Reports currently retained for replay.
+    pub fn ring_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Accumulated stats across every incarnation, live one included.
+    pub fn stats(&self) -> ClientStats {
+        let mut total = self.totals;
+        if let Some(inner) = &self.inner {
+            total.merge(&inner.stats());
+        }
+        total
+    }
+
+    /// Flush, half-close, and return the accumulated stats.
+    pub fn finish(mut self) -> io::Result<ClientStats> {
+        let mut total = self.totals;
+        if let Some(inner) = self.inner.take() {
+            total.merge(&inner.finish()?);
+        }
+        Ok(total)
+    }
+}

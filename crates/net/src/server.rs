@@ -51,7 +51,8 @@
 use std::io;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -59,12 +60,15 @@ use std::time::{Duration, Instant};
 #[cfg(unix)]
 use std::os::fd::AsRawFd;
 
-use veridp_core::{HeaderSetBackend, RobustConfig, RobustHarvest, RobustWorker, VeriDpServer};
+use veridp_core::{
+    HeaderSetBackend, LivenessConfig, RobustConfig, RobustHarvest, RobustWorker, VeriDpServer,
+};
 use veridp_obs as obs;
 use veridp_obs::LocalHistogram;
-use veridp_packet::{decode_datagram, FrameReader, TagReport};
+use veridp_packet::{decode_datagram_full, FrameReader, Heartbeat, TagReport};
 
-use crate::queue::{BatchQueue, Pop};
+use crate::liveness::LivenessHandle;
+use crate::queue::{BatchQueue, Pop, PushError};
 use crate::reactor;
 #[cfg(unix)]
 use crate::reactor::readiness;
@@ -188,6 +192,22 @@ pub struct IngestConfig {
     pub robust: Option<RobustConfig>,
     /// Verify shards (queues + `RobustWorker` threads) in robust mode.
     pub verify_shards: usize,
+    /// When set, the listener tracks reporter liveness: every report and
+    /// heartbeat refreshes a freshness registry, and a background sweeper
+    /// flags previously-active reporters that go silent past the window
+    /// (see [`LivenessHandle`]). `None` (the default) keeps the clean
+    /// ingest path free of any liveness overhead.
+    pub liveness: Option<LivenessConfig>,
+    /// Ceiling on how long a blocking (TCP) queue push may wait for the
+    /// verify side. A push that hits this deadline means the consumer is
+    /// dead or wedged: the reports are counted shed + `push_timeouts`, and
+    /// the threaded connection handler errors out rather than blocking
+    /// forever.
+    pub push_deadline: Duration,
+    /// Fault injection for the supervision tests: panic the verify worker
+    /// right before ingesting the Nth batch (counted across all shards).
+    /// The supervisor catches it, counts a restart, and replays the batch.
+    pub poison_after: Option<u64>,
 }
 
 impl IngestConfig {
@@ -207,6 +227,9 @@ impl IngestConfig {
             verify_threads: cores.min(4),
             robust: None,
             verify_shards: cores.clamp(2, 4),
+            liveness: None,
+            push_deadline: Duration::from_secs(5),
+            poison_after: None,
         }
     }
 
@@ -240,43 +263,92 @@ pub(crate) struct IntakeCtx {
     pub(crate) queues: Arc<Vec<Arc<BatchQueue>>>,
     pub(crate) stop: Arc<StopSignal>,
     pub(crate) batch_reports: usize,
+    /// Freshness registry, present only when the config enabled liveness.
+    pub(crate) liveness: Option<Arc<LivenessHandle>>,
+    /// Ceiling for blocking queue pushes (see [`IngestConfig::push_deadline`]).
+    pub(crate) push_deadline: Duration,
 }
 
 /// Flush a batch to the queue(s), counting the outcome. With sharded
 /// queues the batch is partitioned by `(inport, outport)` pair first.
-/// `blocking` selects the transport's overflow policy: wait (TCP) or shed
-/// (UDP).
-pub(crate) fn flush_batch(batch: &mut Vec<TagReport>, ctx: &IntakeCtx, blocking: bool) {
+/// `blocking` selects the transport's overflow policy: deadline-bounded
+/// wait (TCP) or shed (UDP). Returns `false` if a blocking push hit the
+/// deadline — the consumer side is gone, and a stream handler should drop
+/// its connection rather than keep feeding a dead pipeline.
+pub(crate) fn flush_batch(batch: &mut Vec<TagReport>, ctx: &IntakeCtx, blocking: bool) -> bool {
     if batch.is_empty() {
-        return;
+        return true;
+    }
+    if let Some(liveness) = &ctx.liveness {
+        liveness.note_reports(batch);
     }
     let full = std::mem::replace(batch, Vec::with_capacity(ctx.batch_reports));
     let shards = ctx.queues.len();
     if shards == 1 {
-        push_part(&ctx.queues[0], full, &ctx.stats, blocking);
-        return;
+        return push_part(&ctx.queues[0], full, ctx, blocking);
     }
     let mut parts: Vec<Vec<TagReport>> = (0..shards).map(|_| Vec::new()).collect();
     for report in full {
         parts[report.shard(shards)].push(report);
     }
+    let mut ok = true;
     for (queue, part) in ctx.queues.iter().zip(parts) {
         if !part.is_empty() {
-            push_part(queue, part, &ctx.stats, blocking);
+            ok &= push_part(queue, part, ctx, blocking);
+        }
+    }
+    ok
+}
+
+fn push_part(queue: &BatchQueue, part: Vec<TagReport>, ctx: &IntakeCtx, blocking: bool) -> bool {
+    let n = part.len() as u64;
+    if blocking {
+        match queue.push_deadline(part, Instant::now() + ctx.push_deadline) {
+            Ok(()) => ctx.stats.add_enqueued(n),
+            // Routine shutdown path: the queue closed under us.
+            Err(PushError::Closed) => ctx.stats.add_shed(n),
+            Err(PushError::TimedOut) => {
+                ctx.stats.add_shed(n);
+                ctx.stats.add_push_timeout(n);
+                return false;
+            }
+        }
+    } else {
+        match queue.try_push(part) {
+            Ok(()) => ctx.stats.add_enqueued(n),
+            Err(_) => ctx.stats.add_shed(n),
+        }
+    }
+    true
+}
+
+/// Drain any heartbeat frames the reader buffered: count them and refresh
+/// the liveness registry. `scratch` is a reusable buffer owned by the
+/// intake loop.
+pub(crate) fn drain_heartbeats(
+    reader: &mut FrameReader,
+    ctx: &IntakeCtx,
+    scratch: &mut Vec<Heartbeat>,
+) {
+    scratch.clear();
+    let n = reader.take_heartbeats(scratch);
+    if n > 0 {
+        ctx.stats.add_heartbeats(n as u64);
+        if let Some(liveness) = &ctx.liveness {
+            liveness.note_heartbeats(scratch);
         }
     }
 }
 
-fn push_part(queue: &BatchQueue, part: Vec<TagReport>, stats: &NetStats, blocking: bool) {
-    let n = part.len() as u64;
-    let res = if blocking {
-        queue.push_wait(part)
-    } else {
-        queue.try_push(part)
-    };
-    match res {
-        Ok(()) => stats.add_enqueued(n),
-        Err(_) => stats.add_shed(n),
+/// Count + register heartbeats decoded out of one datagram, clearing the
+/// buffer for reuse.
+pub(crate) fn note_datagram_heartbeats(ctx: &IntakeCtx, hbs: &mut Vec<Heartbeat>) {
+    if !hbs.is_empty() {
+        ctx.stats.add_heartbeats(hbs.len() as u64);
+        if let Some(liveness) = &ctx.liveness {
+            liveness.note_heartbeats(hbs);
+        }
+        hbs.clear();
     }
 }
 
@@ -305,6 +377,8 @@ pub struct IngestServer {
     /// TCP connection handlers, appended by the threaded accept loop
     /// (empty in reactor mode, where the event loops are the intake).
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Present when the config enabled liveness tracking.
+    liveness: Option<Arc<LivenessHandle>>,
 }
 
 impl IngestServer {
@@ -327,14 +401,17 @@ impl IngestServer {
         let stop = Arc::new(StopSignal::new()?);
         let live = Arc::new(AtomicUsize::new(0));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let liveness = config.liveness.map(|lc| Arc::new(LivenessHandle::new(lc)));
         let ctx = IntakeCtx {
             stats: Arc::clone(&stats),
             queues: Arc::clone(&queues),
             stop: Arc::clone(&stop),
             batch_reports: config.batch_reports.max(1),
+            liveness: liveness.clone(),
+            push_deadline: config.push_deadline.max(Duration::from_millis(1)),
         };
 
-        let (local_addr, intake) = match (config.transport, mode) {
+        let (local_addr, mut intake) = match (config.transport, mode) {
             (Transport::Udp, IngestMode::Reactor) => {
                 bind_reactor_udp(&config, ctx, Arc::clone(&live))?
             }
@@ -350,6 +427,14 @@ impl IngestServer {
             (_, IngestMode::Auto) => unreachable!("resolve() never returns Auto"),
         };
 
+        if let Some(handle) = &liveness {
+            intake.push(spawn_sweeper(
+                Arc::clone(handle),
+                Arc::clone(&stop),
+                Arc::clone(&live),
+            )?);
+        }
+
         Ok(IngestServer {
             transport: config.transport,
             mode,
@@ -360,6 +445,7 @@ impl IngestServer {
             live,
             intake,
             handlers,
+            liveness,
         })
     }
 
@@ -381,6 +467,13 @@ impl IngestServer {
     /// Point-in-time counters.
     pub fn stats(&self) -> NetStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The liveness registry, when [`IngestConfig::liveness`] was set:
+    /// publish active pairs, run deterministic sweeps, and read stale
+    /// flags through this.
+    pub fn liveness(&self) -> Option<Arc<LivenessHandle>> {
+        self.liveness.clone()
     }
 
     /// Reports currently sitting in the bounded queue(s) (diagnostics).
@@ -480,6 +573,39 @@ impl IngestServer {
         self.try_drain(out);
         self.stats.snapshot()
     }
+}
+
+/// The background staleness sweeper: wakes at a quarter of the window (so
+/// a freshly-stale reporter is flagged well inside one extra window),
+/// sleeping in short slices to notice the stop signal promptly. No final
+/// sweep runs at shutdown — agents legitimately stop sending then, and a
+/// parting sweep would flag every healthy reporter.
+fn spawn_sweeper(
+    handle: Arc<LivenessHandle>,
+    stop: Arc<StopSignal>,
+    live: Arc<AtomicUsize>,
+) -> io::Result<JoinHandle<()>> {
+    live.fetch_add(1, Ordering::Relaxed);
+    let guard = LiveGuard(Arc::clone(&live));
+    thread::Builder::new()
+        .name("net-liveness".into())
+        .spawn(move || {
+            let _guard = guard;
+            let interval = Duration::from_nanos(handle.window_ns() / 4)
+                .clamp(Duration::from_millis(5), Duration::from_millis(250));
+            let slice = Duration::from_millis(5);
+            let mut next = Instant::now() + interval;
+            while !stop.is_stopped() {
+                thread::sleep(slice.min(next.saturating_duration_since(Instant::now())));
+                if stop.is_stopped() {
+                    break;
+                }
+                if Instant::now() >= next {
+                    handle.sweep();
+                    next = Instant::now() + interval;
+                }
+            }
+        })
 }
 
 // ---------------------------------------------------------------- binding
@@ -656,6 +782,7 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
     let mut buf = vec![0u8; RECV_BUF_LEN];
     let mut reader = FrameReader::new();
     let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut hbs: Vec<Heartbeat> = Vec::new();
     let mut seen = (0u64, 0u64, 0u64);
     // On stop we keep reading: bytes already accepted by the kernel are
     // part of the drain contract. The loop ends at EOF or at the first
@@ -675,8 +802,12 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
                 Ok(true) => {}
                 Ok(false) => {
                     // About to block: flush the partial batch first so idle
-                    // periods do not hold reports hostage.
-                    flush_batch(&mut batch, &ctx, true);
+                    // periods do not hold reports hostage. A deadline-hit
+                    // push means the verify side is gone — error out rather
+                    // than keep reading for a dead pipeline.
+                    if !flush_batch(&mut batch, &ctx, true) {
+                        break;
+                    }
                     match readiness::wait_readable(fd, &ctx.stop) {
                         Ok(w) => {
                             if w.stopped {
@@ -702,6 +833,7 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
                 reader.push(&buf[..n]);
                 reader.drain_into(&mut batch);
                 sync_reader(&reader, &mut seen, &ctx.stats);
+                drain_heartbeats(&mut reader, &ctx, &mut hbs);
                 if reader.poisoned() {
                     // Framing lost: nothing downstream of this point can be
                     // trusted, drop the connection.
@@ -709,8 +841,11 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
                 }
                 if batch.len() >= ctx.batch_reports {
                     // Blocking push: queue pressure stalls this read loop
-                    // and TCP flow control carries it back to the sender.
-                    flush_batch(&mut batch, &ctx, true);
+                    // and TCP flow control carries it back to the sender —
+                    // but never past the push deadline.
+                    if !flush_batch(&mut batch, &ctx, true) {
+                        break;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
@@ -720,6 +855,7 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
     }
     reader.finish();
     sync_reader(&reader, &mut seen, &ctx.stats);
+    drain_heartbeats(&mut reader, &ctx, &mut hbs);
     flush_batch(&mut batch, &ctx, true);
     ctx.stats.close_connection();
 }
@@ -729,6 +865,7 @@ fn udp_loop(socket: UdpSocket, ctx: IntakeCtx) {
     let fd = socket.as_raw_fd();
     let mut buf = vec![0u8; RECV_BUF_LEN];
     let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut hbs: Vec<Heartbeat> = Vec::new();
     let mut draining = false;
     loop {
         if !draining && ctx.stop.is_stopped() {
@@ -766,12 +903,13 @@ fn udp_loop(socket: UdpSocket, ctx: IntakeCtx) {
             Ok(n) => {
                 ctx.stats.add_datagram(n);
                 let before = batch.len();
-                let summary = decode_datagram(&buf[..n], &mut batch);
+                let summary = decode_datagram_full(&buf[..n], &mut batch, &mut hbs);
                 ctx.stats.add_decoded(
                     summary.frames,
                     (batch.len() - before) as u64,
                     summary.decode_errors,
                 );
+                note_datagram_heartbeats(&ctx, &mut hbs);
                 if batch.len() >= ctx.batch_reports {
                     flush_batch(&mut batch, &ctx, false);
                 }
@@ -846,6 +984,7 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
     let mut buf = vec![0u8; RECV_BUF_LEN];
     let mut reader = FrameReader::new();
     let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut hbs: Vec<Heartbeat> = Vec::new();
     let mut seen = (0u64, 0u64, 0u64);
     let mut draining = false;
     loop {
@@ -859,15 +998,18 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
                 reader.push(&buf[..n]);
                 reader.drain_into(&mut batch);
                 sync_reader(&reader, &mut seen, &ctx.stats);
+                drain_heartbeats(&mut reader, &ctx, &mut hbs);
                 if reader.poisoned() {
                     break;
                 }
-                if batch.len() >= ctx.batch_reports {
-                    flush_batch(&mut batch, &ctx, true);
+                if batch.len() >= ctx.batch_reports && !flush_batch(&mut batch, &ctx, true) {
+                    break;
                 }
             }
             Err(e) if is_timeout(&e) => {
-                flush_batch(&mut batch, &ctx, true);
+                if !flush_batch(&mut batch, &ctx, true) {
+                    break;
+                }
                 if draining {
                     break;
                 }
@@ -879,6 +1021,7 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
     }
     reader.finish();
     sync_reader(&reader, &mut seen, &ctx.stats);
+    drain_heartbeats(&mut reader, &ctx, &mut hbs);
     flush_batch(&mut batch, &ctx, true);
     ctx.stats.close_connection();
 }
@@ -887,17 +1030,19 @@ fn conn_loop(mut stream: TcpStream, ctx: IntakeCtx) {
 fn udp_loop(socket: UdpSocket, ctx: IntakeCtx) {
     let mut buf = vec![0u8; RECV_BUF_LEN];
     let mut batch: Vec<TagReport> = Vec::with_capacity(ctx.batch_reports);
+    let mut hbs: Vec<Heartbeat> = Vec::new();
     loop {
         match socket.recv(&mut buf) {
             Ok(n) => {
                 ctx.stats.add_datagram(n);
                 let before = batch.len();
-                let summary = decode_datagram(&buf[..n], &mut batch);
+                let summary = decode_datagram_full(&buf[..n], &mut batch, &mut hbs);
                 ctx.stats.add_decoded(
                     summary.frames,
                     (batch.len() - before) as u64,
                     summary.decode_errors,
                 );
+                note_datagram_heartbeats(&ctx, &mut hbs);
                 if batch.len() >= ctx.batch_reports {
                     flush_batch(&mut batch, &ctx, false);
                 }
@@ -950,14 +1095,21 @@ pub struct PumpOutput<B: HeaderSetBackend> {
 }
 
 impl<B: HeaderSetBackend> VerifyPump<B> {
-    /// Attach a single batch-mode pump to a listener's queue.
-    pub fn spawn(listener: &IngestServer, server: VeriDpServer<B>, verify_threads: usize) -> Self {
+    /// Attach a single batch-mode pump to a listener's queue. `poison` is
+    /// the shared fault-injection countdown (see
+    /// [`IngestConfig::poison_after`]); `None` in production.
+    pub fn spawn(
+        listener: &IngestServer,
+        server: VeriDpServer<B>,
+        verify_threads: usize,
+        poison: Option<Arc<AtomicI64>>,
+    ) -> Self {
         let queue = Arc::clone(&listener.queues_arc()[0]);
         let stats = listener.stats_arc();
         let threads = verify_threads.max(1);
         let handle = thread::Builder::new()
             .name("net-pump".into())
-            .spawn(move || pump_loop(server, queue, stats, threads))
+            .spawn(move || pump_loop(server, queue, stats, threads, poison))
             .expect("spawn verify pump");
         VerifyPump {
             inner: PumpInner::Single { handle },
@@ -972,6 +1124,7 @@ impl<B: HeaderSetBackend> VerifyPump<B> {
         listener: &IngestServer,
         mut server: VeriDpServer<B>,
         robust: RobustConfig,
+        poison: Option<Arc<AtomicI64>>,
     ) -> Self {
         server.set_robust(Some(robust));
         server.set_snapshots(true);
@@ -987,9 +1140,10 @@ impl<B: HeaderSetBackend> VerifyPump<B> {
                 worker.set_shard(i);
                 let queue = Arc::clone(queue);
                 let stats = Arc::clone(&stats);
+                let poison = poison.clone();
                 thread::Builder::new()
                     .name(format!("net-verify-{i}"))
-                    .spawn(move || robust_pump_loop(worker, queue, stats))
+                    .spawn(move || robust_pump_loop(worker, queue, stats, poison))
                     .expect("spawn verify shard")
             })
             .collect();
@@ -1034,16 +1188,56 @@ impl<B: HeaderSetBackend> VerifyPump<B> {
     }
 }
 
+/// Trip the poison countdown: panics exactly once, when the counter
+/// crosses 1 → 0. The panic fires *before* any ingest work touches worker
+/// state, so the supervised retry runs against a clean slate and produces
+/// the same verdicts an uninterrupted run would.
+fn maybe_poison(poison: &Option<Arc<AtomicI64>>) {
+    if let Some(p) = poison {
+        if p.fetch_sub(1, Ordering::SeqCst) == 1 {
+            panic!("injected verify-worker poison");
+        }
+    }
+}
+
+/// Supervise one batch ingest: catch a panic, count a restart + the
+/// replayed reports, and retry the batch once. The worker's pair-keyed
+/// state (dedup filter, grace, alarms) lives on the same thread and
+/// survives; the retry re-pins a fresh RCU snapshot because the robust
+/// worker pins per `ingest_batch` call — which is the whole restart story:
+/// fresh snapshot, same accumulated state, same verdicts. A second panic
+/// on the same batch is a real bug and propagates.
+fn supervised<T>(stats: &NetStats, batch_len: u64, mut f: impl FnMut() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(&mut f)) {
+        Ok(v) => v,
+        Err(_) => {
+            stats.add_worker_restart(batch_len);
+            obs::event!(
+                "worker_restart",
+                "verify worker panicked; restarted and replaying {batch_len} reports"
+            );
+            match catch_unwind(AssertUnwindSafe(&mut f)) {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+    }
+}
+
 fn pump_loop<B: HeaderSetBackend>(
     mut server: VeriDpServer<B>,
     queue: Arc<BatchQueue>,
     stats: Arc<NetStats>,
     threads: usize,
+    poison: Option<Arc<AtomicI64>>,
 ) -> (VeriDpServer<B>, LocalHistogram) {
     let mut lat = LocalHistogram::new();
     while let Pop::Batch(batch) = queue.pop_wait() {
         let t0 = Instant::now();
-        let _summary = server.ingest_batch(&batch, threads);
+        supervised(&stats, batch.len() as u64, || {
+            maybe_poison(&poison);
+            server.ingest_batch(&batch, threads);
+        });
         let per_report = t0.elapsed().as_nanos() as u64 / batch.len().max(1) as u64;
         lat.record(per_report);
         stats.add_verified(batch.len() as u64);
@@ -1056,12 +1250,16 @@ fn robust_pump_loop<B: HeaderSetBackend>(
     mut worker: RobustWorker<B>,
     queue: Arc<BatchQueue>,
     stats: Arc<NetStats>,
+    poison: Option<Arc<AtomicI64>>,
 ) -> (RobustHarvest, LocalHistogram, u64) {
     let mut lat = LocalHistogram::new();
     let mut verified = 0u64;
     while let Pop::Batch(batch) = queue.pop_wait() {
         let t0 = Instant::now();
-        worker.ingest_batch(&batch);
+        supervised(&stats, batch.len() as u64, || {
+            maybe_poison(&poison);
+            worker.ingest_batch(&batch);
+        });
         let per_report = t0.elapsed().as_nanos() as u64 / batch.len().max(1) as u64;
         lat.record(per_report);
         verified += batch.len() as u64;
@@ -1089,10 +1287,13 @@ pub fn serve<B: HeaderSetBackend>(
 ) -> io::Result<IngestPipeline<B>> {
     let verify_threads = config.verify_threads;
     let robust = config.robust.clone();
+    let poison = config
+        .poison_after
+        .map(|n| Arc::new(AtomicI64::new(n.max(1) as i64)));
     let listener = IngestServer::bind(config)?;
     let pump = match robust {
-        Some(rc) => VerifyPump::spawn_robust(&listener, server, rc),
-        None => VerifyPump::spawn(&listener, server, verify_threads),
+        Some(rc) => VerifyPump::spawn_robust(&listener, server, rc, poison),
+        None => VerifyPump::spawn(&listener, server, verify_threads, poison),
     };
     Ok(IngestPipeline {
         listener,
@@ -1127,6 +1328,11 @@ impl<B: HeaderSetBackend> IngestPipeline<B> {
         self.listener.stats_arc()
     }
 
+    /// The liveness registry (see [`IngestServer::liveness`]).
+    pub fn liveness(&self) -> Option<Arc<LivenessHandle>> {
+        self.listener.liveness()
+    }
+
     /// Block until `n` frames arrived or `timeout` passed (see
     /// [`IngestServer::wait_frames`]).
     pub fn wait_frames(&self, n: u64, timeout: Duration) -> bool {
@@ -1148,11 +1354,22 @@ impl<B: HeaderSetBackend> IngestPipeline<B> {
         self.listener.join_intake();
         self.listener.close_queue();
         let out = self.pump.take().expect("pump already joined").join();
+        let mut server = out.server;
+        // Surface silence-implicated reporters next to the report-driven
+        // alarms: every stale flag the liveness sweeper raised during the
+        // run rides home on the server's alarm aggregator.
+        if let Some(liveness) = self.listener.liveness() {
+            if let Some(robust) = server.robust_mut() {
+                for stale in liveness.stale_log() {
+                    robust.alarms.note_stale(stale);
+                }
+            }
+        }
         let mut snap = self.listener.stats();
         if out.latency.count() > 0 {
             snap.ingest_latency = Some(out.latency.snapshot());
         }
         snap.shard_verified = out.shard_verified;
-        (out.server, snap)
+        (server, snap)
     }
 }

@@ -39,6 +39,21 @@ pub struct NetStats {
     pub verified: AtomicU64,
     /// Batches the verify pump consumed.
     pub batches: AtomicU64,
+    /// Heartbeat frames decoded off the wire (liveness traffic; never
+    /// enqueued, so they sit outside the report conservation identity).
+    pub heartbeats: AtomicU64,
+    /// Blocking pushes that hit the queue deadline: the consumer side was
+    /// gone or wedged longer than the configured push deadline. The
+    /// affected reports are also counted as shed; the connection that hit
+    /// the timeout errors out rather than blocking forever.
+    pub push_timeouts: AtomicU64,
+    /// Verify pump/worker threads restarted after a panic was caught by
+    /// the supervisor.
+    pub worker_restarts: AtomicU64,
+    /// Reports re-run through a freshly restarted worker (the batch the
+    /// panic interrupted). These are *retries*, not new reports: they are
+    /// already counted once in `verified` when the retry succeeds.
+    pub worker_replayed: AtomicU64,
     /// Intake waits that woke up without finding work: timeout expiries in
     /// the non-unix shim, spurious readiness returns elsewhere. The
     /// event-driven engines block until a socket or the stop pipe is
@@ -103,6 +118,29 @@ impl NetStats {
         obs::counter!("veridp_net_batches_total").inc();
     }
 
+    pub(crate) fn add_heartbeats(&self, n: u64) {
+        if n > 0 {
+            self.heartbeats.fetch_add(n, Ordering::Relaxed);
+            obs::counter!("veridp_net_heartbeats_total").add(n);
+        }
+    }
+
+    pub(crate) fn add_push_timeout(&self, reports: u64) {
+        self.push_timeouts.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("veridp_net_push_timeouts_total").inc();
+        obs::event!(
+            "push_timeout",
+            "queue push deadline passed with {reports} reports in hand; dropping producer"
+        );
+    }
+
+    pub(crate) fn add_worker_restart(&self, replayed: u64) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        self.worker_replayed.fetch_add(replayed, Ordering::Relaxed);
+        obs::counter!("veridp_net_worker_restarts_total").inc();
+        obs::counter!("veridp_net_worker_replayed_reports_total").add(replayed);
+    }
+
     pub(crate) fn add_idle_wakeup(&self) {
         self.idle_wakeups.fetch_add(1, Ordering::Relaxed);
         obs::counter!("veridp_net_idle_wakeups_total").inc();
@@ -122,6 +160,10 @@ impl NetStats {
             shed: self.shed.load(Ordering::Relaxed),
             verified: self.verified.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            push_timeouts: self.push_timeouts.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            worker_replayed: self.worker_replayed.load(Ordering::Relaxed),
             idle_wakeups: self.idle_wakeups.load(Ordering::Relaxed),
             ingest_latency: None,
             shard_verified: Vec::new(),
@@ -144,6 +186,15 @@ pub struct NetStatsSnapshot {
     pub shed: u64,
     pub verified: u64,
     pub batches: u64,
+    /// Heartbeat frames decoded (see [`NetStats::heartbeats`]).
+    pub heartbeats: u64,
+    /// Deadline-expired blocking pushes (see [`NetStats::push_timeouts`]).
+    pub push_timeouts: u64,
+    /// Supervised worker restarts (see [`NetStats::worker_restarts`]).
+    pub worker_restarts: u64,
+    /// Reports replayed through restarted workers (see
+    /// [`NetStats::worker_replayed`]).
+    pub worker_replayed: u64,
     /// Intake waits that found no work (see [`NetStats::idle_wakeups`]).
     pub idle_wakeups: u64,
     /// Per-report ingest latency (nanoseconds: batch verify wall / batch
@@ -162,6 +213,12 @@ impl NetStatsSnapshot {
     /// either enqueued or counted as shed, and (after a full drain) every
     /// enqueued report was verified. Call only once the pipeline has shut
     /// down — mid-flight there are legitimately reports in the queue.
+    ///
+    /// The identity survives supervised worker restarts by construction:
+    /// a batch interrupted by a panic counts into `verified` exactly once,
+    /// when its retry succeeds — `worker_replayed` records the retry
+    /// volume separately and never double-books. Heartbeat frames are not
+    /// reports and sit entirely outside this identity.
     pub fn conserved(&self) -> bool {
         self.reports == self.enqueued + self.shed && self.enqueued == self.verified
     }
@@ -193,7 +250,9 @@ impl NetStatsSnapshot {
             out,
             "{{\"connections\":{},\"connections_closed\":{},\"datagrams\":{},\"bytes\":{},\
              \"frames\":{},\"reports\":{},\"decode_errors\":{},\"enqueued\":{},\"shed\":{},\
-             \"verified\":{},\"batches\":{},\"idle_wakeups\":{},\"unaccounted\":{}",
+             \"verified\":{},\"batches\":{},\"heartbeats\":{},\"push_timeouts\":{},\
+             \"worker_restarts\":{},\"worker_replayed\":{},\"idle_wakeups\":{},\
+             \"unaccounted\":{}",
             self.connections,
             self.connections_closed,
             self.datagrams,
@@ -205,6 +264,10 @@ impl NetStatsSnapshot {
             self.shed,
             self.verified,
             self.batches,
+            self.heartbeats,
+            self.push_timeouts,
+            self.worker_restarts,
+            self.worker_replayed,
             self.idle_wakeups,
             self.unaccounted()
         );

@@ -46,10 +46,12 @@ pub use ids::{Hop, InportCode, PortNo, PortRef, SwitchId, DROP_PORT};
 pub use packet::{Packet, MAX_PATH_LENGTH};
 pub use report::TagReport;
 pub use wire::{
-    append_framed_payload, append_framed_report, decode_datagram, decode_frame, decode_report,
-    decode_report_slice, encode_frame, encode_report, encode_report_to, report_wire_len,
-    DatagramSummary, FrameReader, WireError, FRAMED_REPORT_WIRE_LEN, MAX_BUFFERED_BYTES,
-    MAX_FRAME_LEN, REPORT_V2_WIRE_LEN, REPORT_WIRE_LEN,
+    append_framed_heartbeat, append_framed_payload, append_framed_report, decode_datagram,
+    decode_datagram_full, decode_frame, decode_frame_payload, decode_heartbeat_slice,
+    decode_report, decode_report_slice, encode_frame, encode_heartbeat_to, encode_report,
+    encode_report_to, report_wire_len, DatagramSummary, FramePayload, FrameReader, Heartbeat,
+    WireError, FRAMED_REPORT_WIRE_LEN, HEARTBEAT_WIRE_LEN, MAX_BUFFERED_BYTES,
+    MAX_BUFFERED_HEARTBEATS, MAX_FRAME_LEN, REPORT_V2_WIRE_LEN, REPORT_WIRE_LEN,
 };
 
 #[cfg(test)]

@@ -774,6 +774,110 @@ mod stream {
         assert_eq!(fr.reports(), 1);
     }
 
+    /// Heartbeat frames interleave with report frames on the same stream:
+    /// the reader surfaces the reports, buffers the heartbeats, and the
+    /// conservation identity spans all three counters.
+    #[test]
+    fn heartbeats_interleave_with_reports() {
+        use crate::{append_framed_heartbeat, decode_datagram_full, Heartbeat};
+        let reports: Vec<TagReport> = (40..43).map(sample_report).collect();
+        let hbs: Vec<Heartbeat> = (0..2)
+            .map(|i| Heartbeat {
+                switch: SwitchId(100 + i),
+                seq: u64::from(i) + 1,
+                origin_ns: 77_000 + u64::from(i),
+            })
+            .collect();
+        let mut stream = Vec::new();
+        append_framed_heartbeat(&mut stream, &hbs[0]);
+        append_framed_report(&mut stream, &reports[0]);
+        append_framed_report(&mut stream, &reports[1]);
+        append_framed_heartbeat(&mut stream, &hbs[1]);
+        append_framed_report(&mut stream, &reports[2]);
+
+        // Stream path, torn at every boundary.
+        for cut in 0..=stream.len() {
+            let mut fr = FrameReader::new();
+            fr.push(&stream[..cut]);
+            fr.push(&stream[cut..]);
+            let mut out = Vec::new();
+            fr.drain_into(&mut out);
+            fr.finish();
+            assert_eq!(out, reports, "cut at {cut}");
+            assert_eq!(fr.heartbeats(), 2, "cut at {cut}");
+            let mut got_hbs = Vec::new();
+            fr.take_heartbeats(&mut got_hbs);
+            assert_eq!(got_hbs, hbs, "cut at {cut}");
+            assert_eq!(fr.frames(), fr.reports() + fr.heartbeats(), "cut {cut}");
+            assert_eq!(fr.decode_errors(), 0, "cut at {cut}");
+        }
+
+        // Datagram path.
+        let mut out = Vec::new();
+        let mut got_hbs = Vec::new();
+        let s = decode_datagram_full(&stream, &mut out, &mut got_hbs);
+        assert_eq!(out, reports);
+        assert_eq!(got_hbs, hbs);
+        assert_eq!((s.frames, s.heartbeats, s.decode_errors), (5, 2, 0));
+        // The report-only entry point counts but discards heartbeats.
+        let mut out = Vec::new();
+        let s = crate::decode_datagram(&stream, &mut out);
+        assert_eq!(out, reports);
+        assert_eq!((s.frames, s.heartbeats, s.decode_errors), (5, 2, 0));
+    }
+
+    /// Heartbeat corruption: every single-bit flip of an encoded heartbeat
+    /// is rejected (checksum or magic), mirroring the report guarantee.
+    #[test]
+    fn heartbeat_rejects_every_single_bit_flip() {
+        use crate::{decode_heartbeat_slice, encode_heartbeat_to, Heartbeat, HEARTBEAT_WIRE_LEN};
+        let hb = Heartbeat {
+            switch: SwitchId(0x0102_0304),
+            seq: 0xdead_beef_0042,
+            origin_ns: 123_456_789,
+        };
+        let mut wire = Vec::new();
+        encode_heartbeat_to(&mut wire, &hb);
+        assert_eq!(wire.len(), HEARTBEAT_WIRE_LEN);
+        assert_eq!(decode_heartbeat_slice(&wire).unwrap(), hb);
+        for bit in 0..wire.len() * 8 {
+            let mut bad = wire.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_heartbeat_slice(&bad).is_err(),
+                "flip of bit {bit} must be rejected"
+            );
+        }
+    }
+
+    /// The reader never grows its heartbeat buffer without bound when the
+    /// owner never drains it: oldest beacons are dropped, freshest kept.
+    #[test]
+    fn heartbeat_buffer_is_bounded() {
+        use crate::{append_framed_heartbeat, Heartbeat, MAX_BUFFERED_HEARTBEATS};
+        let mut fr = FrameReader::new();
+        let total = MAX_BUFFERED_HEARTBEATS + 10;
+        for i in 0..total {
+            let mut frame = Vec::new();
+            append_framed_heartbeat(
+                &mut frame,
+                &Heartbeat {
+                    switch: SwitchId(7),
+                    seq: i as u64,
+                    origin_ns: 0,
+                },
+            );
+            fr.push(&frame);
+            while fr.next_report().is_some() {}
+        }
+        assert_eq!(fr.heartbeats(), total as u64);
+        let mut got = Vec::new();
+        fr.take_heartbeats(&mut got);
+        assert_eq!(got.len(), MAX_BUFFERED_HEARTBEATS);
+        assert_eq!(got.last().unwrap().seq, total as u64 - 1, "freshest kept");
+        assert_eq!(got[0].seq, 10, "oldest dropped");
+    }
+
     /// Pure garbage never panics the reader, whatever the chunking.
     #[test]
     fn garbage_streams_never_panic() {

@@ -18,7 +18,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use veridp_bloom::BloomTag;
 
 use crate::header::FiveTuple;
-use crate::ids::{InportCode, PortRef};
+use crate::ids::{InportCode, PortRef, SwitchId};
 use crate::packet::Packet;
 use crate::report::TagReport;
 
@@ -69,6 +69,8 @@ const ETHERTYPE_VLAN: u16 = 0x8100; // inner tag
 const ETHERTYPE_IPV4: u16 = 0x0800;
 /// Magic value ("VD") heading every report payload.
 const REPORT_MAGIC: u16 = 0x5644;
+/// Magic value ("VH") heading every heartbeat payload.
+const HEARTBEAT_MAGIC: u16 = 0x5648;
 
 /// Encode a (possibly sampled) packet into an Ethernet-style frame.
 ///
@@ -245,6 +247,11 @@ pub const MAX_FRAME_LEN: usize = 256;
 /// several recv buffers (64 KiB each) of slack.
 pub const MAX_BUFFERED_BYTES: usize = 512 * 1024;
 
+/// Decoded heartbeats a [`FrameReader`] retains between
+/// [`FrameReader::take_heartbeats`] calls; beyond this the oldest is
+/// dropped (liveness only cares about the freshest observation anyway).
+pub const MAX_BUFFERED_HEARTBEATS: usize = 1024;
+
 /// Append a tag report's wire bytes (no length prefix) to `out`.
 ///
 /// This is the allocation-free core shared by [`encode_report`] (which
@@ -392,21 +399,132 @@ pub fn decode_report(buf: Bytes) -> Result<TagReport, WireError> {
     decode_report_slice(buf.as_ref())
 }
 
+/// Byte length of an encoded heartbeat frame:
+/// `magic(2) | switch(4) | seq(8) | origin_ns(8) | checksum(1)`.
+///
+/// Heartbeats ride the same length-prefixed framing as tag reports — one
+/// more payload kind inside the [`MAX_FRAME_LEN`] slack — so every existing
+/// transport path (datagram packing, stream reassembly, checksum rejection,
+/// shed accounting) carries them without a parallel channel. The frame
+/// *length* discriminates the kind: 23 bytes can never be a report
+/// (45/53 bytes), and the distinct magic catches a corrupted prefix that
+/// happens to land on this length.
+pub const HEARTBEAT_WIRE_LEN: usize = 2 + 4 + 8 + 8 + 1;
+
+/// A switch-agent liveness beacon: "reporter `switch` was alive at
+/// `origin_ns`, having emitted `seq` heartbeats so far".
+///
+/// Sent on an idle timer by resilient senders so the server's liveness
+/// registry can tell "legitimately quiet reporter" from "dead reporter" —
+/// passive verification reads silence as consistency, which is exactly the
+/// gap a crashed switch opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The reporting switch (or agent identity) asserting liveness.
+    pub switch: SwitchId,
+    /// Monotone per-sender heartbeat counter (diagnostic; gaps after a
+    /// reconnect are expected and harmless).
+    pub seq: u64,
+    /// Monotonic origin stamp at emission, `0` when unstamped (obs-off).
+    pub origin_ns: u64,
+}
+
+/// Append a heartbeat's wire bytes (no length prefix) to `out`.
+pub fn encode_heartbeat_to(out: &mut Vec<u8>, hb: &Heartbeat) {
+    let start = out.len();
+    out.reserve(HEARTBEAT_WIRE_LEN);
+    out.extend_from_slice(&HEARTBEAT_MAGIC.to_be_bytes());
+    out.extend_from_slice(&hb.switch.0.to_be_bytes());
+    out.extend_from_slice(&hb.seq.to_be_bytes());
+    out.extend_from_slice(&hb.origin_ns.to_be_bytes());
+    let csum = !ones_complement_fold(&out[start..]);
+    out.push(csum);
+}
+
+/// Append one length-prefixed heartbeat frame to `out`, ready to interleave
+/// with report frames on either transport.
+pub fn append_framed_heartbeat(out: &mut Vec<u8>, hb: &Heartbeat) {
+    out.reserve(2 + HEARTBEAT_WIRE_LEN);
+    out.extend_from_slice(&(HEARTBEAT_WIRE_LEN as u16).to_be_bytes());
+    encode_heartbeat_to(out, hb);
+}
+
+/// Decode a heartbeat payload, rejecting corrupted frames with the same
+/// ones-complement checksum discipline as reports.
+pub fn decode_heartbeat_slice(buf: &[u8]) -> Result<Heartbeat, WireError> {
+    if buf.len() < HEARTBEAT_WIRE_LEN {
+        return Err(WireError::Truncated);
+    }
+    if ones_complement_fold(&buf[..HEARTBEAT_WIRE_LEN]) != 0xff {
+        return Err(WireError::BadChecksum);
+    }
+    let magic = u16::from_be_bytes([buf[0], buf[1]]);
+    if magic != HEARTBEAT_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let u64at = |i: usize| {
+        u64::from_be_bytes([
+            buf[i],
+            buf[i + 1],
+            buf[i + 2],
+            buf[i + 3],
+            buf[i + 4],
+            buf[i + 5],
+            buf[i + 6],
+            buf[i + 7],
+        ])
+    };
+    Ok(Heartbeat {
+        switch: SwitchId(u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]])),
+        seq: u64at(6),
+        origin_ns: u64at(14),
+    })
+}
+
+/// What one length-prefixed frame carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramePayload {
+    /// A tag report (v1 or v2).
+    Report(TagReport),
+    /// A liveness heartbeat.
+    Heartbeat(Heartbeat),
+}
+
+/// Decode one frame payload of either kind, discriminating on the exact
+/// payload length the framing already established (23 bytes = heartbeat,
+/// anything else tries the report decoder).
+pub fn decode_frame_payload(buf: &[u8]) -> Result<FramePayload, WireError> {
+    if buf.len() == HEARTBEAT_WIRE_LEN {
+        decode_heartbeat_slice(buf).map(FramePayload::Heartbeat)
+    } else {
+        decode_report_slice(buf).map(FramePayload::Report)
+    }
+}
+
 /// What [`decode_datagram`] saw inside one datagram.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DatagramSummary {
     /// Whole frames the datagram carried (decoded + rejected).
     pub frames: u64,
-    /// Frames rejected by the report decoder (checksum/format), plus one
+    /// Heartbeat frames among them.
+    pub heartbeats: u64,
+    /// Frames rejected by the payload decoders (checksum/format), plus one
     /// for a torn trailing partial frame if the datagram ends mid-frame.
     pub decode_errors: u64,
 }
 
-/// Decode every length-prefixed report frame packed into one datagram,
-/// zero-copy off the recv buffer. Datagrams carry only whole frames; a
-/// truncated tail or an out-of-bounds length prefix counts as one decode
-/// error and ends the walk (datagram framing cannot resync past it).
-pub fn decode_datagram(buf: &[u8], out: &mut Vec<TagReport>) -> DatagramSummary {
+/// Decode every length-prefixed frame packed into one datagram, zero-copy
+/// off the recv buffer: reports into `out`, heartbeats into `hbs`.
+/// Datagrams carry only whole frames; a truncated tail or an out-of-bounds
+/// length prefix counts as one decode error and ends the walk (datagram
+/// framing cannot resync past it). Over the walk,
+/// `frames == reports appended + heartbeats + decode_errors` — the same
+/// conservation identity [`FrameReader`] keeps for streams.
+pub fn decode_datagram_full(
+    buf: &[u8],
+    out: &mut Vec<TagReport>,
+    hbs: &mut Vec<Heartbeat>,
+) -> DatagramSummary {
     let mut s = DatagramSummary::default();
     let mut pos = 0usize;
     while pos < buf.len() {
@@ -421,13 +539,24 @@ pub fn decode_datagram(buf: &[u8], out: &mut Vec<TagReport>) -> DatagramSummary 
             break;
         }
         s.frames += 1;
-        match decode_report_slice(&buf[pos..pos + len]) {
-            Ok(r) => out.push(r),
+        match decode_frame_payload(&buf[pos..pos + len]) {
+            Ok(FramePayload::Report(r)) => out.push(r),
+            Ok(FramePayload::Heartbeat(hb)) => {
+                s.heartbeats += 1;
+                hbs.push(hb);
+            }
             Err(_) => s.decode_errors += 1,
         }
         pos += len;
     }
     s
+}
+
+/// [`decode_datagram_full`] for report-only callers: heartbeats are still
+/// counted in the summary but their payloads are discarded.
+pub fn decode_datagram(buf: &[u8], out: &mut Vec<TagReport>) -> DatagramSummary {
+    let mut hbs = Vec::new();
+    decode_datagram_full(buf, out, &mut hbs)
 }
 
 /// Incremental decoder for the length-prefixed report stream a TCP
@@ -450,9 +579,11 @@ pub fn decode_datagram(buf: &[u8], out: &mut Vec<TagReport>) -> DatagramSummary 
 ///
 /// At connection end, [`FrameReader::finish`] counts a torn trailing
 /// partial frame as one final decode error, so
-/// `frames == reports + decode_errors` holds over any prefix of any byte
-/// stream — the conservation identity the ingest server's accounting gates
-/// on.
+/// `frames == reports + heartbeats + decode_errors` holds over any prefix
+/// of any byte stream — the conservation identity the ingest server's
+/// accounting gates on. Heartbeat frames are decoded transparently inside
+/// [`FrameReader::next_report`]: they are counted, buffered, and drained
+/// via [`FrameReader::take_heartbeats`], never surfaced as reports.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
@@ -461,8 +592,11 @@ pub struct FrameReader {
     pos: usize,
     frames: u64,
     reports: u64,
+    heartbeats: u64,
     decode_errors: u64,
     poisoned: bool,
+    /// Decoded heartbeats awaiting [`FrameReader::take_heartbeats`].
+    hb_buf: Vec<Heartbeat>,
 }
 
 impl FrameReader {
@@ -515,12 +649,22 @@ impl FrameReader {
             let start = self.pos + 2;
             let frame = &self.buf[start..start + len];
             self.frames += 1;
-            let decoded = decode_report_slice(frame);
+            let decoded = decode_frame_payload(frame);
             self.pos = start + len;
             match decoded {
-                Ok(r) => {
+                Ok(FramePayload::Report(r)) => {
                     self.reports += 1;
                     return Some(r);
+                }
+                Ok(FramePayload::Heartbeat(hb)) => {
+                    self.heartbeats += 1;
+                    // Bounded: a reader whose owner never takes heartbeats
+                    // (or a peer streaming nothing else) keeps only the
+                    // freshest window — liveness cares about recency.
+                    if self.hb_buf.len() >= MAX_BUFFERED_HEARTBEATS {
+                        self.hb_buf.remove(0);
+                    }
+                    self.hb_buf.push(hb);
                 }
                 Err(_) => self.decode_errors += 1,
             }
@@ -561,6 +705,21 @@ impl FrameReader {
         self.reports
     }
 
+    /// Heartbeat frames successfully decoded.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Move every buffered decoded heartbeat into `out`; returns how many
+    /// were appended. Liveness-aware intakes call this after draining
+    /// reports; others may never call it — the buffer stays bounded at
+    /// [`MAX_BUFFERED_HEARTBEATS`] by dropping the oldest.
+    pub fn take_heartbeats(&mut self, out: &mut Vec<Heartbeat>) -> usize {
+        let n = self.hb_buf.len();
+        out.append(&mut self.hb_buf);
+        n
+    }
+
     /// Frames/streams rejected: checksum or format failures, out-of-bounds
     /// prefixes, torn tails at [`FrameReader::finish`].
     pub fn decode_errors(&self) -> u64 {
@@ -587,8 +746,10 @@ impl FrameReader {
         self.pos = 0;
         self.frames = 0;
         self.reports = 0;
+        self.heartbeats = 0;
         self.decode_errors = 0;
         self.poisoned = false;
+        self.hb_buf.clear();
     }
 }
 

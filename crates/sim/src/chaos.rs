@@ -96,6 +96,12 @@ pub struct ChaosStats {
     pub rejected: u64,
     /// Reports successfully decoded and delivered to the consumer.
     pub delivered: u64,
+    /// Connection rebuilds performed by a resilient socket agent (stays 0
+    /// in-process and on a plain agent).
+    pub reconnects: u64,
+    /// Reports re-shipped by resend-ring replay on those reconnects; they
+    /// arrive as wire duplicates the server's dedup absorbs.
+    pub replayed: u64,
 }
 
 /// A lossy, duplicating, reordering, corrupting report transport.
@@ -251,6 +257,12 @@ pub struct ScenarioConfig {
     pub wire_robust_pump: bool,
     /// Shard count when [`ScenarioConfig::wire_robust_pump`] is set.
     pub verify_shards: usize,
+    /// Every `sever_period` flows (socket mode only), flush and drop the
+    /// agent's connection mid-stream: the next send reconnects with seeded
+    /// backoff and replays the resend ring, exercising the self-healing
+    /// path under churn. `0` disables severing; requires
+    /// [`ScenarioConfig::transport`] to have any effect.
+    pub sever_period: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -266,6 +278,7 @@ impl Default for ScenarioConfig {
             transport: None,
             wire_robust_pump: false,
             verify_shards: 4,
+            sever_period: 0,
         }
     }
 }
@@ -321,8 +334,8 @@ impl ChaosSummary {
             self.seed, self.flows, self.churn_ops
         ));
         out.push_str(&format!(
-            "  \"channel\": {{\"emitted\": {}, \"dropped\": {}, \"duplicated\": {}, \"corrupted\": {}, \"rejected\": {}, \"delivered\": {}}},\n",
-            c.emitted, c.dropped, c.duplicated, c.corrupted, c.rejected, c.delivered
+            "  \"channel\": {{\"emitted\": {}, \"dropped\": {}, \"duplicated\": {}, \"corrupted\": {}, \"rejected\": {}, \"delivered\": {}, \"reconnects\": {}, \"replayed\": {}}},\n",
+            c.emitted, c.dropped, c.duplicated, c.corrupted, c.rejected, c.delivered, c.reconnects, c.replayed
         ));
         out.push_str(&format!(
             "  \"fault\": {{\"injected\": {}, \"detected\": {}}},\n",
@@ -479,7 +492,9 @@ fn inject_fault<B: HeaderSetBackend>(
 enum Wire {
     InProcess(ReportChannel),
     Socket {
-        agent: SwitchAgent,
+        // Boxed: the agent carries the resilient sender's ring + backoff
+        // state and would otherwise dominate the enum's footprint.
+        agent: Box<SwitchAgent>,
         listener: veridp_net::IngestServer,
         delivered: u64,
     },
@@ -494,15 +509,40 @@ impl Wire {
                     .expect("loopback resolves");
                 let listener =
                     veridp_net::IngestServer::bind(net_cfg).expect("bind loopback listener");
-                let agent =
+                let agent = if cfg.sever_period > 0 {
+                    // Severing requires the self-healing sender. Fast
+                    // backoff and a small ring keep the loopback soak
+                    // quick; the ring only bounds duplicate volume here —
+                    // a flushed-first sever loses nothing on loopback.
+                    let mut rcfg =
+                        veridp_net::ResilientConfig::new(SwitchId(0xA6E17), cfg.chaos.seed);
+                    rcfg.backoff.base_ms = 1;
+                    rcfg.backoff.max_ms = 20;
+                    rcfg.resend_capacity = 256;
+                    SwitchAgent::connect_resilient(
+                        transport,
+                        listener.local_addr(),
+                        cfg.chaos.clone(),
+                        rcfg,
+                    )
+                } else {
                     SwitchAgent::connect(transport, listener.local_addr(), cfg.chaos.clone())
-                        .expect("connect agent");
+                }
+                .expect("connect agent");
                 Wire::Socket {
-                    agent,
+                    agent: Box::new(agent),
                     listener,
                     delivered: 0,
                 }
             }
+        }
+    }
+
+    /// Sever the socket agent's connection (no-op in-process): the next
+    /// send reconnects and replays.
+    fn sever(&mut self) {
+        if let Wire::Socket { agent, .. } = self {
+            agent.sever().expect("loopback sever flush");
         }
     }
 
@@ -708,6 +748,9 @@ pub fn run_chaos_scenario<B: HeaderSetBackend>(
                 if cfg.drain_period > 0 && flows.is_multiple_of(cfg.drain_period as u64) {
                     let drained = channel.drain();
                     ingest.ingest(m, &drained);
+                }
+                if cfg.sever_period > 0 && flows.is_multiple_of(cfg.sever_period as u64) {
+                    channel.sever();
                 }
                 if cfg.churn_period > 0
                     && flows.is_multiple_of(cfg.churn_period as u64)

@@ -65,6 +65,21 @@
 //! quarantine, K-of-N alarm confirmation). The run exits nonzero if any
 //! *false* alarm is confirmed, or if an injected fault goes undetected —
 //! the invariant the CI chaos soak gates on.
+//!
+//! `--chaos-kill SEED` (given to *both* a `--listen` and a `--connect`
+//! side, with matching `--clients`) adds the self-healing chaos
+//! dimension: each client becomes a resilient, heartbeating agent and a
+//! seeded plan assigns it a fate — *kill* (stop reporting and
+//! heartbeating mid-run, without closing down cleanly), *sever* (drop the
+//! connection mid-stream; the agent reconnects with jittered backoff and
+//! replays its resend ring), or *clean*. The listener enables the switch
+//! liveness registry (staleness window `--stale-ms`, default 1500) and
+//! recomputes the same plan from the shared seed; it exits nonzero unless
+//! every killed agent identity is flagged stale within two windows, no
+//! surviving agent identity is flagged, and the ingest accounting
+//! conserves through the replays. `--poison-after N` (listener) makes the
+//! Nth verify-worker batch panic to exercise supervised restart + batch
+//! replay — verdicts must be unaffected.
 
 use std::env;
 
@@ -94,6 +109,9 @@ struct Options {
     chaos_dup: f64,
     chaos_corrupt: f64,
     chaos_json: Option<String>,
+    chaos_kill: Option<u64>,
+    stale_ms: u64,
+    poison_after: Option<u64>,
     listen: Option<String>,
     connect: Option<String>,
     robust: bool,
@@ -120,6 +138,9 @@ fn parse_args() -> Options {
         chaos_dup: 5.0,
         chaos_corrupt: 2.0,
         chaos_json: None,
+        chaos_kill: None,
+        stale_ms: 1500,
+        poison_after: None,
         listen: None,
         connect: None,
         robust: false,
@@ -184,6 +205,25 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|_| usage("bad --chaos-corrupt"))
             }
             "--chaos-json" => o.chaos_json = Some(val("--chaos-json")),
+            "--chaos-kill" => {
+                o.chaos_kill = Some(
+                    val("--chaos-kill")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --chaos-kill seed")),
+                )
+            }
+            "--stale-ms" => {
+                o.stale_ms = val("--stale-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --stale-ms"))
+            }
+            "--poison-after" => {
+                o.poison_after = Some(
+                    val("--poison-after")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --poison-after")),
+                )
+            }
             "--listen" => o.listen = Some(val("--listen")),
             "--connect" => o.connect = Some(val("--connect")),
             "--robust" => o.robust = true,
@@ -249,6 +289,18 @@ fn usage(msg: &str) -> ! {
          \x20 --chaos-dup PCT         report duplication percentage (default 5)\n\
          \x20 --chaos-corrupt PCT     report bit-corruption percentage (default 2)\n\
          \x20 --chaos-json PATH       write the chaos summary as JSON to PATH\n\
+         \x20 --chaos-kill SEED       self-healing chaos (give to both --listen and\n\
+         \x20                         --connect with matching --clients): a seeded plan\n\
+         \x20                         kills some agents mid-run (they stop heartbeating)\n\
+         \x20                         and severs others (they reconnect with jittered\n\
+         \x20                         backoff and replay). The listener enables the\n\
+         \x20                         liveness registry and exits nonzero unless every\n\
+         \x20                         killed identity flags stale within 2 windows, no\n\
+         \x20                         survivor flags, and accounting conserves.\n\
+         \x20 --stale-ms MS           liveness staleness window for --chaos-kill\n\
+         \x20                         (default 1500)\n\
+         \x20 --poison-after N        with --listen: panic the verify worker on its Nth\n\
+         \x20                         batch to exercise supervised restart + replay\n\
          \x20 --listen PROTO:ADDR     network ingest server mode: deploy the monitor,\n\
          \x20                         then listen for tag reports over real sockets\n\
          \x20                         (udp:127.0.0.1:7641 or tcp:0.0.0.0:0). Exits once\n\
@@ -598,6 +650,47 @@ fn fail_with_statz(reason: &str, detail: &str, net: Option<&veridp::net::NetStat
     std::process::exit(1);
 }
 
+/// Identity namespace for `--chaos-kill` client agents, far above any
+/// topology switch id so liveness gates can tell agent identities from
+/// report-derived switch reporters (which legitimately go quiet when
+/// traffic ends).
+const CLIENT_ID_BASE: u32 = 0xC11E_0000;
+
+/// What `--chaos-kill` does to one client agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientFate {
+    /// Send everything, heartbeat until the run winds down, close cleanly.
+    Clean,
+    /// Drop the connection mid-stream; reconnect with backoff and replay.
+    Sever,
+    /// Die right after sending: no close, no more heartbeats — the
+    /// listener's liveness registry must flag this identity stale.
+    Kill,
+}
+
+/// The seeded kill plan: pure function of `(kill_seed, clients)`, so the
+/// `--listen` and `--connect` sides agree on which identities die with no
+/// side channel (the same contract as `pick_fault_target`). Always
+/// contains at least one kill and one survivor so both gates are live.
+fn kill_plan(kill_seed: u64, clients: usize) -> Vec<ClientFate> {
+    let mut rng = StdRng::seed_from_u64(kill_seed ^ 0xdead_c11e);
+    let mut plan: Vec<ClientFate> = (0..clients)
+        .map(|_| match rng.gen_range(0u8..4) {
+            0 => ClientFate::Kill,
+            1 => ClientFate::Sever,
+            _ => ClientFate::Clean,
+        })
+        .collect();
+    if !plan.contains(&ClientFate::Kill) {
+        plan[0] = ClientFate::Kill;
+    }
+    if !plan.iter().any(|f| *f != ClientFate::Kill) {
+        let last = plan.len() - 1;
+        plan[last] = ClientFate::Clean;
+    }
+    plan
+}
+
 /// Pick the seeded fault target: a traffic-carrying `Forward` rule on a
 /// random host-pair shortest path. Pure function of the rng stream and the
 /// deployment, so a `--listen --robust` server and its `--connect --robust`
@@ -724,6 +817,12 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
     if o.robust {
         cfg.robust = Some(veridp::core::RobustConfig::default());
     }
+    if o.chaos_kill.is_some() {
+        cfg.liveness = Some(veridp::core::LivenessConfig {
+            window_ns: o.stale_ms.max(1) * 1_000_000,
+        });
+    }
+    cfg.poison_after = o.poison_after;
     let shards = cfg.verify_shards;
     let pipeline = veridp::net::serve(cfg, server).unwrap_or_else(|e| {
         eprintln!("error: binding {spec}: {e}");
@@ -783,10 +882,34 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
             );
         }
     }
+    if let Some(n) = o.poison_after {
+        println!("poison: verify worker panics on batch {n} (supervised restart + replay)");
+    }
+    // The --chaos-kill contract: recompute the seeded client-fate plan so
+    // the stale-flag gates know which identities must (and must not) die.
+    let liveness = pipeline.liveness();
+    let plan = o.chaos_kill.map(|ks| kill_plan(ks, o.clients.max(1)));
+    if let Some(plan) = &plan {
+        let kills = plan.iter().filter(|f| **f == ClientFate::Kill).count();
+        let severs = plan.iter().filter(|f| **f == ClientFate::Sever).count();
+        println!(
+            "chaos-kill: liveness window {}ms; expecting {kills} killed + {severs} severed of {} agents",
+            o.stale_ms,
+            plan.len()
+        );
+    }
 
     let start = Instant::now();
     let max = Duration::from_secs(o.serve_max_secs.max(1));
-    let idle = Duration::from_millis(o.serve_idle_ms.max(1));
+    // Under --chaos-kill the idle window must stay well inside the
+    // staleness window: surviving agents stop heartbeating the moment they
+    // finish, and the sweeper must not flag them during the silence that
+    // ends the run.
+    let idle_ms = match o.chaos_kill {
+        Some(_) => o.serve_idle_ms.max(1).min((o.stale_ms / 2).max(1)),
+        None => o.serve_idle_ms.max(1),
+    };
+    let idle = Duration::from_millis(idle_ms);
     let mut last_frames = 0u64;
     let mut last_change = start;
     let mut first_frame: Option<Instant> = None;
@@ -864,6 +987,20 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
             s.duplicates, s.graced, s.quarantined, s.shed, snap.shard_verified
         );
     }
+    println!(
+        "self-healing: {} heartbeats | {} push timeouts | {} worker restarts ({} reports replayed)",
+        snap.heartbeats, snap.push_timeouts, snap.worker_restarts, snap.worker_replayed
+    );
+    if let Some(lv) = &liveness {
+        let (switches, pairs) = lv.tracked();
+        println!(
+            "liveness: {} switches + {} pairs tracked | {} stale flags raised | {} recovered",
+            switches,
+            pairs,
+            lv.stale_log().len(),
+            lv.recovered()
+        );
+    }
 
     if !snap.conserved() {
         fail_with_statz(
@@ -883,6 +1020,75 @@ fn run_listen<B: HeaderSetBackend>(o: &Options, m: Monitor<B>, spec: &str) {
                 s.failed()
             ),
             Some(&snap),
+        );
+    }
+    if let Some(n) = o.poison_after {
+        // The poison fired iff enough batches arrived; when it did, the
+        // supervisor must have caught it and replayed the batch.
+        if snap.batches >= n && snap.worker_restarts == 0 {
+            fail_with_statz(
+                "poison_unsupervised",
+                &format!(
+                    "NET INVARIANT VIOLATED: poison batch {n} never triggered a supervised restart ({} batches ingested)",
+                    snap.batches
+                ),
+                Some(&snap),
+            );
+        }
+    }
+    if let (Some(plan), Some(lv)) = (&plan, &liveness) {
+        // The stale-flag gates. Only the agent-identity namespace counts:
+        // report-derived switch reporters legitimately fall silent when
+        // traffic ends, but agent identities promised heartbeats.
+        let window_ns = lv.window_ns();
+        let flagged: std::collections::HashMap<u32, u64> = lv
+            .stale_log()
+            .iter()
+            .filter_map(|sr| match sr.reporter {
+                veridp::core::ReporterId::Switch(sw) if sw.0 >= CLIENT_ID_BASE => {
+                    Some((sw.0, sr.idle_ns))
+                }
+                _ => None,
+            })
+            .collect();
+        for (c, fate) in plan.iter().enumerate() {
+            let id = CLIENT_ID_BASE + c as u32;
+            match fate {
+                ClientFate::Kill => match flagged.get(&id) {
+                    None => fail_with_statz(
+                        "missed_stale_flag",
+                        &format!(
+                            "LIVENESS INVARIANT VIOLATED: killed agent {c} (identity {id:#x}) was never flagged stale"
+                        ),
+                        Some(&snap),
+                    ),
+                    Some(&idle_ns) if idle_ns >= 2 * window_ns => fail_with_statz(
+                        "late_stale_flag",
+                        &format!(
+                            "LIVENESS INVARIANT VIOLATED: killed agent {c} flagged after {}ms (>= 2 windows of {}ms)",
+                            idle_ns / 1_000_000,
+                            window_ns / 1_000_000
+                        ),
+                        Some(&snap),
+                    ),
+                    Some(_) => {}
+                },
+                ClientFate::Sever | ClientFate::Clean => {
+                    if flagged.contains_key(&id) {
+                        fail_with_statz(
+                            "false_stale_flag",
+                            &format!(
+                                "LIVENESS INVARIANT VIOLATED: surviving agent {c} (identity {id:#x}, fate {fate:?}) was flagged stale"
+                            ),
+                            Some(&snap),
+                        );
+                    }
+                }
+            }
+        }
+        let kills = plan.iter().filter(|f| **f == ClientFate::Kill).count();
+        println!(
+            "chaos-kill: all {kills} killed identities flagged within 2 windows; no survivor flagged"
         );
     }
     if !o.robust {
@@ -1026,6 +1232,11 @@ fn run_connect<B: HeaderSetBackend>(o: &Options, mut m: Monitor<B>, spec: &str) 
         o.clients.max(1)
     );
 
+    if let Some(ks) = o.chaos_kill {
+        run_connect_chaos_kill(o, ks, transport, addr, &reports, repeat);
+        return;
+    }
+
     let t0 = Instant::now();
     let handles: Vec<_> = (0..o.clients.max(1))
         .map(|c| {
@@ -1061,6 +1272,113 @@ fn run_connect<B: HeaderSetBackend>(o: &Options, mut m: Monitor<B>, spec: &str) 
     println!(
         "clients done: {sent} reports, {bytes} bytes in {dt:.2}s ({:.0} reports/sec send-side)",
         sent as f64 / dt
+    );
+}
+
+/// The `--connect --chaos-kill` client fleet: every client is a resilient,
+/// heartbeating agent with a seeded fate from [`kill_plan`]. *Killed*
+/// agents send their reports, flush, and die without closing down — no
+/// more heartbeats, so the listener's liveness registry must flag them.
+/// *Severed* agents drop the connection halfway through and heal by
+/// reconnect + ring replay. *Clean* (and healed severed) agents keep
+/// heartbeating for three staleness windows after sending — long enough
+/// for the listener to sweep the dead while the living are demonstrably
+/// alive — then close cleanly.
+fn run_connect_chaos_kill(
+    o: &Options,
+    kill_seed: u64,
+    transport: veridp::net::Transport,
+    addr: std::net::SocketAddr,
+    reports: &[veridp::packet::TagReport],
+    repeat: usize,
+) {
+    use std::time::{Duration, Instant};
+
+    let plan = kill_plan(kill_seed, o.clients.max(1));
+    let kills = plan.iter().filter(|f| **f == ClientFate::Kill).count();
+    let severs = plan.iter().filter(|f| **f == ClientFate::Sever).count();
+    println!(
+        "chaos-kill: {kills} agents will die mid-run, {severs} will sever and heal ({} clean)",
+        plan.len() - kills - severs
+    );
+
+    let hb_every = Duration::from_millis((o.stale_ms / 4).max(10));
+    let linger = Duration::from_millis(o.stale_ms.saturating_mul(3).max(100));
+    let t0 = Instant::now();
+    let handles: Vec<_> = plan
+        .iter()
+        .enumerate()
+        .map(|(c, &fate)| {
+            let reports = reports.to_vec();
+            std::thread::spawn(move || {
+                let identity = SwitchId(CLIENT_ID_BASE + c as u32);
+                let mut rcfg = veridp::net::ResilientConfig::new(
+                    identity,
+                    kill_seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                rcfg.heartbeat_every = hb_every;
+                let mut tx = veridp::net::ResilientSender::connect(transport, addr, rcfg)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: client {c} connecting: {e}");
+                        std::process::exit(2);
+                    });
+                let total = repeat * reports.len();
+                let sever_at = total / 2;
+                let mut sent = 0usize;
+                for _ in 0..repeat {
+                    for r in &reports {
+                        if fate == ClientFate::Sever && sent == sever_at {
+                            tx.sever().expect("sever flush");
+                        }
+                        tx.send_report(r).expect("send report");
+                        sent += 1;
+                        if sent.is_multiple_of(256) {
+                            tx.tick().expect("tick");
+                        }
+                    }
+                    if transport == veridp::net::Transport::Udp {
+                        tx.flush().expect("flush");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                tx.flush().expect("flush");
+                if fate == ClientFate::Kill {
+                    // Die ugly: no half-close, no final heartbeat. The
+                    // listener now owes this identity a stale flag.
+                    let st = tx.stats();
+                    let (rec, rep) = (tx.reconnects(), tx.replayed());
+                    drop(tx);
+                    return (st, rec, rep, fate);
+                }
+                // Stay demonstrably alive while the listener sweeps the
+                // dead, then close down cleanly.
+                let alive_until = Instant::now() + linger;
+                while Instant::now() < alive_until {
+                    std::thread::sleep(hb_every / 2);
+                    tx.tick().expect("tick");
+                }
+                let (rec, rep) = (tx.reconnects(), tx.replayed());
+                let st = tx.finish().expect("finish");
+                (st, rec, rep, fate)
+            })
+        })
+        .collect();
+    let mut sent = 0u64;
+    let mut bytes = 0u64;
+    let mut heartbeats = 0u64;
+    let mut reconnects = 0u64;
+    let mut replayed = 0u64;
+    for h in handles {
+        let (cs, rec, rep, _fate) = h.join().expect("client thread");
+        sent += cs.reports_sent;
+        bytes += cs.bytes_sent;
+        heartbeats += cs.heartbeats_sent;
+        reconnects += rec;
+        replayed += rep;
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "clients done: {sent} reports ({replayed} replayed), {bytes} bytes, {heartbeats} heartbeats, {reconnects} reconnects in {dt:.2}s"
     );
 }
 

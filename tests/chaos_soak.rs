@@ -205,6 +205,32 @@ fn internet2_no_fault_over_sockets_stays_silent() {
     }
 }
 
+/// Partition injection rides the same soak: every `sever_period` flows
+/// the harness drops the agent's TCP connection mid-stream, on top of the
+/// usual loss/dup/corruption chaos. The resilient sender reconnects with
+/// seeded backoff and replays its resend ring; the server's dedup
+/// collapses the replay, so every gate of `assert_soak_ok` — zero false
+/// alarms, fault detected, conservation — must hold unchanged.
+#[test]
+fn internet2_severed_wire_heals_by_reconnect_and_replay() {
+    let mut m =
+        Monitor::deploy(gen::internet2(), &[Intent::Connectivity], 16).expect("intents compile");
+    let cfg = ScenarioConfig {
+        chaos: ChaosConfig {
+            seed: 4,
+            ..ChaosConfig::default()
+        },
+        fault: FaultKind::WrongPort,
+        transport: Some(Transport::Tcp),
+        sever_period: 40,
+        ..ScenarioConfig::default()
+    };
+    let s = run_chaos_scenario(&mut m, &cfg);
+    assert_soak_ok(&s, "internet2/tcp-socket/severed/seed4");
+    assert!(s.channel.reconnects > 0, "the wire was actually severed");
+    assert!(s.channel.replayed > 0, "reconnect replayed the resend ring");
+}
+
 /// Socket soak with the wire pipeline's consumer shape: drains are
 /// partitioned by `(inport, outport)` pair across sharded `RobustWorker`s
 /// pinning RCU snapshots, and the harvests are absorbed before verdicts

@@ -1,0 +1,391 @@
+//! Self-healing acceptance soak: agent death and connection sever/heal
+//! mid-churn, across both transports and both ingest engines.
+//!
+//! The contract under test (ISSUE 10): a killed reporter raises a
+//! `StaleReporter` flag within two staleness windows and never a false
+//! one; a severed agent reconnects with seeded backoff and replays its
+//! resend ring, and the server's robust dedup collapses the replay back
+//! to a verdict sheet bit-identical to an uninterrupted run; a poisoned
+//! verify worker is restarted by the supervisor and replays its batch
+//! with no verdict drift; and `NetStatsSnapshot::conserved` holds through
+//! all of it — replayed reports included.
+
+use std::time::{Duration, Instant};
+
+use veridp::controller::Intent;
+use veridp::core::{LivenessConfig, ReporterId, RobustConfig, VeriDpServer};
+use veridp::net::{serve, IngestConfig, IngestMode, ResilientConfig, ResilientSender, Transport};
+use veridp::packet::{PortNo, SwitchId, TagReport};
+use veridp::sim::Monitor;
+use veridp::switch::{Action, Fault};
+use veridp::topo::gen;
+
+/// Agent identities live far above any topology switch id, so the
+/// staleness assertions can never collide with report-derived reporters
+/// (which legitimately go silent once traffic ends).
+const SURVIVOR_ID: SwitchId = SwitchId(0x5E1F_0001);
+const VICTIM_ID: SwitchId = SwitchId(0x5E1F_0002);
+
+/// Staleness window. The in-pipeline sweeper runs at a quarter of this;
+/// the test also sweeps manually so flag latency is bounded by the poll
+/// loop, not by sweeper scheduling luck on a loaded CI box.
+const WINDOW: Duration = Duration::from_millis(150);
+
+/// Both intake engines where the platform has them; the reactor is
+/// epoll-backed and therefore Linux-only.
+fn engines() -> Vec<IngestMode> {
+    let mut v = vec![IngestMode::Threaded];
+    if cfg!(target_os = "linux") {
+        v.push(IngestMode::Reactor);
+    }
+    v
+}
+
+/// A fresh server over the reference deployment — the baseline every wire
+/// run is differentially compared against.
+fn fresh_server() -> VeriDpServer {
+    let m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let Monitor { server, .. } = m;
+    server
+}
+
+/// Clean all-pairs report set, epoch-stamped like live agents stamp them.
+fn report_set() -> Vec<TagReport> {
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let outcomes = m.ping_all_pairs(80);
+    let epoch = m.server.table().epoch();
+    let reports: Vec<TagReport> = outcomes
+        .iter()
+        .flat_map(|o| o.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+        .collect();
+    assert!(reports.len() > 100, "need a meaningful report set");
+    reports
+}
+
+/// Misdirect one traffic-carrying forward rule (deterministic), then
+/// generate three all-pairs rounds so the same `(pair, suspect)` fails
+/// often enough to clear K-of-N confirmation — the same construction the
+/// net ingest tests use, so the fault signature is well understood.
+fn faulty_report_set() -> Vec<TagReport> {
+    let mut m = Monitor::deploy(gen::fat_tree(4), &[Intent::Connectivity], 16).unwrap();
+    let hosts = m.net.topo().hosts().to_vec();
+    let (a, b) = (&hosts[0], &hosts[hosts.len() - 1]);
+    let path = m
+        .net
+        .topo()
+        .shortest_path(a.attached.switch, b.attached.switch)
+        .unwrap();
+    let subnet = veridp::switch::prefix_mask(b.ip, b.plen);
+    let (sid, rid, old) = path
+        .iter()
+        .find_map(|&s| {
+            m.controller
+                .rules_of(s)
+                .iter()
+                .find(|r| r.fields.dst_ip == subnet && r.fields.dst_plen == b.plen)
+                .and_then(|r| match r.action {
+                    Action::Forward(p) => Some((s, r.id, p)),
+                    _ => None,
+                })
+        })
+        .expect("a traffic-carrying forward rule on the path");
+    let nports = m.net.topo().switch(sid).unwrap().num_ports;
+    let wrong = (1..=nports).map(PortNo).find(|&q| q != old).unwrap();
+    m.net
+        .switch_mut(sid)
+        .faults_mut()
+        .add(Fault::ExternalModify(rid, Action::Forward(wrong)));
+
+    let epoch = m.server.table().epoch();
+    (0..3u16)
+        .flat_map(|round| {
+            m.ping_all_pairs(80 + round)
+                .iter()
+                .flat_map(|o| o.trace.reports.iter().map(|r| r.with_epoch(epoch)))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Confirmed-alarm sheet as a sortable key: `(suspect, pair, count)` per
+/// alarm. Bit-identical sheets ⇒ identical keys.
+fn alarm_key(
+    srv: &VeriDpServer,
+) -> Vec<(
+    SwitchId,
+    (veridp::packet::PortRef, veridp::packet::PortRef),
+    u64,
+)> {
+    let mut k: Vec<_> = srv
+        .robust()
+        .expect("robust mode enabled")
+        .alarms
+        .confirmed()
+        .iter()
+        .map(|a| (a.suspect, a.pair, a.count))
+        .collect();
+    k.sort();
+    k
+}
+
+/// Resilient sender tuned for the soak: millisecond backoff, a ring that
+/// covers the whole sever window, heartbeats fast enough to keep the
+/// survivor fresh through the post-traffic wait.
+fn agent_config(identity: SwitchId, seed: u64) -> ResilientConfig {
+    let mut rc = ResilientConfig::new(identity, seed);
+    rc.backoff.base_ms = 1;
+    rc.backoff.max_ms = 20;
+    rc.resend_capacity = 512;
+    rc.heartbeat_every = Duration::from_millis(30);
+    rc
+}
+
+/// One sever/heal + kill scenario against a robust pipeline: the
+/// survivor carries `reports` and is severed at the midpoint; the victim
+/// is a heartbeat-only reporter killed at the same moment. Returns
+/// `(server, snapshot, survivor ClientStats, survivor replay count)`.
+fn run_scenario(
+    transport: Transport,
+    mode: IngestMode,
+    reports: &[TagReport],
+) -> (
+    VeriDpServer,
+    veridp::net::NetStatsSnapshot,
+    veridp::net::ClientStats,
+    u64,
+) {
+    let mut cfg = IngestConfig::for_addr(transport, "127.0.0.1:0").unwrap();
+    cfg.mode = mode;
+    cfg.robust = Some(RobustConfig::default());
+    cfg.liveness = Some(LivenessConfig {
+        window_ns: WINDOW.as_nanos() as u64,
+    });
+    let pipeline = serve(cfg, fresh_server()).unwrap();
+    let addr = pipeline.local_addr();
+    let handle = pipeline.liveness().expect("liveness configured");
+
+    // The victim announces itself and keeps heartbeating until the kill.
+    let mut victim = ResilientSender::connect(transport, addr, agent_config(VICTIM_ID, 7)).unwrap();
+    victim.flush().unwrap();
+    // Make sure the announcement actually landed (UDP could drop one —
+    // re-send until the registry tracks at least one switch).
+    let t0 = Instant::now();
+    while handle.tracked().0 == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "victim never tracked"
+        );
+        victim.heartbeat_now().unwrap();
+        victim.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut survivor =
+        ResilientSender::connect(transport, addr, agent_config(SURVIVOR_ID, 11)).unwrap();
+    let mut killed_at = None;
+    let mut victim_frames = 0;
+    let mut victim_alive = Some(victim);
+    for (i, r) in reports.iter().enumerate() {
+        if i == reports.len() / 2 {
+            // Mid-churn chaos: sever the survivor's socket (it heals on
+            // the next send, replaying its ring) and SIGKILL the victim —
+            // stats captured, no finish, no goodbye.
+            survivor.sever().unwrap();
+            let mut v = victim_alive.take().unwrap();
+            v.heartbeat_now().unwrap();
+            v.flush().unwrap();
+            victim_frames = v.stats().frames_sent;
+            killed_at = Some(Instant::now());
+            drop(v);
+        }
+        survivor.send_report(r).unwrap();
+        if i % 256 == 255 {
+            survivor.flush().unwrap();
+            if transport == Transport::Udp {
+                // Pace datagrams so loopback kernel buffers keep up.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if let Some(v) = victim_alive.as_mut() {
+                v.tick().unwrap();
+            }
+        }
+    }
+    survivor.flush().unwrap();
+    let killed_at = killed_at.expect("midpoint reached");
+
+    // The dead reporter must be flagged within two windows of its last
+    // heartbeat; the survivor keeps ticking through the wait so the only
+    // agent-identity that can go stale is the victim.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !handle.is_flagged(ReporterId::Switch(VICTIM_ID)) {
+        assert!(Instant::now() < deadline, "victim never flagged stale");
+        if killed_at.elapsed() > WINDOW {
+            handle.sweep();
+        }
+        survivor.tick().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stale = handle
+        .stale_log()
+        .into_iter()
+        .find(|s| s.reporter == ReporterId::Switch(VICTIM_ID))
+        .expect("victim in the stale log");
+    assert!(
+        stale.idle_ns < 2 * handle.window_ns(),
+        "flagged within 2 windows: idle {}ms, window {}ms",
+        stale.idle_ns / 1_000_000,
+        handle.window_ns() / 1_000_000
+    );
+    assert!(
+        !handle.is_flagged(ReporterId::Switch(SURVIVOR_ID)),
+        "a live, heartbeating agent must never be flagged"
+    );
+    // No other agent-namespace identity is ever flagged (topology-derived
+    // reporters going quiet after traffic ends are expected, and not ours).
+    for s in handle.stale_log() {
+        if let ReporterId::Switch(sw) = s.reporter {
+            assert!(
+                sw.0 < 0x5E1F_0000 || sw == VICTIM_ID,
+                "false stale flag on {sw:?}"
+            );
+        }
+    }
+
+    let replayed = survivor.replayed();
+    assert_eq!(survivor.reconnects(), 1, "exactly one sever, one heal");
+    assert!(replayed > 0, "the ring replays across the reconnect");
+    let cs = survivor.finish().unwrap();
+
+    let expected = cs.frames_sent + victim_frames;
+    let drained = pipeline.wait_frames(expected, Duration::from_secs(20));
+    if transport == Transport::Tcp {
+        assert!(drained, "lossless TCP delivers every frame sent");
+    }
+    let (server, snap) = pipeline.shutdown();
+    assert!(snap.conserved(), "{snap:?}");
+    assert!(snap.heartbeats > 0, "heartbeats decoded: {snap:?}");
+    assert_eq!(snap.decode_errors, 0, "{snap:?}");
+    (server, snap, cs, replayed)
+}
+
+#[test]
+fn tcp_sever_heal_and_kill_verdicts_bit_identical_to_uninterrupted() {
+    let reports = faulty_report_set();
+
+    // Uninterrupted baseline: the in-process robust path, in order.
+    let mut baseline = fresh_server();
+    baseline.set_robust(Some(RobustConfig::default()));
+    for r in &reports {
+        baseline.ingest_robust(r);
+    }
+    baseline.settle();
+    let want_verdicts = baseline.stats().verdict_counts();
+    let want_dups = baseline.stats().duplicates;
+    let want_alarms = alarm_key(&baseline);
+    assert!(!want_alarms.is_empty(), "K-of-N confirms the misdirection");
+
+    for mode in engines() {
+        let (server, snap, cs, replayed) = run_scenario(Transport::Tcp, mode, &reports);
+        // Replay duplicates are collapsed by dedup before any verdict, so
+        // the verdict sheet is bit-identical to the uninterrupted run —
+        // and the only confirmed alarms are the injected fault's.
+        assert_eq!(
+            server.stats().verdict_counts(),
+            want_verdicts,
+            "[{mode:?}] replay must not perturb verdicts"
+        );
+        assert_eq!(
+            alarm_key(&server),
+            want_alarms,
+            "[{mode:?}] confirmed alarms match the uninterrupted baseline"
+        );
+        // Every replayed report deduplicates except the one whose send
+        // tripped the reconnect — that one was never delivered before the
+        // sever, so its replay is its first (and only) arrival.
+        assert_eq!(
+            server.stats().duplicates,
+            want_dups + replayed - 1,
+            "[{mode:?}] replay dedup accounting"
+        );
+        // Lossless wire: every report shipped (originals + replays) was
+        // decoded, and conservation already held at shutdown. The
+        // triggering report counts once — replay was its only send.
+        assert_eq!(cs.reports_sent, reports.len() as u64 + replayed - 1);
+        assert_eq!(snap.reports, cs.reports_sent, "[{mode:?}] {snap:?}");
+        assert_eq!(
+            snap.connections, 3,
+            "[{mode:?}] survivor dial + victim dial + one heal"
+        );
+    }
+}
+
+#[test]
+fn udp_sever_heal_and_kill_keeps_verdicts_clean() {
+    let reports = report_set();
+
+    for mode in engines() {
+        let (server, snap, _cs, _replayed) = run_scenario(Transport::Udp, mode, &reports);
+        // Datagrams may drop on the wire (kernel, not us), so the gate is
+        // the robust invariant rather than an exact count: everything
+        // decoded is verified exactly once, clean reports never fail, and
+        // no alarm is ever confirmed — sever, replay, and kill included.
+        let s = server.stats();
+        assert_eq!(s.failed(), 0, "[{mode:?}] clean reports never fail: {s:?}");
+        assert!(
+            alarm_key(&server).is_empty(),
+            "[{mode:?}] zero false alarms"
+        );
+        assert!(
+            s.reports as usize >= reports.len() * 9 / 10,
+            "[{mode:?}] paced loopback UDP delivers nearly everything ({} of {})",
+            s.reports,
+            reports.len()
+        );
+        assert_eq!(snap.shed, 0, "[{mode:?}] default queue never sheds here");
+    }
+}
+
+#[test]
+fn poisoned_worker_restarts_and_replays_without_verdict_drift() {
+    let reports = report_set();
+
+    // Uninterrupted baseline: plain batch ingest.
+    let mut baseline = fresh_server();
+    baseline.ingest_batch(&reports, 4);
+    let want = baseline.stats().verdict_counts();
+
+    for mode in engines() {
+        let mut cfg = IngestConfig::for_addr(Transport::Tcp, "127.0.0.1:0").unwrap();
+        cfg.mode = mode;
+        cfg.batch_reports = 64; // several batches, so batch 2 exists to poison
+        cfg.poison_after = Some(2);
+        let pipeline = serve(cfg, fresh_server()).unwrap();
+        let addr = pipeline.local_addr();
+        let mut tx = veridp::net::NetSender::connect(Transport::Tcp, addr).unwrap();
+        for (i, r) in reports.iter().enumerate() {
+            tx.send_report(r).unwrap();
+            // Pace the stream so the handler cuts several batches — a
+            // single burst coalesces into one, and then there is no
+            // second batch for the poison to land on.
+            if i % 32 == 31 {
+                tx.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        tx.finish().unwrap();
+        assert!(pipeline.wait_frames(reports.len() as u64, Duration::from_secs(20)));
+        let (server, snap) = pipeline.shutdown();
+
+        // The supervisor caught the panic, restarted the worker, and
+        // replayed the interrupted batch from a clean slate — so every
+        // report is verified exactly once and the verdicts don't drift.
+        assert_eq!(snap.worker_restarts, 1, "[{mode:?}] {snap:?}");
+        assert!(snap.worker_replayed > 0, "[{mode:?}] {snap:?}");
+        assert!(snap.conserved(), "[{mode:?}] {snap:?}");
+        assert_eq!(
+            server.stats().verdict_counts(),
+            want,
+            "[{mode:?}] a supervised restart must not change verdicts"
+        );
+    }
+}
